@@ -1,0 +1,104 @@
+//===- bench/BenchUtil.cpp - Shared benchmark harness helpers -----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/Debug.h"
+#include "support/OStream.h"
+#include "support/StringUtil.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <cmath>
+
+using namespace lslp;
+using namespace lslp::bench;
+
+Measurement lslp::bench::measureKernel(const KernelSpec &Spec,
+                                       const VectorizerConfig *Config,
+                                       uint64_t N) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = buildKernelModule(Spec, Ctx);
+  Measurement Out;
+  if (Config) {
+    SLPVectorizerPass Pass(*Config, TTI);
+    ModuleReport R = Pass.runOnModule(*M);
+    Out.StaticCost = R.acceptedCost();
+    Out.Accepted = R.numAccepted();
+    if (!verifyModule(*M))
+      reportFatalError("vectorized module failed verification: " + Spec.Name);
+  }
+  Interpreter Interp(*M, &TTI);
+  initKernelMemory(Interp, *M);
+  auto Result =
+      Interp.run(M->getFunction(Spec.EntryFunction),
+                 {RuntimeValue::makeInt(Ctx.getInt64Ty(),
+                                        N ? N : Spec.DefaultN)});
+  Out.DynamicCost = static_cast<double>(Result.TotalCost);
+  Out.Checksum = checksumGlobals(Interp, *M, Spec.OutputArrays);
+  return Out;
+}
+
+SuiteMeasurement lslp::bench::measureSuite(const SuiteSpec &Suite,
+                                           const VectorizerConfig *Config) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = buildSuiteModule(Suite, Ctx);
+  SuiteMeasurement Out;
+  if (Config) {
+    SLPVectorizerPass Pass(*Config, TTI);
+    Out.StaticCost = Pass.runOnModule(*M).acceptedCost();
+    if (!verifyModule(*M))
+      reportFatalError("vectorized suite failed verification: " + Suite.Name);
+  }
+  Interpreter Interp(*M, &TTI);
+  initKernelMemory(Interp, *M);
+  for (size_t I = 0; I < Suite.Members.size(); ++I) {
+    const KernelSpec *K = findKernel(Suite.Members[I]);
+    auto Result = Interp.run(
+        M->getFunction(K->EntryFunction),
+        {RuntimeValue::makeInt(Ctx.getInt64Ty(), K->DefaultN)});
+    Out.WeightedDynamicCost +=
+        Suite.Weights[I] * static_cast<double>(Result.TotalCost);
+  }
+  return Out;
+}
+
+std::vector<VectorizerConfig> lslp::bench::paperConfigs() {
+  return {VectorizerConfig::slpNoReordering(), VectorizerConfig::slp(),
+          VectorizerConfig::lslp()};
+}
+
+double lslp::bench::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+void lslp::bench::printTitle(const std::string &Title) {
+  outs() << "\n== " << Title << " ==\n";
+}
+
+void lslp::bench::printRow(const std::string &Label,
+                           const std::vector<std::string> &Cells,
+                           unsigned LabelWidth, unsigned CellWidth) {
+  outs().leftJustify(Label, LabelWidth);
+  for (const std::string &Cell : Cells)
+    outs().rightJustify(Cell, CellWidth);
+  outs() << "\n";
+}
+
+std::string lslp::bench::fmt(double Value, unsigned Decimals) {
+  return formatDouble(Value, Decimals);
+}

@@ -1,0 +1,69 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: running a kernel
+/// under a configuration on the cycle-model interpreter, collecting static
+/// costs, weighted suite measurements, geometric means, and aligned table
+/// printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_BENCH_BENCHUTIL_H
+#define LSLP_BENCH_BENCHUTIL_H
+
+#include "kernels/Kernels.h"
+#include "vectorizer/Config.h"
+
+#include <string>
+#include <vector>
+
+namespace lslp {
+namespace bench {
+
+/// Result of one (kernel, config) measurement.
+struct Measurement {
+  double DynamicCost = 0;  ///< Simulated cycles (TTI cost sum).
+  int StaticCost = 0;      ///< Sum of accepted graph costs.
+  unsigned Accepted = 0;   ///< Number of vectorized seed bundles.
+  uint64_t Checksum = 0;   ///< Output checksum (sanity cross-check).
+};
+
+/// Runs \p Spec with \p Config (null = O3, vectorizer disabled) on fresh
+/// memory and returns the measurement. \p N overrides the kernel's default
+/// trip count when non-zero.
+Measurement measureKernel(const KernelSpec &Spec,
+                          const VectorizerConfig *Config, uint64_t N = 0);
+
+/// Weighted whole-suite dynamic cost (Figure 11/12 substrate): sum over
+/// members of weight * dynamic cost; also accumulates the suite's total
+/// static cost.
+struct SuiteMeasurement {
+  double WeightedDynamicCost = 0;
+  int StaticCost = 0;
+};
+SuiteMeasurement measureSuite(const SuiteSpec &Suite,
+                              const VectorizerConfig *Config);
+
+/// The three vectorizing configurations in paper order.
+std::vector<VectorizerConfig> paperConfigs();
+
+/// Geometric mean (values must be positive).
+double geomean(const std::vector<double> &Values);
+
+/// \name Table printing (to stdout).
+/// @{
+void printTitle(const std::string &Title);
+void printRow(const std::string &Label,
+              const std::vector<std::string> &Cells,
+              unsigned LabelWidth = 26, unsigned CellWidth = 10);
+std::string fmt(double Value, unsigned Decimals = 2);
+/// @}
+
+} // namespace bench
+} // namespace lslp
+
+#endif // LSLP_BENCH_BENCHUTIL_H

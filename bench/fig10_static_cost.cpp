@@ -1,0 +1,46 @@
+//===- bench/fig10_static_cost.cpp - Figure 10: static cost --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 10: the total static vectorization cost (sum of
+// accepted graph costs; lower/more negative is better vectorization, the
+// figure's y-axis says "the higher the better" for the absolute saving)
+// seen by SLP-NR, SLP and LSLP on each kernel, with the arithmetic mean.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "support/OStream.h"
+
+using namespace lslp;
+using namespace lslp::bench;
+
+int main() {
+  printTitle("Figure 10: static vectorization cost (more negative = better)");
+  printRow("kernel", {"SLP-NR", "SLP", "LSLP"});
+  outs() << std::string(56, '-') << "\n";
+
+  std::vector<VectorizerConfig> Configs = paperConfigs();
+  std::vector<double> Sums(Configs.size(), 0.0);
+  unsigned Count = 0;
+
+  for (const KernelSpec *K : getFigureKernels()) {
+    std::vector<std::string> Cells;
+    for (size_t CI = 0; CI < Configs.size(); ++CI) {
+      Measurement Vec = measureKernel(*K, &Configs[CI]);
+      Sums[CI] += Vec.StaticCost;
+      Cells.push_back(std::to_string(Vec.StaticCost));
+    }
+    ++Count;
+    printRow(K->Name, Cells);
+  }
+  outs() << std::string(56, '-') << "\n";
+  std::vector<std::string> MeanCells;
+  for (double S : Sums)
+    MeanCells.push_back(fmt(S / Count));
+  printRow("Mean", MeanCells);
+  return 0;
+}

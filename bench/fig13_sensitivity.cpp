@@ -1,0 +1,85 @@
+//===- bench/fig13_sensitivity.cpp - Figure 13: optimization sensitivity -------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 13: the contribution of LSLP's two features measured
+// in isolation. LSLP-LA{0,1,2,4}: look-ahead depth swept with unlimited
+// multi-nodes. LSLP-Multi{1,2,3}: multi-node size swept with look-ahead
+// depth 8. SLP and full LSLP (LA=8, multi unlimited) as references.
+// Also includes the DESIGN.md ablation of the look-ahead score
+// aggregation (sum, the paper's choice, vs max from footnote 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "support/OStream.h"
+
+using namespace lslp;
+using namespace lslp::bench;
+
+namespace {
+
+std::vector<std::pair<std::string, VectorizerConfig>> sweepConfigs() {
+  std::vector<std::pair<std::string, VectorizerConfig>> Configs;
+  Configs.push_back({"SLP", VectorizerConfig::slp()});
+  for (unsigned LA : {0u, 1u, 2u, 4u}) {
+    VectorizerConfig C = VectorizerConfig::lslp(LA);
+    Configs.push_back({"LSLP-LA" + std::to_string(LA), C});
+  }
+  for (unsigned Size : {1u, 2u, 3u}) {
+    VectorizerConfig C = VectorizerConfig::lslp(8);
+    C.MaxMultiNodeSize = Size;
+    Configs.push_back({"LSLP-Multi" + std::to_string(Size), C});
+  }
+  Configs.push_back({"LSLP", VectorizerConfig::lslp(8)});
+  VectorizerConfig MaxAgg = VectorizerConfig::lslp(8);
+  MaxAgg.ScoreAggregation = VectorizerConfig::ScoreAggregationKind::Max;
+  Configs.push_back({"LSLP-maxagg", MaxAgg});
+  VectorizerConfig Exhaustive = VectorizerConfig::lslp(8);
+  Exhaustive.ReorderStrategy =
+      VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane;
+  Configs.push_back({"LSLP-exh", Exhaustive});
+  return Configs;
+}
+
+} // namespace
+
+int main() {
+  auto Configs = sweepConfigs();
+
+  printTitle("Figure 13: speedup over O3, feature sensitivity sweep");
+  std::vector<std::string> Header;
+  for (const auto &[Name, C] : Configs)
+    Header.push_back(Name);
+  printRow("kernel", Header, 26, 12);
+  outs() << std::string(26 + 12 * Configs.size(), '-') << "\n";
+
+  std::vector<std::vector<double>> Speedups(Configs.size());
+  for (const KernelSpec *K : getFigureKernels()) {
+    Measurement O3 = measureKernel(*K, nullptr);
+    std::vector<std::string> Cells;
+    for (size_t CI = 0; CI < Configs.size(); ++CI) {
+      Measurement Vec = measureKernel(*K, &Configs[CI].second);
+      double Speedup = O3.DynamicCost / Vec.DynamicCost;
+      Speedups[CI].push_back(Speedup);
+      Cells.push_back(fmt(Speedup) + "x");
+    }
+    printRow(K->Name, Cells, 26, 12);
+  }
+  outs() << std::string(26 + 12 * Configs.size(), '-') << "\n";
+  std::vector<std::string> GM;
+  for (const auto &S : Speedups)
+    GM.push_back(fmt(geomean(S)) + "x");
+  printRow("GMean", GM, 26, 12);
+
+  outs() << "\nExpected shape (paper 5.3): LA0 falls back to roughly SLP\n"
+            "level; Multi-node size and look-ahead depth each contribute,\n"
+            "with LA>=4 and Multi>=3 saturating on these kernels.\n"
+            "Extra ablations: maxagg = footnote-4 max score aggregation;\n"
+            "exh = footnote-3 exhaustive per-lane reordering (instead of\n"
+            "the greedy single pass).\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===- bench/fig14_compile_time.cpp - Figure 14: compilation time --------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 14: compilation time normalized to O3 (LA=8). "O3" is
+// building the kernel module without running the vectorizer; each
+// configuration adds its (L)SLP pass. google-benchmark measures the
+// per-(kernel, config) wall times; a normalized summary table in the
+// paper's format is printed afterwards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "support/OStream.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <optional>
+
+using namespace lslp;
+using namespace lslp::bench;
+
+namespace {
+
+void compileOnce(const KernelSpec &K,
+                 const std::optional<VectorizerConfig> &Config) {
+  Context Ctx;
+  auto M = buildKernelModule(K, Ctx);
+  if (Config) {
+    SkylakeTTI TTI;
+    SLPVectorizerPass Pass(*Config, TTI);
+    ModuleReport R = Pass.runOnModule(*M);
+    benchmark::DoNotOptimize(&R);
+  }
+  benchmark::DoNotOptimize(M.get());
+}
+
+void registerBenchmarks() {
+  struct NamedConfig {
+    const char *Name;
+    std::optional<VectorizerConfig> Config;
+  };
+  static const NamedConfig Configs[] = {
+      {"O3", std::nullopt},
+      {"SLP-NR", VectorizerConfig::slpNoReordering()},
+      {"SLP", VectorizerConfig::slp()},
+      {"LSLP", VectorizerConfig::lslp(8)},
+  };
+  for (const KernelSpec *K : getFigureKernels()) {
+    for (const NamedConfig &NC : Configs) {
+      std::string Name = "compile/" + K->Name + "/" + NC.Name;
+      benchmark::RegisterBenchmark(
+          Name.c_str(), [K, &NC](benchmark::State &State) {
+            for (auto _ : State)
+              compileOnce(*K, NC.Config);
+          });
+    }
+  }
+}
+
+/// Median wall time of \p Runs compilations, in nanoseconds.
+double medianCompileNanos(const KernelSpec &K,
+                          const std::optional<VectorizerConfig> &Config,
+                          unsigned Runs = 30) {
+  std::vector<double> Times;
+  Times.reserve(Runs);
+  for (unsigned I = 0; I < Runs; ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    compileOnce(K, Config);
+    auto End = std::chrono::steady_clock::now();
+    Times.push_back(
+        std::chrono::duration<double, std::nano>(End - Start).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+void printNormalizedSummary() {
+  printTitle("Figure 14: compilation time, normalized (LA=8)");
+  printRow("kernel", {"SLP-NR/O3", "SLP/O3", "LSLP/O3", "LSLP/SLP"});
+  outs() << std::string(66, '-') << "\n";
+  std::vector<std::vector<double>> Ratios(4);
+  for (const KernelSpec *K : getFigureKernels()) {
+    double O3 = medianCompileNanos(*K, std::nullopt);
+    std::optional<VectorizerConfig> Configs[] = {
+        VectorizerConfig::slpNoReordering(), VectorizerConfig::slp(),
+        VectorizerConfig::lslp(8)};
+    std::vector<std::string> Cells;
+    double Times[3];
+    for (unsigned CI = 0; CI < 3; ++CI) {
+      Times[CI] = medianCompileNanos(*K, Configs[CI]);
+      double Ratio = Times[CI] / O3;
+      Ratios[CI].push_back(Ratio);
+      Cells.push_back(fmt(Ratio, 2));
+    }
+    double VsSLP = Times[2] / Times[1];
+    Ratios[3].push_back(VsSLP);
+    Cells.push_back(fmt(VsSLP, 3));
+    printRow(K->Name, Cells);
+  }
+  outs() << std::string(66, '-') << "\n";
+  std::vector<std::string> GM;
+  for (const auto &R : Ratios)
+    GM.push_back(fmt(geomean(R), 3));
+  printRow("GMean", GM);
+  outs() << "\nNote: the paper normalizes to a full clang -O3 compile, where\n"
+            "the SLP pass is a tiny fraction, so all bars sit near 1.0x.\n"
+            "Here 'O3' is only IR construction (there is no surrounding\n"
+            "compiler pipeline), which inflates the */O3 columns. The\n"
+            "LSLP/SLP column isolates the paper's actual claim: the extra\n"
+            "cost of look-ahead + multi-nodes over the vanilla SLP pass.\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printNormalizedSummary();
+  return 0;
+}

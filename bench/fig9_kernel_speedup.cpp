@@ -1,0 +1,55 @@
+//===- bench/fig9_kernel_speedup.cpp - Figure 9: kernel speedups ---------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 9: execution speedup over O3 for SLP-NR, SLP and LSLP
+// on the eight Table 2 kernels (left cluster, with GMean) and the three
+// motivating examples (right cluster). "Execution" is the cycle-model
+// interpreter (see DESIGN.md); speedup = O3 cycles / config cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "support/Debug.h"
+#include "support/OStream.h"
+
+using namespace lslp;
+using namespace lslp::bench;
+
+int main() {
+  printTitle("Figure 9: speedup over O3 (cycle model)");
+  printRow("kernel", {"SLP-NR", "SLP", "LSLP"});
+  outs() << std::string(56, '-') << "\n";
+
+  std::vector<VectorizerConfig> Configs = paperConfigs();
+  std::vector<std::vector<double>> SpecSpeedups(Configs.size());
+
+  for (const KernelSpec *K : getFigureKernels()) {
+    Measurement O3 = measureKernel(*K, nullptr);
+    std::vector<std::string> Cells;
+    bool IsMotivation = K->Name.rfind("motivation", 0) == 0;
+    for (size_t CI = 0; CI < Configs.size(); ++CI) {
+      Measurement Vec = measureKernel(*K, &Configs[CI]);
+      if (Vec.Checksum != O3.Checksum)
+        reportFatalError("checksum mismatch on " + K->Name);
+      double Speedup = O3.DynamicCost / Vec.DynamicCost;
+      Cells.push_back(fmt(Speedup) + "x");
+      if (!IsMotivation)
+        SpecSpeedups[CI].push_back(Speedup);
+    }
+    printRow(K->Name, Cells);
+    // The paper separates the SPEC kernels (with GMean) from the
+    // motivating examples; print the GMean row between the clusters.
+    if (K->Name == "453.quartic-cylinder") {
+      std::vector<std::string> GMCells;
+      for (const auto &S : SpecSpeedups)
+        GMCells.push_back(fmt(geomean(S)) + "x");
+      printRow("GMean (SPEC kernels)", GMCells);
+      outs() << std::string(56, '-') << "\n";
+    }
+  }
+  return 0;
+}

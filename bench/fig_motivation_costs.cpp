@@ -1,0 +1,75 @@
+//===- bench/fig_motivation_costs.cpp - Figures 2-4: motivation graphs ---------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the static SLP-graph costs of the three motivating examples
+// (Figures 2(c)/(d), 3(c)/(d) and 4(c)/(d)) and compares them to the
+// values printed in the paper's figures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "support/OStream.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+using namespace lslp;
+using namespace lslp::bench;
+
+namespace {
+
+/// Cost of the (single) graph attempt for a motivation kernel under a
+/// config, regardless of acceptance.
+int graphCost(const char *Kernel, const VectorizerConfig &Config) {
+  const KernelSpec *Spec = findKernel(Kernel);
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = buildKernelModule(*Spec, Ctx);
+  SLPVectorizerPass Pass(Config, TTI);
+  ModuleReport R = Pass.runOnModule(*M);
+  int Cost = 0;
+  for (const FunctionReport &F : R.Functions)
+    for (const GraphAttempt &A : F.Attempts)
+      Cost += A.Cost;
+  return Cost;
+}
+
+struct PaperRow {
+  const char *Kernel;
+  int PaperSLP;
+  int PaperLSLP;
+};
+
+} // namespace
+
+int main() {
+  printTitle("Figures 2-4: motivating-example SLP graph costs "
+             "(vectorized iff cost < 0)");
+  printRow("kernel", {"SLP", "LSLP", "paper-SLP", "paper-LSLP"});
+  outs() << std::string(66, '-') << "\n";
+
+  const PaperRow Rows[] = {
+      {"motivation-loads", 0, -6},
+      {"motivation-opcodes", 4, -2},
+      {"motivation-multi", -2, -10},
+  };
+  for (const PaperRow &Row : Rows) {
+    int SLP = graphCost(Row.Kernel, VectorizerConfig::slp());
+    int LSLP = graphCost(Row.Kernel, VectorizerConfig::lslp());
+    printRow(Row.Kernel,
+             {std::to_string(SLP), std::to_string(LSLP),
+              std::to_string(Row.PaperSLP), std::to_string(Row.PaperLSLP)});
+  }
+  outs() << "\nNote: for motivation-opcodes the paper charges failed mixed\n"
+            "const/instruction slots as two +2 gathers; this reproduction\n"
+            "pairs the leftover constants into a free constant vector, so\n"
+            "the (also unprofitable) graph costs 0 instead of +4. The\n"
+            "vectorize/don't-vectorize decision matches the paper on all\n"
+            "three examples.\n";
+  return 0;
+}

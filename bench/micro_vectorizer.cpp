@@ -1,0 +1,118 @@
+//===- bench/micro_vectorizer.cpp - Micro-benchmarks of the pass pieces --------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark micro-benchmarks supporting the Figure 13/14 analysis:
+// where LSLP's compile time goes (look-ahead scoring as a function of
+// depth, multi-node graph construction, bundle scheduling) and the
+// interpreter's execution throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "vectorizer/GraphBuilder.h"
+#include "vectorizer/LookAhead.h"
+#include "vectorizer/SLPVectorizerPass.h"
+#include "vectorizer/SeedCollector.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lslp;
+using namespace lslp::bench;
+
+namespace {
+
+/// Look-ahead score computation as a function of the depth limit, on the
+/// calc-z3 kernel's fadd roots (deep product trees).
+void BM_LookAheadScore(benchmark::State &State) {
+  const unsigned Depth = static_cast<unsigned>(State.range(0));
+  Context Ctx;
+  const KernelSpec *Spec = findKernel("453.calc-z3");
+  auto M = buildKernelModule(*Spec, Ctx);
+  // Find two isomorphic fadd roots (the stored values of lanes 0 and 1).
+  std::vector<Value *> Roots;
+  for (const auto &BB : *M->getFunction(Spec->EntryFunction))
+    for (const auto &I : *BB)
+      if (auto *St = dyn_cast<StoreInst>(I.get()))
+        Roots.push_back(St->getValueOperand());
+  for (auto _ : State) {
+    int Score = getLookAheadScore(Roots[0], Roots[1], Depth);
+    benchmark::DoNotOptimize(Score);
+  }
+}
+BENCHMARK(BM_LookAheadScore)->DenseRange(0, 8, 1);
+
+/// Whole graph construction (no codegen) for SLP vs LSLP on the
+/// associativity-mismatch kernel.
+void buildGraphOnly(benchmark::State &State, VectorizerConfig Config) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  const KernelSpec *Spec = findKernel("motivation-multi");
+  auto M = buildKernelModule(*Spec, Ctx);
+  BasicBlock *Body =
+      M->getFunction(Spec->EntryFunction)->getBlockByName("loop");
+  auto Seeds = collectStoreSeeds(*Body, TTI);
+  for (auto _ : State) {
+    SLPGraphBuilder Builder(Config, *Body);
+    auto G = Builder.build(Seeds[0]);
+    benchmark::DoNotOptimize(G.has_value());
+  }
+}
+void BM_BuildGraph_SLP(benchmark::State &State) {
+  buildGraphOnly(State, VectorizerConfig::slp());
+}
+void BM_BuildGraph_LSLP(benchmark::State &State) {
+  buildGraphOnly(State, VectorizerConfig::lslp());
+}
+BENCHMARK(BM_BuildGraph_SLP);
+BENCHMARK(BM_BuildGraph_LSLP);
+
+/// Full pass over each kernel module (build + cost + codegen).
+void BM_FullPass(benchmark::State &State) {
+  const KernelSpec *Spec =
+      getFigureKernels()[static_cast<size_t>(State.range(0))];
+  State.SetLabel(Spec->Name);
+  SkylakeTTI TTI;
+  for (auto _ : State) {
+    Context Ctx;
+    auto M = buildKernelModule(*Spec, Ctx);
+    SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+    ModuleReport R = Pass.runOnModule(*M);
+    benchmark::DoNotOptimize(&R);
+  }
+}
+BENCHMARK(BM_FullPass)->DenseRange(0, 10, 1);
+
+/// Interpreter throughput (instructions per second) on the scalar
+/// motivation-loads kernel.
+void BM_InterpreterThroughput(benchmark::State &State) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  const KernelSpec *Spec = findKernel("motivation-loads");
+  auto M = buildKernelModule(*Spec, Ctx);
+  Interpreter Interp(*M, &TTI);
+  initKernelMemory(Interp, *M);
+  Function *F = M->getFunction(Spec->EntryFunction);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    auto R = Interp.run(
+        F, {RuntimeValue::makeInt(Ctx.getInt64Ty(), Spec->DefaultN)});
+    Insts += R.DynamicInsts;
+    benchmark::DoNotOptimize(R.TotalCost);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

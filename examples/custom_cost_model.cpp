@@ -1,0 +1,85 @@
+//===- examples/custom_cost_model.cpp - Plugging in your own target ------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Shows how the cost-model interface changes vectorization decisions:
+// the same kernel is vectorized under three targets —
+//
+//   1. SkylakeTTI        — the default AVX2-like model,
+//   2. FreeGatherTTI     — a hypothetical machine with zero-cost gathers
+//                          (everything becomes profitable),
+//   3. NarrowScalarTTI   — a machine where vector ALUs are half rate
+//                          (vectorization rarely pays off).
+//
+// The point: (L)SLP itself is target-neutral; TargetTransformInfo is the
+// single customization point, exactly as in LLVM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "kernels/Kernels.h"
+#include "support/OStream.h"
+#include "support/StringUtil.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+using namespace lslp;
+
+namespace {
+
+/// A machine whose gathers/inserts are free (e.g. perfect register-file
+/// banking): even non-isomorphic code becomes profitable to vectorize.
+class FreeGatherTTI : public SkylakeTTI {
+public:
+  int getGatherCost(Type *, const std::vector<bool> &) const override {
+    return 0;
+  }
+  int getVectorLaneOpCost(ValueID, Type *) const override { return 0; }
+};
+
+/// A machine with half-rate vector ALUs: a vector op costs as much as two
+/// scalar ops, so only wide groups with cheap operands win.
+class NarrowScalarTTI : public SkylakeTTI {
+public:
+  int getArithmeticInstrCost(ValueID Opc, Type *Ty) const override {
+    int Cost = SkylakeTTI::getArithmeticInstrCost(Opc, Ty);
+    return Ty->isVectorTy() ? Cost * 2 : Cost;
+  }
+  int getMemoryOpCost(ValueID Opc, Type *Ty) const override {
+    int Cost = SkylakeTTI::getMemoryOpCost(Opc, Ty);
+    return Ty->isVectorTy() ? Cost * 2 : Cost;
+  }
+};
+
+void evaluate(const char *TargetName, const TargetTransformInfo &TTI) {
+  outs() << "--- target: " << TargetName << " ---\n";
+  for (const KernelSpec *K : getFigureKernels()) {
+    Context Ctx;
+    auto M = buildKernelModule(*K, Ctx);
+    SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+    ModuleReport R = Pass.runOnModule(*M);
+    outs() << "  ";
+    outs().leftJustify(K->Name, 26);
+    if (R.numAccepted())
+      outs() << "vectorized, cost " << R.acceptedCost() << "\n";
+    else
+      outs() << "not vectorized\n";
+  }
+  outs() << "\n";
+}
+
+} // namespace
+
+int main() {
+  SkylakeTTI Skylake;
+  FreeGatherTTI FreeGather;
+  NarrowScalarTTI Narrow;
+  evaluate("Skylake (AVX2 default)", Skylake);
+  evaluate("free-gather machine", FreeGather);
+  evaluate("half-rate vector ALUs", Narrow);
+  outs() << "Same pass, same kernels - only TargetTransformInfo changed.\n";
+  return 0;
+}

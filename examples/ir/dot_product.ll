@@ -1,0 +1,53 @@
+; A 4-term dot product in a counted loop: one store per iteration, so
+; only the horizontal-reduction seeder can vectorize it.
+;
+; Try: lslpc examples/ir/dot_product.ll -report -run=dot:16 -init-memory
+
+module "dot_product"
+
+global @X = [256 x double]
+global @Y = [256 x double]
+global @S = [64 x double]
+
+define void @dot(i64 %n) {
+entry:
+  br label %loop
+
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %i4 = mul i64 %i, 4
+  %i41 = add i64 %i4, 1
+  %i42 = add i64 %i4, 2
+  %i43 = add i64 %i4, 3
+  %px0 = gep double, ptr @X, i64 %i4
+  %px1 = gep double, ptr @X, i64 %i41
+  %px2 = gep double, ptr @X, i64 %i42
+  %px3 = gep double, ptr @X, i64 %i43
+  %py0 = gep double, ptr @Y, i64 %i4
+  %py1 = gep double, ptr @Y, i64 %i41
+  %py2 = gep double, ptr @Y, i64 %i42
+  %py3 = gep double, ptr @Y, i64 %i43
+  %x0 = load double, ptr %px0
+  %x1 = load double, ptr %px1
+  %x2 = load double, ptr %px2
+  %x3 = load double, ptr %px3
+  %y0 = load double, ptr %py0
+  %y1 = load double, ptr %py1
+  %y2 = load double, ptr %py2
+  %y3 = load double, ptr %py3
+  %t0 = fmul double %x0, %y0
+  %t1 = fmul double %x1, %y1
+  %t2 = fmul double %x2, %y2
+  %t3 = fmul double %x3, %y3
+  %s01 = fadd double %t0, %t1
+  %s23 = fadd double %t2, %t3
+  %sum = fadd double %s01, %s23
+  %ps = gep double, ptr @S, i64 %i
+  store double %sum, ptr %ps
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+
+exit:
+  ret void
+}

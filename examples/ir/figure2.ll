@@ -1,0 +1,37 @@
+; Paper Figure 2 (Section 3.1): load address mismatch. Vanilla SLP's
+; opcode-only reordering leaves the crossed B/C loads in place (total
+; cost 0, not vectorized); LSLP's look-ahead reaches cost -6.
+;
+; Try:
+;   lslpc examples/ir/figure2.ll -config=SLP  -report -graphs -no-print
+;   lslpc examples/ir/figure2.ll -config=LSLP -report -graphs -no-print
+
+module "figure2"
+
+global @A = [8 x i64]
+global @B = [8 x i64]
+global @C = [8 x i64]
+
+define void @figure2(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pc0 = gep i64, ptr @C, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %b0 = load i64, ptr %pb0
+  %c0 = load i64, ptr %pc0
+  %c1 = load i64, ptr %pc1
+  %b1 = load i64, ptr %pb1
+  %sh0l = shl i64 %b0, 1
+  %sh0r = shl i64 %c0, 2
+  %sh1l = shl i64 %c1, 3
+  %sh1r = shl i64 %b1, 4
+  %and0 = and i64 %sh0l, %sh0r
+  %and1 = and i64 %sh1l, %sh1r
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  store i64 %and0, ptr %pa0
+  store i64 %and1, ptr %pa1
+  ret void
+}

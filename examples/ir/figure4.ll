@@ -1,0 +1,53 @@
+; Paper Figure 4 (Section 3.3): associativity mismatch. The '&' chain is
+; associated differently in the two lanes; only LSLP's multi-node
+; formation recovers the isomorphism (SLP: cost -2, LSLP: cost -10).
+;
+; Try:
+;   lslpc examples/ir/figure4.ll -config=SLP  -report -graphs -no-print
+;   lslpc examples/ir/figure4.ll -config=LSLP -dot -no-print | dot -Tpng
+
+module "figure4"
+
+global @A = [8 x i64]
+global @B = [8 x i64]
+global @C = [8 x i64]
+global @D = [8 x i64]
+global @E = [8 x i64]
+
+define void @figure4(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc0 = gep i64, ptr @C, i64 %i
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %pd0 = gep i64, ptr @D, i64 %i
+  %pd1 = gep i64, ptr @D, i64 %i1
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  ; Lane 0: (A & (B+C)) & (D+E), left-associated.
+  %a0 = load i64, ptr %pa0
+  %b0 = load i64, ptr %pb0
+  %c0 = load i64, ptr %pc0
+  %d0 = load i64, ptr %pd0
+  %e0 = load i64, ptr %pe0
+  %bc0 = add i64 %b0, %c0
+  %de0 = add i64 %d0, %e0
+  %t0 = and i64 %a0, %bc0
+  %r0 = and i64 %t0, %de0
+  store i64 %r0, ptr %pa0
+  ; Lane 1: ((D+E) & (B+C)) & A - same values, different shape.
+  %a1 = load i64, ptr %pa1
+  %b1 = load i64, ptr %pb1
+  %c1 = load i64, ptr %pc1
+  %d1 = load i64, ptr %pd1
+  %e1 = load i64, ptr %pe1
+  %de1 = add i64 %d1, %e1
+  %bc1 = add i64 %b1, %c1
+  %t1 = and i64 %de1, %bc1
+  %r1 = and i64 %t1, %a1
+  store i64 %r1, ptr %pa1
+  ret void
+}

@@ -1,0 +1,29 @@
+; Paper Listing 1: operands in the wrong order; plain SLP reordering
+; (opcode-based) succeeds.
+;
+;   store(E[0]) = sub1 + load1
+;   store(E[1]) = load2 + sub2
+;
+; Try: lslpc examples/ir/listing1.ll -config=SLP -report
+
+module "listing1"
+
+global @A = [8 x i64]
+global @E = [8 x i64]
+
+define void @listing1(i64 %x, i64 %y) {
+entry:
+  %pa0 = gep i64, ptr @A, i64 0
+  %pa1 = gep i64, ptr @A, i64 1
+  %load1 = load i64, ptr %pa0
+  %load2 = load i64, ptr %pa1
+  %sub1 = sub i64 %x, %y
+  %sub2 = sub i64 %y, %x
+  %s0 = add i64 %sub1, %load1
+  %s1 = add i64 %load2, %sub2
+  %pe0 = gep i64, ptr @E, i64 0
+  %pe1 = gep i64, ptr @E, i64 1
+  store i64 %s0, ptr %pe0
+  store i64 %s1, ptr %pe1
+  ret void
+}

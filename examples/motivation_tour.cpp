@@ -1,0 +1,78 @@
+//===- examples/motivation_tour.cpp - Walk through paper Figures 2-4 -----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the three motivating examples of the paper's Section 3 and
+// prints, for each one, the SLP graph and the LSLP graph side by side with
+// their per-node and total costs — the textual equivalent of Figures
+// 2(c)/(d), 3(c)/(d) and 4(c)/(d).
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "kernels/Kernels.h"
+#include "support/OStream.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+using namespace lslp;
+
+namespace {
+
+void showGraph(const char *KernelName, const VectorizerConfig &Config) {
+  const KernelSpec *Spec = findKernel(KernelName);
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = buildKernelModule(*Spec, Ctx);
+  SLPVectorizerPass Pass(Config, TTI);
+  Pass.setVerbose(true);
+  ModuleReport R = Pass.runOnModule(*M);
+  for (const FunctionReport &F : R.Functions) {
+    for (const GraphAttempt &A : F.Attempts) {
+      outs() << "[" << Config.Name << "] graph for @" << F.FunctionName
+             << ":\n" << A.GraphDump;
+      outs() << "=> cost " << A.Cost << ": "
+             << (A.Accepted ? "VECTORIZED" : "not vectorized") << "\n\n";
+    }
+  }
+}
+
+void tour(const char *KernelName, const char *FigureName,
+          const char *Explanation) {
+  const KernelSpec *Spec = findKernel(KernelName);
+  outs() << "==================================================\n"
+         << FigureName << ": " << KernelName << "\n"
+         << Explanation << "\n"
+         << "==================================================\n\n";
+
+  Context Ctx;
+  auto M = buildKernelModule(*Spec, Ctx);
+  outs() << "source IR (loop body shown in full):\n"
+         << functionToString(*M->getFunction(Spec->EntryFunction)) << "\n";
+
+  showGraph(KernelName, VectorizerConfig::slp());
+  showGraph(KernelName, VectorizerConfig::lslp());
+}
+
+} // namespace
+
+int main() {
+  tour("motivation-loads", "Figure 2 (Section 3.1)",
+       "Load address mismatch: both '&' operands are shifts, so vanilla\n"
+       "SLP's opcode-based reordering cannot see that the loads one level\n"
+       "up are crossed between lanes. Look-ahead scores fix the order.");
+  tour("motivation-opcodes", "Figure 3 (Section 3.2)",
+       "Opcode mismatch: the '&' groups match, but behind them lane 0 has\n"
+       "shl where lane 1 has add. Only look-ahead notices before\n"
+       "committing the operand order of the '+' group.");
+  tour("motivation-multi", "Figure 4 (Section 3.3)",
+       "Associativity mismatch: the same '&' chain is associated\n"
+       "differently in each lane. No single-node reordering helps; LSLP\n"
+       "forms a multi-node over the whole chain and reorders its\n"
+       "frontier.");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- analysis/AddressAnalysis.cpp - SCEV-lite address analysis -----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AddressAnalysis.h"
+
+#include "ir/Constants.h"
+#include "ir/Instruction.h"
+
+using namespace lslp;
+
+namespace {
+
+/// Accumulates Scale * Index into \p Desc, decomposing affine index
+/// expressions recursively. \p Depth bounds pathological chains.
+void accumulateIndex(const Value *Index, int64_t Scale,
+                     AddressDescriptor &Desc, unsigned Depth = 8) {
+  if (Scale == 0)
+    return;
+  if (const auto *CI = dyn_cast<ConstantInt>(Index)) {
+    Desc.ConstBytes += Scale * CI->getSExtValue();
+    return;
+  }
+  if (Depth > 0) {
+    if (const auto *BO = dyn_cast<BinaryOperator>(Index)) {
+      switch (BO->getOpcode()) {
+      case ValueID::Add:
+        accumulateIndex(BO->getLHS(), Scale, Desc, Depth - 1);
+        accumulateIndex(BO->getRHS(), Scale, Desc, Depth - 1);
+        return;
+      case ValueID::Sub:
+        accumulateIndex(BO->getLHS(), Scale, Desc, Depth - 1);
+        accumulateIndex(BO->getRHS(), -Scale, Desc, Depth - 1);
+        return;
+      case ValueID::Mul: {
+        // One side must be constant for the result to stay affine.
+        if (const auto *C = dyn_cast<ConstantInt>(BO->getRHS())) {
+          accumulateIndex(BO->getLHS(), Scale * C->getSExtValue(), Desc,
+                          Depth - 1);
+          return;
+        }
+        if (const auto *C = dyn_cast<ConstantInt>(BO->getLHS())) {
+          accumulateIndex(BO->getRHS(), Scale * C->getSExtValue(), Desc,
+                          Depth - 1);
+          return;
+        }
+        break;
+      }
+      case ValueID::Shl: {
+        if (const auto *C = dyn_cast<ConstantInt>(BO->getRHS())) {
+          uint64_t Amount = C->getZExtValue();
+          if (Amount < 63) {
+            accumulateIndex(BO->getLHS(),
+                            Scale * (int64_t(1) << Amount), Desc, Depth - 1);
+            return;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  // Opaque symbolic term.
+  int64_t &Coeff = Desc.Terms[Index];
+  Coeff += Scale;
+  if (Coeff == 0)
+    Desc.Terms.erase(Index);
+}
+
+} // namespace
+
+AddressDescriptor lslp::decomposePointer(const Value *Ptr) {
+  AddressDescriptor Desc;
+  if (!Ptr->getType()->isPointerTy())
+    return Desc;
+  const Value *Cur = Ptr;
+  unsigned Depth = 0;
+  while (const auto *GEP = dyn_cast<GEPInst>(Cur)) {
+    if (++Depth > 32)
+      return AddressDescriptor(); // Degenerate chain; give up.
+    int64_t ElemBytes =
+        static_cast<int64_t>(GEP->getElementType()->getSizeInBytes());
+    accumulateIndex(GEP->getIndexOperand(), ElemBytes, Desc);
+    Cur = GEP->getBaseOperand();
+  }
+  Desc.Base = Cur;
+  return Desc;
+}
+
+const Value *lslp::getPointerOperand(const Instruction *I) {
+  if (const auto *L = dyn_cast<LoadInst>(I))
+    return L->getPointerOperand();
+  if (const auto *S = dyn_cast<StoreInst>(I))
+    return S->getPointerOperand();
+  return nullptr;
+}
+
+Type *lslp::getMemAccessType(const Instruction *I) {
+  if (const auto *L = dyn_cast<LoadInst>(I))
+    return L->getAccessType();
+  if (const auto *S = dyn_cast<StoreInst>(I))
+    return S->getAccessType();
+  return nullptr;
+}
+
+std::optional<int64_t> lslp::byteDistance(const Instruction *A,
+                                          const Instruction *B) {
+  const Value *PtrA = getPointerOperand(A);
+  const Value *PtrB = getPointerOperand(B);
+  if (!PtrA || !PtrB)
+    return std::nullopt;
+  AddressDescriptor DA = decomposePointer(PtrA);
+  AddressDescriptor DB = decomposePointer(PtrB);
+  if (!DB.hasConstantDistanceFrom(DA))
+    return std::nullopt;
+  return DB.ConstBytes - DA.ConstBytes;
+}
+
+bool lslp::areConsecutiveAccesses(const Instruction *A, const Instruction *B) {
+  if (A->getOpcode() != B->getOpcode())
+    return false;
+  Type *TyA = getMemAccessType(A);
+  Type *TyB = getMemAccessType(B);
+  if (!TyA || TyA != TyB)
+    return false;
+  std::optional<int64_t> Dist = byteDistance(A, B);
+  return Dist && *Dist == static_cast<int64_t>(TyA->getSizeInBytes());
+}

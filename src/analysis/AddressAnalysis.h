@@ -1,0 +1,75 @@
+//===- analysis/AddressAnalysis.h - SCEV-lite address analysis --*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pointer decomposition into base + affine byte offset. This provides the
+/// consecutive-access query the paper attributes to scalar evolution
+/// analysis [Bachmann et al.]: two accesses are consecutive iff they share
+/// a base and symbolic terms and their constant byte offsets differ by
+/// exactly the access size.
+///
+/// The decomposition handles chains of single-index geps whose indices are
+/// affine expressions (add/sub, multiply/shift by constants) over arbitrary
+/// symbolic values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_ANALYSIS_ADDRESSANALYSIS_H
+#define LSLP_ANALYSIS_ADDRESSANALYSIS_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace lslp {
+
+class Instruction;
+class Type;
+class Value;
+
+/// A pointer expressed as Base + Σ (Coeff_i × Sym_i) + ConstBytes, all in
+/// bytes. Invalid descriptors (Base == null) mean the decomposition failed.
+struct AddressDescriptor {
+  /// The root pointer value (a global, argument or non-gep instruction).
+  const Value *Base = nullptr;
+  /// Symbolic byte terms: value -> coefficient. Zero coefficients are
+  /// never stored.
+  std::map<const Value *, int64_t> Terms;
+  /// Constant byte offset.
+  int64_t ConstBytes = 0;
+
+  bool isValid() const { return Base != nullptr; }
+
+  /// True if both descriptors have the same base and symbolic terms, i.e.
+  /// their distance is the compile-time constant difference of ConstBytes.
+  bool hasConstantDistanceFrom(const AddressDescriptor &Other) const {
+    return isValid() && Other.isValid() && Base == Other.Base &&
+           Terms == Other.Terms;
+  }
+};
+
+/// Decomposes \p Ptr (a pointer-typed value) by walking gep chains.
+AddressDescriptor decomposePointer(const Value *Ptr);
+
+/// Returns the pointer operand of a load/store, or null for any other
+/// instruction.
+const Value *getPointerOperand(const Instruction *I);
+
+/// Returns the accessed type of a load/store, or null.
+Type *getMemAccessType(const Instruction *I);
+
+/// Byte distance (B - A) between the addresses of two load/store
+/// instructions, when it is a compile-time constant.
+std::optional<int64_t> byteDistance(const Instruction *A,
+                                    const Instruction *B);
+
+/// True if \p A and \p B are same-kind, same-type memory accesses and B's
+/// address is exactly one element past A's (the SLP adjacency test).
+bool areConsecutiveAccesses(const Instruction *A, const Instruction *B);
+
+} // namespace lslp
+
+#endif // LSLP_ANALYSIS_ADDRESSANALYSIS_H

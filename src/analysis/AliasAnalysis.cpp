@@ -1,0 +1,48 @@
+//===- analysis/AliasAnalysis.cpp - Base+offset alias analysis --------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+
+#include "analysis/AddressAnalysis.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+
+using namespace lslp;
+
+AliasResult lslp::alias(const Instruction *A, const Instruction *B) {
+  const Value *PtrA = getPointerOperand(A);
+  const Value *PtrB = getPointerOperand(B);
+  assert(PtrA && PtrB && "alias query on non-memory instructions");
+
+  AddressDescriptor DA = decomposePointer(PtrA);
+  AddressDescriptor DB = decomposePointer(PtrB);
+  if (!DA.isValid() || !DB.isValid())
+    return AliasResult::MayAlias;
+
+  if (DA.Base != DB.Base) {
+    // Distinct global arrays occupy distinct memory segments.
+    if (isa<GlobalArray>(DA.Base) && isa<GlobalArray>(DB.Base))
+      return AliasResult::NoAlias;
+    return AliasResult::MayAlias;
+  }
+
+  // Shared base: constant distance only when symbolic terms agree.
+  if (DA.Terms != DB.Terms)
+    return AliasResult::MayAlias;
+
+  int64_t OffA = DA.ConstBytes;
+  int64_t OffB = DB.ConstBytes;
+  int64_t SizeA = getMemAccessType(A)->getSizeInBytes();
+  int64_t SizeB = getMemAccessType(B)->getSizeInBytes();
+  if (OffA == OffB && SizeA == SizeB)
+    return AliasResult::MustAlias;
+  bool Disjoint = OffA + SizeA <= OffB || OffB + SizeB <= OffA;
+  return Disjoint ? AliasResult::NoAlias : AliasResult::MayAlias;
+}
+
+bool lslp::mayAlias(const Instruction *A, const Instruction *B) {
+  return alias(A, B) != AliasResult::NoAlias;
+}

@@ -1,0 +1,38 @@
+//===- analysis/AliasAnalysis.h - Base+offset alias analysis ----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory disambiguation for pairs of load/store instructions, built on the
+/// address decomposition: distinct global arrays never alias; accesses off
+/// a shared base with equal symbolic terms are disambiguated by interval
+/// arithmetic; everything else conservatively may-aliases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_ANALYSIS_ALIASANALYSIS_H
+#define LSLP_ANALYSIS_ALIASANALYSIS_H
+
+namespace lslp {
+
+class Instruction;
+
+/// Result of an alias query.
+enum class AliasResult {
+  NoAlias,   ///< The accesses are provably disjoint.
+  MayAlias,  ///< Unknown; must be treated as potentially overlapping.
+  MustAlias, ///< Provably the exact same address range.
+};
+
+/// Classifies the accesses of two load/store instructions. Both must be
+/// memory instructions.
+AliasResult alias(const Instruction *A, const Instruction *B);
+
+/// Convenience: true unless the pair is provably NoAlias.
+bool mayAlias(const Instruction *A, const Instruction *B);
+
+} // namespace lslp
+
+#endif // LSLP_ANALYSIS_ALIASANALYSIS_H

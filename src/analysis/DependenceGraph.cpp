@@ -1,0 +1,103 @@
+//===- analysis/DependenceGraph.cpp - Intra-block dependences ---------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceGraph.h"
+
+#include "analysis/AliasAnalysis.h"
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+
+using namespace lslp;
+
+DependenceGraph::DependenceGraph(const BasicBlock &BB) {
+  for (const auto &I : BB) {
+    Index[I.get()] = static_cast<unsigned>(Order.size());
+    Order.push_back(I.get());
+  }
+  unsigned N = static_cast<unsigned>(Order.size());
+  DirectPreds.resize(N);
+  DirectPredInsts.resize(N);
+
+  // Def-use edges within the block.
+  for (unsigned I = 0; I != N; ++I) {
+    for (const Value *Op : Order[I]->operands()) {
+      const auto *OpInst = dyn_cast<Instruction>(Op);
+      if (!OpInst)
+        continue;
+      auto It = Index.find(OpInst);
+      if (It != Index.end() && It->second < I) {
+        DirectPreds[I].push_back(It->second);
+        DirectPredInsts[I].push_back(OpInst);
+      }
+    }
+  }
+
+  // Memory-ordering edges: earlier -> later for may-aliasing pairs with at
+  // least one write.
+  std::vector<unsigned> MemOps;
+  for (unsigned I = 0; I != N; ++I)
+    if (Order[I]->mayReadOrWriteMemory())
+      MemOps.push_back(I);
+  for (size_t A = 0; A < MemOps.size(); ++A) {
+    for (size_t B = A + 1; B < MemOps.size(); ++B) {
+      const Instruction *Early = Order[MemOps[A]];
+      const Instruction *Late = Order[MemOps[B]];
+      if (!Early->mayWriteToMemory() && !Late->mayWriteToMemory())
+        continue;
+      if (!mayAlias(Early, Late))
+        continue;
+      DirectPreds[MemOps[B]].push_back(MemOps[A]);
+      DirectPredInsts[MemOps[B]].push_back(Early);
+    }
+  }
+
+  // Transitive closure over the DAG (indices are topologically ordered by
+  // construction since all edges point from lower to higher index).
+  unsigned Words = (N + 63) / 64;
+  Reach.assign(N, std::vector<uint64_t>(Words, 0));
+  for (unsigned I = 0; I != N; ++I) {
+    for (unsigned P : DirectPreds[I]) {
+      Reach[I][P / 64] |= uint64_t(1) << (P % 64);
+      for (unsigned W = 0; W != Words; ++W)
+        Reach[I][W] |= Reach[P][W];
+    }
+  }
+}
+
+unsigned DependenceGraph::indexOf(const Instruction *I) const {
+  auto It = Index.find(I);
+  assert(It != Index.end() && "instruction not in the analyzed block");
+  return It->second;
+}
+
+bool DependenceGraph::reaches(unsigned From, unsigned To) const {
+  return (Reach[From][To / 64] >> (To % 64)) & 1;
+}
+
+bool DependenceGraph::dependsOn(const Instruction *Later,
+                                const Instruction *Earlier) const {
+  return reaches(indexOf(Later), indexOf(Earlier));
+}
+
+bool DependenceGraph::areMutuallyIndependent(
+    const std::vector<Instruction *> &Bundle) const {
+  for (size_t A = 0; A < Bundle.size(); ++A) {
+    for (size_t B = 0; B < Bundle.size(); ++B) {
+      if (A == B)
+        continue;
+      if (Index.count(Bundle[A]) == 0 || Index.count(Bundle[B]) == 0)
+        return false; // Mixed-block bundles are never schedulable here.
+      if (dependsOn(Bundle[A], Bundle[B]))
+        return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<const Instruction *> &
+DependenceGraph::directDeps(const Instruction *I) const {
+  return DirectPredInsts[indexOf(I)];
+}

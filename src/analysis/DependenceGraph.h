@@ -1,0 +1,71 @@
+//===- analysis/DependenceGraph.h - Intra-block dependences -----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependence DAG over one basic block: def-use edges plus conservative
+/// memory-ordering edges between may-aliasing accesses where at least one
+/// writes. The SLP graph builder queries it to decide whether a candidate
+/// bundle is schedulable (its members are mutually independent), and the
+/// vector code generator's list scheduler consumes the same edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_ANALYSIS_DEPENDENCEGRAPH_H
+#define LSLP_ANALYSIS_DEPENDENCEGRAPH_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+class Instruction;
+
+/// Dependence information for one basic block, valid until the block is
+/// mutated.
+class DependenceGraph {
+public:
+  explicit DependenceGraph(const BasicBlock &BB);
+
+  /// True if \p Later transitively depends on \p Earlier (through data or
+  /// memory-ordering edges). Both must belong to the analyzed block.
+  bool dependsOn(const Instruction *Later, const Instruction *Earlier) const;
+
+  /// True if no member of \p Bundle depends on another member — the
+  /// schedulability precondition for forming a vectorizable group.
+  bool areMutuallyIndependent(
+      const std::vector<Instruction *> &Bundle) const;
+
+  /// Direct predecessors (instructions this one depends on) of \p I within
+  /// the block.
+  const std::vector<const Instruction *> &
+  directDeps(const Instruction *I) const;
+
+  /// Number of instructions in the analyzed block.
+  unsigned size() const { return static_cast<unsigned>(Order.size()); }
+
+  /// The analyzed instructions in block order.
+  const std::vector<const Instruction *> &instructions() const {
+    return Order;
+  }
+
+private:
+  unsigned indexOf(const Instruction *I) const;
+  bool reaches(unsigned From, unsigned To) const;
+
+  std::vector<const Instruction *> Order;
+  std::map<const Instruction *, unsigned> Index;
+  /// DirectPreds[i] = indices j < i that i directly depends on.
+  std::vector<std::vector<unsigned>> DirectPreds;
+  std::vector<std::vector<const Instruction *>> DirectPredInsts;
+  /// Transitive closure: Reach[i] is a bitset over instruction indices.
+  std::vector<std::vector<uint64_t>> Reach;
+};
+
+} // namespace lslp
+
+#endif // LSLP_ANALYSIS_DEPENDENCEGRAPH_H

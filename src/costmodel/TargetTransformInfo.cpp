@@ -1,0 +1,137 @@
+//===- costmodel/TargetTransformInfo.cpp - Target cost model ----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+
+#include "ir/Instruction.h"
+#include "ir/Type.h"
+#include "support/Debug.h"
+
+using namespace lslp;
+
+TargetTransformInfo::~TargetTransformInfo() = default;
+
+int TargetTransformInfo::getGatherCost(
+    Type *VecTy, const std::vector<bool> &IsConstantLane) const {
+  bool AllConstant = true;
+  for (bool IsConst : IsConstantLane)
+    AllConstant &= IsConst;
+  // Constant vectors are materialized from the constant pool for free, like
+  // scalar literals.
+  if (AllConstant)
+    return 0;
+  int Cost = 0;
+  for (size_t I = 0; I < IsConstantLane.size(); ++I)
+    Cost += getVectorLaneOpCost(ValueID::InsertElement, VecTy);
+  return Cost;
+}
+
+int TargetTransformInfo::getInstructionCost(const Instruction *I) const {
+  ValueID Opc = I->getOpcode();
+  if (I->isBinaryOp())
+    return getArithmeticInstrCost(Opc, I->getType());
+  switch (Opc) {
+  case ValueID::Load:
+    return getMemoryOpCost(Opc, I->getType());
+  case ValueID::Store:
+    return getMemoryOpCost(Opc, cast<StoreInst>(I)->getAccessType());
+  case ValueID::ICmp:
+    return getCmpSelCost(Opc, I->getOperand(0)->getType());
+  case ValueID::Select:
+    return getCmpSelCost(Opc, I->getType());
+  case ValueID::SExt:
+  case ValueID::ZExt:
+  case ValueID::Trunc:
+  case ValueID::SIToFP:
+  case ValueID::FPToSI:
+    return getCastInstrCost(Opc, I->getType());
+  case ValueID::InsertElement:
+    return getVectorLaneOpCost(Opc, I->getType());
+  case ValueID::ExtractElement:
+    return getVectorLaneOpCost(Opc, I->getOperand(0)->getType());
+  case ValueID::ShuffleVector:
+    return getShuffleCost(I->getType());
+  case ValueID::Gep:
+    return 0; // Folded into the addressing mode.
+  case ValueID::Phi:
+    return 0; // Register renaming; no execution cost.
+  case ValueID::Br:
+  case ValueID::Ret:
+    return getControlFlowCost();
+  default:
+    lslp_unreachable("unhandled opcode in cost dispatch");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SkylakeTTI
+//===----------------------------------------------------------------------===//
+
+int SkylakeTTI::getArithmeticInstrCost(ValueID Opc, Type *Ty) const {
+  const bool IsVector = Ty->isVectorTy();
+  const unsigned Lanes =
+      IsVector ? cast<VectorType>(Ty)->getNumElements() : 1;
+  switch (Opc) {
+  case ValueID::Add:
+  case ValueID::Sub:
+  case ValueID::And:
+  case ValueID::Or:
+  case ValueID::Xor:
+  case ValueID::Shl:
+  case ValueID::LShr:
+  case ValueID::AShr:
+  case ValueID::Mul:
+  case ValueID::FAdd:
+  case ValueID::FSub:
+  case ValueID::FMul:
+    // Simple ALU/FP ops: one unit, scalar or vector (AVX2 has full-width
+    // units for these).
+    return 1;
+  case ValueID::FDiv:
+    // vdivpd/divsd: long latency, similar scalar and vector throughput.
+    return 14;
+  case ValueID::SDiv:
+  case ValueID::UDiv:
+    // No SIMD integer division on AVX2: a vector division is scalarized
+    // (extract, divide, insert per lane).
+    return IsVector ? static_cast<int>(Lanes) * (20 + 2) : 20;
+  default:
+    lslp_unreachable("not an arithmetic opcode");
+  }
+}
+
+int SkylakeTTI::getMemoryOpCost(ValueID Opc, Type *Ty) const {
+  (void)Opc;
+  (void)Ty;
+  // L1-hit load or store, scalar or full-width vector: one unit.
+  return 1;
+}
+
+int SkylakeTTI::getCmpSelCost(ValueID Opc, Type *Ty) const {
+  (void)Opc;
+  (void)Ty;
+  return 1;
+}
+
+int SkylakeTTI::getCastInstrCost(ValueID Opc, Type *DestTy) const {
+  (void)Opc;
+  (void)DestTy;
+  // Width conversions and int<->fp conversions: one unit, scalar or
+  // vector (vpmovsx/vcvtdq2pd-like).
+  return 1;
+}
+
+int SkylakeTTI::getVectorLaneOpCost(ValueID Opc, Type *VecTy) const {
+  (void)Opc;
+  (void)VecTy;
+  // vpinsr/vpextr-like: one unit per lane moved.
+  return 1;
+}
+
+int SkylakeTTI::getShuffleCost(Type *VecTy) const {
+  (void)VecTy;
+  return 1;
+}

@@ -1,0 +1,95 @@
+//===- costmodel/TargetTransformInfo.h - Target cost model ------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target cost model interface (after LLVM's TTI) used by the SLP/LSLP
+/// profitability analysis and by the cycle-model interpreter. Costs are
+/// reciprocal-throughput-like abstract units; the SLP cost of a vectorized
+/// group is VectorCost - Sum(ScalarCosts), negative meaning profitable.
+///
+/// SkylakeTTI reproduces the conventions of the paper's worked examples
+/// (Figures 2-4): scalar and vector ALU ops cost 1 (so a two-lane group
+/// saves 1), gathering N non-constant scalars into a vector costs N, an
+/// all-constant operand vector is free, and each externally-used lane pays
+/// one extract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_COSTMODEL_TARGETTRANSFORMINFO_H
+#define LSLP_COSTMODEL_TARGETTRANSFORMINFO_H
+
+#include "ir/Value.h"
+
+#include <vector>
+
+namespace lslp {
+
+class Instruction;
+class Type;
+
+/// Abstract cost model. Override to model a different target; SkylakeTTI is
+/// the default used throughout the evaluation.
+class TargetTransformInfo {
+public:
+  virtual ~TargetTransformInfo();
+
+  /// Cost of an arithmetic/logical operator of type \p Ty (scalar or
+  /// vector).
+  virtual int getArithmeticInstrCost(ValueID Opc, Type *Ty) const = 0;
+
+  /// Cost of a load/store of value type \p Ty.
+  virtual int getMemoryOpCost(ValueID Opc, Type *Ty) const = 0;
+
+  /// Cost of icmp/select of operand type \p Ty.
+  virtual int getCmpSelCost(ValueID Opc, Type *Ty) const = 0;
+
+  /// Cost of a cast producing \p DestTy (scalar or vector).
+  virtual int getCastInstrCost(ValueID Opc, Type *DestTy) const = 0;
+
+  /// Cost of inserting or extracting one lane of \p VecTy.
+  virtual int getVectorLaneOpCost(ValueID Opc, Type *VecTy) const = 0;
+
+  /// Cost of a single-source lane permutation of \p VecTy.
+  virtual int getShuffleCost(Type *VecTy) const = 0;
+
+  /// Cost of materializing a vector from scalars. \p IsConstantLane flags
+  /// which lanes are compile-time constants; an all-constant vector is
+  /// free (loaded from a constant pool like any literal).
+  virtual int getGatherCost(Type *VecTy,
+                            const std::vector<bool> &IsConstantLane) const;
+
+  /// Widest supported vector register, in bits (256 for AVX2).
+  virtual unsigned getMaxVectorWidthBits() const = 0;
+
+  /// Superscalar issue width used by the cycle-model interpreter.
+  virtual unsigned getIssueWidth() const = 0;
+
+  /// Dispatches on \p I's opcode to the methods above. Control flow and
+  /// address computation are modeled as stated by getControlFlowCost /
+  /// zero-cost geps.
+  int getInstructionCost(const Instruction *I) const;
+
+  /// Cost charged for br/ret by the cycle model.
+  virtual int getControlFlowCost() const { return 1; }
+};
+
+/// Cost tables approximating an Intel Skylake client core with AVX2,
+/// calibrated so the paper's example graphs reproduce their stated costs.
+class SkylakeTTI : public TargetTransformInfo {
+public:
+  int getArithmeticInstrCost(ValueID Opc, Type *Ty) const override;
+  int getMemoryOpCost(ValueID Opc, Type *Ty) const override;
+  int getCmpSelCost(ValueID Opc, Type *Ty) const override;
+  int getCastInstrCost(ValueID Opc, Type *DestTy) const override;
+  int getVectorLaneOpCost(ValueID Opc, Type *VecTy) const override;
+  int getShuffleCost(Type *VecTy) const override;
+  unsigned getMaxVectorWidthBits() const override { return 256; }
+  unsigned getIssueWidth() const override { return 4; }
+};
+
+} // namespace lslp
+
+#endif // LSLP_COSTMODEL_TARGETTRANSFORMINFO_H

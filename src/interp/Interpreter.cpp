@@ -1,0 +1,532 @@
+//===- interp/Interpreter.cpp - IR interpreter + cycle model ----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "support/Debug.h"
+
+#include <cstring>
+
+using namespace lslp;
+
+namespace {
+
+/// Per-call execution frame.
+struct Frame {
+  std::map<const Value *, RuntimeValue> Values;
+};
+
+} // namespace
+
+Interpreter::Interpreter(const Module &M, const TargetTransformInfo *TTI)
+    : M(M), TTI(TTI) {
+  // Lay out globals with a guard page at address 0 and 64-byte alignment
+  // between segments.
+  uint64_t Cursor = 4096;
+  for (const auto &G : M.globals()) {
+    GlobalAddr[G.get()] = Cursor;
+    Cursor += G->getSizeInBytes();
+    Cursor = (Cursor + 63) & ~uint64_t(63);
+  }
+  Memory.assign(Cursor, 0);
+}
+
+const GlobalArray *Interpreter::getGlobalOrDie(std::string_view Name) const {
+  const GlobalArray *G = M.getGlobal(Name);
+  if (!G)
+    reportFatalError("interpreter: unknown global '" + std::string(Name) +
+                     "'");
+  return G;
+}
+
+uint64_t Interpreter::elementAddress(const GlobalArray *G,
+                                     uint64_t Index) const {
+  if (Index >= G->getNumElements())
+    reportFatalError("interpreter: global index out of range for '@" +
+                     G->getName() + "'");
+  return GlobalAddr.at(G) + Index * G->getElementType()->getSizeInBytes();
+}
+
+uint64_t Interpreter::getGlobalAddress(std::string_view Name) const {
+  return GlobalAddr.at(getGlobalOrDie(Name));
+}
+
+void Interpreter::writeGlobalInt(std::string_view Name, uint64_t Index,
+                                 uint64_t Value) {
+  const GlobalArray *G = getGlobalOrDie(Name);
+  unsigned Size = G->getElementType()->getSizeInBytes();
+  uint64_t Addr = elementAddress(G, Index);
+  std::memcpy(&Memory[Addr], &Value, Size);
+}
+
+void Interpreter::writeGlobalFP(std::string_view Name, uint64_t Index,
+                                double Value) {
+  const GlobalArray *G = getGlobalOrDie(Name);
+  uint64_t Addr = elementAddress(G, Index);
+  if (G->getElementType()->isFloatTy()) {
+    float F = static_cast<float>(Value);
+    std::memcpy(&Memory[Addr], &F, 4);
+  } else {
+    std::memcpy(&Memory[Addr], &Value, 8);
+  }
+}
+
+uint64_t Interpreter::readGlobalInt(std::string_view Name,
+                                    uint64_t Index) const {
+  const GlobalArray *G = getGlobalOrDie(Name);
+  unsigned Size = G->getElementType()->getSizeInBytes();
+  uint64_t Addr = elementAddress(G, Index);
+  uint64_t Value = 0;
+  std::memcpy(&Value, &Memory[Addr], Size);
+  return Value;
+}
+
+double Interpreter::readGlobalFP(std::string_view Name, uint64_t Index) const {
+  const GlobalArray *G = getGlobalOrDie(Name);
+  uint64_t Addr = elementAddress(G, Index);
+  if (G->getElementType()->isFloatTy()) {
+    float F;
+    std::memcpy(&F, &Memory[Addr], 4);
+    return F;
+  }
+  double D;
+  std::memcpy(&D, &Memory[Addr], 8);
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Evaluation of all instruction kinds; holds the per-run mutable state.
+class Executor {
+public:
+  Executor(const Module &M, std::vector<uint8_t> &Memory,
+           const std::map<const GlobalArray *, uint64_t> &GlobalAddr,
+           const TargetTransformInfo *TTI, uint64_t StepLimit,
+           bool CollectStats)
+      : M(M), Memory(Memory), GlobalAddr(GlobalAddr), TTI(TTI),
+        StepLimit(StepLimit), CollectStats(CollectStats) {}
+
+  Interpreter::RunResult run(const Function *F,
+                             const std::vector<RuntimeValue> &Args) {
+    if (Args.size() != F->getNumArgs())
+      reportFatalError("interpreter: argument count mismatch calling @" +
+                       F->getName());
+    Frame Fr;
+    for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I) {
+      if (Args[I].Ty != F->getArg(I)->getType())
+        reportFatalError("interpreter: argument type mismatch calling @" +
+                         F->getName());
+      Fr.Values[F->getArg(I)] = Args[I];
+    }
+
+    Interpreter::RunResult Result;
+    const BasicBlock *BB = F->getEntryBlock();
+    const BasicBlock *PrevBB = nullptr;
+    while (true) {
+      // Phase 1: evaluate all phis against the incoming edge atomically.
+      std::vector<std::pair<const PHINode *, RuntimeValue>> PhiValues;
+      auto It = BB->begin();
+      for (; It != BB->end(); ++It) {
+        const auto *Phi = dyn_cast<PHINode>(It->get());
+        if (!Phi)
+          break;
+        const Value *In = Phi->getIncomingValueForBlock(PrevBB);
+        if (!In)
+          reportFatalError("interpreter: phi has no entry for predecessor");
+        PhiValues.push_back({Phi, getValue(Fr, In)});
+        charge(Phi, Result);
+      }
+      for (auto &[Phi, V] : PhiValues)
+        Fr.Values[Phi] = std::move(V);
+
+      // Phase 2: straight-line execution to the terminator.
+      const BasicBlock *NextBB = nullptr;
+      for (; It != BB->end(); ++It) {
+        const Instruction *I = It->get();
+        charge(I, Result);
+        if (const auto *Br = dyn_cast<BranchInst>(I)) {
+          unsigned Taken =
+              Br->isConditional()
+                  ? (getValue(Fr, Br->getCondition()).asUInt() & 1 ? 0u : 1u)
+                  : 0u;
+          NextBB = Br->getSuccessor(Taken);
+          break;
+        }
+        if (const auto *Ret = dyn_cast<ReturnInst>(I)) {
+          if (const Value *RV = Ret->getReturnValue())
+            Result.ReturnValue = getValue(Fr, RV);
+          return Result;
+        }
+        RuntimeValue V = evaluate(Fr, I);
+        if (!I->getType()->isVoidTy())
+          Fr.Values[I] = std::move(V);
+      }
+      if (!NextBB)
+        reportFatalError("interpreter: block fell through without terminator");
+      PrevBB = BB;
+      BB = NextBB;
+    }
+  }
+
+private:
+  void charge(const Instruction *I, Interpreter::RunResult &Result) {
+    ++Result.DynamicInsts;
+    if (Result.DynamicInsts > StepLimit)
+      reportFatalError("interpreter: step limit exceeded (infinite loop?)");
+    if (TTI)
+      Result.TotalCost += static_cast<uint64_t>(
+          std::max(0, TTI->getInstructionCost(I)));
+    if (CollectStats) {
+      // Stores are classified by the stored type, everything else by the
+      // result type.
+      Type *Ty = I->getType();
+      if (const auto *St = dyn_cast<StoreInst>(I))
+        Ty = St->getAccessType();
+      auto &Counts = Ty->isVectorTy() ? Result.VectorOpCounts
+                                      : Result.ScalarOpCounts;
+      ++Counts[I->getOpcode()];
+    }
+  }
+
+  RuntimeValue getValue(Frame &Fr, const Value *V) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return RuntimeValue(CI->getType(), {CI->getZExtValue()});
+    if (const auto *CF = dyn_cast<ConstantFP>(V))
+      return RuntimeValue::makeFP(CF->getType(), CF->getValue());
+    if (const auto *CV = dyn_cast<ConstantVector>(V)) {
+      std::vector<uint64_t> Lanes;
+      Lanes.reserve(CV->getNumElements());
+      for (unsigned I = 0, E = CV->getNumElements(); I != E; ++I)
+        Lanes.push_back(getValue(Fr, CV->getElement(I)).Lanes[0]);
+      return RuntimeValue(CV->getType(), std::move(Lanes));
+    }
+    if (const auto *U = dyn_cast<UndefValue>(V)) {
+      unsigned Lanes = 1;
+      if (const auto *VT = dyn_cast<VectorType>(U->getType()))
+        Lanes = VT->getNumElements();
+      return RuntimeValue(U->getType(),
+                          std::vector<uint64_t>(Lanes, 0));
+    }
+    if (const auto *G = dyn_cast<GlobalArray>(V))
+      return RuntimeValue::makePointer(G->getType(), GlobalAddr.at(G));
+    auto It = Fr.Values.find(V);
+    if (It == Fr.Values.end())
+      reportFatalError("interpreter: use of value before definition");
+    return It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------------===//
+
+  void checkAccess(uint64_t Addr, unsigned Size) {
+    if (Addr < 4096 || Addr + Size > Memory.size())
+      reportFatalError("interpreter: out-of-bounds memory access");
+  }
+
+  uint64_t loadLane(uint64_t Addr, const Type *ScalarTy) {
+    unsigned Size = ScalarTy->getSizeInBytes();
+    checkAccess(Addr, Size);
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, &Memory[Addr], Size);
+    return Raw;
+  }
+
+  void storeLane(uint64_t Addr, const Type *ScalarTy, uint64_t Raw) {
+    unsigned Size = ScalarTy->getSizeInBytes();
+    checkAccess(Addr, Size);
+    std::memcpy(&Memory[Addr], &Raw, Size);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instruction evaluation
+  //===--------------------------------------------------------------------===//
+
+  RuntimeValue evaluate(Frame &Fr, const Instruction *I) {
+    switch (I->getOpcode()) {
+    case ValueID::Load: {
+      const auto *L = cast<LoadInst>(I);
+      uint64_t Addr = getValue(Fr, L->getPointerOperand()).asUInt();
+      Type *Ty = L->getAccessType();
+      if (const auto *VT = dyn_cast<VectorType>(Ty)) {
+        Type *ElemTy = VT->getElementType();
+        std::vector<uint64_t> Lanes(VT->getNumElements());
+        for (unsigned K = 0; K != VT->getNumElements(); ++K)
+          Lanes[K] = loadLane(Addr + uint64_t(K) * ElemTy->getSizeInBytes(),
+                              ElemTy);
+        return RuntimeValue(Ty, std::move(Lanes));
+      }
+      return RuntimeValue(Ty, {loadLane(Addr, Ty)});
+    }
+    case ValueID::Store: {
+      const auto *S = cast<StoreInst>(I);
+      RuntimeValue V = getValue(Fr, S->getValueOperand());
+      uint64_t Addr = getValue(Fr, S->getPointerOperand()).asUInt();
+      Type *Ty = S->getAccessType();
+      if (const auto *VT = dyn_cast<VectorType>(Ty)) {
+        Type *ElemTy = VT->getElementType();
+        for (unsigned K = 0; K != VT->getNumElements(); ++K)
+          storeLane(Addr + uint64_t(K) * ElemTy->getSizeInBytes(), ElemTy,
+                    V.Lanes[K]);
+      } else {
+        storeLane(Addr, Ty, V.Lanes[0]);
+      }
+      return RuntimeValue();
+    }
+    case ValueID::Gep: {
+      const auto *G = cast<GEPInst>(I);
+      uint64_t Base = getValue(Fr, G->getBaseOperand()).asUInt();
+      RuntimeValue Idx = getValue(Fr, G->getIndexOperand());
+      int64_t Offset = Idx.asSInt() *
+                       static_cast<int64_t>(
+                           G->getElementType()->getSizeInBytes());
+      return RuntimeValue::makePointer(
+          G->getType(), Base + static_cast<uint64_t>(Offset));
+    }
+    case ValueID::SExt:
+    case ValueID::ZExt:
+    case ValueID::Trunc:
+    case ValueID::SIToFP:
+    case ValueID::FPToSI: {
+      const auto *C = cast<CastInst>(I);
+      RuntimeValue Src = getValue(Fr, C->getSourceOperand());
+      Type *SrcScalar = C->getSrcType()->getScalarType();
+      Type *DestScalar = C->getDestType()->getScalarType();
+      std::vector<uint64_t> Lanes(Src.getNumLanes());
+      for (unsigned K = 0; K != Src.getNumLanes(); ++K)
+        Lanes[K] = evalCastLane(I->getOpcode(), SrcScalar, DestScalar,
+                                Src.Lanes[K]);
+      return RuntimeValue(C->getDestType(), std::move(Lanes));
+    }
+    case ValueID::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      RuntimeValue L = getValue(Fr, C->getLHS());
+      RuntimeValue R = getValue(Fr, C->getRHS());
+      return RuntimeValue::makeInt(I->getType(),
+                                   evalICmp(C->getPredicate(), L, R) ? 1 : 0);
+    }
+    case ValueID::Select: {
+      const auto *S = cast<SelectInst>(I);
+      bool Cond = getValue(Fr, S->getCondition()).asUInt() & 1;
+      return getValue(Fr, Cond ? S->getTrueValue() : S->getFalseValue());
+    }
+    case ValueID::InsertElement: {
+      const auto *IE = cast<InsertElementInst>(I);
+      RuntimeValue Vec = getValue(Fr, IE->getVectorOperand());
+      RuntimeValue Elt = getValue(Fr, IE->getElementOperand());
+      uint64_t Lane = getValue(Fr, IE->getIndexOperand()).asUInt();
+      if (Lane >= Vec.Lanes.size())
+        reportFatalError("interpreter: insertelement lane out of range");
+      Vec.Lanes[Lane] = Elt.Lanes[0];
+      return Vec;
+    }
+    case ValueID::ExtractElement: {
+      const auto *EE = cast<ExtractElementInst>(I);
+      RuntimeValue Vec = getValue(Fr, EE->getVectorOperand());
+      uint64_t Lane = getValue(Fr, EE->getIndexOperand()).asUInt();
+      if (Lane >= Vec.Lanes.size())
+        reportFatalError("interpreter: extractelement lane out of range");
+      return RuntimeValue(I->getType(), {Vec.Lanes[Lane]});
+    }
+    case ValueID::ShuffleVector: {
+      const auto *SV = cast<ShuffleVectorInst>(I);
+      RuntimeValue V1 = getValue(Fr, SV->getFirstVector());
+      RuntimeValue V2 = getValue(Fr, SV->getSecondVector());
+      unsigned SrcLanes = V1.getNumLanes();
+      std::vector<uint64_t> Lanes;
+      Lanes.reserve(SV->getMask().size());
+      for (int MaskElt : SV->getMask()) {
+        if (MaskElt < 0)
+          Lanes.push_back(0);
+        else if (static_cast<unsigned>(MaskElt) < SrcLanes)
+          Lanes.push_back(V1.Lanes[MaskElt]);
+        else
+          Lanes.push_back(V2.Lanes[MaskElt - SrcLanes]);
+      }
+      return RuntimeValue(I->getType(), std::move(Lanes));
+    }
+    default:
+      assert(I->isBinaryOp() && "unhandled opcode in interpreter");
+      return evalBinary(Fr, I);
+    }
+  }
+
+  uint64_t evalCastLane(ValueID Opc, Type *SrcTy, Type *DestTy,
+                        uint64_t Lane) {
+    switch (Opc) {
+    case ValueID::SExt:
+      return RuntimeValue::truncateToWidth(
+          DestTy,
+          static_cast<uint64_t>(RuntimeValue::signExtendLane(SrcTy, Lane)));
+    case ValueID::ZExt:
+      return Lane; // Already stored zero-extended.
+    case ValueID::Trunc:
+      return RuntimeValue::truncateToWidth(DestTy, Lane);
+    case ValueID::SIToFP:
+      return RuntimeValue::encodeFP(
+          DestTy,
+          static_cast<double>(RuntimeValue::signExtendLane(SrcTy, Lane)));
+    case ValueID::FPToSI: {
+      double D = RuntimeValue::decodeFP(SrcTy, Lane);
+      // Out-of-range conversions are undefined in LLVM; define them as
+      // saturation so the interpreter stays deterministic.
+      constexpr double Max = 9223372036854775807.0;
+      int64_t V;
+      if (D != D) // NaN.
+        V = 0;
+      else if (D >= Max)
+        V = INT64_MAX;
+      else if (D <= -Max)
+        V = INT64_MIN;
+      else
+        V = static_cast<int64_t>(D);
+      return RuntimeValue::truncateToWidth(DestTy,
+                                           static_cast<uint64_t>(V));
+    }
+    default:
+      lslp_unreachable("not a cast opcode");
+    }
+  }
+
+  bool evalICmp(ICmpInst::Predicate Pred, const RuntimeValue &L,
+                const RuntimeValue &R) {
+    uint64_t UL = L.asUInt(), UR = R.asUInt();
+    int64_t SL = L.Ty->isPointerTy() ? static_cast<int64_t>(UL) : L.asSInt();
+    int64_t SR = R.Ty->isPointerTy() ? static_cast<int64_t>(UR) : R.asSInt();
+    switch (Pred) {
+    case ICmpInst::EQ:
+      return UL == UR;
+    case ICmpInst::NE:
+      return UL != UR;
+    case ICmpInst::SLT:
+      return SL < SR;
+    case ICmpInst::SLE:
+      return SL <= SR;
+    case ICmpInst::SGT:
+      return SL > SR;
+    case ICmpInst::SGE:
+      return SL >= SR;
+    case ICmpInst::ULT:
+      return UL < UR;
+    case ICmpInst::ULE:
+      return UL <= UR;
+    case ICmpInst::UGT:
+      return UL > UR;
+    case ICmpInst::UGE:
+      return UL >= UR;
+    }
+    lslp_unreachable("covered switch");
+  }
+
+  RuntimeValue evalBinary(Frame &Fr, const Instruction *I) {
+    RuntimeValue L = getValue(Fr, I->getOperand(0));
+    RuntimeValue R = getValue(Fr, I->getOperand(1));
+    Type *Ty = I->getType();
+    Type *ScalarTy = Ty->getScalarType();
+    unsigned Lanes = L.getNumLanes();
+    std::vector<uint64_t> Out(Lanes);
+    for (unsigned K = 0; K != Lanes; ++K)
+      Out[K] = ScalarTy->isFloatingPointTy()
+                   ? evalFPLane(I->getOpcode(), ScalarTy, L.Lanes[K],
+                                R.Lanes[K])
+                   : evalIntLane(I->getOpcode(), ScalarTy, L.Lanes[K],
+                                 R.Lanes[K]);
+    return RuntimeValue(Ty, std::move(Out));
+  }
+
+  uint64_t evalIntLane(ValueID Opc, Type *Ty, uint64_t A, uint64_t B) {
+    unsigned Bits = cast<IntegerType>(Ty)->getBitWidth();
+    auto Trunc = [&](uint64_t V) { return RuntimeValue::truncateToWidth(Ty, V); };
+    switch (Opc) {
+    case ValueID::Add:
+      return Trunc(A + B);
+    case ValueID::Sub:
+      return Trunc(A - B);
+    case ValueID::Mul:
+      return Trunc(A * B);
+    case ValueID::UDiv:
+      if (B == 0)
+        reportFatalError("interpreter: udiv by zero");
+      return Trunc(A / B);
+    case ValueID::SDiv: {
+      int64_t SA = RuntimeValue::signExtendLane(Ty, A);
+      int64_t SB = RuntimeValue::signExtendLane(Ty, B);
+      if (SB == 0)
+        reportFatalError("interpreter: sdiv by zero");
+      if (SA == INT64_MIN && SB == -1)
+        reportFatalError("interpreter: sdiv overflow");
+      return Trunc(static_cast<uint64_t>(SA / SB));
+    }
+    case ValueID::And:
+      return A & B;
+    case ValueID::Or:
+      return A | B;
+    case ValueID::Xor:
+      return A ^ B;
+    case ValueID::Shl:
+      return B >= Bits ? 0 : Trunc(A << B);
+    case ValueID::LShr:
+      return B >= Bits ? 0 : A >> B;
+    case ValueID::AShr: {
+      int64_t SA = RuntimeValue::signExtendLane(Ty, A);
+      uint64_t Amount = B >= Bits ? Bits - 1 : B;
+      return Trunc(static_cast<uint64_t>(SA >> Amount));
+    }
+    default:
+      lslp_unreachable("not an integer binary opcode");
+    }
+  }
+
+  uint64_t evalFPLane(ValueID Opc, Type *Ty, uint64_t A, uint64_t B) {
+    double DA = RuntimeValue::decodeFP(Ty, A);
+    double DB = RuntimeValue::decodeFP(Ty, B);
+    double Res;
+    switch (Opc) {
+    case ValueID::FAdd:
+      Res = DA + DB;
+      break;
+    case ValueID::FSub:
+      Res = DA - DB;
+      break;
+    case ValueID::FMul:
+      Res = DA * DB;
+      break;
+    case ValueID::FDiv:
+      Res = DA / DB;
+      break;
+    default:
+      lslp_unreachable("not an FP binary opcode");
+    }
+    return RuntimeValue::encodeFP(Ty, Res);
+  }
+
+  const Module &M;
+  std::vector<uint8_t> &Memory;
+  const std::map<const GlobalArray *, uint64_t> &GlobalAddr;
+  const TargetTransformInfo *TTI;
+  uint64_t StepLimit;
+  bool CollectStats;
+};
+
+} // namespace
+
+Interpreter::RunResult Interpreter::run(const Function *F,
+                                        const std::vector<RuntimeValue> &Args) {
+  assert(F->getParent() == &M && "function from a different module");
+  Executor Exec(M, Memory, GlobalAddr, TTI, StepLimit, CollectStats);
+  return Exec.run(F, Args);
+}

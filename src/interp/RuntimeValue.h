@@ -1,0 +1,107 @@
+//===- interp/RuntimeValue.h - Interpreter value representation -*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's dynamic value: a type plus one 64-bit raw lane per
+/// element (one lane for scalars). Integers are stored zero-extended,
+/// floats/doubles as bit patterns, pointers as byte addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_INTERP_RUNTIMEVALUE_H
+#define LSLP_INTERP_RUNTIMEVALUE_H
+
+#include "ir/Type.h"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace lslp {
+
+/// A dynamic (runtime) value of some first-class IR type.
+struct RuntimeValue {
+  Type *Ty = nullptr;
+  /// One raw 64-bit lane per vector element (a single lane for scalars).
+  std::vector<uint64_t> Lanes;
+
+  RuntimeValue() = default;
+  RuntimeValue(Type *Ty, std::vector<uint64_t> Lanes)
+      : Ty(Ty), Lanes(std::move(Lanes)) {}
+
+  bool isValid() const { return Ty != nullptr; }
+  unsigned getNumLanes() const { return static_cast<unsigned>(Lanes.size()); }
+
+  /// \name Scalar constructors.
+  /// @{
+  static RuntimeValue makeInt(Type *Ty, uint64_t V) {
+    return RuntimeValue(Ty, {truncateToWidth(Ty, V)});
+  }
+  static RuntimeValue makeFP(Type *Ty, double V) {
+    return RuntimeValue(Ty, {encodeFP(Ty, V)});
+  }
+  static RuntimeValue makePointer(Type *PtrTy, uint64_t Addr) {
+    return RuntimeValue(PtrTy, {Addr});
+  }
+  /// @}
+
+  /// \name Scalar accessors (single-lane values).
+  /// @{
+  uint64_t asUInt() const { return Lanes.at(0); }
+  int64_t asSInt() const { return signExtendLane(Ty, Lanes.at(0)); }
+  double asFP() const { return decodeFP(Ty, Lanes.at(0)); }
+  /// @}
+
+  /// \name Raw lane encoding helpers.
+  /// @{
+  /// Masks \p V to the bit width of integer type \p Ty.
+  static uint64_t truncateToWidth(const Type *Ty, uint64_t V);
+  /// Sign-extends raw lane \p V of scalar type \p Ty (integers only).
+  static int64_t signExtendLane(const Type *Ty, uint64_t V);
+  /// Encodes a double as the raw lane pattern of FP scalar type \p Ty
+  /// (rounding to float precision for float).
+  static uint64_t encodeFP(const Type *Ty, double V);
+  /// Decodes a raw lane of FP scalar type \p Ty.
+  static double decodeFP(const Type *Ty, uint64_t Lane);
+  /// @}
+
+  bool operator==(const RuntimeValue &O) const {
+    return Ty == O.Ty && Lanes == O.Lanes;
+  }
+};
+
+inline uint64_t RuntimeValue::truncateToWidth(const Type *Ty, uint64_t V) {
+  const auto *IntTy = cast<IntegerType>(Ty);
+  unsigned Bits = IntTy->getBitWidth();
+  if (Bits >= 64)
+    return V;
+  return V & ((uint64_t(1) << Bits) - 1);
+}
+
+inline int64_t RuntimeValue::signExtendLane(const Type *Ty, uint64_t V) {
+  const auto *IntTy = cast<IntegerType>(Ty);
+  unsigned Bits = IntTy->getBitWidth();
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = uint64_t(1) << (Bits - 1);
+  return static_cast<int64_t>((V ^ SignBit)) - static_cast<int64_t>(SignBit);
+}
+
+inline uint64_t RuntimeValue::encodeFP(const Type *Ty, double V) {
+  if (Ty->isFloatTy())
+    return std::bit_cast<uint32_t>(static_cast<float>(V));
+  return std::bit_cast<uint64_t>(V);
+}
+
+inline double RuntimeValue::decodeFP(const Type *Ty, uint64_t Lane) {
+  if (Ty->isFloatTy())
+    return std::bit_cast<float>(static_cast<uint32_t>(Lane));
+  return std::bit_cast<double>(Lane);
+}
+
+} // namespace lslp
+
+#endif // LSLP_INTERP_RUNTIMEVALUE_H

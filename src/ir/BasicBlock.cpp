@@ -1,0 +1,111 @@
+//===- ir/BasicBlock.cpp - Basic block -------------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace lslp;
+
+BasicBlock::BasicBlock(Context &Ctx, std::string Name, Function *Parent)
+    : Value(ValueID::BasicBlockID, Ctx.getLabelTy(), std::move(Name)),
+      Parent(Parent) {}
+
+BasicBlock *BasicBlock::create(Context &Ctx, std::string Name,
+                               Function *Parent) {
+  assert(Parent && "block requires a parent function");
+  auto *BB = new BasicBlock(Ctx, std::move(Name), Parent);
+  Parent->addBlock(std::unique_ptr<BasicBlock>(BB));
+  return BB;
+}
+
+Instruction *BasicBlock::append(Instruction *I) {
+  assert(!I->getParent() && "instruction already has a parent");
+  I->setParent(this);
+  Insts.emplace_back(I);
+  OrderValid = false;
+  return I;
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *I, Instruction *Before) {
+  assert(!I->getParent() && "instruction already has a parent");
+  assert(Before->getParent() == this && "insertion point not in this block");
+  I->setParent(this);
+  Insts.emplace(findIterator(Before), I);
+  OrderValid = false;
+  return I;
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction *I) {
+  assert(I->getParent() == this && "detaching from the wrong block");
+  iterator It = findIterator(I);
+  std::unique_ptr<Instruction> Owned = std::move(*It);
+  Insts.erase(It);
+  Owned->setParent(nullptr);
+  OrderValid = false;
+  return Owned;
+}
+
+void BasicBlock::erase(Instruction *I) {
+  std::unique_ptr<Instruction> Owned = detach(I);
+  // unique_ptr destructor deletes; User::~User drops operands first.
+}
+
+Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back().get();
+}
+
+BasicBlock::iterator BasicBlock::findIterator(const Instruction *I) {
+  auto It = std::find_if(
+      Insts.begin(), Insts.end(),
+      [I](const std::unique_ptr<Instruction> &P) { return P.get() == I; });
+  assert(It != Insts.end() && "instruction not in this block");
+  return It;
+}
+
+void BasicBlock::renumber() const {
+  unsigned Idx = 0;
+  for (const auto &I : Insts)
+    I->OrderIdx = Idx++;
+  OrderValid = true;
+}
+
+bool BasicBlock::comesBefore(const Instruction *A, const Instruction *B) const {
+  assert(A->getParent() == this && B->getParent() == this &&
+         "instructions not in this block");
+  if (!OrderValid)
+    renumber();
+  return A->OrderIdx < B->OrderIdx;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  if (auto *Term = getTerminator())
+    if (auto *Br = dyn_cast<BranchInst>(Term))
+      for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+        Result.push_back(Br->getSuccessor(I));
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Result;
+  for (const Use &U : uses()) {
+    auto *Br = dyn_cast<BranchInst>(static_cast<Value *>(U.TheUser));
+    if (!Br)
+      continue;
+    BasicBlock *Pred = Br->getParent();
+    // A conditional branch with both edges here contributes two uses; report
+    // the predecessor once.
+    if (std::find(Result.begin(), Result.end(), Pred) == Result.end())
+      Result.push_back(Pred);
+  }
+  return Result;
+}

@@ -1,0 +1,98 @@
+//===- ir/BasicBlock.h - Basic block ----------------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BasicBlock owns an ordered list of instructions ending (in well-formed
+/// IR) with a terminator. Blocks are Values of label type so branches and
+/// phis can reference them as operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_BASICBLOCK_H
+#define LSLP_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+#include "ir/Value.h"
+
+#include <list>
+#include <memory>
+
+namespace lslp {
+
+class Function;
+class Context;
+
+/// A straight-line sequence of instructions with a single entry point.
+class BasicBlock : public Value {
+public:
+  using InstListType = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstListType::iterator;
+  using const_iterator = InstListType::const_iterator;
+
+  /// Creates a block owned by \p Parent (appended to its block list).
+  static BasicBlock *create(Context &Ctx, std::string Name, Function *Parent);
+
+  Function *getParent() const { return Parent; }
+
+  /// \name Instruction list access.
+  /// @{
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+  /// @}
+
+  /// Appends \p I (takes ownership).
+  Instruction *append(Instruction *I);
+
+  /// Inserts \p I (takes ownership) immediately before \p Before, which
+  /// must belong to this block.
+  Instruction *insertBefore(Instruction *I, Instruction *Before);
+
+  /// Detaches \p I from this block without deleting it. Caller takes
+  /// ownership.
+  std::unique_ptr<Instruction> detach(Instruction *I);
+
+  /// Removes and deletes \p I. Its uses must already be gone.
+  void erase(Instruction *I);
+
+  /// Returns the block's terminator, or null if the block is unterminated.
+  Instruction *getTerminator() const;
+
+  /// Returns true if \p A appears strictly before \p B (both must belong to
+  /// this block).
+  bool comesBefore(const Instruction *A, const Instruction *B) const;
+
+  /// Predecessor/successor queries (computed from branch operands/uses).
+  std::vector<BasicBlock *> successors() const;
+  std::vector<BasicBlock *> predecessors() const;
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::BasicBlockID;
+  }
+
+private:
+  BasicBlock(Context &Ctx, std::string Name, Function *Parent);
+  friend class Function;
+  friend class Instruction;
+
+  iterator findIterator(const Instruction *I);
+
+  /// Reassigns instruction order indices; called lazily by comesBefore.
+  void renumber() const;
+
+  Function *Parent;
+  InstListType Insts;
+  mutable bool OrderValid = false;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_BASICBLOCK_H

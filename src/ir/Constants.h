@@ -1,0 +1,121 @@
+//===- ir/Constants.h - Constant values -------------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant values: integers, floating-point numbers and the undef
+/// placeholder. All are uniqued by and owned by the Context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_CONSTANTS_H
+#define LSLP_IR_CONSTANTS_H
+
+#include "ir/Value.h"
+
+namespace lslp {
+
+/// Common base for uniqued constants.
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    ValueID ID = V->getValueID();
+    return ID == ValueID::ConstantIntID || ID == ValueID::ConstantFPID ||
+           ID == ValueID::ConstantVectorID || ID == ValueID::UndefID;
+  }
+
+protected:
+  Constant(ValueID ID, Type *Ty) : Value(ID, Ty) {}
+};
+
+/// An integer constant. The payload is stored zero-extended in a uint64_t;
+/// getSExtValue() re-interprets it as a signed value of the type's width.
+class ConstantInt : public Constant {
+public:
+  uint64_t getZExtValue() const { return Val; }
+
+  int64_t getSExtValue() const {
+    unsigned Bits = cast<IntegerType>(getType())->getBitWidth();
+    if (Bits == 64)
+      return static_cast<int64_t>(Val);
+    uint64_t SignBit = uint64_t(1) << (Bits - 1);
+    return static_cast<int64_t>((Val ^ SignBit)) -
+           static_cast<int64_t>(SignBit);
+  }
+
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::ConstantIntID;
+  }
+
+private:
+  friend class Context;
+  ConstantInt(IntegerType *Ty, uint64_t Val)
+      : Constant(ValueID::ConstantIntID, Ty), Val(Val) {}
+
+  uint64_t Val;
+};
+
+/// A float/double constant.
+class ConstantFP : public Constant {
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::ConstantFPID;
+  }
+
+private:
+  friend class Context;
+  ConstantFP(Type *Ty, double Val)
+      : Constant(ValueID::ConstantFPID, Ty), Val(Val) {
+    assert(Ty->isFloatingPointTy() && "ConstantFP requires an FP type");
+  }
+
+  double Val;
+};
+
+/// A constant vector of scalar constants. Like scalar literals, constant
+/// vectors are materialized for free from the constant pool — this is what
+/// makes all-constant operand groups cost zero in the SLP cost model.
+class ConstantVector : public Constant {
+public:
+  const std::vector<Constant *> &getElements() const { return Elements; }
+  Constant *getElement(unsigned I) const { return Elements[I]; }
+  unsigned getNumElements() const {
+    return static_cast<unsigned>(Elements.size());
+  }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::ConstantVectorID;
+  }
+
+private:
+  friend class Context;
+  ConstantVector(Type *VecTy, std::vector<Constant *> Elements)
+      : Constant(ValueID::ConstantVectorID, VecTy),
+        Elements(std::move(Elements)) {}
+
+  std::vector<Constant *> Elements;
+};
+
+/// The undef placeholder of a given type (used as the base of
+/// insertelement chains emitted by the vector code generator).
+class UndefValue : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::UndefID;
+  }
+
+private:
+  friend class Context;
+  explicit UndefValue(Type *Ty) : Constant(ValueID::UndefID, Ty) {}
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_CONSTANTS_H

@@ -1,0 +1,74 @@
+//===- ir/Context.cpp - Ownership of uniqued types and constants ----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+
+#include "ir/Constants.h"
+
+using namespace lslp;
+
+Context::Context()
+    : VoidTy(*this, Type::VoidTyKind), LabelTy(*this, Type::LabelTyKind),
+      FloatTy(*this, Type::FloatTyKind), DoubleTy(*this, Type::DoubleTyKind),
+      PtrTy(*this) {}
+
+Context::~Context() = default;
+
+IntegerType *Context::getIntTy(unsigned BitWidth) {
+  auto &Slot = IntTypes[BitWidth];
+  if (!Slot)
+    Slot.reset(new IntegerType(*this, BitWidth));
+  return Slot.get();
+}
+
+VectorType *Context::getVectorTy(Type *ElemTy, unsigned NumElems) {
+  auto &Slot = VecTypes[{ElemTy, NumElems}];
+  if (!Slot)
+    Slot.reset(new VectorType(*this, ElemTy, NumElems));
+  return Slot.get();
+}
+
+ConstantInt *Context::getConstantInt(IntegerType *Ty, uint64_t Value) {
+  unsigned Bits = Ty->getBitWidth();
+  if (Bits < 64)
+    Value &= (uint64_t(1) << Bits) - 1;
+  auto &Slot = IntConstants[{Ty, Value}];
+  if (!Slot)
+    Slot.reset(new ConstantInt(Ty, Value));
+  return Slot.get();
+}
+
+ConstantFP *Context::getConstantFP(Type *Ty, double Value) {
+  assert(Ty->isFloatingPointTy() && "getConstantFP requires an FP type");
+  if (Ty->isFloatTy())
+    Value = static_cast<float>(Value); // Canonicalize to float precision.
+  auto &Slot = FPConstants[{Ty, Value}];
+  if (!Slot)
+    Slot.reset(new ConstantFP(Ty, Value));
+  return Slot.get();
+}
+
+ConstantVector *Context::getConstantVector(
+    const std::vector<Constant *> &Elements) {
+  assert(Elements.size() >= 2 && "constant vector needs at least two lanes");
+  Type *ElemTy = Elements[0]->getType();
+  for (const Constant *C : Elements)
+    assert(C->getType() == ElemTy && "mixed element types in constant vector");
+  auto &Slot = VecConstants[Elements];
+  if (!Slot)
+    Slot.reset(new ConstantVector(
+        getVectorTy(ElemTy, static_cast<unsigned>(Elements.size())),
+        Elements));
+  return Slot.get();
+}
+
+UndefValue *Context::getUndef(Type *Ty) {
+  assert(Ty->isFirstClassTy() && "undef requires a first-class type");
+  auto &Slot = Undefs[Ty];
+  if (!Slot)
+    Slot.reset(new UndefValue(Ty));
+  return Slot.get();
+}

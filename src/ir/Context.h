@@ -1,0 +1,98 @@
+//===- ir/Context.h - Ownership of uniqued types and constants --*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Context owns all uniqued, immutable IR entities: types and constants.
+/// Every Module is created against a Context; entities from different
+/// contexts must never be mixed (mirrors LLVMContext).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_CONTEXT_H
+#define LSLP_IR_CONTEXT_H
+
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace lslp {
+
+class Constant;
+class ConstantInt;
+class ConstantFP;
+class ConstantVector;
+class UndefValue;
+
+/// Owns and uniques types and constants. Not thread-safe; use one Context
+/// per thread.
+class Context {
+public:
+  Context();
+  ~Context();
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  /// \name Type factories (uniqued; returned pointers are stable).
+  /// @{
+  Type *getVoidTy() { return &VoidTy; }
+  Type *getLabelTy() { return &LabelTy; }
+  Type *getFloatTy() { return &FloatTy; }
+  Type *getDoubleTy() { return &DoubleTy; }
+  PointerType *getPtrTy() { return &PtrTy; }
+  IntegerType *getIntTy(unsigned BitWidth);
+  IntegerType *getInt1Ty() { return getIntTy(1); }
+  IntegerType *getInt8Ty() { return getIntTy(8); }
+  IntegerType *getInt32Ty() { return getIntTy(32); }
+  IntegerType *getInt64Ty() { return getIntTy(64); }
+  VectorType *getVectorTy(Type *ElemTy, unsigned NumElems);
+  /// @}
+
+  /// \name Constant factories (uniqued).
+  /// @{
+  /// Returns the integer constant \p Value of type \p Ty, truncated to the
+  /// type's bit width.
+  ConstantInt *getConstantInt(IntegerType *Ty, uint64_t Value);
+  ConstantInt *getInt64(uint64_t Value) {
+    return getConstantInt(getInt64Ty(), Value);
+  }
+  ConstantInt *getInt32(uint32_t Value) {
+    return getConstantInt(getInt32Ty(), Value);
+  }
+  ConstantInt *getInt1(bool Value) {
+    return getConstantInt(getInt1Ty(), Value);
+  }
+  /// Returns the floating-point constant \p Value of float or double type.
+  ConstantFP *getConstantFP(Type *Ty, double Value);
+  /// Returns the undef placeholder of first-class type \p Ty.
+  UndefValue *getUndef(Type *Ty);
+  /// Returns the constant vector with the given scalar-constant elements
+  /// (all of the same type; at least two).
+  ConstantVector *getConstantVector(const std::vector<Constant *> &Elements);
+  /// @}
+
+private:
+  Type VoidTy;
+  Type LabelTy;
+  Type FloatTy;
+  Type DoubleTy;
+  PointerType PtrTy;
+
+  std::map<unsigned, std::unique_ptr<IntegerType>> IntTypes;
+  std::map<std::pair<Type *, unsigned>, std::unique_ptr<VectorType>> VecTypes;
+  std::map<std::pair<IntegerType *, uint64_t>, std::unique_ptr<ConstantInt>>
+      IntConstants;
+  std::map<std::pair<Type *, double>, std::unique_ptr<ConstantFP>>
+      FPConstants;
+  std::map<Type *, std::unique_ptr<UndefValue>> Undefs;
+  std::map<std::vector<Constant *>, std::unique_ptr<ConstantVector>>
+      VecConstants;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_CONTEXT_H

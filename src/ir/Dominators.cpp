@@ -1,0 +1,126 @@
+//===- ir/Dominators.cpp - Dominator tree -----------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace lslp;
+
+DominatorTree::DominatorTree(const Function &F) {
+  if (F.empty())
+    return;
+  const BasicBlock *Entry = F.getEntryBlock();
+
+  // Post-order DFS from the entry, then reverse.
+  std::vector<const BasicBlock *> PostOrder;
+  std::set<const BasicBlock *> Visited;
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  std::vector<std::pair<const BasicBlock *, unsigned>> Stack;
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, NextIdx] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextIdx < Succs.size()) {
+      const BasicBlock *Succ = Succs[NextIdx++];
+      if (Visited.insert(Succ).second)
+        Stack.push_back({Succ, 0});
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I)
+    RPONumber[RPO[I]] = I;
+
+  // Cooper-Harvey-Kennedy iteration.
+  IDom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      const BasicBlock *NewIDom = nullptr;
+      for (const BasicBlock *Pred : BB->predecessors()) {
+        if (!RPONumber.count(Pred) || !IDom.count(Pred))
+          continue; // Unreachable or not yet processed.
+        NewIDom = NewIDom ? intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+const BasicBlock *DominatorTree::intersect(const BasicBlock *A,
+                                           const BasicBlock *B) const {
+  while (A != B) {
+    while (RPONumber.at(A) > RPONumber.at(B))
+      A = IDom.at(A);
+    while (RPONumber.at(B) > RPONumber.at(A))
+      B = IDom.at(B);
+  }
+  return A;
+}
+
+const BasicBlock *DominatorTree::getIDom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  // Everything dominates an unreachable block.
+  if (!isReachable(B))
+    return true;
+  if (!isReachable(A))
+    return false;
+  // Walk B's idom chain upward; A dominates B iff it appears on it.
+  const BasicBlock *Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || It->second == Cur)
+      return false;
+    Cur = It->second;
+  }
+}
+
+bool DominatorTree::dominates(const Value *Def, const Instruction *User) const {
+  const auto *DefInst = dyn_cast<Instruction>(Def);
+  if (!DefInst)
+    return true; // Constants, arguments, globals dominate everything.
+  const BasicBlock *DefBB = DefInst->getParent();
+  const BasicBlock *UseBB = User->getParent();
+
+  // A use in a phi is logically at the end of the incoming block.
+  if (const auto *Phi = dyn_cast<PHINode>(User)) {
+    for (unsigned I = 0, E = Phi->getNumIncoming(); I != E; ++I)
+      if (Phi->getIncomingValue(I) == Def &&
+          !dominates(DefBB, Phi->getIncomingBlock(I)))
+        return false;
+    return true;
+  }
+
+  if (DefBB == UseBB)
+    return DefInst->comesBefore(User);
+  return dominates(DefBB, UseBB);
+}

@@ -1,0 +1,63 @@
+//===- ir/Dominators.h - Dominator tree -------------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree over a function's CFG, computed with the Cooper-Harvey-
+/// Kennedy iterative algorithm. Used by the verifier's SSA dominance check
+/// and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_DOMINATORS_H
+#define LSLP_IR_DOMINATORS_H
+
+#include <map>
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Value;
+
+/// Immutable dominator information for one function.
+class DominatorTree {
+public:
+  /// Builds the tree for \p F. Blocks unreachable from the entry have no
+  /// dominator information and are reported unreachable.
+  explicit DominatorTree(const Function &F);
+
+  /// Returns true if \p A dominates \p B (reflexive: a block dominates
+  /// itself). Unreachable blocks are dominated by everything, matching
+  /// LLVM's convention.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Returns true if the definition point of \p Def dominates the use of it
+  /// at instruction \p User (for a phi use, the end of the corresponding
+  /// incoming block). \p Def may be any Value; non-instruction values
+  /// dominate everything.
+  bool dominates(const Value *Def, const Instruction *User) const;
+
+  /// Immediate dominator of \p BB; null for the entry or unreachable
+  /// blocks.
+  const BasicBlock *getIDom(const BasicBlock *BB) const;
+
+  bool isReachable(const BasicBlock *BB) const {
+    return RPONumber.count(BB) != 0;
+  }
+
+private:
+  const BasicBlock *intersect(const BasicBlock *A, const BasicBlock *B) const;
+
+  std::map<const BasicBlock *, const BasicBlock *> IDom;
+  std::map<const BasicBlock *, unsigned> RPONumber;
+  std::vector<const BasicBlock *> RPO;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_DOMINATORS_H

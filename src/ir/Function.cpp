@@ -1,0 +1,56 @@
+//===- ir/Function.cpp - Function and Argument ------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+
+using namespace lslp;
+
+Function::Function(Context &Ctx, Module *Parent, std::string Name, Type *RetTy)
+    : Value(ValueID::FunctionID, Ctx.getVoidTy(), std::move(Name)),
+      Parent(Parent), RetTy(RetTy) {}
+
+Function::~Function() {
+  for (const auto &BB : Blocks)
+    for (const auto &I : *BB)
+      I->dropAllReferences();
+}
+
+Function *Function::create(Module *Parent, std::string Name, Type *RetTy,
+                           const std::vector<Type *> &ArgTypes,
+                           const std::vector<std::string> &ArgNames) {
+  assert(Parent && "function requires a parent module");
+  assert(ArgTypes.size() == ArgNames.size() &&
+         "argument type/name count mismatch");
+  auto *F = new Function(Parent->getContext(), Parent, std::move(Name), RetTy);
+  for (unsigned I = 0, E = static_cast<unsigned>(ArgTypes.size()); I != E; ++I)
+    F->Args.emplace_back(new Argument(ArgTypes[I], ArgNames[I], I));
+  Parent->addFunction(std::unique_ptr<Function>(F));
+  return F;
+}
+
+Argument *Function::getArgByName(std::string_view Name) const {
+  for (const auto &Arg : Args)
+    if (Arg->getName() == Name)
+      return Arg.get();
+  return nullptr;
+}
+
+BasicBlock *Function::getBlockByName(std::string_view Name) const {
+  for (const auto &BB : Blocks)
+    if (BB->getName() == Name)
+      return BB.get();
+  return nullptr;
+}
+
+unsigned Function::getInstructionCount() const {
+  unsigned Count = 0;
+  for (const auto &BB : Blocks)
+    Count += static_cast<unsigned>(BB->size());
+  return Count;
+}

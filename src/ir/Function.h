@@ -1,0 +1,110 @@
+//===- ir/Function.h - Function and Argument --------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function owns its arguments and basic blocks; the first block is the
+/// entry block. There is no separate FunctionType: the return type and
+/// argument types are stored directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_FUNCTION_H
+#define LSLP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace lslp {
+
+class Module;
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  unsigned getArgNo() const { return ArgNo; }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::ArgumentID;
+  }
+
+private:
+  friend class Function;
+  Argument(Type *Ty, std::string Name, unsigned ArgNo)
+      : Value(ValueID::ArgumentID, Ty, std::move(Name)), ArgNo(ArgNo) {}
+
+  unsigned ArgNo;
+};
+
+/// A function definition: a list of arguments and basic blocks.
+class Function : public Value {
+public:
+  using BlockListType = std::vector<std::unique_ptr<BasicBlock>>;
+
+  /// Creates a function owned by \p Parent. \p ArgTypes/\p ArgNames must
+  /// have equal length.
+  static Function *create(Module *Parent, std::string Name, Type *RetTy,
+                          const std::vector<Type *> &ArgTypes,
+                          const std::vector<std::string> &ArgNames);
+
+  /// Drops every instruction's operand references before destroying the
+  /// blocks, so values may die in any order.
+  ~Function() override;
+
+  Module *getParent() const { return Parent; }
+  Type *getReturnType() const { return RetTy; }
+
+  /// \name Arguments.
+  /// @{
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+  /// Returns the argument named \p Name, or null.
+  Argument *getArgByName(std::string_view Name) const;
+  /// @}
+
+  /// \name Basic blocks. The first block is the entry block.
+  /// @{
+  BlockListType::iterator begin() { return Blocks.begin(); }
+  BlockListType::iterator end() { return Blocks.end(); }
+  BlockListType::const_iterator begin() const { return Blocks.begin(); }
+  BlockListType::const_iterator end() const { return Blocks.end(); }
+  bool empty() const { return Blocks.empty(); }
+  size_t size() const { return Blocks.size(); }
+  BasicBlock *getEntryBlock() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+  /// Returns the block named \p Name, or null.
+  BasicBlock *getBlockByName(std::string_view Name) const;
+  /// @}
+
+  /// Total number of instructions across all blocks.
+  unsigned getInstructionCount() const;
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::FunctionID;
+  }
+
+private:
+  friend class BasicBlock;
+  friend class Module;
+  Function(Context &Ctx, Module *Parent, std::string Name, Type *RetTy);
+
+  void addBlock(std::unique_ptr<BasicBlock> BB) {
+    Blocks.push_back(std::move(BB));
+  }
+
+  Module *Parent;
+  Type *RetTy;
+  std::vector<std::unique_ptr<Argument>> Args;
+  BlockListType Blocks;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_FUNCTION_H

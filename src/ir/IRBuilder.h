@@ -1,0 +1,193 @@
+//===- ir/IRBuilder.h - Convenience IR construction --------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder creates instructions at an insertion point (end of a block, or
+/// before a given instruction), mirroring llvm::IRBuilder. All create*
+/// methods return the new instruction already inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_IRBUILDER_H
+#define LSLP_IR_IRBUILDER_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Instruction.h"
+
+#include <string>
+
+namespace lslp {
+
+/// Inserts newly-created instructions at a configurable insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(Context &Ctx) : Ctx(Ctx) {}
+  explicit IRBuilder(BasicBlock *BB) : Ctx(BB->getContext()) {
+    setInsertPoint(BB);
+  }
+
+  Context &getContext() const { return Ctx; }
+
+  /// Inserts at the end of \p BB.
+  void setInsertPoint(BasicBlock *BB) {
+    InsertBlock = BB;
+    InsertBefore = nullptr;
+  }
+
+  /// Inserts immediately before \p I.
+  void setInsertPoint(Instruction *I) {
+    InsertBlock = I->getParent();
+    InsertBefore = I;
+  }
+
+  BasicBlock *getInsertBlock() const { return InsertBlock; }
+
+  /// \name Instruction factories.
+  /// @{
+  Value *createBinOp(ValueID Opc, Value *LHS, Value *RHS,
+                     std::string Name = "") {
+    return insert(BinaryOperator::create(Opc, LHS, RHS, std::move(Name)));
+  }
+  Value *createAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::Add, L, R, std::move(Name));
+  }
+  Value *createSub(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::Sub, L, R, std::move(Name));
+  }
+  Value *createMul(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::Mul, L, R, std::move(Name));
+  }
+  Value *createAnd(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::And, L, R, std::move(Name));
+  }
+  Value *createOr(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::Or, L, R, std::move(Name));
+  }
+  Value *createXor(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::Xor, L, R, std::move(Name));
+  }
+  Value *createShl(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::Shl, L, R, std::move(Name));
+  }
+  Value *createLShr(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::LShr, L, R, std::move(Name));
+  }
+  Value *createFAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::FAdd, L, R, std::move(Name));
+  }
+  Value *createFSub(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::FSub, L, R, std::move(Name));
+  }
+  Value *createFMul(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::FMul, L, R, std::move(Name));
+  }
+  Value *createFDiv(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(ValueID::FDiv, L, R, std::move(Name));
+  }
+
+  CastInst *createCast(ValueID Opc, Value *Src, Type *DestTy,
+                       std::string Name = "") {
+    return cast<CastInst>(
+        insert(CastInst::create(Opc, Src, DestTy, std::move(Name))));
+  }
+  CastInst *createSExt(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(ValueID::SExt, Src, DestTy, std::move(Name));
+  }
+  CastInst *createZExt(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(ValueID::ZExt, Src, DestTy, std::move(Name));
+  }
+  CastInst *createTrunc(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(ValueID::Trunc, Src, DestTy, std::move(Name));
+  }
+  CastInst *createSIToFP(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(ValueID::SIToFP, Src, DestTy, std::move(Name));
+  }
+  CastInst *createFPToSI(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(ValueID::FPToSI, Src, DestTy, std::move(Name));
+  }
+
+  ICmpInst *createICmp(ICmpInst::Predicate Pred, Value *L, Value *R,
+                       std::string Name = "") {
+    return cast<ICmpInst>(insert(ICmpInst::create(Pred, L, R,
+                                                  std::move(Name))));
+  }
+  SelectInst *createSelect(Value *Cond, Value *T, Value *F,
+                           std::string Name = "") {
+    return cast<SelectInst>(insert(SelectInst::create(Cond, T, F,
+                                                      std::move(Name))));
+  }
+
+  LoadInst *createLoad(Type *Ty, Value *Ptr, std::string Name = "") {
+    return cast<LoadInst>(insert(LoadInst::create(Ty, Ptr, std::move(Name))));
+  }
+  StoreInst *createStore(Value *Val, Value *Ptr) {
+    return cast<StoreInst>(insert(StoreInst::create(Val, Ptr)));
+  }
+  GEPInst *createGEP(Type *ElemTy, Value *Base, Value *Index,
+                     std::string Name = "") {
+    return cast<GEPInst>(
+        insert(GEPInst::create(ElemTy, Base, Index, std::move(Name))));
+  }
+  /// gep with a constant i64 index.
+  GEPInst *createGEP(Type *ElemTy, Value *Base, int64_t Index,
+                     std::string Name = "") {
+    return createGEP(ElemTy, Base,
+                     Ctx.getInt64(static_cast<uint64_t>(Index)),
+                     std::move(Name));
+  }
+
+  InsertElementInst *createInsertElement(Value *Vec, Value *Elt, unsigned Lane,
+                                         std::string Name = "") {
+    return cast<InsertElementInst>(insert(InsertElementInst::create(
+        Vec, Elt, Ctx.getInt32(Lane), std::move(Name))));
+  }
+  ExtractElementInst *createExtractElement(Value *Vec, unsigned Lane,
+                                           std::string Name = "") {
+    return cast<ExtractElementInst>(insert(
+        ExtractElementInst::create(Vec, Ctx.getInt32(Lane), std::move(Name))));
+  }
+  ShuffleVectorInst *createShuffleVector(Value *V1, Value *V2,
+                                         std::vector<int> Mask,
+                                         std::string Name = "") {
+    return cast<ShuffleVectorInst>(insert(
+        ShuffleVectorInst::create(V1, V2, std::move(Mask), std::move(Name))));
+  }
+
+  PHINode *createPHI(Type *Ty, std::string Name = "") {
+    return cast<PHINode>(insert(PHINode::create(Ty, std::move(Name))));
+  }
+  BranchInst *createBr(BasicBlock *Dest) {
+    return cast<BranchInst>(insert(BranchInst::create(Dest)));
+  }
+  BranchInst *createCondBr(Value *Cond, BasicBlock *T, BasicBlock *F) {
+    return cast<BranchInst>(insert(BranchInst::create(Cond, T, F)));
+  }
+  ReturnInst *createRet(Value *V = nullptr) {
+    return cast<ReturnInst>(insert(ReturnInst::create(Ctx, V)));
+  }
+  /// @}
+
+  /// Inserts an already-created instruction at the current insertion point
+  /// and returns it.
+  Instruction *insert(Instruction *I) {
+    assert(InsertBlock && "no insertion point set");
+    if (InsertBefore)
+      InsertBlock->insertBefore(I, InsertBefore);
+    else
+      InsertBlock->append(I);
+    return I;
+  }
+
+private:
+  Context &Ctx;
+  BasicBlock *InsertBlock = nullptr;
+  Instruction *InsertBefore = nullptr;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_IRBUILDER_H

@@ -1,0 +1,438 @@
+//===- ir/Instruction.cpp - Instruction class hierarchy -------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "support/Debug.h"
+
+using namespace lslp;
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+const char *Instruction::getOpcodeName(Opcode Opc) {
+  switch (Opc) {
+  case ValueID::Add:
+    return "add";
+  case ValueID::Sub:
+    return "sub";
+  case ValueID::Mul:
+    return "mul";
+  case ValueID::SDiv:
+    return "sdiv";
+  case ValueID::UDiv:
+    return "udiv";
+  case ValueID::And:
+    return "and";
+  case ValueID::Or:
+    return "or";
+  case ValueID::Xor:
+    return "xor";
+  case ValueID::Shl:
+    return "shl";
+  case ValueID::LShr:
+    return "lshr";
+  case ValueID::AShr:
+    return "ashr";
+  case ValueID::FAdd:
+    return "fadd";
+  case ValueID::FSub:
+    return "fsub";
+  case ValueID::FMul:
+    return "fmul";
+  case ValueID::FDiv:
+    return "fdiv";
+  case ValueID::Load:
+    return "load";
+  case ValueID::Store:
+    return "store";
+  case ValueID::Gep:
+    return "gep";
+  case ValueID::InsertElement:
+    return "insertelement";
+  case ValueID::ExtractElement:
+    return "extractelement";
+  case ValueID::ShuffleVector:
+    return "shufflevector";
+  case ValueID::ICmp:
+    return "icmp";
+  case ValueID::Select:
+    return "select";
+  case ValueID::SExt:
+    return "sext";
+  case ValueID::ZExt:
+    return "zext";
+  case ValueID::Trunc:
+    return "trunc";
+  case ValueID::SIToFP:
+    return "sitofp";
+  case ValueID::FPToSI:
+    return "fptosi";
+  case ValueID::Phi:
+    return "phi";
+  case ValueID::Br:
+    return "br";
+  case ValueID::Ret:
+    return "ret";
+  default:
+    lslp_unreachable("not an instruction opcode");
+  }
+}
+
+const char *Instruction::getOpcodeName() const {
+  return getOpcodeName(getOpcode());
+}
+
+bool Instruction::isCommutative() const {
+  return BinaryOperator::isCommutativeOpcode(getOpcode());
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction has no parent");
+  assert(!hasUses() && "erasing an instruction that is still used");
+  Parent->erase(this);
+}
+
+void Instruction::moveBefore(Instruction *Other) {
+  assert(Parent && Other->getParent() && "both must be in blocks");
+  std::unique_ptr<Instruction> Owned = Parent->detach(this);
+  Other->getParent()->insertBefore(Owned.release(), Other);
+}
+
+bool Instruction::comesBefore(const Instruction *Other) const {
+  assert(Parent && Parent == Other->Parent &&
+         "comesBefore requires a shared parent block");
+  return Parent->comesBefore(this, Other);
+}
+
+//===----------------------------------------------------------------------===//
+// BinaryOperator
+//===----------------------------------------------------------------------===//
+
+bool BinaryOperator::isCommutativeOpcode(Opcode Opc) {
+  switch (Opc) {
+  case ValueID::Add:
+  case ValueID::Mul:
+  case ValueID::And:
+  case ValueID::Or:
+  case ValueID::Xor:
+  // Fast-math: treated as commutative, as in the paper's -ffast-math setup.
+  case ValueID::FAdd:
+  case ValueID::FMul:
+    return true;
+  default:
+    return false;
+  }
+}
+
+BinaryOperator::BinaryOperator(Opcode Opc, Value *LHS, Value *RHS,
+                               std::string Name)
+    : Instruction(Opc, LHS->getType(), std::move(Name)) {
+  assert(LHS->getType() == RHS->getType() &&
+         "binary operator operand types must match");
+  assert(LHS->getType()->getScalarType()->isIntegerTy() ||
+         LHS->getType()->getScalarType()->isFloatingPointTy());
+  addOperand(LHS);
+  addOperand(RHS);
+}
+
+BinaryOperator *BinaryOperator::create(Opcode Opc, Value *LHS, Value *RHS,
+                                       std::string Name) {
+  assert(Opc >= ValueID::Add && Opc <= ValueID::FDiv && "not a binary opcode");
+  return new BinaryOperator(Opc, LHS, RHS, std::move(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// ICmpInst
+//===----------------------------------------------------------------------===//
+
+ICmpInst::ICmpInst(Predicate Pred, Value *LHS, Value *RHS, std::string Name)
+    : Instruction(ValueID::ICmp, LHS->getContext().getInt1Ty(),
+                  std::move(Name)),
+      Pred(Pred) {
+  assert(LHS->getType() == RHS->getType() && "icmp operand types must match");
+  assert(LHS->getType()->isIntegerTy() || LHS->getType()->isPointerTy());
+  addOperand(LHS);
+  addOperand(RHS);
+}
+
+ICmpInst *ICmpInst::create(Predicate Pred, Value *LHS, Value *RHS,
+                           std::string Name) {
+  return new ICmpInst(Pred, LHS, RHS, std::move(Name));
+}
+
+const char *ICmpInst::getPredicateName(Predicate Pred) {
+  switch (Pred) {
+  case EQ:
+    return "eq";
+  case NE:
+    return "ne";
+  case SLT:
+    return "slt";
+  case SLE:
+    return "sle";
+  case SGT:
+    return "sgt";
+  case SGE:
+    return "sge";
+  case ULT:
+    return "ult";
+  case ULE:
+    return "ule";
+  case UGT:
+    return "ugt";
+  case UGE:
+    return "uge";
+  }
+  lslp_unreachable("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// SelectInst
+//===----------------------------------------------------------------------===//
+
+SelectInst::SelectInst(Value *Cond, Value *TrueVal, Value *FalseVal,
+                       std::string Name)
+    : Instruction(ValueID::Select, TrueVal->getType(), std::move(Name)) {
+  assert(Cond->getType()->isIntegerTy() &&
+         cast<IntegerType>(Cond->getType())->getBitWidth() == 1 &&
+         "select condition must be i1");
+  assert(TrueVal->getType() == FalseVal->getType() &&
+         "select arm types must match");
+  addOperand(Cond);
+  addOperand(TrueVal);
+  addOperand(FalseVal);
+}
+
+SelectInst *SelectInst::create(Value *Cond, Value *TrueVal, Value *FalseVal,
+                               std::string Name) {
+  return new SelectInst(Cond, TrueVal, FalseVal, std::move(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Memory instructions
+//===----------------------------------------------------------------------===//
+
+LoadInst::LoadInst(Type *AccessTy, Value *Ptr, std::string Name)
+    : Instruction(ValueID::Load, AccessTy, std::move(Name)) {
+  assert(Ptr->getType()->isPointerTy() && "load pointer must be ptr-typed");
+  assert(AccessTy->isFirstClassTy() && "invalid load type");
+  addOperand(Ptr);
+}
+
+LoadInst *LoadInst::create(Type *AccessTy, Value *Ptr, std::string Name) {
+  return new LoadInst(AccessTy, Ptr, std::move(Name));
+}
+
+StoreInst::StoreInst(Value *Val, Value *Ptr)
+    : Instruction(ValueID::Store, Val->getContext().getVoidTy()) {
+  assert(Ptr->getType()->isPointerTy() && "store pointer must be ptr-typed");
+  assert(Val->getType()->isFirstClassTy() && "invalid store value type");
+  addOperand(Val);
+  addOperand(Ptr);
+}
+
+StoreInst *StoreInst::create(Value *Val, Value *Ptr) {
+  return new StoreInst(Val, Ptr);
+}
+
+GEPInst::GEPInst(Type *ElemTy, Value *Base, Value *Index, std::string Name)
+    : Instruction(ValueID::Gep, Base->getContext().getPtrTy(),
+                  std::move(Name)),
+      ElemTy(ElemTy) {
+  assert(Base->getType()->isPointerTy() && "gep base must be ptr-typed");
+  assert(Index->getType()->isIntegerTy() && "gep index must be an integer");
+  addOperand(Base);
+  addOperand(Index);
+}
+
+GEPInst *GEPInst::create(Type *ElemTy, Value *Base, Value *Index,
+                         std::string Name) {
+  return new GEPInst(ElemTy, Base, Index, std::move(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Vector instructions
+//===----------------------------------------------------------------------===//
+
+InsertElementInst::InsertElementInst(Value *Vec, Value *Elt, Value *Index,
+                                     std::string Name)
+    : Instruction(ValueID::InsertElement, Vec->getType(), std::move(Name)) {
+  auto *VT = cast<VectorType>(Vec->getType());
+  assert(VT->getElementType() == Elt->getType() &&
+         "inserted element type mismatch");
+  (void)VT;
+  assert(Index->getType()->isIntegerTy() && "lane index must be an integer");
+  addOperand(Vec);
+  addOperand(Elt);
+  addOperand(Index);
+}
+
+InsertElementInst *InsertElementInst::create(Value *Vec, Value *Elt,
+                                             Value *Index, std::string Name) {
+  return new InsertElementInst(Vec, Elt, Index, std::move(Name));
+}
+
+ExtractElementInst::ExtractElementInst(Value *Vec, Value *Index,
+                                       std::string Name)
+    : Instruction(ValueID::ExtractElement,
+                  cast<VectorType>(Vec->getType())->getElementType(),
+                  std::move(Name)) {
+  assert(Index->getType()->isIntegerTy() && "lane index must be an integer");
+  addOperand(Vec);
+  addOperand(Index);
+}
+
+ExtractElementInst *ExtractElementInst::create(Value *Vec, Value *Index,
+                                               std::string Name) {
+  return new ExtractElementInst(Vec, Index, std::move(Name));
+}
+
+ShuffleVectorInst::ShuffleVectorInst(Value *V1, Value *V2,
+                                     std::vector<int> Mask, Type *ResTy,
+                                     std::string Name)
+    : Instruction(ValueID::ShuffleVector, ResTy, std::move(Name)),
+      Mask(std::move(Mask)) {
+  addOperand(V1);
+  addOperand(V2);
+}
+
+ShuffleVectorInst *ShuffleVectorInst::create(Value *V1, Value *V2,
+                                             std::vector<int> Mask,
+                                             std::string Name) {
+  auto *SrcTy = cast<VectorType>(V1->getType());
+  assert(V2->getType() == SrcTy && "shuffle inputs must share their type");
+  assert(!Mask.empty() && "empty shuffle mask");
+  unsigned Combined = 2 * SrcTy->getNumElements();
+  for (int M : Mask) {
+    assert(M >= -1 && M < static_cast<int>(Combined) &&
+           "shuffle mask lane out of range");
+    (void)M;
+  }
+  (void)Combined;
+  Type *ResTy = SrcTy->getContext().getVectorTy(
+      SrcTy->getElementType(), static_cast<unsigned>(Mask.size()));
+  return new ShuffleVectorInst(V1, V2, std::move(Mask), ResTy,
+                               std::move(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// CastInst
+//===----------------------------------------------------------------------===//
+
+bool CastInst::castIsValid(Opcode Opc, Type *SrcTy, Type *DestTy) {
+  // Vector casts must preserve the lane count.
+  const auto *SrcVT = dyn_cast<VectorType>(SrcTy);
+  const auto *DestVT = dyn_cast<VectorType>(DestTy);
+  if ((SrcVT == nullptr) != (DestVT == nullptr))
+    return false;
+  if (SrcVT && SrcVT->getNumElements() != DestVT->getNumElements())
+    return false;
+  Type *Src = SrcTy->getScalarType();
+  Type *Dest = DestTy->getScalarType();
+  switch (Opc) {
+  case ValueID::SExt:
+  case ValueID::ZExt: {
+    const auto *SI = dyn_cast<IntegerType>(Src);
+    const auto *DI = dyn_cast<IntegerType>(Dest);
+    return SI && DI && DI->getBitWidth() > SI->getBitWidth();
+  }
+  case ValueID::Trunc: {
+    const auto *SI = dyn_cast<IntegerType>(Src);
+    const auto *DI = dyn_cast<IntegerType>(Dest);
+    return SI && DI && DI->getBitWidth() < SI->getBitWidth();
+  }
+  case ValueID::SIToFP:
+    return Src->isIntegerTy() && Dest->isFloatingPointTy();
+  case ValueID::FPToSI:
+    return Src->isFloatingPointTy() && Dest->isIntegerTy();
+  default:
+    return false;
+  }
+}
+
+CastInst::CastInst(Opcode Opc, Value *Src, Type *DestTy, std::string Name)
+    : Instruction(Opc, DestTy, std::move(Name)) {
+  assert(castIsValid(Opc, Src->getType(), DestTy) && "invalid cast");
+  addOperand(Src);
+}
+
+CastInst *CastInst::create(Opcode Opc, Value *Src, Type *DestTy,
+                           std::string Name) {
+  assert(isCastOpcode(Opc) && "not a cast opcode");
+  return new CastInst(Opc, Src, DestTy, std::move(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+PHINode::PHINode(Type *Ty, std::string Name)
+    : Instruction(ValueID::Phi, Ty, std::move(Name)) {}
+
+PHINode *PHINode::create(Type *Ty, std::string Name) {
+  return new PHINode(Ty, std::move(Name));
+}
+
+BasicBlock *PHINode::getIncomingBlock(unsigned I) const {
+  return cast<BasicBlock>(getOperand(2 * I + 1));
+}
+
+void PHINode::addIncoming(Value *Val, BasicBlock *BB) {
+  assert(Val->getType() == getType() && "phi incoming value type mismatch");
+  addOperand(Val);
+  addOperand(BB);
+}
+
+Value *PHINode::getIncomingValueForBlock(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (getIncomingBlock(I) == BB)
+      return getIncomingValue(I);
+  return nullptr;
+}
+
+BranchInst::BranchInst(BasicBlock *Dest)
+    : Instruction(ValueID::Br, Dest->getContext().getVoidTy()) {
+  addOperand(Dest);
+}
+
+BranchInst::BranchInst(Value *Cond, BasicBlock *TrueDest,
+                       BasicBlock *FalseDest)
+    : Instruction(ValueID::Br, Cond->getContext().getVoidTy()) {
+  assert(Cond->getType()->isIntegerTy() &&
+         cast<IntegerType>(Cond->getType())->getBitWidth() == 1 &&
+         "branch condition must be i1");
+  addOperand(Cond);
+  addOperand(TrueDest);
+  addOperand(FalseDest);
+}
+
+BranchInst *BranchInst::create(BasicBlock *Dest) {
+  return new BranchInst(Dest);
+}
+
+BranchInst *BranchInst::create(Value *Cond, BasicBlock *TrueDest,
+                               BasicBlock *FalseDest) {
+  return new BranchInst(Cond, TrueDest, FalseDest);
+}
+
+BasicBlock *BranchInst::getSuccessor(unsigned I) const {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  return cast<BasicBlock>(getOperand(isConditional() ? I + 1 : I));
+}
+
+ReturnInst::ReturnInst(Context &Ctx, Value *RetVal)
+    : Instruction(ValueID::Ret, Ctx.getVoidTy()) {
+  if (RetVal)
+    addOperand(RetVal);
+}
+
+ReturnInst *ReturnInst::create(Context &Ctx, Value *RetVal) {
+  return new ReturnInst(Ctx, RetVal);
+}

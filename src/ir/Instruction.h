@@ -1,0 +1,367 @@
+//===- ir/Instruction.h - Instruction class hierarchy -----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Instruction base class and all concrete instruction classes. The
+/// instruction set is the subset of LLVM IR the SLP/LSLP algorithms and the
+/// evaluation kernels need: the full commutative/non-commutative binary
+/// operator family, memory access through opaque pointers with a
+/// single-index gep, vector element manipulation, and enough control flow
+/// (icmp/br/phi/ret/select) to express loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_INSTRUCTION_H
+#define LSLP_IR_INSTRUCTION_H
+
+#include "ir/Constants.h"
+#include "ir/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+
+/// Base class of all instructions. Owned by their parent BasicBlock.
+class Instruction : public User {
+public:
+  using Opcode = ValueID;
+
+  Opcode getOpcode() const { return getValueID(); }
+
+  /// Returns the textual mnemonic ("add", "load", ...).
+  const char *getOpcodeName() const;
+  static const char *getOpcodeName(Opcode Opc);
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// \name Classification.
+  /// @{
+  bool isBinaryOp() const {
+    return getOpcode() >= ValueID::Add && getOpcode() <= ValueID::FDiv;
+  }
+  /// True if swapping the two operands preserves semantics. FAdd/FMul are
+  /// commutative under the fast-math assumption the paper evaluates with.
+  bool isCommutative() const;
+  bool isTerminator() const {
+    return getOpcode() == ValueID::Br || getOpcode() == ValueID::Ret;
+  }
+  bool mayReadFromMemory() const { return getOpcode() == ValueID::Load; }
+  bool mayWriteToMemory() const { return getOpcode() == ValueID::Store; }
+  bool mayReadOrWriteMemory() const {
+    return mayReadFromMemory() || mayWriteToMemory();
+  }
+  /// @}
+
+  /// Unlinks from the parent block and deletes the instruction. All uses
+  /// must already have been removed/replaced.
+  void eraseFromParent();
+
+  /// Drops all operand references (use-list edges). Used during bulk
+  /// teardown of functions, where values die in arbitrary order.
+  void dropAllReferences() { dropAllOperands(); }
+
+  /// Unlinks from the current block and re-inserts immediately before
+  /// \p Other (which may be in a different block).
+  void moveBefore(Instruction *Other);
+
+  /// Returns true if this instruction appears strictly before \p Other in
+  /// their (shared) parent block.
+  bool comesBefore(const Instruction *Other) const;
+
+  static bool classof(const Value *V) {
+    return V->getValueID() >= FirstInstID && V->getValueID() <= LastInstID;
+  }
+
+protected:
+  Instruction(Opcode Opc, Type *Ty, std::string Name = "")
+      : User(Opc, Ty, std::move(Name)) {}
+
+private:
+  friend class BasicBlock;
+
+  BasicBlock *Parent = nullptr;
+  /// Position cache maintained lazily by BasicBlock::renumber().
+  mutable unsigned OrderIdx = 0;
+};
+
+/// A two-operand arithmetic/logical operator.
+class BinaryOperator : public Instruction {
+public:
+  /// Creates (but does not insert) a binary operator. Both operands must
+  /// share their type, which becomes the result type.
+  static BinaryOperator *create(Opcode Opc, Value *LHS, Value *RHS,
+                                std::string Name = "");
+
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  /// True for the opcodes the vectorizer may reorder operands of.
+  static bool isCommutativeOpcode(Opcode Opc);
+
+  static bool classof(const Value *V) {
+    return V->getValueID() >= ValueID::Add && V->getValueID() <= ValueID::FDiv;
+  }
+
+private:
+  BinaryOperator(Opcode Opc, Value *LHS, Value *RHS, std::string Name);
+};
+
+/// Integer comparison producing i1.
+class ICmpInst : public Instruction {
+public:
+  enum Predicate : uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+
+  static ICmpInst *create(Predicate Pred, Value *LHS, Value *RHS,
+                          std::string Name = "");
+
+  Predicate getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static const char *getPredicateName(Predicate Pred);
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::ICmp;
+  }
+
+private:
+  ICmpInst(Predicate Pred, Value *LHS, Value *RHS, std::string Name);
+
+  Predicate Pred;
+};
+
+/// Scalar select: Cond ? TrueVal : FalseVal.
+class SelectInst : public Instruction {
+public:
+  static SelectInst *create(Value *Cond, Value *TrueVal, Value *FalseVal,
+                            std::string Name = "");
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::Select;
+  }
+
+private:
+  SelectInst(Value *Cond, Value *TrueVal, Value *FalseVal, std::string Name);
+};
+
+/// A load of \p AccessTy through an opaque pointer.
+class LoadInst : public Instruction {
+public:
+  static LoadInst *create(Type *AccessTy, Value *Ptr, std::string Name = "");
+
+  Value *getPointerOperand() const { return getOperand(0); }
+  Type *getAccessType() const { return getType(); }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::Load;
+  }
+
+private:
+  LoadInst(Type *AccessTy, Value *Ptr, std::string Name);
+};
+
+/// A store through an opaque pointer. Produces void.
+class StoreInst : public Instruction {
+public:
+  static StoreInst *create(Value *Val, Value *Ptr);
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointerOperand() const { return getOperand(1); }
+  Type *getAccessType() const { return getValueOperand()->getType(); }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::Store;
+  }
+
+private:
+  StoreInst(Value *Val, Value *Ptr);
+};
+
+/// Single-index pointer arithmetic: result = Base + Index * sizeof(ElemTy).
+class GEPInst : public Instruction {
+public:
+  static GEPInst *create(Type *ElemTy, Value *Base, Value *Index,
+                         std::string Name = "");
+
+  Type *getElementType() const { return ElemTy; }
+  Value *getBaseOperand() const { return getOperand(0); }
+  Value *getIndexOperand() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::Gep;
+  }
+
+private:
+  GEPInst(Type *ElemTy, Value *Base, Value *Index, std::string Name);
+
+  Type *ElemTy;
+};
+
+/// Inserts a scalar into a vector lane: operands (vec, elt, lane-index).
+class InsertElementInst : public Instruction {
+public:
+  static InsertElementInst *create(Value *Vec, Value *Elt, Value *Index,
+                                   std::string Name = "");
+
+  Value *getVectorOperand() const { return getOperand(0); }
+  Value *getElementOperand() const { return getOperand(1); }
+  Value *getIndexOperand() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::InsertElement;
+  }
+
+private:
+  InsertElementInst(Value *Vec, Value *Elt, Value *Index, std::string Name);
+};
+
+/// Extracts a scalar from a vector lane: operands (vec, lane-index).
+class ExtractElementInst : public Instruction {
+public:
+  static ExtractElementInst *create(Value *Vec, Value *Index,
+                                    std::string Name = "");
+
+  Value *getVectorOperand() const { return getOperand(0); }
+  Value *getIndexOperand() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::ExtractElement;
+  }
+
+private:
+  ExtractElementInst(Value *Vec, Value *Index, std::string Name);
+};
+
+/// Lane permutation over the concatenation of two input vectors. A mask
+/// entry of -1 produces an undef lane.
+class ShuffleVectorInst : public Instruction {
+public:
+  static ShuffleVectorInst *create(Value *V1, Value *V2,
+                                   std::vector<int> Mask,
+                                   std::string Name = "");
+
+  Value *getFirstVector() const { return getOperand(0); }
+  Value *getSecondVector() const { return getOperand(1); }
+  const std::vector<int> &getMask() const { return Mask; }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::ShuffleVector;
+  }
+
+private:
+  ShuffleVectorInst(Value *V1, Value *V2, std::vector<int> Mask, Type *ResTy,
+                    std::string Name);
+
+  std::vector<int> Mask;
+};
+
+/// Value conversion: sext/zext/trunc between integer widths, sitofp and
+/// fptosi between integers and floating point. Works elementwise on
+/// vectors (source and destination lane counts must match).
+class CastInst : public Instruction {
+public:
+  /// Creates (unchecked only by assertions) a cast of \p Src to
+  /// \p DestTy.
+  static CastInst *create(Opcode Opc, Value *Src, Type *DestTy,
+                          std::string Name = "");
+
+  Value *getSourceOperand() const { return getOperand(0); }
+  Type *getSrcType() const { return getSourceOperand()->getType(); }
+  Type *getDestType() const { return getType(); }
+
+  /// True for the cast opcodes.
+  static bool isCastOpcode(Opcode Opc) {
+    return Opc >= ValueID::SExt && Opc <= ValueID::FPToSI;
+  }
+
+  /// Validity of a cast between these types (scalar or matching-width
+  /// vectors).
+  static bool castIsValid(Opcode Opc, Type *SrcTy, Type *DestTy);
+
+  static bool classof(const Value *V) {
+    return isCastOpcode(V->getValueID());
+  }
+
+private:
+  CastInst(Opcode Opc, Value *Src, Type *DestTy, std::string Name);
+};
+
+/// SSA phi node. Operands alternate value/block:
+/// (val0, bb0, val1, bb1, ...).
+class PHINode : public Instruction {
+public:
+  static PHINode *create(Type *Ty, std::string Name = "");
+
+  unsigned getNumIncoming() const { return getNumOperands() / 2; }
+  Value *getIncomingValue(unsigned I) const { return getOperand(2 * I); }
+  BasicBlock *getIncomingBlock(unsigned I) const;
+  void addIncoming(Value *Val, BasicBlock *BB);
+  /// Returns the incoming value for \p BB; null if \p BB is not a
+  /// predecessor recorded in this phi.
+  Value *getIncomingValueForBlock(const BasicBlock *BB) const;
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::Phi;
+  }
+
+private:
+  explicit PHINode(Type *Ty, std::string Name);
+};
+
+/// Conditional or unconditional branch.
+class BranchInst : public Instruction {
+public:
+  /// Unconditional branch to \p Dest.
+  static BranchInst *create(BasicBlock *Dest);
+  /// Conditional branch on i1 \p Cond.
+  static BranchInst *create(Value *Cond, BasicBlock *TrueDest,
+                            BasicBlock *FalseDest);
+
+  bool isConditional() const { return getNumOperands() == 3; }
+  Value *getCondition() const {
+    assert(isConditional() && "unconditional branch has no condition");
+    return getOperand(0);
+  }
+  unsigned getNumSuccessors() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getSuccessor(unsigned I) const;
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::Br;
+  }
+
+private:
+  BranchInst(Value *Cond, BasicBlock *TrueDest, BasicBlock *FalseDest);
+  explicit BranchInst(BasicBlock *Dest);
+};
+
+/// Function return, with an optional value.
+class ReturnInst : public Instruction {
+public:
+  static ReturnInst *create(Context &Ctx, Value *RetVal = nullptr);
+
+  Value *getReturnValue() const {
+    return getNumOperands() ? getOperand(0) : nullptr;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::Ret;
+  }
+
+private:
+  ReturnInst(Context &Ctx, Value *RetVal);
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_INSTRUCTION_H

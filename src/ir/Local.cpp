@@ -1,0 +1,45 @@
+//===- ir/Local.cpp - Local IR simplification utilities ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Local.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+
+#include <vector>
+
+using namespace lslp;
+
+bool lslp::isTriviallyDead(const Instruction *I) {
+  return !I->hasUses() && !I->mayWriteToMemory() && !I->isTerminator();
+}
+
+unsigned lslp::removeTriviallyDeadInstructions(BasicBlock &BB) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Collect first: erasing invalidates the iteration.
+    std::vector<Instruction *> Dead;
+    for (const auto &I : BB)
+      if (isTriviallyDead(I.get()))
+        Dead.push_back(I.get());
+    for (Instruction *I : Dead) {
+      I->eraseFromParent();
+      ++Removed;
+      Changed = true;
+    }
+  }
+  return Removed;
+}
+
+unsigned lslp::removeTriviallyDeadInstructions(Function &F) {
+  unsigned Removed = 0;
+  for (const auto &BB : F)
+    Removed += removeTriviallyDeadInstructions(*BB);
+  return Removed;
+}

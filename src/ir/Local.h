@@ -1,0 +1,38 @@
+//===- ir/Local.h - Local IR simplification utilities -----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small local transformations (after llvm/Transforms/Utils/Local.h):
+/// trivial dead-code elimination, used by the vectorizer's code generator
+/// to clean up the address computations orphaned when scalar loads/stores
+/// are replaced by vector ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_LOCAL_H
+#define LSLP_IR_LOCAL_H
+
+namespace lslp {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+/// True if \p I can be erased when unused: it has no users, no side
+/// effects (stores) and is not a terminator. Dead loads are removable
+/// (the memory model has no trapping loads).
+bool isTriviallyDead(const Instruction *I);
+
+/// Erases trivially dead instructions in \p BB until a fixpoint.
+/// Returns the number of instructions removed.
+unsigned removeTriviallyDeadInstructions(BasicBlock &BB);
+
+/// Runs the block-level sweep over every block of \p F.
+unsigned removeTriviallyDeadInstructions(Function &F);
+
+} // namespace lslp
+
+#endif // LSLP_IR_LOCAL_H

@@ -1,0 +1,42 @@
+//===- ir/Module.cpp - Module and GlobalArray -------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "ir/Context.h"
+
+using namespace lslp;
+
+GlobalArray::GlobalArray(Context &Ctx, std::string Name, Type *ElemTy,
+                         uint64_t NumElems)
+    : Value(ValueID::GlobalArrayID, Ctx.getPtrTy(), std::move(Name)),
+      ElemTy(ElemTy), NumElems(NumElems) {
+  assert(ElemTy->isFirstClassTy() && !ElemTy->isVectorTy() &&
+         "global arrays hold scalar elements");
+  assert(NumElems > 0 && "empty global array");
+}
+
+GlobalArray *Module::createGlobal(std::string GlobalName, Type *ElemTy,
+                                  uint64_t NumElems) {
+  assert(!getGlobal(GlobalName) && "duplicate global name");
+  auto *G = new GlobalArray(Ctx, std::move(GlobalName), ElemTy, NumElems);
+  Globals.emplace_back(G);
+  return G;
+}
+
+GlobalArray *Module::getGlobal(std::string_view GlobalName) const {
+  for (const auto &G : Globals)
+    if (G->getName() == GlobalName)
+      return G.get();
+  return nullptr;
+}
+
+Function *Module::getFunction(std::string_view FuncName) const {
+  for (const auto &F : Funcs)
+    if (F->getName() == FuncName)
+      return F.get();
+  return nullptr;
+}

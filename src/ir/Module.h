@@ -1,0 +1,94 @@
+//===- ir/Module.h - Module and GlobalArray ---------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns functions and global arrays. Global arrays model the
+/// `long A[], B[], ...` buffers of the paper's kernels; the interpreter
+/// assigns each one a distinct memory segment, which also gives the alias
+/// analysis its distinct-base-object guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_MODULE_H
+#define LSLP_IR_MODULE_H
+
+#include "ir/Function.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace lslp {
+
+class Context;
+
+/// A named, fixed-size global array of scalar elements. Its Value type is
+/// the opaque pointer type (the address of element 0).
+class GlobalArray : public Value {
+public:
+  Type *getElementType() const { return ElemTy; }
+  uint64_t getNumElements() const { return NumElems; }
+  uint64_t getSizeInBytes() const {
+    return NumElems * ElemTy->getSizeInBytes();
+  }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() == ValueID::GlobalArrayID;
+  }
+
+private:
+  friend class Module;
+  GlobalArray(Context &Ctx, std::string Name, Type *ElemTy, uint64_t NumElems);
+
+  Type *ElemTy;
+  uint64_t NumElems;
+};
+
+/// Top-level container of functions and globals.
+class Module {
+public:
+  explicit Module(Context &Ctx, std::string Name = "module")
+      : Ctx(Ctx), Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  Context &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+
+  /// Creates a global array of \p NumElems elements of \p ElemTy.
+  GlobalArray *createGlobal(std::string GlobalName, Type *ElemTy,
+                            uint64_t NumElems);
+
+  /// Returns the global named \p GlobalName, or null.
+  GlobalArray *getGlobal(std::string_view GlobalName) const;
+
+  const std::vector<std::unique_ptr<GlobalArray>> &globals() const {
+    return Globals;
+  }
+
+  /// Returns the function named \p FuncName, or null.
+  Function *getFunction(std::string_view FuncName) const;
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+private:
+  friend class Function;
+  void addFunction(std::unique_ptr<Function> F) {
+    Funcs.push_back(std::move(F));
+  }
+
+  Context &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<GlobalArray>> Globals;
+  std::vector<std::unique_ptr<Function>> Funcs;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_MODULE_H

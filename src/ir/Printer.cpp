@@ -1,0 +1,280 @@
+//===- ir/Printer.cpp - Textual IR printing --------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "support/Debug.h"
+#include "support/OStream.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace lslp;
+
+namespace {
+
+/// Assigns slot numbers to unnamed values within one function and renders
+/// instruction lines.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) { assignSlots(); }
+
+  void print(OStream &OS) {
+    OS << "define " << F.getReturnType()->getName() << " @" << F.getName()
+       << "(";
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+      if (I != 0)
+        OS << ", ";
+      const Argument *A = F.getArg(I);
+      OS << A->getType()->getName() << " " << ref(A);
+    }
+    OS << ") {\n";
+    bool FirstBlock = true;
+    for (const auto &BB : F) {
+      if (!FirstBlock)
+        OS << "\n";
+      FirstBlock = false;
+      OS << BB->getName() << ":\n";
+      for (const auto &I : *BB)
+        OS << "  " << line(*I) << "\n";
+    }
+    OS << "}\n";
+  }
+
+  /// Renders one instruction line.
+  std::string line(const Instruction &I) {
+    std::string S;
+    if (!I.getType()->isVoidTy())
+      S += ref(&I) + " = ";
+    switch (I.getOpcode()) {
+    case ValueID::Load: {
+      const auto &L = cast<LoadInst>(I);
+      S += "load " + L.getAccessType()->getName() + ", ptr " +
+           ref(L.getPointerOperand());
+      break;
+    }
+    case ValueID::Store: {
+      const auto &St = cast<StoreInst>(I);
+      S += "store " + St.getAccessType()->getName() + " " +
+           ref(St.getValueOperand()) + ", ptr " + ref(St.getPointerOperand());
+      break;
+    }
+    case ValueID::Gep: {
+      const auto &G = cast<GEPInst>(I);
+      S += "gep " + G.getElementType()->getName() + ", ptr " +
+           ref(G.getBaseOperand()) + ", " +
+           G.getIndexOperand()->getType()->getName() + " " +
+           ref(G.getIndexOperand());
+      break;
+    }
+    case ValueID::SExt:
+    case ValueID::ZExt:
+    case ValueID::Trunc:
+    case ValueID::SIToFP:
+    case ValueID::FPToSI: {
+      const auto &C = cast<CastInst>(I);
+      S += std::string(C.getOpcodeName()) + " " + C.getSrcType()->getName() +
+           " " + ref(C.getSourceOperand()) + " to " +
+           C.getDestType()->getName();
+      break;
+    }
+    case ValueID::ICmp: {
+      const auto &C = cast<ICmpInst>(I);
+      S += std::string("icmp ") + ICmpInst::getPredicateName(C.getPredicate()) +
+           " " + C.getLHS()->getType()->getName() + " " + ref(C.getLHS()) +
+           ", " + ref(C.getRHS());
+      break;
+    }
+    case ValueID::Select: {
+      const auto &Sel = cast<SelectInst>(I);
+      S += "select i1 " + ref(Sel.getCondition()) + ", " +
+           Sel.getType()->getName() + " " + ref(Sel.getTrueValue()) + ", " +
+           Sel.getType()->getName() + " " + ref(Sel.getFalseValue());
+      break;
+    }
+    case ValueID::InsertElement: {
+      const auto &IE = cast<InsertElementInst>(I);
+      S += "insertelement " + IE.getType()->getName() + " " +
+           ref(IE.getVectorOperand()) + ", " +
+           IE.getElementOperand()->getType()->getName() + " " +
+           ref(IE.getElementOperand()) + ", i32 " + ref(IE.getIndexOperand());
+      break;
+    }
+    case ValueID::ExtractElement: {
+      const auto &EE = cast<ExtractElementInst>(I);
+      S += "extractelement " + EE.getVectorOperand()->getType()->getName() +
+           " " + ref(EE.getVectorOperand()) + ", i32 " +
+           ref(EE.getIndexOperand());
+      break;
+    }
+    case ValueID::ShuffleVector: {
+      const auto &SV = cast<ShuffleVectorInst>(I);
+      S += "shufflevector " + SV.getFirstVector()->getType()->getName() + " " +
+           ref(SV.getFirstVector()) + ", " +
+           SV.getSecondVector()->getType()->getName() + " " +
+           ref(SV.getSecondVector()) + ", [";
+      const auto &Mask = SV.getMask();
+      for (size_t MI = 0; MI < Mask.size(); ++MI) {
+        if (MI)
+          S += ", ";
+        S += std::to_string(Mask[MI]);
+      }
+      S += "]";
+      break;
+    }
+    case ValueID::Phi: {
+      const auto &P = cast<PHINode>(I);
+      S += "phi " + P.getType()->getName() + " ";
+      for (unsigned PI = 0, PE = P.getNumIncoming(); PI != PE; ++PI) {
+        if (PI)
+          S += ", ";
+        S += "[ " + ref(P.getIncomingValue(PI)) + ", %" +
+             P.getIncomingBlock(PI)->getName() + " ]";
+      }
+      break;
+    }
+    case ValueID::Br: {
+      const auto &B = cast<BranchInst>(I);
+      if (B.isConditional())
+        S += "br i1 " + ref(B.getCondition()) + ", label %" +
+             B.getSuccessor(0)->getName() + ", label %" +
+             B.getSuccessor(1)->getName();
+      else
+        S += "br label %" + B.getSuccessor(0)->getName();
+      break;
+    }
+    case ValueID::Ret: {
+      const auto &R = cast<ReturnInst>(I);
+      if (Value *RV = R.getReturnValue())
+        S += "ret " + RV->getType()->getName() + " " + ref(RV);
+      else
+        S += "ret void";
+      break;
+    }
+    default: {
+      // Binary operators share one format: opcode type lhs, rhs.
+      assert(I.isBinaryOp() && "unhandled instruction in printer");
+      S += std::string(I.getOpcodeName()) + " " + I.getType()->getName() +
+           " " + ref(I.getOperand(0)) + ", " + ref(I.getOperand(1));
+      break;
+    }
+    }
+    return S;
+  }
+
+  /// Renders a value reference.
+  std::string ref(const Value *V) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->getSExtValue());
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%g", CF->getValue());
+      std::string Str(Buf);
+      // Guarantee FP constants are lexically distinct from integers.
+      if (Str.find_first_of(".einf") == std::string::npos)
+        Str += ".0";
+      return Str;
+    }
+    if (const auto *CV = dyn_cast<ConstantVector>(V)) {
+      std::string S = "<";
+      for (unsigned I = 0, E = CV->getNumElements(); I != E; ++I) {
+        if (I)
+          S += ", ";
+        S += CV->getElement(I)->getType()->getName() + " " +
+             ref(CV->getElement(I));
+      }
+      return S + ">";
+    }
+    if (isa<UndefValue>(V))
+      return "undef";
+    if (isa<GlobalArray>(V))
+      return "@" + V->getName();
+    if (V->hasName())
+      return "%" + V->getName();
+    auto It = Slots.find(V);
+    if (It != Slots.end())
+      return "%" + std::to_string(It->second);
+    return "%<badref>";
+  }
+
+private:
+  void assignSlots() {
+    unsigned Slot = 0;
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      if (!F.getArg(I)->hasName())
+        Slots[F.getArg(I)] = Slot++;
+    for (const auto &BB : F)
+      for (const auto &I : *BB)
+        if (!I->hasName() && !I->getType()->isVoidTy())
+          Slots[I.get()] = Slot++;
+  }
+
+  const Function &F;
+  std::map<const Value *, unsigned> Slots;
+};
+
+} // namespace
+
+void lslp::printFunction(OStream &OS, const Function &F) {
+  FunctionPrinter(F).print(OS);
+}
+
+void lslp::printModule(OStream &OS, const Module &M) {
+  OS << "module \"" << M.getName() << "\"\n\n";
+  for (const auto &G : M.globals())
+    OS << "global @" << G->getName() << " = [" << G->getNumElements() << " x "
+       << G->getElementType()->getName() << "]\n";
+  if (!M.globals().empty())
+    OS << "\n";
+  bool First = true;
+  for (const auto &F : M.functions()) {
+    if (!First)
+      OS << "\n";
+    First = false;
+    printFunction(OS, *F);
+  }
+}
+
+std::string lslp::moduleToString(const Module &M) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  printModule(OS, M);
+  return Buf;
+}
+
+std::string lslp::functionToString(const Function &F) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  printFunction(OS, F);
+  return Buf;
+}
+
+std::string lslp::instructionToString(const Instruction &I) {
+  assert(I.getParent() && I.getParent()->getParent() &&
+         "instruction must be in a function");
+  FunctionPrinter FP(*I.getParent()->getParent());
+  return FP.line(I);
+}
+
+std::string lslp::valueRefToString(const Value &V) {
+  if (const auto *I = dyn_cast<Instruction>(&V))
+    if (I->getParent() && I->getParent()->getParent()) {
+      FunctionPrinter FP(*I->getParent()->getParent());
+      return FP.ref(&V);
+    }
+  if (const auto *CI = dyn_cast<ConstantInt>(&V))
+    return std::to_string(CI->getSExtValue());
+  if (isa<UndefValue>(&V))
+    return "undef";
+  if (isa<GlobalArray>(&V))
+    return "@" + V.getName();
+  return V.hasName() ? "%" + V.getName() : "%<anon>";
+}

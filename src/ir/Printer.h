@@ -1,0 +1,48 @@
+//===- ir/Printer.h - Textual IR printing -----------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules, functions and instructions in the project's textual IR
+/// syntax (an LLVM-IR-like dialect, accepted back by the parser). Unnamed
+/// values receive per-function slot numbers (%0, %1, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_PRINTER_H
+#define LSLP_IR_PRINTER_H
+
+#include <string>
+
+namespace lslp {
+
+class Module;
+class Function;
+class Instruction;
+class Value;
+class OStream;
+
+/// Prints \p M in textual form.
+void printModule(OStream &OS, const Module &M);
+
+/// Prints a single function.
+void printFunction(OStream &OS, const Function &F);
+
+/// Returns the textual form of \p M (convenience for tests).
+std::string moduleToString(const Module &M);
+
+/// Returns the textual form of \p F.
+std::string functionToString(const Function &F);
+
+/// Returns the one-line textual form of instruction \p I (with operands
+/// referenced by name/slot within its parent function).
+std::string instructionToString(const Instruction &I);
+
+/// Returns a short reference string for \p V ("%x", "@A", "7", "undef").
+std::string valueRefToString(const Value &V);
+
+} // namespace lslp
+
+#endif // LSLP_IR_PRINTER_H

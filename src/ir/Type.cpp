@@ -1,0 +1,64 @@
+//===- ir/Type.cpp - IR type system ---------------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Debug.h"
+
+#include <string>
+
+using namespace lslp;
+
+unsigned Type::getSizeInBytes() const {
+  switch (Kind) {
+  case VoidTyKind:
+  case LabelTyKind:
+    lslp_unreachable("type has no in-memory size");
+  case IntegerTyKind:
+    return (static_cast<const IntegerType *>(this)->getBitWidth() + 7) / 8;
+  case FloatTyKind:
+    return 4;
+  case DoubleTyKind:
+    return 8;
+  case PointerTyKind:
+    return 8;
+  case VectorTyKind: {
+    const auto *VT = static_cast<const VectorType *>(this);
+    return VT->getElementType()->getSizeInBytes() * VT->getNumElements();
+  }
+  }
+  lslp_unreachable("covered switch");
+}
+
+Type *Type::getScalarType() {
+  if (auto *VT = dyn_cast<VectorType>(this))
+    return VT->getElementType();
+  return this;
+}
+
+std::string Type::getName() const {
+  switch (Kind) {
+  case VoidTyKind:
+    return "void";
+  case LabelTyKind:
+    return "label";
+  case IntegerTyKind:
+    return "i" + std::to_string(
+                     static_cast<const IntegerType *>(this)->getBitWidth());
+  case FloatTyKind:
+    return "float";
+  case DoubleTyKind:
+    return "double";
+  case PointerTyKind:
+    return "ptr";
+  case VectorTyKind: {
+    const auto *VT = static_cast<const VectorType *>(this);
+    return "<" + std::to_string(VT->getNumElements()) + " x " +
+           VT->getElementType()->getName() + ">";
+  }
+  }
+  lslp_unreachable("covered switch");
+}

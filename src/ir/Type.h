@@ -1,0 +1,138 @@
+//===- ir/Type.h - IR type system -------------------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR type system: void, integers of arbitrary bit width, float/double,
+/// an opaque pointer type (modern-LLVM style: loads, stores and geps carry
+/// the accessed type), fixed-width vectors, and the label type for basic
+/// blocks. Types are uniqued and owned by the Context; two structurally
+/// equal types are pointer-equal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_TYPE_H
+#define LSLP_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace lslp {
+
+class Context;
+
+/// Base class of all IR types. Uniqued per Context: compare with ==.
+class Type {
+public:
+  enum TypeKind : uint8_t {
+    VoidTyKind,
+    IntegerTyKind,
+    FloatTyKind,  ///< IEEE binary32.
+    DoubleTyKind, ///< IEEE binary64.
+    PointerTyKind,
+    VectorTyKind,
+    LabelTyKind, ///< The type of basic blocks.
+  };
+
+  Type(const Type &) = delete;
+  Type &operator=(const Type &) = delete;
+
+  TypeKind getKind() const { return Kind; }
+  Context &getContext() const { return Ctx; }
+
+  bool isVoidTy() const { return Kind == VoidTyKind; }
+  bool isIntegerTy() const { return Kind == IntegerTyKind; }
+  bool isFloatTy() const { return Kind == FloatTyKind; }
+  bool isDoubleTy() const { return Kind == DoubleTyKind; }
+  bool isFloatingPointTy() const { return isFloatTy() || isDoubleTy(); }
+  bool isPointerTy() const { return Kind == PointerTyKind; }
+  bool isVectorTy() const { return Kind == VectorTyKind; }
+  bool isLabelTy() const { return Kind == LabelTyKind; }
+
+  /// Returns true for types a load/store/binary-op may produce: integers,
+  /// floats, pointers and vectors thereof.
+  bool isFirstClassTy() const { return !isVoidTy() && !isLabelTy(); }
+
+  /// Size of an in-memory object of this type, in bytes. Integers round up
+  /// to whole bytes; pointers are 8 bytes. Not valid for void/label.
+  unsigned getSizeInBytes() const;
+
+  /// For vectors, the element type; for scalars, the type itself.
+  Type *getScalarType();
+
+  /// Renders the type in textual IR syntax (e.g. "i64", "<4 x double>").
+  std::string getName() const;
+
+protected:
+  Type(Context &Ctx, TypeKind Kind) : Ctx(Ctx), Kind(Kind) {}
+  ~Type() = default;
+  friend class Context;
+
+private:
+  Context &Ctx;
+  TypeKind Kind;
+};
+
+/// An integer type of arbitrary bit width (i1..i64 supported by the
+/// interpreter; arithmetic wraps modulo 2^width).
+class IntegerType : public Type {
+public:
+  unsigned getBitWidth() const { return BitWidth; }
+
+  static bool classof(const Type *Ty) {
+    return Ty->getKind() == IntegerTyKind;
+  }
+
+private:
+  IntegerType(Context &Ctx, unsigned BitWidth)
+      : Type(Ctx, IntegerTyKind), BitWidth(BitWidth) {
+    assert(BitWidth >= 1 && BitWidth <= 64 && "unsupported integer width");
+  }
+  friend class Context;
+
+  unsigned BitWidth;
+};
+
+/// The single opaque pointer type.
+class PointerType : public Type {
+public:
+  static bool classof(const Type *Ty) {
+    return Ty->getKind() == PointerTyKind;
+  }
+
+private:
+  explicit PointerType(Context &Ctx) : Type(Ctx, PointerTyKind) {}
+  friend class Context;
+};
+
+/// A fixed-width SIMD vector of scalar elements.
+class VectorType : public Type {
+public:
+  Type *getElementType() const { return ElemTy; }
+  unsigned getNumElements() const { return NumElems; }
+
+  static bool classof(const Type *Ty) {
+    return Ty->getKind() == VectorTyKind;
+  }
+
+private:
+  VectorType(Context &Ctx, Type *ElemTy, unsigned NumElems)
+      : Type(Ctx, VectorTyKind), ElemTy(ElemTy), NumElems(NumElems) {
+    assert(NumElems >= 2 && "vectors have at least two lanes");
+    assert(!ElemTy->isVectorTy() && !ElemTy->isVoidTy() &&
+           !ElemTy->isLabelTy() && "invalid vector element type");
+  }
+  friend class Context;
+
+  Type *ElemTy;
+  unsigned NumElems;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_TYPE_H

@@ -1,0 +1,61 @@
+//===- ir/Value.cpp - Value and User base classes --------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+using namespace lslp;
+
+Value::~Value() {
+  assert(UseList.empty() && "value deleted while still in use");
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replaceAllUsesWith on itself");
+  assert(New->getType() == getType() && "replacement type mismatch");
+  // setOperand mutates our use-list; iterate over a copy.
+  std::vector<Use> Snapshot = UseList;
+  for (const Use &U : Snapshot)
+    U.TheUser->setOperand(U.OperandNo, New);
+}
+
+User::~User() {
+  // Subclasses' operands must be dropped before Value's destructor asserts
+  // the use-list is empty.
+  dropAllOperands();
+}
+
+void User::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "operand must be non-null");
+  Operands[I]->removeUse(this, I);
+  Operands[I] = V;
+  V->addUse(this, I);
+}
+
+void User::addOperand(Value *V) {
+  assert(V && "operand must be non-null");
+  Operands.push_back(V);
+  V->addUse(this, static_cast<unsigned>(Operands.size() - 1));
+}
+
+void User::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "operand index out of range");
+  Operands[I]->removeUse(this, I);
+  // Shift subsequent operands down, renumbering their recorded uses.
+  for (unsigned J = I + 1, E = static_cast<unsigned>(Operands.size()); J != E;
+       ++J) {
+    Operands[J]->removeUse(this, J);
+    Operands[J - 1] = Operands[J];
+    Operands[J - 1]->addUse(this, J - 1);
+  }
+  Operands.pop_back();
+}
+
+void User::dropAllOperands() {
+  for (unsigned I = 0, E = static_cast<unsigned>(Operands.size()); I != E; ++I)
+    Operands[I]->removeUse(this, I);
+  Operands.clear();
+}

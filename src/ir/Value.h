@@ -1,0 +1,198 @@
+//===- ir/Value.h - Value and User base classes -----------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the base of everything that can appear as an operand: constants,
+/// function arguments, globals and instructions. User is a Value that has
+/// operands. Use-def chains are maintained eagerly: every Value records the
+/// (user, operand-index) pairs that reference it, which is what the SLP
+/// algorithms walk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_VALUE_H
+#define LSLP_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class User;
+
+/// Discriminator for the whole Value hierarchy. Instruction opcodes are
+/// value IDs in the [FirstInstID, LastInstID] range, mirroring LLVM's
+/// design where Instruction::getOpcode() and Value::getValueID() coincide.
+enum class ValueID : uint8_t {
+  ArgumentID,
+  GlobalArrayID,
+  ConstantIntID,
+  ConstantFPID,
+  ConstantVectorID,
+  UndefID,
+  FunctionID,
+  BasicBlockID,
+
+  // --- Instructions ---
+  // Binary operators (integer).
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Binary operators (floating point; fast-math semantics assumed, so FAdd
+  // and FMul are treated as commutative and reassociable like the paper's
+  // -ffast-math evaluation).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Memory.
+  Load,
+  Store,
+  Gep,
+  // Vector element manipulation.
+  InsertElement,
+  ExtractElement,
+  ShuffleVector,
+  // Scalar misc.
+  ICmp,
+  Select,
+  // Casts (value conversions; no memory effects).
+  SExt,
+  ZExt,
+  Trunc,
+  SIToFP,
+  FPToSI,
+  // Control flow.
+  Phi,
+  Br,
+  Ret,
+};
+
+/// First and last instruction IDs, for classof range checks.
+inline constexpr ValueID FirstInstID = ValueID::Add;
+inline constexpr ValueID LastInstID = ValueID::Ret;
+
+/// A single (user, operand-slot) reference to a Value.
+struct Use {
+  User *TheUser;
+  unsigned OperandNo;
+
+  bool operator==(const Use &Other) const {
+    return TheUser == Other.TheUser && OperandNo == Other.OperandNo;
+  }
+};
+
+/// Base class of all IR values.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueID getValueID() const { return ID; }
+  Type *getType() const { return Ty; }
+  Context &getContext() const { return Ty->getContext(); }
+
+  /// The value's name, without the IR sigil ('%' or '@'). May be empty for
+  /// unnamed instructions (the printer assigns slot numbers).
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  bool hasName() const { return !Name.empty(); }
+
+  /// \name Use-list access.
+  /// @{
+  const std::vector<Use> &uses() const { return UseList; }
+  bool hasUses() const { return !UseList.empty(); }
+  unsigned getNumUses() const { return static_cast<unsigned>(UseList.size()); }
+  /// Returns true if exactly one Use references this value (the same user
+  /// twice counts as two).
+  bool hasOneUse() const { return UseList.size() == 1; }
+  /// @}
+
+  /// Rewrites every use of this value to refer to \p New instead. \p New
+  /// must have the same type.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(ValueID ID, Type *Ty, std::string Name = "")
+      : ID(ID), Ty(Ty), Name(std::move(Name)) {
+    assert(Ty && "value must have a type");
+  }
+
+private:
+  friend class User;
+  void addUse(User *U, unsigned OperandNo) {
+    UseList.push_back(Use{U, OperandNo});
+  }
+  void removeUse(User *U, unsigned OperandNo) {
+    auto It = std::find(UseList.begin(), UseList.end(), Use{U, OperandNo});
+    assert(It != UseList.end() && "use not found");
+    UseList.erase(It);
+  }
+
+  ValueID ID;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use> UseList;
+};
+
+/// A Value that references other Values through an operand list.
+class User : public Value {
+public:
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  /// Replaces operand \p I, updating both use-lists.
+  void setOperand(unsigned I, Value *V);
+
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  static bool classof(const Value *V) {
+    return V->getValueID() >= FirstInstID && V->getValueID() <= LastInstID;
+  }
+
+protected:
+  User(ValueID ID, Type *Ty, std::string Name = "")
+      : Value(ID, Ty, std::move(Name)) {}
+  ~User() override;
+
+  /// Appends \p V to the operand list (registers the use).
+  void addOperand(Value *V);
+
+  /// Removes operand \p I, shifting later operands down and renumbering
+  /// their uses. Used by PHI incoming-edge removal.
+  void removeOperand(unsigned I);
+
+  /// Drops all operands (deregisters uses). Called before deletion.
+  void dropAllOperands();
+
+private:
+  std::vector<Value *> Operands;
+};
+
+} // namespace lslp
+
+#endif // LSLP_IR_VALUE_H

@@ -1,0 +1,211 @@
+//===- ir/Verifier.cpp - IR well-formedness checks ---------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace lslp;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Function &F, std::vector<std::string> *Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    if (F.empty()) {
+      report("function has no basic blocks");
+      return Ok;
+    }
+    checkBlockStructure();
+    checkInstructionTypes();
+    if (Ok) // Dominance requires a structurally sound CFG.
+      checkSSADominance();
+    return Ok;
+  }
+
+private:
+  void report(const std::string &Msg) {
+    Ok = false;
+    if (Errors)
+      Errors->push_back("in @" + F.getName() + ": " + Msg);
+  }
+
+  void reportAt(const Instruction &I, const std::string &Msg) {
+    report(Msg + " at '" + instructionToString(I) + "'");
+  }
+
+  void checkBlockStructure() {
+    std::set<std::string> BlockNames;
+    for (const auto &BB : F) {
+      if (BB->getName().empty())
+        report("basic block without a name");
+      else if (!BlockNames.insert(BB->getName()).second)
+        report("duplicate basic block name '" + BB->getName() + "'");
+
+      if (BB->empty()) {
+        report("empty basic block '" + BB->getName() + "'");
+        continue;
+      }
+      const Instruction *Term = BB->getTerminator();
+      if (!Term) {
+        report("block '" + BB->getName() + "' lacks a terminator");
+        continue;
+      }
+      bool SeenNonPhi = false;
+      for (const auto &I : *BB) {
+        if (I->isTerminator() && I.get() != Term)
+          reportAt(*I, "terminator in the middle of a block");
+        if (isa<PHINode>(I.get())) {
+          if (SeenNonPhi)
+            reportAt(*I, "phi after a non-phi instruction");
+        } else {
+          SeenNonPhi = true;
+        }
+        if (I->getParent() != BB.get())
+          reportAt(*I, "instruction parent link is stale");
+      }
+    }
+    // The entry block must have no predecessors so that dominance is
+    // well-defined from a unique root.
+    if (!F.getEntryBlock()->predecessors().empty())
+      report("entry block has predecessors");
+  }
+
+  void checkInstructionTypes() {
+    for (const auto &BB : F) {
+      for (const auto &IPtr : *BB) {
+        const Instruction &I = *IPtr;
+        for (const Value *Op : I.operands())
+          if (!Op->getType()->isFirstClassTy() && !isa<BasicBlock>(Op))
+            reportAt(I, "operand of non-first-class type");
+
+        if (I.isBinaryOp()) {
+          if (I.getOperand(0)->getType() != I.getType() ||
+              I.getOperand(1)->getType() != I.getType())
+            reportAt(I, "binary operator operand type mismatch");
+        }
+        if (const auto *Cmp = dyn_cast<ICmpInst>(&I)) {
+          if (Cmp->getLHS()->getType() != Cmp->getRHS()->getType())
+            reportAt(I, "icmp operand types differ");
+        }
+        if (const auto *Sel = dyn_cast<SelectInst>(&I)) {
+          if (Sel->getTrueValue()->getType() != Sel->getType() ||
+              Sel->getFalseValue()->getType() != Sel->getType())
+            reportAt(I, "select arm type mismatch");
+        }
+        if (const auto *L = dyn_cast<LoadInst>(&I)) {
+          if (!L->getPointerOperand()->getType()->isPointerTy())
+            reportAt(I, "load pointer operand is not ptr-typed");
+        }
+        if (const auto *St = dyn_cast<StoreInst>(&I)) {
+          if (!St->getPointerOperand()->getType()->isPointerTy())
+            reportAt(I, "store pointer operand is not ptr-typed");
+        }
+        if (const auto *Cast = dyn_cast<CastInst>(&I)) {
+          if (!CastInst::castIsValid(Cast->getOpcode(), Cast->getSrcType(),
+                                     Cast->getDestType()))
+            reportAt(I, "invalid cast source/destination types");
+        }
+        if (const auto *Phi = dyn_cast<PHINode>(&I))
+          checkPhi(*Phi);
+        if (const auto *Ret = dyn_cast<ReturnInst>(&I)) {
+          Type *Expected = F.getReturnType();
+          const Value *RV = Ret->getReturnValue();
+          if (Expected->isVoidTy() != (RV == nullptr))
+            reportAt(I, "return value does not match the return type");
+          else if (RV && RV->getType() != Expected)
+            reportAt(I, "returned value has the wrong type");
+        }
+        if (const auto *IE = dyn_cast<InsertElementInst>(&I))
+          checkLaneIndex(I, IE->getIndexOperand(),
+                         cast<VectorType>(IE->getType())->getNumElements());
+        if (const auto *EE = dyn_cast<ExtractElementInst>(&I))
+          checkLaneIndex(
+              I, EE->getIndexOperand(),
+              cast<VectorType>(EE->getVectorOperand()->getType())
+                  ->getNumElements());
+      }
+    }
+  }
+
+  void checkLaneIndex(const Instruction &I, const Value *Index,
+                      unsigned NumLanes) {
+    const auto *CI = dyn_cast<ConstantInt>(Index);
+    if (!CI) {
+      reportAt(I, "lane index must be a constant integer");
+      return;
+    }
+    if (CI->getZExtValue() >= NumLanes)
+      reportAt(I, "lane index out of range");
+  }
+
+  void checkPhi(const PHINode &Phi) {
+    std::vector<BasicBlock *> Preds = Phi.getParent()->predecessors();
+    if (Phi.getNumIncoming() != Preds.size()) {
+      reportAt(Phi, "phi incoming-edge count differs from predecessors");
+      return;
+    }
+    for (unsigned I = 0, E = Phi.getNumIncoming(); I != E; ++I) {
+      BasicBlock *In = Phi.getIncomingBlock(I);
+      if (std::find(Preds.begin(), Preds.end(), In) == Preds.end())
+        reportAt(Phi, "phi incoming block '" + In->getName() +
+                          "' is not a predecessor");
+      if (Phi.getIncomingValue(I)->getType() != Phi.getType())
+        reportAt(Phi, "phi incoming value type mismatch");
+    }
+  }
+
+  void checkSSADominance() {
+    DominatorTree DT(F);
+    for (const auto &BB : F) {
+      if (!DT.isReachable(BB.get()))
+        continue;
+      for (const auto &IPtr : *BB) {
+        const Instruction &I = *IPtr;
+        for (const Value *Op : I.operands()) {
+          const auto *OpInst = dyn_cast<Instruction>(Op);
+          if (!OpInst)
+            continue;
+          if (OpInst->getParent()->getParent() != &F) {
+            reportAt(I, "operand defined in a different function");
+            continue;
+          }
+          if (!DT.dominates(Op, &I))
+            reportAt(I, "definition does not dominate use");
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> *Errors;
+  bool Ok = true;
+};
+
+} // namespace
+
+bool lslp::verifyFunction(const Function &F, std::vector<std::string> *Errors) {
+  return VerifierImpl(F, Errors).run();
+}
+
+bool lslp::verifyModule(const Module &M, std::vector<std::string> *Errors) {
+  bool Ok = true;
+  for (const auto &F : M.functions())
+    Ok &= verifyFunction(*F, Errors);
+  return Ok;
+}

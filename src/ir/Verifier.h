@@ -1,0 +1,34 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA verification: terminators, phi placement and
+/// incoming-edge consistency, operand typing, def-dominates-use. The
+/// vectorizer's tests run the verifier after every transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_VERIFIER_H
+#define LSLP_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class Function;
+class Module;
+
+/// Verifies \p F. Returns true if well-formed; otherwise appends
+/// diagnostics to \p Errors (if provided).
+bool verifyFunction(const Function &F, std::vector<std::string> *Errors = nullptr);
+
+/// Verifies every function in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> *Errors = nullptr);
+
+} // namespace lslp
+
+#endif // LSLP_IR_VERIFIER_H

@@ -1,0 +1,85 @@
+//===- kernels/KernelBuilder.cpp - Loop-kernel construction ------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuilder.h"
+
+#include "ir/Context.h"
+
+using namespace lslp;
+
+LoopKernelBuilder::LoopKernelBuilder(Module &M, const std::string &FnName,
+                                     int64_t Step)
+    : M(M), Builder(M.getContext()), Step(Step) {
+  Context &Ctx = M.getContext();
+  F = Function::create(&M, FnName, Ctx.getVoidTy(), {Ctx.getInt64Ty()},
+                       {"n"});
+  Entry = BasicBlock::create(Ctx, "entry", F);
+  Loop = BasicBlock::create(Ctx, "loop", F);
+  Exit = BasicBlock::create(Ctx, "exit", F);
+
+  Builder.setInsertPoint(Entry);
+  Builder.createBr(Loop);
+
+  Builder.setInsertPoint(Loop);
+  IndVar = Builder.createPHI(Ctx.getInt64Ty(), "i");
+  IndVar->addIncoming(Ctx.getInt64(0), Entry);
+  IndexCache[{1, 0}] = IndVar;
+}
+
+GlobalArray *LoopKernelBuilder::global(const std::string &Name, Type *ElemTy,
+                                       uint64_t NumElems) {
+  if (GlobalArray *G = M.getGlobal(Name)) {
+    assert(G->getElementType() == ElemTy && "global re-declared differently");
+    return G;
+  }
+  return M.createGlobal(Name, ElemTy, NumElems);
+}
+
+Value *LoopKernelBuilder::index(int64_t Scale, int64_t Offset) {
+  auto It = IndexCache.find({Scale, Offset});
+  if (It != IndexCache.end())
+    return It->second;
+  Value *Idx = IndVar;
+  if (Scale != 1) {
+    // CSE the scaled base too, so e.g. 2*i+0 and 2*i+1 share the multiply.
+    auto BaseIt = IndexCache.find({Scale, 0});
+    if (BaseIt != IndexCache.end())
+      Idx = BaseIt->second;
+    else {
+      Idx = Builder.createMul(IndVar, cInt(Scale));
+      IndexCache[{Scale, 0}] = Idx;
+    }
+  }
+  if (Offset != 0)
+    Idx = Builder.createAdd(Idx, cInt(Offset));
+  IndexCache[{Scale, Offset}] = Idx;
+  return Idx;
+}
+
+Value *LoopKernelBuilder::load(GlobalArray *G, int64_t Scale, int64_t Offset) {
+  Value *Ptr = Builder.createGEP(G->getElementType(), G, index(Scale, Offset));
+  return Builder.createLoad(G->getElementType(), Ptr);
+}
+
+void LoopKernelBuilder::store(GlobalArray *G, int64_t Scale, int64_t Offset,
+                              Value *V) {
+  Value *Ptr = Builder.createGEP(G->getElementType(), G, index(Scale, Offset));
+  Builder.createStore(V, Ptr);
+}
+
+Function *LoopKernelBuilder::finish() {
+  assert(!Finished && "finish() called twice");
+  Finished = true;
+  Context &Ctx = M.getContext();
+  Value *Next = Builder.createAdd(IndVar, cInt(Step), "i.next");
+  IndVar->addIncoming(Next, Loop);
+  Value *Cond = Builder.createICmp(ICmpInst::SLT, Next, F->getArg(0));
+  Builder.createCondBr(Cond, Loop, Exit);
+  Builder.setInsertPoint(Exit);
+  Builder.createRet();
+  (void)Ctx;
+  return F;
+}

@@ -1,0 +1,96 @@
+//===- kernels/KernelBuilder.h - Loop-kernel construction -------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helper for expressing the evaluation kernels: builds the canonical
+/// counted-loop skeleton
+///
+///   define void @name(i64 %n) {
+///   entry:  br label %loop
+///   loop:   %i = phi ...; <body>; %i.next = add %i, Step;
+///           br (i.next < n) loop, exit
+///   exit:   ret void
+///   }
+///
+/// and provides array-element access helpers with affine indices
+/// (Scale * i + Offset), CSE-ing repeated index computations so the
+/// emitted IR looks like what a -O3 frontend would produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_KERNELS_KERNELBUILDER_H
+#define LSLP_KERNELS_KERNELBUILDER_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <string>
+
+namespace lslp {
+
+/// Builds one loop kernel function inside a module.
+class LoopKernelBuilder {
+public:
+  /// Default number of elements in kernel global arrays.
+  static constexpr uint64_t ArraySize = 4096;
+
+  /// Starts `define void @FnName(i64 %n)` with induction step \p Step.
+  LoopKernelBuilder(Module &M, const std::string &FnName, int64_t Step);
+
+  Module &getModule() { return M; }
+  Context &getContext() { return M.getContext(); }
+  IRBuilder &irb() { return Builder; }
+
+  /// The i64 induction variable.
+  Value *iv() const { return IndVar; }
+
+  /// Returns (creating on first use) the global array \p Name of
+  /// \p ElemTy.
+  GlobalArray *global(const std::string &Name, Type *ElemTy,
+                      uint64_t NumElems = ArraySize);
+
+  /// The index value Scale * i + Offset (i64), CSE'd per (Scale, Offset).
+  Value *index(int64_t Scale, int64_t Offset);
+
+  /// Loads G[Scale*i + Offset].
+  Value *load(GlobalArray *G, int64_t Scale, int64_t Offset);
+  /// Loads G[i + Offset].
+  Value *load(GlobalArray *G, int64_t Offset) { return load(G, 1, Offset); }
+
+  /// Stores V into G[Scale*i + Offset].
+  void store(GlobalArray *G, int64_t Scale, int64_t Offset, Value *V);
+  /// Stores V into G[i + Offset].
+  void store(GlobalArray *G, int64_t Offset, Value *V) {
+    store(G, 1, Offset, V);
+  }
+
+  /// Shorthand constants.
+  Value *cInt(int64_t V) { return getContext().getInt64(uint64_t(V)); }
+  Value *cFP(double V) {
+    return getContext().getConstantFP(getContext().getDoubleTy(), V);
+  }
+
+  /// Closes the loop (emits the increment, compare and branches) and
+  /// returns the finished function.
+  Function *finish();
+
+private:
+  Module &M;
+  IRBuilder Builder;
+  Function *F = nullptr;
+  BasicBlock *Entry = nullptr;
+  BasicBlock *Loop = nullptr;
+  BasicBlock *Exit = nullptr;
+  PHINode *IndVar = nullptr;
+  int64_t Step;
+  std::map<std::pair<int64_t, int64_t>, Value *> IndexCache;
+  bool Finished = false;
+};
+
+} // namespace lslp
+
+#endif // LSLP_KERNELS_KERNELBUILDER_H

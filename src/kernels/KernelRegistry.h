@@ -1,0 +1,28 @@
+//===- kernels/KernelRegistry.h - Registry assembly (private) ---*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header: the per-file registration hooks the registry
+/// translation unit calls to assemble the kernel list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_KERNELS_KERNELREGISTRY_H
+#define LSLP_KERNELS_KERNELREGISTRY_H
+
+#include "kernels/Kernels.h"
+
+#include <vector>
+
+namespace lslp {
+
+void registerMotivationKernels(std::vector<KernelSpec> &Registry);
+void registerSpecKernels(std::vector<KernelSpec> &Registry);
+void registerSuiteKernels(std::vector<KernelSpec> &Registry);
+
+} // namespace lslp
+
+#endif // LSLP_KERNELS_KERNELREGISTRY_H

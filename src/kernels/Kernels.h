@@ -1,0 +1,107 @@
+//===- kernels/Kernels.h - Evaluation kernel registry -----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation workloads: the three motivation kernels (paper Figures
+/// 2-4), re-implementations of the eight SPEC CPU2006 kernels of Table 2
+/// (the originals are proprietary; see DESIGN.md for the substitution
+/// rationale), the extra kernels and scalar fillers composing the
+/// whole-benchmark suites of Figures 11-12, plus deterministic input
+/// initialization and output checksumming used by tests and benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_KERNELS_KERNELS_H
+#define LSLP_KERNELS_KERNELS_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class Context;
+class Interpreter;
+class Module;
+
+/// Description + builder of one kernel.
+struct KernelSpec {
+  /// Kernel id as the paper names it (e.g. "453.vsumsqr").
+  std::string Name;
+  /// Benchmark of origin ("SPEC2006 453.povray", "Section 3.1", ...).
+  std::string Origin;
+  /// Source location reported in Table 2 (informational).
+  std::string SourceLocation;
+  /// Which paper motif(s) the kernel exercises.
+  std::string Description;
+  /// Adds the kernel's globals and entry function to \p M (callable
+  /// multiple times across different modules; uses name-prefixed globals
+  /// so kernels can share one suite module).
+  std::function<void(Module &M)> Build;
+  /// Name of the kernel's entry function, signature void(i64 n).
+  std::string EntryFunction;
+  /// Trip-count argument keeping all accesses in bounds.
+  uint64_t DefaultN = 1024;
+  /// Globals written by the kernel (checksummed by tests/benches).
+  std::vector<std::string> OutputArrays;
+  /// Appears in Table 2 / Figures 9-10-13-14 (vs suite-only members).
+  bool InKernelFigures = true;
+};
+
+/// All registered kernels: 3 motivation + 8 Table 2 + suite-only members
+/// and fillers.
+const std::vector<KernelSpec> &getAllKernels();
+
+/// The 11 kernels of Figures 9, 10, 13 and 14 (Table 2 + motivation), in
+/// paper order.
+std::vector<const KernelSpec *> getFigureKernels();
+
+/// Lookup by name; null if unknown.
+const KernelSpec *findKernel(const std::string &Name);
+
+/// Builds a fresh single-kernel module.
+std::unique_ptr<Module> buildKernelModule(const KernelSpec &Spec,
+                                          Context &Ctx);
+
+/// One whole-benchmark suite of Figures 11-12: a module combining several
+/// kernels (vectorizable and filler) with dynamic-execution weights.
+struct SuiteSpec {
+  /// Benchmark name as in the paper ("453.povray", "481.wrf", ...).
+  std::string Name;
+  /// Member kernel names (must exist in the registry).
+  std::vector<std::string> Members;
+  /// Relative dynamic weight of each member (same length as Members):
+  /// how many times the member runs per "benchmark execution". This is
+  /// what dilutes kernel-level gains to whole-benchmark scale.
+  std::vector<double> Weights;
+};
+
+/// The seven suites shown in Figures 11-12.
+const std::vector<SuiteSpec> &getSuites();
+
+/// Builds the combined module for a suite.
+std::unique_ptr<Module> buildSuiteModule(const SuiteSpec &Suite,
+                                         Context &Ctx);
+
+/// Fills every global array of \p M with deterministic pseudo-random
+/// values (integers small and positive; floating point in [1, 17)) so
+/// shifts and divisions are well-behaved.
+void initKernelMemory(Interpreter &Interp, const Module &M,
+                      uint64_t Seed = 0x1234abcd);
+
+/// Order-dependent checksum over one global array's raw contents.
+uint64_t checksumGlobal(const Interpreter &Interp, const Module &M,
+                        const std::string &GlobalName);
+
+/// Combined checksum over \p Names (in order).
+uint64_t checksumGlobals(const Interpreter &Interp, const Module &M,
+                         const std::vector<std::string> &Names);
+
+} // namespace lslp
+
+#endif // LSLP_KERNELS_KERNELS_H

@@ -1,0 +1,311 @@
+//===- kernels/SuiteKernels.cpp - Whole-benchmark suite members --------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Kernels that only appear inside the Figure 11/12 whole-benchmark suites
+// (435.gromacs, 454.calculix, 481.wrf, 410.bwaves, 416.gamess), plus the
+// scalar filler functions that model the non-vectorizable bulk of a real
+// benchmark and dilute kernel-level gains to whole-program scale.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelBuilder.h"
+#include "kernels/KernelRegistry.h"
+
+#include "ir/Context.h"
+
+using namespace lslp;
+
+namespace {
+
+/// 435.gromacs flavor: Lennard-Jones force pair with the r^-12/r^-6
+/// factors commuted between lanes (look-ahead sensitive).
+void buildGromacsLJ(Module &M) {
+  LoopKernelBuilder K(M, "gromacs_lj", /*Step=*/2);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *F = K.global("lj_F", F64);
+  GlobalArray *R6 = K.global("lj_R6", F64);
+  GlobalArray *R12 = K.global("lj_R12", F64);
+  GlobalArray *E = K.global("lj_E", F64);
+  IRBuilder &IRB = K.irb();
+
+  // Lane 0: F = (R12*4) * (E*2) - R6
+  Value *P0 = IRB.createFMul(IRB.createFMul(K.load(R12, 0), K.cFP(4.0)),
+                             IRB.createFMul(K.load(E, 0), K.cFP(2.0)));
+  K.store(F, 0, IRB.createFSub(P0, K.load(R6, 0)));
+  // Lane 1: factors swapped behind the same-opcode outer product.
+  Value *P1 = IRB.createFMul(IRB.createFMul(K.load(E, 1), K.cFP(2.0)),
+                             IRB.createFMul(K.load(R12, 1), K.cFP(4.0)));
+  K.store(F, 1, IRB.createFSub(P1, K.load(R6, 1)));
+  K.finish();
+}
+
+/// 454.calculix flavor: stiffness-matrix style accumulate, isomorphic in
+/// every lane (vectorizes under every configuration).
+void buildCalculixStiff(Module &M) {
+  LoopKernelBuilder K(M, "calculix_stiff", /*Step=*/4);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *Km = K.global("cx_K", F64);
+  GlobalArray *A = K.global("cx_A", F64);
+  GlobalArray *B = K.global("cx_B", F64);
+  IRBuilder &IRB = K.irb();
+  for (int64_t Lane = 0; Lane != 4; ++Lane)
+    K.store(Km, Lane,
+            IRB.createFAdd(IRB.createFMul(K.load(A, Lane), K.load(B, Lane)),
+                           K.load(Km, Lane)));
+  K.finish();
+}
+
+/// 454.calculix flavor: index/weight widening — i32 data sign-extended to
+/// i64 before the arithmetic (the cast groups must vectorize along with
+/// the rest).
+void buildCalculixPack(Module &M) {
+  LoopKernelBuilder K(M, "calculix_pack", /*Step=*/4);
+  Context &Ctx = K.getContext();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *I64 = Ctx.getInt64Ty();
+  GlobalArray *Out = K.global("cp_O", I64);
+  GlobalArray *W = K.global("cp_W", I32);
+  GlobalArray *V = K.global("cp_V", I64);
+  IRBuilder &IRB = K.irb();
+  for (int64_t Lane = 0; Lane != 4; ++Lane) {
+    Value *Wide = IRB.createSExt(K.load(W, Lane), I64);
+    K.store(Out, Lane, IRB.createAdd(IRB.createMul(Wide, K.cInt(3)),
+                                     K.load(V, Lane)));
+  }
+  K.finish();
+}
+
+/// 481.wrf flavor: stencil update whose addend order flips between lanes;
+/// plain SLP reordering (load-consecutiveness) already fixes it, so this
+/// member separates SLP from SLP-NR.
+void buildWrfStencil(Module &M) {
+  LoopKernelBuilder K(M, "wrf_stencil", /*Step=*/2);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *W = K.global("wrf_W", F64);
+  GlobalArray *U = K.global("wrf_U", F64);
+  GlobalArray *V = K.global("wrf_V", F64);
+  IRBuilder &IRB = K.irb();
+  K.store(W, 0, IRB.createFAdd(K.load(U, 0), K.load(V, 0)));
+  K.store(W, 1, IRB.createFAdd(K.load(V, 1), K.load(U, 1)));
+  K.finish();
+}
+
+/// 410.bwaves flavor: flux update with the commuted factors hidden behind
+/// same-opcode products (only look-ahead recovers it).
+void buildBwavesFlux(Module &M) {
+  LoopKernelBuilder K(M, "bwaves_flux", /*Step=*/2);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *Fx = K.global("bw_F", F64);
+  GlobalArray *Q = K.global("bw_Q", F64);
+  GlobalArray *Ru = K.global("bw_R", F64);
+  IRBuilder &IRB = K.irb();
+  // Lane 0: (Q*0.25) * (R*1.5)
+  K.store(Fx, 0,
+          IRB.createFMul(IRB.createFMul(K.load(Q, 0), K.cFP(0.25)),
+                         IRB.createFMul(K.load(Ru, 0), K.cFP(1.5))));
+  // Lane 1: (R*1.5) * (Q*0.25)
+  K.store(Fx, 1,
+          IRB.createFMul(IRB.createFMul(K.load(Ru, 1), K.cFP(1.5)),
+                         IRB.createFMul(K.load(Q, 1), K.cFP(0.25))));
+  K.finish();
+}
+
+/// 416.gamess flavor: integral-style lanes with genuinely different
+/// operations — not vectorizable under any configuration.
+void buildGamessEri(Module &M) {
+  LoopKernelBuilder K(M, "gamess_eri", /*Step=*/2);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *G = K.global("gm_G", F64);
+  GlobalArray *S = K.global("gm_S", F64);
+  GlobalArray *T = K.global("gm_T", F64);
+  IRBuilder &IRB = K.irb();
+  K.store(G, 0, IRB.createFAdd(K.load(S, 0), K.load(T, 0)));
+  K.store(G, 1, IRB.createFDiv(K.load(S, 1), K.load(T, 1)));
+  K.finish();
+}
+
+/// A 4-term dot product (povray's VDot over two quads) reduced through a
+/// balanced fadd tree. One store per iteration, so only the
+/// horizontal-reduction seeder (paper §2.2's second seed class) can
+/// vectorize it.
+void buildPovrayDot(Module &M) {
+  LoopKernelBuilder K(M, "povray_dot", /*Step=*/1);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *S = K.global("dot_S", F64);
+  GlobalArray *X = K.global("dot_X", F64);
+  GlobalArray *Y = K.global("dot_Y", F64);
+  IRBuilder &IRB = K.irb();
+
+  auto Term = [&](int64_t Lane) {
+    return IRB.createFMul(K.load(X, 4, Lane), K.load(Y, 4, Lane));
+  };
+  Value *Sum = IRB.createFAdd(IRB.createFAdd(Term(0), Term(1)),
+                              IRB.createFAdd(Term(2), Term(3)));
+  K.store(S, 1, 0, Sum);
+  K.finish();
+}
+
+/// The authentic complex form of milc's SU(2) matrix-vector product:
+/// both components of b = a * x for a 2x2 complex matrix. Real and
+/// imaginary lanes mix fsub/fadd, so this kernel vectorizes only through
+/// the alternate-opcode extension (vaddsubpd pattern). The matrix is laid
+/// out column-major (a00,a10,a01,a11 interleaved re/im) so the
+/// coefficient loads of each product group are consecutive.
+void buildMultSU2Complex(Module &M) {
+  LoopKernelBuilder K(M, "mult_su2_complex", /*Step=*/1);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *B = K.global("su2c_B", F64);
+  GlobalArray *A = K.global("su2c_A", F64);
+  GlobalArray *X = K.global("su2c_X", F64);
+  IRBuilder &IRB = K.irb();
+
+  // Shared vector-operand loads (x is reused by every lane, as after GVN).
+  Value *X0r = K.load(X, 4, 0), *X0i = K.load(X, 4, 1);
+  Value *X1r = K.load(X, 4, 2), *X1i = K.load(X, 4, 3);
+  // Matrix entries, loaded once each: column-major complex layout.
+  Value *A00r = K.load(A, 8, 0), *A00i = K.load(A, 8, 1);
+  Value *A10r = K.load(A, 8, 2), *A10i = K.load(A, 8, 3);
+  Value *A01r = K.load(A, 8, 4), *A01i = K.load(A, 8, 5);
+  Value *A11r = K.load(A, 8, 6), *A11i = K.load(A, 8, 7);
+
+  // b0 = a00*x0 + a01*x1 ; b1 = a10*x0 + a11*x1 (complex).
+  auto Re = [&](Value *Ar, Value *Ai, Value *Xr, Value *Xi) {
+    return IRB.createFSub(IRB.createFMul(Ar, Xr), IRB.createFMul(Ai, Xi));
+  };
+  auto Im = [&](Value *Ar, Value *Ai, Value *Xr, Value *Xi) {
+    // Written i-term first so the coefficient loads pair consecutively
+    // with the real lane's (a?r then a?i).
+    return IRB.createFAdd(IRB.createFMul(Ai, Xr), IRB.createFMul(Ar, Xi));
+  };
+  Value *B0r = IRB.createFAdd(Re(A00r, A00i, X0r, X0i),
+                              Re(A01r, A01i, X1r, X1i));
+  Value *B0i = IRB.createFAdd(Im(A00r, A00i, X0r, X0i),
+                              Im(A01r, A01i, X1r, X1i));
+  Value *B1r = IRB.createFAdd(Re(A10r, A10i, X0r, X0i),
+                              Re(A11r, A11i, X1r, X1i));
+  Value *B1i = IRB.createFAdd(Im(A10r, A10i, X0r, X0i),
+                              Im(A11r, A11i, X1r, X1i));
+  K.store(B, 4, 0, B0r);
+  K.store(B, 4, 1, B0i);
+  K.store(B, 4, 2, B1r);
+  K.store(B, 4, 3, B1i);
+  K.finish();
+}
+
+/// Baseline member for several suites: a plain two-lane streaming add,
+/// isomorphic in both lanes, which every configuration (including SLP-NR)
+/// vectorizes. Gives each suite a nonzero vanilla-SLP static-cost
+/// baseline, like the hot vectorizable regions every real benchmark has.
+void buildStreamAdd(Module &M) {
+  LoopKernelBuilder K(M, "stream_add", /*Step=*/2);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *S = K.global("sa_S", F64);
+  GlobalArray *U = K.global("sa_U", F64);
+  GlobalArray *V = K.global("sa_V", F64);
+  IRBuilder &IRB = K.irb();
+  K.store(S, 0, IRB.createFAdd(K.load(U, 0), K.load(V, 0)));
+  K.store(S, 1, IRB.createFAdd(K.load(U, 1), K.load(V, 1)));
+  K.finish();
+}
+
+/// Scalar filler: running reduction through memory — a loop-carried
+/// dependence no straight-line vectorizer touches.
+void buildFillerReduce(Module &M) {
+  LoopKernelBuilder K(M, "filler_reduce", /*Step=*/1);
+  Type *F64 = K.getContext().getDoubleTy();
+  GlobalArray *Acc = K.global("fr_Acc", F64, 8);
+  GlobalArray *In = K.global("fr_In", F64);
+  IRBuilder &IRB = K.irb();
+  Value *Ptr = IRB.createGEP(F64, Acc, K.cInt(0));
+  Value *Sum = IRB.createLoad(F64, Ptr);
+  IRB.createStore(IRB.createFAdd(Sum, K.load(In, 0)), Ptr);
+  K.finish();
+}
+
+/// Scalar filler: data-dependent select chain over integers.
+void buildFillerBranchy(Module &M) {
+  LoopKernelBuilder K(M, "filler_branchy", /*Step=*/1);
+  Type *I64 = K.getContext().getInt64Ty();
+  GlobalArray *Out = K.global("fb_Out", I64);
+  GlobalArray *X = K.global("fb_X", I64);
+  GlobalArray *Y = K.global("fb_Y", I64);
+  IRBuilder &IRB = K.irb();
+  Value *Xv = K.load(X, 0);
+  Value *Yv = K.load(Y, 0);
+  Value *Cond = IRB.createICmp(ICmpInst::UGT, Xv, Yv);
+  Value *Diff = IRB.createSelect(Cond, IRB.createSub(Xv, Yv),
+                                 IRB.createSub(Yv, Xv));
+  K.store(Out, 0, IRB.createAdd(Diff, K.cInt(1)));
+  K.finish();
+}
+
+/// Scalar filler: strided accesses with a single store per iteration (no
+/// adjacent-store seeds).
+void buildFillerStride(Module &M) {
+  LoopKernelBuilder K(M, "filler_stride", /*Step=*/1);
+  Type *I64 = K.getContext().getInt64Ty();
+  GlobalArray *C = K.global("fs_C", I64);
+  GlobalArray *A = K.global("fs_A", I64);
+  GlobalArray *B = K.global("fs_B", I64);
+  IRBuilder &IRB = K.irb();
+  K.store(C, 0,
+          IRB.createXor(IRB.createAdd(K.load(A, 2, 0), K.load(B, 3, 1)),
+                        K.load(A, 0)));
+  K.finish();
+}
+
+} // namespace
+
+void lslp::registerSuiteKernels(std::vector<KernelSpec> &Registry) {
+  Registry.push_back(KernelSpec{
+      "gromacs-lj", "435.gromacs (suite member)", "-",
+      "LJ force with commuted factor products", buildGromacsLJ, "gromacs_lj",
+      4000, {"lj_F"}, false});
+  Registry.push_back(KernelSpec{
+      "calculix-stiff", "454.calculix (suite member)", "-",
+      "isomorphic stiffness accumulate", buildCalculixStiff,
+      "calculix_stiff", 4000, {"cx_K"}, false});
+  Registry.push_back(KernelSpec{
+      "calculix-pack", "454.calculix (suite member)", "-",
+      "i32->i64 widening before the arithmetic (vector casts)",
+      buildCalculixPack, "calculix_pack", 4000, {"cp_O"}, false});
+  Registry.push_back(KernelSpec{
+      "wrf-stencil", "481.wrf (suite member)", "-",
+      "stencil with flipped addends (plain reordering suffices)",
+      buildWrfStencil, "wrf_stencil", 4000, {"wrf_W"}, false});
+  Registry.push_back(KernelSpec{
+      "bwaves-flux", "410.bwaves (suite member)", "-",
+      "flux update needing look-ahead", buildBwavesFlux, "bwaves_flux", 4000,
+      {"bw_F"}, false});
+  Registry.push_back(KernelSpec{
+      "gamess-eri", "416.gamess (suite member)", "-",
+      "non-isomorphic lanes; never vectorizes", buildGamessEri, "gamess_eri",
+      4000, {"gm_G"}, false});
+  Registry.push_back(KernelSpec{
+      "povray-dot", "453.povray (suite member, reduction seeds)", "-",
+      "4-term dot product; needs horizontal-reduction vectorization",
+      buildPovrayDot, "povray_dot", 1000, {"dot_S"}, false});
+  Registry.push_back(KernelSpec{
+      "mult-su2-complex", "433.milc (suite member, alt-opcode extension)",
+      "m_su2_mat_vec_a.c", "complex SU(2) product: fadd/fsub lanes blend",
+      buildMultSU2Complex, "mult_su2_complex", 500, {"su2c_B"}, false});
+  Registry.push_back(KernelSpec{
+      "stream-add", "suite baseline member", "-",
+      "isomorphic streaming add; vectorizes everywhere", buildStreamAdd,
+      "stream_add", 4000, {"sa_S"}, false});
+  Registry.push_back(KernelSpec{
+      "filler-reduce", "synthetic scalar filler", "-",
+      "loop-carried memory reduction", buildFillerReduce, "filler_reduce",
+      4000, {"fr_Acc"}, false});
+  Registry.push_back(KernelSpec{
+      "filler-branchy", "synthetic scalar filler", "-",
+      "icmp/select integer chains", buildFillerBranchy, "filler_branchy",
+      4000, {"fb_Out"}, false});
+  Registry.push_back(KernelSpec{
+      "filler-stride", "synthetic scalar filler", "-",
+      "strided gathers, single store per iteration", buildFillerStride,
+      "filler_stride", 1300, {"fs_C"}, false});
+}

@@ -1,0 +1,186 @@
+//===- parser/Lexer.cpp - Textual IR lexer -----------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace lslp;
+
+namespace {
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.' ||
+         C == '-';
+}
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+} // namespace
+
+bool lslp::tokenize(std::string_view Src, std::vector<Token> &Out,
+                    std::string &Err) {
+  unsigned Line = 1;
+  size_t I = 0, N = Src.size();
+
+  auto push = [&](Token::Kind K, std::string Text = "") {
+    Token T;
+    T.TokKind = K;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    Out.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == ';') { // Comment to end of line.
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    switch (C) {
+    case ',':
+      push(Token::Comma);
+      ++I;
+      continue;
+    case '=':
+      push(Token::Equal);
+      ++I;
+      continue;
+    case ':':
+      push(Token::Colon);
+      ++I;
+      continue;
+    case '(':
+      push(Token::LParen);
+      ++I;
+      continue;
+    case ')':
+      push(Token::RParen);
+      ++I;
+      continue;
+    case '{':
+      push(Token::LBrace);
+      ++I;
+      continue;
+    case '}':
+      push(Token::RBrace);
+      ++I;
+      continue;
+    case '[':
+      push(Token::LBracket);
+      ++I;
+      continue;
+    case ']':
+      push(Token::RBracket);
+      ++I;
+      continue;
+    case '<':
+      push(Token::Less);
+      ++I;
+      continue;
+    case '>':
+      push(Token::Greater);
+      ++I;
+      continue;
+    default:
+      break;
+    }
+
+    if (C == '%' || C == '@') {
+      size_t Start = ++I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      if (I == Start) {
+        Err = "line " + std::to_string(Line) + ": empty identifier after '" +
+              C + "'";
+        return false;
+      }
+      push(C == '%' ? Token::LocalId : Token::GlobalId,
+           std::string(Src.substr(Start, I - Start)));
+      continue;
+    }
+
+    if (C == '"') {
+      size_t Start = ++I;
+      while (I < N && Src[I] != '"')
+        ++I;
+      if (I == N) {
+        Err = "line " + std::to_string(Line) + ": unterminated string";
+        return false;
+      }
+      push(Token::StrLit, std::string(Src.substr(Start, I - Start)));
+      ++I; // Closing quote.
+      continue;
+    }
+
+    // Numbers: [-]digits[.digits][e[+-]digits]
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Src[I + 1])))) {
+      size_t Start = I;
+      if (C == '-')
+        ++I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Src[I])))
+        ++I;
+      bool IsFloat = false;
+      if (I < N && Src[I] == '.') {
+        IsFloat = true;
+        ++I;
+        while (I < N && std::isdigit(static_cast<unsigned char>(Src[I])))
+          ++I;
+      }
+      if (I < N && (Src[I] == 'e' || Src[I] == 'E')) {
+        IsFloat = true;
+        ++I;
+        if (I < N && (Src[I] == '+' || Src[I] == '-'))
+          ++I;
+        while (I < N && std::isdigit(static_cast<unsigned char>(Src[I])))
+          ++I;
+      }
+      std::string Text(Src.substr(Start, I - Start));
+      Token T;
+      T.Line = Line;
+      T.Text = Text;
+      if (IsFloat) {
+        T.TokKind = Token::FloatLit;
+        T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      } else {
+        T.TokKind = Token::IntLit;
+        T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+      }
+      Out.push_back(std::move(T));
+      continue;
+    }
+
+    if (isIdentStart(C)) {
+      size_t Start = I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      push(Token::Ident, std::string(Src.substr(Start, I - Start)));
+      continue;
+    }
+
+    Err = "line " + std::to_string(Line) + ": unexpected character '" +
+          std::string(1, C) + "'";
+    return false;
+  }
+
+  push(Token::EndOfFile);
+  return true;
+}

@@ -1,0 +1,66 @@
+//===- parser/Lexer.h - Textual IR lexer ------------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual IR dialect. Produces the full token stream up
+/// front so the parser can look ahead (used to pre-create basic blocks for
+/// forward branch references).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_PARSER_LEXER_H
+#define LSLP_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lslp {
+
+/// One lexical token.
+struct Token {
+  enum Kind : uint8_t {
+    Ident,     ///< bare word: define, add, i64, entry, ...
+    LocalId,   ///< %name
+    GlobalId,  ///< @name
+    IntLit,    ///< 123, -4
+    FloatLit,  ///< 1.5, -2e3
+    StrLit,    ///< "text" (content without quotes)
+    Comma,
+    Equal,
+    Colon,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Less,
+    Greater,
+    EndOfFile,
+  };
+
+  Kind TokKind = EndOfFile;
+  std::string Text;    ///< Identifier/literal text (sigils stripped).
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+
+  bool is(Kind K) const { return TokKind == K; }
+  /// True for an Ident token with exactly this spelling.
+  bool isIdent(std::string_view S) const {
+    return TokKind == Ident && Text == S;
+  }
+};
+
+/// Tokenizes \p Src. On a lexical error, returns false and sets \p Err.
+/// Comments run from ';' to end of line.
+bool tokenize(std::string_view Src, std::vector<Token> &Out, std::string &Err);
+
+} // namespace lslp
+
+#endif // LSLP_PARSER_LEXER_H

@@ -1,0 +1,970 @@
+//===- parser/Parser.cpp - Textual IR parser ---------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "parser/Lexer.h"
+#include "support/Debug.h"
+
+#include <map>
+#include <optional>
+
+using namespace lslp;
+
+namespace {
+
+/// Parser state for one module. Errors are reported by setting ErrMsg and
+/// returning false/null up the call chain (no exceptions).
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Context &Ctx)
+      : Tokens(std::move(Tokens)), Ctx(Ctx) {}
+
+  std::unique_ptr<Module> run(std::string &Err) {
+    std::unique_ptr<Module> M = parseModule();
+    if (!M)
+      Err = ErrMsg;
+    return M;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token next() { return Tokens[std::min(Pos++, Tokens.size() - 1)]; }
+
+  bool error(const std::string &Msg) {
+    if (ErrMsg.empty())
+      ErrMsg = "line " + std::to_string(peek().Line) + ": " + Msg;
+    return false;
+  }
+
+  bool expect(Token::Kind K, const char *What) {
+    if (!peek().is(K))
+      return error(std::string("expected ") + What);
+    next();
+    return true;
+  }
+
+  bool expectIdent(std::string_view S) {
+    if (!peek().isIdent(S))
+      return error("expected '" + std::string(S) + "'");
+    next();
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  /// type := void | ptr | float | double | iN | '<' N 'x' type '>'
+  Type *parseType() {
+    if (peek().is(Token::Less)) {
+      next();
+      if (!peek().is(Token::IntLit)) {
+        error("expected vector lane count");
+        return nullptr;
+      }
+      int64_t Lanes = next().IntValue;
+      if (Lanes < 2) {
+        error("vector lane count must be >= 2");
+        return nullptr;
+      }
+      if (!expectIdent("x"))
+        return nullptr;
+      Type *Elem = parseType();
+      if (!Elem)
+        return nullptr;
+      if (!expect(Token::Greater, "'>'"))
+        return nullptr;
+      return Ctx.getVectorTy(Elem, static_cast<unsigned>(Lanes));
+    }
+    if (!peek().is(Token::Ident)) {
+      error("expected a type");
+      return nullptr;
+    }
+    std::string Name = next().Text;
+    if (Name == "void")
+      return Ctx.getVoidTy();
+    if (Name == "ptr")
+      return Ctx.getPtrTy();
+    if (Name == "float")
+      return Ctx.getFloatTy();
+    if (Name == "double")
+      return Ctx.getDoubleTy();
+    if (Name.size() > 1 && Name[0] == 'i') {
+      unsigned Width = 0;
+      for (size_t I = 1; I < Name.size(); ++I) {
+        if (Name[I] < '0' || Name[I] > '9') {
+          error("unknown type '" + Name + "'");
+          return nullptr;
+        }
+        Width = Width * 10 + static_cast<unsigned>(Name[I] - '0');
+      }
+      if (Width < 1 || Width > 64) {
+        error("unsupported integer width in '" + Name + "'");
+        return nullptr;
+      }
+      return Ctx.getIntTy(Width);
+    }
+    error("unknown type '" + Name + "'");
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Values
+  //===--------------------------------------------------------------------===//
+
+  struct Fixup {
+    Instruction *Inst;
+    unsigned OperandNo;
+    std::string Name;
+    Type *ExpectedTy;
+    unsigned Line;
+  };
+
+  /// Parses a value reference of (scalar or vector) type \p Ty. For local
+  /// names not yet defined, records a fixup and returns a typed undef
+  /// placeholder.
+  Value *parseValue(Type *Ty) {
+    const Token &T = peek();
+    // Constant vector literal: '<' elemty lit, elemty lit, ... '>'.
+    if (T.is(Token::Less)) {
+      const auto *VT = dyn_cast<VectorType>(Ty);
+      if (!VT) {
+        error("vector literal where a '" + Ty->getName() +
+              "' value was expected");
+        return nullptr;
+      }
+      next();
+      std::vector<Constant *> Elements;
+      while (true) {
+        Type *ElemTy = parseType();
+        if (!ElemTy)
+          return nullptr;
+        if (ElemTy != VT->getElementType()) {
+          error("vector literal element type mismatch");
+          return nullptr;
+        }
+        Value *Elem = parseValue(ElemTy);
+        if (!Elem)
+          return nullptr;
+        // A local name here would have produced a forward-reference
+        // placeholder (which is itself a Constant); reject it explicitly.
+        if (PendingFixup) {
+          PendingFixup.reset();
+          error("vector literal elements must be constants");
+          return nullptr;
+        }
+        auto *C = dyn_cast<Constant>(Elem);
+        if (!C) {
+          error("vector literal elements must be constants");
+          return nullptr;
+        }
+        Elements.push_back(C);
+        if (peek().is(Token::Comma)) {
+          next();
+          continue;
+        }
+        break;
+      }
+      if (!expect(Token::Greater, "'>'"))
+        return nullptr;
+      if (Elements.size() != VT->getNumElements()) {
+        error("vector literal lane count mismatch");
+        return nullptr;
+      }
+      return Ctx.getConstantVector(Elements);
+    }
+    switch (T.TokKind) {
+    case Token::IntLit: {
+      auto *IntTy = dyn_cast<IntegerType>(Ty);
+      if (!IntTy) {
+        error("integer literal where a '" + Ty->getName() +
+              "' value was expected");
+        return nullptr;
+      }
+      return Ctx.getConstantInt(IntTy, static_cast<uint64_t>(next().IntValue));
+    }
+    case Token::FloatLit: {
+      if (!Ty->isFloatingPointTy()) {
+        error("floating literal where a '" + Ty->getName() +
+              "' value was expected");
+        return nullptr;
+      }
+      return Ctx.getConstantFP(Ty, next().FloatValue);
+    }
+    case Token::GlobalId: {
+      GlobalArray *G = M->getGlobal(T.Text);
+      if (!G) {
+        error("unknown global '@" + T.Text + "'");
+        return nullptr;
+      }
+      next();
+      return G;
+    }
+    case Token::LocalId: {
+      auto It = Locals.find(T.Text);
+      if (It != Locals.end()) {
+        if (It->second->getType() != Ty) {
+          error("'%" + T.Text + "' has type " +
+                It->second->getType()->getName() + ", expected " +
+                Ty->getName());
+          return nullptr;
+        }
+        next();
+        return It->second;
+      }
+      // Forward reference: placeholder patched after the body is parsed.
+      PendingFixup = Fixup{nullptr, 0, T.Text, Ty, T.Line};
+      next();
+      return Ctx.getUndef(Ty);
+    }
+    case Token::Ident:
+      if (T.Text == "undef") {
+        next();
+        return Ctx.getUndef(Ty);
+      }
+      [[fallthrough]];
+    default:
+      error("expected a value");
+      return nullptr;
+    }
+  }
+
+  /// Parses "<type> <value>".
+  Value *parseTypedValue() {
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    return parseValue(Ty);
+  }
+
+  /// Registers the fixup recorded by the most recent parseValue (if any)
+  /// against operand \p OperandNo of \p I.
+  void commitFixup(Instruction *I, unsigned OperandNo) {
+    if (!PendingFixup)
+      return;
+    PendingFixup->Inst = I;
+    PendingFixup->OperandNo = OperandNo;
+    Fixups.push_back(*PendingFixup);
+    PendingFixup.reset();
+  }
+
+  /// Wrapper: parse an operand of type \p Ty destined for operand slot
+  /// \p OperandNo of the instruction under construction; fixups are
+  /// committed by the caller via attachOperands.
+  struct ParsedOp {
+    Value *V = nullptr;
+    std::optional<Fixup> Fx;
+  };
+
+  ParsedOp parseOperand(Type *Ty) {
+    ParsedOp Op;
+    Op.V = parseValue(Ty);
+    if (PendingFixup) {
+      Op.Fx = *PendingFixup;
+      PendingFixup.reset();
+    }
+    return Op;
+  }
+
+  void noteFixup(Instruction *I, unsigned OperandNo, const ParsedOp &Op) {
+    if (!Op.Fx)
+      return;
+    Fixup F = *Op.Fx;
+    F.Inst = I;
+    F.OperandNo = OperandNo;
+    Fixups.push_back(F);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Module structure
+  //===--------------------------------------------------------------------===//
+
+  std::unique_ptr<Module> parseModule() {
+    std::string ModuleName = "module";
+    if (peek().isIdent("module")) {
+      next();
+      if (!peek().is(Token::StrLit)) {
+        error("expected module name string");
+        return nullptr;
+      }
+      ModuleName = next().Text;
+    }
+    auto Mod = std::make_unique<Module>(Ctx, ModuleName);
+    M = Mod.get();
+    while (!peek().is(Token::EndOfFile)) {
+      if (peek().isIdent("global")) {
+        if (!parseGlobal())
+          return nullptr;
+        continue;
+      }
+      if (peek().isIdent("define")) {
+        if (!parseFunction())
+          return nullptr;
+        continue;
+      }
+      error("expected 'global' or 'define'");
+      return nullptr;
+    }
+    return Mod;
+  }
+
+  /// global @Name = [ N x type ]
+  bool parseGlobal() {
+    next(); // 'global'
+    if (!peek().is(Token::GlobalId))
+      return error("expected global name");
+    std::string Name = next().Text;
+    if (!expect(Token::Equal, "'='") || !expect(Token::LBracket, "'['"))
+      return false;
+    if (!peek().is(Token::IntLit))
+      return error("expected element count");
+    int64_t Count = next().IntValue;
+    if (Count <= 0)
+      return error("global element count must be positive");
+    if (!expectIdent("x"))
+      return false;
+    Type *ElemTy = parseType();
+    if (!ElemTy)
+      return false;
+    if (!expect(Token::RBracket, "']'"))
+      return false;
+    if (M->getGlobal(Name))
+      return error("duplicate global '@" + Name + "'");
+    M->createGlobal(Name, ElemTy, static_cast<uint64_t>(Count));
+    return true;
+  }
+
+  /// define type @name(params) { blocks }
+  bool parseFunction() {
+    next(); // 'define'
+    Type *RetTy = parseType();
+    if (!RetTy)
+      return false;
+    if (!peek().is(Token::GlobalId))
+      return error("expected function name");
+    std::string Name = next().Text;
+    if (M->getFunction(Name))
+      return error("duplicate function '@" + Name + "'");
+    if (!expect(Token::LParen, "'('"))
+      return false;
+    std::vector<Type *> ArgTypes;
+    std::vector<std::string> ArgNames;
+    if (!peek().is(Token::RParen)) {
+      while (true) {
+        Type *ArgTy = parseType();
+        if (!ArgTy)
+          return false;
+        if (!peek().is(Token::LocalId))
+          return error("expected argument name");
+        ArgTypes.push_back(ArgTy);
+        ArgNames.push_back(next().Text);
+        if (peek().is(Token::Comma)) {
+          next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expect(Token::RParen, "')'") || !expect(Token::LBrace, "'{'"))
+      return false;
+
+    F = Function::create(M, Name, RetTy, ArgTypes, ArgNames);
+    Locals.clear();
+    Blocks.clear();
+    Fixups.clear();
+    for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+      Locals[F->getArg(I)->getName()] = F->getArg(I);
+
+    // Pre-scan for labels so forward branches resolve: a label is an
+    // Ident ':' pair (the only place a colon appears inside a body).
+    for (size_t I = Pos; I + 1 < Tokens.size() && !Tokens[I].is(Token::RBrace);
+         ++I) {
+      if (Tokens[I].is(Token::Ident) && Tokens[I + 1].is(Token::Colon)) {
+        if (Blocks.count(Tokens[I].Text))
+          return error("duplicate block label '" + Tokens[I].Text + "'");
+        Blocks[Tokens[I].Text] = BasicBlock::create(Ctx, Tokens[I].Text, F);
+      }
+    }
+    if (Blocks.empty())
+      return error("function body has no basic blocks");
+
+    // Parse block bodies.
+    CurBB = nullptr;
+    while (!peek().is(Token::RBrace)) {
+      if (peek().is(Token::EndOfFile))
+        return error("unterminated function body");
+      if (peek().is(Token::Ident) && peek(1).is(Token::Colon)) {
+        CurBB = Blocks[next().Text];
+        next(); // ':'
+        continue;
+      }
+      if (!CurBB)
+        return error("instruction before the first block label");
+      if (!parseInstruction())
+        return false;
+    }
+    next(); // '}'
+
+    // Patch forward references.
+    for (const Fixup &Fx : Fixups) {
+      auto It = Locals.find(Fx.Name);
+      if (It == Locals.end()) {
+        ErrMsg = "line " + std::to_string(Fx.Line) + ": use of undefined value '%" +
+                 Fx.Name + "'";
+        return false;
+      }
+      if (It->second->getType() != Fx.ExpectedTy) {
+        ErrMsg = "line " + std::to_string(Fx.Line) + ": '%" + Fx.Name +
+                 "' has type " + It->second->getType()->getName() +
+                 ", expected " + Fx.ExpectedTy->getName();
+        return false;
+      }
+      Fx.Inst->setOperand(Fx.OperandNo, It->second);
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instructions
+  //===--------------------------------------------------------------------===//
+
+  bool defineLocal(const std::string &Name, Value *V) {
+    if (!Locals.insert({Name, V}).second)
+      return error("redefinition of '%" + Name + "'");
+    return true;
+  }
+
+  bool parseInstruction() {
+    std::string ResultName;
+    bool HasResult = false;
+    if (peek().is(Token::LocalId)) {
+      ResultName = next().Text;
+      HasResult = true;
+      if (!expect(Token::Equal, "'='"))
+        return false;
+    }
+    if (!peek().is(Token::Ident))
+      return error("expected an opcode");
+    Token OpcTok = next();
+    const std::string &Opc = OpcTok.Text;
+
+    Instruction *I = nullptr;
+    if (Opc == "load")
+      I = parseLoad();
+    else if (Opc == "store")
+      I = parseStore();
+    else if (Opc == "gep")
+      I = parseGEP();
+    else if (Opc == "icmp")
+      I = parseICmp();
+    else if (Opc == "select")
+      I = parseSelect();
+    else if (Opc == "insertelement")
+      I = parseInsertElement();
+    else if (Opc == "extractelement")
+      I = parseExtractElement();
+    else if (Opc == "shufflevector")
+      I = parseShuffleVector();
+    else if (Opc == "phi")
+      I = parsePhi();
+    else if (Opc == "br")
+      I = parseBr();
+    else if (Opc == "ret")
+      I = parseRet();
+    else if (std::optional<ValueID> CastOpc = castOpcodeFromName(Opc))
+      I = parseCast(*CastOpc);
+    else if (std::optional<ValueID> BinOpc = binaryOpcodeFromName(Opc))
+      I = parseBinary(*BinOpc);
+    else {
+      error("unknown opcode '" + Opc + "'");
+      return false;
+    }
+    if (!I)
+      return false;
+
+    if (HasResult) {
+      if (I->getType()->isVoidTy())
+        return error("void instruction cannot define '%" + ResultName + "'");
+      I->setName(ResultName);
+      if (!defineLocal(ResultName, I))
+        return false;
+    }
+    return true;
+  }
+
+  static std::optional<ValueID> castOpcodeFromName(const std::string &Name) {
+    static const std::pair<const char *, ValueID> Table[] = {
+        {"sext", ValueID::SExt},     {"zext", ValueID::ZExt},
+        {"trunc", ValueID::Trunc},   {"sitofp", ValueID::SIToFP},
+        {"fptosi", ValueID::FPToSI},
+    };
+    for (const auto &[N, ID] : Table)
+      if (Name == N)
+        return ID;
+    return std::nullopt;
+  }
+
+  /// <castop> <srcty> <val> to <destty>
+  Instruction *parseCast(ValueID Opc) {
+    Type *SrcTy = parseType();
+    if (!SrcTy)
+      return nullptr;
+    ParsedOp Src = parseOperand(SrcTy);
+    if (!Src.V)
+      return nullptr;
+    if (!expectIdent("to"))
+      return nullptr;
+    Type *DestTy = parseType();
+    if (!DestTy)
+      return nullptr;
+    if (!CastInst::castIsValid(Opc, SrcTy, DestTy)) {
+      error(std::string("invalid ") + Instruction::getOpcodeName(Opc) +
+            " from " + SrcTy->getName() + " to " + DestTy->getName());
+      return nullptr;
+    }
+    auto *I = CastInst::create(Opc, Src.V, DestTy);
+    noteFixup(I, 0, Src);
+    return append(I);
+  }
+
+  static std::optional<ValueID> binaryOpcodeFromName(const std::string &Name) {
+    static const std::pair<const char *, ValueID> Table[] = {
+        {"add", ValueID::Add},   {"sub", ValueID::Sub},
+        {"mul", ValueID::Mul},   {"sdiv", ValueID::SDiv},
+        {"udiv", ValueID::UDiv}, {"and", ValueID::And},
+        {"or", ValueID::Or},     {"xor", ValueID::Xor},
+        {"shl", ValueID::Shl},   {"lshr", ValueID::LShr},
+        {"ashr", ValueID::AShr}, {"fadd", ValueID::FAdd},
+        {"fsub", ValueID::FSub}, {"fmul", ValueID::FMul},
+        {"fdiv", ValueID::FDiv},
+    };
+    for (const auto &[N, ID] : Table)
+      if (Name == N)
+        return ID;
+    return std::nullopt;
+  }
+
+  Instruction *append(Instruction *I) {
+    CurBB->append(I);
+    return I;
+  }
+
+  /// add <ty> <val>, <val>
+  Instruction *parseBinary(ValueID Opc) {
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    if (!Ty->getScalarType()->isIntegerTy() &&
+        !Ty->getScalarType()->isFloatingPointTy()) {
+      error("binary operator requires an arithmetic type");
+      return nullptr;
+    }
+    ParsedOp L = parseOperand(Ty);
+    if (!L.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','"))
+      return nullptr;
+    ParsedOp R = parseOperand(Ty);
+    if (!R.V)
+      return nullptr;
+    auto *I = BinaryOperator::create(Opc, L.V, R.V);
+    noteFixup(I, 0, L);
+    noteFixup(I, 1, R);
+    return append(I);
+  }
+
+  /// load <ty>, ptr <val>
+  Instruction *parseLoad() {
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expectIdent("ptr"))
+      return nullptr;
+    ParsedOp P = parseOperand(Ctx.getPtrTy());
+    if (!P.V)
+      return nullptr;
+    auto *I = LoadInst::create(Ty, P.V);
+    noteFixup(I, 0, P);
+    return append(I);
+  }
+
+  /// store <ty> <val>, ptr <val>
+  Instruction *parseStore() {
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    ParsedOp V = parseOperand(Ty);
+    if (!V.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expectIdent("ptr"))
+      return nullptr;
+    ParsedOp P = parseOperand(Ctx.getPtrTy());
+    if (!P.V)
+      return nullptr;
+    auto *I = StoreInst::create(V.V, P.V);
+    noteFixup(I, 0, V);
+    noteFixup(I, 1, P);
+    return append(I);
+  }
+
+  /// gep <ty>, ptr <val>, <intty> <val>
+  Instruction *parseGEP() {
+    Type *ElemTy = parseType();
+    if (!ElemTy)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expectIdent("ptr"))
+      return nullptr;
+    ParsedOp Base = parseOperand(Ctx.getPtrTy());
+    if (!Base.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','"))
+      return nullptr;
+    Type *IdxTy = parseType();
+    if (!IdxTy)
+      return nullptr;
+    if (!IdxTy->isIntegerTy()) {
+      error("gep index must be an integer");
+      return nullptr;
+    }
+    ParsedOp Idx = parseOperand(IdxTy);
+    if (!Idx.V)
+      return nullptr;
+    auto *I = GEPInst::create(ElemTy, Base.V, Idx.V);
+    noteFixup(I, 0, Base);
+    noteFixup(I, 1, Idx);
+    return append(I);
+  }
+
+  /// icmp <pred> <ty> <val>, <val>
+  Instruction *parseICmp() {
+    if (!peek().is(Token::Ident)) {
+      error("expected icmp predicate");
+      return nullptr;
+    }
+    std::string PredName = next().Text;
+    static const std::pair<const char *, ICmpInst::Predicate> Preds[] = {
+        {"eq", ICmpInst::EQ},   {"ne", ICmpInst::NE},
+        {"slt", ICmpInst::SLT}, {"sle", ICmpInst::SLE},
+        {"sgt", ICmpInst::SGT}, {"sge", ICmpInst::SGE},
+        {"ult", ICmpInst::ULT}, {"ule", ICmpInst::ULE},
+        {"ugt", ICmpInst::UGT}, {"uge", ICmpInst::UGE},
+    };
+    std::optional<ICmpInst::Predicate> Pred;
+    for (const auto &[N, P] : Preds)
+      if (PredName == N)
+        Pred = P;
+    if (!Pred) {
+      error("unknown icmp predicate '" + PredName + "'");
+      return nullptr;
+    }
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    ParsedOp L = parseOperand(Ty);
+    if (!L.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','"))
+      return nullptr;
+    ParsedOp R = parseOperand(Ty);
+    if (!R.V)
+      return nullptr;
+    auto *I = ICmpInst::create(*Pred, L.V, R.V);
+    noteFixup(I, 0, L);
+    noteFixup(I, 1, R);
+    return append(I);
+  }
+
+  /// select i1 <val>, <ty> <val>, <ty> <val>
+  Instruction *parseSelect() {
+    if (!expectIdent("i1"))
+      return nullptr;
+    ParsedOp C = parseOperand(Ctx.getInt1Ty());
+    if (!C.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','"))
+      return nullptr;
+    ParsedOp T = [&] {
+      Type *Ty = parseType();
+      return Ty ? parseOperand(Ty) : ParsedOp{};
+    }();
+    if (!T.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','"))
+      return nullptr;
+    Type *FTy = parseType();
+    if (!FTy)
+      return nullptr;
+    if (FTy != T.V->getType()) {
+      error("select arm types differ");
+      return nullptr;
+    }
+    ParsedOp Fv = parseOperand(FTy);
+    if (!Fv.V)
+      return nullptr;
+    auto *I = SelectInst::create(C.V, T.V, Fv.V);
+    noteFixup(I, 0, C);
+    noteFixup(I, 1, T);
+    noteFixup(I, 2, Fv);
+    return append(I);
+  }
+
+  /// insertelement <vecty> <val>, <elty> <val>, i32 <lit>
+  Instruction *parseInsertElement() {
+    Type *VecTy = parseType();
+    if (!VecTy)
+      return nullptr;
+    auto *VT = dyn_cast<VectorType>(VecTy);
+    if (!VT) {
+      error("insertelement requires a vector type");
+      return nullptr;
+    }
+    ParsedOp Vec = parseOperand(VecTy);
+    if (!Vec.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','"))
+      return nullptr;
+    Type *EltTy = parseType();
+    if (!EltTy)
+      return nullptr;
+    if (EltTy != VT->getElementType()) {
+      error("insertelement element type mismatch");
+      return nullptr;
+    }
+    ParsedOp Elt = parseOperand(EltTy);
+    if (!Elt.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expectIdent("i32"))
+      return nullptr;
+    ParsedOp Idx = parseOperand(Ctx.getInt32Ty());
+    if (!Idx.V)
+      return nullptr;
+    auto *I = InsertElementInst::create(Vec.V, Elt.V, Idx.V);
+    noteFixup(I, 0, Vec);
+    noteFixup(I, 1, Elt);
+    noteFixup(I, 2, Idx);
+    return append(I);
+  }
+
+  /// extractelement <vecty> <val>, i32 <lit>
+  Instruction *parseExtractElement() {
+    Type *VecTy = parseType();
+    if (!VecTy || !isa<VectorType>(VecTy)) {
+      error("extractelement requires a vector type");
+      return nullptr;
+    }
+    ParsedOp Vec = parseOperand(VecTy);
+    if (!Vec.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expectIdent("i32"))
+      return nullptr;
+    ParsedOp Idx = parseOperand(Ctx.getInt32Ty());
+    if (!Idx.V)
+      return nullptr;
+    auto *I = ExtractElementInst::create(Vec.V, Idx.V);
+    noteFixup(I, 0, Vec);
+    noteFixup(I, 1, Idx);
+    return append(I);
+  }
+
+  /// shufflevector <vecty> <val>, <vecty> <val>, [ lit, lit, ... ]
+  Instruction *parseShuffleVector() {
+    Type *VecTy = parseType();
+    if (!VecTy || !isa<VectorType>(VecTy)) {
+      error("shufflevector requires a vector type");
+      return nullptr;
+    }
+    ParsedOp V1 = parseOperand(VecTy);
+    if (!V1.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','"))
+      return nullptr;
+    Type *VecTy2 = parseType();
+    if (VecTy2 != VecTy) {
+      error("shufflevector input types differ");
+      return nullptr;
+    }
+    ParsedOp V2 = parseOperand(VecTy);
+    if (!V2.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expect(Token::LBracket, "'['"))
+      return nullptr;
+    std::vector<int> Mask;
+    while (!peek().is(Token::RBracket)) {
+      if (!peek().is(Token::IntLit)) {
+        error("expected shuffle mask element");
+        return nullptr;
+      }
+      Mask.push_back(static_cast<int>(next().IntValue));
+      if (peek().is(Token::Comma))
+        next();
+    }
+    next(); // ']'
+    if (Mask.empty()) {
+      error("empty shuffle mask");
+      return nullptr;
+    }
+    unsigned Combined = 2 * cast<VectorType>(VecTy)->getNumElements();
+    for (int Lane : Mask)
+      if (Lane < -1 || Lane >= static_cast<int>(Combined)) {
+        error("shuffle mask lane out of range");
+        return nullptr;
+      }
+    auto *I = ShuffleVectorInst::create(V1.V, V2.V, std::move(Mask));
+    noteFixup(I, 0, V1);
+    noteFixup(I, 1, V2);
+    return append(I);
+  }
+
+  /// phi <ty> [ <val>, %block ], ...
+  Instruction *parsePhi() {
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    auto *Phi = PHINode::create(Ty);
+    append(Phi);
+    unsigned Incoming = 0;
+    while (true) {
+      if (!expect(Token::LBracket, "'['"))
+        return nullptr;
+      ParsedOp V = parseOperand(Ty);
+      if (!V.V)
+        return nullptr;
+      if (!expect(Token::Comma, "','"))
+        return nullptr;
+      if (!peek().is(Token::LocalId)) {
+        error("expected incoming block label");
+        return nullptr;
+      }
+      std::string BlockName = next().Text;
+      auto It = Blocks.find(BlockName);
+      if (It == Blocks.end()) {
+        error("unknown block '%" + BlockName + "'");
+        return nullptr;
+      }
+      if (!expect(Token::RBracket, "']'"))
+        return nullptr;
+      Phi->addIncoming(V.V, It->second);
+      noteFixup(Phi, 2 * Incoming, V);
+      ++Incoming;
+      if (peek().is(Token::Comma)) {
+        next();
+        continue;
+      }
+      break;
+    }
+    return Phi;
+  }
+
+  /// br label %bb  |  br i1 <val>, label %a, label %b
+  Instruction *parseBr() {
+    if (peek().isIdent("label")) {
+      next();
+      BasicBlock *Dest = parseBlockRef();
+      if (!Dest)
+        return nullptr;
+      return append(BranchInst::create(Dest));
+    }
+    if (!expectIdent("i1"))
+      return nullptr;
+    ParsedOp C = parseOperand(Ctx.getInt1Ty());
+    if (!C.V)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expectIdent("label"))
+      return nullptr;
+    BasicBlock *T = parseBlockRef();
+    if (!T)
+      return nullptr;
+    if (!expect(Token::Comma, "','") || !expectIdent("label"))
+      return nullptr;
+    BasicBlock *Fb = parseBlockRef();
+    if (!Fb)
+      return nullptr;
+    auto *I = BranchInst::create(C.V, T, Fb);
+    noteFixup(I, 0, C);
+    return append(I);
+  }
+
+  BasicBlock *parseBlockRef() {
+    if (!peek().is(Token::LocalId)) {
+      error("expected block label");
+      return nullptr;
+    }
+    std::string Name = next().Text;
+    auto It = Blocks.find(Name);
+    if (It == Blocks.end()) {
+      error("unknown block '%" + Name + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  /// ret void | ret <ty> <val>
+  Instruction *parseRet() {
+    if (peek().isIdent("void")) {
+      next();
+      return append(ReturnInst::create(Ctx));
+    }
+    Type *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    ParsedOp V = parseOperand(Ty);
+    if (!V.V)
+      return nullptr;
+    auto *I = ReturnInst::create(Ctx, V.V);
+    noteFixup(I, 0, V);
+    return append(I);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Context &Ctx;
+  Module *M = nullptr;
+  Function *F = nullptr;
+  BasicBlock *CurBB = nullptr;
+  std::map<std::string, Value *> Locals;
+  std::map<std::string, BasicBlock *> Blocks;
+  std::vector<Fixup> Fixups;
+  std::optional<Fixup> PendingFixup;
+  std::string ErrMsg;
+};
+
+} // namespace
+
+std::unique_ptr<Module> lslp::parseModule(std::string_view Src, Context &Ctx,
+                                          std::string &Err) {
+  std::vector<Token> Tokens;
+  if (!tokenize(Src, Tokens, Err))
+    return nullptr;
+  return Parser(std::move(Tokens), Ctx).run(Err);
+}
+
+std::unique_ptr<Module> lslp::parseModuleOrDie(std::string_view Src,
+                                               Context &Ctx) {
+  std::string Err;
+  std::unique_ptr<Module> M = parseModule(Src, Ctx, Err);
+  if (!M)
+    reportFatalError("IR parse failed: " + Err);
+  return M;
+}

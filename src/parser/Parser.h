@@ -1,0 +1,37 @@
+//===- parser/Parser.h - Textual IR parser ----------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the textual IR dialect produced by
+/// ir/Printer. Supports forward references to values (needed for loop phis)
+/// and to basic blocks. Round-trips with the printer:
+/// parse(print(M)) == M structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_PARSER_PARSER_H
+#define LSLP_PARSER_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace lslp {
+
+class Context;
+class Module;
+
+/// Parses a whole module. Returns null and sets \p Err on failure.
+std::unique_ptr<Module> parseModule(std::string_view Src, Context &Ctx,
+                                    std::string &Err);
+
+/// Convenience used by tests: parses and aborts with a diagnostic on
+/// failure.
+std::unique_ptr<Module> parseModuleOrDie(std::string_view Src, Context &Ctx);
+
+} // namespace lslp
+
+#endif // LSLP_PARSER_PARSER_H

@@ -1,0 +1,103 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the isa<>, cast<> and dyn_cast<> templates, a lightweight
+/// re-implementation of LLVM's hand-rolled RTTI (llvm/Support/Casting.h).
+///
+/// A class hierarchy opts in by providing a discriminator (typically a Kind
+/// enum returned by getKind()) and a static classof(const Base *) predicate
+/// on every derived class:
+///
+/// \code
+///   struct Shape { enum Kind { SquareKind, CircleKind }; Kind K; };
+///   struct Square : Shape {
+///     static bool classof(const Shape *S) { return S->K == SquareKind; }
+///   };
+///   if (auto *Sq = dyn_cast<Square>(S)) { ... }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_CASTING_H
+#define LSLP_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace lslp {
+
+/// Returns true if \p Val is an instance of the class \p To (or one of the
+/// classes whose classof() accepts it). \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Variant of isa<> accepting references.
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast for const pointers.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checked downcast for references.
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+/// Checked downcast for const references.
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast for const pointers.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagates it).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast_if_present<>, for const pointers.
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return Val && isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_CASTING_H

@@ -1,0 +1,24 @@
+//===- support/Debug.cpp - Unreachable + fatal-error helpers -------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lslp;
+
+void lslp::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+void lslp::reportFatalError(std::string_view Msg) {
+  std::fprintf(stderr, "fatal error: %.*s\n", static_cast<int>(Msg.size()),
+               Msg.data());
+  std::exit(1);
+}

@@ -1,0 +1,37 @@
+//===- support/Debug.h - Unreachable + fatal-error helpers ------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// lslp_unreachable() and reportFatalError(), the project's analogues of
+/// llvm_unreachable and report_fatal_error. The project compiles without
+/// exceptions; invariant violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_DEBUG_H
+#define LSLP_SUPPORT_DEBUG_H
+
+#include <string_view>
+
+namespace lslp {
+
+/// Prints a diagnostic to stderr and aborts. Marked [[noreturn]] so
+/// fully-covered switches need no default return.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+/// Reports an unrecoverable usage/environment error (bad input file, etc.)
+/// and exits with a non-zero status.
+[[noreturn]] void reportFatalError(std::string_view Msg);
+
+} // namespace lslp
+
+/// Marks a point in code that must never be executed if program invariants
+/// hold.
+#define lslp_unreachable(Msg)                                                  \
+  ::lslp::unreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // LSLP_SUPPORT_DEBUG_H

@@ -1,0 +1,91 @@
+//===- support/OStream.cpp - Lightweight output streams ------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OStream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace lslp;
+
+OStream::~OStream() = default;
+
+void OStream::bumpColumn(const char *Data, size_t Size) {
+  for (size_t I = Size; I > 0; --I) {
+    if (Data[I - 1] == '\n') {
+      Column = static_cast<unsigned>(Size - I);
+      return;
+    }
+  }
+  Column += static_cast<unsigned>(Size);
+}
+
+OStream &OStream::operator<<(uint64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(int64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(double D) {
+  char Buf[48];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(const void *Ptr) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%p", Ptr);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::padToColumn(unsigned Col) {
+  while (Column < Col)
+    *this << ' ';
+  return *this;
+}
+
+OStream &OStream::leftJustify(std::string_view Str, unsigned Width) {
+  *this << Str;
+  for (size_t I = Str.size(); I < Width; ++I)
+    *this << ' ';
+  return *this;
+}
+
+OStream &OStream::rightJustify(std::string_view Str, unsigned Width) {
+  for (size_t I = Str.size(); I < Width; ++I)
+    *this << ' ';
+  return *this << Str;
+}
+
+void StringOStream::write(const char *Data, size_t Size) {
+  Buffer.append(Data, Size);
+  bumpColumn(Data, Size);
+}
+
+void FileOStream::write(const char *Data, size_t Size) {
+  std::fwrite(Data, 1, Size, File);
+  bumpColumn(Data, Size);
+}
+
+OStream &lslp::outs() {
+  static FileOStream Stream(stdout);
+  return Stream;
+}
+
+OStream &lslp::errs() {
+  static FileOStream Stream(stderr);
+  return Stream;
+}

@@ -1,0 +1,107 @@
+//===- support/OStream.h - Lightweight output streams -----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small raw_ostream-like streaming facility. Per the LLVM coding
+/// standards, library code avoids <iostream>; this header provides the
+/// replacement used throughout the project: an abstract OStream with
+/// string-buffer and stdio-file backends, plus outs()/errs() accessors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_OSTREAM_H
+#define LSLP_SUPPORT_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lslp {
+
+/// Abstract byte-oriented output stream with printf-free formatting of the
+/// common primitive types.
+class OStream {
+public:
+  virtual ~OStream();
+
+  OStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  OStream &operator<<(std::string_view Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+  OStream &operator<<(const char *Str) { return *this << std::string_view(Str); }
+  OStream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  OStream &operator<<(uint64_t N);
+  OStream &operator<<(int64_t N);
+  OStream &operator<<(uint32_t N) { return *this << uint64_t(N); }
+  OStream &operator<<(int32_t N) { return *this << int64_t(N); }
+  OStream &operator<<(unsigned long long N) { return *this << uint64_t(N); }
+  OStream &operator<<(long long N) { return *this << int64_t(N); }
+  OStream &operator<<(double D);
+  OStream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+  OStream &operator<<(const void *Ptr);
+
+  /// Writes \p Size raw bytes.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Pads with spaces until at least \p Col bytes have been written on the
+  /// current line (best effort; used for table alignment).
+  OStream &padToColumn(unsigned Col);
+
+  /// Writes \p Str left-justified in a field of width \p Width.
+  OStream &leftJustify(std::string_view Str, unsigned Width);
+
+  /// Writes \p Str right-justified in a field of width \p Width.
+  OStream &rightJustify(std::string_view Str, unsigned Width);
+
+protected:
+  /// Number of bytes written since the last '\n' (maintained by write()
+  /// implementations through bumpColumn()).
+  unsigned Column = 0;
+
+  void bumpColumn(const char *Data, size_t Size);
+};
+
+/// An OStream that appends to a caller-owned std::string.
+class StringOStream : public OStream {
+public:
+  explicit StringOStream(std::string &Buffer) : Buffer(Buffer) {}
+
+  void write(const char *Data, size_t Size) override;
+
+  /// Returns the accumulated contents.
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string &Buffer;
+};
+
+/// An OStream writing to a stdio FILE (not owned).
+class FileOStream : public OStream {
+public:
+  explicit FileOStream(std::FILE *File) : File(File) {}
+
+  void write(const char *Data, size_t Size) override;
+
+private:
+  std::FILE *File;
+};
+
+/// Returns the standard output stream.
+OStream &outs();
+
+/// Returns the standard error stream.
+OStream &errs();
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_OSTREAM_H

@@ -1,0 +1,66 @@
+//===- support/RNG.h - Deterministic random number generator ----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64-based deterministic RNG. Used by the property-based tests
+/// and the synthetic workload generators; std::mt19937 is avoided so that
+/// sequences are identical across standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_RNG_H
+#define LSLP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lslp {
+
+/// SplitMix64 generator (Steele, Lea, Flood; public domain reference
+/// implementation). Deterministic across platforms for a given seed.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow bound must be positive");
+    // Modulo bias is irrelevant for test-generation purposes.
+    return next() % Bound;
+  }
+
+  /// Returns a value in the closed range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool nextChance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+  /// Returns a double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_RNG_H

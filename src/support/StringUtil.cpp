@@ -1,0 +1,67 @@
+//===- support/StringUtil.cpp - Small string helpers ---------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace lslp;
+
+std::string lslp::formatDouble(double Value, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", static_cast<int>(Decimals), Value);
+  return std::string(Buf);
+}
+
+std::string lslp::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}
+
+bool lslp::startsWith(std::string_view Str, std::string_view Prefix) {
+  return Str.size() >= Prefix.size() &&
+         Str.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool lslp::parseInt(std::string_view Str, int64_t &Out) {
+  if (Str.empty())
+    return false;
+  bool Negative = false;
+  size_t I = 0;
+  if (Str[0] == '-') {
+    Negative = true;
+    I = 1;
+    if (Str.size() == 1)
+      return false;
+  }
+  uint64_t Value = 0;
+  for (; I < Str.size(); ++I) {
+    char C = Str[I];
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return false;
+    Value = Value * 10 + Digit;
+  }
+  // Clamp to the representable signed range.
+  if (Negative) {
+    if (Value > static_cast<uint64_t>(INT64_MAX) + 1)
+      return false;
+    Out = static_cast<int64_t>(0 - Value);
+    return true;
+  }
+  if (Value > static_cast<uint64_t>(INT64_MAX))
+    return false;
+  Out = static_cast<int64_t>(Value);
+  return true;
+}

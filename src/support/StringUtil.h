@@ -1,0 +1,39 @@
+//===- support/StringUtil.h - Small string helpers --------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers shared by the printer, the benchmark harness
+/// and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_STRINGUTIL_H
+#define LSLP_SUPPORT_STRINGUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lslp {
+
+/// Formats \p Value with \p Decimals digits after the decimal point
+/// (e.g. formatDouble(1.2345, 2) == "1.23").
+std::string formatDouble(double Value, unsigned Decimals);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Returns true if \p Str starts with \p Prefix.
+bool startsWith(std::string_view Str, std::string_view Prefix);
+
+/// Parses a signed decimal integer; returns false on malformed input or
+/// overflow. Accepts an optional leading '-'.
+bool parseInt(std::string_view Str, int64_t &Out);
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_STRINGUTIL_H

@@ -1,0 +1,113 @@
+//===- transforms/EarlyCSE.cpp - Block-local common subexpressions ------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/EarlyCSE.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+using namespace lslp;
+
+namespace {
+
+/// Structural key of a CSE-able instruction. MemGeneration is only
+/// meaningful for loads; Extra disambiguates predicates/element types/
+/// masks.
+struct CSEKey {
+  ValueID Opcode;
+  const Type *Ty;
+  std::vector<const Value *> Operands;
+  std::vector<int64_t> Extra;
+  uint64_t MemGeneration = 0;
+
+  bool operator<(const CSEKey &O) const {
+    auto AsTuple = [](const CSEKey &K) {
+      return std::tie(K.Opcode, K.Ty, K.Operands, K.Extra, K.MemGeneration);
+    };
+    return AsTuple(*this) < AsTuple(O);
+  }
+};
+
+/// Builds the key for \p I; returns false for instructions that must not
+/// be CSE'd (stores, control flow, phis).
+bool makeKey(const Instruction *I, uint64_t MemGeneration, CSEKey &Key) {
+  switch (I->getOpcode()) {
+  case ValueID::Store:
+  case ValueID::Br:
+  case ValueID::Ret:
+  case ValueID::Phi:
+    return false;
+  case ValueID::Load:
+    Key.MemGeneration = MemGeneration;
+    break;
+  case ValueID::ICmp:
+    Key.Extra.push_back(cast<ICmpInst>(I)->getPredicate());
+    break;
+  case ValueID::Gep:
+    Key.Extra.push_back(reinterpret_cast<int64_t>(
+        static_cast<const void *>(cast<GEPInst>(I)->getElementType())));
+    break;
+  case ValueID::ShuffleVector:
+    for (int M : cast<ShuffleVectorInst>(I)->getMask())
+      Key.Extra.push_back(M);
+    break;
+  default:
+    break;
+  }
+  Key.Opcode = I->getOpcode();
+  Key.Ty = I->getType();
+  for (const Value *Op : I->operands())
+    Key.Operands.push_back(Op);
+  return true;
+}
+
+} // namespace
+
+unsigned lslp::runEarlyCSE(BasicBlock &BB) {
+  std::map<CSEKey, Instruction *> Available;
+  std::vector<Instruction *> Dead;
+  uint64_t MemGeneration = 0;
+
+  for (const auto &IPtr : BB) {
+    Instruction *I = IPtr.get();
+    if (I->mayWriteToMemory()) {
+      ++MemGeneration; // Conservatively kills all prior loads.
+      continue;
+    }
+    CSEKey Key;
+    if (!makeKey(I, MemGeneration, Key))
+      continue;
+    auto [It, Inserted] = Available.insert({std::move(Key), I});
+    if (Inserted)
+      continue;
+    I->replaceAllUsesWith(It->second);
+    Dead.push_back(I);
+  }
+
+  for (Instruction *I : Dead)
+    I->eraseFromParent();
+  return static_cast<unsigned>(Dead.size());
+}
+
+unsigned lslp::runEarlyCSE(Function &F) {
+  unsigned Removed = 0;
+  for (const auto &BB : F)
+    Removed += runEarlyCSE(*BB);
+  return Removed;
+}
+
+unsigned lslp::runEarlyCSE(Module &M) {
+  unsigned Removed = 0;
+  for (const auto &F : M.functions())
+    Removed += runEarlyCSE(*F);
+  return Removed;
+}

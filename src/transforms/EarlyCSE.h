@@ -1,0 +1,40 @@
+//===- transforms/EarlyCSE.h - Block-local common subexpressions -*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local common-subexpression elimination (a simplified
+/// llvm::EarlyCSE): pure instructions with identical opcode/type/operands
+/// are merged, and repeated loads of the same address are merged as long
+/// as no store intervenes (tracked with a memory generation counter).
+///
+/// Frontends often emit the redundant loads this pass removes; running it
+/// before the vectorizer models the -O3 pipeline position the paper's SLP
+/// pass runs in, and turns repeated operands into the shared values the
+/// SPLAT operand mode (paper Table 1) recognizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_TRANSFORMS_EARLYCSE_H
+#define LSLP_TRANSFORMS_EARLYCSE_H
+
+namespace lslp {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// Runs CSE on one block; returns the number of instructions removed.
+unsigned runEarlyCSE(BasicBlock &BB);
+
+/// Runs CSE on every block of \p F.
+unsigned runEarlyCSE(Function &F);
+
+/// Runs CSE on every function of \p M.
+unsigned runEarlyCSE(Module &M);
+
+} // namespace lslp
+
+#endif // LSLP_TRANSFORMS_EARLYCSE_H

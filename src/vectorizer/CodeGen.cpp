@@ -1,0 +1,302 @@
+//===- vectorizer/CodeGen.cpp - Vector code generation -----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Insertion-point strategy: after BundleScheduler::materialize() every
+// bundle's members are contiguous in the block, so (a) each node's vector
+// instruction can be inserted directly before the bundle's first member,
+// and (b) any value a node consumes — operand bundles, gathered scalars,
+// lane-0 pointers — is guaranteed to be defined before that point (a
+// non-member cannot sit inside a contiguous bundle run).
+//
+// Gathered lanes that are themselves covered scalars of another group are
+// referenced directly; the dead-code sweep keeps any scalar with remaining
+// uses alive, so such lanes simply stay in scalar form alongside the
+// vector code (a conservative but sound simplification of LLVM's
+// ExternalUses bookkeeping).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/CodeGen.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Local.h"
+#include "vectorizer/SLPGraph.h"
+#include "vectorizer/Scheduler.h"
+
+#include <map>
+#include <set>
+
+using namespace lslp;
+
+namespace {
+
+class Emitter {
+public:
+  Emitter(SLPGraph &Graph, BasicBlock &BB)
+      : Graph(Graph), BB(BB), Ctx(BB.getContext()) {}
+
+  void run() {
+    emitNode(Graph.getRoot(), /*GatherAnchor=*/nullptr);
+    replaceExternalUses();
+    eraseDeadScalars();
+  }
+
+  /// Emits the graph and returns the root's vector value (reduction
+  /// path). \p Anchor is used for a gather root and for extracts.
+  Value *runForValue(Instruction *Anchor) {
+    Value *Root = emitNode(Graph.getRoot(), Anchor);
+    replaceExternalUses();
+    eraseDeadScalars();
+    return Root;
+  }
+
+private:
+  /// The earliest bundle member in block order (the vector insertion
+  /// anchor for the node).
+  Instruction *firstMember(const SLPNode *N) {
+    Instruction *First = cast<Instruction>(N->getScalar(0));
+    for (unsigned L = 1, E = N->getNumLanes(); L != E; ++L) {
+      auto *I = cast<Instruction>(N->getScalar(L));
+      if (I->comesBefore(First))
+        First = I;
+    }
+    return First;
+  }
+
+  Type *vectorTypeOf(const SLPNode *N) {
+    return Ctx.getVectorTy(N->getScalarEltType(), N->getNumLanes());
+  }
+
+  /// Inserts a newly created instruction before \p Anchor and records it
+  /// so external-use replacement does not rewrite the gathers' own scalar
+  /// references.
+  Instruction *insertBefore(Instruction *I, Instruction *Anchor) {
+    BB.insertBefore(I, Anchor);
+    EmittedInsts.insert(I);
+    return I;
+  }
+
+  /// Emits \p N and returns its vector value. \p GatherAnchor is the
+  /// requesting parent's insertion anchor, used only for gather nodes
+  /// (vectorizable nodes anchor at their own first member).
+  Value *emitNode(SLPNode *N, Instruction *GatherAnchor) {
+    auto It = Emitted.find(N);
+    if (It != Emitted.end())
+      return It->second;
+    Value *V = nullptr;
+    switch (N->getKind()) {
+    case SLPNode::NodeKind::Gather:
+      V = emitGather(N, GatherAnchor);
+      break;
+    case SLPNode::NodeKind::Vectorize:
+      V = emitVectorize(N);
+      break;
+    case SLPNode::NodeKind::MultiNode:
+      V = emitMultiNode(N);
+      break;
+    case SLPNode::NodeKind::Alternate:
+      V = emitAlternate(N);
+      break;
+    }
+    Emitted[N] = V;
+    return V;
+  }
+
+  Value *emitGather(SLPNode *N, Instruction *Anchor) {
+    assert(Anchor && "gather node needs the parent's anchor");
+    auto *VecTy = cast<VectorType>(vectorTypeOf(N));
+    const auto &Scalars = N->getScalars();
+
+    // All-constant lanes: a free constant vector.
+    bool AllConst = true;
+    for (const Value *S : Scalars)
+      AllConst &= isa<Constant>(S);
+    if (AllConst) {
+      std::vector<Constant *> Elems;
+      Elems.reserve(Scalars.size());
+      for (Value *S : Scalars)
+        Elems.push_back(cast<Constant>(S));
+      return Ctx.getConstantVector(Elems);
+    }
+
+    // Splat: one insert plus a zero-mask broadcast shuffle.
+    bool AllSame = true;
+    for (const Value *S : Scalars)
+      AllSame &= (S == Scalars[0]);
+    if (AllSame) {
+      Value *Undef = Ctx.getUndef(VecTy);
+      Instruction *Ins = insertBefore(
+          InsertElementInst::create(Undef, Scalars[0], Ctx.getInt32(0)),
+          Anchor);
+      std::vector<int> Mask(VecTy->getNumElements(), 0);
+      return insertBefore(
+          ShuffleVectorInst::create(Ins, Undef, std::move(Mask)), Anchor);
+    }
+
+    // General case: an insertelement chain from undef.
+    Value *Acc = Ctx.getUndef(VecTy);
+    for (unsigned L = 0, E = N->getNumLanes(); L != E; ++L)
+      Acc = insertBefore(
+          InsertElementInst::create(Acc, Scalars[L], Ctx.getInt32(L)),
+          Anchor);
+    return Acc;
+  }
+
+  Value *emitVectorize(SLPNode *N) {
+    Instruction *Anchor = firstMember(N);
+    Type *VecTy = vectorTypeOf(N);
+    switch (N->getOpcode()) {
+    case ValueID::Load: {
+      auto *Lane0 = cast<LoadInst>(N->getScalar(0));
+      return insertBefore(
+          LoadInst::create(VecTy, Lane0->getPointerOperand()), Anchor);
+    }
+    case ValueID::Store: {
+      Value *Val = emitNode(N->getOperand(0), Anchor);
+      auto *Lane0 = cast<StoreInst>(N->getScalar(0));
+      return insertBefore(StoreInst::create(Val, Lane0->getPointerOperand()),
+                          Anchor);
+    }
+    default: {
+      if (CastInst::isCastOpcode(N->getOpcode())) {
+        Value *Src = emitNode(N->getOperand(0), Anchor);
+        return insertBefore(CastInst::create(N->getOpcode(), Src, VecTy),
+                            Anchor);
+      }
+      assert(cast<Instruction>(N->getScalar(0))->isBinaryOp() &&
+             "unexpected vectorize-node opcode");
+      Value *L = emitNode(N->getOperand(0), Anchor);
+      Value *R = emitNode(N->getOperand(1), Anchor);
+      return insertBefore(BinaryOperator::create(N->getOpcode(), L, R),
+                          Anchor);
+    }
+    }
+  }
+
+  Value *emitMultiNode(SLPNode *N) {
+    Instruction *Anchor = firstMember(N);
+    std::vector<Value *> Frontier;
+    Frontier.reserve(N->getOperands().size());
+    for (SLPNode *Op : N->getOperands())
+      Frontier.push_back(emitNode(Op, Anchor));
+    assert(Frontier.size() >= 2 && "degenerate multi-node");
+    // Commutative + associative (fast-math for FP): re-associate as a
+    // left-deep chain over the reordered frontier.
+    Value *Acc = Frontier[0];
+    for (size_t I = 1; I < Frontier.size(); ++I)
+      Acc = insertBefore(
+          BinaryOperator::create(N->getOpcode(), Acc, Frontier[I]), Anchor);
+    return Acc;
+  }
+
+  Value *emitAlternate(SLPNode *N) {
+    Instruction *Anchor = firstMember(N);
+    Value *L = emitNode(N->getOperand(0), Anchor);
+    Value *R = emitNode(N->getOperand(1), Anchor);
+    Value *MainVec = insertBefore(
+        BinaryOperator::create(N->getOpcode(), L, R), Anchor);
+    Value *AltVec = insertBefore(
+        BinaryOperator::create(N->getAltOpcode(), L, R), Anchor);
+    // Blend: lane k reads MainVec[k] or AltVec[k] (index k + lanes).
+    unsigned Lanes = N->getNumLanes();
+    std::vector<int> Mask(Lanes);
+    for (unsigned K = 0; K != Lanes; ++K)
+      Mask[K] = N->isAltLane(K) ? static_cast<int>(K + Lanes)
+                                : static_cast<int>(K);
+    return insertBefore(
+        ShuffleVectorInst::create(MainVec, AltVec, std::move(Mask)), Anchor);
+  }
+
+  void replaceExternalUses() {
+    for (const auto &NPtr : Graph.nodes()) {
+      SLPNode *N = NPtr.get();
+      if (!N->isVectorizable() || N->getOpcode() == ValueID::Store)
+        continue;
+      Value *Vec = Emitted.at(N);
+      Instruction *Anchor = firstMember(N);
+      for (unsigned L = 0, E = N->getNumLanes(); L != E; ++L) {
+        Value *Scalar = N->getScalar(L);
+        // Snapshot: setOperand below mutates the use list.
+        std::vector<Use> Uses = Scalar->uses();
+        Instruction *Extract = nullptr;
+        for (const Use &U : Uses) {
+          auto *UserI = cast<Instruction>(static_cast<Value *>(U.TheUser));
+          if (Graph.isCoveredScalar(UserI))
+            continue; // Dies with the graph.
+          if (EmittedInsts.count(UserI))
+            continue; // New vector code referencing the scalar (gathers).
+          if (!Extract)
+            Extract = insertBefore(
+                ExtractElementInst::create(Vec, Ctx.getInt32(L)), Anchor);
+          UserI->setOperand(U.OperandNo, Extract);
+        }
+      }
+    }
+  }
+
+  void eraseDeadScalars() {
+    std::vector<Instruction *> Covered;
+    for (const auto &NPtr : Graph.nodes()) {
+      const SLPNode *N = NPtr.get();
+      if (N->getKind() == SLPNode::NodeKind::Vectorize ||
+          N->getKind() == SLPNode::NodeKind::Alternate) {
+        for (Value *S : N->getScalars())
+          Covered.push_back(cast<Instruction>(S));
+      } else if (N->getKind() == SLPNode::NodeKind::MultiNode) {
+        for (const auto &Chain : N->getLaneChains())
+          for (Instruction *I : Chain)
+            Covered.push_back(I);
+      }
+    }
+    // Fixpoint: erase covered scalars as their uses disappear. Scalars
+    // still referenced (e.g. by gathers) stay alive — that is sound.
+    bool Changed = true;
+    std::map<Instruction *, bool> Erased;
+    while (Changed) {
+      Changed = false;
+      for (Instruction *I : Covered) {
+        if (Erased[I] || I->hasUses())
+          continue;
+        I->eraseFromParent();
+        Erased[I] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  SLPGraph &Graph;
+  BasicBlock &BB;
+  Context &Ctx;
+  std::map<const SLPNode *, Value *> Emitted;
+  std::set<const Instruction *> EmittedInsts;
+};
+
+} // namespace
+
+bool lslp::generateVectorCode(SLPGraph &Graph, BasicBlock &BB,
+                              BundleScheduler &Scheduler) {
+  if (!Scheduler.materialize())
+    return false;
+  Emitter(Graph, BB).run();
+  // Clean up the address computations (and anything else) orphaned by the
+  // deleted scalars.
+  removeTriviallyDeadInstructions(BB);
+  return true;
+}
+
+Value *lslp::generateVectorValue(SLPGraph &Graph, BasicBlock &BB,
+                                 BundleScheduler &Scheduler,
+                                 Instruction *Before) {
+  if (!Graph.getRoot() || !Graph.getRoot()->isVectorizable())
+    return nullptr;
+  if (!Scheduler.materialize())
+    return nullptr;
+  // Dead-scalar cleanup is deferred to the caller: the reduction tree
+  // consuming the root scalars is still in place at this point.
+  return Emitter(Graph, BB).runForValue(Before);
+}

@@ -1,0 +1,46 @@
+//===- vectorizer/CodeGen.h - Vector code generation ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces an accepted SLP graph's scalar groups with vector instructions
+/// (paper steps 6-7, Figure 1): materializes the bundle schedule, emits one
+/// vector instruction per group (a chain for multi-nodes), assembles
+/// gathered operands with constant vectors or insertelement sequences,
+/// extracts lanes that still have scalar users, and erases the dead
+/// scalars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_CODEGEN_H
+#define LSLP_VECTORIZER_CODEGEN_H
+
+namespace lslp {
+
+class BasicBlock;
+class BundleScheduler;
+class Instruction;
+class SLPGraph;
+class Value;
+
+/// Lowers \p Graph into vector code inside \p BB. \p Scheduler must be the
+/// builder's scheduler (it holds the committed bundles). Returns false —
+/// leaving the function unchanged except for instruction reordering — if
+/// the schedule cannot be materialized (cannot happen for graphs built
+/// with per-bundle schedulability checks).
+bool generateVectorCode(SLPGraph &Graph, BasicBlock &BB,
+                        BundleScheduler &Scheduler);
+
+/// Variant for graphs whose root is a value bundle rather than a store
+/// group (used by the horizontal-reduction vectorizer): emits the vector
+/// code and returns the root bundle's vector value, with gathers anchored
+/// before \p Before. Returns null if the root is not vectorizable or the
+/// schedule cannot be materialized.
+Value *generateVectorValue(SLPGraph &Graph, BasicBlock &BB,
+                           BundleScheduler &Scheduler, Instruction *Before);
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_CODEGEN_H

@@ -1,0 +1,108 @@
+//===- vectorizer/Config.h - Vectorizer configuration -----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunables selecting between the paper's four configurations and the
+/// Figure 13 sensitivity sweeps:
+///
+///   O3     — vectorizer not run at all (callers simply skip the pass).
+///   SLP-NR — EnableReordering = false.
+///   SLP    — vanilla bottom-up SLP: reordering on, no look-ahead, no
+///            multi-nodes.
+///   LSLP   — look-ahead reordering + multi-node formation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_CONFIG_H
+#define LSLP_VECTORIZER_CONFIG_H
+
+#include <limits>
+#include <string>
+
+namespace lslp {
+
+/// All knobs of the (L)SLP vectorizer.
+struct VectorizerConfig {
+  /// Reorder operands of commutative groups at all (off = SLP-NR).
+  bool EnableReordering = true;
+
+  /// Use look-ahead scores to break reordering ties (LSLP §4.4). When off,
+  /// the first opcode-matching candidate wins (vanilla SLP behaviour).
+  bool EnableLookAhead = false;
+
+  /// Form multi-nodes over chains of same-opcode commutative instructions
+  /// (LSLP §4.2).
+  bool EnableMultiNode = false;
+
+  /// Maximum look-ahead recursion depth (paper evaluates up to 8).
+  unsigned MaxLookAheadLevel = 8;
+
+  /// Maximum number of chained instructions per lane merged into one
+  /// multi-node (paper's Multi-{1,2,3} sweep). 1 disables coarsening.
+  unsigned MaxMultiNodeSize = std::numeric_limits<unsigned>::max();
+
+  /// Aggregation of recursive look-ahead scores (paper footnote 4 ablation).
+  enum class ScoreAggregationKind { Sum, Max };
+  ScoreAggregationKind ScoreAggregation = ScoreAggregationKind::Sum;
+
+  /// Reordering search strategy (paper footnote 3 ablation). The paper's
+  /// algorithm fills slots greedily in one pass without backtracking;
+  /// ExhaustivePerLane instead scores every permutation of each lane's
+  /// candidates and keeps the best (still lane-by-lane, no cross-lane
+  /// backtracking; bounded to small slot counts).
+  enum class ReorderStrategyKind { GreedySingle, ExhaustivePerLane };
+  ReorderStrategyKind ReorderStrategy = ReorderStrategyKind::GreedySingle;
+
+  /// Detect SPLAT operand slots (Listing 5, line 23).
+  bool EnableSplatMode = true;
+
+  /// Extension beyond the paper (standard in LLVM's SLP): vectorize
+  /// groups mixing add/sub or fadd/fsub (the vaddsubpd pattern complex
+  /// arithmetic produces) as two vector ops plus a blend. Orthogonal to
+  /// the LSLP features; enabled in every configuration.
+  bool EnableAltOpcodes = true;
+
+  /// Vectorize horizontal reduction trees (the paper's second seed class,
+  /// §2.2): single-lane same-opcode commutative trees folded with
+  /// log-step shuffles. Orthogonal to the LSLP features.
+  bool EnableReductions = true;
+
+  /// Vectorize when the graph cost is strictly below this (paper: 0).
+  int CostThreshold = 0;
+
+  /// Recursion depth bound for graph building.
+  unsigned MaxGraphDepth = 16;
+
+  /// Human-readable configuration name for reports.
+  std::string Name = "custom";
+
+  /// \name Paper configurations.
+  /// @{
+  static VectorizerConfig slpNoReordering() {
+    VectorizerConfig C;
+    C.EnableReordering = false;
+    C.Name = "SLP-NR";
+    return C;
+  }
+  static VectorizerConfig slp() {
+    VectorizerConfig C;
+    C.Name = "SLP";
+    return C;
+  }
+  static VectorizerConfig lslp(unsigned LookAheadLevel = 8) {
+    VectorizerConfig C;
+    C.EnableLookAhead = true;
+    C.EnableMultiNode = true;
+    C.MaxLookAheadLevel = LookAheadLevel;
+    C.Name = "LSLP";
+    return C;
+  }
+  /// @}
+};
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_CONFIG_H

@@ -1,0 +1,128 @@
+//===- vectorizer/CostEvaluator.cpp - Graph cost evaluation ------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/CostEvaluator.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "vectorizer/SLPGraph.h"
+
+using namespace lslp;
+
+namespace {
+
+/// One extract per vectorized lane whose scalar still has users outside
+/// the graph (those users keep reading the scalar value).
+int externalUseCost(const SLPGraph &Graph, const SLPNode &Node,
+                    const TargetTransformInfo &TTI, Type *VecTy) {
+  int Cost = 0;
+  for (const Value *Scalar : Node.getScalars()) {
+    bool HasExternalUse = false;
+    for (const Use &U : Scalar->uses()) {
+      const auto *UserV = static_cast<const Value *>(U.TheUser);
+      if (!Graph.isCoveredScalar(UserV)) {
+        HasExternalUse = true;
+        break;
+      }
+    }
+    if (HasExternalUse)
+      Cost += TTI.getVectorLaneOpCost(ValueID::ExtractElement, VecTy);
+  }
+  return Cost;
+}
+
+int nodeCost(const SLPGraph &Graph, const SLPNode &Node,
+             const TargetTransformInfo &TTI) {
+  Type *ScalarTy = Node.getScalarEltType();
+  Context &Ctx = ScalarTy->getContext();
+  const unsigned Lanes = Node.getNumLanes();
+  Type *VecTy = Ctx.getVectorTy(ScalarTy, Lanes);
+
+  switch (Node.getKind()) {
+  case SLPNode::NodeKind::Gather: {
+    // A splat (all lanes the same value) lowers to a broadcast.
+    bool AllSame = true;
+    bool AnyConstantLane = false;
+    std::vector<bool> IsConst;
+    IsConst.reserve(Lanes);
+    for (const Value *V : Node.getScalars()) {
+      AllSame &= (V == Node.getScalar(0));
+      bool C = isa<Constant>(V);
+      IsConst.push_back(C);
+      AnyConstantLane |= C;
+    }
+    if (AllSame) {
+      if (AnyConstantLane)
+        return 0; // Splat of a constant: constant vector.
+      // insert + broadcast shuffle.
+      return TTI.getVectorLaneOpCost(ValueID::InsertElement, VecTy) +
+             TTI.getShuffleCost(VecTy);
+    }
+    return TTI.getGatherCost(VecTy, IsConst);
+  }
+  case SLPNode::NodeKind::Vectorize: {
+    ValueID Opc = Node.getOpcode();
+    int Cost = 0;
+    if (Opc == ValueID::Load || Opc == ValueID::Store) {
+      Cost = TTI.getMemoryOpCost(Opc, VecTy);
+      for (unsigned L = 0; L != Lanes; ++L)
+        Cost -= TTI.getMemoryOpCost(Opc, ScalarTy);
+    } else if (CastInst::isCastOpcode(Opc)) {
+      Cost = TTI.getCastInstrCost(Opc, VecTy);
+      for (unsigned L = 0; L != Lanes; ++L)
+        Cost -= TTI.getCastInstrCost(Opc, ScalarTy);
+    } else {
+      Cost = TTI.getArithmeticInstrCost(Opc, VecTy);
+      for (unsigned L = 0; L != Lanes; ++L)
+        Cost -= TTI.getArithmeticInstrCost(Opc, ScalarTy);
+    }
+    if (Opc != ValueID::Store)
+      Cost += externalUseCost(Graph, Node, TTI, VecTy);
+    return Cost;
+  }
+  case SLPNode::NodeKind::Alternate: {
+    // Two full-width vector ops blended by one shuffle replace one scalar
+    // op per lane.
+    int Cost = TTI.getArithmeticInstrCost(Node.getOpcode(), VecTy) +
+               TTI.getArithmeticInstrCost(Node.getAltOpcode(), VecTy) +
+               TTI.getShuffleCost(VecTy);
+    for (const Value *Scalar : Node.getScalars())
+      Cost -= TTI.getArithmeticInstrCost(
+          cast<Instruction>(Scalar)->getOpcode(), ScalarTy);
+    Cost += externalUseCost(Graph, Node, TTI, VecTy);
+    return Cost;
+  }
+  case SLPNode::NodeKind::MultiNode: {
+    // ChainLength vector ops replace ChainLength scalar ops per lane.
+    ValueID Opc = Node.getOpcode();
+    unsigned ChainLen = Node.getChainLength();
+    int Cost = static_cast<int>(ChainLen) *
+               TTI.getArithmeticInstrCost(Opc, VecTy);
+    for (const auto &Chain : Node.getLaneChains())
+      Cost -= static_cast<int>(Chain.size()) *
+              TTI.getArithmeticInstrCost(Opc, ScalarTy);
+    // Only the roots can have external uses (internals are single-use by
+    // construction).
+    Cost += externalUseCost(Graph, Node, TTI, VecTy);
+    return Cost;
+  }
+  }
+  return 0;
+}
+
+} // namespace
+
+int lslp::evaluateGraphCost(SLPGraph &Graph, const TargetTransformInfo &TTI) {
+  int Total = 0;
+  for (const auto &Node : Graph.nodes()) {
+    int Cost = nodeCost(Graph, *Node, TTI);
+    Node->setCost(Cost);
+    Total += Cost;
+  }
+  Graph.setTotalCost(Total);
+  return Total;
+}

@@ -1,0 +1,29 @@
+//===- vectorizer/CostEvaluator.h - Graph cost evaluation -------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the SLP-graph cost (paper step 4, Figure 1): for every node,
+/// VectorCost - ScalarCost, plus gather overheads for non-vectorizable
+/// operand groups and an extract per vectorized lane that is still used by
+/// code outside the graph. Negative totals mean vector code is faster.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_COSTEVALUATOR_H
+#define LSLP_VECTORIZER_COSTEVALUATOR_H
+
+namespace lslp {
+
+class SLPGraph;
+class TargetTransformInfo;
+
+/// Evaluates and caches the cost of every node in \p Graph; returns the
+/// total (also stored via SLPGraph::setTotalCost).
+int evaluateGraphCost(SLPGraph &Graph, const TargetTransformInfo &TTI);
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_COSTEVALUATOR_H

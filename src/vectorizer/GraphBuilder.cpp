@@ -1,0 +1,297 @@
+//===- vectorizer/GraphBuilder.cpp - (L)SLP graph construction --------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/GraphBuilder.h"
+
+#include "analysis/AddressAnalysis.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "vectorizer/OperandReordering.h"
+
+#include <set>
+
+using namespace lslp;
+
+SLPGraphBuilder::SLPGraphBuilder(const VectorizerConfig &Config,
+                                 BasicBlock &BB)
+    : Config(Config), BB(BB), Scheduler(BB) {}
+
+std::optional<SLPGraph> SLPGraphBuilder::build(
+    const std::vector<Instruction *> &Seeds) {
+  assert(Seeds.size() >= 2 && "need at least two seed lanes");
+  std::vector<Value *> Lanes(Seeds.begin(), Seeds.end());
+  SLPNode *Root = buildRec(Lanes, /*Depth=*/0);
+  if (!Root || !Root->isVectorizable())
+    return std::nullopt;
+  Graph.setRoot(Root);
+  return std::move(Graph);
+}
+
+std::optional<SLPGraph> SLPGraphBuilder::buildValueGraph(
+    const std::vector<Value *> &Lanes) {
+  assert(Lanes.size() >= 2 && "need at least two lanes");
+  SLPNode *Root = buildRec(Lanes, /*Depth=*/0);
+  if (!Root || !Root->isVectorizable())
+    return std::nullopt;
+  Graph.setRoot(Root);
+  return std::move(Graph);
+}
+
+SLPNode *SLPGraphBuilder::buildRec(const std::vector<Value *> &Lanes,
+                                   unsigned Depth) {
+  auto It = BundleCache.find(Lanes);
+  if (It != BundleCache.end())
+    return It->second;
+  SLPNode *N = buildRecImpl(Lanes, Depth);
+  if (N->isVectorizable())
+    BundleCache[Lanes] = N;
+  return N;
+}
+
+SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
+                                       unsigned Depth) {
+  auto Gather = [&] { return Graph.createGatherNode(Lanes); };
+
+  if (Depth > Config.MaxGraphDepth)
+    return Gather();
+
+  // Termination conditions (paper footnote 1): all lanes must hold unique,
+  // isomorphic scalar instructions from this block that are not yet part
+  // of the graph.
+  std::vector<Instruction *> Insts;
+  Insts.reserve(Lanes.size());
+  for (Value *V : Lanes) {
+    auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return Gather();
+    Insts.push_back(I);
+  }
+  ValueID Opcode = Insts[0]->getOpcode();
+  Type *Ty = Insts[0]->getType();
+  bool MixedOpcodes = false;
+  for (Instruction *I : Insts) {
+    MixedOpcodes |= I->getOpcode() != Opcode;
+    if (I->getType() != Ty)
+      return Gather();
+    if (I->getParent() != &BB)
+      return Gather();
+    if (I->getType()->isVectorTy())
+      return Gather(); // Already vector code.
+    if (Graph.isCoveredScalar(I))
+      return Gather(); // Used by another group; gather with extracts.
+  }
+  std::set<Value *> Unique(Lanes.begin(), Lanes.end());
+  if (Unique.size() != Lanes.size())
+    return Gather(); // Duplicate lanes vectorize as a splat gather.
+
+  if (MixedOpcodes) {
+    // Extension: an add/sub or fadd/fsub mix lowers as two vector ops
+    // plus a blend (LLVM's "alternate opcode" bundles).
+    if (Config.EnableAltOpcodes)
+      if (SLPNode *Alt = tryBuildAlternateNode(Insts, Depth))
+        return Alt;
+    return Gather();
+  }
+
+  switch (Opcode) {
+  case ValueID::Store: {
+    // Seeds: consecutive stores in address order.
+    for (size_t I = 0; I + 1 < Insts.size(); ++I)
+      if (!areConsecutiveAccesses(Insts[I], Insts[I + 1]))
+        return Gather();
+    if (!Scheduler.canScheduleBundle(Insts))
+      return Gather();
+    Scheduler.commitBundle(Insts);
+    SLPNode *Node = Graph.createVectorizeNode(Lanes);
+    std::vector<Value *> ValueLanes;
+    ValueLanes.reserve(Insts.size());
+    for (Instruction *I : Insts)
+      ValueLanes.push_back(cast<StoreInst>(I)->getValueOperand());
+    Node->addOperand(buildRec(ValueLanes, Depth + 1));
+    return Node;
+  }
+  case ValueID::Load: {
+    // A load group vectorizes only if the lanes are consecutive in lane
+    // order (the order the parent's operand reordering produced).
+    for (size_t I = 0; I + 1 < Insts.size(); ++I)
+      if (!areConsecutiveAccesses(Insts[I], Insts[I + 1]))
+        return Gather();
+    if (!Scheduler.canScheduleBundle(Insts))
+      return Gather();
+    Scheduler.commitBundle(Insts);
+    return Graph.createVectorizeNode(Lanes);
+  }
+  default:
+    if (Insts[0]->isBinaryOp())
+      return buildBinaryNode(Insts, Depth);
+    if (CastInst::isCastOpcode(Opcode)) {
+      // Cast groups vectorize when the source types agree too (the
+      // destination types already do).
+      Type *SrcTy = cast<CastInst>(Insts[0])->getSrcType();
+      for (Instruction *I : Insts)
+        if (cast<CastInst>(I)->getSrcType() != SrcTy)
+          return Gather();
+      if (!Scheduler.canScheduleBundle(Insts))
+        return Gather();
+      Scheduler.commitBundle(Insts);
+      SLPNode *Node = Graph.createVectorizeNode(Lanes);
+      std::vector<Value *> SrcLanes;
+      SrcLanes.reserve(Insts.size());
+      for (Instruction *I : Insts)
+        SrcLanes.push_back(cast<CastInst>(I)->getSourceOperand());
+      Node->addOperand(buildRec(SrcLanes, Depth + 1));
+      return Node;
+    }
+    // Everything else (gep/icmp/select/phi/vector ops) is out of scope for
+    // group formation and is gathered.
+    return Gather();
+  }
+}
+
+SLPNode *SLPGraphBuilder::buildBinaryNode(
+    const std::vector<Instruction *> &Insts, unsigned Depth) {
+  std::vector<Value *> Lanes(Insts.begin(), Insts.end());
+  const bool Commutative =
+      BinaryOperator::isCommutativeOpcode(Insts[0]->getOpcode());
+
+  if (!Scheduler.canScheduleBundle(Insts))
+    return Graph.createGatherNode(Lanes);
+
+  // LSLP: try to coarsen a chain of same-opcode commutative operations
+  // into a multi-node (Listing 4, coarsening mode).
+  if (Commutative && Config.EnableMultiNode)
+    if (SLPNode *Multi = tryBuildMultiNode(Insts, Depth))
+      return Multi;
+
+  // Plain group node (vanilla SLP path / non-commutative ops).
+  Scheduler.commitBundle(Insts);
+  SLPNode *Node = Graph.createVectorizeNode(Lanes);
+
+  std::vector<std::vector<Value *>> Matrix(2);
+  for (Instruction *I : Insts) {
+    Matrix[0].push_back(I->getOperand(0));
+    Matrix[1].push_back(I->getOperand(1));
+  }
+  if (Commutative && Config.EnableReordering) {
+    ReorderResult RR = reorderOperands(Matrix, Config);
+    Node->setReordered(RR.Changed);
+    Matrix = std::move(RR.Final);
+  }
+  buildOperands(Node, Matrix, Depth);
+  return Node;
+}
+
+SLPNode *SLPGraphBuilder::tryBuildAlternateNode(
+    const std::vector<Instruction *> &Insts, unsigned Depth) {
+  const ValueID Main = Insts[0]->getOpcode();
+  // Only the even/odd pairs hardware blends support.
+  ValueID Alt;
+  if (Main == ValueID::Add || Main == ValueID::Sub)
+    Alt = (Main == ValueID::Add) ? ValueID::Sub : ValueID::Add;
+  else if (Main == ValueID::FAdd || Main == ValueID::FSub)
+    Alt = (Main == ValueID::FAdd) ? ValueID::FSub : ValueID::FAdd;
+  else
+    return nullptr;
+  for (Instruction *I : Insts)
+    if (I->getOpcode() != Main && I->getOpcode() != Alt)
+      return nullptr;
+
+  if (!Scheduler.canScheduleBundle(Insts))
+    return nullptr;
+  Scheduler.commitBundle(Insts);
+
+  std::vector<Value *> Lanes(Insts.begin(), Insts.end());
+  SLPNode *Node = Graph.createAlternateNode(Lanes, Alt);
+  // Sub/fsub lanes pin the operand order: no reordering for alt bundles.
+  std::vector<std::vector<Value *>> Matrix(2);
+  for (Instruction *I : Insts) {
+    Matrix[0].push_back(I->getOperand(0));
+    Matrix[1].push_back(I->getOperand(1));
+  }
+  buildOperands(Node, Matrix, Depth);
+  return Node;
+}
+
+void SLPGraphBuilder::flattenChain(Instruction *Root, ValueID Opcode,
+                                   std::vector<Instruction *> &Chain,
+                                   std::vector<Value *> &Frontier) {
+  Chain.push_back(Root);
+  for (Value *Op : Root->operands()) {
+    auto *OpInst = dyn_cast<Instruction>(Op);
+    // An operand joins the chain only when it is the same commutative
+    // opcode, lives in this block, does not escape the multi-node (its
+    // sole use is the chain), is not already grouped, and the per-lane
+    // size limit has room (Listing 4, lines 13-14).
+    if (OpInst && OpInst->getOpcode() == Opcode &&
+        OpInst->getParent() == &BB && OpInst->hasOneUse() &&
+        !Graph.isCoveredScalar(OpInst) &&
+        Chain.size() < Config.MaxMultiNodeSize) {
+      flattenChain(OpInst, Opcode, Chain, Frontier);
+      continue;
+    }
+    Frontier.push_back(Op);
+  }
+}
+
+SLPNode *SLPGraphBuilder::tryBuildMultiNode(
+    const std::vector<Instruction *> &Roots, unsigned Depth) {
+  const ValueID Opcode = Roots[0]->getOpcode();
+  const unsigned NumLanes = static_cast<unsigned>(Roots.size());
+
+  std::vector<std::vector<Instruction *>> Chains(NumLanes);
+  std::vector<std::vector<Value *>> Frontiers(NumLanes);
+  for (unsigned L = 0; L != NumLanes; ++L)
+    flattenChain(Roots[L], Opcode, Chains[L], Frontiers[L]);
+
+  // All lanes must expose the same frontier width for slot-wise
+  // reordering, and at least one lane must actually chain (otherwise the
+  // plain path handles it identically and more cheaply).
+  const size_t Width = Frontiers[0].size();
+  bool AnyChained = Chains[0].size() > 1;
+  for (unsigned L = 1; L != NumLanes; ++L) {
+    if (Frontiers[L].size() != Width)
+      return nullptr;
+    AnyChained |= Chains[L].size() > 1;
+  }
+  if (!AnyChained)
+    return nullptr;
+  // Equal frontier widths with some lane chained implies equal chain
+  // lengths per lane (chain length = width - 1 for binary ops). Lanes with
+  // shorter chains would have smaller frontiers, already rejected above.
+
+  // The internal chain values must be mutually independent across lanes so
+  // the whole multi-node can be replaced at the root bundle's position.
+  // Chain members of one lane depend on each other by construction, which
+  // is fine: only the root bundle is scheduled as a unit.
+  std::vector<Instruction *> RootVec(Roots.begin(), Roots.end());
+  if (!Scheduler.canScheduleBundle(RootVec))
+    return nullptr;
+  Scheduler.commitBundle(RootVec);
+
+  std::vector<Value *> RootLanes(Roots.begin(), Roots.end());
+  SLPNode *Node = Graph.createMultiNode(RootLanes, Chains);
+
+  // Reorder across the multi-node frontier (Listing 4, line 20).
+  std::vector<std::vector<Value *>> Matrix(Width,
+                                           std::vector<Value *>(NumLanes));
+  for (unsigned L = 0; L != NumLanes; ++L)
+    for (size_t S = 0; S != Width; ++S)
+      Matrix[S][L] = Frontiers[L][S];
+  if (Config.EnableReordering) {
+    ReorderResult RR = reorderOperands(Matrix, Config);
+    Node->setReordered(RR.Changed);
+    Matrix = std::move(RR.Final);
+  }
+  buildOperands(Node, Matrix, Depth);
+  return Node;
+}
+
+void SLPGraphBuilder::buildOperands(
+    SLPNode *Node, const std::vector<std::vector<Value *>> &Matrix,
+    unsigned Depth) {
+  for (const auto &SlotLanes : Matrix)
+    Node->addOperand(buildRec(SlotLanes, Depth + 1));
+}

@@ -1,0 +1,90 @@
+//===- vectorizer/GraphBuilder.h - (L)SLP graph construction ----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the vectorization graph from a seed bundle by walking use-def
+/// chains bottom-up (paper Listing 3), with LSLP's multi-node coarsening
+/// over chains of same-opcode commutative instructions (Listing 4) and
+/// operand reordering at group/multi-node frontiers (Listings 5-7),
+/// selected by the VectorizerConfig.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_GRAPHBUILDER_H
+#define LSLP_VECTORIZER_GRAPHBUILDER_H
+
+#include "vectorizer/Config.h"
+#include "vectorizer/SLPGraph.h"
+#include "vectorizer/Scheduler.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+
+/// One graph-construction attempt over one seed bundle. The builder owns
+/// the bundle scheduler whose committed bundles the code generator later
+/// materializes.
+class SLPGraphBuilder {
+public:
+  SLPGraphBuilder(const VectorizerConfig &Config, BasicBlock &BB);
+
+  /// Builds the graph rooted at \p Seeds (consecutive store instructions in
+  /// address order). Returns std::nullopt when even the seed bundle cannot
+  /// form a group (e.g. not schedulable).
+  std::optional<SLPGraph> build(const std::vector<Instruction *> &Seeds);
+
+  /// Builds a graph whose root bundle is an arbitrary value bundle (the
+  /// horizontal-reduction path: the bundle of a reduction tree's leaves).
+  /// Returns std::nullopt when the root does not form a vectorizable
+  /// group.
+  std::optional<SLPGraph> buildValueGraph(const std::vector<Value *> &Lanes);
+
+  /// The scheduler holding the bundles committed during the build.
+  BundleScheduler &getScheduler() { return Scheduler; }
+
+private:
+  /// Cache wrapper around buildRecImpl: an operand bundle identical to an
+  /// already-built vectorizable node reuses that node (diamond sharing, as
+  /// in LLVM's tree entries), so e.g. x*x costs its loads only once.
+  SLPNode *buildRec(const std::vector<Value *> &Lanes, unsigned Depth);
+  SLPNode *buildRecImpl(const std::vector<Value *> &Lanes, unsigned Depth);
+  SLPNode *buildBinaryNode(const std::vector<Instruction *> &Insts,
+                           unsigned Depth);
+  /// Extension: groups mixing exactly two compatible opcodes (add/sub,
+  /// fadd/fsub). Returns null if the mix does not fit the pattern.
+  SLPNode *tryBuildAlternateNode(const std::vector<Instruction *> &Insts,
+                                 unsigned Depth);
+  /// Attempts LSLP multi-node formation; returns null to fall back to the
+  /// plain single-group path.
+  SLPNode *tryBuildMultiNode(const std::vector<Instruction *> &Roots,
+                             unsigned Depth);
+  /// Flattens the same-opcode commutative chain rooted at \p Root,
+  /// appending chain members to \p Chain and frontier operands to
+  /// \p Frontier (left-to-right DFS order).
+  void flattenChain(Instruction *Root, ValueID Opcode,
+                    std::vector<Instruction *> &Chain,
+                    std::vector<Value *> &Frontier);
+
+  /// Builds operand nodes for a reordered operand matrix and attaches them
+  /// to \p Node.
+  void buildOperands(SLPNode *Node,
+                     const std::vector<std::vector<Value *>> &Matrix,
+                     unsigned Depth);
+
+  const VectorizerConfig &Config;
+  BasicBlock &BB;
+  BundleScheduler Scheduler;
+  SLPGraph Graph;
+  std::map<std::vector<Value *>, SLPNode *> BundleCache;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_GRAPHBUILDER_H

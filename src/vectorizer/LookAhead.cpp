@@ -1,0 +1,70 @@
+//===- vectorizer/LookAhead.cpp - Look-ahead operand scoring ----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/LookAhead.h"
+
+#include "analysis/AddressAnalysis.h"
+#include "ir/Constants.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+
+using namespace lslp;
+
+bool lslp::areConsecutiveOrMatch(const Value *Last, const Value *Candidate) {
+  // Two constants always "match": a constant vector can be materialized
+  // for free regardless of the values.
+  if (isa<Constant>(Last) && isa<Constant>(Candidate))
+    return true;
+  const auto *LastI = dyn_cast<Instruction>(Last);
+  const auto *CandI = dyn_cast<Instruction>(Candidate);
+  if (!LastI || !CandI) {
+    // Non-instruction, non-constant values (arguments, globals) match only
+    // when identical (a splat).
+    return Last == Candidate;
+  }
+  if (isa<LoadInst>(LastI) && isa<LoadInst>(CandI))
+    return areConsecutiveAccesses(LastI, CandI);
+  return LastI->getOpcode() == CandI->getOpcode();
+}
+
+namespace {
+
+/// True when the pair can be descended into: same-opcode instructions with
+/// operands worth comparing (loads terminate at the consecutive test).
+bool canRecurse(const Value *A, const Value *B) {
+  const auto *IA = dyn_cast<Instruction>(A);
+  const auto *IB = dyn_cast<Instruction>(B);
+  if (!IA || !IB || IA->getOpcode() != IB->getOpcode())
+    return false;
+  if (isa<LoadInst>(IA))
+    return false;
+  return IA->getNumOperands() > 0 && IB->getNumOperands() > 0;
+}
+
+} // namespace
+
+int lslp::getLookAheadScore(
+    const Value *Last, const Value *Candidate, unsigned MaxLevel,
+    VectorizerConfig::ScoreAggregationKind Aggregation) {
+  if (MaxLevel == 0 || !canRecurse(Last, Candidate))
+    return areConsecutiveOrMatch(Last, Candidate) ? 1 : 0;
+
+  const auto *LastI = cast<Instruction>(Last);
+  const auto *CandI = cast<Instruction>(Candidate);
+  int Aggregated = 0;
+  for (const Value *LastOp : LastI->operands()) {
+    for (const Value *CandOp : CandI->operands()) {
+      int Score =
+          getLookAheadScore(LastOp, CandOp, MaxLevel - 1, Aggregation);
+      if (Aggregation == VectorizerConfig::ScoreAggregationKind::Sum)
+        Aggregated += Score;
+      else
+        Aggregated = std::max(Aggregated, Score);
+    }
+  }
+  return Aggregated;
+}

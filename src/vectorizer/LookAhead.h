@@ -1,0 +1,45 @@
+//===- vectorizer/LookAhead.h - Look-ahead operand scoring ------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LSLP's look-ahead score (paper §4.4, Listing 7, Figure 7): candidate
+/// operands are compared by recursively matching the sub-DAGs hanging off
+/// them up to a bounded depth. Each base-case pair contributes 1 when it
+/// "matches" (consecutive loads, two constants, or same-opcode
+/// instructions) and 0 otherwise; recursive scores of all operand
+/// combinations are aggregated by sum (default) or max (footnote-4
+/// ablation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_LOOKAHEAD_H
+#define LSLP_VECTORIZER_LOOKAHEAD_H
+
+#include "vectorizer/Config.h"
+
+namespace lslp {
+
+class Value;
+
+/// The trivial pairwise match test used both for candidate filtering
+/// (Listing 6, line 13) and as the look-ahead base case:
+///  - two loads: true iff their addresses are consecutive (last -> cand);
+///  - two constants: true;
+///  - two instructions of the same opcode: true;
+///  - otherwise false.
+bool areConsecutiveOrMatch(const Value *Last, const Value *Candidate);
+
+/// Look-ahead score of pairing \p Candidate (current lane) with \p Last
+/// (previous lane), exploring \p MaxLevel levels of the use-def DAG
+/// (Listing 7).
+int getLookAheadScore(const Value *Last, const Value *Candidate,
+                      unsigned MaxLevel,
+                      VectorizerConfig::ScoreAggregationKind Aggregation =
+                          VectorizerConfig::ScoreAggregationKind::Sum);
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_LOOKAHEAD_H

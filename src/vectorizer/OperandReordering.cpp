@@ -1,0 +1,234 @@
+//===- vectorizer/OperandReordering.cpp - Operand reordering ----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/OperandReordering.h"
+
+#include "ir/Constants.h"
+#include "ir/Instruction.h"
+#include "vectorizer/LookAhead.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lslp;
+
+namespace {
+
+/// Initial mode of a slot, from its lane-0 value (Listing 5, line 8).
+OperandMode initialMode(const Value *V) {
+  if (isa<Constant>(V))
+    return OperandMode::Constant;
+  if (isa<LoadInst>(V))
+    return OperandMode::Load;
+  if (isa<Instruction>(V))
+    return OperandMode::Opcode;
+  // Arguments/globals can only vectorize as splats.
+  return OperandMode::Splat;
+}
+
+/// Outcome of get_best (Listing 6): the chosen candidate (null = let other
+/// slots choose first) and the slot's new mode.
+struct BestResult {
+  Value *Best = nullptr;
+  OperandMode NewMode = OperandMode::Failed;
+};
+
+/// Listing 6: picks the best candidate for a slot. Does not remove the
+/// candidate from \p Candidates (the caller does).
+BestResult getBest(OperandMode Mode, Value *Last,
+                   const std::vector<Value *> &Candidates,
+                   const VectorizerConfig &Config) {
+  switch (Mode) {
+  case OperandMode::Constant:
+  case OperandMode::Load:
+  case OperandMode::Opcode: {
+    assert(!Candidates.empty() && "no candidates left for an active slot");
+    std::vector<Value *> BestCandidates;
+    for (Value *C : Candidates)
+      if (areConsecutiveOrMatch(Last, C))
+        BestCandidates.push_back(C);
+
+    // 1. Trivial cases: no match (slot fails, taking the default first
+    //    candidate), or a single match.
+    if (BestCandidates.empty())
+      return {Candidates[0], OperandMode::Failed};
+    if (BestCandidates.size() == 1)
+      return {BestCandidates[0], Mode};
+
+    // 2. Multiple matches: break ties with look-ahead (LSLP only; vanilla
+    //    SLP takes the first match).
+    if (Mode == OperandMode::Opcode && Config.EnableLookAhead) {
+      Value *Best = BestCandidates[0];
+      for (unsigned Level = 1; Level <= Config.MaxLookAheadLevel; ++Level) {
+        int BestScore = -1;
+        bool AllEqual = true;
+        int FirstScore = 0;
+        for (size_t CI = 0; CI < BestCandidates.size(); ++CI) {
+          int Score = getLookAheadScore(Last, BestCandidates[CI], Level,
+                                        Config.ScoreAggregation);
+          if (CI == 0)
+            FirstScore = Score;
+          else
+            AllEqual &= (Score == FirstScore);
+          if (Score > BestScore) {
+            BestScore = Score;
+            Best = BestCandidates[CI];
+          }
+        }
+        // Ties broken at this level: no need to peek deeper.
+        if (!AllEqual)
+          break;
+      }
+      return {Best, Mode};
+    }
+    return {BestCandidates[0], Mode};
+  }
+  case OperandMode::Splat:
+    for (Value *C : Candidates)
+      if (C == Last)
+        return {C, OperandMode::Splat};
+    return {nullptr, OperandMode::Failed};
+  case OperandMode::Failed:
+    // Listing 6, line 43: don't select; let active slots choose first.
+    return {nullptr, OperandMode::Failed};
+  }
+  return {};
+}
+
+/// Score of placing \p Candidate after \p Last in a slot: zero unless
+/// they trivially match, plus the look-ahead score as a tie-breaking
+/// bonus when enabled.
+int pairScore(Value *Last, Value *Candidate, const VectorizerConfig &Config) {
+  if (!areConsecutiveOrMatch(Last, Candidate))
+    return 0;
+  int Score = 1000; // A trivial match always beats any non-match sum.
+  if (Config.EnableLookAhead)
+    Score += getLookAheadScore(Last, Candidate, Config.MaxLookAheadLevel,
+                               Config.ScoreAggregation);
+  return Score;
+}
+
+/// Footnote-3 ablation: per lane, evaluate every permutation of the
+/// lane's operands against the previous lane and keep the best-scoring
+/// assignment.
+ReorderResult
+reorderExhaustivePerLane(const std::vector<std::vector<Value *>> &Operands,
+                         const VectorizerConfig &Config) {
+  const unsigned NumSlots = static_cast<unsigned>(Operands.size());
+  const unsigned NumLanes = static_cast<unsigned>(Operands[0].size());
+
+  ReorderResult Result;
+  Result.Final.assign(NumSlots, std::vector<Value *>(NumLanes, nullptr));
+  Result.Modes.assign(NumSlots, OperandMode::Failed);
+  for (unsigned I = 0; I != NumSlots; ++I) {
+    Result.Final[I][0] = Operands[I][0];
+    Result.Modes[I] = initialMode(Operands[I][0]);
+  }
+
+  std::vector<unsigned> Perm(NumSlots);
+  for (unsigned Lane = 1; Lane != NumLanes; ++Lane) {
+    for (unsigned I = 0; I != NumSlots; ++I)
+      Perm[I] = I;
+    std::vector<unsigned> BestPerm = Perm;
+    int BestScore = -1;
+    do {
+      int Score = 0;
+      for (unsigned I = 0; I != NumSlots; ++I)
+        Score += pairScore(Result.Final[I][Lane - 1],
+                           Operands[Perm[I]][Lane], Config);
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestPerm = Perm;
+      }
+    } while (std::next_permutation(Perm.begin(), Perm.end()));
+
+    for (unsigned I = 0; I != NumSlots; ++I) {
+      Value *Chosen = Operands[BestPerm[I]][Lane];
+      Value *Last = Result.Final[I][Lane - 1];
+      Result.Final[I][Lane] = Chosen;
+      if (Result.Modes[I] == OperandMode::Failed)
+        continue;
+      if (!areConsecutiveOrMatch(Last, Chosen))
+        Result.Modes[I] = OperandMode::Failed;
+      else if (Config.EnableSplatMode && Chosen == Last)
+        Result.Modes[I] = OperandMode::Splat;
+    }
+  }
+
+  for (unsigned I = 0; I != NumSlots && !Result.Changed; ++I)
+    Result.Changed = (Result.Final[I] != Operands[I]);
+  return Result;
+}
+
+} // namespace
+
+ReorderResult
+lslp::reorderOperands(const std::vector<std::vector<Value *>> &Operands,
+                      const VectorizerConfig &Config) {
+  const unsigned NumSlots = static_cast<unsigned>(Operands.size());
+  assert(NumSlots >= 1 && "reordering needs at least one operand slot");
+  const unsigned NumLanes = static_cast<unsigned>(Operands[0].size());
+  assert(NumLanes >= 2 && "reordering needs at least two lanes");
+
+  // Footnote-3 ablation path, bounded to slot counts whose factorial is
+  // negligible.
+  if (Config.ReorderStrategy ==
+          VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane &&
+      NumSlots <= 6)
+    return reorderExhaustivePerLane(Operands, Config);
+
+  ReorderResult Result;
+  Result.Final.assign(NumSlots, std::vector<Value *>(NumLanes, nullptr));
+  Result.Modes.assign(NumSlots, OperandMode::Failed);
+
+  // 1. Strip the first lane: accept its operands in their existing order
+  //    and initialize the slot modes (Listing 5, lines 5-8).
+  for (unsigned I = 0; I != NumSlots; ++I) {
+    Result.Final[I][0] = Operands[I][0];
+    Result.Modes[I] = initialMode(Operands[I][0]);
+  }
+
+  // 2. For every other lane, pick the best candidate per slot in a single
+  //    pass without backtracking (Listing 5, lines 11-24).
+  for (unsigned Lane = 1; Lane != NumLanes; ++Lane) {
+    std::vector<Value *> Candidates;
+    Candidates.reserve(NumSlots);
+    for (unsigned I = 0; I != NumSlots; ++I)
+      Candidates.push_back(Operands[I][Lane]);
+
+    for (unsigned I = 0; I != NumSlots; ++I) {
+      if (Result.Modes[I] == OperandMode::Failed)
+        continue; // Filled from the leftovers below.
+      Value *Last = Result.Final[I][Lane - 1];
+      BestResult BR = getBest(Result.Modes[I], Last, Candidates, Config);
+      Result.Modes[I] = BR.NewMode;
+      if (!BR.Best)
+        continue;
+      Result.Final[I][Lane] = BR.Best;
+      Candidates.erase(
+          std::find(Candidates.begin(), Candidates.end(), BR.Best));
+      // SPLAT detection (Listing 5, line 23): the same value repeating
+      // across lanes vectorizes as a broadcast.
+      if (Config.EnableSplatMode && BR.Best == Last &&
+          Result.Modes[I] != OperandMode::Failed)
+        Result.Modes[I] = OperandMode::Splat;
+    }
+
+    // Hand the unclaimed candidates to the empty (failed) slots in order.
+    size_t NextLeftover = 0;
+    for (unsigned I = 0; I != NumSlots; ++I) {
+      if (Result.Final[I][Lane])
+        continue;
+      assert(NextLeftover < Candidates.size() && "leftover underflow");
+      Result.Final[I][Lane] = Candidates[NextLeftover++];
+    }
+    assert(NextLeftover == Candidates.size() && "unassigned candidates");
+  }
+
+  for (unsigned I = 0; I != NumSlots && !Result.Changed; ++I)
+    Result.Changed = (Result.Final[I] != Operands[I]);
+  return Result;
+}

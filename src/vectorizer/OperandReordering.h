@@ -1,0 +1,57 @@
+//===- vectorizer/OperandReordering.h - Operand reordering ------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level operand reordering of (L)SLP (paper §4.3, Listings 5-6,
+/// Table 1). Given the operand matrix of a commutative group node or a
+/// multi-node (operand slots x lanes), permutes each lane's operands so
+/// that each slot holds mutually-vectorizable values across lanes. A
+/// single left-to-right pass, no backtracking; with look-ahead enabled
+/// (LSLP) ties between opcode-matching candidates are broken by
+/// getLookAheadScore; without it (vanilla SLP) the first match wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_OPERANDREORDERING_H
+#define LSLP_VECTORIZER_OPERANDREORDERING_H
+
+#include "vectorizer/Config.h"
+
+#include <vector>
+
+namespace lslp {
+
+class Value;
+
+/// The per-slot search mode (paper Table 1).
+enum class OperandMode : uint8_t {
+  Constant, ///< Look for a constant.
+  Load,     ///< Look for the load consecutive to the previous lane's.
+  Opcode,   ///< Look for an instruction of the same opcode.
+  Splat,    ///< Look for the exact same value.
+  Failed,   ///< Slot can no longer vectorize; yields to other slots.
+};
+
+/// Result of one reordering: the permuted matrix plus per-slot outcome.
+struct ReorderResult {
+  /// Final[Slot][Lane] — same dimensions as the input.
+  std::vector<std::vector<Value *>> Final;
+  /// Mode each slot ended in (Failed slots will gather).
+  std::vector<OperandMode> Modes;
+  /// True if any lane's operands ended up permuted w.r.t. the input.
+  bool Changed = false;
+};
+
+/// Reorders \p Operands[Slot][Lane] (all rows of equal length, >= 1 slot,
+/// >= 2 lanes). Lane 0 is taken as-is (its order is final, Listing 5
+/// line 5). Uses look-ahead tie-breaking and splat detection per \p Config.
+ReorderResult
+reorderOperands(const std::vector<std::vector<Value *>> &Operands,
+                const VectorizerConfig &Config);
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_OPERANDREORDERING_H

@@ -1,0 +1,239 @@
+//===- vectorizer/ReductionVectorizer.cpp - Horizontal reductions ------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/ReductionVectorizer.h"
+
+#include "analysis/AddressAnalysis.h"
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Local.h"
+#include "support/OStream.h"
+#include "vectorizer/CodeGen.h"
+#include "vectorizer/CostEvaluator.h"
+#include "vectorizer/GraphBuilder.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace lslp;
+
+namespace {
+
+/// Flattens the same-opcode tree under \p I (left-to-right); interior
+/// nodes must be single-use instructions of the same block.
+void flattenTree(Instruction *Root, Instruction *I, ValueID Opcode,
+                 std::vector<Value *> &Leaves,
+                 std::vector<Instruction *> &TreeOps) {
+  TreeOps.push_back(I);
+  for (Value *Op : I->operands()) {
+    auto *OpInst = dyn_cast<Instruction>(Op);
+    if (OpInst && OpInst->getOpcode() == Opcode &&
+        OpInst->getParent() == Root->getParent() && OpInst->hasOneUse()) {
+      flattenTree(Root, OpInst, Opcode, Leaves, TreeOps);
+      continue;
+    }
+    Leaves.push_back(Op);
+  }
+}
+
+bool isPowerOfTwo(size_t N) { return N >= 2 && (N & (N - 1)) == 0; }
+
+/// Sorts load leaves by their constant byte offsets when every leaf is a
+/// load with a constant distance from leaf 0 and the offsets are unique.
+/// This is where a reduction benefits from commutativity: any leaf order
+/// is legal, so pick the one that makes the bundle a consecutive load.
+void sortLoadLeavesByAddress(std::vector<Value *> &Leaves) {
+  std::vector<std::pair<int64_t, Value *>> Keyed;
+  const auto *First = dyn_cast<LoadInst>(Leaves[0]);
+  if (!First)
+    return;
+  for (Value *L : Leaves) {
+    const auto *Load = dyn_cast<LoadInst>(L);
+    if (!Load)
+      return;
+    std::optional<int64_t> Dist = byteDistance(First, Load);
+    if (!Dist)
+      return;
+    Keyed.push_back({*Dist, L});
+  }
+  std::stable_sort(Keyed.begin(), Keyed.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first < B.first;
+                   });
+  for (size_t I = 1; I < Keyed.size(); ++I)
+    if (Keyed[I].first == Keyed[I - 1].first)
+      return; // Duplicate addresses: leave the original order.
+  for (size_t I = 0; I < Leaves.size(); ++I)
+    Leaves[I] = Keyed[I].second;
+}
+
+} // namespace
+
+std::optional<ReductionCandidate>
+lslp::matchReductionTree(Instruction *Root, unsigned MinLeaves,
+                         unsigned MaxLeaves) {
+  if (!Root->isBinaryOp() || Root->getType()->isVectorTy() ||
+      !BinaryOperator::isCommutativeOpcode(Root->getOpcode()))
+    return std::nullopt;
+  ReductionCandidate Cand;
+  Cand.Root = Root;
+  Cand.Opcode = Root->getOpcode();
+  flattenTree(Root, Root, Cand.Opcode, Cand.Leaves, Cand.TreeOps);
+  if (Cand.Leaves.size() < MinLeaves || Cand.Leaves.size() > MaxLeaves ||
+      !isPowerOfTwo(Cand.Leaves.size()))
+    return std::nullopt;
+  // A trivial "tree" of one binop is a plain group candidate, not a
+  // reduction.
+  if (Cand.TreeOps.size() < 2)
+    return std::nullopt;
+  sortLoadLeavesByAddress(Cand.Leaves);
+  return Cand;
+}
+
+namespace {
+
+/// Cost of the log-step fold + final extract.
+int reductionFoldCost(const TargetTransformInfo &TTI, ValueID Opcode,
+                      Type *VecTy, unsigned Lanes) {
+  int Cost = 0;
+  for (unsigned Width = Lanes; Width > 1; Width /= 2)
+    Cost += TTI.getShuffleCost(VecTy) +
+            TTI.getArithmeticInstrCost(Opcode, VecTy);
+  return Cost + TTI.getVectorLaneOpCost(ValueID::ExtractElement, VecTy);
+}
+
+bool tryVectorizeOneReduction(const ReductionCandidate &Cand, BasicBlock &BB,
+                              const VectorizerConfig &Config,
+                              const TargetTransformInfo &TTI,
+                              GraphAttempt &Attempt, bool Verbose) {
+  Context &Ctx = BB.getContext();
+  const unsigned Lanes = static_cast<unsigned>(Cand.Leaves.size());
+  Type *ScalarTy = Cand.Root->getType();
+  Type *VecTy = Ctx.getVectorTy(ScalarTy, Lanes);
+
+  SLPGraphBuilder Builder(Config, BB);
+  // The leaf bundle is the graph root; build it directly.
+  std::optional<SLPGraph> Graph = Builder.buildValueGraph(Cand.Leaves);
+  if (!Graph)
+    return false;
+
+  int LeafCost = evaluateGraphCost(*Graph, TTI);
+  // The cost evaluator charges an extract for every leaf lane used
+  // outside the graph — but uses inside the reduction tree disappear
+  // with it, so refund lanes whose only external users are tree ops.
+  std::set<const Value *> TreeSet(Cand.TreeOps.begin(), Cand.TreeOps.end());
+  for (Value *Leaf : Graph->getRoot()->getScalars()) {
+    bool HasExternal = false, AllExternalInTree = true;
+    for (const Use &U : Leaf->uses()) {
+      const auto *UserV = static_cast<const Value *>(U.TheUser);
+      if (Graph->isCoveredScalar(UserV))
+        continue;
+      HasExternal = true;
+      AllExternalInTree &= TreeSet.count(UserV) != 0;
+    }
+    if (HasExternal && AllExternalInTree)
+      LeafCost -= TTI.getVectorLaneOpCost(ValueID::ExtractElement, VecTy);
+  }
+  int FoldCost = reductionFoldCost(TTI, Cand.Opcode, VecTy, Lanes);
+  // The scalar tree being deleted paid one op per interior node.
+  int ScalarTreeCost =
+      static_cast<int>(Cand.TreeOps.size()) *
+      TTI.getArithmeticInstrCost(Cand.Opcode, ScalarTy);
+  int TotalCost = LeafCost + FoldCost - ScalarTreeCost;
+
+  Attempt.NumLanes = Lanes;
+  Attempt.NumNodes = static_cast<unsigned>(Graph->nodes().size());
+  Attempt.NumVectorizableNodes = Graph->getNumVectorizableNodes();
+  Attempt.Cost = TotalCost;
+  Attempt.IsReduction = true;
+  for (const auto &N : Graph->nodes())
+    Attempt.UsedReordering |= N->wasReordered();
+  if (Verbose) {
+    Attempt.GraphDump = Graph->toString();
+    StringOStream DotOS(Attempt.GraphDot);
+    Graph->printDOT(DotOS, "reduction");
+  }
+  if (TotalCost >= Config.CostThreshold)
+    return false;
+
+  Value *Vec =
+      generateVectorValue(*Graph, BB, Builder.getScheduler(), Cand.Root);
+  if (!Vec)
+    return false;
+
+  // Log-step fold: op(V, shuffle(V, [W/2..W-1])) halves the live width.
+  Value *Acc = Vec;
+  for (unsigned Width = Lanes; Width > 1; Width /= 2) {
+    std::vector<int> Mask(Lanes, -1);
+    for (unsigned K = 0; K < Width / 2; ++K)
+      Mask[K] = static_cast<int>(Width / 2 + K);
+    Instruction *Shuf = ShuffleVectorInst::create(
+        Acc, Ctx.getUndef(VecTy), std::move(Mask));
+    BB.insertBefore(Shuf, Cand.Root);
+    Instruction *Fold = BinaryOperator::create(Cand.Opcode, Acc, Shuf);
+    BB.insertBefore(Fold, Cand.Root);
+    Acc = Fold;
+  }
+  Instruction *Result =
+      ExtractElementInst::create(Acc, Ctx.getInt32(0));
+  BB.insertBefore(Result, Cand.Root);
+
+  Cand.Root->replaceAllUsesWith(Result);
+  // The tree (now dead), the replaced leaf scalars and their addressing
+  // all fall to DCE.
+  removeTriviallyDeadInstructions(BB);
+  Attempt.Accepted = true;
+  return true;
+}
+
+} // namespace
+
+unsigned lslp::vectorizeReductions(BasicBlock &BB,
+                                   const VectorizerConfig &Config,
+                                   const TargetTransformInfo &TTI,
+                                   std::vector<GraphAttempt> &Attempts,
+                                   bool Verbose) {
+  // Candidate roots: binop trees feeding a store. Snapshot first;
+  // vectorization mutates the block.
+  std::vector<Instruction *> Roots;
+  for (const auto &I : BB)
+    if (auto *St = dyn_cast<StoreInst>(I.get()))
+      if (auto *Root = dyn_cast<Instruction>(St->getValueOperand()))
+        if (Root->hasOneUse())
+          Roots.push_back(Root);
+
+  auto StillInBlock = [&BB](const Instruction *I) {
+    for (const auto &P : BB)
+      if (P.get() == I)
+        return true;
+    return false;
+  };
+
+  unsigned NumVectorized = 0;
+  for (Instruction *Root : Roots) {
+    // A previous reduction (or its DCE) may have erased this root.
+    if (!StillInBlock(Root))
+      continue;
+    Type *ScalarTy = Root->getType();
+    if (ScalarTy->isVectorTy() || !ScalarTy->isFirstClassTy())
+      continue;
+    const unsigned MaxLanes =
+        std::max(2u, TTI.getMaxVectorWidthBits() /
+                         (8 * ScalarTy->getSizeInBytes()));
+    std::optional<ReductionCandidate> Cand =
+        matchReductionTree(Root, /*MinLeaves=*/4, MaxLanes);
+    if (!Cand)
+      continue;
+    GraphAttempt Attempt;
+    if (tryVectorizeOneReduction(*Cand, BB, Config, TTI, Attempt, Verbose))
+      ++NumVectorized;
+    Attempts.push_back(std::move(Attempt));
+  }
+  return NumVectorized;
+}

@@ -1,0 +1,65 @@
+//===- vectorizer/ReductionVectorizer.h - Horizontal reductions -*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second seed class the paper names (§2.2): reduction trees. A
+/// single-lane tree of one commutative opcode over 2^k leaves (e.g. the
+/// adds of a dot product) is vectorized by building an SLP graph whose
+/// root bundle is the *leaves*, then folding the resulting vector with
+/// log2(VL) shuffle+op steps and extracting lane 0 — LLVM's horizontal
+/// reduction, simplified.
+///
+/// Runs after store-seed vectorization inside SLPVectorizerPass; trees
+/// already consumed by a store-rooted graph are gone by then.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_REDUCTIONVECTORIZER_H
+#define LSLP_VECTORIZER_REDUCTIONVECTORIZER_H
+
+#include "ir/Value.h"
+#include "vectorizer/Config.h"
+
+#include <optional>
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+class Instruction;
+struct GraphAttempt;
+class TargetTransformInfo;
+class Value;
+
+/// A matched reduction tree: Root computes Opcode over exactly Leaves
+/// (power-of-two many), through the single-use interior ops TreeOps
+/// (Root included).
+struct ReductionCandidate {
+  Instruction *Root = nullptr;
+  ValueID Opcode = ValueID::Add;
+  std::vector<Value *> Leaves;
+  std::vector<Instruction *> TreeOps;
+};
+
+/// Matches a reduction tree rooted at \p Root: a same-opcode commutative
+/// binop tree whose interior values have one use each, with between
+/// \p MinLeaves and \p MaxLeaves leaves (power of two). When the leaves
+/// are loads at constant mutual distances they are sorted by address so
+/// the leaf bundle can become a vector load.
+std::optional<ReductionCandidate>
+matchReductionTree(Instruction *Root, unsigned MinLeaves, unsigned MaxLeaves);
+
+/// Attempts to vectorize all profitable reduction trees in \p BB.
+/// Appends one GraphAttempt per tried candidate to \p Attempts and
+/// returns the number vectorized.
+unsigned vectorizeReductions(BasicBlock &BB, const VectorizerConfig &Config,
+                             const TargetTransformInfo &TTI,
+                             std::vector<GraphAttempt> &Attempts,
+                             bool Verbose);
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_REDUCTIONVECTORIZER_H

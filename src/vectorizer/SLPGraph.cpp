@@ -1,0 +1,212 @@
+//===- vectorizer/SLPGraph.cpp - The (L)SLP vectorization graph -------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/SLPGraph.h"
+
+#include "ir/Constants.h"
+#include "ir/Printer.h"
+#include "support/OStream.h"
+
+#include <set>
+
+using namespace lslp;
+
+Type *SLPNode::getScalarEltType() const {
+  const Value *V = Scalars[0];
+  if (const auto *St = dyn_cast<StoreInst>(V))
+    return St->getAccessType();
+  return V->getType();
+}
+
+SLPNode *SLPGraph::createVectorizeNode(std::vector<Value *> Scalars) {
+  auto *N = new SLPNode(SLPNode::NodeKind::Vectorize, std::move(Scalars));
+  Nodes.emplace_back(N);
+  for (Value *V : N->getScalars()) {
+    assert(!ValueToNode.count(V) && "lane already covered by another node");
+    ValueToNode[V] = N;
+  }
+  return N;
+}
+
+SLPNode *SLPGraph::createGatherNode(std::vector<Value *> Scalars) {
+  auto *N = new SLPNode(SLPNode::NodeKind::Gather, std::move(Scalars));
+  Nodes.emplace_back(N);
+  return N;
+}
+
+SLPNode *SLPGraph::createAlternateNode(std::vector<Value *> Scalars,
+                                       ValueID AltOpc) {
+  auto *N = new SLPNode(SLPNode::NodeKind::Alternate, std::move(Scalars));
+  N->AltOpc = AltOpc;
+  Nodes.emplace_back(N);
+  for (Value *V : N->getScalars()) {
+    assert(!ValueToNode.count(V) && "lane already covered by another node");
+    ValueToNode[V] = N;
+  }
+  return N;
+}
+
+SLPNode *SLPGraph::createMultiNode(
+    std::vector<Value *> Roots,
+    std::vector<std::vector<Instruction *>> LaneChains) {
+  auto *N = new SLPNode(SLPNode::NodeKind::MultiNode, std::move(Roots));
+  N->LaneChains = std::move(LaneChains);
+  Nodes.emplace_back(N);
+  for (const auto &Chain : N->LaneChains)
+    for (Instruction *I : Chain) {
+      assert(!ValueToNode.count(I) && "lane already covered by another node");
+      ValueToNode[I] = N;
+    }
+  return N;
+}
+
+SLPNode *SLPGraph::getNodeForValue(const Value *V) const {
+  auto It = ValueToNode.find(V);
+  return It == ValueToNode.end() ? nullptr : It->second;
+}
+
+unsigned SLPGraph::getNumVectorizableNodes() const {
+  unsigned Count = 0;
+  for (const auto &N : Nodes)
+    Count += N->isVectorizable();
+  return Count;
+}
+
+void SLPGraph::print(OStream &OS) const {
+  if (!Root) {
+    OS << "<empty SLP graph>\n";
+    return;
+  }
+  // Depth-first from the root, numbering nodes on first visit.
+  std::map<const SLPNode *, unsigned> Ids;
+  std::vector<const SLPNode *> Stack = {Root};
+  std::vector<const SLPNode *> Ordered;
+  while (!Stack.empty()) {
+    const SLPNode *N = Stack.back();
+    Stack.pop_back();
+    if (Ids.count(N))
+      continue;
+    Ids[N] = static_cast<unsigned>(Ordered.size());
+    Ordered.push_back(N);
+    for (const SLPNode *Op : N->getOperands())
+      Stack.push_back(Op);
+  }
+  for (const SLPNode *N : Ordered) {
+    OS << "node " << Ids[N] << ": ";
+    switch (N->getKind()) {
+    case SLPNode::NodeKind::Vectorize:
+      OS << "vectorize<"
+         << Instruction::getOpcodeName(N->getOpcode()) << ">";
+      break;
+    case SLPNode::NodeKind::Gather:
+      OS << "gather";
+      break;
+    case SLPNode::NodeKind::MultiNode:
+      OS << "multinode<" << Instruction::getOpcodeName(N->getOpcode())
+         << " x" << N->getChainLength() << ">";
+      break;
+    case SLPNode::NodeKind::Alternate:
+      OS << "alternate<" << Instruction::getOpcodeName(N->getOpcode()) << "/"
+         << Instruction::getOpcodeName(N->getAltOpcode()) << ">";
+      break;
+    }
+    OS << " cost=" << N->getCost();
+    if (N->wasReordered())
+      OS << " (reordered)";
+    OS << "\n";
+    for (unsigned Lane = 0; Lane != N->getNumLanes(); ++Lane) {
+      const Value *V = N->getScalar(Lane);
+      OS << "    lane " << Lane << ": ";
+      if (const auto *I = dyn_cast<Instruction>(V))
+        OS << instructionToString(*I);
+      else
+        OS << valueRefToString(*V);
+      OS << "\n";
+    }
+    if (!N->getOperands().empty()) {
+      OS << "    operands:";
+      for (const SLPNode *Op : N->getOperands())
+        OS << " node" << Ids[Op];
+      OS << "\n";
+    }
+  }
+  OS << "total cost = " << TotalCost << "\n";
+}
+
+std::string SLPGraph::toString() const {
+  std::string Buf;
+  StringOStream OS(Buf);
+  print(OS);
+  return Buf;
+}
+
+void SLPGraph::printDOT(OStream &OS, const std::string &Title) const {
+  auto Escape = [](const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\' || C == '{' || C == '}' || C == '<' ||
+          C == '>' || C == '|')
+        Out += '\\';
+      Out += C;
+    }
+    return Out;
+  };
+
+  OS << "digraph \"" << Title << "\" {\n"
+     << "  node [shape=record, fontname=\"monospace\"];\n"
+     << "  label=\"" << Title << " (total cost " << TotalCost << ")\";\n";
+
+  std::map<const SLPNode *, unsigned> Ids;
+  for (const auto &N : Nodes)
+    Ids[N.get()] = static_cast<unsigned>(Ids.size());
+
+  for (const auto &NPtr : Nodes) {
+    const SLPNode *N = NPtr.get();
+    const char *Color = "lightgreen";
+    std::string Kind;
+    switch (N->getKind()) {
+    case SLPNode::NodeKind::Vectorize:
+      Kind = Instruction::getOpcodeName(N->getOpcode());
+      break;
+    case SLPNode::NodeKind::Gather:
+      Kind = "gather";
+      Color = "lightcoral";
+      break;
+    case SLPNode::NodeKind::MultiNode:
+      Kind = std::string("multinode ") +
+             Instruction::getOpcodeName(N->getOpcode()) + " x" +
+             std::to_string(N->getChainLength());
+      Color = "lightpink";
+      break;
+    case SLPNode::NodeKind::Alternate:
+      Kind = std::string(Instruction::getOpcodeName(N->getOpcode())) + "/" +
+             Instruction::getOpcodeName(N->getAltOpcode());
+      Color = "lightyellow";
+      break;
+    }
+    OS << "  n" << Ids[N] << " [style=filled, fillcolor=" << Color
+       << ", label=\"{" << Escape(Kind) << " (cost "
+       << N->getCost() << ")|{";
+    for (unsigned Lane = 0; Lane != N->getNumLanes(); ++Lane) {
+      if (Lane)
+        OS << "|";
+      const Value *V = N->getScalar(Lane);
+      if (const auto *I = dyn_cast<Instruction>(V))
+        OS << Escape(instructionToString(*I));
+      else
+        OS << Escape(valueRefToString(*V));
+    }
+    OS << "}}\"];\n";
+  }
+
+  for (const auto &NPtr : Nodes) {
+    const SLPNode *N = NPtr.get();
+    for (size_t OpIdx = 0; OpIdx < N->getOperands().size(); ++OpIdx)
+      OS << "  n" << Ids[N] << " -> n" << Ids[N->getOperand(OpIdx)]
+         << " [label=\"" << OpIdx << "\"];\n";
+  }
+  OS << "}\n";
+}

@@ -1,0 +1,196 @@
+//===- vectorizer/SLPGraph.h - The (L)SLP vectorization graph ---*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vectorization graph: group nodes of isomorphic scalar instructions
+/// (one lane each), gather nodes for operand vectors that must be
+/// assembled from scalars/constants, and LSLP's multi-nodes covering
+/// chains of same-opcode commutative instructions (§4.2, Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_SLPGRAPH_H
+#define LSLP_VECTORIZER_SLPGRAPH_H
+
+#include "ir/Instruction.h"
+#include "ir/Value.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class OStream;
+
+/// One node of the vectorization graph.
+class SLPNode {
+public:
+  enum class NodeKind : uint8_t {
+    /// A group of isomorphic instructions to be replaced by one vector
+    /// instruction (store/load/binary operator group).
+    Vectorize,
+    /// Lane values that stay scalar; a vector is assembled with
+    /// insertelement instructions (or a constant vector).
+    Gather,
+    /// A chain of same-opcode commutative instructions per lane, replaced
+    /// by a left-deep chain of vector instructions over the reordered
+    /// frontier operands.
+    MultiNode,
+    /// An extension beyond the paper (present in LLVM's SLP): lanes mix
+    /// exactly two compatible opcodes (add/sub or fadd/fsub, the
+    /// vaddsubpd pattern of complex arithmetic). Lowered as two vector
+    /// ops blended by a shufflevector.
+    Alternate,
+  };
+
+  NodeKind getKind() const { return Kind; }
+  bool isVectorizable() const { return Kind != NodeKind::Gather; }
+
+  /// The per-lane values. For Vectorize: the grouped instructions. For
+  /// MultiNode: the per-lane chain roots. For Gather: arbitrary values.
+  const std::vector<Value *> &getScalars() const { return Scalars; }
+  unsigned getNumLanes() const {
+    return static_cast<unsigned>(Scalars.size());
+  }
+  Value *getScalar(unsigned Lane) const { return Scalars[Lane]; }
+
+  /// Opcode shared by the lanes (for Alternate nodes, the main opcode =
+  /// lane 0's).
+  ValueID getOpcode() const {
+    assert(isVectorizable() && "gather nodes have no opcode");
+    return cast<Instruction>(Scalars[0])->getOpcode();
+  }
+
+  /// \name Alternate-node accessors.
+  /// @{
+  /// The second opcode of an Alternate node.
+  ValueID getAltOpcode() const {
+    assert(Kind == NodeKind::Alternate);
+    return AltOpc;
+  }
+  /// True if \p Lane uses the alternate opcode.
+  bool isAltLane(unsigned Lane) const {
+    assert(Kind == NodeKind::Alternate);
+    return cast<Instruction>(Scalars[Lane])->getOpcode() == AltOpc;
+  }
+  /// @}
+
+  /// The scalar element type of the grouped value.
+  Type *getScalarEltType() const;
+
+  /// Operand nodes, in (reordered) operand order. Empty for leaves
+  /// (loads, gathers).
+  const std::vector<SLPNode *> &getOperands() const { return Operands; }
+  SLPNode *getOperand(unsigned I) const { return Operands[I]; }
+  void addOperand(SLPNode *N) { Operands.push_back(N); }
+
+  /// \name MultiNode-specific accessors.
+  /// @{
+  /// Per-lane internal instructions (chain members excluding nothing: the
+  /// lane root is InternalOps[Lane].front()). All are deleted after the
+  /// vector chain is emitted.
+  const std::vector<std::vector<Instruction *>> &getLaneChains() const {
+    assert(Kind == NodeKind::MultiNode);
+    return LaneChains;
+  }
+  /// Number of vector instructions the multi-node lowers to
+  /// (= frontier width - 1).
+  unsigned getChainLength() const {
+    assert(Kind == NodeKind::MultiNode);
+    return static_cast<unsigned>(Operands.size()) - 1;
+  }
+  /// @}
+
+  /// Cost of this node (VectorCost - ScalarCost); set by the cost
+  /// evaluator.
+  int getCost() const { return Cost; }
+  void setCost(int C) { Cost = C; }
+
+  /// True if the lanes were permuted/reassociated relative to the original
+  /// operand order (informational, for reports).
+  bool wasReordered() const { return Reordered; }
+  void setReordered(bool R) { Reordered = R; }
+
+private:
+  friend class SLPGraph;
+  SLPNode(NodeKind Kind, std::vector<Value *> Scalars)
+      : Kind(Kind), Scalars(std::move(Scalars)) {}
+
+  NodeKind Kind;
+  std::vector<Value *> Scalars;
+  std::vector<SLPNode *> Operands;
+  std::vector<std::vector<Instruction *>> LaneChains;
+  ValueID AltOpc = ValueID::Add;
+  int Cost = 0;
+  bool Reordered = false;
+};
+
+/// Owns the nodes of one vectorization attempt (one seed bundle).
+class SLPGraph {
+public:
+  SLPGraph() = default;
+  SLPGraph(SLPGraph &&) = default;
+  SLPGraph &operator=(SLPGraph &&) = default;
+
+  SLPNode *getRoot() const { return Root; }
+  void setRoot(SLPNode *N) { Root = N; }
+
+  const std::vector<std::unique_ptr<SLPNode>> &nodes() const { return Nodes; }
+  bool empty() const { return Nodes.empty(); }
+
+  /// Creates a Vectorize node over \p Scalars and registers its lanes as
+  /// covered (so later bundles referencing them gather instead).
+  SLPNode *createVectorizeNode(std::vector<Value *> Scalars);
+
+  /// Creates a Gather node.
+  SLPNode *createGatherNode(std::vector<Value *> Scalars);
+
+  /// Creates an Alternate node: lanes mix the main opcode (lane 0's) with
+  /// \p AltOpc. Lanes are registered as covered.
+  SLPNode *createAlternateNode(std::vector<Value *> Scalars, ValueID AltOpc);
+
+  /// Creates a MultiNode whose per-lane chains are \p LaneChains (roots
+  /// first). All chain members are registered as covered.
+  SLPNode *createMultiNode(std::vector<Value *> Roots,
+                           std::vector<std::vector<Instruction *>> LaneChains);
+
+  /// Returns the Vectorize/MultiNode covering \p V, or null.
+  SLPNode *getNodeForValue(const Value *V) const;
+
+  /// True if \p V is a scalar replaced by this graph's vector code.
+  bool isCoveredScalar(const Value *V) const {
+    return getNodeForValue(V) != nullptr;
+  }
+
+  /// Number of vectorizable (non-gather) nodes.
+  unsigned getNumVectorizableNodes() const;
+
+  /// Total graph cost (sum of node costs); set by the cost evaluator.
+  int getTotalCost() const { return TotalCost; }
+  void setTotalCost(int C) { TotalCost = C; }
+
+  /// Renders the graph (lanes, kinds, costs) for debugging and the
+  /// motivation examples.
+  void print(OStream &OS) const;
+  std::string toString() const;
+
+  /// Renders the graph in Graphviz DOT syntax (one record node per group,
+  /// colored like the paper's figures: green = vectorizable, red =
+  /// gather, pink = multi-node).
+  void printDOT(OStream &OS, const std::string &Title = "slpgraph") const;
+
+private:
+  std::vector<std::unique_ptr<SLPNode>> Nodes;
+  std::map<const Value *, SLPNode *> ValueToNode;
+  SLPNode *Root = nullptr;
+  int TotalCost = 0;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_SLPGRAPH_H

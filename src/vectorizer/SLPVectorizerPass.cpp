@@ -1,0 +1,73 @@
+//===- vectorizer/SLPVectorizerPass.cpp - Pass driver ------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/BasicBlock.h"
+#include "support/OStream.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "vectorizer/CodeGen.h"
+#include "vectorizer/CostEvaluator.h"
+#include "vectorizer/GraphBuilder.h"
+#include "vectorizer/ReductionVectorizer.h"
+#include "vectorizer/SeedCollector.h"
+
+using namespace lslp;
+
+FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
+  FunctionReport Report;
+  Report.FunctionName = F.getName();
+
+  for (const auto &BBPtr : F) {
+    BasicBlock &BB = *BBPtr;
+    // Seed bundles are disjoint, so vectorizing one cannot delete another
+    // bundle's stores; collecting once per block is safe (step 1).
+    std::vector<SeedBundle> Seeds = collectStoreSeeds(BB, TTI);
+    for (const SeedBundle &Bundle : Seeds) {
+      // Steps 3-4: build the graph and evaluate its cost.
+      SLPGraphBuilder Builder(Config, BB);
+      std::optional<SLPGraph> Graph = Builder.build(Bundle);
+      if (!Graph)
+        continue;
+      int Cost = evaluateGraphCost(*Graph, TTI);
+
+      GraphAttempt Attempt;
+      Attempt.NumLanes = static_cast<unsigned>(Bundle.size());
+      Attempt.NumNodes = static_cast<unsigned>(Graph->nodes().size());
+      Attempt.NumVectorizableNodes = Graph->getNumVectorizableNodes();
+      Attempt.Cost = Cost;
+      for (const auto &N : Graph->nodes())
+        Attempt.UsedReordering |= N->wasReordered();
+      if (Verbose) {
+        Attempt.GraphDump = Graph->toString();
+        StringOStream DotOS(Attempt.GraphDot);
+        Graph->printDOT(DotOS, F.getName() + "_bundle" +
+                                   std::to_string(Report.Attempts.size()));
+      }
+
+      // Steps 5-7: vectorize when profitable.
+      if (Cost < Config.CostThreshold)
+        Attempt.Accepted =
+            generateVectorCode(*Graph, BB, Builder.getScheduler());
+      Report.Attempts.push_back(std::move(Attempt));
+    }
+
+    // Second seed class (paper §2.2): horizontal reduction trees over the
+    // stores the adjacent-store pass left scalar.
+    if (Config.EnableReductions)
+      vectorizeReductions(BB, Config, TTI, Report.Attempts, Verbose);
+  }
+  return Report;
+}
+
+ModuleReport SLPVectorizerPass::runOnModule(Module &M) {
+  ModuleReport Report;
+  for (const auto &F : M.functions())
+    Report.Functions.push_back(runOnFunction(*F));
+  return Report;
+}

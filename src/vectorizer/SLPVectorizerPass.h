@@ -1,0 +1,113 @@
+//===- vectorizer/SLPVectorizerPass.h - Pass driver -------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The (L)SLP vectorization pass: the full pipeline of Figure 1 — seed
+/// collection, graph construction (per VectorizerConfig), cost evaluation
+/// against the TTI, and vector code generation for profitable graphs. Also
+/// produces the per-attempt report the benchmark harness consumes (static
+/// costs, node counts, acceptance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_SLPVECTORIZERPASS_H
+#define LSLP_VECTORIZER_SLPVECTORIZERPASS_H
+
+#include "vectorizer/Config.h"
+
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class Function;
+class Module;
+class TargetTransformInfo;
+
+/// Outcome of one seed-bundle vectorization attempt.
+struct GraphAttempt {
+  unsigned NumLanes = 0;
+  unsigned NumNodes = 0;
+  unsigned NumVectorizableNodes = 0;
+  int Cost = 0;
+  bool Accepted = false;
+  bool UsedReordering = false;
+  /// True for horizontal-reduction attempts (tree seeds, paper §2.2);
+  /// false for adjacent-store seeds.
+  bool IsReduction = false;
+  /// Rendered graph (populated when SLPVectorizerPass::setVerbose(true)).
+  std::string GraphDump;
+  /// Graphviz rendering of the same graph (verbose mode only).
+  std::string GraphDot;
+};
+
+/// Per-function vectorization report.
+struct FunctionReport {
+  std::string FunctionName;
+  std::vector<GraphAttempt> Attempts;
+
+  /// Sum of the costs of accepted graphs (the "static cost" of Figures
+  /// 10-11; more negative is better).
+  int acceptedCost() const {
+    int Total = 0;
+    for (const GraphAttempt &A : Attempts)
+      if (A.Accepted)
+        Total += A.Cost;
+    return Total;
+  }
+  unsigned numAccepted() const {
+    unsigned N = 0;
+    for (const GraphAttempt &A : Attempts)
+      N += A.Accepted;
+    return N;
+  }
+};
+
+/// Whole-module report.
+struct ModuleReport {
+  std::vector<FunctionReport> Functions;
+
+  int acceptedCost() const {
+    int Total = 0;
+    for (const FunctionReport &F : Functions)
+      Total += F.acceptedCost();
+    return Total;
+  }
+  unsigned numAccepted() const {
+    unsigned N = 0;
+    for (const FunctionReport &F : Functions)
+      N += F.numAccepted();
+    return N;
+  }
+};
+
+/// The vectorization pass. Stateless across runs; reusable.
+class SLPVectorizerPass {
+public:
+  SLPVectorizerPass(const VectorizerConfig &Config,
+                    const TargetTransformInfo &TTI)
+      : Config(Config), TTI(TTI) {}
+
+  /// Vectorizes profitable seed bundles in \p F (mutates the IR).
+  FunctionReport runOnFunction(Function &F);
+
+  /// Runs on every function of \p M.
+  ModuleReport runOnModule(Module &M);
+
+  /// When set, each attempt's GraphDump carries the rendered SLP graph.
+  void setVerbose(bool V) { Verbose = V; }
+
+  const VectorizerConfig &getConfig() const { return Config; }
+
+private:
+  VectorizerConfig Config;
+  const TargetTransformInfo &TTI;
+  bool Verbose = false;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_SLPVECTORIZERPASS_H

@@ -1,0 +1,137 @@
+//===- vectorizer/Scheduler.cpp - Bundle scheduling --------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/Scheduler.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+using namespace lslp;
+
+BundleScheduler::BundleScheduler(BasicBlock &BB) : BB(BB), Deps(BB) {}
+
+bool BundleScheduler::canScheduleBundle(
+    const std::vector<Instruction *> &Bundle) const {
+  if (!Deps.areMutuallyIndependent(Bundle))
+    return false;
+  std::vector<std::vector<Instruction *>> Trial = Committed;
+  Trial.push_back(Bundle);
+  return trySchedule(Trial, nullptr);
+}
+
+void BundleScheduler::commitBundle(const std::vector<Instruction *> &Bundle) {
+  Committed.push_back(Bundle);
+}
+
+bool BundleScheduler::materialize() {
+  std::vector<Instruction *> Order;
+  if (!trySchedule(Committed, &Order))
+    return false;
+  assert(Order.size() == BB.size() && "schedule dropped instructions");
+  // Physically reorder: detach everything, re-append in schedule order.
+  std::vector<std::unique_ptr<Instruction>> Owned;
+  Owned.reserve(Order.size());
+  for (Instruction *I : Order)
+    Owned.push_back(BB.detach(I));
+  for (auto &I : Owned)
+    BB.append(I.release());
+  return true;
+}
+
+bool BundleScheduler::trySchedule(
+    const std::vector<std::vector<Instruction *>> &Bundles,
+    std::vector<Instruction *> *OutOrder) const {
+  const auto &Insts = Deps.instructions();
+  const unsigned N = Deps.size();
+
+  // Group assignment: bundle id, or a unique singleton group.
+  std::map<const Instruction *, unsigned> InstIndex;
+  for (unsigned I = 0; I != N; ++I)
+    InstIndex[Insts[I]] = I;
+
+  std::vector<unsigned> GroupOf(N);
+  std::vector<std::vector<unsigned>> GroupMembers;
+  std::vector<bool> Assigned(N, false);
+  for (const auto &Bundle : Bundles) {
+    std::vector<unsigned> Members;
+    for (Instruction *I : Bundle) {
+      auto It = InstIndex.find(I);
+      if (It == InstIndex.end())
+        return false; // Instruction from another block.
+      if (Assigned[It->second])
+        return false; // Overlapping bundles.
+      Assigned[It->second] = true;
+      Members.push_back(It->second);
+    }
+    // Keep bundle members in their original block order so the schedule is
+    // as close to the input as possible.
+    std::sort(Members.begin(), Members.end());
+    unsigned Gid = static_cast<unsigned>(GroupMembers.size());
+    for (unsigned M : Members)
+      GroupOf[M] = Gid;
+    GroupMembers.push_back(std::move(Members));
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    if (Assigned[I])
+      continue;
+    GroupOf[I] = static_cast<unsigned>(GroupMembers.size());
+    GroupMembers.push_back({I});
+  }
+  const unsigned NumGroups = static_cast<unsigned>(GroupMembers.size());
+
+  // Group-level edges (deduplicated); a dependence between members of the
+  // same group makes the bundle unschedulable.
+  std::vector<std::set<unsigned>> Succs(NumGroups);
+  std::vector<unsigned> InDegree(NumGroups, 0);
+  for (unsigned I = 0; I != N; ++I) {
+    for (const Instruction *Pred : Deps.directDeps(Insts[I])) {
+      unsigned P = InstIndex.at(Pred);
+      unsigned GP = GroupOf[P], GI = GroupOf[I];
+      if (GP == GI) {
+        if (GroupMembers[GI].size() > 1)
+          return false; // Intra-bundle dependence.
+        continue;       // Self edge on a singleton cannot happen (DAG).
+      }
+      if (Succs[GP].insert(GI).second)
+        ++InDegree[GI];
+    }
+  }
+
+  // Kahn's algorithm; priority = smallest original index of the group's
+  // first member, which keeps phis first and the terminator last.
+  auto Priority = [&](unsigned G) { return GroupMembers[G].front(); };
+  auto Cmp = [&](unsigned A, unsigned B) { return Priority(A) > Priority(B); };
+  std::priority_queue<unsigned, std::vector<unsigned>, decltype(Cmp)> Ready(
+      Cmp);
+  for (unsigned G = 0; G != NumGroups; ++G)
+    if (InDegree[G] == 0)
+      Ready.push(G);
+
+  unsigned Emitted = 0;
+  std::vector<Instruction *> Order;
+  Order.reserve(N);
+  while (!Ready.empty()) {
+    unsigned G = Ready.top();
+    Ready.pop();
+    for (unsigned M : GroupMembers[G]) {
+      Order.push_back(const_cast<Instruction *>(Insts[M]));
+      ++Emitted;
+    }
+    for (unsigned S : Succs[G])
+      if (--InDegree[S] == 0)
+        Ready.push(S);
+  }
+  if (Emitted != N)
+    return false; // Cycle through bundles.
+  if (OutOrder)
+    *OutOrder = std::move(Order);
+  return true;
+}

@@ -1,0 +1,66 @@
+//===- vectorizer/Scheduler.h - Bundle scheduling ---------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundle schedulability and materialization. A bundle (the scalars of one
+/// vectorizable group) is schedulable when the basic block admits a
+/// topological order of its dependence DAG in which every committed
+/// bundle's members are contiguous — this is the "schedulable" termination
+/// condition of the SLP graph build (paper §2.3, footnote 1). After a graph
+/// is accepted, materialize() physically reorders the block to such an
+/// order, after which the code generator can insert each vector instruction
+/// directly before its bundle's first member.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_SCHEDULER_H
+#define LSLP_VECTORIZER_SCHEDULER_H
+
+#include "analysis/DependenceGraph.h"
+
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+class Instruction;
+
+/// Incremental bundle scheduler for one basic block. The block must not be
+/// mutated between construction and materialize().
+class BundleScheduler {
+public:
+  explicit BundleScheduler(BasicBlock &BB);
+
+  /// True if \p Bundle's members are mutually independent and adding it to
+  /// the committed bundles still admits a contiguous schedule.
+  bool canScheduleBundle(const std::vector<Instruction *> &Bundle) const;
+
+  /// Commits \p Bundle (callers must have checked canScheduleBundle).
+  void commitBundle(const std::vector<Instruction *> &Bundle);
+
+  /// Reorders the block so all committed bundles are contiguous. Returns
+  /// false if no valid schedule exists (callers treat the graph as
+  /// non-vectorizable; cannot happen if every commit was checked).
+  bool materialize();
+
+  const DependenceGraph &getDependences() const { return Deps; }
+
+private:
+  /// Attempts a priority topological sort with \p Bundles as atomic
+  /// super-nodes. Fills \p OutOrder (if non-null) with the instruction
+  /// order on success.
+  bool
+  trySchedule(const std::vector<std::vector<Instruction *>> &Bundles,
+              std::vector<Instruction *> *OutOrder) const;
+
+  BasicBlock &BB;
+  DependenceGraph Deps;
+  std::vector<std::vector<Instruction *>> Committed;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_SCHEDULER_H

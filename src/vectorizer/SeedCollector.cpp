@@ -1,0 +1,95 @@
+//===- vectorizer/SeedCollector.cpp - Vectorization seeds --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/SeedCollector.h"
+
+#include "analysis/AddressAnalysis.h"
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+
+#include <algorithm>
+
+using namespace lslp;
+
+namespace {
+
+/// A store plus its decomposed address.
+struct StoreRecord {
+  StoreInst *Store;
+  AddressDescriptor Addr;
+};
+
+/// Chunks one run of consecutive stores into power-of-two bundles.
+void chunkRun(const std::vector<StoreInst *> &Run, unsigned MaxLanes,
+              std::vector<SeedBundle> &Out) {
+  size_t Pos = 0;
+  while (Run.size() - Pos >= 2) {
+    size_t Remaining = Run.size() - Pos;
+    unsigned Lanes = 2;
+    while (Lanes * 2 <= std::min<size_t>(Remaining, MaxLanes))
+      Lanes *= 2;
+    SeedBundle Bundle(Run.begin() + Pos, Run.begin() + Pos + Lanes);
+    Out.push_back(std::move(Bundle));
+    Pos += Lanes;
+  }
+}
+
+} // namespace
+
+std::vector<SeedBundle>
+lslp::collectStoreSeeds(BasicBlock &BB, const TargetTransformInfo &TTI) {
+  // Partition the block's scalar stores into groups with pairwise
+  // compile-time-constant address distances.
+  std::vector<std::vector<StoreRecord>> AddressGroups;
+  for (const auto &IPtr : BB) {
+    auto *St = dyn_cast<StoreInst>(IPtr.get());
+    if (!St || St->getAccessType()->isVectorTy())
+      continue;
+    AddressDescriptor Addr = decomposePointer(St->getPointerOperand());
+    if (!Addr.isValid())
+      continue;
+    bool Placed = false;
+    for (auto &Group : AddressGroups) {
+      if (Group[0].Store->getAccessType() == St->getAccessType() &&
+          Group[0].Addr.hasConstantDistanceFrom(Addr)) {
+        Group.push_back({St, Addr});
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      AddressGroups.push_back({{St, Addr}});
+  }
+
+  std::vector<SeedBundle> Seeds;
+  for (auto &Group : AddressGroups) {
+    if (Group.size() < 2)
+      continue;
+    unsigned ElemBytes = Group[0].Store->getAccessType()->getSizeInBytes();
+    unsigned MaxLanes =
+        std::max(2u, TTI.getMaxVectorWidthBits() / (8 * ElemBytes));
+    // Sort by constant byte offset; split runs at gaps and duplicates.
+    std::stable_sort(Group.begin(), Group.end(),
+                     [](const StoreRecord &A, const StoreRecord &B) {
+                       return A.Addr.ConstBytes < B.Addr.ConstBytes;
+                     });
+    std::vector<StoreInst *> Run = {Group[0].Store};
+    int64_t LastOff = Group[0].Addr.ConstBytes;
+    for (size_t I = 1; I < Group.size(); ++I) {
+      int64_t Off = Group[I].Addr.ConstBytes;
+      if (Off == LastOff + static_cast<int64_t>(ElemBytes)) {
+        Run.push_back(Group[I].Store);
+      } else {
+        chunkRun(Run, MaxLanes, Seeds);
+        Run = {Group[I].Store};
+      }
+      LastOff = Off;
+    }
+    chunkRun(Run, MaxLanes, Seeds);
+  }
+  return Seeds;
+}

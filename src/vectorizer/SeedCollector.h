@@ -1,0 +1,37 @@
+//===- vectorizer/SeedCollector.h - Vectorization seeds ---------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finds seed bundles (paper step 1, Figure 1): groups of non-dependent
+/// scalar stores to adjacent memory locations within one basic block,
+/// discovered through the SCEV-lite address analysis. Runs of consecutive
+/// stores are chunked into power-of-two bundles bounded by the target's
+/// vector width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_SEEDCOLLECTOR_H
+#define LSLP_VECTORIZER_SEEDCOLLECTOR_H
+
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+class Instruction;
+class TargetTransformInfo;
+
+/// One seed bundle: stores to consecutive addresses, in address order.
+using SeedBundle = std::vector<Instruction *>;
+
+/// Collects all store seed bundles in \p BB. Bundles are disjoint; lane
+/// counts are powers of two in [2, MaxVectorWidthBits/ElementBits].
+std::vector<SeedBundle> collectStoreSeeds(BasicBlock &BB,
+                                          const TargetTransformInfo &TTI);
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_SEEDCOLLECTOR_H

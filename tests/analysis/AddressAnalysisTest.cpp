@@ -1,0 +1,249 @@
+//===- tests/analysis/AddressAnalysisTest.cpp - SCEV-lite tests ----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AddressAnalysis.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// Parses a function and returns the instruction defining %<name>.
+struct ParsedFn {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit ParsedFn(const char *Src) {
+    M = parseModuleOrDie(Src, Ctx);
+    F = M->functions().front().get();
+  }
+
+  Instruction *get(const std::string &Name) {
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (I->getName() == Name)
+          return I.get();
+    return nullptr;
+  }
+};
+
+TEST(AddressAnalysis, ConstantIndexDecomposition) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 5
+  %v = load i64, ptr %p
+  ret void
+}
+)");
+  AddressDescriptor D =
+      decomposePointer(cast<LoadInst>(P.get("v"))->getPointerOperand());
+  ASSERT_TRUE(D.isValid());
+  EXPECT_EQ(D.Base, P.M->getGlobal("A"));
+  EXPECT_EQ(D.ConstBytes, 40);
+  EXPECT_TRUE(D.Terms.empty());
+}
+
+TEST(AddressAnalysis, SymbolicAffineIndex) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %i2 = mul i64 %i, 2
+  %i2p3 = add i64 %i2, 3
+  %p = gep i64, ptr @A, i64 %i2p3
+  %v = load i64, ptr %p
+  ret void
+}
+)");
+  AddressDescriptor D =
+      decomposePointer(cast<LoadInst>(P.get("v"))->getPointerOperand());
+  ASSERT_TRUE(D.isValid());
+  EXPECT_EQ(D.ConstBytes, 24); // 3 elements * 8 bytes.
+  ASSERT_EQ(D.Terms.size(), 1u);
+  EXPECT_EQ(D.Terms.begin()->second, 16); // 2 * 8 bytes per unit of %i.
+}
+
+TEST(AddressAnalysis, ShlAndSubIndices) {
+  ParsedFn P(R"(
+global @A = [256 x i64]
+define void @f(i64 %i) {
+entry:
+  %i4 = shl i64 %i, 2
+  %idx = sub i64 %i4, 1
+  %p = gep i64, ptr @A, i64 %idx
+  %v = load i64, ptr %p
+  ret void
+}
+)");
+  AddressDescriptor D =
+      decomposePointer(cast<LoadInst>(P.get("v"))->getPointerOperand());
+  ASSERT_TRUE(D.isValid());
+  EXPECT_EQ(D.ConstBytes, -8);
+  ASSERT_EQ(D.Terms.size(), 1u);
+  EXPECT_EQ(D.Terms.begin()->second, 32); // (i << 2) * 8.
+}
+
+TEST(AddressAnalysis, NestedGepChains) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %p1 = gep i64, ptr @A, i64 %i
+  %p2 = gep i64, ptr %p1, i64 3
+  %v = load i64, ptr %p2
+  ret void
+}
+)");
+  AddressDescriptor D =
+      decomposePointer(cast<LoadInst>(P.get("v"))->getPointerOperand());
+  ASSERT_TRUE(D.isValid());
+  EXPECT_EQ(D.Base, P.M->getGlobal("A"));
+  EXPECT_EQ(D.ConstBytes, 24);
+  EXPECT_EQ(D.Terms.size(), 1u);
+}
+
+TEST(AddressAnalysis, CancellingSymbolicTerms) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %neg = sub i64 7, %i
+  %sum = add i64 %neg, %i
+  %p = gep i64, ptr @A, i64 %sum
+  %v = load i64, ptr %p
+  ret void
+}
+)");
+  AddressDescriptor D =
+      decomposePointer(cast<LoadInst>(P.get("v"))->getPointerOperand());
+  ASSERT_TRUE(D.isValid());
+  // (7 - i) + i == 7: symbolic terms cancel exactly.
+  EXPECT_EQ(D.ConstBytes, 56);
+  EXPECT_TRUE(D.Terms.empty());
+}
+
+TEST(AddressAnalysis, ConsecutiveDetection) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %i2 = add i64 %i, 2
+  %p0 = gep i64, ptr @A, i64 %i
+  %p1 = gep i64, ptr @A, i64 %i1
+  %p2 = gep i64, ptr @A, i64 %i2
+  %v0 = load i64, ptr %p0
+  %v1 = load i64, ptr %p1
+  %v2 = load i64, ptr %p2
+  ret void
+}
+)");
+  Instruction *V0 = P.get("v0"), *V1 = P.get("v1"), *V2 = P.get("v2");
+  EXPECT_TRUE(areConsecutiveAccesses(V0, V1));
+  EXPECT_TRUE(areConsecutiveAccesses(V1, V2));
+  EXPECT_FALSE(areConsecutiveAccesses(V0, V2)); // Distance 2 elements.
+  EXPECT_FALSE(areConsecutiveAccesses(V1, V0)); // Wrong direction.
+  EXPECT_EQ(byteDistance(V0, V2), std::optional<int64_t>(16));
+  EXPECT_EQ(byteDistance(V2, V0), std::optional<int64_t>(-16));
+}
+
+TEST(AddressAnalysis, DifferentBasesHaveNoDistance) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+global @B = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %pa = gep i64, ptr @A, i64 %i
+  %pb = gep i64, ptr @B, i64 %i
+  %va = load i64, ptr %pa
+  %vb = load i64, ptr %pb
+  ret void
+}
+)");
+  EXPECT_EQ(byteDistance(P.get("va"), P.get("vb")), std::nullopt);
+  EXPECT_FALSE(areConsecutiveAccesses(P.get("va"), P.get("vb")));
+}
+
+TEST(AddressAnalysis, DifferentSymbolicTermsHaveNoDistance) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+define void @f(i64 %i, i64 %j) {
+entry:
+  %pi = gep i64, ptr @A, i64 %i
+  %pj = gep i64, ptr @A, i64 %j
+  %vi = load i64, ptr %pi
+  %vj = load i64, ptr %pj
+  ret void
+}
+)");
+  EXPECT_EQ(byteDistance(P.get("vi"), P.get("vj")), std::nullopt);
+}
+
+TEST(AddressAnalysis, MixedAccessTypesNotConsecutive) {
+  ParsedFn P(R"(
+global @A = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %p0 = gep i64, ptr @A, i64 %i
+  %p1 = gep i64, ptr @A, i64 %i1
+  %v0 = load i64, ptr %p0
+  store i64 %v0, ptr %p1
+  ret void
+}
+)");
+  Instruction *Load = P.get("v0");
+  Instruction *Store = nullptr;
+  for (const auto &I : *P.F->getEntryBlock())
+    if (isa<StoreInst>(I.get()))
+      Store = I.get();
+  ASSERT_NE(Store, nullptr);
+  // Same addresses pattern but different instruction kinds: not a chain.
+  EXPECT_FALSE(areConsecutiveAccesses(Load, Store));
+}
+
+TEST(AddressAnalysis, NonMemoryInstructionsHaveNoPointer) {
+  ParsedFn P(R"(
+define void @f(i64 %i) {
+entry:
+  %x = add i64 %i, 1
+  ret void
+}
+)");
+  EXPECT_EQ(getPointerOperand(P.get("x")), nullptr);
+  EXPECT_EQ(getMemAccessType(P.get("x")), nullptr);
+}
+
+TEST(AddressAnalysis, FloatElementStride) {
+  ParsedFn P(R"(
+global @F = [64 x float]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %p0 = gep float, ptr @F, i64 %i
+  %p1 = gep float, ptr @F, i64 %i1
+  %v0 = load float, ptr %p0
+  %v1 = load float, ptr %p1
+  ret void
+}
+)");
+  // Stride equals the 4-byte float size.
+  EXPECT_EQ(byteDistance(P.get("v0"), P.get("v1")),
+            std::optional<int64_t>(4));
+  EXPECT_TRUE(areConsecutiveAccesses(P.get("v0"), P.get("v1")));
+}
+
+} // namespace

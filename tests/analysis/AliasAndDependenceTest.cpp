@@ -1,0 +1,257 @@
+//===- tests/analysis/AliasAndDependenceTest.cpp - Alias + dep tests -----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/DependenceGraph.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+struct ParsedFn {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit ParsedFn(const char *Src) {
+    M = parseModuleOrDie(Src, Ctx);
+    F = M->functions().front().get();
+  }
+
+  Instruction *get(const std::string &Name) {
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (I->getName() == Name)
+          return I.get();
+    return nullptr;
+  }
+
+  Instruction *nthStore(unsigned N) {
+    unsigned Count = 0;
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (isa<StoreInst>(I.get()) && Count++ == N)
+          return I.get();
+    return nullptr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Alias analysis
+//===----------------------------------------------------------------------===//
+
+TEST(AliasAnalysis, DistinctGlobalsNoAlias) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @B = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %pa = gep i64, ptr @A, i64 %i
+  %pb = gep i64, ptr @B, i64 %i
+  %v = load i64, ptr %pa
+  store i64 %v, ptr %pb
+  ret void
+}
+)");
+  EXPECT_EQ(alias(P.get("v"), P.nthStore(0)), AliasResult::NoAlias);
+  EXPECT_FALSE(mayAlias(P.get("v"), P.nthStore(0)));
+}
+
+TEST(AliasAnalysis, SameAddressMustAlias) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %p1 = gep i64, ptr @A, i64 %i
+  %p2 = gep i64, ptr @A, i64 %i
+  %v = load i64, ptr %p1
+  store i64 %v, ptr %p2
+  ret void
+}
+)");
+  EXPECT_EQ(alias(P.get("v"), P.nthStore(0)), AliasResult::MustAlias);
+}
+
+TEST(AliasAnalysis, DisjointOffsetsNoAlias) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %p1 = gep i64, ptr @A, i64 %i
+  %p2 = gep i64, ptr @A, i64 %i1
+  %v = load i64, ptr %p1
+  store i64 %v, ptr %p2
+  ret void
+}
+)");
+  EXPECT_EQ(alias(P.get("v"), P.nthStore(0)), AliasResult::NoAlias);
+}
+
+TEST(AliasAnalysis, DifferentSymbolsMayAlias) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i, i64 %j) {
+entry:
+  %p1 = gep i64, ptr @A, i64 %i
+  %p2 = gep i64, ptr @A, i64 %j
+  %v = load i64, ptr %p1
+  store i64 %v, ptr %p2
+  ret void
+}
+)");
+  EXPECT_EQ(alias(P.get("v"), P.nthStore(0)), AliasResult::MayAlias);
+}
+
+TEST(AliasAnalysis, ArgumentPointerMayAliasGlobal) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(ptr %p, i64 %i) {
+entry:
+  %pa = gep i64, ptr @A, i64 %i
+  %pp = gep i64, ptr %p, i64 %i
+  %v = load i64, ptr %pa
+  store i64 %v, ptr %pp
+  ret void
+}
+)");
+  EXPECT_EQ(alias(P.get("v"), P.nthStore(0)), AliasResult::MayAlias);
+}
+
+TEST(AliasAnalysis, OverlappingDifferentSizes) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %v32 = load i32, ptr %p
+  %v64 = load i64, ptr %p
+  store i64 %v64, ptr %p
+  ret void
+}
+)");
+  // i32 at offset 0 overlaps i64 at offset 0 but is not the same range.
+  EXPECT_EQ(alias(P.get("v32"), P.nthStore(0)), AliasResult::MayAlias);
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence graph
+//===----------------------------------------------------------------------===//
+
+TEST(DependenceGraph, DefUseChains) {
+  ParsedFn P(R"(
+define void @f(i64 %a) {
+entry:
+  %x = add i64 %a, 1
+  %y = mul i64 %x, 2
+  %z = add i64 %a, 3
+  ret void
+}
+)");
+  DependenceGraph DG(*P.F->getEntryBlock());
+  EXPECT_TRUE(DG.dependsOn(P.get("y"), P.get("x")));
+  EXPECT_FALSE(DG.dependsOn(P.get("x"), P.get("y")));
+  EXPECT_FALSE(DG.dependsOn(P.get("z"), P.get("x")));
+  EXPECT_FALSE(DG.dependsOn(P.get("z"), P.get("y")));
+}
+
+TEST(DependenceGraph, TransitiveDependence) {
+  ParsedFn P(R"(
+define void @f(i64 %a) {
+entry:
+  %x = add i64 %a, 1
+  %y = mul i64 %x, 2
+  %z = sub i64 %y, 3
+  ret void
+}
+)");
+  DependenceGraph DG(*P.F->getEntryBlock());
+  EXPECT_TRUE(DG.dependsOn(P.get("z"), P.get("x")));
+}
+
+TEST(DependenceGraph, MemoryOrderingEdges) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %p = gep i64, ptr @A, i64 %i
+  %v1 = load i64, ptr %p
+  store i64 7, ptr %p
+  %v2 = load i64, ptr %p
+  ret void
+}
+)");
+  DependenceGraph DG(*P.F->getEntryBlock());
+  Instruction *Store = P.nthStore(0);
+  // Anti-dependence load -> store, true dependence store -> load.
+  EXPECT_TRUE(DG.dependsOn(Store, P.get("v1")));
+  EXPECT_TRUE(DG.dependsOn(P.get("v2"), Store));
+  // No direct load-load edge (the dependence is only through the store).
+  const auto &Direct = DG.directDeps(P.get("v2"));
+  EXPECT_EQ(std::count(Direct.begin(), Direct.end(), P.get("v1")), 0);
+}
+
+TEST(DependenceGraph, NoAliasMeansNoEdge) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @B = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %pa = gep i64, ptr @A, i64 %i
+  %pb = gep i64, ptr @B, i64 %i
+  store i64 1, ptr %pa
+  %v = load i64, ptr %pb
+  ret void
+}
+)");
+  DependenceGraph DG(*P.F->getEntryBlock());
+  EXPECT_FALSE(DG.dependsOn(P.get("v"), P.nthStore(0)));
+}
+
+TEST(DependenceGraph, MutualIndependence) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i, i64 %a) {
+entry:
+  %x = add i64 %a, 1
+  %y = add i64 %a, 2
+  %z = mul i64 %x, 2
+  ret void
+}
+)");
+  DependenceGraph DG(*P.F->getEntryBlock());
+  EXPECT_TRUE(DG.areMutuallyIndependent({P.get("x"), P.get("y")}));
+  EXPECT_FALSE(DG.areMutuallyIndependent({P.get("x"), P.get("z")}));
+  EXPECT_FALSE(
+      DG.areMutuallyIndependent({P.get("x"), P.get("y"), P.get("z")}));
+}
+
+TEST(DependenceGraph, DirectDeps) {
+  ParsedFn P(R"(
+define void @f(i64 %a) {
+entry:
+  %x = add i64 %a, 1
+  %y = mul i64 %x, %x
+  ret void
+}
+)");
+  DependenceGraph DG(*P.F->getEntryBlock());
+  const auto &Deps = DG.directDeps(P.get("y"));
+  // Both operand slots reference %x.
+  ASSERT_EQ(Deps.size(), 2u);
+  EXPECT_EQ(Deps[0], P.get("x"));
+  EXPECT_EQ(Deps[1], P.get("x"));
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/costmodel/TTITest.cpp - Cost model tests ---------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(SkylakeTTI, PaperCostConventions) {
+  // The paper's examples assume: an ALU op costs 1 in scalar and vector
+  // form, so a 2-lane group saves 1 (-1); gathering 2 non-constant scalars
+  // costs +2; all-constant gathers are free.
+  Context Ctx;
+  SkylakeTTI TTI;
+  Type *I64 = Ctx.getInt64Ty();
+  Type *V2 = Ctx.getVectorTy(I64, 2);
+
+  EXPECT_EQ(TTI.getArithmeticInstrCost(ValueID::Add, I64), 1);
+  EXPECT_EQ(TTI.getArithmeticInstrCost(ValueID::Add, V2), 1);
+  EXPECT_EQ(TTI.getArithmeticInstrCost(ValueID::Shl, I64), 1);
+  EXPECT_EQ(TTI.getArithmeticInstrCost(ValueID::And, V2), 1);
+  EXPECT_EQ(TTI.getMemoryOpCost(ValueID::Load, I64), 1);
+  EXPECT_EQ(TTI.getMemoryOpCost(ValueID::Store, V2), 1);
+
+  EXPECT_EQ(TTI.getGatherCost(V2, {false, false}), 2);
+  EXPECT_EQ(TTI.getGatherCost(V2, {true, false}), 2); // Mixed: still +2.
+  EXPECT_EQ(TTI.getGatherCost(V2, {true, true}), 0);  // Constants: free.
+}
+
+TEST(SkylakeTTI, WideGathers) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  Type *V4 = Ctx.getVectorTy(Ctx.getDoubleTy(), 4);
+  EXPECT_EQ(TTI.getGatherCost(V4, {false, false, false, false}), 4);
+  EXPECT_EQ(TTI.getGatherCost(V4, {true, true, true, true}), 0);
+}
+
+TEST(SkylakeTTI, DivisionCosts) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  Type *I64 = Ctx.getInt64Ty();
+  Type *V4 = Ctx.getVectorTy(I64, 4);
+  // FP division: similar scalar/vector throughput.
+  EXPECT_EQ(TTI.getArithmeticInstrCost(ValueID::FDiv, Ctx.getDoubleTy()),
+            TTI.getArithmeticInstrCost(
+                ValueID::FDiv, Ctx.getVectorTy(Ctx.getDoubleTy(), 4)));
+  // Integer division scalarizes: a vector op is strictly worse than the
+  // sum of its scalar lanes.
+  int Scalar = TTI.getArithmeticInstrCost(ValueID::SDiv, I64);
+  int Vector = TTI.getArithmeticInstrCost(ValueID::SDiv, V4);
+  EXPECT_GT(Vector, 4 * Scalar);
+}
+
+TEST(SkylakeTTI, TargetParameters) {
+  SkylakeTTI TTI;
+  EXPECT_EQ(TTI.getMaxVectorWidthBits(), 256u); // AVX2.
+  EXPECT_GE(TTI.getIssueWidth(), 1u);
+}
+
+TEST(SkylakeTTI, InstructionCostDispatch) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  GlobalArray *G = M.createGlobal("G", Ctx.getInt64Ty(), 8);
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getInt64Ty()}, {"a"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  SkylakeTTI TTI;
+
+  auto *Gep = IRB.createGEP(Ctx.getInt64Ty(), G, int64_t(0));
+  EXPECT_EQ(TTI.getInstructionCost(Gep), 0); // Folded addressing.
+  auto *Load = IRB.createLoad(Ctx.getInt64Ty(), Gep);
+  EXPECT_EQ(TTI.getInstructionCost(Load), 1);
+  auto *Add = cast<Instruction>(IRB.createAdd(Load, F->getArg(0)));
+  EXPECT_EQ(TTI.getInstructionCost(Add), 1);
+  auto *Store = IRB.createStore(Add, Gep);
+  EXPECT_EQ(TTI.getInstructionCost(Store), 1);
+  auto *Cmp = IRB.createICmp(ICmpInst::EQ, Add, F->getArg(0));
+  EXPECT_EQ(TTI.getInstructionCost(Cmp), 1);
+  auto *Sel = IRB.createSelect(Cmp, Add, F->getArg(0));
+  EXPECT_EQ(TTI.getInstructionCost(Sel), 1);
+  auto *Ret = IRB.createRet();
+  EXPECT_EQ(TTI.getInstructionCost(Ret), TTI.getControlFlowCost());
+}
+
+TEST(SkylakeTTI, VectorLaneOpsAndShuffles) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  VectorType *V2 = Ctx.getVectorTy(Ctx.getInt64Ty(), 2);
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {V2}, {"v"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  SkylakeTTI TTI;
+
+  auto *Ins = IRB.createInsertElement(F->getArg(0), Ctx.getInt64(1), 0);
+  EXPECT_EQ(TTI.getInstructionCost(Ins), 1);
+  auto *Ext = IRB.createExtractElement(Ins, 1);
+  EXPECT_EQ(TTI.getInstructionCost(Ext), 1);
+  auto *Shuf = IRB.createShuffleVector(Ins, Ins, {0, 0});
+  EXPECT_EQ(TTI.getInstructionCost(Shuf), 1);
+  auto *Phi = IRB.createPHI(V2);
+  EXPECT_EQ(TTI.getInstructionCost(Phi), 0);
+}
+
+/// A custom cost model overriding one hook, proving the interface is
+/// substitutable (used similarly by examples/custom_cost_model).
+class NoSimdTTI : public SkylakeTTI {
+public:
+  int getArithmeticInstrCost(ValueID Opc, Type *Ty) const override {
+    if (Ty->isVectorTy())
+      return 100; // Pretend vector ALUs are terrible.
+    return SkylakeTTI::getArithmeticInstrCost(Opc, Ty);
+  }
+};
+
+TEST(TargetTransformInfo, CustomModelOverrides) {
+  Context Ctx;
+  NoSimdTTI TTI;
+  EXPECT_EQ(TTI.getArithmeticInstrCost(ValueID::Add, Ctx.getInt64Ty()), 1);
+  EXPECT_EQ(TTI.getArithmeticInstrCost(
+                ValueID::Add, Ctx.getVectorTy(Ctx.getInt64Ty(), 2)),
+            100);
+}
+
+} // namespace

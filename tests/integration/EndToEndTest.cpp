@@ -1,0 +1,200 @@
+//===- tests/integration/EndToEndTest.cpp - Pipeline integration tests ---------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(EndToEnd, VectorizedModulesRoundTripThroughText) {
+  // Vectorized IR (with vector types, constant vectors, extracts) must
+  // survive print -> parse -> print.
+  SkylakeTTI TTI;
+  for (const char *Name : {"motivation-multi", "453.vsumsqr", "453.mesh1"}) {
+    SCOPED_TRACE(Name);
+    const KernelSpec *Spec = findKernel(Name);
+    ASSERT_NE(Spec, nullptr);
+    Context Ctx;
+    auto M = buildKernelModule(*Spec, Ctx);
+    SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+    Pass.runOnModule(*M);
+    std::string Printed = moduleToString(*M);
+
+    Context Ctx2;
+    std::string Err;
+    auto M2 = parseModule(Printed, Ctx2, Err);
+    ASSERT_NE(M2, nullptr) << Err;
+    EXPECT_TRUE(verifyModule(*M2));
+    EXPECT_EQ(moduleToString(*M2), Printed);
+
+    // The reparsed vectorized module computes the same results.
+    Interpreter I1(*M, &TTI), I2(*M2, &TTI);
+    initKernelMemory(I1, *M);
+    initKernelMemory(I2, *M2);
+    I1.run(M->getFunction(Spec->EntryFunction),
+           {RuntimeValue::makeInt(Ctx.getInt64Ty(), 64)});
+    I2.run(M2->getFunction(Spec->EntryFunction),
+           {RuntimeValue::makeInt(Ctx2.getInt64Ty(), 64)});
+    EXPECT_EQ(checksumGlobals(I1, *M, Spec->OutputArrays),
+              checksumGlobals(I2, *M2, Spec->OutputArrays));
+  }
+}
+
+TEST(EndToEnd, PassIsIdempotent) {
+  // A second run finds no scalar seeds in already-vectorized code.
+  SkylakeTTI TTI;
+  for (const KernelSpec *Spec : getFigureKernels()) {
+    SCOPED_TRACE(Spec->Name);
+    Context Ctx;
+    auto M = buildKernelModule(*Spec, Ctx);
+    SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+    ModuleReport First = Pass.runOnModule(*M);
+    ModuleReport Second = Pass.runOnModule(*M);
+    if (First.numAccepted() > 0) {
+      EXPECT_EQ(Second.numAccepted(), 0u);
+    }
+    EXPECT_TRUE(verifyModule(*M));
+  }
+}
+
+TEST(EndToEnd, VerboseReportsCarryGraphDumps) {
+  SkylakeTTI TTI;
+  const KernelSpec *Spec = findKernel("motivation-multi");
+  Context Ctx;
+  auto M = buildKernelModule(*Spec, Ctx);
+  SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+  Pass.setVerbose(true);
+  ModuleReport R = Pass.runOnModule(*M);
+  ASSERT_EQ(R.Functions.size(), 1u);
+  ASSERT_EQ(R.Functions[0].Attempts.size(), 1u);
+  const GraphAttempt &A = R.Functions[0].Attempts[0];
+  EXPECT_NE(A.GraphDump.find("multinode<and x2>"), std::string::npos)
+      << A.GraphDump;
+  EXPECT_NE(A.GraphDump.find("total cost = -10"), std::string::npos);
+  EXPECT_TRUE(A.UsedReordering);
+}
+
+TEST(EndToEnd, ReportAccountsMatchAttempts) {
+  SkylakeTTI TTI;
+  Context Ctx;
+  const KernelSpec *Spec = findKernel("453.calc-z3");
+  auto M = buildKernelModule(*Spec, Ctx);
+  SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+  ModuleReport R = Pass.runOnModule(*M);
+  int Sum = 0;
+  unsigned Accepted = 0;
+  for (const FunctionReport &F : R.Functions)
+    for (const GraphAttempt &A : F.Attempts)
+      if (A.Accepted) {
+        Sum += A.Cost;
+        ++Accepted;
+      }
+  EXPECT_EQ(Sum, R.acceptedCost());
+  EXPECT_EQ(Accepted, R.numAccepted());
+}
+
+TEST(EndToEnd, FourLaneKernelProducesWideVectors) {
+  SkylakeTTI TTI;
+  const KernelSpec *Spec = findKernel("453.vsumsqr");
+  Context Ctx;
+  auto M = buildKernelModule(*Spec, Ctx);
+  SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+  ModuleReport R = Pass.runOnModule(*M);
+  ASSERT_GT(R.numAccepted(), 0u);
+  bool SawFourWide = false;
+  for (const auto &BB : *M->getFunction(Spec->EntryFunction))
+    for (const auto &I : *BB)
+      if (const auto *VT = dyn_cast<VectorType>(I->getType()))
+        SawFourWide |= (VT->getNumElements() == 4);
+  EXPECT_TRUE(SawFourWide);
+}
+
+TEST(EndToEnd, EightWideFloatVectorization) {
+  // f32 kernels fill the whole 256-bit register: VF = 8.
+  std::string Src = R"(
+global @A = [64 x float]
+global @E = [64 x float]
+define void @f(i64 %i) {
+entry:
+)";
+  for (int L = 0; L < 8; ++L) {
+    std::string N = std::to_string(L);
+    Src += "  %i" + N + " = add i64 %i, " + N + "\n";
+    Src += "  %pa" + N + " = gep float, ptr @A, i64 %i" + N + "\n";
+    Src += "  %l" + N + " = load float, ptr %pa" + N + "\n";
+    Src += "  %x" + N + " = fmul float %l" + N + ", 2.0\n";
+    Src += "  %pe" + N + " = gep float, ptr @E, i64 %i" + N + "\n";
+    Src += "  store float %x" + N + ", ptr %pe" + N + "\n";
+  }
+  Src += "  ret void\n}\n";
+
+  SkylakeTTI TTI;
+  uint64_t Sums[2];
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = parseModuleOrDie(Src, Ctx);
+    if (Pass == 1) {
+      SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+      ASSERT_EQ(VP.runOnModule(*M).numAccepted(), 1u);
+      ASSERT_TRUE(verifyModule(*M));
+      bool SawEightWide = false;
+      for (const auto &I : *M->getFunction("f")->getEntryBlock())
+        if (const auto *VT = dyn_cast<VectorType>(I->getType()))
+          SawEightWide |= VT->getNumElements() == 8 &&
+                          VT->getElementType()->isFloatTy();
+      EXPECT_TRUE(SawEightWide);
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    Interp.run(M->getFunction("f"),
+               {RuntimeValue::makeInt(Ctx.getInt64Ty(), 16)});
+    Sums[Pass] = checksumGlobal(Interp, *M, "E");
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+}
+
+TEST(EndToEnd, CycleModelAgreesWithStaticCostDirection) {
+  // For the motivation kernels (hot loop = whole program) the dynamic
+  // cycle saving must agree in sign with the static cost.
+  SkylakeTTI TTI;
+  for (const char *Name :
+       {"motivation-loads", "motivation-opcodes", "motivation-multi"}) {
+    SCOPED_TRACE(Name);
+    const KernelSpec *Spec = findKernel(Name);
+    uint64_t Costs[2];
+    int StaticCost = 0;
+    for (int Pass = 0; Pass < 2; ++Pass) {
+      Context Ctx;
+      auto M = buildKernelModule(*Spec, Ctx);
+      if (Pass == 1) {
+        SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+        StaticCost = VP.runOnModule(*M).acceptedCost();
+      }
+      Interpreter Interp(*M, &TTI);
+      initKernelMemory(Interp, *M);
+      Costs[Pass] =
+          Interp
+              .run(M->getFunction(Spec->EntryFunction),
+                   {RuntimeValue::makeInt(Ctx.getInt64Ty(), Spec->DefaultN)})
+              .TotalCost;
+    }
+    ASSERT_LT(StaticCost, 0);
+    EXPECT_LT(Costs[1], Costs[0]);
+  }
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- tests/integration/PropertyTest.cpp - Randomized property tests ----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based testing: generates random straight-line programs whose
+// lanes are isomorphic modulo commutative-operand permutations (exactly
+// the class of inputs LSLP targets, with occasional deliberate opcode
+// mismatches), then checks for every configuration:
+//
+//   1. the vectorized module still verifies,
+//   2. it computes bit-identical results,
+//   3. the pass is deterministic,
+//   4. every accepted graph had a profitable (negative) cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// An expression-tree template instantiated once per lane. Narrow wraps a
+/// subtree in trunc-to-i32 + sext-back (exercising cast bundles).
+struct ExprTemplate {
+  enum Kind { Load, Const, Binop, Narrow } K;
+  unsigned ArrayId = 0;           // Load.
+  uint64_t ConstVal = 0;          // Const.
+  ValueID Opc = ValueID::Add;     // Binop.
+  std::unique_ptr<ExprTemplate> L, R;
+};
+
+class ProgramGenerator {
+public:
+  static constexpr unsigned NumArrays = 5;
+
+  ProgramGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  /// Builds the whole module: globals IN0..IN4 and OUT, plus @f().
+  std::unique_ptr<Module> generate(Context &Ctx) {
+    auto M = std::make_unique<Module>(Ctx, "random");
+    for (unsigned I = 0; I < NumArrays; ++I)
+      M->createGlobal("IN" + std::to_string(I), Ctx.getInt64Ty(), 64);
+    GlobalArray *Out = M->createGlobal("OUT", Ctx.getInt64Ty(), 64);
+
+    Function *F = Function::create(M.get(), "f", Ctx.getVoidTy(), {}, {});
+    BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+    IRBuilder IRB(BB);
+
+    unsigned Lanes = Rng.nextChance(1, 2) ? 2 : 4;
+    unsigned Depth = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+    std::unique_ptr<ExprTemplate> Template = genTemplate(Depth);
+
+    for (unsigned Lane = 0; Lane != Lanes; ++Lane) {
+      Value *V = instantiate(*Template, Lane, IRB, *M);
+      Value *Ptr = IRB.createGEP(Ctx.getInt64Ty(), Out,
+                                 static_cast<int64_t>(Lane));
+      IRB.createStore(V, Ptr);
+    }
+    IRB.createRet();
+    return M;
+  }
+
+private:
+  std::unique_ptr<ExprTemplate> genTemplate(unsigned Depth) {
+    auto T = std::make_unique<ExprTemplate>();
+    if (Depth == 0 || Rng.nextChance(1, 5)) {
+      if (Rng.nextChance(1, 4)) {
+        T->K = ExprTemplate::Const;
+        T->ConstVal = Rng.nextBelow(64);
+      } else {
+        T->K = ExprTemplate::Load;
+        T->ArrayId = static_cast<unsigned>(Rng.nextBelow(NumArrays));
+      }
+      return T;
+    }
+    if (Rng.nextChance(1, 8)) {
+      T->K = ExprTemplate::Narrow;
+      T->L = genTemplate(Depth - 1);
+      return T;
+    }
+    T->K = ExprTemplate::Binop;
+    static const ValueID Opcodes[] = {ValueID::Add, ValueID::Mul,
+                                      ValueID::And, ValueID::Or,
+                                      ValueID::Xor, ValueID::Sub,
+                                      ValueID::Shl};
+    T->Opc = Opcodes[Rng.nextBelow(std::size(Opcodes))];
+    T->L = genTemplate(Depth - 1);
+    T->R = genTemplate(Depth - 1);
+    return T;
+  }
+
+  Value *instantiate(const ExprTemplate &T, unsigned Lane, IRBuilder &IRB,
+                     Module &M) {
+    Context &Ctx = IRB.getContext();
+    switch (T.K) {
+    case ExprTemplate::Const:
+      return Ctx.getInt64(T.ConstVal);
+    case ExprTemplate::Load: {
+      GlobalArray *G = M.getGlobal("IN" + std::to_string(T.ArrayId));
+      Value *Ptr = IRB.createGEP(Ctx.getInt64Ty(), G,
+                                 static_cast<int64_t>(Lane));
+      return IRB.createLoad(Ctx.getInt64Ty(), Ptr);
+    }
+    case ExprTemplate::Narrow: {
+      Value *Sub = instantiate(*T.L, Lane, IRB, M);
+      Value *Narrowed = IRB.createTrunc(Sub, Ctx.getInt32Ty());
+      return IRB.createSExt(Narrowed, Ctx.getInt64Ty());
+    }
+    case ExprTemplate::Binop: {
+      Value *L = instantiate(*T.L, Lane, IRB, M);
+      Value *R = instantiate(*T.R, Lane, IRB, M);
+      ValueID Opc = T.Opc;
+      // Occasional deliberate per-lane opcode change: lanes become
+      // non-isomorphic and the vectorizer must cope.
+      if (Lane != 0 && Rng.nextChance(1, 12))
+        Opc = (Opc == ValueID::Add) ? ValueID::Xor : ValueID::Add;
+      // Per-lane operand swap at commutative (and, adversarially, also at
+      // non-commutative-safe positions we keep ordered).
+      if (BinaryOperator::isCommutativeOpcode(Opc) && Rng.nextChance(1, 2))
+        std::swap(L, R);
+      return IRB.createBinOp(Opc, L, R);
+    }
+    }
+    return nullptr;
+  }
+
+  RNG Rng;
+};
+
+struct RunResult {
+  uint64_t Checksum = 0;
+  int StaticCost = 0;
+  unsigned Accepted = 0;
+  bool Verified = false;
+};
+
+RunResult runOnce(uint64_t Seed, const VectorizerConfig *Config) {
+  Context Ctx;
+  ProgramGenerator Gen(Seed);
+  auto M = Gen.generate(Ctx);
+  EXPECT_TRUE(verifyModule(*M)) << "generator produced invalid IR";
+  SkylakeTTI TTI;
+  RunResult Out;
+  Out.Verified = true;
+  if (Config) {
+    SLPVectorizerPass Pass(*Config, TTI);
+    ModuleReport R = Pass.runOnModule(*M);
+    Out.StaticCost = R.acceptedCost();
+    Out.Accepted = R.numAccepted();
+    std::vector<std::string> Errors;
+    Out.Verified = verifyModule(*M, &Errors);
+    EXPECT_TRUE(Out.Verified) << moduleToString(*M);
+    for (const GraphAttempt &A :
+         R.Functions.empty() ? std::vector<GraphAttempt>{}
+                             : R.Functions[0].Attempts)
+      if (A.Accepted) {
+        EXPECT_LT(A.Cost, 0) << "accepted an unprofitable graph";
+      }
+  }
+  Interpreter Interp(*M, &TTI);
+  // Deterministic input values.
+  RNG InputRng(Seed * 7919 + 13);
+  for (const auto &G : M->globals())
+    for (uint64_t I = 0; I < G->getNumElements(); ++I)
+      Interp.writeGlobalInt(G->getName(), I, InputRng.nextBelow(1 << 20));
+  Interp.run(M->getFunction("f"));
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (uint64_t I = 0; I < 64; ++I) {
+    Hash ^= Interp.readGlobalInt("OUT", I);
+    Hash *= 0x100000001b3ULL;
+  }
+  Out.Checksum = Hash;
+  return Out;
+}
+
+class RandomProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramProperty, AllConfigsPreserveSemantics) {
+  uint64_t Seed = GetParam();
+  RunResult Base = runOnce(Seed, nullptr);
+  for (const VectorizerConfig &Config :
+       {VectorizerConfig::slpNoReordering(), VectorizerConfig::slp(),
+        VectorizerConfig::lslp()}) {
+    SCOPED_TRACE(Config.Name);
+    RunResult Vec = runOnce(Seed, &Config);
+    EXPECT_TRUE(Vec.Verified);
+    EXPECT_EQ(Vec.Checksum, Base.Checksum);
+  }
+}
+
+TEST_P(RandomProgramProperty, PassIsDeterministic) {
+  uint64_t Seed = GetParam();
+  VectorizerConfig LSLP = VectorizerConfig::lslp();
+  RunResult A = runOnce(Seed, &LSLP);
+  RunResult B = runOnce(Seed, &LSLP);
+  EXPECT_EQ(A.StaticCost, B.StaticCost);
+  EXPECT_EQ(A.Accepted, B.Accepted);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+}
+
+TEST_P(RandomProgramProperty, LookAheadLevelsAreAllSound) {
+  uint64_t Seed = GetParam();
+  RunResult Base = runOnce(Seed, nullptr);
+  for (unsigned Level : {0u, 1u, 2u, 4u, 8u}) {
+    VectorizerConfig C = VectorizerConfig::lslp(Level);
+    SCOPED_TRACE("LA" + std::to_string(Level));
+    RunResult Vec = runOnce(Seed, &C);
+    EXPECT_EQ(Vec.Checksum, Base.Checksum);
+  }
+}
+
+TEST_P(RandomProgramProperty, MultiNodeSizesAreAllSound) {
+  uint64_t Seed = GetParam();
+  RunResult Base = runOnce(Seed, nullptr);
+  for (unsigned Size : {1u, 2u, 3u, 8u}) {
+    VectorizerConfig C = VectorizerConfig::lslp();
+    C.MaxMultiNodeSize = Size;
+    SCOPED_TRACE("Multi" + std::to_string(Size));
+    RunResult Vec = runOnce(Seed, &C);
+    EXPECT_EQ(Vec.Checksum, Base.Checksum);
+  }
+}
+
+TEST_P(RandomProgramProperty, MaxAggregationIsSound) {
+  uint64_t Seed = GetParam();
+  RunResult Base = runOnce(Seed, nullptr);
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.ScoreAggregation = VectorizerConfig::ScoreAggregationKind::Max;
+  RunResult Vec = runOnce(Seed, &C);
+  EXPECT_EQ(Vec.Checksum, Base.Checksum);
+}
+
+TEST_P(RandomProgramProperty, ExhaustiveReorderingIsSound) {
+  uint64_t Seed = GetParam();
+  RunResult Base = runOnce(Seed, nullptr);
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.ReorderStrategy =
+      VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane;
+  RunResult Vec = runOnce(Seed, &C);
+  EXPECT_EQ(Vec.Checksum, Base.Checksum);
+}
+
+TEST_P(RandomProgramProperty, ExtensionsOffIsSound) {
+  uint64_t Seed = GetParam();
+  RunResult Base = runOnce(Seed, nullptr);
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.EnableAltOpcodes = false;
+  C.EnableReductions = false;
+  RunResult Vec = runOnce(Seed, &C);
+  EXPECT_EQ(Vec.Checksum, Base.Checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range(uint64_t(0), uint64_t(40)));
+
+} // namespace

@@ -1,0 +1,531 @@
+//===- tests/interp/InterpreterTest.cpp - Interpreter tests --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace lslp;
+
+namespace {
+
+/// Runs @f from the given module source with i64 arguments and returns the
+/// (i64) result.
+uint64_t evalI64(const char *Src, std::vector<uint64_t> Args = {}) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  Interpreter Interp(*M);
+  std::vector<RuntimeValue> RTArgs;
+  for (uint64_t A : Args)
+    RTArgs.push_back(RuntimeValue::makeInt(Ctx.getInt64Ty(), A));
+  return Interp.run(M->getFunction("f"), RTArgs).ReturnValue.asUInt();
+}
+
+double evalF64(const char *Src, std::vector<double> Args = {}) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  Interpreter Interp(*M);
+  std::vector<RuntimeValue> RTArgs;
+  for (double A : Args)
+    RTArgs.push_back(RuntimeValue::makeFP(Ctx.getDoubleTy(), A));
+  return Interp.run(M->getFunction("f"), RTArgs).ReturnValue.asFP();
+}
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic (parameterized over operations)
+//===----------------------------------------------------------------------===//
+
+struct BinOpCase {
+  const char *Opcode;
+  uint64_t A, B, Expected;
+};
+
+class IntBinOpTest : public ::testing::TestWithParam<BinOpCase> {};
+
+TEST_P(IntBinOpTest, Evaluates) {
+  const BinOpCase &C = GetParam();
+  std::string Src = std::string("define i64 @f(i64 %a, i64 %b) {\n"
+                                "entry:\n  %r = ") +
+                    C.Opcode + " i64 %a, %b\n  ret i64 %r\n}\n";
+  EXPECT_EQ(evalI64(Src.c_str(), {C.A, C.B}), C.Expected)
+      << C.Opcode << " " << C.A << ", " << C.B;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, IntBinOpTest,
+    ::testing::Values(
+        BinOpCase{"add", 3, 4, 7},
+        BinOpCase{"add", UINT64_MAX, 1, 0}, // Wraps.
+        BinOpCase{"sub", 3, 5, uint64_t(-2)},
+        BinOpCase{"mul", 7, 6, 42},
+        BinOpCase{"mul", 1ULL << 63, 2, 0}, // Wraps.
+        BinOpCase{"udiv", 42, 5, 8},
+        BinOpCase{"sdiv", uint64_t(-42), 5, uint64_t(-8)},
+        BinOpCase{"and", 0b1100, 0b1010, 0b1000},
+        BinOpCase{"or", 0b1100, 0b1010, 0b1110},
+        BinOpCase{"xor", 0b1100, 0b1010, 0b0110},
+        BinOpCase{"shl", 1, 10, 1024},
+        BinOpCase{"shl", 1, 64, 0}, // Oversized shift yields zero.
+        BinOpCase{"lshr", 1024, 3, 128},
+        BinOpCase{"lshr", uint64_t(-1), 63, 1},
+        BinOpCase{"ashr", uint64_t(-8), 1, uint64_t(-4)},
+        BinOpCase{"ashr", uint64_t(-1), 70, uint64_t(-1)}));
+
+//===----------------------------------------------------------------------===//
+// ICmp predicates (parameterized)
+//===----------------------------------------------------------------------===//
+
+struct CmpCase {
+  const char *Pred;
+  uint64_t A, B;
+  bool Expected;
+};
+
+class ICmpTest : public ::testing::TestWithParam<CmpCase> {};
+
+TEST_P(ICmpTest, Evaluates) {
+  const CmpCase &C = GetParam();
+  std::string Src = std::string("define i64 @f(i64 %a, i64 %b) {\n"
+                                "entry:\n  %c = icmp ") +
+                    C.Pred +
+                    " i64 %a, %b\n"
+                    "  %r = select i1 %c, i64 1, i64 0\n  ret i64 %r\n}\n";
+  EXPECT_EQ(evalI64(Src.c_str(), {C.A, C.B}), C.Expected ? 1u : 0u)
+      << C.Pred << " " << C.A << ", " << C.B;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, ICmpTest,
+    ::testing::Values(CmpCase{"eq", 4, 4, true}, CmpCase{"eq", 4, 5, false},
+                      CmpCase{"ne", 4, 5, true}, CmpCase{"ne", 4, 4, false},
+                      CmpCase{"slt", uint64_t(-1), 0, true},
+                      CmpCase{"slt", 0, uint64_t(-1), false},
+                      CmpCase{"sle", 3, 3, true},
+                      CmpCase{"sgt", 0, uint64_t(-1), true},
+                      CmpCase{"sge", uint64_t(-2), uint64_t(-2), true},
+                      CmpCase{"ult", 0, uint64_t(-1), true},
+                      CmpCase{"ult", uint64_t(-1), 0, false},
+                      CmpCase{"ule", 7, 7, true},
+                      CmpCase{"ugt", uint64_t(-1), 0, true},
+                      CmpCase{"uge", 8, 9, false}));
+
+//===----------------------------------------------------------------------===//
+// Floating point
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, FPArithmetic) {
+  EXPECT_DOUBLE_EQ(evalF64(R"(
+define double @f(double %a, double %b) {
+entry:
+  %s = fadd double %a, %b
+  %d = fsub double %s, 1.0
+  %m = fmul double %d, %b
+  %q = fdiv double %m, 2.0
+  ret double %q
+}
+)",
+                           {2.5, 4.0}),
+                   ((2.5 + 4.0 - 1.0) * 4.0) / 2.0);
+}
+
+TEST(Interpreter, FloatPrecisionIsSingle) {
+  // Float-typed arithmetic must round to binary32 on every operation.
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @F = [4 x float]
+define void @f() {
+entry:
+  %p = gep float, ptr @F, i64 0
+  %v = load float, ptr %p
+  %r = fmul float %v, %v
+  %q = gep float, ptr @F, i64 1
+  store float %r, ptr %q
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  Interp.writeGlobalFP("F", 0, 1.1);
+  Interp.run(M->getFunction("f"));
+  float Expected = float(1.1) * float(1.1);
+  EXPECT_EQ(Interp.readGlobalFP("F", 1), double(Expected));
+}
+
+//===----------------------------------------------------------------------===//
+// Memory and globals
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, GlobalReadWrite) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f() {
+entry:
+  %p0 = gep i64, ptr @A, i64 0
+  %p1 = gep i64, ptr @A, i64 1
+  %v = load i64, ptr %p0
+  %w = add i64 %v, 5
+  store i64 %w, ptr %p1
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  Interp.writeGlobalInt("A", 0, 37);
+  Interp.run(M->getFunction("f"));
+  EXPECT_EQ(Interp.readGlobalInt("A", 1), 42u);
+}
+
+TEST(Interpreter, DistinctGlobalsAreDisjoint) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [4 x i64]
+global @B = [4 x i64]
+define void @f() {
+entry:
+  %pa = gep i64, ptr @A, i64 0
+  store i64 1, ptr %pa
+  %pb = gep i64, ptr @B, i64 0
+  store i64 2, ptr %pb
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  Interp.run(M->getFunction("f"));
+  EXPECT_EQ(Interp.readGlobalInt("A", 0), 1u);
+  EXPECT_EQ(Interp.readGlobalInt("B", 0), 2u);
+  EXPECT_NE(Interp.getGlobalAddress("A"), Interp.getGlobalAddress("B"));
+}
+
+TEST(Interpreter, NarrowMemoryAccess) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i8]
+define void @f() {
+entry:
+  %p = gep i8, ptr @A, i64 3
+  store i8 200, ptr %p
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  Interp.run(M->getFunction("f"));
+  EXPECT_EQ(Interp.readGlobalInt("A", 3), 200u);
+  EXPECT_EQ(Interp.readGlobalInt("A", 2), 0u); // Neighbors untouched.
+  EXPECT_EQ(Interp.readGlobalInt("A", 4), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, LoopSum) {
+  // Sum 0..n-1 through memory.
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @S = [1 x i64]
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %p = gep i64, ptr @S, i64 0
+  %acc = load i64, ptr %p
+  %acc2 = add i64 %acc, %i
+  store i64 %acc2, ptr %p
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  Interp.run(M->getFunction("f"),
+             {RuntimeValue::makeInt(Ctx.getInt64Ty(), 10)});
+  EXPECT_EQ(Interp.readGlobalInt("S", 0), 45u);
+}
+
+TEST(Interpreter, PhiSwapIsParallel) {
+  // The classic swap idiom: both phis must read the previous iteration's
+  // values (simultaneous assignment), not the in-flight ones.
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %x = phi i64 [ 1, %entry ], [ %y, %loop ]
+  %y = phi i64 [ 2, %entry ], [ %x, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  %r = mul i64 %x, 10
+  %r2 = add i64 %r, %y
+  ret i64 %r2
+}
+)",
+                    {3}),
+            // Three iterations: (x,y) goes (1,2) -> (2,1) -> (1,2).
+            12u);
+}
+
+TEST(Interpreter, ConditionalBranching) {
+  const char *Src = R"(
+define i64 @f(i64 %a) {
+entry:
+  %c = icmp sgt i64 %a, 10
+  br i1 %c, label %big, label %small
+big:
+  br label %done
+small:
+  br label %done
+done:
+  %r = phi i64 [ 100, %big ], [ 7, %small ]
+  ret i64 %r
+}
+)";
+  EXPECT_EQ(evalI64(Src, {50}), 100u);
+  EXPECT_EQ(evalI64(Src, {3}), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Vector operations
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, VectorLoadComputeStore) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %v = load <4 x i64>, ptr %p
+  %w = mul <4 x i64> %v, <i64 1, i64 2, i64 3, i64 4>
+  %q = gep i64, ptr @A, i64 4
+  store <4 x i64> %w, ptr %q
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  for (uint64_t I = 0; I < 4; ++I)
+    Interp.writeGlobalInt("A", I, 10 + I);
+  Interp.run(M->getFunction("f"));
+  EXPECT_EQ(Interp.readGlobalInt("A", 4), 10u);
+  EXPECT_EQ(Interp.readGlobalInt("A", 5), 22u);
+  EXPECT_EQ(Interp.readGlobalInt("A", 6), 36u);
+  EXPECT_EQ(Interp.readGlobalInt("A", 7), 52u);
+}
+
+TEST(Interpreter, InsertExtractShuffle) {
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %v0 = insertelement <2 x i64> undef, i64 %a, i32 0
+  %v1 = insertelement <2 x i64> %v0, i64 %b, i32 1
+  %sw = shufflevector <2 x i64> %v1, <2 x i64> %v1, [1, 0]
+  %x = extractelement <2 x i64> %sw, i32 0
+  %y = extractelement <2 x i64> %sw, i32 1
+  %r = sub i64 %x, %y
+  ret i64 %r
+}
+)",
+                    {3, 10}),
+            7u);
+}
+
+TEST(Interpreter, ShuffleSelectsAcrossInputs) {
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %v0 = insertelement <2 x i64> undef, i64 %a, i32 0
+  %v1 = insertelement <2 x i64> %v0, i64 %a, i32 1
+  %w0 = insertelement <2 x i64> undef, i64 %b, i32 0
+  %w1 = insertelement <2 x i64> %w0, i64 %b, i32 1
+  %m = shufflevector <2 x i64> %v1, <2 x i64> %w1, [0, 3]
+  %x = extractelement <2 x i64> %m, i32 0
+  %y = extractelement <2 x i64> %m, i32 1
+  %r = add i64 %x, %y
+  ret i64 %r
+}
+)",
+                    {5, 11}),
+            16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cost accounting
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, CostAccountingCountsDynamicInstructions) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)",
+                            Ctx);
+  SkylakeTTI TTI;
+  Interpreter Interp(*M, &TTI);
+  auto R10 = Interp.run(M->getFunction("f"),
+                        {RuntimeValue::makeInt(Ctx.getInt64Ty(), 10)});
+  auto R20 = Interp.run(M->getFunction("f"),
+                        {RuntimeValue::makeInt(Ctx.getInt64Ty(), 20)});
+  // br(entry) + 10*(phi,add,icmp,br) + ret = 42 dynamic instructions.
+  EXPECT_EQ(R10.DynamicInsts, 1 + 10 * 4 + 1u);
+  EXPECT_GT(R20.TotalCost, R10.TotalCost);
+  // phi costs 0, add/icmp/br cost 1 each: 1 + 10*3 + 1.
+  EXPECT_EQ(R10.TotalCost, 1 + 10 * 3 + 1u);
+}
+
+TEST(Interpreter, VectorFloatingPointOps) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x double]
+define void @f() {
+entry:
+  %p = gep double, ptr @A, i64 0
+  %v = load <2 x double>, ptr %p
+  %m = fmul <2 x double> %v, <double 2.0, double 0.5>
+  %a = fadd <2 x double> %m, <double 1.0, double -1.0>
+  %d = fdiv <2 x double> %a, <double 2.0, double 2.0>
+  %s = fsub <2 x double> %d, %v
+  %q = gep double, ptr @A, i64 2
+  store <2 x double> %s, ptr %q
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  Interp.writeGlobalFP("A", 0, 3.0);
+  Interp.writeGlobalFP("A", 1, 8.0);
+  Interp.run(M->getFunction("f"));
+  EXPECT_DOUBLE_EQ(Interp.readGlobalFP("A", 2), (3.0 * 2.0 + 1.0) / 2.0 - 3.0);
+  EXPECT_DOUBLE_EQ(Interp.readGlobalFP("A", 3), (8.0 * 0.5 - 1.0) / 2.0 - 8.0);
+}
+
+TEST(Interpreter, WideFloatVectors) {
+  // 8 x float (the full 256-bit register for f32).
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @F = [16 x float]
+define void @f() {
+entry:
+  %p = gep float, ptr @F, i64 0
+  %v = load <8 x float>, ptr %p
+  %w = fadd <8 x float> %v, %v
+  %q = gep float, ptr @F, i64 8
+  store <8 x float> %w, ptr %q
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  for (uint64_t I = 0; I < 8; ++I)
+    Interp.writeGlobalFP("F", I, 0.25 * static_cast<double>(I));
+  Interp.run(M->getFunction("f"));
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Interp.readGlobalFP("F", 8 + I),
+              0.5 * static_cast<double>(I));
+}
+
+TEST(Interpreter, OpcodeStatsCollection) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %v = load <4 x i64>, ptr %p
+  %w = add <4 x i64> %v, <i64 1, i64 1, i64 1, i64 1>
+  store <4 x i64> %w, ptr %p
+  %x = add i64 1, 2
+  ret void
+}
+)",
+                            Ctx);
+  SkylakeTTI TTI;
+  Interpreter Interp(*M, &TTI);
+  Interp.setCollectStats(true);
+  auto R = Interp.run(M->getFunction("f"));
+  EXPECT_EQ(R.VectorOpCounts[ValueID::Load], 1u);
+  EXPECT_EQ(R.VectorOpCounts[ValueID::Add], 1u);
+  EXPECT_EQ(R.VectorOpCounts[ValueID::Store], 1u);
+  EXPECT_EQ(R.ScalarOpCounts[ValueID::Add], 1u);
+  EXPECT_EQ(R.ScalarOpCounts[ValueID::Gep], 1u);
+  EXPECT_EQ(R.ScalarOpCounts.count(ValueID::Load), 0u);
+}
+
+TEST(Interpreter, StatsOffByDefault) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f() {
+entry:
+  %x = add i64 1, 2
+  ret void
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  auto R = Interp.run(M->getFunction("f"));
+  EXPECT_TRUE(R.ScalarOpCounts.empty());
+  EXPECT_TRUE(R.VectorOpCounts.empty());
+}
+
+TEST(Interpreter, StepLimitAborts) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  Interp.setStepLimit(1000);
+  EXPECT_EXIT(Interp.run(M->getFunction("f")),
+              ::testing::ExitedWithCode(1), "step limit");
+}
+
+TEST(Interpreter, DivisionByZeroTraps) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define i64 @f(i64 %a) {
+entry:
+  %r = udiv i64 %a, 0
+  ret i64 %r
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  EXPECT_EXIT(Interp.run(M->getFunction("f"),
+                         {RuntimeValue::makeInt(Ctx.getInt64Ty(), 1)}),
+              ::testing::ExitedWithCode(1), "div by zero");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/ir/DominatorsTest.cpp - Dominator tree tests ---------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+const char *DiamondIR = R"(
+define i64 @f(i64 %a) {
+entry:
+  %c = icmp slt i64 %a, 10
+  br i1 %c, label %left, label %right
+left:
+  %x = add i64 %a, 1
+  br label %join
+right:
+  %y = add i64 %a, 2
+  br label %join
+join:
+  %p = phi i64 [ %x, %left ], [ %y, %right ]
+  ret i64 %p
+}
+)";
+
+TEST(Dominators, Diamond) {
+  Context Ctx;
+  auto M = parseModuleOrDie(DiamondIR, Ctx);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->getBlockByName("entry");
+  BasicBlock *Left = F->getBlockByName("left");
+  BasicBlock *Right = F->getBlockByName("right");
+  BasicBlock *Join = F->getBlockByName("join");
+
+  EXPECT_TRUE(DT.dominates(Entry, Entry));
+  EXPECT_TRUE(DT.dominates(Entry, Left));
+  EXPECT_TRUE(DT.dominates(Entry, Right));
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  EXPECT_FALSE(DT.dominates(Right, Join));
+  EXPECT_FALSE(DT.dominates(Left, Right));
+  EXPECT_EQ(DT.getIDom(Join), Entry);
+  EXPECT_EQ(DT.getIDom(Left), Entry);
+  EXPECT_EQ(DT.getIDom(Entry), nullptr);
+}
+
+TEST(Dominators, Loop) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->getBlockByName("entry");
+  BasicBlock *Loop = F->getBlockByName("loop");
+  BasicBlock *Exit = F->getBlockByName("exit");
+  EXPECT_TRUE(DT.dominates(Entry, Loop));
+  EXPECT_TRUE(DT.dominates(Loop, Exit));
+  EXPECT_FALSE(DT.dominates(Exit, Loop));
+  EXPECT_EQ(DT.getIDom(Exit), Loop);
+}
+
+TEST(Dominators, UnreachableBlock) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f() {
+entry:
+  ret void
+dead:
+  br label %dead2
+dead2:
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->getBlockByName("entry");
+  BasicBlock *Dead = F->getBlockByName("dead");
+  EXPECT_TRUE(DT.isReachable(Entry));
+  EXPECT_FALSE(DT.isReachable(Dead));
+  // LLVM convention: everything dominates an unreachable block.
+  EXPECT_TRUE(DT.dominates(Entry, Dead));
+  EXPECT_FALSE(DT.dominates(Dead, Entry));
+}
+
+TEST(Dominators, InstructionLevel) {
+  Context Ctx;
+  auto M = parseModuleOrDie(DiamondIR, Ctx);
+  Function *F = M->getFunction("f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = F->getBlockByName("entry");
+  BasicBlock *Left = F->getBlockByName("left");
+  BasicBlock *Join = F->getBlockByName("join");
+
+  const Instruction *Cmp = Entry->front();
+  const Instruction *X = Left->front();
+  const Instruction *Phi = Join->front();
+  const Instruction *Ret = Join->back();
+
+  // Within-block ordering.
+  EXPECT_TRUE(DT.dominates(Cmp, Entry->back()));
+  EXPECT_FALSE(DT.dominates(Entry->back(), Cmp));
+  // Cross-block: defs dominate uses along the CFG.
+  EXPECT_TRUE(DT.dominates(Cmp, Ret));
+  EXPECT_FALSE(DT.dominates(X, Cmp));
+  // Phi uses are checked at the end of the incoming block.
+  EXPECT_TRUE(DT.dominates(X, Phi));
+  // Non-instruction values dominate everything.
+  EXPECT_TRUE(DT.dominates(F->getArg(0), Ret));
+  EXPECT_TRUE(DT.dominates(Ctx.getInt64(1), Phi));
+}
+
+} // namespace

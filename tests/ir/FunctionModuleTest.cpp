@@ -1,0 +1,139 @@
+//===- tests/ir/FunctionModuleTest.cpp - Function/Module/Block API tests --------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(Module, GlobalCreationAndLookup) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  GlobalArray *A = M.createGlobal("A", Ctx.getInt64Ty(), 128);
+  GlobalArray *B = M.createGlobal("B", Ctx.getDoubleTy(), 16);
+  EXPECT_EQ(M.getGlobal("A"), A);
+  EXPECT_EQ(M.getGlobal("B"), B);
+  EXPECT_EQ(M.getGlobal("C"), nullptr);
+  EXPECT_EQ(A->getType(), Ctx.getPtrTy());
+  EXPECT_EQ(A->getSizeInBytes(), 1024u);
+  EXPECT_EQ(B->getSizeInBytes(), 128u);
+  EXPECT_EQ(M.globals().size(), 2u);
+}
+
+TEST(Module, FunctionLookup) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "foo", Ctx.getVoidTy(), {}, {});
+  EXPECT_EQ(M.getFunction("foo"), F);
+  EXPECT_EQ(M.getFunction("bar"), nullptr);
+  EXPECT_EQ(F->getParent(), &M);
+}
+
+TEST(Function, ArgumentsAndBlocks) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getInt64Ty(),
+                                 {Ctx.getInt64Ty(), Ctx.getPtrTy()},
+                                 {"n", "p"});
+  EXPECT_EQ(F->getNumArgs(), 2u);
+  EXPECT_EQ(F->getArg(0)->getName(), "n");
+  EXPECT_EQ(F->getArg(1)->getType(), Ctx.getPtrTy());
+  EXPECT_EQ(F->getArgByName("p"), F->getArg(1));
+  EXPECT_EQ(F->getArgByName("q"), nullptr);
+  EXPECT_EQ(F->getArg(1)->getArgNo(), 1u);
+
+  EXPECT_TRUE(F->empty());
+  BasicBlock *Entry = BasicBlock::create(Ctx, "entry", F);
+  BasicBlock *Exit = BasicBlock::create(Ctx, "exit", F);
+  EXPECT_EQ(F->size(), 2u);
+  EXPECT_EQ(F->getEntryBlock(), Entry);
+  EXPECT_EQ(F->getBlockByName("exit"), Exit);
+  EXPECT_EQ(F->getBlockByName("nope"), nullptr);
+}
+
+TEST(Function, InstructionCount) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *BB1 = BasicBlock::create(Ctx, "a", F);
+  BasicBlock *BB2 = BasicBlock::create(Ctx, "b", F);
+  IRBuilder IRB(BB1);
+  IRB.createAdd(Ctx.getInt64(1), Ctx.getInt64(2));
+  IRB.createBr(BB2);
+  IRB.setInsertPoint(BB2);
+  IRB.createRet();
+  EXPECT_EQ(F->getInstructionCount(), 3u);
+}
+
+TEST(BasicBlock, DetachAndReinsert) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *I1 = cast<Instruction>(IRB.createAdd(Ctx.getInt64(1), Ctx.getInt64(1)));
+  auto *I2 = cast<Instruction>(IRB.createAdd(Ctx.getInt64(2), Ctx.getInt64(2)));
+  EXPECT_EQ(BB->size(), 2u);
+
+  std::unique_ptr<Instruction> Owned = BB->detach(I2);
+  EXPECT_EQ(BB->size(), 1u);
+  EXPECT_EQ(Owned->getParent(), nullptr);
+  BB->insertBefore(Owned.release(), I1);
+  EXPECT_EQ(BB->size(), 2u);
+  EXPECT_EQ(BB->front(), I2);
+  EXPECT_TRUE(I2->comesBefore(I1));
+}
+
+TEST(BasicBlock, TerminatorQueries) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  EXPECT_EQ(BB->getTerminator(), nullptr);
+  IRBuilder IRB(BB);
+  IRB.createAdd(Ctx.getInt64(1), Ctx.getInt64(1));
+  EXPECT_EQ(BB->getTerminator(), nullptr); // Last inst is not a terminator.
+  Instruction *Ret = IRB.createRet();
+  EXPECT_EQ(BB->getTerminator(), Ret);
+}
+
+TEST(BasicBlock, PredecessorsWithRepeatedEdges) {
+  // A conditional branch with both targets equal contributes a single
+  // predecessor entry.
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getInt1Ty() != nullptr
+                                              ? Ctx.getVoidTy()
+                                              : Ctx.getVoidTy(),
+                                 {Ctx.getInt1Ty()}, {"c"});
+  BasicBlock *Entry = BasicBlock::create(Ctx, "entry", F);
+  BasicBlock *Next = BasicBlock::create(Ctx, "next", F);
+  IRBuilder IRB(Entry);
+  IRB.createCondBr(F->getArg(0), Next, Next);
+  IRB.setInsertPoint(Next);
+  IRB.createRet();
+  EXPECT_EQ(Next->predecessors().size(), 1u);
+  EXPECT_EQ(Entry->successors().size(), 2u); // One per edge.
+}
+
+TEST(GlobalArray, Properties) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  GlobalArray *G = M.createGlobal("X", Ctx.getFloatTy(), 10);
+  EXPECT_EQ(G->getElementType(), Ctx.getFloatTy());
+  EXPECT_EQ(G->getNumElements(), 10u);
+  EXPECT_EQ(G->getSizeInBytes(), 40u);
+  EXPECT_TRUE(isa<GlobalArray>(static_cast<Value *>(G)));
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tests/ir/InstructionTest.cpp - Instruction class tests -----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+struct InstrFixture : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "test"};
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  IRBuilder IRB{Ctx};
+  GlobalArray *G = nullptr;
+
+  void SetUp() override {
+    F = Function::create(&M, "f", Ctx.getVoidTy(), {Ctx.getInt64Ty()},
+                         {"a"});
+    BB = BasicBlock::create(Ctx, "entry", F);
+    IRB.setInsertPoint(BB);
+    G = M.createGlobal("G", Ctx.getInt64Ty(), 64);
+  }
+};
+
+using InstructionTest = InstrFixture;
+
+TEST_F(InstructionTest, CommutativityMatchesPaperAssumptions) {
+  // Integer adds, muls and bitwise ops are commutative; sub/shifts/divs
+  // are not. FAdd/FMul count as commutative under fast-math.
+  auto IsComm = [](ValueID Opc) {
+    return BinaryOperator::isCommutativeOpcode(Opc);
+  };
+  EXPECT_TRUE(IsComm(ValueID::Add));
+  EXPECT_TRUE(IsComm(ValueID::Mul));
+  EXPECT_TRUE(IsComm(ValueID::And));
+  EXPECT_TRUE(IsComm(ValueID::Or));
+  EXPECT_TRUE(IsComm(ValueID::Xor));
+  EXPECT_TRUE(IsComm(ValueID::FAdd));
+  EXPECT_TRUE(IsComm(ValueID::FMul));
+  EXPECT_FALSE(IsComm(ValueID::Sub));
+  EXPECT_FALSE(IsComm(ValueID::Shl));
+  EXPECT_FALSE(IsComm(ValueID::LShr));
+  EXPECT_FALSE(IsComm(ValueID::AShr));
+  EXPECT_FALSE(IsComm(ValueID::SDiv));
+  EXPECT_FALSE(IsComm(ValueID::UDiv));
+  EXPECT_FALSE(IsComm(ValueID::FSub));
+  EXPECT_FALSE(IsComm(ValueID::FDiv));
+}
+
+TEST_F(InstructionTest, OpcodeNames) {
+  EXPECT_STREQ(Instruction::getOpcodeName(ValueID::Add), "add");
+  EXPECT_STREQ(Instruction::getOpcodeName(ValueID::FDiv), "fdiv");
+  EXPECT_STREQ(Instruction::getOpcodeName(ValueID::Load), "load");
+  EXPECT_STREQ(Instruction::getOpcodeName(ValueID::ShuffleVector),
+               "shufflevector");
+  EXPECT_STREQ(Instruction::getOpcodeName(ValueID::Phi), "phi");
+}
+
+TEST_F(InstructionTest, BinaryOperatorTypesAndClassof) {
+  Value *Add = IRB.createAdd(F->getArg(0), Ctx.getInt64(1));
+  EXPECT_EQ(Add->getType(), Ctx.getInt64Ty());
+  EXPECT_TRUE(isa<BinaryOperator>(Add));
+  EXPECT_TRUE(cast<Instruction>(Add)->isBinaryOp());
+  EXPECT_FALSE(cast<Instruction>(Add)->isTerminator());
+}
+
+TEST_F(InstructionTest, MemoryInstructions) {
+  GEPInst *GEP = IRB.createGEP(Ctx.getInt64Ty(), G, int64_t(3));
+  EXPECT_EQ(GEP->getType(), Ctx.getPtrTy());
+  EXPECT_EQ(GEP->getElementType(), Ctx.getInt64Ty());
+  LoadInst *L = IRB.createLoad(Ctx.getInt64Ty(), GEP);
+  EXPECT_EQ(L->getAccessType(), Ctx.getInt64Ty());
+  EXPECT_TRUE(L->mayReadFromMemory());
+  EXPECT_FALSE(L->mayWriteToMemory());
+  StoreInst *S = IRB.createStore(L, GEP);
+  EXPECT_TRUE(S->getType()->isVoidTy());
+  EXPECT_TRUE(S->mayWriteToMemory());
+  EXPECT_EQ(S->getValueOperand(), L);
+  EXPECT_EQ(S->getPointerOperand(), GEP);
+  EXPECT_EQ(S->getAccessType(), Ctx.getInt64Ty());
+}
+
+TEST_F(InstructionTest, ICmpAndSelect) {
+  ICmpInst *Cmp =
+      IRB.createICmp(ICmpInst::SLT, F->getArg(0), Ctx.getInt64(10));
+  EXPECT_EQ(Cmp->getType(), Ctx.getInt1Ty());
+  EXPECT_EQ(Cmp->getPredicate(), ICmpInst::SLT);
+  EXPECT_STREQ(ICmpInst::getPredicateName(ICmpInst::UGE), "uge");
+  SelectInst *Sel =
+      IRB.createSelect(Cmp, F->getArg(0), Ctx.getInt64(0));
+  EXPECT_EQ(Sel->getType(), Ctx.getInt64Ty());
+  EXPECT_EQ(Sel->getCondition(), Cmp);
+}
+
+TEST_F(InstructionTest, VectorInstructions) {
+  VectorType *V2 = Ctx.getVectorTy(Ctx.getInt64Ty(), 2);
+  Value *Undef = Ctx.getUndef(V2);
+  InsertElementInst *Ins =
+      IRB.createInsertElement(Undef, F->getArg(0), 0);
+  EXPECT_EQ(Ins->getType(), V2);
+  ExtractElementInst *Ext = IRB.createExtractElement(Ins, 1);
+  EXPECT_EQ(Ext->getType(), Ctx.getInt64Ty());
+  ShuffleVectorInst *Shuf =
+      IRB.createShuffleVector(Ins, Ins, {1, 0});
+  EXPECT_EQ(Shuf->getType(), V2);
+  EXPECT_EQ(Shuf->getMask(), (std::vector<int>{1, 0}));
+  // Widening shuffle changes the lane count.
+  ShuffleVectorInst *Wide =
+      IRB.createShuffleVector(Ins, Ins, {0, 1, 2, 3});
+  EXPECT_EQ(Wide->getType(), Ctx.getVectorTy(Ctx.getInt64Ty(), 4));
+}
+
+TEST_F(InstructionTest, BranchesAndTerminators) {
+  BasicBlock *T = BasicBlock::create(Ctx, "t", F);
+  BasicBlock *E = BasicBlock::create(Ctx, "e", F);
+  ICmpInst *Cmp =
+      IRB.createICmp(ICmpInst::EQ, F->getArg(0), Ctx.getInt64(0));
+  BranchInst *Br = IRB.createCondBr(Cmp, T, E);
+  EXPECT_TRUE(Br->isTerminator());
+  EXPECT_TRUE(Br->isConditional());
+  EXPECT_EQ(Br->getNumSuccessors(), 2u);
+  EXPECT_EQ(Br->getSuccessor(0), T);
+  EXPECT_EQ(Br->getSuccessor(1), E);
+  EXPECT_EQ(Br->getCondition(), Cmp);
+
+  IRB.setInsertPoint(T);
+  BranchInst *UBr = IRB.createBr(E);
+  EXPECT_FALSE(UBr->isConditional());
+  EXPECT_EQ(UBr->getNumSuccessors(), 1u);
+  EXPECT_EQ(UBr->getSuccessor(0), E);
+
+  IRB.setInsertPoint(E);
+  ReturnInst *Ret = IRB.createRet();
+  EXPECT_TRUE(Ret->isTerminator());
+  EXPECT_EQ(Ret->getReturnValue(), nullptr);
+
+  // CFG queries derived from branch operands/uses.
+  EXPECT_EQ(BB->successors(), (std::vector<BasicBlock *>{T, E}));
+  EXPECT_EQ(E->predecessors().size(), 2u);
+  EXPECT_EQ(BB->getTerminator(), Br);
+}
+
+TEST_F(InstructionTest, ComesBeforeAndMove) {
+  auto *I1 = cast<Instruction>(IRB.createAdd(F->getArg(0), Ctx.getInt64(1)));
+  auto *I2 = cast<Instruction>(IRB.createAdd(F->getArg(0), Ctx.getInt64(2)));
+  auto *I3 = cast<Instruction>(IRB.createAdd(F->getArg(0), Ctx.getInt64(3)));
+  EXPECT_TRUE(I1->comesBefore(I2));
+  EXPECT_TRUE(I2->comesBefore(I3));
+  EXPECT_FALSE(I3->comesBefore(I1));
+  EXPECT_FALSE(I1->comesBefore(I1));
+  I3->moveBefore(I1);
+  EXPECT_TRUE(I3->comesBefore(I1));
+  EXPECT_TRUE(I1->comesBefore(I2));
+}
+
+TEST_F(InstructionTest, InsertBefore) {
+  auto *I1 = cast<Instruction>(IRB.createAdd(F->getArg(0), Ctx.getInt64(1)));
+  IRB.setInsertPoint(I1);
+  auto *I0 = cast<Instruction>(IRB.createAdd(F->getArg(0), Ctx.getInt64(0)));
+  EXPECT_TRUE(I0->comesBefore(I1));
+  EXPECT_EQ(BB->front(), I0);
+}
+
+TEST_F(InstructionTest, ReturnWithValue) {
+  Function *G2 = Function::create(&M, "g", Ctx.getInt64Ty(), {}, {});
+  BasicBlock *B2 = BasicBlock::create(Ctx, "entry", G2);
+  IRBuilder IRB2(B2);
+  ReturnInst *Ret = IRB2.createRet(Ctx.getInt64(42));
+  EXPECT_EQ(Ret->getReturnValue(), Ctx.getInt64(42));
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/ir/LocalTest.cpp - DCE utility tests -------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Local.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(Local, ErasesDeadChains) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f(i64 %i) {
+entry:
+  %p = gep i64, ptr @A, i64 %i
+  %v = load i64, ptr %p
+  %x = add i64 %v, 1
+  %y = mul i64 %x, 2
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  // The whole chain is dead: y has no uses, then x, v, p in turn.
+  EXPECT_EQ(removeTriviallyDeadInstructions(*F), 4u);
+  EXPECT_EQ(F->getInstructionCount(), 1u); // Only ret remains.
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST(Local, KeepsStoresAndTheirInputs) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f(i64 %i) {
+entry:
+  %p = gep i64, ptr @A, i64 %i
+  %v = load i64, ptr %p
+  %x = add i64 %v, 1
+  store i64 %x, ptr %p
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(removeTriviallyDeadInstructions(*F), 0u);
+  EXPECT_EQ(F->getInstructionCount(), 5u);
+}
+
+TEST(Local, IsTriviallyDeadPredicates) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f(i64 %i) {
+entry:
+  %p = gep i64, ptr @A, i64 %i
+  %dead = add i64 %i, 1
+  store i64 %i, ptr %p
+  ret void
+}
+)",
+                            Ctx);
+  BasicBlock *BB = M->getFunction("f")->getEntryBlock();
+  const Instruction *Gep = BB->front();
+  const Instruction *Term = BB->getTerminator();
+  Instruction *Dead = nullptr;
+  Instruction *Store = nullptr;
+  for (const auto &I : *BB) {
+    if (I->getName() == "dead")
+      Dead = I.get();
+    if (isa<StoreInst>(I.get()))
+      Store = I.get();
+  }
+  EXPECT_FALSE(isTriviallyDead(Gep));   // Used by the store.
+  EXPECT_TRUE(isTriviallyDead(Dead));   // Pure, unused.
+  EXPECT_FALSE(isTriviallyDead(Store)); // Side effect.
+  EXPECT_FALSE(isTriviallyDead(Term));  // Terminator.
+}
+
+TEST(Local, CrossBlockUsesKeepValuesAlive) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define i64 @f(i64 %a) {
+entry:
+  %x = add i64 %a, 1
+  br label %next
+next:
+  ret i64 %x
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(removeTriviallyDeadInstructions(*F), 0u);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/ir/PrinterTest.cpp - Textual printer tests ------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(Printer, ModuleHeaderAndGlobals) {
+  Context Ctx;
+  Module M(Ctx, "mod");
+  M.createGlobal("A", Ctx.getInt64Ty(), 256);
+  M.createGlobal("B", Ctx.getDoubleTy(), 16);
+  std::string Text = moduleToString(M);
+  EXPECT_NE(Text.find("module \"mod\""), std::string::npos);
+  EXPECT_NE(Text.find("global @A = [256 x i64]"), std::string::npos);
+  EXPECT_NE(Text.find("global @B = [16 x double]"), std::string::npos);
+}
+
+TEST(Printer, InstructionForms) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  GlobalArray *A = M.createGlobal("A", Ctx.getInt64Ty(), 64);
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getInt64Ty()}, {"i"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  GEPInst *P = IRB.createGEP(Ctx.getInt64Ty(), A, F->getArg(0), "p");
+  LoadInst *V = IRB.createLoad(Ctx.getInt64Ty(), P, "v");
+  Value *S = IRB.createShl(V, Ctx.getInt64(2), "s");
+  IRB.createStore(S, P);
+  IRB.createRet();
+
+  EXPECT_EQ(instructionToString(*P), "%p = gep i64, ptr @A, i64 %i");
+  EXPECT_EQ(instructionToString(*V), "%v = load i64, ptr %p");
+  EXPECT_EQ(instructionToString(*cast<Instruction>(S)),
+            "%s = shl i64 %v, 2");
+  EXPECT_EQ(instructionToString(*BB->getTerminator()), "ret void");
+}
+
+TEST(Printer, SlotNumberingForUnnamedValues) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getInt64Ty(),
+                                 {Ctx.getInt64Ty()}, {"a"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  Value *X = IRB.createAdd(F->getArg(0), Ctx.getInt64(1)); // %0
+  Value *Y = IRB.createMul(X, X);                          // %1
+  IRB.createRet(Y);
+  std::string Text = functionToString(*F);
+  EXPECT_NE(Text.find("%0 = add i64 %a, 1"), std::string::npos);
+  EXPECT_NE(Text.find("%1 = mul i64 %0, %0"), std::string::npos);
+  EXPECT_NE(Text.find("ret i64 %1"), std::string::npos);
+}
+
+TEST(Printer, ConstantsRendering) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getDoubleTy()}, {"d"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *FAdd = cast<Instruction>(
+      IRB.createFAdd(F->getArg(0), Ctx.getConstantFP(Ctx.getDoubleTy(), 2.0)));
+  // FP constants carry a ".0" so they re-parse as floats.
+  EXPECT_EQ(instructionToString(*FAdd), "%0 = fadd double %d, 2.0");
+  auto *Neg = cast<Instruction>(IRB.createFMul(
+      F->getArg(0), Ctx.getConstantFP(Ctx.getDoubleTy(), -1.5)));
+  EXPECT_EQ(instructionToString(*Neg), "%1 = fmul double %d, -1.5");
+}
+
+TEST(Printer, VectorAndControlFlowForms) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  VectorType *V2 = Ctx.getVectorTy(Ctx.getInt64Ty(), 2);
+  Function *F =
+      Function::create(&M, "f", Ctx.getVoidTy(), {V2, Ctx.getInt1Ty()},
+                       {"v", "c"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  BasicBlock *Next = BasicBlock::create(Ctx, "next", F);
+  IRBuilder IRB(BB);
+  auto *Ins = IRB.createInsertElement(F->getArg(0), Ctx.getInt64(9), 1, "a");
+  auto *Ext = IRB.createExtractElement(Ins, 0, "b");
+  (void)Ext;
+  auto *Shuf = IRB.createShuffleVector(Ins, Ins, {1, -1}, "s");
+  (void)Shuf;
+  IRB.createCondBr(F->getArg(1), Next, Next);
+  IRB.setInsertPoint(Next);
+  PHINode *Phi = IRB.createPHI(V2, "p");
+  Phi->addIncoming(Ins, BB);
+  IRB.createRet();
+
+  std::string Text = functionToString(*F);
+  EXPECT_NE(Text.find("%a = insertelement <2 x i64> %v, i64 9, i32 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("%b = extractelement <2 x i64> %a, i32 0"),
+            std::string::npos);
+  EXPECT_NE(
+      Text.find("%s = shufflevector <2 x i64> %a, <2 x i64> %a, [1, -1]"),
+      std::string::npos);
+  EXPECT_NE(Text.find("br i1 %c, label %next, label %next"),
+            std::string::npos);
+  EXPECT_NE(Text.find("%p = phi <2 x i64> [ %a, %entry ]"),
+            std::string::npos);
+}
+
+TEST(Printer, ConstantVectorOperands) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  VectorType *V2 = Ctx.getVectorTy(Ctx.getInt64Ty(), 2);
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {V2}, {"v"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  ConstantVector *CV =
+      Ctx.getConstantVector({Ctx.getInt64(1), Ctx.getInt64(3)});
+  auto *Add = cast<Instruction>(IRB.createAdd(F->getArg(0), CV, "r"));
+  EXPECT_EQ(instructionToString(*Add),
+            "%r = add <2 x i64> %v, <i64 1, i64 3>");
+}
+
+TEST(Printer, UndefOperand) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  VectorType *V2 = Ctx.getVectorTy(Ctx.getInt64Ty(), 2);
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getInt64Ty()}, {"x"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *Ins = IRB.createInsertElement(Ctx.getUndef(V2), F->getArg(0), 0, "i");
+  EXPECT_EQ(instructionToString(*Ins),
+            "%i = insertelement <2 x i64> undef, i64 %x, i32 0");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/ir/TypeTest.cpp - Type system tests ------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(Type, IntegerUniquing) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getIntTy(64), Ctx.getIntTy(64));
+  EXPECT_EQ(Ctx.getInt64Ty(), Ctx.getIntTy(64));
+  EXPECT_NE(Ctx.getIntTy(32), Ctx.getIntTy(64));
+}
+
+TEST(Type, VectorUniquing) {
+  Context Ctx;
+  VectorType *V1 = Ctx.getVectorTy(Ctx.getInt64Ty(), 4);
+  VectorType *V2 = Ctx.getVectorTy(Ctx.getInt64Ty(), 4);
+  EXPECT_EQ(V1, V2);
+  EXPECT_NE(V1, Ctx.getVectorTy(Ctx.getInt64Ty(), 2));
+  EXPECT_NE(V1, Ctx.getVectorTy(Ctx.getInt32Ty(), 4));
+}
+
+TEST(Type, Predicates) {
+  Context Ctx;
+  EXPECT_TRUE(Ctx.getVoidTy()->isVoidTy());
+  EXPECT_TRUE(Ctx.getInt1Ty()->isIntegerTy());
+  EXPECT_TRUE(Ctx.getFloatTy()->isFloatingPointTy());
+  EXPECT_TRUE(Ctx.getDoubleTy()->isFloatingPointTy());
+  EXPECT_TRUE(Ctx.getPtrTy()->isPointerTy());
+  EXPECT_TRUE(Ctx.getVectorTy(Ctx.getDoubleTy(), 2)->isVectorTy());
+  EXPECT_FALSE(Ctx.getVoidTy()->isFirstClassTy());
+  EXPECT_FALSE(Ctx.getLabelTy()->isFirstClassTy());
+  EXPECT_TRUE(Ctx.getInt64Ty()->isFirstClassTy());
+}
+
+TEST(Type, Sizes) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getInt1Ty()->getSizeInBytes(), 1u);
+  EXPECT_EQ(Ctx.getInt8Ty()->getSizeInBytes(), 1u);
+  EXPECT_EQ(Ctx.getIntTy(12)->getSizeInBytes(), 2u);
+  EXPECT_EQ(Ctx.getInt32Ty()->getSizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getInt64Ty()->getSizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getFloatTy()->getSizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getDoubleTy()->getSizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getPtrTy()->getSizeInBytes(), 8u);
+  EXPECT_EQ(Ctx.getVectorTy(Ctx.getInt64Ty(), 4)->getSizeInBytes(), 32u);
+  EXPECT_EQ(Ctx.getVectorTy(Ctx.getFloatTy(), 8)->getSizeInBytes(), 32u);
+}
+
+TEST(Type, Names) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getVoidTy()->getName(), "void");
+  EXPECT_EQ(Ctx.getInt64Ty()->getName(), "i64");
+  EXPECT_EQ(Ctx.getIntTy(17)->getName(), "i17");
+  EXPECT_EQ(Ctx.getFloatTy()->getName(), "float");
+  EXPECT_EQ(Ctx.getDoubleTy()->getName(), "double");
+  EXPECT_EQ(Ctx.getPtrTy()->getName(), "ptr");
+  EXPECT_EQ(Ctx.getVectorTy(Ctx.getDoubleTy(), 4)->getName(),
+            "<4 x double>");
+}
+
+TEST(Type, ScalarType) {
+  Context Ctx;
+  Type *I64 = Ctx.getInt64Ty();
+  EXPECT_EQ(I64->getScalarType(), I64);
+  EXPECT_EQ(Ctx.getVectorTy(I64, 2)->getScalarType(), I64);
+}
+
+TEST(Type, CastingHierarchy) {
+  Context Ctx;
+  Type *Ty = Ctx.getVectorTy(Ctx.getInt32Ty(), 4);
+  auto *VT = dyn_cast<VectorType>(Ty);
+  ASSERT_NE(VT, nullptr);
+  EXPECT_EQ(VT->getNumElements(), 4u);
+  EXPECT_EQ(VT->getElementType(), Ctx.getInt32Ty());
+  EXPECT_EQ(dyn_cast<IntegerType>(Ty), nullptr);
+  auto *IT = dyn_cast<IntegerType>(VT->getElementType());
+  ASSERT_NE(IT, nullptr);
+  EXPECT_EQ(IT->getBitWidth(), 32u);
+}
+
+TEST(Constants, IntegerUniquingAndTruncation) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getInt64(5), Ctx.getInt64(5));
+  EXPECT_NE(Ctx.getInt64(5), Ctx.getInt64(6));
+  // Truncation to the type width happens at creation.
+  ConstantInt *C = Ctx.getConstantInt(Ctx.getInt8Ty(), 0x1FF);
+  EXPECT_EQ(C->getZExtValue(), 0xFFu);
+  EXPECT_EQ(C, Ctx.getConstantInt(Ctx.getInt8Ty(), 0xFF));
+}
+
+TEST(Constants, SignExtension) {
+  Context Ctx;
+  ConstantInt *C = Ctx.getConstantInt(Ctx.getInt8Ty(), 0x80);
+  EXPECT_EQ(C->getSExtValue(), -128);
+  EXPECT_EQ(Ctx.getInt64(~uint64_t(0))->getSExtValue(), -1);
+  EXPECT_EQ(Ctx.getInt1(true)->getSExtValue(), -1);
+}
+
+TEST(Constants, FPUniquingAndFloatRounding) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getConstantFP(Ctx.getDoubleTy(), 1.5),
+            Ctx.getConstantFP(Ctx.getDoubleTy(), 1.5));
+  // Float-typed constants canonicalize to float precision.
+  ConstantFP *F = Ctx.getConstantFP(Ctx.getFloatTy(), 0.1);
+  EXPECT_EQ(F->getValue(), double(float(0.1)));
+}
+
+TEST(Constants, UndefPerType) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getUndef(Ctx.getInt64Ty()), Ctx.getUndef(Ctx.getInt64Ty()));
+  EXPECT_NE(Ctx.getUndef(Ctx.getInt64Ty()),
+            Ctx.getUndef(Ctx.getDoubleTy()));
+}
+
+TEST(Constants, ConstantVector) {
+  Context Ctx;
+  std::vector<Constant *> Elems = {Ctx.getInt64(1), Ctx.getInt64(2)};
+  ConstantVector *CV = Ctx.getConstantVector(Elems);
+  EXPECT_EQ(CV->getNumElements(), 2u);
+  EXPECT_EQ(CV->getType(), Ctx.getVectorTy(Ctx.getInt64Ty(), 2));
+  EXPECT_EQ(CV, Ctx.getConstantVector(Elems));
+  EXPECT_NE(CV, Ctx.getConstantVector({Ctx.getInt64(2), Ctx.getInt64(1)}));
+  EXPECT_TRUE(isa<Constant>(CV));
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/ir/ValueTest.cpp - Use-def chain tests ----------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// Fresh module with one void function and an entry block ready to build
+/// into.
+struct IRFixture : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "test"};
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  IRBuilder IRB{Ctx};
+
+  void SetUp() override {
+    F = Function::create(&M, "f", Ctx.getVoidTy(),
+                         {Ctx.getInt64Ty(), Ctx.getInt64Ty()}, {"a", "b"});
+    BB = BasicBlock::create(Ctx, "entry", F);
+    IRB.setInsertPoint(BB);
+  }
+};
+
+using ValueTest = IRFixture;
+
+TEST_F(ValueTest, UseListsTrackOperands) {
+  Argument *A = F->getArg(0);
+  Argument *B = F->getArg(1);
+  Value *Add = IRB.createAdd(A, B);
+  EXPECT_EQ(A->getNumUses(), 1u);
+  EXPECT_EQ(B->getNumUses(), 1u);
+  EXPECT_TRUE(A->hasOneUse());
+  EXPECT_EQ(A->uses()[0].TheUser, Add);
+  EXPECT_EQ(A->uses()[0].OperandNo, 0u);
+  EXPECT_EQ(B->uses()[0].OperandNo, 1u);
+}
+
+TEST_F(ValueTest, SameValueTwiceCountsTwoUses) {
+  Argument *A = F->getArg(0);
+  Value *Add = IRB.createAdd(A, A);
+  (void)Add;
+  EXPECT_EQ(A->getNumUses(), 2u);
+  EXPECT_FALSE(A->hasOneUse());
+}
+
+TEST_F(ValueTest, SetOperandRewiresUseLists) {
+  Argument *A = F->getArg(0);
+  Argument *B = F->getArg(1);
+  auto *Add = cast<Instruction>(IRB.createAdd(A, A));
+  Add->setOperand(1, B);
+  EXPECT_EQ(A->getNumUses(), 1u);
+  EXPECT_EQ(B->getNumUses(), 1u);
+  EXPECT_EQ(Add->getOperand(0), A);
+  EXPECT_EQ(Add->getOperand(1), B);
+}
+
+TEST_F(ValueTest, ReplaceAllUsesWith) {
+  Argument *A = F->getArg(0);
+  Argument *B = F->getArg(1);
+  auto *Add1 = cast<Instruction>(IRB.createAdd(A, B));
+  auto *Add2 = cast<Instruction>(IRB.createAdd(A, A));
+  Value *C = Ctx.getInt64(7);
+  A->replaceAllUsesWith(C);
+  EXPECT_EQ(A->getNumUses(), 0u);
+  EXPECT_EQ(C->getNumUses(), 3u);
+  EXPECT_EQ(Add1->getOperand(0), C);
+  EXPECT_EQ(Add2->getOperand(0), C);
+  EXPECT_EQ(Add2->getOperand(1), C);
+}
+
+TEST_F(ValueTest, EraseDropsUses) {
+  Argument *A = F->getArg(0);
+  auto *Add = cast<Instruction>(IRB.createAdd(A, A));
+  EXPECT_EQ(A->getNumUses(), 2u);
+  Add->eraseFromParent();
+  EXPECT_EQ(A->getNumUses(), 0u);
+  EXPECT_TRUE(BB->empty());
+}
+
+TEST_F(ValueTest, PhiRemoveOperandRenumbersUses) {
+  // removeOperand must renumber later uses; exercised through the phi
+  // operand layout (value/block pairs).
+  BasicBlock *Other = BasicBlock::create(Ctx, "other", F);
+  IRBuilder IRB2(Other);
+  Value *C1 = Ctx.getInt64(1);
+  PHINode *Phi = IRB2.createPHI(Ctx.getInt64Ty(), "p");
+  Phi->addIncoming(C1, BB);
+  Phi->addIncoming(F->getArg(0), Other);
+  EXPECT_EQ(Phi->getNumIncoming(), 2u);
+  EXPECT_EQ(Phi->getIncomingValueForBlock(BB), C1);
+  EXPECT_EQ(Phi->getIncomingValueForBlock(Other), F->getArg(0));
+  EXPECT_EQ(Phi->getIncomingValueForBlock(nullptr), nullptr);
+}
+
+TEST_F(ValueTest, Names) {
+  Value *Add = IRB.createAdd(F->getArg(0), F->getArg(1), "sum");
+  EXPECT_TRUE(Add->hasName());
+  EXPECT_EQ(Add->getName(), "sum");
+  Value *Anon = IRB.createAdd(F->getArg(0), F->getArg(1));
+  EXPECT_FALSE(Anon->hasName());
+}
+
+TEST_F(ValueTest, UserClassof) {
+  Value *Add = IRB.createAdd(F->getArg(0), F->getArg(1));
+  EXPECT_TRUE(isa<User>(Add));
+  EXPECT_FALSE(isa<User>(static_cast<Value *>(F->getArg(0))));
+}
+
+} // namespace

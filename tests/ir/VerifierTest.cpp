@@ -1,0 +1,208 @@
+//===- tests/ir/VerifierTest.cpp - IR verifier tests ---------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+bool verifyIR(const char *Src) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  std::vector<std::string> Errors;
+  return verifyModule(*M, &Errors);
+}
+
+TEST(Verifier, AcceptsWellFormedLoop) {
+  EXPECT_TRUE(verifyIR(R"(
+global @A = [16 x i64]
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %p = gep i64, ptr @A, i64 %i
+  %v = load i64, ptr %p
+  %w = add i64 %v, 1
+  store i64 %w, ptr %p
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)"));
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  IRB.createAdd(Ctx.getInt64(1), Ctx.getInt64(2));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEmptyFunction) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  IRB.createRet();
+  IRB.createRet();
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(Verifier, RejectsPhiAfterNonPhi) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  IRB.createAdd(Ctx.getInt64(1), Ctx.getInt64(2));
+  IRB.createPHI(Ctx.getInt64Ty());
+  IRB.createRet();
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(Verifier, RejectsPhiEdgeMismatch) {
+  // A block with two predecessors whose phi only lists one incoming edge.
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getInt1Ty()}, {"c"});
+  BasicBlock *Entry = BasicBlock::create(Ctx, "entry", F);
+  BasicBlock *Left = BasicBlock::create(Ctx, "left", F);
+  BasicBlock *Join = BasicBlock::create(Ctx, "join", F);
+  IRBuilder IRB(Entry);
+  IRB.createCondBr(F->getArg(0), Left, Join);
+  IRB.setInsertPoint(Left);
+  IRB.createBr(Join);
+  IRB.setInsertPoint(Join);
+  PHINode *Phi = IRB.createPHI(Ctx.getInt64Ty());
+  Phi->addIncoming(Ctx.getInt64(1), Left); // Missing the entry edge.
+  IRB.createRet();
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(Verifier, RejectsUseBeforeDefInBlock) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *A = cast<Instruction>(IRB.createAdd(Ctx.getInt64(1), Ctx.getInt64(2)));
+  auto *B = cast<Instruction>(IRB.createAdd(A, Ctx.getInt64(3)));
+  IRB.createRet();
+  // Move the user before the def.
+  B->moveBefore(A);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("dominate"), std::string::npos);
+}
+
+TEST(Verifier, RejectsNonDominatingCrossBlockUse) {
+  EXPECT_FALSE(verifyIR(R"(
+define i64 @f(i64 %a) {
+entry:
+  %c = icmp slt i64 %a, 10
+  br i1 %c, label %left, label %join
+left:
+  %x = add i64 %a, 1
+  br label %join
+join:
+  %y = add i64 %x, 1
+  ret i64 %y
+}
+)"));
+}
+
+TEST(Verifier, AcceptsBackEdgePhiUse) {
+  // A phi may use a value defined later in the same block when the edge is
+  // a back edge: the use point is the end of the predecessor.
+  EXPECT_TRUE(verifyIR(R"(
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)"));
+}
+
+TEST(Verifier, RejectsEntryWithPredecessors) {
+  EXPECT_FALSE(verifyIR(R"(
+define void @f() {
+entry:
+  br label %entry
+}
+)"));
+}
+
+TEST(Verifier, RejectsWrongReturnType) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getInt64Ty(), {}, {});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  IRB.createRet(); // Missing value for an i64 function.
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(Verifier, RejectsLaneIndexOutOfRange) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(
+      &M, "f", Ctx.getVoidTy(),
+      {Ctx.getVectorTy(Ctx.getInt64Ty(), 2)}, {"v"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  IRB.insert(ExtractElementInst::create(F->getArg(0), Ctx.getInt32(5)));
+  IRB.createRet();
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+TEST(Verifier, RejectsDuplicateBlockNames) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(), {}, {});
+  BasicBlock *B1 = BasicBlock::create(Ctx, "bb", F);
+  BasicBlock *B2 = BasicBlock::create(Ctx, "bb", F);
+  IRBuilder IRB(B1);
+  IRB.createBr(B2);
+  IRB.setInsertPoint(B2);
+  IRB.createRet();
+  EXPECT_FALSE(verifyFunction(*F));
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+//===- tests/kernels/KernelsTest.cpp - Kernel suite tests ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+struct KernelRun {
+  uint64_t Checksum = 0;
+  uint64_t DynCost = 0;
+  int StaticCost = 0;
+  unsigned Accepted = 0;
+};
+
+KernelRun runKernel(const KernelSpec &Spec, const VectorizerConfig *Config,
+                    uint64_t N = 0) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = buildKernelModule(Spec, Ctx);
+  EXPECT_TRUE(verifyModule(*M));
+  KernelRun Out;
+  if (Config) {
+    SLPVectorizerPass Pass(*Config, TTI);
+    ModuleReport R = Pass.runOnModule(*M);
+    Out.StaticCost = R.acceptedCost();
+    Out.Accepted = R.numAccepted();
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(*M, &Errors)) << moduleToString(*M);
+  }
+  Interpreter Interp(*M, &TTI);
+  initKernelMemory(Interp, *M);
+  auto Result =
+      Interp.run(M->getFunction(Spec.EntryFunction),
+                 {RuntimeValue::makeInt(Ctx.getInt64Ty(),
+                                        N ? N : Spec.DefaultN)});
+  Out.DynCost = Result.TotalCost;
+  Out.Checksum = checksumGlobals(Interp, *M, Spec.OutputArrays);
+  return Out;
+}
+
+TEST(KernelRegistry, ElevenFigureKernelsInPaperOrder) {
+  auto Kernels = getFigureKernels();
+  ASSERT_EQ(Kernels.size(), 11u);
+  const char *Expected[] = {
+      "453.boy-surface", "453.intersect-quadratic", "453.calc-z3",
+      "453.vsumsqr",     "453.hreciprocal",         "453.mesh1",
+      "433.mult-su2",    "453.quartic-cylinder",    "motivation-loads",
+      "motivation-opcodes", "motivation-multi"};
+  for (size_t I = 0; I < 11; ++I)
+    EXPECT_EQ(Kernels[I]->Name, Expected[I]);
+}
+
+TEST(KernelRegistry, LookupAndMetadata) {
+  const KernelSpec *K = findKernel("453.vsumsqr");
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(K->Origin, "SPEC2006 453.povray");
+  EXPECT_EQ(K->SourceLocation, "vector.h:362");
+  EXPECT_FALSE(K->OutputArrays.empty());
+  EXPECT_EQ(findKernel("no-such-kernel"), nullptr);
+}
+
+TEST(KernelRegistry, ChecksumsDeterministic) {
+  const KernelSpec *K = findKernel("453.mesh1");
+  KernelRun A = runKernel(*K, nullptr);
+  KernelRun B = runKernel(*K, nullptr);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.DynCost, B.DynCost);
+}
+
+//===----------------------------------------------------------------------===//
+// Parameterized equivalence sweep: every kernel under every configuration
+// computes the same result as unvectorized code.
+//===----------------------------------------------------------------------===//
+
+struct SweepCase {
+  std::string Kernel;
+  std::string Config;
+};
+
+class KernelConfigSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+protected:
+  static VectorizerConfig configByName(const std::string &Name) {
+    if (Name == "SLP-NR")
+      return VectorizerConfig::slpNoReordering();
+    if (Name == "SLP")
+      return VectorizerConfig::slp();
+    return VectorizerConfig::lslp();
+  }
+};
+
+TEST_P(KernelConfigSweep, SemanticEquivalence) {
+  const auto &[KernelName, ConfigName] = GetParam();
+  const KernelSpec *Spec = findKernel(KernelName);
+  ASSERT_NE(Spec, nullptr);
+  VectorizerConfig Config = configByName(ConfigName);
+  // Shorter trip count keeps the sweep fast; equivalence is unaffected.
+  uint64_t N = 64;
+  KernelRun Base = runKernel(*Spec, nullptr, N);
+  KernelRun Vec = runKernel(*Spec, &Config, N);
+  EXPECT_EQ(Base.Checksum, Vec.Checksum);
+  // Accepted graphs must all have been profitable.
+  if (Vec.Accepted) {
+    EXPECT_LT(Vec.StaticCost, 0);
+  }
+}
+
+std::vector<std::string> allKernelNames() {
+  std::vector<std::string> Names;
+  for (const KernelSpec &K : getAllKernels())
+    Names.push_back(K.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllConfigs, KernelConfigSweep,
+    ::testing::Combine(::testing::ValuesIn(allKernelNames()),
+                       ::testing::Values("SLP-NR", "SLP", "LSLP")),
+    [](const ::testing::TestParamInfo<KernelConfigSweep::ParamType> &Info) {
+      std::string Name = std::get<0>(Info.param) + "_" +
+                         std::get<1>(Info.param);
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Acceptance matrix: which configurations vectorize which kernels.
+//===----------------------------------------------------------------------===//
+
+TEST(KernelAcceptance, IsomorphicKernelsVectorizeEverywhere) {
+  for (const char *Name : {"453.mesh1", "calculix-stiff"}) {
+    const KernelSpec *K = findKernel(Name);
+    ASSERT_NE(K, nullptr) << Name;
+    for (const VectorizerConfig &C :
+         {VectorizerConfig::slpNoReordering(), VectorizerConfig::slp(),
+          VectorizerConfig::lslp()}) {
+      SCOPED_TRACE(std::string(Name) + " / " + C.Name);
+      EXPECT_GT(runKernel(*K, &C, 64).Accepted, 0u);
+    }
+  }
+}
+
+TEST(KernelAcceptance, MotivationKernelsNeedLSLP) {
+  for (const char *Name : {"motivation-loads", "motivation-opcodes"}) {
+    const KernelSpec *K = findKernel(Name);
+    VectorizerConfig SLP = VectorizerConfig::slp();
+    VectorizerConfig LSLP = VectorizerConfig::lslp();
+    EXPECT_EQ(runKernel(*K, &SLP, 64).Accepted, 0u) << Name;
+    EXPECT_GT(runKernel(*K, &LSLP, 64).Accepted, 0u) << Name;
+  }
+}
+
+TEST(KernelAcceptance, GamessNeverVectorizes) {
+  const KernelSpec *K = findKernel("gamess-eri");
+  for (const VectorizerConfig &C :
+       {VectorizerConfig::slpNoReordering(), VectorizerConfig::slp(),
+        VectorizerConfig::lslp()})
+    EXPECT_EQ(runKernel(*K, &C, 64).Accepted, 0u) << C.Name;
+}
+
+TEST(KernelAcceptance, WrfSeparatesSLPFromNR) {
+  const KernelSpec *K = findKernel("wrf-stencil");
+  VectorizerConfig NR = VectorizerConfig::slpNoReordering();
+  VectorizerConfig SLP = VectorizerConfig::slp();
+  EXPECT_EQ(runKernel(*K, &NR, 64).Accepted, 0u);
+  EXPECT_GT(runKernel(*K, &SLP, 64).Accepted, 0u);
+}
+
+TEST(KernelAcceptance, LSLPStaticCostNeverWorseOnFigureKernels) {
+  VectorizerConfig SLP = VectorizerConfig::slp();
+  VectorizerConfig LSLP = VectorizerConfig::lslp();
+  for (const KernelSpec *K : getFigureKernels()) {
+    SCOPED_TRACE(K->Name);
+    EXPECT_LE(runKernel(*K, &LSLP, 64).StaticCost,
+              runKernel(*K, &SLP, 64).StaticCost);
+  }
+}
+
+TEST(KernelAcceptance, LSLPDynamicCostImprovesOnMotivation) {
+  VectorizerConfig LSLP = VectorizerConfig::lslp();
+  for (const char *Name :
+       {"motivation-loads", "motivation-opcodes", "motivation-multi"}) {
+    const KernelSpec *K = findKernel(Name);
+    KernelRun O3 = runKernel(*K, nullptr);
+    KernelRun L = runKernel(*K, &LSLP);
+    EXPECT_LT(L.DynCost, O3.DynCost) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Suites (Figures 11-12 substrate)
+//===----------------------------------------------------------------------===//
+
+TEST(Suites, SevenSuitesWithValidMembers) {
+  const auto &Suites = getSuites();
+  ASSERT_EQ(Suites.size(), 7u);
+  for (const SuiteSpec &S : Suites) {
+    SCOPED_TRACE(S.Name);
+    EXPECT_EQ(S.Members.size(), S.Weights.size());
+    for (const std::string &Member : S.Members)
+      EXPECT_NE(findKernel(Member), nullptr) << Member;
+  }
+}
+
+TEST(Suites, ModulesBuildVerifyAndVectorize) {
+  SkylakeTTI TTI;
+  for (const SuiteSpec &S : getSuites()) {
+    SCOPED_TRACE(S.Name);
+    Context Ctx;
+    auto M = buildSuiteModule(S, Ctx);
+    EXPECT_TRUE(verifyModule(*M));
+    SLPVectorizerPass Pass(VectorizerConfig::lslp(), TTI);
+    Pass.runOnModule(*M);
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(*M, &Errors));
+    for (const std::string &E : Errors)
+      ADD_FAILURE() << E;
+  }
+}
+
+TEST(Suites, PovraySuiteEquivalentAfterLSLP) {
+  const SuiteSpec *Povray = nullptr;
+  for (const SuiteSpec &S : getSuites())
+    if (S.Name == "453.povray")
+      Povray = &S;
+  ASSERT_NE(Povray, nullptr);
+
+  SkylakeTTI TTI;
+  uint64_t Sums[2];
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = buildSuiteModule(*Povray, Ctx);
+    if (Pass == 1) {
+      SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+      VP.runOnModule(*M);
+      ASSERT_TRUE(verifyModule(*M));
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    uint64_t Sum = 0;
+    for (const std::string &Member : Povray->Members) {
+      const KernelSpec *K = findKernel(Member);
+      Interp.run(M->getFunction(K->EntryFunction),
+                 {RuntimeValue::makeInt(Ctx.getInt64Ty(), 64)});
+      Sum = Sum * 31 + checksumGlobals(Interp, *M, K->OutputArrays);
+    }
+    Sums[Pass] = Sum;
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+//===- tests/parser/ParserTest.cpp - Parser tests -------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+std::string parseError(const char *Src) {
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Src, Ctx, Err);
+  EXPECT_EQ(M, nullptr) << "expected a parse failure";
+  return Err;
+}
+
+TEST(Parser, GlobalsAndFunctions) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+module "m"
+global @A = [128 x i64]
+global @B = [32 x double]
+define void @f() {
+entry:
+  ret void
+}
+)",
+                            Ctx);
+  ASSERT_NE(M->getGlobal("A"), nullptr);
+  EXPECT_EQ(M->getGlobal("A")->getNumElements(), 128u);
+  EXPECT_EQ(M->getGlobal("A")->getElementType(), Ctx.getInt64Ty());
+  EXPECT_EQ(M->getGlobal("B")->getElementType(), Ctx.getDoubleTy());
+  ASSERT_NE(M->getFunction("f"), nullptr);
+  EXPECT_TRUE(verifyModule(*M));
+}
+
+TEST(Parser, ForwardValueReferencesInLoops) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  auto *Phi = cast<PHINode>(F->getBlockByName("loop")->front());
+  // The forward reference %next was patched to the real instruction.
+  Value *Next = Phi->getIncomingValueForBlock(F->getBlockByName("loop"));
+  ASSERT_NE(Next, nullptr);
+  EXPECT_TRUE(isa<BinaryOperator>(Next));
+  EXPECT_EQ(Next->getName(), "next");
+  EXPECT_TRUE(verifyModule(*M));
+}
+
+TEST(Parser, ForwardBlockReferences) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %later, label %exit
+later:
+  br label %exit
+exit:
+  ret void
+}
+)",
+                            Ctx);
+  EXPECT_TRUE(verifyModule(*M));
+}
+
+TEST(Parser, AllInstructionKindsRoundTrip) {
+  const char *Src = R"(
+module "roundtrip"
+global @A = [64 x i64]
+global @D = [64 x double]
+define i64 @f(i64 %a, double %d, i1 %c, <2 x i64> %v) {
+entry:
+  %p = gep i64, ptr @A, i64 %a
+  %l = load i64, ptr %p
+  %s0 = add i64 %l, 1
+  %s1 = sub i64 %s0, %a
+  %s2 = mul i64 %s1, 3
+  %s3 = and i64 %s2, 255
+  %s4 = or i64 %s3, 1
+  %s5 = xor i64 %s4, 42
+  %s6 = shl i64 %s5, 2
+  %s7 = lshr i64 %s6, 1
+  %s8 = ashr i64 %s7, 1
+  %s9 = sdiv i64 %s8, 3
+  %s10 = udiv i64 %s9, 2
+  store i64 %s10, ptr %p
+  %f0 = fadd double %d, 1.5
+  %f1 = fsub double %f0, 0.5
+  %f2 = fmul double %f1, 2.0
+  %f3 = fdiv double %f2, 4.0
+  %dp = gep double, ptr @D, i64 0
+  store double %f3, ptr %dp
+  %cmp = icmp sle i64 %s10, 100
+  %sel = select i1 %cmp, i64 %s10, i64 0
+  %ins = insertelement <2 x i64> %v, i64 %sel, i32 0
+  %ext = extractelement <2 x i64> %ins, i32 1
+  %shf = shufflevector <2 x i64> %ins, <2 x i64> %v, [0, 3]
+  %cv = add <2 x i64> %shf, <i64 1, i64 2>
+  %ext2 = extractelement <2 x i64> %cv, i32 0
+  br i1 %c, label %then, label %done
+then:
+  br label %done
+done:
+  %r = phi i64 [ %ext, %entry ], [ %ext2, %then ]
+  ret i64 %r
+}
+)";
+  Context Ctx;
+  auto M1 = parseModuleOrDie(Src, Ctx);
+  EXPECT_TRUE(verifyModule(*M1));
+  std::string Printed1 = moduleToString(*M1);
+  Context Ctx2;
+  auto M2 = parseModuleOrDie(Printed1, Ctx2);
+  std::string Printed2 = moduleToString(*M2);
+  // Print -> parse -> print is a fixpoint.
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST(Parser, KernelModulesRoundTrip) {
+  // Every registered kernel prints and re-parses to the same text.
+  for (const KernelSpec &Spec : getAllKernels()) {
+    SCOPED_TRACE(Spec.Name);
+    Context Ctx;
+    auto M = buildKernelModule(Spec, Ctx);
+    std::string Printed = moduleToString(*M);
+    Context Ctx2;
+    std::string Err;
+    auto M2 = parseModule(Printed, Ctx2, Err);
+    ASSERT_NE(M2, nullptr) << Err << "\n" << Printed;
+    EXPECT_EQ(moduleToString(*M2), Printed);
+    EXPECT_TRUE(verifyModule(*M2));
+  }
+}
+
+TEST(Parser, ErrorUnknownValue) {
+  std::string Err = parseError(R"(
+define void @f() {
+entry:
+  %x = add i64 %missing, 1
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("undefined value"), std::string::npos);
+}
+
+TEST(Parser, ErrorTypeMismatchOnFixup) {
+  std::string Err = parseError(R"(
+define void @f(i64 %n) {
+entry:
+  br label %next
+next:
+  %x = add i64 %y, 1
+  %y = fadd double 1.0, 2.0
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("has type double"), std::string::npos);
+}
+
+TEST(Parser, ErrorDuplicateLabel) {
+  std::string Err = parseError(R"(
+define void @f() {
+entry:
+  ret void
+entry:
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("duplicate block label"), std::string::npos);
+}
+
+TEST(Parser, ErrorRedefinedValue) {
+  std::string Err = parseError(R"(
+define void @f() {
+entry:
+  %x = add i64 1, 2
+  %x = add i64 3, 4
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("redefinition"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnknownOpcode) {
+  std::string Err = parseError(R"(
+define void @f() {
+entry:
+  %x = frobnicate i64 1, 2
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("unknown opcode"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnknownGlobal) {
+  std::string Err = parseError(R"(
+define void @f() {
+entry:
+  %p = gep i64, ptr @nope, i64 0
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("unknown global"), std::string::npos);
+}
+
+TEST(Parser, ErrorVectorLiteralArity) {
+  std::string Err = parseError(R"(
+define void @f(<2 x i64> %v) {
+entry:
+  %x = add <2 x i64> %v, <i64 1, i64 2, i64 3>
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("lane count"), std::string::npos);
+}
+
+TEST(Parser, ErrorLocalNameInVectorLiteral) {
+  std::string Err = parseError(R"(
+define void @f(<2 x i64> %v) {
+entry:
+  %x = add i64 1, 2
+  %y = add <2 x i64> %v, <i64 1, i64 %x>
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("must be constants"), std::string::npos);
+}
+
+TEST(Parser, ErrorConstantTypeMismatch) {
+  std::string Err = parseError(R"(
+define void @f() {
+entry:
+  %x = fadd double 1, 2.0
+  ret void
+}
+)");
+  EXPECT_NE(Err.find("integer literal"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+//===- tests/support/SupportTest.cpp - Support library tests -----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/OStream.h"
+#include "support/RNG.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Shape {
+  enum Kind { SquareKind, CircleKind, RoundedSquareKind } K;
+  explicit Shape(Kind K) : K(K) {}
+};
+struct Square : Shape {
+  Square() : Shape(SquareKind) {}
+  explicit Square(Kind K) : Shape(K) {}
+  static bool classof(const Shape *S) {
+    return S->K == SquareKind || S->K == RoundedSquareKind;
+  }
+};
+struct RoundedSquare : Square {
+  RoundedSquare() : Square(RoundedSquareKind) {}
+  static bool classof(const Shape *S) { return S->K == RoundedSquareKind; }
+};
+struct Circle : Shape {
+  Circle() : Shape(CircleKind) {}
+  static bool classof(const Shape *S) { return S->K == CircleKind; }
+};
+
+TEST(Casting, IsaBasics) {
+  Square Sq;
+  Circle Ci;
+  Shape *S1 = &Sq, *S2 = &Ci;
+  EXPECT_TRUE(isa<Square>(S1));
+  EXPECT_FALSE(isa<Circle>(S1));
+  EXPECT_TRUE(isa<Circle>(S2));
+  EXPECT_FALSE(isa<Square>(S2));
+}
+
+TEST(Casting, IsaRangeStyleClassof) {
+  RoundedSquare RS;
+  Shape *S = &RS;
+  // classof covering a subrange of kinds behaves like LLVM hierarchies.
+  EXPECT_TRUE(isa<Square>(S));
+  EXPECT_TRUE(isa<RoundedSquare>(S));
+}
+
+TEST(Casting, CastAndDynCast) {
+  Square Sq;
+  Shape *S = &Sq;
+  Square *Down = cast<Square>(S);
+  EXPECT_EQ(Down, &Sq);
+  EXPECT_EQ(dyn_cast<Circle>(S), nullptr);
+  EXPECT_EQ(dyn_cast<Square>(S), &Sq);
+}
+
+TEST(Casting, ConstVariants) {
+  Square Sq;
+  const Shape *S = &Sq;
+  EXPECT_TRUE(isa<Square>(S));
+  EXPECT_EQ(cast<Square>(S), &Sq);
+  EXPECT_EQ(dyn_cast<Circle>(S), nullptr);
+}
+
+TEST(Casting, PresentVariants) {
+  Shape *Null = nullptr;
+  EXPECT_FALSE(isa_and_present<Square>(Null));
+  EXPECT_EQ(dyn_cast_if_present<Square>(Null), nullptr);
+  Square Sq;
+  Shape *S = &Sq;
+  EXPECT_TRUE(isa_and_present<Square>(S));
+  EXPECT_EQ(dyn_cast_if_present<Square>(S), &Sq);
+}
+
+TEST(Casting, ReferenceForms) {
+  Square Sq;
+  Shape &S = Sq;
+  EXPECT_TRUE(isa<Square>(S));
+  EXPECT_EQ(&cast<Square>(S), &Sq);
+}
+
+//===----------------------------------------------------------------------===//
+// OStream
+//===----------------------------------------------------------------------===//
+
+TEST(OStream, BasicFormatting) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS << "x=" << 42 << " y=" << int64_t(-7) << " z=" << 1.5 << " b=" << true;
+  EXPECT_EQ(Buf, "x=42 y=-7 z=1.5 b=true");
+}
+
+TEST(OStream, UnsignedAndChar) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS << uint64_t(18446744073709551615ULL) << '!' << uint32_t(7);
+  EXPECT_EQ(Buf, "18446744073709551615!7");
+}
+
+TEST(OStream, PadToColumn) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS << "ab";
+  OS.padToColumn(5);
+  OS << "c";
+  EXPECT_EQ(Buf, "ab   c");
+}
+
+TEST(OStream, PadToColumnResetsAtNewline) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS << "long line\nx";
+  OS.padToColumn(3);
+  EXPECT_EQ(Buf, "long line\nx  ");
+}
+
+TEST(OStream, Justification) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS.leftJustify("ab", 4);
+  OS << "|";
+  OS.rightJustify("cd", 4);
+  EXPECT_EQ(Buf, "ab  |  cd");
+}
+
+TEST(OStream, JustifyLongerThanWidth) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS.leftJustify("abcdef", 3);
+  OS.rightJustify("ghijkl", 2);
+  EXPECT_EQ(Buf, "abcdefghijkl");
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtil
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+  EXPECT_EQ(formatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_TRUE(startsWith("foo", ""));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_FALSE(startsWith("xfoo", "foo"));
+}
+
+TEST(StringUtil, ParseIntValid) {
+  int64_t V = 0;
+  EXPECT_TRUE(parseInt("0", V));
+  EXPECT_EQ(V, 0);
+  EXPECT_TRUE(parseInt("12345", V));
+  EXPECT_EQ(V, 12345);
+  EXPECT_TRUE(parseInt("-42", V));
+  EXPECT_EQ(V, -42);
+  EXPECT_TRUE(parseInt("9223372036854775807", V));
+  EXPECT_EQ(V, INT64_MAX);
+  EXPECT_TRUE(parseInt("-9223372036854775808", V));
+  EXPECT_EQ(V, INT64_MIN);
+}
+
+TEST(StringUtil, ParseIntInvalid) {
+  int64_t V = 0;
+  EXPECT_FALSE(parseInt("", V));
+  EXPECT_FALSE(parseInt("-", V));
+  EXPECT_FALSE(parseInt("12a", V));
+  EXPECT_FALSE(parseInt("9223372036854775808", V));  // INT64_MAX + 1
+  EXPECT_FALSE(parseInt("-9223372036854775809", V)); // INT64_MIN - 1
+  EXPECT_FALSE(parseInt("184467440737095516160", V));
+}
+
+//===----------------------------------------------------------------------===//
+// RNG
+//===----------------------------------------------------------------------===//
+
+TEST(RNG, DeterministicAcrossInstances) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= (A.next() != B.next());
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RNG, NextBelowInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RNG, NextInRangeInclusive) {
+  RNG R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= (V == -3);
+    SawHi |= (V == 3);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RNG, NextDoubleUnitInterval) {
+  RNG R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, ChanceExtremes) {
+  RNG R(13);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextChance(0, 10));
+    EXPECT_TRUE(R.nextChance(10, 10));
+  }
+}
+
+} // namespace

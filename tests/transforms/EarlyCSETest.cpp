@@ -1,0 +1,188 @@
+//===- tests/transforms/EarlyCSETest.cpp - CSE pass tests ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/EarlyCSE.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+unsigned countInsts(Function *F) { return F->getInstructionCount(); }
+
+TEST(EarlyCSE, MergesPureDuplicates) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %x = add i64 %a, %b
+  %y = add i64 %a, %b
+  %z = mul i64 %x, %y
+  ret i64 %z
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(runEarlyCSE(*F), 1u);
+  EXPECT_TRUE(verifyFunction(*F));
+  EXPECT_EQ(countInsts(F), 3u);
+  // %z now multiplies %x by itself.
+  Instruction *Z = nullptr;
+  for (const auto &I : *F->getEntryBlock())
+    if (I->getName() == "z")
+      Z = I.get();
+  ASSERT_NE(Z, nullptr);
+  EXPECT_EQ(Z->getOperand(0), Z->getOperand(1));
+}
+
+TEST(EarlyCSE, RespectsOperandOrderAndOpcode) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x = sub i64 %a, %b
+  %y = sub i64 %b, %a
+  %z = add i64 %a, %b
+  ret void
+}
+)",
+                            Ctx);
+  // Nothing merges: different operand order / different opcode.
+  EXPECT_EQ(runEarlyCSE(*M->getFunction("f")), 0u);
+}
+
+TEST(EarlyCSE, MergesLoadsUntilAStoreIntervenes) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f(i64 %i) {
+entry:
+  %p = gep i64, ptr @A, i64 %i
+  %v1 = load i64, ptr %p
+  %v2 = load i64, ptr %p
+  store i64 %v1, ptr %p
+  %v3 = load i64, ptr %p
+  %v4 = load i64, ptr %p
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  // v2 merges into v1; v4 into v3; the store separates the pairs.
+  EXPECT_EQ(runEarlyCSE(*F), 2u);
+  EXPECT_TRUE(verifyFunction(*F));
+}
+
+TEST(EarlyCSE, DistinguishesICmpPredicates) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %c1 = icmp slt i64 %a, %b
+  %c2 = icmp sgt i64 %a, %b
+  %c3 = icmp slt i64 %a, %b
+  ret void
+}
+)",
+                            Ctx);
+  EXPECT_EQ(runEarlyCSE(*M->getFunction("f")), 1u); // Only c3 -> c1.
+}
+
+TEST(EarlyCSE, DistinguishesGepElementTypes) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %p1 = gep i64, ptr @A, i64 %i
+  %p2 = gep i32, ptr @A, i64 %i
+  %p3 = gep i64, ptr @A, i64 %i
+  ret void
+}
+)",
+                            Ctx);
+  EXPECT_EQ(runEarlyCSE(*M->getFunction("f")), 1u); // Only p3 -> p1.
+}
+
+TEST(EarlyCSE, PreservesSemanticsOnKernels) {
+  SkylakeTTI TTI;
+  for (const KernelSpec &Spec : getAllKernels()) {
+    SCOPED_TRACE(Spec.Name);
+    uint64_t Sums[2];
+    for (int Pass = 0; Pass < 2; ++Pass) {
+      Context Ctx;
+      auto M = buildKernelModule(Spec, Ctx);
+      if (Pass == 1) {
+        runEarlyCSE(*M);
+        ASSERT_TRUE(verifyModule(*M));
+      }
+      Interpreter Interp(*M, &TTI);
+      initKernelMemory(Interp, *M);
+      Interp.run(M->getFunction(Spec.EntryFunction),
+                 {RuntimeValue::makeInt(Ctx.getInt64Ty(), 64)});
+      Sums[Pass] = checksumGlobals(Interp, *M, Spec.OutputArrays);
+    }
+    EXPECT_EQ(Sums[0], Sums[1]);
+  }
+}
+
+TEST(EarlyCSE, ComposesWithVectorizer) {
+  // Redundant loads written naively; CSE turns them into shared values,
+  // after which the vectorizer still produces equivalent code.
+  const char *Src = R"(
+global @A = [64 x i64]
+global @E = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa0b = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l0b = load i64, ptr %pa0b
+  %l1 = load i64, ptr %pa1
+  %x0 = mul i64 %l0, %l0b
+  %x1 = mul i64 %l1, %l1
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)";
+  SkylakeTTI TTI;
+  uint64_t Sums[2];
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = parseModuleOrDie(Src, Ctx);
+    if (Pass == 1) {
+      EXPECT_EQ(runEarlyCSE(*M), 2u); // pa0b and l0b merge away.
+      SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+      EXPECT_GT(VP.runOnModule(*M).numAccepted(), 0u);
+      ASSERT_TRUE(verifyModule(*M));
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    Interp.run(M->getFunction("f"),
+               {RuntimeValue::makeInt(Ctx.getInt64Ty(), 7)});
+    Sums[Pass] = checksumGlobal(Interp, *M, "E");
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===- tests/vectorizer/AlternateOpcodeTest.cpp - Alt-opcode bundles -----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the alternate-opcode extension (add/sub and fadd/fsub mixes,
+// the vaddsubpd pattern; present in LLVM's SLP, beyond the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "vectorizer/GraphBuilder.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+const char *AddSubIR = R"(
+global @A = [64 x i64]
+global @B = [64 x i64]
+global @E = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  %x0 = add i64 %a0, %b0
+  %x1 = sub i64 %a1, %b1
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)";
+
+std::vector<Instruction *> storesOf(Function *F) {
+  std::vector<Instruction *> Result;
+  for (const auto &I : *F->getEntryBlock())
+    if (isa<StoreInst>(I.get()))
+      Result.push_back(I.get());
+  return Result;
+}
+
+TEST(AlternateOpcode, AddSubMixFormsAlternateNode) {
+  Context Ctx;
+  auto M = parseModuleOrDie(AddSubIR, Ctx);
+  Function *F = M->getFunction("f");
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *F->getEntryBlock());
+  auto G = B.build(storesOf(F));
+  ASSERT_TRUE(G.has_value());
+  const SLPNode *Alt = nullptr;
+  for (const auto &N : G->nodes())
+    if (N->getKind() == SLPNode::NodeKind::Alternate)
+      Alt = N.get();
+  ASSERT_NE(Alt, nullptr);
+  EXPECT_EQ(Alt->getOpcode(), ValueID::Add);
+  EXPECT_EQ(Alt->getAltOpcode(), ValueID::Sub);
+  EXPECT_FALSE(Alt->isAltLane(0));
+  EXPECT_TRUE(Alt->isAltLane(1));
+}
+
+TEST(AlternateOpcode, DisabledFallsBackToGather) {
+  Context Ctx;
+  auto M = parseModuleOrDie(AddSubIR, Ctx);
+  Function *F = M->getFunction("f");
+  VectorizerConfig C = VectorizerConfig::slp();
+  C.EnableAltOpcodes = false;
+  SLPGraphBuilder B(C, *F->getEntryBlock());
+  auto G = B.build(storesOf(F));
+  ASSERT_TRUE(G.has_value());
+  for (const auto &N : G->nodes())
+    EXPECT_NE(N->getKind(), SLPNode::NodeKind::Alternate);
+}
+
+TEST(AlternateOpcode, IncompatibleMixGathers) {
+  // add/mul is not a valid alternate pair.
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @E = [64 x i64]
+define void @f(i64 %i, i64 %a, i64 %b) {
+entry:
+  %i1 = add i64 %i, 1
+  %x0 = add i64 %a, %b
+  %x1 = mul i64 %a, %b
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *F->getEntryBlock());
+  auto G = B.build(storesOf(F));
+  ASSERT_TRUE(G.has_value());
+  for (const auto &N : G->nodes())
+    EXPECT_NE(N->getKind(), SLPNode::NodeKind::Alternate);
+}
+
+TEST(AlternateOpcode, CodegenEmitsBlendAndPreservesSemantics) {
+  SkylakeTTI TTI;
+  uint64_t Sums[2];
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = parseModuleOrDie(AddSubIR, Ctx);
+    if (Pass == 1) {
+      VectorizerConfig C = VectorizerConfig::slp();
+      // Lower the profitability bar: the 2-lane blend alone is +1.
+      C.CostThreshold = 10;
+      SLPVectorizerPass VP(C, TTI);
+      ModuleReport R = VP.runOnModule(*M);
+      ASSERT_GT(R.numAccepted(), 0u);
+      ASSERT_TRUE(verifyModule(*M)) << moduleToString(*M);
+      // A shufflevector blend combining the add and sub vectors exists.
+      bool SawShuffle = false, SawVecAdd = false, SawVecSub = false;
+      for (const auto &I : *M->getFunction("f")->getEntryBlock()) {
+        SawShuffle |= isa<ShuffleVectorInst>(I.get());
+        SawVecAdd |= I->getOpcode() == ValueID::Add &&
+                     I->getType()->isVectorTy();
+        SawVecSub |= I->getOpcode() == ValueID::Sub &&
+                     I->getType()->isVectorTy();
+      }
+      EXPECT_TRUE(SawShuffle);
+      EXPECT_TRUE(SawVecAdd);
+      EXPECT_TRUE(SawVecSub);
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    Interp.run(M->getFunction("f"),
+               {RuntimeValue::makeInt(Ctx.getInt64Ty(), 4)});
+    Sums[Pass] = checksumGlobal(Interp, *M, "E");
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+}
+
+TEST(AlternateOpcode, ComplexSU2KernelVectorizes) {
+  const KernelSpec *Spec = findKernel("mult-su2-complex");
+  ASSERT_NE(Spec, nullptr);
+  SkylakeTTI TTI;
+
+  uint64_t Sums[2];
+  int StaticCost = 0;
+  unsigned Accepted = 0;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = buildKernelModule(*Spec, Ctx);
+    if (Pass == 1) {
+      SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+      ModuleReport R = VP.runOnModule(*M);
+      StaticCost = R.acceptedCost();
+      Accepted = R.numAccepted();
+      ASSERT_TRUE(verifyModule(*M));
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    Interp.run(M->getFunction(Spec->EntryFunction),
+               {RuntimeValue::makeInt(Ctx.getInt64Ty(), Spec->DefaultN)});
+    Sums[Pass] = checksumGlobals(Interp, *M, Spec->OutputArrays);
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+  EXPECT_GT(Accepted, 0u);
+  EXPECT_LT(StaticCost, 0);
+}
+
+TEST(AlternateOpcode, ComplexSU2NeedsTheExtension) {
+  const KernelSpec *Spec = findKernel("mult-su2-complex");
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = buildKernelModule(*Spec, Ctx);
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.EnableAltOpcodes = false;
+  SLPVectorizerPass VP(C, TTI);
+  EXPECT_EQ(VP.runOnModule(*M).numAccepted(), 0u);
+}
+
+} // namespace

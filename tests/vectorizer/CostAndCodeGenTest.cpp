@@ -1,0 +1,392 @@
+//===- tests/vectorizer/CostAndCodeGenTest.cpp - Cost + codegen tests ----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "vectorizer/CodeGen.h"
+#include "vectorizer/CostEvaluator.h"
+#include "vectorizer/GraphBuilder.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// Builds the graph for the first seed bundle of the named kernel's loop
+/// body and returns its evaluated cost.
+int kernelGraphCost(const char *KernelName, const VectorizerConfig &Config) {
+  const KernelSpec *Spec = findKernel(KernelName);
+  EXPECT_NE(Spec, nullptr);
+  Context Ctx;
+  auto M = buildKernelModule(*Spec, Ctx);
+  SkylakeTTI TTI;
+  SLPVectorizerPass Pass(Config, TTI);
+  FunctionReport Report =
+      Pass.runOnFunction(*M->getFunction(Spec->EntryFunction));
+  EXPECT_EQ(Report.Attempts.size(), 1u);
+  return Report.Attempts.empty() ? 0 : Report.Attempts[0].Cost;
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's motivating examples: exact graph costs (Figures 2-4)
+//===----------------------------------------------------------------------===//
+
+TEST(MotivationCosts, Figure2LoadMismatch) {
+  // SLP graph: cost 0, not vectorized. LSLP graph: cost -6.
+  EXPECT_EQ(kernelGraphCost("motivation-loads", VectorizerConfig::slp()), 0);
+  EXPECT_EQ(kernelGraphCost("motivation-loads", VectorizerConfig::lslp()),
+            -6);
+}
+
+TEST(MotivationCosts, Figure3OpcodeMismatch) {
+  // SLP must be unprofitable (the paper reports +4; the exact positive
+  // value depends on how the failing slots pair constants with
+  // instructions). LSLP reaches the paper's -2.
+  EXPECT_GE(kernelGraphCost("motivation-opcodes", VectorizerConfig::slp()),
+            0);
+  EXPECT_EQ(kernelGraphCost("motivation-opcodes", VectorizerConfig::lslp()),
+            -2);
+}
+
+TEST(MotivationCosts, Figure4AssociativityMismatch) {
+  // SLP partially vectorizes at -2; LSLP's multi-node reaches -10.
+  EXPECT_EQ(kernelGraphCost("motivation-multi", VectorizerConfig::slp()),
+            -2);
+  EXPECT_EQ(kernelGraphCost("motivation-multi", VectorizerConfig::lslp()),
+            -10);
+}
+
+TEST(MotivationCosts, LookAheadAloneIsNotEnoughForFigure4) {
+  // Multi-node formation is required for the associativity example; plain
+  // look-ahead (multi-node size 1) stays at the SLP cost level.
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.MaxMultiNodeSize = 1;
+  EXPECT_GT(kernelGraphCost("motivation-multi", C), -10);
+}
+
+TEST(MotivationCosts, ReorderingDisabledMatchesNoReordering) {
+  // On Figure 2, SLP's reordering does not help: SLP-NR sees the same
+  // cost (the paper's observation that SLP == SLP-NR on these kernels).
+  EXPECT_EQ(
+      kernelGraphCost("motivation-loads", VectorizerConfig::slpNoReordering()),
+      kernelGraphCost("motivation-loads", VectorizerConfig::slp()));
+}
+
+//===----------------------------------------------------------------------===//
+// Cost evaluator pieces
+//===----------------------------------------------------------------------===//
+
+struct ParsedFn {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit ParsedFn(const char *Src) {
+    M = parseModuleOrDie(Src, Ctx);
+    F = M->functions().front().get();
+  }
+
+  std::vector<Instruction *> stores() {
+    std::vector<Instruction *> Result;
+    for (const auto &I : *F->getEntryBlock())
+      if (isa<StoreInst>(I.get()))
+        Result.push_back(I.get());
+    return Result;
+  }
+};
+
+TEST(CostEvaluator, ConstantOperandsAreFree) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @E = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l1 = load i64, ptr %pa1
+  %x0 = add i64 %l0, 7
+  %x1 = add i64 %l1, 9
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *P.F->getEntryBlock());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  SkylakeTTI TTI;
+  // store -1, add -1, load -1, constants 0.
+  EXPECT_EQ(evaluateGraphCost(*G, TTI), -3);
+  for (const auto &N : G->nodes())
+    if (N->getKind() == SLPNode::NodeKind::Gather) {
+      EXPECT_EQ(N->getCost(), 0);
+    }
+}
+
+TEST(CostEvaluator, ExternalUsePaysExtract) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @E = [16 x i64]
+global @T = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l1 = load i64, ptr %pa1
+  %x0 = add i64 %l0, 7
+  %x1 = add i64 %l1, 9
+  %pt = gep i64, ptr @T, i64 %i
+  store i64 %x0, ptr %pt
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)");
+  // Only seed the two consecutive @E stores; the @T store is an external
+  // user of %x0.
+  std::vector<Instruction *> Seeds;
+  for (Instruction *St : P.stores()) {
+    const auto *S = cast<StoreInst>(St);
+    if (cast<GEPInst>(S->getPointerOperand())->getBaseOperand()->getName() ==
+        "E")
+      Seeds.push_back(St);
+  }
+  ASSERT_EQ(Seeds.size(), 2u);
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *P.F->getEntryBlock());
+  auto G = B.build(Seeds);
+  ASSERT_TRUE(G.has_value());
+  SkylakeTTI TTI;
+  // Same as the previous test (-3) plus one extract (+1).
+  EXPECT_EQ(evaluateGraphCost(*G, TTI), -2);
+}
+
+//===----------------------------------------------------------------------===//
+// Code generation
+//===----------------------------------------------------------------------===//
+
+/// Runs the whole pass over a parsed module with the given config and
+/// checks semantic equivalence against the unvectorized original.
+void expectEquivalent(const char *Src, const VectorizerConfig &Config,
+                      const char *EntryName, uint64_t ArgN,
+                      const std::vector<std::string> &Outputs,
+                      bool ExpectVectorized) {
+  SkylakeTTI TTI;
+  uint64_t Checksums[2];
+  unsigned Accepted = 0;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = parseModuleOrDie(Src, Ctx);
+    if (Pass == 1) {
+      SLPVectorizerPass VP(Config, TTI);
+      ModuleReport R = VP.runOnModule(*M);
+      Accepted = R.numAccepted();
+      std::vector<std::string> Errors;
+      ASSERT_TRUE(verifyModule(*M, &Errors)) << moduleToString(*M);
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    Interp.run(M->getFunction(EntryName),
+               {RuntimeValue::makeInt(Ctx.getInt64Ty(), ArgN)});
+    Checksums[Pass] = checksumGlobals(Interp, *M, Outputs);
+  }
+  EXPECT_EQ(Checksums[0], Checksums[1]);
+  if (ExpectVectorized) {
+    EXPECT_GT(Accepted, 0u);
+  }
+}
+
+TEST(CodeGen, StraightLineStoreLoadAdd) {
+  const char *Src = R"(
+global @A = [64 x i64]
+global @E = [64 x i64]
+define void @k(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l1 = load i64, ptr %pa1
+  %x0 = add i64 %l0, 7
+  %x1 = add i64 %l1, 9
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  %next = add i64 %i, 2
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  expectEquivalent(Src, VectorizerConfig::slp(), "k", 32, {"E"}, true);
+}
+
+TEST(CodeGen, VectorInstructionsEmitted) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [64 x i64]
+global @E = [64 x i64]
+define void @k(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l1 = load i64, ptr %pa1
+  %x0 = add i64 %l0, 7
+  %x1 = add i64 %l1, 9
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)",
+                            Ctx);
+  SkylakeTTI TTI;
+  SLPVectorizerPass VP(VectorizerConfig::slp(), TTI);
+  FunctionReport R = VP.runOnFunction(*M->getFunction("k"));
+  ASSERT_EQ(R.numAccepted(), 1u);
+
+  // The block now contains a vector load, a vector add with a constant
+  // vector operand, a vector store — and none of the scalar originals.
+  unsigned VecLoads = 0, VecAdds = 0, VecStores = 0, ScalarStores = 0;
+  bool ConstVecOperand = false;
+  for (const auto &I : *M->getFunction("k")->getEntryBlock()) {
+    if (auto *L = dyn_cast<LoadInst>(I.get()))
+      VecLoads += L->getType()->isVectorTy();
+    if (I->getOpcode() == ValueID::Add && I->getType()->isVectorTy()) {
+      ++VecAdds;
+      ConstVecOperand |= isa<ConstantVector>(I->getOperand(1)) ||
+                         isa<ConstantVector>(I->getOperand(0));
+    }
+    if (auto *S = dyn_cast<StoreInst>(I.get())) {
+      if (S->getAccessType()->isVectorTy())
+        ++VecStores;
+      else
+        ++ScalarStores;
+    }
+  }
+  EXPECT_EQ(VecLoads, 1u);
+  EXPECT_EQ(VecAdds, 1u);
+  EXPECT_EQ(VecStores, 1u);
+  EXPECT_EQ(ScalarStores, 0u);
+  EXPECT_TRUE(ConstVecOperand);
+  EXPECT_TRUE(verifyModule(*M));
+}
+
+TEST(CodeGen, ExternalUserGetsExtract) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [64 x i64]
+global @E = [64 x i64]
+global @T = [64 x i64]
+define void @k(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l1 = load i64, ptr %pa1
+  %x0 = add i64 %l0, 7
+  %x1 = add i64 %l1, 9
+  %y = mul i64 %x0, 3
+  %pt = gep i64, ptr @T, i64 %i
+  store i64 %y, ptr %pt
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)",
+                            Ctx);
+  SkylakeTTI TTI;
+  SLPVectorizerPass VP(VectorizerConfig::slp(), TTI);
+  FunctionReport R = VP.runOnFunction(*M->getFunction("k"));
+  ASSERT_EQ(R.numAccepted(), 1u);
+  ASSERT_TRUE(verifyModule(*M));
+
+  // %y's operand must now be an extractelement of the vector add.
+  Instruction *Mul = nullptr;
+  for (const auto &I : *M->getFunction("k")->getEntryBlock())
+    if (I->getOpcode() == ValueID::Mul)
+      Mul = I.get();
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_TRUE(isa<ExtractElementInst>(Mul->getOperand(0)));
+}
+
+TEST(CodeGen, MultiNodeEmitsVectorChain) {
+  const KernelSpec *Spec = findKernel("motivation-multi");
+  ASSERT_NE(Spec, nullptr);
+  Context Ctx;
+  auto M = buildKernelModule(*Spec, Ctx);
+  SkylakeTTI TTI;
+  SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+  FunctionReport R = VP.runOnFunction(*M->getFunction(Spec->EntryFunction));
+  ASSERT_EQ(R.numAccepted(), 1u);
+  ASSERT_TRUE(verifyModule(*M));
+
+  // The '&' chain lowers to exactly two vector 'and' instructions, and no
+  // scalar 'and' survives.
+  unsigned VecAnds = 0, ScalarAnds = 0;
+  for (const auto &BB : *M->getFunction(Spec->EntryFunction))
+    for (const auto &I : *BB)
+      if (I->getOpcode() == ValueID::And) {
+        if (I->getType()->isVectorTy())
+          ++VecAnds;
+        else
+          ++ScalarAnds;
+      }
+  EXPECT_EQ(VecAnds, 2u);
+  EXPECT_EQ(ScalarAnds, 0u);
+}
+
+TEST(CodeGen, MotivationKernelsAllEquivalentUnderEveryConfig) {
+  for (const char *Name :
+       {"motivation-loads", "motivation-opcodes", "motivation-multi"}) {
+    const KernelSpec *Spec = findKernel(Name);
+    ASSERT_NE(Spec, nullptr);
+    for (const VectorizerConfig &Config :
+         {VectorizerConfig::slpNoReordering(), VectorizerConfig::slp(),
+          VectorizerConfig::lslp()}) {
+      SCOPED_TRACE(std::string(Name) + " / " + Config.Name);
+      Context Ctx;
+      auto M = buildKernelModule(*Spec, Ctx);
+      std::string Src = moduleToString(*M);
+      expectEquivalent(Src.c_str(), Config, Spec->EntryFunction.c_str(),
+                       Spec->DefaultN, Spec->OutputArrays,
+                       /*ExpectVectorized=*/false);
+    }
+  }
+}
+
+} // namespace

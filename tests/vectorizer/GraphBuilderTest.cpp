@@ -1,0 +1,434 @@
+//===- tests/vectorizer/GraphBuilderTest.cpp - Graph construction tests --------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/GraphBuilder.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+#include "vectorizer/SeedCollector.h"
+
+#include "costmodel/TargetTransformInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+struct ParsedFn {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit ParsedFn(const char *Src) {
+    M = parseModuleOrDie(Src, Ctx);
+    F = M->functions().front().get();
+  }
+
+  BasicBlock *entry() { return F->getEntryBlock(); }
+
+  Instruction *get(const std::string &Name) {
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (I->getName() == Name)
+          return I.get();
+    return nullptr;
+  }
+
+  std::vector<Instruction *> stores() {
+    std::vector<Instruction *> Result;
+    for (const auto &I : *F->getEntryBlock())
+      if (isa<StoreInst>(I.get()))
+        Result.push_back(I.get());
+    return Result;
+  }
+};
+
+/// Counts nodes of each kind in a graph.
+struct GraphShape {
+  unsigned Vectorize = 0, Gather = 0, Multi = 0;
+  explicit GraphShape(const SLPGraph &G) {
+    for (const auto &N : G.nodes()) {
+      switch (N->getKind()) {
+      case SLPNode::NodeKind::Vectorize:
+        ++Vectorize;
+        break;
+      case SLPNode::NodeKind::Gather:
+        ++Gather;
+        break;
+      case SLPNode::NodeKind::MultiNode:
+        ++Multi;
+        break;
+      case SLPNode::NodeKind::Alternate:
+        break;
+      }
+    }
+  }
+};
+
+const char *SimpleTwoLane = R"(
+global @A = [16 x i64]
+global @E = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l1 = load i64, ptr %pa1
+  %x0 = add i64 %l0, 1
+  %x1 = add i64 %l1, 2
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)";
+
+TEST(GraphBuilder, SimpleChainFullyVectorizes) {
+  ParsedFn P(SimpleTwoLane);
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *P.entry());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  GraphShape S(*G);
+  // store group, add group, load group, and a constant gather {1,2}.
+  EXPECT_EQ(S.Vectorize, 3u);
+  EXPECT_EQ(S.Multi, 0u);
+  ASSERT_NE(G->getRoot(), nullptr);
+  EXPECT_EQ(G->getRoot()->getOpcode(), ValueID::Store);
+  EXPECT_EQ(G->getRoot()->getNumLanes(), 2u);
+}
+
+TEST(GraphBuilder, NonConsecutiveLoadsGather) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @E = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i2 = add i64 %i, 2
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa2 = gep i64, ptr @A, i64 %i2
+  %l0 = load i64, ptr %pa0
+  %l2 = load i64, ptr %pa2
+  %x0 = add i64 %l0, 1
+  %x1 = add i64 %l2, 2
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *P.entry());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  // Loads A[i], A[i+2] are not adjacent: they must end up in a gather.
+  bool FoundLoadGather = false;
+  for (const auto &N : G->nodes())
+    if (N->getKind() == SLPNode::NodeKind::Gather &&
+        isa<LoadInst>(N->getScalar(0)))
+      FoundLoadGather = true;
+  EXPECT_TRUE(FoundLoadGather);
+}
+
+TEST(GraphBuilder, OpcodeMismatchGathers) {
+  ParsedFn P(R"(
+global @E = [16 x i64]
+define void @f(i64 %i, i64 %a) {
+entry:
+  %i1 = add i64 %i, 1
+  %x0 = add i64 %a, 1
+  %x1 = mul i64 %a, 2
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *P.entry());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  GraphShape S(*G);
+  EXPECT_EQ(S.Vectorize, 1u); // Only the stores group.
+  EXPECT_EQ(S.Gather, 1u);    // add/mul mismatch.
+}
+
+TEST(GraphBuilder, DuplicateLanesGather) {
+  ParsedFn P(R"(
+global @E = [16 x i64]
+define void @f(i64 %i, i64 %a) {
+entry:
+  %i1 = add i64 %i, 1
+  %x = add i64 %a, 1
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x, ptr %pe0
+  store i64 %x, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *P.entry());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  // The same instruction in both lanes is a splat gather, not a group.
+  GraphShape S(*G);
+  EXPECT_EQ(S.Vectorize, 1u);
+  EXPECT_EQ(S.Gather, 1u);
+}
+
+TEST(GraphBuilder, DiamondReusesNode) {
+  // x*x: both operand slots of the mul group are the same load bundle; the
+  // second slot must reuse the first slot's node rather than gather.
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @E = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %pa0
+  %l1 = load i64, ptr %pa1
+  %x0 = mul i64 %l0, %l0
+  %x1 = mul i64 %l1, %l1
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::slp();
+  SLPGraphBuilder B(C, *P.entry());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  GraphShape S(*G);
+  EXPECT_EQ(S.Gather, 0u);
+  EXPECT_EQ(S.Vectorize, 3u); // stores, muls, loads (shared).
+  // The mul node's two operands are the same node.
+  const SLPNode *Mul = G->getRoot()->getOperand(0);
+  ASSERT_EQ(Mul->getOperands().size(), 2u);
+  EXPECT_EQ(Mul->getOperand(0), Mul->getOperand(1));
+}
+
+TEST(GraphBuilder, MultiNodeFormation) {
+  // Figure 4 pattern: chains of '&' with different associativity.
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @B = [16 x i64]
+global @C = [16 x i64]
+global @D = [16 x i64]
+global @E = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc0 = gep i64, ptr @C, i64 %i
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %pd0 = gep i64, ptr @D, i64 %i
+  %pd1 = gep i64, ptr @D, i64 %i1
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  %a0 = load i64, ptr %pa0
+  %b0 = load i64, ptr %pb0
+  %c0 = load i64, ptr %pc0
+  %d0 = load i64, ptr %pd0
+  %bc0 = add i64 %b0, %c0
+  %de0 = add i64 %d0, %a0
+  %and0a = and i64 %a0, %bc0
+  %and0 = and i64 %and0a, %de0
+  store i64 %and0, ptr %pe0
+  %a1 = load i64, ptr %pa1
+  %b1 = load i64, ptr %pb1
+  %c1 = load i64, ptr %pc1
+  %d1 = load i64, ptr %pd1
+  %de1 = add i64 %d1, %a1
+  %bc1 = add i64 %b1, %c1
+  %and1a = and i64 %de1, %bc1
+  %and1 = and i64 %and1a, %a1
+  store i64 %and1, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::lslp();
+  SLPGraphBuilder B(C, *P.entry());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  const SLPNode *Multi = nullptr;
+  for (const auto &N : G->nodes())
+    if (N->getKind() == SLPNode::NodeKind::MultiNode)
+      Multi = N.get();
+  ASSERT_NE(Multi, nullptr);
+  EXPECT_EQ(Multi->getOpcode(), ValueID::And);
+  EXPECT_EQ(Multi->getChainLength(), 2u); // Two '&' per lane.
+  EXPECT_EQ(Multi->getOperands().size(), 3u);
+  EXPECT_EQ(Multi->getLaneChains()[0].size(), 2u);
+  EXPECT_EQ(Multi->getLaneChains()[1].size(), 2u);
+}
+
+TEST(GraphBuilder, MultiNodeSizeLimitDisablesCoarsening) {
+  ParsedFn P(R"(
+global @E = [16 x i64]
+define void @f(i64 %i, i64 %a, i64 %b, i64 %c) {
+entry:
+  %i1 = add i64 %i, 1
+  %t0 = and i64 %a, %b
+  %x0 = and i64 %t0, %c
+  %t1 = and i64 %b, %c
+  %x1 = and i64 %t1, %a
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.MaxMultiNodeSize = 1;
+  SLPGraphBuilder B(C, *P.entry());
+  auto G = B.build(P.stores());
+  ASSERT_TRUE(G.has_value());
+  GraphShape S(*G);
+  EXPECT_EQ(S.Multi, 0u);
+}
+
+TEST(GraphBuilder, MultiNodeRespectsEscapingValues) {
+  // The inner '&' has a second user outside the chain, so it must not be
+  // folded into the multi-node.
+  ParsedFn P(R"(
+global @E = [16 x i64]
+global @T = [16 x i64]
+define void @f(i64 %i, i64 %a, i64 %b, i64 %c) {
+entry:
+  %i1 = add i64 %i, 1
+  %t0 = and i64 %a, %b
+  %x0 = and i64 %t0, %c
+  %t1 = and i64 %b, %c
+  %x1 = and i64 %t1, %a
+  %pt = gep i64, ptr @T, i64 %i
+  store i64 %t0, ptr %pt
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  store i64 %x0, ptr %pe0
+  store i64 %x1, ptr %pe1
+  ret void
+}
+)");
+  VectorizerConfig C = VectorizerConfig::lslp();
+  SLPGraphBuilder B(C, *P.entry());
+  std::vector<Instruction *> Seeds;
+  for (Instruction *St : P.stores())
+    if (cast<StoreInst>(St)->getPointerOperand()->getName() != "pt")
+      Seeds.push_back(St);
+  ASSERT_EQ(Seeds.size(), 2u);
+  auto G = B.build(Seeds);
+  ASSERT_TRUE(G.has_value());
+  // %t0 escapes (stored to @T): lane 0 cannot chain, so the frontiers have
+  // unequal widths and no multi-node forms.
+  GraphShape S(*G);
+  EXPECT_EQ(S.Multi, 0u);
+}
+
+TEST(GraphBuilder, SeedCollectorFindsAndChunksRuns) {
+  ParsedFn P(R"(
+global @E = [64 x i64]
+define void @f(i64 %i, i64 %a) {
+entry:
+  %i1 = add i64 %i, 1
+  %i2 = add i64 %i, 2
+  %i3 = add i64 %i, 3
+  %i4 = add i64 %i, 4
+  %i5 = add i64 %i, 5
+  %p0 = gep i64, ptr @E, i64 %i
+  %p1 = gep i64, ptr @E, i64 %i1
+  %p2 = gep i64, ptr @E, i64 %i2
+  %p3 = gep i64, ptr @E, i64 %i3
+  %p4 = gep i64, ptr @E, i64 %i4
+  %p5 = gep i64, ptr @E, i64 %i5
+  store i64 %a, ptr %p0
+  store i64 %a, ptr %p1
+  store i64 %a, ptr %p2
+  store i64 %a, ptr %p3
+  store i64 %a, ptr %p4
+  store i64 %a, ptr %p5
+  ret void
+}
+)");
+  SkylakeTTI TTI;
+  auto Seeds = collectStoreSeeds(*P.entry(), TTI);
+  // Six consecutive i64 stores with a 256-bit target: one VL=4 bundle and
+  // one VL=2 bundle.
+  ASSERT_EQ(Seeds.size(), 2u);
+  EXPECT_EQ(Seeds[0].size(), 4u);
+  EXPECT_EQ(Seeds[1].size(), 2u);
+}
+
+TEST(GraphBuilder, SeedCollectorSplitsAtGapsAndBases) {
+  ParsedFn P(R"(
+global @E = [64 x i64]
+global @F = [64 x i64]
+define void @f(i64 %i, i64 %a) {
+entry:
+  %i1 = add i64 %i, 1
+  %i3 = add i64 %i, 3
+  %i4 = add i64 %i, 4
+  %p0 = gep i64, ptr @E, i64 %i
+  %p1 = gep i64, ptr @E, i64 %i1
+  %p3 = gep i64, ptr @E, i64 %i3
+  %p4 = gep i64, ptr @E, i64 %i4
+  %q0 = gep i64, ptr @F, i64 %i
+  %q1 = gep i64, ptr @F, i64 %i1
+  store i64 %a, ptr %p0
+  store i64 %a, ptr %p1
+  store i64 %a, ptr %p3
+  store i64 %a, ptr %p4
+  store i64 %a, ptr %q0
+  store i64 %a, ptr %q1
+  ret void
+}
+)");
+  SkylakeTTI TTI;
+  auto Seeds = collectStoreSeeds(*P.entry(), TTI);
+  // Three runs of two: E[i..i+1], E[i+3..i+4], F[i..i+1].
+  ASSERT_EQ(Seeds.size(), 3u);
+  for (const auto &S : Seeds)
+    EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(GraphBuilder, StoresAcrossBlocksNotSeeded) {
+  ParsedFn P(R"(
+global @E = [64 x i64]
+define void @f(i64 %i, i64 %a) {
+entry:
+  %i1 = add i64 %i, 1
+  %p0 = gep i64, ptr @E, i64 %i
+  store i64 %a, ptr %p0
+  br label %next
+next:
+  %p1 = gep i64, ptr @E, i64 %i1
+  store i64 %a, ptr %p1
+  ret void
+}
+)");
+  SkylakeTTI TTI;
+  EXPECT_TRUE(collectStoreSeeds(*P.entry(), TTI).empty());
+  EXPECT_TRUE(collectStoreSeeds(*P.F->getBlockByName("next"), TTI).empty());
+}
+
+} // namespace

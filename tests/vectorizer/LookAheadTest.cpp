@@ -1,0 +1,216 @@
+//===- tests/vectorizer/LookAheadTest.cpp - Look-ahead scoring tests -----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/LookAhead.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+struct ParsedFn {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit ParsedFn(const char *Src) {
+    M = parseModuleOrDie(Src, Ctx);
+    F = M->functions().front().get();
+  }
+
+  Value *get(const std::string &Name) {
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (I->getName() == Name)
+          return I.get();
+    return nullptr;
+  }
+};
+
+TEST(AreConsecutiveOrMatch, Constants) {
+  Context Ctx;
+  // Any two constants match (constant vectors are free).
+  EXPECT_TRUE(areConsecutiveOrMatch(Ctx.getInt64(1), Ctx.getInt64(99)));
+  EXPECT_TRUE(areConsecutiveOrMatch(
+      Ctx.getInt64(1), Ctx.getConstantFP(Ctx.getDoubleTy(), 2.0)));
+}
+
+TEST(AreConsecutiveOrMatch, LoadsRequireConsecutiveAddresses) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @B = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %b1 = load i64, ptr %pb1
+  ret void
+}
+)");
+  EXPECT_TRUE(areConsecutiveOrMatch(P.get("a0"), P.get("a1")));
+  EXPECT_FALSE(areConsecutiveOrMatch(P.get("a1"), P.get("a0"))); // Reversed.
+  EXPECT_FALSE(areConsecutiveOrMatch(P.get("a0"), P.get("b1")));
+}
+
+TEST(AreConsecutiveOrMatch, SameOpcodeInstructions) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x = add i64 %a, 1
+  %y = add i64 %b, 2
+  %z = mul i64 %a, 3
+  ret void
+}
+)");
+  EXPECT_TRUE(areConsecutiveOrMatch(P.get("x"), P.get("y")));
+  EXPECT_FALSE(areConsecutiveOrMatch(P.get("x"), P.get("z")));
+}
+
+TEST(AreConsecutiveOrMatch, MixedKinds) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x = add i64 %a, 1
+  ret void
+}
+)");
+  Context &Ctx = P.Ctx;
+  // Instruction vs constant: no match.
+  EXPECT_FALSE(areConsecutiveOrMatch(P.get("x"), Ctx.getInt64(1)));
+  // Arguments match only themselves (splat).
+  EXPECT_TRUE(areConsecutiveOrMatch(P.F->getArg(0), P.F->getArg(0)));
+  EXPECT_FALSE(areConsecutiveOrMatch(P.F->getArg(0), P.F->getArg(1)));
+}
+
+/// The exact scenario of paper Figure 7: last = B[i+0] << 1; candidates
+/// are (B[i+1] << 2) scoring 2 and (C[i+1] << 3) scoring 1.
+TEST(LookAheadScore, Figure7Example) {
+  ParsedFn P(R"(
+global @B = [16 x i64]
+global @C = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %lb0 = load i64, ptr %pb0
+  %lb1 = load i64, ptr %pb1
+  %lc1 = load i64, ptr %pc1
+  %last = shl i64 %lb0, 1
+  %candB = shl i64 %lb1, 2
+  %candC = shl i64 %lc1, 3
+  ret void
+}
+)");
+  // Level 1: descend once into the shifts' operands.
+  // candB: (B[i+0],B[i+1]) consecutive -> 1; (1,2) both constants -> 1;
+  //        cross pairs contribute 0. Total 2.
+  EXPECT_EQ(getLookAheadScore(P.get("last"), P.get("candB"), 1), 2);
+  // candC: loads differ -> 0; constants -> 1. Total 1.
+  EXPECT_EQ(getLookAheadScore(P.get("last"), P.get("candC"), 1), 1);
+}
+
+TEST(LookAheadScore, LevelZeroIsTrivialMatch) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x = add i64 %a, 1
+  %y = add i64 %b, 2
+  %z = mul i64 %a, 3
+  ret void
+}
+)");
+  EXPECT_EQ(getLookAheadScore(P.get("x"), P.get("y"), 0), 1);
+  EXPECT_EQ(getLookAheadScore(P.get("x"), P.get("z"), 0), 0);
+}
+
+TEST(LookAheadScore, DeepRecursion) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %p0 = gep i64, ptr @A, i64 %i
+  %p1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %p0
+  %l1 = load i64, ptr %p1
+  %s0 = shl i64 %l0, 1
+  %s1 = shl i64 %l1, 1
+  %m0 = mul i64 %s0, 3
+  %m1 = mul i64 %s1, 3
+  ret void
+}
+)");
+  // At level 1 the shifts match by opcode only (score from the const pair
+  // and the opcode base case).
+  int L1 = getLookAheadScore(P.get("m0"), P.get("m1"), 1);
+  // At level 2 the consecutive loads become visible and raise the score.
+  int L2 = getLookAheadScore(P.get("m0"), P.get("m1"), 2);
+  EXPECT_GT(L2, L1);
+}
+
+TEST(LookAheadScore, SumVersusMaxAggregation) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x = add i64 %a, %a
+  %y = add i64 %b, %b
+  ret void
+}
+)");
+  // Four operand combinations, none matching (different arguments):
+  // both aggregations give 0; with identical arguments they differ.
+  int Sum = getLookAheadScore(P.get("x"), P.get("y"), 1,
+                              VectorizerConfig::ScoreAggregationKind::Sum);
+  int Max = getLookAheadScore(P.get("x"), P.get("y"), 1,
+                              VectorizerConfig::ScoreAggregationKind::Max);
+  EXPECT_EQ(Sum, 0);
+  EXPECT_EQ(Max, 0);
+
+  int SumSame =
+      getLookAheadScore(P.get("x"), P.get("x"), 1,
+                        VectorizerConfig::ScoreAggregationKind::Sum);
+  int MaxSame =
+      getLookAheadScore(P.get("x"), P.get("x"), 1,
+                        VectorizerConfig::ScoreAggregationKind::Max);
+  // Sum counts all four splat pairs; max caps at one.
+  EXPECT_EQ(SumSame, 4);
+  EXPECT_EQ(MaxSame, 1);
+}
+
+TEST(LookAheadScore, LoadsAreBaseCaseEvenWithLevels) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %p0 = gep i64, ptr @A, i64 %i
+  %p1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %p0
+  %l1 = load i64, ptr %p1
+  ret void
+}
+)");
+  // Loads never recurse into their pointer operands: level is irrelevant.
+  EXPECT_EQ(getLookAheadScore(P.get("l0"), P.get("l1"), 0), 1);
+  EXPECT_EQ(getLookAheadScore(P.get("l0"), P.get("l1"), 5), 1);
+  EXPECT_EQ(getLookAheadScore(P.get("l1"), P.get("l0"), 5), 0);
+}
+
+} // namespace

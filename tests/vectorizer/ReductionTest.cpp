@@ -1,0 +1,261 @@
+//===- tests/vectorizer/ReductionTest.cpp - Horizontal reduction tests ---------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/ReductionVectorizer.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// i64 dot product of four element pairs, reduced through a balanced
+/// tree; one store per iteration, so only the reduction seeder fires.
+const char *Dot4IR = R"(
+global @X = [64 x i64]
+global @Y = [64 x i64]
+global @S = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %i4 = mul i64 %i, 4
+  %i41 = add i64 %i4, 1
+  %i42 = add i64 %i4, 2
+  %i43 = add i64 %i4, 3
+  %px0 = gep i64, ptr @X, i64 %i4
+  %px1 = gep i64, ptr @X, i64 %i41
+  %px2 = gep i64, ptr @X, i64 %i42
+  %px3 = gep i64, ptr @X, i64 %i43
+  %py0 = gep i64, ptr @Y, i64 %i4
+  %py1 = gep i64, ptr @Y, i64 %i41
+  %py2 = gep i64, ptr @Y, i64 %i42
+  %py3 = gep i64, ptr @Y, i64 %i43
+  %x0 = load i64, ptr %px0
+  %x1 = load i64, ptr %px1
+  %x2 = load i64, ptr %px2
+  %x3 = load i64, ptr %px3
+  %y0 = load i64, ptr %py0
+  %y1 = load i64, ptr %py1
+  %y2 = load i64, ptr %py2
+  %y3 = load i64, ptr %py3
+  %t0 = mul i64 %x0, %y0
+  %t1 = mul i64 %x1, %y1
+  %t2 = mul i64 %x2, %y2
+  %t3 = mul i64 %x3, %y3
+  %s01 = add i64 %t0, %t1
+  %s23 = add i64 %t2, %t3
+  %sum = add i64 %s01, %s23
+  %ps = gep i64, ptr @S, i64 %i
+  store i64 %sum, ptr %ps
+  ret void
+}
+)";
+
+Instruction *getNamed(Function *F, const std::string &Name) {
+  for (const auto &BB : *F)
+    for (const auto &I : *BB)
+      if (I->getName() == Name)
+        return I.get();
+  return nullptr;
+}
+
+TEST(ReductionMatch, BalancedTree) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Dot4IR, Ctx);
+  Instruction *Sum = getNamed(M->getFunction("f"), "sum");
+  auto Cand = matchReductionTree(Sum, 4, 4);
+  ASSERT_TRUE(Cand.has_value());
+  EXPECT_EQ(Cand->Opcode, ValueID::Add);
+  EXPECT_EQ(Cand->Leaves.size(), 4u);
+  EXPECT_EQ(Cand->TreeOps.size(), 3u); // sum, s01, s23.
+  for (Value *Leaf : Cand->Leaves)
+    EXPECT_EQ(cast<Instruction>(Leaf)->getOpcode(), ValueID::Mul);
+}
+
+TEST(ReductionMatch, RejectsNonPowerOfTwoAndSmallTrees) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %a, i64 %b, i64 %c) {
+entry:
+  %t = add i64 %a, %b
+  %three = add i64 %t, %c
+  ret void
+}
+)",
+                            Ctx);
+  Instruction *Three = getNamed(M->getFunction("f"), "three");
+  EXPECT_FALSE(matchReductionTree(Three, 4, 8).has_value()); // 3 leaves.
+  Instruction *T = getNamed(M->getFunction("f"), "t");
+  EXPECT_FALSE(matchReductionTree(T, 4, 8).has_value()); // Trivial.
+}
+
+TEST(ReductionMatch, RejectsNonCommutativeRoot) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %a, i64 %b, i64 %c, i64 %d) {
+entry:
+  %t0 = sub i64 %a, %b
+  %t1 = sub i64 %c, %d
+  %r = sub i64 %t0, %t1
+  ret void
+}
+)",
+                            Ctx);
+  EXPECT_FALSE(
+      matchReductionTree(getNamed(M->getFunction("f"), "r"), 2, 8)
+          .has_value());
+}
+
+TEST(ReductionMatch, LeavesSortedByAddress) {
+  // Leaves arrive in shuffled order; commutativity lets the matcher sort
+  // them by address so the bundle becomes a consecutive load.
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @X = [64 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %i2 = add i64 %i, 2
+  %i3 = add i64 %i, 3
+  %p0 = gep i64, ptr @X, i64 %i
+  %p1 = gep i64, ptr @X, i64 %i1
+  %p2 = gep i64, ptr @X, i64 %i2
+  %p3 = gep i64, ptr @X, i64 %i3
+  %x2 = load i64, ptr %p2
+  %x0 = load i64, ptr %p0
+  %x3 = load i64, ptr %p3
+  %x1 = load i64, ptr %p1
+  %s0 = add i64 %x2, %x0
+  %s1 = add i64 %x3, %x1
+  %sum = add i64 %s0, %s1
+  ret void
+}
+)",
+                            Ctx);
+  Function *F = M->getFunction("f");
+  auto Cand = matchReductionTree(getNamed(F, "sum"), 4, 4);
+  ASSERT_TRUE(Cand.has_value());
+  EXPECT_EQ(Cand->Leaves[0], getNamed(F, "x0"));
+  EXPECT_EQ(Cand->Leaves[1], getNamed(F, "x1"));
+  EXPECT_EQ(Cand->Leaves[2], getNamed(F, "x2"));
+  EXPECT_EQ(Cand->Leaves[3], getNamed(F, "x3"));
+}
+
+TEST(ReductionVectorize, DotProductEndToEnd) {
+  SkylakeTTI TTI;
+  uint64_t Sums[2];
+  unsigned Accepted = 0;
+  bool SawReductionAttempt = false;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = parseModuleOrDie(Dot4IR, Ctx);
+    if (Pass == 1) {
+      SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+      ModuleReport R = VP.runOnModule(*M);
+      Accepted = R.numAccepted();
+      for (const auto &F : R.Functions)
+        for (const auto &A : F.Attempts)
+          SawReductionAttempt |= A.IsReduction;
+      ASSERT_TRUE(verifyModule(*M)) << moduleToString(*M);
+      // The fold emits shuffles and an extract; the scalar tree is gone.
+      unsigned Shuffles = 0, ScalarAdds = 0;
+      for (const auto &I : *M->getFunction("f")->getEntryBlock()) {
+        Shuffles += isa<ShuffleVectorInst>(I.get());
+        ScalarAdds += I->getOpcode() == ValueID::Add &&
+                      !I->getType()->isVectorTy() &&
+                      I->getName().empty(); // Index adds keep their names.
+      }
+      EXPECT_GE(Shuffles, 2u); // log2(4) fold steps.
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    Interp.run(M->getFunction("f"),
+               {RuntimeValue::makeInt(Ctx.getInt64Ty(), 3)});
+    Sums[Pass] = checksumGlobal(Interp, *M, "S");
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+  EXPECT_GT(Accepted, 0u);
+  EXPECT_TRUE(SawReductionAttempt);
+}
+
+TEST(ReductionVectorize, DisabledLeavesScalar) {
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = parseModuleOrDie(Dot4IR, Ctx);
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.EnableReductions = false;
+  SLPVectorizerPass VP(C, TTI);
+  EXPECT_EQ(VP.runOnModule(*M).numAccepted(), 0u);
+}
+
+TEST(ReductionVectorize, UnprofitableTreeStaysScalar) {
+  // Leaves from four unrelated arrays: the leaf bundle gathers, and the
+  // fold overhead cannot pay for itself.
+  Context Ctx;
+  SkylakeTTI TTI;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+global @B = [8 x i64]
+global @C = [8 x i64]
+global @D = [8 x i64]
+global @S = [8 x i64]
+define void @f(i64 %i, i64 %a, i64 %b, i64 %c, i64 %d) {
+entry:
+  %t0 = mul i64 %a, 3
+  %t1 = mul i64 %b, %b
+  %t2 = add i64 %c, 1
+  %t3 = xor i64 %d, 5
+  %s0 = add i64 %t0, %t1
+  %s1 = add i64 %t2, %t3
+  %sum = add i64 %s0, %s1
+  %ps = gep i64, ptr @S, i64 %i
+  store i64 %sum, ptr %ps
+  ret void
+}
+)",
+                            Ctx);
+  SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+  ModuleReport R = VP.runOnModule(*M);
+  EXPECT_EQ(R.numAccepted(), 0u);
+  EXPECT_TRUE(verifyModule(*M));
+}
+
+TEST(ReductionVectorize, KernelEquivalence) {
+  const KernelSpec *Spec = findKernel("povray-dot");
+  ASSERT_NE(Spec, nullptr);
+  SkylakeTTI TTI;
+  uint64_t Sums[2];
+  unsigned Accepted = 0;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    Context Ctx;
+    auto M = buildKernelModule(*Spec, Ctx);
+    if (Pass == 1) {
+      SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+      Accepted = VP.runOnModule(*M).numAccepted();
+      ASSERT_TRUE(verifyModule(*M));
+    }
+    Interpreter Interp(*M, &TTI);
+    initKernelMemory(Interp, *M);
+    Interp.run(M->getFunction(Spec->EntryFunction),
+               {RuntimeValue::makeInt(Ctx.getInt64Ty(), Spec->DefaultN)});
+    Sums[Pass] = checksumGlobals(Interp, *M, Spec->OutputArrays);
+  }
+  EXPECT_EQ(Sums[0], Sums[1]);
+  EXPECT_GT(Accepted, 0u);
+}
+
+} // namespace

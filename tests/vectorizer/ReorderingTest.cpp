@@ -1,0 +1,363 @@
+//===- tests/vectorizer/ReorderingTest.cpp - Operand reordering tests ----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/OperandReordering.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+struct ParsedFn {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+
+  explicit ParsedFn(const char *Src) {
+    M = parseModuleOrDie(Src, Ctx);
+    F = M->functions().front().get();
+  }
+
+  Value *get(const std::string &Name) {
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (I->getName() == Name)
+          return I.get();
+    return nullptr;
+  }
+};
+
+VectorizerConfig slpConfig() { return VectorizerConfig::slp(); }
+VectorizerConfig lslpConfig() { return VectorizerConfig::lslp(); }
+
+TEST(Reordering, FirstLaneIsStripped) {
+  // Lane 0 keeps its order whatever happens in later lanes.
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x0 = add i64 %a, 1
+  %y0 = mul i64 %a, 2
+  %x1 = add i64 %b, 1
+  %y1 = mul i64 %b, 2
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("y0"), P.get("x1")}, // Slot 0: mul then add.
+      {P.get("x0"), P.get("y1")}, // Slot 1: add then mul.
+  };
+  VectorizerConfig C = slpConfig();
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_EQ(R.Final[0][0], P.get("y0"));
+  EXPECT_EQ(R.Final[1][0], P.get("x0"));
+  // Lane 1 swaps so opcodes line up: mul with mul, add with add.
+  EXPECT_EQ(R.Final[0][1], P.get("y1"));
+  EXPECT_EQ(R.Final[1][1], P.get("x1"));
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(R.Modes[0], OperandMode::Opcode);
+  EXPECT_EQ(R.Modes[1], OperandMode::Opcode);
+}
+
+TEST(Reordering, AlreadyAlignedIsUnchanged) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x0 = add i64 %a, 1
+  %y0 = mul i64 %a, 2
+  %x1 = add i64 %b, 1
+  %y1 = mul i64 %b, 2
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("x0"), P.get("x1")},
+      {P.get("y0"), P.get("y1")},
+  };
+  VectorizerConfig C = slpConfig();
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(R.Final, Ops);
+}
+
+TEST(Reordering, ConstantMode) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %x1 = add i64 %b, 1
+  ret void
+}
+)");
+  Context &Ctx = P.Ctx;
+  // Slot 0 starts with a constant; in lane 1 the constant arrives in the
+  // other position.
+  std::vector<std::vector<Value *>> Ops = {
+      {Ctx.getInt64(3), P.get("x1")},
+      {P.F->getArg(0), Ctx.getInt64(5)},
+  };
+  VectorizerConfig C = slpConfig();
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_EQ(R.Final[0][1], Ctx.getInt64(5));
+  EXPECT_EQ(R.Final[1][1], P.get("x1"));
+  EXPECT_EQ(R.Modes[0], OperandMode::Constant);
+}
+
+TEST(Reordering, LoadModePicksConsecutive) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @B = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  ret void
+}
+)");
+  // Lane 1 presents the loads swapped; LOAD mode must select the
+  // address-consecutive one for each slot.
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("a0"), P.get("b1")},
+      {P.get("b0"), P.get("a1")},
+  };
+  VectorizerConfig C = slpConfig();
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_EQ(R.Final[0][1], P.get("a1"));
+  EXPECT_EQ(R.Final[1][1], P.get("b1"));
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(R.Modes[0], OperandMode::Load);
+  EXPECT_EQ(R.Modes[1], OperandMode::Load);
+}
+
+TEST(Reordering, SplatDetection) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %s = add i64 %a, %b
+  %x1 = add i64 %b, 1
+  %x2 = add i64 %b, 2
+  ret void
+}
+)");
+  // The same instruction %s appears in every lane of slot 0.
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("s"), P.get("s"), P.get("s")},
+      {P.get("x1"), P.get("x2"), P.get("x1")},
+  };
+  VectorizerConfig C = lslpConfig();
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_EQ(R.Modes[0], OperandMode::Splat);
+  EXPECT_EQ(R.Final[0][0], P.get("s"));
+  EXPECT_EQ(R.Final[0][1], P.get("s"));
+  EXPECT_EQ(R.Final[0][2], P.get("s"));
+}
+
+TEST(Reordering, SplatDisabledFallsBackToOpcode) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %s = add i64 %a, %b
+  %x1 = add i64 %b, 1
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("s"), P.get("s")},
+      {P.get("x1"), P.get("x1")},
+  };
+  VectorizerConfig C = lslpConfig();
+  C.EnableSplatMode = false;
+  ReorderResult R = reorderOperands(Ops, C);
+  // Same assignment, but the mode never switches to Splat.
+  EXPECT_EQ(R.Modes[0], OperandMode::Opcode);
+}
+
+TEST(Reordering, FailedSlotYieldsToOthersAndTakesLeftover) {
+  ParsedFn P(R"(
+global @A = [16 x i64]
+define void @f(i64 %i, i64 %a) {
+entry:
+  %i1 = add i64 %i, 1
+  %p0 = gep i64, ptr @A, i64 %i
+  %p1 = gep i64, ptr @A, i64 %i1
+  %l0 = load i64, ptr %p0
+  %l1 = load i64, ptr %p1
+  %m1 = mul i64 %a, 2
+  ret void
+}
+)");
+  Context &Ctx = P.Ctx;
+  // Slot 0 is a constant slot but lane 1 has no constant: it fails and
+  // must not steal the load that slot 1 needs.
+  std::vector<std::vector<Value *>> Ops = {
+      {Ctx.getInt64(1), P.get("m1")},
+      {P.get("l0"), P.get("l1")},
+  };
+  VectorizerConfig C = slpConfig();
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_EQ(R.Modes[0], OperandMode::Failed);
+  EXPECT_EQ(R.Modes[1], OperandMode::Load);
+  EXPECT_EQ(R.Final[1][1], P.get("l1"));
+  EXPECT_EQ(R.Final[0][1], P.get("m1"));
+}
+
+TEST(Reordering, LookAheadBreaksOpcodeTies) {
+  // Paper Figure 2 pattern: both lane-1 candidates are shifts; only
+  // look-ahead sees the loads behind them.
+  ParsedFn P(R"(
+global @B = [16 x i64]
+global @C = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pc0 = gep i64, ptr @C, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %lb0 = load i64, ptr %pb0
+  %lc0 = load i64, ptr %pc0
+  %lb1 = load i64, ptr %pb1
+  %lc1 = load i64, ptr %pc1
+  %sb0 = shl i64 %lb0, 1
+  %sc0 = shl i64 %lc0, 2
+  %sc1 = shl i64 %lc1, 3
+  %sb1 = shl i64 %lb1, 4
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("sb0"), P.get("sc1")},
+      {P.get("sc0"), P.get("sb1")},
+  };
+  // Vanilla SLP: ties resolve to the first candidate -> unchanged.
+  VectorizerConfig SLP = slpConfig();
+  ReorderResult RSLP = reorderOperands(Ops, SLP);
+  EXPECT_EQ(RSLP.Final[0][1], P.get("sc1"));
+  EXPECT_FALSE(RSLP.Changed);
+  // LSLP: look-ahead pairs the shifts over consecutive loads.
+  VectorizerConfig LSLP = lslpConfig();
+  ReorderResult RLSLP = reorderOperands(Ops, LSLP);
+  EXPECT_EQ(RLSLP.Final[0][1], P.get("sb1"));
+  EXPECT_EQ(RLSLP.Final[1][1], P.get("sc1"));
+  EXPECT_TRUE(RLSLP.Changed);
+}
+
+TEST(Reordering, LookAheadDepthZeroBehavesLikeVanilla) {
+  ParsedFn P(R"(
+global @B = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %lb0 = load i64, ptr %pb0
+  %lb1 = load i64, ptr %pb1
+  %s0 = shl i64 %lb0, 1
+  %s1 = shl i64 %lb1, 2
+  %t1 = shl i64 %lb1, 3
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("s0"), P.get("t1")},
+      {P.get("s0"), P.get("s1")},
+  };
+  VectorizerConfig LA0 = lslpConfig();
+  LA0.MaxLookAheadLevel = 0;
+  ReorderResult R = reorderOperands(Ops, LA0);
+  // With no look-ahead levels the tie resolves to the first candidate.
+  EXPECT_EQ(R.Final[0][1], P.get("t1"));
+}
+
+TEST(Reordering, ExhaustiveStrategyFixesGreedyMiss) {
+  // Greedy slot order can strand a later slot; the exhaustive per-lane
+  // strategy scores whole permutations and avoids it. Both must at least
+  // fix the simple crossed-loads case identically.
+  ParsedFn P(R"(
+global @A = [16 x i64]
+global @B = [16 x i64]
+define void @f(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("a0"), P.get("b1")},
+      {P.get("b0"), P.get("a1")},
+  };
+  VectorizerConfig C = lslpConfig();
+  C.ReorderStrategy =
+      VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane;
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_EQ(R.Final[0][1], P.get("a1"));
+  EXPECT_EQ(R.Final[1][1], P.get("b1"));
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(R.Modes[0], OperandMode::Load);
+}
+
+TEST(Reordering, ExhaustiveDetectsSplatAndFailure) {
+  ParsedFn P(R"(
+define void @f(i64 %a, i64 %b) {
+entry:
+  %s = add i64 %a, %b
+  %m1 = mul i64 %b, 2
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("s"), P.get("s")},
+      {P.get("m1"), P.F->getArg(0)},
+  };
+  VectorizerConfig C = lslpConfig();
+  C.ReorderStrategy =
+      VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane;
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_EQ(R.Modes[0], OperandMode::Splat);
+  EXPECT_EQ(R.Modes[1], OperandMode::Failed); // mul vs argument.
+}
+
+TEST(Reordering, SingleSlotManyLanes) {
+  ParsedFn P(R"(
+define void @f(i64 %a) {
+entry:
+  %x0 = add i64 %a, 0
+  %x1 = add i64 %a, 1
+  %x2 = add i64 %a, 2
+  %x3 = add i64 %a, 3
+  ret void
+}
+)");
+  std::vector<std::vector<Value *>> Ops = {
+      {P.get("x0"), P.get("x1"), P.get("x2"), P.get("x3")}};
+  VectorizerConfig C = lslpConfig();
+  ReorderResult R = reorderOperands(Ops, C);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(R.Modes[0], OperandMode::Opcode);
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+//===- tools/lslpc.cpp - Command-line driver (opt-style) -----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// lslpc: parse a textual-IR file, run the (L)SLP vectorizer, and print the
+// result and/or the vectorization report. Optionally execute a function
+// on the cycle-model interpreter.
+//
+//   lslpc input.ll                         # LSLP, print transformed IR
+//   lslpc input.ll -config=SLP -report     # vanilla SLP + per-graph report
+//   lslpc input.ll -la=2 -multi=1          # Figure 13 style sweeps
+//   lslpc input.ll -no-vectorize -run=f:16 # just interpret @f(16)
+//   lslpc input.ll -run=f:100 -init-memory # deterministic array inputs
+//   lslpc -                                # read from stdin
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "kernels/Kernels.h"
+#include "parser/Parser.h"
+#include "support/OStream.h"
+#include "support/StringUtil.h"
+#include "transforms/EarlyCSE.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace lslp;
+
+namespace {
+
+struct Options {
+  std::string InputPath;
+  VectorizerConfig Config = VectorizerConfig::lslp();
+  bool Vectorize = true;
+  bool EarlyCSE = false;
+  bool PrintIR = true;
+  bool Report = false;
+  bool Graphs = false;
+  bool Dot = false;
+  bool InitMemory = false;
+  std::string RunSpec; // "function:arg"
+};
+
+void printUsage() {
+  outs() << "usage: lslpc <input.ll | -> [options]\n"
+            "  -config=SLP-NR|SLP|LSLP   vectorizer configuration "
+            "(default LSLP)\n"
+            "  -la=N                     max look-ahead depth\n"
+            "  -multi=N                  max multi-node size\n"
+            "  -no-altopcodes            disable add/sub blend bundles\n"
+            "  -no-reductions            disable horizontal reductions\n"
+            "  -no-vectorize             parse/verify/print only\n"
+            "  -early-cse                run common-subexpression "
+            "elimination first\n"
+            "  -report                   print per-seed-bundle report\n"
+            "  -graphs                   include rendered SLP graphs\n"
+            "  -dot                      emit Graphviz DOT for each graph\n"
+            "  -no-print                 suppress the transformed IR\n"
+            "  -run=FN[:ARG]             interpret @FN(i64 ARG) and report "
+            "cost\n"
+            "  -init-memory              fill globals with deterministic "
+            "values before -run\n";
+}
+
+bool parseArgs(int argc, char **argv, Options &Opts) {
+  if (argc < 2)
+    return false;
+  Opts.InputPath = argv[1];
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    int64_t Num = 0;
+    if (Arg == "-config=SLP-NR")
+      Opts.Config = VectorizerConfig::slpNoReordering();
+    else if (Arg == "-config=SLP")
+      Opts.Config = VectorizerConfig::slp();
+    else if (Arg == "-config=LSLP")
+      Opts.Config = VectorizerConfig::lslp();
+    else if (startsWith(Arg, "-la=") && parseInt(Arg.substr(4), Num))
+      Opts.Config.MaxLookAheadLevel = static_cast<unsigned>(Num);
+    else if (startsWith(Arg, "-multi=") && parseInt(Arg.substr(7), Num))
+      Opts.Config.MaxMultiNodeSize = static_cast<unsigned>(Num);
+    else if (Arg == "-no-altopcodes")
+      Opts.Config.EnableAltOpcodes = false;
+    else if (Arg == "-no-reductions")
+      Opts.Config.EnableReductions = false;
+    else if (Arg == "-no-vectorize")
+      Opts.Vectorize = false;
+    else if (Arg == "-early-cse")
+      Opts.EarlyCSE = true;
+    else if (Arg == "-report")
+      Opts.Report = true;
+    else if (Arg == "-graphs")
+      Opts.Graphs = true;
+    else if (Arg == "-dot")
+      Opts.Dot = true;
+    else if (Arg == "-no-print")
+      Opts.PrintIR = false;
+    else if (Arg == "-init-memory")
+      Opts.InitMemory = true;
+    else if (startsWith(Arg, "-run="))
+      Opts.RunSpec = Arg.substr(5);
+    else {
+      errs() << "lslpc: unknown option '" << Arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool readInput(const std::string &Path, std::string &Out) {
+  std::FILE *File = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    errs() << "lslpc: cannot open '" << Path << "'\n";
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  if (File != stdin)
+    std::fclose(File);
+  return true;
+}
+
+int runFunction(Module &M, const Options &Opts,
+                const TargetTransformInfo &TTI) {
+  std::string Spec = Opts.RunSpec;
+  std::string FnName = Spec;
+  int64_t Arg = 0;
+  bool HasArg = false;
+  if (size_t Colon = Spec.find(':'); Colon != std::string::npos) {
+    FnName = Spec.substr(0, Colon);
+    if (!parseInt(Spec.substr(Colon + 1), Arg)) {
+      errs() << "lslpc: bad -run argument '" << Spec << "'\n";
+      return 1;
+    }
+    HasArg = true;
+  }
+  Function *F = M.getFunction(FnName);
+  if (!F) {
+    errs() << "lslpc: no function '@" << FnName << "'\n";
+    return 1;
+  }
+  if (F->getNumArgs() != (HasArg ? 1u : 0u)) {
+    errs() << "lslpc: -run supports only void() or void(i64) signatures\n";
+    return 1;
+  }
+
+  Interpreter Interp(M, &TTI);
+  if (Opts.InitMemory)
+    initKernelMemory(Interp, M);
+  std::vector<RuntimeValue> Args;
+  if (HasArg)
+    Args.push_back(RuntimeValue::makeInt(M.getContext().getInt64Ty(),
+                                         static_cast<uint64_t>(Arg)));
+  auto Result = Interp.run(F, Args);
+  outs() << "; run @" << FnName << ": " << Result.DynamicInsts
+         << " dynamic instructions, simulated cost " << Result.TotalCost
+         << "\n";
+  if (Result.ReturnValue.isValid()) {
+    if (Result.ReturnValue.Ty->isFloatingPointTy())
+      outs() << "; returned " << Result.ReturnValue.asFP() << "\n";
+    else
+      outs() << "; returned " << Result.ReturnValue.asUInt() << "\n";
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  if (!parseArgs(argc, argv, Opts)) {
+    printUsage();
+    return 1;
+  }
+
+  std::string Source;
+  if (!readInput(Opts.InputPath, Source))
+    return 1;
+
+  Context Ctx;
+  std::string Err;
+  std::unique_ptr<Module> M = parseModule(Source, Ctx, Err);
+  if (!M) {
+    errs() << "lslpc: parse error: " << Err << "\n";
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  if (!verifyModule(*M, &Errors)) {
+    errs() << "lslpc: input fails verification:\n";
+    for (const std::string &E : Errors)
+      errs() << "  " << E << "\n";
+    return 1;
+  }
+
+  SkylakeTTI TTI;
+  if (Opts.EarlyCSE) {
+    unsigned Removed = runEarlyCSE(*M);
+    if (Opts.Report)
+      outs() << "; early-cse removed " << Removed << " instruction(s)\n";
+  }
+  if (Opts.Vectorize) {
+    SLPVectorizerPass Pass(Opts.Config, TTI);
+    Pass.setVerbose(Opts.Graphs || Opts.Dot);
+    ModuleReport Report = Pass.runOnModule(*M);
+    if (!verifyModule(*M, &Errors)) {
+      errs() << "lslpc: internal error: output fails verification\n";
+      for (const std::string &E : Errors)
+        errs() << "  " << E << "\n";
+      return 2;
+    }
+    if (Opts.Report) {
+      outs() << "; config " << Opts.Config.Name << ": "
+             << Report.numAccepted() << " bundle(s) vectorized, total cost "
+             << Report.acceptedCost() << "\n";
+    }
+    for (const FunctionReport &F : Report.Functions) {
+      for (const GraphAttempt &A : F.Attempts) {
+        if (Opts.Report)
+          outs() << ";  @" << F.FunctionName << ": "
+                 << (A.IsReduction ? "reduction" : "store-seed") << " x"
+                 << A.NumLanes << ", cost " << A.Cost << ", "
+                 << (A.Accepted ? "vectorized" : "skipped") << "\n";
+        if (Opts.Graphs && !A.GraphDump.empty())
+          outs() << A.GraphDump;
+        if (Opts.Dot && !A.GraphDot.empty())
+          outs() << A.GraphDot;
+      }
+    }
+  }
+
+  if (Opts.PrintIR)
+    printModule(outs(), *M);
+
+  if (!Opts.RunSpec.empty())
+    return runFunction(*M, Opts, TTI);
+  return 0;
+}
