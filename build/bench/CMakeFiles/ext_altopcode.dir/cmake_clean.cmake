@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_altopcode.dir/ext_altopcode.cpp.o"
+  "CMakeFiles/ext_altopcode.dir/ext_altopcode.cpp.o.d"
+  "ext_altopcode"
+  "ext_altopcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_altopcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_instruction_mix.dir/ext_instruction_mix.cpp.o"
+  "CMakeFiles/ext_instruction_mix.dir/ext_instruction_mix.cpp.o.d"
+  "ext_instruction_mix"
+  "ext_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fullbench_cost.dir/fig11_fullbench_cost.cpp.o"
+  "CMakeFiles/fig11_fullbench_cost.dir/fig11_fullbench_cost.cpp.o.d"
+  "fig11_fullbench_cost"
+  "fig11_fullbench_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fullbench_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

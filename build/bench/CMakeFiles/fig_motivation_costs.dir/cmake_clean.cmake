@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_motivation_costs.dir/fig_motivation_costs.cpp.o"
+  "CMakeFiles/fig_motivation_costs.dir/fig_motivation_costs.cpp.o.d"
+  "fig_motivation_costs"
+  "fig_motivation_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_motivation_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_benchutil.dir/BenchUtil.cpp.o"
+  "CMakeFiles/lslp_benchutil.dir/BenchUtil.cpp.o.d"
+  "liblslp_benchutil.a"
+  "liblslp_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kernels.dir/table2_kernels.cpp.o"
+  "CMakeFiles/table2_kernels.dir/table2_kernels.cpp.o.d"
+  "table2_kernels"
+  "table2_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

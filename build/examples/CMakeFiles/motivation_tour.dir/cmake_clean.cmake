@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_tour.dir/motivation_tour.cpp.o"
+  "CMakeFiles/motivation_tour.dir/motivation_tour.cpp.o.d"
+  "motivation_tour"
+  "motivation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

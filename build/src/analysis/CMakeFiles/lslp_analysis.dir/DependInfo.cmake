@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AddressAnalysis.cpp" "src/analysis/CMakeFiles/lslp_analysis.dir/AddressAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/lslp_analysis.dir/AddressAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/AliasAnalysis.cpp" "src/analysis/CMakeFiles/lslp_analysis.dir/AliasAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/lslp_analysis.dir/AliasAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/DependenceGraph.cpp" "src/analysis/CMakeFiles/lslp_analysis.dir/DependenceGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/lslp_analysis.dir/DependenceGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lslp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lslp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_analysis.dir/AddressAnalysis.cpp.o"
+  "CMakeFiles/lslp_analysis.dir/AddressAnalysis.cpp.o.d"
+  "CMakeFiles/lslp_analysis.dir/AliasAnalysis.cpp.o"
+  "CMakeFiles/lslp_analysis.dir/AliasAnalysis.cpp.o.d"
+  "CMakeFiles/lslp_analysis.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/lslp_analysis.dir/DependenceGraph.cpp.o.d"
+  "liblslp_analysis.a"
+  "liblslp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

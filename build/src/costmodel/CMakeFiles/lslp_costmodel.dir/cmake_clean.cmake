@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_costmodel.dir/TargetTransformInfo.cpp.o"
+  "CMakeFiles/lslp_costmodel.dir/TargetTransformInfo.cpp.o.d"
+  "liblslp_costmodel.a"
+  "liblslp_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/lslp_interp.dir/Interpreter.cpp.o.d"
+  "liblslp_interp.a"
+  "liblslp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/lslp_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Context.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Context.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Function.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Local.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Local.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Module.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Printer.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Type.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Value.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Value.cpp.o.d"
+  "CMakeFiles/lslp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/lslp_ir.dir/Verifier.cpp.o.d"
+  "liblslp_ir.a"
+  "liblslp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/KernelBuilder.cpp" "src/kernels/CMakeFiles/lslp_kernels.dir/KernelBuilder.cpp.o" "gcc" "src/kernels/CMakeFiles/lslp_kernels.dir/KernelBuilder.cpp.o.d"
+  "/root/repo/src/kernels/KernelRegistry.cpp" "src/kernels/CMakeFiles/lslp_kernels.dir/KernelRegistry.cpp.o" "gcc" "src/kernels/CMakeFiles/lslp_kernels.dir/KernelRegistry.cpp.o.d"
+  "/root/repo/src/kernels/MotivationKernels.cpp" "src/kernels/CMakeFiles/lslp_kernels.dir/MotivationKernels.cpp.o" "gcc" "src/kernels/CMakeFiles/lslp_kernels.dir/MotivationKernels.cpp.o.d"
+  "/root/repo/src/kernels/SpecKernels.cpp" "src/kernels/CMakeFiles/lslp_kernels.dir/SpecKernels.cpp.o" "gcc" "src/kernels/CMakeFiles/lslp_kernels.dir/SpecKernels.cpp.o.d"
+  "/root/repo/src/kernels/SuiteKernels.cpp" "src/kernels/CMakeFiles/lslp_kernels.dir/SuiteKernels.cpp.o" "gcc" "src/kernels/CMakeFiles/lslp_kernels.dir/SuiteKernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lslp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lslp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lslp_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lslp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

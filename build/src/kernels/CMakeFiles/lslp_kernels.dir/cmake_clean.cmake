@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_kernels.dir/KernelBuilder.cpp.o"
+  "CMakeFiles/lslp_kernels.dir/KernelBuilder.cpp.o.d"
+  "CMakeFiles/lslp_kernels.dir/KernelRegistry.cpp.o"
+  "CMakeFiles/lslp_kernels.dir/KernelRegistry.cpp.o.d"
+  "CMakeFiles/lslp_kernels.dir/MotivationKernels.cpp.o"
+  "CMakeFiles/lslp_kernels.dir/MotivationKernels.cpp.o.d"
+  "CMakeFiles/lslp_kernels.dir/SpecKernels.cpp.o"
+  "CMakeFiles/lslp_kernels.dir/SpecKernels.cpp.o.d"
+  "CMakeFiles/lslp_kernels.dir/SuiteKernels.cpp.o"
+  "CMakeFiles/lslp_kernels.dir/SuiteKernels.cpp.o.d"
+  "liblslp_kernels.a"
+  "liblslp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/lslp_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/lslp_parser.dir/Parser.cpp.o"
+  "CMakeFiles/lslp_parser.dir/Parser.cpp.o.d"
+  "liblslp_parser.a"
+  "liblslp_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

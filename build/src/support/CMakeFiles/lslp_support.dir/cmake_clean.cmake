@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_support.dir/Debug.cpp.o"
+  "CMakeFiles/lslp_support.dir/Debug.cpp.o.d"
+  "CMakeFiles/lslp_support.dir/OStream.cpp.o"
+  "CMakeFiles/lslp_support.dir/OStream.cpp.o.d"
+  "CMakeFiles/lslp_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/lslp_support.dir/StringUtil.cpp.o.d"
+  "liblslp_support.a"
+  "liblslp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

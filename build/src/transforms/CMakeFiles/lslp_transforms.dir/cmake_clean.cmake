@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_transforms.dir/EarlyCSE.cpp.o"
+  "CMakeFiles/lslp_transforms.dir/EarlyCSE.cpp.o.d"
+  "liblslp_transforms.a"
+  "liblslp_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vectorizer/CodeGen.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/CodeGen.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/vectorizer/CostEvaluator.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/CostEvaluator.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/CostEvaluator.cpp.o.d"
+  "/root/repo/src/vectorizer/GraphBuilder.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/GraphBuilder.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/GraphBuilder.cpp.o.d"
+  "/root/repo/src/vectorizer/LookAhead.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/LookAhead.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/LookAhead.cpp.o.d"
+  "/root/repo/src/vectorizer/OperandReordering.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/OperandReordering.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/OperandReordering.cpp.o.d"
+  "/root/repo/src/vectorizer/ReductionVectorizer.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/ReductionVectorizer.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/ReductionVectorizer.cpp.o.d"
+  "/root/repo/src/vectorizer/SLPGraph.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/SLPGraph.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/SLPGraph.cpp.o.d"
+  "/root/repo/src/vectorizer/SLPVectorizerPass.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/SLPVectorizerPass.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/SLPVectorizerPass.cpp.o.d"
+  "/root/repo/src/vectorizer/Scheduler.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/Scheduler.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/Scheduler.cpp.o.d"
+  "/root/repo/src/vectorizer/SeedCollector.cpp" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/SeedCollector.cpp.o" "gcc" "src/vectorizer/CMakeFiles/lslp_vectorizer.dir/SeedCollector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lslp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lslp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lslp_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lslp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_vectorizer.dir/CodeGen.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/CostEvaluator.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/CostEvaluator.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/GraphBuilder.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/GraphBuilder.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/LookAhead.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/LookAhead.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/OperandReordering.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/OperandReordering.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/ReductionVectorizer.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/ReductionVectorizer.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/SLPGraph.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/SLPGraph.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/SLPVectorizerPass.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/SLPVectorizerPass.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/Scheduler.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/lslp_vectorizer.dir/SeedCollector.cpp.o"
+  "CMakeFiles/lslp_vectorizer.dir/SeedCollector.cpp.o.d"
+  "liblslp_vectorizer.a"
+  "liblslp_vectorizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_vectorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("smoke")
+subdirs("support")
+subdirs("ir")
+subdirs("parser")
+subdirs("analysis")
+subdirs("costmodel")
+subdirs("interp")
+subdirs("vectorizer")
+subdirs("kernels")
+subdirs("integration")
+subdirs("transforms")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/CastTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/CastTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/CastTest.cpp.o.d"
+  "/root/repo/tests/ir/DominatorsTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/DominatorsTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/ir/FunctionModuleTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/FunctionModuleTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/FunctionModuleTest.cpp.o.d"
+  "/root/repo/tests/ir/InstructionTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/InstructionTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/InstructionTest.cpp.o.d"
+  "/root/repo/tests/ir/LocalTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/LocalTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/LocalTest.cpp.o.d"
+  "/root/repo/tests/ir/PrinterTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/PrinterTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/TypeTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/TypeTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/TypeTest.cpp.o.d"
+  "/root/repo/tests/ir/ValueTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/ValueTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/ValueTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "tests/ir/CMakeFiles/ir_test.dir/VerifierTest.cpp.o" "gcc" "tests/ir/CMakeFiles/ir_test.dir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vectorizer/CMakeFiles/lslp_vectorizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/lslp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lslp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/lslp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lslp_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lslp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lslp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lslp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

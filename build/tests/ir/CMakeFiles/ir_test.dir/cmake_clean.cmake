@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/CastTest.cpp.o"
+  "CMakeFiles/ir_test.dir/CastTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/DominatorsTest.cpp.o"
+  "CMakeFiles/ir_test.dir/DominatorsTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/FunctionModuleTest.cpp.o"
+  "CMakeFiles/ir_test.dir/FunctionModuleTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/InstructionTest.cpp.o"
+  "CMakeFiles/ir_test.dir/InstructionTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/LocalTest.cpp.o"
+  "CMakeFiles/ir_test.dir/LocalTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/PrinterTest.cpp.o"
+  "CMakeFiles/ir_test.dir/PrinterTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/TypeTest.cpp.o"
+  "CMakeFiles/ir_test.dir/TypeTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ValueTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ValueTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/VerifierTest.cpp.o"
+  "CMakeFiles/ir_test.dir/VerifierTest.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

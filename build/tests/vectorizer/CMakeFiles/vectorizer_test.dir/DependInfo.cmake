@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vectorizer/AlternateOpcodeTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/AlternateOpcodeTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/AlternateOpcodeTest.cpp.o.d"
+  "/root/repo/tests/vectorizer/CostAndCodeGenTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/CostAndCodeGenTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/CostAndCodeGenTest.cpp.o.d"
+  "/root/repo/tests/vectorizer/GraphBuilderTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/GraphBuilderTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/GraphBuilderTest.cpp.o.d"
+  "/root/repo/tests/vectorizer/LookAheadTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/LookAheadTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/LookAheadTest.cpp.o.d"
+  "/root/repo/tests/vectorizer/ReductionTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/ReductionTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/ReductionTest.cpp.o.d"
+  "/root/repo/tests/vectorizer/ReorderingTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/ReorderingTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/ReorderingTest.cpp.o.d"
+  "/root/repo/tests/vectorizer/SLPGraphTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/SLPGraphTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/SLPGraphTest.cpp.o.d"
+  "/root/repo/tests/vectorizer/SchedulerTest.cpp" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/SchedulerTest.cpp.o" "gcc" "tests/vectorizer/CMakeFiles/vectorizer_test.dir/SchedulerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vectorizer/CMakeFiles/lslp_vectorizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/lslp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lslp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/lslp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lslp_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lslp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lslp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lslp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

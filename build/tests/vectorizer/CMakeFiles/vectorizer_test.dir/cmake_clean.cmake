@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorizer_test.dir/AlternateOpcodeTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/AlternateOpcodeTest.cpp.o.d"
+  "CMakeFiles/vectorizer_test.dir/CostAndCodeGenTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/CostAndCodeGenTest.cpp.o.d"
+  "CMakeFiles/vectorizer_test.dir/GraphBuilderTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/GraphBuilderTest.cpp.o.d"
+  "CMakeFiles/vectorizer_test.dir/LookAheadTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/LookAheadTest.cpp.o.d"
+  "CMakeFiles/vectorizer_test.dir/ReductionTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/ReductionTest.cpp.o.d"
+  "CMakeFiles/vectorizer_test.dir/ReorderingTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/ReorderingTest.cpp.o.d"
+  "CMakeFiles/vectorizer_test.dir/SLPGraphTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/SLPGraphTest.cpp.o.d"
+  "CMakeFiles/vectorizer_test.dir/SchedulerTest.cpp.o"
+  "CMakeFiles/vectorizer_test.dir/SchedulerTest.cpp.o.d"
+  "vectorizer_test"
+  "vectorizer_test.pdb"
+  "vectorizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

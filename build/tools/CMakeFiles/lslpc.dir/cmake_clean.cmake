@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslpc.dir/lslpc.cpp.o"
+  "CMakeFiles/lslpc.dir/lslpc.cpp.o.d"
+  "lslpc"
+  "lslpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
