@@ -13,3 +13,4 @@ subdirs("interp")
 subdirs("vectorizer")
 subdirs("kernels")
 subdirs("transforms")
+subdirs("fuzz")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/DifferentialOracle.cpp" "src/fuzz/CMakeFiles/lslp_fuzz.dir/DifferentialOracle.cpp.o" "gcc" "src/fuzz/CMakeFiles/lslp_fuzz.dir/DifferentialOracle.cpp.o.d"
+  "/root/repo/src/fuzz/ModuleGenerator.cpp" "src/fuzz/CMakeFiles/lslp_fuzz.dir/ModuleGenerator.cpp.o" "gcc" "src/fuzz/CMakeFiles/lslp_fuzz.dir/ModuleGenerator.cpp.o.d"
+  "/root/repo/src/fuzz/Reducer.cpp" "src/fuzz/CMakeFiles/lslp_fuzz.dir/Reducer.cpp.o" "gcc" "src/fuzz/CMakeFiles/lslp_fuzz.dir/Reducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vectorizer/CMakeFiles/lslp_vectorizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lslp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/lslp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lslp_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lslp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lslp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lslp_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

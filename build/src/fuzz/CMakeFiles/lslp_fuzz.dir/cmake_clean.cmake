@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslp_fuzz.dir/DifferentialOracle.cpp.o"
+  "CMakeFiles/lslp_fuzz.dir/DifferentialOracle.cpp.o.d"
+  "CMakeFiles/lslp_fuzz.dir/ModuleGenerator.cpp.o"
+  "CMakeFiles/lslp_fuzz.dir/ModuleGenerator.cpp.o.d"
+  "CMakeFiles/lslp_fuzz.dir/Reducer.cpp.o"
+  "CMakeFiles/lslp_fuzz.dir/Reducer.cpp.o.d"
+  "liblslp_fuzz.a"
+  "liblslp_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslp_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

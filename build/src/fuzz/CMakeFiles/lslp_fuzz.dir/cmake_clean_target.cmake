@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblslp_fuzz.a"
+)

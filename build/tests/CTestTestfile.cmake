@@ -15,3 +15,4 @@ subdirs("vectorizer")
 subdirs("kernels")
 subdirs("integration")
 subdirs("transforms")
+subdirs("fuzz")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz/CorpusTest.cpp" "tests/fuzz/CMakeFiles/fuzz_test.dir/CorpusTest.cpp.o" "gcc" "tests/fuzz/CMakeFiles/fuzz_test.dir/CorpusTest.cpp.o.d"
+  "/root/repo/tests/fuzz/GeneratorTest.cpp" "tests/fuzz/CMakeFiles/fuzz_test.dir/GeneratorTest.cpp.o" "gcc" "tests/fuzz/CMakeFiles/fuzz_test.dir/GeneratorTest.cpp.o.d"
+  "/root/repo/tests/fuzz/OracleTest.cpp" "tests/fuzz/CMakeFiles/fuzz_test.dir/OracleTest.cpp.o" "gcc" "tests/fuzz/CMakeFiles/fuzz_test.dir/OracleTest.cpp.o.d"
+  "/root/repo/tests/fuzz/ReducerTest.cpp" "tests/fuzz/CMakeFiles/fuzz_test.dir/ReducerTest.cpp.o" "gcc" "tests/fuzz/CMakeFiles/fuzz_test.dir/ReducerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzz/CMakeFiles/lslp_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/vectorizer/CMakeFiles/lslp_vectorizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/lslp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lslp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/lslp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lslp_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lslp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lslp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lslp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_test.dir/CorpusTest.cpp.o"
+  "CMakeFiles/fuzz_test.dir/CorpusTest.cpp.o.d"
+  "CMakeFiles/fuzz_test.dir/GeneratorTest.cpp.o"
+  "CMakeFiles/fuzz_test.dir/GeneratorTest.cpp.o.d"
+  "CMakeFiles/fuzz_test.dir/OracleTest.cpp.o"
+  "CMakeFiles/fuzz_test.dir/OracleTest.cpp.o.d"
+  "CMakeFiles/fuzz_test.dir/ReducerTest.cpp.o"
+  "CMakeFiles/fuzz_test.dir/ReducerTest.cpp.o.d"
+  "fuzz_test"
+  "fuzz_test.pdb"
+  "fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

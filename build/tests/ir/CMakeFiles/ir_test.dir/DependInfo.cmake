@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzz/CMakeFiles/lslp_fuzz.dir/DependInfo.cmake"
   "/root/repo/build/src/vectorizer/CMakeFiles/lslp_vectorizer.dir/DependInfo.cmake"
   "/root/repo/build/src/kernels/CMakeFiles/lslp_kernels.dir/DependInfo.cmake"
   "/root/repo/build/src/interp/CMakeFiles/lslp_interp.dir/DependInfo.cmake"

@@ -11,10 +11,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/parser/LexerTest.cpp" "tests/parser/CMakeFiles/parser_test.dir/LexerTest.cpp.o" "gcc" "tests/parser/CMakeFiles/parser_test.dir/LexerTest.cpp.o.d"
   "/root/repo/tests/parser/ParserFuzzTest.cpp" "tests/parser/CMakeFiles/parser_test.dir/ParserFuzzTest.cpp.o" "gcc" "tests/parser/CMakeFiles/parser_test.dir/ParserFuzzTest.cpp.o.d"
   "/root/repo/tests/parser/ParserTest.cpp" "tests/parser/CMakeFiles/parser_test.dir/ParserTest.cpp.o" "gcc" "tests/parser/CMakeFiles/parser_test.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/parser/RoundTripTest.cpp" "tests/parser/CMakeFiles/parser_test.dir/RoundTripTest.cpp.o" "gcc" "tests/parser/CMakeFiles/parser_test.dir/RoundTripTest.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzz/CMakeFiles/lslp_fuzz.dir/DependInfo.cmake"
   "/root/repo/build/src/vectorizer/CMakeFiles/lslp_vectorizer.dir/DependInfo.cmake"
   "/root/repo/build/src/kernels/CMakeFiles/lslp_kernels.dir/DependInfo.cmake"
   "/root/repo/build/src/interp/CMakeFiles/lslp_interp.dir/DependInfo.cmake"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/parser_test.dir/ParserFuzzTest.cpp.o.d"
   "CMakeFiles/parser_test.dir/ParserTest.cpp.o"
   "CMakeFiles/parser_test.dir/ParserTest.cpp.o.d"
+  "CMakeFiles/parser_test.dir/RoundTripTest.cpp.o"
+  "CMakeFiles/parser_test.dir/RoundTripTest.cpp.o.d"
   "parser_test"
   "parser_test.pdb"
   "parser_test[1]_tests.cmake"

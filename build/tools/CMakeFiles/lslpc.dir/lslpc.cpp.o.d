@@ -133,22 +133,29 @@ tools/CMakeFiles/lslpc.dir/lslpc.cpp.o: /root/repo/tools/lslpc.cpp \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/interp/Interpreter.h \
- /root/repo/src/interp/RuntimeValue.h /usr/include/c++/12/bit \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/fuzz/DifferentialOracle.h \
+ /root/repo/src/vectorizer/Config.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/ir/Context.h \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /root/repo/src/fuzz/ModuleGenerator.h /root/repo/src/support/RNG.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
@@ -211,18 +218,18 @@ tools/CMakeFiles/lslpc.dir/lslpc.cpp.o: /root/repo/tools/lslpc.cpp \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/ir/Module.h \
- /root/repo/src/ir/Function.h /root/repo/src/ir/BasicBlock.h \
- /root/repo/src/ir/Instruction.h /root/repo/src/ir/Constants.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/ir/Printer.h \
- /root/repo/src/ir/Verifier.h /root/repo/src/kernels/Kernels.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/parser/Parser.h /root/repo/src/support/OStream.h \
- /root/repo/src/support/StringUtil.h /root/repo/src/transforms/EarlyCSE.h \
- /root/repo/src/vectorizer/SLPVectorizerPass.h \
- /root/repo/src/vectorizer/Config.h /usr/include/c++/12/limits
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/fuzz/Reducer.h \
+ /root/repo/src/interp/Interpreter.h /root/repo/src/interp/RuntimeValue.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ir/Context.h \
+ /root/repo/src/ir/Module.h /root/repo/src/ir/Function.h \
+ /root/repo/src/ir/BasicBlock.h /root/repo/src/ir/Instruction.h \
+ /root/repo/src/ir/Constants.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/ir/Printer.h /root/repo/src/ir/Verifier.h \
+ /root/repo/src/kernels/Kernels.h /root/repo/src/parser/Parser.h \
+ /root/repo/src/support/OStream.h /root/repo/src/support/StringUtil.h \
+ /root/repo/src/transforms/EarlyCSE.h \
+ /root/repo/src/vectorizer/SLPVectorizerPass.h

@@ -5,16 +5,18 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(lslpc_usage "/root/repo/build/tools/lslpc")
-set_tests_properties(lslpc_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(lslpc_usage PROPERTIES  LABELS "integration" TIMEOUT "60" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(lslpc_figure2_slp "/root/repo/build/tools/lslpc" "/root/repo/examples/ir/figure2.ll" "-config=SLP" "-report" "-no-print")
-set_tests_properties(lslpc_figure2_slp PROPERTIES  PASS_REGULAR_EXPRESSION "0 bundle\\(s\\) vectorized" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(lslpc_figure2_slp PROPERTIES  LABELS "integration" PASS_REGULAR_EXPRESSION "0 bundle\\(s\\) vectorized" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(lslpc_figure2_lslp "/root/repo/build/tools/lslpc" "/root/repo/examples/ir/figure2.ll" "-config=LSLP" "-report" "-no-print")
-set_tests_properties(lslpc_figure2_lslp PROPERTIES  PASS_REGULAR_EXPRESSION "1 bundle\\(s\\) vectorized, total cost -6" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(lslpc_figure2_lslp PROPERTIES  LABELS "integration" PASS_REGULAR_EXPRESSION "1 bundle\\(s\\) vectorized, total cost -6" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(lslpc_listing1 "/root/repo/build/tools/lslpc" "/root/repo/examples/ir/listing1.ll" "-config=SLP" "-report" "-no-print")
-set_tests_properties(lslpc_listing1 PROPERTIES  PASS_REGULAR_EXPRESSION "vectorized" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(lslpc_listing1 PROPERTIES  LABELS "integration" PASS_REGULAR_EXPRESSION "vectorized" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(lslpc_dot_reduction "/root/repo/build/tools/lslpc" "/root/repo/examples/ir/dot_product.ll" "-report" "-no-print" "-run=dot:16" "-init-memory")
-set_tests_properties(lslpc_dot_reduction PROPERTIES  PASS_REGULAR_EXPRESSION "reduction x4.*vectorized" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(lslpc_dot_reduction PROPERTIES  LABELS "integration" PASS_REGULAR_EXPRESSION "reduction x4.*vectorized" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(lslpc_figure4_multinode "/root/repo/build/tools/lslpc" "/root/repo/examples/ir/figure4.ll" "-config=LSLP" "-report" "-graphs" "-no-print")
-set_tests_properties(lslpc_figure4_multinode PROPERTIES  PASS_REGULAR_EXPRESSION "multinode<and x2>.*total cost = -10" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(lslpc_figure4_multinode PROPERTIES  LABELS "integration" PASS_REGULAR_EXPRESSION "multinode<and x2>.*total cost = -10" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(lslpc_dot_output "/root/repo/build/tools/lslpc" "/root/repo/examples/ir/figure4.ll" "-config=LSLP" "-dot" "-no-print")
-set_tests_properties(lslpc_dot_output PROPERTIES  PASS_REGULAR_EXPRESSION "digraph .*fillcolor=lightpink" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(lslpc_dot_output PROPERTIES  LABELS "integration" PASS_REGULAR_EXPRESSION "digraph .*fillcolor=lightpink" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lslpc_fuzz_corpus "/root/repo/build/tools/lslpc" "--fuzz=200" "--seed=1")
+set_tests_properties(lslpc_fuzz_corpus PROPERTIES  LABELS "fuzz" PASS_REGULAR_EXPRESSION "200 seed\\(s\\) starting at 1, 0 failures" TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;54;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,224 @@
+//===- fuzz/DifferentialOracle.cpp - Scalar-vs-vector equivalence ----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DifferentialOracle.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Type.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/RNG.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <sstream>
+
+using namespace lslp;
+
+namespace {
+
+/// Bit-exact observable state after executing a module: the final memory
+/// image plus every no-arg function's return value.
+struct Execution {
+  std::vector<uint8_t> Memory;
+  std::vector<std::string> Returns;
+
+  bool operator==(const Execution &O) const {
+    return Memory == O.Memory && Returns == O.Returns;
+  }
+};
+
+std::string renderReturn(const RuntimeValue &V) {
+  if (!V.isValid())
+    return "void";
+  std::ostringstream OS;
+  OS << V.Ty->getName() << ":";
+  for (size_t I = 0; I != V.Lanes.size(); ++I)
+    OS << (I ? "," : "") << std::hex << V.Lanes[I];
+  return OS.str();
+}
+
+/// Fills every global with deterministic values. Floating-point arrays get
+/// small integers in [0, 16) so all FP arithmetic the generator emits is
+/// exact (immune to fast-math reassociation); integer arrays get values
+/// below 2^20.
+void initMemory(Interpreter &Interp, const Module &M, uint64_t InputSeed) {
+  RNG In(InputSeed);
+  for (const auto &G : M.globals()) {
+    bool IsFP = G->getElementType()->isFloatingPointTy();
+    for (uint64_t I = 0; I != G->getNumElements(); ++I) {
+      if (IsFP)
+        Interp.writeGlobalFP(G->getName(), I,
+                             static_cast<double>(In.nextBelow(16)));
+      else
+        Interp.writeGlobalInt(G->getName(), I, In.nextBelow(1u << 20));
+    }
+  }
+}
+
+/// Interprets every no-argument function of \p M in module order against
+/// one shared memory image.
+Execution execute(const Module &M, uint64_t InputSeed) {
+  Interpreter Interp(M);
+  Interp.setStepLimit(50u * 1000u * 1000u);
+  initMemory(Interp, M, InputSeed);
+  Execution E;
+  for (const auto &F : M.functions()) {
+    if (F->getNumArgs() != 0 || F->empty())
+      continue;
+    auto R = Interp.run(F.get());
+    E.Returns.push_back(renderReturn(R.ReturnValue));
+  }
+  E.Memory = Interp.getMemoryImage();
+  return E;
+}
+
+} // namespace
+
+DifferentialOracle::DifferentialOracle(OracleOptions Opts)
+    : Opts(std::move(Opts)) {
+  if (this->Opts.Configs.empty())
+    this->Opts.Configs = defaultConfigs();
+}
+
+std::vector<VectorizerConfig> DifferentialOracle::defaultConfigs() {
+  std::vector<VectorizerConfig> Cs;
+  Cs.push_back(VectorizerConfig::slpNoReordering());
+  Cs.push_back(VectorizerConfig::slp());
+  Cs.push_back(VectorizerConfig::lslp());
+
+  VectorizerConfig Shallow = VectorizerConfig::lslp(1);
+  Shallow.Name = "LSLP-la1";
+  Cs.push_back(Shallow);
+
+  VectorizerConfig SmallMulti = VectorizerConfig::lslp();
+  SmallMulti.MaxMultiNodeSize = 2;
+  SmallMulti.Name = "LSLP-multi2";
+  Cs.push_back(SmallMulti);
+
+  VectorizerConfig MaxAgg = VectorizerConfig::lslp();
+  MaxAgg.ScoreAggregation = VectorizerConfig::ScoreAggregationKind::Max;
+  MaxAgg.ReorderStrategy =
+      VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane;
+  MaxAgg.Name = "LSLP-max-exh";
+  Cs.push_back(MaxAgg);
+
+  VectorizerConfig NoExt = VectorizerConfig::lslp();
+  NoExt.EnableAltOpcodes = false;
+  NoExt.EnableReductions = false;
+  NoExt.Name = "LSLP-noext";
+  Cs.push_back(NoExt);
+  return Cs;
+}
+
+OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
+  OracleVerdict V;
+
+  // Scalar baseline.
+  Execution Baseline;
+  {
+    Context Ctx;
+    std::string Err;
+    std::unique_ptr<Module> M = parseModule(IRText, Ctx, Err);
+    if (!M) {
+      V.Passed = false;
+      V.Reason = "baseline parse error: " + Err;
+      return V;
+    }
+    std::vector<std::string> Errors;
+    if (!verifyModule(*M, &Errors)) {
+      V.Passed = false;
+      V.Reason = "baseline fails verification: " +
+                 (Errors.empty() ? std::string("<no detail>") : Errors[0]);
+      return V;
+    }
+    Baseline = execute(*M, Opts.InputSeed);
+  }
+
+  SkylakeTTI TTI;
+  for (const VectorizerConfig &Config : Opts.Configs) {
+    auto RunPass = [&](Context &Ctx, std::string &OutIR,
+                       std::string &FailReason) -> std::unique_ptr<Module> {
+      std::string Err;
+      std::unique_ptr<Module> M = parseModule(IRText, Ctx, Err);
+      if (!M) {
+        FailReason = "re-parse error: " + Err;
+        return nullptr;
+      }
+      SLPVectorizerPass Pass(Config, TTI);
+      ModuleReport Report = Pass.runOnModule(*M);
+      std::vector<std::string> Errors;
+      if (!verifyModule(*M, &Errors)) {
+        FailReason = "vectorized module fails verification: " +
+                     (Errors.empty() ? std::string("<no detail>")
+                                     : Errors[0]);
+        OutIR = moduleToString(*M);
+        return nullptr;
+      }
+      for (const FunctionReport &FR : Report.Functions)
+        for (const GraphAttempt &A : FR.Attempts)
+          if (A.Accepted && A.Cost >= Config.CostThreshold) {
+            FailReason = "accepted graph in @" + FR.FunctionName +
+                         " with non-profitable cost " +
+                         std::to_string(A.Cost);
+            OutIR = moduleToString(*M);
+            return nullptr;
+          }
+      if (Opts.AfterPassHook)
+        Opts.AfterPassHook(*M);
+      OutIR = moduleToString(*M);
+      return M;
+    };
+
+    Context Ctx;
+    std::string IR1, FailReason;
+    std::unique_ptr<Module> M = RunPass(Ctx, IR1, FailReason);
+    if (!M) {
+      V.Passed = false;
+      V.ConfigName = Config.Name;
+      V.Reason = FailReason;
+      V.VectorizedIR = IR1;
+      return V;
+    }
+
+    if (Opts.CheckDeterminism) {
+      Context Ctx2;
+      std::string IR2, FailReason2;
+      std::unique_ptr<Module> M2 = RunPass(Ctx2, IR2, FailReason2);
+      if (!M2 || IR1 != IR2) {
+        V.Passed = false;
+        V.ConfigName = Config.Name;
+        V.Reason = M2 ? "pass is nondeterministic (two runs differ)"
+                      : "second run failed: " + FailReason2;
+        V.VectorizedIR = IR1;
+        return V;
+      }
+    }
+
+    Execution Vec = execute(*M, Opts.InputSeed);
+    if (!(Vec == Baseline)) {
+      V.Passed = false;
+      V.ConfigName = Config.Name;
+      if (Vec.Returns != Baseline.Returns)
+        V.Reason = "return value mismatch";
+      else {
+        size_t FirstDiff = 0;
+        while (FirstDiff < Vec.Memory.size() &&
+               FirstDiff < Baseline.Memory.size() &&
+               Vec.Memory[FirstDiff] == Baseline.Memory[FirstDiff])
+          ++FirstDiff;
+        V.Reason =
+            "memory mismatch at byte " + std::to_string(FirstDiff);
+      }
+      V.VectorizedIR = IR1;
+      return V;
+    }
+  }
+  return V;
+}

@@ -1,0 +1,92 @@
+//===- fuzz/DifferentialOracle.h - Scalar-vs-vector equivalence -*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctness oracle of the differential fuzzer. Given a module in
+/// textual IR form it:
+///
+///   1. parses + verifies + interprets a scalar baseline copy,
+///   2. for every VectorizerConfig in the sweep: parses a fresh copy, runs
+///      SLPVectorizerPass, re-verifies, checks the cost/profitability
+///      invariant (accepted graphs cost strictly below the threshold),
+///      checks pass determinism (two runs print identically), interprets,
+///      and diffs the final memory image and return values bit-for-bit
+///      against the baseline.
+///
+/// Working from text (rather than cloning Module, which has no copy
+/// support) doubles as a continuous printer->parser round-trip check: any
+/// IR the generator emits must survive serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_FUZZ_DIFFERENTIALORACLE_H
+#define LSLP_FUZZ_DIFFERENTIALORACLE_H
+
+#include "vectorizer/Config.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class Module;
+
+/// Oracle configuration.
+struct OracleOptions {
+  /// Seed for the deterministic global-memory initialization.
+  uint64_t InputSeed = 0x5eed;
+
+  /// Vectorizer configurations to sweep; empty selects defaultConfigs().
+  std::vector<VectorizerConfig> Configs;
+
+  /// Re-run each pass on a second fresh copy and require identical output
+  /// (catches iteration-order nondeterminism).
+  bool CheckDeterminism = true;
+
+  /// Test-only hook, run on the module after the vectorizer pass and
+  /// before execution. Lets tests inject a deliberate miscompile to prove
+  /// the oracle and reducer actually detect and shrink failures.
+  std::function<void(Module &)> AfterPassHook;
+};
+
+/// Outcome of one oracle run.
+struct OracleVerdict {
+  bool Passed = true;
+  /// Name of the configuration that failed (empty for parse/baseline
+  /// failures).
+  std::string ConfigName;
+  /// Human-readable failure description.
+  std::string Reason;
+  /// Transformed IR of the failing configuration (empty when irrelevant).
+  std::string VectorizedIR;
+
+  explicit operator bool() const { return Passed; }
+};
+
+/// Runs the scalar-vs-vector differential check on textual IR modules.
+class DifferentialOracle {
+public:
+  explicit DifferentialOracle(OracleOptions Opts = {});
+
+  /// The standard configuration sweep: SLP-NR, SLP, LSLP, plus look-ahead
+  /// depth, multi-node size, aggregation/strategy and extension ablations.
+  static std::vector<VectorizerConfig> defaultConfigs();
+
+  /// Checks \p IRText under every configuration. Returns the first
+  /// failure, or a passing verdict.
+  OracleVerdict check(const std::string &IRText) const;
+
+  const OracleOptions &options() const { return Opts; }
+
+private:
+  OracleOptions Opts;
+};
+
+} // namespace lslp
+
+#endif // LSLP_FUZZ_DIFFERENTIALORACLE_H

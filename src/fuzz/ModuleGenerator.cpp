@@ -1,0 +1,572 @@
+//===- fuzz/ModuleGenerator.cpp - Random verifier-clean modules ------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ModuleGenerator.h"
+
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace lslp;
+
+namespace {
+
+/// One scalar element type the generator knows how to produce, with the
+/// suffix used to name its global arrays (INi8_0, OUTf64, ...).
+struct ScalarKind {
+  Type *Ty;
+  std::string Sfx;
+  unsigned Bits; ///< 0 for floating point.
+  bool IsFP;
+};
+
+/// An expression template, instantiated once per lane of a store group.
+/// Lane-dependent behaviour (load offsets, per-lane constants, opcode
+/// flips, operand swaps) is precomputed here so instantiation is pure.
+struct Expr {
+  enum NodeKind { Load, Const, Bin, CastOf } K = Const;
+
+  // Load: global array + per-lane element indices (identity or swizzled).
+  std::string Array;
+  Type *LoadTy = nullptr;
+  std::vector<uint64_t> LaneIdx;
+
+  // Const: per-lane values (splat when all equal).
+  Type *ConstTy = nullptr;
+  std::vector<uint64_t> IntVals;
+  std::vector<double> FPVals;
+
+  // Bin: per-lane opcodes (partial isomorphism = lanes disagree) and
+  // per-lane commutative operand swaps.
+  std::vector<ValueID> Opc;
+  std::vector<bool> Swap;
+
+  // CastOf: the chain CastOps[i] -> CastDstTys[i] applied to subtree L.
+  std::vector<ValueID> CastOps;
+  std::vector<Type *> CastDstTys;
+
+  std::unique_ptr<Expr> L, R;
+};
+
+class GeneratorImpl {
+public:
+  GeneratorImpl(Context &Ctx, RNG &Rng, GeneratorStats &S)
+      : Ctx(Ctx), Rng(Rng), S(S) {
+    Kinds = {{Ctx.getIntTy(8), "i8", 8, false},
+             {Ctx.getIntTy(16), "i16", 16, false},
+             {Ctx.getIntTy(32), "i32", 32, false},
+             {Ctx.getIntTy(64), "i64", 64, false},
+             {Ctx.getDoubleTy(), "f64", 0, true}};
+  }
+
+  std::unique_ptr<Module> run() {
+    auto M = std::make_unique<Module>(Ctx, "fuzz");
+    for (const ScalarKind &K : Kinds) {
+      M->createGlobal("IN" + K.Sfx + "0", K.Ty, ModuleGenerator::ArrayLen);
+      M->createGlobal("IN" + K.Sfx + "1", K.Ty, ModuleGenerator::ArrayLen);
+      M->createGlobal("OUT" + K.Sfx, K.Ty, ModuleGenerator::ArrayLen);
+    }
+    M->createGlobal("MIX", Ctx.getInt64Ty(), ModuleGenerator::ArrayLen);
+    TheModule = M.get();
+
+    Function *F = Function::create(M.get(), "f", Ctx.getVoidTy(), {}, {});
+    BasicBlock *Cur = BasicBlock::create(Ctx, "entry", F);
+    ++S.NumBlocks;
+    IRBuilder IRB(Cur);
+    emitBody(IRB);
+
+    unsigned NumDiamonds = static_cast<unsigned>(Rng.nextBelow(3));
+    for (unsigned D = 0; D != NumDiamonds; ++D)
+      Cur = emitDiamond(F, Cur, D + 1);
+
+    IRB.setInsertPoint(Cur);
+    IRB.createRet();
+    return M;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // CFG structure
+  //===--------------------------------------------------------------------===//
+
+  /// Appends a diamond (cond-br in \p Cur, then/else bodies, join block
+  /// with an optional phi) and returns the join block.
+  BasicBlock *emitDiamond(Function *F, BasicBlock *Cur, unsigned N) {
+    std::string Id = std::to_string(N);
+    BasicBlock *Then = BasicBlock::create(Ctx, "then" + Id, F);
+    BasicBlock *Else = BasicBlock::create(Ctx, "else" + Id, F);
+    BasicBlock *Join = BasicBlock::create(Ctx, "join" + Id, F);
+    S.NumBlocks += 3;
+    ++S.NumCondBranches;
+
+    IRBuilder IRB(Cur);
+    const ScalarKind &CondKind = intKind();
+    Value *Ptr = IRB.createGEP(
+        CondKind.Ty, input(CondKind),
+        static_cast<int64_t>(Rng.nextBelow(ModuleGenerator::ArrayLen)));
+    Value *Lhs = IRB.createLoad(CondKind.Ty, Ptr);
+    Value *Rhs = constantFor(CondKind,
+                             Rng.nextBelow(uint64_t(1) << (CondKind.Bits / 2)));
+    static const ICmpInst::Predicate Preds[] = {
+        ICmpInst::SLT, ICmpInst::SGT, ICmpInst::EQ, ICmpInst::ULE};
+    Value *Cond =
+        IRB.createICmp(Preds[Rng.nextBelow(std::size(Preds))], Lhs, Rhs);
+    IRB.createCondBr(Cond, Then, Else);
+
+    // Then/else bodies; optionally each computes one scalar that a join
+    // phi merges and stores.
+    bool WithPhi = Rng.nextChance(1, 2);
+    const ScalarKind &PhiKind = Kinds[Rng.nextBelow(Kinds.size())];
+    Value *ThenVal = nullptr, *ElseVal = nullptr;
+
+    IRB.setInsertPoint(Then);
+    emitBody(IRB);
+    if (WithPhi)
+      ThenVal = instantiate(*genTemplate(PhiKind, 1, 2), 0, IRB);
+    IRB.createBr(Join);
+
+    IRB.setInsertPoint(Else);
+    emitBody(IRB);
+    if (WithPhi)
+      ElseVal = instantiate(*genTemplate(PhiKind, 1, 2), 0, IRB);
+    IRB.createBr(Join);
+
+    IRB.setInsertPoint(Join);
+    if (WithPhi) {
+      PHINode *Phi = IRB.createPHI(PhiKind.Ty);
+      Phi->addIncoming(ThenVal, Then);
+      Phi->addIncoming(ElseVal, Else);
+      Value *OutPtr = IRB.createGEP(
+          PhiKind.Ty, out(PhiKind),
+          static_cast<int64_t>(Rng.nextBelow(ModuleGenerator::ArrayLen)));
+      IRB.createStore(Phi, OutPtr);
+      ++S.NumStores;
+      ++S.NumJoinPhis;
+    }
+    emitBody(IRB);
+    return Join;
+  }
+
+  /// Emits 1-2 random groups into the current block.
+  void emitBody(IRBuilder &IRB) {
+    unsigned Groups = 1 + static_cast<unsigned>(Rng.nextBelow(2));
+    for (unsigned G = 0; G != Groups; ++G) {
+      uint64_t Roll = Rng.nextBelow(100);
+      if (Roll < 60)
+        emitStoreGroup(IRB);
+      else if (Roll < 75)
+        emitAliasingGroup(IRB);
+      else
+        emitReduction(IRB);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Group emitters
+  //===--------------------------------------------------------------------===//
+
+  /// A group of adjacent stores into OUT<sfx> fed by instances of one
+  /// expression template — the vectorizer's bread and butter.
+  void emitStoreGroup(IRBuilder &IRB) {
+    const ScalarKind &K = Kinds[Rng.nextBelow(Kinds.size())];
+    unsigned Lanes = pickLanes();
+    uint64_t Base = Rng.nextBelow(ModuleGenerator::ArrayLen - Lanes + 1);
+    std::unique_ptr<Expr> T = genTemplate(K, Lanes, pickDepth());
+
+    std::vector<unsigned> Order(Lanes);
+    for (unsigned I = 0; I != Lanes; ++I)
+      Order[I] = I;
+    if (Rng.nextChance(1, 4))
+      shuffle(Order);
+
+    for (unsigned Lane : Order) {
+      Value *V = instantiate(*T, Lane, IRB);
+      Value *Ptr =
+          IRB.createGEP(K.Ty, out(K), static_cast<int64_t>(Base + Lane));
+      IRB.createStore(V, Ptr);
+    }
+    S.NumStores += Lanes;
+    ++S.NumStoreGroups;
+    noteType(K);
+  }
+
+  /// Two overlapping store windows on the shared MIX array, the second
+  /// reading back what the first wrote: read-after-write and
+  /// write-after-write dependences the scheduler must preserve.
+  void emitAliasingGroup(IRBuilder &IRB) {
+    const ScalarKind &K = Kinds[3]; // i64, MIX's element type.
+    unsigned Lanes = Rng.nextChance(1, 2) ? 2 : 4;
+    uint64_t Span = Lanes + 4;
+    uint64_t Base = Rng.nextBelow(ModuleGenerator::ArrayLen - Span + 1);
+
+    // First window: MIX[Base .. Base+Lanes) = f(MIX[Base+1 ...], inputs).
+    auto Tmpl = genTemplate(K, Lanes, 2);
+    injectMixLoad(*Tmpl, Base + 1 + Rng.nextBelow(2), Lanes);
+    for (unsigned Lane = 0; Lane != Lanes; ++Lane) {
+      Value *V = instantiate(*Tmpl, Lane, IRB);
+      IRB.createStore(
+          V, IRB.createGEP(K.Ty, mix(), static_cast<int64_t>(Base + Lane)));
+    }
+
+    // Second window overlaps the first by Lanes - Delta elements.
+    uint64_t Delta = 1 + Rng.nextBelow(2);
+    auto Tmpl2 = genTemplate(K, Lanes, 2);
+    injectMixLoad(*Tmpl2, Base + Rng.nextBelow(2), Lanes);
+    for (unsigned Lane = 0; Lane != Lanes; ++Lane) {
+      Value *V = instantiate(*Tmpl2, Lane, IRB);
+      IRB.createStore(V, IRB.createGEP(K.Ty, mix(),
+                                       static_cast<int64_t>(Base + Delta +
+                                                            Lane)));
+    }
+    S.NumStores += 2 * Lanes;
+    S.NumStoreGroups += 2;
+    ++S.NumAliasingGroups;
+    noteType(K);
+  }
+
+  /// A horizontal reduction: contiguous loads folded by one commutative
+  /// opcode into a scalar stored to OUT — the paper's second seed class.
+  void emitReduction(IRBuilder &IRB) {
+    bool FP = Rng.nextChance(1, 4);
+    const ScalarKind &K = FP ? Kinds[4] : Kinds[2 + Rng.nextBelow(2)];
+    unsigned Width = Rng.nextChance(1, 2) ? 4 : 8;
+    uint64_t Base = Rng.nextBelow(ModuleGenerator::ArrayLen - Width + 1);
+    static const ValueID IntRedOps[] = {ValueID::Add, ValueID::Xor,
+                                        ValueID::And, ValueID::Or};
+    ValueID Opc =
+        FP ? ValueID::FAdd : IntRedOps[Rng.nextBelow(std::size(IntRedOps))];
+
+    GlobalArray *In = input(K);
+    std::vector<Value *> Leaves;
+    for (unsigned I = 0; I != Width; ++I) {
+      Value *Ptr =
+          IRB.createGEP(K.Ty, In, static_cast<int64_t>(Base + I));
+      Leaves.push_back(IRB.createLoad(K.Ty, Ptr));
+    }
+    Value *Acc;
+    if (Rng.nextChance(1, 2)) {
+      // Balanced tree.
+      while (Leaves.size() > 1) {
+        std::vector<Value *> Next;
+        for (size_t I = 0; I + 1 < Leaves.size(); I += 2)
+          Next.push_back(IRB.createBinOp(Opc, Leaves[I], Leaves[I + 1]));
+        if (Leaves.size() % 2)
+          Next.push_back(Leaves.back());
+        Leaves = std::move(Next);
+      }
+      Acc = Leaves[0];
+    } else {
+      // Linear chain.
+      Acc = Leaves[0];
+      for (size_t I = 1; I < Leaves.size(); ++I)
+        Acc = IRB.createBinOp(Opc, Acc, Leaves[I]);
+    }
+    Value *OutPtr = IRB.createGEP(
+        K.Ty, out(K),
+        static_cast<int64_t>(Rng.nextBelow(ModuleGenerator::ArrayLen)));
+    IRB.createStore(Acc, OutPtr);
+    ++S.NumStores;
+    ++S.NumReductions;
+    noteType(K);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression templates
+  //===--------------------------------------------------------------------===//
+
+  /// Generates a template of type \p K for \p Lanes lanes. \p MulBudget
+  /// bounds FMul nesting so floating-point intermediates stay exactly
+  /// representable integers (see file comment in the header).
+  std::unique_ptr<Expr> genTemplate(const ScalarKind &K, unsigned Lanes,
+                                    unsigned Depth, unsigned MulBudget = 2) {
+    if (Depth == 0 || Rng.nextChance(1, 5))
+      return genLeaf(K, Lanes);
+
+    // Cast chain: build a subtree of another scalar kind and convert.
+    if (Rng.nextChance(1, 6)) {
+      // SIToFP sources are restricted to i8 so FP values stay tiny
+      // integers; any other pairing uses the source kind as rolled.
+      const ScalarKind &Rolled = Kinds[Rng.nextBelow(Kinds.size())];
+      const ScalarKind &Src = (K.IsFP && !Rolled.IsFP) ? Kinds[0] : Rolled;
+      auto E = std::make_unique<Expr>();
+      if (buildCastChain(K, Src, *E)) {
+        E->K = Expr::CastOf;
+        E->L = genTemplate(Src, Lanes, Depth - 1, 0);
+        S.NumCasts += static_cast<unsigned>(E->CastOps.size());
+        return E;
+      }
+    }
+
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Bin;
+    ValueID Opc = pickOpcode(K, MulBudget);
+    unsigned ChildMul = Opc == ValueID::FMul ? MulBudget - 1 : MulBudget;
+    E->Opc.assign(Lanes, Opc);
+    E->Swap.assign(Lanes, false);
+    for (unsigned Lane = 1; Lane < Lanes; ++Lane) {
+      // Partial isomorphism: occasional per-lane opcode flip.
+      if (Rng.nextChance(1, 12)) {
+        E->Opc[Lane] = flipOpcode(Opc);
+        if (E->Opc[Lane] != Opc)
+          ++S.NumPartialIsoLanes;
+      }
+    }
+    for (unsigned Lane = 0; Lane < Lanes; ++Lane)
+      if (BinaryOperator::isCommutativeOpcode(E->Opc[Lane]) &&
+          Rng.nextChance(1, 2))
+        E->Swap[Lane] = true;
+
+    if (Opc == ValueID::SDiv || Opc == ValueID::UDiv) {
+      // Division only by a non-zero constant splat: trap-free.
+      E->L = genTemplate(K, Lanes, Depth - 1, ChildMul);
+      auto Div = std::make_unique<Expr>();
+      Div->K = Expr::Const;
+      Div->ConstTy = K.Ty;
+      Div->IntVals.assign(Lanes, 1 + Rng.nextBelow(63));
+      E->R = std::move(Div);
+      ++S.NumDivisions;
+    } else if (Opc == ValueID::Shl || Opc == ValueID::LShr ||
+               Opc == ValueID::AShr) {
+      // Shift by a constant amount below the bit width.
+      E->L = genTemplate(K, Lanes, Depth - 1, ChildMul);
+      auto Amt = std::make_unique<Expr>();
+      Amt->K = Expr::Const;
+      Amt->ConstTy = K.Ty;
+      Amt->IntVals.assign(Lanes, Rng.nextBelow(K.Bits));
+      E->R = std::move(Amt);
+    } else {
+      E->L = genTemplate(K, Lanes, Depth - 1, ChildMul);
+      E->R = genTemplate(K, Lanes, Depth - 1, ChildMul);
+    }
+    return E;
+  }
+
+  std::unique_ptr<Expr> genLeaf(const ScalarKind &K, unsigned Lanes) {
+    auto E = std::make_unique<Expr>();
+    if (Rng.nextChance(1, 4)) {
+      E->K = Expr::Const;
+      E->ConstTy = K.Ty;
+      bool Splat = Rng.nextChance(1, 2);
+      if (K.IsFP) {
+        double First = static_cast<double>(Rng.nextBelow(16));
+        for (unsigned L = 0; L != Lanes; ++L)
+          E->FPVals.push_back(Splat ? First
+                                    : static_cast<double>(Rng.nextBelow(16)));
+      } else {
+        uint64_t Bound = uint64_t(1) << (K.Bits / 2 + 1);
+        uint64_t First = Rng.nextBelow(Bound);
+        for (unsigned L = 0; L != Lanes; ++L)
+          E->IntVals.push_back(Splat ? First : Rng.nextBelow(Bound));
+      }
+      return E;
+    }
+    E->K = Expr::Load;
+    E->LoadTy = K.Ty;
+    E->Array = "IN" + K.Sfx + (Rng.nextChance(1, 2) ? "0" : "1");
+    uint64_t Base = Rng.nextBelow(ModuleGenerator::ArrayLen - Lanes + 1);
+    for (unsigned L = 0; L != Lanes; ++L)
+      E->LaneIdx.push_back(Base + L);
+    if (Lanes > 1 && Rng.nextChance(1, 6)) {
+      // Swizzled (gather) loads: permute the lane->element mapping.
+      std::vector<unsigned> Perm(Lanes);
+      for (unsigned I = 0; I != Lanes; ++I)
+        Perm[I] = I;
+      shuffle(Perm);
+      for (unsigned I = 0; I != Lanes; ++I)
+        E->LaneIdx[I] = Base + Perm[I];
+      ++S.NumSwizzledLoads;
+    }
+    return E;
+  }
+
+  /// Fills \p E's cast chain converting \p Src to \p Dst. Returns false
+  /// for unsupported pairs (identity; double is the only FP type).
+  bool buildCastChain(const ScalarKind &Dst, const ScalarKind &Src, Expr &E) {
+    if (Dst.Ty == Src.Ty)
+      return false;
+    if (Dst.IsFP) {
+      E.CastOps = {ValueID::SIToFP};
+      E.CastDstTys = {Dst.Ty};
+      return true;
+    }
+    if (Src.IsFP) {
+      // double -> i64 -> (trunc to narrower if needed).
+      E.CastOps = {ValueID::FPToSI};
+      E.CastDstTys = {Ctx.getInt64Ty()};
+      if (Dst.Bits < 64) {
+        E.CastOps.push_back(ValueID::Trunc);
+        E.CastDstTys.push_back(Dst.Ty);
+      }
+      return true;
+    }
+    if (Src.Bits > Dst.Bits)
+      E.CastOps = {ValueID::Trunc};
+    else
+      E.CastOps = {Rng.nextChance(1, 2) ? ValueID::SExt : ValueID::ZExt};
+    E.CastDstTys = {Dst.Ty};
+    return true;
+  }
+
+  Value *instantiate(const Expr &E, unsigned Lane, IRBuilder &IRB) {
+    switch (E.K) {
+    case Expr::Const:
+      if (E.ConstTy->isFloatingPointTy())
+        return Ctx.getConstantFP(E.ConstTy, E.FPVals[Lane]);
+      return Ctx.getConstantInt(cast<IntegerType>(E.ConstTy),
+                                E.IntVals[Lane]);
+    case Expr::Load: {
+      GlobalArray *G = TheModule->getGlobal(E.Array);
+      assert(G && "unknown input array");
+      Value *Ptr = IRB.createGEP(E.LoadTy, G,
+                                 static_cast<int64_t>(E.LaneIdx[Lane]));
+      return IRB.createLoad(E.LoadTy, Ptr);
+    }
+    case Expr::CastOf: {
+      Value *V = instantiate(*E.L, Lane, IRB);
+      for (size_t I = 0; I != E.CastOps.size(); ++I)
+        V = IRB.createCast(E.CastOps[I], V, E.CastDstTys[I]);
+      return V;
+    }
+    case Expr::Bin: {
+      Value *L = instantiate(*E.L, Lane, IRB);
+      Value *R = instantiate(*E.R, Lane, IRB);
+      if (E.Swap[Lane])
+        std::swap(L, R);
+      return IRB.createBinOp(E.Opc[Lane], L, R);
+    }
+    }
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Helpers
+  //===--------------------------------------------------------------------===//
+
+  ValueID pickOpcode(const ScalarKind &K, unsigned MulBudget) {
+    if (K.IsFP) {
+      // FDiv excluded: quotients are not exactly representable, so
+      // fast-math reassociation could change bits.
+      if (MulBudget > 0 && Rng.nextChance(1, 3))
+        return ValueID::FMul;
+      return Rng.nextChance(1, 3) ? ValueID::FSub : ValueID::FAdd;
+    }
+    static const ValueID Common[] = {ValueID::Add, ValueID::Add,
+                                     ValueID::Sub, ValueID::Mul,
+                                     ValueID::And, ValueID::Or,
+                                     ValueID::Xor};
+    static const ValueID Rare[] = {ValueID::Shl, ValueID::LShr,
+                                   ValueID::AShr, ValueID::SDiv,
+                                   ValueID::UDiv};
+    if (Rng.nextChance(1, 4))
+      return Rare[Rng.nextBelow(std::size(Rare))];
+    return Common[Rng.nextBelow(std::size(Common))];
+  }
+
+  static ValueID flipOpcode(ValueID Opc) {
+    switch (Opc) {
+    case ValueID::Add:
+      return ValueID::Xor;
+    case ValueID::Xor:
+      return ValueID::Add;
+    case ValueID::Sub:
+      return ValueID::Add;
+    case ValueID::And:
+      return ValueID::Or;
+    case ValueID::Or:
+      return ValueID::And;
+    case ValueID::Mul:
+      return ValueID::Add;
+    case ValueID::FAdd:
+      return ValueID::FSub;
+    case ValueID::FSub:
+      return ValueID::FAdd;
+    default:
+      return Opc; // Shifts/divs keep their (constant-RHS) shape.
+    }
+  }
+
+  unsigned pickLanes() {
+    uint64_t Roll = Rng.nextBelow(100);
+    if (Roll < 40)
+      return 2;
+    if (Roll < 75)
+      return 4;
+    if (Roll < 90)
+      return 8;
+    return 3; // Non-power-of-two groups stress the seed collector.
+  }
+
+  unsigned pickDepth() { return 1 + static_cast<unsigned>(Rng.nextBelow(3)); }
+
+  template <typename T> void shuffle(std::vector<T> &V) {
+    for (size_t I = V.size(); I > 1; --I)
+      std::swap(V[I - 1], V[Rng.nextBelow(I)]);
+  }
+
+  /// Rewrites the leftmost leaf of \p E into a load of MIX[\p Base + lane]
+  /// so aliasing groups actually read the shared array. The walk stops at
+  /// CastOf nodes: their subtree has a different scalar kind, but the cast
+  /// node itself produces the template kind (i64), so replacing it whole
+  /// keeps the tree type-correct.
+  void injectMixLoad(Expr &E, uint64_t Base, unsigned Lanes) {
+    Expr *Leaf = &E;
+    while (Leaf->K == Expr::Bin)
+      Leaf = Leaf->L.get();
+    Leaf->L.reset();
+    Leaf->CastOps.clear();
+    Leaf->CastDstTys.clear();
+    Leaf->K = Expr::Load;
+    Leaf->Array = "MIX";
+    Leaf->LoadTy = Ctx.getInt64Ty();
+    Leaf->LaneIdx.clear();
+    for (unsigned L = 0; L != Lanes; ++L)
+      Leaf->LaneIdx.push_back(
+          std::min<uint64_t>(Base + L, ModuleGenerator::ArrayLen - 1));
+    Leaf->IntVals.clear();
+    Leaf->FPVals.clear();
+  }
+
+  const ScalarKind &intKind() { return Kinds[Rng.nextBelow(4)]; }
+
+  GlobalArray *input(const ScalarKind &K) {
+    return TheModule->getGlobal("IN" + K.Sfx +
+                                (Rng.nextChance(1, 2) ? "0" : "1"));
+  }
+  GlobalArray *out(const ScalarKind &K) {
+    return TheModule->getGlobal("OUT" + K.Sfx);
+  }
+  GlobalArray *mix() { return TheModule->getGlobal("MIX"); }
+
+  Value *constantFor(const ScalarKind &K, uint64_t V) {
+    return Ctx.getConstantInt(cast<IntegerType>(K.Ty), V);
+  }
+
+  void noteType(const ScalarKind &K) {
+    if (K.IsFP)
+      S.UsedFloat = true;
+    else
+      S.IntWidths.insert(K.Bits);
+  }
+
+  Context &Ctx;
+  RNG &Rng;
+  GeneratorStats &S;
+  Module *TheModule = nullptr;
+  std::vector<ScalarKind> Kinds;
+};
+
+} // namespace
+
+std::unique_ptr<Module> ModuleGenerator::generate(Context &Ctx) {
+  Stats = GeneratorStats();
+  GeneratorImpl Impl(Ctx, Rng, Stats);
+  return Impl.run();
+}

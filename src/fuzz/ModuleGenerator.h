@@ -1,0 +1,101 @@
+//===- fuzz/ModuleGenerator.h - Random verifier-clean modules ---*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random but verifier-clean, trap-free modules for differential
+/// fuzzing of the vectorizer. Compared to the straight-line i64 programs of
+/// tests/integration/PropertyTest.cpp, the generator covers much more of
+/// what GraphBuilder/Scheduler/CodeGen accept:
+///
+///   - multi-block acyclic CFGs (diamonds with optional join phis),
+///   - integer widths i8/i16/i32/i64 and double, with cast chains,
+///   - aliasing and overlapping store/load groups on a shared array,
+///   - partially-isomorphic lanes (per-lane opcode flips, operand swaps),
+///   - horizontal reduction chains,
+///
+/// while staying biased toward shapes the SLP seed collector latches onto
+/// (groups of adjacent same-type stores fed by near-isomorphic trees).
+///
+/// Trap freedom by construction: all gep indices are in-bounds constants,
+/// division is only by non-zero constants, the CFG is acyclic, and every
+/// floating-point intermediate is an exactly-representable small integer so
+/// that fast-math reassociation performed by multi-node reordering cannot
+/// change results bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_FUZZ_MODULEGENERATOR_H
+#define LSLP_FUZZ_MODULEGENERATOR_H
+
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+namespace lslp {
+
+class Context;
+class Module;
+
+/// Feature counters for one generated module. Tests aggregate these across
+/// seeds to assert the generator actually exercises its advertised space.
+struct GeneratorStats {
+  unsigned NumBlocks = 0;
+  unsigned NumCondBranches = 0;
+  unsigned NumJoinPhis = 0;
+  unsigned NumStores = 0;
+  unsigned NumStoreGroups = 0;
+  unsigned NumAliasingGroups = 0;
+  unsigned NumReductions = 0;
+  unsigned NumCasts = 0;
+  unsigned NumPartialIsoLanes = 0; ///< Lanes whose opcode was flipped.
+  unsigned NumSwizzledLoads = 0;   ///< Non-contiguous (gather) load groups.
+  unsigned NumDivisions = 0;
+  std::set<unsigned> IntWidths;    ///< Bit widths of emitted store groups.
+  bool UsedFloat = false;          ///< Emitted double-typed operations.
+
+  void merge(const GeneratorStats &O) {
+    NumBlocks += O.NumBlocks;
+    NumCondBranches += O.NumCondBranches;
+    NumJoinPhis += O.NumJoinPhis;
+    NumStores += O.NumStores;
+    NumStoreGroups += O.NumStoreGroups;
+    NumAliasingGroups += O.NumAliasingGroups;
+    NumReductions += O.NumReductions;
+    NumCasts += O.NumCasts;
+    NumPartialIsoLanes += O.NumPartialIsoLanes;
+    NumSwizzledLoads += O.NumSwizzledLoads;
+    NumDivisions += O.NumDivisions;
+    IntWidths.insert(O.IntWidths.begin(), O.IntWidths.end());
+    UsedFloat |= O.UsedFloat;
+  }
+};
+
+/// Deterministic random-module generator: the same seed always produces a
+/// structurally identical module.
+class ModuleGenerator {
+public:
+  /// Number of elements in every generated global array.
+  static constexpr uint64_t ArrayLen = 64;
+
+  explicit ModuleGenerator(uint64_t Seed) : Rng(Seed) {}
+
+  /// Generates one module (globals plus a single void @f()) into \p Ctx.
+  /// The result verifies and interprets without traps.
+  std::unique_ptr<Module> generate(Context &Ctx);
+
+  /// Statistics of the most recent generate() call.
+  const GeneratorStats &stats() const { return Stats; }
+
+private:
+  RNG Rng;
+  GeneratorStats Stats;
+};
+
+} // namespace lslp
+
+#endif // LSLP_FUZZ_MODULEGENERATOR_H

@@ -1,0 +1,322 @@
+//===- fuzz/Reducer.cpp - ddmin-style test-case minimizer ------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "ir/Context.h"
+#include "ir/Instruction.h"
+#include "ir/Local.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace lslp;
+
+namespace {
+
+/// Shared state of one reduction run: the current (failing) text plus the
+/// candidate budget and counters.
+struct Reduction {
+  std::string Text;
+  const Reducer::Predicate &StillFails;
+  unsigned Budget;
+  unsigned Tried = 0;
+  unsigned Adopted = 0;
+
+  Reduction(std::string Text, const Reducer::Predicate &P, unsigned Budget)
+      : Text(std::move(Text)), StillFails(P), Budget(Budget) {}
+
+  bool budgetLeft() const { return Tried < Budget; }
+
+  /// Parses the current text, applies \p Mutate (returning false aborts
+  /// the candidate), cleans up dead code, and adopts the result if it
+  /// verifies, differs, and still fails. Returns true on adoption.
+  bool attempt(const std::function<bool(Module &)> &Mutate) {
+    if (!budgetLeft())
+      return false;
+    ++Tried;
+    Context Ctx;
+    std::string Err;
+    std::unique_ptr<Module> M = parseModule(Text, Ctx, Err);
+    if (!M)
+      return false;
+    if (!Mutate(*M))
+      return false;
+    for (const auto &F : M->functions())
+      removeTriviallyDeadInstructions(*F);
+    if (!verifyModule(*M))
+      return false;
+    std::string Candidate = moduleToString(*M);
+    if (Candidate == Text)
+      return false;
+    if (!StillFails(Candidate))
+      return false;
+    Text = std::move(Candidate);
+    ++Adopted;
+    return true;
+  }
+};
+
+/// Collects every store instruction in deterministic program order.
+std::vector<StoreInst *> collectStores(Module &M) {
+  std::vector<StoreInst *> Stores;
+  for (const auto &F : M.functions())
+    for (const auto &BB : *F)
+      for (const auto &I : *BB)
+        if (auto *St = dyn_cast<StoreInst>(I.get()))
+          Stores.push_back(St);
+  return Stores;
+}
+
+/// Deletes stores whose index (in program order) lies in [Begin, End).
+bool removeStoreRange(Module &M, size_t Begin, size_t End) {
+  std::vector<StoreInst *> Stores = collectStores(M);
+  if (Begin >= Stores.size())
+    return false;
+  End = std::min(End, Stores.size());
+  for (size_t I = Begin; I != End; ++I)
+    Stores[I]->eraseFromParent();
+  return End > Begin;
+}
+
+/// ddmin over the store list: try dropping chunks of decreasing size.
+/// Each adoption restarts at the (possibly smaller) current chunk size.
+bool ddminStores(Reduction &R) {
+  bool AnyProgress = false;
+  size_t NumStores;
+  {
+    Context Ctx;
+    std::string Err;
+    std::unique_ptr<Module> M = parseModule(R.Text, Ctx, Err);
+    if (!M)
+      return false;
+    NumStores = collectStores(*M).size();
+  }
+  size_t Chunk = std::max<size_t>(NumStores / 2, 1);
+  while (Chunk >= 1 && NumStores > 0 && R.budgetLeft()) {
+    bool Progress = false;
+    for (size_t Begin = 0; Begin < NumStores; Begin += Chunk) {
+      size_t End = Begin + Chunk;
+      if (R.attempt([&](Module &M) {
+            return removeStoreRange(M, Begin, End);
+          })) {
+        Progress = AnyProgress = true;
+        NumStores -= std::min(Chunk, NumStores - Begin);
+        break; // Indices shifted; rescan at this granularity.
+      }
+    }
+    if (!Progress) {
+      if (Chunk == 1)
+        break;
+      Chunk /= 2;
+    }
+  }
+  return AnyProgress;
+}
+
+/// Removes blocks unreachable from the entry block, fixing up phis of the
+/// surviving blocks (dropping dead incoming edges, inlining single-entry
+/// phis).
+void removeUnreachableBlocks(Function &F) {
+  if (F.empty())
+    return;
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{F.getEntryBlock()};
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(BB).second)
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      Work.push_back(Succ);
+  }
+
+  // Drop phi edges coming from dead predecessors, then inline phis left
+  // with one incoming edge.
+  for (const auto &BB : F) {
+    if (!Reachable.count(BB.get()))
+      continue;
+    std::vector<PHINode *> Phis;
+    for (const auto &I : *BB)
+      if (auto *Phi = dyn_cast<PHINode>(I.get()))
+        Phis.push_back(Phi);
+    for (PHINode *Phi : Phis) {
+      for (unsigned I = Phi->getNumIncoming(); I-- > 0;)
+        if (!Reachable.count(Phi->getIncomingBlock(I)))
+          Phi->removeIncoming(I);
+      if (Phi->getNumIncoming() == 1 &&
+          Phi->getIncomingValue(0) != Phi) {
+        Phi->replaceAllUsesWith(Phi->getIncomingValue(0));
+        Phi->eraseFromParent();
+      }
+    }
+  }
+
+  // Collect the dead blocks, drop every operand reference they hold, then
+  // erase them (values may die in any order once all edges are gone).
+  std::vector<BasicBlock *> Dead;
+  for (const auto &BB : F)
+    if (!Reachable.count(BB.get()))
+      Dead.push_back(BB.get());
+  for (BasicBlock *BB : Dead)
+    for (const auto &I : *BB)
+      I->dropAllReferences();
+  for (BasicBlock *BB : Dead)
+    F.eraseBlock(BB);
+}
+
+/// Rewrites the \p Index-th conditional branch into an unconditional one
+/// to successor \p Side and prunes what became unreachable.
+bool collapseBranch(Module &M, size_t Index, unsigned Side) {
+  size_t Seen = 0;
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : *F) {
+      Instruction *Term = BB->getTerminator();
+      auto *Br = dyn_cast_if_present<BranchInst>(Term);
+      if (!Br || !Br->isConditional())
+        continue;
+      if (Seen++ != Index)
+        continue;
+      BasicBlock *Dest = Br->getSuccessor(Side);
+      BasicBlock *Parent = Br->getParent();
+      Br->eraseFromParent();
+      Parent->append(BranchInst::create(Dest));
+      removeUnreachableBlocks(*F);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool collapseBranches(Reduction &R) {
+  bool AnyProgress = false;
+  for (size_t Index = 0; R.budgetLeft();) {
+    bool Progress = false;
+    for (unsigned Side = 0; Side != 2 && !Progress; ++Side)
+      Progress = R.attempt(
+          [&](Module &M) { return collapseBranch(M, Index, Side); });
+    if (Progress) {
+      AnyProgress = true;
+      Index = 0; // Branch indices shifted; start over.
+      continue;
+    }
+    // Probe whether a branch at this index still exists at all.
+    bool Exists = false;
+    {
+      Context Ctx;
+      std::string Err;
+      std::unique_ptr<Module> M = parseModule(R.Text, Ctx, Err);
+      if (M) {
+        size_t Count = 0;
+        for (const auto &F : M->functions())
+          for (const auto &BB : *F)
+            if (auto *Br = dyn_cast_if_present<BranchInst>(BB->getTerminator()))
+              Count += Br->isConditional();
+        Exists = Index + 1 < Count;
+      }
+    }
+    if (!Exists)
+      break;
+    ++Index;
+  }
+  return AnyProgress;
+}
+
+/// Replaces the \p Nth eligible instruction with its \p OpIdx-th operand
+/// (same type required) and erases it.
+bool replaceWithOperand(Module &M, size_t N, unsigned OpIdx) {
+  size_t Seen = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : *F)
+      for (const auto &I : *BB) {
+        Instruction *Inst = I.get();
+        if (Inst->getType()->isVoidTy() || Inst->isTerminator() ||
+            isa<PHINode>(Inst) || !Inst->hasUses())
+          continue;
+        if (Seen++ != N)
+          continue;
+        if (OpIdx >= Inst->getNumOperands())
+          return false;
+        Value *Op = Inst->getOperand(OpIdx);
+        if (Op->getType() != Inst->getType())
+          return false;
+        Inst->replaceAllUsesWith(Op);
+        Inst->eraseFromParent();
+        return true;
+      }
+  return false;
+}
+
+bool foldOperands(Reduction &R) {
+  bool AnyProgress = false;
+  for (size_t N = 0; R.budgetLeft();) {
+    bool Progress = false;
+    for (unsigned OpIdx = 0; OpIdx != 3 && !Progress; ++OpIdx)
+      Progress = R.attempt(
+          [&](Module &M) { return replaceWithOperand(M, N, OpIdx); });
+    if (Progress) {
+      AnyProgress = true;
+      continue; // Same index now names the next instruction.
+    }
+    // Stop once N runs past the number of eligible instructions.
+    size_t Count = 0;
+    {
+      Context Ctx;
+      std::string Err;
+      std::unique_ptr<Module> M = parseModule(R.Text, Ctx, Err);
+      if (M)
+        for (const auto &F : M->functions())
+          for (const auto &BB : *F)
+            for (const auto &I : *BB)
+              if (!I->getType()->isVoidTy() && !I->isTerminator() &&
+                  !isa<PHINode>(I.get()) && I->hasUses())
+                ++Count;
+    }
+    if (++N >= Count)
+      break;
+  }
+  return AnyProgress;
+}
+
+bool dropUnusedGlobals(Reduction &R) {
+  return R.attempt([](Module &M) {
+    std::vector<GlobalArray *> Dead;
+    for (const auto &G : M.globals())
+      if (!G->hasUses())
+        Dead.push_back(G.get());
+    for (GlobalArray *G : Dead)
+      M.eraseGlobal(G);
+    return !Dead.empty();
+  });
+}
+
+} // namespace
+
+Reducer::Result Reducer::reduce(const std::string &IRText) const {
+  Result Res;
+  Res.IRText = IRText;
+  if (!StillFails(IRText))
+    return Res;
+  Res.InitiallyFailing = true;
+
+  Reduction R(IRText, StillFails, MaxCandidates);
+  bool Progress = true;
+  while (Progress && R.budgetLeft()) {
+    Progress = false;
+    Progress |= ddminStores(R);
+    Progress |= collapseBranches(R);
+    Progress |= foldOperands(R);
+    Progress |= dropUnusedGlobals(R);
+  }
+  Res.IRText = R.Text;
+  Res.StepsAdopted = R.Adopted;
+  Res.CandidatesTried = R.Tried;
+  return Res;
+}

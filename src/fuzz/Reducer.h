@@ -1,0 +1,65 @@
+//===- fuzz/Reducer.h - ddmin-style test-case minimizer ---------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing module (textual IR) to a minimal reproducer while a
+/// caller-supplied predicate keeps returning "still fails". Works on fresh
+/// parses of the current text so every candidate is independent, and only
+/// adopts candidates that still parse and verify — a reproducer that fails
+/// for a boring structural reason is useless.
+///
+/// Reduction passes, iterated to fixpoint:
+///   1. ddmin over the store instructions (the vectorizer's seeds),
+///      followed by trivial dead-code elimination,
+///   2. collapsing conditional branches and deleting unreachable blocks,
+///   3. replacing instructions by same-typed operands (shrinks trees and
+///      cast chains),
+///   4. dropping unreferenced global arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_FUZZ_REDUCER_H
+#define LSLP_FUZZ_REDUCER_H
+
+#include <functional>
+#include <string>
+
+namespace lslp {
+
+/// Minimizes failing IR modules against a failure predicate.
+class Reducer {
+public:
+  /// Returns true when the given textual module still exhibits the
+  /// failure being chased.
+  using Predicate = std::function<bool(const std::string &)>;
+
+  struct Result {
+    /// The minimized module (the input text when nothing could be
+    /// removed, or when the input did not fail to begin with).
+    std::string IRText;
+    /// False if the input did not satisfy the predicate (nothing to do).
+    bool InitiallyFailing = false;
+    /// Number of adopted (successful) reduction steps.
+    unsigned StepsAdopted = 0;
+    /// Number of candidate modules evaluated.
+    unsigned CandidatesTried = 0;
+  };
+
+  explicit Reducer(Predicate StillFails, unsigned MaxCandidates = 4000)
+      : StillFails(std::move(StillFails)), MaxCandidates(MaxCandidates) {}
+
+  /// Runs the reduction loop on \p IRText until no pass makes progress or
+  /// the candidate budget is exhausted.
+  Result reduce(const std::string &IRText) const;
+
+private:
+  Predicate StillFails;
+  unsigned MaxCandidates;
+};
+
+} // namespace lslp
+
+#endif // LSLP_FUZZ_REDUCER_H

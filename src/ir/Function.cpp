@@ -48,6 +48,15 @@ BasicBlock *Function::getBlockByName(std::string_view Name) const {
   return nullptr;
 }
 
+void Function::eraseBlock(BasicBlock *BB) {
+  for (auto It = Blocks.begin(); It != Blocks.end(); ++It)
+    if (It->get() == BB) {
+      Blocks.erase(It);
+      return;
+    }
+  assert(false && "block does not belong to this function");
+}
+
 unsigned Function::getInstructionCount() const {
   unsigned Count = 0;
   for (const auto &BB : Blocks)

@@ -81,6 +81,10 @@ public:
   }
   /// Returns the block named \p Name, or null.
   BasicBlock *getBlockByName(std::string_view Name) const;
+  /// Removes and destroys \p BB (must belong to this function). All
+  /// references to the block and to its instructions must already be
+  /// gone; callers drop the instructions' own operand references first.
+  void eraseBlock(BasicBlock *BB);
   /// @}
 
   /// Total number of instructions across all blocks.

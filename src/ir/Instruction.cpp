@@ -390,6 +390,13 @@ void PHINode::addIncoming(Value *Val, BasicBlock *BB) {
   addOperand(BB);
 }
 
+void PHINode::removeIncoming(unsigned I) {
+  assert(I < getNumIncoming() && "incoming index out of range");
+  // Remove the block operand first so the value's index stays valid.
+  removeOperand(2 * I + 1);
+  removeOperand(2 * I);
+}
+
 Value *PHINode::getIncomingValueForBlock(const BasicBlock *BB) const {
   for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
     if (getIncomingBlock(I) == BB)

@@ -307,6 +307,8 @@ public:
   Value *getIncomingValue(unsigned I) const { return getOperand(2 * I); }
   BasicBlock *getIncomingBlock(unsigned I) const;
   void addIncoming(Value *Val, BasicBlock *BB);
+  /// Removes the \p I-th incoming (value, block) pair.
+  void removeIncoming(unsigned I);
   /// Returns the incoming value for \p BB; null if \p BB is not a
   /// predecessor recorded in this phi.
   Value *getIncomingValueForBlock(const BasicBlock *BB) const;

@@ -34,6 +34,16 @@ GlobalArray *Module::getGlobal(std::string_view GlobalName) const {
   return nullptr;
 }
 
+void Module::eraseGlobal(GlobalArray *G) {
+  assert(!G->hasUses() && "erasing a global that is still referenced");
+  for (auto It = Globals.begin(); It != Globals.end(); ++It)
+    if (It->get() == G) {
+      Globals.erase(It);
+      return;
+    }
+  assert(false && "global does not belong to this module");
+}
+
 Function *Module::getFunction(std::string_view FuncName) const {
   for (const auto &F : Funcs)
     if (F->getName() == FuncName)

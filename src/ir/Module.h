@@ -66,6 +66,10 @@ public:
   /// Returns the global named \p GlobalName, or null.
   GlobalArray *getGlobal(std::string_view GlobalName) const;
 
+  /// Removes and destroys \p G (must belong to this module and have no
+  /// remaining uses).
+  void eraseGlobal(GlobalArray *G);
+
   const std::vector<std::unique_ptr<GlobalArray>> &globals() const {
     return Globals;
   }

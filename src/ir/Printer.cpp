@@ -15,6 +15,7 @@
 #include "support/OStream.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 using namespace lslp;
@@ -175,8 +176,14 @@ public:
     if (const auto *CI = dyn_cast<ConstantInt>(V))
       return std::to_string(CI->getSExtValue());
     if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      // Shortest representation that parses back to the exact same bits,
+      // so printing and re-parsing a module is lossless.
       char Buf[64];
-      std::snprintf(Buf, sizeof(Buf), "%g", CF->getValue());
+      for (int Prec = 6; Prec <= 17; ++Prec) {
+        std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, CF->getValue());
+        if (std::strtod(Buf, nullptr) == CF->getValue())
+          break;
+      }
       std::string Str(Buf);
       // Guarantee FP constants are lexically distinct from integers.
       if (Str.find_first_of(".einf") == std::string::npos)

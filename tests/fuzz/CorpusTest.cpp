@@ -1,0 +1,51 @@
+//===- tests/fuzz/CorpusTest.cpp - Reproducer corpus replay --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays every minimized reproducer in tests/fuzz/corpus/ through the
+// full differential oracle. A module lands in the corpus because it once
+// tripped (or characterizes a shape that could trip) the vectorizer, so
+// each must now pass under the complete configuration sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DifferentialOracle.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace lslp;
+
+namespace {
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(LSLP_FUZZ_CORPUS_DIR))
+    if (Entry.path().extension() == ".lslp")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+TEST(Corpus, HasReproducers) { EXPECT_GE(corpusFiles().size(), 4u); }
+
+TEST(Corpus, EveryReproducerPassesTheOracle) {
+  DifferentialOracle Oracle;
+  for (const std::filesystem::path &Path : corpusFiles()) {
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << Path;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    OracleVerdict V = Oracle.check(SS.str());
+    EXPECT_TRUE(V.Passed) << Path.filename() << " [" << V.ConfigName
+                          << "]: " << V.Reason << "\n"
+                          << V.VectorizedIR;
+  }
+}
+
+} // namespace

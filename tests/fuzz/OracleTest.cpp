@@ -1,0 +1,113 @@
+//===- tests/fuzz/OracleTest.cpp - DifferentialOracle tests --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DifferentialOracle.h"
+#include "fuzz/ModuleGenerator.h"
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// A module whose lanes subtract loads: operand order matters, so the
+/// miscompile hook below provably changes results.
+const char *SubModule = R"(module "sub"
+global @A = [8 x i64]
+global @B = [8 x i64]
+global @O = [8 x i64]
+
+define void @f() {
+entry:
+  %pa0 = gep i64, ptr @A, i64 0
+  %pa1 = gep i64, ptr @A, i64 1
+  %pb0 = gep i64, ptr @B, i64 0
+  %pb1 = gep i64, ptr @B, i64 1
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  %d0 = sub i64 %a0, %b0
+  %d1 = sub i64 %a1, %b1
+  %po0 = gep i64, ptr @O, i64 0
+  %po1 = gep i64, ptr @O, i64 1
+  store i64 %d0, ptr %po0
+  store i64 %d1, ptr %po1
+  ret void
+}
+)";
+
+/// Swaps the operands of every (scalar or vector) Sub: a deliberate
+/// miscompile, used to prove the oracle detects real bugs.
+void swapSubOperands(Module &M) {
+  for (const auto &F : M.functions())
+    for (auto BIt = F->begin(); BIt != F->end(); ++BIt)
+      for (const auto &I : **BIt)
+        if (auto *Bin = dyn_cast<BinaryOperator>(I.get()))
+          if (Bin->getOpcode() == ValueID::Sub ||
+              Bin->getOpcode() == ValueID::FSub) {
+            Value *L = Bin->getLHS(), *R = Bin->getRHS();
+            Bin->setOperand(0, R);
+            Bin->setOperand(1, L);
+          }
+}
+
+TEST(DifferentialOracle, PassesOnGeneratedModules) {
+  DifferentialOracle Oracle;
+  for (uint64_t Seed = 0; Seed != 30; ++Seed) {
+    Context Ctx;
+    ModuleGenerator Gen(Seed);
+    std::unique_ptr<Module> M = Gen.generate(Ctx);
+    OracleVerdict V = Oracle.check(moduleToString(*M));
+    EXPECT_TRUE(V.Passed) << "seed " << Seed << " [" << V.ConfigName
+                          << "]: " << V.Reason;
+  }
+}
+
+TEST(DifferentialOracle, PassesOnHandWrittenModule) {
+  DifferentialOracle Oracle;
+  OracleVerdict V = Oracle.check(SubModule);
+  EXPECT_TRUE(V.Passed) << "[" << V.ConfigName << "]: " << V.Reason;
+}
+
+TEST(DifferentialOracle, DetectsInjectedMiscompile) {
+  OracleOptions Opts;
+  Opts.AfterPassHook = swapSubOperands;
+  DifferentialOracle Oracle(Opts);
+  OracleVerdict V = Oracle.check(SubModule);
+  ASSERT_FALSE(V.Passed);
+  EXPECT_NE(V.Reason.find("memory mismatch"), std::string::npos) << V.Reason;
+  EXPECT_FALSE(V.ConfigName.empty());
+  EXPECT_FALSE(V.VectorizedIR.empty());
+}
+
+TEST(DifferentialOracle, ReportsParseErrors) {
+  DifferentialOracle Oracle;
+  OracleVerdict V = Oracle.check("this is not a module");
+  ASSERT_FALSE(V.Passed);
+  EXPECT_NE(V.Reason.find("parse error"), std::string::npos) << V.Reason;
+}
+
+TEST(DifferentialOracle, DefaultSweepCoversKeyConfigs) {
+  std::vector<VectorizerConfig> Cs = DifferentialOracle::defaultConfigs();
+  ASSERT_GE(Cs.size(), 4u);
+  bool HasNR = false, HasSLP = false, HasLSLP = false;
+  for (const VectorizerConfig &C : Cs) {
+    HasNR |= C.Name == "SLP-NR";
+    HasSLP |= C.Name == "SLP";
+    HasLSLP |= C.Name == "LSLP";
+  }
+  EXPECT_TRUE(HasNR && HasSLP && HasLSLP);
+}
+
+} // namespace

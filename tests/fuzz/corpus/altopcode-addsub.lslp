@@ -1,0 +1,27 @@
+; Minimized reproducer shape: adjacent stores fed by an add/sub opcode
+; blend — the alt-opcode bundling path. Kept as a regression input for
+; the differential oracle (see TESTING.md).
+module "altopcode_addsub"
+
+global @A = [8 x i64]
+global @B = [8 x i64]
+global @O = [8 x i64]
+
+define void @f() {
+entry:
+  %pa0 = gep i64, ptr @A, i64 0
+  %pa1 = gep i64, ptr @A, i64 1
+  %pb0 = gep i64, ptr @B, i64 0
+  %pb1 = gep i64, ptr @B, i64 1
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  %v0 = add i64 %a0, %b0
+  %v1 = sub i64 %a1, %b1
+  %po0 = gep i64, ptr @O, i64 0
+  %po1 = gep i64, ptr @O, i64 1
+  store i64 %v0, ptr %po0
+  store i64 %v1, ptr %po1
+  ret void
+}

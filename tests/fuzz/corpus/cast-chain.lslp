@@ -1,0 +1,30 @@
+; Minimized reproducer shape: mixed-width lanes — i8 loads widened to
+; i64 through a sext bundle, with a truncating store group beside it.
+module "cast_chain"
+
+global @A = [8 x i8]
+global @O = [8 x i64]
+global @P = [8 x i16]
+
+define void @f() {
+entry:
+  %pa0 = gep i8, ptr @A, i64 0
+  %pa1 = gep i8, ptr @A, i64 1
+  %a0 = load i8, ptr %pa0
+  %a1 = load i8, ptr %pa1
+  %w0 = sext i8 %a0 to i64
+  %w1 = sext i8 %a1 to i64
+  %m0 = mul i64 %w0, 3
+  %m1 = mul i64 %w1, 3
+  %po0 = gep i64, ptr @O, i64 0
+  %po1 = gep i64, ptr @O, i64 1
+  store i64 %m0, ptr %po0
+  store i64 %m1, ptr %po1
+  %t0 = trunc i64 %m0 to i16
+  %t1 = trunc i64 %m1 to i16
+  %pp0 = gep i16, ptr @P, i64 0
+  %pp1 = gep i16, ptr @P, i64 1
+  store i16 %t0, ptr %pp0
+  store i16 %t1, ptr %pp1
+  ret void
+}

@@ -1,0 +1,43 @@
+; Minimized reproducer shape: a double fmul/fadd group whose values flow
+; through a diamond join phi before being stored. Inputs are small
+; integers, so results must stay bit-exact under reordering.
+module "fp_diamond"
+
+global @X = [8 x double]
+global @Y = [8 x double]
+global @O = [8 x double]
+global @C = [8 x i64]
+
+define void @f() {
+entry:
+  %pc = gep i64, ptr @C, i64 0
+  %c = load i64, ptr %pc
+  %cmp = icmp slt i64 %c, 8
+  br i1 %cmp, label %then, label %else
+
+then:
+  %px0 = gep double, ptr @X, i64 0
+  %x0 = load double, ptr %px0
+  %tv = fmul double %x0, 2.0
+  br label %join
+
+else:
+  %py0 = gep double, ptr @Y, i64 0
+  %y0 = load double, ptr %py0
+  %ev = fadd double %y0, 1.0
+  br label %join
+
+join:
+  %phi = phi double [ %tv, %then ], [ %ev, %else ]
+  %px1 = gep double, ptr @X, i64 1
+  %px2 = gep double, ptr @X, i64 2
+  %x1 = load double, ptr %px1
+  %x2 = load double, ptr %px2
+  %s1 = fadd double %x1, %phi
+  %s2 = fadd double %x2, %phi
+  %po1 = gep double, ptr @O, i64 1
+  %po2 = gep double, ptr @O, i64 2
+  store double %s1, ptr %po1
+  store double %s2, ptr %po2
+  ret void
+}

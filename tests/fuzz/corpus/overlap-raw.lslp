@@ -1,0 +1,27 @@
+; Minimized reproducer shape: two store windows on one array where the
+; second window reads back what the first wrote (read-after-write) and
+; overwrites part of it (write-after-write). The scheduler must not move
+; the loads across the first store group.
+module "overlap_raw"
+
+global @M = [8 x i64]
+global @A = [8 x i64]
+
+define void @f() {
+entry:
+  %pa0 = gep i64, ptr @A, i64 0
+  %pa1 = gep i64, ptr @A, i64 1
+  %a0 = load i64, ptr %pa0
+  %a1 = load i64, ptr %pa1
+  %pm0 = gep i64, ptr @M, i64 0
+  %pm1 = gep i64, ptr @M, i64 1
+  store i64 %a0, ptr %pm0
+  store i64 %a1, ptr %pm1
+  %r0 = load i64, ptr %pm1
+  %s0 = add i64 %r0, 1
+  %s1 = add i64 %r0, 2
+  %pm2 = gep i64, ptr @M, i64 2
+  store i64 %s0, ptr %pm1
+  store i64 %s1, ptr %pm2
+  ret void
+}

@@ -1,0 +1,25 @@
+; Minimized reproducer shape: a linear xor reduction chain over four
+; contiguous loads. The reduction seeder reassociates this into a
+; shuffle tree, which must stay bit-identical for xor.
+module "reduction_xor"
+
+global @A = [8 x i64]
+global @O = [8 x i64]
+
+define void @f() {
+entry:
+  %p0 = gep i64, ptr @A, i64 0
+  %p1 = gep i64, ptr @A, i64 1
+  %p2 = gep i64, ptr @A, i64 2
+  %p3 = gep i64, ptr @A, i64 3
+  %a0 = load i64, ptr %p0
+  %a1 = load i64, ptr %p1
+  %a2 = load i64, ptr %p2
+  %a3 = load i64, ptr %p3
+  %x0 = xor i64 %a0, %a1
+  %x1 = xor i64 %x0, %a2
+  %x2 = xor i64 %x1, %a3
+  %po = gep i64, ptr @O, i64 0
+  store i64 %x2, ptr %po
+  ret void
+}

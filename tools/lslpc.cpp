@@ -15,9 +15,18 @@
 //   lslpc input.ll -run=f:100 -init-memory # deterministic array inputs
 //   lslpc -                                # read from stdin
 //
+// Differential-fuzzing modes (see src/fuzz/ and TESTING.md):
+//
+//   lslpc --fuzz=500 --seed=1              # 500 random modules through the
+//                                          # scalar-vs-vector oracle
+//   lslpc --reduce=repro.lslp              # minimize a failing module
+//
 //===----------------------------------------------------------------------===//
 
 #include "costmodel/TargetTransformInfo.h"
+#include "fuzz/DifferentialOracle.h"
+#include "fuzz/ModuleGenerator.h"
+#include "fuzz/Reducer.h"
 #include "interp/Interpreter.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
@@ -49,6 +58,11 @@ struct Options {
   bool Dot = false;
   bool InitMemory = false;
   std::string RunSpec; // "function:arg"
+
+  // Fuzzing modes (mutually exclusive with normal compilation).
+  int64_t FuzzCount = -1; ///< --fuzz=N: number of random modules.
+  int64_t FuzzSeed = 0;   ///< --seed=S: first generator seed.
+  std::string ReducePath; ///< --reduce=<file>: minimize a failing module.
 };
 
 void printUsage() {
@@ -69,17 +83,49 @@ void printUsage() {
             "  -run=FN[:ARG]             interpret @FN(i64 ARG) and report "
             "cost\n"
             "  -init-memory              fill globals with deterministic "
-            "values before -run\n";
+            "values before -run\n"
+            "differential fuzzing:\n"
+            "  --fuzz=N                  run N random modules through the\n"
+            "                            scalar-vs-vector oracle\n"
+            "  --seed=S                  first fuzz seed (default 0)\n"
+            "  --reduce=FILE             minimize a failing module and print\n"
+            "                            the reproducer\n";
+}
+
+/// Strips one or two leading dashes so -fuzz= and --fuzz= both work.
+std::string_view stripDashes(std::string_view Arg) {
+  if (startsWith(Arg, "--"))
+    return Arg.substr(2);
+  if (startsWith(Arg, "-"))
+    return Arg.substr(1);
+  return Arg;
 }
 
 bool parseArgs(int argc, char **argv, Options &Opts) {
   if (argc < 2)
     return false;
-  Opts.InputPath = argv[1];
-  for (int I = 2; I < argc; ++I) {
+  int First = 1;
+  // The fuzz modes take no input file; every argument is an option.
+  if (std::string_view A1 = stripDashes(argv[1]);
+      startsWith(A1, "fuzz=") || startsWith(A1, "reduce=") ||
+      startsWith(A1, "seed="))
+    First = 1;
+  else {
+    Opts.InputPath = argv[1];
+    First = 2;
+  }
+  for (int I = First; I < argc; ++I) {
     std::string Arg = argv[I];
+    std::string Plain(stripDashes(Arg));
     int64_t Num = 0;
-    if (Arg == "-config=SLP-NR")
+    if (startsWith(Plain, "fuzz=") && parseInt(Plain.substr(5), Num) &&
+        Num >= 0)
+      Opts.FuzzCount = Num;
+    else if (startsWith(Plain, "seed=") && parseInt(Plain.substr(5), Num))
+      Opts.FuzzSeed = Num;
+    else if (startsWith(Plain, "reduce="))
+      Opts.ReducePath = Plain.substr(7);
+    else if (Arg == "-config=SLP-NR")
       Opts.Config = VectorizerConfig::slpNoReordering();
     else if (Arg == "-config=SLP")
       Opts.Config = VectorizerConfig::slp();
@@ -176,11 +222,97 @@ int runFunction(Module &M, const Options &Opts,
   return 0;
 }
 
+/// Runs \p Count random modules through the differential oracle, starting at
+/// generator seed \p FirstSeed. Failures are minimized with the reducer and
+/// printed as check-in-ready reproducers. Returns the number of failures.
+int runFuzz(int64_t Count, int64_t FirstSeed) {
+  DifferentialOracle Oracle;
+  int64_t Failures = 0;
+  for (int64_t I = 0; I < Count; ++I) {
+    uint64_t Seed = static_cast<uint64_t>(FirstSeed + I);
+    Context Ctx;
+    ModuleGenerator Gen(Seed);
+    std::unique_ptr<Module> M = Gen.generate(Ctx);
+    std::vector<std::string> Errors;
+    if (!verifyModule(*M, &Errors)) {
+      errs() << "lslpc: seed " << Seed << ": generated module fails "
+             << "verification:\n";
+      for (const std::string &E : Errors)
+        errs() << "  " << E << "\n";
+      ++Failures;
+      continue;
+    }
+    std::string IR = moduleToString(*M);
+    OracleVerdict Verdict = Oracle.check(IR);
+    if (Verdict) {
+      if ((I + 1) % 100 == 0)
+        outs() << "; fuzz: " << (I + 1) << "/" << Count << " seeds ok\n";
+      continue;
+    }
+    ++Failures;
+    errs() << "lslpc: seed " << Seed << " FAILED [" << Verdict.ConfigName
+           << "]: " << Verdict.Reason << "\n";
+    Reducer Shrinker(
+        [&](const std::string &Text) { return !Oracle.check(Text).Passed; });
+    Reducer::Result Reduced = Shrinker.reduce(IR);
+    errs() << "; minimized reproducer (seed " << Seed << ", "
+           << Reduced.StepsAdopted << " reduction step(s)):\n"
+           << Reduced.IRText;
+  }
+  if (Failures == 0)
+    outs() << "; fuzz: " << Count << " seed(s) starting at " << FirstSeed
+           << ", 0 failures\n";
+  else
+    errs() << "lslpc: fuzz: " << Failures << " of " << Count
+           << " seed(s) failed\n";
+  return Failures == 0 ? 0 : 1;
+}
+
+/// Minimizes the failing module in \p Path and prints the reproducer.
+int runReduce(const std::string &Path) {
+  std::string Source;
+  if (!readInput(Path, Source))
+    return 1;
+  DifferentialOracle Oracle;
+  Reducer Shrinker(
+      [&](const std::string &Text) { return !Oracle.check(Text).Passed; });
+  Reducer::Result Result = Shrinker.reduce(Source);
+  if (!Result.InitiallyFailing) {
+    errs() << "lslpc: '" << Path << "' passes the oracle; nothing to "
+           << "reduce\n";
+    return 1;
+  }
+  OracleVerdict Verdict = Oracle.check(Result.IRText);
+  outs() << "; reduced after " << Result.StepsAdopted << " step(s), "
+         << Result.CandidatesTried << " candidate(s); still fails ["
+         << Verdict.ConfigName << "]: " << Verdict.Reason << "\n"
+         << Result.IRText;
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   Options Opts;
   if (!parseArgs(argc, argv, Opts)) {
+    printUsage();
+    return 1;
+  }
+
+  if (Opts.FuzzCount >= 0 || !Opts.ReducePath.empty()) {
+    if (!Opts.InputPath.empty()) {
+      errs() << "lslpc: --fuzz/--reduce take no input file\n";
+      return 1;
+    }
+    if (Opts.FuzzCount >= 0 && !Opts.ReducePath.empty()) {
+      errs() << "lslpc: --fuzz and --reduce are mutually exclusive\n";
+      return 1;
+    }
+    if (Opts.FuzzCount >= 0)
+      return runFuzz(Opts.FuzzCount, Opts.FuzzSeed);
+    return runReduce(Opts.ReducePath);
+  }
+  if (Opts.InputPath.empty()) {
     printUsage();
     return 1;
   }
