@@ -7,6 +7,7 @@
 #include "bench/BenchUtil.h"
 
 #include "costmodel/TargetTransformInfo.h"
+#include "diag/RemarkEngine.h"
 #include "interp/Interpreter.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
@@ -29,10 +30,14 @@ Measurement lslp::bench::measureKernel(const KernelSpec &Spec,
   auto M = buildKernelModule(Spec, Ctx);
   Measurement Out;
   if (Config) {
-    SLPVectorizerPass Pass(*Config, TTI);
+    RemarkEngine Engine;
+    VectorizerConfig Cfg = *Config;
+    Cfg.Remarks = &Engine;
+    SLPVectorizerPass Pass(Cfg, TTI);
     ModuleReport R = Pass.runOnModule(*M);
     Out.StaticCost = R.acceptedCost();
     Out.Accepted = R.numAccepted();
+    Out.Explanation = Engine.summary();
     if (!verifyModule(*M))
       reportFatalError("vectorized module failed verification: " + Spec.Name);
   }

@@ -30,6 +30,9 @@ struct Measurement {
   int StaticCost = 0;      ///< Sum of accepted graph costs.
   unsigned Accepted = 0;   ///< Number of vectorized seed bundles.
   uint64_t Checksum = 0;   ///< Output checksum (sanity cross-check).
+  /// One-line remark-derived summary of what the vectorizer did (empty
+  /// for the O3 baseline): RemarkEngine::summary() of the pass's stream.
+  std::string Explanation;
 };
 
 /// Runs \p Spec with \p Config (null = O3, vectorizer disabled) on fresh

@@ -9,6 +9,10 @@
 // motivating examples (right cluster). "Execution" is the cycle-model
 // interpreter (see DESIGN.md); speedup = O3 cycles / config cycles.
 //
+// With -explain, each kernel row is followed by one remark-derived line
+// per configuration summarizing what the vectorizer actually did there
+// (seeds, multi-nodes, gathers, accept/reject counts).
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -16,10 +20,18 @@
 #include "support/Debug.h"
 #include "support/OStream.h"
 
+#include <string_view>
+
 using namespace lslp;
 using namespace lslp::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  bool Explain = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::string_view(argv[I]) == "-explain" ||
+        std::string_view(argv[I]) == "--explain")
+      Explain = true;
+
   printTitle("Figure 9: speedup over O3 (cycle model)");
   printRow("kernel", {"SLP-NR", "SLP", "LSLP"});
   outs() << std::string(56, '-') << "\n";
@@ -30,6 +42,7 @@ int main() {
   for (const KernelSpec *K : getFigureKernels()) {
     Measurement O3 = measureKernel(*K, nullptr);
     std::vector<std::string> Cells;
+    std::vector<std::string> Explanations;
     bool IsMotivation = K->Name.rfind("motivation", 0) == 0;
     for (size_t CI = 0; CI < Configs.size(); ++CI) {
       Measurement Vec = measureKernel(*K, &Configs[CI]);
@@ -37,10 +50,15 @@ int main() {
         reportFatalError("checksum mismatch on " + K->Name);
       double Speedup = O3.DynamicCost / Vec.DynamicCost;
       Cells.push_back(fmt(Speedup) + "x");
+      Explanations.push_back(Vec.Explanation);
       if (!IsMotivation)
         SpecSpeedups[CI].push_back(Speedup);
     }
     printRow(K->Name, Cells);
+    if (Explain)
+      for (size_t CI = 0; CI < Configs.size(); ++CI)
+        outs() << "    " << Configs[CI].Name << ": " << Explanations[CI]
+               << "\n";
     // The paper separates the SPEC kernels (with GMean) from the
     // motivating examples; print the GMean row between the clusters.
     if (K->Name == "453.quartic-cylinder") {

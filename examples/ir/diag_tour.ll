@@ -1,0 +1,137 @@
+; A guided tour of the diagnostics subsystem: each function below trips a
+; different family of optimization remarks, so one compilation emits every
+; remark kind the pipeline knows (see DESIGN.md "Diagnostics").
+;
+;   @lookahead  seed-found, node-built, gather-fallback, lookahead-score,
+;               reorder-choice, cost-node, cost-accepted  (Figure 2 shape)
+;   @multinode  multinode-formed                          (Figure 4 shape)
+;   @reduce     reduction-found + seed-rejected (its lone store)
+;   @reject     cost-rejected (argument lanes can only gather)
+;   @bailout    scheduler-bailout (store->load->store dependence chain)
+;   @cse        cse-hit under -early-cse (duplicate loads)
+;
+; Try:
+;   lslpc examples/ir/diag_tour.ll -early-cse --remarks=json -no-print
+;   lslpc examples/ir/diag_tour.ll -early-cse --remarks --stats -no-print
+
+module "diag_tour"
+
+global @A = [8 x i64]
+global @B = [8 x i64]
+global @C = [8 x i64]
+global @D = [8 x i64]
+global @E = [8 x i64]
+global @X = [8 x double]
+global @S = [8 x double]
+
+define void @lookahead(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pc0 = gep i64, ptr @C, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %b0 = load i64, ptr %pb0
+  %c0 = load i64, ptr %pc0
+  %c1 = load i64, ptr %pc1
+  %b1 = load i64, ptr %pb1
+  %sh0l = shl i64 %b0, 1
+  %sh0r = shl i64 %c0, 2
+  %sh1l = shl i64 %c1, 3
+  %sh1r = shl i64 %b1, 4
+  %and0 = and i64 %sh0l, %sh0r
+  %and1 = and i64 %sh1l, %sh1r
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  store i64 %and0, ptr %pa0
+  store i64 %and1, ptr %pa1
+  ret void
+}
+
+define void @multinode(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc0 = gep i64, ptr @C, i64 %i
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %pd0 = gep i64, ptr @D, i64 %i
+  %pd1 = gep i64, ptr @D, i64 %i1
+  %pe0 = gep i64, ptr @E, i64 %i
+  %pe1 = gep i64, ptr @E, i64 %i1
+  ; Lane 0: (A & (B+C)) & (D+E), left-associated.
+  %a0 = load i64, ptr %pa0
+  %b0 = load i64, ptr %pb0
+  %c0 = load i64, ptr %pc0
+  %d0 = load i64, ptr %pd0
+  %e0 = load i64, ptr %pe0
+  %bc0 = add i64 %b0, %c0
+  %de0 = add i64 %d0, %e0
+  %t0 = and i64 %a0, %bc0
+  %r0 = and i64 %t0, %de0
+  store i64 %r0, ptr %pa0
+  ; Lane 1: ((D+E) & (B+C)) & A - same values, different shape.
+  %a1 = load i64, ptr %pa1
+  %b1 = load i64, ptr %pb1
+  %c1 = load i64, ptr %pc1
+  %d1 = load i64, ptr %pd1
+  %e1 = load i64, ptr %pe1
+  %de1 = add i64 %d1, %e1
+  %bc1 = add i64 %b1, %c1
+  %t1 = and i64 %de1, %bc1
+  %r1 = and i64 %t1, %a1
+  store i64 %r1, ptr %pa1
+  ret void
+}
+
+define void @reduce() {
+entry:
+  %px0 = gep double, ptr @X, i64 0
+  %px1 = gep double, ptr @X, i64 1
+  %px2 = gep double, ptr @X, i64 2
+  %px3 = gep double, ptr @X, i64 3
+  %x0 = load double, ptr %px0
+  %x1 = load double, ptr %px1
+  %x2 = load double, ptr %px2
+  %x3 = load double, ptr %px3
+  %s01 = fadd double %x0, %x1
+  %s23 = fadd double %x2, %x3
+  %sum = fadd double %s01, %s23
+  %ps = gep double, ptr @S, i64 0
+  store double %sum, ptr %ps
+  ret void
+}
+
+define void @reject(i64 %x, i64 %y) {
+entry:
+  %pd0 = gep i64, ptr @D, i64 0
+  %pd1 = gep i64, ptr @D, i64 1
+  store i64 %x, ptr %pd0
+  store i64 %y, ptr %pd1
+  ret void
+}
+
+define void @bailout() {
+entry:
+  %pc0 = gep i64, ptr @C, i64 0
+  %pe0 = gep i64, ptr @E, i64 0
+  %pe1 = gep i64, ptr @E, i64 1
+  %t = load i64, ptr %pc0
+  store i64 %t, ptr %pe0
+  %u = load i64, ptr %pe0
+  store i64 %u, ptr %pe1
+  ret void
+}
+
+define void @cse() {
+entry:
+  %pb0 = gep i64, ptr @B, i64 0
+  %t1 = load i64, ptr %pb0
+  %t2 = load i64, ptr %pb0
+  %s = add i64 %t1, %t2
+  %pa0 = gep i64, ptr @A, i64 0
+  store i64 %s, ptr %pa0
+  ret void
+}

@@ -1,0 +1,67 @@
+//===- diag/IRRemarks.h - Remark helpers anchored to IR ---------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Header-only glue between the IR and the remark subsystem: builds a
+/// Remark pre-filled with the enclosing function, block, and instruction
+/// index of an anchor instruction. Indices (not value names or pointers)
+/// keep the stream deterministic and stable under re-printing.
+///
+/// Only call these under an `if (RemarkStreamer *RS = ...)` guard: index
+/// computation walks the block and must stay off the disabled-path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_DIAG_IRREMARKS_H
+#define LSLP_DIAG_IRREMARKS_H
+
+#include "diag/Remark.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+
+namespace lslp {
+
+/// Position of \p I within its block (at call time), or -1.
+inline int64_t remarkInstIndex(const Instruction *I) {
+  const BasicBlock *BB = I ? I->getParent() : nullptr;
+  if (!BB)
+    return -1;
+  int64_t Index = 0;
+  for (const auto &P : *BB) {
+    if (P.get() == I)
+      return Index;
+    ++Index;
+  }
+  return -1;
+}
+
+/// A Remark anchored at \p I (function/block/index filled in).
+inline Remark remarkAt(RemarkKind Kind, std::string Pass,
+                       const Instruction *I) {
+  Remark R(Kind, std::move(Pass));
+  if (const BasicBlock *BB = I ? I->getParent() : nullptr) {
+    R.Block = BB->getName();
+    if (const Function *F = BB->getParent())
+      R.Function = F->getName();
+    R.InstIndex = remarkInstIndex(I);
+  }
+  return R;
+}
+
+/// A Remark anchored at a block (function/block filled in, no index).
+inline Remark remarkIn(RemarkKind Kind, std::string Pass,
+                       const BasicBlock &BB) {
+  Remark R(Kind, std::move(Pass));
+  R.Block = BB.getName();
+  if (const Function *F = BB.getParent())
+    R.Function = F->getName();
+  return R;
+}
+
+} // namespace lslp
+
+#endif // LSLP_DIAG_IRREMARKS_H

@@ -1,0 +1,446 @@
+//===- diag/Remark.cpp - Structured optimization remarks ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/Remark.h"
+
+#include "support/OStream.h"
+
+#include <cstdlib>
+
+using namespace lslp;
+
+const char *lslp::remarkKindName(RemarkKind Kind) {
+  switch (Kind) {
+  case RemarkKind::SeedFound:
+    return "seed-found";
+  case RemarkKind::SeedRejected:
+    return "seed-rejected";
+  case RemarkKind::NodeBuilt:
+    return "node-built";
+  case RemarkKind::GatherFallback:
+    return "gather-fallback";
+  case RemarkKind::MultiNodeFormed:
+    return "multinode-formed";
+  case RemarkKind::LookAheadScore:
+    return "lookahead-score";
+  case RemarkKind::ReorderChoice:
+    return "reorder-choice";
+  case RemarkKind::CostNode:
+    return "cost-node";
+  case RemarkKind::CostAccepted:
+    return "cost-accepted";
+  case RemarkKind::CostRejected:
+    return "cost-rejected";
+  case RemarkKind::SchedulerBailout:
+    return "scheduler-bailout";
+  case RemarkKind::ReductionFound:
+    return "reduction-found";
+  case RemarkKind::CSEHit:
+    return "cse-hit";
+  }
+  return "unknown";
+}
+
+bool lslp::remarkKindFromName(std::string_view Name, RemarkKind &Out) {
+  static constexpr RemarkKind AllKinds[] = {
+      RemarkKind::SeedFound,       RemarkKind::SeedRejected,
+      RemarkKind::NodeBuilt,       RemarkKind::GatherFallback,
+      RemarkKind::MultiNodeFormed, RemarkKind::LookAheadScore,
+      RemarkKind::ReorderChoice,   RemarkKind::CostNode,
+      RemarkKind::CostAccepted,    RemarkKind::CostRejected,
+      RemarkKind::SchedulerBailout, RemarkKind::ReductionFound,
+      RemarkKind::CSEHit};
+  for (RemarkKind K : AllKinds) {
+    if (Name == remarkKindName(K)) {
+      Out = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RemarkArg::operator==(const RemarkArg &O) const {
+  if (Key != O.Key)
+    return false;
+  // Non-negative Int and UInt are the same value; fromJSON cannot tell
+  // them apart (and does not need to).
+  auto AsNonNegative = [](const RemarkArg &A, uint64_t &V) {
+    if (A.Ty == Type::UInt) {
+      V = A.UInt;
+      return true;
+    }
+    if (A.Ty == Type::Int && A.Int >= 0) {
+      V = static_cast<uint64_t>(A.Int);
+      return true;
+    }
+    return false;
+  };
+  uint64_t A = 0, B = 0;
+  if (AsNonNegative(*this, A) && AsNonNegative(O, B))
+    return A == B;
+  if (Ty != O.Ty)
+    return false;
+  switch (Ty) {
+  case Type::String:
+    return Str == O.Str;
+  case Type::Int:
+    return Int == O.Int;
+  case Type::UInt:
+    return UInt == O.UInt;
+  case Type::Double:
+    return FP == O.FP;
+  case Type::Bool:
+    return Flag == O.Flag;
+  }
+  return false;
+}
+
+void RemarkArg::printValue(OStream &OS) const {
+  switch (Ty) {
+  case Type::String:
+    OS << Str;
+    break;
+  case Type::Int:
+    OS << Int;
+    break;
+  case Type::UInt:
+    OS << UInt;
+    break;
+  case Type::Double:
+    OS << FP;
+    break;
+  case Type::Bool:
+    OS << Flag;
+    break;
+  }
+}
+
+const RemarkArg *Remark::getArg(std::string_view Key) const {
+  for (const RemarkArg &A : Args)
+    if (A.Key == Key)
+      return &A;
+  return nullptr;
+}
+
+bool Remark::operator==(const Remark &O) const {
+  return Kind == O.Kind && Pass == O.Pass && Function == O.Function &&
+         Block == O.Block && InstIndex == O.InstIndex && Args == O.Args;
+}
+
+void Remark::printText(OStream &OS) const {
+  OS << "remark: ";
+  if (!Function.empty()) {
+    OS << "@" << Function;
+    if (!Block.empty())
+      OS << "/" << Block;
+    if (InstIndex >= 0)
+      OS << "+" << InstIndex;
+    OS << ": ";
+  }
+  OS << remarkKindName(Kind) << " [" << Pass << "]";
+  for (const RemarkArg &A : Args) {
+    OS << " " << A.Key << "=";
+    A.printValue(OS);
+  }
+  OS << "\n";
+}
+
+void lslp::printJSONEscaped(OStream &OS, std::string_view Text) {
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xf] << Hex[C & 0xf];
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+void Remark::printJSON(OStream &OS) const {
+  OS << "{\"kind\":\"" << remarkKindName(Kind) << "\",\"pass\":\"";
+  printJSONEscaped(OS, Pass);
+  OS << "\",\"function\":\"";
+  printJSONEscaped(OS, Function);
+  OS << "\",\"block\":\"";
+  printJSONEscaped(OS, Block);
+  OS << "\",\"inst\":" << InstIndex << ",\"args\":{";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    const RemarkArg &A = Args[I];
+    if (I)
+      OS << ",";
+    OS << "\"";
+    printJSONEscaped(OS, A.Key);
+    OS << "\":";
+    if (A.Ty == RemarkArg::Type::String) {
+      OS << "\"";
+      printJSONEscaped(OS, A.Str);
+      OS << "\"";
+    } else {
+      A.printValue(OS);
+    }
+  }
+  OS << "}}\n";
+}
+
+std::string Remark::toJSON() const {
+  std::string Out;
+  StringOStream OS(Out);
+  printJSON(OS);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSONL parse-back
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal recursive-descent parser for the exact subset printJSON emits.
+class JSONCursor {
+public:
+  explicit JSONCursor(std::string_view Text) : Text(Text) {}
+
+  bool atEnd() {
+    skipWS();
+    return Pos >= Text.size();
+  }
+
+  bool consume(char C) {
+    skipWS();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peekIs(char C) {
+    skipWS();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+
+  bool parseString(std::string &Out) {
+    skipWS();
+    if (!consume('"'))
+      return fail("expected '\"'");
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned V = 0;
+        for (int K = 0; K != 4; ++K) {
+          char H = Text[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        if (V > 0x7f)
+          return fail("non-ASCII \\u escape unsupported");
+        Out.push_back(static_cast<char>(V));
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  /// Parses a scalar JSON value into a RemarkArg (key already set).
+  bool parseValue(RemarkArg &Arg) {
+    skipWS();
+    if (Pos >= Text.size())
+      return fail("expected value");
+    char C = Text[Pos];
+    if (C == '"') {
+      Arg.Ty = RemarkArg::Type::String;
+      return parseString(Arg.Str);
+    }
+    if (C == 't' || C == 'f') {
+      std::string_view Rest = Text.substr(Pos);
+      Arg.Ty = RemarkArg::Type::Bool;
+      if (Rest.substr(0, 4) == "true") {
+        Arg.Flag = true;
+        Pos += 4;
+        return true;
+      }
+      if (Rest.substr(0, 5) == "false") {
+        Arg.Flag = false;
+        Pos += 5;
+        return true;
+      }
+      return fail("bad literal");
+    }
+    // Number: scan its extent, classify, then convert.
+    size_t Start = Pos;
+    bool SawDotOrExp = false;
+    while (Pos < Text.size()) {
+      char N = Text[Pos];
+      if ((N >= '0' && N <= '9') || N == '-' || N == '+') {
+        ++Pos;
+      } else if (N == '.' || N == 'e' || N == 'E') {
+        SawDotOrExp = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start)
+      return fail("expected number");
+    std::string Num(Text.substr(Start, Pos - Start));
+    if (SawDotOrExp) {
+      Arg.Ty = RemarkArg::Type::Double;
+      char *End = nullptr;
+      Arg.FP = std::strtod(Num.c_str(), &End);
+      return End && *End == '\0' ? true : fail("bad double");
+    }
+    char *End = nullptr;
+    if (Num[0] == '-') {
+      Arg.Ty = RemarkArg::Type::Int;
+      Arg.Int = std::strtoll(Num.c_str(), &End, 10);
+    } else {
+      Arg.Ty = RemarkArg::Type::UInt;
+      Arg.UInt = std::strtoull(Num.c_str(), &End, 10);
+    }
+    return End && *End == '\0' ? true : fail("bad integer");
+  }
+
+  const std::string &error() const { return Err; }
+
+private:
+  void skipWS() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+bool Remark::fromJSON(std::string_view Line, Remark &Out, std::string &Err) {
+  JSONCursor C(Line);
+  auto Fail = [&](const std::string &Msg) {
+    Err = Msg.empty() ? std::string("malformed remark JSON") : Msg;
+    return false;
+  };
+
+  Out = Remark();
+  if (!C.consume('{'))
+    return Fail("expected '{'");
+  bool First = true, SawKind = false;
+  while (!C.peekIs('}')) {
+    if (!First && !C.consume(','))
+      return Fail(C.error());
+    First = false;
+    std::string Key;
+    if (!C.parseString(Key) || !C.consume(':'))
+      return Fail(C.error());
+    if (Key == "args") {
+      if (!C.consume('{'))
+        return Fail("expected args object");
+      bool FirstArg = true;
+      while (!C.peekIs('}')) {
+        if (!FirstArg && !C.consume(','))
+          return Fail(C.error());
+        FirstArg = false;
+        RemarkArg Arg;
+        if (!C.parseString(Arg.Key) || !C.consume(':') || !C.parseValue(Arg))
+          return Fail(C.error());
+        Out.Args.push_back(std::move(Arg));
+      }
+      C.consume('}');
+      continue;
+    }
+    RemarkArg V;
+    if (!C.parseValue(V))
+      return Fail(C.error());
+    if (Key == "kind") {
+      if (V.Ty != RemarkArg::Type::String ||
+          !remarkKindFromName(V.Str, Out.Kind))
+        return Fail("unknown remark kind");
+      SawKind = true;
+    } else if (Key == "pass") {
+      Out.Pass = std::move(V.Str);
+    } else if (Key == "function") {
+      Out.Function = std::move(V.Str);
+    } else if (Key == "block") {
+      Out.Block = std::move(V.Str);
+    } else if (Key == "inst") {
+      Out.InstIndex =
+          V.Ty == RemarkArg::Type::Int ? V.Int : static_cast<int64_t>(V.UInt);
+    } else {
+      return Fail("unknown field '" + Key + "'");
+    }
+  }
+  if (!C.consume('}'))
+    return Fail("expected '}'");
+  if (!C.atEnd())
+    return Fail("trailing content after remark object");
+  if (!SawKind)
+    return Fail("missing 'kind' field");
+  return true;
+}

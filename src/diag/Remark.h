@@ -1,0 +1,162 @@
+//===- diag/Remark.h - Structured optimization remarks ----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed optimization-remark records: one record per decision the (L)SLP
+/// pipeline takes (seed found, multi-node formed, look-ahead tie-break,
+/// cost accept/reject, ...), carrying the pass, the enclosing function and
+/// block, an anchor instruction index, and structured key/value arguments.
+/// Remarks serialize to a human-readable text line and to one line of
+/// deterministic JSON (JSONL); the JSON form parses back losslessly, which
+/// the fuzz oracle and CI use as a determinism oracle.
+///
+/// Determinism contract: a remark must never embed pointers, timestamps or
+/// any other run-varying data — two runs of the same pass on the same
+/// module must produce byte-identical streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_DIAG_REMARK_H
+#define LSLP_DIAG_REMARK_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lslp {
+
+class OStream;
+
+/// Every decision point the pipeline reports. The names returned by
+/// remarkKindName() are the stable external identifiers (JSON `kind`).
+enum class RemarkKind : uint8_t {
+  SeedFound,         ///< A store seed bundle was collected.
+  SeedRejected,      ///< A store could not join any seed bundle.
+  NodeBuilt,         ///< A vectorizable group node was formed.
+  GatherFallback,    ///< A bundle degraded to a gather (with reason).
+  MultiNodeFormed,   ///< LSLP coarsened a commutative chain (§4.2).
+  LookAheadScore,    ///< Look-ahead tie-break among candidates (§4.4).
+  ReorderChoice,     ///< Outcome of one operand-reordering run (§4.3).
+  CostNode,          ///< Per-node cost breakdown.
+  CostAccepted,      ///< Graph cost beat the threshold; vectorized.
+  CostRejected,      ///< Graph cost missed the threshold; kept scalar.
+  SchedulerBailout,  ///< Bundle unschedulable (dependence/cycle).
+  ReductionFound,    ///< A horizontal reduction tree matched (§2.2).
+  CSEHit,            ///< EarlyCSE replaced a redundant instruction.
+};
+
+/// Stable external name of \p Kind (e.g. "seed-found").
+const char *remarkKindName(RemarkKind Kind);
+
+/// Parses an external kind name; returns false if unknown.
+bool remarkKindFromName(std::string_view Name, RemarkKind &Out);
+
+/// One key/value argument of a remark. A closed tagged union: remarks are
+/// data records, not format strings.
+struct RemarkArg {
+  enum class Type : uint8_t { String, Int, UInt, Double, Bool };
+
+  std::string Key;
+  Type Ty = Type::String;
+  std::string Str;
+  int64_t Int = 0;
+  uint64_t UInt = 0;
+  double FP = 0.0;
+  bool Flag = false;
+
+  RemarkArg() = default;
+  RemarkArg(std::string Key, std::string Value)
+      : Key(std::move(Key)), Ty(Type::String), Str(std::move(Value)) {}
+  RemarkArg(std::string Key, const char *Value)
+      : RemarkArg(std::move(Key), std::string(Value)) {}
+  RemarkArg(std::string Key, int64_t Value)
+      : Key(std::move(Key)), Ty(Type::Int), Int(Value) {}
+  RemarkArg(std::string Key, int Value)
+      : RemarkArg(std::move(Key), static_cast<int64_t>(Value)) {}
+  RemarkArg(std::string Key, uint64_t Value)
+      : Key(std::move(Key)), Ty(Type::UInt), UInt(Value) {}
+  RemarkArg(std::string Key, unsigned Value)
+      : RemarkArg(std::move(Key), static_cast<uint64_t>(Value)) {}
+  RemarkArg(std::string Key, double Value)
+      : Key(std::move(Key)), Ty(Type::Double), FP(Value) {}
+  RemarkArg(std::string Key, bool Value)
+      : Key(std::move(Key)), Ty(Type::Bool), Flag(Value) {}
+
+  bool operator==(const RemarkArg &O) const;
+
+  /// Renders just the value (no key), as it appears in both sinks.
+  void printValue(OStream &OS) const;
+};
+
+/// One structured remark.
+struct Remark {
+  RemarkKind Kind = RemarkKind::SeedFound;
+  /// Emitting component ("seed-collector", "graph-builder", ...).
+  std::string Pass;
+  /// Enclosing function name (empty when not applicable).
+  std::string Function;
+  /// Enclosing basic-block name (empty when not applicable).
+  std::string Block;
+  /// Index of the anchor instruction within its block at emission time;
+  /// -1 when the remark has no single anchor.
+  int64_t InstIndex = -1;
+  /// Structured payload, in emission order.
+  std::vector<RemarkArg> Args;
+
+  Remark() = default;
+  Remark(RemarkKind Kind, std::string Pass)
+      : Kind(Kind), Pass(std::move(Pass)) {}
+
+  /// \name Fluent builder helpers.
+  /// @{
+  Remark &&inFunction(std::string Name) && {
+    Function = std::move(Name);
+    return std::move(*this);
+  }
+  Remark &&inBlock(std::string Name) && {
+    Block = std::move(Name);
+    return std::move(*this);
+  }
+  Remark &&atIndex(int64_t Index) && {
+    InstIndex = Index;
+    return std::move(*this);
+  }
+  template <typename T> Remark &&arg(std::string Key, T Value) && {
+    Args.emplace_back(std::move(Key), Value);
+    return std::move(*this);
+  }
+  /// @}
+
+  /// Returns the argument with \p Key, or null.
+  const RemarkArg *getArg(std::string_view Key) const;
+
+  bool operator==(const Remark &O) const;
+
+  /// Human-readable single line:
+  ///   remark: @fn/entry+3: multinode-formed [graph-builder] lanes=2 ...
+  void printText(OStream &OS) const;
+
+  /// One line of JSON (sorted, fixed field order), newline-terminated:
+  ///   {"kind":"multinode-formed","pass":"graph-builder",...}
+  void printJSON(OStream &OS) const;
+
+  /// Convenience: the JSON line as a string (with trailing newline).
+  std::string toJSON() const;
+
+  /// Parses one JSONL line produced by printJSON back into \p Out.
+  /// Returns false and sets \p Err on malformed input. Accepts only the
+  /// subset of JSON printJSON emits (flat object, string/number/bool
+  /// values, one nested "args" object).
+  static bool fromJSON(std::string_view Line, Remark &Out, std::string &Err);
+};
+
+/// Writes \p Text JSON-escaped (quotes, backslashes, control characters).
+void printJSONEscaped(OStream &OS, std::string_view Text);
+
+} // namespace lslp
+
+#endif // LSLP_DIAG_REMARK_H

@@ -1,0 +1,61 @@
+//===- diag/RemarkEngine.cpp - Remark sinks and streaming ---------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/RemarkEngine.h"
+
+#include "support/OStream.h"
+
+using namespace lslp;
+
+RemarkStreamer::~RemarkStreamer() = default;
+
+void RemarkEngine::emit(Remark R) {
+  ++NumEmitted;
+  ++Counts[static_cast<size_t>(R.Kind)];
+  if (TextOS)
+    R.printText(*TextOS);
+  if (JSONOS)
+    R.printJSON(*JSONOS);
+  if (KeepRemarks)
+    Kept.push_back(std::move(R));
+}
+
+std::string RemarkEngine::summary() const {
+  std::string Out;
+  StringOStream OS(Out);
+  auto Item = [&](RemarkKind Kind, const char *Label) {
+    uint64_t N = count(Kind);
+    if (!N)
+      return;
+    if (!Out.empty())
+      OS << ", ";
+    OS << N << " " << Label;
+  };
+  Item(RemarkKind::SeedFound, "seed(s)");
+  Item(RemarkKind::MultiNodeFormed, "multi-node(s)");
+  Item(RemarkKind::ReductionFound, "reduction(s)");
+  Item(RemarkKind::NodeBuilt, "group(s)");
+  Item(RemarkKind::GatherFallback, "gather(s)");
+  Item(RemarkKind::SchedulerBailout, "sched bailout(s)");
+  Item(RemarkKind::LookAheadScore, "look-ahead tie-break(s)");
+  uint64_t Acc = count(RemarkKind::CostAccepted);
+  uint64_t Rej = count(RemarkKind::CostRejected);
+  if (Acc || Rej) {
+    if (!Out.empty())
+      OS << ", ";
+    OS << "cost " << Acc << " accepted / " << Rej << " rejected";
+  }
+  if (Out.empty())
+    OS << "no remarks";
+  return Out;
+}
+
+void RemarkEngine::clear() {
+  Kept.clear();
+  NumEmitted = 0;
+  for (uint64_t &C : Counts)
+    C = 0;
+}

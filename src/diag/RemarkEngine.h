@@ -1,0 +1,92 @@
+//===- diag/RemarkEngine.h - Remark sinks and streaming ---------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The emission side of the remark subsystem. Passes hold a
+/// `RemarkStreamer *` (via VectorizerConfig) and test it before building a
+/// remark, so a disabled pipeline pays one null check per decision point:
+///
+///   if (RemarkStreamer *RS = Config.Remarks)
+///     RS->emit(Remark(RemarkKind::SeedFound, "seed-collector")
+///                  .inFunction(F.getName()) ... );
+///
+/// RemarkEngine is the concrete streamer: it forwards every remark to an
+/// optional text sink and an optional JSONL sink, and can retain remarks
+/// in memory for tests, the bench harness, and summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_DIAG_REMARKENGINE_H
+#define LSLP_DIAG_REMARKENGINE_H
+
+#include "diag/Remark.h"
+
+#include <vector>
+
+namespace lslp {
+
+class OStream;
+
+/// Abstract remark consumer. Kept minimal so alternative sinks (a test
+/// capture, a socket, a ring buffer) need only one method.
+class RemarkStreamer {
+public:
+  virtual ~RemarkStreamer();
+
+  /// Consumes one remark. Implementations must not reorder or drop
+  /// remarks: stream order is part of the determinism contract.
+  virtual void emit(Remark R) = 0;
+};
+
+/// The standard streamer: fan-out to a text sink, a JSONL sink, and an
+/// in-memory buffer (each individually optional). Streams are borrowed,
+/// not owned.
+class RemarkEngine : public RemarkStreamer {
+public:
+  RemarkEngine() = default;
+
+  /// Attaches the human-readable text sink (null detaches).
+  void setTextStream(OStream *OS) { TextOS = OS; }
+
+  /// Attaches the JSONL sink (null detaches).
+  void setJSONStream(OStream *OS) { JSONOS = OS; }
+
+  /// When set, every remark is also retained in memory (remarks()).
+  void setKeepRemarks(bool Keep) { KeepRemarks = Keep; }
+
+  void emit(Remark R) override;
+
+  /// Remarks retained so far (setKeepRemarks(true) only).
+  const std::vector<Remark> &remarks() const { return Kept; }
+
+  /// Total remarks emitted (retained or not).
+  uint64_t numEmitted() const { return NumEmitted; }
+
+  /// Number of emitted remarks of \p Kind.
+  uint64_t count(RemarkKind Kind) const {
+    return Counts[static_cast<size_t>(Kind)];
+  }
+
+  /// One-line human summary of the stream so far, e.g.
+  /// "3 seed(s), 2 multi-node(s), 1 reduction(s), 4 gather(s),
+  ///  cost 2 accepted / 1 rejected" — the bench harness's row annotation.
+  std::string summary() const;
+
+  /// Forgets retained remarks and counts (sinks stay attached).
+  void clear();
+
+private:
+  OStream *TextOS = nullptr;
+  OStream *JSONOS = nullptr;
+  bool KeepRemarks = false;
+  std::vector<Remark> Kept;
+  uint64_t NumEmitted = 0;
+  uint64_t Counts[16] = {};
+};
+
+} // namespace lslp
+
+#endif // LSLP_DIAG_REMARKENGINE_H

@@ -1,0 +1,90 @@
+//===- diag/Statistics.cpp - Pass statistics counters -------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/Statistics.h"
+
+#include "diag/Remark.h"
+#include "support/OStream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+using namespace lslp;
+
+void Statistic::bump(uint64_t N) {
+  if (!Registered) {
+    Registered = true;
+    StatisticsRegistry::instance().add(this);
+  }
+  Value += N;
+}
+
+StatisticsRegistry &StatisticsRegistry::instance() {
+  static StatisticsRegistry R;
+  return R;
+}
+
+void StatisticsRegistry::add(Statistic *S) { Stats.push_back(S); }
+
+std::vector<const Statistic *> StatisticsRegistry::all() const {
+  std::vector<const Statistic *> Sorted(Stats.begin(), Stats.end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Statistic *A, const Statistic *B) {
+              int C = std::strcmp(A->getComponent(), B->getComponent());
+              if (C != 0)
+                return C < 0;
+              return std::strcmp(A->getName(), B->getName()) < 0;
+            });
+  return Sorted;
+}
+
+void StatisticsRegistry::resetAll() {
+  for (Statistic *S : Stats)
+    S->Value = 0;
+}
+
+bool StatisticsRegistry::anyNonZero() const {
+  for (const Statistic *S : Stats)
+    if (S->value() != 0)
+      return true;
+  return false;
+}
+
+void StatisticsRegistry::printText(OStream &OS) const {
+  OS << "=== statistics ===\n";
+  size_t ValueWidth = 1, ComponentWidth = 1;
+  std::vector<const Statistic *> Sorted = all();
+  for (const Statistic *S : Sorted) {
+    if (S->value() == 0)
+      continue;
+    ValueWidth = std::max(ValueWidth, std::to_string(S->value()).size());
+    ComponentWidth = std::max(ComponentWidth, std::strlen(S->getComponent()));
+  }
+  for (const Statistic *S : Sorted) {
+    if (S->value() == 0)
+      continue;
+    OS.rightJustify(std::to_string(S->value()),
+                    static_cast<unsigned>(ValueWidth));
+    OS << " ";
+    OS.leftJustify(S->getComponent(), static_cast<unsigned>(ComponentWidth));
+    OS << " - " << S->getDesc() << "\n";
+  }
+}
+
+void StatisticsRegistry::printJSON(OStream &OS) const {
+  OS << "{";
+  bool First = true;
+  for (const Statistic *S : all()) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"";
+    printJSONEscaped(OS, std::string(S->getComponent()) + "." + S->getName());
+    OS << "\":" << S->value();
+  }
+  OS << "}\n";
+}

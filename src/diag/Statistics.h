@@ -1,0 +1,107 @@
+//===- diag/Statistics.h - Pass statistics counters -------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-STATISTIC-style counters. A compilation unit declares a counter at
+/// namespace scope and bumps it at the decision point:
+///
+///   LSLP_STATISTIC(NumSeedsFound, "seed-collector",
+///                  "Number of store seed bundles collected");
+///   ...
+///   ++NumSeedsFound;
+///
+/// Counters self-register in a process-wide registry on first use and can
+/// be dumped as an aligned text table or JSON (`lslpc --stats[=json]`),
+/// and reset between runs (`StatisticsRegistry::resetAll()`), which the
+/// driver uses so multi-module sessions report per-module numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_DIAG_STATISTICS_H
+#define LSLP_DIAG_STATISTICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace lslp {
+
+class OStream;
+
+/// One named counter. Cheap to bump (one integer add; registration happens
+/// once, on the first bump or read).
+class Statistic {
+public:
+  Statistic(const char *Component, const char *Name, const char *Desc)
+      : Component(Component), Name(Name), Desc(Desc) {}
+
+  const char *getComponent() const { return Component; }
+  const char *getName() const { return Name; }
+  const char *getDesc() const { return Desc; }
+  uint64_t value() const { return Value; }
+
+  Statistic &operator++() {
+    bump(1);
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    bump(N);
+    return *this;
+  }
+
+  /// Sets the counter to the maximum of its current value and \p N.
+  void updateMax(uint64_t N) {
+    bump(0);
+    if (N > Value)
+      Value = N;
+  }
+
+private:
+  friend class StatisticsRegistry;
+  void bump(uint64_t N);
+
+  const char *Component;
+  const char *Name;
+  const char *Desc;
+  uint64_t Value = 0;
+  bool Registered = false;
+};
+
+/// Process-wide registry of every Statistic that has been touched.
+class StatisticsRegistry {
+public:
+  static StatisticsRegistry &instance();
+
+  /// Registered counters sorted by (component, name) — the deterministic
+  /// dump order.
+  std::vector<const Statistic *> all() const;
+
+  /// Zeroes every registered counter (registration survives).
+  void resetAll();
+
+  /// True when any registered counter is non-zero.
+  bool anyNonZero() const;
+
+  /// Aligned, human-readable table of all non-zero counters.
+  void printText(OStream &OS) const;
+
+  /// Single deterministic JSON object:
+  ///   {"component.name":value,...} sorted by key, including zeros.
+  void printJSON(OStream &OS) const;
+
+private:
+  friend class Statistic;
+  void add(Statistic *S);
+
+  std::vector<Statistic *> Stats;
+};
+
+} // namespace lslp
+
+/// Declares a translation-unit-local statistic named \p Var.
+#define LSLP_STATISTIC(Var, Component, Desc)                                   \
+  static ::lslp::Statistic Var(Component, #Var, Desc)
+
+#endif // LSLP_DIAG_STATISTICS_H

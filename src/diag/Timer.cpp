@@ -1,0 +1,76 @@
+//===- diag/Timer.cpp - Pass wall-time measurement ----------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/Timer.h"
+
+#include "diag/Remark.h"
+#include "support/OStream.h"
+#include "support/StringUtil.h"
+
+#include <cassert>
+
+using namespace lslp;
+
+void Timer::start() {
+  assert(!Running && "timer already running");
+  Running = true;
+  StartedAt = std::chrono::steady_clock::now();
+}
+
+void Timer::stop() {
+  assert(Running && "timer not running");
+  Running = false;
+  Total += std::chrono::steady_clock::now() - StartedAt;
+  ++Activations;
+}
+
+void Timer::reset() {
+  Total = {};
+  Activations = 0;
+  Running = false;
+}
+
+Timer &TimerGroup::getTimer(const std::string &Name) {
+  for (const auto &T : Timers)
+    if (T->getName() == Name)
+      return *T;
+  Timers.push_back(std::make_unique<Timer>(Name));
+  return *Timers.back();
+}
+
+void TimerGroup::printText(OStream &OS) const {
+  double GroupTotal = 0.0;
+  for (const auto &T : Timers)
+    GroupTotal += T->seconds();
+  OS << "=== " << Name << " timers (wall) ===\n";
+  for (const auto &T : Timers) {
+    double Pct = GroupTotal > 0.0 ? 100.0 * T->seconds() / GroupTotal : 0.0;
+    OS.rightJustify(formatDouble(T->seconds(), 6), 10);
+    OS << "s ";
+    OS.rightJustify(formatDouble(Pct, 1), 5);
+    OS << "% ";
+    OS.rightJustify(std::to_string(T->activations()), 6);
+    OS << "x  " << T->getName() << "\n";
+  }
+  OS.rightJustify(formatDouble(GroupTotal, 6), 10);
+  OS << "s total\n";
+}
+
+void TimerGroup::printJSON(OStream &OS) const {
+  OS << "{\"group\":\"";
+  printJSONEscaped(OS, Name);
+  OS << "\",\"timers\":{";
+  for (size_t I = 0; I != Timers.size(); ++I) {
+    const Timer &T = *Timers[I];
+    if (I)
+      OS << ",";
+    OS << "\"";
+    printJSONEscaped(OS, T.getName());
+    OS << "\":{\"seconds\":" << T.seconds()
+       << ",\"activations\":" << T.activations() << "}";
+  }
+  OS << "}}\n";
+}

@@ -1,0 +1,108 @@
+//===- diag/Timer.h - Pass wall-time measurement ----------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers for per-pass timing (`lslpc --time-passes`). A
+/// TimerGroup owns named Timers; TimeRegion scopes a measurement:
+///
+///   TimerGroup TG("lslpc");
+///   Timer &T = TG.getTimer("vectorize");
+///   { TimeRegion R(&T); runPass(); }
+///   TG.printText(outs());
+///
+/// Timing output is inherently nondeterministic, so it is kept strictly
+/// separate from the remark stream (which must be byte-identical across
+/// runs) and is never mixed into `--remarks` output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_DIAG_TIMER_H
+#define LSLP_DIAG_TIMER_H
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class OStream;
+
+/// Accumulating wall-clock timer. start()/stop() pairs may repeat; the
+/// total and the activation count accumulate.
+class Timer {
+public:
+  explicit Timer(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  void start();
+  void stop();
+  bool isRunning() const { return Running; }
+
+  /// Accumulated wall time in seconds (excludes a running activation).
+  double seconds() const {
+    return std::chrono::duration<double>(Total).count();
+  }
+  /// Number of completed start()/stop() activations.
+  uint64_t activations() const { return Activations; }
+
+  void reset();
+
+private:
+  std::string Name;
+  std::chrono::steady_clock::duration Total{};
+  std::chrono::steady_clock::time_point StartedAt{};
+  uint64_t Activations = 0;
+  bool Running = false;
+};
+
+/// A named set of timers, dumpable as a text table or one JSON object.
+class TimerGroup {
+public:
+  explicit TimerGroup(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  /// Returns the timer named \p Name, creating it on first use. Creation
+  /// order is preserved in dumps (pipeline order, not alphabetical).
+  Timer &getTimer(const std::string &Name);
+
+  const std::vector<std::unique_ptr<Timer>> &timers() const { return Timers; }
+
+  /// Text table: seconds, percent of group total, activations, name.
+  void printText(OStream &OS) const;
+
+  /// {"group":"...","timers":{"name":{"seconds":...,"activations":...}}}
+  void printJSON(OStream &OS) const;
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Timer>> Timers;
+};
+
+/// RAII measurement scope. A null timer makes the region a no-op, so call
+/// sites can be unconditional:  TimeRegion R(Opts.Time ? &T : nullptr);
+class TimeRegion {
+public:
+  explicit TimeRegion(Timer *T) : T(T) {
+    if (T)
+      T->start();
+  }
+  ~TimeRegion() {
+    if (T)
+      T->stop();
+  }
+  TimeRegion(const TimeRegion &) = delete;
+  TimeRegion &operator=(const TimeRegion &) = delete;
+
+private:
+  Timer *T;
+};
+
+} // namespace lslp
+
+#endif // LSLP_DIAG_TIMER_H

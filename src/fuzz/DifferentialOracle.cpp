@@ -7,6 +7,7 @@
 #include "fuzz/DifferentialOracle.h"
 
 #include "costmodel/TargetTransformInfo.h"
+#include "diag/RemarkEngine.h"
 #include "interp/Interpreter.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
@@ -14,6 +15,7 @@
 #include "ir/Type.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
+#include "support/OStream.h"
 #include "support/RNG.h"
 #include "vectorizer/SLPVectorizerPass.h"
 
@@ -144,6 +146,7 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
   SkylakeTTI TTI;
   for (const VectorizerConfig &Config : Opts.Configs) {
     auto RunPass = [&](Context &Ctx, std::string &OutIR,
+                       std::string &OutRemarks,
                        std::string &FailReason) -> std::unique_ptr<Module> {
       std::string Err;
       std::unique_ptr<Module> M = parseModule(IRText, Ctx, Err);
@@ -151,8 +154,33 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
         FailReason = "re-parse error: " + Err;
         return nullptr;
       }
-      SLPVectorizerPass Pass(Config, TTI);
+      // Stream the pass's decision trace as JSONL: the remark stream is
+      // part of the determinism contract (checked below), and every line
+      // must parse back losslessly.
+      RemarkEngine Engine;
+      StringOStream RemarkOS(OutRemarks);
+      Engine.setJSONStream(&RemarkOS);
+      VectorizerConfig Cfg = Config;
+      Cfg.Remarks = &Engine;
+      SLPVectorizerPass Pass(Cfg, TTI);
       ModuleReport Report = Pass.runOnModule(*M);
+      size_t LineStart = 0;
+      while (LineStart < OutRemarks.size()) {
+        size_t LineEnd = OutRemarks.find('\n', LineStart);
+        if (LineEnd == std::string::npos)
+          LineEnd = OutRemarks.size();
+        Remark Parsed;
+        std::string ParseErr;
+        if (!Remark::fromJSON(
+                std::string_view(OutRemarks).substr(LineStart,
+                                                    LineEnd - LineStart),
+                Parsed, ParseErr)) {
+          FailReason = "remark JSONL line does not parse back: " + ParseErr;
+          OutIR = moduleToString(*M);
+          return nullptr;
+        }
+        LineStart = LineEnd + 1;
+      }
       std::vector<std::string> Errors;
       if (!verifyModule(*M, &Errors)) {
         FailReason = "vectorized module fails verification: " +
@@ -177,8 +205,8 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
     };
 
     Context Ctx;
-    std::string IR1, FailReason;
-    std::unique_ptr<Module> M = RunPass(Ctx, IR1, FailReason);
+    std::string IR1, Remarks1, FailReason;
+    std::unique_ptr<Module> M = RunPass(Ctx, IR1, Remarks1, FailReason);
     if (!M) {
       V.Passed = false;
       V.ConfigName = Config.Name;
@@ -189,13 +217,18 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
 
     if (Opts.CheckDeterminism) {
       Context Ctx2;
-      std::string IR2, FailReason2;
-      std::unique_ptr<Module> M2 = RunPass(Ctx2, IR2, FailReason2);
-      if (!M2 || IR1 != IR2) {
+      std::string IR2, Remarks2, FailReason2;
+      std::unique_ptr<Module> M2 = RunPass(Ctx2, IR2, Remarks2, FailReason2);
+      if (!M2 || IR1 != IR2 || Remarks1 != Remarks2) {
         V.Passed = false;
         V.ConfigName = Config.Name;
-        V.Reason = M2 ? "pass is nondeterministic (two runs differ)"
-                      : "second run failed: " + FailReason2;
+        if (!M2)
+          V.Reason = "second run failed: " + FailReason2;
+        else if (IR1 != IR2)
+          V.Reason = "pass is nondeterministic (two runs differ)";
+        else
+          V.Reason =
+              "remark stream is nondeterministic (two runs differ)";
         V.VectorizedIR = IR1;
         return V;
       }

@@ -6,6 +6,9 @@
 
 #include "transforms/EarlyCSE.h"
 
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 #include "ir/Instruction.h"
@@ -16,6 +19,8 @@
 #include <vector>
 
 using namespace lslp;
+
+LSLP_STATISTIC(NumCSERemoved, "early-cse", "Redundant instructions removed");
 
 namespace {
 
@@ -72,7 +77,7 @@ bool makeKey(const Instruction *I, uint64_t MemGeneration, CSEKey &Key) {
 
 } // namespace
 
-unsigned lslp::runEarlyCSE(BasicBlock &BB) {
+unsigned lslp::runEarlyCSE(BasicBlock &BB, RemarkStreamer *Remarks) {
   std::map<CSEKey, Instruction *> Available;
   std::vector<Instruction *> Dead;
   uint64_t MemGeneration = 0;
@@ -89,6 +94,11 @@ unsigned lslp::runEarlyCSE(BasicBlock &BB) {
     auto [It, Inserted] = Available.insert({std::move(Key), I});
     if (Inserted)
       continue;
+    ++NumCSERemoved;
+    if (Remarks)
+      Remarks->emit(remarkAt(RemarkKind::CSEHit, "early-cse", I)
+                        .arg("opcode", I->getOpcodeName())
+                        .arg("kept-index", remarkInstIndex(It->second)));
     I->replaceAllUsesWith(It->second);
     Dead.push_back(I);
   }
@@ -98,16 +108,16 @@ unsigned lslp::runEarlyCSE(BasicBlock &BB) {
   return static_cast<unsigned>(Dead.size());
 }
 
-unsigned lslp::runEarlyCSE(Function &F) {
+unsigned lslp::runEarlyCSE(Function &F, RemarkStreamer *Remarks) {
   unsigned Removed = 0;
   for (const auto &BB : F)
-    Removed += runEarlyCSE(*BB);
+    Removed += runEarlyCSE(*BB, Remarks);
   return Removed;
 }
 
-unsigned lslp::runEarlyCSE(Module &M) {
+unsigned lslp::runEarlyCSE(Module &M, RemarkStreamer *Remarks) {
   unsigned Removed = 0;
   for (const auto &F : M.functions())
-    Removed += runEarlyCSE(*F);
+    Removed += runEarlyCSE(*F, Remarks);
   return Removed;
 }

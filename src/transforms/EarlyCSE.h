@@ -25,15 +25,18 @@ namespace lslp {
 class BasicBlock;
 class Function;
 class Module;
+class RemarkStreamer;
 
 /// Runs CSE on one block; returns the number of instructions removed.
-unsigned runEarlyCSE(BasicBlock &BB);
+/// When \p Remarks is non-null, emits one cse-hit remark per replaced
+/// instruction.
+unsigned runEarlyCSE(BasicBlock &BB, RemarkStreamer *Remarks = nullptr);
 
 /// Runs CSE on every block of \p F.
-unsigned runEarlyCSE(Function &F);
+unsigned runEarlyCSE(Function &F, RemarkStreamer *Remarks = nullptr);
 
 /// Runs CSE on every function of \p M.
-unsigned runEarlyCSE(Module &M);
+unsigned runEarlyCSE(Module &M, RemarkStreamer *Remarks = nullptr);
 
 } // namespace lslp
 

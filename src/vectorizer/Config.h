@@ -24,6 +24,8 @@
 
 namespace lslp {
 
+class RemarkStreamer;
+
 /// All knobs of the (L)SLP vectorizer.
 struct VectorizerConfig {
   /// Reorder operands of commutative groups at all (off = SLP-NR).
@@ -78,6 +80,12 @@ struct VectorizerConfig {
 
   /// Human-readable configuration name for reports.
   std::string Name = "custom";
+
+  /// Optimization-remark sink (see diag/RemarkEngine.h). Null disables
+  /// remark emission entirely; every decision point guards with
+  /// `if (RemarkStreamer *RS = Config.Remarks)`, so the disabled pipeline
+  /// pays one predictable branch per decision. Non-owning.
+  RemarkStreamer *Remarks = nullptr;
 
   /// \name Paper configurations.
   /// @{

@@ -7,6 +7,8 @@
 #include "vectorizer/CostEvaluator.h"
 
 #include "costmodel/TargetTransformInfo.h"
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
 #include "ir/Constants.h"
 #include "ir/Context.h"
 #include "vectorizer/SLPGraph.h"
@@ -14,6 +16,20 @@
 using namespace lslp;
 
 namespace {
+
+const char *nodeKindName(SLPNode::NodeKind K) {
+  switch (K) {
+  case SLPNode::NodeKind::Gather:
+    return "gather";
+  case SLPNode::NodeKind::Vectorize:
+    return "vectorize";
+  case SLPNode::NodeKind::Alternate:
+    return "alternate";
+  case SLPNode::NodeKind::MultiNode:
+    return "multinode";
+  }
+  return "unknown";
+}
 
 /// One extract per vectorized lane whose scalar still has users outside
 /// the graph (those users keep reading the scalar value).
@@ -116,12 +132,28 @@ int nodeCost(const SLPGraph &Graph, const SLPNode &Node,
 
 } // namespace
 
-int lslp::evaluateGraphCost(SLPGraph &Graph, const TargetTransformInfo &TTI) {
+int lslp::evaluateGraphCost(SLPGraph &Graph, const TargetTransformInfo &TTI,
+                            RemarkStreamer *Remarks) {
   int Total = 0;
   for (const auto &Node : Graph.nodes()) {
     int Cost = nodeCost(Graph, *Node, TTI);
     Node->setCost(Cost);
     Total += Cost;
+    if (Remarks) {
+      // Anchor at the node's first instruction lane; all-constant gathers
+      // get no anchor and are reported without one.
+      Remark R(RemarkKind::CostNode, "cost-model");
+      for (const Value *Scalar : Node->getScalars())
+        if (const auto *I = dyn_cast<Instruction>(Scalar)) {
+          R = remarkAt(RemarkKind::CostNode, "cost-model", I);
+          break;
+        }
+      Remarks->emit(std::move(R)
+                        .arg("node", nodeKindName(Node->getKind()))
+                        .arg("lanes",
+                             static_cast<uint64_t>(Node->getNumLanes()))
+                        .arg("cost", static_cast<int64_t>(Cost)));
+    }
   }
   Graph.setTotalCost(Total);
   return Total;

@@ -17,12 +17,16 @@
 
 namespace lslp {
 
+class RemarkStreamer;
 class SLPGraph;
 class TargetTransformInfo;
 
 /// Evaluates and caches the cost of every node in \p Graph; returns the
-/// total (also stored via SLPGraph::setTotalCost).
-int evaluateGraphCost(SLPGraph &Graph, const TargetTransformInfo &TTI);
+/// total (also stored via SLPGraph::setTotalCost). When \p Remarks is
+/// non-null, emits one cost-node remark per node with its kind, lane
+/// count, and signed cost contribution.
+int evaluateGraphCost(SLPGraph &Graph, const TargetTransformInfo &TTI,
+                      RemarkStreamer *Remarks = nullptr);
 
 } // namespace lslp
 

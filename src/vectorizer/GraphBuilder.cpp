@@ -7,17 +7,53 @@
 #include "vectorizer/GraphBuilder.h"
 
 #include "analysis/AddressAnalysis.h"
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
 #include "ir/Constants.h"
 #include "vectorizer/OperandReordering.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace lslp;
 
+LSLP_STATISTIC(NumGroupNodes, "graph-builder", "Vectorize group nodes built");
+LSLP_STATISTIC(NumGatherNodes, "graph-builder", "Bundles degraded to gathers");
+LSLP_STATISTIC(NumMultiNodes, "graph-builder", "Multi-nodes formed (LSLP)");
+LSLP_STATISTIC(NumAlternateNodes, "graph-builder",
+               "Alternate-opcode (add/sub blend) nodes built");
+
+namespace {
+
+/// Anchors a remark at the first instruction lane (falling back to a
+/// block-level remark for all-constant/argument bundles).
+Remark remarkForLanes(RemarkKind Kind, const std::vector<Value *> &Lanes,
+                      const BasicBlock &BB) {
+  for (Value *V : Lanes)
+    if (auto *I = dyn_cast<Instruction>(V))
+      return remarkAt(Kind, "graph-builder", I);
+  return remarkIn(Kind, "graph-builder", BB);
+}
+
+} // namespace
+
 SLPGraphBuilder::SLPGraphBuilder(const VectorizerConfig &Config,
                                  BasicBlock &BB)
-    : Config(Config), BB(BB), Scheduler(BB) {}
+    : Config(Config), BB(BB), Scheduler(BB, Config.Remarks) {}
+
+void SLPGraphBuilder::noteNodeBuilt(const char *NodeKind,
+                                    const std::vector<Value *> &Lanes,
+                                    unsigned Depth) {
+  if (RemarkStreamer *RS = Config.Remarks)
+    RS->emit(remarkForLanes(RemarkKind::NodeBuilt, Lanes, BB)
+                 .arg("node", NodeKind)
+                 .arg("opcode",
+                      cast<Instruction>(Lanes[0])->getOpcodeName())
+                 .arg("lanes", static_cast<uint64_t>(Lanes.size()))
+                 .arg("depth", static_cast<uint64_t>(Depth)));
+}
 
 std::optional<SLPGraph> SLPGraphBuilder::build(
     const std::vector<Instruction *> &Seeds) {
@@ -53,10 +89,20 @@ SLPNode *SLPGraphBuilder::buildRec(const std::vector<Value *> &Lanes,
 
 SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
                                        unsigned Depth) {
-  auto Gather = [&] { return Graph.createGatherNode(Lanes); };
+  // Every degradation to a gather is a reportable decision; \p Reason uses
+  // a closed vocabulary (see DESIGN.md "Diagnostics").
+  auto Gather = [&](const char *Reason) {
+    ++NumGatherNodes;
+    if (RemarkStreamer *RS = Config.Remarks)
+      RS->emit(remarkForLanes(RemarkKind::GatherFallback, Lanes, BB)
+                   .arg("reason", Reason)
+                   .arg("lanes", static_cast<uint64_t>(Lanes.size()))
+                   .arg("depth", static_cast<uint64_t>(Depth)));
+    return Graph.createGatherNode(Lanes);
+  };
 
   if (Depth > Config.MaxGraphDepth)
-    return Gather();
+    return Gather("depth-limit");
 
   // Termination conditions (paper footnote 1): all lanes must hold unique,
   // isomorphic scalar instructions from this block that are not yet part
@@ -66,7 +112,7 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
   for (Value *V : Lanes) {
     auto *I = dyn_cast<Instruction>(V);
     if (!I)
-      return Gather();
+      return Gather("non-instruction-lane");
     Insts.push_back(I);
   }
   ValueID Opcode = Insts[0]->getOpcode();
@@ -75,17 +121,17 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
   for (Instruction *I : Insts) {
     MixedOpcodes |= I->getOpcode() != Opcode;
     if (I->getType() != Ty)
-      return Gather();
+      return Gather("type-mismatch");
     if (I->getParent() != &BB)
-      return Gather();
+      return Gather("cross-block");
     if (I->getType()->isVectorTy())
-      return Gather(); // Already vector code.
+      return Gather("already-vector"); // Already vector code.
     if (Graph.isCoveredScalar(I))
-      return Gather(); // Used by another group; gather with extracts.
+      return Gather("covered-scalar"); // Another group owns it; extract.
   }
   std::set<Value *> Unique(Lanes.begin(), Lanes.end());
   if (Unique.size() != Lanes.size())
-    return Gather(); // Duplicate lanes vectorize as a splat gather.
+    return Gather("duplicate-lanes"); // Duplicates vectorize as a splat.
 
   if (MixedOpcodes) {
     // Extension: an add/sub or fadd/fsub mix lowers as two vector ops
@@ -93,7 +139,7 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
     if (Config.EnableAltOpcodes)
       if (SLPNode *Alt = tryBuildAlternateNode(Insts, Depth))
         return Alt;
-    return Gather();
+    return Gather("opcode-mismatch");
   }
 
   switch (Opcode) {
@@ -101,10 +147,12 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
     // Seeds: consecutive stores in address order.
     for (size_t I = 0; I + 1 < Insts.size(); ++I)
       if (!areConsecutiveAccesses(Insts[I], Insts[I + 1]))
-        return Gather();
+        return Gather("non-consecutive-stores");
     if (!Scheduler.canScheduleBundle(Insts))
-      return Gather();
+      return Gather("unschedulable");
     Scheduler.commitBundle(Insts);
+    ++NumGroupNodes;
+    noteNodeBuilt("store", Lanes, Depth);
     SLPNode *Node = Graph.createVectorizeNode(Lanes);
     std::vector<Value *> ValueLanes;
     ValueLanes.reserve(Insts.size());
@@ -118,10 +166,12 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
     // order (the order the parent's operand reordering produced).
     for (size_t I = 0; I + 1 < Insts.size(); ++I)
       if (!areConsecutiveAccesses(Insts[I], Insts[I + 1]))
-        return Gather();
+        return Gather("non-consecutive-loads");
     if (!Scheduler.canScheduleBundle(Insts))
-      return Gather();
+      return Gather("unschedulable");
     Scheduler.commitBundle(Insts);
+    ++NumGroupNodes;
+    noteNodeBuilt("load", Lanes, Depth);
     return Graph.createVectorizeNode(Lanes);
   }
   default:
@@ -133,10 +183,12 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
       Type *SrcTy = cast<CastInst>(Insts[0])->getSrcType();
       for (Instruction *I : Insts)
         if (cast<CastInst>(I)->getSrcType() != SrcTy)
-          return Gather();
+          return Gather("cast-source-mismatch");
       if (!Scheduler.canScheduleBundle(Insts))
-        return Gather();
+        return Gather("unschedulable");
       Scheduler.commitBundle(Insts);
+      ++NumGroupNodes;
+      noteNodeBuilt("cast", Lanes, Depth);
       SLPNode *Node = Graph.createVectorizeNode(Lanes);
       std::vector<Value *> SrcLanes;
       SrcLanes.reserve(Insts.size());
@@ -147,7 +199,7 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
     }
     // Everything else (gep/icmp/select/phi/vector ops) is out of scope for
     // group formation and is gathered.
-    return Gather();
+    return Gather("unsupported-opcode");
   }
 }
 
@@ -157,8 +209,15 @@ SLPNode *SLPGraphBuilder::buildBinaryNode(
   const bool Commutative =
       BinaryOperator::isCommutativeOpcode(Insts[0]->getOpcode());
 
-  if (!Scheduler.canScheduleBundle(Insts))
+  if (!Scheduler.canScheduleBundle(Insts)) {
+    ++NumGatherNodes;
+    if (RemarkStreamer *RS = Config.Remarks)
+      RS->emit(remarkForLanes(RemarkKind::GatherFallback, Lanes, BB)
+                   .arg("reason", "unschedulable")
+                   .arg("lanes", static_cast<uint64_t>(Lanes.size()))
+                   .arg("depth", static_cast<uint64_t>(Depth)));
     return Graph.createGatherNode(Lanes);
+  }
 
   // LSLP: try to coarsen a chain of same-opcode commutative operations
   // into a multi-node (Listing 4, coarsening mode).
@@ -168,6 +227,8 @@ SLPNode *SLPGraphBuilder::buildBinaryNode(
 
   // Plain group node (vanilla SLP path / non-commutative ops).
   Scheduler.commitBundle(Insts);
+  ++NumGroupNodes;
+  noteNodeBuilt("binary", Lanes, Depth);
   SLPNode *Node = Graph.createVectorizeNode(Lanes);
 
   std::vector<std::vector<Value *>> Matrix(2);
@@ -202,8 +263,10 @@ SLPNode *SLPGraphBuilder::tryBuildAlternateNode(
   if (!Scheduler.canScheduleBundle(Insts))
     return nullptr;
   Scheduler.commitBundle(Insts);
+  ++NumAlternateNodes;
 
   std::vector<Value *> Lanes(Insts.begin(), Insts.end());
+  noteNodeBuilt("alternate", Lanes, Depth);
   SLPNode *Node = Graph.createAlternateNode(Lanes, Alt);
   // Sub/fsub lanes pin the operand order: no reordering for alt bundles.
   std::vector<std::vector<Value *>> Matrix(2);
@@ -270,8 +333,19 @@ SLPNode *SLPGraphBuilder::tryBuildMultiNode(
   if (!Scheduler.canScheduleBundle(RootVec))
     return nullptr;
   Scheduler.commitBundle(RootVec);
+  ++NumMultiNodes;
 
   std::vector<Value *> RootLanes(Roots.begin(), Roots.end());
+  size_t MaxChain = 0;
+  for (const auto &C : Chains)
+    MaxChain = std::max(MaxChain, C.size());
+  if (RemarkStreamer *RS = Config.Remarks)
+    RS->emit(remarkForLanes(RemarkKind::MultiNodeFormed, RootLanes, BB)
+                 .arg("opcode", Roots[0]->getOpcodeName())
+                 .arg("lanes", static_cast<uint64_t>(NumLanes))
+                 .arg("chain", static_cast<uint64_t>(MaxChain))
+                 .arg("frontier", static_cast<uint64_t>(Width))
+                 .arg("depth", static_cast<uint64_t>(Depth)));
   SLPNode *Node = Graph.createMultiNode(RootLanes, Chains);
 
   // Reorder across the multi-node frontier (Listing 4, line 20).

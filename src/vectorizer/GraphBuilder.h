@@ -78,6 +78,11 @@ private:
                      const std::vector<std::vector<Value *>> &Matrix,
                      unsigned Depth);
 
+  /// Emits a node-built remark for a freshly created vectorizable group
+  /// (no-op when remarks are disabled).
+  void noteNodeBuilt(const char *NodeKind, const std::vector<Value *> &Lanes,
+                     unsigned Depth);
+
   const VectorizerConfig &Config;
   BasicBlock &BB;
   BundleScheduler Scheduler;

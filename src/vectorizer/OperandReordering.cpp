@@ -6,6 +6,9 @@
 
 #include "vectorizer/OperandReordering.h"
 
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
 #include "ir/Constants.h"
 #include "ir/Instruction.h"
 #include "vectorizer/LookAhead.h"
@@ -15,7 +18,88 @@
 
 using namespace lslp;
 
+LSLP_STATISTIC(NumReorderedMatrices, "operand-reordering",
+               "Operand matrices whose lanes were permuted");
+LSLP_STATISTIC(NumLookAheadTieBreaks, "operand-reordering",
+               "Slot ties broken by the look-ahead score");
+
 namespace {
+
+/// Deterministic short description of a candidate value for remark args.
+std::string valueDesc(const Value *V) {
+  if (!V->getName().empty())
+    return V->getName();
+  if (auto *I = dyn_cast<Instruction>(V))
+    return I->getOpcodeName();
+  if (isa<Constant>(V))
+    return "const";
+  return "value";
+}
+
+/// Anchor for reordering remarks: the first instruction in the matrix
+/// (nullptr — and no remarks — for all-constant matrices).
+const Instruction *
+findAnchor(const std::vector<std::vector<Value *>> &Operands) {
+  for (const auto &Slot : Operands)
+    for (const Value *V : Slot)
+      if (const auto *I = dyn_cast<Instruction>(V))
+        return I;
+  return nullptr;
+}
+
+/// Remark context threaded into the per-slot candidate selection.
+struct ReorderRemarkCtx {
+  RemarkStreamer *RS = nullptr;
+  const Instruction *Anchor = nullptr;
+  unsigned Slot = 0;
+  unsigned Lane = 0;
+};
+
+/// Per-slot outcome modes as a compact string (one letter per slot), for
+/// the reorder-choice remark: C/L/O/S/F per Table 1.
+std::string modeString(const std::vector<OperandMode> &Modes) {
+  std::string S;
+  S.reserve(Modes.size());
+  for (OperandMode M : Modes) {
+    switch (M) {
+    case OperandMode::Constant:
+      S += 'C';
+      break;
+    case OperandMode::Load:
+      S += 'L';
+      break;
+    case OperandMode::Opcode:
+      S += 'O';
+      break;
+    case OperandMode::Splat:
+      S += 'S';
+      break;
+    case OperandMode::Failed:
+      S += 'F';
+      break;
+    }
+  }
+  return S;
+}
+
+/// Emits the final reorder-choice remark and bumps the permutation
+/// statistic for one completed reordering.
+void noteReorderOutcome(const ReorderResult &Result,
+                        const std::vector<std::vector<Value *>> &Operands,
+                        const VectorizerConfig &Config,
+                        const Instruction *Anchor, const char *Strategy) {
+  if (Result.Changed)
+    ++NumReorderedMatrices;
+  if (!Config.Remarks || !Anchor)
+    return;
+  Config.Remarks->emit(
+      remarkAt(RemarkKind::ReorderChoice, "operand-reordering", Anchor)
+          .arg("slots", static_cast<uint64_t>(Operands.size()))
+          .arg("lanes", static_cast<uint64_t>(Operands[0].size()))
+          .arg("modes", modeString(Result.Modes))
+          .arg("changed", Result.Changed)
+          .arg("strategy", Strategy));
+}
 
 /// Initial mode of a slot, from its lane-0 value (Listing 5, line 8).
 OperandMode initialMode(const Value *V) {
@@ -40,7 +124,8 @@ struct BestResult {
 /// candidate from \p Candidates (the caller does).
 BestResult getBest(OperandMode Mode, Value *Last,
                    const std::vector<Value *> &Candidates,
-                   const VectorizerConfig &Config) {
+                   const VectorizerConfig &Config,
+                   const ReorderRemarkCtx &Ctx) {
   switch (Mode) {
   case OperandMode::Constant:
   case OperandMode::Load:
@@ -61,7 +146,10 @@ BestResult getBest(OperandMode Mode, Value *Last,
     // 2. Multiple matches: break ties with look-ahead (LSLP only; vanilla
     //    SLP takes the first match).
     if (Mode == OperandMode::Opcode && Config.EnableLookAhead) {
+      ++NumLookAheadTieBreaks;
       Value *Best = BestCandidates[0];
+      std::vector<int> Scores(BestCandidates.size(), 0);
+      unsigned DecidedAt = Config.MaxLookAheadLevel;
       for (unsigned Level = 1; Level <= Config.MaxLookAheadLevel; ++Level) {
         int BestScore = -1;
         bool AllEqual = true;
@@ -69,6 +157,7 @@ BestResult getBest(OperandMode Mode, Value *Last,
         for (size_t CI = 0; CI < BestCandidates.size(); ++CI) {
           int Score = getLookAheadScore(Last, BestCandidates[CI], Level,
                                         Config.ScoreAggregation);
+          Scores[CI] = Score;
           if (CI == 0)
             FirstScore = Score;
           else
@@ -79,9 +168,21 @@ BestResult getBest(OperandMode Mode, Value *Last,
           }
         }
         // Ties broken at this level: no need to peek deeper.
-        if (!AllEqual)
+        if (!AllEqual) {
+          DecidedAt = Level;
           break;
+        }
       }
+      if (Ctx.RS && Ctx.Anchor)
+        for (size_t CI = 0; CI < BestCandidates.size(); ++CI)
+          Ctx.RS->emit(remarkAt(RemarkKind::LookAheadScore,
+                                "operand-reordering", Ctx.Anchor)
+                           .arg("slot", static_cast<uint64_t>(Ctx.Slot))
+                           .arg("lane", static_cast<uint64_t>(Ctx.Lane))
+                           .arg("candidate", valueDesc(BestCandidates[CI]))
+                           .arg("score", static_cast<int64_t>(Scores[CI]))
+                           .arg("level", static_cast<uint64_t>(DecidedAt))
+                           .arg("chosen", BestCandidates[CI] == Best));
       return {Best, Mode};
     }
     return {BestCandidates[0], Mode};
@@ -160,6 +261,8 @@ reorderExhaustivePerLane(const std::vector<std::vector<Value *>> &Operands,
 
   for (unsigned I = 0; I != NumSlots && !Result.Changed; ++I)
     Result.Changed = (Result.Final[I] != Operands[I]);
+  noteReorderOutcome(Result, Operands, Config, findAnchor(Operands),
+                     "exhaustive-per-lane");
   return Result;
 }
 
@@ -179,6 +282,8 @@ lslp::reorderOperands(const std::vector<std::vector<Value *>> &Operands,
           VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane &&
       NumSlots <= 6)
     return reorderExhaustivePerLane(Operands, Config);
+
+  const Instruction *Anchor = findAnchor(Operands);
 
   ReorderResult Result;
   Result.Final.assign(NumSlots, std::vector<Value *>(NumLanes, nullptr));
@@ -203,7 +308,8 @@ lslp::reorderOperands(const std::vector<std::vector<Value *>> &Operands,
       if (Result.Modes[I] == OperandMode::Failed)
         continue; // Filled from the leftovers below.
       Value *Last = Result.Final[I][Lane - 1];
-      BestResult BR = getBest(Result.Modes[I], Last, Candidates, Config);
+      ReorderRemarkCtx Ctx{Config.Remarks, Anchor, I, Lane};
+      BestResult BR = getBest(Result.Modes[I], Last, Candidates, Config, Ctx);
       Result.Modes[I] = BR.NewMode;
       if (!BR.Best)
         continue;
@@ -230,5 +336,6 @@ lslp::reorderOperands(const std::vector<std::vector<Value *>> &Operands,
 
   for (unsigned I = 0; I != NumSlots && !Result.Changed; ++I)
     Result.Changed = (Result.Final[I] != Operands[I]);
+  noteReorderOutcome(Result, Operands, Config, Anchor, "greedy");
   return Result;
 }

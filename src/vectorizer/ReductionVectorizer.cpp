@@ -8,6 +8,9 @@
 
 #include "analysis/AddressAnalysis.h"
 #include "costmodel/TargetTransformInfo.h"
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
 #include "ir/Constants.h"
 #include "ir/Context.h"
@@ -22,6 +25,11 @@
 #include <set>
 
 using namespace lslp;
+
+LSLP_STATISTIC(NumReductionsMatched, "reduction-vectorizer",
+               "Reduction trees matched");
+LSLP_STATISTIC(NumReductionsVectorized, "reduction-vectorizer",
+               "Reduction trees vectorized");
 
 namespace {
 
@@ -123,7 +131,7 @@ bool tryVectorizeOneReduction(const ReductionCandidate &Cand, BasicBlock &BB,
   if (!Graph)
     return false;
 
-  int LeafCost = evaluateGraphCost(*Graph, TTI);
+  int LeafCost = evaluateGraphCost(*Graph, TTI, Config.Remarks);
   // The cost evaluator charges an extract for every leaf lane used
   // outside the graph — but uses inside the reduction tree disappear
   // with it, so refund lanes whose only external users are tree ops.
@@ -230,9 +238,28 @@ unsigned lslp::vectorizeReductions(BasicBlock &BB,
         matchReductionTree(Root, /*MinLeaves=*/4, MaxLanes);
     if (!Cand)
       continue;
+    ++NumReductionsMatched;
+    // Anchor before vectorizing: success erases the tree (and Root).
+    Remark Found(RemarkKind::ReductionFound, "reduction-vectorizer");
+    if (Config.Remarks)
+      Found = remarkAt(RemarkKind::ReductionFound, "reduction-vectorizer",
+                       Root)
+                  .arg("opcode", Root->getOpcodeName())
+                  .arg("leaves",
+                       static_cast<uint64_t>(Cand->Leaves.size()))
+                  .arg("tree-ops",
+                       static_cast<uint64_t>(Cand->TreeOps.size()));
     GraphAttempt Attempt;
-    if (tryVectorizeOneReduction(*Cand, BB, Config, TTI, Attempt, Verbose))
+    bool Vectorized =
+        tryVectorizeOneReduction(*Cand, BB, Config, TTI, Attempt, Verbose);
+    if (Vectorized) {
       ++NumVectorized;
+      ++NumReductionsVectorized;
+    }
+    if (RemarkStreamer *RS = Config.Remarks)
+      RS->emit(std::move(Found)
+                   .arg("cost", static_cast<int64_t>(Attempt.Cost))
+                   .arg("vectorized", Vectorized));
     Attempts.push_back(std::move(Attempt));
   }
   return NumVectorized;

@@ -7,6 +7,9 @@
 #include "vectorizer/SLPVectorizerPass.h"
 
 #include "costmodel/TargetTransformInfo.h"
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
 #include "support/OStream.h"
 #include "ir/Function.h"
@@ -19,6 +22,11 @@
 
 using namespace lslp;
 
+LSLP_STATISTIC(NumGraphsAccepted, "slp-vectorizer",
+               "Graphs whose cost beat the threshold");
+LSLP_STATISTIC(NumGraphsRejected, "slp-vectorizer",
+               "Graphs kept scalar by the cost model");
+
 FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
   FunctionReport Report;
   Report.FunctionName = F.getName();
@@ -27,14 +35,14 @@ FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
     BasicBlock &BB = *BBPtr;
     // Seed bundles are disjoint, so vectorizing one cannot delete another
     // bundle's stores; collecting once per block is safe (step 1).
-    std::vector<SeedBundle> Seeds = collectStoreSeeds(BB, TTI);
+    std::vector<SeedBundle> Seeds = collectStoreSeeds(BB, TTI, Config.Remarks);
     for (const SeedBundle &Bundle : Seeds) {
       // Steps 3-4: build the graph and evaluate its cost.
       SLPGraphBuilder Builder(Config, BB);
       std::optional<SLPGraph> Graph = Builder.build(Bundle);
       if (!Graph)
         continue;
-      int Cost = evaluateGraphCost(*Graph, TTI);
+      int Cost = evaluateGraphCost(*Graph, TTI, Config.Remarks);
 
       GraphAttempt Attempt;
       Attempt.NumLanes = static_cast<unsigned>(Bundle.size());
@@ -50,10 +58,31 @@ FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
                                    std::to_string(Report.Attempts.size()));
       }
 
+      // Capture the verdict remark's anchor before codegen: vectorization
+      // erases the seed stores, so Bundle[0] dangles afterwards.
+      Remark Verdict(RemarkKind::CostRejected, "slp-vectorizer");
+      if (Config.Remarks)
+        Verdict = remarkAt(RemarkKind::CostRejected, "slp-vectorizer",
+                           Bundle[0]);
+
       // Steps 5-7: vectorize when profitable.
       if (Cost < Config.CostThreshold)
         Attempt.Accepted =
             generateVectorCode(*Graph, BB, Builder.getScheduler());
+      if (Attempt.Accepted)
+        ++NumGraphsAccepted;
+      else
+        ++NumGraphsRejected;
+      if (RemarkStreamer *RS = Config.Remarks) {
+        Verdict.Kind = Attempt.Accepted ? RemarkKind::CostAccepted
+                                        : RemarkKind::CostRejected;
+        RS->emit(std::move(Verdict)
+                     .arg("cost", static_cast<int64_t>(Cost))
+                     .arg("threshold",
+                          static_cast<int64_t>(Config.CostThreshold))
+                     .arg("lanes", static_cast<uint64_t>(Bundle.size()))
+                     .arg("nodes", static_cast<uint64_t>(Attempt.NumNodes)));
+      }
       Report.Attempts.push_back(std::move(Attempt));
     }
 

@@ -6,6 +6,9 @@
 
 #include "vectorizer/Scheduler.h"
 
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
 #include "ir/Instruction.h"
 
@@ -16,15 +19,37 @@
 
 using namespace lslp;
 
-BundleScheduler::BundleScheduler(BasicBlock &BB) : BB(BB), Deps(BB) {}
+LSLP_STATISTIC(NumSchedulerBailouts, "scheduler",
+               "Bundles rejected as unschedulable");
+
+BundleScheduler::BundleScheduler(BasicBlock &BB, RemarkStreamer *Remarks)
+    : BB(BB), Deps(BB), Remarks(Remarks) {}
+
+void BundleScheduler::emitBailout(const std::vector<Instruction *> &Bundle,
+                                  const char *Reason) const {
+  ++NumSchedulerBailouts;
+  if (!Remarks)
+    return;
+  Remarks->emit(
+      remarkAt(RemarkKind::SchedulerBailout, "scheduler", Bundle[0])
+          .arg("opcode", Bundle[0]->getOpcodeName())
+          .arg("lanes", static_cast<uint64_t>(Bundle.size()))
+          .arg("reason", Reason));
+}
 
 bool BundleScheduler::canScheduleBundle(
     const std::vector<Instruction *> &Bundle) const {
-  if (!Deps.areMutuallyIndependent(Bundle))
+  if (!Deps.areMutuallyIndependent(Bundle)) {
+    emitBailout(Bundle, "intra-bundle-dependence");
     return false;
+  }
   std::vector<std::vector<Instruction *>> Trial = Committed;
   Trial.push_back(Bundle);
-  return trySchedule(Trial, nullptr);
+  if (!trySchedule(Trial, nullptr)) {
+    emitBailout(Bundle, "cycle-through-bundles");
+    return false;
+  }
+  return true;
 }
 
 void BundleScheduler::commitBundle(const std::vector<Instruction *> &Bundle) {

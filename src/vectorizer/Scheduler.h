@@ -27,15 +27,18 @@ namespace lslp {
 
 class BasicBlock;
 class Instruction;
+class RemarkStreamer;
 
 /// Incremental bundle scheduler for one basic block. The block must not be
 /// mutated between construction and materialize().
 class BundleScheduler {
 public:
-  explicit BundleScheduler(BasicBlock &BB);
+  explicit BundleScheduler(BasicBlock &BB, RemarkStreamer *Remarks = nullptr);
 
   /// True if \p Bundle's members are mutually independent and adding it to
-  /// the committed bundles still admits a contiguous schedule.
+  /// the committed bundles still admits a contiguous schedule. On failure
+  /// emits a scheduler-bailout remark naming the reason (intra-bundle
+  /// dependence vs. a dependence cycle through committed bundles).
   bool canScheduleBundle(const std::vector<Instruction *> &Bundle) const;
 
   /// Commits \p Bundle (callers must have checked canScheduleBundle).
@@ -56,8 +59,13 @@ private:
   trySchedule(const std::vector<std::vector<Instruction *>> &Bundles,
               std::vector<Instruction *> *OutOrder) const;
 
+  /// Emits one scheduler-bailout remark for \p Bundle.
+  void emitBailout(const std::vector<Instruction *> &Bundle,
+                   const char *Reason) const;
+
   BasicBlock &BB;
   DependenceGraph Deps;
+  RemarkStreamer *Remarks;
   std::vector<std::vector<Instruction *>> Committed;
 };
 

@@ -8,12 +8,22 @@
 
 #include "analysis/AddressAnalysis.h"
 #include "costmodel/TargetTransformInfo.h"
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
 #include "ir/Instruction.h"
+#include "ir/Type.h"
 
 #include <algorithm>
+#include <set>
 
 using namespace lslp;
+
+LSLP_STATISTIC(NumSeedBundles, "seed-collector",
+               "Store seed bundles collected");
+LSLP_STATISTIC(NumSeedStoresRejected, "seed-collector",
+               "Scalar stores that joined no seed bundle");
 
 namespace {
 
@@ -41,7 +51,8 @@ void chunkRun(const std::vector<StoreInst *> &Run, unsigned MaxLanes,
 } // namespace
 
 std::vector<SeedBundle>
-lslp::collectStoreSeeds(BasicBlock &BB, const TargetTransformInfo &TTI) {
+lslp::collectStoreSeeds(BasicBlock &BB, const TargetTransformInfo &TTI,
+                        RemarkStreamer *Remarks) {
   // Partition the block's scalar stores into groups with pairwise
   // compile-time-constant address distances.
   std::vector<std::vector<StoreRecord>> AddressGroups;
@@ -50,8 +61,14 @@ lslp::collectStoreSeeds(BasicBlock &BB, const TargetTransformInfo &TTI) {
     if (!St || St->getAccessType()->isVectorTy())
       continue;
     AddressDescriptor Addr = decomposePointer(St->getPointerOperand());
-    if (!Addr.isValid())
+    if (!Addr.isValid()) {
+      ++NumSeedStoresRejected;
+      if (Remarks)
+        Remarks->emit(
+            remarkAt(RemarkKind::SeedRejected, "seed-collector", St)
+                .arg("reason", "address-not-analyzable"));
       continue;
+    }
     bool Placed = false;
     for (auto &Group : AddressGroups) {
       if (Group[0].Store->getAccessType() == St->getAccessType() &&
@@ -66,9 +83,17 @@ lslp::collectStoreSeeds(BasicBlock &BB, const TargetTransformInfo &TTI) {
   }
 
   std::vector<SeedBundle> Seeds;
+  std::set<const Instruction *> Bundled;
   for (auto &Group : AddressGroups) {
-    if (Group.size() < 2)
+    if (Group.size() < 2) {
+      ++NumSeedStoresRejected;
+      if (Remarks)
+        Remarks->emit(remarkAt(RemarkKind::SeedRejected, "seed-collector",
+                               Group[0].Store)
+                          .arg("reason", "no-partner-store"));
       continue;
+    }
+    size_t FirstSeedOfGroup = Seeds.size();
     unsigned ElemBytes = Group[0].Store->getAccessType()->getSizeInBytes();
     unsigned MaxLanes =
         std::max(2u, TTI.getMaxVectorWidthBits() / (8 * ElemBytes));
@@ -90,6 +115,29 @@ lslp::collectStoreSeeds(BasicBlock &BB, const TargetTransformInfo &TTI) {
       LastOff = Off;
     }
     chunkRun(Run, MaxLanes, Seeds);
+
+    for (size_t SI = FirstSeedOfGroup; SI != Seeds.size(); ++SI) {
+      ++NumSeedBundles;
+      const SeedBundle &Bundle = Seeds[SI];
+      Bundled.insert(Bundle.begin(), Bundle.end());
+      if (Remarks)
+        Remarks->emit(
+            remarkAt(RemarkKind::SeedFound, "seed-collector", Bundle[0])
+                .arg("lanes", static_cast<uint64_t>(Bundle.size()))
+                .arg("type",
+                     cast<StoreInst>(Bundle[0])->getAccessType()->getName()));
+    }
+    // Stores whose group had partners but whose run was too short (split
+    // at a gap or a duplicate offset).
+    for (const StoreRecord &R : Group) {
+      if (Bundled.count(R.Store))
+        continue;
+      ++NumSeedStoresRejected;
+      if (Remarks)
+        Remarks->emit(
+            remarkAt(RemarkKind::SeedRejected, "seed-collector", R.Store)
+                .arg("reason", "non-consecutive-run"));
+    }
   }
   return Seeds;
 }

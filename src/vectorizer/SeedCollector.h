@@ -22,6 +22,7 @@ namespace lslp {
 
 class BasicBlock;
 class Instruction;
+class RemarkStreamer;
 class TargetTransformInfo;
 
 /// One seed bundle: stores to consecutive addresses, in address order.
@@ -29,8 +30,11 @@ using SeedBundle = std::vector<Instruction *>;
 
 /// Collects all store seed bundles in \p BB. Bundles are disjoint; lane
 /// counts are powers of two in [2, MaxVectorWidthBits/ElementBits].
+/// When \p Remarks is non-null, emits seed-found for every bundle and
+/// seed-rejected (with a reason) for every scalar store left out.
 std::vector<SeedBundle> collectStoreSeeds(BasicBlock &BB,
-                                          const TargetTransformInfo &TTI);
+                                          const TargetTransformInfo &TTI,
+                                          RemarkStreamer *Remarks = nullptr);
 
 } // namespace lslp
 

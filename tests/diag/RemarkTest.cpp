@@ -1,0 +1,162 @@
+//===- tests/diag/RemarkTest.cpp - Remark record and sink tests ----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/Remark.h"
+#include "diag/RemarkEngine.h"
+
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+Remark makeFullRemark() {
+  return Remark(RemarkKind::MultiNodeFormed, "graph-builder")
+      .inFunction("foo")
+      .inBlock("entry")
+      .atIndex(7)
+      .arg("opcode", "and")
+      .arg("lanes", 2)
+      .arg("chain", static_cast<uint64_t>(3))
+      .arg("score", 2.5)
+      .arg("changed", true);
+}
+
+TEST(RemarkKindNames, RoundTripAllKinds) {
+  // Every enumerator must have a stable name that parses back to itself.
+  for (int K = 0; K <= static_cast<int>(RemarkKind::CSEHit); ++K) {
+    RemarkKind Kind = static_cast<RemarkKind>(K);
+    RemarkKind Back;
+    ASSERT_TRUE(remarkKindFromName(remarkKindName(Kind), Back));
+    EXPECT_EQ(Kind, Back);
+  }
+  RemarkKind Unused;
+  EXPECT_FALSE(remarkKindFromName("not-a-kind", Unused));
+  EXPECT_FALSE(remarkKindFromName("", Unused));
+}
+
+TEST(RemarkJSON, RoundTripLosslessly) {
+  Remark R = makeFullRemark();
+  std::string Line = R.toJSON();
+  ASSERT_FALSE(Line.empty());
+  EXPECT_EQ(Line.back(), '\n');
+
+  Remark Back;
+  std::string Err;
+  ASSERT_TRUE(Remark::fromJSON(Line, Back, Err)) << Err;
+  EXPECT_TRUE(R == Back);
+  // And a second serialization is byte-identical (determinism contract).
+  EXPECT_EQ(Line, Back.toJSON());
+}
+
+TEST(RemarkJSON, RoundTripMinimalRemark) {
+  // No function/block/anchor/args: the degenerate record still round-trips.
+  Remark R(RemarkKind::SeedRejected, "seed-collector");
+  Remark Back;
+  std::string Err;
+  ASSERT_TRUE(Remark::fromJSON(R.toJSON(), Back, Err)) << Err;
+  EXPECT_TRUE(R == Back);
+  EXPECT_EQ(Back.InstIndex, -1);
+  EXPECT_TRUE(Back.Args.empty());
+}
+
+TEST(RemarkJSON, EscapesSpecialCharacters) {
+  Remark R = Remark(RemarkKind::SeedFound, "p")
+                 .inFunction("we\"ird\\name")
+                 .arg("text", std::string("tab\there\nline"));
+  Remark Back;
+  std::string Err;
+  ASSERT_TRUE(Remark::fromJSON(R.toJSON(), Back, Err)) << Err;
+  EXPECT_TRUE(R == Back);
+}
+
+TEST(RemarkJSON, RejectsMalformedInput) {
+  Remark Out;
+  std::string Err;
+  EXPECT_FALSE(Remark::fromJSON("", Out, Err));
+  EXPECT_FALSE(Remark::fromJSON("not json", Out, Err));
+  EXPECT_FALSE(Remark::fromJSON("{\"kind\":\"bogus-kind\",\"pass\":\"p\"}",
+                                Out, Err));
+  EXPECT_FALSE(Remark::fromJSON("{\"pass\":\"p\"}", Out, Err));
+}
+
+TEST(RemarkArgs, GetArgFindsByKey) {
+  Remark R = makeFullRemark();
+  const RemarkArg *Lanes = R.getArg("lanes");
+  ASSERT_NE(Lanes, nullptr);
+  EXPECT_EQ(Lanes->Ty, RemarkArg::Type::Int);
+  EXPECT_EQ(Lanes->Int, 2);
+  EXPECT_EQ(R.getArg("no-such-key"), nullptr);
+}
+
+TEST(RemarkEngineTest, FansOutToAllSinks) {
+  std::string Text, JSON;
+  StringOStream TextOS(Text), JSONOS(JSON);
+  RemarkEngine Engine;
+  Engine.setTextStream(&TextOS);
+  Engine.setJSONStream(&JSONOS);
+  Engine.setKeepRemarks(true);
+
+  Engine.emit(makeFullRemark());
+  Engine.emit(Remark(RemarkKind::SeedFound, "seed-collector"));
+
+  EXPECT_EQ(Engine.numEmitted(), 2u);
+  EXPECT_EQ(Engine.count(RemarkKind::SeedFound), 1u);
+  EXPECT_EQ(Engine.count(RemarkKind::MultiNodeFormed), 1u);
+  EXPECT_EQ(Engine.count(RemarkKind::CostRejected), 0u);
+  ASSERT_EQ(Engine.remarks().size(), 2u);
+
+  // Text sink: one "remark:" line per emission, with the anchor spelled out.
+  EXPECT_NE(Text.find("remark:"), std::string::npos);
+  EXPECT_NE(Text.find("@foo/entry+7"), std::string::npos);
+  EXPECT_NE(Text.find("multinode-formed"), std::string::npos);
+
+  // JSONL sink: every line parses back to the retained remark.
+  size_t Start = 0, LineNo = 0;
+  while (Start < JSON.size()) {
+    size_t End = JSON.find('\n', Start);
+    ASSERT_NE(End, std::string::npos) << "JSONL line missing newline";
+    Remark Back;
+    std::string Err;
+    ASSERT_TRUE(
+        Remark::fromJSON(JSON.substr(Start, End - Start), Back, Err))
+        << Err;
+    EXPECT_TRUE(Engine.remarks()[LineNo] == Back);
+    Start = End + 1;
+    ++LineNo;
+  }
+  EXPECT_EQ(LineNo, 2u);
+}
+
+TEST(RemarkEngineTest, ClearForgetsRemarksButKeepsSinks) {
+  std::string JSON;
+  StringOStream JSONOS(JSON);
+  RemarkEngine Engine;
+  Engine.setJSONStream(&JSONOS);
+  Engine.setKeepRemarks(true);
+  Engine.emit(Remark(RemarkKind::SeedFound, "p"));
+  Engine.clear();
+  EXPECT_EQ(Engine.numEmitted(), 0u);
+  EXPECT_TRUE(Engine.remarks().empty());
+  EXPECT_EQ(Engine.count(RemarkKind::SeedFound), 0u);
+  Engine.emit(Remark(RemarkKind::SeedFound, "p"));
+  EXPECT_EQ(Engine.numEmitted(), 1u); // Sink still attached and counting.
+}
+
+TEST(RemarkEngineTest, SummaryMentionsCounts) {
+  RemarkEngine Engine;
+  Engine.emit(Remark(RemarkKind::SeedFound, "p"));
+  Engine.emit(Remark(RemarkKind::CostAccepted, "p"));
+  Engine.emit(Remark(RemarkKind::CostRejected, "p"));
+  std::string S = Engine.summary();
+  EXPECT_NE(S.find("1 seed(s)"), std::string::npos) << S;
+  EXPECT_NE(S.find("1 accepted"), std::string::npos) << S;
+  EXPECT_NE(S.find("1 rejected"), std::string::npos) << S;
+}
+
+} // namespace

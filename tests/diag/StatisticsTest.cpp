@@ -1,0 +1,95 @@
+//===- tests/diag/StatisticsTest.cpp - Counter registry tests ------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/Statistics.h"
+
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+// Translation-unit-local counters, exactly as pass code declares them.
+LSLP_STATISTIC(NumTestBumps, "diag-test", "Counter bumped by the unit test");
+LSLP_STATISTIC(NumTestMax, "diag-test", "updateMax probe");
+
+TEST(StatisticsTest, BumpAndAddRegisterLazily) {
+  ++NumTestBumps;
+  NumTestBumps += 4;
+  EXPECT_EQ(NumTestBumps.value(), 5u);
+
+  // Once touched, the counter shows up in the registry's sorted dump.
+  bool Found = false;
+  for (const Statistic *S : StatisticsRegistry::instance().all())
+    if (std::string(S->getName()) == "NumTestBumps") {
+      Found = true;
+      EXPECT_STREQ(S->getComponent(), "diag-test");
+      EXPECT_EQ(S->value(), 5u);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(StatisticsTest, UpdateMaxKeepsMaximum) {
+  NumTestMax.updateMax(3);
+  NumTestMax.updateMax(9);
+  NumTestMax.updateMax(5);
+  EXPECT_EQ(NumTestMax.value(), 9u);
+}
+
+TEST(StatisticsTest, ResetAllZeroesButKeepsRegistration) {
+  ++NumTestBumps;
+  ASSERT_GT(NumTestBumps.value(), 0u);
+  StatisticsRegistry::instance().resetAll();
+  EXPECT_EQ(NumTestBumps.value(), 0u);
+  EXPECT_EQ(NumTestMax.value(), 0u);
+
+  // Registration survives: the counter is still listed, still bumpable,
+  // and the registry reports all-zero until the next bump.
+  bool Listed = false;
+  for (const Statistic *S : StatisticsRegistry::instance().all())
+    Listed |= std::string(S->getName()) == "NumTestBumps";
+  EXPECT_TRUE(Listed);
+
+  ++NumTestBumps;
+  EXPECT_EQ(NumTestBumps.value(), 1u);
+  EXPECT_TRUE(StatisticsRegistry::instance().anyNonZero());
+}
+
+TEST(StatisticsTest, DumpOrderIsSortedAndDeterministic) {
+  ++NumTestBumps;
+  ++NumTestMax;
+  std::string A, B;
+  {
+    StringOStream OS(A);
+    StatisticsRegistry::instance().printJSON(OS);
+  }
+  {
+    StringOStream OS(B);
+    StatisticsRegistry::instance().printJSON(OS);
+  }
+  EXPECT_EQ(A, B);
+  // JSON keys are "component.name" and include our counters.
+  EXPECT_NE(A.find("\"diag-test.NumTestBumps\""), std::string::npos) << A;
+  EXPECT_NE(A.find("\"diag-test.NumTestMax\""), std::string::npos) << A;
+  // Sorted by key: NumTestBumps precedes NumTestMax.
+  EXPECT_LT(A.find("NumTestBumps"), A.find("NumTestMax"));
+}
+
+TEST(StatisticsTest, TextTableOmitsZeroCounters) {
+  StatisticsRegistry::instance().resetAll();
+  ++NumTestBumps; // NumTestMax stays zero.
+  std::string Text;
+  StringOStream OS(Text);
+  StatisticsRegistry::instance().printText(OS);
+  // The table lists value/component/description for non-zero counters only.
+  EXPECT_NE(Text.find("Counter bumped by the unit test"), std::string::npos)
+      << Text;
+  EXPECT_EQ(Text.find("updateMax probe"), std::string::npos) << Text;
+}
+
+} // namespace

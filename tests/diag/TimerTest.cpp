@@ -1,0 +1,81 @@
+//===- tests/diag/TimerTest.cpp - Timer and TimerGroup tests -------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/Timer.h"
+
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(TimerTest, AccumulatesActivations) {
+  Timer T("t");
+  EXPECT_EQ(T.activations(), 0u);
+  T.start();
+  EXPECT_TRUE(T.isRunning());
+  T.stop();
+  T.start();
+  T.stop();
+  EXPECT_FALSE(T.isRunning());
+  EXPECT_EQ(T.activations(), 2u);
+  EXPECT_GE(T.seconds(), 0.0);
+  T.reset();
+  EXPECT_EQ(T.activations(), 0u);
+  EXPECT_EQ(T.seconds(), 0.0);
+}
+
+TEST(TimerGroupTest, GetTimerIsIdempotent) {
+  TimerGroup TG("g");
+  Timer &A = TG.getTimer("parse");
+  Timer &B = TG.getTimer("vectorize");
+  EXPECT_NE(&A, &B);
+  EXPECT_EQ(&A, &TG.getTimer("parse")); // Same name, same timer.
+  EXPECT_EQ(TG.timers().size(), 2u);
+  // Creation order (pipeline order) is preserved, not alphabetical.
+  EXPECT_EQ(TG.timers()[0]->getName(), "parse");
+  EXPECT_EQ(TG.timers()[1]->getName(), "vectorize");
+}
+
+TEST(TimerGroupTest, NullTimeRegionIsNoOp) {
+  // Call sites pass null when timing is disabled; must not crash.
+  TimeRegion R(nullptr);
+}
+
+TEST(TimerGroupTest, TimeRegionDrivesTimer) {
+  TimerGroup TG("g");
+  Timer &T = TG.getTimer("work");
+  {
+    TimeRegion R(&T);
+    EXPECT_TRUE(T.isRunning());
+  }
+  EXPECT_FALSE(T.isRunning());
+  EXPECT_EQ(T.activations(), 1u);
+}
+
+TEST(TimerGroupTest, PrintMentionsTimers) {
+  TimerGroup TG("lslpc");
+  {
+    TimeRegion R(&TG.getTimer("parse"));
+  }
+  std::string Text, JSON;
+  {
+    StringOStream OS(Text);
+    TG.printText(OS);
+  }
+  {
+    StringOStream OS(JSON);
+    TG.printJSON(OS);
+  }
+  EXPECT_NE(Text.find("parse"), std::string::npos) << Text;
+  EXPECT_NE(JSON.find("\"group\":\"lslpc\""), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"parse\""), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"activations\":1"), std::string::npos) << JSON;
+}
+
+} // namespace

@@ -1,0 +1,39 @@
+# Acceptance gate for the diagnostics subsystem (ctest: lslpc_diag_tour).
+#
+# Runs `lslpc <INPUT> -early-cse --remarks=json` twice and checks that
+#   1. the JSONL stream covers every remark kind the pipeline defines, and
+#   2. the two streams are byte-identical (determinism contract).
+#
+# Usage: cmake -DLSLPC=<path> -DINPUT=<file.ll> -P check_remarks.cmake
+
+foreach(RUN 1 2)
+  execute_process(
+    COMMAND ${LSLPC} ${INPUT} -early-cse --remarks=json -no-print
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE STDOUT_${RUN}
+    ERROR_VARIABLE REMARKS_${RUN})
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "lslpc failed (exit ${RC}) on run ${RUN}")
+  endif()
+endforeach()
+
+if(NOT REMARKS_1 STREQUAL REMARKS_2)
+  message(FATAL_ERROR "remark stream is nondeterministic: two runs differ")
+endif()
+
+string(REGEX MATCHALL "\"kind\":\"[a-z-]+\"" KIND_FIELDS "${REMARKS_1}")
+list(REMOVE_DUPLICATES KIND_FIELDS)
+list(LENGTH KIND_FIELDS NUM_KINDS)
+
+set(REQUIRED
+  seed-found seed-rejected node-built gather-fallback multinode-formed
+  lookahead-score reorder-choice cost-node cost-accepted cost-rejected
+  scheduler-bailout reduction-found cse-hit)
+foreach(KIND ${REQUIRED})
+  if(NOT KIND_FIELDS MATCHES "\"kind\":\"${KIND}\"")
+    message(FATAL_ERROR "remark kind '${KIND}' missing from ${INPUT} stream")
+  endif()
+endforeach()
+
+message(STATUS
+  "remark stream deterministic, ${NUM_KINDS} distinct kinds covered")

@@ -24,6 +24,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "costmodel/TargetTransformInfo.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
+#include "diag/Timer.h"
 #include "fuzz/DifferentialOracle.h"
 #include "fuzz/ModuleGenerator.h"
 #include "fuzz/Reducer.h"
@@ -40,12 +43,15 @@
 #include "vectorizer/SLPVectorizerPass.h"
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 using namespace lslp;
 
 namespace {
+
+enum class RemarkFormat { None, Text, JSON };
 
 struct Options {
   std::string InputPath;
@@ -58,6 +64,13 @@ struct Options {
   bool Dot = false;
   bool InitMemory = false;
   std::string RunSpec; // "function:arg"
+
+  // Diagnostics (see DESIGN.md "Diagnostics").
+  RemarkFormat Remarks = RemarkFormat::None;
+  std::string RemarksOutput; ///< --remarks-output=FILE (default stderr).
+  bool Stats = false;        ///< --stats[=json]: dump counters at exit.
+  bool StatsJSON = false;
+  bool TimePasses = false;   ///< --time-passes: per-pass wall time.
 
   // Fuzzing modes (mutually exclusive with normal compilation).
   int64_t FuzzCount = -1; ///< --fuzz=N: number of random modules.
@@ -84,6 +97,13 @@ void printUsage() {
             "cost\n"
             "  -init-memory              fill globals with deterministic "
             "values before -run\n"
+            "diagnostics:\n"
+            "  --remarks[=text|json]     stream per-decision optimization "
+            "remarks\n"
+            "  --remarks-output=FILE     write remarks to FILE instead of "
+            "stderr\n"
+            "  --stats[=json]            dump pass statistics counters\n"
+            "  --time-passes             report per-pass wall time\n"
             "differential fuzzing:\n"
             "  --fuzz=N                  run N random modules through the\n"
             "                            scalar-vs-vector oracle\n"
@@ -104,18 +124,19 @@ std::string_view stripDashes(std::string_view Arg) {
 bool parseArgs(int argc, char **argv, Options &Opts) {
   if (argc < 2)
     return false;
-  int First = 1;
-  // The fuzz modes take no input file; every argument is an option.
-  if (std::string_view A1 = stripDashes(argv[1]);
-      startsWith(A1, "fuzz=") || startsWith(A1, "reduce=") ||
-      startsWith(A1, "seed="))
-    First = 1;
-  else {
-    Opts.InputPath = argv[1];
-    First = 2;
-  }
-  for (int I = First; I < argc; ++I) {
+  for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    // Anything dash-prefixed except a bare "-" (stdin) is an option; a
+    // mistyped flag must never be silently taken as an input path.
+    if (Arg == "-" || Arg[0] != '-') {
+      if (!Opts.InputPath.empty()) {
+        errs() << "lslpc: multiple input files ('" << Opts.InputPath
+               << "' and '" << Arg << "')\n";
+        return false;
+      }
+      Opts.InputPath = Arg;
+      continue;
+    }
     std::string Plain(stripDashes(Arg));
     int64_t Num = 0;
     if (startsWith(Plain, "fuzz=") && parseInt(Plain.substr(5), Num) &&
@@ -125,38 +146,54 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.FuzzSeed = Num;
     else if (startsWith(Plain, "reduce="))
       Opts.ReducePath = Plain.substr(7);
-    else if (Arg == "-config=SLP-NR")
+    else if (Plain == "config=SLP-NR")
       Opts.Config = VectorizerConfig::slpNoReordering();
-    else if (Arg == "-config=SLP")
+    else if (Plain == "config=SLP")
       Opts.Config = VectorizerConfig::slp();
-    else if (Arg == "-config=LSLP")
+    else if (Plain == "config=LSLP")
       Opts.Config = VectorizerConfig::lslp();
-    else if (startsWith(Arg, "-la=") && parseInt(Arg.substr(4), Num))
+    else if (startsWith(Plain, "la=") && parseInt(Plain.substr(3), Num))
       Opts.Config.MaxLookAheadLevel = static_cast<unsigned>(Num);
-    else if (startsWith(Arg, "-multi=") && parseInt(Arg.substr(7), Num))
+    else if (startsWith(Plain, "multi=") && parseInt(Plain.substr(6), Num))
       Opts.Config.MaxMultiNodeSize = static_cast<unsigned>(Num);
-    else if (Arg == "-no-altopcodes")
+    else if (Plain == "no-altopcodes")
       Opts.Config.EnableAltOpcodes = false;
-    else if (Arg == "-no-reductions")
+    else if (Plain == "no-reductions")
       Opts.Config.EnableReductions = false;
-    else if (Arg == "-no-vectorize")
+    else if (Plain == "no-vectorize")
       Opts.Vectorize = false;
-    else if (Arg == "-early-cse")
+    else if (Plain == "early-cse")
       Opts.EarlyCSE = true;
-    else if (Arg == "-report")
+    else if (Plain == "report")
       Opts.Report = true;
-    else if (Arg == "-graphs")
+    else if (Plain == "graphs")
       Opts.Graphs = true;
-    else if (Arg == "-dot")
+    else if (Plain == "dot")
       Opts.Dot = true;
-    else if (Arg == "-no-print")
+    else if (Plain == "no-print")
       Opts.PrintIR = false;
-    else if (Arg == "-init-memory")
+    else if (Plain == "init-memory")
       Opts.InitMemory = true;
-    else if (startsWith(Arg, "-run="))
-      Opts.RunSpec = Arg.substr(5);
+    else if (startsWith(Plain, "run="))
+      Opts.RunSpec = Plain.substr(4);
+    else if (Plain == "remarks" || Plain == "remarks=text")
+      Opts.Remarks = RemarkFormat::Text;
+    else if (Plain == "remarks=json")
+      Opts.Remarks = RemarkFormat::JSON;
+    else if (startsWith(Plain, "remarks-output=")) {
+      Opts.RemarksOutput = Plain.substr(15);
+      if (Opts.Remarks == RemarkFormat::None)
+        Opts.Remarks = RemarkFormat::Text;
+    } else if (Plain == "stats")
+      Opts.Stats = true;
+    else if (Plain == "stats=json") {
+      Opts.Stats = true;
+      Opts.StatsJSON = true;
+    } else if (Plain == "time-passes")
+      Opts.TimePasses = true;
     else {
-      errs() << "lslpc: unknown option '" << Arg << "'\n";
+      errs() << "lslpc: unknown option '" << Arg
+             << "' (run lslpc with no arguments for usage)\n";
       return false;
     }
   }
@@ -290,6 +327,94 @@ int runReduce(const std::string &Path) {
   return 0;
 }
 
+/// The normal parse/optimize/print path. \p Config carries the remark
+/// streamer; \p Timers collects per-pass wall time for --time-passes.
+int compileModule(const Options &Opts, const VectorizerConfig &Config,
+                  TimerGroup &Timers) {
+  auto TimerFor = [&](const char *Name) -> Timer * {
+    return Opts.TimePasses ? &Timers.getTimer(Name) : nullptr;
+  };
+
+  std::string Source;
+  if (!readInput(Opts.InputPath, Source))
+    return 1;
+
+  Context Ctx;
+  std::string Err;
+  std::unique_ptr<Module> M;
+  {
+    TimeRegion R(TimerFor("parse"));
+    M = parseModule(Source, Ctx, Err);
+  }
+  if (!M) {
+    errs() << "lslpc: parse error: " << Err << "\n";
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  {
+    TimeRegion R(TimerFor("verify"));
+    if (!verifyModule(*M, &Errors)) {
+      errs() << "lslpc: input fails verification:\n";
+      for (const std::string &E : Errors)
+        errs() << "  " << E << "\n";
+      return 1;
+    }
+  }
+
+  SkylakeTTI TTI;
+  if (Opts.EarlyCSE) {
+    TimeRegion R(TimerFor("early-cse"));
+    unsigned Removed = runEarlyCSE(*M, Config.Remarks);
+    if (Opts.Report)
+      outs() << "; early-cse removed " << Removed << " instruction(s)\n";
+  }
+  if (Opts.Vectorize) {
+    SLPVectorizerPass Pass(Config, TTI);
+    Pass.setVerbose(Opts.Graphs || Opts.Dot);
+    ModuleReport Report;
+    {
+      TimeRegion R(TimerFor("vectorize"));
+      Report = Pass.runOnModule(*M);
+    }
+    {
+      TimeRegion R(TimerFor("verify"));
+      if (!verifyModule(*M, &Errors)) {
+        errs() << "lslpc: internal error: output fails verification\n";
+        for (const std::string &E : Errors)
+          errs() << "  " << E << "\n";
+        return 2;
+      }
+    }
+    if (Opts.Report) {
+      outs() << "; config " << Config.Name << ": "
+             << Report.numAccepted() << " bundle(s) vectorized, total cost "
+             << Report.acceptedCost() << "\n";
+    }
+    for (const FunctionReport &F : Report.Functions) {
+      for (const GraphAttempt &A : F.Attempts) {
+        if (Opts.Report)
+          outs() << ";  @" << F.FunctionName << ": "
+                 << (A.IsReduction ? "reduction" : "store-seed") << " x"
+                 << A.NumLanes << ", cost " << A.Cost << ", "
+                 << (A.Accepted ? "vectorized" : "skipped") << "\n";
+        if (Opts.Graphs && !A.GraphDump.empty())
+          outs() << A.GraphDump;
+        if (Opts.Dot && !A.GraphDot.empty())
+          outs() << A.GraphDot;
+      }
+    }
+  }
+
+  if (Opts.PrintIR)
+    printModule(outs(), *M);
+
+  if (!Opts.RunSpec.empty()) {
+    TimeRegion R(TimerFor("interpret"));
+    return runFunction(*M, Opts, TTI);
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -317,65 +442,45 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::string Source;
-  if (!readInput(Opts.InputPath, Source))
-    return 1;
-
-  Context Ctx;
-  std::string Err;
-  std::unique_ptr<Module> M = parseModule(Source, Ctx, Err);
-  if (!M) {
-    errs() << "lslpc: parse error: " << Err << "\n";
-    return 1;
-  }
-  std::vector<std::string> Errors;
-  if (!verifyModule(*M, &Errors)) {
-    errs() << "lslpc: input fails verification:\n";
-    for (const std::string &E : Errors)
-      errs() << "  " << E << "\n";
-    return 1;
-  }
-
-  SkylakeTTI TTI;
-  if (Opts.EarlyCSE) {
-    unsigned Removed = runEarlyCSE(*M);
-    if (Opts.Report)
-      outs() << "; early-cse removed " << Removed << " instruction(s)\n";
-  }
-  if (Opts.Vectorize) {
-    SLPVectorizerPass Pass(Opts.Config, TTI);
-    Pass.setVerbose(Opts.Graphs || Opts.Dot);
-    ModuleReport Report = Pass.runOnModule(*M);
-    if (!verifyModule(*M, &Errors)) {
-      errs() << "lslpc: internal error: output fails verification\n";
-      for (const std::string &E : Errors)
-        errs() << "  " << E << "\n";
-      return 2;
-    }
-    if (Opts.Report) {
-      outs() << "; config " << Opts.Config.Name << ": "
-             << Report.numAccepted() << " bundle(s) vectorized, total cost "
-             << Report.acceptedCost() << "\n";
-    }
-    for (const FunctionReport &F : Report.Functions) {
-      for (const GraphAttempt &A : F.Attempts) {
-        if (Opts.Report)
-          outs() << ";  @" << F.FunctionName << ": "
-                 << (A.IsReduction ? "reduction" : "store-seed") << " x"
-                 << A.NumLanes << ", cost " << A.Cost << ", "
-                 << (A.Accepted ? "vectorized" : "skipped") << "\n";
-        if (Opts.Graphs && !A.GraphDump.empty())
-          outs() << A.GraphDump;
-        if (Opts.Dot && !A.GraphDot.empty())
-          outs() << A.GraphDot;
+  // Remark sink: stderr by default so remark lines never interleave with
+  // the IR on stdout; --remarks-output redirects to a file.
+  RemarkEngine Engine;
+  std::FILE *RemarkFile = nullptr;
+  std::optional<FileOStream> RemarkFileOS;
+  VectorizerConfig Config = Opts.Config;
+  if (Opts.Remarks != RemarkFormat::None) {
+    OStream *Sink = &errs();
+    if (!Opts.RemarksOutput.empty() && Opts.RemarksOutput != "-") {
+      RemarkFile = std::fopen(Opts.RemarksOutput.c_str(), "wb");
+      if (!RemarkFile) {
+        errs() << "lslpc: cannot open remarks output '" << Opts.RemarksOutput
+               << "'\n";
+        return 1;
       }
+      RemarkFileOS.emplace(RemarkFile);
+      Sink = &*RemarkFileOS;
+    } else if (Opts.RemarksOutput == "-") {
+      Sink = &outs();
     }
+    if (Opts.Remarks == RemarkFormat::Text)
+      Engine.setTextStream(Sink);
+    else
+      Engine.setJSONStream(Sink);
+    Config.Remarks = &Engine;
   }
 
-  if (Opts.PrintIR)
-    printModule(outs(), *M);
+  TimerGroup Timers("lslpc");
+  int Code = compileModule(Opts, Config, Timers);
 
-  if (!Opts.RunSpec.empty())
-    return runFunction(*M, Opts, TTI);
-  return 0;
+  if (RemarkFile)
+    std::fclose(RemarkFile);
+  if (Opts.Stats) {
+    if (Opts.StatsJSON)
+      StatisticsRegistry::instance().printJSON(errs());
+    else
+      StatisticsRegistry::instance().printText(errs());
+  }
+  if (Opts.TimePasses)
+    Timers.printText(errs());
+  return Code;
 }
