@@ -8,7 +8,6 @@
 
 #include "costmodel/TargetTransformInfo.h"
 #include "diag/RemarkEngine.h"
-#include "interp/Interpreter.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
@@ -17,14 +16,27 @@
 #include "support/StringUtil.h"
 #include "vectorizer/SLPVectorizerPass.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 
 using namespace lslp;
 using namespace lslp::bench;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedMs(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
 Measurement lslp::bench::measureKernel(const KernelSpec &Spec,
                                        const VectorizerConfig *Config,
-                                       uint64_t N) {
+                                       uint64_t N, EngineKind Kind) {
   Context Ctx;
   SkylakeTTI TTI;
   auto M = buildKernelModule(Spec, Ctx);
@@ -41,19 +53,24 @@ Measurement lslp::bench::measureKernel(const KernelSpec &Spec,
     if (!verifyModule(*M))
       reportFatalError("vectorized module failed verification: " + Spec.Name);
   }
-  Interpreter Interp(*M, &TTI);
-  initKernelMemory(Interp, *M);
+  auto Engine = ExecutionEngine::create(Kind, *M, &TTI);
+  initKernelMemory(*Engine, *M);
+  // The timed region covers execution only (for the vm that includes the
+  // one-time bytecode compile, which is part of its cost).
+  auto Start = Clock::now();
   auto Result =
-      Interp.run(M->getFunction(Spec.EntryFunction),
-                 {RuntimeValue::makeInt(Ctx.getInt64Ty(),
-                                        N ? N : Spec.DefaultN)});
+      Engine->run(M->getFunction(Spec.EntryFunction),
+                  {RuntimeValue::makeInt(Ctx.getInt64Ty(),
+                                         N ? N : Spec.DefaultN)});
+  Out.WallMs = elapsedMs(Start);
   Out.DynamicCost = static_cast<double>(Result.TotalCost);
-  Out.Checksum = checksumGlobals(Interp, *M, Spec.OutputArrays);
+  Out.Checksum = checksumGlobals(*Engine, *M, Spec.OutputArrays);
   return Out;
 }
 
 SuiteMeasurement lslp::bench::measureSuite(const SuiteSpec &Suite,
-                                           const VectorizerConfig *Config) {
+                                           const VectorizerConfig *Config,
+                                           EngineKind Kind) {
   Context Ctx;
   SkylakeTTI TTI;
   auto M = buildSuiteModule(Suite, Ctx);
@@ -64,17 +81,73 @@ SuiteMeasurement lslp::bench::measureSuite(const SuiteSpec &Suite,
     if (!verifyModule(*M))
       reportFatalError("vectorized suite failed verification: " + Suite.Name);
   }
-  Interpreter Interp(*M, &TTI);
-  initKernelMemory(Interp, *M);
+  auto Engine = ExecutionEngine::create(Kind, *M, &TTI);
+  initKernelMemory(*Engine, *M);
   for (size_t I = 0; I < Suite.Members.size(); ++I) {
     const KernelSpec *K = findKernel(Suite.Members[I]);
-    auto Result = Interp.run(
+    auto Start = Clock::now();
+    auto Result = Engine->run(
         M->getFunction(K->EntryFunction),
         {RuntimeValue::makeInt(Ctx.getInt64Ty(), K->DefaultN)});
+    Out.WallMs += elapsedMs(Start);
     Out.WeightedDynamicCost +=
         Suite.Weights[I] * static_cast<double>(Result.TotalCost);
   }
   return Out;
+}
+
+bool lslp::bench::parseBenchArgs(int argc, char **argv, BenchOptions &Opts) {
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (startsWith(Arg, "--"))
+      Arg = Arg.substr(2);
+    else if (startsWith(Arg, "-"))
+      Arg = Arg.substr(1);
+    if (startsWith(Arg, "json="))
+      Opts.JsonPath = Arg.substr(5);
+    else if (startsWith(Arg, "engine=")) {
+      if (!parseEngineKind(Arg.substr(7), Opts.Engine)) {
+        errs() << "bench: bad engine '" << std::string(Arg.substr(7))
+               << "' (expected 'interp' or 'vm')\n";
+        return false;
+      }
+    } else if (Arg == "engine-smoke")
+      Opts.EngineSmoke = true;
+    // Anything else belongs to the binary (e.g. -explain, benchmark
+    // library flags); leave it alone.
+  }
+  return true;
+}
+
+void JsonReport::add(const std::string &Label, const std::string &Config,
+                     EngineKind Engine, double Cycles, double WallMs,
+                     int StaticCost) {
+  Records.push_back({Label, Config, Engine, Cycles, WallMs, StaticCost});
+}
+
+bool JsonReport::write(const std::string &Path) const {
+  if (Path.empty())
+    return true;
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    errs() << "bench: cannot write JSON report to '" << Path << "'\n";
+    return false;
+  }
+  std::fputs("[\n", File);
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const Record &R = Records[I];
+    std::fprintf(File,
+                 "  {\"figure\": \"%s\", \"label\": \"%s\", "
+                 "\"config\": \"%s\", \"engine\": \"%s\", "
+                 "\"cycles\": %.0f, \"wall_ms\": %.3f, "
+                 "\"static_cost\": %d}%s\n",
+                 Figure.c_str(), R.Label.c_str(), R.Config.c_str(),
+                 engineKindName(R.Engine), R.Cycles, R.WallMs, R.StaticCost,
+                 I + 1 == Records.size() ? "" : ",");
+  }
+  std::fputs("]\n", File);
+  std::fclose(File);
+  return true;
 }
 
 std::vector<VectorizerConfig> lslp::bench::paperConfigs() {

@@ -17,6 +17,7 @@
 
 #include "kernels/Kernels.h"
 #include "vectorizer/Config.h"
+#include "vm/ExecutionEngine.h"
 
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@ struct Measurement {
   int StaticCost = 0;      ///< Sum of accepted graph costs.
   unsigned Accepted = 0;   ///< Number of vectorized seed bundles.
   uint64_t Checksum = 0;   ///< Output checksum (sanity cross-check).
+  double WallMs = 0;       ///< Host wall-clock of the execution phase.
   /// One-line remark-derived summary of what the vectorizer did (empty
   /// for the O3 baseline): RemarkEngine::summary() of the pass's stream.
   std::string Explanation;
@@ -37,9 +39,11 @@ struct Measurement {
 
 /// Runs \p Spec with \p Config (null = O3, vectorizer disabled) on fresh
 /// memory and returns the measurement. \p N overrides the kernel's default
-/// trip count when non-zero.
+/// trip count when non-zero. \p Engine selects the execution backend; the
+/// simulated cycles are engine-invariant, only WallMs changes.
 Measurement measureKernel(const KernelSpec &Spec,
-                          const VectorizerConfig *Config, uint64_t N = 0);
+                          const VectorizerConfig *Config, uint64_t N = 0,
+                          EngineKind Engine = EngineKind::TreeWalk);
 
 /// Weighted whole-suite dynamic cost (Figure 11/12 substrate): sum over
 /// members of weight * dynamic cost; also accumulates the suite's total
@@ -47,9 +51,59 @@ Measurement measureKernel(const KernelSpec &Spec,
 struct SuiteMeasurement {
   double WeightedDynamicCost = 0;
   int StaticCost = 0;
+  double WallMs = 0; ///< Unweighted host wall-clock of all member runs.
 };
 SuiteMeasurement measureSuite(const SuiteSpec &Suite,
-                              const VectorizerConfig *Config);
+                              const VectorizerConfig *Config,
+                              EngineKind Engine = EngineKind::TreeWalk);
+
+/// \name Shared bench CLI + machine-readable output.
+/// @{
+
+/// Flags every bench binary understands, on top of its own:
+///   -json=FILE     write one JSON record per measurement to FILE
+///   -engine=NAME   execution backend: interp (default) or vm
+///   -engine-smoke  cross-engine timed smoke mode (fig12 only)
+struct BenchOptions {
+  std::string JsonPath;
+  EngineKind Engine = EngineKind::TreeWalk;
+  bool EngineSmoke = false;
+};
+
+/// Consumes the shared flags from argv, leaving binary-specific arguments
+/// alone. Returns false (after printing a message) on a malformed value.
+bool parseBenchArgs(int argc, char **argv, BenchOptions &Opts);
+
+/// Accumulates measurement records and writes them as a JSON array:
+///   {"figure": ..., "label": ..., "config": ..., "engine": ...,
+///    "cycles": ..., "wall_ms": ..., "static_cost": ...}
+/// Figures without a natural value for a field record it as 0.
+class JsonReport {
+public:
+  explicit JsonReport(std::string Figure) : Figure(std::move(Figure)) {}
+
+  void add(const std::string &Label, const std::string &Config,
+           EngineKind Engine, double Cycles, double WallMs,
+           int StaticCost = 0);
+
+  /// Writes the records to \p Path; no-op when \p Path is empty. Returns
+  /// false (after printing a message) when the file cannot be written.
+  bool write(const std::string &Path) const;
+
+private:
+  struct Record {
+    std::string Label;
+    std::string Config;
+    EngineKind Engine;
+    double Cycles;
+    double WallMs;
+    int StaticCost;
+  };
+  std::string Figure;
+  std::vector<Record> Records;
+};
+
+/// @}
 
 /// The three vectorizing configurations in paper order.
 std::vector<VectorizerConfig> paperConfigs();

@@ -13,7 +13,6 @@
 #include "bench/BenchUtil.h"
 
 #include "costmodel/TargetTransformInfo.h"
-#include "interp/Interpreter.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
@@ -30,7 +29,7 @@ struct Mix {
   uint64_t Shuffles = 0, LaneOps = 0, Total = 0;
 };
 
-Mix measureMix(const KernelSpec &Spec, bool Vectorize) {
+Mix measureMix(const KernelSpec &Spec, bool Vectorize, EngineKind Kind) {
   Context Ctx;
   SkylakeTTI TTI;
   auto M = buildKernelModule(Spec, Ctx);
@@ -39,11 +38,11 @@ Mix measureMix(const KernelSpec &Spec, bool Vectorize) {
     Pass.runOnModule(*M);
     verifyModule(*M);
   }
-  Interpreter Interp(*M, &TTI);
-  Interp.setCollectStats(true);
-  initKernelMemory(Interp, *M);
-  auto R = Interp.run(M->getFunction(Spec.EntryFunction),
-                      {RuntimeValue::makeInt(Ctx.getInt64Ty(), 512)});
+  auto Engine = ExecutionEngine::create(Kind, *M, &TTI);
+  Engine->setCollectStats(true);
+  initKernelMemory(*Engine, *M);
+  auto R = Engine->run(M->getFunction(Spec.EntryFunction),
+                       {RuntimeValue::makeInt(Ctx.getInt64Ty(), 512)});
   Mix Out;
   Out.Total = R.DynamicInsts;
   auto Tally = [](const std::map<ValueID, uint64_t> &Counts, uint64_t &Mem,
@@ -72,7 +71,10 @@ Mix measureMix(const KernelSpec &Spec, bool Vectorize) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts;
+  if (!parseBenchArgs(argc, argv, Opts))
+    return 1;
   printTitle("Dynamic instruction mix, O3 vs LSLP (512 iterations)");
   printRow("kernel",
            {"sMem", "sALU", "vMem", "vALU", "shuf", "lane", "total"}, 30, 9);
@@ -80,7 +82,7 @@ int main() {
 
   for (const KernelSpec *K : getFigureKernels()) {
     for (bool Vec : {false, true}) {
-      Mix M = measureMix(*K, Vec);
+      Mix M = measureMix(*K, Vec, Opts.Engine);
       printRow(std::string(Vec ? "  +LSLP " : "") + K->Name,
                {std::to_string(M.ScalarMem), std::to_string(M.ScalarALU),
                 std::to_string(M.VectorMem), std::to_string(M.VectorALU),

@@ -18,11 +18,15 @@
 using namespace lslp;
 using namespace lslp::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts;
+  if (!parseBenchArgs(argc, argv, Opts))
+    return 1;
   printTitle("Figure 10: static vectorization cost (more negative = better)");
   printRow("kernel", {"SLP-NR", "SLP", "LSLP"});
   outs() << std::string(56, '-') << "\n";
 
+  JsonReport Report("fig10");
   std::vector<VectorizerConfig> Configs = paperConfigs();
   std::vector<double> Sums(Configs.size(), 0.0);
   unsigned Count = 0;
@@ -30,7 +34,9 @@ int main() {
   for (const KernelSpec *K : getFigureKernels()) {
     std::vector<std::string> Cells;
     for (size_t CI = 0; CI < Configs.size(); ++CI) {
-      Measurement Vec = measureKernel(*K, &Configs[CI]);
+      Measurement Vec = measureKernel(*K, &Configs[CI], 0, Opts.Engine);
+      Report.add(K->Name, Configs[CI].Name, Opts.Engine, Vec.DynamicCost,
+                 Vec.WallMs, Vec.StaticCost);
       Sums[CI] += Vec.StaticCost;
       Cells.push_back(std::to_string(Vec.StaticCost));
     }
@@ -42,5 +48,5 @@ int main() {
   for (double S : Sums)
     MeanCells.push_back(fmt(S / Count));
   printRow("Mean", MeanCells);
-  return 0;
+  return Report.write(Opts.JsonPath) ? 0 : 1;
 }

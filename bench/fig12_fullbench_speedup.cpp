@@ -18,19 +18,92 @@
 using namespace lslp;
 using namespace lslp::bench;
 
-int main() {
+namespace {
+
+/// Cross-engine timed smoke (-engine-smoke): every (suite, config) cell
+/// executes on BOTH engines. The simulated cycle counts must be
+/// bit-identical (the vm is a backend of the same cycle-model machine,
+/// not a different machine), and the vm must be measurably faster in
+/// host wall-clock — the whole point of compiling to bytecode. Exit 1 on
+/// either violation, so CI can gate on it.
+int runEngineSmoke(const BenchOptions &Opts) {
+  printTitle("Figure 12 engine smoke: interp vs vm on the full suites");
+  printRow("benchmark", {"config", "cycles", "interp-ms", "vm-ms"}, 16, 12);
+  outs() << std::string(16 + 4 * 12, '-') << "\n";
+
+  JsonReport Report("fig12-engine-smoke");
+  std::vector<VectorizerConfig> Configs = paperConfigs();
+  double InterpMs = 0, VmMs = 0;
+  for (const SuiteSpec &Suite : getSuites()) {
+    for (int CI = -1; CI < static_cast<int>(Configs.size()); ++CI) {
+      const VectorizerConfig *C = CI < 0 ? nullptr : &Configs[CI];
+      std::string Name = CI < 0 ? "O3" : Configs[CI].Name;
+      SuiteMeasurement A = measureSuite(Suite, C, EngineKind::TreeWalk);
+      SuiteMeasurement B = measureSuite(Suite, C, EngineKind::Bytecode);
+      if (A.WeightedDynamicCost != B.WeightedDynamicCost) {
+        errs() << "fig12 engine smoke FAILED: cycle mismatch on "
+               << Suite.Name << " [" << Name << "]: interp "
+               << fmt(A.WeightedDynamicCost, 0) << " vs vm "
+               << fmt(B.WeightedDynamicCost, 0) << "\n";
+        return 1;
+      }
+      InterpMs += A.WallMs;
+      VmMs += B.WallMs;
+      Report.add(Suite.Name, Name, EngineKind::TreeWalk,
+                 A.WeightedDynamicCost, A.WallMs, A.StaticCost);
+      Report.add(Suite.Name, Name, EngineKind::Bytecode,
+                 B.WeightedDynamicCost, B.WallMs, B.StaticCost);
+      printRow(Suite.Name,
+               {Name, fmt(A.WeightedDynamicCost, 0), fmt(A.WallMs, 2),
+                fmt(B.WallMs, 2)},
+               16, 12);
+    }
+  }
+  outs() << std::string(16 + 4 * 12, '-') << "\n";
+  double Speedup = VmMs > 0 ? InterpMs / VmMs : 0;
+  outs() << "total: interp " << fmt(InterpMs, 1) << " ms, vm "
+         << fmt(VmMs, 1) << " ms, vm speedup " << fmt(Speedup, 2) << "x\n";
+  if (!Report.write(Opts.JsonPath))
+    return 1;
+  // Gate well below the typical margin so scheduling noise cannot flake
+  // the build, while still catching a vm that regressed to tree-walker
+  // speed.
+  if (Speedup < 2.0) {
+    errs() << "fig12 engine smoke FAILED: vm only " << fmt(Speedup, 2)
+           << "x faster than the tree-walker (want >= 2x)\n";
+    return 1;
+  }
+  outs() << "engine smoke OK: identical cycles, vm " << fmt(Speedup, 2)
+         << "x faster\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchOptions Opts;
+  if (!parseBenchArgs(argc, argv, Opts))
+    return 1;
+  if (Opts.EngineSmoke)
+    return runEngineSmoke(Opts);
+
   printTitle("Figure 12: whole-benchmark speedup over O3 (cycle model)");
   printRow("benchmark", {"SLP-NR", "SLP", "LSLP"});
   outs() << std::string(56, '-') << "\n";
 
+  JsonReport Report("fig12");
   std::vector<VectorizerConfig> Configs = paperConfigs();
   std::vector<std::vector<double>> Speedups(Configs.size());
 
   for (const SuiteSpec &Suite : getSuites()) {
-    SuiteMeasurement O3 = measureSuite(Suite, nullptr);
+    SuiteMeasurement O3 = measureSuite(Suite, nullptr, Opts.Engine);
+    Report.add(Suite.Name, "O3", Opts.Engine, O3.WeightedDynamicCost,
+               O3.WallMs, O3.StaticCost);
     std::vector<std::string> Cells;
     for (size_t CI = 0; CI < Configs.size(); ++CI) {
-      SuiteMeasurement Vec = measureSuite(Suite, &Configs[CI]);
+      SuiteMeasurement Vec = measureSuite(Suite, &Configs[CI], Opts.Engine);
+      Report.add(Suite.Name, Configs[CI].Name, Opts.Engine,
+                 Vec.WeightedDynamicCost, Vec.WallMs, Vec.StaticCost);
       double Speedup = O3.WeightedDynamicCost / Vec.WeightedDynamicCost;
       Speedups[CI].push_back(Speedup);
       Cells.push_back(fmt(Speedup, 3) + "x");
@@ -42,5 +115,5 @@ int main() {
   for (const auto &S : Speedups)
     GM.push_back(fmt(geomean(S), 3) + "x");
   printRow("GMean", GM);
-  return 0;
+  return Report.write(Opts.JsonPath) ? 0 : 1;
 }

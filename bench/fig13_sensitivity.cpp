@@ -47,7 +47,10 @@ std::vector<std::pair<std::string, VectorizerConfig>> sweepConfigs() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opts;
+  if (!parseBenchArgs(argc, argv, Opts))
+    return 1;
   auto Configs = sweepConfigs();
 
   printTitle("Figure 13: speedup over O3, feature sensitivity sweep");
@@ -57,12 +60,17 @@ int main() {
   printRow("kernel", Header, 26, 12);
   outs() << std::string(26 + 12 * Configs.size(), '-') << "\n";
 
+  JsonReport Report("fig13");
   std::vector<std::vector<double>> Speedups(Configs.size());
   for (const KernelSpec *K : getFigureKernels()) {
-    Measurement O3 = measureKernel(*K, nullptr);
+    Measurement O3 = measureKernel(*K, nullptr, 0, Opts.Engine);
+    Report.add(K->Name, "O3", Opts.Engine, O3.DynamicCost, O3.WallMs,
+               O3.StaticCost);
     std::vector<std::string> Cells;
     for (size_t CI = 0; CI < Configs.size(); ++CI) {
-      Measurement Vec = measureKernel(*K, &Configs[CI].second);
+      Measurement Vec = measureKernel(*K, &Configs[CI].second, 0, Opts.Engine);
+      Report.add(K->Name, Configs[CI].first, Opts.Engine, Vec.DynamicCost,
+                 Vec.WallMs, Vec.StaticCost);
       double Speedup = O3.DynamicCost / Vec.DynamicCost;
       Speedups[CI].push_back(Speedup);
       Cells.push_back(fmt(Speedup) + "x");
@@ -81,5 +89,5 @@ int main() {
             "Extra ablations: maxagg = footnote-4 max score aggregation;\n"
             "exh = footnote-3 exhaustive per-lane reordering (instead of\n"
             "the greedy single pass).\n";
-  return 0;
+  return Report.write(Opts.JsonPath) ? 0 : 1;
 }

@@ -31,21 +31,29 @@ int main(int argc, char **argv) {
     if (std::string_view(argv[I]) == "-explain" ||
         std::string_view(argv[I]) == "--explain")
       Explain = true;
+  BenchOptions Opts;
+  if (!parseBenchArgs(argc, argv, Opts))
+    return 1;
 
   printTitle("Figure 9: speedup over O3 (cycle model)");
   printRow("kernel", {"SLP-NR", "SLP", "LSLP"});
   outs() << std::string(56, '-') << "\n";
 
+  JsonReport Report("fig9");
   std::vector<VectorizerConfig> Configs = paperConfigs();
   std::vector<std::vector<double>> SpecSpeedups(Configs.size());
 
   for (const KernelSpec *K : getFigureKernels()) {
-    Measurement O3 = measureKernel(*K, nullptr);
+    Measurement O3 = measureKernel(*K, nullptr, 0, Opts.Engine);
+    Report.add(K->Name, "O3", Opts.Engine, O3.DynamicCost, O3.WallMs,
+               O3.StaticCost);
     std::vector<std::string> Cells;
     std::vector<std::string> Explanations;
     bool IsMotivation = K->Name.rfind("motivation", 0) == 0;
     for (size_t CI = 0; CI < Configs.size(); ++CI) {
-      Measurement Vec = measureKernel(*K, &Configs[CI]);
+      Measurement Vec = measureKernel(*K, &Configs[CI], 0, Opts.Engine);
+      Report.add(K->Name, Configs[CI].Name, Opts.Engine, Vec.DynamicCost,
+                 Vec.WallMs, Vec.StaticCost);
       if (Vec.Checksum != O3.Checksum)
         reportFatalError("checksum mismatch on " + K->Name);
       double Speedup = O3.DynamicCost / Vec.DynamicCost;
@@ -69,5 +77,5 @@ int main(int argc, char **argv) {
       outs() << std::string(56, '-') << "\n";
     }
   }
-  return 0;
+  return Report.write(Opts.JsonPath) ? 0 : 1;
 }

@@ -14,7 +14,6 @@
 #include "bench/BenchUtil.h"
 
 #include "costmodel/TargetTransformInfo.h"
-#include "interp/Interpreter.h"
 #include "ir/BasicBlock.h"
 #include "ir/Context.h"
 #include "ir/Function.h"
@@ -92,26 +91,30 @@ void BM_FullPass(benchmark::State &State) {
 }
 BENCHMARK(BM_FullPass)->DenseRange(0, 10, 1);
 
-/// Interpreter throughput (instructions per second) on the scalar
-/// motivation-loads kernel.
-void BM_InterpreterThroughput(benchmark::State &State) {
+/// Execution-engine throughput (instructions per second) on the scalar
+/// motivation-loads kernel, for the tree-walker (range 0) and the
+/// bytecode vm (range 1).
+void BM_EngineThroughput(benchmark::State &State) {
+  EngineKind Kind =
+      State.range(0) ? EngineKind::Bytecode : EngineKind::TreeWalk;
+  State.SetLabel(engineKindName(Kind));
   Context Ctx;
   SkylakeTTI TTI;
   const KernelSpec *Spec = findKernel("motivation-loads");
   auto M = buildKernelModule(*Spec, Ctx);
-  Interpreter Interp(*M, &TTI);
-  initKernelMemory(Interp, *M);
+  auto Engine = ExecutionEngine::create(Kind, *M, &TTI);
+  initKernelMemory(*Engine, *M);
   Function *F = M->getFunction(Spec->EntryFunction);
   uint64_t Insts = 0;
   for (auto _ : State) {
-    auto R = Interp.run(
+    auto R = Engine->run(
         F, {RuntimeValue::makeInt(Ctx.getInt64Ty(), Spec->DefaultN)});
     Insts += R.DynamicInsts;
     benchmark::DoNotOptimize(R.TotalCost);
   }
   State.SetItemsProcessed(static_cast<int64_t>(Insts));
 }
-BENCHMARK(BM_InterpreterThroughput);
+BENCHMARK(BM_EngineThroughput)->DenseRange(0, 1, 1);
 
 } // namespace
 

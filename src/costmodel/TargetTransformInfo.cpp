@@ -95,8 +95,10 @@ int SkylakeTTI::getArithmeticInstrCost(ValueID Opc, Type *Ty) const {
     return 14;
   case ValueID::SDiv:
   case ValueID::UDiv:
-    // No SIMD integer division on AVX2: a vector division is scalarized
-    // (extract, divide, insert per lane).
+  case ValueID::SRem:
+  case ValueID::URem:
+    // No SIMD integer division on AVX2: a vector division/remainder is
+    // scalarized (extract, divide, insert per lane).
     return IsVector ? static_cast<int>(Lanes) * (20 + 2) : 20;
   default:
     lslp_unreachable("not an arithmetic opcode");

@@ -8,7 +8,6 @@
 
 #include "costmodel/TargetTransformInfo.h"
 #include "diag/RemarkEngine.h"
-#include "interp/Interpreter.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "ir/Printer.h"
@@ -16,8 +15,9 @@
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
 #include "support/OStream.h"
-#include "support/RNG.h"
 #include "vectorizer/SLPVectorizerPass.h"
+#include "vm/ExecutionEngine.h"
+#include "vm/MemoryInit.h"
 
 #include <sstream>
 
@@ -46,39 +46,70 @@ std::string renderReturn(const RuntimeValue &V) {
   return OS.str();
 }
 
-/// Fills every global with deterministic values. Floating-point arrays get
-/// small integers in [0, 16) so all FP arithmetic the generator emits is
-/// exact (immune to fast-math reassociation); integer arrays get values
-/// below 2^20.
-void initMemory(Interpreter &Interp, const Module &M, uint64_t InputSeed) {
-  RNG In(InputSeed);
-  for (const auto &G : M.globals()) {
-    bool IsFP = G->getElementType()->isFloatingPointTy();
-    for (uint64_t I = 0; I != G->getNumElements(); ++I) {
-      if (IsFP)
-        Interp.writeGlobalFP(G->getName(), I,
-                             static_cast<double>(In.nextBelow(16)));
-      else
-        Interp.writeGlobalInt(G->getName(), I, In.nextBelow(1u << 20));
-    }
-  }
-}
-
-/// Interprets every no-argument function of \p M in module order against
-/// one shared memory image.
-Execution execute(const Module &M, uint64_t InputSeed) {
-  Interpreter Interp(M);
-  Interp.setStepLimit(50u * 1000u * 1000u);
-  initMemory(Interp, M, InputSeed);
+/// Executes every no-argument function of \p M in module order against one
+/// shared memory image (seeded via the shared initGlobalMemory helper) on
+/// an engine of the given kind. \p TTI and per-run ExecStats are only
+/// needed for cross-engine parity checks.
+Execution executeOn(const Module &M, uint64_t InputSeed, EngineKind Kind,
+                    const TargetTransformInfo *TTI,
+                    std::vector<ExecStats> *StatsOut) {
+  auto Engine = ExecutionEngine::create(Kind, M, TTI);
+  Engine->setStepLimit(50u * 1000u * 1000u);
+  Engine->setCollectStats(StatsOut != nullptr);
+  initGlobalMemory(*Engine, M, InputSeed, MemoryInitStyle::FuzzUniform);
   Execution E;
   for (const auto &F : M.functions()) {
     if (F->getNumArgs() != 0 || F->empty())
       continue;
-    auto R = Interp.run(F.get());
+    auto R = Engine->run(F.get());
     E.Returns.push_back(renderReturn(R.ReturnValue));
+    if (StatsOut)
+      StatsOut->push_back(std::move(R));
   }
-  E.Memory = Interp.getMemoryImage();
+  E.Memory = Engine->getMemoryImage();
   return E;
+}
+
+/// Cross-engine invariant: runs \p M on both the tree-walker and the vm
+/// and requires bit-identical memory, returns and full ExecStats. Returns
+/// the first mismatch description ("" when the engines agree) and leaves
+/// the tree-walker's execution in \p Out.
+std::string engineParityDiff(const Module &M, uint64_t InputSeed,
+                             Execution &Out) {
+  SkylakeTTI TTI;
+  std::vector<ExecStats> StatsA, StatsB;
+  Execution A = executeOn(M, InputSeed, EngineKind::TreeWalk, &TTI, &StatsA);
+  Execution B = executeOn(M, InputSeed, EngineKind::Bytecode, &TTI, &StatsB);
+  Out = A;
+  if (A.Returns != B.Returns)
+    return "engine parity: return values differ (interp vs vm)";
+  if (A.Memory != B.Memory) {
+    size_t FirstDiff = 0;
+    while (FirstDiff < A.Memory.size() && FirstDiff < B.Memory.size() &&
+           A.Memory[FirstDiff] == B.Memory[FirstDiff])
+      ++FirstDiff;
+    return "engine parity: memory differs at byte " +
+           std::to_string(FirstDiff) + " (interp vs vm)";
+  }
+  for (size_t I = 0; I != StatsA.size(); ++I) {
+    const ExecStats &SA = StatsA[I], &SB = StatsB[I];
+    if (SA.DynamicInsts != SB.DynamicInsts)
+      return "engine parity: dynamic instruction count differs for "
+             "function #" +
+             std::to_string(I) + " (interp " +
+             std::to_string(SA.DynamicInsts) + " vs vm " +
+             std::to_string(SB.DynamicInsts) + ")";
+    if (SA.TotalCost != SB.TotalCost)
+      return "engine parity: cycle count differs for function #" +
+             std::to_string(I) + " (interp " + std::to_string(SA.TotalCost) +
+             " vs vm " + std::to_string(SB.TotalCost) + ")";
+    if (SA.ScalarOpCounts != SB.ScalarOpCounts ||
+        SA.VectorOpCounts != SB.VectorOpCounts)
+      return "engine parity: instruction-mix statistics differ for "
+             "function #" +
+             std::to_string(I);
+  }
+  return "";
 }
 
 } // namespace
@@ -140,7 +171,18 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
                  (Errors.empty() ? std::string("<no detail>") : Errors[0]);
       return V;
     }
-    Baseline = execute(*M, Opts.InputSeed);
+    if (Opts.CheckEngineParity) {
+      std::string ParityErr =
+          engineParityDiff(*M, Opts.InputSeed, Baseline);
+      if (!ParityErr.empty()) {
+        V.Passed = false;
+        V.Reason = "baseline " + ParityErr;
+        return V;
+      }
+    } else {
+      Baseline =
+          executeOn(*M, Opts.InputSeed, Opts.Engine, nullptr, nullptr);
+    }
   }
 
   SkylakeTTI TTI;
@@ -234,7 +276,19 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
       }
     }
 
-    Execution Vec = execute(*M, Opts.InputSeed);
+    Execution Vec;
+    if (Opts.CheckEngineParity) {
+      std::string ParityErr = engineParityDiff(*M, Opts.InputSeed, Vec);
+      if (!ParityErr.empty()) {
+        V.Passed = false;
+        V.ConfigName = Config.Name;
+        V.Reason = ParityErr;
+        V.VectorizedIR = IR1;
+        return V;
+      }
+    } else {
+      Vec = executeOn(*M, Opts.InputSeed, Opts.Engine, nullptr, nullptr);
+    }
     if (!(Vec == Baseline)) {
       V.Passed = false;
       V.ConfigName = Config.Name;

@@ -26,6 +26,7 @@
 #define LSLP_FUZZ_DIFFERENTIALORACLE_H
 
 #include "vectorizer/Config.h"
+#include "vm/ExecutionEngine.h"
 
 #include <cstdint>
 #include <functional>
@@ -47,6 +48,16 @@ struct OracleOptions {
   /// Re-run each pass on a second fresh copy and require identical output
   /// (catches iteration-order nondeterminism).
   bool CheckDeterminism = true;
+
+  /// Engine used for the baseline and vectorized executions.
+  EngineKind Engine = EngineKind::TreeWalk;
+
+  /// Cross-engine invariant: execute the baseline and every vectorized
+  /// module on BOTH engines and require bit-identical results — every
+  /// output byte, return value, and the full ExecStats (dynamic
+  /// instruction count, cycle count, per-opcode mix). This is what keeps
+  /// the fast vm backend continuously honest against the tree-walker.
+  bool CheckEngineParity = false;
 
   /// Test-only hook, run on the module after the vectorizer pass and
   /// before execution. Lets tests inject a deliberate miscompile to prove

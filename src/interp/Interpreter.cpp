@@ -7,6 +7,7 @@
 #include "interp/Interpreter.h"
 
 #include "costmodel/TargetTransformInfo.h"
+#include "interp/LaneOps.h"
 #include "ir/BasicBlock.h"
 #include "ir/Constants.h"
 #include "ir/Function.h"
@@ -19,96 +20,19 @@
 
 using namespace lslp;
 
-namespace {
-
-/// Per-call execution frame.
-struct Frame {
-  std::map<const Value *, RuntimeValue> Values;
-};
-
-} // namespace
-
 Interpreter::Interpreter(const Module &M, const TargetTransformInfo *TTI)
-    : M(M), TTI(TTI) {
-  // Lay out globals with a guard page at address 0 and 64-byte alignment
-  // between segments.
-  uint64_t Cursor = 4096;
-  for (const auto &G : M.globals()) {
-    GlobalAddr[G.get()] = Cursor;
-    Cursor += G->getSizeInBytes();
-    Cursor = (Cursor + 63) & ~uint64_t(63);
-  }
-  Memory.assign(Cursor, 0);
-}
-
-const GlobalArray *Interpreter::getGlobalOrDie(std::string_view Name) const {
-  const GlobalArray *G = M.getGlobal(Name);
-  if (!G)
-    reportFatalError("interpreter: unknown global '" + std::string(Name) +
-                     "'");
-  return G;
-}
-
-uint64_t Interpreter::elementAddress(const GlobalArray *G,
-                                     uint64_t Index) const {
-  if (Index >= G->getNumElements())
-    reportFatalError("interpreter: global index out of range for '@" +
-                     G->getName() + "'");
-  return GlobalAddr.at(G) + Index * G->getElementType()->getSizeInBytes();
-}
-
-uint64_t Interpreter::getGlobalAddress(std::string_view Name) const {
-  return GlobalAddr.at(getGlobalOrDie(Name));
-}
-
-void Interpreter::writeGlobalInt(std::string_view Name, uint64_t Index,
-                                 uint64_t Value) {
-  const GlobalArray *G = getGlobalOrDie(Name);
-  unsigned Size = G->getElementType()->getSizeInBytes();
-  uint64_t Addr = elementAddress(G, Index);
-  std::memcpy(&Memory[Addr], &Value, Size);
-}
-
-void Interpreter::writeGlobalFP(std::string_view Name, uint64_t Index,
-                                double Value) {
-  const GlobalArray *G = getGlobalOrDie(Name);
-  uint64_t Addr = elementAddress(G, Index);
-  if (G->getElementType()->isFloatTy()) {
-    float F = static_cast<float>(Value);
-    std::memcpy(&Memory[Addr], &F, 4);
-  } else {
-    std::memcpy(&Memory[Addr], &Value, 8);
-  }
-}
-
-uint64_t Interpreter::readGlobalInt(std::string_view Name,
-                                    uint64_t Index) const {
-  const GlobalArray *G = getGlobalOrDie(Name);
-  unsigned Size = G->getElementType()->getSizeInBytes();
-  uint64_t Addr = elementAddress(G, Index);
-  uint64_t Value = 0;
-  std::memcpy(&Value, &Memory[Addr], Size);
-  return Value;
-}
-
-double Interpreter::readGlobalFP(std::string_view Name, uint64_t Index) const {
-  const GlobalArray *G = getGlobalOrDie(Name);
-  uint64_t Addr = elementAddress(G, Index);
-  if (G->getElementType()->isFloatTy()) {
-    float F;
-    std::memcpy(&F, &Memory[Addr], 4);
-    return F;
-  }
-  double D;
-  std::memcpy(&D, &Memory[Addr], 8);
-  return D;
-}
+    : ExecutionEngine(M), TTI(TTI) {}
 
 //===----------------------------------------------------------------------===//
 // Execution
 //===----------------------------------------------------------------------===//
 
 namespace {
+
+/// Per-call execution frame.
+struct Frame {
+  std::map<const Value *, RuntimeValue> Values;
+};
 
 /// Evaluation of all instruction kinds; holds the per-run mutable state.
 class Executor {
@@ -120,8 +44,7 @@ public:
       : M(M), Memory(Memory), GlobalAddr(GlobalAddr), TTI(TTI),
         StepLimit(StepLimit), CollectStats(CollectStats) {}
 
-  Interpreter::RunResult run(const Function *F,
-                             const std::vector<RuntimeValue> &Args) {
+  ExecStats run(const Function *F, const std::vector<RuntimeValue> &Args) {
     if (Args.size() != F->getNumArgs())
       reportFatalError("interpreter: argument count mismatch calling @" +
                        F->getName());
@@ -133,7 +56,7 @@ public:
       Fr.Values[F->getArg(I)] = Args[I];
     }
 
-    Interpreter::RunResult Result;
+    ExecStats Result;
     const BasicBlock *BB = F->getEntryBlock();
     const BasicBlock *PrevBB = nullptr;
     while (true) {
@@ -183,7 +106,7 @@ public:
   }
 
 private:
-  void charge(const Instruction *I, Interpreter::RunResult &Result) {
+  void charge(const Instruction *I, ExecStats &Result) {
     ++Result.DynamicInsts;
     if (Result.DynamicInsts > StepLimit)
       reportFatalError("interpreter: step limit exceeded (infinite loop?)");
@@ -253,7 +176,7 @@ private:
   }
 
   //===--------------------------------------------------------------------===//
-  // Instruction evaluation
+  // Instruction evaluation (lane semantics shared with src/vm: LaneOps.h)
   //===--------------------------------------------------------------------===//
 
   RuntimeValue evaluate(Frame &Fr, const Instruction *I) {
@@ -304,20 +227,24 @@ private:
     case ValueID::FPToSI: {
       const auto *C = cast<CastInst>(I);
       RuntimeValue Src = getValue(Fr, C->getSourceOperand());
-      Type *SrcScalar = C->getSrcType()->getScalarType();
-      Type *DestScalar = C->getDestType()->getScalarType();
+      laneops::ScalarKind SrcK =
+          laneops::ScalarKind::of(C->getSrcType()->getScalarType());
+      laneops::ScalarKind DstK =
+          laneops::ScalarKind::of(C->getDestType()->getScalarType());
       std::vector<uint64_t> Lanes(Src.getNumLanes());
       for (unsigned K = 0; K != Src.getNumLanes(); ++K)
-        Lanes[K] = evalCastLane(I->getOpcode(), SrcScalar, DestScalar,
-                                Src.Lanes[K]);
+        Lanes[K] = laneops::evalCastLane(I->getOpcode(), SrcK, DstK,
+                                         Src.Lanes[K]);
       return RuntimeValue(C->getDestType(), std::move(Lanes));
     }
     case ValueID::ICmp: {
       const auto *C = cast<ICmpInst>(I);
       RuntimeValue L = getValue(Fr, C->getLHS());
       RuntimeValue R = getValue(Fr, C->getRHS());
-      return RuntimeValue::makeInt(I->getType(),
-                                   evalICmp(C->getPredicate(), L, R) ? 1 : 0);
+      bool Res = laneops::evalICmp(C->getPredicate(),
+                                   laneops::ScalarKind::of(L.Ty), L.asUInt(),
+                                   R.asUInt());
+      return RuntimeValue::makeInt(I->getType(), Res ? 1 : 0);
     }
     case ValueID::Select: {
       const auto *S = cast<SelectInst>(I);
@@ -365,73 +292,6 @@ private:
     }
   }
 
-  uint64_t evalCastLane(ValueID Opc, Type *SrcTy, Type *DestTy,
-                        uint64_t Lane) {
-    switch (Opc) {
-    case ValueID::SExt:
-      return RuntimeValue::truncateToWidth(
-          DestTy,
-          static_cast<uint64_t>(RuntimeValue::signExtendLane(SrcTy, Lane)));
-    case ValueID::ZExt:
-      return Lane; // Already stored zero-extended.
-    case ValueID::Trunc:
-      return RuntimeValue::truncateToWidth(DestTy, Lane);
-    case ValueID::SIToFP:
-      return RuntimeValue::encodeFP(
-          DestTy,
-          static_cast<double>(RuntimeValue::signExtendLane(SrcTy, Lane)));
-    case ValueID::FPToSI: {
-      double D = RuntimeValue::decodeFP(SrcTy, Lane);
-      // Out-of-range conversions are undefined in LLVM; define them as
-      // saturation so the interpreter stays deterministic.
-      constexpr double Max = 9223372036854775807.0;
-      int64_t V;
-      if (D != D) // NaN.
-        V = 0;
-      else if (D >= Max)
-        V = INT64_MAX;
-      else if (D <= -Max)
-        V = INT64_MIN;
-      else
-        V = static_cast<int64_t>(D);
-      return RuntimeValue::truncateToWidth(DestTy,
-                                           static_cast<uint64_t>(V));
-    }
-    default:
-      lslp_unreachable("not a cast opcode");
-    }
-  }
-
-  bool evalICmp(ICmpInst::Predicate Pred, const RuntimeValue &L,
-                const RuntimeValue &R) {
-    uint64_t UL = L.asUInt(), UR = R.asUInt();
-    int64_t SL = L.Ty->isPointerTy() ? static_cast<int64_t>(UL) : L.asSInt();
-    int64_t SR = R.Ty->isPointerTy() ? static_cast<int64_t>(UR) : R.asSInt();
-    switch (Pred) {
-    case ICmpInst::EQ:
-      return UL == UR;
-    case ICmpInst::NE:
-      return UL != UR;
-    case ICmpInst::SLT:
-      return SL < SR;
-    case ICmpInst::SLE:
-      return SL <= SR;
-    case ICmpInst::SGT:
-      return SL > SR;
-    case ICmpInst::SGE:
-      return SL >= SR;
-    case ICmpInst::ULT:
-      return UL < UR;
-    case ICmpInst::ULE:
-      return UL <= UR;
-    case ICmpInst::UGT:
-      return UL > UR;
-    case ICmpInst::UGE:
-      return UL >= UR;
-    }
-    lslp_unreachable("covered switch");
-  }
-
   RuntimeValue evalBinary(Frame &Fr, const Instruction *I) {
     RuntimeValue L = getValue(Fr, I->getOperand(0));
     RuntimeValue R = getValue(Fr, I->getOperand(1));
@@ -439,79 +299,18 @@ private:
     Type *ScalarTy = Ty->getScalarType();
     unsigned Lanes = L.getNumLanes();
     std::vector<uint64_t> Out(Lanes);
-    for (unsigned K = 0; K != Lanes; ++K)
-      Out[K] = ScalarTy->isFloatingPointTy()
-                   ? evalFPLane(I->getOpcode(), ScalarTy, L.Lanes[K],
-                                R.Lanes[K])
-                   : evalIntLane(I->getOpcode(), ScalarTy, L.Lanes[K],
-                                 R.Lanes[K]);
+    if (ScalarTy->isFloatingPointTy()) {
+      bool IsFloat32 = ScalarTy->isFloatTy();
+      for (unsigned K = 0; K != Lanes; ++K)
+        Out[K] = laneops::evalFPBinLane(I->getOpcode(), IsFloat32, L.Lanes[K],
+                                        R.Lanes[K]);
+    } else {
+      unsigned Bits = cast<IntegerType>(ScalarTy)->getBitWidth();
+      for (unsigned K = 0; K != Lanes; ++K)
+        Out[K] = laneops::evalIntBinLane(I->getOpcode(), Bits, L.Lanes[K],
+                                         R.Lanes[K], "interpreter");
+    }
     return RuntimeValue(Ty, std::move(Out));
-  }
-
-  uint64_t evalIntLane(ValueID Opc, Type *Ty, uint64_t A, uint64_t B) {
-    unsigned Bits = cast<IntegerType>(Ty)->getBitWidth();
-    auto Trunc = [&](uint64_t V) { return RuntimeValue::truncateToWidth(Ty, V); };
-    switch (Opc) {
-    case ValueID::Add:
-      return Trunc(A + B);
-    case ValueID::Sub:
-      return Trunc(A - B);
-    case ValueID::Mul:
-      return Trunc(A * B);
-    case ValueID::UDiv:
-      if (B == 0)
-        reportFatalError("interpreter: udiv by zero");
-      return Trunc(A / B);
-    case ValueID::SDiv: {
-      int64_t SA = RuntimeValue::signExtendLane(Ty, A);
-      int64_t SB = RuntimeValue::signExtendLane(Ty, B);
-      if (SB == 0)
-        reportFatalError("interpreter: sdiv by zero");
-      if (SA == INT64_MIN && SB == -1)
-        reportFatalError("interpreter: sdiv overflow");
-      return Trunc(static_cast<uint64_t>(SA / SB));
-    }
-    case ValueID::And:
-      return A & B;
-    case ValueID::Or:
-      return A | B;
-    case ValueID::Xor:
-      return A ^ B;
-    case ValueID::Shl:
-      return B >= Bits ? 0 : Trunc(A << B);
-    case ValueID::LShr:
-      return B >= Bits ? 0 : A >> B;
-    case ValueID::AShr: {
-      int64_t SA = RuntimeValue::signExtendLane(Ty, A);
-      uint64_t Amount = B >= Bits ? Bits - 1 : B;
-      return Trunc(static_cast<uint64_t>(SA >> Amount));
-    }
-    default:
-      lslp_unreachable("not an integer binary opcode");
-    }
-  }
-
-  uint64_t evalFPLane(ValueID Opc, Type *Ty, uint64_t A, uint64_t B) {
-    double DA = RuntimeValue::decodeFP(Ty, A);
-    double DB = RuntimeValue::decodeFP(Ty, B);
-    double Res;
-    switch (Opc) {
-    case ValueID::FAdd:
-      Res = DA + DB;
-      break;
-    case ValueID::FSub:
-      Res = DA - DB;
-      break;
-    case ValueID::FMul:
-      Res = DA * DB;
-      break;
-    case ValueID::FDiv:
-      Res = DA / DB;
-      break;
-    default:
-      lslp_unreachable("not an FP binary opcode");
-    }
-    return RuntimeValue::encodeFP(Ty, Res);
   }
 
   const Module &M;
@@ -524,8 +323,8 @@ private:
 
 } // namespace
 
-Interpreter::RunResult Interpreter::run(const Function *F,
-                                        const std::vector<RuntimeValue> &Args) {
+ExecStats Interpreter::run(const Function *F,
+                           const std::vector<RuntimeValue> &Args) {
   assert(F->getParent() == &M && "function from a different module");
   Executor Exec(M, Memory, GlobalAddr, TTI, StepLimit, CollectStats);
   return Exec.run(F, Args);

@@ -17,6 +17,10 @@
 ///     speedup figures are computed (see DESIGN.md on this substitution
 ///     for the paper's Skylake hardware).
 ///
+/// This is the reference tree-walking engine behind the ExecutionEngine
+/// facade; src/vm holds the fast bytecode engine that must match it
+/// bit-for-bit (see DESIGN.md "Execution engines").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSLP_INTERP_INTERPRETER_H
@@ -24,81 +28,35 @@
 
 #include "interp/RuntimeValue.h"
 #include "ir/Value.h"
+#include "vm/ExecutionEngine.h"
 
 #include <cstdint>
-#include <map>
-#include <string>
-#include <string_view>
 #include <vector>
 
 namespace lslp {
 
 class Function;
-class GlobalArray;
-class Module;
 class TargetTransformInfo;
 
-/// Interprets functions of one module instance. Construction allocates and
-/// zero-fills a memory segment for every global array.
-class Interpreter {
+/// Interprets functions of one module instance by walking the instruction
+/// list. Construction allocates and zero-fills a memory segment for every
+/// global array (see ExecutionEngine).
+class Interpreter : public ExecutionEngine {
 public:
   /// \p TTI may be null if only semantics (not cost accounting) matter.
   explicit Interpreter(const Module &M,
                        const TargetTransformInfo *TTI = nullptr);
 
-  /// Statistics and result of one function execution.
-  struct RunResult {
-    RuntimeValue ReturnValue; ///< Invalid for void functions.
-    uint64_t DynamicInsts = 0;
-    uint64_t TotalCost = 0; ///< Sum of per-instruction TTI costs.
-    /// Dynamic instruction counts, split scalar/vector per opcode.
-    /// Populated only when setCollectStats(true).
-    std::map<ValueID, uint64_t> ScalarOpCounts;
-    std::map<ValueID, uint64_t> VectorOpCounts;
-    /// TotalCost scaled by the TTI issue width (1 if no TTI).
-    double simulatedCycles(unsigned IssueWidth = 1) const {
-      return static_cast<double>(TotalCost) / IssueWidth;
-    }
-  };
+  /// Pre-facade name of ExecStats; kept for existing callers.
+  using RunResult = ExecStats;
 
-  /// Executes \p F with \p Args (must match the signature). Aborts with a
-  /// diagnostic on traps (division by zero, out-of-bounds access,
-  /// step-limit exhaustion).
-  RunResult run(const Function *F, const std::vector<RuntimeValue> &Args = {});
+  ExecStats run(const Function *F,
+                const std::vector<RuntimeValue> &Args = {}) override;
 
-  /// \name Global array access (by name; aborts if unknown).
-  /// @{
-  /// Address of element 0 of global \p Name.
-  uint64_t getGlobalAddress(std::string_view Name) const;
-  /// Writes integer element \p Index of \p Name.
-  void writeGlobalInt(std::string_view Name, uint64_t Index, uint64_t Value);
-  /// Writes FP element \p Index of \p Name.
-  void writeGlobalFP(std::string_view Name, uint64_t Index, double Value);
-  /// Reads integer element \p Index of \p Name (zero-extended).
-  uint64_t readGlobalInt(std::string_view Name, uint64_t Index) const;
-  /// Reads FP element \p Index of \p Name.
-  double readGlobalFP(std::string_view Name, uint64_t Index) const;
-  /// Returns a copy of the whole memory image (for whole-state equality
-  /// checks in tests).
-  const std::vector<uint8_t> &getMemoryImage() const { return Memory; }
-  /// @}
-
-  /// Upper bound on executed instructions per run() (trap when exceeded).
-  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
-
-  /// Enables per-opcode dynamic instruction counting (small overhead).
-  void setCollectStats(bool Collect) { CollectStats = Collect; }
+  const char *engineName() const override { return "interp"; }
 
 private:
-  const GlobalArray *getGlobalOrDie(std::string_view Name) const;
-  uint64_t elementAddress(const GlobalArray *G, uint64_t Index) const;
-
-  const Module &M;
   const TargetTransformInfo *TTI;
-  std::vector<uint8_t> Memory;
-  std::map<const GlobalArray *, uint64_t> GlobalAddr;
-  uint64_t StepLimit = 200u * 1000u * 1000u;
-  bool CollectStats = false;
 };
 
 } // namespace lslp

@@ -1,0 +1,241 @@
+//===- interp/LaneOps.h - Shared per-lane execution semantics ---*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-lane semantics of arithmetic, cast and compare opcodes, shared
+/// by the tree-walking interpreter (src/interp) and the bytecode VM
+/// (src/vm). Both engines must produce bit-identical lanes and identical
+/// traps for every input; keeping the lane math in one place makes that a
+/// structural property rather than a test-enforced one.
+///
+/// Lanes use the RuntimeValue encoding: integers zero-extended in 64 bits,
+/// floats/doubles as raw bit patterns, pointers as byte addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_INTERP_LANEOPS_H
+#define LSLP_INTERP_LANEOPS_H
+
+#include "ir/Instruction.h"
+#include "ir/Type.h"
+#include "support/Debug.h"
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace lslp {
+namespace laneops {
+
+/// Scalar-type shape, precomputable at bytecode-compile time so the VM
+/// dispatch loop never touches Type objects.
+struct ScalarKind {
+  uint8_t Bits = 64;      ///< Integer bit width (64 for pointers/FP lanes).
+  bool IsFP = false;      ///< float or double.
+  bool IsFloat32 = false; ///< float (as opposed to double).
+  bool IsPointer = false;
+
+  static ScalarKind of(const Type *Ty) {
+    ScalarKind K;
+    if (const auto *IntTy = dyn_cast<IntegerType>(Ty)) {
+      K.Bits = static_cast<uint8_t>(IntTy->getBitWidth());
+    } else if (Ty->isFloatingPointTy()) {
+      K.IsFP = true;
+      K.IsFloat32 = Ty->isFloatTy();
+    } else if (Ty->isPointerTy()) {
+      K.IsPointer = true;
+    } else {
+      lslp_unreachable("no scalar kind for this type");
+    }
+    return K;
+  }
+};
+
+/// Masks \p V to \p Bits.
+inline uint64_t truncToBits(unsigned Bits, uint64_t V) {
+  if (Bits >= 64)
+    return V;
+  return V & ((uint64_t(1) << Bits) - 1);
+}
+
+/// Sign-extends the low \p Bits of \p V.
+inline int64_t sextBits(unsigned Bits, uint64_t V) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = uint64_t(1) << (Bits - 1);
+  return static_cast<int64_t>((V ^ SignBit)) - static_cast<int64_t>(SignBit);
+}
+
+/// Encodes a double as a raw FP lane (rounding to float for float lanes).
+inline uint64_t encodeFP(bool IsFloat32, double V) {
+  if (IsFloat32)
+    return std::bit_cast<uint32_t>(static_cast<float>(V));
+  return std::bit_cast<uint64_t>(V);
+}
+
+/// Decodes a raw FP lane.
+inline double decodeFP(bool IsFloat32, uint64_t Lane) {
+  if (IsFloat32)
+    return std::bit_cast<float>(static_cast<uint32_t>(Lane));
+  return std::bit_cast<double>(Lane);
+}
+
+[[noreturn]] inline void trap(const char *Engine, const char *What) {
+  reportFatalError(std::string(Engine) + ": " + What);
+}
+
+/// One lane of an integer binary operator of width \p Bits. \p Engine
+/// prefixes trap diagnostics ("interpreter" / "vm").
+inline uint64_t evalIntBinLane(ValueID Opc, unsigned Bits, uint64_t A,
+                               uint64_t B, const char *Engine) {
+  auto Trunc = [&](uint64_t V) { return truncToBits(Bits, V); };
+  switch (Opc) {
+  case ValueID::Add:
+    return Trunc(A + B);
+  case ValueID::Sub:
+    return Trunc(A - B);
+  case ValueID::Mul:
+    return Trunc(A * B);
+  case ValueID::UDiv:
+    if (B == 0)
+      trap(Engine, "udiv by zero");
+    return Trunc(A / B);
+  case ValueID::SDiv: {
+    int64_t SA = sextBits(Bits, A);
+    int64_t SB = sextBits(Bits, B);
+    if (SB == 0)
+      trap(Engine, "sdiv by zero");
+    if (SA == INT64_MIN && SB == -1)
+      trap(Engine, "sdiv overflow");
+    return Trunc(static_cast<uint64_t>(SA / SB));
+  }
+  case ValueID::URem:
+    if (B == 0)
+      trap(Engine, "urem by zero");
+    return Trunc(A % B);
+  case ValueID::SRem: {
+    int64_t SA = sextBits(Bits, A);
+    int64_t SB = sextBits(Bits, B);
+    if (SB == 0)
+      trap(Engine, "srem by zero");
+    if (SA == INT64_MIN && SB == -1)
+      trap(Engine, "srem overflow");
+    return Trunc(static_cast<uint64_t>(SA % SB));
+  }
+  case ValueID::And:
+    return A & B;
+  case ValueID::Or:
+    return A | B;
+  case ValueID::Xor:
+    return A ^ B;
+  case ValueID::Shl:
+    return B >= Bits ? 0 : Trunc(A << B);
+  case ValueID::LShr:
+    return B >= Bits ? 0 : A >> B;
+  case ValueID::AShr: {
+    int64_t SA = sextBits(Bits, A);
+    uint64_t Amount = B >= Bits ? Bits - 1 : B;
+    return Trunc(static_cast<uint64_t>(SA >> Amount));
+  }
+  default:
+    lslp_unreachable("not an integer binary opcode");
+  }
+}
+
+/// One lane of a floating-point binary operator.
+inline uint64_t evalFPBinLane(ValueID Opc, bool IsFloat32, uint64_t A,
+                              uint64_t B) {
+  double DA = decodeFP(IsFloat32, A);
+  double DB = decodeFP(IsFloat32, B);
+  double Res;
+  switch (Opc) {
+  case ValueID::FAdd:
+    Res = DA + DB;
+    break;
+  case ValueID::FSub:
+    Res = DA - DB;
+    break;
+  case ValueID::FMul:
+    Res = DA * DB;
+    break;
+  case ValueID::FDiv:
+    Res = DA / DB;
+    break;
+  default:
+    lslp_unreachable("not an FP binary opcode");
+  }
+  return encodeFP(IsFloat32, Res);
+}
+
+/// One lane of a cast.
+inline uint64_t evalCastLane(ValueID Opc, ScalarKind Src, ScalarKind Dst,
+                             uint64_t Lane) {
+  switch (Opc) {
+  case ValueID::SExt:
+    return truncToBits(Dst.Bits,
+                       static_cast<uint64_t>(sextBits(Src.Bits, Lane)));
+  case ValueID::ZExt:
+    return Lane; // Already stored zero-extended.
+  case ValueID::Trunc:
+    return truncToBits(Dst.Bits, Lane);
+  case ValueID::SIToFP:
+    return encodeFP(Dst.IsFloat32,
+                    static_cast<double>(sextBits(Src.Bits, Lane)));
+  case ValueID::FPToSI: {
+    double D = decodeFP(Src.IsFloat32, Lane);
+    // Out-of-range conversions are undefined in LLVM; define them as
+    // saturation so both engines stay deterministic.
+    constexpr double Max = 9223372036854775807.0;
+    int64_t V;
+    if (D != D) // NaN.
+      V = 0;
+    else if (D >= Max)
+      V = INT64_MAX;
+    else if (D <= -Max)
+      V = INT64_MIN;
+    else
+      V = static_cast<int64_t>(D);
+    return truncToBits(Dst.Bits, static_cast<uint64_t>(V));
+  }
+  default:
+    lslp_unreachable("not a cast opcode");
+  }
+}
+
+/// Integer/pointer comparison of two raw lanes of kind \p K.
+inline bool evalICmp(ICmpInst::Predicate Pred, ScalarKind K, uint64_t UL,
+                     uint64_t UR) {
+  int64_t SL = K.IsPointer ? static_cast<int64_t>(UL) : sextBits(K.Bits, UL);
+  int64_t SR = K.IsPointer ? static_cast<int64_t>(UR) : sextBits(K.Bits, UR);
+  switch (Pred) {
+  case ICmpInst::EQ:
+    return UL == UR;
+  case ICmpInst::NE:
+    return UL != UR;
+  case ICmpInst::SLT:
+    return SL < SR;
+  case ICmpInst::SLE:
+    return SL <= SR;
+  case ICmpInst::SGT:
+    return SL > SR;
+  case ICmpInst::SGE:
+    return SL >= SR;
+  case ICmpInst::ULT:
+    return UL < UR;
+  case ICmpInst::ULE:
+    return UL <= UR;
+  case ICmpInst::UGT:
+    return UL > UR;
+  case ICmpInst::UGE:
+    return UL >= UR;
+  }
+  lslp_unreachable("covered switch");
+}
+
+} // namespace laneops
+} // namespace lslp
+
+#endif // LSLP_INTERP_LANEOPS_H

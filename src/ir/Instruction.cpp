@@ -28,6 +28,10 @@ const char *Instruction::getOpcodeName(Opcode Opc) {
     return "sdiv";
   case ValueID::UDiv:
     return "udiv";
+  case ValueID::SRem:
+    return "srem";
+  case ValueID::URem:
+    return "urem";
   case ValueID::And:
     return "and";
   case ValueID::Or:

@@ -49,6 +49,8 @@ enum class ValueID : uint8_t {
   Mul,
   SDiv,
   UDiv,
+  SRem,
+  URem,
   And,
   Or,
   Xor,

@@ -6,11 +6,12 @@
 
 #include "kernels/KernelRegistry.h"
 
-#include "interp/Interpreter.h"
+#include "interp/RuntimeValue.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
 #include "support/Debug.h"
-#include "support/RNG.h"
+#include "vm/ExecutionEngine.h"
+#include "vm/MemoryInit.h"
 
 using namespace lslp;
 
@@ -101,25 +102,12 @@ std::unique_ptr<Module> lslp::buildSuiteModule(const SuiteSpec &Suite,
   return M;
 }
 
-void lslp::initKernelMemory(Interpreter &Interp, const Module &M,
+void lslp::initKernelMemory(ExecutionEngine &E, const Module &M,
                             uint64_t Seed) {
-  for (const auto &G : M.globals()) {
-    // Per-array generator: contents do not depend on module layout.
-    RNG Rng(Seed ^ std::hash<std::string>{}(G->getName()));
-    for (uint64_t I = 0, E = G->getNumElements(); I != E; ++I) {
-      if (G->getElementType()->isFloatingPointTy()) {
-        // Positive, well away from zero: safe divisors, stable sums.
-        Interp.writeGlobalFP(G->getName(), I,
-                             1.0 + double(Rng.nextBelow(1024)) / 64.0);
-      } else {
-        // Small positive integers: shifts stay far from the type width.
-        Interp.writeGlobalInt(G->getName(), I, Rng.nextBelow(64));
-      }
-    }
-  }
+  initGlobalMemory(E, M, Seed, MemoryInitStyle::KernelRanges);
 }
 
-uint64_t lslp::checksumGlobal(const Interpreter &Interp, const Module &M,
+uint64_t lslp::checksumGlobal(const ExecutionEngine &Eng, const Module &M,
                               const std::string &GlobalName) {
   const GlobalArray *G = M.getGlobal(GlobalName);
   if (!G)
@@ -128,10 +116,10 @@ uint64_t lslp::checksumGlobal(const Interpreter &Interp, const Module &M,
   for (uint64_t I = 0, E = G->getNumElements(); I != E; ++I) {
     uint64_t Bits;
     if (G->getElementType()->isFloatingPointTy()) {
-      double D = Interp.readGlobalFP(GlobalName, I);
+      double D = Eng.readGlobalFP(GlobalName, I);
       Bits = RuntimeValue::encodeFP(G->getElementType(), D);
     } else {
-      Bits = Interp.readGlobalInt(GlobalName, I);
+      Bits = Eng.readGlobalInt(GlobalName, I);
     }
     for (int B = 0; B < 8; ++B) {
       Hash ^= (Bits >> (8 * B)) & 0xFF;
@@ -141,10 +129,10 @@ uint64_t lslp::checksumGlobal(const Interpreter &Interp, const Module &M,
   return Hash;
 }
 
-uint64_t lslp::checksumGlobals(const Interpreter &Interp, const Module &M,
+uint64_t lslp::checksumGlobals(const ExecutionEngine &E, const Module &M,
                                const std::vector<std::string> &Names) {
   uint64_t Hash = 0;
   for (const std::string &Name : Names)
-    Hash = Hash * 0x9e3779b97f4a7c15ULL + checksumGlobal(Interp, M, Name);
+    Hash = Hash * 0x9e3779b97f4a7c15ULL + checksumGlobal(E, M, Name);
   return Hash;
 }

@@ -26,7 +26,7 @@
 namespace lslp {
 
 class Context;
-class Interpreter;
+class ExecutionEngine;
 class Module;
 
 /// Description + builder of one kernel.
@@ -90,16 +90,18 @@ std::unique_ptr<Module> buildSuiteModule(const SuiteSpec &Suite,
 
 /// Fills every global array of \p M with deterministic pseudo-random
 /// values (integers small and positive; floating point in [1, 17)) so
-/// shifts and divisions are well-behaved.
-void initKernelMemory(Interpreter &Interp, const Module &M,
+/// shifts and divisions are well-behaved. Thin wrapper over
+/// initGlobalMemory(..., MemoryInitStyle::KernelRanges); works with any
+/// execution engine.
+void initKernelMemory(ExecutionEngine &E, const Module &M,
                       uint64_t Seed = 0x1234abcd);
 
 /// Order-dependent checksum over one global array's raw contents.
-uint64_t checksumGlobal(const Interpreter &Interp, const Module &M,
+uint64_t checksumGlobal(const ExecutionEngine &E, const Module &M,
                         const std::string &GlobalName);
 
 /// Combined checksum over \p Names (in order).
-uint64_t checksumGlobals(const Interpreter &Interp, const Module &M,
+uint64_t checksumGlobals(const ExecutionEngine &E, const Module &M,
                          const std::vector<std::string> &Names);
 
 } // namespace lslp

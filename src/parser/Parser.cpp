@@ -550,6 +550,7 @@ private:
         {"add", ValueID::Add},   {"sub", ValueID::Sub},
         {"mul", ValueID::Mul},   {"sdiv", ValueID::SDiv},
         {"udiv", ValueID::UDiv}, {"and", ValueID::And},
+        {"srem", ValueID::SRem}, {"urem", ValueID::URem},
         {"or", ValueID::Or},     {"xor", ValueID::Xor},
         {"shl", ValueID::Shl},   {"lshr", ValueID::LShr},
         {"ashr", ValueID::AShr}, {"fadd", ValueID::FAdd},

@@ -1,0 +1,102 @@
+//===- vm/Bytecode.h - Register-VM bytecode representation ------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact register-based bytecode the VM executes. A function is
+/// compiled once into a flat instruction array:
+///
+///   - every SSA value (and every vector lane of it) gets a fixed slot in
+///     a flat uint64_t register file, resolved at compile time — the
+///     dispatch loop never consults a map;
+///   - constants, undefs and global addresses are materialized into an
+///     InitRegs template copied into the register file at run entry;
+///   - blocks are flattened in function order and branch targets patched
+///     to instruction indices;
+///   - phi nodes become parallel-copy edge stubs (free Copy ops into
+///     staging slots plus a free Jump) followed by charged PhiCommit ops
+///     at block entry, reproducing the tree-walker's atomic phi evaluation
+///     and its exact charge order (branch, then phis, then body);
+///   - each charged instruction carries its precomputed TTI cost and
+///     statistics class, so cycle accounting is a single accumulate.
+///
+/// See DESIGN.md "Execution engines".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VM_BYTECODE_H
+#define LSLP_VM_BYTECODE_H
+
+#include "interp/LaneOps.h"
+#include "ir/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lslp {
+
+class Type;
+
+namespace vm {
+
+/// Pre-decoded operation of one bytecode instruction.
+enum class VMOp : uint8_t {
+  IntBin,     ///< Integer binary op (semantic opcode in SrcOpc).
+  FPBin,      ///< FP binary op.
+  Cast,       ///< SExt/ZExt/Trunc/SIToFP/FPToSI (opcode in SrcOpc).
+  ICmp,       ///< Predicate in Imm.
+  Select,     ///< Dst = (A & 1) ? B : C, lane-wise copy.
+  Load,       ///< Dst[lanes] <- Memory[A], element size in Imm.
+  Store,      ///< Memory[B] <- A[lanes], element size in Imm.
+  Gep,        ///< Dst = A + sext(B) * Imm.
+  InsertElt,  ///< Dst = A with lane R[C] replaced by B.
+  ExtractElt, ///< Dst = A[R[B]].
+  Shuffle,    ///< Mask at Imm in the mask pool; C = lanes of A.
+  Copy,       ///< Free lane copy (phi edge stub).
+  PhiCommit,  ///< Charged staging->result copy at block entry.
+  Jump,       ///< Free jump to Dst (edge stub exit).
+  Br,         ///< Charged unconditional branch to Dst.
+  CondBr,     ///< Charged branch: A & 1 ? Dst : B.
+  Ret,        ///< Charged return of A (result type in Ty).
+  RetVoid,    ///< Charged void return.
+};
+
+/// One pre-decoded bytecode instruction. Operand fields A/B/C and Dst are
+/// base indices into the flat register file; multi-lane values occupy
+/// [base, base + Lanes).
+struct VMInst {
+  VMOp Op;
+  ValueID SrcOpc;   ///< Semantic/statistics opcode of the IR instruction.
+  uint8_t Lanes = 1;
+  bool Charged = true;  ///< Counts toward DynamicInsts/cost (not stubs).
+  bool StatVec = false; ///< Vector bucket for instruction-mix statistics.
+  laneops::ScalarKind SrcK; ///< Operand scalar kind (binops/casts/cmp/gep).
+  laneops::ScalarKind DstK; ///< Result scalar kind (casts).
+  uint32_t Cost = 0;        ///< Precomputed TTI cost (0 without TTI).
+  uint32_t Dst = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  int64_t Imm = 0;
+  Type *Ty = nullptr; ///< Result type for Ret.
+};
+
+/// A compiled function: flat code plus the register-file template.
+struct CompiledFunction {
+  std::vector<VMInst> Code;
+  /// Shuffle masks, concatenated; VMInst::Imm indexes the pool.
+  std::vector<int> MaskPool;
+  /// Register-file template: zeros except pre-resolved constants, undefs
+  /// and global addresses. Copied into the live file at run entry.
+  std::vector<uint64_t> InitRegs;
+  /// Base slot of each function argument.
+  std::vector<uint32_t> ArgBase;
+  uint32_t NumSlots = 0;
+};
+
+} // namespace vm
+} // namespace lslp
+
+#endif // LSLP_VM_BYTECODE_H

@@ -1,0 +1,385 @@
+//===- vm/BytecodeCompiler.cpp - IR -> register bytecode --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BytecodeCompiler.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace lslp;
+using namespace lslp::vm;
+
+namespace {
+
+unsigned lanesOf(const Type *Ty) {
+  if (const auto *VT = dyn_cast<VectorType>(Ty))
+    return VT->getNumElements();
+  return 1;
+}
+
+class Compiler {
+public:
+  Compiler(const Function &F,
+           const std::map<const GlobalArray *, uint64_t> &GlobalAddr,
+           const TargetTransformInfo *TTI)
+      : F(F), GlobalAddr(GlobalAddr), TTI(TTI) {}
+
+  CompiledFunction compile() {
+    // Pass 1: fixed slots for arguments, instruction results and phi
+    // staging (the parallel-copy landing pads).
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      Out.ArgBase.push_back(assignSlot(F.getArg(I)));
+    for (const auto &BB : F)
+      for (const auto &I : *BB) {
+        if (!I->getType()->isVoidTy())
+          assignSlot(I.get());
+        if (const auto *Phi = dyn_cast<PHINode>(I.get()))
+          Staging[Phi] = alloc(lanesOf(Phi->getType()));
+      }
+
+    // Pass 2: flatten blocks in function order.
+    for (const auto &BB : F)
+      emitBlock(*BB);
+
+    // Pass 3: parallel-copy stubs for every control-flow edge into a block
+    // with phis, then patch all branch targets.
+    emitEdgeStubs();
+    for (const auto &Fix : Fixups) {
+      uint32_t Target = edgeTarget(Fix.From, Fix.To);
+      (Fix.FalseTarget ? Out.Code[Fix.InstIdx].B : Out.Code[Fix.InstIdx].Dst) =
+          Target;
+    }
+    return std::move(Out);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Slots
+  //===--------------------------------------------------------------------===//
+
+  uint32_t alloc(unsigned Lanes) {
+    uint32_t Base = Out.NumSlots;
+    Out.NumSlots += Lanes;
+    Out.InitRegs.resize(Out.NumSlots, 0);
+    return Base;
+  }
+
+  uint32_t assignSlot(const Value *V) {
+    auto [It, Inserted] = Slots.try_emplace(V, 0);
+    if (Inserted)
+      It->second = alloc(lanesOf(V->getType()));
+    return It->second;
+  }
+
+  /// Raw lane encoding of one scalar constant (RuntimeValue conventions).
+  uint64_t constLane(const Value *V) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return CI->getZExtValue();
+    if (const auto *CF = dyn_cast<ConstantFP>(V))
+      return laneops::encodeFP(CF->getType()->isFloatTy(), CF->getValue());
+    if (isa<UndefValue>(V))
+      return 0;
+    if (const auto *G = dyn_cast<GlobalArray>(V))
+      return GlobalAddr.at(G);
+    reportFatalError("vm: unsupported constant operand");
+  }
+
+  /// Operand slot: instruction/argument slots were preassigned; constants,
+  /// undefs and globals are materialized into the InitRegs template.
+  uint32_t slotOf(const Value *V) {
+    auto It = Slots.find(V);
+    if (It != Slots.end())
+      return It->second;
+    uint32_t Base = alloc(lanesOf(V->getType()));
+    Slots[V] = Base;
+    if (const auto *CV = dyn_cast<ConstantVector>(V)) {
+      for (unsigned I = 0, E = CV->getNumElements(); I != E; ++I)
+        Out.InitRegs[Base + I] = constLane(CV->getElement(I));
+    } else if (const auto *U = dyn_cast<UndefValue>(V)) {
+      (void)U; // All lanes stay 0.
+    } else {
+      Out.InitRegs[Base] = constLane(V);
+    }
+    return Base;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Emission
+  //===--------------------------------------------------------------------===//
+
+  uint32_t cost(const Instruction *I) const {
+    if (!TTI)
+      return 0;
+    return static_cast<uint32_t>(std::max(0, TTI->getInstructionCost(I)));
+  }
+
+  /// Statistics bucket: stores classify by the stored type, everything
+  /// else by the result type (same rule as the tree-walker).
+  static bool statVec(const Instruction *I) {
+    const Type *Ty = I->getType();
+    if (const auto *St = dyn_cast<StoreInst>(I))
+      Ty = St->getAccessType();
+    return Ty->isVectorTy();
+  }
+
+  VMInst &emit(VMOp Op, const Instruction *I) {
+    VMInst Inst;
+    Inst.Op = Op;
+    Inst.SrcOpc = I->getOpcode();
+    Inst.Cost = cost(I);
+    Inst.StatVec = statVec(I);
+    Out.Code.push_back(Inst);
+    return Out.Code.back();
+  }
+
+  void emitBlock(const BasicBlock &BB) {
+    BlockPC[&BB] = static_cast<uint32_t>(Out.Code.size());
+
+    auto It = BB.begin();
+    // Phis first: charged commits of the edge stubs' staging slots, in
+    // block order — matching the tree-walker's charge sequence exactly.
+    for (; It != BB.end(); ++It) {
+      const auto *Phi = dyn_cast<PHINode>(It->get());
+      if (!Phi)
+        break;
+      if (&BB == F.getEntryBlock())
+        reportFatalError("vm: phi in entry block");
+      VMInst &I = emit(VMOp::PhiCommit, Phi);
+      I.Lanes = static_cast<uint8_t>(lanesOf(Phi->getType()));
+      I.Dst = Slots.at(Phi);
+      I.A = Staging.at(Phi);
+    }
+
+    for (; It != BB.end(); ++It)
+      emitInst(&BB, It->get());
+  }
+
+  void emitInst(const BasicBlock *BB, const Instruction *I) {
+    switch (I->getOpcode()) {
+    case ValueID::Load: {
+      const auto *L = cast<LoadInst>(I);
+      Type *Ty = L->getAccessType();
+      VMInst &V = emit(VMOp::Load, I);
+      V.Lanes = static_cast<uint8_t>(lanesOf(Ty));
+      V.Dst = Slots.at(I);
+      V.A = slotOf(L->getPointerOperand());
+      V.Imm = Ty->getScalarType()->getSizeInBytes();
+      return;
+    }
+    case ValueID::Store: {
+      const auto *S = cast<StoreInst>(I);
+      Type *Ty = S->getAccessType();
+      VMInst &V = emit(VMOp::Store, I);
+      V.Lanes = static_cast<uint8_t>(lanesOf(Ty));
+      V.A = slotOf(S->getValueOperand());
+      V.B = slotOf(S->getPointerOperand());
+      V.Imm = Ty->getScalarType()->getSizeInBytes();
+      return;
+    }
+    case ValueID::Gep: {
+      const auto *G = cast<GEPInst>(I);
+      VMInst &V = emit(VMOp::Gep, I);
+      V.Dst = Slots.at(I);
+      V.A = slotOf(G->getBaseOperand());
+      V.B = slotOf(G->getIndexOperand());
+      V.SrcK = laneops::ScalarKind::of(
+          G->getIndexOperand()->getType()->getScalarType());
+      V.Imm = G->getElementType()->getSizeInBytes();
+      return;
+    }
+    case ValueID::SExt:
+    case ValueID::ZExt:
+    case ValueID::Trunc:
+    case ValueID::SIToFP:
+    case ValueID::FPToSI: {
+      const auto *C = cast<CastInst>(I);
+      VMInst &V = emit(VMOp::Cast, I);
+      V.Lanes = static_cast<uint8_t>(lanesOf(C->getSrcType()));
+      V.Dst = Slots.at(I);
+      V.A = slotOf(C->getSourceOperand());
+      V.SrcK = laneops::ScalarKind::of(C->getSrcType()->getScalarType());
+      V.DstK = laneops::ScalarKind::of(C->getDestType()->getScalarType());
+      return;
+    }
+    case ValueID::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      VMInst &V = emit(VMOp::ICmp, I);
+      V.Dst = Slots.at(I);
+      V.A = slotOf(C->getLHS());
+      V.B = slotOf(C->getRHS());
+      V.SrcK = laneops::ScalarKind::of(C->getLHS()->getType());
+      V.Imm = static_cast<int64_t>(C->getPredicate());
+      return;
+    }
+    case ValueID::Select: {
+      const auto *S = cast<SelectInst>(I);
+      VMInst &V = emit(VMOp::Select, I);
+      V.Lanes = static_cast<uint8_t>(lanesOf(S->getType()));
+      V.Dst = Slots.at(I);
+      V.A = slotOf(S->getCondition());
+      V.B = slotOf(S->getTrueValue());
+      V.C = slotOf(S->getFalseValue());
+      return;
+    }
+    case ValueID::InsertElement: {
+      const auto *IE = cast<InsertElementInst>(I);
+      VMInst &V = emit(VMOp::InsertElt, I);
+      V.Lanes = static_cast<uint8_t>(lanesOf(IE->getType()));
+      V.Dst = Slots.at(I);
+      V.A = slotOf(IE->getVectorOperand());
+      V.B = slotOf(IE->getElementOperand());
+      V.C = slotOf(IE->getIndexOperand());
+      return;
+    }
+    case ValueID::ExtractElement: {
+      const auto *EE = cast<ExtractElementInst>(I);
+      VMInst &V = emit(VMOp::ExtractElt, I);
+      V.Lanes =
+          static_cast<uint8_t>(lanesOf(EE->getVectorOperand()->getType()));
+      V.Dst = Slots.at(I);
+      V.A = slotOf(EE->getVectorOperand());
+      V.B = slotOf(EE->getIndexOperand());
+      return;
+    }
+    case ValueID::ShuffleVector: {
+      const auto *SV = cast<ShuffleVectorInst>(I);
+      VMInst &V = emit(VMOp::Shuffle, I);
+      V.Lanes = static_cast<uint8_t>(SV->getMask().size());
+      V.Dst = Slots.at(I);
+      V.A = slotOf(SV->getFirstVector());
+      V.B = slotOf(SV->getSecondVector());
+      V.C = lanesOf(SV->getFirstVector()->getType());
+      V.Imm = static_cast<int64_t>(Out.MaskPool.size());
+      for (int M : SV->getMask())
+        Out.MaskPool.push_back(M);
+      return;
+    }
+    case ValueID::Br: {
+      const auto *Br = cast<BranchInst>(I);
+      if (Br->isConditional()) {
+        VMInst &V = emit(VMOp::CondBr, I);
+        V.A = slotOf(Br->getCondition());
+        Fixups.push_back({Out.Code.size() - 1, false, BB, Br->getSuccessor(0)});
+        Fixups.push_back({Out.Code.size() - 1, true, BB, Br->getSuccessor(1)});
+      } else {
+        emit(VMOp::Br, I);
+        Fixups.push_back({Out.Code.size() - 1, false, BB, Br->getSuccessor(0)});
+      }
+      return;
+    }
+    case ValueID::Ret: {
+      const auto *Ret = cast<ReturnInst>(I);
+      if (const Value *RV = Ret->getReturnValue()) {
+        VMInst &V = emit(VMOp::Ret, I);
+        V.Lanes = static_cast<uint8_t>(lanesOf(RV->getType()));
+        V.A = slotOf(RV);
+        V.Ty = RV->getType();
+      } else {
+        emit(VMOp::RetVoid, I);
+      }
+      return;
+    }
+    case ValueID::Phi:
+      lslp_unreachable("phi after the phi prefix of a block");
+    default: {
+      assert(I->isBinaryOp() && "unhandled opcode in bytecode compiler");
+      Type *ScalarTy = I->getType()->getScalarType();
+      VMInst &V = emit(
+          ScalarTy->isFloatingPointTy() ? VMOp::FPBin : VMOp::IntBin, I);
+      V.Lanes = static_cast<uint8_t>(lanesOf(I->getType()));
+      V.Dst = Slots.at(I);
+      V.A = slotOf(I->getOperand(0));
+      V.B = slotOf(I->getOperand(1));
+      V.SrcK = laneops::ScalarKind::of(ScalarTy);
+      return;
+    }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Edges
+  //===--------------------------------------------------------------------===//
+
+  /// Target PC of edge From->To: the block itself when it has no phis,
+  /// else a parallel-copy stub built on first request.
+  uint32_t edgeTarget(const BasicBlock *From, const BasicBlock *To) {
+    if (To->begin() == To->end() || !isa<PHINode>(To->begin()->get()))
+      return BlockPC.at(To);
+    return EdgePC.at({From, To});
+  }
+
+  void emitEdgeStubs() {
+    for (const auto &Fix : Fixups) {
+      const BasicBlock *To = Fix.To;
+      if (To->begin() == To->end() || !isa<PHINode>(To->begin()->get()))
+        continue;
+      auto Key = std::make_pair(Fix.From, To);
+      if (EdgePC.count(Key))
+        continue;
+      EdgePC[Key] = static_cast<uint32_t>(Out.Code.size());
+      // Free parallel copies into staging, in block order; the charged
+      // PhiCommits at the block head apply them atomically.
+      for (auto It = To->begin(); It != To->end(); ++It) {
+        const auto *Phi = dyn_cast<PHINode>(It->get());
+        if (!Phi)
+          break;
+        const Value *In = Phi->getIncomingValueForBlock(Fix.From);
+        if (!In)
+          reportFatalError("vm: phi has no entry for predecessor");
+        VMInst Copy;
+        Copy.Op = VMOp::Copy;
+        Copy.SrcOpc = ValueID::Phi;
+        Copy.Charged = false;
+        Copy.Lanes = static_cast<uint8_t>(lanesOf(Phi->getType()));
+        Copy.Dst = Staging.at(Phi);
+        Copy.A = slotOf(In);
+        Out.Code.push_back(Copy);
+      }
+      VMInst Jump;
+      Jump.Op = VMOp::Jump;
+      Jump.SrcOpc = ValueID::Br;
+      Jump.Charged = false;
+      Jump.Dst = BlockPC.at(To);
+      Out.Code.push_back(Jump);
+    }
+  }
+
+  struct BranchFixup {
+    size_t InstIdx;
+    bool FalseTarget; ///< Patch field B (false successor) instead of Dst.
+    const BasicBlock *From;
+    const BasicBlock *To;
+  };
+
+  const Function &F;
+  const std::map<const GlobalArray *, uint64_t> &GlobalAddr;
+  const TargetTransformInfo *TTI;
+
+  CompiledFunction Out;
+  std::map<const Value *, uint32_t> Slots;
+  std::map<const PHINode *, uint32_t> Staging;
+  std::map<const BasicBlock *, uint32_t> BlockPC;
+  std::map<std::pair<const BasicBlock *, const BasicBlock *>, uint32_t> EdgePC;
+  std::vector<BranchFixup> Fixups;
+};
+
+} // namespace
+
+CompiledFunction
+lslp::vm::compileFunction(const Function &F,
+                          const std::map<const GlobalArray *, uint64_t>
+                              &GlobalAddr,
+                          const TargetTransformInfo *TTI) {
+  return Compiler(F, GlobalAddr, TTI).compile();
+}

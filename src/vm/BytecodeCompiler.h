@@ -1,0 +1,41 @@
+//===- vm/BytecodeCompiler.h - IR -> register bytecode ----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles one IR function into the register bytecode of Bytecode.h.
+/// Compilation is semantics-preserving relative to the tree-walking
+/// interpreter, including trap conditions, charge order and statistics
+/// classification (see DESIGN.md "Execution engines").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VM_BYTECODECOMPILER_H
+#define LSLP_VM_BYTECODECOMPILER_H
+
+#include "vm/Bytecode.h"
+
+#include <map>
+
+namespace lslp {
+
+class Function;
+class GlobalArray;
+class TargetTransformInfo;
+
+namespace vm {
+
+/// Compiles \p F. \p GlobalAddr maps the module's globals to their base
+/// addresses (the engine's layout); \p TTI may be null, in which case all
+/// costs are 0 (matching the tree-walker without TTI).
+CompiledFunction compileFunction(const Function &F,
+                                 const std::map<const GlobalArray *, uint64_t>
+                                     &GlobalAddr,
+                                 const TargetTransformInfo *TTI);
+
+} // namespace vm
+} // namespace lslp
+
+#endif // LSLP_VM_BYTECODECOMPILER_H

@@ -1,0 +1,20 @@
+//===- vm/ExecutionEngine.cpp - Execution-engine facade ---------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecutionEngine.h"
+
+#include "interp/Interpreter.h"
+#include "vm/VMEngine.h"
+
+using namespace lslp;
+
+std::unique_ptr<ExecutionEngine>
+ExecutionEngine::create(EngineKind Kind, const Module &M,
+                        const TargetTransformInfo *TTI) {
+  if (Kind == EngineKind::Bytecode)
+    return std::make_unique<VMEngine>(M, TTI);
+  return std::make_unique<Interpreter>(M, TTI);
+}

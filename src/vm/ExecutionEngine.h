@@ -1,0 +1,203 @@
+//===- vm/ExecutionEngine.h - Execution-engine facade -----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of the two execution backends of the cycle-model
+/// "machine":
+///
+///   - interp: the tree-walking reference interpreter (src/interp), and
+///   - vm:     the register-based bytecode VM (src/vm),
+///
+/// Both engines execute IR functions against a byte-addressed memory
+/// holding the module's global arrays and produce identical ExecStats:
+/// same return values, same memory image, same traps, same dynamic
+/// instruction count and same accumulated TTI cost (the simulated cycle
+/// count every figure is built from). The DifferentialOracle continuously
+/// cross-validates this equivalence (see DESIGN.md "Execution engines").
+///
+/// The base class owns the memory image and global layout so that both
+/// engines — and helpers like initGlobalMemory/checksumGlobal — address
+/// memory identically by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VM_EXECUTIONENGINE_H
+#define LSLP_VM_EXECUTIONENGINE_H
+
+#include "interp/RuntimeValue.h"
+#include "ir/Module.h"
+#include "ir/Value.h"
+#include "support/Debug.h"
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lslp {
+
+class Function;
+class TargetTransformInfo;
+
+/// Statistics and result of one function execution. Identical across
+/// engines for identical inputs (the oracle's cross-engine invariant).
+struct ExecStats {
+  RuntimeValue ReturnValue; ///< Invalid for void functions.
+  uint64_t DynamicInsts = 0;
+  uint64_t TotalCost = 0; ///< Sum of per-instruction TTI costs.
+  /// Dynamic instruction counts, split scalar/vector per opcode.
+  /// Populated only when setCollectStats(true).
+  std::map<ValueID, uint64_t> ScalarOpCounts;
+  std::map<ValueID, uint64_t> VectorOpCounts;
+  /// TotalCost scaled by the TTI issue width (1 if no TTI).
+  double simulatedCycles(unsigned IssueWidth = 1) const {
+    return static_cast<double>(TotalCost) / IssueWidth;
+  }
+};
+
+/// Which execution backend to use.
+enum class EngineKind {
+  TreeWalk, ///< Reference tree-walking interpreter ("interp").
+  Bytecode, ///< Register-based bytecode VM ("vm").
+};
+
+/// Command-line name of an engine kind ("interp" / "vm").
+inline const char *engineKindName(EngineKind Kind) {
+  return Kind == EngineKind::TreeWalk ? "interp" : "vm";
+}
+
+/// Parses an --engine= value; returns false on unknown names.
+inline bool parseEngineKind(std::string_view Name, EngineKind &Out) {
+  if (Name == "interp") {
+    Out = EngineKind::TreeWalk;
+    return true;
+  }
+  if (Name == "vm") {
+    Out = EngineKind::Bytecode;
+    return true;
+  }
+  return false;
+}
+
+/// Executes functions of one module instance. Construction allocates and
+/// zero-fills a memory segment for every global array; the layout (guard
+/// page at address 0, 64-byte alignment between segments) is shared by
+/// all engines.
+class ExecutionEngine {
+public:
+  explicit ExecutionEngine(const Module &M) : M(M) {
+    uint64_t Cursor = 4096;
+    for (const auto &G : M.globals()) {
+      GlobalAddr[G.get()] = Cursor;
+      Cursor += G->getSizeInBytes();
+      Cursor = (Cursor + 63) & ~uint64_t(63);
+    }
+    Memory.assign(Cursor, 0);
+  }
+  virtual ~ExecutionEngine() = default;
+
+  /// Creates an engine of the given kind. \p TTI may be null if only
+  /// semantics (not cost accounting) matter.
+  static std::unique_ptr<ExecutionEngine>
+  create(EngineKind Kind, const Module &M,
+         const TargetTransformInfo *TTI = nullptr);
+
+  /// Executes \p F with \p Args (must match the signature). Aborts with a
+  /// diagnostic on traps (division by zero, out-of-bounds access,
+  /// step-limit exhaustion).
+  virtual ExecStats run(const Function *F,
+                        const std::vector<RuntimeValue> &Args = {}) = 0;
+
+  /// The engine's command-line name ("interp" / "vm").
+  virtual const char *engineName() const = 0;
+
+  /// \name Global array access (by name; aborts if unknown).
+  /// @{
+  /// Address of element 0 of global \p Name.
+  uint64_t getGlobalAddress(std::string_view Name) const {
+    return GlobalAddr.at(getGlobalOrDie(Name));
+  }
+  /// Writes integer element \p Index of \p Name.
+  void writeGlobalInt(std::string_view Name, uint64_t Index, uint64_t Value) {
+    const GlobalArray *G = getGlobalOrDie(Name);
+    unsigned Size = G->getElementType()->getSizeInBytes();
+    uint64_t Addr = elementAddress(G, Index);
+    std::memcpy(&Memory[Addr], &Value, Size);
+  }
+  /// Writes FP element \p Index of \p Name.
+  void writeGlobalFP(std::string_view Name, uint64_t Index, double Value) {
+    const GlobalArray *G = getGlobalOrDie(Name);
+    uint64_t Addr = elementAddress(G, Index);
+    if (G->getElementType()->isFloatTy()) {
+      float F = static_cast<float>(Value);
+      std::memcpy(&Memory[Addr], &F, 4);
+    } else {
+      std::memcpy(&Memory[Addr], &Value, 8);
+    }
+  }
+  /// Reads integer element \p Index of \p Name (zero-extended).
+  uint64_t readGlobalInt(std::string_view Name, uint64_t Index) const {
+    const GlobalArray *G = getGlobalOrDie(Name);
+    unsigned Size = G->getElementType()->getSizeInBytes();
+    uint64_t Addr = elementAddress(G, Index);
+    uint64_t Value = 0;
+    std::memcpy(&Value, &Memory[Addr], Size);
+    return Value;
+  }
+  /// Reads FP element \p Index of \p Name.
+  double readGlobalFP(std::string_view Name, uint64_t Index) const {
+    const GlobalArray *G = getGlobalOrDie(Name);
+    uint64_t Addr = elementAddress(G, Index);
+    if (G->getElementType()->isFloatTy()) {
+      float F;
+      std::memcpy(&F, &Memory[Addr], 4);
+      return F;
+    }
+    double D;
+    std::memcpy(&D, &Memory[Addr], 8);
+    return D;
+  }
+  /// Returns the whole memory image (for whole-state equality checks).
+  const std::vector<uint8_t> &getMemoryImage() const { return Memory; }
+  /// @}
+
+  /// Upper bound on executed instructions per run() (trap when exceeded).
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+  /// Enables per-opcode dynamic instruction counting (small overhead).
+  void setCollectStats(bool Collect) { CollectStats = Collect; }
+
+  const Module &getModule() const { return M; }
+
+protected:
+  const GlobalArray *getGlobalOrDie(std::string_view Name) const {
+    const GlobalArray *G = M.getGlobal(Name);
+    if (!G)
+      reportFatalError("execution engine: unknown global '" +
+                       std::string(Name) + "'");
+    return G;
+  }
+
+  uint64_t elementAddress(const GlobalArray *G, uint64_t Index) const {
+    if (Index >= G->getNumElements())
+      reportFatalError("execution engine: global index out of range for '@" +
+                       G->getName() + "'");
+    return GlobalAddr.at(G) + Index * G->getElementType()->getSizeInBytes();
+  }
+
+  const Module &M;
+  std::vector<uint8_t> Memory;
+  std::map<const GlobalArray *, uint64_t> GlobalAddr;
+  uint64_t StepLimit = 200u * 1000u * 1000u;
+  bool CollectStats = false;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VM_EXECUTIONENGINE_H

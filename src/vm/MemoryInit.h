@@ -1,0 +1,47 @@
+//===- vm/MemoryInit.h - Deterministic global-memory init -------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one shared seed/memory-initialization helper behind both the
+/// differential-fuzzing oracle and the kernel benchmarks/tests. Both
+/// styles fill every global array of a module with deterministic
+/// pseudo-random values through the ExecutionEngine facade, so any engine
+/// starts from an identical memory image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VM_MEMORYINIT_H
+#define LSLP_VM_MEMORYINIT_H
+
+#include <cstdint>
+
+namespace lslp {
+
+class ExecutionEngine;
+class Module;
+
+/// Input distribution of initGlobalMemory.
+enum class MemoryInitStyle {
+  /// Differential-oracle inputs: one RNG stream across all globals in
+  /// module order. FP arrays get small integers in [0, 16) so all FP
+  /// arithmetic the generator emits is exact (immune to fast-math
+  /// reassociation); integer arrays get values below 2^20.
+  FuzzUniform,
+  /// Benchmark/test kernel inputs: a per-array generator (contents do not
+  /// depend on module layout). FP in [1, 17) — positive, well away from
+  /// zero: safe divisors, stable sums. Integers below 64 so shifts stay
+  /// far from the type width.
+  KernelRanges,
+};
+
+/// Fills every global array of \p M with deterministic values drawn from
+/// \p Seed in the given style.
+void initGlobalMemory(ExecutionEngine &E, const Module &M, uint64_t Seed,
+                      MemoryInitStyle Style);
+
+} // namespace lslp
+
+#endif // LSLP_VM_MEMORYINIT_H

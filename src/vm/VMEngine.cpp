@@ -1,0 +1,168 @@
+//===- vm/VMEngine.cpp - Bytecode dispatch-loop engine ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VMEngine.h"
+
+#include "interp/LaneOps.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "support/Debug.h"
+#include "vm/BytecodeCompiler.h"
+
+#include <cstring>
+
+using namespace lslp;
+using namespace lslp::vm;
+
+VMEngine::VMEngine(const Module &M, const TargetTransformInfo *TTI)
+    : ExecutionEngine(M), TTI(TTI) {}
+
+const CompiledFunction &VMEngine::getOrCompile(const Function *F) {
+  auto It = Cache.find(F);
+  if (It == Cache.end())
+    It = Cache.emplace(F, compileFunction(*F, GlobalAddr, TTI)).first;
+  return It->second;
+}
+
+ExecStats VMEngine::run(const Function *F,
+                        const std::vector<RuntimeValue> &Args) {
+  assert(F->getParent() == &M && "function from a different module");
+  if (Args.size() != F->getNumArgs())
+    reportFatalError("vm: argument count mismatch calling @" + F->getName());
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    if (Args[I].Ty != F->getArg(I)->getType())
+      reportFatalError("vm: argument type mismatch calling @" + F->getName());
+
+  const CompiledFunction &CF = getOrCompile(F);
+  std::vector<uint64_t> R = CF.InitRegs;
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    for (unsigned K = 0, L = Args[I].getNumLanes(); K != L; ++K)
+      R[CF.ArgBase[I] + K] = Args[I].Lanes[K];
+
+  ExecStats S;
+  size_t PC = 0;
+  while (true) {
+    const VMInst &I = CF.Code[PC];
+    if (I.Charged) {
+      ++S.DynamicInsts;
+      if (S.DynamicInsts > StepLimit)
+        reportFatalError("vm: step limit exceeded (infinite loop?)");
+      S.TotalCost += I.Cost;
+      if (CollectStats)
+        ++(I.StatVec ? S.VectorOpCounts : S.ScalarOpCounts)[I.SrcOpc];
+    }
+    size_t Next = PC + 1;
+    switch (I.Op) {
+    case VMOp::IntBin:
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        R[I.Dst + K] = laneops::evalIntBinLane(I.SrcOpc, I.SrcK.Bits,
+                                               R[I.A + K], R[I.B + K], "vm");
+      break;
+    case VMOp::FPBin:
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        R[I.Dst + K] = laneops::evalFPBinLane(I.SrcOpc, I.SrcK.IsFloat32,
+                                              R[I.A + K], R[I.B + K]);
+      break;
+    case VMOp::Cast:
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        R[I.Dst + K] = laneops::evalCastLane(I.SrcOpc, I.SrcK, I.DstK,
+                                             R[I.A + K]);
+      break;
+    case VMOp::ICmp:
+      R[I.Dst] = laneops::evalICmp(
+                     static_cast<ICmpInst::Predicate>(I.Imm), I.SrcK,
+                     R[I.A], R[I.B])
+                     ? 1
+                     : 0;
+      break;
+    case VMOp::Select: {
+      uint32_t Src = (R[I.A] & 1) ? I.B : I.C;
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        R[I.Dst + K] = R[Src + K];
+      break;
+    }
+    case VMOp::Load: {
+      uint64_t Addr = R[I.A];
+      unsigned Size = static_cast<unsigned>(I.Imm);
+      for (unsigned K = 0; K != I.Lanes; ++K) {
+        uint64_t LaneAddr = Addr + uint64_t(K) * Size;
+        if (LaneAddr < 4096 || LaneAddr + Size > Memory.size())
+          reportFatalError("vm: out-of-bounds memory access");
+        uint64_t Raw = 0;
+        std::memcpy(&Raw, &Memory[LaneAddr], Size);
+        R[I.Dst + K] = Raw;
+      }
+      break;
+    }
+    case VMOp::Store: {
+      uint64_t Addr = R[I.B];
+      unsigned Size = static_cast<unsigned>(I.Imm);
+      for (unsigned K = 0; K != I.Lanes; ++K) {
+        uint64_t LaneAddr = Addr + uint64_t(K) * Size;
+        if (LaneAddr < 4096 || LaneAddr + Size > Memory.size())
+          reportFatalError("vm: out-of-bounds memory access");
+        std::memcpy(&Memory[LaneAddr], &R[I.A + K], Size);
+      }
+      break;
+    }
+    case VMOp::Gep: {
+      int64_t Offset =
+          laneops::sextBits(I.SrcK.Bits, R[I.B]) * I.Imm;
+      R[I.Dst] = R[I.A] + static_cast<uint64_t>(Offset);
+      break;
+    }
+    case VMOp::InsertElt: {
+      uint64_t Lane = R[I.C];
+      if (Lane >= I.Lanes)
+        reportFatalError("vm: insertelement lane out of range");
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        R[I.Dst + K] = R[I.A + K];
+      R[I.Dst + Lane] = R[I.B];
+      break;
+    }
+    case VMOp::ExtractElt: {
+      uint64_t Lane = R[I.B];
+      if (Lane >= I.Lanes)
+        reportFatalError("vm: extractelement lane out of range");
+      R[I.Dst] = R[I.A + Lane];
+      break;
+    }
+    case VMOp::Shuffle:
+      for (unsigned K = 0; K != I.Lanes; ++K) {
+        int M = CF.MaskPool[static_cast<size_t>(I.Imm) + K];
+        if (M < 0)
+          R[I.Dst + K] = 0;
+        else if (static_cast<uint32_t>(M) < I.C)
+          R[I.Dst + K] = R[I.A + M];
+        else
+          R[I.Dst + K] = R[I.B + (M - I.C)];
+      }
+      break;
+    case VMOp::Copy:
+    case VMOp::PhiCommit:
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        R[I.Dst + K] = R[I.A + K];
+      break;
+    case VMOp::Jump:
+    case VMOp::Br:
+      Next = I.Dst;
+      break;
+    case VMOp::CondBr:
+      Next = (R[I.A] & 1) ? I.Dst : I.B;
+      break;
+    case VMOp::Ret: {
+      std::vector<uint64_t> Lanes(I.Lanes);
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        Lanes[K] = R[I.A + K];
+      S.ReturnValue = RuntimeValue(I.Ty, std::move(Lanes));
+      return S;
+    }
+    case VMOp::RetVoid:
+      return S;
+    }
+    PC = Next;
+  }
+}

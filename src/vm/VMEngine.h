@@ -1,0 +1,49 @@
+//===- vm/VMEngine.h - Bytecode dispatch-loop engine ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast execution backend: compiles each function to register bytecode
+/// on first run (cached per engine) and executes it in a tight dispatch
+/// loop over a flat register file. Semantics, traps and ExecStats are
+/// bit-for-bit identical to the tree-walking Interpreter; the
+/// DifferentialOracle cross-validates the two continuously.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VM_VMENGINE_H
+#define LSLP_VM_VMENGINE_H
+
+#include "vm/Bytecode.h"
+#include "vm/ExecutionEngine.h"
+
+#include <map>
+
+namespace lslp {
+
+class TargetTransformInfo;
+
+/// Register-bytecode execution engine ("vm").
+class VMEngine : public ExecutionEngine {
+public:
+  /// \p TTI may be null if only semantics (not cost accounting) matter;
+  /// it is baked into the bytecode as per-instruction costs.
+  explicit VMEngine(const Module &M, const TargetTransformInfo *TTI = nullptr);
+
+  ExecStats run(const Function *F,
+                const std::vector<RuntimeValue> &Args = {}) override;
+
+  const char *engineName() const override { return "vm"; }
+
+private:
+  const vm::CompiledFunction &getOrCompile(const Function *F);
+
+  const TargetTransformInfo *TTI;
+  std::map<const Function *, vm::CompiledFunction> Cache;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VM_VMENGINE_H

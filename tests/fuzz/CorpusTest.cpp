@@ -48,4 +48,23 @@ TEST(Corpus, EveryReproducerPassesTheOracle) {
   }
 }
 
+TEST(Corpus, EveryReproducerPassesUnderEngineParity) {
+  // Replay the corpus with the cross-engine invariant on: the bytecode
+  // vm and the tree-walker must agree bit-for-bit (memory, returns, and
+  // the full ExecStats) on the baseline and every vectorized variant.
+  OracleOptions Opts;
+  Opts.CheckEngineParity = true;
+  DifferentialOracle Oracle(Opts);
+  for (const std::filesystem::path &Path : corpusFiles()) {
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << Path;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    OracleVerdict V = Oracle.check(SS.str());
+    EXPECT_TRUE(V.Passed) << Path.filename() << " [" << V.ConfigName
+                          << "]: " << V.Reason << "\n"
+                          << V.VectorizedIR;
+  }
+}
+
 } // namespace

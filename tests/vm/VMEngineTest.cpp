@@ -1,0 +1,495 @@
+//===- tests/vm/VMEngineTest.cpp - Bytecode vm semantics -----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Semantics of the bytecode register vm, exercised through the
+// ExecutionEngine facade. The pinned values mirror the tree-walker's
+// InterpreterTest — the vm is a second backend of the same cycle-model
+// machine, so everything observable must come out identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+#include "vm/ExecutionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// Runs @f from the given module source on the vm with i64 arguments and
+/// returns the (i64) result.
+uint64_t evalI64(const char *Src, std::vector<uint64_t> Args = {}) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  std::vector<RuntimeValue> RTArgs;
+  for (uint64_t A : Args)
+    RTArgs.push_back(RuntimeValue::makeInt(Ctx.getInt64Ty(), A));
+  return Engine->run(M->getFunction("f"), RTArgs).ReturnValue.asUInt();
+}
+
+double evalF64(const char *Src, std::vector<double> Args = {}) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  std::vector<RuntimeValue> RTArgs;
+  for (double A : Args)
+    RTArgs.push_back(RuntimeValue::makeFP(Ctx.getDoubleTy(), A));
+  return Engine->run(M->getFunction("f"), RTArgs).ReturnValue.asFP();
+}
+
+//===----------------------------------------------------------------------===//
+// Facade
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutionEngineFacade, FactorySelectsBackend) {
+  Context Ctx;
+  auto M = parseModuleOrDie("define void @f() {\nentry:\n  ret void\n}\n",
+                            Ctx);
+  auto Interp = ExecutionEngine::create(EngineKind::TreeWalk, *M);
+  auto VM = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  EXPECT_STREQ(Interp->engineName(), "interp");
+  EXPECT_STREQ(VM->engineName(), "vm");
+}
+
+TEST(ExecutionEngineFacade, ParseEngineKind) {
+  EngineKind K = EngineKind::TreeWalk;
+  EXPECT_TRUE(parseEngineKind("vm", K));
+  EXPECT_EQ(K, EngineKind::Bytecode);
+  EXPECT_TRUE(parseEngineKind("interp", K));
+  EXPECT_EQ(K, EngineKind::TreeWalk);
+  EXPECT_FALSE(parseEngineKind("jit", K));
+  EXPECT_STREQ(engineKindName(EngineKind::TreeWalk), "interp");
+  EXPECT_STREQ(engineKindName(EngineKind::Bytecode), "vm");
+}
+
+//===----------------------------------------------------------------------===//
+// Integer arithmetic (parameterized, same table as the tree-walker)
+//===----------------------------------------------------------------------===//
+
+struct BinOpCase {
+  const char *Opcode;
+  uint64_t A, B, Expected;
+};
+
+class VMIntBinOpTest : public ::testing::TestWithParam<BinOpCase> {};
+
+TEST_P(VMIntBinOpTest, Evaluates) {
+  const BinOpCase &C = GetParam();
+  std::string Src = std::string("define i64 @f(i64 %a, i64 %b) {\n"
+                                "entry:\n  %r = ") +
+                    C.Opcode + " i64 %a, %b\n  ret i64 %r\n}\n";
+  EXPECT_EQ(evalI64(Src.c_str(), {C.A, C.B}), C.Expected)
+      << C.Opcode << " " << C.A << ", " << C.B;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, VMIntBinOpTest,
+    ::testing::Values(
+        BinOpCase{"add", 3, 4, 7},
+        BinOpCase{"add", UINT64_MAX, 1, 0}, // Wraps.
+        BinOpCase{"sub", 3, 5, uint64_t(-2)},
+        BinOpCase{"mul", 7, 6, 42},
+        BinOpCase{"mul", 1ULL << 63, 2, 0}, // Wraps.
+        BinOpCase{"udiv", 42, 5, 8},
+        BinOpCase{"sdiv", uint64_t(-42), 5, uint64_t(-8)},
+        BinOpCase{"urem", 42, 5, 2},
+        BinOpCase{"srem", uint64_t(-42), 5, uint64_t(-2)},
+        BinOpCase{"and", 0b1100, 0b1010, 0b1000},
+        BinOpCase{"or", 0b1100, 0b1010, 0b1110},
+        BinOpCase{"xor", 0b1100, 0b1010, 0b0110},
+        BinOpCase{"shl", 1, 10, 1024},
+        BinOpCase{"shl", 1, 64, 0}, // Oversized shift yields zero.
+        BinOpCase{"lshr", 1024, 3, 128},
+        BinOpCase{"lshr", uint64_t(-1), 63, 1},
+        BinOpCase{"ashr", uint64_t(-8), 1, uint64_t(-4)},
+        BinOpCase{"ashr", uint64_t(-1), 70, uint64_t(-1)}));
+
+//===----------------------------------------------------------------------===//
+// Floating point
+//===----------------------------------------------------------------------===//
+
+TEST(VMEngine, FPArithmetic) {
+  EXPECT_DOUBLE_EQ(evalF64(R"(
+define double @f(double %a, double %b) {
+entry:
+  %s = fadd double %a, %b
+  %d = fsub double %s, 1.0
+  %m = fmul double %d, %b
+  %q = fdiv double %m, 2.0
+  ret double %q
+}
+)",
+                           {2.5, 4.0}),
+                   ((2.5 + 4.0 - 1.0) * 4.0) / 2.0);
+}
+
+TEST(VMEngine, FloatPrecisionIsSingle) {
+  // Float-typed arithmetic must round to binary32 on every operation.
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @F = [4 x float]
+define void @f() {
+entry:
+  %p = gep float, ptr @F, i64 0
+  %v = load float, ptr %p
+  %r = fmul float %v, %v
+  %q = gep float, ptr @F, i64 1
+  store float %r, ptr %q
+  ret void
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  Engine->writeGlobalFP("F", 0, 1.1);
+  Engine->run(M->getFunction("f"));
+  float Expected = float(1.1) * float(1.1);
+  EXPECT_EQ(Engine->readGlobalFP("F", 1), double(Expected));
+}
+
+//===----------------------------------------------------------------------===//
+// Memory, globals and control flow
+//===----------------------------------------------------------------------===//
+
+TEST(VMEngine, GlobalReadWrite) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f() {
+entry:
+  %p0 = gep i64, ptr @A, i64 0
+  %p1 = gep i64, ptr @A, i64 1
+  %v = load i64, ptr %p0
+  %w = add i64 %v, 5
+  store i64 %w, ptr %p1
+  ret void
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  Engine->writeGlobalInt("A", 0, 37);
+  Engine->run(M->getFunction("f"));
+  EXPECT_EQ(Engine->readGlobalInt("A", 1), 42u);
+}
+
+TEST(VMEngine, NegativeGepIndex) {
+  // The gep index is sign-extended before scaling.
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 4
+  %q = gep i64, ptr %p, i64 -3
+  store i64 9, ptr %q
+  ret void
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  Engine->run(M->getFunction("f"));
+  EXPECT_EQ(Engine->readGlobalInt("A", 1), 9u);
+}
+
+TEST(VMEngine, LoopSum) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @S = [1 x i64]
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %p = gep i64, ptr @S, i64 0
+  %acc = load i64, ptr %p
+  %acc2 = add i64 %acc, %i
+  store i64 %acc2, ptr %p
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  Engine->run(M->getFunction("f"),
+              {RuntimeValue::makeInt(Ctx.getInt64Ty(), 10)});
+  EXPECT_EQ(Engine->readGlobalInt("S", 0), 45u);
+}
+
+TEST(VMEngine, PhiSwapIsParallel) {
+  // The parallel-copy lowering (edge stubs into staging slots, committed
+  // at block entry) must behave as simultaneous assignment.
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %x = phi i64 [ 1, %entry ], [ %y, %loop ]
+  %y = phi i64 [ 2, %entry ], [ %x, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  %r = mul i64 %x, 10
+  %r2 = add i64 %r, %y
+  ret i64 %r2
+}
+)",
+                    {3}),
+            12u);
+}
+
+TEST(VMEngine, ConditionalBranching) {
+  const char *Src = R"(
+define i64 @f(i64 %a) {
+entry:
+  %c = icmp sgt i64 %a, 10
+  br i1 %c, label %big, label %small
+big:
+  br label %done
+small:
+  br label %done
+done:
+  %r = phi i64 [ 100, %big ], [ 7, %small ]
+  ret i64 %r
+}
+)";
+  EXPECT_EQ(evalI64(Src, {50}), 100u);
+  EXPECT_EQ(evalI64(Src, {3}), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Vector operations
+//===----------------------------------------------------------------------===//
+
+TEST(VMEngine, VectorLoadComputeStore) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %v = load <4 x i64>, ptr %p
+  %w = mul <4 x i64> %v, <i64 1, i64 2, i64 3, i64 4>
+  %q = gep i64, ptr @A, i64 4
+  store <4 x i64> %w, ptr %q
+  ret void
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  for (uint64_t I = 0; I < 4; ++I)
+    Engine->writeGlobalInt("A", I, 10 + I);
+  Engine->run(M->getFunction("f"));
+  EXPECT_EQ(Engine->readGlobalInt("A", 4), 10u);
+  EXPECT_EQ(Engine->readGlobalInt("A", 5), 22u);
+  EXPECT_EQ(Engine->readGlobalInt("A", 6), 36u);
+  EXPECT_EQ(Engine->readGlobalInt("A", 7), 52u);
+}
+
+TEST(VMEngine, InsertExtractShuffle) {
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %v0 = insertelement <2 x i64> undef, i64 %a, i32 0
+  %v1 = insertelement <2 x i64> %v0, i64 %b, i32 1
+  %sw = shufflevector <2 x i64> %v1, <2 x i64> %v1, [1, 0]
+  %x = extractelement <2 x i64> %sw, i32 0
+  %y = extractelement <2 x i64> %sw, i32 1
+  %r = sub i64 %x, %y
+  ret i64 %r
+}
+)",
+                    {3, 10}),
+            7u);
+}
+
+TEST(VMEngine, ShuffleSelectsAcrossInputs) {
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %v0 = insertelement <2 x i64> undef, i64 %a, i32 0
+  %v1 = insertelement <2 x i64> %v0, i64 %a, i32 1
+  %w0 = insertelement <2 x i64> undef, i64 %b, i32 0
+  %w1 = insertelement <2 x i64> %w0, i64 %b, i32 1
+  %m = shufflevector <2 x i64> %v1, <2 x i64> %w1, [0, 3]
+  %x = extractelement <2 x i64> %m, i32 0
+  %y = extractelement <2 x i64> %m, i32 1
+  %r = add i64 %x, %y
+  ret i64 %r
+}
+)",
+                    {5, 11}),
+            16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cost accounting and statistics (pins identical to the tree-walker)
+//===----------------------------------------------------------------------===//
+
+TEST(VMEngine, CostAccountingCountsDynamicInstructions) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)",
+                            Ctx);
+  SkylakeTTI TTI;
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M, &TTI);
+  auto R10 = Engine->run(M->getFunction("f"),
+                         {RuntimeValue::makeInt(Ctx.getInt64Ty(), 10)});
+  auto R20 = Engine->run(M->getFunction("f"),
+                         {RuntimeValue::makeInt(Ctx.getInt64Ty(), 20)});
+  // br(entry) + 10*(phi,add,icmp,br) + ret = 42 dynamic instructions.
+  EXPECT_EQ(R10.DynamicInsts, 1 + 10 * 4 + 1u);
+  EXPECT_GT(R20.TotalCost, R10.TotalCost);
+  // phi costs 0, add/icmp/br cost 1 each: 1 + 10*3 + 1.
+  EXPECT_EQ(R10.TotalCost, 1 + 10 * 3 + 1u);
+}
+
+TEST(VMEngine, OpcodeStatsCollection) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+global @A = [8 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %v = load <4 x i64>, ptr %p
+  %w = add <4 x i64> %v, <i64 1, i64 1, i64 1, i64 1>
+  store <4 x i64> %w, ptr %p
+  %x = add i64 1, 2
+  ret void
+}
+)",
+                            Ctx);
+  SkylakeTTI TTI;
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M, &TTI);
+  Engine->setCollectStats(true);
+  auto R = Engine->run(M->getFunction("f"));
+  EXPECT_EQ(R.VectorOpCounts[ValueID::Load], 1u);
+  EXPECT_EQ(R.VectorOpCounts[ValueID::Add], 1u);
+  EXPECT_EQ(R.VectorOpCounts[ValueID::Store], 1u);
+  EXPECT_EQ(R.ScalarOpCounts[ValueID::Add], 1u);
+  EXPECT_EQ(R.ScalarOpCounts[ValueID::Gep], 1u);
+  EXPECT_EQ(R.ScalarOpCounts.count(ValueID::Load), 0u);
+}
+
+TEST(VMEngine, StatsOffByDefault) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f() {
+entry:
+  %x = add i64 1, 2
+  ret void
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  auto R = Engine->run(M->getFunction("f"));
+  EXPECT_TRUE(R.ScalarOpCounts.empty());
+  EXPECT_TRUE(R.VectorOpCounts.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Casts
+//===----------------------------------------------------------------------===//
+
+TEST(VMEngine, Casts) {
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %a) {
+entry:
+  %t = trunc i64 %a to i8
+  %s = sext i8 %t to i64
+  ret i64 %s
+}
+)",
+                    {0xFFu}),
+            uint64_t(-1));
+  EXPECT_EQ(evalI64(R"(
+define i64 @f(i64 %a) {
+entry:
+  %t = trunc i64 %a to i8
+  %z = zext i8 %t to i64
+  ret i64 %z
+}
+)",
+                    {0x1FFu}),
+            0xFFu);
+  EXPECT_DOUBLE_EQ(evalF64(R"(
+define double @f() {
+entry:
+  %c = sitofp i64 -3 to double
+  ret double %c
+}
+)"),
+                   -3.0);
+  EXPECT_EQ(evalI64(R"(
+define i64 @f() {
+entry:
+  %c = fptosi double 42.9 to i64
+  ret i64 %c
+}
+)"),
+            42u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine mechanics: compile cache, step limit
+//===----------------------------------------------------------------------===//
+
+TEST(VMEngine, RepeatedRunsReuseCompiledCode) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define i64 @f(i64 %a) {
+entry:
+  %r = mul i64 %a, %a
+  ret i64 %r
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  for (uint64_t I = 1; I <= 5; ++I) {
+    auto R = Engine->run(M->getFunction("f"),
+                         {RuntimeValue::makeInt(Ctx.getInt64Ty(), I)});
+    EXPECT_EQ(R.ReturnValue.asUInt(), I * I);
+  }
+}
+
+TEST(VMEngine, StepLimitAborts) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define void @f() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+)",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  Engine->setStepLimit(1000);
+  EXPECT_EXIT(Engine->run(M->getFunction("f")),
+              ::testing::ExitedWithCode(1), "vm: step limit");
+}
+
+} // namespace

@@ -6,13 +6,14 @@
 //
 // lslpc: parse a textual-IR file, run the (L)SLP vectorizer, and print the
 // result and/or the vectorization report. Optionally execute a function
-// on the cycle-model interpreter.
+// on the cycle-model machine (tree-walking interpreter or bytecode vm).
 //
 //   lslpc input.ll                         # LSLP, print transformed IR
 //   lslpc input.ll -config=SLP -report     # vanilla SLP + per-graph report
 //   lslpc input.ll -la=2 -multi=1          # Figure 13 style sweeps
 //   lslpc input.ll -no-vectorize -run=f:16 # just interpret @f(16)
 //   lslpc input.ll -run=f:100 -init-memory # deterministic array inputs
+//   lslpc input.ll -run=f --engine=vm      # execute on the bytecode vm
 //   lslpc -                                # read from stdin
 //
 // Differential-fuzzing modes (see src/fuzz/ and TESTING.md):
@@ -41,6 +42,7 @@
 #include "support/StringUtil.h"
 #include "transforms/EarlyCSE.h"
 #include "vectorizer/SLPVectorizerPass.h"
+#include "vm/ExecutionEngine.h"
 
 #include <cstdio>
 #include <optional>
@@ -64,6 +66,13 @@ struct Options {
   bool Dot = false;
   bool InitMemory = false;
   std::string RunSpec; // "function:arg"
+
+  /// Which execution engine backs -run and the fuzz oracle (see
+  /// DESIGN.md "Execution engines").
+  EngineKind Engine = EngineKind::TreeWalk;
+  /// --engine-parity: cross-validate every fuzz seed on both engines
+  /// (default: every 4th seed).
+  bool EngineParity = false;
 
   // Diagnostics (see DESIGN.md "Diagnostics").
   RemarkFormat Remarks = RemarkFormat::None;
@@ -93,10 +102,15 @@ void printUsage() {
             "  -graphs                   include rendered SLP graphs\n"
             "  -dot                      emit Graphviz DOT for each graph\n"
             "  -no-print                 suppress the transformed IR\n"
-            "  -run=FN[:ARG]             interpret @FN(i64 ARG) and report "
-            "cost\n"
+            "  -run=FN[:ARG]             execute @FN and report cost; ARG "
+            "feeds the first\n"
+            "                            parameter, remaining int/fp "
+            "parameters default to 0\n"
             "  -init-memory              fill globals with deterministic "
             "values before -run\n"
+            "  --engine=interp|vm        execution engine: tree-walking "
+            "interpreter\n"
+            "                            (default) or bytecode register vm\n"
             "diagnostics:\n"
             "  --remarks[=text|json]     stream per-decision optimization "
             "remarks\n"
@@ -108,6 +122,8 @@ void printUsage() {
             "  --fuzz=N                  run N random modules through the\n"
             "                            scalar-vs-vector oracle\n"
             "  --seed=S                  first fuzz seed (default 0)\n"
+            "  --engine-parity           cross-validate every seed on both\n"
+            "                            engines (default: every 4th seed)\n"
             "  --reduce=FILE             minimize a failing module and print\n"
             "                            the reproducer\n";
 }
@@ -176,6 +192,14 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.InitMemory = true;
     else if (startsWith(Plain, "run="))
       Opts.RunSpec = Plain.substr(4);
+    else if (startsWith(Plain, "engine=")) {
+      if (!parseEngineKind(Plain.substr(7), Opts.Engine)) {
+        errs() << "lslpc: bad engine '" << Plain.substr(7)
+               << "' (expected 'interp' or 'vm')\n";
+        return false;
+      }
+    } else if (Plain == "engine-parity")
+      Opts.EngineParity = true;
     else if (Plain == "remarks" || Plain == "remarks=text")
       Opts.Remarks = RemarkFormat::Text;
     else if (Plain == "remarks=json")
@@ -234,20 +258,46 @@ int runFunction(Module &M, const Options &Opts,
     errs() << "lslpc: no function '@" << FnName << "'\n";
     return 1;
   }
-  if (F->getNumArgs() != (HasArg ? 1u : 0u)) {
-    errs() << "lslpc: -run supports only void() or void(i64) signatures\n";
+  if (F->empty()) {
+    errs() << "lslpc: cannot run '@" << FnName << "': function has no body\n";
+    return 1;
+  }
+  if (HasArg && F->getNumArgs() == 0) {
+    errs() << "lslpc: -run passed argument " << Arg << " but '@" << FnName
+           << "' takes no parameters\n";
     return 1;
   }
 
-  Interpreter Interp(M, &TTI);
-  if (Opts.InitMemory)
-    initKernelMemory(Interp, M);
+  // Build the argument list: ARG (if given) feeds the first parameter;
+  // every other integer/floating-point parameter default-initializes to
+  // zero. Anything else (pointers, vectors) has no meaningful default, so
+  // reject it with a diagnostic instead of feeding garbage to the engine.
   std::vector<RuntimeValue> Args;
-  if (HasArg)
-    Args.push_back(RuntimeValue::makeInt(M.getContext().getInt64Ty(),
-                                         static_cast<uint64_t>(Arg)));
-  auto Result = Interp.run(F, Args);
-  outs() << "; run @" << FnName << ": " << Result.DynamicInsts
+  for (unsigned I = 0, N = F->getNumArgs(); I != N; ++I) {
+    const Argument *A = F->getArg(I);
+    Type *Ty = A->getType();
+    if (Ty->isIntegerTy()) {
+      Args.push_back(RuntimeValue::makeInt(
+          Ty, I == 0 && HasArg ? static_cast<uint64_t>(Arg) : 0));
+    } else if (Ty->isFloatingPointTy()) {
+      Args.push_back(RuntimeValue::makeFP(
+          Ty, I == 0 && HasArg ? static_cast<double>(Arg) : 0.0));
+    } else {
+      errs() << "lslpc: cannot run '@" << FnName << "': argument #" << I
+             << (A->hasName() ? " ('%" + A->getName() + "')" : "")
+             << " has type " << Ty->getName()
+             << ", which cannot be default-initialized (-run supports "
+                "integer and floating-point parameters only)\n";
+      return 1;
+    }
+  }
+
+  auto Engine = ExecutionEngine::create(Opts.Engine, M, &TTI);
+  if (Opts.InitMemory)
+    initKernelMemory(*Engine, M);
+  auto Result = Engine->run(F, Args);
+  outs() << "; run @" << FnName << " [" << Engine->engineName()
+         << "]: " << Result.DynamicInsts
          << " dynamic instructions, simulated cost " << Result.TotalCost
          << "\n";
   if (Result.ReturnValue.isValid()) {
@@ -262,11 +312,23 @@ int runFunction(Module &M, const Options &Opts,
 /// Runs \p Count random modules through the differential oracle, starting at
 /// generator seed \p FirstSeed. Failures are minimized with the reducer and
 /// printed as check-in-ready reproducers. Returns the number of failures.
-int runFuzz(int64_t Count, int64_t FirstSeed) {
-  DifferentialOracle Oracle;
+///
+/// Cross-engine validation: every 4th seed additionally executes baseline
+/// and vectorized modules on BOTH engines and requires bit-identical
+/// memory, returns and ExecStats; \p ParityAll extends that to every seed.
+int runFuzz(int64_t Count, int64_t FirstSeed, EngineKind Engine,
+            bool ParityAll) {
+  OracleOptions BaseOpts;
+  BaseOpts.Engine = Engine;
+  DifferentialOracle Oracle(BaseOpts);
+  OracleOptions ParityOpts = BaseOpts;
+  ParityOpts.CheckEngineParity = true;
+  DifferentialOracle ParityOracle(ParityOpts);
   int64_t Failures = 0;
   for (int64_t I = 0; I < Count; ++I) {
     uint64_t Seed = static_cast<uint64_t>(FirstSeed + I);
+    bool Parity = ParityAll || Seed % 4 == 0;
+    const DifferentialOracle &O = Parity ? ParityOracle : Oracle;
     Context Ctx;
     ModuleGenerator Gen(Seed);
     std::unique_ptr<Module> M = Gen.generate(Ctx);
@@ -280,7 +342,7 @@ int runFuzz(int64_t Count, int64_t FirstSeed) {
       continue;
     }
     std::string IR = moduleToString(*M);
-    OracleVerdict Verdict = Oracle.check(IR);
+    OracleVerdict Verdict = O.check(IR);
     if (Verdict) {
       if ((I + 1) % 100 == 0)
         outs() << "; fuzz: " << (I + 1) << "/" << Count << " seeds ok\n";
@@ -290,7 +352,7 @@ int runFuzz(int64_t Count, int64_t FirstSeed) {
     errs() << "lslpc: seed " << Seed << " FAILED [" << Verdict.ConfigName
            << "]: " << Verdict.Reason << "\n";
     Reducer Shrinker(
-        [&](const std::string &Text) { return !Oracle.check(Text).Passed; });
+        [&](const std::string &Text) { return !O.check(Text).Passed; });
     Reducer::Result Reduced = Shrinker.reduce(IR);
     errs() << "; minimized reproducer (seed " << Seed << ", "
            << Reduced.StepsAdopted << " reduction step(s)):\n"
@@ -306,11 +368,14 @@ int runFuzz(int64_t Count, int64_t FirstSeed) {
 }
 
 /// Minimizes the failing module in \p Path and prints the reproducer.
-int runReduce(const std::string &Path) {
+int runReduce(const std::string &Path, EngineKind Engine, bool Parity) {
   std::string Source;
   if (!readInput(Path, Source))
     return 1;
-  DifferentialOracle Oracle;
+  OracleOptions Opts;
+  Opts.Engine = Engine;
+  Opts.CheckEngineParity = Parity;
+  DifferentialOracle Oracle(Opts);
   Reducer Shrinker(
       [&](const std::string &Text) { return !Oracle.check(Text).Passed; });
   Reducer::Result Result = Shrinker.reduce(Source);
@@ -434,8 +499,9 @@ int main(int argc, char **argv) {
       return 1;
     }
     if (Opts.FuzzCount >= 0)
-      return runFuzz(Opts.FuzzCount, Opts.FuzzSeed);
-    return runReduce(Opts.ReducePath);
+      return runFuzz(Opts.FuzzCount, Opts.FuzzSeed, Opts.Engine,
+                     Opts.EngineParity);
+    return runReduce(Opts.ReducePath, Opts.Engine, Opts.EngineParity);
   }
   if (Opts.InputPath.empty()) {
     printUsage();
