@@ -111,7 +111,17 @@ bool lslp::bench::parseBenchArgs(int argc, char **argv, BenchOptions &Opts) {
                << "' (expected 'interp' or 'vm')\n";
         return false;
       }
-    } else if (Arg == "engine-smoke")
+    } else if (startsWith(Arg, "jobs=")) {
+      int64_t Num = 0;
+      if (!parseInt(std::string(Arg.substr(5)), Num) || Num < 0) {
+        errs() << "bench: bad -jobs value '" << std::string(Arg.substr(5))
+               << "'\n";
+        return false;
+      }
+      Opts.Jobs = static_cast<unsigned>(Num);
+    } else if (Arg == "parity")
+      Opts.Parity = true;
+    else if (Arg == "engine-smoke")
       Opts.EngineSmoke = true;
     // Anything else belongs to the binary (e.g. -explain, benchmark
     // library flags); leave it alone.

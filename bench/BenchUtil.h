@@ -16,6 +16,7 @@
 #define LSLP_BENCH_BENCHUTIL_H
 
 #include "kernels/Kernels.h"
+#include "support/ThreadPool.h"
 #include "vectorizer/Config.h"
 #include "vm/ExecutionEngine.h"
 
@@ -64,15 +65,45 @@ SuiteMeasurement measureSuite(const SuiteSpec &Suite,
 ///   -json=FILE     write one JSON record per measurement to FILE
 ///   -engine=NAME   execution backend: interp (default) or vm
 ///   -engine-smoke  cross-engine timed smoke mode (fig12 only)
+///   -jobs=N        run independent measurement cells on N workers
+///                  (0 = one per hardware thread); cycle counts, static
+///                  costs and checksums are identical to -jobs=1 — only
+///                  host wall-clock changes
+///   -parity        measure twice, parallel and serial, and require
+///                  identical cycles/costs/checksums (fig9; exit 1 on
+///                  mismatch — the CI determinism gate)
 struct BenchOptions {
   std::string JsonPath;
   EngineKind Engine = EngineKind::TreeWalk;
   bool EngineSmoke = false;
+  unsigned Jobs = 1;
+  bool Parity = false;
 };
 
 /// Consumes the shared flags from argv, leaving binary-specific arguments
 /// alone. Returns false (after printing a message) on a malformed value.
 bool parseBenchArgs(int argc, char **argv, BenchOptions &Opts);
+
+/// Runs \p N independent measurement cells on \p Jobs workers and returns
+/// the results in index order (deterministic collect; see DESIGN.md
+/// "Concurrency model"). Each cell must be self-contained — measureKernel
+/// and measureSuite are: they build their own Context, module, and
+/// engine. Serial when Jobs <= 1.
+template <typename Fn>
+auto runCells(unsigned Jobs, size_t N, Fn F)
+    -> std::vector<std::invoke_result_t<Fn, size_t>> {
+  using R = std::invoke_result_t<Fn, size_t>;
+  if (Jobs <= 1 || N < 2) {
+    std::vector<R> Out;
+    Out.reserve(N);
+    for (size_t I = 0; I != N; ++I)
+      Out.push_back(F(I));
+    return Out;
+  }
+  ThreadPool Pool(
+      std::min(static_cast<size_t>(ThreadPool::resolveJobs(Jobs)), N));
+  return parallelMapOrdered(Pool, N, F);
+}
 
 /// Accumulates measurement records and writes them as a JSON array:
 ///   {"figure": ..., "label": ..., "config": ..., "engine": ...,

@@ -30,12 +30,22 @@ int main(int argc, char **argv) {
   std::vector<VectorizerConfig> Configs = paperConfigs();
   std::vector<std::vector<double>> Normalized(Configs.size());
 
-  for (const SuiteSpec &Suite : getSuites()) {
+  // Measure every (suite, config) cell up front — concurrently under
+  // -jobs=N — then print from the ordered results.
+  const std::vector<SuiteSpec> &Suites = getSuites();
+  std::vector<SuiteMeasurement> Grid =
+      runCells(Opts.Jobs, Suites.size() * Configs.size(), [&](size_t I) {
+        return measureSuite(Suites[I / Configs.size()],
+                            &Configs[I % Configs.size()], Opts.Engine);
+      });
+
+  for (size_t SI = 0; SI != Suites.size(); ++SI) {
+    const SuiteSpec &Suite = Suites[SI];
     std::vector<int> Costs;
-    for (const VectorizerConfig &C : Configs) {
-      SuiteMeasurement SM = measureSuite(Suite, &C, Opts.Engine);
-      Report.add(Suite.Name, C.Name, Opts.Engine, SM.WeightedDynamicCost,
-                 SM.WallMs, SM.StaticCost);
+    for (size_t CI = 0; CI < Configs.size(); ++CI) {
+      const SuiteMeasurement &SM = Grid[SI * Configs.size() + CI];
+      Report.add(Suite.Name, Configs[CI].Name, Opts.Engine,
+                 SM.WeightedDynamicCost, SM.WallMs, SM.StaticCost);
       Costs.push_back(SM.StaticCost);
     }
     int SLPCost = Costs[1];

@@ -95,13 +95,25 @@ int main(int argc, char **argv) {
   std::vector<VectorizerConfig> Configs = paperConfigs();
   std::vector<std::vector<double>> Speedups(Configs.size());
 
-  for (const SuiteSpec &Suite : getSuites()) {
-    SuiteMeasurement O3 = measureSuite(Suite, nullptr, Opts.Engine);
+  // Cell grid: column 0 = O3, columns 1.. = the paper configurations;
+  // measured concurrently under -jobs=N, printed from the ordered results.
+  const std::vector<SuiteSpec> &Suites = getSuites();
+  const size_t Cols = 1 + Configs.size();
+  std::vector<SuiteMeasurement> Grid =
+      runCells(Opts.Jobs, Suites.size() * Cols, [&](size_t I) {
+        const VectorizerConfig *C =
+            I % Cols ? &Configs[I % Cols - 1] : nullptr;
+        return measureSuite(Suites[I / Cols], C, Opts.Engine);
+      });
+
+  for (size_t SI = 0; SI != Suites.size(); ++SI) {
+    const SuiteSpec &Suite = Suites[SI];
+    const SuiteMeasurement &O3 = Grid[SI * Cols];
     Report.add(Suite.Name, "O3", Opts.Engine, O3.WeightedDynamicCost,
                O3.WallMs, O3.StaticCost);
     std::vector<std::string> Cells;
     for (size_t CI = 0; CI < Configs.size(); ++CI) {
-      SuiteMeasurement Vec = measureSuite(Suite, &Configs[CI], Opts.Engine);
+      const SuiteMeasurement &Vec = Grid[SI * Cols + 1 + CI];
       Report.add(Suite.Name, Configs[CI].Name, Opts.Engine,
                  Vec.WeightedDynamicCost, Vec.WallMs, Vec.StaticCost);
       double Speedup = O3.WeightedDynamicCost / Vec.WeightedDynamicCost;

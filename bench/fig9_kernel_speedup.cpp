@@ -13,6 +13,12 @@
 // per configuration summarizing what the vectorizer actually did there
 // (seeds, multi-nodes, gathers, accept/reject counts).
 //
+// Every (kernel, config) measurement is an independent cell (own Context,
+// module, engine), so -jobs=N measures them concurrently; the table is
+// printed from the ordered cell results and is byte-identical to -jobs=1.
+// -parity measures the grid twice (parallel then serial) and exits 1 if
+// any cycle count, static cost, or checksum differs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -35,23 +41,55 @@ int main(int argc, char **argv) {
   if (!parseBenchArgs(argc, argv, Opts))
     return 1;
 
+  std::vector<const KernelSpec *> Kernels = getFigureKernels();
+  std::vector<VectorizerConfig> Configs = paperConfigs();
+  // Cell grid: one row per kernel, column 0 = O3 baseline, columns
+  // 1..Configs.size() = the paper configurations.
+  const size_t Cols = 1 + Configs.size();
+  auto measureGrid = [&](unsigned Jobs) {
+    return runCells(Jobs, Kernels.size() * Cols, [&](size_t I) {
+      const VectorizerConfig *C = I % Cols ? &Configs[I % Cols - 1] : nullptr;
+      return measureKernel(*Kernels[I / Cols], C, 0, Opts.Engine);
+    });
+  };
+  std::vector<Measurement> Grid = measureGrid(Opts.Jobs);
+
+  if (Opts.Parity) {
+    std::vector<Measurement> Serial = measureGrid(1);
+    for (size_t I = 0; I != Grid.size(); ++I)
+      if (Grid[I].DynamicCost != Serial[I].DynamicCost ||
+          Grid[I].StaticCost != Serial[I].StaticCost ||
+          Grid[I].Checksum != Serial[I].Checksum) {
+        errs() << "fig9 parity FAILED: " << Kernels[I / Cols]->Name << " ["
+               << (I % Cols ? Configs[I % Cols - 1].Name : "O3")
+               << "]: jobs=" << Opts.Jobs << " cycles "
+               << fmt(Grid[I].DynamicCost, 0) << " cost "
+               << Grid[I].StaticCost << " vs serial cycles "
+               << fmt(Serial[I].DynamicCost, 0) << " cost "
+               << Serial[I].StaticCost << "\n";
+        return 1;
+      }
+    outs() << "fig9 parity OK: " << Grid.size()
+           << " cells identical at jobs=" << Opts.Jobs << " and jobs=1\n";
+  }
+
   printTitle("Figure 9: speedup over O3 (cycle model)");
   printRow("kernel", {"SLP-NR", "SLP", "LSLP"});
   outs() << std::string(56, '-') << "\n";
 
   JsonReport Report("fig9");
-  std::vector<VectorizerConfig> Configs = paperConfigs();
   std::vector<std::vector<double>> SpecSpeedups(Configs.size());
 
-  for (const KernelSpec *K : getFigureKernels()) {
-    Measurement O3 = measureKernel(*K, nullptr, 0, Opts.Engine);
+  for (size_t KI = 0; KI != Kernels.size(); ++KI) {
+    const KernelSpec *K = Kernels[KI];
+    const Measurement &O3 = Grid[KI * Cols];
     Report.add(K->Name, "O3", Opts.Engine, O3.DynamicCost, O3.WallMs,
                O3.StaticCost);
     std::vector<std::string> Cells;
     std::vector<std::string> Explanations;
     bool IsMotivation = K->Name.rfind("motivation", 0) == 0;
     for (size_t CI = 0; CI < Configs.size(); ++CI) {
-      Measurement Vec = measureKernel(*K, &Configs[CI], 0, Opts.Engine);
+      const Measurement &Vec = Grid[KI * Cols + 1 + CI];
       Report.add(K->Name, Configs[CI].Name, Opts.Engine, Vec.DynamicCost,
                  Vec.WallMs, Vec.StaticCost);
       if (Vec.Checksum != O3.Checksum)

@@ -16,11 +16,12 @@
 using namespace lslp;
 
 void Statistic::bump(uint64_t N) {
-  if (!Registered) {
-    Registered = true;
+  // exchange() claims registration exactly once even when the first bumps
+  // race on two worker threads.
+  if (!Registered.load(std::memory_order_relaxed) &&
+      !Registered.exchange(true))
     StatisticsRegistry::instance().add(this);
-  }
-  Value += N;
+  Value.fetch_add(N, std::memory_order_relaxed);
 }
 
 StatisticsRegistry &StatisticsRegistry::instance() {
@@ -28,10 +29,17 @@ StatisticsRegistry &StatisticsRegistry::instance() {
   return R;
 }
 
-void StatisticsRegistry::add(Statistic *S) { Stats.push_back(S); }
+void StatisticsRegistry::add(Statistic *S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats.push_back(S);
+}
 
 std::vector<const Statistic *> StatisticsRegistry::all() const {
-  std::vector<const Statistic *> Sorted(Stats.begin(), Stats.end());
+  std::vector<const Statistic *> Sorted;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Sorted.assign(Stats.begin(), Stats.end());
+  }
   std::sort(Sorted.begin(), Sorted.end(),
             [](const Statistic *A, const Statistic *B) {
               int C = std::strcmp(A->getComponent(), B->getComponent());
@@ -43,11 +51,13 @@ std::vector<const Statistic *> StatisticsRegistry::all() const {
 }
 
 void StatisticsRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (Statistic *S : Stats)
-    S->Value = 0;
+    S->Value.store(0, std::memory_order_relaxed);
 }
 
 bool StatisticsRegistry::anyNonZero() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (const Statistic *S : Stats)
     if (S->value() != 0)
       return true;

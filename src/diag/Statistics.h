@@ -18,12 +18,20 @@
 /// and reset between runs (`StatisticsRegistry::resetAll()`), which the
 /// driver uses so multi-module sessions report per-module numbers.
 ///
+/// Thread-safety: counter bumps are relaxed atomic adds and registration
+/// is mutex-guarded, so the parallel vectorization/fuzzing drivers can
+/// bump freely from worker threads. Addition commutes, so the totals a
+/// parallel run reports are identical to the serial run's; the dump order
+/// is sorted by (component, name), independent of registration order.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSLP_DIAG_STATISTICS_H
 #define LSLP_DIAG_STATISTICS_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace lslp {
@@ -40,7 +48,7 @@ public:
   const char *getComponent() const { return Component; }
   const char *getName() const { return Name; }
   const char *getDesc() const { return Desc; }
-  uint64_t value() const { return Value; }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
 
   Statistic &operator++() {
     bump(1);
@@ -54,8 +62,10 @@ public:
   /// Sets the counter to the maximum of its current value and \p N.
   void updateMax(uint64_t N) {
     bump(0);
-    if (N > Value)
-      Value = N;
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (N > Cur &&
+           !Value.compare_exchange_weak(Cur, N, std::memory_order_relaxed)) {
+    }
   }
 
 private:
@@ -65,8 +75,8 @@ private:
   const char *Component;
   const char *Name;
   const char *Desc;
-  uint64_t Value = 0;
-  bool Registered = false;
+  std::atomic<uint64_t> Value{0};
+  std::atomic<bool> Registered{false};
 };
 
 /// Process-wide registry of every Statistic that has been touched.
@@ -95,6 +105,7 @@ private:
   friend class Statistic;
   void add(Statistic *S);
 
+  mutable std::mutex Mutex;
   std::vector<Statistic *> Stats;
 };
 

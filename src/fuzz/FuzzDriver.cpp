@@ -1,0 +1,107 @@
+//===- fuzz/FuzzDriver.cpp - Parallel differential fuzz sweep -----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzDriver.h"
+
+#include "fuzz/ModuleGenerator.h"
+#include "fuzz/Reducer.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace lslp;
+
+namespace {
+
+/// Runs one seed end to end: generate, verify, oracle-check, and minimize
+/// on failure. Entirely self-contained (own Context/modules/engines), so
+/// any number of these can run concurrently.
+SeedOutcome runOneSeed(uint64_t Seed, const DifferentialOracle &Oracle,
+                       const DifferentialOracle &ParityOracle,
+                       bool ParityAll) {
+  SeedOutcome Out;
+  Out.Seed = Seed;
+  // Every 4th seed gets the (2x slower) cross-engine parity sweep, same
+  // cadence as the serial driver always used; --engine-parity extends it
+  // to every seed.
+  const DifferentialOracle &O =
+      (ParityAll || Seed % 4 == 0) ? ParityOracle : Oracle;
+
+  Context Ctx;
+  ModuleGenerator Gen(Seed);
+  std::unique_ptr<Module> M = Gen.generate(Ctx);
+  std::vector<std::string> Errors;
+  if (!verifyModule(*M, &Errors)) {
+    Out.VerifyFailed = true;
+    for (const std::string &E : Errors) {
+      Out.VerifyErrors += E;
+      Out.VerifyErrors += '\n';
+    }
+    return Out;
+  }
+
+  std::string IR = moduleToString(*M);
+  OracleVerdict Verdict = O.check(IR);
+  if (Verdict) {
+    Out.Passed = true;
+    return Out;
+  }
+  Out.ConfigName = Verdict.ConfigName;
+  Out.Reason = Verdict.Reason;
+  Reducer Shrinker(
+      [&](const std::string &Text) { return !O.check(Text).Passed; });
+  Reducer::Result Reduced = Shrinker.reduce(IR);
+  Out.ReducedIR = Reduced.IRText;
+  Out.ReductionSteps = Reduced.StepsAdopted;
+  return Out;
+}
+
+} // namespace
+
+int64_t lslp::runFuzzSweep(
+    const FuzzSweepOptions &Opts,
+    const std::function<void(const SeedOutcome &)> &Consume) {
+  OracleOptions BaseOpts;
+  BaseOpts.Engine = Opts.Engine;
+  DifferentialOracle Oracle(BaseOpts);
+  OracleOptions ParityOpts = BaseOpts;
+  ParityOpts.CheckEngineParity = true;
+  DifferentialOracle ParityOracle(ParityOpts);
+
+  int64_t Failures = 0;
+  auto Count = static_cast<size_t>(std::max<int64_t>(Opts.Count, 0));
+  auto Handle = [&](const SeedOutcome &Out) {
+    if (!Out.Passed)
+      ++Failures;
+    if (Consume)
+      Consume(Out);
+  };
+
+  if (Opts.Jobs <= 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Handle(runOneSeed(static_cast<uint64_t>(Opts.FirstSeed + I), Oracle,
+                        ParityOracle, Opts.ParityAll));
+    return Failures;
+  }
+
+  // DifferentialOracle::check() is const and allocates all its state per
+  // call, so the two oracle instances are shared read-only across the
+  // workers. The ordered collect delivers outcomes in seed order on this
+  // thread — output is byte-identical to Jobs=1.
+  ThreadPool Pool(std::min(static_cast<size_t>(Opts.Jobs), Count));
+  parallelForOrdered(
+      Pool, Count,
+      [&](size_t I) {
+        return runOneSeed(static_cast<uint64_t>(Opts.FirstSeed + I), Oracle,
+                          ParityOracle, Opts.ParityAll);
+      },
+      [&](size_t, const SeedOutcome &Out) { Handle(Out); });
+  return Failures;
+}

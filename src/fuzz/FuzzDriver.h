@@ -1,0 +1,71 @@
+//===- fuzz/FuzzDriver.h - Parallel differential fuzz sweep -----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seed-sweep driver behind `lslpc --fuzz=N [--jobs=J]`. Each seed is
+/// an independent unit of work — its own Context, generated module,
+/// oracle configs, engines, and (on failure) reducer scratch — so seeds
+/// shard freely across a thread pool. Outcomes are delivered to the
+/// caller on the calling thread in ascending seed order regardless of
+/// completion order, which makes the driver's observable behavior (and
+/// lslpc's output) independent of the job count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_FUZZ_FUZZDRIVER_H
+#define LSLP_FUZZ_FUZZDRIVER_H
+
+#include "fuzz/DifferentialOracle.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lslp {
+
+/// Configuration of one fuzz sweep.
+struct FuzzSweepOptions {
+  /// Number of consecutive seeds to run.
+  int64_t Count = 0;
+  /// First generator seed.
+  int64_t FirstSeed = 0;
+  /// Worker threads; 1 = run everything on the calling thread.
+  unsigned Jobs = 1;
+  /// Engine for the baseline and vectorized executions.
+  EngineKind Engine = EngineKind::TreeWalk;
+  /// Cross-validate every seed on both engines (default: every 4th).
+  bool ParityAll = false;
+};
+
+/// The oracle's verdict on one seed, plus the minimized reproducer when
+/// the seed failed.
+struct SeedOutcome {
+  uint64_t Seed = 0;
+  bool Passed = false;
+  /// True when the generated module failed IR verification (a generator
+  /// bug — counted as a failure, but there is nothing to reduce).
+  bool VerifyFailed = false;
+  /// Verifier diagnostics, one per line (VerifyFailed only).
+  std::string VerifyErrors;
+  /// Failing configuration name and reason (oracle failures only).
+  std::string ConfigName;
+  std::string Reason;
+  /// ddmin-minimized reproducer (oracle failures only).
+  std::string ReducedIR;
+  /// Reduction steps the minimizer adopted.
+  unsigned ReductionSteps = 0;
+};
+
+/// Runs \p Opts.Count seeds through the differential oracle on
+/// \p Opts.Jobs workers. \p Consume is invoked once per seed, on the
+/// calling thread, in ascending seed order; failures arrive already
+/// minimized. Returns the number of failing seeds.
+int64_t runFuzzSweep(const FuzzSweepOptions &Opts,
+                     const std::function<void(const SeedOutcome &)> &Consume);
+
+} // namespace lslp
+
+#endif // LSLP_FUZZ_FUZZDRIVER_H

@@ -18,6 +18,7 @@ Context::Context()
 Context::~Context() = default;
 
 IntegerType *Context::getIntTy(unsigned BitWidth) {
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = IntTypes[BitWidth];
   if (!Slot)
     Slot.reset(new IntegerType(*this, BitWidth));
@@ -25,6 +26,7 @@ IntegerType *Context::getIntTy(unsigned BitWidth) {
 }
 
 VectorType *Context::getVectorTy(Type *ElemTy, unsigned NumElems) {
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = VecTypes[{ElemTy, NumElems}];
   if (!Slot)
     Slot.reset(new VectorType(*this, ElemTy, NumElems));
@@ -35,6 +37,7 @@ ConstantInt *Context::getConstantInt(IntegerType *Ty, uint64_t Value) {
   unsigned Bits = Ty->getBitWidth();
   if (Bits < 64)
     Value &= (uint64_t(1) << Bits) - 1;
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = IntConstants[{Ty, Value}];
   if (!Slot)
     Slot.reset(new ConstantInt(Ty, Value));
@@ -45,6 +48,7 @@ ConstantFP *Context::getConstantFP(Type *Ty, double Value) {
   assert(Ty->isFloatingPointTy() && "getConstantFP requires an FP type");
   if (Ty->isFloatTy())
     Value = static_cast<float>(Value); // Canonicalize to float precision.
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = FPConstants[{Ty, Value}];
   if (!Slot)
     Slot.reset(new ConstantFP(Ty, Value));
@@ -57,16 +61,20 @@ ConstantVector *Context::getConstantVector(
   Type *ElemTy = Elements[0]->getType();
   for (const Constant *C : Elements)
     assert(C->getType() == ElemTy && "mixed element types in constant vector");
+  // Intern the vector type first: getVectorTy takes the same (non-
+  // recursive) mutex.
+  VectorType *VecTy =
+      getVectorTy(ElemTy, static_cast<unsigned>(Elements.size()));
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = VecConstants[Elements];
   if (!Slot)
-    Slot.reset(new ConstantVector(
-        getVectorTy(ElemTy, static_cast<unsigned>(Elements.size())),
-        Elements));
+    Slot.reset(new ConstantVector(VecTy, Elements));
   return Slot.get();
 }
 
 UndefValue *Context::getUndef(Type *Ty) {
   assert(Ty->isFirstClassTy() && "undef requires a first-class type");
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = Undefs[Ty];
   if (!Slot)
     Slot.reset(new UndefValue(Ty));

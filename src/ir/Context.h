@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace lslp {
@@ -28,8 +29,12 @@ class ConstantFP;
 class ConstantVector;
 class UndefValue;
 
-/// Owns and uniques types and constants. Not thread-safe; use one Context
-/// per thread.
+/// Owns and uniques types and constants. The interning factories are
+/// mutex-guarded and the returned pointers are stable, so worker threads
+/// of the parallel vectorization driver may request types and constants
+/// concurrently against one shared Context (see DESIGN.md "Concurrency
+/// model"). Everything else about IR construction remains single-owner:
+/// only one thread may mutate a given Function at a time.
 class Context {
 public:
   Context();
@@ -76,6 +81,10 @@ public:
   /// @}
 
 private:
+  /// Guards every interning map below; cheap relative to what callers do
+  /// with the result, and only contended during parallel vectorization.
+  std::mutex InternMutex;
+
   Type VoidTy;
   Type LabelTy;
   Type FloatTy;

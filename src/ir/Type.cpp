@@ -40,14 +40,20 @@ Type *Type::getScalarType() {
 }
 
 std::string Type::getName() const {
+  // Built with append rather than operator+ chains: the temporaries the
+  // chains create trip GCC 12's -Wrestrict false positive (PR 105329)
+  // when inlined, which -Werror builds cannot tolerate.
   switch (Kind) {
   case VoidTyKind:
     return "void";
   case LabelTyKind:
     return "label";
-  case IntegerTyKind:
-    return "i" + std::to_string(
-                     static_cast<const IntegerType *>(this)->getBitWidth());
+  case IntegerTyKind: {
+    std::string Name = "i";
+    Name += std::to_string(
+        static_cast<const IntegerType *>(this)->getBitWidth());
+    return Name;
+  }
   case FloatTyKind:
     return "float";
   case DoubleTyKind:
@@ -56,8 +62,12 @@ std::string Type::getName() const {
     return "ptr";
   case VectorTyKind: {
     const auto *VT = static_cast<const VectorType *>(this);
-    return "<" + std::to_string(VT->getNumElements()) + " x " +
-           VT->getElementType()->getName() + ">";
+    std::string Name = "<";
+    Name += std::to_string(VT->getNumElements());
+    Name += " x ";
+    Name += VT->getElementType()->getName();
+    Name += '>';
+    return Name;
   }
   }
   lslp_unreachable("covered switch");

@@ -6,10 +6,45 @@
 
 #include "ir/Value.h"
 
+#include <mutex>
+
 using namespace lslp;
+
+namespace {
+/// Serializes use-list mutation on values shared across functions
+/// (constants, globals, undef) during parallel vectorization. One global
+/// mutex suffices: the operations are a few pointer moves, and the lock is
+/// uncontended outside the parallel driver. See DESIGN.md "Concurrency
+/// model" for why shared use-lists must not be *read* from the parallel
+/// region at all.
+std::mutex SharedUseListMutex;
+} // namespace
 
 Value::~Value() {
   assert(UseList.empty() && "value deleted while still in use");
+}
+
+void Value::addUse(User *U, unsigned OperandNo) {
+  if (hasSharedUseList()) {
+    std::lock_guard<std::mutex> Lock(SharedUseListMutex);
+    UseList.push_back(Use{U, OperandNo});
+    return;
+  }
+  UseList.push_back(Use{U, OperandNo});
+}
+
+void Value::removeUse(User *U, unsigned OperandNo) {
+  auto Remove = [&] {
+    auto It = std::find(UseList.begin(), UseList.end(), Use{U, OperandNo});
+    assert(It != UseList.end() && "use not found");
+    UseList.erase(It);
+  };
+  if (hasSharedUseList()) {
+    std::lock_guard<std::mutex> Lock(SharedUseListMutex);
+    Remove();
+    return;
+  }
+  Remove();
 }
 
 void Value::replaceAllUsesWith(Value *New) {

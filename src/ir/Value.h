@@ -138,16 +138,28 @@ protected:
     assert(Ty && "value must have a type");
   }
 
+  /// True for values shared across functions (constants, globals, undef):
+  /// their use-lists are mutated under a process-wide mutex so the
+  /// parallel vectorization driver can grow code in independent functions
+  /// concurrently. Instruction/argument/block use-lists stay unlocked —
+  /// they are only ever touched by the thread that owns the function.
+  bool hasSharedUseList() const {
+    switch (ID) {
+    case ValueID::GlobalArrayID:
+    case ValueID::ConstantIntID:
+    case ValueID::ConstantFPID:
+    case ValueID::ConstantVectorID:
+    case ValueID::UndefID:
+      return true;
+    default:
+      return false;
+    }
+  }
+
 private:
   friend class User;
-  void addUse(User *U, unsigned OperandNo) {
-    UseList.push_back(Use{U, OperandNo});
-  }
-  void removeUse(User *U, unsigned OperandNo) {
-    auto It = std::find(UseList.begin(), UseList.end(), Use{U, OperandNo});
-    assert(It != UseList.end() && "use not found");
-    UseList.erase(It);
-  }
+  void addUse(User *U, unsigned OperandNo);
+  void removeUse(User *U, unsigned OperandNo);
 
   ValueID ID;
   Type *Ty;

@@ -1,0 +1,121 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with a FIFO work queue and future-based
+/// results, plus the deterministic ordered-collect helper the parallel
+/// drivers are built on (parallel vectorization, the fuzz sweep, the bench
+/// harness — see DESIGN.md "Concurrency model").
+///
+/// Determinism contract: parallelMapOrdered() returns (and, through
+/// parallelForOrdered(), consumes) results in *index* order regardless of
+/// completion order, so a parallel driver that buffers its output per item
+/// and emits it from the collect loop is byte-identical to the serial run.
+/// A pool of size 1 executes tasks in submission order, i.e. it *is* the
+/// serial run, which the tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_THREADPOOL_H
+#define LSLP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lslp {
+
+/// Fixed-size thread pool. Tasks are queued FIFO and picked up by the
+/// first free worker; results travel through std::future, which also
+/// propagates exceptions thrown inside a task to whoever calls get().
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned getNumThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Fn and returns the future of its result.
+  template <typename Fn>
+  auto async(Fn &&F) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Result = Task->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.push([Task] { (*Task)(); });
+    }
+    WakeWorker.notify_one();
+    return Result;
+  }
+
+  /// Blocks until every queued task has finished executing.
+  void wait();
+
+  /// Resolves a user-facing jobs request: 0 means "one per hardware
+  /// thread" (at least 1); anything else is taken literally.
+  static unsigned resolveJobs(unsigned Requested);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WakeWorker;
+  std::condition_variable Idle;
+  unsigned NumActive = 0;
+  bool Stop = false;
+};
+
+/// Runs Fn(0..N-1) on \p Pool and returns the results in index order —
+/// the deterministic collect that keeps parallel output byte-identical to
+/// serial. \p Fn must be callable concurrently from multiple threads.
+template <typename Fn>
+auto parallelMapOrdered(ThreadPool &Pool, size_t N, Fn F)
+    -> std::vector<std::invoke_result_t<Fn, size_t>> {
+  using R = std::invoke_result_t<Fn, size_t>;
+  std::vector<std::future<R>> Futures;
+  Futures.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Futures.push_back(Pool.async([&F, I] { return F(I); }));
+  std::vector<R> Results;
+  Results.reserve(N);
+  for (std::future<R> &Fut : Futures)
+    Results.push_back(Fut.get());
+  return Results;
+}
+
+/// Like parallelMapOrdered, but hands each result to \p Consume on the
+/// calling thread, in index order, as soon as its prefix is complete —
+/// the streaming variant the fuzz driver uses for its progress output.
+template <typename Fn, typename ConsumeFn>
+void parallelForOrdered(ThreadPool &Pool, size_t N, Fn F, ConsumeFn Consume) {
+  using R = std::invoke_result_t<Fn, size_t>;
+  std::vector<std::future<R>> Futures;
+  Futures.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Futures.push_back(Pool.async([&F, I] { return F(I); }));
+  for (size_t I = 0; I != N; ++I)
+    Consume(I, Futures[I].get());
+}
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_THREADPOOL_H

@@ -137,6 +137,14 @@ bool tryVectorizeOneReduction(const ReductionCandidate &Cand, BasicBlock &BB,
   // with it, so refund lanes whose only external users are tree ops.
   std::set<const Value *> TreeSet(Cand.TreeOps.begin(), Cand.TreeOps.end());
   for (Value *Leaf : Graph->getRoot()->getScalars()) {
+    // Only instruction leaves can have been charged an extract (the cost
+    // evaluator charges extracts on Vectorize/Alternate/MultiNode nodes,
+    // whose scalars are always instructions), so only they earn a refund.
+    // Constant/global leaves also have module-wide use-lists, which must
+    // not be walked here: functions vectorize in parallel and this is the
+    // per-function region (see DESIGN.md "Concurrency model").
+    if (!isa<Instruction>(Leaf))
+      continue;
     bool HasExternal = false, AllExternalInTree = true;
     for (const Use &U : Leaf->uses()) {
       const auto *UserV = static_cast<const Value *>(U.TheUser);

@@ -12,6 +12,7 @@
 #include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
 #include "support/OStream.h"
+#include "support/ThreadPool.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
 #include "vectorizer/CodeGen.h"
@@ -94,9 +95,54 @@ FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
   return Report;
 }
 
-ModuleReport SLPVectorizerPass::runOnModule(Module &M) {
+ModuleReport SLPVectorizerPass::runOnModule(Module &M, unsigned Jobs) {
   ModuleReport Report;
+  std::vector<Function *> Fns;
   for (const auto &F : M.functions())
-    Report.Functions.push_back(runOnFunction(*F));
+    Fns.push_back(F.get());
+
+  if (Jobs <= 1 || Fns.size() < 2) {
+    for (Function *F : Fns)
+      Report.Functions.push_back(runOnFunction(*F));
+    return Report;
+  }
+
+  // Parallel path. Functions are independent units of work: the pass
+  // never creates or follows cross-function references, Context interning
+  // and shared-constant use-lists are internally locked, and statistic
+  // bumps are atomic (addition commutes, so totals match serial). The one
+  // order-sensitive output is the remark stream — each worker captures
+  // its function's remarks in a private engine, and the collect loop
+  // below replays them into the real streamer in declaration order, which
+  // is exactly the serial emission order.
+  RemarkStreamer *RS = Config.Remarks;
+  struct FnResult {
+    FunctionReport Report;
+    std::vector<Remark> Remarks;
+  };
+  ThreadPool Pool(std::min(static_cast<size_t>(Jobs), Fns.size()));
+  std::vector<FnResult> Results =
+      parallelMapOrdered(Pool, Fns.size(), [&](size_t I) {
+        FnResult R;
+        if (!RS) {
+          R.Report = runOnFunction(*Fns[I]);
+          return R;
+        }
+        RemarkEngine Capture;
+        Capture.setKeepRemarks(true);
+        VectorizerConfig WorkerConfig = Config;
+        WorkerConfig.Remarks = &Capture;
+        SLPVectorizerPass Worker(WorkerConfig, TTI);
+        Worker.setVerbose(Verbose);
+        R.Report = Worker.runOnFunction(*Fns[I]);
+        R.Remarks = Capture.remarks();
+        return R;
+      });
+  for (FnResult &R : Results) {
+    if (RS)
+      for (Remark &Rm : R.Remarks)
+        RS->emit(std::move(Rm));
+    Report.Functions.push_back(std::move(R.Report));
+  }
   return Report;
 }

@@ -94,8 +94,13 @@ public:
   /// Vectorizes profitable seed bundles in \p F (mutates the IR).
   FunctionReport runOnFunction(Function &F);
 
-  /// Runs on every function of \p M.
-  ModuleReport runOnModule(Module &M);
+  /// Runs on every function of \p M. With \p Jobs > 1, independent
+  /// functions are vectorized concurrently on a fixed-size thread pool;
+  /// the result — transformed IR, per-function reports, remarks stream,
+  /// statistics totals — is byte-identical to the serial run. Remarks are
+  /// captured per worker and replayed into Config.Remarks in function-
+  /// declaration order (see DESIGN.md "Concurrency model").
+  ModuleReport runOnModule(Module &M, unsigned Jobs = 1);
 
   /// When set, each attempt's GraphDump carries the rendered SLP graph.
   void setVerbose(bool V) { Verbose = V; }

@@ -13,6 +13,7 @@
 #include "vm/BytecodeCompiler.h"
 
 #include <cstring>
+#include <mutex>
 
 using namespace lslp;
 using namespace lslp::vm;
@@ -21,6 +22,16 @@ VMEngine::VMEngine(const Module &M, const TargetTransformInfo *TTI)
     : ExecutionEngine(M), TTI(TTI) {}
 
 const CompiledFunction &VMEngine::getOrCompile(const Function *F) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(CacheMutex);
+    auto It = Cache.find(F);
+    if (It != Cache.end())
+      return It->second;
+  }
+  // Compile outside any lock would allow duplicate work; compiling under
+  // the exclusive lock keeps it once-per-function. Re-check first: another
+  // thread may have compiled while we waited for the upgrade.
+  std::unique_lock<std::shared_mutex> Lock(CacheMutex);
   auto It = Cache.find(F);
   if (It == Cache.end())
     It = Cache.emplace(F, compileFunction(*F, GlobalAddr, TTI)).first;

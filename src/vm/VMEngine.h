@@ -20,6 +20,7 @@
 #include "vm/ExecutionEngine.h"
 
 #include <map>
+#include <shared_mutex>
 
 namespace lslp {
 
@@ -41,6 +42,15 @@ private:
   const vm::CompiledFunction &getOrCompile(const Function *F);
 
   const TargetTransformInfo *TTI;
+  /// Per-function bytecode, compiled on first run. Guarded by CacheMutex
+  /// (readers shared, compile+insert exclusive) so concurrent run() calls
+  /// — e.g. parallel bench cells sharing one engine — are safe. std::map
+  /// keeps references stable across inserts, so a returned
+  /// CompiledFunction& survives other threads' compilations. Register
+  /// files are per-run locals; shared Memory makes concurrent runs safe
+  /// only for functions that don't overlap their stores (see DESIGN.md
+  /// "Concurrency model").
+  mutable std::shared_mutex CacheMutex;
   std::map<const Function *, vm::CompiledFunction> Cache;
 };
 

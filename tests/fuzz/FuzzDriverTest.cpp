@@ -1,0 +1,79 @@
+//===- tests/fuzz/FuzzDriverTest.cpp - Parallel fuzz sweep parity -------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The sharded fuzz sweep (lslpc --fuzz=N --jobs=J) must be a pure
+// wall-clock optimization: per-seed verdicts, failure details, and the
+// order outcomes are delivered in are identical to the serial sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace lslp;
+
+namespace {
+
+std::vector<SeedOutcome> sweep(unsigned Jobs, int64_t Count,
+                               int64_t FirstSeed) {
+  FuzzSweepOptions Opts;
+  Opts.Count = Count;
+  Opts.FirstSeed = FirstSeed;
+  Opts.Jobs = Jobs;
+  std::vector<SeedOutcome> Out;
+  int64_t Failures = runFuzzSweep(
+      Opts, [&](const SeedOutcome &O) { Out.push_back(O); });
+  int64_t Failed = 0;
+  for (const SeedOutcome &O : Out)
+    Failed += !O.Passed;
+  EXPECT_EQ(Failures, Failed);
+  return Out;
+}
+
+TEST(FuzzDriver, ParallelVerdictsMatchSerialFor100Seeds) {
+  const int64_t Count = 100, FirstSeed = 1;
+  std::vector<SeedOutcome> Serial = sweep(1, Count, FirstSeed);
+  std::vector<SeedOutcome> Parallel = sweep(4, Count, FirstSeed);
+  ASSERT_EQ(Serial.size(), static_cast<size_t>(Count));
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  for (size_t I = 0; I != Serial.size(); ++I) {
+    EXPECT_EQ(Serial[I].Seed, Parallel[I].Seed);
+    // Outcomes arrive in ascending seed order in both modes.
+    EXPECT_EQ(Serial[I].Seed, static_cast<uint64_t>(FirstSeed) + I);
+    EXPECT_EQ(Serial[I].Passed, Parallel[I].Passed) << Serial[I].Seed;
+    EXPECT_EQ(Serial[I].VerifyFailed, Parallel[I].VerifyFailed);
+    EXPECT_EQ(Serial[I].ConfigName, Parallel[I].ConfigName);
+    EXPECT_EQ(Serial[I].Reason, Parallel[I].Reason);
+    EXPECT_EQ(Serial[I].ReducedIR, Parallel[I].ReducedIR);
+  }
+}
+
+TEST(FuzzDriver, ConsumeRunsOnCallingThread) {
+  FuzzSweepOptions Opts;
+  Opts.Count = 8;
+  Opts.Jobs = 4;
+  const std::thread::id Caller = std::this_thread::get_id();
+  size_t Calls = 0;
+  runFuzzSweep(Opts, [&](const SeedOutcome &) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 8u);
+}
+
+TEST(FuzzDriver, OversubscribedJobsClampToSeedCount) {
+  // More workers than seeds must not hang or drop outcomes.
+  std::vector<SeedOutcome> Out = sweep(16, 3, 42);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0].Seed, 42u);
+  EXPECT_EQ(Out[2].Seed, 44u);
+}
+
+} // namespace

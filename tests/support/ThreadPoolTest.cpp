@@ -1,0 +1,153 @@
+//===- tests/support/ThreadPoolTest.cpp - ThreadPool tests --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace lslp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pool basics
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, PoolOfOneRunsTasksInSubmissionOrder) {
+  // A single worker pops the FIFO queue, so a pool of 1 *is* the serial
+  // run — the determinism contract every parallel driver leans on.
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  for (int I = 0; I != 64; ++I)
+    Pool.async([&Order, I] { Order.push_back(I); });
+  Pool.wait();
+  ASSERT_EQ(Order.size(), 64u);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(Order[static_cast<size_t>(I)], I);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.getNumThreads(), 1u);
+  auto F = Pool.async([] { return 7; });
+  EXPECT_EQ(F.get(), 7);
+}
+
+TEST(ThreadPool, FutureCarriesResult) {
+  ThreadPool Pool(2);
+  auto A = Pool.async([] { return 21 * 2; });
+  auto B = Pool.async([] { return std::string("ok"); });
+  EXPECT_EQ(A.get(), 42);
+  EXPECT_EQ(B.get(), "ok");
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool Pool(2);
+  auto F = Pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(F.get(), std::runtime_error);
+  // The worker that ran the throwing task must survive and keep serving.
+  auto G = Pool.async([] { return 5; });
+  EXPECT_EQ(G.get(), 5);
+}
+
+TEST(ThreadPool, OversubscriptionCompletesEveryTask) {
+  // Far more tasks than workers: all of them must run exactly once.
+  ThreadPool Pool(4);
+  std::atomic<uint64_t> Sum{0};
+  constexpr uint64_t N = 500;
+  for (uint64_t I = 1; I <= N; ++I)
+    Pool.async([&Sum, I] { Sum.fetch_add(I, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), N * (N + 1) / 2);
+}
+
+TEST(ThreadPool, WaitThenReuse) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 10; ++I)
+    Pool.async([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 10);
+  for (int I = 0; I != 10; ++I)
+    Pool.async([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 100; ++I)
+      Pool.async([&Count] { ++Count; });
+    // No wait(): the destructor must still run everything queued.
+  }
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::resolveJobs(3), 3u);
+  EXPECT_EQ(ThreadPool::resolveJobs(1), 1u);
+  EXPECT_GE(ThreadPool::resolveJobs(0), 1u); // hardware concurrency
+}
+
+//===----------------------------------------------------------------------===//
+// Ordered collect
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ParallelMapOrderedReturnsIndexOrder) {
+  ThreadPool Pool(4);
+  // Early indices sleep longest, so completion order is roughly the
+  // reverse of index order — the collect must still return index order.
+  std::vector<size_t> Out = parallelMapOrdered(Pool, 32, [](size_t I) {
+    std::this_thread::sleep_for(std::chrono::microseconds((32 - I) * 50));
+    return I * I;
+  });
+  ASSERT_EQ(Out.size(), 32u);
+  for (size_t I = 0; I != 32; ++I)
+    EXPECT_EQ(Out[I], I * I);
+}
+
+TEST(ThreadPool, ParallelForOrderedConsumesAscendingOnCallingThread) {
+  ThreadPool Pool(4);
+  const std::thread::id Caller = std::this_thread::get_id();
+  std::vector<size_t> Consumed;
+  parallelForOrdered(
+      Pool, 48,
+      [](size_t I) {
+        std::this_thread::sleep_for(std::chrono::microseconds((I % 7) * 40));
+        return I + 1000;
+      },
+      [&](size_t I, size_t V) {
+        EXPECT_EQ(std::this_thread::get_id(), Caller);
+        EXPECT_EQ(V, I + 1000);
+        Consumed.push_back(I);
+      });
+  ASSERT_EQ(Consumed.size(), 48u);
+  for (size_t I = 0; I != 48; ++I)
+    EXPECT_EQ(Consumed[I], I);
+}
+
+TEST(ThreadPool, ParallelMapOrderedMatchesSerialForEveryPoolSize) {
+  auto Work = [](size_t I) { return I * 3 + 1; };
+  std::vector<size_t> Want;
+  for (size_t I = 0; I != 40; ++I)
+    Want.push_back(Work(I));
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    EXPECT_EQ(parallelMapOrdered(Pool, 40, Work), Want)
+        << "pool size " << Threads;
+  }
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- tests/vm/VMConcurrencyTest.cpp - Concurrent bytecode cache -------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The vm compiles each function to bytecode on first run and caches it.
+// That cache is hit from the parallel bench/fuzz drivers, so concurrent
+// first-run compiles of different (and the same) functions through one
+// shared engine must be safe and produce the same results as serial runs.
+// Memory is shared per engine, so the threads below only run functions
+// that read arguments — no stores.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+#include "vm/ExecutionEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lslp;
+
+namespace {
+
+/// Eight pure functions (arguments in, value out; no loads or stores), so
+/// any interleaving of concurrent runs is well-defined.
+std::string makePureModule() {
+  std::string Src = "module \"pure\"\n";
+  for (int F = 0; F != 8; ++F) {
+    std::string N = std::to_string(F);
+    Src += "define i64 @f" + N + "(i64 %a, i64 %b) {\n"
+           "entry:\n"
+           "  %s = add i64 %a, %b\n"
+           "  %m = mul i64 %s, " + std::to_string(F + 2) + "\n"
+           "  %r = xor i64 %m, " + std::to_string(F * 7 + 1) + "\n"
+           "  ret i64 %r\n"
+           "}\n";
+  }
+  return Src;
+}
+
+uint64_t runOne(ExecutionEngine &Engine, Module &M, Context &Ctx, int F,
+                uint64_t A, uint64_t B) {
+  return Engine
+      .run(M.getFunction("f" + std::to_string(F)),
+           {RuntimeValue::makeInt(Ctx.getInt64Ty(), A),
+            RuntimeValue::makeInt(Ctx.getInt64Ty(), B)})
+      .ReturnValue.asUInt();
+}
+
+TEST(VMConcurrency, ConcurrentFirstRunsMatchSerial) {
+  std::string Src = makePureModule();
+
+  // Serial reference: a fresh engine, every function once.
+  uint64_t Want[8];
+  {
+    Context Ctx;
+    auto M = parseModuleOrDie(Src, Ctx);
+    auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+    for (int F = 0; F != 8; ++F)
+      Want[F] = runOne(*Engine, *M, Ctx, F, 11, 31);
+  }
+
+  // 8 threads hammer one shared engine with a cold cache: every thread
+  // triggers first-run compiles of all 8 functions in a different order.
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 8; ++T)
+    Threads.emplace_back([&, T] {
+      for (int Round = 0; Round != 20; ++Round)
+        for (int F = 0; F != 8; ++F) {
+          int Fn = (F + T) % 8; // Each thread starts at a different function.
+          if (runOne(*Engine, *M, Ctx, Fn, 11, 31) != Want[Fn])
+            Mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+}
+
+TEST(VMConcurrency, CachedRunsStayCorrectAfterWarmup) {
+  std::string Src = makePureModule();
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::Bytecode, *M);
+  uint64_t Want = runOne(*Engine, *M, Ctx, 3, 5, 9); // Warm the cache.
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != 200; ++I)
+        if (runOne(*Engine, *M, Ctx, 3, 5, 9) != Want)
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+}
+
+} // namespace

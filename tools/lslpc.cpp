@@ -29,6 +29,7 @@
 #include "diag/Statistics.h"
 #include "diag/Timer.h"
 #include "fuzz/DifferentialOracle.h"
+#include "fuzz/FuzzDriver.h"
 #include "fuzz/ModuleGenerator.h"
 #include "fuzz/Reducer.h"
 #include "interp/Interpreter.h"
@@ -40,6 +41,7 @@
 #include "parser/Parser.h"
 #include "support/OStream.h"
 #include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 #include "transforms/EarlyCSE.h"
 #include "vectorizer/SLPVectorizerPass.h"
 #include "vm/ExecutionEngine.h"
@@ -85,6 +87,12 @@ struct Options {
   int64_t FuzzCount = -1; ///< --fuzz=N: number of random modules.
   int64_t FuzzSeed = 0;   ///< --seed=S: first generator seed.
   std::string ReducePath; ///< --reduce=<file>: minimize a failing module.
+  std::string ReproDir;   ///< --repro-dir=DIR: write reduced failures here.
+
+  /// --jobs=N: worker threads for the vectorizer (independent functions)
+  /// and the fuzz sweep (independent seeds). Output is byte-identical for
+  /// every value; 0 means one per hardware thread.
+  unsigned Jobs = 1;
 };
 
 void printUsage() {
@@ -111,6 +119,11 @@ void printUsage() {
             "  --engine=interp|vm        execution engine: tree-walking "
             "interpreter\n"
             "                            (default) or bytecode register vm\n"
+            "  --jobs=N                  worker threads for vectorization "
+            "and fuzzing\n"
+            "                            (deterministic: output is identical "
+            "for any N;\n"
+            "                            0 = one per hardware thread)\n"
             "diagnostics:\n"
             "  --remarks[=text|json]     stream per-decision optimization "
             "remarks\n"
@@ -125,7 +138,10 @@ void printUsage() {
             "  --engine-parity           cross-validate every seed on both\n"
             "                            engines (default: every 4th seed)\n"
             "  --reduce=FILE             minimize a failing module and print\n"
-            "                            the reproducer\n";
+            "                            the reproducer\n"
+            "  --repro-dir=DIR           also write each failing seed's "
+            "reduced\n"
+            "                            reproducer to DIR/seed-<N>.ll\n";
 }
 
 /// Strips one or two leading dashes so -fuzz= and --fuzz= both work.
@@ -162,6 +178,11 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.FuzzSeed = Num;
     else if (startsWith(Plain, "reduce="))
       Opts.ReducePath = Plain.substr(7);
+    else if (startsWith(Plain, "repro-dir="))
+      Opts.ReproDir = Plain.substr(10);
+    else if (startsWith(Plain, "jobs=") && parseInt(Plain.substr(5), Num) &&
+             Num >= 0)
+      Opts.Jobs = static_cast<unsigned>(Num);
     else if (Plain == "config=SLP-NR")
       Opts.Config = VectorizerConfig::slpNoReordering();
     else if (Plain == "config=SLP")
@@ -309,55 +330,66 @@ int runFunction(Module &M, const Options &Opts,
   return 0;
 }
 
-/// Runs \p Count random modules through the differential oracle, starting at
-/// generator seed \p FirstSeed. Failures are minimized with the reducer and
-/// printed as check-in-ready reproducers. Returns the number of failures.
+/// Writes \p Text to \p Path; reports (but does not fail on) IO errors.
+void writeFileOrWarn(const std::string &Path, const std::string &Text) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    errs() << "lslpc: cannot write reproducer '" << Path << "'\n";
+    return;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+}
+
+/// Runs \p Count random modules through the differential oracle on \p Jobs
+/// worker threads, starting at generator seed \p FirstSeed. Failures are
+/// minimized with the reducer and printed as check-in-ready reproducers
+/// (also written to \p ReproDir when set). Output is identical for every
+/// \p Jobs value: the sweep driver delivers outcomes in seed order.
+/// Returns the number of failures.
 ///
 /// Cross-engine validation: every 4th seed additionally executes baseline
 /// and vectorized modules on BOTH engines and requires bit-identical
 /// memory, returns and ExecStats; \p ParityAll extends that to every seed.
-int runFuzz(int64_t Count, int64_t FirstSeed, EngineKind Engine,
-            bool ParityAll) {
-  OracleOptions BaseOpts;
-  BaseOpts.Engine = Engine;
-  DifferentialOracle Oracle(BaseOpts);
-  OracleOptions ParityOpts = BaseOpts;
-  ParityOpts.CheckEngineParity = true;
-  DifferentialOracle ParityOracle(ParityOpts);
-  int64_t Failures = 0;
-  for (int64_t I = 0; I < Count; ++I) {
-    uint64_t Seed = static_cast<uint64_t>(FirstSeed + I);
-    bool Parity = ParityAll || Seed % 4 == 0;
-    const DifferentialOracle &O = Parity ? ParityOracle : Oracle;
-    Context Ctx;
-    ModuleGenerator Gen(Seed);
-    std::unique_ptr<Module> M = Gen.generate(Ctx);
-    std::vector<std::string> Errors;
-    if (!verifyModule(*M, &Errors)) {
-      errs() << "lslpc: seed " << Seed << ": generated module fails "
+int runFuzz(int64_t Count, int64_t FirstSeed, unsigned Jobs,
+            EngineKind Engine, bool ParityAll,
+            const std::string &ReproDir) {
+  FuzzSweepOptions SweepOpts;
+  SweepOpts.Count = Count;
+  SweepOpts.FirstSeed = FirstSeed;
+  SweepOpts.Jobs = Jobs;
+  SweepOpts.Engine = Engine;
+  SweepOpts.ParityAll = ParityAll;
+
+  int64_t NumDone = 0;
+  int64_t Failures = runFuzzSweep(SweepOpts, [&](const SeedOutcome &Out) {
+    ++NumDone;
+    if (Out.Passed) {
+      if (NumDone % 100 == 0)
+        outs() << "; fuzz: " << NumDone << "/" << Count << " seeds ok\n";
+      return;
+    }
+    if (Out.VerifyFailed) {
+      errs() << "lslpc: seed " << Out.Seed << ": generated module fails "
              << "verification:\n";
-      for (const std::string &E : Errors)
-        errs() << "  " << E << "\n";
-      ++Failures;
-      continue;
+      // VerifyErrors carries one diagnostic per line.
+      size_t Pos = 0;
+      while (Pos < Out.VerifyErrors.size()) {
+        size_t End = Out.VerifyErrors.find('\n', Pos);
+        errs() << "  " << Out.VerifyErrors.substr(Pos, End - Pos) << "\n";
+        Pos = End == std::string::npos ? Out.VerifyErrors.size() : End + 1;
+      }
+      return;
     }
-    std::string IR = moduleToString(*M);
-    OracleVerdict Verdict = O.check(IR);
-    if (Verdict) {
-      if ((I + 1) % 100 == 0)
-        outs() << "; fuzz: " << (I + 1) << "/" << Count << " seeds ok\n";
-      continue;
-    }
-    ++Failures;
-    errs() << "lslpc: seed " << Seed << " FAILED [" << Verdict.ConfigName
-           << "]: " << Verdict.Reason << "\n";
-    Reducer Shrinker(
-        [&](const std::string &Text) { return !O.check(Text).Passed; });
-    Reducer::Result Reduced = Shrinker.reduce(IR);
-    errs() << "; minimized reproducer (seed " << Seed << ", "
-           << Reduced.StepsAdopted << " reduction step(s)):\n"
-           << Reduced.IRText;
-  }
+    errs() << "lslpc: seed " << Out.Seed << " FAILED [" << Out.ConfigName
+           << "]: " << Out.Reason << "\n";
+    errs() << "; minimized reproducer (seed " << Out.Seed << ", "
+           << Out.ReductionSteps << " reduction step(s)):\n"
+           << Out.ReducedIR;
+    if (!ReproDir.empty())
+      writeFileOrWarn(ReproDir + "/seed-" + std::to_string(Out.Seed) + ".ll",
+                      Out.ReducedIR);
+  });
   if (Failures == 0)
     outs() << "; fuzz: " << Count << " seed(s) starting at " << FirstSeed
            << ", 0 failures\n";
@@ -439,7 +471,7 @@ int compileModule(const Options &Opts, const VectorizerConfig &Config,
     ModuleReport Report;
     {
       TimeRegion R(TimerFor("vectorize"));
-      Report = Pass.runOnModule(*M);
+      Report = Pass.runOnModule(*M, ThreadPool::resolveJobs(Opts.Jobs));
     }
     {
       TimeRegion R(TimerFor("verify"));
@@ -499,9 +531,14 @@ int main(int argc, char **argv) {
       return 1;
     }
     if (Opts.FuzzCount >= 0)
-      return runFuzz(Opts.FuzzCount, Opts.FuzzSeed, Opts.Engine,
-                     Opts.EngineParity);
+      return runFuzz(Opts.FuzzCount, Opts.FuzzSeed,
+                     ThreadPool::resolveJobs(Opts.Jobs), Opts.Engine,
+                     Opts.EngineParity, Opts.ReproDir);
     return runReduce(Opts.ReducePath, Opts.Engine, Opts.EngineParity);
+  }
+  if (!Opts.ReproDir.empty()) {
+    errs() << "lslpc: --repro-dir requires --fuzz\n";
+    return 1;
   }
   if (Opts.InputPath.empty()) {
     printUsage();
