@@ -40,6 +40,8 @@ const char *lslp::remarkKindName(RemarkKind Kind) {
     return "reduction-found";
   case RemarkKind::CSEHit:
     return "cse-hit";
+  case RemarkKind::BudgetExhausted:
+    return "budget-exhausted";
   }
   return "unknown";
 }
@@ -52,7 +54,7 @@ bool lslp::remarkKindFromName(std::string_view Name, RemarkKind &Out) {
       RemarkKind::ReorderChoice,   RemarkKind::CostNode,
       RemarkKind::CostAccepted,    RemarkKind::CostRejected,
       RemarkKind::SchedulerBailout, RemarkKind::ReductionFound,
-      RemarkKind::CSEHit};
+      RemarkKind::CSEHit,           RemarkKind::BudgetExhausted};
   for (RemarkKind K : AllKinds) {
     if (Name == remarkKindName(K)) {
       Out = K;

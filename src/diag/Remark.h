@@ -47,6 +47,7 @@ enum class RemarkKind : uint8_t {
   SchedulerBailout,  ///< Bundle unschedulable (dependence/cycle).
   ReductionFound,    ///< A horizontal reduction tree matched (§2.2).
   CSEHit,            ///< EarlyCSE replaced a redundant instruction.
+  BudgetExhausted,   ///< A resource budget ran out; function kept scalar.
 };
 
 /// Stable external name of \p Kind (e.g. "seed-found").

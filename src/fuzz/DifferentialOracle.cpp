@@ -14,11 +14,13 @@
 #include "ir/Type.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
+#include "support/FaultInjection.h"
 #include "support/OStream.h"
 #include "vectorizer/SLPVectorizerPass.h"
 #include "vm/ExecutionEngine.h"
 #include "vm/MemoryInit.h"
 
+#include <optional>
 #include <sstream>
 
 using namespace lslp;
@@ -62,7 +64,10 @@ Execution executeOn(const Module &M, uint64_t InputSeed, EngineKind Kind,
     if (F->getNumArgs() != 0 || F->empty())
       continue;
     auto R = Engine->run(F.get());
-    E.Returns.push_back(renderReturn(R.ReturnValue));
+    // Traps are part of the observable behavior: a vectorized module must
+    // trap exactly where (and why) the scalar baseline does.
+    E.Returns.push_back(R.Trapped ? "trap:" + R.TrapReason
+                                  : renderReturn(R.ReturnValue));
     if (StatsOut)
       StatsOut->push_back(std::move(R));
   }
@@ -204,8 +209,25 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
       Engine.setJSONStream(&RemarkOS);
       VectorizerConfig Cfg = Config;
       Cfg.Remarks = &Engine;
+      // A fresh injector per run: streams are pure functions of the seed,
+      // so the determinism re-run below draws the identical faults.
+      std::optional<FaultInjector> Faults;
+      if (Opts.FaultProbability > 0.0) {
+        Faults.emplace(Opts.FaultSeed, Opts.FaultProbability);
+        Cfg.Faults = &*Faults;
+      }
       SLPVectorizerPass Pass(Cfg, TTI);
       ModuleReport Report = Pass.runOnModule(*M);
+      // Every injected fault must surface as a clean diagnostic: at least
+      // one budget-exhausted remark in the decision trace. The scalar
+      // fallback itself is checked by the bit-exact execution diff below.
+      if (Faults && Faults->totalInjected() > 0 &&
+          OutRemarks.find("\"budget-exhausted\"") == std::string::npos) {
+        FailReason = "injected " + std::to_string(Faults->totalInjected()) +
+                     " fault(s) but no budget-exhausted remark was emitted";
+        OutIR = moduleToString(*M);
+        return nullptr;
+      }
       size_t LineStart = 0;
       while (LineStart < OutRemarks.size()) {
         size_t LineEnd = OutRemarks.find('\n', LineStart);

@@ -59,6 +59,20 @@ struct OracleOptions {
   /// the fast vm backend continuously honest against the tree-walker.
   bool CheckEngineParity = false;
 
+  /// Fault-injection probability (see support/FaultInjection.h). With a
+  /// probability > 0 every pass run constructs a fresh FaultInjector from
+  /// (FaultSeed, FaultProbability) — streams are pure functions of the
+  /// seed, so the determinism re-run draws the identical faults — and the
+  /// oracle additionally requires that any run which injected faults also
+  /// emitted at least one budget-exhausted remark. Every other invariant
+  /// (verification, bit-exact scalar-fallback output, determinism) applies
+  /// unchanged: an injected fault must never surface as anything but a
+  /// clean diagnostic plus the untouched scalar behavior.
+  double FaultProbability = 0.0;
+
+  /// Seed for the deterministic fault streams.
+  uint64_t FaultSeed = 0;
+
   /// Test-only hook, run on the module after the vectorizer pass and
   /// before execution. Lets tests inject a deliberate miscompile to prove
   /// the oracle and reducer actually detect and shrink failures.

@@ -12,6 +12,7 @@
 #include "ir/Module.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "support/CrashHandler.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -48,15 +49,42 @@ SeedOutcome runOneSeed(uint64_t Seed, const DifferentialOracle &Oracle,
   }
 
   std::string IR = moduleToString(*M);
-  OracleVerdict Verdict = O.check(IR);
+
+  // Contain crashes to this seed: if the oracle (parser, pass, engines)
+  // crashes, the handler dumps a reproducer, the recovery point unwinds,
+  // and the sweep moves on — one bad seed no longer kills the whole
+  // sharded run. Without installed handlers this runs unprotected exactly
+  // as before.
+  CrashScope Scope("fuzz-seed", std::to_string(Seed));
+  CrashPayload Payload(&IR, nullptr);
+  OracleVerdict Verdict;
+  CrashInfo Crash;
+  if (!runWithCrashRecovery([&] { Verdict = O.check(IR); }, Crash)) {
+    Out.Crashed = true;
+    Out.CrashSignal = Crash.SignalName;
+    Out.ReproPath = Crash.ReproPath;
+    Out.Reason = "crash (" + Crash.SignalName + ") during oracle check";
+    return Out;
+  }
   if (Verdict) {
     Out.Passed = true;
     return Out;
   }
   Out.ConfigName = Verdict.ConfigName;
   Out.Reason = Verdict.Reason;
-  Reducer Shrinker(
-      [&](const std::string &Text) { return !O.check(Text).Passed; });
+  // The reduction predicate re-runs the oracle on shrunk candidates; a
+  // candidate that crashes still reproduces a bug, so count it as failing
+  // (recovered, when handlers are installed) rather than aborting the
+  // sweep mid-minimization.
+  Reducer Shrinker([&](const std::string &Text) {
+    bool Fails = false;
+    CrashInfo CandidateCrash;
+    CrashPayload CandidatePayload(&Text, nullptr);
+    if (!runWithCrashRecovery([&] { Fails = !O.check(Text).Passed; },
+                              CandidateCrash))
+      return true;
+    return Fails;
+  });
   Reducer::Result Reduced = Shrinker.reduce(IR);
   Out.ReducedIR = Reduced.IRText;
   Out.ReductionSteps = Reduced.StepsAdopted;
@@ -70,6 +98,8 @@ int64_t lslp::runFuzzSweep(
     const std::function<void(const SeedOutcome &)> &Consume) {
   OracleOptions BaseOpts;
   BaseOpts.Engine = Opts.Engine;
+  BaseOpts.FaultProbability = Opts.FaultProbability;
+  BaseOpts.FaultSeed = Opts.FaultSeed;
   DifferentialOracle Oracle(BaseOpts);
   OracleOptions ParityOpts = BaseOpts;
   ParityOpts.CheckEngineParity = true;

@@ -38,6 +38,11 @@ struct FuzzSweepOptions {
   EngineKind Engine = EngineKind::TreeWalk;
   /// Cross-validate every seed on both engines (default: every 4th).
   bool ParityAll = false;
+  /// Fault-injection probability forwarded to every oracle config (see
+  /// OracleOptions::FaultProbability). 0 disables injection.
+  double FaultProbability = 0.0;
+  /// Seed for the deterministic fault streams.
+  uint64_t FaultSeed = 0;
 };
 
 /// The oracle's verdict on one seed, plus the minimized reproducer when
@@ -57,6 +62,18 @@ struct SeedOutcome {
   std::string ReducedIR;
   /// Reduction steps the minimizer adopted.
   unsigned ReductionSteps = 0;
+  /// True when checking this seed crashed (SIGSEGV/SIGABRT/...) and the
+  /// crash handler recovered the worker. Counted as a failure; the sweep
+  /// continues with the next seed. Requires installCrashHandlers() —
+  /// without it a crash still kills the process as before. No in-process
+  /// reduction is attempted (the heap may be inconsistent after recovery);
+  /// the dumped reproducer is minimized offline instead.
+  bool Crashed = false;
+  /// Signal name ("SIGSEGV", ...) of the recovered crash.
+  std::string CrashSignal;
+  /// Path of the `.ll` reproducer the crash handler wrote ("" when no
+  /// crash dir is configured).
+  std::string ReproPath;
 };
 
 /// Runs \p Opts.Count seeds through the differential oracle on

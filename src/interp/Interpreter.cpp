@@ -45,18 +45,18 @@ public:
         StepLimit(StepLimit), CollectStats(CollectStats) {}
 
   ExecStats run(const Function *F, const std::vector<RuntimeValue> &Args) {
+    ExecStats Result;
     if (Args.size() != F->getNumArgs())
-      reportFatalError("interpreter: argument count mismatch calling @" +
-                       F->getName());
+      return trapResult(std::move(Result), "argument count mismatch calling @" +
+                                               F->getName());
     Frame Fr;
     for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I) {
       if (Args[I].Ty != F->getArg(I)->getType())
-        reportFatalError("interpreter: argument type mismatch calling @" +
-                         F->getName());
+        return trapResult(std::move(Result),
+                          "argument type mismatch calling @" + F->getName());
       Fr.Values[F->getArg(I)] = Args[I];
     }
 
-    ExecStats Result;
     const BasicBlock *BB = F->getEntryBlock();
     const BasicBlock *PrevBB = nullptr;
     while (true) {
@@ -68,11 +68,17 @@ public:
         if (!Phi)
           break;
         const Value *In = Phi->getIncomingValueForBlock(PrevBB);
-        if (!In)
-          reportFatalError("interpreter: phi has no entry for predecessor");
+        if (!In) {
+          Trap.trap("phi has no entry for predecessor");
+          break;
+        }
         PhiValues.push_back({Phi, getValue(Fr, In)});
         charge(Phi, Result);
+        if (Trap.trapped())
+          break;
       }
+      if (Trap.trapped())
+        return trapResult(std::move(Result), Trap.reason());
       for (auto &[Phi, V] : PhiValues)
         Fr.Values[Phi] = std::move(V);
 
@@ -81,6 +87,8 @@ public:
       for (; It != BB->end(); ++It) {
         const Instruction *I = It->get();
         charge(I, Result);
+        if (Trap.trapped())
+          return trapResult(std::move(Result), Trap.reason());
         if (const auto *Br = dyn_cast<BranchInst>(I)) {
           unsigned Taken =
               Br->isConditional()
@@ -92,24 +100,41 @@ public:
         if (const auto *Ret = dyn_cast<ReturnInst>(I)) {
           if (const Value *RV = Ret->getReturnValue())
             Result.ReturnValue = getValue(Fr, RV);
+          if (Trap.trapped())
+            return trapResult(std::move(Result), Trap.reason());
           return Result;
         }
         RuntimeValue V = evaluate(Fr, I);
+        if (Trap.trapped())
+          return trapResult(std::move(Result), Trap.reason());
         if (!I->getType()->isVoidTy())
           Fr.Values[I] = std::move(V);
       }
-      if (!NextBB)
-        reportFatalError("interpreter: block fell through without terminator");
+      if (Trap.trapped())
+        return trapResult(std::move(Result), Trap.reason());
+      if (!NextBB) {
+        return trapResult(std::move(Result),
+                          "block fell through without terminator");
+      }
       PrevBB = BB;
       BB = NextBB;
     }
   }
 
 private:
+  static ExecStats trapResult(ExecStats S, std::string Reason) {
+    S.Trapped = true;
+    S.TrapReason = std::move(Reason);
+    S.ReturnValue = RuntimeValue();
+    return S;
+  }
+
   void charge(const Instruction *I, ExecStats &Result) {
     ++Result.DynamicInsts;
-    if (Result.DynamicInsts > StepLimit)
-      reportFatalError("interpreter: step limit exceeded (infinite loop?)");
+    if (Result.DynamicInsts > StepLimit) {
+      Trap.trap("step limit exceeded (infinite loop?)");
+      return;
+    }
     if (TTI)
       Result.TotalCost += static_cast<uint64_t>(
           std::max(0, TTI->getInstructionCost(I)));
@@ -147,32 +172,54 @@ private:
     if (const auto *G = dyn_cast<GlobalArray>(V))
       return RuntimeValue::makePointer(G->getType(), GlobalAddr.at(G));
     auto It = Fr.Values.find(V);
-    if (It == Fr.Values.end())
-      reportFatalError("interpreter: use of value before definition");
+    if (It == Fr.Values.end()) {
+      Trap.trap("use of value before definition");
+      return poisonValue(V);
+    }
     return It->second;
+  }
+
+  /// A zero-filled value of \p V's shape, returned after a trap so the
+  /// current instruction can finish shape-correctly before the caller
+  /// notices Trap and discards the result.
+  static RuntimeValue poisonValue(const Value *V) {
+    unsigned Lanes = 1;
+    if (const auto *VT = dyn_cast<VectorType>(V->getType()))
+      Lanes = VT->getNumElements();
+    return RuntimeValue(V->getType(), std::vector<uint64_t>(Lanes, 0));
   }
 
   //===--------------------------------------------------------------------===//
   // Memory
   //===--------------------------------------------------------------------===//
 
-  void checkAccess(uint64_t Addr, unsigned Size) {
-    if (Addr < 4096 || Addr + Size > Memory.size())
-      reportFatalError("interpreter: out-of-bounds memory access");
+  /// Records an OOB trap and returns false on bad accesses. Callers stop
+  /// at the first failing lane so the set of retired lane writes is
+  /// identical across engines.
+  bool checkAccess(uint64_t Addr, unsigned Size) {
+    if (Addr < 4096 || Addr + Size > Memory.size()) {
+      Trap.trap("out-of-bounds memory access");
+      return false;
+    }
+    return true;
   }
 
   uint64_t loadLane(uint64_t Addr, const Type *ScalarTy) {
     unsigned Size = ScalarTy->getSizeInBytes();
-    checkAccess(Addr, Size);
+    if (!checkAccess(Addr, Size))
+      return 0;
     uint64_t Raw = 0;
     std::memcpy(&Raw, &Memory[Addr], Size);
     return Raw;
   }
 
-  void storeLane(uint64_t Addr, const Type *ScalarTy, uint64_t Raw) {
+  /// Returns false (write skipped) when the access traps.
+  bool storeLane(uint64_t Addr, const Type *ScalarTy, uint64_t Raw) {
     unsigned Size = ScalarTy->getSizeInBytes();
-    checkAccess(Addr, Size);
+    if (!checkAccess(Addr, Size))
+      return false;
     std::memcpy(&Memory[Addr], &Raw, Size);
+    return true;
   }
 
   //===--------------------------------------------------------------------===//
@@ -188,9 +235,12 @@ private:
       if (const auto *VT = dyn_cast<VectorType>(Ty)) {
         Type *ElemTy = VT->getElementType();
         std::vector<uint64_t> Lanes(VT->getNumElements());
-        for (unsigned K = 0; K != VT->getNumElements(); ++K)
+        for (unsigned K = 0; K != VT->getNumElements(); ++K) {
           Lanes[K] = loadLane(Addr + uint64_t(K) * ElemTy->getSizeInBytes(),
                               ElemTy);
+          if (Trap.trapped())
+            break;
+        }
         return RuntimeValue(Ty, std::move(Lanes));
       }
       return RuntimeValue(Ty, {loadLane(Addr, Ty)});
@@ -199,12 +249,17 @@ private:
       const auto *S = cast<StoreInst>(I);
       RuntimeValue V = getValue(Fr, S->getValueOperand());
       uint64_t Addr = getValue(Fr, S->getPointerOperand()).asUInt();
+      // Operands already trapped (use-before-def poison): do not touch
+      // memory with a garbage address.
+      if (Trap.trapped())
+        return RuntimeValue();
       Type *Ty = S->getAccessType();
       if (const auto *VT = dyn_cast<VectorType>(Ty)) {
         Type *ElemTy = VT->getElementType();
         for (unsigned K = 0; K != VT->getNumElements(); ++K)
-          storeLane(Addr + uint64_t(K) * ElemTy->getSizeInBytes(), ElemTy,
-                    V.Lanes[K]);
+          if (!storeLane(Addr + uint64_t(K) * ElemTy->getSizeInBytes(), ElemTy,
+                         V.Lanes[K]))
+            break;
       } else {
         storeLane(Addr, Ty, V.Lanes[0]);
       }
@@ -256,8 +311,10 @@ private:
       RuntimeValue Vec = getValue(Fr, IE->getVectorOperand());
       RuntimeValue Elt = getValue(Fr, IE->getElementOperand());
       uint64_t Lane = getValue(Fr, IE->getIndexOperand()).asUInt();
-      if (Lane >= Vec.Lanes.size())
-        reportFatalError("interpreter: insertelement lane out of range");
+      if (Lane >= Vec.Lanes.size()) {
+        Trap.trap("insertelement lane out of range");
+        return Vec;
+      }
       Vec.Lanes[Lane] = Elt.Lanes[0];
       return Vec;
     }
@@ -265,8 +322,10 @@ private:
       const auto *EE = cast<ExtractElementInst>(I);
       RuntimeValue Vec = getValue(Fr, EE->getVectorOperand());
       uint64_t Lane = getValue(Fr, EE->getIndexOperand()).asUInt();
-      if (Lane >= Vec.Lanes.size())
-        reportFatalError("interpreter: extractelement lane out of range");
+      if (Lane >= Vec.Lanes.size()) {
+        Trap.trap("extractelement lane out of range");
+        return RuntimeValue(I->getType(), {0});
+      }
       return RuntimeValue(I->getType(), {Vec.Lanes[Lane]});
     }
     case ValueID::ShuffleVector: {
@@ -308,7 +367,7 @@ private:
       unsigned Bits = cast<IntegerType>(ScalarTy)->getBitWidth();
       for (unsigned K = 0; K != Lanes; ++K)
         Out[K] = laneops::evalIntBinLane(I->getOpcode(), Bits, L.Lanes[K],
-                                         R.Lanes[K], "interpreter");
+                                         R.Lanes[K], Trap);
     }
     return RuntimeValue(Ty, std::move(Out));
   }
@@ -319,6 +378,7 @@ private:
   const TargetTransformInfo *TTI;
   uint64_t StepLimit;
   bool CollectStats;
+  laneops::TrapSink Trap;
 };
 
 } // namespace

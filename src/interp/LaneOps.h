@@ -83,14 +83,34 @@ inline double decodeFP(bool IsFloat32, uint64_t Lane) {
   return std::bit_cast<double>(Lane);
 }
 
-[[noreturn]] inline void trap(const char *Engine, const char *What) {
-  reportFatalError(std::string(Engine) + ": " + What);
-}
+/// Records the first trap of one execution. Traps no longer abort the
+/// process: both engines latch the reason here, stop at the next
+/// instruction boundary, and surface it as ExecStats::Trapped — a
+/// crashing input degrades to a diagnosable result instead of killing a
+/// whole fuzz sweep. Reasons carry no engine prefix ("udiv by zero", not
+/// "vm: udiv by zero") so the oracle can compare them across engines.
+class TrapSink {
+public:
+  void trap(std::string Why) {
+    if (!Trapped) {
+      Trapped = true;
+      Reason = std::move(Why);
+    }
+  }
+  bool trapped() const { return Trapped; }
+  const std::string &reason() const { return Reason; }
 
-/// One lane of an integer binary operator of width \p Bits. \p Engine
-/// prefixes trap diagnostics ("interpreter" / "vm").
+private:
+  bool Trapped = false;
+  std::string Reason;
+};
+
+/// One lane of an integer binary operator of width \p Bits. A trapping
+/// lane (division by zero, signed-division overflow) records into
+/// \p Trap and yields 0; the caller stops at the instruction boundary,
+/// so the placeholder lane is never observable.
 inline uint64_t evalIntBinLane(ValueID Opc, unsigned Bits, uint64_t A,
-                               uint64_t B, const char *Engine) {
+                               uint64_t B, TrapSink &Trap) {
   auto Trunc = [&](uint64_t V) { return truncToBits(Bits, V); };
   switch (Opc) {
   case ValueID::Add:
@@ -100,29 +120,41 @@ inline uint64_t evalIntBinLane(ValueID Opc, unsigned Bits, uint64_t A,
   case ValueID::Mul:
     return Trunc(A * B);
   case ValueID::UDiv:
-    if (B == 0)
-      trap(Engine, "udiv by zero");
+    if (B == 0) {
+      Trap.trap("udiv by zero");
+      return 0;
+    }
     return Trunc(A / B);
   case ValueID::SDiv: {
     int64_t SA = sextBits(Bits, A);
     int64_t SB = sextBits(Bits, B);
-    if (SB == 0)
-      trap(Engine, "sdiv by zero");
-    if (SA == INT64_MIN && SB == -1)
-      trap(Engine, "sdiv overflow");
+    if (SB == 0) {
+      Trap.trap("sdiv by zero");
+      return 0;
+    }
+    if (SA == INT64_MIN && SB == -1) {
+      Trap.trap("sdiv overflow");
+      return 0;
+    }
     return Trunc(static_cast<uint64_t>(SA / SB));
   }
   case ValueID::URem:
-    if (B == 0)
-      trap(Engine, "urem by zero");
+    if (B == 0) {
+      Trap.trap("urem by zero");
+      return 0;
+    }
     return Trunc(A % B);
   case ValueID::SRem: {
     int64_t SA = sextBits(Bits, A);
     int64_t SB = sextBits(Bits, B);
-    if (SB == 0)
-      trap(Engine, "srem by zero");
-    if (SA == INT64_MIN && SB == -1)
-      trap(Engine, "srem overflow");
+    if (SB == 0) {
+      Trap.trap("srem by zero");
+      return 0;
+    }
+    if (SA == INT64_MIN && SB == -1) {
+      Trap.trap("srem overflow");
+      return 0;
+    }
     return Trunc(static_cast<uint64_t>(SA % SB));
   }
   case ValueID::And:

@@ -1,0 +1,127 @@
+//===- ir/Cloning.cpp - Function cloning -------------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloning.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "support/Debug.h"
+
+#include <unordered_map>
+
+using namespace lslp;
+
+namespace {
+
+/// Creates an unlinked copy of \p I that still references \p I's original
+/// operands; the caller remaps them afterwards. Using the original
+/// operands keeps every create() factory's type computation correct even
+/// for forward references (phis over back-edges, blocks cloned later).
+Instruction *cloneInstruction(const Instruction &I) {
+  ValueID Opc = I.getOpcode();
+  if (I.isBinaryOp())
+    return BinaryOperator::create(Opc, I.getOperand(0), I.getOperand(1),
+                                  I.getName());
+  if (CastInst::isCastOpcode(Opc))
+    return CastInst::create(Opc, I.getOperand(0), I.getType(), I.getName());
+  switch (Opc) {
+  case ValueID::ICmp: {
+    const auto &C = cast<ICmpInst>(I);
+    return ICmpInst::create(C.getPredicate(), C.getLHS(), C.getRHS(),
+                            C.getName());
+  }
+  case ValueID::Select:
+    return SelectInst::create(I.getOperand(0), I.getOperand(1),
+                              I.getOperand(2), I.getName());
+  case ValueID::Load:
+    return LoadInst::create(I.getType(), I.getOperand(0), I.getName());
+  case ValueID::Store:
+    return StoreInst::create(I.getOperand(0), I.getOperand(1));
+  case ValueID::Gep: {
+    const auto &G = cast<GEPInst>(I);
+    return GEPInst::create(G.getElementType(), G.getBaseOperand(),
+                           G.getIndexOperand(), G.getName());
+  }
+  case ValueID::InsertElement:
+    return InsertElementInst::create(I.getOperand(0), I.getOperand(1),
+                                     I.getOperand(2), I.getName());
+  case ValueID::ExtractElement:
+    return ExtractElementInst::create(I.getOperand(0), I.getOperand(1),
+                                      I.getName());
+  case ValueID::ShuffleVector: {
+    const auto &S = cast<ShuffleVectorInst>(I);
+    return ShuffleVectorInst::create(S.getFirstVector(), S.getSecondVector(),
+                                     S.getMask(), S.getName());
+  }
+  case ValueID::Phi: {
+    const auto &P = cast<PHINode>(I);
+    PHINode *NP = PHINode::create(P.getType(), P.getName());
+    for (unsigned In = 0, E = P.getNumIncoming(); In != E; ++In)
+      NP->addIncoming(P.getIncomingValue(In), P.getIncomingBlock(In));
+    return NP;
+  }
+  case ValueID::Br: {
+    const auto &B = cast<BranchInst>(I);
+    if (B.isConditional())
+      return BranchInst::create(B.getCondition(), B.getSuccessor(0),
+                                B.getSuccessor(1));
+    return BranchInst::create(B.getSuccessor(0));
+  }
+  case ValueID::Ret:
+    return ReturnInst::create(I.getContext(),
+                              cast<ReturnInst>(I).getReturnValue());
+  default:
+    lslp_unreachable("unknown instruction opcode in cloner");
+  }
+}
+
+} // namespace
+
+std::unique_ptr<Function> lslp::cloneFunctionDetached(const Function &F) {
+  Context &Ctx = F.getContext();
+  std::vector<Type *> ArgTypes;
+  std::vector<std::string> ArgNames;
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+    ArgTypes.push_back(F.getArg(I)->getType());
+    ArgNames.push_back(F.getArg(I)->getName());
+  }
+  std::unique_ptr<Function> Clone = Function::createDetached(
+      Ctx, F.getName(), F.getReturnType(), ArgTypes, ArgNames);
+
+  std::unordered_map<const Value *, Value *> VMap;
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+    VMap[F.getArg(I)] = Clone->getArg(I);
+
+  // Pass 1a: create the blocks so branches/phis cloned below can be
+  // remapped even across forward edges.
+  for (const auto &BB : F)
+    VMap[BB.get()] = BasicBlock::create(Ctx, BB->getName(), Clone.get());
+
+  // Pass 1b: clone the instructions in order, still pointing at original
+  // operands.
+  std::vector<Instruction *> NewInsts;
+  for (const auto &BB : F) {
+    auto *NewBB = cast<BasicBlock>(VMap[BB.get()]);
+    for (const auto &I : *BB) {
+      Instruction *NI = cloneInstruction(*I);
+      NewBB->append(NI);
+      VMap[I.get()] = NI;
+      NewInsts.push_back(NI);
+    }
+  }
+
+  // Pass 2: remap operands that refer to cloned values (arguments, blocks,
+  // instructions). Constants/globals/undef are not in the map and stay
+  // shared.
+  for (Instruction *NI : NewInsts)
+    for (unsigned Idx = 0, E = NI->getNumOperands(); Idx != E; ++Idx) {
+      auto It = VMap.find(NI->getOperand(Idx));
+      if (It != VMap.end())
+        NI->setOperand(Idx, It->second);
+    }
+  return Clone;
+}

@@ -1,0 +1,34 @@
+//===- ir/Cloning.h - Function cloning --------------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copying of function bodies. The vectorizer uses this for
+/// transform-then-commit: snapshot a function into a detached clone before
+/// mutating it, and Function::takeBody() the snapshot back if a resource
+/// budget runs out or post-transform verification fails, leaving the
+/// original scalar code byte-identical under the printer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_IR_CLONING_H
+#define LSLP_IR_CLONING_H
+
+#include <memory>
+
+namespace lslp {
+
+class Function;
+
+/// Deep-copies \p F into a detached function (no parent module) with the
+/// same name, signature, block structure, instruction order, operand graph
+/// and value names. Constants, globals and undef operands are shared, not
+/// copied. Thread-safe with respect to other functions: only shared
+/// use-lists (internally locked) are touched outside \p F.
+std::unique_ptr<Function> cloneFunctionDetached(const Function &F);
+
+} // namespace lslp
+
+#endif // LSLP_IR_CLONING_H

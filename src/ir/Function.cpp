@@ -63,3 +63,35 @@ unsigned Function::getInstructionCount() const {
     Count += static_cast<unsigned>(BB->size());
   return Count;
 }
+
+std::unique_ptr<Function>
+Function::createDetached(Context &Ctx, std::string Name, Type *RetTy,
+                         const std::vector<Type *> &ArgTypes,
+                         const std::vector<std::string> &ArgNames) {
+  assert(ArgTypes.size() == ArgNames.size() &&
+         "argument type/name count mismatch");
+  auto *F = new Function(Ctx, /*Parent=*/nullptr, std::move(Name), RetTy);
+  for (unsigned I = 0, E = static_cast<unsigned>(ArgTypes.size()); I != E; ++I)
+    F->Args.emplace_back(new Argument(ArgTypes[I], ArgNames[I], I));
+  return std::unique_ptr<Function>(F);
+}
+
+void Function::takeBody(Function &Donor) {
+  assert(Donor.getNumArgs() == getNumArgs() &&
+         "takeBody requires matching signatures");
+  for (unsigned I = 0, E = getNumArgs(); I != E; ++I) {
+    assert(Donor.getArg(I)->getType() == getArg(I)->getType() &&
+           "takeBody requires matching argument types");
+    Donor.Args[I]->replaceAllUsesWith(Args[I].get());
+  }
+  // Tear down the current body the same way ~Function does: drop every
+  // operand reference first so values may die in any order.
+  for (const auto &BB : Blocks)
+    for (const auto &I : *BB)
+      I->dropAllReferences();
+  Blocks.clear();
+  Blocks = std::move(Donor.Blocks);
+  Donor.Blocks.clear();
+  for (const auto &BB : Blocks)
+    BB->Parent = this;
+}

@@ -52,6 +52,15 @@ public:
                           const std::vector<Type *> &ArgTypes,
                           const std::vector<std::string> &ArgNames);
 
+  /// Creates a free-standing function owned by the caller: not registered
+  /// in any module (getParent() is null). Used by the transform-then-commit
+  /// machinery to hold a backup clone of a function body without touching
+  /// the (concurrently iterated) module function list.
+  static std::unique_ptr<Function>
+  createDetached(Context &Ctx, std::string Name, Type *RetTy,
+                 const std::vector<Type *> &ArgTypes,
+                 const std::vector<std::string> &ArgNames);
+
   /// Drops every instruction's operand references before destroying the
   /// blocks, so values may die in any order.
   ~Function() override;
@@ -89,6 +98,14 @@ public:
 
   /// Total number of instructions across all blocks.
   unsigned getInstructionCount() const;
+
+  /// Discards this function's current body and adopts \p Donor's blocks
+  /// (signatures must match). References to \p Donor's arguments are
+  /// rewritten to this function's arguments; \p Donor is left empty. This
+  /// is the commit/rollback primitive of transform-then-commit: take a
+  /// detached clone as a backup, mutate in place, and on failure
+  /// takeBody(backup) to restore the original, byte for byte.
+  void takeBody(Function &Donor);
 
   static bool classof(const Value *V) {
     return V->getValueID() == ValueID::FunctionID;

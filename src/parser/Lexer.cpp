@@ -28,12 +28,19 @@ bool lslp::tokenize(std::string_view Src, std::vector<Token> &Out,
                     std::string &Err) {
   unsigned Line = 1;
   size_t I = 0, N = Src.size();
+  size_t LineStart = 0; // Byte offset of the current line's first column.
+
+  // 1-based column of offset \p At on the current line.
+  auto colOf = [&](size_t At) {
+    return static_cast<unsigned>(At - LineStart + 1);
+  };
 
   auto push = [&](Token::Kind K, std::string Text = "") {
     Token T;
     T.TokKind = K;
     T.Text = std::move(Text);
     T.Line = Line;
+    T.Col = colOf(I);
     Out.push_back(std::move(T));
   };
 
@@ -42,6 +49,7 @@ bool lslp::tokenize(std::string_view Src, std::vector<Token> &Out,
     if (C == '\n') {
       ++Line;
       ++I;
+      LineStart = I;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -111,8 +119,12 @@ bool lslp::tokenize(std::string_view Src, std::vector<Token> &Out,
               C + "'";
         return false;
       }
-      push(C == '%' ? Token::LocalId : Token::GlobalId,
-           std::string(Src.substr(Start, I - Start)));
+      Token T;
+      T.TokKind = C == '%' ? Token::LocalId : Token::GlobalId;
+      T.Text = std::string(Src.substr(Start, I - Start));
+      T.Line = Line;
+      T.Col = colOf(Start - 1);
+      Out.push_back(std::move(T));
       continue;
     }
 
@@ -124,7 +136,12 @@ bool lslp::tokenize(std::string_view Src, std::vector<Token> &Out,
         Err = "line " + std::to_string(Line) + ": unterminated string";
         return false;
       }
-      push(Token::StrLit, std::string(Src.substr(Start, I - Start)));
+      Token T;
+      T.TokKind = Token::StrLit;
+      T.Text = std::string(Src.substr(Start, I - Start));
+      T.Line = Line;
+      T.Col = colOf(Start - 1);
+      Out.push_back(std::move(T));
       ++I; // Closing quote.
       continue;
     }
@@ -156,6 +173,7 @@ bool lslp::tokenize(std::string_view Src, std::vector<Token> &Out,
       std::string Text(Src.substr(Start, I - Start));
       Token T;
       T.Line = Line;
+      T.Col = colOf(Start);
       T.Text = Text;
       if (IsFloat) {
         T.TokKind = Token::FloatLit;
@@ -172,7 +190,12 @@ bool lslp::tokenize(std::string_view Src, std::vector<Token> &Out,
       size_t Start = I;
       while (I < N && isIdentChar(Src[I]))
         ++I;
-      push(Token::Ident, std::string(Src.substr(Start, I - Start)));
+      Token T;
+      T.TokKind = Token::Ident;
+      T.Text = std::string(Src.substr(Start, I - Start));
+      T.Line = Line;
+      T.Col = colOf(Start);
+      Out.push_back(std::move(T));
       continue;
     }
 

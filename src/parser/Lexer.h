@@ -48,7 +48,8 @@ struct Token {
   std::string Text;    ///< Identifier/literal text (sigils stripped).
   int64_t IntValue = 0;
   double FloatValue = 0.0;
-  unsigned Line = 0;
+  unsigned Line = 0; ///< 1-based source line.
+  unsigned Col = 0;  ///< 1-based column of the token's first character.
 
   bool is(Kind K) const { return TokKind == K; }
   /// True for an Ident token with exactly this spelling.

@@ -30,10 +30,13 @@ public:
   Parser(std::vector<Token> Tokens, Context &Ctx)
       : Tokens(std::move(Tokens)), Ctx(Ctx) {}
 
-  std::unique_ptr<Module> run(std::string &Err) {
+  std::unique_ptr<Module> run(ParseDiagnostic &Diag) {
     std::unique_ptr<Module> M = parseModule();
-    if (!M)
-      Err = ErrMsg;
+    if (!M) {
+      Diag.Line = ErrLine;
+      Diag.Col = ErrCol;
+      Diag.Message = ErrMsg;
+    }
     return M;
   }
 
@@ -49,8 +52,22 @@ private:
   Token next() { return Tokens[std::min(Pos++, Tokens.size() - 1)]; }
 
   bool error(const std::string &Msg) {
-    if (ErrMsg.empty())
-      ErrMsg = "line " + std::to_string(peek().Line) + ": " + Msg;
+    if (ErrMsg.empty()) {
+      ErrMsg = Msg;
+      ErrLine = peek().Line;
+      ErrCol = peek().Col;
+    }
+    return false;
+  }
+
+  /// Error anchored at an explicit source position (fixup patching runs
+  /// after the cursor has moved past the offending token).
+  bool errorAt(unsigned Line, unsigned Col, const std::string &Msg) {
+    if (ErrMsg.empty()) {
+      ErrMsg = Msg;
+      ErrLine = Line;
+      ErrCol = Col;
+    }
     return false;
   }
 
@@ -136,6 +153,7 @@ private:
     std::string Name;
     Type *ExpectedTy;
     unsigned Line;
+    unsigned Col;
   };
 
   /// Parses a value reference of (scalar or vector) type \p Ty. For local
@@ -231,7 +249,7 @@ private:
         return It->second;
       }
       // Forward reference: placeholder patched after the body is parsed.
-      PendingFixup = Fixup{nullptr, 0, T.Text, Ty, T.Line};
+      PendingFixup = Fixup{nullptr, 0, T.Text, Ty, T.Line, T.Col};
       next();
       return Ctx.getUndef(Ty);
     }
@@ -426,17 +444,14 @@ private:
     // Patch forward references.
     for (const Fixup &Fx : Fixups) {
       auto It = Locals.find(Fx.Name);
-      if (It == Locals.end()) {
-        ErrMsg = "line " + std::to_string(Fx.Line) + ": use of undefined value '%" +
-                 Fx.Name + "'";
-        return false;
-      }
-      if (It->second->getType() != Fx.ExpectedTy) {
-        ErrMsg = "line " + std::to_string(Fx.Line) + ": '%" + Fx.Name +
-                 "' has type " + It->second->getType()->getName() +
-                 ", expected " + Fx.ExpectedTy->getName();
-        return false;
-      }
+      if (It == Locals.end())
+        return errorAt(Fx.Line, Fx.Col,
+                       "use of undefined value '%" + Fx.Name + "'");
+      if (It->second->getType() != Fx.ExpectedTy)
+        return errorAt(Fx.Line, Fx.Col,
+                       "'%" + Fx.Name + "' has type " +
+                           It->second->getType()->getName() + ", expected " +
+                           Fx.ExpectedTy->getName());
       Fx.Inst->setOperand(Fx.OperandNo, It->second);
     }
     return true;
@@ -949,16 +964,63 @@ private:
   std::vector<Fixup> Fixups;
   std::optional<Fixup> PendingFixup;
   std::string ErrMsg;
+  unsigned ErrLine = 0;
+  unsigned ErrCol = 0;
 };
 
 } // namespace
 
+std::string ParseDiagnostic::render(std::string_view Filename) const {
+  std::string Out(Filename);
+  Out += ":" + std::to_string(Line) + ":" + std::to_string(Col) +
+         ": error: " + Message;
+  return Out;
+}
+
+Expected<std::unique_ptr<Module>>
+lslp::parseModuleOrError(std::string_view Src, Context &Ctx,
+                         ParseDiagnostic *DiagOut) {
+  ParseDiagnostic Diag;
+  std::vector<Token> Tokens;
+  std::string LexErr;
+  if (!tokenize(Src, Tokens, LexErr)) {
+    // The lexer reports "line N: detail"; lift the position out so the
+    // structured diagnostic matches parser-stage errors.
+    Diag.Message = LexErr;
+    Diag.Col = 1;
+    if (LexErr.rfind("line ", 0) == 0) {
+      size_t ColonPos = LexErr.find(':');
+      if (ColonPos != std::string::npos) {
+        Diag.Line = static_cast<unsigned>(
+            std::atoi(LexErr.c_str() + 5));
+        Diag.Message = LexErr.substr(ColonPos + 2);
+      }
+    }
+    if (DiagOut)
+      *DiagOut = Diag;
+    return Error::make(ErrorCategory::Parse,
+                       "line " + std::to_string(Diag.Line) + ": " +
+                           Diag.Message);
+  }
+  std::unique_ptr<Module> M = Parser(std::move(Tokens), Ctx).run(Diag);
+  if (!M) {
+    if (DiagOut)
+      *DiagOut = Diag;
+    return Error::make(ErrorCategory::Parse,
+                       "line " + std::to_string(Diag.Line) + ": " +
+                           Diag.Message);
+  }
+  return M;
+}
+
 std::unique_ptr<Module> lslp::parseModule(std::string_view Src, Context &Ctx,
                                           std::string &Err) {
-  std::vector<Token> Tokens;
-  if (!tokenize(Src, Tokens, Err))
+  Expected<std::unique_ptr<Module>> M = parseModuleOrError(Src, Ctx);
+  if (!M) {
+    Err = M.getError().message();
     return nullptr;
-  return Parser(std::move(Tokens), Ctx).run(Err);
+  }
+  return std::move(*M);
 }
 
 std::unique_ptr<Module> lslp::parseModuleOrDie(std::string_view Src,

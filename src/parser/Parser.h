@@ -15,6 +15,8 @@
 #ifndef LSLP_PARSER_PARSER_H
 #define LSLP_PARSER_PARSER_H
 
+#include "support/Error.h"
+
 #include <memory>
 #include <string>
 #include <string_view>
@@ -24,7 +26,26 @@ namespace lslp {
 class Context;
 class Module;
 
-/// Parses a whole module. Returns null and sets \p Err on failure.
+/// Structured parse failure: 1-based source position plus the bare
+/// message (no "line N:" prefix — callers choose the rendering).
+struct ParseDiagnostic {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Message;
+
+  /// Clang-style rendering: "<file>:<line>:<col>: error: <message>".
+  std::string render(std::string_view Filename) const;
+};
+
+/// Parses a whole module. Failures come back as an Error of category
+/// Parse whose message is "line <N>: <detail>"; when \p DiagOut is
+/// non-null it additionally receives the structured line/column
+/// diagnostic (for file:line:col rendering in lslpc).
+Expected<std::unique_ptr<Module>>
+parseModuleOrError(std::string_view Src, Context &Ctx,
+                   ParseDiagnostic *DiagOut = nullptr);
+
+/// Legacy interface. Returns null and sets \p Err on failure.
 std::unique_ptr<Module> parseModule(std::string_view Src, Context &Ctx,
                                     std::string &Err);
 

@@ -1,0 +1,290 @@
+//===- support/CrashHandler.cpp - Crash containment + reproducers ------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashHandler.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace lslp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Handler-visible state
+//
+// Everything the signal handler touches is either write-once process state
+// (the crash directory, set before handlers are installed) or thread-local
+// POD written by the thread that the synchronous signal is delivered to.
+//===----------------------------------------------------------------------===//
+
+constexpr int MaxCrumbs = 8;
+constexpr int MaxCrumbText = 160;
+
+struct Breadcrumb {
+  char Kind[24];
+  char Detail[MaxCrumbText];
+};
+
+thread_local Breadcrumb Crumbs[MaxCrumbs];
+thread_local int NumCrumbs = 0;
+
+thread_local const std::string *PayloadIR = nullptr;
+thread_local const std::string *PayloadConfig = nullptr;
+
+thread_local sigjmp_buf RecoveryPoint;
+thread_local volatile sig_atomic_t RecoveryArmed = 0;
+thread_local volatile sig_atomic_t CaughtSignal = 0;
+thread_local char ReproPathBuf[1024];
+
+// Write-once before sigaction(); read-only afterwards.
+char CrashDirBuf[768];
+bool HandlersInstalled = false;
+std::string CrashDirStr;
+
+// Monotonic reproducer id; atomic so concurrent worker crashes (however
+// unlikely) do not collide on a filename.
+std::atomic<unsigned> CrashSeq{0};
+
+//===----------------------------------------------------------------------===//
+// Async-signal-safe formatting helpers (write()-based, no stdio/malloc)
+//===----------------------------------------------------------------------===//
+
+void safeWrite(int FD, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(FD, Data, Len);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+void safeWriteStr(int FD, const char *S) { safeWrite(FD, S, ::strlen(S)); }
+
+/// Formats \p V in decimal into \p Buf (must hold >= 21 chars); returns the
+/// number of characters written (no terminator handling needed by callers,
+/// the buffer is terminated).
+size_t formatUnsigned(unsigned long long V, char *Buf) {
+  char Tmp[24];
+  size_t N = 0;
+  do {
+    Tmp[N++] = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V != 0);
+  for (size_t I = 0; I != N; ++I)
+    Buf[I] = Tmp[N - 1 - I];
+  Buf[N] = '\0';
+  return N;
+}
+
+/// Appends \p Src to \p Dst (capacity \p Cap) starting at \p *Pos.
+void appendStr(char *Dst, size_t Cap, size_t *Pos, const char *Src) {
+  size_t Len = ::strlen(Src);
+  if (*Pos + Len + 1 > Cap)
+    Len = Cap - *Pos - 1;
+  ::memcpy(Dst + *Pos, Src, Len);
+  *Pos += Len;
+  Dst[*Pos] = '\0';
+}
+
+//===----------------------------------------------------------------------===//
+// Reproducer writing (called from the handler — must stay signal-safe)
+//===----------------------------------------------------------------------===//
+
+void writeCrumbHeader(int FD, int Sig) {
+  safeWriteStr(FD, "; crash reproducer (auto-generated)\n; signal: ");
+  safeWriteStr(FD, crashSignalName(Sig));
+  safeWriteStr(FD, "\n");
+  for (int I = 0; I < NumCrumbs; ++I) {
+    safeWriteStr(FD, "; context: ");
+    safeWriteStr(FD, Crumbs[I].Kind);
+    safeWriteStr(FD, "=");
+    safeWriteStr(FD, Crumbs[I].Detail);
+    safeWriteStr(FD, "\n");
+  }
+}
+
+/// Writes crash-<seq>-<signame>.{ll,json} into the crash dir. Fills
+/// ReproPathBuf with the .ll path ("" when nothing was written).
+void writeReproducer(int Sig) {
+  ReproPathBuf[0] = '\0';
+  if (CrashDirBuf[0] == '\0' || !PayloadIR)
+    return;
+
+  unsigned Seq = CrashSeq.fetch_add(1, std::memory_order_relaxed);
+  char Stem[1024];
+  size_t Pos = 0;
+  appendStr(Stem, sizeof(Stem), &Pos, CrashDirBuf);
+  appendStr(Stem, sizeof(Stem), &Pos, "/crash-");
+  char Num[24];
+  formatUnsigned(Seq, Num);
+  appendStr(Stem, sizeof(Stem), &Pos, Num);
+  appendStr(Stem, sizeof(Stem), &Pos, "-");
+  appendStr(Stem, sizeof(Stem), &Pos, crashSignalName(Sig));
+
+  char Path[1024];
+  Pos = 0;
+  appendStr(Path, sizeof(Path), &Pos, Stem);
+  appendStr(Path, sizeof(Path), &Pos, ".ll");
+  int FD = ::open(Path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (FD < 0)
+    return;
+  writeCrumbHeader(FD, Sig);
+  safeWrite(FD, PayloadIR->data(), PayloadIR->size());
+  safeWriteStr(FD, "\n");
+  ::close(FD);
+  ::memcpy(ReproPathBuf, Path, Pos + 1);
+
+  if (PayloadConfig) {
+    char JSONPath[1024];
+    Pos = 0;
+    appendStr(JSONPath, sizeof(JSONPath), &Pos, Stem);
+    appendStr(JSONPath, sizeof(JSONPath), &Pos, ".json");
+    FD = ::open(JSONPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (FD >= 0) {
+      safeWrite(FD, PayloadConfig->data(), PayloadConfig->size());
+      safeWriteStr(FD, "\n");
+      ::close(FD);
+    }
+  }
+}
+
+void crashHandler(int Sig) {
+  writeReproducer(Sig);
+  if (RecoveryArmed) {
+    CaughtSignal = Sig;
+    RecoveryArmed = 0;
+    siglongjmp(RecoveryPoint, 1);
+  }
+  // No recovery point on this thread: fall back to the default disposition
+  // so the process still dies with the correct wait status (and the repro
+  // file already on disk).
+  ::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+const int HandledSignals[] = {SIGSEGV, SIGABRT, SIGFPE, SIGBUS, SIGILL};
+
+} // namespace
+
+const char *lslp::crashSignalName(int Sig) {
+  switch (Sig) {
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGABRT:
+    return "SIGABRT";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGILL:
+    return "SIGILL";
+  }
+  return "SIG?";
+}
+
+void lslp::installCrashHandlers(const std::string &CrashDir) {
+  if (HandlersInstalled)
+    return;
+  if (!CrashDir.empty()) {
+    // Best-effort create; an existing directory is fine.
+    ::mkdir(CrashDir.c_str(), 0755);
+    CrashDirStr = CrashDir;
+    size_t Len = CrashDir.size();
+    if (Len >= sizeof(CrashDirBuf))
+      Len = sizeof(CrashDirBuf) - 1;
+    ::memcpy(CrashDirBuf, CrashDir.data(), Len);
+    CrashDirBuf[Len] = '\0';
+  }
+  struct sigaction SA;
+  ::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = crashHandler;
+  ::sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_NODEFER;
+  for (int Sig : HandledSignals)
+    ::sigaction(Sig, &SA, nullptr);
+  HandlersInstalled = true;
+}
+
+bool lslp::crashHandlersInstalled() { return HandlersInstalled; }
+
+const std::string &lslp::crashReproDir() { return CrashDirStr; }
+
+CrashPayload::CrashPayload(const std::string *IRText,
+                           const std::string *ConfigJSON)
+    : PrevIR(PayloadIR), PrevConfig(PayloadConfig) {
+  PayloadIR = IRText;
+  PayloadConfig = ConfigJSON;
+}
+
+CrashPayload::~CrashPayload() {
+  PayloadIR = PrevIR;
+  PayloadConfig = PrevConfig;
+}
+
+CrashScope::CrashScope(const char *Kind, std::string_view Detail)
+    : Pushed(NumCrumbs < MaxCrumbs) {
+  if (!Pushed)
+    return;
+  Breadcrumb &C = Crumbs[NumCrumbs++];
+  size_t KindLen = ::strlen(Kind);
+  if (KindLen >= sizeof(C.Kind))
+    KindLen = sizeof(C.Kind) - 1;
+  ::memcpy(C.Kind, Kind, KindLen);
+  C.Kind[KindLen] = '\0';
+  size_t DetailLen = Detail.size();
+  if (DetailLen >= sizeof(C.Detail))
+    DetailLen = sizeof(C.Detail) - 1;
+  ::memcpy(C.Detail, Detail.data(), DetailLen);
+  C.Detail[DetailLen] = '\0';
+}
+
+CrashScope::~CrashScope() {
+  if (Pushed && NumCrumbs > 0)
+    --NumCrumbs;
+}
+
+bool lslp::runWithCrashRecovery(const std::function<void()> &Fn,
+                                CrashInfo &Info) {
+  if (!HandlersInstalled) {
+    Fn();
+    return true;
+  }
+  int CrumbDepthAtEntry = NumCrumbs;
+  if (sigsetjmp(RecoveryPoint, /*savemask=*/1) != 0) {
+    // Crashed inside Fn: the handler wrote the reproducer and unwound to
+    // here. Scopes between the recovery point and the fault were skipped
+    // over by siglongjmp, so rewind the breadcrumb stack by hand.
+    Info.Signal = CaughtSignal;
+    Info.SignalName = crashSignalName(CaughtSignal);
+    Info.ReproPath = ReproPathBuf;
+    std::string Crumbs2;
+    for (int I = CrumbDepthAtEntry; I < NumCrumbs; ++I) {
+      if (!Crumbs2.empty())
+        Crumbs2 += ' ';
+      Crumbs2 += Crumbs[I].Kind;
+      Crumbs2 += '=';
+      Crumbs2 += Crumbs[I].Detail;
+    }
+    Info.Breadcrumbs = std::move(Crumbs2);
+    NumCrumbs = CrumbDepthAtEntry;
+    return false;
+  }
+  RecoveryArmed = 1;
+  Fn();
+  RecoveryArmed = 0;
+  return true;
+}

@@ -1,0 +1,104 @@
+//===- support/CrashHandler.h - Crash containment + reproducers -*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Signal-based crash containment for the compiler pipeline and the fuzz
+/// driver. Three cooperating pieces:
+///
+///  - installCrashHandlers(Dir): hooks SIGSEGV / SIGABRT / SIGFPE / SIGBUS /
+///    SIGILL. On delivery the handler dumps a runnable `.ll` crash
+///    reproducer (current IR payload + breadcrumb header comments) and the
+///    active VectorizerConfig as JSON into \p Dir, then either unwinds to
+///    the nearest recovery point or re-raises with the default disposition.
+///
+///  - CrashScope / setCrashPayload: thread-local breadcrumbs ("what was I
+///    doing") and the IR/config text to dump. All state the handler reads
+///    is plain thread-local POD or pre-registered string pointers, keeping
+///    the handler async-signal-safe (open/write/close only).
+///
+///  - runWithCrashRecovery(Fn, Info): runs \p Fn with a sigsetjmp recovery
+///    point armed. If \p Fn crashes, the handler writes the reproducer and
+///    siglongjmps back; the call returns false with \p Info filled in and
+///    the caller's thread keeps running. This is the classic in-process
+///    fuzzer pattern: after a recovered crash the heap may be inconsistent
+///    (the fault can hit mid-allocation), so it is only used where the
+///    alternative is losing a whole sharded sweep to one bad seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_CRASHHANDLER_H
+#define LSLP_SUPPORT_CRASHHANDLER_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace lslp {
+
+/// What a recovered crash looked like.
+struct CrashInfo {
+  int Signal = 0;          ///< The delivered signal number.
+  std::string SignalName;  ///< "SIGSEGV", "SIGABRT", ...
+  std::string ReproPath;   ///< Path of the written `.ll` reproducer ("" if
+                           ///< no crash dir was configured or the write
+                           ///< failed).
+  std::string Breadcrumbs; ///< "pass=slp-vectorizer function=foo ..."
+};
+
+/// Installs the crash handlers (idempotent; first call wins). Reproducers
+/// are written into \p CrashDir, which is created if missing; pass "" to
+/// enable containment without writing files.
+void installCrashHandlers(const std::string &CrashDir);
+
+/// True once installCrashHandlers() has run.
+bool crashHandlersInstalled();
+
+/// The directory reproducers are written to ("" if none).
+const std::string &crashReproDir();
+
+/// Registers (thread-locally) the IR text and config JSON to dump if this
+/// thread crashes. The pointed-to strings must stay alive and unmodified
+/// while registered. Destructor restores the previous registration, so
+/// payloads nest.
+class CrashPayload {
+public:
+  CrashPayload(const std::string *IRText, const std::string *ConfigJSON);
+  ~CrashPayload();
+  CrashPayload(const CrashPayload &) = delete;
+  CrashPayload &operator=(const CrashPayload &) = delete;
+
+private:
+  const std::string *PrevIR;
+  const std::string *PrevConfig;
+};
+
+/// RAII breadcrumb: pushes "Kind=Detail" onto this thread's crash context
+/// stack. The handler prints the stack into the reproducer header so a
+/// crash names the module/function/node being processed.
+class CrashScope {
+public:
+  CrashScope(const char *Kind, std::string_view Detail);
+  ~CrashScope();
+  CrashScope(const CrashScope &) = delete;
+  CrashScope &operator=(const CrashScope &) = delete;
+
+private:
+  bool Pushed;
+};
+
+/// Runs \p Fn with an armed recovery point. Returns true if \p Fn
+/// completed; on a crash, fills \p Info and returns false. Requires
+/// installCrashHandlers() to have been called (otherwise \p Fn runs
+/// unprotected and a crash kills the process as before). Recovery points
+/// do not nest; the innermost active call on this thread catches.
+bool runWithCrashRecovery(const std::function<void()> &Fn, CrashInfo &Info);
+
+/// Stable name for a crash signal number ("SIGSEGV", ...).
+const char *crashSignalName(int Sig);
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_CRASHHANDLER_H

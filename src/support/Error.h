@@ -1,0 +1,158 @@
+//===- support/Error.h - Recoverable error handling -------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error and Expected<T>: lightweight, exception-free recoverable error
+/// types in the spirit of llvm::Error/llvm::Expected.
+///
+/// The project distinguishes two failure classes:
+///
+///  - *Logic bugs* (broken invariants) keep using lslp_unreachable(): the
+///    process state is unknown and aborting is the only honest response.
+///  - *Input-dependent failures* (malformed IR text, verifier rejections,
+///    runtime traps, exhausted resource budgets) travel through Error /
+///    Expected<T> so callers can diagnose, fall back, or skip cleanly
+///    instead of taking the process down.
+///
+/// Unlike llvm::Error there is no "must-check" poisoning; these are plain
+/// value types. An Error is either success() or carries a category plus a
+/// human-readable message. Expected<T> is a tagged union of a T and an
+/// Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_ERROR_H
+#define LSLP_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lslp {
+
+/// Broad classification of a recoverable failure. Used by drivers to pick
+/// exit codes and by tests to assert the failure class without string
+/// matching.
+enum class ErrorCategory : uint8_t {
+  None,   ///< Success; never carried by a real error.
+  Parse,  ///< Malformed IR text (lexer/parser diagnostics).
+  Verify, ///< Structurally invalid IR (verifier diagnostics).
+  Trap,   ///< Runtime trap during execution (div-by-zero, OOB, ...).
+  Budget, ///< A resource budget was exhausted; work was abandoned.
+  IO,     ///< Host environment failure (unreadable file, ...).
+};
+
+/// Returns a stable lower-case name for \p Cat ("parse", "verify", ...).
+inline const char *errorCategoryName(ErrorCategory Cat) {
+  switch (Cat) {
+  case ErrorCategory::None:
+    return "none";
+  case ErrorCategory::Parse:
+    return "parse";
+  case ErrorCategory::Verify:
+    return "verify";
+  case ErrorCategory::Trap:
+    return "trap";
+  case ErrorCategory::Budget:
+    return "budget";
+  case ErrorCategory::IO:
+    return "io";
+  }
+  return "unknown";
+}
+
+/// A recoverable failure: a category plus a message. Contextually converts
+/// to bool, true meaning *an error is present* (LLVM convention):
+///
+///   if (Error E = doThing())
+///     return E; // propagate
+class Error {
+public:
+  /// The success value.
+  Error() = default;
+
+  /// Builds a failure of class \p Cat with diagnostic text \p Msg.
+  static Error make(ErrorCategory Cat, std::string Msg) {
+    assert(Cat != ErrorCategory::None && "real errors need a category");
+    Error E;
+    E.Cat = Cat;
+    E.Msg = std::move(Msg);
+    return E;
+  }
+
+  static Error success() { return Error(); }
+
+  /// True if this holds a failure.
+  explicit operator bool() const { return Cat != ErrorCategory::None; }
+  bool isSuccess() const { return Cat == ErrorCategory::None; }
+
+  ErrorCategory category() const { return Cat; }
+  const std::string &message() const { return Msg; }
+
+  /// "parse error: unexpected token" — category-prefixed diagnostic for
+  /// user-facing output.
+  std::string str() const {
+    if (isSuccess())
+      return "success";
+    return std::string(errorCategoryName(Cat)) + " error: " + Msg;
+  }
+
+private:
+  ErrorCategory Cat = ErrorCategory::None;
+  std::string Msg;
+};
+
+/// Either a T or an Error. Construction from a T yields the success state;
+/// construction from an Error yields the failure state. Contextually
+/// converts to bool, true meaning *a value is present* (note: the opposite
+/// polarity of Error, matching llvm::Expected):
+///
+///   Expected<int> R = parseCount(S);
+///   if (!R)
+///     return R.takeError();
+///   use(*R);
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "constructing Expected from a success Error");
+  }
+
+  explicit operator bool() const { return Storage.has_value(); }
+  bool hasValue() const { return Storage.has_value(); }
+
+  T &get() {
+    assert(Storage && "get() on errored Expected");
+    return *Storage;
+  }
+  const T &get() const {
+    assert(Storage && "get() on errored Expected");
+    return *Storage;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  const Error &getError() const {
+    assert(!Storage && "getError() on successful Expected");
+    return Err;
+  }
+  Error takeError() {
+    assert(!Storage && "takeError() on successful Expected");
+    return std::move(Err);
+  }
+
+private:
+  std::optional<T> Storage;
+  Error Err;
+};
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_ERROR_H

@@ -1,0 +1,67 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+using namespace lslp;
+
+const char *lslp::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::GraphNode:
+    return "graph-node";
+  case FaultSite::Permutation:
+    return "permutation";
+  case FaultSite::LookAhead:
+    return "look-ahead";
+  case FaultSite::Verify:
+    return "verify";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer. Used both
+/// to fold the function name into the stream state and to turn
+/// (state, site, counter) into a uniform draw.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t hashName(std::string_view Name) {
+  // FNV-1a; stable across platforms.
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+} // namespace
+
+FaultStream FaultInjector::streamFor(std::string_view FnName) const {
+  return FaultStream(this, mix64(Seed ^ hashName(FnName)));
+}
+
+bool FaultStream::shouldFail(FaultSite Site) {
+  const double P = Parent->probability();
+  if (P <= 0.0)
+    return false;
+  unsigned SiteIdx = static_cast<unsigned>(Site);
+  uint64_t Draw = mix64(State ^ (static_cast<uint64_t>(SiteIdx) << 56) ^
+                        Counters[SiteIdx]++);
+  // Top 53 bits -> uniform double in [0, 1).
+  double U = static_cast<double>(Draw >> 11) * 0x1.0p-53;
+  if (U >= P)
+    return false;
+  ++Injected;
+  Parent->noteInjected();
+  return true;
+}

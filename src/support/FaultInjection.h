@@ -1,0 +1,106 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-driven fault injection for exercising the vectorizer's failure
+/// paths. A FaultInjector is configured once (seed + probability) and hands
+/// out per-function FaultStreams; every would-fail decision is a pure
+/// function of (seed, function name, site, per-site counter), so the same
+/// faults fire on every run regardless of --jobs, thread scheduling, or
+/// which other functions are being compiled — a hard requirement for the
+/// oracle's determinism check, which runs the pass twice and diffs the
+/// output byte for byte.
+///
+/// Injected faults are *not* crashes: each site that draws "fail" behaves
+/// exactly as if the corresponding resource budget had been exhausted, so
+/// the pass abandons the function and falls back to the untouched scalar
+/// body. The differential oracle then asserts that this surfaced as a
+/// clean BudgetExhausted remark with bit-exact scalar output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SUPPORT_FAULTINJECTION_H
+#define LSLP_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace lslp {
+
+/// The places a fault can be injected. Each maps to a real resource-budget
+/// or verification site in the vectorizer.
+enum class FaultSite : unsigned {
+  GraphNode,   ///< SLP graph node creation (GraphBuilder).
+  Permutation, ///< Operand-permutation evaluation (OperandReordering).
+  LookAhead,   ///< Recursive look-ahead score evaluation (LookAhead).
+  Verify,      ///< Post-vectorization function verification.
+};
+constexpr unsigned NumFaultSites = 4;
+
+/// Stable lower-case name ("graph-node", ...) for diagnostics and remarks.
+const char *faultSiteName(FaultSite Site);
+
+class FaultStream;
+
+/// Process-wide fault-injection policy: a seed and a per-draw failure
+/// probability. Shared read-only across vectorizer workers; the only
+/// mutable state is an atomic tally of injected faults (reporting only —
+/// never consulted for decisions).
+class FaultInjector {
+public:
+  FaultInjector(uint64_t Seed, double Probability)
+      : Seed(Seed), Probability(Probability) {}
+
+  double probability() const { return Probability; }
+  uint64_t seed() const { return Seed; }
+
+  /// Creates the deterministic fault stream for the function named
+  /// \p FnName. Streams derived from the same (seed, name) pair draw the
+  /// identical fail/pass sequence.
+  FaultStream streamFor(std::string_view FnName) const;
+
+  /// Total faults injected through all streams so far (telemetry).
+  uint64_t totalInjected() const {
+    return TotalInjected.load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class FaultStream;
+  void noteInjected() const {
+    TotalInjected.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Seed;
+  double Probability;
+  mutable std::atomic<uint64_t> TotalInjected{0};
+};
+
+/// Per-function sequence of fault draws. Not thread-safe; each stream is
+/// confined to the single worker vectorizing its function.
+class FaultStream {
+public:
+  /// Draws one fail/pass decision at \p Site. Returns true if a fault
+  /// should be injected here.
+  bool shouldFail(FaultSite Site);
+
+  /// Faults injected by this stream so far.
+  uint64_t injectedCount() const { return Injected; }
+
+private:
+  friend class FaultInjector;
+  FaultStream(const FaultInjector *Parent, uint64_t State)
+      : Parent(Parent), State(State) {}
+
+  const FaultInjector *Parent;
+  uint64_t State;
+  uint64_t Counters[NumFaultSites] = {};
+  uint64_t Injected = 0;
+};
+
+} // namespace lslp
+
+#endif // LSLP_SUPPORT_FAULTINJECTION_H

@@ -7,6 +7,8 @@
 #include "support/StringUtil.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 using namespace lslp;
 
@@ -63,5 +65,18 @@ bool lslp::parseInt(std::string_view Str, int64_t &Out) {
   if (Value > static_cast<uint64_t>(INT64_MAX))
     return false;
   Out = static_cast<int64_t>(Value);
+  return true;
+}
+
+bool lslp::parseDouble(std::string_view Str, double &Out) {
+  if (Str.empty())
+    return false;
+  // strtod needs a terminated buffer; command-line values are short.
+  std::string Buf(Str);
+  char *End = nullptr;
+  double Value = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size())
+    return false;
+  Out = Value;
   return true;
 }

@@ -34,6 +34,10 @@ bool startsWith(std::string_view Str, std::string_view Prefix);
 /// overflow. Accepts an optional leading '-'.
 bool parseInt(std::string_view Str, int64_t &Out);
 
+/// Parses a floating-point number (strtod syntax, whole string must be
+/// consumed); returns false on malformed input.
+bool parseDouble(std::string_view Str, double &Out);
+
 } // namespace lslp
 
 #endif // LSLP_SUPPORT_STRINGUTIL_H

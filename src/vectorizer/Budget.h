@@ -1,0 +1,144 @@
+//===- vectorizer/Budget.h - Per-function resource budgets ------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VectorizerBudget: the per-function charge counter behind the
+/// VectorizerConfig resource caps. One instance is created per function by
+/// SLPVectorizerPass and threaded (by pointer, may be null in unit tests)
+/// through GraphBuilder, OperandReordering, LookAhead and the reduction
+/// vectorizer. Charging is monotone: after the first failed charge the
+/// budget stays exhausted and every later charge fails fast, so callers
+/// can poll exhausted() at coarse granularity and bail.
+///
+/// Fault injection rides the same rails: when a FaultStream is attached,
+/// each charge site first draws from the stream and an injected fault
+/// marks the budget exhausted with reason "fault-injected". Downstream
+/// (abandon + restore scalar body + BudgetExhausted remark) there is no
+/// difference between a real exhaustion and an injected one — which is
+/// exactly what makes injection a faithful test of the fallback path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_BUDGET_H
+#define LSLP_VECTORIZER_BUDGET_H
+
+#include "support/FaultInjection.h"
+#include "vectorizer/Config.h"
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lslp {
+
+class VectorizerBudget {
+public:
+  VectorizerBudget() = default;
+
+  /// Builds the budget for one function from \p Config, deriving the
+  /// function's deterministic fault stream from \p FnName when injection
+  /// is configured.
+  VectorizerBudget(const VectorizerConfig &Config, std::string_view FnName)
+      : MaxNodes(Config.MaxGraphNodes),
+        MaxPermutations(Config.MaxPermutationsPerMultiNode) {
+    if (Config.MaxMsPerFunction != 0)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Config.MaxMsPerFunction);
+    if (Config.Faults)
+      Faults = Config.Faults->streamFor(FnName);
+  }
+
+  /// True once any budget has run out (or a fault was injected); the
+  /// function is abandoned and restored to scalar.
+  bool exhausted() const { return Reason != nullptr; }
+
+  /// The stable exhaustion reason ("node-budget", "permutation-budget",
+  /// "time-budget", "fault-injected", "verify-failed"), or null.
+  const char *exhaustionReason() const { return Reason; }
+
+  /// Charges one graph node. Returns false (and latches exhaustion) when
+  /// over budget or when a fault fires at this site.
+  bool chargeNode() {
+    if (Reason)
+      return false;
+    if (drawFault(FaultSite::GraphNode))
+      return false;
+    ++NodesUsed;
+    if (MaxNodes != 0 && NodesUsed > MaxNodes)
+      return fail("node-budget");
+    return checkDeadline();
+  }
+
+  /// Charges \p N permutation/look-ahead score evaluations.
+  bool chargePermutations(uint64_t N, FaultSite Site = FaultSite::Permutation) {
+    if (Reason)
+      return false;
+    if (drawFault(Site))
+      return false;
+    PermutationsUsed += N;
+    if (MaxPermutations != 0 && PermutationsUsed > MaxPermutations)
+      return fail("permutation-budget");
+    return checkDeadline();
+  }
+
+  /// Draws the post-transform verification fault site; the real verifier
+  /// outcome is reported via markVerifyFailed().
+  bool chargeVerify() {
+    if (Reason)
+      return false;
+    return !drawFault(FaultSite::Verify);
+  }
+
+  /// Latches exhaustion because post-transform verification rejected the
+  /// vectorized body.
+  void markVerifyFailed() { Reason = "verify-failed"; }
+
+  uint64_t nodesUsed() const { return NodesUsed; }
+  uint64_t permutationsUsed() const { return PermutationsUsed; }
+  uint64_t faultsInjected() const {
+    return Faults ? Faults->injectedCount() : 0;
+  }
+
+private:
+  bool fail(const char *Why) {
+    Reason = Why;
+    return false;
+  }
+
+  bool drawFault(FaultSite Site) {
+    if (Faults && Faults->shouldFail(Site)) {
+      Reason = "fault-injected";
+      return true;
+    }
+    return false;
+  }
+
+  bool checkDeadline() {
+    if (!Deadline)
+      return true;
+    // Polling the clock on every charge would dominate the pass; sample
+    // every 64th charge.
+    if ((++DeadlinePoll & 63) != 0)
+      return true;
+    if (std::chrono::steady_clock::now() > *Deadline)
+      return fail("time-budget");
+    return true;
+  }
+
+  uint64_t MaxNodes = 0;
+  uint64_t MaxPermutations = 0;
+  uint64_t NodesUsed = 0;
+  uint64_t PermutationsUsed = 0;
+  uint64_t DeadlinePoll = 0;
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
+  std::optional<FaultStream> Faults;
+  const char *Reason = nullptr;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_BUDGET_H

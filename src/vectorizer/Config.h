@@ -19,11 +19,13 @@
 #ifndef LSLP_VECTORIZER_CONFIG_H
 #define LSLP_VECTORIZER_CONFIG_H
 
+#include <cstdint>
 #include <limits>
 #include <string>
 
 namespace lslp {
 
+class FaultInjector;
 class RemarkStreamer;
 
 /// All knobs of the (L)SLP vectorizer.
@@ -78,6 +80,29 @@ struct VectorizerConfig {
   /// Recursion depth bound for graph building.
   unsigned MaxGraphDepth = 16;
 
+  /// \name Resource budgets (0 = unlimited).
+  ///
+  /// The LSLP search is exponential in multi-node width; these caps bound
+  /// the damage a pathological input can do. When any budget runs out the
+  /// pass abandons the function mid-flight, restores the pristine scalar
+  /// body (transform-then-commit) and emits exactly one BudgetExhausted
+  /// remark. The time budget is inherently nondeterministic, so the fuzz
+  /// oracle and determinism gates only ever exercise the two counting
+  /// budgets.
+  /// @{
+  /// Cap on SLP graph nodes built per function (vector + gather nodes,
+  /// across all attempted trees).
+  uint64_t MaxGraphNodes = 0;
+  /// Cap on operand-permutation/look-ahead score evaluations per function.
+  uint64_t MaxPermutationsPerMultiNode = 0;
+  /// Wall-clock cap per function, in milliseconds.
+  uint64_t MaxMsPerFunction = 0;
+  /// @}
+
+  /// Deterministic fault injector exercising the budget/fallback paths
+  /// (see support/FaultInjection.h). Null disables injection. Non-owning.
+  const FaultInjector *Faults = nullptr;
+
   /// Human-readable configuration name for reports.
   std::string Name = "custom";
 
@@ -86,6 +111,37 @@ struct VectorizerConfig {
   /// `if (RemarkStreamer *RS = Config.Remarks)`, so the disabled pipeline
   /// pays one predictable branch per decision. Non-owning.
   RemarkStreamer *Remarks = nullptr;
+
+  /// Serializes every decision-relevant knob as one JSON object (crash
+  /// reproducers ship this next to the IR so a failure replays under the
+  /// exact configuration that hit it).
+  std::string toJSON() const {
+    auto B = [](bool V) { return V ? "true" : "false"; };
+    std::string S = "{";
+    S += "\"name\":\"" + Name + "\"";
+    S += ",\"reordering\":" + std::string(B(EnableReordering));
+    S += ",\"lookahead\":" + std::string(B(EnableLookAhead));
+    S += ",\"multinode\":" + std::string(B(EnableMultiNode));
+    S += ",\"max-lookahead-level\":" + std::to_string(MaxLookAheadLevel);
+    S += ",\"max-multinode-size\":" + std::to_string(MaxMultiNodeSize);
+    S += ",\"score-aggregation\":\"";
+    S += ScoreAggregation == ScoreAggregationKind::Sum ? "sum" : "max";
+    S += "\",\"reorder-strategy\":\"";
+    S += ReorderStrategy == ReorderStrategyKind::GreedySingle
+             ? "greedy"
+             : "exhaustive-per-lane";
+    S += "\",\"splat-mode\":" + std::string(B(EnableSplatMode));
+    S += ",\"alt-opcodes\":" + std::string(B(EnableAltOpcodes));
+    S += ",\"reductions\":" + std::string(B(EnableReductions));
+    S += ",\"cost-threshold\":" + std::to_string(CostThreshold);
+    S += ",\"max-graph-depth\":" + std::to_string(MaxGraphDepth);
+    S += ",\"max-graph-nodes\":" + std::to_string(MaxGraphNodes);
+    S += ",\"max-permutations\":" + std::to_string(MaxPermutationsPerMultiNode);
+    S += ",\"max-ms-per-function\":" + std::to_string(MaxMsPerFunction);
+    S += ",\"fault-injection\":" + std::string(B(Faults != nullptr));
+    S += "}";
+    return S;
+  }
 
   /// \name Paper configurations.
   /// @{

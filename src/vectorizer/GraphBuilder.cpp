@@ -40,8 +40,9 @@ Remark remarkForLanes(RemarkKind Kind, const std::vector<Value *> &Lanes,
 } // namespace
 
 SLPGraphBuilder::SLPGraphBuilder(const VectorizerConfig &Config,
-                                 BasicBlock &BB)
-    : Config(Config), BB(BB), Scheduler(BB, Config.Remarks) {}
+                                 BasicBlock &BB, VectorizerBudget *Budget)
+    : Config(Config), BB(BB), Budget(Budget),
+      Scheduler(BB, Config.Remarks) {}
 
 void SLPGraphBuilder::noteNodeBuilt(const char *NodeKind,
                                     const std::vector<Value *> &Lanes,
@@ -81,6 +82,13 @@ SLPNode *SLPGraphBuilder::buildRec(const std::vector<Value *> &Lanes,
   auto It = BundleCache.find(Lanes);
   if (It != BundleCache.end())
     return It->second;
+  // Every buildRecImpl call materializes exactly one node; charge it
+  // up front. Once the budget is gone, degrade to a *silent* gather (no
+  // remark, no statistic): the whole attempt is about to be abandoned and
+  // rolled back, and the single BudgetExhausted remark the pass emits is
+  // the contracted diagnostic for it.
+  if (Budget && !Budget->chargeNode())
+    return Graph.createGatherNode(Lanes);
   SLPNode *N = buildRecImpl(Lanes, Depth);
   if (N->isVectorizable())
     BundleCache[Lanes] = N;
@@ -237,7 +245,7 @@ SLPNode *SLPGraphBuilder::buildBinaryNode(
     Matrix[1].push_back(I->getOperand(1));
   }
   if (Commutative && Config.EnableReordering) {
-    ReorderResult RR = reorderOperands(Matrix, Config);
+    ReorderResult RR = reorderOperands(Matrix, Config, Budget);
     Node->setReordered(RR.Changed);
     Matrix = std::move(RR.Final);
   }
@@ -355,7 +363,7 @@ SLPNode *SLPGraphBuilder::tryBuildMultiNode(
     for (size_t S = 0; S != Width; ++S)
       Matrix[S][L] = Frontiers[L][S];
   if (Config.EnableReordering) {
-    ReorderResult RR = reorderOperands(Matrix, Config);
+    ReorderResult RR = reorderOperands(Matrix, Config, Budget);
     Node->setReordered(RR.Changed);
     Matrix = std::move(RR.Final);
   }

@@ -16,6 +16,7 @@
 #ifndef LSLP_VECTORIZER_GRAPHBUILDER_H
 #define LSLP_VECTORIZER_GRAPHBUILDER_H
 
+#include "vectorizer/Budget.h"
 #include "vectorizer/Config.h"
 #include "vectorizer/SLPGraph.h"
 #include "vectorizer/Scheduler.h"
@@ -33,7 +34,14 @@ class BasicBlock;
 /// materializes.
 class SLPGraphBuilder {
 public:
-  SLPGraphBuilder(const VectorizerConfig &Config, BasicBlock &BB);
+  /// \p Budget (may be null) is the enclosing function's resource budget;
+  /// every node built charges it, and once it is exhausted the builder
+  /// degrades every bundle to a silent gather so the attempt finishes
+  /// quickly. Callers must poll Budget->exhausted() after build() and
+  /// discard the graph (the caller's transform-then-commit machinery then
+  /// restores the scalar body).
+  SLPGraphBuilder(const VectorizerConfig &Config, BasicBlock &BB,
+                  VectorizerBudget *Budget = nullptr);
 
   /// Builds the graph rooted at \p Seeds (consecutive store instructions in
   /// address order). Returns std::nullopt when even the seed bundle cannot
@@ -85,6 +93,7 @@ private:
 
   const VectorizerConfig &Config;
   BasicBlock &BB;
+  VectorizerBudget *Budget;
   BundleScheduler Scheduler;
   SLPGraph Graph;
   std::map<std::vector<Value *>, SLPNode *> BundleCache;

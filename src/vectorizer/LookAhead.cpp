@@ -9,6 +9,7 @@
 #include "analysis/AddressAnalysis.h"
 #include "ir/Constants.h"
 #include "ir/Instruction.h"
+#include "vectorizer/Budget.h"
 
 #include <algorithm>
 
@@ -49,7 +50,10 @@ bool canRecurse(const Value *A, const Value *B) {
 
 int lslp::getLookAheadScore(
     const Value *Last, const Value *Candidate, unsigned MaxLevel,
-    VectorizerConfig::ScoreAggregationKind Aggregation) {
+    VectorizerConfig::ScoreAggregationKind Aggregation,
+    VectorizerBudget *Budget) {
+  if (Budget && !Budget->chargePermutations(1, FaultSite::LookAhead))
+    return 0;
   if (MaxLevel == 0 || !canRecurse(Last, Candidate))
     return areConsecutiveOrMatch(Last, Candidate) ? 1 : 0;
 
@@ -58,8 +62,8 @@ int lslp::getLookAheadScore(
   int Aggregated = 0;
   for (const Value *LastOp : LastI->operands()) {
     for (const Value *CandOp : CandI->operands()) {
-      int Score =
-          getLookAheadScore(LastOp, CandOp, MaxLevel - 1, Aggregation);
+      int Score = getLookAheadScore(LastOp, CandOp, MaxLevel - 1, Aggregation,
+                                    Budget);
       if (Aggregation == VectorizerConfig::ScoreAggregationKind::Sum)
         Aggregated += Score;
       else

@@ -23,6 +23,7 @@
 namespace lslp {
 
 class Value;
+class VectorizerBudget;
 
 /// The trivial pairwise match test used both for candidate filtering
 /// (Listing 6, line 13) and as the look-ahead base case:
@@ -34,11 +35,15 @@ bool areConsecutiveOrMatch(const Value *Last, const Value *Candidate);
 
 /// Look-ahead score of pairing \p Candidate (current lane) with \p Last
 /// (previous lane), exploring \p MaxLevel levels of the use-def DAG
-/// (Listing 7).
+/// (Listing 7). Each recursive evaluation charges \p Budget (when
+/// non-null); once the budget is exhausted the remaining sub-scores
+/// short-circuit to 0 — callers detect exhaustion through the budget and
+/// abandon the function, so the degenerate scores are never committed.
 int getLookAheadScore(const Value *Last, const Value *Candidate,
                       unsigned MaxLevel,
                       VectorizerConfig::ScoreAggregationKind Aggregation =
-                          VectorizerConfig::ScoreAggregationKind::Sum);
+                          VectorizerConfig::ScoreAggregationKind::Sum,
+                      VectorizerBudget *Budget = nullptr);
 
 } // namespace lslp
 

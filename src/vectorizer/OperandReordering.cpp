@@ -11,6 +11,7 @@
 #include "diag/Statistics.h"
 #include "ir/Constants.h"
 #include "ir/Instruction.h"
+#include "vectorizer/Budget.h"
 #include "vectorizer/LookAhead.h"
 
 #include <algorithm>
@@ -101,6 +102,18 @@ void noteReorderOutcome(const ReorderResult &Result,
           .arg("strategy", Strategy));
 }
 
+/// The do-nothing result returned when the budget runs out mid-reorder:
+/// the input order, unchanged. The caller observes exhaustion through the
+/// budget and abandons the function, so these slots never reach codegen.
+ReorderResult
+identityResult(const std::vector<std::vector<Value *>> &Operands) {
+  ReorderResult Result;
+  Result.Final = Operands;
+  Result.Modes.assign(Operands.size(), OperandMode::Failed);
+  Result.Changed = false;
+  return Result;
+}
+
 /// Initial mode of a slot, from its lane-0 value (Listing 5, line 8).
 OperandMode initialMode(const Value *V) {
   if (isa<Constant>(V))
@@ -125,7 +138,7 @@ struct BestResult {
 BestResult getBest(OperandMode Mode, Value *Last,
                    const std::vector<Value *> &Candidates,
                    const VectorizerConfig &Config,
-                   const ReorderRemarkCtx &Ctx) {
+                   const ReorderRemarkCtx &Ctx, VectorizerBudget *Budget) {
   switch (Mode) {
   case OperandMode::Constant:
   case OperandMode::Load:
@@ -156,7 +169,7 @@ BestResult getBest(OperandMode Mode, Value *Last,
         int FirstScore = 0;
         for (size_t CI = 0; CI < BestCandidates.size(); ++CI) {
           int Score = getLookAheadScore(Last, BestCandidates[CI], Level,
-                                        Config.ScoreAggregation);
+                                        Config.ScoreAggregation, Budget);
           Scores[CI] = Score;
           if (CI == 0)
             FirstScore = Score;
@@ -202,13 +215,14 @@ BestResult getBest(OperandMode Mode, Value *Last,
 /// Score of placing \p Candidate after \p Last in a slot: zero unless
 /// they trivially match, plus the look-ahead score as a tie-breaking
 /// bonus when enabled.
-int pairScore(Value *Last, Value *Candidate, const VectorizerConfig &Config) {
+int pairScore(Value *Last, Value *Candidate, const VectorizerConfig &Config,
+              VectorizerBudget *Budget) {
   if (!areConsecutiveOrMatch(Last, Candidate))
     return 0;
   int Score = 1000; // A trivial match always beats any non-match sum.
   if (Config.EnableLookAhead)
     Score += getLookAheadScore(Last, Candidate, Config.MaxLookAheadLevel,
-                               Config.ScoreAggregation);
+                               Config.ScoreAggregation, Budget);
   return Score;
 }
 
@@ -217,7 +231,8 @@ int pairScore(Value *Last, Value *Candidate, const VectorizerConfig &Config) {
 /// assignment.
 ReorderResult
 reorderExhaustivePerLane(const std::vector<std::vector<Value *>> &Operands,
-                         const VectorizerConfig &Config) {
+                         const VectorizerConfig &Config,
+                         VectorizerBudget *Budget) {
   const unsigned NumSlots = static_cast<unsigned>(Operands.size());
   const unsigned NumLanes = static_cast<unsigned>(Operands[0].size());
 
@@ -236,10 +251,12 @@ reorderExhaustivePerLane(const std::vector<std::vector<Value *>> &Operands,
     std::vector<unsigned> BestPerm = Perm;
     int BestScore = -1;
     do {
+      if (Budget && !Budget->chargePermutations(1))
+        return identityResult(Operands);
       int Score = 0;
       for (unsigned I = 0; I != NumSlots; ++I)
         Score += pairScore(Result.Final[I][Lane - 1],
-                           Operands[Perm[I]][Lane], Config);
+                           Operands[Perm[I]][Lane], Config, Budget);
       if (Score > BestScore) {
         BestScore = Score;
         BestPerm = Perm;
@@ -270,18 +287,22 @@ reorderExhaustivePerLane(const std::vector<std::vector<Value *>> &Operands,
 
 ReorderResult
 lslp::reorderOperands(const std::vector<std::vector<Value *>> &Operands,
-                      const VectorizerConfig &Config) {
+                      const VectorizerConfig &Config,
+                      VectorizerBudget *Budget) {
   const unsigned NumSlots = static_cast<unsigned>(Operands.size());
   assert(NumSlots >= 1 && "reordering needs at least one operand slot");
   const unsigned NumLanes = static_cast<unsigned>(Operands[0].size());
   assert(NumLanes >= 2 && "reordering needs at least two lanes");
+
+  if (Budget && Budget->exhausted())
+    return identityResult(Operands);
 
   // Footnote-3 ablation path, bounded to slot counts whose factorial is
   // negligible.
   if (Config.ReorderStrategy ==
           VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane &&
       NumSlots <= 6)
-    return reorderExhaustivePerLane(Operands, Config);
+    return reorderExhaustivePerLane(Operands, Config, Budget);
 
   const Instruction *Anchor = findAnchor(Operands);
 
@@ -308,8 +329,11 @@ lslp::reorderOperands(const std::vector<std::vector<Value *>> &Operands,
       if (Result.Modes[I] == OperandMode::Failed)
         continue; // Filled from the leftovers below.
       Value *Last = Result.Final[I][Lane - 1];
+      if (Budget && !Budget->chargePermutations(1))
+        return identityResult(Operands);
       ReorderRemarkCtx Ctx{Config.Remarks, Anchor, I, Lane};
-      BestResult BR = getBest(Result.Modes[I], Last, Candidates, Config, Ctx);
+      BestResult BR =
+          getBest(Result.Modes[I], Last, Candidates, Config, Ctx, Budget);
       Result.Modes[I] = BR.NewMode;
       if (!BR.Best)
         continue;

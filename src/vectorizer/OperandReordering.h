@@ -25,6 +25,7 @@
 namespace lslp {
 
 class Value;
+class VectorizerBudget;
 
 /// The per-slot search mode (paper Table 1).
 enum class OperandMode : uint8_t {
@@ -48,9 +49,13 @@ struct ReorderResult {
 /// Reorders \p Operands[Slot][Lane] (all rows of equal length, >= 1 slot,
 /// >= 2 lanes). Lane 0 is taken as-is (its order is final, Listing 5
 /// line 5). Uses look-ahead tie-breaking and splat detection per \p Config.
+/// Candidate selections, permutation evaluations and look-ahead scores
+/// charge \p Budget (when non-null); on exhaustion the input order is
+/// returned unchanged and the caller abandons the function.
 ReorderResult
 reorderOperands(const std::vector<std::vector<Value *>> &Operands,
-                const VectorizerConfig &Config);
+                const VectorizerConfig &Config,
+                VectorizerBudget *Budget = nullptr);
 
 } // namespace lslp
 

@@ -119,16 +119,21 @@ int reductionFoldCost(const TargetTransformInfo &TTI, ValueID Opcode,
 bool tryVectorizeOneReduction(const ReductionCandidate &Cand, BasicBlock &BB,
                               const VectorizerConfig &Config,
                               const TargetTransformInfo &TTI,
-                              GraphAttempt &Attempt, bool Verbose) {
+                              GraphAttempt &Attempt, bool Verbose,
+                              VectorizerBudget *Budget) {
   Context &Ctx = BB.getContext();
   const unsigned Lanes = static_cast<unsigned>(Cand.Leaves.size());
   Type *ScalarTy = Cand.Root->getType();
   Type *VecTy = Ctx.getVectorTy(ScalarTy, Lanes);
 
-  SLPGraphBuilder Builder(Config, BB);
+  SLPGraphBuilder Builder(Config, BB, Budget);
   // The leaf bundle is the graph root; build it directly.
   std::optional<SLPGraph> Graph = Builder.buildValueGraph(Cand.Leaves);
   if (!Graph)
+    return false;
+  // A graph built on a dying budget is untrustworthy; the caller rolls
+  // the whole function back.
+  if (Budget && Budget->exhausted())
     return false;
 
   int LeafCost = evaluateGraphCost(*Graph, TTI, Config.Remarks);
@@ -214,7 +219,7 @@ unsigned lslp::vectorizeReductions(BasicBlock &BB,
                                    const VectorizerConfig &Config,
                                    const TargetTransformInfo &TTI,
                                    std::vector<GraphAttempt> &Attempts,
-                                   bool Verbose) {
+                                   bool Verbose, VectorizerBudget *Budget) {
   // Candidate roots: binop trees feeding a store. Snapshot first;
   // vectorization mutates the block.
   std::vector<Instruction *> Roots;
@@ -233,6 +238,8 @@ unsigned lslp::vectorizeReductions(BasicBlock &BB,
 
   unsigned NumVectorized = 0;
   for (Instruction *Root : Roots) {
+    if (Budget && Budget->exhausted())
+      break;
     // A previous reduction (or its DCE) may have erased this root.
     if (!StillInBlock(Root))
       continue;
@@ -258,8 +265,10 @@ unsigned lslp::vectorizeReductions(BasicBlock &BB,
                   .arg("tree-ops",
                        static_cast<uint64_t>(Cand->TreeOps.size()));
     GraphAttempt Attempt;
-    bool Vectorized =
-        tryVectorizeOneReduction(*Cand, BB, Config, TTI, Attempt, Verbose);
+    bool Vectorized = tryVectorizeOneReduction(*Cand, BB, Config, TTI,
+                                               Attempt, Verbose, Budget);
+    if (Budget && Budget->exhausted())
+      break;
     if (Vectorized) {
       ++NumVectorized;
       ++NumReductionsVectorized;

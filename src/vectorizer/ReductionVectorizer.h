@@ -33,6 +33,7 @@ class Instruction;
 struct GraphAttempt;
 class TargetTransformInfo;
 class Value;
+class VectorizerBudget;
 
 /// A matched reduction tree: Root computes Opcode over exactly Leaves
 /// (power-of-two many), through the single-use interior ops TreeOps
@@ -54,11 +55,14 @@ matchReductionTree(Instruction *Root, unsigned MinLeaves, unsigned MaxLeaves);
 
 /// Attempts to vectorize all profitable reduction trees in \p BB.
 /// Appends one GraphAttempt per tried candidate to \p Attempts and
-/// returns the number vectorized.
+/// returns the number vectorized. Graph building charges \p Budget (may
+/// be null); once exhausted the remaining candidates are skipped and the
+/// caller rolls the function back.
 unsigned vectorizeReductions(BasicBlock &BB, const VectorizerConfig &Config,
                              const TargetTransformInfo &TTI,
                              std::vector<GraphAttempt> &Attempts,
-                             bool Verbose);
+                             bool Verbose,
+                             VectorizerBudget *Budget = nullptr);
 
 } // namespace lslp
 

@@ -11,10 +11,14 @@
 #include "diag/RemarkEngine.h"
 #include "diag/Statistics.h"
 #include "ir/BasicBlock.h"
+#include "ir/Cloning.h"
+#include "ir/Verifier.h"
+#include "support/CrashHandler.h"
 #include "support/OStream.h"
 #include "support/ThreadPool.h"
 #include "ir/Function.h"
 #include "ir/Module.h"
+#include "vectorizer/Budget.h"
 #include "vectorizer/CodeGen.h"
 #include "vectorizer/CostEvaluator.h"
 #include "vectorizer/GraphBuilder.h"
@@ -27,22 +31,49 @@ LSLP_STATISTIC(NumGraphsAccepted, "slp-vectorizer",
                "Graphs whose cost beat the threshold");
 LSLP_STATISTIC(NumGraphsRejected, "slp-vectorizer",
                "Graphs kept scalar by the cost model");
+LSLP_STATISTIC(NumBudgetExhausted, "slp-vectorizer",
+               "Functions abandoned (budget/fault) and kept scalar");
 
 FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
   FunctionReport Report;
   Report.FunctionName = F.getName();
+  CrashScope Crumb("function", F.getName());
+
+  // Transform-then-commit: when any budget or fault injection is active,
+  // snapshot the scalar body up front, mutate F in place, and on
+  // exhaustion (or failed post-transform verification) swap the snapshot
+  // back — the caller sees either the fully vectorized function or the
+  // untouched scalar one, never a half-transformed hybrid. The default
+  // configuration (no budgets, no faults) takes none of these branches
+  // and pays nothing.
+  const bool Budgeted =
+      Config.MaxGraphNodes != 0 || Config.MaxPermutationsPerMultiNode != 0 ||
+      Config.MaxMsPerFunction != 0 || Config.Faults != nullptr;
+  VectorizerBudget Budget(Config, F.getName());
+  VectorizerBudget *BP = Budgeted ? &Budget : nullptr;
+  std::unique_ptr<Function> Backup;
+  if (Budgeted)
+    Backup = cloneFunctionDetached(F);
 
   for (const auto &BBPtr : F) {
+    if (BP && BP->exhausted())
+      break;
     BasicBlock &BB = *BBPtr;
     // Seed bundles are disjoint, so vectorizing one cannot delete another
     // bundle's stores; collecting once per block is safe (step 1).
     std::vector<SeedBundle> Seeds = collectStoreSeeds(BB, TTI, Config.Remarks);
     for (const SeedBundle &Bundle : Seeds) {
+      if (BP && BP->exhausted())
+        break;
       // Steps 3-4: build the graph and evaluate its cost.
-      SLPGraphBuilder Builder(Config, BB);
+      SLPGraphBuilder Builder(Config, BB, BP);
       std::optional<SLPGraph> Graph = Builder.build(Bundle);
       if (!Graph)
         continue;
+      // A graph built on a dying budget is untrustworthy (silent gathers,
+      // unreordered operands); discard it before cost/codegen.
+      if (BP && BP->exhausted())
+        break;
       int Cost = evaluateGraphCost(*Graph, TTI, Config.Remarks);
 
       GraphAttempt Attempt;
@@ -89,8 +120,34 @@ FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
 
     // Second seed class (paper §2.2): horizontal reduction trees over the
     // stores the adjacent-store pass left scalar.
-    if (Config.EnableReductions)
-      vectorizeReductions(BB, Config, TTI, Report.Attempts, Verbose);
+    if (Config.EnableReductions && !(BP && BP->exhausted()))
+      vectorizeReductions(BB, Config, TTI, Report.Attempts, Verbose, BP);
+  }
+
+  if (BP && !BP->exhausted()) {
+    // Post-transform verification: the budget machinery gives us a backup
+    // to fall back on, so a codegen bug here degrades to "function kept
+    // scalar + diagnostic" instead of corrupt IR escaping the pass. Also
+    // the Verify fault-injection site.
+    if (BP->chargeVerify()) {
+      std::vector<std::string> Errors;
+      if (!verifyFunction(F, &Errors))
+        BP->markVerifyFailed();
+    }
+  }
+
+  if (BP && BP->exhausted()) {
+    F.takeBody(*Backup);
+    ++NumBudgetExhausted;
+    Report.Attempts.clear(); // Nothing the pass tried survived.
+    Report.BudgetExhausted = true;
+    Report.ExhaustionReason = BP->exhaustionReason();
+    if (RemarkStreamer *RS = Config.Remarks)
+      RS->emit(Remark(RemarkKind::BudgetExhausted, "slp-vectorizer")
+                   .inFunction(F.getName())
+                   .arg("reason", BP->exhaustionReason())
+                   .arg("nodes", BP->nodesUsed())
+                   .arg("permutations", BP->permutationsUsed()));
   }
   return Report;
 }

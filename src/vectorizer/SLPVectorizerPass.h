@@ -49,6 +49,15 @@ struct FunctionReport {
   std::string FunctionName;
   std::vector<GraphAttempt> Attempts;
 
+  /// True when a resource budget (or an injected fault) aborted the
+  /// vectorization of this function: every transformation was rolled back
+  /// and the scalar body kept. Attempts is empty in that case — nothing
+  /// the pass tried survived.
+  bool BudgetExhausted = false;
+  /// Stable reason ("node-budget", "permutation-budget", "time-budget",
+  /// "fault-injected", "verify-failed"); empty when not exhausted.
+  std::string ExhaustionReason;
+
   /// Sum of the costs of accepted graphs (the "static cost" of Figures
   /// 10-11; more negative is better).
   int acceptedCost() const {

@@ -33,6 +33,7 @@
 #include "ir/Value.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace lslp {
@@ -94,6 +95,11 @@ struct CompiledFunction {
   /// Base slot of each function argument.
   std::vector<uint32_t> ArgBase;
   uint32_t NumSlots = 0;
+  /// Non-empty when the compiler could not lower the function (malformed
+  /// phi structure, unsupported constant — IR a verifier pass would have
+  /// rejected). The engine reports it as a clean trap at run() time
+  /// instead of aborting the process.
+  std::string CompileError;
 };
 
 } // namespace vm

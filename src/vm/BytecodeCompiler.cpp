@@ -36,6 +36,8 @@ public:
       : F(F), GlobalAddr(GlobalAddr), TTI(TTI) {}
 
   CompiledFunction compile() {
+    // Lowering failures (recorded via fail()) leave Out.CompileError set;
+    // the engine then traps at run() time instead of aborting here.
     // Pass 1: fixed slots for arguments, instruction results and phi
     // staging (the parallel-copy landing pads).
     for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
@@ -68,6 +70,14 @@ private:
   // Slots
   //===--------------------------------------------------------------------===//
 
+  /// Records the first lowering failure; compilation continues (emitting
+  /// placeholder code that is never executed) so no caller needs an
+  /// error-path unwind.
+  void fail(const char *Why) {
+    if (Out.CompileError.empty())
+      Out.CompileError = Why;
+  }
+
   uint32_t alloc(unsigned Lanes) {
     uint32_t Base = Out.NumSlots;
     Out.NumSlots += Lanes;
@@ -92,7 +102,8 @@ private:
       return 0;
     if (const auto *G = dyn_cast<GlobalArray>(V))
       return GlobalAddr.at(G);
-    reportFatalError("vm: unsupported constant operand");
+    fail("unsupported constant operand");
+    return 0;
   }
 
   /// Operand slot: instruction/argument slots were preassigned; constants,
@@ -153,8 +164,10 @@ private:
       const auto *Phi = dyn_cast<PHINode>(It->get());
       if (!Phi)
         break;
-      if (&BB == F.getEntryBlock())
-        reportFatalError("vm: phi in entry block");
+      if (&BB == F.getEntryBlock()) {
+        fail("phi in entry block");
+        continue;
+      }
       VMInst &I = emit(VMOp::PhiCommit, Phi);
       I.Lanes = static_cast<uint8_t>(lanesOf(Phi->getType()));
       I.Dst = Slots.at(Phi);
@@ -335,8 +348,10 @@ private:
         if (!Phi)
           break;
         const Value *In = Phi->getIncomingValueForBlock(Fix.From);
-        if (!In)
-          reportFatalError("vm: phi has no entry for predecessor");
+        if (!In) {
+          fail("phi has no entry for predecessor");
+          continue;
+        }
         VMInst Copy;
         Copy.Op = VMOp::Copy;
         Copy.SrcOpc = ValueID::Phi;

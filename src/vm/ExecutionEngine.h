@@ -48,7 +48,15 @@ class TargetTransformInfo;
 /// Statistics and result of one function execution. Identical across
 /// engines for identical inputs (the oracle's cross-engine invariant).
 struct ExecStats {
-  RuntimeValue ReturnValue; ///< Invalid for void functions.
+  RuntimeValue ReturnValue; ///< Invalid for void functions (and after traps).
+  /// True when execution stopped at a runtime trap (division by zero,
+  /// out-of-bounds access, step-limit exhaustion, argument mismatch).
+  /// Traps are clean results, not process aborts: memory writes that
+  /// retired before the trapping instruction are visible in the memory
+  /// image (identically on both engines), and ReturnValue is invalid.
+  bool Trapped = false;
+  /// Engine-agnostic trap reason ("udiv by zero"); empty when !Trapped.
+  std::string TrapReason;
   uint64_t DynamicInsts = 0;
   uint64_t TotalCost = 0; ///< Sum of per-instruction TTI costs.
   /// Dynamic instruction counts, split scalar/vector per opcode.
@@ -108,9 +116,10 @@ public:
   create(EngineKind Kind, const Module &M,
          const TargetTransformInfo *TTI = nullptr);
 
-  /// Executes \p F with \p Args (must match the signature). Aborts with a
-  /// diagnostic on traps (division by zero, out-of-bounds access,
-  /// step-limit exhaustion).
+  /// Executes \p F with \p Args. Runtime traps (division by zero,
+  /// out-of-bounds access, step-limit exhaustion, argument mismatch) are
+  /// reported via ExecStats::Trapped/TrapReason — run() never aborts the
+  /// process on bad input.
   virtual ExecStats run(const Function *F,
                         const std::vector<RuntimeValue> &Args = {}) = 0;
 

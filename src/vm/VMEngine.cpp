@@ -38,29 +38,44 @@ const CompiledFunction &VMEngine::getOrCompile(const Function *F) {
   return It->second;
 }
 
+namespace {
+ExecStats trapStats(ExecStats S, std::string Reason) {
+  S.Trapped = true;
+  S.TrapReason = std::move(Reason);
+  S.ReturnValue = RuntimeValue();
+  return S;
+}
+} // namespace
+
 ExecStats VMEngine::run(const Function *F,
                         const std::vector<RuntimeValue> &Args) {
   assert(F->getParent() == &M && "function from a different module");
   if (Args.size() != F->getNumArgs())
-    reportFatalError("vm: argument count mismatch calling @" + F->getName());
+    return trapStats({}, "argument count mismatch calling @" + F->getName());
   for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
     if (Args[I].Ty != F->getArg(I)->getType())
-      reportFatalError("vm: argument type mismatch calling @" + F->getName());
+      return trapStats({}, "argument type mismatch calling @" + F->getName());
 
   const CompiledFunction &CF = getOrCompile(F);
+  // IR the bytecode compiler cannot lower (malformed constants or phi
+  // structure — never verifier-clean IR) surfaces as a trap instead of
+  // aborting the process.
+  if (!CF.CompileError.empty())
+    return trapStats({}, CF.CompileError);
   std::vector<uint64_t> R = CF.InitRegs;
   for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
     for (unsigned K = 0, L = Args[I].getNumLanes(); K != L; ++K)
       R[CF.ArgBase[I] + K] = Args[I].Lanes[K];
 
   ExecStats S;
+  laneops::TrapSink Trap;
   size_t PC = 0;
   while (true) {
     const VMInst &I = CF.Code[PC];
     if (I.Charged) {
       ++S.DynamicInsts;
       if (S.DynamicInsts > StepLimit)
-        reportFatalError("vm: step limit exceeded (infinite loop?)");
+        return trapStats(std::move(S), "step limit exceeded (infinite loop?)");
       S.TotalCost += I.Cost;
       if (CollectStats)
         ++(I.StatVec ? S.VectorOpCounts : S.ScalarOpCounts)[I.SrcOpc];
@@ -70,7 +85,7 @@ ExecStats VMEngine::run(const Function *F,
     case VMOp::IntBin:
       for (unsigned K = 0; K != I.Lanes; ++K)
         R[I.Dst + K] = laneops::evalIntBinLane(I.SrcOpc, I.SrcK.Bits,
-                                               R[I.A + K], R[I.B + K], "vm");
+                                               R[I.A + K], R[I.B + K], Trap);
       break;
     case VMOp::FPBin:
       for (unsigned K = 0; K != I.Lanes; ++K)
@@ -98,10 +113,14 @@ ExecStats VMEngine::run(const Function *F,
     case VMOp::Load: {
       uint64_t Addr = R[I.A];
       unsigned Size = static_cast<unsigned>(I.Imm);
+      // Stop at the first out-of-bounds lane (same retired-lane set as
+      // the tree-walker, so post-trap memory images stay bit-identical).
       for (unsigned K = 0; K != I.Lanes; ++K) {
         uint64_t LaneAddr = Addr + uint64_t(K) * Size;
-        if (LaneAddr < 4096 || LaneAddr + Size > Memory.size())
-          reportFatalError("vm: out-of-bounds memory access");
+        if (LaneAddr < 4096 || LaneAddr + Size > Memory.size()) {
+          Trap.trap("out-of-bounds memory access");
+          break;
+        }
         uint64_t Raw = 0;
         std::memcpy(&Raw, &Memory[LaneAddr], Size);
         R[I.Dst + K] = Raw;
@@ -113,8 +132,10 @@ ExecStats VMEngine::run(const Function *F,
       unsigned Size = static_cast<unsigned>(I.Imm);
       for (unsigned K = 0; K != I.Lanes; ++K) {
         uint64_t LaneAddr = Addr + uint64_t(K) * Size;
-        if (LaneAddr < 4096 || LaneAddr + Size > Memory.size())
-          reportFatalError("vm: out-of-bounds memory access");
+        if (LaneAddr < 4096 || LaneAddr + Size > Memory.size()) {
+          Trap.trap("out-of-bounds memory access");
+          break;
+        }
         std::memcpy(&Memory[LaneAddr], &R[I.A + K], Size);
       }
       break;
@@ -127,8 +148,10 @@ ExecStats VMEngine::run(const Function *F,
     }
     case VMOp::InsertElt: {
       uint64_t Lane = R[I.C];
-      if (Lane >= I.Lanes)
-        reportFatalError("vm: insertelement lane out of range");
+      if (Lane >= I.Lanes) {
+        Trap.trap("insertelement lane out of range");
+        break;
+      }
       for (unsigned K = 0; K != I.Lanes; ++K)
         R[I.Dst + K] = R[I.A + K];
       R[I.Dst + Lane] = R[I.B];
@@ -136,8 +159,10 @@ ExecStats VMEngine::run(const Function *F,
     }
     case VMOp::ExtractElt: {
       uint64_t Lane = R[I.B];
-      if (Lane >= I.Lanes)
-        reportFatalError("vm: extractelement lane out of range");
+      if (Lane >= I.Lanes) {
+        Trap.trap("extractelement lane out of range");
+        break;
+      }
       R[I.Dst] = R[I.A + Lane];
       break;
     }
@@ -174,6 +199,8 @@ ExecStats VMEngine::run(const Function *F,
     case VMOp::RetVoid:
       return S;
     }
+    if (Trap.trapped())
+      return trapStats(std::move(S), Trap.reason());
     PC = Next;
   }
 }

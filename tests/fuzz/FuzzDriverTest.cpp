@@ -68,6 +68,35 @@ TEST(FuzzDriver, ConsumeRunsOnCallingThread) {
   EXPECT_EQ(Calls, 8u);
 }
 
+TEST(FuzzDriver, FaultInjectedSweepStaysClean) {
+  // The acceptance gate in miniature: seeds swept with fault injection on
+  // must produce zero failures (every injected fault surfaces as a clean
+  // scalar fallback plus remark, never a crash or miscompile) and stay
+  // deterministic across job counts.
+  FuzzSweepOptions Opts;
+  Opts.Count = 12;
+  Opts.FirstSeed = 5;
+  Opts.FaultProbability = 0.05;
+  Opts.FaultSeed = 99;
+  std::vector<SeedOutcome> Serial;
+  int64_t SerialFailures = runFuzzSweep(
+      Opts, [&](const SeedOutcome &O) { Serial.push_back(O); });
+  EXPECT_EQ(SerialFailures, 0);
+  for (const SeedOutcome &O : Serial) {
+    EXPECT_TRUE(O.Passed) << "seed " << O.Seed << ": " << O.Reason;
+    EXPECT_FALSE(O.Crashed);
+  }
+
+  Opts.Jobs = 4;
+  std::vector<SeedOutcome> Parallel;
+  runFuzzSweep(Opts, [&](const SeedOutcome &O) { Parallel.push_back(O); });
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  for (size_t I = 0; I != Serial.size(); ++I) {
+    EXPECT_EQ(Serial[I].Passed, Parallel[I].Passed) << Serial[I].Seed;
+    EXPECT_EQ(Serial[I].Reason, Parallel[I].Reason);
+  }
+}
+
 TEST(FuzzDriver, OversubscribedJobsClampToSeedCount) {
   // More workers than seeds must not hang or drop outcomes.
   std::vector<SeedOutcome> Out = sweep(16, 3, 42);

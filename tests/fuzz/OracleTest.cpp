@@ -98,6 +98,36 @@ TEST(DifferentialOracle, ReportsParseErrors) {
   EXPECT_NE(V.Reason.find("parse error"), std::string::npos) << V.Reason;
 }
 
+TEST(DifferentialOracle, PassesUnderFaultInjection) {
+  // With faults injected at budget sites, every invariant must still hold:
+  // clean fallback (bit-exact scalar behavior), a budget-exhausted remark
+  // whenever a fault fired, and byte-identical determinism re-runs (the
+  // oracle rebuilds the injector from the same seed for the second run).
+  OracleOptions Opts;
+  Opts.FaultProbability = 0.2;
+  Opts.FaultSeed = 17;
+  DifferentialOracle Oracle(Opts);
+  for (uint64_t Seed = 0; Seed != 10; ++Seed) {
+    Context Ctx;
+    ModuleGenerator Gen(Seed);
+    std::unique_ptr<Module> M = Gen.generate(Ctx);
+    OracleVerdict V = Oracle.check(moduleToString(*M));
+    EXPECT_TRUE(V.Passed) << "seed " << Seed << " [" << V.ConfigName
+                          << "]: " << V.Reason;
+  }
+}
+
+TEST(DifferentialOracle, CertainFaultInjectionStillPasses) {
+  // Probability 1: every function is abandoned in every config, so the
+  // "vectorized" output is the scalar input — trivially equivalent, and
+  // the remark invariant must see the budget-exhausted diagnostics.
+  OracleOptions Opts;
+  Opts.FaultProbability = 1.0;
+  DifferentialOracle Oracle(Opts);
+  OracleVerdict V = Oracle.check(SubModule);
+  EXPECT_TRUE(V.Passed) << "[" << V.ConfigName << "]: " << V.Reason;
+}
+
 TEST(DifferentialOracle, DefaultSweepCoversKeyConfigs) {
   std::vector<VectorizerConfig> Cs = DifferentialOracle::defaultConfigs();
   ASSERT_GE(Cs.size(), 4u);

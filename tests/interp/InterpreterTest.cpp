@@ -495,7 +495,7 @@ entry:
   EXPECT_TRUE(R.VectorOpCounts.empty());
 }
 
-TEST(Interpreter, StepLimitAborts) {
+TEST(Interpreter, StepLimitTrapsCleanly) {
   Context Ctx;
   auto M = parseModuleOrDie(R"(
 define void @f() {
@@ -508,11 +508,12 @@ loop:
                             Ctx);
   Interpreter Interp(*M);
   Interp.setStepLimit(1000);
-  EXPECT_EXIT(Interp.run(M->getFunction("f")),
-              ::testing::ExitedWithCode(1), "step limit");
+  ExecStats S = Interp.run(M->getFunction("f"));
+  EXPECT_TRUE(S.Trapped);
+  EXPECT_EQ(S.TrapReason, "step limit exceeded (infinite loop?)");
 }
 
-TEST(Interpreter, DivisionByZeroTraps) {
+TEST(Interpreter, DivisionByZeroTrapsCleanly) {
   Context Ctx;
   auto M = parseModuleOrDie(R"(
 define i64 @f(i64 %a) {
@@ -523,9 +524,30 @@ entry:
 )",
                             Ctx);
   Interpreter Interp(*M);
-  EXPECT_EXIT(Interp.run(M->getFunction("f"),
-                         {RuntimeValue::makeInt(Ctx.getInt64Ty(), 1)}),
-              ::testing::ExitedWithCode(1), "div by zero");
+  ExecStats S = Interp.run(M->getFunction("f"),
+                           {RuntimeValue::makeInt(Ctx.getInt64Ty(), 1)});
+  EXPECT_TRUE(S.Trapped);
+  EXPECT_EQ(S.TrapReason, "udiv by zero");
+  // The trap is a result, not an abort: the interpreter object stays
+  // usable for further runs.
+  ExecStats S2 = Interp.run(M->getFunction("f"),
+                            {RuntimeValue::makeInt(Ctx.getInt64Ty(), 0)});
+  EXPECT_TRUE(S2.Trapped);
+}
+
+TEST(Interpreter, ArgumentMismatchTrapsCleanly) {
+  Context Ctx;
+  auto M = parseModuleOrDie(R"(
+define i64 @f(i64 %a) {
+entry:
+  ret i64 %a
+}
+)",
+                            Ctx);
+  Interpreter Interp(*M);
+  ExecStats S = Interp.run(M->getFunction("f"), {});
+  EXPECT_TRUE(S.Trapped);
+  EXPECT_EQ(S.TrapReason, "argument count mismatch calling @f");
 }
 
 } // namespace

@@ -205,4 +205,100 @@ TEST(Verifier, RejectsDuplicateBlockNames) {
   EXPECT_FALSE(verifyFunction(*F));
 }
 
+// One negative case per type-checking diagnostic category. These can only
+// be built through the C++ API — the parser rejects them earlier — but
+// the vectorizer mutates IR through this API, so the verifier is the last
+// line of defense for exactly these shapes.
+
+/// Runs the verifier and expects failure with a diagnostic containing
+/// \p Needle.
+void expectVerifyError(Function *F, const char *Needle) {
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  bool Found = false;
+  for (const std::string &E : Errors)
+    Found |= E.find(Needle) != std::string::npos;
+  EXPECT_TRUE(Found) << "no diagnostic mentions '" << Needle << "'; got: "
+                     << Errors[0];
+}
+
+TEST(Verifier, RejectsBinaryOperandTypeMismatch) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getInt64Ty(), Ctx.getInt32Ty()},
+                                 {"a", "b"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *Add = cast<Instruction>(
+      IRB.createAdd(F->getArg(0), Ctx.getInt64(0)));
+  Add->setOperand(1, F->getArg(1)); // i64 + i32
+  IRB.createRet();
+  expectVerifyError(F, "binary operator operand type mismatch");
+}
+
+TEST(Verifier, RejectsICmpOperandTypeMismatch) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getInt64Ty(), Ctx.getInt32Ty()},
+                                 {"a", "b"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *Cmp = cast<Instruction>(IRB.createICmp(
+      ICmpInst::Predicate::SLT, F->getArg(0), Ctx.getInt64(0)));
+  Cmp->setOperand(1, F->getArg(1));
+  IRB.createRet();
+  expectVerifyError(F, "icmp operand types differ");
+}
+
+TEST(Verifier, RejectsSelectArmTypeMismatch) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(
+      &M, "f", Ctx.getVoidTy(),
+      {Ctx.getInt1Ty(), Ctx.getInt64Ty(), Ctx.getInt32Ty()},
+      {"c", "a", "b"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *Sel = cast<Instruction>(IRB.createSelect(
+      F->getArg(0), F->getArg(1), Ctx.getInt64(0)));
+  Sel->setOperand(2, F->getArg(2));
+  IRB.createRet();
+  expectVerifyError(F, "select arm type mismatch");
+}
+
+TEST(Verifier, RejectsNonPointerLoadAddress) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getPtrTy(), Ctx.getInt64Ty()},
+                                 {"p", "x"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  auto *L = cast<Instruction>(
+      IRB.createLoad(Ctx.getInt64Ty(), F->getArg(0)));
+  L->setOperand(0, F->getArg(1)); // load through an i64
+  IRB.createRet();
+  expectVerifyError(F, "load pointer operand is not ptr-typed");
+}
+
+TEST(Verifier, RejectsInvalidCastTypes) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = Function::create(&M, "f", Ctx.getVoidTy(),
+                                 {Ctx.getInt64Ty(), Ctx.getInt32Ty()},
+                                 {"a", "b"});
+  BasicBlock *BB = BasicBlock::create(Ctx, "entry", F);
+  IRBuilder IRB(BB);
+  // Start from a valid trunc i64 -> i32, then swap in an i32 source:
+  // trunc must narrow, so i32 -> i32 is invalid.
+  auto *T = cast<Instruction>(
+      IRB.createTrunc(F->getArg(0), Ctx.getInt32Ty()));
+  T->setOperand(0, F->getArg(1));
+  IRB.createRet();
+  expectVerifyError(F, "invalid cast source/destination types");
+}
+
 } // namespace

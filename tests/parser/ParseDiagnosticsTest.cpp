@@ -1,0 +1,107 @@
+//===- tests/parser/ParseDiagnosticsTest.cpp - Structured parse errors ---------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// parseModuleOrError returns an Error of category Parse plus a structured
+// ParseDiagnostic with 1-based line/column, rendered by lslpc in the
+// clang-style "file:line:col: error: message" form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+ParseDiagnostic diagnose(const char *Src) {
+  Context Ctx;
+  ParseDiagnostic Diag;
+  Expected<std::unique_ptr<Module>> M = parseModuleOrError(Src, Ctx, &Diag);
+  EXPECT_FALSE(M.hasValue());
+  EXPECT_EQ(M.getError().category(), ErrorCategory::Parse);
+  return Diag;
+}
+
+TEST(ParseDiagnostics, SuccessReturnsModule) {
+  Context Ctx;
+  ParseDiagnostic Diag;
+  Expected<std::unique_ptr<Module>> M = parseModuleOrError(
+      "define void @f() {\nentry:\n  ret void\n}\n", Ctx, &Diag);
+  ASSERT_TRUE(M.hasValue());
+  EXPECT_NE((*M)->getFunction("f"), nullptr);
+}
+
+TEST(ParseDiagnostics, DiagOutIsOptional) {
+  Context Ctx;
+  Expected<std::unique_ptr<Module>> M =
+      parseModuleOrError("define junk", Ctx);
+  ASSERT_FALSE(M.hasValue());
+  EXPECT_EQ(M.getError().category(), ErrorCategory::Parse);
+  EXPECT_FALSE(M.getError().message().empty());
+}
+
+TEST(ParseDiagnostics, PositionPointsAtOffendingToken) {
+  // Line 3, and the column of the undefined '%x' use (col 11, at the
+  // sigil).
+  ParseDiagnostic D = diagnose("define i64 @f() {\n"
+                               "entry:\n"
+                               "  ret i64 %x\n"
+                               "}\n");
+  EXPECT_EQ(D.Line, 3u);
+  EXPECT_EQ(D.Col, 11u);
+  EXPECT_EQ(D.Message, "use of undefined value '%x'");
+}
+
+TEST(ParseDiagnostics, FirstLineFirstColumn) {
+  ParseDiagnostic D = diagnose("junk\n");
+  EXPECT_EQ(D.Line, 1u);
+  EXPECT_EQ(D.Col, 1u);
+  EXPECT_FALSE(D.Message.empty());
+}
+
+TEST(ParseDiagnostics, RenderIsClangStyle) {
+  ParseDiagnostic D;
+  D.Line = 12;
+  D.Col = 7;
+  D.Message = "expected an opcode";
+  EXPECT_EQ(D.render("foo.ll"), "foo.ll:12:7: error: expected an opcode");
+  EXPECT_EQ(D.render("<stdin>"),
+            "<stdin>:12:7: error: expected an opcode");
+}
+
+TEST(ParseDiagnostics, LegacyErrorKeepsLinePrefix) {
+  // The Error message (and the legacy parseModule interface) renders as
+  // "line N: msg" for existing callers and tests.
+  Context Ctx;
+  Expected<std::unique_ptr<Module>> M = parseModuleOrError(
+      "define i64 @f() {\nentry:\n  ret i64 %x\n}\n", Ctx);
+  ASSERT_FALSE(M.hasValue());
+  EXPECT_EQ(M.getError().message(), "line 3: use of undefined value '%x'");
+
+  std::string Err;
+  Context Ctx2;
+  EXPECT_EQ(parseModule("define i64 @f() {\nentry:\n  ret i64 %x\n}\n",
+                        Ctx2, Err),
+            nullptr);
+  EXPECT_EQ(Err, "line 3: use of undefined value '%x'");
+}
+
+TEST(ParseDiagnostics, LexicalErrorsCarryTheLine) {
+  // '$' is not a valid token; the lexer reports it with its line.
+  ParseDiagnostic D = diagnose("define void @f() {\n"
+                               "entry:\n"
+                               "  $\n"
+                               "}\n");
+  EXPECT_EQ(D.Line, 3u);
+  EXPECT_FALSE(D.Message.empty());
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- tests/support/CrashHandlerTest.cpp - Crash containment tests ------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+// Crash recovery is process-global write-once state, so the pre-install
+// test comes first in declaration order and every crashing test installs
+// the handlers itself (idempotent — also correct when ctest runs each
+// case in its own process).
+// The crashes are raised as SIGABRT: a real deployment mostly catches
+// SIGSEGV too, but sanitizer builds own that signal for their reports, so
+// the portable signal to test with is SIGABRT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashHandler.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace lslp;
+
+namespace {
+
+const char *CrashDir = "crash-handler-test.dir";
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(CrashHandler, AAA_UnprotectedRunBeforeInstall) {
+  ASSERT_FALSE(crashHandlersInstalled());
+  bool Ran = false;
+  CrashInfo Info;
+  EXPECT_TRUE(runWithCrashRecovery([&] { Ran = true; }, Info));
+  EXPECT_TRUE(Ran);
+}
+
+TEST(CrashHandler, AAB_InstallIsIdempotent) {
+  installCrashHandlers(CrashDir);
+  EXPECT_TRUE(crashHandlersInstalled());
+  EXPECT_EQ(crashReproDir(), CrashDir);
+  // Second install is a no-op; the first crash dir stays.
+  installCrashHandlers("some-other-dir");
+  EXPECT_EQ(crashReproDir(), CrashDir);
+}
+
+TEST(CrashHandler, RecoversFromAbortAndWritesReproducer) {
+  // Each ctest case runs in its own process; install is idempotent.
+  installCrashHandlers(CrashDir);
+  const std::string IR = "define void @boom() {\nentry:\n  ret void\n}\n";
+  const std::string Config = "{\"name\":\"LSLP\"}";
+  CrashPayload Payload(&IR, &Config);
+  CrashScope Outer("pass", "slp-vectorizer");
+
+  bool AfterCrash = false;
+  CrashInfo Info;
+  bool Completed = runWithCrashRecovery(
+      [&] {
+        CrashScope Inner("function", "boom");
+        std::raise(SIGABRT);
+        AfterCrash = true; // Unreachable: the handler unwinds past this.
+      },
+      Info);
+
+  EXPECT_FALSE(Completed);
+  EXPECT_FALSE(AfterCrash);
+  EXPECT_EQ(Info.Signal, SIGABRT);
+  EXPECT_EQ(Info.SignalName, "SIGABRT");
+  EXPECT_NE(Info.Breadcrumbs.find("function=boom"), std::string::npos);
+
+  ASSERT_FALSE(Info.ReproPath.empty());
+  std::string Repro = slurp(Info.ReproPath);
+  EXPECT_NE(Repro.find("; crash reproducer"), std::string::npos);
+  EXPECT_NE(Repro.find("; signal: SIGABRT"), std::string::npos);
+  EXPECT_NE(Repro.find("; context: pass=slp-vectorizer"), std::string::npos);
+  EXPECT_NE(Repro.find("; context: function=boom"), std::string::npos);
+  EXPECT_NE(Repro.find("define void @boom()"), std::string::npos);
+
+  // The config JSON lands next to the .ll under the same stem.
+  std::string JSONPath = Info.ReproPath;
+  ASSERT_GE(JSONPath.size(), 3u);
+  JSONPath.replace(JSONPath.size() - 3, 3, ".json");
+  EXPECT_EQ(slurp(JSONPath), Config + "\n");
+}
+
+TEST(CrashHandler, ThreadKeepsRunningAfterRecovery) {
+  // Each ctest case runs in its own process; install is idempotent.
+  installCrashHandlers(CrashDir);
+  // The fuzz sweep pattern: a pool worker recovers from a crashing seed
+  // and carries on with the next one.
+  const std::string IR = "; worker payload\n";
+  bool SecondUnitRan = false;
+  std::thread Worker([&] {
+    CrashPayload Payload(&IR, nullptr);
+    CrashInfo Info;
+    EXPECT_FALSE(
+        runWithCrashRecovery([] { std::raise(SIGABRT); }, Info));
+    EXPECT_EQ(Info.Signal, SIGABRT);
+    CrashInfo Info2;
+    EXPECT_TRUE(runWithCrashRecovery([&] { SecondUnitRan = true; }, Info2));
+  });
+  Worker.join();
+  EXPECT_TRUE(SecondUnitRan);
+}
+
+TEST(CrashHandler, BreadcrumbStackUnwindsAcrossRecovery) {
+  // Each ctest case runs in its own process; install is idempotent.
+  installCrashHandlers(CrashDir);
+  // Scopes skipped over by the recovery siglongjmp must not leak into
+  // later crashes' contexts.
+  const std::string IR = ";\n";
+  CrashPayload Payload(&IR, nullptr);
+  CrashInfo Info;
+  runWithCrashRecovery(
+      [&] {
+        CrashScope Leaky("leaky", "scope");
+        std::raise(SIGABRT);
+      },
+      Info);
+  EXPECT_NE(Info.Breadcrumbs.find("leaky=scope"), std::string::npos);
+
+  CrashInfo Info2;
+  runWithCrashRecovery([] { std::raise(SIGABRT); }, Info2);
+  EXPECT_EQ(Info2.Breadcrumbs.find("leaky=scope"), std::string::npos);
+}
+
+TEST(CrashHandler, NoReproducerWithoutPayload) {
+  // Each ctest case runs in its own process; install is idempotent.
+  installCrashHandlers(CrashDir);
+  CrashInfo Info;
+  EXPECT_FALSE(runWithCrashRecovery([] { std::raise(SIGABRT); }, Info));
+  EXPECT_EQ(Info.Signal, SIGABRT);
+  EXPECT_TRUE(Info.ReproPath.empty());
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- tests/support/ErrorTest.cpp - Error/Expected semantics ------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(Error, DefaultIsSuccess) {
+  Error E;
+  EXPECT_FALSE(E);
+  EXPECT_TRUE(E.isSuccess());
+  EXPECT_EQ(E.category(), ErrorCategory::None);
+  EXPECT_EQ(E.str(), "success");
+}
+
+TEST(Error, MakeCarriesCategoryAndMessage) {
+  Error E = Error::make(ErrorCategory::Parse, "unexpected token");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_FALSE(E.isSuccess());
+  EXPECT_EQ(E.category(), ErrorCategory::Parse);
+  EXPECT_EQ(E.message(), "unexpected token");
+  EXPECT_EQ(E.str(), "parse error: unexpected token");
+}
+
+TEST(Error, CategoryNamesAreStable) {
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::None), "none");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Parse), "parse");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Verify), "verify");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Trap), "trap");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Budget), "budget");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::IO), "io");
+}
+
+// The two bool polarities are easy to mix up: Error is true when it holds
+// a FAILURE, Expected is true when it holds a VALUE (LLVM convention).
+TEST(Error, BoolPolarity) {
+  Error Fail = Error::make(ErrorCategory::IO, "nope");
+  Error Ok = Error::success();
+  EXPECT_TRUE(static_cast<bool>(Fail));
+  EXPECT_FALSE(static_cast<bool>(Ok));
+
+  Expected<int> Value(7);
+  Expected<int> Errored(Error::make(ErrorCategory::Budget, "out of gas"));
+  EXPECT_TRUE(static_cast<bool>(Value));
+  EXPECT_FALSE(static_cast<bool>(Errored));
+}
+
+TEST(Expected, ValueAccess) {
+  Expected<std::string> E(std::string("hello"));
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_EQ(*E, "hello");
+  EXPECT_EQ(E->size(), 5u);
+  E.get() += "!";
+  EXPECT_EQ(*E, "hello!");
+}
+
+TEST(Expected, ErrorAccess) {
+  Expected<int> E(Error::make(ErrorCategory::Trap, "udiv by zero"));
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.getError().category(), ErrorCategory::Trap);
+  Error Taken = E.takeError();
+  EXPECT_EQ(Taken.message(), "udiv by zero");
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  auto Make = []() -> Expected<std::unique_ptr<int>> {
+    return std::make_unique<int>(42);
+  };
+  Expected<std::unique_ptr<int>> E = Make();
+  ASSERT_TRUE(static_cast<bool>(E));
+  std::unique_ptr<int> P = std::move(*E);
+  EXPECT_EQ(*P, 42);
+}
+
+TEST(Error, PropagationPattern) {
+  auto Inner = [](bool Fail) -> Error {
+    if (Fail)
+      return Error::make(ErrorCategory::Verify, "bad block");
+    return Error::success();
+  };
+  auto Outer = [&](bool Fail) -> Error {
+    if (Error E = Inner(Fail))
+      return E;
+    return Error::success();
+  };
+  EXPECT_FALSE(static_cast<bool>(Outer(false)));
+  Error E = Outer(true);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.category(), ErrorCategory::Verify);
+}
+
+} // namespace

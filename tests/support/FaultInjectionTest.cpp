@@ -1,0 +1,104 @@
+//===- tests/support/FaultInjectionTest.cpp - Fault-stream determinism ---------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace lslp;
+
+namespace {
+
+std::vector<bool> drawSequence(const FaultInjector &Inj,
+                               std::string_view FnName, unsigned N) {
+  FaultStream S = Inj.streamFor(FnName);
+  std::vector<bool> Draws;
+  for (unsigned I = 0; I != N; ++I)
+    Draws.push_back(S.shouldFail(
+        static_cast<FaultSite>(I % NumFaultSites)));
+  return Draws;
+}
+
+TEST(FaultInjection, ProbabilityZeroNeverFires) {
+  FaultInjector Inj(/*Seed=*/123, /*Probability=*/0.0);
+  FaultStream S = Inj.streamFor("f");
+  for (unsigned I = 0; I != 1000; ++I)
+    EXPECT_FALSE(S.shouldFail(FaultSite::GraphNode));
+  EXPECT_EQ(S.injectedCount(), 0u);
+  EXPECT_EQ(Inj.totalInjected(), 0u);
+}
+
+TEST(FaultInjection, ProbabilityOneAlwaysFires) {
+  FaultInjector Inj(/*Seed=*/123, /*Probability=*/1.0);
+  FaultStream S = Inj.streamFor("f");
+  for (unsigned I = 0; I != 100; ++I)
+    EXPECT_TRUE(S.shouldFail(FaultSite::Permutation));
+  EXPECT_EQ(S.injectedCount(), 100u);
+  EXPECT_EQ(Inj.totalInjected(), 100u);
+}
+
+// The cornerstone property: draws are a pure function of
+// (seed, function name, site, per-site counter). Two injectors with the
+// same seed must produce identical streams — this is what lets the
+// oracle's determinism check re-run the pass with a fresh injector and
+// still get byte-identical output.
+TEST(FaultInjection, StreamsAreDeterministic) {
+  FaultInjector A(/*Seed=*/0xfeed, /*Probability=*/0.3);
+  FaultInjector B(/*Seed=*/0xfeed, /*Probability=*/0.3);
+  EXPECT_EQ(drawSequence(A, "foo", 256), drawSequence(B, "foo", 256));
+  EXPECT_EQ(drawSequence(A, "bar", 256), drawSequence(B, "bar", 256));
+}
+
+// Streams must not depend on what other streams drew: whether functions
+// are vectorized serially or across --jobs workers, each one sees the
+// same faults.
+TEST(FaultInjection, StreamsAreIndependent) {
+  FaultInjector A(/*Seed=*/0xfeed, /*Probability=*/0.3);
+  std::vector<bool> FooAlone = drawSequence(A, "foo", 128);
+
+  FaultInjector B(/*Seed=*/0xfeed, /*Probability=*/0.3);
+  // Interleave other streams before and between foo's draws.
+  drawSequence(B, "bar", 500);
+  std::vector<bool> FooInterleaved = drawSequence(B, "foo", 128);
+  drawSequence(B, "baz", 500);
+  EXPECT_EQ(FooAlone, FooInterleaved);
+}
+
+TEST(FaultInjection, DifferentSeedsDiffer) {
+  FaultInjector A(/*Seed=*/1, /*Probability=*/0.5);
+  FaultInjector B(/*Seed=*/2, /*Probability=*/0.5);
+  EXPECT_NE(drawSequence(A, "foo", 512), drawSequence(B, "foo", 512));
+}
+
+TEST(FaultInjection, DifferentFunctionsDiffer) {
+  FaultInjector Inj(/*Seed=*/7, /*Probability=*/0.5);
+  EXPECT_NE(drawSequence(Inj, "foo", 512), drawSequence(Inj, "bar", 512));
+}
+
+// The empirical rate should be in the right ballpark — a grossly wrong
+// rate would make --inject-faults=P either a no-op or a storm.
+TEST(FaultInjection, RateRoughlyMatchesProbability) {
+  FaultInjector Inj(/*Seed=*/42, /*Probability=*/0.25);
+  FaultStream S = Inj.streamFor("rate");
+  unsigned Fired = 0;
+  constexpr unsigned N = 10000;
+  for (unsigned I = 0; I != N; ++I)
+    if (S.shouldFail(FaultSite::LookAhead))
+      ++Fired;
+  EXPECT_GT(Fired, N / 5);     // > 0.20
+  EXPECT_LT(Fired, 3 * N / 10); // < 0.30
+}
+
+TEST(FaultInjection, SiteNamesAreStable) {
+  EXPECT_STREQ(faultSiteName(FaultSite::GraphNode), "graph-node");
+  EXPECT_STREQ(faultSiteName(FaultSite::Permutation), "permutation");
+  EXPECT_STREQ(faultSiteName(FaultSite::LookAhead), "look-ahead");
+  EXPECT_STREQ(faultSiteName(FaultSite::Verify), "verify");
+}
+
+} // namespace

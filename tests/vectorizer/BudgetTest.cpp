@@ -1,0 +1,227 @@
+//===- tests/vectorizer/BudgetTest.cpp - Resource budgets + fallback ----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The resource-budget contract (DESIGN.md "Failure model"): when a budget
+// runs out mid-flight — or a fault is injected at a budget site — the pass
+// abandons the function, restores the pristine scalar body (byte-identical
+// under the printer), and emits exactly one budget-exhausted remark. The
+// outcome must be deterministic at every --jobs width.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "diag/RemarkEngine.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/FaultInjection.h"
+#include "vectorizer/Budget.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// A cleanly vectorizable 4-lane add kernel: without budgets LSLP
+/// vectorizes it, so a budget-forced fallback is observable.
+const char *VecSrc = R"(global @A = [64 x i64]
+global @B = [64 x i64]
+global @C = [64 x i64]
+define void @k(i64 %i) {
+entry:
+  %p0 = gep i64, ptr @A, i64 0
+  %p1 = gep i64, ptr @A, i64 1
+  %p2 = gep i64, ptr @A, i64 2
+  %p3 = gep i64, ptr @A, i64 3
+  %q0 = gep i64, ptr @B, i64 0
+  %q1 = gep i64, ptr @B, i64 1
+  %q2 = gep i64, ptr @B, i64 2
+  %q3 = gep i64, ptr @B, i64 3
+  %a0 = load i64, ptr %p0
+  %a1 = load i64, ptr %p1
+  %a2 = load i64, ptr %p2
+  %a3 = load i64, ptr %p3
+  %b0 = load i64, ptr %q0
+  %b1 = load i64, ptr %q1
+  %b2 = load i64, ptr %q2
+  %b3 = load i64, ptr %q3
+  %s0 = add i64 %a0, %b0
+  %s1 = add i64 %a1, %b1
+  %s2 = add i64 %a2, %b2
+  %s3 = add i64 %a3, %b3
+  %r0 = gep i64, ptr @C, i64 0
+  %r1 = gep i64, ptr @C, i64 1
+  %r2 = gep i64, ptr @C, i64 2
+  %r3 = gep i64, ptr @C, i64 3
+  store i64 %s0, ptr %r0
+  store i64 %s1, ptr %r1
+  store i64 %s2, ptr %r2
+  store i64 %s3, ptr %r3
+  ret void
+}
+)";
+
+struct RunResult {
+  std::string ScalarIR; ///< Printed input, before the pass.
+  std::string IR;       ///< Printed output, after the pass.
+  ModuleReport Report;
+  std::vector<Remark> Remarks;
+};
+
+RunResult runPass(VectorizerConfig Config, unsigned Jobs = 1) {
+  Context Ctx;
+  auto M = parseModuleOrDie(VecSrc, Ctx);
+  RunResult Out;
+  Out.ScalarIR = moduleToString(*M);
+  SkylakeTTI TTI;
+  RemarkEngine Engine;
+  Engine.setKeepRemarks(true);
+  Config.Remarks = &Engine;
+  SLPVectorizerPass Pass(Config, TTI);
+  Out.Report = Pass.runOnModule(*M, Jobs);
+  EXPECT_TRUE(verifyModule(*M));
+  Out.IR = moduleToString(*M);
+  Out.Remarks = Engine.remarks();
+  return Out;
+}
+
+unsigned countBudgetRemarks(const std::vector<Remark> &Remarks,
+                            std::string *ReasonOut = nullptr) {
+  unsigned N = 0;
+  for (const Remark &R : Remarks)
+    if (R.Kind == RemarkKind::BudgetExhausted) {
+      ++N;
+      if (ReasonOut)
+        for (const RemarkArg &A : R.Args)
+          if (A.Key == "reason")
+            *ReasonOut = A.Str;
+    }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// VectorizerBudget unit behavior
+//===----------------------------------------------------------------------===//
+
+TEST(Budget, UnlimitedByDefault) {
+  VectorizerBudget B(VectorizerConfig::lslp(), "f");
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_TRUE(B.chargeNode());
+  EXPECT_TRUE(B.chargePermutations(1u << 20));
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.exhaustionReason(), nullptr);
+}
+
+TEST(Budget, NodeBudgetLatches) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.MaxGraphNodes = 3;
+  VectorizerBudget B(C, "f");
+  EXPECT_TRUE(B.chargeNode());
+  EXPECT_TRUE(B.chargeNode());
+  EXPECT_TRUE(B.chargeNode());
+  EXPECT_FALSE(B.chargeNode());
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_STREQ(B.exhaustionReason(), "node-budget");
+  // Monotone: every later charge of any kind fails fast.
+  EXPECT_FALSE(B.chargeNode());
+  EXPECT_FALSE(B.chargePermutations(1));
+  EXPECT_FALSE(B.chargeVerify());
+  EXPECT_STREQ(B.exhaustionReason(), "node-budget");
+}
+
+TEST(Budget, PermutationBudgetLatches) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.MaxPermutationsPerMultiNode = 10;
+  VectorizerBudget B(C, "f");
+  EXPECT_TRUE(B.chargePermutations(10));
+  EXPECT_FALSE(B.chargePermutations(1));
+  EXPECT_STREQ(B.exhaustionReason(), "permutation-budget");
+}
+
+TEST(Budget, VerifyFailureLatches) {
+  VectorizerBudget B(VectorizerConfig::lslp(), "f");
+  EXPECT_TRUE(B.chargeVerify());
+  B.markVerifyFailed();
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_STREQ(B.exhaustionReason(), "verify-failed");
+}
+
+TEST(Budget, InjectedFaultLatches) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  FaultInjector Faults(/*Seed=*/1, /*Probability=*/1.0);
+  C.Faults = &Faults;
+  VectorizerBudget B(C, "f");
+  EXPECT_FALSE(B.chargeNode());
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_STREQ(B.exhaustionReason(), "fault-injected");
+  EXPECT_EQ(B.faultsInjected(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end fallback through the pass
+//===----------------------------------------------------------------------===//
+
+TEST(Budget, WithoutBudgetTheKernelVectorizes) {
+  RunResult R = runPass(VectorizerConfig::lslp());
+  EXPECT_GT(R.Report.numAccepted(), 0u);
+  EXPECT_NE(R.IR, R.ScalarIR);
+  EXPECT_EQ(countBudgetRemarks(R.Remarks), 0u);
+}
+
+TEST(Budget, NodeBudgetFallsBackToByteIdenticalScalar) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.MaxGraphNodes = 1;
+  RunResult R = runPass(C);
+  // Transform-then-commit: the printed output is byte-identical to the
+  // printed input — not "equivalent", identical.
+  EXPECT_EQ(R.IR, R.ScalarIR);
+  EXPECT_EQ(R.Report.numAccepted(), 0u);
+  ASSERT_EQ(R.Report.Functions.size(), 1u);
+  EXPECT_TRUE(R.Report.Functions[0].BudgetExhausted);
+  EXPECT_TRUE(R.Report.Functions[0].Attempts.empty());
+  std::string Reason;
+  EXPECT_EQ(countBudgetRemarks(R.Remarks, &Reason), 1u);
+  EXPECT_EQ(Reason, "node-budget");
+}
+
+TEST(Budget, PermutationBudgetFallsBack) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.MaxPermutationsPerMultiNode = 1;
+  RunResult R = runPass(C);
+  EXPECT_EQ(R.IR, R.ScalarIR);
+  std::string Reason;
+  EXPECT_EQ(countBudgetRemarks(R.Remarks, &Reason), 1u);
+  EXPECT_EQ(Reason, "permutation-budget");
+}
+
+TEST(Budget, InjectedFaultFallsBackWithItsOwnReason) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  FaultInjector Faults(/*Seed=*/99, /*Probability=*/1.0);
+  C.Faults = &Faults;
+  RunResult R = runPass(C);
+  EXPECT_EQ(R.IR, R.ScalarIR);
+  EXPECT_GT(Faults.totalInjected(), 0u);
+  std::string Reason;
+  EXPECT_EQ(countBudgetRemarks(R.Remarks, &Reason), 1u);
+  EXPECT_EQ(Reason, "fault-injected");
+}
+
+TEST(Budget, ExhaustionIsDeterministicAcrossJobs) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.MaxGraphNodes = 2;
+  RunResult Serial = runPass(C, 1);
+  for (unsigned Jobs : {2u, 4u}) {
+    RunResult Parallel = runPass(C, Jobs);
+    EXPECT_EQ(Parallel.IR, Serial.IR) << "jobs=" << Jobs;
+    EXPECT_EQ(Parallel.Remarks, Serial.Remarks) << "jobs=" << Jobs;
+  }
+}
+
+} // namespace

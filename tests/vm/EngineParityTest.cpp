@@ -8,8 +8,9 @@
 // interpreter and the bytecode vm: trapping division/remainder, signed
 // overflow wrap-around, NaN propagation through vector lanes,
 // out-of-bounds accesses, and full ExecStats equality on real kernel
-// modules (scalar and vectorized). The two engines differ only in their
-// trap-message prefix ("interpreter:" vs "vm:").
+// modules (scalar and vectorized). Traps are clean results
+// (ExecStats::Trapped + an engine-agnostic reason), never process aborts,
+// and the reason string must match across engines verbatim.
 //
 //===----------------------------------------------------------------------===//
 
@@ -70,8 +71,9 @@ void expectParityOnSource(const char *Src, uint64_t Arg = 0) {
   expectParity(*M, Arg);
 }
 
-/// Both engines must exit with code 1 and a message containing \p What
-/// (the engine-independent trap suffix) when running @f with \p Arg.
+/// Both engines must report a clean trap whose reason is exactly \p What
+/// when running @f with \p Arg — no abort, no exit, and identical
+/// diagnostics across engines (the reason carries no engine prefix).
 void expectBothTrap(const char *Src, uint64_t Arg, const char *What) {
   for (EngineKind Kind : {EngineKind::TreeWalk, EngineKind::Bytecode}) {
     Context Ctx;
@@ -81,8 +83,10 @@ void expectBothTrap(const char *Src, uint64_t Arg, const char *What) {
     std::vector<RuntimeValue> Args;
     for (unsigned I = 0; I < F->getNumArgs(); ++I)
       Args.push_back(RuntimeValue::makeInt(Ctx.getInt64Ty(), Arg));
-    EXPECT_EXIT(Engine->run(F, Args), ::testing::ExitedWithCode(1), What)
-        << engineKindName(Kind);
+    ExecStats S = Engine->run(F, Args);
+    EXPECT_TRUE(S.Trapped) << engineKindName(Kind);
+    EXPECT_EQ(S.TrapReason, What) << engineKindName(Kind);
+    EXPECT_FALSE(S.ReturnValue.isValid()) << engineKindName(Kind);
   }
 }
 
@@ -311,10 +315,11 @@ loop:
                               Ctx);
     auto Engine = ExecutionEngine::create(Kind, *M);
     Engine->setStepLimit(1000);
-    EXPECT_EXIT(Engine->run(M->getFunction("f")),
-                ::testing::ExitedWithCode(1),
-                "step limit exceeded")
+    ExecStats S = Engine->run(M->getFunction("f"));
+    EXPECT_TRUE(S.Trapped) << engineKindName(Kind);
+    EXPECT_EQ(S.TrapReason, "step limit exceeded (infinite loop?)")
         << engineKindName(Kind);
+    EXPECT_EQ(S.DynamicInsts, 1001u) << engineKindName(Kind);
   }
 }
 

@@ -39,6 +39,9 @@
 #include "ir/Verifier.h"
 #include "kernels/Kernels.h"
 #include "parser/Parser.h"
+#include "support/CrashHandler.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "support/OStream.h"
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
@@ -89,6 +92,12 @@ struct Options {
   std::string ReducePath; ///< --reduce=<file>: minimize a failing module.
   std::string ReproDir;   ///< --repro-dir=DIR: write reduced failures here.
 
+  // Robustness (see DESIGN.md "Failure model").
+  bool VerifyEach = false;    ///< --verify-each: verify after every pass.
+  std::string CrashDir;       ///< --crash-dir=DIR: crash reproducers here.
+  double FaultProbability = 0.0; ///< --inject-faults=P (0 disables).
+  int64_t FaultSeed = 0;      ///< --fault-seed=S for the fault streams.
+
   /// --jobs=N: worker threads for the vectorizer (independent functions)
   /// and the fuzz sweep (independent seeds). Output is byte-identical for
   /// every value; 0 means one per hardware thread.
@@ -131,6 +140,28 @@ void printUsage() {
             "stderr\n"
             "  --stats[=json]            dump pass statistics counters\n"
             "  --time-passes             report per-pass wall time\n"
+            "robustness:\n"
+            "  --verify-each             verify the module after every pass\n"
+            "  --max-graph-nodes=N       abandon a function (keep it scalar) "
+            "after\n"
+            "                            building N SLP graph nodes (0 = "
+            "unlimited)\n"
+            "  --max-permutations=N      cap operand-permutation/look-ahead "
+            "score\n"
+            "                            evaluations per function\n"
+            "  --max-ms-per-function=N   wall-clock budget per function, in "
+            "ms\n"
+            "  --crash-dir=DIR           contain crashes and write runnable "
+            ".ll\n"
+            "                            reproducers (IR + config + "
+            "breadcrumbs) to DIR\n"
+            "  --inject-faults=P         deterministically inject budget "
+            "faults with\n"
+            "                            probability P per site (fuzzing: the "
+            "oracle\n"
+            "                            asserts clean scalar fallback)\n"
+            "  --fault-seed=S            seed for the fault streams (default "
+            "0)\n"
             "differential fuzzing:\n"
             "  --fuzz=N                  run N random modules through the\n"
             "                            scalar-vs-vector oracle\n"
@@ -171,6 +202,7 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
     }
     std::string Plain(stripDashes(Arg));
     int64_t Num = 0;
+    double FP = 0.0;
     if (startsWith(Plain, "fuzz=") && parseInt(Plain.substr(5), Num) &&
         Num >= 0)
       Opts.FuzzCount = Num;
@@ -236,6 +268,25 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.StatsJSON = true;
     } else if (Plain == "time-passes")
       Opts.TimePasses = true;
+    else if (Plain == "verify-each")
+      Opts.VerifyEach = true;
+    else if (startsWith(Plain, "crash-dir="))
+      Opts.CrashDir = Plain.substr(10);
+    else if (startsWith(Plain, "inject-faults=") &&
+             parseDouble(Plain.substr(14), FP) && FP >= 0.0 && FP <= 1.0)
+      Opts.FaultProbability = FP;
+    else if (startsWith(Plain, "fault-seed=") &&
+             parseInt(Plain.substr(11), Num))
+      Opts.FaultSeed = Num;
+    else if (startsWith(Plain, "max-graph-nodes=") &&
+             parseInt(Plain.substr(16), Num) && Num >= 0)
+      Opts.Config.MaxGraphNodes = static_cast<uint64_t>(Num);
+    else if (startsWith(Plain, "max-permutations=") &&
+             parseInt(Plain.substr(17), Num) && Num >= 0)
+      Opts.Config.MaxPermutationsPerMultiNode = static_cast<uint64_t>(Num);
+    else if (startsWith(Plain, "max-ms-per-function=") &&
+             parseInt(Plain.substr(20), Num) && Num >= 0)
+      Opts.Config.MaxMsPerFunction = static_cast<uint64_t>(Num);
     else {
       errs() << "lslpc: unknown option '" << Arg
              << "' (run lslpc with no arguments for usage)\n";
@@ -317,6 +368,11 @@ int runFunction(Module &M, const Options &Opts,
   if (Opts.InitMemory)
     initKernelMemory(*Engine, M);
   auto Result = Engine->run(F, Args);
+  if (Result.Trapped) {
+    errs() << "lslpc: '@" << FnName << "' trapped: " << Result.TrapReason
+           << "\n";
+    return 1;
+  }
   outs() << "; run @" << FnName << " [" << Engine->engineName()
          << "]: " << Result.DynamicInsts
          << " dynamic instructions, simulated cost " << Result.TotalCost
@@ -351,8 +407,8 @@ void writeFileOrWarn(const std::string &Path, const std::string &Text) {
 /// Cross-engine validation: every 4th seed additionally executes baseline
 /// and vectorized modules on BOTH engines and requires bit-identical
 /// memory, returns and ExecStats; \p ParityAll extends that to every seed.
-int runFuzz(int64_t Count, int64_t FirstSeed, unsigned Jobs,
-            EngineKind Engine, bool ParityAll,
+int runFuzz(const Options &Opts, int64_t Count, int64_t FirstSeed,
+            unsigned Jobs, EngineKind Engine, bool ParityAll,
             const std::string &ReproDir) {
   FuzzSweepOptions SweepOpts;
   SweepOpts.Count = Count;
@@ -360,6 +416,8 @@ int runFuzz(int64_t Count, int64_t FirstSeed, unsigned Jobs,
   SweepOpts.Jobs = Jobs;
   SweepOpts.Engine = Engine;
   SweepOpts.ParityAll = ParityAll;
+  SweepOpts.FaultProbability = Opts.FaultProbability;
+  SweepOpts.FaultSeed = static_cast<uint64_t>(Opts.FaultSeed);
 
   int64_t NumDone = 0;
   int64_t Failures = runFuzzSweep(SweepOpts, [&](const SeedOutcome &Out) {
@@ -367,6 +425,14 @@ int runFuzz(int64_t Count, int64_t FirstSeed, unsigned Jobs,
     if (Out.Passed) {
       if (NumDone % 100 == 0)
         outs() << "; fuzz: " << NumDone << "/" << Count << " seeds ok\n";
+      return;
+    }
+    if (Out.Crashed) {
+      errs() << "lslpc: seed " << Out.Seed << " CRASHED ("
+             << Out.CrashSignal << "); sweep continues";
+      if (!Out.ReproPath.empty())
+        errs() << "; reproducer: " << Out.ReproPath;
+      errs() << "\n";
       return;
     }
     if (Out.VerifyFailed) {
@@ -424,9 +490,22 @@ int runReduce(const std::string &Path, EngineKind Engine, bool Parity) {
   return 0;
 }
 
+/// --verify-each support: verifies \p M after the pass named \p PassName
+/// and folds any diagnostics into a structured Error (category Verify).
+Error verifyAfterPass(const Module &M, const char *PassName) {
+  std::vector<std::string> Errors;
+  if (verifyModule(M, &Errors))
+    return Error::success();
+  std::string Msg =
+      "module fails verification after " + std::string(PassName);
+  for (const std::string &E : Errors)
+    Msg += "\n  " + E;
+  return Error::make(ErrorCategory::Verify, std::move(Msg));
+}
+
 /// The normal parse/optimize/print path. \p Config carries the remark
 /// streamer; \p Timers collects per-pass wall time for --time-passes.
-int compileModule(const Options &Opts, const VectorizerConfig &Config,
+int compileModule(const Options &Opts, VectorizerConfig Config,
                   TimerGroup &Timers) {
   auto TimerFor = [&](const char *Name) -> Timer * {
     return Opts.TimePasses ? &Timers.getTimer(Name) : nullptr;
@@ -436,16 +515,27 @@ int compileModule(const Options &Opts, const VectorizerConfig &Config,
   if (!readInput(Opts.InputPath, Source))
     return 1;
 
+  // If anything below crashes, the handler (when installed via
+  // --crash-dir) dumps the input IR plus the active configuration as a
+  // runnable reproducer.
+  std::string ConfigJSON = Config.toJSON();
+  CrashPayload Payload(&Source, &ConfigJSON);
+  CrashScope Scope("tool", "compile");
+
   Context Ctx;
-  std::string Err;
   std::unique_ptr<Module> M;
   {
     TimeRegion R(TimerFor("parse"));
-    M = parseModule(Source, Ctx, Err);
-  }
-  if (!M) {
-    errs() << "lslpc: parse error: " << Err << "\n";
-    return 1;
+    ParseDiagnostic Diag;
+    Expected<std::unique_ptr<Module>> ParsedOrErr =
+        parseModuleOrError(Source, Ctx, &Diag);
+    if (!ParsedOrErr) {
+      errs() << Diag.render(Opts.InputPath == "-" ? "<stdin>"
+                                                  : Opts.InputPath)
+             << "\n";
+      return 1;
+    }
+    M = std::move(*ParsedOrErr);
   }
   std::vector<std::string> Errors;
   {
@@ -458,12 +548,27 @@ int compileModule(const Options &Opts, const VectorizerConfig &Config,
     }
   }
 
+  // Deterministic fault injection (--inject-faults): exercises the budget
+  // fallback paths of the passes below. Must outlive the pass runs.
+  std::optional<FaultInjector> Faults;
+  if (Opts.FaultProbability > 0.0) {
+    Faults.emplace(static_cast<uint64_t>(Opts.FaultSeed),
+                   Opts.FaultProbability);
+    Config.Faults = &*Faults;
+  }
+
   SkylakeTTI TTI;
   if (Opts.EarlyCSE) {
     TimeRegion R(TimerFor("early-cse"));
     unsigned Removed = runEarlyCSE(*M, Config.Remarks);
     if (Opts.Report)
       outs() << "; early-cse removed " << Removed << " instruction(s)\n";
+    if (Opts.VerifyEach) {
+      if (Error E = verifyAfterPass(*M, "early-cse")) {
+        errs() << "lslpc: " << E.message() << "\n";
+        return 1;
+      }
+    }
   }
   if (Opts.Vectorize) {
     SLPVectorizerPass Pass(Config, TTI);
@@ -521,6 +626,13 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Crash containment (DESIGN.md "Failure model"): --crash-dir arms the
+  // signal handlers in any mode; fuzz sweeps arm them unconditionally so
+  // one crashing seed records a verdict instead of killing the whole
+  // sharded run (reproducer files are only written with a --crash-dir).
+  if (!Opts.CrashDir.empty() || Opts.FuzzCount >= 0)
+    installCrashHandlers(Opts.CrashDir);
+
   if (Opts.FuzzCount >= 0 || !Opts.ReducePath.empty()) {
     if (!Opts.InputPath.empty()) {
       errs() << "lslpc: --fuzz/--reduce take no input file\n";
@@ -531,7 +643,7 @@ int main(int argc, char **argv) {
       return 1;
     }
     if (Opts.FuzzCount >= 0)
-      return runFuzz(Opts.FuzzCount, Opts.FuzzSeed,
+      return runFuzz(Opts, Opts.FuzzCount, Opts.FuzzSeed,
                      ThreadPool::resolveJobs(Opts.Jobs), Opts.Engine,
                      Opts.EngineParity, Opts.ReproDir);
     return runReduce(Opts.ReducePath, Opts.Engine, Opts.EngineParity);
