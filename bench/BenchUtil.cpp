@@ -123,6 +123,13 @@ bool lslp::bench::parseBenchArgs(int argc, char **argv, BenchOptions &Opts) {
       Opts.Parity = true;
     else if (Arg == "engine-smoke")
       Opts.EngineSmoke = true;
+    else if (startsWith(Arg, "strategy=")) {
+      if (!parsePackingStrategy(Arg.substr(9), Opts.Strategy)) {
+        errs() << "bench: bad strategy '" << std::string(Arg.substr(9))
+               << "' (expected 'greedy' or 'global')\n";
+        return false;
+      }
+    }
     // Anything else belongs to the binary (e.g. -explain, benchmark
     // library flags); leave it alone.
   }
@@ -160,9 +167,17 @@ bool JsonReport::write(const std::string &Path) const {
   return true;
 }
 
-std::vector<VectorizerConfig> lslp::bench::paperConfigs() {
-  return {VectorizerConfig::slpNoReordering(), VectorizerConfig::slp(),
-          VectorizerConfig::lslp()};
+std::vector<VectorizerConfig> lslp::bench::paperConfigs(
+    VectorizerConfig::PackingStrategyKind Strategy) {
+  std::vector<VectorizerConfig> Cs = {VectorizerConfig::slpNoReordering(),
+                                      VectorizerConfig::slp(),
+                                      VectorizerConfig::lslp()};
+  if (Strategy != VectorizerConfig::PackingStrategyKind::Greedy)
+    for (VectorizerConfig &C : Cs) {
+      C.Strategy = Strategy;
+      C.Name += std::string("-") + packingStrategyName(Strategy);
+    }
+  return Cs;
 }
 
 double lslp::bench::geomean(const std::vector<double> &Values) {

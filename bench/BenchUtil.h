@@ -72,12 +72,18 @@ SuiteMeasurement measureSuite(const SuiteSpec &Suite,
 ///   -parity        measure twice, parallel and serial, and require
 ///                  identical cycles/costs/checksums (fig9; exit 1 on
 ///                  mismatch — the CI determinism gate)
+///   -strategy=NAME statement packing strategy for every vectorizing
+///                  config: greedy (default) or global; unknown names are
+///                  rejected. fig9/fig10 suffix column headers, config
+///                  names, and JSON records with "-global"
 struct BenchOptions {
   std::string JsonPath;
   EngineKind Engine = EngineKind::TreeWalk;
   bool EngineSmoke = false;
   unsigned Jobs = 1;
   bool Parity = false;
+  VectorizerConfig::PackingStrategyKind Strategy =
+      VectorizerConfig::PackingStrategyKind::Greedy;
 };
 
 /// Consumes the shared flags from argv, leaving binary-specific arguments
@@ -136,8 +142,13 @@ private:
 
 /// @}
 
-/// The three vectorizing configurations in paper order.
-std::vector<VectorizerConfig> paperConfigs();
+/// The three vectorizing configurations in paper order. A non-default
+/// \p Strategy is applied to every config and reflected in its Name
+/// ("LSLP" -> "LSLP-global"), so table headers and JSON records keep the
+/// strategy axis visible.
+std::vector<VectorizerConfig>
+paperConfigs(VectorizerConfig::PackingStrategyKind Strategy =
+                 VectorizerConfig::PackingStrategyKind::Greedy);
 
 /// Geometric mean (values must be positive).
 double geomean(const std::vector<double> &Values);

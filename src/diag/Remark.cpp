@@ -42,6 +42,10 @@ const char *lslp::remarkKindName(RemarkKind Kind) {
     return "cse-hit";
   case RemarkKind::BudgetExhausted:
     return "budget-exhausted";
+  case RemarkKind::GlobalPackingSolved:
+    return "global-packing-solved";
+  case RemarkKind::GlobalPackingBudget:
+    return "global-packing-budget";
   }
   return "unknown";
 }
@@ -54,7 +58,8 @@ bool lslp::remarkKindFromName(std::string_view Name, RemarkKind &Out) {
       RemarkKind::ReorderChoice,   RemarkKind::CostNode,
       RemarkKind::CostAccepted,    RemarkKind::CostRejected,
       RemarkKind::SchedulerBailout, RemarkKind::ReductionFound,
-      RemarkKind::CSEHit,           RemarkKind::BudgetExhausted};
+      RemarkKind::CSEHit,           RemarkKind::BudgetExhausted,
+      RemarkKind::GlobalPackingSolved, RemarkKind::GlobalPackingBudget};
   for (RemarkKind K : AllKinds) {
     if (Name == remarkKindName(K)) {
       Out = K;

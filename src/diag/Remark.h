@@ -48,6 +48,8 @@ enum class RemarkKind : uint8_t {
   ReductionFound,    ///< A horizontal reduction tree matched (§2.2).
   CSEHit,            ///< EarlyCSE replaced a redundant instruction.
   BudgetExhausted,   ///< A resource budget ran out; function kept scalar.
+  GlobalPackingSolved, ///< Global solver picked a pack set (with cost delta).
+  GlobalPackingBudget, ///< Global solver hit its candidate cap mid-search.
 };
 
 /// Stable external name of \p Kind (e.g. "seed-found").

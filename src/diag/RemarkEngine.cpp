@@ -41,6 +41,7 @@ std::string RemarkEngine::summary() const {
   Item(RemarkKind::GatherFallback, "gather(s)");
   Item(RemarkKind::SchedulerBailout, "sched bailout(s)");
   Item(RemarkKind::LookAheadScore, "look-ahead tie-break(s)");
+  Item(RemarkKind::GlobalPackingSolved, "global solve(s)");
   uint64_t Acc = count(RemarkKind::CostAccepted);
   uint64_t Rej = count(RemarkKind::CostRejected);
   if (Acc || Rej) {

@@ -84,7 +84,7 @@ private:
   bool KeepRemarks = false;
   std::vector<Remark> Kept;
   uint64_t NumEmitted = 0;
-  uint64_t Counts[16] = {};
+  uint64_t Counts[24] = {};
 };
 
 } // namespace lslp

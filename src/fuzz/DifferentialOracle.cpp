@@ -191,7 +191,16 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
   }
 
   SkylakeTTI TTI;
-  for (const VectorizerConfig &Config : Opts.Configs) {
+  // One full config check: parse, pass (with remark capture and the
+  // remark/profitability invariants), verify, determinism re-run,
+  // execute, bit-exact diff. Returns false with \p V filled on failure.
+  // On success *AcceptedCostOut holds the pass's total accepted static
+  // cost and *ExhaustedOut whether any function hit a budget/fault —
+  // the inputs of the strategy cost invariant below.
+  auto CheckConfig = [&](const VectorizerConfig &Config, int *AcceptedCostOut,
+                         bool *ExhaustedOut) -> bool {
+    int AcceptedCost = 0;
+    bool AnyExhausted = false;
     auto RunPass = [&](Context &Ctx, std::string &OutIR,
                        std::string &OutRemarks,
                        std::string &FailReason) -> std::unique_ptr<Module> {
@@ -218,6 +227,9 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
       }
       SLPVectorizerPass Pass(Cfg, TTI);
       ModuleReport Report = Pass.runOnModule(*M);
+      AcceptedCost = Report.acceptedCost();
+      for (const FunctionReport &FR : Report.Functions)
+        AnyExhausted |= FR.BudgetExhausted;
       // Every injected fault must surface as a clean diagnostic: at least
       // one budget-exhausted remark in the decision trace. The scalar
       // fallback itself is checked by the bit-exact execution diff below.
@@ -276,8 +288,12 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
       V.ConfigName = Config.Name;
       V.Reason = FailReason;
       V.VectorizedIR = IR1;
-      return V;
+      return false;
     }
+    if (AcceptedCostOut)
+      *AcceptedCostOut = AcceptedCost;
+    if (ExhaustedOut)
+      *ExhaustedOut = AnyExhausted;
 
     if (Opts.CheckDeterminism) {
       Context Ctx2;
@@ -294,7 +310,7 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
           V.Reason =
               "remark stream is nondeterministic (two runs differ)";
         V.VectorizedIR = IR1;
-        return V;
+        return false;
       }
     }
 
@@ -306,7 +322,7 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
         V.ConfigName = Config.Name;
         V.Reason = ParityErr;
         V.VectorizedIR = IR1;
-        return V;
+        return false;
       }
     } else {
       Vec = executeOn(*M, Opts.InputSeed, Opts.Engine, nullptr, nullptr);
@@ -326,6 +342,39 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
             "memory mismatch at byte " + std::to_string(FirstDiff);
       }
       V.VectorizedIR = IR1;
+      return false;
+    }
+    return true;
+  };
+
+  for (const VectorizerConfig &Config : Opts.Configs) {
+    int GreedyCost = 0;
+    bool GreedyExhausted = false;
+    if (!CheckConfig(Config, &GreedyCost, &GreedyExhausted))
+      return V;
+    if (!Opts.SweepStrategies ||
+        Config.Strategy != VectorizerConfig::PackingStrategyKind::Greedy)
+      continue;
+
+    // Strategy axis: the same config with global packing, under every
+    // invariant above plus the cost invariant — a strategy that searches
+    // a superset of greedy's pack sets and breaks ties toward greedy can
+    // never commit a more expensive one. The comparison is skipped when
+    // either run was cut short by a budget or injected fault (a truncated
+    // search legitimately commits nothing).
+    VectorizerConfig Global = Config;
+    Global.Strategy = VectorizerConfig::PackingStrategyKind::Global;
+    Global.Name += "-global";
+    int GlobalCost = 0;
+    bool GlobalExhausted = false;
+    if (!CheckConfig(Global, &GlobalCost, &GlobalExhausted))
+      return V;
+    if (!GreedyExhausted && !GlobalExhausted && GlobalCost > GreedyCost) {
+      V.Passed = false;
+      V.ConfigName = Global.Name;
+      V.Reason = "strategy cost regression: global accepted cost " +
+                 std::to_string(GlobalCost) + " > greedy accepted cost " +
+                 std::to_string(GreedyCost);
       return V;
     }
   }

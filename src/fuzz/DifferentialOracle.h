@@ -59,6 +59,14 @@ struct OracleOptions {
   /// the fast vm backend continuously honest against the tree-walker.
   bool CheckEngineParity = false;
 
+  /// Strategy axis: every Greedy config in the sweep is additionally run
+  /// with Strategy = Global (config name suffixed "-global"), under every
+  /// other invariant (verification, determinism, bit-exact execution)
+  /// plus one more: the global strategy's total accepted static cost must
+  /// be <= the greedy strategy's (equal allowed — ties commit the greedy
+  /// pack set). Configs already set to Global are swept once, unchanged.
+  bool SweepStrategies = true;
+
   /// Fault-injection probability (see support/FaultInjection.h). With a
   /// probability > 0 every pass run constructs a fresh FaultInjector from
   /// (FaultSeed, FaultProbability) — streams are pure functions of the

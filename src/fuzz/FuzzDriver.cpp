@@ -100,6 +100,17 @@ int64_t lslp::runFuzzSweep(
   BaseOpts.Engine = Opts.Engine;
   BaseOpts.FaultProbability = Opts.FaultProbability;
   BaseOpts.FaultSeed = Opts.FaultSeed;
+  if (Opts.Strategy == VectorizerConfig::PackingStrategyKind::Global) {
+    // Global-only soak: pin the whole default sweep to the pack-set
+    // solver. The strategy axis would re-run each config unchanged, so
+    // turn it off.
+    BaseOpts.Configs = DifferentialOracle::defaultConfigs();
+    for (VectorizerConfig &C : BaseOpts.Configs) {
+      C.Strategy = VectorizerConfig::PackingStrategyKind::Global;
+      C.Name += "-global";
+    }
+    BaseOpts.SweepStrategies = false;
+  }
   DifferentialOracle Oracle(BaseOpts);
   OracleOptions ParityOpts = BaseOpts;
   ParityOpts.CheckEngineParity = true;

@@ -43,6 +43,14 @@ struct FuzzSweepOptions {
   double FaultProbability = 0.0;
   /// Seed for the deterministic fault streams.
   uint64_t FaultSeed = 0;
+  /// Packing strategy under test. Greedy (the default) sweeps the default
+  /// greedy configs plus, via the oracle's strategy axis, each one's
+  /// global twin with the global-cost <= greedy-cost invariant. Global
+  /// pins every config to global packing and disables the (then
+  /// redundant) strategy axis — the CI sanitizer job uses this to soak
+  /// the pack-set solver alone under ASan/UBSan.
+  VectorizerConfig::PackingStrategyKind Strategy =
+      VectorizerConfig::PackingStrategyKind::Greedy;
 };
 
 /// The oracle's verdict on one seed, plus the minimized reproducer when

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 
 namespace lslp {
 
@@ -59,6 +60,22 @@ struct VectorizerConfig {
   /// backtracking; bounded to small slot counts).
   enum class ReorderStrategyKind { GreedySingle, ExhaustivePerLane };
   ReorderStrategyKind ReorderStrategy = ReorderStrategyKind::GreedySingle;
+
+  /// Statement-packing strategy. Greedy is the paper's pipeline: each seed
+  /// bundle is built once, with every commutative-operand reordering
+  /// decided locally (look-ahead at most peeks, it never backtracks).
+  /// Global (goSLP-style) instead enumerates alternative per-site operand
+  /// permutations over the same seed bundle, costs every candidate pack
+  /// set against the shared cost model, and commits the cheapest through
+  /// the unchanged scheduler/codegen path. Ties go to greedy, so Global
+  /// output can differ from Greedy only when it is strictly cheaper.
+  enum class PackingStrategyKind { Greedy, Global };
+  PackingStrategyKind Strategy = PackingStrategyKind::Greedy;
+
+  /// Cap on candidate pack sets the global solver evaluates per seed
+  /// bundle (0 = unlimited). Each candidate is one full graph build +
+  /// cost evaluation, so this bounds the solver's superlinear blow-up.
+  unsigned MaxSolverCandidates = 64;
 
   /// Detect SPLAT operand slots (Listing 5, line 23).
   bool EnableSplatMode = true;
@@ -130,7 +147,10 @@ struct VectorizerConfig {
     S += ReorderStrategy == ReorderStrategyKind::GreedySingle
              ? "greedy"
              : "exhaustive-per-lane";
-    S += "\",\"splat-mode\":" + std::string(B(EnableSplatMode));
+    S += "\",\"strategy\":\"";
+    S += Strategy == PackingStrategyKind::Greedy ? "greedy" : "global";
+    S += "\",\"max-solver-candidates\":" + std::to_string(MaxSolverCandidates);
+    S += ",\"splat-mode\":" + std::string(B(EnableSplatMode));
     S += ",\"alt-opcodes\":" + std::string(B(EnableAltOpcodes));
     S += ",\"reductions\":" + std::string(B(EnableReductions));
     S += ",\"cost-threshold\":" + std::to_string(CostThreshold);
@@ -166,6 +186,29 @@ struct VectorizerConfig {
   }
   /// @}
 };
+
+/// Stable external name of a packing strategy ("greedy"/"global") — the
+/// value space of `lslpc --slp-strategy=` and bench `-strategy=`.
+inline const char *
+packingStrategyName(VectorizerConfig::PackingStrategyKind K) {
+  return K == VectorizerConfig::PackingStrategyKind::Greedy ? "greedy"
+                                                            : "global";
+}
+
+/// Parses a strategy name; returns false on anything but the two exact
+/// names (flag parsers reject unknown values rather than defaulting).
+inline bool parsePackingStrategy(std::string_view Name,
+                                 VectorizerConfig::PackingStrategyKind &Out) {
+  if (Name == "greedy") {
+    Out = VectorizerConfig::PackingStrategyKind::Greedy;
+    return true;
+  }
+  if (Name == "global") {
+    Out = VectorizerConfig::PackingStrategyKind::Global;
+    return true;
+  }
+  return false;
+}
 
 } // namespace lslp
 

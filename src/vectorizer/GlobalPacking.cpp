@@ -1,0 +1,82 @@
+//===- vectorizer/GlobalPacking.cpp - Global packing strategy ----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/GlobalPacking.h"
+
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
+#include "vectorizer/Budget.h"
+#include "vectorizer/PackSetSolver.h"
+
+using namespace lslp;
+
+LSLP_STATISTIC(NumGlobalSolves, "global-packing",
+               "Seed bundles solved by the global strategy");
+LSLP_STATISTIC(NumGlobalImprovements, "global-packing",
+               "Solves where a non-greedy pack set was strictly cheaper");
+
+GlobalPackAttempt
+lslp::packBundleGlobally(const VectorizerConfig &Config,
+                         const TargetTransformInfo &TTI, BasicBlock &BB,
+                         const std::vector<Instruction *> &Seeds,
+                         VectorizerBudget *Budget) {
+  GlobalPackAttempt Out;
+
+  PackSetSolver Solver(Config, TTI, BB, Budget);
+  PackSetSolver::Result R = Solver.solve(Seeds);
+  if (Budget && Budget->exhausted())
+    return Out; // Caller abandons the function; no graph to hand over.
+
+  Out.GreedyCost = R.GreedyCost;
+  Out.SolvedCost = R.Solved ? R.BestCost : 0;
+  Out.Candidates = R.Candidates;
+  Out.Sites = R.Sites;
+  Out.Capped = R.Capped;
+
+  // Rebuild the winner with remarks on. Replaying the plan is exact —
+  // builds are deterministic — so the committed graph is the one the
+  // solver costed, and the visible decision trace has greedy's shape
+  // (node-built/gather/reorder-choice remarks) plus the solver summary.
+  // When no graph formed at all, the rebuild still runs so the gather
+  // diagnostics explaining *why* match the greedy strategy's byte for
+  // byte.
+  Out.Plan = std::make_unique<ReorderPlan>();
+  Out.Plan->Choices = R.BestChoices;
+  Out.Builder =
+      std::make_unique<SLPGraphBuilder>(Config, BB, Budget, Out.Plan.get());
+  Out.Graph = Out.Builder->build(Seeds);
+  if (Budget && Budget->exhausted()) {
+    Out.Graph.reset();
+    return Out;
+  }
+
+  if (!R.Solved)
+    return Out;
+  ++NumGlobalSolves;
+  const bool Improved = R.BestCost < R.GreedyCost;
+  if (Improved)
+    ++NumGlobalImprovements;
+  if (RemarkStreamer *RS = Config.Remarks) {
+    RS->emit(remarkAt(RemarkKind::GlobalPackingSolved, "global-packing",
+                      Seeds[0])
+                 .arg("candidates", static_cast<uint64_t>(R.Candidates))
+                 .arg("sites", static_cast<uint64_t>(R.Sites))
+                 .arg("greedy-cost", static_cast<int64_t>(R.GreedyCost))
+                 .arg("cost", static_cast<int64_t>(R.BestCost))
+                 .arg("delta",
+                      static_cast<int64_t>(R.BestCost - R.GreedyCost))
+                 .arg("improved", Improved));
+    if (R.Capped)
+      RS->emit(remarkAt(RemarkKind::GlobalPackingBudget, "global-packing",
+                        Seeds[0])
+                   .arg("candidates", static_cast<uint64_t>(R.Candidates))
+                   .arg("cap", static_cast<uint64_t>(
+                                   Config.MaxSolverCandidates))
+                   .arg("reason", "max-solver-candidates"));
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- vectorizer/GlobalPacking.h - Global packing strategy -----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Driver of the `--slp-strategy=global` statement-packing strategy: runs
+/// the PackSetSolver over one seed bundle, rebuilds the winning plan's
+/// graph with remarks enabled (so the decision trace has the same shape
+/// as greedy's, plus the solver's own remarks), and hands graph +
+/// scheduler back to SLPVectorizerPass, which costs, reports, and
+/// generates code through the unchanged pipeline. Reductions are not
+/// routed through the solver: their packing has no commutative-operand
+/// permutation freedom at the bundle level, so both strategies treat them
+/// identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_GLOBALPACKING_H
+#define LSLP_VECTORIZER_GLOBALPACKING_H
+
+#include "vectorizer/GraphBuilder.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+class Instruction;
+class TargetTransformInfo;
+class VectorizerBudget;
+
+/// One solved seed bundle: the committed graph (when one formed) plus the
+/// builder that owns the scheduler codegen needs, and the solver's
+/// accounting for remarks/reports.
+struct GlobalPackAttempt {
+  /// The winning graph; nullopt when the bundle forms no vectorizable
+  /// root (matching the greedy builder's nullopt).
+  std::optional<SLPGraph> Graph;
+  /// Builder that produced Graph; owns the BundleScheduler.
+  std::unique_ptr<SLPGraphBuilder> Builder;
+  /// The winning plan (kept alive for the builder's lifetime).
+  std::unique_ptr<ReorderPlan> Plan;
+  /// Static cost of the greedy plan's graph.
+  int GreedyCost = 0;
+  /// Static cost of the committed (winning) plan's graph; always
+  /// <= GreedyCost, equal when greedy won or tied.
+  int SolvedCost = 0;
+  /// Candidate plans the solver evaluated.
+  unsigned Candidates = 0;
+  /// Reordering sites in the bundle's build.
+  unsigned Sites = 0;
+  /// True when the candidate cap cut the search short.
+  bool Capped = false;
+};
+
+/// Packs \p Seeds with the global strategy. Never mutates IR (only the
+/// pass's later codegen does). On budget exhaustion returns early with no
+/// graph — the caller polls Budget->exhausted() exactly as on the greedy
+/// path. Emits global-packing-solved / global-packing-budget remarks
+/// through \p Config.Remarks.
+GlobalPackAttempt packBundleGlobally(const VectorizerConfig &Config,
+                                     const TargetTransformInfo &TTI,
+                                     BasicBlock &BB,
+                                     const std::vector<Instruction *> &Seeds,
+                                     VectorizerBudget *Budget);
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_GLOBALPACKING_H

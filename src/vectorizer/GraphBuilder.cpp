@@ -37,12 +37,101 @@ Remark remarkForLanes(RemarkKind Kind, const std::vector<Value *> &Lanes,
   return remarkIn(Kind, "graph-builder", BB);
 }
 
+/// Bounds on the global solver's per-site search space. Sites wider than
+/// MaxPlannedSlots only offer the greedy option (their factorial blows
+/// up); per-site alternatives are additionally capped so one multi-lane
+/// site cannot swamp the whole candidate budget.
+constexpr unsigned MaxPlannedSlots = 4;
+constexpr unsigned MaxSiteAlternatives = 24;
+
+uint64_t factorial(unsigned N) {
+  uint64_t F = 1;
+  for (unsigned I = 2; I <= N; ++I)
+    F *= I;
+  return F;
+}
+
+/// Number of non-greedy alternatives the plan offers at a site with the
+/// given matrix shape: every combination of per-lane slot permutations
+/// for lanes >= 1 (lane 0's order is final), minus the all-identity one
+/// (that is option 0, the greedy pass), capped.
+unsigned siteAlternatives(unsigned Slots, unsigned Lanes) {
+  if (Slots < 2 || Slots > MaxPlannedSlots)
+    return 0;
+  const uint64_t PerLane = factorial(Slots);
+  uint64_t Total = 1;
+  for (unsigned L = 1; L < Lanes; ++L) {
+    Total *= PerLane;
+    if (Total - 1 >= MaxSiteAlternatives)
+      return MaxSiteAlternatives;
+  }
+  return static_cast<unsigned>(Total - 1);
+}
+
+/// The \p Index-th lexicographic permutation of [0, Slots) (factorial
+/// number system).
+std::vector<unsigned> nthPermutation(uint64_t Index, unsigned Slots) {
+  std::vector<unsigned> Pool(Slots);
+  for (unsigned I = 0; I != Slots; ++I)
+    Pool[I] = I;
+  std::vector<unsigned> Perm;
+  Perm.reserve(Slots);
+  for (unsigned I = Slots; I != 0; --I) {
+    uint64_t F = factorial(I - 1);
+    size_t Pick = static_cast<size_t>(Index / F);
+    Index %= F;
+    Perm.push_back(Pool[Pick]);
+    Pool.erase(Pool.begin() + Pick);
+  }
+  return Perm;
+}
+
+/// Decodes non-greedy alternative \p Alt (0-based) into per-lane slot
+/// permutations (mixed radix, base Slots! per lane, lane 1 fastest).
+/// Alternative 0 is the first combination after all-identity, hence the
+/// +1 before decoding.
+std::vector<std::vector<unsigned>>
+decodeAlternative(uint64_t Alt, unsigned Slots, unsigned Lanes) {
+  const uint64_t PerLane = factorial(Slots);
+  uint64_t Code = Alt + 1;
+  std::vector<std::vector<unsigned>> LanePerms;
+  LanePerms.reserve(Lanes);
+  LanePerms.push_back(nthPermutation(0, Slots)); // Lane 0: identity.
+  for (unsigned L = 1; L != Lanes; ++L) {
+    LanePerms.push_back(nthPermutation(Code % PerLane, Slots));
+    Code /= PerLane;
+  }
+  return LanePerms;
+}
+
 } // namespace
 
 SLPGraphBuilder::SLPGraphBuilder(const VectorizerConfig &Config,
-                                 BasicBlock &BB, VectorizerBudget *Budget)
-    : Config(Config), BB(BB), Budget(Budget),
+                                 BasicBlock &BB, VectorizerBudget *Budget,
+                                 ReorderPlan *Plan)
+    : Config(Config), BB(BB), Budget(Budget), Plan(Plan),
       Scheduler(BB, Config.Remarks) {}
+
+ReorderResult SLPGraphBuilder::reorderAtSite(
+    const std::vector<std::vector<Value *>> &Matrix) {
+  if (!Plan)
+    return reorderOperands(Matrix, Config, Budget);
+  const unsigned Site = Plan->SitesSeen++;
+  const unsigned Slots = static_cast<unsigned>(Matrix.size());
+  const unsigned Lanes = static_cast<unsigned>(Matrix[0].size());
+  Plan->SiteOptions.push_back(1 + siteAlternatives(Slots, Lanes));
+  const unsigned Choice =
+      Site < Plan->Choices.size() ? Plan->Choices[Site] : 0;
+  if (Choice == 0 || Choice >= Plan->SiteOptions.back())
+    return reorderOperands(Matrix, Config, Budget);
+  // A scripted permutation replaces the greedy search's per-slot charges
+  // with one permutation charge; on exhaustion fall through to the greedy
+  // path, which returns the identity and lets the caller abandon.
+  if (Budget && !Budget->chargePermutations(1))
+    return reorderOperands(Matrix, Config, Budget);
+  return applyOperandAssignment(
+      Matrix, decodeAlternative(Choice - 1, Slots, Lanes), Config);
+}
 
 void SLPGraphBuilder::noteNodeBuilt(const char *NodeKind,
                                     const std::vector<Value *> &Lanes,
@@ -245,7 +334,7 @@ SLPNode *SLPGraphBuilder::buildBinaryNode(
     Matrix[1].push_back(I->getOperand(1));
   }
   if (Commutative && Config.EnableReordering) {
-    ReorderResult RR = reorderOperands(Matrix, Config, Budget);
+    ReorderResult RR = reorderAtSite(Matrix);
     Node->setReordered(RR.Changed);
     Matrix = std::move(RR.Final);
   }
@@ -363,7 +452,7 @@ SLPNode *SLPGraphBuilder::tryBuildMultiNode(
     for (size_t S = 0; S != Width; ++S)
       Matrix[S][L] = Frontiers[L][S];
   if (Config.EnableReordering) {
-    ReorderResult RR = reorderOperands(Matrix, Config, Budget);
+    ReorderResult RR = reorderAtSite(Matrix);
     Node->setReordered(RR.Changed);
     Matrix = std::move(RR.Final);
   }

@@ -18,6 +18,7 @@
 
 #include "vectorizer/Budget.h"
 #include "vectorizer/Config.h"
+#include "vectorizer/OperandReordering.h"
 #include "vectorizer/SLPGraph.h"
 #include "vectorizer/Scheduler.h"
 
@@ -28,6 +29,24 @@
 namespace lslp {
 
 class BasicBlock;
+
+/// Record/replay script for the commutative-operand reordering sites a
+/// graph build visits (the global packing strategy's search space). Sites
+/// are numbered in deterministic DFS build order. Choices[Site] selects
+/// the reordering applied there: 0 (or past-the-end) replays the greedy
+/// reorderOperands pass; K >= 1 applies the (K-1)-th fixed per-lane
+/// permutation of the site's operand matrix instead. After a build,
+/// SitesSeen and SiteOptions describe the sites encountered, letting the
+/// solver enumerate neighbors of the plan it just evaluated.
+struct ReorderPlan {
+  /// In: the option to take at each site (missing entries mean greedy).
+  std::vector<unsigned> Choices;
+  /// Out: number of reordering sites the build visited.
+  unsigned SitesSeen = 0;
+  /// Out: per visited site, the number of valid options (>= 1; option 0
+  /// is always the greedy pass).
+  std::vector<unsigned> SiteOptions;
+};
 
 /// One graph-construction attempt over one seed bundle. The builder owns
 /// the bundle scheduler whose committed bundles the code generator later
@@ -40,8 +59,13 @@ public:
   /// quickly. Callers must poll Budget->exhausted() after build() and
   /// discard the graph (the caller's transform-then-commit machinery then
   /// restores the scalar body).
+  ///
+  /// \p Plan (may be null) scripts the operand-reordering sites for the
+  /// global packing strategy; null reorders greedily everywhere (the
+  /// default pipeline, byte-for-byte).
   SLPGraphBuilder(const VectorizerConfig &Config, BasicBlock &BB,
-                  VectorizerBudget *Budget = nullptr);
+                  VectorizerBudget *Budget = nullptr,
+                  ReorderPlan *Plan = nullptr);
 
   /// Builds the graph rooted at \p Seeds (consecutive store instructions in
   /// address order). Returns std::nullopt when even the seed bundle cannot
@@ -86,6 +110,11 @@ private:
                      const std::vector<std::vector<Value *>> &Matrix,
                      unsigned Depth);
 
+  /// The one reordering entry point of the builder: registers the site
+  /// with the active ReorderPlan (when any) and either replays the greedy
+  /// reorderOperands pass or applies the plan's scripted permutation.
+  ReorderResult reorderAtSite(const std::vector<std::vector<Value *>> &Matrix);
+
   /// Emits a node-built remark for a freshly created vectorizable group
   /// (no-op when remarks are disabled).
   void noteNodeBuilt(const char *NodeKind, const std::vector<Value *> &Lanes,
@@ -94,6 +123,7 @@ private:
   const VectorizerConfig &Config;
   BasicBlock &BB;
   VectorizerBudget *Budget;
+  ReorderPlan *Plan;
   BundleScheduler Scheduler;
   SLPGraph Graph;
   std::map<std::vector<Value *>, SLPNode *> BundleCache;

@@ -363,3 +363,44 @@ lslp::reorderOperands(const std::vector<std::vector<Value *>> &Operands,
   noteReorderOutcome(Result, Operands, Config, Anchor, "greedy");
   return Result;
 }
+
+ReorderResult lslp::applyOperandAssignment(
+    const std::vector<std::vector<Value *>> &Operands,
+    const std::vector<std::vector<unsigned>> &LanePerms,
+    const VectorizerConfig &Config) {
+  const unsigned NumSlots = static_cast<unsigned>(Operands.size());
+  const unsigned NumLanes = static_cast<unsigned>(Operands[0].size());
+  assert(LanePerms.size() == NumLanes && "one permutation per lane");
+
+  ReorderResult Result;
+  Result.Final.assign(NumSlots, std::vector<Value *>(NumLanes, nullptr));
+  Result.Modes.assign(NumSlots, OperandMode::Failed);
+  for (unsigned I = 0; I != NumSlots; ++I) {
+    assert(LanePerms[0][I] == I && "lane 0 order is final");
+    Result.Final[I][0] = Operands[I][0];
+    Result.Modes[I] = initialMode(Operands[I][0]);
+  }
+
+  // Replay the fixed assignment, tracking slot modes exactly like the
+  // search paths: a slot stays live only while consecutive lanes keep
+  // matching (consecutive loads / same opcode / splat).
+  for (unsigned Lane = 1; Lane != NumLanes; ++Lane) {
+    for (unsigned I = 0; I != NumSlots; ++I) {
+      Value *Chosen = Operands[LanePerms[Lane][I]][Lane];
+      Value *Last = Result.Final[I][Lane - 1];
+      Result.Final[I][Lane] = Chosen;
+      if (Result.Modes[I] == OperandMode::Failed)
+        continue;
+      if (!areConsecutiveOrMatch(Last, Chosen))
+        Result.Modes[I] = OperandMode::Failed;
+      else if (Config.EnableSplatMode && Chosen == Last)
+        Result.Modes[I] = OperandMode::Splat;
+    }
+  }
+
+  for (unsigned I = 0; I != NumSlots && !Result.Changed; ++I)
+    Result.Changed = (Result.Final[I] != Operands[I]);
+  noteReorderOutcome(Result, Operands, Config, findAnchor(Operands),
+                     "global");
+  return Result;
+}

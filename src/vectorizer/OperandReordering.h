@@ -57,6 +57,19 @@ reorderOperands(const std::vector<std::vector<Value *>> &Operands,
                 const VectorizerConfig &Config,
                 VectorizerBudget *Budget = nullptr);
 
+/// Applies a fixed per-lane slot assignment instead of searching: slot S
+/// of lane L receives \p Operands[LanePerms[L][S]][L]. LanePerms[0] must
+/// be the identity (lane 0's order is final, as in reorderOperands); each
+/// LanePerms[L] must be a permutation of [0, #slots). Recomputes the
+/// per-slot modes the same way the search paths do and emits a
+/// reorder-choice remark with strategy "global". This is the replay half
+/// of the global packing solver: it scores operand assignments by total
+/// graph cost rather than by local heuristics.
+ReorderResult applyOperandAssignment(
+    const std::vector<std::vector<Value *>> &Operands,
+    const std::vector<std::vector<unsigned>> &LanePerms,
+    const VectorizerConfig &Config);
+
 } // namespace lslp
 
 #endif // LSLP_VECTORIZER_OPERANDREORDERING_H

@@ -1,0 +1,121 @@
+//===- vectorizer/PackSetSolver.cpp - Global pack-set search -----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/PackSetSolver.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "diag/Statistics.h"
+#include "vectorizer/Budget.h"
+#include "vectorizer/CostEvaluator.h"
+
+#include <climits>
+#include <deque>
+
+using namespace lslp;
+
+LSLP_STATISTIC(NumSolverCandidates, "pack-set-solver",
+               "Candidate pack sets evaluated by the global solver");
+LSLP_STATISTIC(NumSolverCapped, "pack-set-solver",
+               "Solves stopped early by the candidate cap");
+
+PackSetSolver::PackSetSolver(const VectorizerConfig &Config,
+                             const TargetTransformInfo &TTI, BasicBlock &BB,
+                             VectorizerBudget *Budget)
+    : ProbeConfig(Config), TTI(TTI), BB(BB), Budget(Budget) {
+  ProbeConfig.Remarks = nullptr;
+}
+
+std::optional<int>
+PackSetSolver::evaluate(const std::vector<Instruction *> &Seeds,
+                        ReorderPlan &Plan) {
+  SLPGraphBuilder Builder(ProbeConfig, BB, Budget, &Plan);
+  std::optional<SLPGraph> Graph = Builder.build(Seeds);
+  if (!Graph || (Budget && Budget->exhausted()))
+    return std::nullopt;
+  return evaluateGraphCost(*Graph, TTI, /*Remarks=*/nullptr);
+}
+
+PackSetSolver::Result
+PackSetSolver::solve(const std::vector<Instruction *> &Seeds) {
+  Result R;
+  const unsigned Cap = ProbeConfig.MaxSolverCandidates;
+
+  // Breadth-first over plans, the empty (pure greedy) plan first. Each
+  // evaluated plan P spawns children that extend it at any site s in
+  // [|P|, SitesSeen) with a non-greedy option, padding the skipped sites
+  // with 0: every trimmed choice vector has exactly one such parent, so
+  // no plan is generated (or charged) twice.
+  std::deque<std::vector<unsigned>> Queue;
+  Queue.push_back({});
+  int Best = INT_MAX;
+
+  while (!Queue.empty()) {
+    if (Budget && Budget->exhausted())
+      return R;
+    if (Cap != 0 && R.Candidates >= Cap) {
+      R.Capped = true;
+      break;
+    }
+    std::vector<unsigned> Choices = std::move(Queue.front());
+    Queue.pop_front();
+
+    // Every candidate evaluation is a unit of search work; charge it to
+    // the shared permutation budget so --max-permutations and the fault
+    // injector cover the solver exactly like the greedy search.
+    if (Budget && !Budget->chargePermutations(1))
+      return R;
+
+    ReorderPlan Plan;
+    Plan.Choices = Choices;
+    std::optional<int> Cost = evaluate(Seeds, Plan);
+    ++R.Candidates;
+    ++NumSolverCandidates;
+    if (Budget && Budget->exhausted())
+      return R;
+    if (!Cost) {
+      if (Choices.empty())
+        return R; // Not even greedy forms a graph: nothing to optimize.
+      continue; // An alternative broke the build; skip it.
+    }
+
+    if (Choices.empty()) {
+      R.Solved = true;
+      R.GreedyCost = *Cost;
+      R.Sites = Plan.SitesSeen;
+    }
+    // Strictly-less keeps the earliest (BFS order) winner: ties resolve
+    // to the greedy plan, and among alternatives to the lowest site /
+    // lowest option — fully deterministic.
+    if (*Cost < Best) {
+      Best = *Cost;
+      R.BestChoices = Choices;
+    }
+
+    // Expand. Queued plans can never all be evaluated past the cap, so
+    // stop enqueuing once the queue alone would exhaust it (bounds
+    // memory on site-rich functions).
+    for (unsigned S = static_cast<unsigned>(Choices.size());
+         S < Plan.SitesSeen; ++S) {
+      const unsigned Options =
+          S < Plan.SiteOptions.size() ? Plan.SiteOptions[S] : 1;
+      for (unsigned K = 1; K < Options; ++K) {
+        if (Cap != 0 && Queue.size() + R.Candidates >= Cap) {
+          R.Capped = true;
+          break;
+        }
+        std::vector<unsigned> Child = Choices;
+        Child.resize(S, 0);
+        Child.push_back(K);
+        Queue.push_back(std::move(Child));
+      }
+    }
+  }
+
+  if (R.Capped)
+    ++NumSolverCapped;
+  R.BestCost = Best == INT_MAX ? R.GreedyCost : Best;
+  return R;
+}

@@ -1,0 +1,88 @@
+//===- vectorizer/PackSetSolver.h - Global pack-set search ------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search half of the global packing strategy (goSLP direction; see
+/// ROADMAP.md). Where the greedy pipeline decides each commutative-operand
+/// reordering locally, the solver treats the whole seed bundle as one
+/// optimization problem: every reordering site visited during a graph
+/// build is a decision variable (ReorderPlan), and the objective is the
+/// total graph cost under the shared TTI cost model. The solver evaluates
+/// candidate plans by building silent probe graphs (remarks off, IR
+/// untouched — only codegen mutates IR) and keeps the strictly cheapest
+/// plan, so ties always resolve to the greedy plan and the committed
+/// output can differ from greedy only when it is provably cheaper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VECTORIZER_PACKSETSOLVER_H
+#define LSLP_VECTORIZER_PACKSETSOLVER_H
+
+#include "vectorizer/Config.h"
+#include "vectorizer/GraphBuilder.h"
+
+#include <optional>
+#include <vector>
+
+namespace lslp {
+
+class BasicBlock;
+class Instruction;
+class TargetTransformInfo;
+class VectorizerBudget;
+
+/// Exact search over reorder plans for one seed bundle.
+class PackSetSolver {
+public:
+  /// Outcome of one solve.
+  struct Result {
+    /// The winning plan (empty = the greedy plan won or tied).
+    std::vector<unsigned> BestChoices;
+    /// Cost of the winning plan's graph.
+    int BestCost = 0;
+    /// Cost of the greedy plan's graph (the baseline every alternative
+    /// must strictly beat).
+    int GreedyCost = 0;
+    /// Candidate plans evaluated, including the greedy one.
+    unsigned Candidates = 0;
+    /// Reordering sites the greedy build visited.
+    unsigned Sites = 0;
+    /// True when MaxSolverCandidates stopped the search with candidates
+    /// still enqueued.
+    bool Capped = false;
+    /// False when not even the greedy plan produced a graph (the bundle
+    /// does not form a vectorizable root): nothing to optimize.
+    bool Solved = false;
+  };
+
+  PackSetSolver(const VectorizerConfig &Config,
+                const TargetTransformInfo &TTI, BasicBlock &BB,
+                VectorizerBudget *Budget);
+
+  /// Runs the search over \p Seeds. Charges \p Budget one permutation
+  /// unit per candidate evaluated; callers must poll Budget->exhausted()
+  /// afterwards and abandon the function when it latched.
+  Result solve(const std::vector<Instruction *> &Seeds);
+
+private:
+  /// Builds one silent probe graph under \p Plan and returns its cost
+  /// (nullopt when no graph forms).
+  std::optional<int> evaluate(const std::vector<Instruction *> &Seeds,
+                              ReorderPlan &Plan);
+
+  /// Probe configuration: the caller's config with remarks disabled, so
+  /// candidate builds leave no trace (the winner is rebuilt with remarks
+  /// on by the strategy driver). Kept as a member because GraphBuilder
+  /// holds its config by reference.
+  VectorizerConfig ProbeConfig;
+  const TargetTransformInfo &TTI;
+  BasicBlock &BB;
+  VectorizerBudget *Budget;
+};
+
+} // namespace lslp
+
+#endif // LSLP_VECTORIZER_PACKSETSOLVER_H

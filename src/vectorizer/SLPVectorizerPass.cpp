@@ -21,6 +21,7 @@
 #include "vectorizer/Budget.h"
 #include "vectorizer/CodeGen.h"
 #include "vectorizer/CostEvaluator.h"
+#include "vectorizer/GlobalPacking.h"
 #include "vectorizer/GraphBuilder.h"
 #include "vectorizer/ReductionVectorizer.h"
 #include "vectorizer/SeedCollector.h"
@@ -65,15 +66,31 @@ FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
     for (const SeedBundle &Bundle : Seeds) {
       if (BP && BP->exhausted())
         break;
-      // Steps 3-4: build the graph and evaluate its cost.
-      SLPGraphBuilder Builder(Config, BB, BP);
-      std::optional<SLPGraph> Graph = Builder.build(Bundle);
-      if (!Graph)
-        continue;
+      // Steps 3-4: build the graph and evaluate its cost. The greedy
+      // strategy builds once; the global strategy first searches over
+      // reorder plans and commits the cheapest (tie -> the greedy plan,
+      // so output diverges only when strictly cheaper).
+      std::optional<SLPGraphBuilder> GreedyBuilder;
+      GlobalPackAttempt GlobalAttempt;
+      std::optional<SLPGraph> Graph;
+      BundleScheduler *Sched = nullptr;
+      if (Config.Strategy ==
+          VectorizerConfig::PackingStrategyKind::Global) {
+        GlobalAttempt = packBundleGlobally(Config, TTI, BB, Bundle, BP);
+        Graph = std::move(GlobalAttempt.Graph);
+        if (GlobalAttempt.Builder)
+          Sched = &GlobalAttempt.Builder->getScheduler();
+      } else {
+        GreedyBuilder.emplace(Config, BB, BP);
+        Graph = GreedyBuilder->build(Bundle);
+        Sched = &GreedyBuilder->getScheduler();
+      }
       // A graph built on a dying budget is untrustworthy (silent gathers,
       // unreordered operands); discard it before cost/codegen.
       if (BP && BP->exhausted())
         break;
+      if (!Graph)
+        continue;
       int Cost = evaluateGraphCost(*Graph, TTI, Config.Remarks);
 
       GraphAttempt Attempt;
@@ -99,8 +116,7 @@ FunctionReport SLPVectorizerPass::runOnFunction(Function &F) {
 
       // Steps 5-7: vectorize when profitable.
       if (Cost < Config.CostThreshold)
-        Attempt.Accepted =
-            generateVectorCode(*Graph, BB, Builder.getScheduler());
+        Attempt.Accepted = generateVectorCode(*Graph, BB, *Sched);
       if (Attempt.Accepted)
         ++NumGraphsAccepted;
       else

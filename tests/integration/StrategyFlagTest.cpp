@@ -1,0 +1,68 @@
+//===- tests/integration/StrategyFlagTest.cpp - Strategy flag parsing ----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The strategy flag surface (`lslpc --slp-strategy=` and bench
+// `-strategy=`) funnels through parsePackingStrategy. Unknown names must
+// be rejected — never silently defaulted — so a typo in a CI matrix
+// entry fails the job instead of quietly re-running greedy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/Config.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+TEST(StrategyFlag, AcceptsTheTwoKnownNames) {
+  VectorizerConfig::PackingStrategyKind K =
+      VectorizerConfig::PackingStrategyKind::Global;
+  EXPECT_TRUE(parsePackingStrategy("greedy", K));
+  EXPECT_EQ(K, VectorizerConfig::PackingStrategyKind::Greedy);
+  EXPECT_TRUE(parsePackingStrategy("global", K));
+  EXPECT_EQ(K, VectorizerConfig::PackingStrategyKind::Global);
+}
+
+TEST(StrategyFlag, RejectsUnknownNamesWithoutClobbering) {
+  VectorizerConfig::PackingStrategyKind K =
+      VectorizerConfig::PackingStrategyKind::Global;
+  for (const char *Bad : {"", "Greedy", "GLOBAL", "global ", " greedy",
+                          "goSLP", "bottom-up", "greedy,global", "0", "1"}) {
+    EXPECT_FALSE(parsePackingStrategy(Bad, K)) << "'" << Bad << "'";
+    // A failed parse must leave the caller's config untouched.
+    EXPECT_EQ(K, VectorizerConfig::PackingStrategyKind::Global)
+        << "'" << Bad << "'";
+  }
+}
+
+TEST(StrategyFlag, NamesRoundTripThroughTheParser) {
+  for (VectorizerConfig::PackingStrategyKind K :
+       {VectorizerConfig::PackingStrategyKind::Greedy,
+        VectorizerConfig::PackingStrategyKind::Global}) {
+    VectorizerConfig::PackingStrategyKind Parsed =
+        VectorizerConfig::PackingStrategyKind::Greedy;
+    EXPECT_TRUE(parsePackingStrategy(packingStrategyName(K), Parsed));
+    EXPECT_EQ(Parsed, K);
+  }
+}
+
+TEST(StrategyFlag, DefaultConfigsStayGreedy) {
+  // The strategy knob defaults off everywhere: all three paper presets
+  // must keep byte-identical-to-pre-strategy behavior unless a flag is
+  // passed explicitly.
+  EXPECT_EQ(VectorizerConfig().Strategy,
+            VectorizerConfig::PackingStrategyKind::Greedy);
+  EXPECT_EQ(VectorizerConfig::slp().Strategy,
+            VectorizerConfig::PackingStrategyKind::Greedy);
+  EXPECT_EQ(VectorizerConfig::slpNoReordering().Strategy,
+            VectorizerConfig::PackingStrategyKind::Greedy);
+  EXPECT_EQ(VectorizerConfig::lslp().Strategy,
+            VectorizerConfig::PackingStrategyKind::Greedy);
+}
+
+} // namespace

@@ -1,0 +1,276 @@
+//===- tests/vectorizer/GlobalPackingTest.cpp - Global packing strategy -------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The global statement-packing strategy (--slp-strategy=global): the
+// PackSetSolver's search behavior, the tie-break contract (ties commit
+// the greedy pack set, byte-identically), budget exhaustion through the
+// solver's charge sites (scalar fallback, byte-identical input), and
+// --jobs determinism of the strategy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "diag/RemarkEngine.h"
+#include "ir/BasicBlock.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/Casting.h"
+#include "vectorizer/GlobalPacking.h"
+#include "vectorizer/PackSetSolver.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// Crossed commutative operands hidden under same-opcode shifts (the
+/// paper's Figure 2 shape): greedy SLP's depth-0 opcode scoring ties on
+/// every alternative and keeps the B/C loads crossed, so the gathers push
+/// the cost to >= 0; the solver's lane-1 swap lines both operand slots up
+/// as consecutive loads.
+const char *CrossedSrc = R"(global @A = [8 x i64]
+global @B = [8 x i64]
+global @C = [8 x i64]
+define void @crossed(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr @B, i64 %i
+  %pc0 = gep i64, ptr @C, i64 %i
+  %pb1 = gep i64, ptr @B, i64 %i1
+  %pc1 = gep i64, ptr @C, i64 %i1
+  %b0 = load i64, ptr %pb0
+  %c0 = load i64, ptr %pc0
+  %c1 = load i64, ptr %pc1
+  %b1 = load i64, ptr %pb1
+  %sh0l = shl i64 %b0, 1
+  %sh0r = shl i64 %c0, 2
+  %sh1l = shl i64 %c1, 3
+  %sh1r = shl i64 %b1, 4
+  %and0 = and i64 %sh0l, %sh0r
+  %and1 = and i64 %sh1l, %sh1r
+  %pa0 = gep i64, ptr @A, i64 %i
+  %pa1 = gep i64, ptr @A, i64 %i1
+  store i64 %and0, ptr %pa0
+  store i64 %and1, ptr %pa1
+  ret void
+}
+)";
+
+/// Already-aligned operands: greedy is optimal, so every solver
+/// alternative ties or loses and the strategies must agree byte-for-byte.
+/// Distinct globals/function name so JobsParity can concatenate it with
+/// CrossedSrc into one two-function module.
+const char *AlignedSrc = R"(global @D = [8 x i64]
+global @E = [8 x i64]
+global @F = [8 x i64]
+define void @aligned(i64 %i) {
+entry:
+  %i1 = add i64 %i, 1
+  %pb0 = gep i64, ptr @E, i64 %i
+  %pb1 = gep i64, ptr @E, i64 %i1
+  %pc0 = gep i64, ptr @F, i64 %i
+  %pc1 = gep i64, ptr @F, i64 %i1
+  %b0 = load i64, ptr %pb0
+  %b1 = load i64, ptr %pb1
+  %c0 = load i64, ptr %pc0
+  %c1 = load i64, ptr %pc1
+  %s0 = xor i64 %b0, %c0
+  %s1 = xor i64 %b1, %c1
+  %pa0 = gep i64, ptr @D, i64 %i
+  %pa1 = gep i64, ptr @D, i64 %i1
+  store i64 %s0, ptr %pa0
+  store i64 %s1, ptr %pa1
+  ret void
+}
+)";
+
+/// A lone store seeds no bundle: the strategy must run the (empty) seed
+/// sweep without forming packs and leave the function untouched.
+const char *SingleStoreSrc = R"(global @A = [8 x i64]
+define void @single(i64 %v) {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  store i64 %v, ptr %p
+  ret void
+}
+)";
+
+struct RunResult {
+  std::string ScalarIR;
+  std::string IR;
+  ModuleReport Report;
+  std::vector<Remark> Remarks;
+};
+
+RunResult runPass(const char *Src, VectorizerConfig Config,
+                  unsigned Jobs = 1) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  RunResult Out;
+  Out.ScalarIR = moduleToString(*M);
+  SkylakeTTI TTI;
+  RemarkEngine Engine;
+  Engine.setKeepRemarks(true);
+  Config.Remarks = &Engine;
+  SLPVectorizerPass Pass(Config, TTI);
+  Out.Report = Pass.runOnModule(*M, Jobs);
+  EXPECT_TRUE(verifyModule(*M));
+  Out.IR = moduleToString(*M);
+  Out.Remarks = Engine.remarks();
+  return Out;
+}
+
+VectorizerConfig globalSLP() {
+  VectorizerConfig C = VectorizerConfig::slp();
+  C.Strategy = VectorizerConfig::PackingStrategyKind::Global;
+  return C;
+}
+
+unsigned countKind(const std::vector<Remark> &Remarks, RemarkKind Kind) {
+  unsigned N = 0;
+  for (const Remark &R : Remarks)
+    N += R.Kind == Kind;
+  return N;
+}
+
+/// Collects the function's scalar stores in block order — the same lane
+/// order the seed collector hands the pass.
+std::vector<Instruction *> storeSeeds(Module &M, const std::string &Fn) {
+  std::vector<Instruction *> Seeds;
+  Function *F = M.getFunction(Fn);
+  for (const auto &I : **F->begin())
+    if (isa<StoreInst>(I.get()))
+      Seeds.push_back(I.get());
+  return Seeds;
+}
+
+//===----------------------------------------------------------------------===//
+// PackSetSolver unit behavior
+//===----------------------------------------------------------------------===//
+
+TEST(PackSetSolver, FindsTheCheaperPlanOnCrossedOperands) {
+  Context Ctx;
+  auto M = parseModuleOrDie(CrossedSrc, Ctx);
+  SkylakeTTI TTI;
+  VectorizerConfig Config = VectorizerConfig::slp();
+  BasicBlock &BB = **M->getFunction("crossed")->begin();
+  PackSetSolver Solver(Config, TTI, BB, nullptr);
+  PackSetSolver::Result R = Solver.solve(storeSeeds(*M, "crossed"));
+  EXPECT_TRUE(R.Solved);
+  EXPECT_FALSE(R.Capped);
+  EXPECT_GE(R.Sites, 1u);
+  EXPECT_GT(R.Candidates, 1u);
+  EXPECT_GE(R.GreedyCost, 0); // greedy's crossed pack set is unprofitable
+  EXPECT_LT(R.BestCost, R.GreedyCost);
+  EXPECT_FALSE(R.BestChoices.empty());
+}
+
+TEST(PackSetSolver, TiesKeepTheGreedyPlan) {
+  Context Ctx;
+  auto M = parseModuleOrDie(AlignedSrc, Ctx);
+  SkylakeTTI TTI;
+  VectorizerConfig Config = VectorizerConfig::slp();
+  BasicBlock &BB = **M->getFunction("aligned")->begin();
+  PackSetSolver Solver(Config, TTI, BB, nullptr);
+  PackSetSolver::Result R = Solver.solve(storeSeeds(*M, "aligned"));
+  EXPECT_TRUE(R.Solved);
+  EXPECT_EQ(R.BestCost, R.GreedyCost);
+  EXPECT_TRUE(R.BestChoices.empty()); // strict-less replacement only
+}
+
+TEST(PackSetSolver, CandidateCapDegeneratesToGreedy) {
+  Context Ctx;
+  auto M = parseModuleOrDie(CrossedSrc, Ctx);
+  SkylakeTTI TTI;
+  VectorizerConfig Config = VectorizerConfig::slp();
+  Config.MaxSolverCandidates = 1;
+  BasicBlock &BB = **M->getFunction("crossed")->begin();
+  PackSetSolver Solver(Config, TTI, BB, nullptr);
+  PackSetSolver::Result R = Solver.solve(storeSeeds(*M, "crossed"));
+  EXPECT_TRUE(R.Solved);
+  EXPECT_TRUE(R.Capped);
+  EXPECT_EQ(R.Candidates, 1u);
+  EXPECT_EQ(R.BestCost, R.GreedyCost);
+  EXPECT_TRUE(R.BestChoices.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Strategy end-to-end through the pass
+//===----------------------------------------------------------------------===//
+
+TEST(GlobalPacking, SingleStoreFormsNoPacksAndLeavesIRUntouched) {
+  RunResult Greedy = runPass(SingleStoreSrc, VectorizerConfig::slp());
+  RunResult Global = runPass(SingleStoreSrc, globalSLP());
+  EXPECT_EQ(Global.IR, Global.ScalarIR);
+  EXPECT_EQ(Global.IR, Greedy.IR);
+  EXPECT_EQ(Global.Report.numAccepted(), 0u);
+  EXPECT_EQ(countKind(Global.Remarks, RemarkKind::GlobalPackingSolved), 0u);
+}
+
+TEST(GlobalPacking, CommitsTheCheaperPackSetWithASolveRemark) {
+  RunResult Greedy = runPass(CrossedSrc, VectorizerConfig::slp());
+  RunResult Global = runPass(CrossedSrc, globalSLP());
+  EXPECT_EQ(Greedy.Report.numAccepted(), 0u);
+  EXPECT_EQ(Global.Report.numAccepted(), 1u);
+  EXPECT_LT(Global.Report.acceptedCost(), Greedy.Report.acceptedCost());
+  EXPECT_NE(Global.IR, Greedy.IR);
+  EXPECT_EQ(countKind(Global.Remarks, RemarkKind::GlobalPackingSolved), 1u);
+}
+
+TEST(GlobalPacking, TieBreakIsDeterministicAndByteIdenticalToGreedy) {
+  // On the aligned kernel every alternative ties or loses: the committed
+  // IR must be byte-identical to greedy's, and two global runs must be
+  // byte-identical to each other (IR and remark stream).
+  RunResult Greedy = runPass(AlignedSrc, VectorizerConfig::slp());
+  RunResult Global1 = runPass(AlignedSrc, globalSLP());
+  RunResult Global2 = runPass(AlignedSrc, globalSLP());
+  EXPECT_GT(Greedy.Report.numAccepted(), 0u);
+  EXPECT_EQ(Global1.IR, Greedy.IR);
+  EXPECT_EQ(Global1.IR, Global2.IR);
+  ASSERT_EQ(Global1.Remarks.size(), Global2.Remarks.size());
+  for (size_t I = 0; I != Global1.Remarks.size(); ++I)
+    EXPECT_EQ(Global1.Remarks[I].toJSON(), Global2.Remarks[I].toJSON());
+}
+
+TEST(GlobalPacking, PermutationBudgetFallsBackToByteIdenticalScalar) {
+  // The solver charges the shared permutation budget per candidate; a
+  // budget of 1 dies during the search and the transform-then-commit
+  // machinery must restore the scalar body byte-identically with exactly
+  // one budget-exhausted remark.
+  VectorizerConfig C = globalSLP();
+  C.MaxPermutationsPerMultiNode = 1;
+  RunResult R = runPass(CrossedSrc, C);
+  EXPECT_EQ(R.IR, R.ScalarIR);
+  EXPECT_EQ(R.Report.numAccepted(), 0u);
+  ASSERT_EQ(R.Report.Functions.size(), 1u);
+  EXPECT_TRUE(R.Report.Functions[0].BudgetExhausted);
+  EXPECT_EQ(countKind(R.Remarks, RemarkKind::BudgetExhausted), 1u);
+  EXPECT_EQ(countKind(R.Remarks, RemarkKind::GlobalPackingSolved), 0u);
+}
+
+TEST(GlobalPacking, JobsParity) {
+  // Two independent functions vectorized concurrently: jobs=4 must be
+  // byte-identical to jobs=1 in IR, remark stream, and report, exactly
+  // like the greedy strategy's contract.
+  std::string TwoFns = std::string(CrossedSrc) + AlignedSrc;
+  RunResult Serial = runPass(TwoFns.c_str(), globalSLP(), 1);
+  RunResult Parallel = runPass(TwoFns.c_str(), globalSLP(), 4);
+  EXPECT_EQ(Serial.IR, Parallel.IR);
+  EXPECT_EQ(Serial.Report.numAccepted(), Parallel.Report.numAccepted());
+  EXPECT_EQ(Serial.Report.acceptedCost(), Parallel.Report.acceptedCost());
+  ASSERT_EQ(Serial.Remarks.size(), Parallel.Remarks.size());
+  for (size_t I = 0; I != Serial.Remarks.size(); ++I)
+    EXPECT_EQ(Serial.Remarks[I].toJSON(), Parallel.Remarks[I].toJSON());
+}
+
+} // namespace

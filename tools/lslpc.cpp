@@ -110,6 +110,15 @@ void printUsage() {
             "(default LSLP)\n"
             "  -la=N                     max look-ahead depth\n"
             "  -multi=N                  max multi-node size\n"
+            "  --slp-strategy=greedy|global\n"
+            "                            statement packing: one-shot greedy "
+            "build\n"
+            "                            (default) or global pack-set solver "
+            "over\n"
+            "                            commutative reorderings; in --fuzz "
+            "mode\n"
+            "                            'global' pins the whole sweep to the "
+            "solver\n"
             "  -no-altopcodes            disable add/sub blend bundles\n"
             "  -no-reductions            disable horizontal reductions\n"
             "  -no-vectorize             parse/verify/print only\n"
@@ -225,6 +234,13 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.Config.MaxLookAheadLevel = static_cast<unsigned>(Num);
     else if (startsWith(Plain, "multi=") && parseInt(Plain.substr(6), Num))
       Opts.Config.MaxMultiNodeSize = static_cast<unsigned>(Num);
+    else if (startsWith(Plain, "slp-strategy=")) {
+      if (!parsePackingStrategy(Plain.substr(13), Opts.Config.Strategy)) {
+        errs() << "lslpc: bad slp-strategy '" << Plain.substr(13)
+               << "' (expected 'greedy' or 'global')\n";
+        return false;
+      }
+    }
     else if (Plain == "no-altopcodes")
       Opts.Config.EnableAltOpcodes = false;
     else if (Plain == "no-reductions")
@@ -418,6 +434,7 @@ int runFuzz(const Options &Opts, int64_t Count, int64_t FirstSeed,
   SweepOpts.ParityAll = ParityAll;
   SweepOpts.FaultProbability = Opts.FaultProbability;
   SweepOpts.FaultSeed = static_cast<uint64_t>(Opts.FaultSeed);
+  SweepOpts.Strategy = Opts.Config.Strategy;
 
   int64_t NumDone = 0;
   int64_t Failures = runFuzzSweep(SweepOpts, [&](const SeedOutcome &Out) {
