@@ -119,7 +119,9 @@ bool lslp::bench::parseBenchArgs(int argc, char **argv, BenchOptions &Opts) {
         return false;
       }
       Opts.Jobs = static_cast<unsigned>(Num);
-    } else if (Arg == "parity")
+    } else if (startsWith(Arg, "daemon="))
+      Opts.DaemonSocket = Arg.substr(7);
+    else if (Arg == "parity")
       Opts.Parity = true;
     else if (Arg == "engine-smoke")
       Opts.EngineSmoke = true;

@@ -76,6 +76,8 @@ SuiteMeasurement measureSuite(const SuiteSpec &Suite,
 ///                  config: greedy (default) or global; unknown names are
 ///                  rejected. fig9/fig10 suffix column headers, config
 ///                  names, and JSON records with "-global"
+///   -daemon=SOCK   route compiles through the lslpd daemon at SOCK
+///                  (fig14 only: adds the cold-vs-warm cache columns)
 struct BenchOptions {
   std::string JsonPath;
   EngineKind Engine = EngineKind::TreeWalk;
@@ -84,6 +86,7 @@ struct BenchOptions {
   bool Parity = false;
   VectorizerConfig::PackingStrategyKind Strategy =
       VectorizerConfig::PackingStrategyKind::Greedy;
+  std::string DaemonSocket;
 };
 
 /// Consumes the shared flags from argv, leaving binary-specific arguments

@@ -17,6 +17,8 @@
 #include "costmodel/TargetTransformInfo.h"
 #include "ir/Context.h"
 #include "ir/Module.h"
+#include "ir/Printer.h"
+#include "server/Client.h"
 #include "support/OStream.h"
 #include "vectorizer/SLPVectorizerPass.h"
 
@@ -125,12 +127,97 @@ void printNormalizedSummary(JsonReport &Report) {
             "cost of look-ahead + multi-nodes over the vanilla SLP pass.\n";
 }
 
+/// -daemon=SOCK mode: per-kernel compile wall time through the lslpd
+/// daemon, cold (every request forced to miss the content cache) vs warm
+/// (byte-identical replay from the cache). The cold/warm medians land in
+/// the -json= report as configs "daemon-cold"/"daemon-warm"; the daemon's
+/// own hit/miss/eviction counters are printed from a stats request.
+bool runDaemonMode(const BenchOptions &Opts, JsonReport &Report) {
+  server::DaemonClient Client;
+  if (Error E = Client.connect(Opts.DaemonSocket)) {
+    errs() << "fig14: " << E.message() << "\n";
+    return false;
+  }
+
+  printTitle("Figure 14 (daemon): compile time, cold vs warm cache");
+  printRow("kernel", {"cold ms", "warm ms", "speedup"});
+  outs() << std::string(66, '-') << "\n";
+
+  const unsigned Runs = 30;
+  bool OK = true;
+  for (const KernelSpec *K : getFigureKernels()) {
+    // One canonical request per kernel: module text + LSLP(8) config.
+    server::CompileRequest Req;
+    Req.InputName = K->Name;
+    {
+      Context Ctx;
+      auto M = buildKernelModule(*K, Ctx);
+      StringOStream OS(Req.ModuleText);
+      printModule(OS, *M);
+    }
+    Req.ConfigJSON = VectorizerConfig::lslp(8).toJSON();
+    Req.Report = true;
+
+    auto TimedCompile = [&](uint64_t FaultSeed) {
+      Req.FaultSeed = FaultSeed;
+      server::CompileResponse Resp;
+      auto Start = std::chrono::steady_clock::now();
+      if (Error E = Client.compile(Req, Resp)) {
+        errs() << "fig14: " << E.message() << "\n";
+        OK = false;
+      }
+      auto End = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(End - Start).count();
+    };
+    auto Median = [](std::vector<double> &Times) {
+      std::sort(Times.begin(), Times.end());
+      return Times[Times.size() / 2];
+    };
+
+    // Cold: a fresh fault seed per request changes the cache key but not
+    // the compile (the fault probability stays 0), so every run misses.
+    std::vector<double> ColdTimes, WarmTimes;
+    for (unsigned I = 0; I < Runs && OK; ++I)
+      ColdTimes.push_back(TimedCompile(/*FaultSeed=*/1 + I));
+    // Warm: one key, so after the priming run every request replays the
+    // cached response byte-for-byte.
+    if (OK)
+      TimedCompile(/*FaultSeed=*/0);
+    for (unsigned I = 0; I < Runs && OK; ++I)
+      WarmTimes.push_back(TimedCompile(/*FaultSeed=*/0));
+    if (!OK)
+      return false;
+
+    double Cold = Median(ColdTimes), Warm = Median(WarmTimes);
+    Report.add(K->Name, "daemon-cold", EngineKind::TreeWalk, 0, Cold);
+    Report.add(K->Name, "daemon-warm", EngineKind::TreeWalk, 0, Warm);
+    printRow(K->Name, {fmt(Cold, 3), fmt(Warm, 3),
+                       fmt(Warm > 0 ? Cold / Warm : 0, 1) + "x"});
+  }
+
+  std::string StatsJSON;
+  if (Error E = Client.stats(StatsJSON)) {
+    errs() << "fig14: " << E.message() << "\n";
+    return false;
+  }
+  outs() << "\ndaemon stats: " << StatsJSON << "\n";
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   BenchOptions Opts;
   if (!parseBenchArgs(argc, argv, Opts))
     return 1;
+  if (!Opts.DaemonSocket.empty()) {
+    // Daemon mode replaces the in-process benchmark sweep: the subject
+    // under measurement is the serving path itself.
+    JsonReport Report("fig14");
+    if (!runDaemonMode(Opts, Report))
+      return 1;
+    return Report.write(Opts.JsonPath) ? 0 : 1;
+  }
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

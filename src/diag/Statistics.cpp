@@ -98,3 +98,20 @@ void StatisticsRegistry::printJSON(OStream &OS) const {
   }
   OS << "}\n";
 }
+
+ScopedStatsCapture::ScopedStatsCapture() {
+  StatisticsRegistry &R = StatisticsRegistry::instance();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  Saved.reserve(R.Stats.size());
+  for (Statistic *S : R.Stats) {
+    Saved.emplace_back(S, S->Value.load(std::memory_order_relaxed));
+    S->Value.store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedStatsCapture::~ScopedStatsCapture() {
+  // Counters registered during the capture are left at their in-scope
+  // value — their pre-capture total was zero by definition.
+  for (auto &[S, V] : Saved)
+    S->Value.fetch_add(V, std::memory_order_relaxed);
+}

@@ -70,6 +70,7 @@ public:
 
 private:
   friend class StatisticsRegistry;
+  friend class ScopedStatsCapture;
   void bump(uint64_t N);
 
   const char *Component;
@@ -103,10 +104,33 @@ public:
 
 private:
   friend class Statistic;
+  friend class ScopedStatsCapture;
   void add(Statistic *S);
 
   mutable std::mutex Mutex;
   std::vector<Statistic *> Stats;
+};
+
+/// Isolates the counters bumped inside a scope: on construction every
+/// registered counter's value is saved and zeroed; on destruction the
+/// saved values are added back, so the registry's cumulative totals are
+/// unchanged by the capture. While the scope is alive, printText()/
+/// printJSON() report exactly the bumps made since construction — this is
+/// how the compile server produces per-request statistics that are
+/// byte-identical to a fresh single-compile process.
+///
+/// Captures do not nest and are not concurrency-safe against other
+/// captures or readers: the compile server serializes stats-requesting
+/// compiles behind an exclusive lock (see server/CompileService.h).
+class ScopedStatsCapture {
+public:
+  ScopedStatsCapture();
+  ~ScopedStatsCapture();
+  ScopedStatsCapture(const ScopedStatsCapture &) = delete;
+  ScopedStatsCapture &operator=(const ScopedStatsCapture &) = delete;
+
+private:
+  std::vector<std::pair<Statistic *, uint64_t>> Saved;
 };
 
 } // namespace lslp

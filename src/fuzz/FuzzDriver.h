@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace lslp {
 
@@ -51,6 +52,12 @@ struct FuzzSweepOptions {
   /// the pack-set solver alone under ASan/UBSan.
   VectorizerConfig::PackingStrategyKind Strategy =
       VectorizerConfig::PackingStrategyKind::Greedy;
+  /// When non-empty, the sweep shards across the lslpd daemons at these
+  /// socket paths instead of running in-process. runFuzzSweep() itself
+  /// ignores this field (the fuzz library cannot depend on the server
+  /// library); drivers dispatch to server::runFuzzSweepViaDaemons, which
+  /// honors the same outcome-delivery contract.
+  std::vector<std::string> DaemonSockets;
 };
 
 /// The oracle's verdict on one seed, plus the minimized reproducer when

@@ -1,0 +1,205 @@
+//===- server/Client.cpp - lslpd client transport -------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+DaemonClient::~DaemonClient() { close(); }
+
+void DaemonClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Error DaemonClient::connect(const std::string &SocketPath) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path))
+    return Error::make(ErrorCategory::IO,
+                       "socket path '" + SocketPath +
+                           "' is empty or longer than the unix-socket limit");
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Error::make(ErrorCategory::IO,
+                       std::string("socket: ") + std::strerror(errno));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error E = Error::make(ErrorCategory::IO,
+                          "cannot connect to daemon at '" + SocketPath +
+                              "': " + std::strerror(errno));
+    close();
+    return E;
+  }
+  return Error::success();
+}
+
+Error DaemonClient::roundTrip(const std::string &Payload, std::string &Reply) {
+  if (Fd < 0)
+    return Error::make(ErrorCategory::IO, "not connected to a daemon");
+  if (Error E = writeFrame(Fd, Payload)) {
+    close();
+    return E;
+  }
+  bool CleanEOF = false;
+  if (Error E = readFrame(Fd, Reply, &CleanEOF)) {
+    close();
+    if (CleanEOF)
+      return Error::make(ErrorCategory::IO,
+                         "daemon closed the connection before replying");
+    return E;
+  }
+  return Error::success();
+}
+
+Error DaemonClient::errorFromReply(const std::string &Reply) {
+  if (peekKind(Reply) != MessageKind::ErrorResponse)
+    return Error::success();
+  ErrorResponse E;
+  std::string DecodeErr;
+  if (!decodeErrorResponse(Reply, E, DecodeErr))
+    return Error::make(ErrorCategory::Internal,
+                       "malformed error reply: " + DecodeErr);
+  ErrorCategory Cat = E.Category <=
+                              static_cast<uint8_t>(ErrorCategory::Internal)
+                          ? static_cast<ErrorCategory>(E.Category)
+                          : ErrorCategory::Internal;
+  return Error::make(Cat == ErrorCategory::None ? ErrorCategory::Internal
+                                                : Cat,
+                     E.Message);
+}
+
+Error DaemonClient::compile(const CompileRequest &Req, CompileResponse &Out) {
+  std::string Reply;
+  if (Error E = roundTrip(encodeCompileRequest(Req), Reply))
+    return E;
+  if (Error E = errorFromReply(Reply))
+    return E;
+  std::string DecodeErr;
+  if (!decodeCompileResponse(Reply, Out, DecodeErr))
+    return Error::make(ErrorCategory::Internal,
+                       "malformed compile reply: " + DecodeErr);
+  return Error::success();
+}
+
+Error DaemonClient::fuzz(const FuzzRequest &Req, FuzzResponse &Out) {
+  std::string Reply;
+  if (Error E = roundTrip(encodeFuzzRequest(Req), Reply))
+    return E;
+  if (Error E = errorFromReply(Reply))
+    return E;
+  std::string DecodeErr;
+  if (!decodeFuzzResponse(Reply, Out, DecodeErr))
+    return Error::make(ErrorCategory::Internal,
+                       "malformed fuzz reply: " + DecodeErr);
+  return Error::success();
+}
+
+Error DaemonClient::stats(std::string &JSONOut) {
+  std::string Reply;
+  if (Error E = roundTrip(encodeStatsRequest(), Reply))
+    return E;
+  if (Error E = errorFromReply(Reply))
+    return E;
+  StatsResponse Resp;
+  std::string DecodeErr;
+  if (!decodeStatsResponse(Reply, Resp, DecodeErr))
+    return Error::make(ErrorCategory::Internal,
+                       "malformed stats reply: " + DecodeErr);
+  JSONOut = std::move(Resp.JSON);
+  return Error::success();
+}
+
+Error DaemonClient::shutdownDaemon() {
+  std::string Reply;
+  if (Error E = roundTrip(encodeShutdownRequest(), Reply))
+    return E;
+  if (Error E = errorFromReply(Reply))
+    return E;
+  if (peekKind(Reply) != MessageKind::ShutdownResponse)
+    return Error::make(ErrorCategory::Internal,
+                       "unexpected reply to shutdown request");
+  return Error::success();
+}
+
+Expected<int64_t> server::runFuzzSweepViaDaemons(
+    const FuzzSweepOptions &Opts, const std::vector<std::string> &Sockets,
+    const std::function<void(const SeedOutcome &)> &Consume) {
+  if (Sockets.empty())
+    return Error::make(ErrorCategory::IO, "no daemon sockets given");
+
+  // Contiguous ranges keep delivery order trivial: shard i holds seeds
+  // strictly before shard i+1, so concatenation IS ascending seed order.
+  size_t NumShards = Sockets.size();
+  if (Opts.Count >= 0 && static_cast<uint64_t>(Opts.Count) < NumShards)
+    NumShards = Opts.Count == 0 ? 1 : static_cast<size_t>(Opts.Count);
+
+  struct Shard {
+    FuzzRequest Req;
+    FuzzResponse Resp;
+    Error Err = Error::success();
+  };
+  std::vector<Shard> Shards(NumShards);
+  int64_t Base = Opts.FirstSeed;
+  for (size_t I = 0; I != NumShards; ++I) {
+    int64_t Quota = Opts.Count / static_cast<int64_t>(NumShards) +
+                    (static_cast<int64_t>(I) <
+                             Opts.Count % static_cast<int64_t>(NumShards)
+                         ? 1
+                         : 0);
+    FuzzRequest &Req = Shards[I].Req;
+    Req.Count = Quota;
+    Req.FirstSeed = Base;
+    Base += Quota;
+    Req.Jobs = Opts.Jobs;
+    Req.Engine = static_cast<uint8_t>(Opts.Engine);
+    Req.ParityAll = Opts.ParityAll;
+    Req.FaultProbability = Opts.FaultProbability;
+    Req.FaultSeed = Opts.FaultSeed;
+    Req.Strategy = static_cast<uint8_t>(Opts.Strategy);
+  }
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumShards);
+  for (size_t I = 0; I != NumShards; ++I)
+    Threads.emplace_back([&Shards, &Sockets, I] {
+      DaemonClient Client;
+      if (Error E = Client.connect(Sockets[I])) {
+        Shards[I].Err = E;
+        return;
+      }
+      Shards[I].Err = Client.fuzz(Shards[I].Req, Shards[I].Resp);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (size_t I = 0; I != NumShards; ++I)
+    if (Shards[I].Err)
+      return Error::make(Shards[I].Err.category(),
+                         "daemon '" + Sockets[I] +
+                             "': " + Shards[I].Err.message());
+
+  int64_t Failures = 0;
+  for (const Shard &S : Shards)
+    for (const SeedOutcome &Out : S.Resp.Outcomes) {
+      if (!Out.Passed)
+        ++Failures;
+      Consume(Out);
+    }
+  return Failures;
+}

@@ -1,0 +1,85 @@
+//===- server/Client.h - lslpd client transport -----------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the daemon protocol: a lock-step connection wrapper
+/// (one request frame out, one response frame in) used by
+/// `lslpc --connect=SOCK`, the fuzz sharder, and the bench harness's
+/// daemon mode, plus runFuzzSweepViaDaemons(), which splits a seed sweep
+/// across N daemons and re-delivers outcomes in ascending seed order so
+/// the caller cannot tell it apart from a local runFuzzSweep().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SERVER_CLIENT_H
+#define LSLP_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lslp {
+namespace server {
+
+/// One connection to a daemon. Methods are synchronous and lock-step;
+/// a transport or protocol failure closes the connection and surfaces as
+/// an IO/Internal Error.
+class DaemonClient {
+public:
+  DaemonClient() = default;
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient &) = delete;
+  DaemonClient &operator=(const DaemonClient &) = delete;
+
+  /// Connects to the unix-domain socket at \p SocketPath.
+  Error connect(const std::string &SocketPath);
+
+  bool isConnected() const { return Fd >= 0; }
+  void close();
+
+  /// Round-trips one compile. An ErrorResponse from the daemon (worker
+  /// crash, malformed frame) comes back as an Error with the daemon's
+  /// category and message, not as a CompileResponse.
+  Error compile(const CompileRequest &Req, CompileResponse &Out);
+
+  /// Round-trips one fuzz shard.
+  Error fuzz(const FuzzRequest &Req, FuzzResponse &Out);
+
+  /// Fetches the daemon's stats JSON.
+  Error stats(std::string &JSONOut);
+
+  /// Asks the daemon to drain and exit (acknowledged before it does).
+  Error shutdownDaemon();
+
+private:
+  /// Sends \p Payload as one frame and reads one reply frame.
+  Error roundTrip(const std::string &Payload, std::string &Reply);
+
+  /// Folds a daemon ErrorResponse payload into an Error; null when
+  /// \p Payload is not an ErrorResponse.
+  Error errorFromReply(const std::string &Reply);
+
+  int Fd = -1;
+};
+
+/// Shards \p Opts.Count seeds into contiguous ranges, one per socket in
+/// \p Sockets, runs the ranges concurrently on their daemons, and invokes
+/// \p Consume on the calling thread in ascending seed order — the exact
+/// delivery contract of local runFuzzSweep(), so lslpc's sweep output is
+/// byte-identical either way. Returns the number of failing seeds, or an
+/// Error if any daemon was unreachable or replied malformed (partial
+/// results are discarded: a sweep either completes everywhere or fails).
+Expected<int64_t> runFuzzSweepViaDaemons(
+    const FuzzSweepOptions &Opts, const std::vector<std::string> &Sockets,
+    const std::function<void(const SeedOutcome &)> &Consume);
+
+} // namespace server
+} // namespace lslp
+
+#endif // LSLP_SERVER_CLIENT_H

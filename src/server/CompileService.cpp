@@ -1,0 +1,186 @@
+//===- server/CompileService.cpp - The shared compile surface -------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// This mirrors the historical tools/lslpc.cpp compile path line for line;
+// every diagnostic string below is pinned by the tool smoke tests, so a
+// wording change here is a byte-identity break, not a cleanup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/CompileService.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/CrashHandler.h"
+#include "support/FaultInjection.h"
+#include "support/OStream.h"
+#include "support/ThreadPool.h"
+#include "transforms/EarlyCSE.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+using namespace lslp;
+using namespace lslp::server;
+
+namespace {
+
+/// Stats-capturing compiles hold this exclusively (a ScopedStatsCapture
+/// zeroes the process-global registry, so nothing else may bump or read it
+/// meanwhile); everything else holds it shared and runs concurrently.
+std::shared_mutex &statsLock() {
+  static std::shared_mutex Lock;
+  return Lock;
+}
+
+/// Verifies \p M after \p PassName (the --verify-each hook), folding any
+/// diagnostics into a Verify-category Error.
+Error verifyAfterPass(const Module &M, const char *PassName) {
+  std::vector<std::string> Errors;
+  if (verifyModule(M, &Errors))
+    return Error::success();
+  std::string Msg =
+      "module fails verification after " + std::string(PassName);
+  for (const std::string &E : Errors)
+    Msg += "\n  " + E;
+  return Error::make(ErrorCategory::Verify, std::move(Msg));
+}
+
+CompileResponse compileLocked(const CompileRequest &Req) {
+  CompileResponse Resp;
+  StringOStream ReportOS(Resp.ReportText);
+  StringOStream ErrorOS(Resp.ErrorText);
+
+  auto Fail = [&](int Code, ErrorCategory Cat) {
+    Resp.ExitCode = Code;
+    Resp.ErrCategory = static_cast<uint8_t>(Cat);
+    return Resp;
+  };
+
+  VectorizerConfig Config;
+  {
+    std::string Err;
+    if (!VectorizerConfig::fromJSON(Req.ConfigJSON, Config, Err)) {
+      ErrorOS << "lslpc: bad vectorizer config: " << Err << "\n";
+      return Fail(1, ErrorCategory::Internal);
+    }
+  }
+
+  // Remarks stream into the response; the client (or the local driver)
+  // decides which sink replays them.
+  RemarkEngine Remarks;
+  StringOStream RemarkOS(Resp.RemarksText);
+  if (Req.Remarks == RemarkWireFormat::Text)
+    Remarks.setTextStream(&RemarkOS);
+  else if (Req.Remarks == RemarkWireFormat::JSON)
+    Remarks.setJSONStream(&RemarkOS);
+  if (Req.Remarks != RemarkWireFormat::None)
+    Config.Remarks = &Remarks;
+
+  // If anything below crashes, the handler (when armed) dumps the input IR
+  // plus the active configuration as a runnable reproducer.
+  CrashPayload Payload(&Req.ModuleText, &Req.ConfigJSON);
+  CrashScope Scope("tool", "compile");
+
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  {
+    ParseDiagnostic Diag;
+    Expected<std::unique_ptr<Module>> ParsedOrErr =
+        parseModuleOrError(Req.ModuleText, Ctx, &Diag);
+    if (!ParsedOrErr) {
+      ErrorOS << Diag.render(Req.InputName) << "\n";
+      return Fail(1, ErrorCategory::Parse);
+    }
+    M = std::move(*ParsedOrErr);
+  }
+  std::vector<std::string> Errors;
+  if (!verifyModule(*M, &Errors)) {
+    ErrorOS << "lslpc: input fails verification:\n";
+    for (const std::string &E : Errors)
+      ErrorOS << "  " << E << "\n";
+    return Fail(1, ErrorCategory::Verify);
+  }
+
+  // Deterministic fault injection, forwarded unchanged from the request.
+  std::optional<FaultInjector> Faults;
+  if (Req.FaultProbability > 0.0) {
+    Faults.emplace(Req.FaultSeed, Req.FaultProbability);
+    Config.Faults = &*Faults;
+  }
+
+  SkylakeTTI TTI;
+  if (Req.EarlyCSE) {
+    unsigned Removed = runEarlyCSE(*M, Config.Remarks);
+    if (Req.Report)
+      ReportOS << "; early-cse removed " << Removed << " instruction(s)\n";
+    if (Req.VerifyEach) {
+      if (Error E = verifyAfterPass(*M, "early-cse")) {
+        ErrorOS << "lslpc: " << E.message() << "\n";
+        return Fail(1, ErrorCategory::Verify);
+      }
+    }
+  }
+  if (Req.Vectorize) {
+    SLPVectorizerPass Pass(Config, TTI);
+    ModuleReport Report =
+        Pass.runOnModule(*M, ThreadPool::resolveJobs(Req.Jobs));
+    if (!verifyModule(*M, &Errors)) {
+      ErrorOS << "lslpc: internal error: output fails verification\n";
+      for (const std::string &E : Errors)
+        ErrorOS << "  " << E << "\n";
+      return Fail(2, ErrorCategory::Verify);
+    }
+    if (Req.Report) {
+      ReportOS << "; config " << Config.Name << ": " << Report.numAccepted()
+               << " bundle(s) vectorized, total cost "
+               << Report.acceptedCost() << "\n";
+      for (const FunctionReport &F : Report.Functions)
+        for (const GraphAttempt &A : F.Attempts)
+          ReportOS << ";  @" << F.FunctionName << ": "
+                   << (A.IsReduction ? "reduction" : "store-seed") << " x"
+                   << A.NumLanes << ", cost " << A.Cost << ", "
+                   << (A.Accepted ? "vectorized" : "skipped") << "\n";
+    }
+  }
+
+  if (Req.PrintIR) {
+    StringOStream IROS(Resp.IRText);
+    printModule(IROS, *M);
+  }
+  return Resp;
+}
+
+} // namespace
+
+CompileResponse server::runCompileRequest(const CompileRequest &Req) {
+  if (!Req.WantStats) {
+    std::shared_lock<std::shared_mutex> Shared(statsLock());
+    return compileLocked(Req);
+  }
+
+  // Per-request statistics: isolate this request's counter bumps, render
+  // them exactly as lslpc's at-exit dump would, then restore the process
+  // totals. Exclusive: a capture window must not see other requests.
+  std::unique_lock<std::shared_mutex> Exclusive(statsLock());
+  ScopedStatsCapture Capture;
+  CompileResponse Resp = compileLocked(Req);
+  StringOStream StatsOS(Resp.StatsText);
+  if (Req.StatsJSON)
+    StatisticsRegistry::instance().printJSON(StatsOS);
+  else
+    StatisticsRegistry::instance().printText(StatsOS);
+  return Resp;
+}

@@ -1,0 +1,49 @@
+//===- server/CompileService.h - The shared compile surface -----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One compile path for local lslpc and the lslpd daemon. The service
+/// consumes a CompileRequest (module text + config JSON + requested
+/// outputs) and produces a CompileResponse whose fields are, byte for
+/// byte, what single-process lslpc writes to its streams:
+///
+///   ReportText + IRText  -> stdout
+///   RemarksText          -> the remark sink (stderr/file)
+///   StatsText, ErrorText -> stderr
+///   ExitCode             -> process exit code
+///
+/// Because both the local driver and the daemon call this one function,
+/// `lslpc --connect=SOCK` output matches `lslpc` output by construction —
+/// there is no second implementation to drift. Local-only features (-run,
+/// -graphs, -dot, --time-passes) stay on the driver's legacy path and are
+/// rejected under --connect.
+///
+/// Thread-safety: runCompileRequest is safe to call concurrently.
+/// Requests with WantStats serialize behind a process-wide exclusive lock
+/// so a ScopedStatsCapture sees only its own request's counter bumps;
+/// stat-less requests share the lock and run fully parallel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SERVER_COMPILESERVICE_H
+#define LSLP_SERVER_COMPILESERVICE_H
+
+#include "server/Protocol.h"
+
+namespace lslp {
+namespace server {
+
+/// Parses, optionally optimizes, and prints the module carried by \p Req.
+/// Never throws and never crashes on malformed *input* (malformed IR and
+/// config produce structured failures in the response); a crash in the
+/// pass pipeline itself is the caller's job to contain (the daemon wraps
+/// this call in runWithCrashRecovery).
+CompileResponse runCompileRequest(const CompileRequest &Req);
+
+} // namespace server
+} // namespace lslp
+
+#endif // LSLP_SERVER_COMPILESERVICE_H

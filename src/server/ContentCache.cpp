@@ -1,0 +1,145 @@
+//===- server/ContentCache.cpp - Content-hash compile memoization ---------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ContentCache.h"
+
+#include "diag/Statistics.h"
+
+using namespace lslp;
+using namespace lslp::server;
+
+LSLP_STATISTIC(NumCacheHits, "lslpd", "Compile requests served from cache");
+LSLP_STATISTIC(NumCacheMisses, "lslpd", "Compile requests that missed cache");
+LSLP_STATISTIC(NumCacheEvictions, "lslpd", "Cache entries evicted (LRU)");
+
+uint64_t server::hashBytes(std::string_view Text, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 0x100000001b3;
+  }
+  return H;
+}
+
+uint64_t server::hashCanonicalModuleText(std::string_view IRText) {
+  uint64_t H = 0xcbf29ce484222325;
+  auto Feed = [&H](unsigned char C) {
+    H ^= C;
+    H *= 0x100000001b3;
+  };
+  size_t Pos = 0;
+  while (Pos < IRText.size()) {
+    size_t End = IRText.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = IRText.size();
+    std::string_view Line = IRText.substr(Pos, End - Pos);
+    Pos = End + (End < IRText.size() ? 1 : 0);
+
+    // Drop everything after a ';' comment marker. The textual IR grammar
+    // has no string literals, so ';' always starts a comment.
+    size_t Semi = Line.find(';');
+    if (Semi != std::string_view::npos)
+      Line = Line.substr(0, Semi);
+    // Trim trailing whitespace (including any '\r').
+    while (!Line.empty() &&
+           (Line.back() == ' ' || Line.back() == '\t' || Line.back() == '\r'))
+      Line.remove_suffix(1);
+    if (Line.empty())
+      continue; // Blank (or comment-only) lines never affect the module.
+    for (unsigned char C : Line)
+      Feed(C);
+    Feed('\n'); // Keep line structure: "a\nb" != "ab".
+  }
+  return H;
+}
+
+CacheKey server::cacheKeyFor(const CompileRequest &Req) {
+  CacheKey Key;
+  Key.ModuleHash = hashCanonicalModuleText(Req.ModuleText);
+  Key.ConfigHash = hashBytes(Req.ConfigJSON);
+
+  // Every field that shapes the response bytes participates in the shape
+  // hash; InputName matters because parse diagnostics embed it.
+  uint64_t H = 0xcbf29ce484222325;
+  H = hashBytes(Req.InputName, H);
+  auto FeedByte = [&H](uint8_t B) {
+    H ^= B;
+    H *= 0x100000001b3;
+  };
+  FeedByte(Req.Vectorize);
+  FeedByte(Req.EarlyCSE);
+  FeedByte(Req.Report);
+  FeedByte(Req.PrintIR);
+  FeedByte(Req.VerifyEach);
+  FeedByte(Req.WantStats);
+  FeedByte(Req.StatsJSON);
+  FeedByte(static_cast<uint8_t>(Req.Remarks));
+  // Jobs is deliberately excluded: the determinism contract makes output
+  // byte-identical for any worker count, so it must not split the cache.
+  uint64_t FaultBits;
+  static_assert(sizeof(FaultBits) == sizeof(Req.FaultProbability));
+  __builtin_memcpy(&FaultBits, &Req.FaultProbability, sizeof(FaultBits));
+  for (int I = 0; I < 8; ++I)
+    FeedByte(static_cast<uint8_t>(FaultBits >> (8 * I)));
+  for (int I = 0; I < 8; ++I)
+    FeedByte(static_cast<uint8_t>(Req.FaultSeed >> (8 * I)));
+  Key.ShapeHash = H;
+  return Key;
+}
+
+ContentCache::ContentCache(size_t Capacity)
+    : Capacity(Capacity == 0 ? 1 : Capacity) {}
+
+std::optional<CompileResponse> ContentCache::lookup(const CacheKey &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    ++NumCacheMisses;
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  ++NumCacheHits;
+  Order.splice(Order.begin(), Order, It->second);
+  CompileResponse Response = It->second->second;
+  Response.CacheHit = true;
+  return Response;
+}
+
+void ContentCache::insert(const CacheKey &Key, const CompileResponse &Response) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    // Concurrent misses on the same key both insert; keep one entry.
+    It->second->second = Response;
+    Order.splice(Order.begin(), Order, It->second);
+    return;
+  }
+  if (Order.size() >= Capacity) {
+    Map.erase(Order.back().first);
+    Order.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    ++NumCacheEvictions;
+  }
+  Order.emplace_front(Key, Response);
+  Map.emplace(Key, Order.begin());
+}
+
+size_t ContentCache::entries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Order.size();
+}
+
+std::string ContentCache::statsJSON() const {
+  std::string S = "{";
+  S += "\"capacity\":" + std::to_string(Capacity);
+  S += ",\"entries\":" + std::to_string(entries());
+  S += ",\"hits\":" + std::to_string(hits());
+  S += ",\"misses\":" + std::to_string(misses());
+  S += ",\"evictions\":" + std::to_string(evictions());
+  S += "}";
+  return S;
+}

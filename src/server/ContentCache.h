@@ -1,0 +1,125 @@
+//===- server/ContentCache.h - Content-hash compile memoization -*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's compile memoization: a thread-safe LRU map from
+///
+///   (canonical module-text hash, config hash, request-shape hash)
+///
+/// to a complete CompileResponse. The module hash is taken over a
+/// comment-stripped, whitespace-normalized view of the IR text, so two
+/// submissions that differ only in comments or trailing blanks share an
+/// entry; the config hash covers VectorizerConfig::toJSON() (which embeds
+/// the packing strategy and the budgets); the shape hash covers every
+/// request field that changes the response bytes (requested outputs,
+/// remark format, fault seed/probability...). Replay is byte-identical by
+/// construction — the cache stores the full response, not its inputs.
+///
+/// Counters are tracked twice: registry statistics (lslpd.* in
+/// `--stats`) for the global telemetry view, and per-instance atomics
+/// that feed the daemon's `stats` control request (the registry can be
+/// transiently zeroed by per-request stats capture, the instance counters
+/// cannot).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SERVER_CONTENTCACHE_H
+#define LSLP_SERVER_CONTENTCACHE_H
+
+#include "server/Protocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lslp {
+namespace server {
+
+/// Cache key: three independent 64-bit FNV-1a hashes. Collisions across
+/// the 192-bit triple are treated as impossible for this tool's traffic.
+struct CacheKey {
+  uint64_t ModuleHash = 0;
+  uint64_t ConfigHash = 0;
+  uint64_t ShapeHash = 0;
+
+  bool operator==(const CacheKey &O) const {
+    return ModuleHash == O.ModuleHash && ConfigHash == O.ConfigHash &&
+           ShapeHash == O.ShapeHash;
+  }
+};
+
+/// FNV-1a over \p Text.
+uint64_t hashBytes(std::string_view Text, uint64_t Seed = 0xcbf29ce484222325);
+
+/// FNV-1a over the canonical view of IR text: `;` comments stripped,
+/// trailing whitespace removed, blank lines skipped. Cheap (one linear
+/// scan, no parse) yet stable under the formatting noise build systems
+/// introduce.
+uint64_t hashCanonicalModuleText(std::string_view IRText);
+
+/// Builds the full key for \p Req (module + config + response-shaping
+/// fields).
+CacheKey cacheKeyFor(const CompileRequest &Req);
+
+/// Thread-safe LRU cache of compile responses.
+class ContentCache {
+public:
+  /// \p Capacity = maximum resident entries (>= 1).
+  explicit ContentCache(size_t Capacity);
+
+  /// Returns the cached response and promotes the entry to
+  /// most-recently-used; counts a hit or a miss.
+  std::optional<CompileResponse> lookup(const CacheKey &Key);
+
+  /// Inserts (or refreshes) \p Key, evicting the least-recently-used
+  /// entry when full.
+  void insert(const CacheKey &Key, const CompileResponse &Response);
+
+  size_t capacity() const { return Capacity; }
+  size_t entries() const;
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+
+  /// One JSON object with the counters above (embedded in the daemon's
+  /// `stats` reply).
+  std::string statsJSON() const;
+
+private:
+  struct KeyHasher {
+    size_t operator()(const CacheKey &K) const {
+      // The parts are already uniform hashes; mixing them keeps the
+      // table's bucket distribution flat.
+      uint64_t H = K.ModuleHash;
+      H = (H ^ K.ConfigHash) * 0x100000001b3;
+      H = (H ^ K.ShapeHash) * 0x100000001b3;
+      return static_cast<size_t>(H);
+    }
+  };
+
+  using LRUList = std::list<std::pair<CacheKey, CompileResponse>>;
+
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  LRUList Order; ///< Front = most recently used.
+  std::unordered_map<CacheKey, LRUList::iterator, KeyHasher> Map;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
+} // namespace server
+} // namespace lslp
+
+#endif // LSLP_SERVER_CONTENTCACHE_H

@@ -1,0 +1,331 @@
+//===- server/Daemon.cpp - lslpd compile-server daemon --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Daemon.h"
+
+#include "diag/Statistics.h"
+#include "fuzz/FuzzDriver.h"
+#include "server/CompileService.h"
+#include "support/CrashHandler.h"
+#include "support/ThreadPool.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+LSLP_STATISTIC(NumDaemonRequests, "lslpd", "Requests served");
+LSLP_STATISTIC(NumDaemonBatches, "lslpd", "Compile batches dispatched");
+LSLP_STATISTIC(NumDaemonWorkerCrashes, "lslpd",
+               "Worker crashes contained (request poisoned, daemon alive)");
+
+Daemon::Daemon(DaemonOptions OptsIn)
+    : Opts(std::move(OptsIn)), Cache(Opts.CacheCapacity),
+      Pool(std::make_unique<ThreadPool>(ThreadPool::resolveJobs(Opts.Jobs))) {
+}
+
+Daemon::~Daemon() {
+  for (Connection &C : Connections)
+    if (C.Fd >= 0)
+      ::close(C.Fd);
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+Error Daemon::bind() {
+  // Worker crash containment needs the handlers armed; idempotent, and a
+  // tool-provided --crash-dir installation wins if it came first.
+  installCrashHandlers("");
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.empty() ||
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Error::make(ErrorCategory::IO,
+                       "socket path '" + Opts.SocketPath +
+                           "' is empty or longer than the unix-socket "
+                           "limit (" +
+                           std::to_string(sizeof(Addr.sun_path) - 1) +
+                           " bytes)");
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Error::make(ErrorCategory::IO,
+                       std::string("socket: ") + std::strerror(errno));
+  // A stale socket file from a dead daemon would fail the bind; remove it.
+  // A *live* daemon keeps serving its already-accepted fd even if we steal
+  // the path — starting two daemons on one path is operator error.
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error E = Error::make(ErrorCategory::IO, "bind '" + Opts.SocketPath +
+                                                 "': " +
+                                                 std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Error E = Error::make(ErrorCategory::IO,
+                          std::string("listen: ") + std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+    return E;
+  }
+  return Error::success();
+}
+
+void Daemon::closeConnection(size_t Index) {
+  Connection &C = Connections[Index];
+  if (C.Fd >= 0)
+    ::close(C.Fd);
+  C.Fd = -1;
+  C.WantClose = true;
+}
+
+CompileResponse Daemon::serveCompile(const CompileRequest &Req) {
+  NumCompiles.fetch_add(1, std::memory_order_relaxed);
+
+  // Crash-injection requests bypass the cache entirely: the whole point is
+  // to run (and kill) a worker, and a poisoned result must never be
+  // replayable.
+  CacheKey Key;
+  if (!Req.InjectCrash) {
+    Key = cacheKeyFor(Req);
+    if (std::optional<CompileResponse> Hit = Cache.lookup(Key))
+      return *Hit;
+  }
+
+  CompileResponse Resp;
+  CrashInfo Info;
+  bool OK = runWithCrashRecovery(
+      [&] {
+        if (Req.InjectCrash)
+          std::abort(); // Sanitizer builds own SIGSEGV; SIGABRT is ours.
+        Resp = runCompileRequest(Req);
+      },
+      Info);
+  if (!OK) {
+    NumWorkerCrashes.fetch_add(1, std::memory_order_relaxed);
+    ++NumDaemonWorkerCrashes;
+    Resp = CompileResponse();
+    Resp.ExitCode = 2;
+    Resp.ErrCategory = static_cast<uint8_t>(ErrorCategory::Internal);
+    Resp.ErrorText = "lslpc: daemon worker crashed handling this request (" +
+                     Info.SignalName + "); the daemon keeps serving";
+    if (!Info.ReproPath.empty())
+      Resp.ErrorText += "; reproducer: " + Info.ReproPath;
+    Resp.ErrorText += "\n";
+    return Resp; // Never cached.
+  }
+
+  // Failed compiles are not cached either: they are cheap to reproduce and
+  // an error entry would pin cache capacity better spent on IR.
+  if (!Req.InjectCrash && Resp.ExitCode == 0)
+    Cache.insert(Key, Resp);
+  return Resp;
+}
+
+void Daemon::handleFrame(Connection &Conn, std::string Payload,
+                         std::vector<std::pair<size_t, CompileRequest>> &Batch,
+                         size_t ConnIndex) {
+  NumRequests.fetch_add(1, std::memory_order_relaxed);
+  ++NumDaemonRequests;
+
+  auto Reply = [&](std::string Encoded) {
+    if (Error E = writeFrame(Conn.Fd, Encoded)) {
+      (void)E; // The peer is gone; its reply is undeliverable.
+      closeConnection(ConnIndex);
+    }
+  };
+  auto ReplyError = [&](ErrorCategory Cat, std::string Msg) {
+    ErrorResponse E;
+    E.Category = static_cast<uint8_t>(Cat);
+    E.Message = std::move(Msg);
+    Reply(encodeErrorResponse(E));
+  };
+
+  std::string DecodeErr;
+  switch (peekKind(Payload)) {
+  case MessageKind::CompileRequest: {
+    CompileRequest Req;
+    if (!decodeCompileRequest(Payload, Req, DecodeErr))
+      return ReplyError(ErrorCategory::Internal,
+                        "malformed compile request: " + DecodeErr);
+    if (Req.InjectCrash && !Opts.AllowCrashRequests)
+      return ReplyError(ErrorCategory::Internal,
+                        "crash injection rejected (daemon started without "
+                        "--allow-crash-requests)");
+    Batch.emplace_back(ConnIndex, std::move(Req));
+    return;
+  }
+  case MessageKind::FuzzRequest: {
+    // Handled inline on the dispatcher thread: runFuzzSweep owns its own
+    // pool, and nesting it inside this daemon's pool could deadlock.
+    FuzzRequest Req;
+    if (!decodeFuzzRequest(Payload, Req, DecodeErr))
+      return ReplyError(ErrorCategory::Internal,
+                        "malformed fuzz request: " + DecodeErr);
+    NumFuzzRequests.fetch_add(1, std::memory_order_relaxed);
+    FuzzSweepOptions Sweep;
+    Sweep.Count = Req.Count;
+    Sweep.FirstSeed = Req.FirstSeed;
+    Sweep.Jobs = ThreadPool::resolveJobs(Req.Jobs);
+    Sweep.Engine = static_cast<EngineKind>(Req.Engine);
+    Sweep.ParityAll = Req.ParityAll;
+    Sweep.FaultProbability = Req.FaultProbability;
+    Sweep.FaultSeed = Req.FaultSeed;
+    Sweep.Strategy =
+        static_cast<VectorizerConfig::PackingStrategyKind>(Req.Strategy);
+    FuzzResponse FuzzResp;
+    runFuzzSweep(Sweep, [&](const SeedOutcome &Out) {
+      FuzzResp.Outcomes.push_back(Out);
+    });
+    return Reply(encodeFuzzResponse(FuzzResp));
+  }
+  case MessageKind::StatsRequest: {
+    StatsResponse Resp;
+    Resp.JSON = statsJSON();
+    return Reply(encodeStatsResponse(Resp));
+  }
+  case MessageKind::ShutdownRequest:
+    Reply(encodeShutdownResponse());
+    requestShutdown();
+    return;
+  default:
+    return ReplyError(ErrorCategory::Internal,
+                      "unexpected message kind " +
+                          std::to_string(static_cast<unsigned>(
+                              peekKind(Payload))));
+  }
+}
+
+void Daemon::flushBatch(
+    std::vector<std::pair<size_t, CompileRequest>> &Batch) {
+  if (Batch.empty())
+    return;
+  NumBatches.fetch_add(1, std::memory_order_relaxed);
+  ++NumDaemonBatches;
+  uint64_t Cur = MaxBatch.load(std::memory_order_relaxed);
+  while (Batch.size() > Cur &&
+         !MaxBatch.compare_exchange_weak(Cur, Batch.size(),
+                                         std::memory_order_relaxed)) {
+  }
+
+  // Fan out, then reply in batch order: combined with the ordered collect
+  // this keeps the daemon's observable behavior identical for any job
+  // count (the per-connection lock-step protocol does the rest).
+  std::vector<CompileResponse> Responses = parallelMapOrdered(
+      *Pool, Batch.size(),
+      [&](size_t I) { return serveCompile(Batch[I].second); });
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    Connection &Conn = Connections[Batch[I].first];
+    if (Conn.Fd < 0)
+      continue; // Client vanished while its request was in flight.
+    if (Error E = writeFrame(Conn.Fd, encodeCompileResponse(Responses[I]))) {
+      (void)E;
+      closeConnection(Batch[I].first);
+    }
+  }
+  Batch.clear();
+}
+
+uint64_t Daemon::run() {
+  while (ShutdownFlag.load(std::memory_order_relaxed) == 0) {
+    std::vector<pollfd> Fds;
+    Fds.push_back({ListenFd, POLLIN, 0});
+    for (const Connection &C : Connections)
+      Fds.push_back({C.Fd, POLLIN, 0});
+
+    // Finite timeout so requestShutdown() from a signal handler is
+    // observed even on an idle socket.
+    int Ready = ::poll(Fds.data(), Fds.size(), /*timeout-ms=*/200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue; // Very likely the SIGTERM that set ShutdownFlag.
+      break;
+    }
+
+    if (Fds[0].revents & POLLIN) {
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd >= 0)
+        Connections.push_back({Fd, false});
+    }
+
+    // One frame per ready connection per round; compile requests from the
+    // whole round form one batch.
+    std::vector<std::pair<size_t, CompileRequest>> Batch;
+    for (size_t I = 0; I + 1 < Fds.size(); ++I) {
+      if (!(Fds[I + 1].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      Connection &Conn = Connections[I];
+      if (Conn.Fd < 0)
+        continue;
+      std::string Payload;
+      bool CleanEOF = false;
+      if (Error E = readFrame(Conn.Fd, Payload, &CleanEOF)) {
+        // Clean EOF = client done; anything else = mid-request disconnect
+        // or a corrupt frame. Either way only this connection dies.
+        (void)E;
+        closeConnection(I);
+        continue;
+      }
+      handleFrame(Conn, std::move(Payload), Batch, I);
+      if (ShutdownFlag.load(std::memory_order_relaxed) != 0)
+        break; // Shutdown frame: drain the batch below, then exit.
+    }
+    flushBatch(Batch);
+
+    // Compact closed slots (stable indices were only needed intra-round).
+    for (size_t I = Connections.size(); I-- > 0;)
+      if (Connections[I].Fd < 0)
+        Connections.erase(Connections.begin() + I);
+  }
+
+  // Graceful drain: every accepted request has been answered (batches
+  // flush within their round); close the door and remove the name.
+  for (size_t I = 0; I != Connections.size(); ++I)
+    closeConnection(I);
+  Connections.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+  return NumRequests.load(std::memory_order_relaxed);
+}
+
+std::string Daemon::statsJSON() const {
+  std::string S = "{";
+  S += "\"requests\":" +
+       std::to_string(NumRequests.load(std::memory_order_relaxed));
+  S += ",\"compiles\":" +
+       std::to_string(NumCompiles.load(std::memory_order_relaxed));
+  S += ",\"fuzz-requests\":" +
+       std::to_string(NumFuzzRequests.load(std::memory_order_relaxed));
+  S += ",\"batches\":" +
+       std::to_string(NumBatches.load(std::memory_order_relaxed));
+  S += ",\"max-batch\":" +
+       std::to_string(MaxBatch.load(std::memory_order_relaxed));
+  S += ",\"worker-crashes\":" +
+       std::to_string(NumWorkerCrashes.load(std::memory_order_relaxed));
+  S += ",\"connections\":" + std::to_string(Connections.size());
+  S += ",\"jobs\":" + std::to_string(Pool->getNumThreads());
+  S += ",\"cache\":" + Cache.statsJSON();
+  S += "}";
+  return S;
+}

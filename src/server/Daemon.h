@@ -1,0 +1,131 @@
+//===- server/Daemon.h - lslpd compile-server daemon ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived compile server behind `lslpd`. One Daemon owns a
+/// unix-domain listening socket, a content-hash response cache, and a
+/// worker pool; its run loop:
+///
+///   1. poll()s the listener plus every connected client,
+///   2. reads at most one frame per ready connection (lock-step protocol),
+///   3. answers control frames (stats/shutdown/fuzz) inline, and
+///   4. fans the round's CompileRequests onto the pool with
+///      parallelMapOrdered, then writes responses back in batch order —
+///      so concurrent clients get exactly the bytes a serial daemon (or
+///      local lslpc) would have produced.
+///
+/// Failure model: a request that crashes its worker (contained via
+/// runWithCrashRecovery) poisons only that request — the client receives a
+/// structured ErrorResponse (category `internal`) and the daemon keeps
+/// serving. A client that disconnects mid-request just loses its reply.
+/// SIGTERM/SIGINT request a graceful drain: in-flight batches finish,
+/// replies are flushed, then the socket is unlinked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SERVER_DAEMON_H
+#define LSLP_SERVER_DAEMON_H
+
+#include "server/ContentCache.h"
+#include "server/Protocol.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lslp {
+
+class ThreadPool;
+
+namespace server {
+
+struct DaemonOptions {
+  /// Filesystem path of the unix-domain socket (unlinked on shutdown).
+  std::string SocketPath;
+  /// Worker threads for request batches (0 = one per hardware thread).
+  unsigned Jobs = 0;
+  /// Maximum resident entries in the content cache.
+  size_t CacheCapacity = 1024;
+  /// Honor CompileRequest::InjectCrash (test-only; exercises the
+  /// crash-containment path).
+  bool AllowCrashRequests = false;
+};
+
+class Daemon {
+public:
+  explicit Daemon(DaemonOptions Opts);
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Creates, binds, and listens on the socket. Split from run() so tests
+  /// (and the tool) can report bind failures before entering the loop.
+  Error bind();
+
+  /// Serves until requestShutdown() (or a shutdown frame) is observed.
+  /// Returns the number of requests served.
+  uint64_t run();
+
+  /// Asks the run loop to drain and exit. Async-signal-safe: the SIGTERM
+  /// handler calls this through a plain store.
+  void requestShutdown() {
+    ShutdownFlag.store(1, std::memory_order_relaxed);
+  }
+
+  /// One JSON object with daemon/cache/queue counters — the payload of the
+  /// `stats` control request. Schema:
+  ///   {"requests":N,"compiles":N,"fuzz-requests":N,"batches":N,
+  ///    "max-batch":N,"worker-crashes":N,"connections":N,"jobs":N,
+  ///    "cache":{...ContentCache::statsJSON...}}
+  std::string statsJSON() const;
+
+  const std::string &socketPath() const { return Opts.SocketPath; }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    bool WantClose = false;
+  };
+
+  /// Handles one decoded frame from \p Conn; compile requests are
+  /// deferred into \p Batch, everything else is answered inline.
+  void handleFrame(Connection &Conn, std::string Payload,
+                   std::vector<std::pair<size_t, CompileRequest>> &Batch,
+                   size_t ConnIndex);
+
+  /// Runs the round's compile batch on the pool and writes replies in
+  /// batch order.
+  void flushBatch(std::vector<std::pair<size_t, CompileRequest>> &Batch);
+
+  /// Compiles one request under crash containment, consulting the cache.
+  CompileResponse serveCompile(const CompileRequest &Req);
+
+  void closeConnection(size_t Index);
+
+  DaemonOptions Opts;
+  int ListenFd = -1;
+  ContentCache Cache;
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<Connection> Connections;
+  std::atomic<int> ShutdownFlag{0};
+
+  // Served-request accounting (instance-local, see statsJSON()).
+  std::atomic<uint64_t> NumRequests{0};
+  std::atomic<uint64_t> NumCompiles{0};
+  std::atomic<uint64_t> NumFuzzRequests{0};
+  std::atomic<uint64_t> NumBatches{0};
+  std::atomic<uint64_t> MaxBatch{0};
+  std::atomic<uint64_t> NumWorkerCrashes{0};
+};
+
+} // namespace server
+} // namespace lslp
+
+#endif // LSLP_SERVER_DAEMON_H

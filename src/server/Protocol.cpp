@@ -1,0 +1,426 @@
+//===- server/Protocol.cpp - lslpd wire protocol ------------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+//===----------------------------------------------------------------------===//
+// Field-level encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class WireWriter {
+public:
+  explicit WireWriter(MessageKind Kind) { putU8(static_cast<uint8_t>(Kind)); }
+
+  void putU8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void putBool(bool V) { putU8(V ? 1 : 0); }
+  void putU32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void putU64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void putI64(int64_t V) { putU64(static_cast<uint64_t>(V)); }
+  void putI32(int32_t V) { putU32(static_cast<uint32_t>(V)); }
+  void putDouble(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    putU64(Bits);
+  }
+  void putStr(std::string_view S) {
+    putU32(static_cast<uint32_t>(S.size()));
+    Buf.append(S.data(), S.size());
+  }
+
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+class WireReader {
+public:
+  WireReader(std::string_view Payload, std::string &Err)
+      : Text(Payload), Err(Err) {}
+
+  bool expectKind(MessageKind Kind) {
+    uint8_t Tag = 0;
+    if (!getU8(Tag))
+      return false;
+    if (Tag != static_cast<uint8_t>(Kind))
+      return fail("unexpected message kind");
+    return true;
+  }
+
+  bool getU8(uint8_t &V) {
+    if (Pos + 1 > Text.size())
+      return fail("truncated payload");
+    V = static_cast<uint8_t>(Text[Pos++]);
+    return true;
+  }
+  bool getBool(bool &V) {
+    uint8_t B = 0;
+    if (!getU8(B))
+      return false;
+    if (B > 1)
+      return fail("bad boolean");
+    V = B != 0;
+    return true;
+  }
+  bool getU32(uint32_t &V) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated payload");
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Text[Pos++])) << (8 * I);
+    return true;
+  }
+  bool getU64(uint64_t &V) {
+    if (Pos + 8 > Text.size())
+      return fail("truncated payload");
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Text[Pos++])) << (8 * I);
+    return true;
+  }
+  bool getI64(int64_t &V) {
+    uint64_t U = 0;
+    if (!getU64(U))
+      return false;
+    V = static_cast<int64_t>(U);
+    return true;
+  }
+  bool getI32(int32_t &V) {
+    uint32_t U = 0;
+    if (!getU32(U))
+      return false;
+    V = static_cast<int32_t>(U);
+    return true;
+  }
+  bool getDouble(double &V) {
+    uint64_t Bits = 0;
+    if (!getU64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return true;
+  }
+  bool getStr(std::string &S) {
+    uint32_t Len = 0;
+    if (!getU32(Len))
+      return false;
+    if (Pos + Len > Text.size())
+      return fail("truncated string");
+    S.assign(Text.data() + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+  bool finish() {
+    if (Pos != Text.size())
+      return fail("trailing bytes after message");
+    return true;
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string &Err;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Messages
+//===----------------------------------------------------------------------===//
+
+MessageKind server::peekKind(std::string_view Payload) {
+  if (Payload.empty())
+    return MessageKind::Invalid;
+  uint8_t Tag = static_cast<uint8_t>(Payload[0]);
+  if (Tag < 1 || Tag > static_cast<uint8_t>(MessageKind::ErrorResponse))
+    return MessageKind::Invalid;
+  return static_cast<MessageKind>(Tag);
+}
+
+std::string server::encodeCompileRequest(const CompileRequest &Msg) {
+  WireWriter W(MessageKind::CompileRequest);
+  W.putStr(Msg.InputName);
+  W.putStr(Msg.ModuleText);
+  W.putStr(Msg.ConfigJSON);
+  W.putBool(Msg.Vectorize);
+  W.putBool(Msg.EarlyCSE);
+  W.putBool(Msg.Report);
+  W.putBool(Msg.PrintIR);
+  W.putBool(Msg.VerifyEach);
+  W.putBool(Msg.WantStats);
+  W.putBool(Msg.StatsJSON);
+  W.putU8(static_cast<uint8_t>(Msg.Remarks));
+  W.putU32(Msg.Jobs);
+  W.putDouble(Msg.FaultProbability);
+  W.putU64(Msg.FaultSeed);
+  W.putBool(Msg.InjectCrash);
+  return W.take();
+}
+
+bool server::decodeCompileRequest(std::string_view Payload,
+                                  CompileRequest &Out, std::string &Err) {
+  WireReader R(Payload, Err);
+  Out = CompileRequest();
+  uint8_t Remarks = 0;
+  if (!R.expectKind(MessageKind::CompileRequest) || !R.getStr(Out.InputName) ||
+      !R.getStr(Out.ModuleText) || !R.getStr(Out.ConfigJSON) ||
+      !R.getBool(Out.Vectorize) || !R.getBool(Out.EarlyCSE) ||
+      !R.getBool(Out.Report) || !R.getBool(Out.PrintIR) ||
+      !R.getBool(Out.VerifyEach) || !R.getBool(Out.WantStats) ||
+      !R.getBool(Out.StatsJSON) || !R.getU8(Remarks) || !R.getU32(Out.Jobs) ||
+      !R.getDouble(Out.FaultProbability) || !R.getU64(Out.FaultSeed) ||
+      !R.getBool(Out.InjectCrash) || !R.finish())
+    return false;
+  if (Remarks > static_cast<uint8_t>(RemarkWireFormat::JSON)) {
+    Err = "bad remark format";
+    return false;
+  }
+  Out.Remarks = static_cast<RemarkWireFormat>(Remarks);
+  return true;
+}
+
+std::string server::encodeCompileResponse(const CompileResponse &Msg) {
+  WireWriter W(MessageKind::CompileResponse);
+  W.putI32(Msg.ExitCode);
+  W.putU8(Msg.ErrCategory);
+  W.putBool(Msg.CacheHit);
+  W.putStr(Msg.ReportText);
+  W.putStr(Msg.IRText);
+  W.putStr(Msg.RemarksText);
+  W.putStr(Msg.StatsText);
+  W.putStr(Msg.ErrorText);
+  return W.take();
+}
+
+bool server::decodeCompileResponse(std::string_view Payload,
+                                   CompileResponse &Out, std::string &Err) {
+  WireReader R(Payload, Err);
+  Out = CompileResponse();
+  return R.expectKind(MessageKind::CompileResponse) &&
+         R.getI32(Out.ExitCode) && R.getU8(Out.ErrCategory) &&
+         R.getBool(Out.CacheHit) && R.getStr(Out.ReportText) &&
+         R.getStr(Out.IRText) && R.getStr(Out.RemarksText) &&
+         R.getStr(Out.StatsText) && R.getStr(Out.ErrorText) && R.finish();
+}
+
+std::string server::encodeFuzzRequest(const FuzzRequest &Msg) {
+  WireWriter W(MessageKind::FuzzRequest);
+  W.putI64(Msg.Count);
+  W.putI64(Msg.FirstSeed);
+  W.putU32(Msg.Jobs);
+  W.putU8(Msg.Engine);
+  W.putBool(Msg.ParityAll);
+  W.putDouble(Msg.FaultProbability);
+  W.putU64(Msg.FaultSeed);
+  W.putU8(Msg.Strategy);
+  return W.take();
+}
+
+bool server::decodeFuzzRequest(std::string_view Payload, FuzzRequest &Out,
+                               std::string &Err) {
+  WireReader R(Payload, Err);
+  Out = FuzzRequest();
+  if (!R.expectKind(MessageKind::FuzzRequest) || !R.getI64(Out.Count) ||
+      !R.getI64(Out.FirstSeed) || !R.getU32(Out.Jobs) ||
+      !R.getU8(Out.Engine) || !R.getBool(Out.ParityAll) ||
+      !R.getDouble(Out.FaultProbability) || !R.getU64(Out.FaultSeed) ||
+      !R.getU8(Out.Strategy) || !R.finish())
+    return false;
+  if (Out.Count < 0) {
+    Err = "negative seed count";
+    return false;
+  }
+  if (Out.Engine > static_cast<uint8_t>(EngineKind::Bytecode) ||
+      Out.Strategy >
+          static_cast<uint8_t>(VectorizerConfig::PackingStrategyKind::Global)) {
+    Err = "bad engine/strategy tag";
+    return false;
+  }
+  return true;
+}
+
+std::string server::encodeFuzzResponse(const FuzzResponse &Msg) {
+  WireWriter W(MessageKind::FuzzResponse);
+  W.putU32(static_cast<uint32_t>(Msg.Outcomes.size()));
+  for (const SeedOutcome &O : Msg.Outcomes) {
+    W.putU64(O.Seed);
+    uint8_t Flags = (O.Passed ? 1 : 0) | (O.VerifyFailed ? 2 : 0) |
+                    (O.Crashed ? 4 : 0);
+    W.putU8(Flags);
+    W.putStr(O.VerifyErrors);
+    W.putStr(O.ConfigName);
+    W.putStr(O.Reason);
+    W.putStr(O.ReducedIR);
+    W.putU32(O.ReductionSteps);
+    W.putStr(O.CrashSignal);
+    W.putStr(O.ReproPath);
+  }
+  return W.take();
+}
+
+bool server::decodeFuzzResponse(std::string_view Payload, FuzzResponse &Out,
+                                std::string &Err) {
+  WireReader R(Payload, Err);
+  Out = FuzzResponse();
+  uint32_t N = 0;
+  if (!R.expectKind(MessageKind::FuzzResponse) || !R.getU32(N))
+    return false;
+  Out.Outcomes.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    SeedOutcome O;
+    uint8_t Flags = 0;
+    if (!R.getU64(O.Seed) || !R.getU8(Flags) || !R.getStr(O.VerifyErrors) ||
+        !R.getStr(O.ConfigName) || !R.getStr(O.Reason) ||
+        !R.getStr(O.ReducedIR) || !R.getU32(O.ReductionSteps) ||
+        !R.getStr(O.CrashSignal) || !R.getStr(O.ReproPath))
+      return false;
+    O.Passed = (Flags & 1) != 0;
+    O.VerifyFailed = (Flags & 2) != 0;
+    O.Crashed = (Flags & 4) != 0;
+    Out.Outcomes.push_back(std::move(O));
+  }
+  return R.finish();
+}
+
+std::string server::encodeStatsRequest() {
+  return WireWriter(MessageKind::StatsRequest).take();
+}
+
+std::string server::encodeStatsResponse(const StatsResponse &Msg) {
+  WireWriter W(MessageKind::StatsResponse);
+  W.putStr(Msg.JSON);
+  return W.take();
+}
+
+bool server::decodeStatsResponse(std::string_view Payload, StatsResponse &Out,
+                                 std::string &Err) {
+  WireReader R(Payload, Err);
+  Out = StatsResponse();
+  return R.expectKind(MessageKind::StatsResponse) && R.getStr(Out.JSON) &&
+         R.finish();
+}
+
+std::string server::encodeShutdownRequest() {
+  return WireWriter(MessageKind::ShutdownRequest).take();
+}
+
+std::string server::encodeShutdownResponse() {
+  return WireWriter(MessageKind::ShutdownResponse).take();
+}
+
+std::string server::encodeErrorResponse(const ErrorResponse &Msg) {
+  WireWriter W(MessageKind::ErrorResponse);
+  W.putU8(Msg.Category);
+  W.putStr(Msg.Message);
+  return W.take();
+}
+
+bool server::decodeErrorResponse(std::string_view Payload, ErrorResponse &Out,
+                                 std::string &Err) {
+  WireReader R(Payload, Err);
+  Out = ErrorResponse();
+  return R.expectKind(MessageKind::ErrorResponse) && R.getU8(Out.Category) &&
+         R.getStr(Out.Message) && R.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Framed socket IO
+//===----------------------------------------------------------------------===//
+
+Error server::writeFrame(int Fd, std::string_view Payload) {
+  if (Payload.size() > MaxFramePayload)
+    return Error::make(ErrorCategory::Internal, "frame payload too large");
+  char Header[4];
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I < 4; ++I)
+    Header[I] = static_cast<char>((Len >> (8 * I)) & 0xff);
+
+  auto SendAll = [&](const char *Data, size_t Size) -> Error {
+    size_t Done = 0;
+    while (Done < Size) {
+      // MSG_NOSIGNAL: a peer that disconnected mid-request must cost us an
+      // EPIPE on this send, not a process-wide SIGPIPE.
+      ssize_t N = ::send(Fd, Data + Done, Size - Done, MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return Error::make(ErrorCategory::IO,
+                           std::string("socket write failed: ") +
+                               std::strerror(errno));
+      }
+      Done += static_cast<size_t>(N);
+    }
+    return Error::success();
+  };
+  if (Error E = SendAll(Header, sizeof(Header)))
+    return E;
+  return SendAll(Payload.data(), Payload.size());
+}
+
+Error server::readFrame(int Fd, std::string &Payload, bool *CleanEOF) {
+  if (CleanEOF)
+    *CleanEOF = false;
+  auto RecvAll = [&](char *Data, size_t Size, bool EOFOkAtStart) -> Error {
+    size_t Done = 0;
+    while (Done < Size) {
+      ssize_t N = ::recv(Fd, Data + Done, Size - Done, 0);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return Error::make(ErrorCategory::IO,
+                           std::string("socket read failed: ") +
+                               std::strerror(errno));
+      }
+      if (N == 0) {
+        if (EOFOkAtStart && Done == 0) {
+          if (CleanEOF)
+            *CleanEOF = true;
+          return Error::make(ErrorCategory::IO, "connection closed");
+        }
+        return Error::make(ErrorCategory::IO, "truncated frame");
+      }
+      Done += static_cast<size_t>(N);
+    }
+    return Error::success();
+  };
+
+  char Header[4];
+  if (Error E = RecvAll(Header, sizeof(Header), /*EOFOkAtStart=*/true))
+    return E;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Header[I])) << (8 * I);
+  if (Len > MaxFramePayload)
+    return Error::make(ErrorCategory::Internal, "frame length corrupt");
+  Payload.resize(Len);
+  if (Len == 0)
+    return Error::success();
+  return RecvAll(Payload.data(), Len, /*EOFOkAtStart=*/false);
+}

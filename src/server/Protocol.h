@@ -1,0 +1,199 @@
+//===- server/Protocol.h - lslpd wire protocol ------------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed protocol spoken over the lslpd unix-domain socket (see
+/// DESIGN.md "Serving architecture").
+///
+/// Framing: every message travels as one frame —
+///
+///   u32 payload-length (little-endian) | payload bytes
+///
+/// The payload is a tag-prefixed binary record: one MessageKind byte
+/// followed by the message's fields in declaration order. Strings are
+/// u32-length-prefixed byte runs (no escaping, so IR text and JSON ship
+/// verbatim); integers are fixed-width little-endian; doubles travel as
+/// their IEEE-754 bit pattern. The format is deliberately dumb: both ends
+/// are this repository, and byte-identical replay of cached responses is
+/// a protocol-level guarantee, so a human-readable envelope would only
+/// add escaping bugs.
+///
+/// A client sends one request per frame and reads one response frame
+/// before sending the next (simple lock-step; the daemon batches across
+/// *connections*, not within one). Every request kind has exactly one
+/// response kind; any malformed or crashed request produces an
+/// ErrorResponse instead, never a dropped connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SERVER_PROTOCOL_H
+#define LSLP_SERVER_PROTOCOL_H
+
+#include "fuzz/FuzzDriver.h"
+#include "support/Error.h"
+#include "vm/ExecutionEngine.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lslp {
+namespace server {
+
+/// Tag byte of every payload. Values are wire ABI — append only.
+enum class MessageKind : uint8_t {
+  Invalid = 0,
+  CompileRequest = 1,
+  CompileResponse = 2,
+  FuzzRequest = 3,
+  FuzzResponse = 4,
+  StatsRequest = 5,
+  StatsResponse = 6,
+  ShutdownRequest = 7,
+  ShutdownResponse = 8,
+  ErrorResponse = 9,
+};
+
+/// Remark stream format requested for a compile (mirrors lslpc's
+/// --remarks flag).
+enum class RemarkWireFormat : uint8_t { None = 0, Text = 1, JSON = 2 };
+
+/// One compilation: module text in, transformed IR / report / remarks /
+/// stats out. The configuration travels as VectorizerConfig JSON — the
+/// same serialization crash reproducers use — so daemon and local compiles
+/// are driven by identical knobs.
+struct CompileRequest {
+  /// Display name used in parse diagnostics ("<stdin>", the file path...).
+  std::string InputName = "<memory>";
+  /// The module, in textual IR.
+  std::string ModuleText;
+  /// VectorizerConfig::toJSON() of the configuration to compile under.
+  std::string ConfigJSON;
+  bool Vectorize = true;   ///< false = parse/verify/print only.
+  bool EarlyCSE = false;   ///< run common-subexpression elimination first.
+  bool Report = false;     ///< produce the per-seed-bundle report text.
+  bool PrintIR = true;     ///< produce the transformed IR text.
+  bool VerifyEach = false; ///< verify the module after every pass.
+  bool WantStats = false;  ///< capture per-request statistics counters.
+  bool StatsJSON = false;  ///< stats as JSON instead of the text table.
+  RemarkWireFormat Remarks = RemarkWireFormat::None;
+  /// Worker threads for the vectorizer pass itself (module-level
+  /// parallelism; output is byte-identical for any value).
+  uint32_t Jobs = 1;
+  /// Deterministic fault injection, forwarded unchanged into the pass
+  /// (probability 0 disables; see support/FaultInjection.h).
+  double FaultProbability = 0.0;
+  uint64_t FaultSeed = 0;
+  /// Test-only: crash the worker thread mid-request (SIGABRT). Honored
+  /// only by daemons started with --allow-crash-requests; exercises the
+  /// crash-containment path end to end.
+  bool InjectCrash = false;
+};
+
+/// The result of a CompileRequest. Field-for-field, this is what local
+/// lslpc would have written: ReportText+IRText to stdout, RemarksText to
+/// the remark sink, StatsText and ErrorText to stderr, then exit with
+/// ExitCode — the client replays these byte-for-byte.
+struct CompileResponse {
+  int32_t ExitCode = 0;
+  /// ErrorCategory of a failed compile (None on success).
+  uint8_t ErrCategory = 0;
+  /// True when this response was replayed from the daemon's content cache
+  /// (diagnostic only; not part of the byte-identity contract).
+  bool CacheHit = false;
+  std::string ReportText;  ///< "; config ..." + per-attempt lines.
+  std::string IRText;      ///< Transformed module (PrintIR only).
+  std::string RemarksText; ///< Text or JSONL remark stream.
+  std::string StatsText;   ///< Statistics table/JSON (WantStats only).
+  std::string ErrorText;   ///< Diagnostics local lslpc prints to stderr.
+};
+
+/// One sharded fuzz sweep: the daemon runs [FirstSeed, FirstSeed+Count)
+/// through the differential oracle on its own pool and streams back the
+/// outcomes. Mirrors FuzzSweepOptions minus the transport fields.
+struct FuzzRequest {
+  int64_t Count = 0;
+  int64_t FirstSeed = 0;
+  uint32_t Jobs = 1;
+  uint8_t Engine = 0; ///< EngineKind.
+  bool ParityAll = false;
+  double FaultProbability = 0.0;
+  uint64_t FaultSeed = 0;
+  uint8_t Strategy = 0; ///< VectorizerConfig::PackingStrategyKind.
+};
+
+/// Outcomes in ascending seed order (runFuzzSweep's delivery order).
+struct FuzzResponse {
+  std::vector<SeedOutcome> Outcomes;
+};
+
+/// `stats` control reply: one JSON object with request/batch/queue/cache
+/// counters (see Daemon::statsJSON for the schema).
+struct StatsResponse {
+  std::string JSON;
+};
+
+/// Structured failure reply: the daemon survived, this request did not.
+struct ErrorResponse {
+  uint8_t Category = 0; ///< ErrorCategory.
+  std::string Message;
+};
+
+/// \name Payload encoding/decoding.
+/// Encoders produce the tag-prefixed payload (not yet framed). Decoders
+/// expect exactly one payload and reject trailing bytes; they return
+/// false with a diagnostic in \p Err on malformed input.
+/// @{
+std::string encodeCompileRequest(const CompileRequest &Msg);
+std::string encodeCompileResponse(const CompileResponse &Msg);
+std::string encodeFuzzRequest(const FuzzRequest &Msg);
+std::string encodeFuzzResponse(const FuzzResponse &Msg);
+std::string encodeStatsRequest();
+std::string encodeStatsResponse(const StatsResponse &Msg);
+std::string encodeShutdownRequest();
+std::string encodeShutdownResponse();
+std::string encodeErrorResponse(const ErrorResponse &Msg);
+
+bool decodeCompileRequest(std::string_view Payload, CompileRequest &Out,
+                          std::string &Err);
+bool decodeCompileResponse(std::string_view Payload, CompileResponse &Out,
+                           std::string &Err);
+bool decodeFuzzRequest(std::string_view Payload, FuzzRequest &Out,
+                       std::string &Err);
+bool decodeFuzzResponse(std::string_view Payload, FuzzResponse &Out,
+                        std::string &Err);
+bool decodeStatsResponse(std::string_view Payload, StatsResponse &Out,
+                         std::string &Err);
+bool decodeErrorResponse(std::string_view Payload, ErrorResponse &Out,
+                         std::string &Err);
+
+/// Tag byte of \p Payload (Invalid when empty or out of range).
+MessageKind peekKind(std::string_view Payload);
+/// @}
+
+/// \name Framed socket IO.
+/// Full-frame reads/writes over a connected fd with EINTR retry and
+/// MSG_NOSIGNAL sends (a peer vanishing mid-write must surface as an IO
+/// Error on this request, never as SIGPIPE killing the process).
+/// @{
+
+/// Upper bound on a frame payload; a length prefix beyond this is treated
+/// as protocol corruption, not an allocation request.
+inline constexpr uint32_t MaxFramePayload = 256u * 1024 * 1024;
+
+Error writeFrame(int Fd, std::string_view Payload);
+
+/// Reads one frame into \p Payload. A clean EOF at a frame boundary sets
+/// \p *CleanEOF (when non-null) and returns an IO error; EOF mid-frame is
+/// reported as truncation.
+Error readFrame(int Fd, std::string &Payload, bool *CleanEOF = nullptr);
+/// @}
+
+} // namespace server
+} // namespace lslp
+
+#endif // LSLP_SERVER_PROTOCOL_H

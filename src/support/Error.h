@@ -45,6 +45,9 @@ enum class ErrorCategory : uint8_t {
   Trap,   ///< Runtime trap during execution (div-by-zero, OOB, ...).
   Budget, ///< A resource budget was exhausted; work was abandoned.
   IO,     ///< Host environment failure (unreadable file, ...).
+  Internal, ///< The serving side failed (recovered worker crash, malformed
+            ///< wire frame, ...) — the request is poisoned, the process
+            ///< keeps running.
 };
 
 /// Returns a stable lower-case name for \p Cat ("parse", "verify", ...).
@@ -62,6 +65,8 @@ inline const char *errorCategoryName(ErrorCategory Cat) {
     return "budget";
   case ErrorCategory::IO:
     return "io";
+  case ErrorCategory::Internal:
+    return "internal";
   }
   return "unknown";
 }

@@ -29,9 +29,31 @@ std::string lslp::join(const std::vector<std::string> &Parts,
   return Result;
 }
 
+std::vector<std::string> lslp::splitNonEmpty(std::string_view Str, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (Pos <= Str.size()) {
+    size_t End = Str.find(Sep, Pos);
+    if (End == std::string_view::npos)
+      End = Str.size();
+    if (End > Pos)
+      Parts.emplace_back(Str.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Parts;
+}
+
 bool lslp::startsWith(std::string_view Str, std::string_view Prefix) {
   return Str.size() >= Prefix.size() &&
          Str.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string_view lslp::stripOptionDashes(std::string_view Arg) {
+  if (startsWith(Arg, "--"))
+    return Arg.substr(2);
+  if (startsWith(Arg, "-"))
+    return Arg.substr(1);
+  return Arg;
 }
 
 bool lslp::parseInt(std::string_view Str, int64_t &Out) {

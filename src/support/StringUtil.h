@@ -27,8 +27,16 @@ std::string formatDouble(double Value, unsigned Decimals);
 /// Joins \p Parts with \p Sep between consecutive elements.
 std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
 
+/// Splits \p Str at every \p Sep, dropping empty pieces (so "a,,b" and
+/// ",a,b," both yield {"a","b"}).
+std::vector<std::string> splitNonEmpty(std::string_view Str, char Sep);
+
 /// Returns true if \p Str starts with \p Prefix.
 bool startsWith(std::string_view Str, std::string_view Prefix);
+
+/// Strips one or two leading dashes from a command-line option, so -flag=
+/// and --flag= parse identically. Shared by the lslpc/lslpd flag parsers.
+std::string_view stripOptionDashes(std::string_view Arg);
 
 /// Parses a signed decimal integer; returns false on malformed input or
 /// overflow. Accepts an optional leading '-'.

@@ -131,37 +131,21 @@ struct VectorizerConfig {
 
   /// Serializes every decision-relevant knob as one JSON object (crash
   /// reproducers ship this next to the IR so a failure replays under the
-  /// exact configuration that hit it).
-  std::string toJSON() const {
-    auto B = [](bool V) { return V ? "true" : "false"; };
-    std::string S = "{";
-    S += "\"name\":\"" + Name + "\"";
-    S += ",\"reordering\":" + std::string(B(EnableReordering));
-    S += ",\"lookahead\":" + std::string(B(EnableLookAhead));
-    S += ",\"multinode\":" + std::string(B(EnableMultiNode));
-    S += ",\"max-lookahead-level\":" + std::to_string(MaxLookAheadLevel);
-    S += ",\"max-multinode-size\":" + std::to_string(MaxMultiNodeSize);
-    S += ",\"score-aggregation\":\"";
-    S += ScoreAggregation == ScoreAggregationKind::Sum ? "sum" : "max";
-    S += "\",\"reorder-strategy\":\"";
-    S += ReorderStrategy == ReorderStrategyKind::GreedySingle
-             ? "greedy"
-             : "exhaustive-per-lane";
-    S += "\",\"strategy\":\"";
-    S += Strategy == PackingStrategyKind::Greedy ? "greedy" : "global";
-    S += "\",\"max-solver-candidates\":" + std::to_string(MaxSolverCandidates);
-    S += ",\"splat-mode\":" + std::string(B(EnableSplatMode));
-    S += ",\"alt-opcodes\":" + std::string(B(EnableAltOpcodes));
-    S += ",\"reductions\":" + std::string(B(EnableReductions));
-    S += ",\"cost-threshold\":" + std::to_string(CostThreshold);
-    S += ",\"max-graph-depth\":" + std::to_string(MaxGraphDepth);
-    S += ",\"max-graph-nodes\":" + std::to_string(MaxGraphNodes);
-    S += ",\"max-permutations\":" + std::to_string(MaxPermutationsPerMultiNode);
-    S += ",\"max-ms-per-function\":" + std::to_string(MaxMsPerFunction);
-    S += ",\"fault-injection\":" + std::string(B(Faults != nullptr));
-    S += "}";
-    return S;
-  }
+  /// exact configuration that hit it; the lslpd protocol ships it per
+  /// request). Implemented in ConfigJSON.cpp next to fromJSON so the two
+  /// directions stay in lockstep.
+  std::string toJSON() const;
+
+  /// Rebuilds a configuration from toJSON() output. Fields absent from
+  /// \p JSON keep their default value; unknown keys and type-mismatched
+  /// values are rejected (returns false with a diagnostic in \p Err) so a
+  /// typo in a hand-edited crash-reproducer config can never silently
+  /// select the defaults. The "fault-injection" flag round-trips as
+  /// documentation only — a FaultInjector cannot be reconstructed from
+  /// JSON, so Out.Faults is always null; wire protocols carry the fault
+  /// seed/probability separately (see server/Protocol.h).
+  static bool fromJSON(std::string_view JSON, VectorizerConfig &Out,
+                       std::string &Err);
 
   /// \name Paper configurations.
   /// @{

@@ -1,0 +1,295 @@
+//===- vectorizer/ConfigJSON.cpp - Config <-> JSON in one place ---------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The single serialization point for VectorizerConfig. Everything that
+// ships a configuration as text — crash reproducer `.json` sidecars, the
+// lslpd compile-server protocol, `lslpc --config-json=` replay — goes
+// through this pair, so a knob added to toJSON() without a matching
+// fromJSON() case fails the round-trip test instead of silently dropping
+// on one of three hand-rolled paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/Config.h"
+
+#include <cstdlib>
+#include <limits>
+
+using namespace lslp;
+
+std::string VectorizerConfig::toJSON() const {
+  auto B = [](bool V) { return V ? "true" : "false"; };
+  std::string S = "{";
+  S += "\"name\":\"" + Name + "\"";
+  S += ",\"reordering\":" + std::string(B(EnableReordering));
+  S += ",\"lookahead\":" + std::string(B(EnableLookAhead));
+  S += ",\"multinode\":" + std::string(B(EnableMultiNode));
+  S += ",\"max-lookahead-level\":" + std::to_string(MaxLookAheadLevel);
+  S += ",\"max-multinode-size\":" + std::to_string(MaxMultiNodeSize);
+  S += ",\"score-aggregation\":\"";
+  S += ScoreAggregation == ScoreAggregationKind::Sum ? "sum" : "max";
+  S += "\",\"reorder-strategy\":\"";
+  S += ReorderStrategy == ReorderStrategyKind::GreedySingle
+           ? "greedy"
+           : "exhaustive-per-lane";
+  S += "\",\"strategy\":\"";
+  S += packingStrategyName(Strategy);
+  S += "\",\"max-solver-candidates\":" + std::to_string(MaxSolverCandidates);
+  S += ",\"splat-mode\":" + std::string(B(EnableSplatMode));
+  S += ",\"alt-opcodes\":" + std::string(B(EnableAltOpcodes));
+  S += ",\"reductions\":" + std::string(B(EnableReductions));
+  S += ",\"cost-threshold\":" + std::to_string(CostThreshold);
+  S += ",\"max-graph-depth\":" + std::to_string(MaxGraphDepth);
+  S += ",\"max-graph-nodes\":" + std::to_string(MaxGraphNodes);
+  S += ",\"max-permutations\":" + std::to_string(MaxPermutationsPerMultiNode);
+  S += ",\"max-ms-per-function\":" + std::to_string(MaxMsPerFunction);
+  S += ",\"fault-injection\":" + std::string(B(Faults != nullptr));
+  S += "}";
+  return S;
+}
+
+namespace {
+
+/// Minimal cursor over the flat {"key":value,...} object toJSON emits.
+/// Values are strings, integers, or the literals true/false; there are no
+/// nested objects, arrays, or escapes in the config grammar.
+class ConfigCursor {
+public:
+  explicit ConfigCursor(std::string_view Text) : Text(Text) {}
+
+  bool consume(char C) {
+    skipWS();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool peekIs(char C) {
+    skipWS();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+
+  bool atEnd() {
+    skipWS();
+    return Pos == Text.size();
+  }
+
+  bool parseString(std::string &Out) {
+    skipWS();
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\')
+        return fail("escapes are not used in config JSON");
+      Out += Text[Pos++];
+    }
+    if (Pos == Text.size())
+      return fail("unterminated string");
+    ++Pos;
+    return true;
+  }
+
+  bool parseBool(bool &Out) {
+    skipWS();
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      Out = true;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      Out = false;
+      return true;
+    }
+    return fail("expected true/false");
+  }
+
+  /// Unsigned decimal (the config's counters and caps).
+  bool parseUInt(uint64_t &Out) {
+    skipWS();
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected integer");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    Out = std::strtoull(Num.c_str(), &End, 10);
+    return End && *End == '\0' ? true : fail("bad integer");
+  }
+
+  /// Signed decimal (cost-threshold).
+  bool parseInt(int64_t &Out) {
+    skipWS();
+    bool Neg = Pos < Text.size() && Text[Pos] == '-';
+    if (Neg)
+      ++Pos;
+    uint64_t U = 0;
+    if (!parseUInt(U))
+      return false;
+    Out = Neg ? -static_cast<int64_t>(U) : static_cast<int64_t>(U);
+    return true;
+  }
+
+  const std::string &error() const { return Err; }
+
+private:
+  void skipWS() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(std::string Msg) {
+    if (Err.empty())
+      Err = std::move(Msg);
+    return false;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+bool VectorizerConfig::fromJSON(std::string_view JSON, VectorizerConfig &Out,
+                                std::string &Err) {
+  ConfigCursor C(JSON);
+  auto Fail = [&](const std::string &Msg) {
+    Err = Msg.empty() ? std::string("malformed config JSON") : Msg;
+    return false;
+  };
+  auto FailKey = [&](const std::string &Key, const std::string &Msg) {
+    Err = "config key '" + Key + "': " + Msg;
+    return false;
+  };
+
+  Out = VectorizerConfig();
+  if (!C.consume('{'))
+    return Fail(C.error());
+  bool First = true;
+  while (!C.peekIs('}')) {
+    if (!First && !C.consume(','))
+      return Fail(C.error());
+    First = false;
+    std::string Key;
+    if (!C.parseString(Key) || !C.consume(':'))
+      return Fail(C.error());
+
+    auto Flag = [&](bool &Field) {
+      return C.parseBool(Field) ? true : Fail(C.error());
+    };
+    auto Unsigned = [&](unsigned &Field) {
+      uint64_t V = 0;
+      if (!C.parseUInt(V))
+        return Fail(C.error());
+      if (V > std::numeric_limits<unsigned>::max())
+        return FailKey(Key, "value out of range");
+      Field = static_cast<unsigned>(V);
+      return true;
+    };
+    auto U64 = [&](uint64_t &Field) {
+      return C.parseUInt(Field) ? true : Fail(C.error());
+    };
+
+    if (Key == "name") {
+      if (!C.parseString(Out.Name))
+        return Fail(C.error());
+    } else if (Key == "reordering") {
+      if (!Flag(Out.EnableReordering))
+        return false;
+    } else if (Key == "lookahead") {
+      if (!Flag(Out.EnableLookAhead))
+        return false;
+    } else if (Key == "multinode") {
+      if (!Flag(Out.EnableMultiNode))
+        return false;
+    } else if (Key == "max-lookahead-level") {
+      if (!Unsigned(Out.MaxLookAheadLevel))
+        return false;
+    } else if (Key == "max-multinode-size") {
+      if (!Unsigned(Out.MaxMultiNodeSize))
+        return false;
+    } else if (Key == "score-aggregation") {
+      std::string V;
+      if (!C.parseString(V))
+        return Fail(C.error());
+      if (V == "sum")
+        Out.ScoreAggregation = ScoreAggregationKind::Sum;
+      else if (V == "max")
+        Out.ScoreAggregation = ScoreAggregationKind::Max;
+      else
+        return FailKey(Key, "unknown value '" + V + "'");
+    } else if (Key == "reorder-strategy") {
+      std::string V;
+      if (!C.parseString(V))
+        return Fail(C.error());
+      if (V == "greedy")
+        Out.ReorderStrategy = ReorderStrategyKind::GreedySingle;
+      else if (V == "exhaustive-per-lane")
+        Out.ReorderStrategy = ReorderStrategyKind::ExhaustivePerLane;
+      else
+        return FailKey(Key, "unknown value '" + V + "'");
+    } else if (Key == "strategy") {
+      std::string V;
+      if (!C.parseString(V))
+        return Fail(C.error());
+      if (!parsePackingStrategy(V, Out.Strategy))
+        return FailKey(Key, "unknown value '" + V + "'");
+    } else if (Key == "max-solver-candidates") {
+      if (!Unsigned(Out.MaxSolverCandidates))
+        return false;
+    } else if (Key == "splat-mode") {
+      if (!Flag(Out.EnableSplatMode))
+        return false;
+    } else if (Key == "alt-opcodes") {
+      if (!Flag(Out.EnableAltOpcodes))
+        return false;
+    } else if (Key == "reductions") {
+      if (!Flag(Out.EnableReductions))
+        return false;
+    } else if (Key == "cost-threshold") {
+      int64_t V = 0;
+      if (!C.parseInt(V))
+        return Fail(C.error());
+      if (V < std::numeric_limits<int>::min() ||
+          V > std::numeric_limits<int>::max())
+        return FailKey(Key, "value out of range");
+      Out.CostThreshold = static_cast<int>(V);
+    } else if (Key == "max-graph-depth") {
+      if (!Unsigned(Out.MaxGraphDepth))
+        return false;
+    } else if (Key == "max-graph-nodes") {
+      if (!U64(Out.MaxGraphNodes))
+        return false;
+    } else if (Key == "max-permutations") {
+      if (!U64(Out.MaxPermutationsPerMultiNode))
+        return false;
+    } else if (Key == "max-ms-per-function") {
+      if (!U64(Out.MaxMsPerFunction))
+        return false;
+    } else if (Key == "fault-injection") {
+      // Round-trips for the record only; an injector cannot be rebuilt
+      // from JSON (Out.Faults stays null either way).
+      bool Ignored = false;
+      if (!Flag(Ignored))
+        return false;
+    } else {
+      return FailKey(Key, "unknown key");
+    }
+  }
+  if (!C.consume('}'))
+    return Fail(C.error());
+  if (!C.atEnd())
+    return Fail("trailing content after config object");
+  return true;
+}

@@ -1,0 +1,224 @@
+//===- tests/server/ContentCacheTest.cpp - Compile memoization tests -----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The daemon's content-hash cache: canonical module hashing (formatting
+// noise must not defeat memoization), key construction (every
+// response-shaping request field participates, Jobs deliberately does
+// not), LRU eviction, and byte-identical replay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ContentCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+namespace {
+
+const char *IRSource = "define void @f() {\n"
+                       "entry:\n"
+                       "  ret void\n"
+                       "}\n";
+
+TEST(ContentCache, CanonicalHashIgnoresFormattingNoise) {
+  uint64_t Base = hashCanonicalModuleText(IRSource);
+  // Comments, trailing whitespace, and blank lines are invisible.
+  EXPECT_EQ(hashCanonicalModuleText("; produced by a build system\n"
+                                    "define void @f() {   \n"
+                                    "entry:\t\n"
+                                    "\n"
+                                    "  ret void  ; tail comment\n"
+                                    "}\n\n"),
+            Base);
+  // Missing trailing newline is also invisible.
+  EXPECT_EQ(hashCanonicalModuleText("define void @f() {\n"
+                                    "entry:\n"
+                                    "  ret void\n"
+                                    "}"),
+            Base);
+  // Real content changes are not.
+  EXPECT_NE(hashCanonicalModuleText("define void @g() {\n"
+                                    "entry:\n"
+                                    "  ret void\n"
+                                    "}\n"),
+            Base);
+  // Leading (indentation) whitespace is significant — it is not stripped,
+  // only trailing runs are.
+  EXPECT_NE(hashCanonicalModuleText("define void @f() {\n"
+                                    "entry:\n"
+                                    "ret void\n"
+                                    "}\n"),
+            Base);
+}
+
+TEST(ContentCache, KeyCoversModuleConfigAndShape) {
+  CompileRequest Req;
+  Req.ModuleText = IRSource;
+  Req.ConfigJSON = R"({"name":"LSLP"})";
+  Req.Report = true;
+  CacheKey Base = cacheKeyFor(Req);
+  EXPECT_TRUE(Base == cacheKeyFor(Req));
+
+  {
+    CompileRequest R = Req;
+    R.ModuleText = "define void @g() {\nentry:\n  ret void\n}\n";
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.ConfigJSON = R"({"name":"SLP"})";
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  // Every response-shaping field must split the key.
+  {
+    CompileRequest R = Req;
+    R.Report = false;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.PrintIR = false;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.Vectorize = false;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.EarlyCSE = true;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.Remarks = RemarkWireFormat::Text;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.WantStats = true;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.InputName = "other.ll"; // parse diagnostics embed the name
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.FaultSeed = 1;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  {
+    CompileRequest R = Req;
+    R.FaultProbability = 0.5;
+    EXPECT_FALSE(Base == cacheKeyFor(R));
+  }
+  // Jobs is the one field that must NOT split the key: output is
+  // byte-identical for any worker count (the determinism contract), so a
+  // 1-job and an 8-job client share entries.
+  {
+    CompileRequest R = Req;
+    R.Jobs = 8;
+    EXPECT_TRUE(Base == cacheKeyFor(R));
+  }
+  // Module formatting noise shares the entry too (canonical hash).
+  {
+    CompileRequest R = Req;
+    R.ModuleText = std::string("; noise\n") + IRSource;
+    EXPECT_TRUE(Base == cacheKeyFor(R));
+  }
+}
+
+CacheKey keyN(uint64_t N) {
+  CacheKey K;
+  K.ModuleHash = N;
+  K.ConfigHash = ~N;
+  K.ShapeHash = N * 3;
+  return K;
+}
+
+CompileResponse responseN(uint64_t N) {
+  CompileResponse R;
+  R.ReportText = "; response " + std::to_string(N) + "\n";
+  R.IRText = "define void @f" + std::to_string(N) + "() {\n}\n";
+  return R;
+}
+
+TEST(ContentCache, HitReplaysByteIdenticalAndMarksCacheHit) {
+  ContentCache Cache(4);
+  CacheKey K = keyN(1);
+  EXPECT_FALSE(Cache.lookup(K).has_value());
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  CompileResponse Stored = responseN(1);
+  Stored.RemarksText = "remark line\n";
+  Stored.StatsText = "stats\n";
+  Stored.ErrorText = "warning-ish\n";
+  Cache.insert(K, Stored);
+  EXPECT_EQ(Cache.entries(), 1u);
+
+  auto Hit = Cache.lookup(K);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Cache.hits(), 1u);
+  // Byte-identical replay, with the diagnostic CacheHit bit flipped on.
+  EXPECT_TRUE(Hit->CacheHit);
+  EXPECT_EQ(Hit->ExitCode, Stored.ExitCode);
+  EXPECT_EQ(Hit->ReportText, Stored.ReportText);
+  EXPECT_EQ(Hit->IRText, Stored.IRText);
+  EXPECT_EQ(Hit->RemarksText, Stored.RemarksText);
+  EXPECT_EQ(Hit->StatsText, Stored.StatsText);
+  EXPECT_EQ(Hit->ErrorText, Stored.ErrorText);
+}
+
+TEST(ContentCache, EvictsLeastRecentlyUsed) {
+  ContentCache Cache(3);
+  for (uint64_t N = 1; N <= 3; ++N)
+    Cache.insert(keyN(N), responseN(N));
+  EXPECT_EQ(Cache.entries(), 3u);
+
+  // Touch 1 so 2 becomes the LRU entry, then overflow.
+  ASSERT_TRUE(Cache.lookup(keyN(1)).has_value());
+  Cache.insert(keyN(4), responseN(4));
+  EXPECT_EQ(Cache.entries(), 3u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+
+  EXPECT_TRUE(Cache.lookup(keyN(1)).has_value());
+  EXPECT_FALSE(Cache.lookup(keyN(2)).has_value()); // evicted
+  EXPECT_TRUE(Cache.lookup(keyN(3)).has_value());
+  EXPECT_TRUE(Cache.lookup(keyN(4)).has_value());
+}
+
+TEST(ContentCache, ReinsertRefreshesInsteadOfDuplicating) {
+  // Two workers can miss on the same key concurrently and both insert;
+  // the second insert must refresh, not grow the cache or evict.
+  ContentCache Cache(2);
+  Cache.insert(keyN(1), responseN(1));
+  Cache.insert(keyN(1), responseN(7));
+  EXPECT_EQ(Cache.entries(), 1u);
+  EXPECT_EQ(Cache.evictions(), 0u);
+  auto Hit = Cache.lookup(keyN(1));
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->ReportText, responseN(7).ReportText);
+}
+
+TEST(ContentCache, StatsJSONCarriesTheCounters) {
+  ContentCache Cache(8);
+  Cache.insert(keyN(1), responseN(1));
+  (void)Cache.lookup(keyN(1));
+  (void)Cache.lookup(keyN(2));
+  std::string JSON = Cache.statsJSON();
+  EXPECT_NE(JSON.find("\"capacity\":8"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"entries\":1"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"hits\":1"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"misses\":1"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"evictions\":0"), std::string::npos) << JSON;
+}
+
+} // namespace

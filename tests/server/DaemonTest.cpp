@@ -1,0 +1,348 @@
+//===- tests/server/DaemonTest.cpp - End-to-end daemon tests -------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-process lslpd: a Daemon running on a background thread, real clients
+// on real unix-domain sockets. Covers the serving guarantees DESIGN.md
+// promises: responses identical to local runCompileRequest (cold, cached,
+// and under 8 concurrent clients), a mid-request disconnect or a crashed
+// worker poisons only its own request, crash injection is opt-in, and the
+// stats/shutdown control requests work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/CompileService.h"
+#include "server/Daemon.h"
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "kernels/Kernels.h"
+#include "vectorizer/Config.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+namespace {
+
+std::string kernelModuleText(const char *Name) {
+  const KernelSpec *Spec = findKernel(Name);
+  EXPECT_NE(Spec, nullptr) << Name;
+  Context Ctx;
+  auto M = buildKernelModule(*Spec, Ctx);
+  return moduleToString(*M);
+}
+
+CompileRequest makeRequest(std::string ModuleText) {
+  CompileRequest Req;
+  Req.InputName = "test.ll";
+  Req.ModuleText = std::move(ModuleText);
+  Req.ConfigJSON = VectorizerConfig::lslp(8).toJSON();
+  Req.Report = true;
+  return Req;
+}
+
+/// Everything but the CacheHit diagnostic bit must match.
+void expectSameResponse(const CompileResponse &Got,
+                        const CompileResponse &Want) {
+  EXPECT_EQ(Got.ExitCode, Want.ExitCode);
+  EXPECT_EQ(Got.ErrCategory, Want.ErrCategory);
+  EXPECT_EQ(Got.ReportText, Want.ReportText);
+  EXPECT_EQ(Got.IRText, Want.IRText);
+  EXPECT_EQ(Got.RemarksText, Want.RemarksText);
+  EXPECT_EQ(Got.StatsText, Want.StatsText);
+  EXPECT_EQ(Got.ErrorText, Want.ErrorText);
+}
+
+/// One in-process daemon on a unique socket, served from a background
+/// thread. requestShutdown() in TearDown is enough: the run loop polls
+/// with a 200ms timeout, so it observes the flag even when idle.
+class DaemonTest : public ::testing::Test {
+protected:
+  void startDaemon(DaemonOptions Opts = DaemonOptions()) {
+    static std::atomic<unsigned> Counter{0};
+    Opts.SocketPath = "/tmp/lslpd-ut-" + std::to_string(::getpid()) + "-" +
+                      std::to_string(Counter.fetch_add(1)) + ".sock";
+    D = std::make_unique<Daemon>(std::move(Opts));
+    Error E = D->bind();
+    ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+    Server = std::thread([this] { Served = D->run(); });
+  }
+
+  void TearDown() override {
+    if (D)
+      D->requestShutdown();
+    if (Server.joinable())
+      Server.join();
+  }
+
+  const std::string &socketPath() const { return D->socketPath(); }
+
+  std::unique_ptr<Daemon> D;
+  std::thread Server;
+  uint64_t Served = 0;
+};
+
+TEST_F(DaemonTest, CompileMatchesLocalAndReplaysFromCache) {
+  startDaemon();
+  CompileRequest Req = makeRequest(kernelModuleText("motivation-multi"));
+  CompileResponse Local = runCompileRequest(Req);
+  ASSERT_EQ(Local.ExitCode, 0) << Local.ErrorText;
+  ASSERT_NE(Local.ReportText.find("vectorized"), std::string::npos);
+
+  DaemonClient Client;
+  Error E = Client.connect(socketPath());
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+
+  CompileResponse First;
+  E = Client.compile(Req, First);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_FALSE(First.CacheHit);
+  expectSameResponse(First, Local);
+
+  CompileResponse Second;
+  E = Client.compile(Req, Second);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_TRUE(Second.CacheHit); // byte-identical replay, flagged as a hit
+  expectSameResponse(Second, Local);
+}
+
+TEST_F(DaemonTest, ParseFailuresMatchLocalAndAreNeverCached) {
+  startDaemon();
+  CompileRequest Req = makeRequest("this is not IR\n");
+  CompileResponse Local = runCompileRequest(Req);
+  ASSERT_EQ(Local.ExitCode, 1);
+  ASSERT_FALSE(Local.ErrorText.empty());
+
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+  for (int I = 0; I < 2; ++I) {
+    CompileResponse Resp;
+    Error E = Client.compile(Req, Resp);
+    ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+    // Failures are recomputed every time — an error entry must not pin
+    // cache capacity.
+    EXPECT_FALSE(Resp.CacheHit);
+    expectSameResponse(Resp, Local);
+  }
+}
+
+TEST_F(DaemonTest, EightConcurrentClientsMatchSerialCompiles) {
+  startDaemon();
+
+  // Serial ground truth, computed locally before any daemon traffic.
+  const char *Kernels[] = {"motivation-multi", "453.vsumsqr", "453.mesh1",
+                           "453.calc-z3"};
+  constexpr size_t NumKernels = sizeof(Kernels) / sizeof(Kernels[0]);
+  std::vector<CompileRequest> Requests;
+  std::vector<CompileResponse> Serial;
+  for (const char *Name : Kernels) {
+    Requests.push_back(makeRequest(kernelModuleText(Name)));
+    Serial.push_back(runCompileRequest(Requests.back()));
+    ASSERT_EQ(Serial.back().ExitCode, 0) << Name;
+  }
+
+  // 8 clients hammer concurrently, each walking the kernels from its own
+  // starting offset so rounds mix distinct requests into shared batches.
+  constexpr size_t NumClients = 8;
+  constexpr size_t RoundsPerClient = 3;
+  std::vector<CompileResponse>
+      Got(NumClients * RoundsPerClient * NumKernels);
+  std::vector<std::string> ConnectErrors(NumClients);
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < NumClients; ++C)
+    Threads.emplace_back([&, C] {
+      DaemonClient Client;
+      if (Error E = Client.connect(socketPath())) {
+        ConnectErrors[C] = E.message();
+        return;
+      }
+      for (size_t R = 0; R < RoundsPerClient; ++R)
+        for (size_t K = 0; K < NumKernels; ++K) {
+          size_t Idx = (C + R + K) % NumKernels;
+          size_t Slot = (C * RoundsPerClient + R) * NumKernels + K;
+          if (Error E = Client.compile(Requests[Idx], Got[Slot]))
+            Got[Slot].ErrorText = "transport error: " + E.message();
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (size_t C = 0; C < NumClients; ++C)
+    ASSERT_TRUE(ConnectErrors[C].empty()) << ConnectErrors[C];
+  for (size_t C = 0; C < NumClients; ++C)
+    for (size_t R = 0; R < RoundsPerClient; ++R)
+      for (size_t K = 0; K < NumKernels; ++K) {
+        size_t Idx = (C + R + K) % NumKernels;
+        size_t Slot = (C * RoundsPerClient + R) * NumKernels + K;
+        SCOPED_TRACE("client " + std::to_string(C) + " round " +
+                     std::to_string(R) + " kernel " + Kernels[Idx]);
+        expectSameResponse(Got[Slot], Serial[Idx]);
+      }
+}
+
+/// Connects a raw socket to \p Path (bypassing DaemonClient) so tests can
+/// send pathological bytes.
+int rawConnect(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+TEST_F(DaemonTest, MidRequestDisconnectPoisonsOnlyThatConnection) {
+  startDaemon();
+
+  // A truncated frame: the length prefix promises 64 bytes, 10 arrive,
+  // then the client vanishes.
+  int Fd = rawConnect(socketPath());
+  ASSERT_GE(Fd, 0);
+  unsigned char Prefix[4] = {64, 0, 0, 0};
+  ASSERT_EQ(::send(Fd, Prefix, 4, 0), 4);
+  ASSERT_EQ(::send(Fd, "0123456789", 10, 0), 10);
+  ::close(Fd);
+
+  // A full request whose client disconnects without reading the reply.
+  {
+    int Fd2 = rawConnect(socketPath());
+    ASSERT_GE(Fd2, 0);
+    std::string Payload =
+        encodeCompileRequest(makeRequest(kernelModuleText("453.vsumsqr")));
+    ASSERT_FALSE(static_cast<bool>(writeFrame(Fd2, Payload)));
+    ::close(Fd2);
+  }
+
+  // The daemon keeps serving fresh clients.
+  CompileRequest Req = makeRequest(kernelModuleText("motivation-multi"));
+  CompileResponse Local = runCompileRequest(Req);
+  DaemonClient Client;
+  Error E = Client.connect(socketPath());
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  CompileResponse Resp;
+  E = Client.compile(Req, Resp);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  expectSameResponse(Resp, Local);
+}
+
+TEST_F(DaemonTest, WorkerCrashIsContainedAndNeverCached) {
+  DaemonOptions Opts;
+  Opts.AllowCrashRequests = true;
+  startDaemon(Opts);
+
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+
+  CompileRequest Crash = makeRequest(kernelModuleText("motivation-multi"));
+  Crash.InjectCrash = true;
+  CompileResponse Resp;
+  Error E = Client.compile(Crash, Resp);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Resp.ExitCode, 2);
+  EXPECT_EQ(Resp.ErrCategory,
+            static_cast<uint8_t>(ErrorCategory::Internal));
+  EXPECT_FALSE(Resp.CacheHit);
+  EXPECT_NE(Resp.ErrorText.find("daemon worker crashed"), std::string::npos)
+      << Resp.ErrorText;
+
+  // The daemon survived: the same module now compiles normally, and the
+  // crash did not poison the cache.
+  CompileRequest Req = Crash;
+  Req.InjectCrash = false;
+  CompileResponse Local = runCompileRequest(Req);
+  CompileResponse After;
+  E = Client.compile(Req, After);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_FALSE(After.CacheHit);
+  expectSameResponse(After, Local);
+
+  std::string StatsJSON;
+  E = Client.stats(StatsJSON);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_NE(StatsJSON.find("\"worker-crashes\":1"), std::string::npos)
+      << StatsJSON;
+}
+
+TEST_F(DaemonTest, CrashInjectionIsRejectedWithoutOptIn) {
+  startDaemon(); // AllowCrashRequests defaults to false
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+
+  CompileRequest Crash = makeRequest(kernelModuleText("motivation-multi"));
+  Crash.InjectCrash = true;
+  CompileResponse Resp;
+  Error E = Client.compile(Crash, Resp);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.category(), ErrorCategory::Internal);
+  EXPECT_NE(E.message().find("crash injection rejected"), std::string::npos)
+      << E.message();
+
+  // The rejection is per-request; the connection stays usable.
+  CompileRequest Req = Crash;
+  Req.InjectCrash = false;
+  DaemonClient Client2;
+  ASSERT_FALSE(static_cast<bool>(Client2.connect(socketPath())));
+  CompileResponse After;
+  E = Client2.compile(Req, After);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(After.ExitCode, 0);
+}
+
+TEST_F(DaemonTest, StatsRequestReportsCountersAndCacheBlock) {
+  startDaemon();
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+
+  CompileRequest Req = makeRequest(kernelModuleText("motivation-multi"));
+  CompileResponse Resp;
+  ASSERT_FALSE(static_cast<bool>(Client.compile(Req, Resp)));
+  ASSERT_FALSE(static_cast<bool>(Client.compile(Req, Resp)));
+  EXPECT_TRUE(Resp.CacheHit);
+
+  std::string JSON;
+  Error E = Client.stats(JSON);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_NE(JSON.find("\"compiles\":2"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"worker-crashes\":0"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"cache\":{"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"hits\":1"), std::string::npos) << JSON;
+  EXPECT_NE(JSON.find("\"misses\":1"), std::string::npos) << JSON;
+}
+
+TEST_F(DaemonTest, ShutdownRequestDrainsAndUnlinksTheSocket) {
+  startDaemon();
+  std::string Path = socketPath();
+
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(Path)));
+  CompileRequest Req = makeRequest(kernelModuleText("motivation-multi"));
+  CompileResponse Resp;
+  ASSERT_FALSE(static_cast<bool>(Client.compile(Req, Resp)));
+
+  Error E = Client.shutdownDaemon();
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  Server.join();
+  EXPECT_GE(Served, 2u); // the compile + the shutdown frame
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0); // socket name removed
+}
+
+} // namespace

@@ -1,0 +1,271 @@
+//===- tests/server/ProtocolTest.cpp - lslpd wire protocol tests ---------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Encode/decode round-trips for every message kind, strict trailing-byte
+// rejection, and the framed socket IO (clean EOF vs truncation vs
+// corrupt length prefix) over a socketpair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+namespace {
+
+TEST(Protocol, CompileRequestRoundTrip) {
+  CompileRequest In;
+  In.InputName = "<stdin>";
+  In.ModuleText = "define void @f() {\nentry:\n  ret void\n}\n";
+  In.ConfigJSON = R"({"name":"LSLP"})";
+  In.Vectorize = true;
+  In.EarlyCSE = true;
+  In.Report = true;
+  In.PrintIR = false;
+  In.VerifyEach = true;
+  In.WantStats = true;
+  In.StatsJSON = true;
+  In.Remarks = RemarkWireFormat::JSON;
+  In.Jobs = 7;
+  In.FaultProbability = 0.125;
+  In.FaultSeed = 0xdeadbeefcafe;
+  In.InjectCrash = true;
+
+  std::string Payload = encodeCompileRequest(In);
+  EXPECT_EQ(peekKind(Payload), MessageKind::CompileRequest);
+
+  CompileRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeCompileRequest(Payload, Out, Err)) << Err;
+  EXPECT_EQ(Out.InputName, In.InputName);
+  EXPECT_EQ(Out.ModuleText, In.ModuleText);
+  EXPECT_EQ(Out.ConfigJSON, In.ConfigJSON);
+  EXPECT_EQ(Out.EarlyCSE, In.EarlyCSE);
+  EXPECT_EQ(Out.Report, In.Report);
+  EXPECT_EQ(Out.PrintIR, In.PrintIR);
+  EXPECT_EQ(Out.VerifyEach, In.VerifyEach);
+  EXPECT_EQ(Out.WantStats, In.WantStats);
+  EXPECT_EQ(Out.StatsJSON, In.StatsJSON);
+  EXPECT_EQ(Out.Remarks, In.Remarks);
+  EXPECT_EQ(Out.Jobs, In.Jobs);
+  EXPECT_EQ(Out.FaultProbability, In.FaultProbability);
+  EXPECT_EQ(Out.FaultSeed, In.FaultSeed);
+  EXPECT_EQ(Out.InjectCrash, In.InjectCrash);
+}
+
+TEST(Protocol, CompileResponseRoundTrip) {
+  CompileResponse In;
+  In.ExitCode = 2;
+  In.ErrCategory = 6; // Internal
+  In.CacheHit = true;
+  In.ReportText = "; config LSLP: 3 bundle(s) vectorized\n";
+  In.IRText = "define void @f() {\n}\n";
+  In.RemarksText = "{\"remark\":\"vectorized\"}\n";
+  In.StatsText = "3 lslpd.hits\n";
+  In.ErrorText = "lslpc: something\n";
+
+  std::string Payload = encodeCompileResponse(In);
+  EXPECT_EQ(peekKind(Payload), MessageKind::CompileResponse);
+
+  CompileResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeCompileResponse(Payload, Out, Err)) << Err;
+  EXPECT_EQ(Out.ExitCode, In.ExitCode);
+  EXPECT_EQ(Out.ErrCategory, In.ErrCategory);
+  EXPECT_EQ(Out.CacheHit, In.CacheHit);
+  EXPECT_EQ(Out.ReportText, In.ReportText);
+  EXPECT_EQ(Out.IRText, In.IRText);
+  EXPECT_EQ(Out.RemarksText, In.RemarksText);
+  EXPECT_EQ(Out.StatsText, In.StatsText);
+  EXPECT_EQ(Out.ErrorText, In.ErrorText);
+}
+
+TEST(Protocol, FuzzMessagesRoundTrip) {
+  FuzzRequest In;
+  In.Count = 200;
+  In.FirstSeed = -5;
+  In.Jobs = 4;
+  In.Engine = 1;
+  In.ParityAll = true;
+  In.FaultProbability = 0.5;
+  In.FaultSeed = 99;
+  In.Strategy = 1;
+
+  std::string Payload = encodeFuzzRequest(In);
+  EXPECT_EQ(peekKind(Payload), MessageKind::FuzzRequest);
+  FuzzRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeFuzzRequest(Payload, Out, Err)) << Err;
+  EXPECT_EQ(Out.Count, In.Count);
+  EXPECT_EQ(Out.FirstSeed, In.FirstSeed);
+  EXPECT_EQ(Out.Jobs, In.Jobs);
+  EXPECT_EQ(Out.Engine, In.Engine);
+  EXPECT_EQ(Out.ParityAll, In.ParityAll);
+  EXPECT_EQ(Out.FaultProbability, In.FaultProbability);
+  EXPECT_EQ(Out.FaultSeed, In.FaultSeed);
+  EXPECT_EQ(Out.Strategy, In.Strategy);
+
+  FuzzResponse RIn;
+  SeedOutcome Pass;
+  Pass.Seed = 7;
+  Pass.Passed = true;
+  SeedOutcome Fail;
+  Fail.Seed = 8;
+  Fail.ConfigName = "LSLP";
+  Fail.Reason = "checksum mismatch";
+  Fail.ReducedIR = "define void @f() {\n}\n";
+  Fail.ReductionSteps = 12;
+  Fail.Crashed = true;
+  Fail.CrashSignal = "SIGSEGV";
+  Fail.ReproPath = "/tmp/crash-8.ll";
+  Fail.VerifyFailed = true;
+  Fail.VerifyErrors = "use before def\n";
+  RIn.Outcomes = {Pass, Fail};
+
+  std::string RPayload = encodeFuzzResponse(RIn);
+  EXPECT_EQ(peekKind(RPayload), MessageKind::FuzzResponse);
+  FuzzResponse ROut;
+  ASSERT_TRUE(decodeFuzzResponse(RPayload, ROut, Err)) << Err;
+  ASSERT_EQ(ROut.Outcomes.size(), 2u);
+  EXPECT_EQ(ROut.Outcomes[0].Seed, 7u);
+  EXPECT_TRUE(ROut.Outcomes[0].Passed);
+  EXPECT_EQ(ROut.Outcomes[1].Seed, 8u);
+  EXPECT_FALSE(ROut.Outcomes[1].Passed);
+  EXPECT_EQ(ROut.Outcomes[1].ConfigName, "LSLP");
+  EXPECT_EQ(ROut.Outcomes[1].Reason, "checksum mismatch");
+  EXPECT_EQ(ROut.Outcomes[1].ReducedIR, Fail.ReducedIR);
+  EXPECT_EQ(ROut.Outcomes[1].ReductionSteps, 12u);
+  EXPECT_TRUE(ROut.Outcomes[1].Crashed);
+  EXPECT_EQ(ROut.Outcomes[1].CrashSignal, "SIGSEGV");
+  EXPECT_EQ(ROut.Outcomes[1].ReproPath, "/tmp/crash-8.ll");
+  EXPECT_TRUE(ROut.Outcomes[1].VerifyFailed);
+  EXPECT_EQ(ROut.Outcomes[1].VerifyErrors, "use before def\n");
+}
+
+TEST(Protocol, ControlMessagesRoundTrip) {
+  EXPECT_EQ(peekKind(encodeStatsRequest()), MessageKind::StatsRequest);
+  EXPECT_EQ(peekKind(encodeShutdownRequest()), MessageKind::ShutdownRequest);
+  EXPECT_EQ(peekKind(encodeShutdownResponse()),
+            MessageKind::ShutdownResponse);
+
+  StatsResponse SIn;
+  SIn.JSON = R"({"requests":42})";
+  StatsResponse SOut;
+  std::string Err;
+  ASSERT_TRUE(decodeStatsResponse(encodeStatsResponse(SIn), SOut, Err))
+      << Err;
+  EXPECT_EQ(SOut.JSON, SIn.JSON);
+
+  ErrorResponse EIn;
+  EIn.Category = 6;
+  EIn.Message = "worker crashed";
+  ErrorResponse EOut;
+  ASSERT_TRUE(decodeErrorResponse(encodeErrorResponse(EIn), EOut, Err))
+      << Err;
+  EXPECT_EQ(EOut.Category, EIn.Category);
+  EXPECT_EQ(EOut.Message, EIn.Message);
+}
+
+TEST(Protocol, DecodersRejectMalformedPayloads) {
+  std::string Err;
+  CompileRequest Req;
+  // Trailing garbage after a well-formed message.
+  std::string Payload = encodeCompileRequest(CompileRequest());
+  Payload += 'x';
+  EXPECT_FALSE(decodeCompileRequest(Payload, Req, Err));
+
+  // Truncated mid-message.
+  Payload = encodeCompileRequest(CompileRequest());
+  Payload.resize(Payload.size() / 2);
+  EXPECT_FALSE(decodeCompileRequest(Payload, Req, Err));
+
+  // Wrong tag byte for the decoder.
+  CompileResponse Resp;
+  EXPECT_FALSE(
+      decodeCompileResponse(encodeCompileRequest(CompileRequest()), Resp,
+                            Err));
+
+  // Empty payload.
+  EXPECT_FALSE(decodeCompileRequest("", Req, Err));
+  EXPECT_EQ(peekKind(""), MessageKind::Invalid);
+  EXPECT_EQ(peekKind(std::string(1, '\x7f')), MessageKind::Invalid);
+}
+
+/// RAII socketpair for the frame IO tests.
+struct SocketPair {
+  int Fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0); }
+  ~SocketPair() {
+    closeA();
+    closeB();
+  }
+  void closeA() {
+    if (Fds[0] >= 0)
+      ::close(Fds[0]);
+    Fds[0] = -1;
+  }
+  void closeB() {
+    if (Fds[1] >= 0)
+      ::close(Fds[1]);
+    Fds[1] = -1;
+  }
+};
+
+TEST(Protocol, FrameRoundTripOverSocket) {
+  SocketPair SP;
+  std::string Sent = encodeStatsRequest();
+  ASSERT_FALSE(writeFrame(SP.Fds[0], Sent));
+  std::string Got;
+  ASSERT_FALSE(readFrame(SP.Fds[1], Got));
+  EXPECT_EQ(Got, Sent);
+}
+
+TEST(Protocol, CleanEOFIsDistinguishedFromTruncation) {
+  {
+    // Peer closes at a frame boundary: clean EOF.
+    SocketPair SP;
+    SP.closeA();
+    std::string Got;
+    bool CleanEOF = false;
+    Error E = readFrame(SP.Fds[1], Got, &CleanEOF);
+    EXPECT_TRUE(static_cast<bool>(E));
+    EXPECT_TRUE(CleanEOF);
+  }
+  {
+    // Peer closes mid-frame: truncation, not clean EOF.
+    SocketPair SP;
+    // Length prefix claims 100 payload bytes; only 10 arrive.
+    unsigned char Prefix[4] = {100, 0, 0, 0};
+    ASSERT_EQ(::send(SP.Fds[0], Prefix, 4, 0), 4);
+    ASSERT_EQ(::send(SP.Fds[0], "0123456789", 10, 0), 10);
+    SP.closeA();
+    std::string Got;
+    bool CleanEOF = true;
+    Error E = readFrame(SP.Fds[1], Got, &CleanEOF);
+    EXPECT_TRUE(static_cast<bool>(E));
+    EXPECT_FALSE(CleanEOF);
+  }
+}
+
+TEST(Protocol, OversizedLengthPrefixIsRejectedNotAllocated) {
+  SocketPair SP;
+  // 0xFFFFFFFF far exceeds MaxFramePayload; readFrame must refuse before
+  // attempting the allocation.
+  unsigned char Prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(SP.Fds[0], Prefix, 4, 0), 4);
+  std::string Got;
+  Error E = readFrame(SP.Fds[1], Got);
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.category(), ErrorCategory::Internal);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===- tests/vectorizer/ConfigJSONTest.cpp - Config round-trip -----------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// VectorizerConfig <-> JSON is serialized in exactly one place
+// (vectorizer/ConfigJSON.cpp) and consumed by three shippers: crash
+// reproducer sidecars, the lslpd wire protocol, and lslpc --config-json.
+// These tests pin the round-trip so a knob added to the struct without a
+// fromJSON case (or vice versa) fails here instead of silently dropping
+// in one of the consumers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vectorizer/Config.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+/// Round-trips \p Config and expects the re-serialization to be
+/// byte-identical (toJSON has a canonical key order, so this is exact).
+void expectRoundTrip(const VectorizerConfig &Config) {
+  std::string JSON = Config.toJSON();
+  VectorizerConfig Out;
+  std::string Err;
+  ASSERT_TRUE(VectorizerConfig::fromJSON(JSON, Out, Err)) << Err;
+  EXPECT_EQ(JSON, Out.toJSON());
+}
+
+TEST(ConfigJSON, FactoryConfigsRoundTrip) {
+  expectRoundTrip(VectorizerConfig::slpNoReordering());
+  expectRoundTrip(VectorizerConfig::slp());
+  expectRoundTrip(VectorizerConfig::lslp());
+  expectRoundTrip(VectorizerConfig::lslp(8));
+}
+
+TEST(ConfigJSON, EveryKnobSurvives) {
+  VectorizerConfig C = VectorizerConfig::lslp();
+  C.Name = "custom";
+  C.EnableReordering = false;
+  C.EnableLookAhead = false;
+  C.EnableMultiNode = false;
+  C.MaxLookAheadLevel = 7;
+  C.MaxMultiNodeSize = 13;
+  C.ScoreAggregation = VectorizerConfig::ScoreAggregationKind::Max;
+  C.ReorderStrategy = VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane;
+  C.Strategy = VectorizerConfig::PackingStrategyKind::Global;
+  C.MaxSolverCandidates = 5;
+  C.EnableSplatMode = false;
+  C.EnableAltOpcodes = false;
+  C.EnableReductions = false;
+  C.CostThreshold = -3;
+  C.MaxGraphDepth = 11;
+  C.MaxGraphNodes = 1234;
+  C.MaxPermutationsPerMultiNode = 999;
+  C.MaxMsPerFunction = 250;
+  expectRoundTrip(C);
+
+  VectorizerConfig Out;
+  std::string Err;
+  ASSERT_TRUE(VectorizerConfig::fromJSON(C.toJSON(), Out, Err)) << Err;
+  EXPECT_EQ(Out.Name, "custom");
+  EXPECT_FALSE(Out.EnableReordering);
+  EXPECT_EQ(Out.MaxLookAheadLevel, 7u);
+  EXPECT_EQ(Out.MaxMultiNodeSize, 13u);
+  EXPECT_EQ(Out.ScoreAggregation, VectorizerConfig::ScoreAggregationKind::Max);
+  EXPECT_EQ(Out.ReorderStrategy, VectorizerConfig::ReorderStrategyKind::ExhaustivePerLane);
+  EXPECT_EQ(Out.Strategy, VectorizerConfig::PackingStrategyKind::Global);
+  EXPECT_EQ(Out.CostThreshold, -3);
+  EXPECT_EQ(Out.MaxGraphNodes, 1234u);
+  EXPECT_EQ(Out.MaxMsPerFunction, 250u);
+}
+
+TEST(ConfigJSON, FaultInjectionKeyIsDocumentationOnly) {
+  // A FaultInjector pointer cannot be rebuilt from JSON: the key
+  // round-trips for the record, but Faults always deserializes null.
+  VectorizerConfig Out;
+  std::string Err;
+  std::string JSON = VectorizerConfig::lslp().toJSON();
+  ASSERT_TRUE(VectorizerConfig::fromJSON(JSON, Out, Err)) << Err;
+  EXPECT_EQ(Out.Faults, nullptr);
+}
+
+TEST(ConfigJSON, RejectsUnknownKey) {
+  VectorizerConfig Out;
+  std::string Err;
+  EXPECT_FALSE(VectorizerConfig::fromJSON(R"({"frobnicate":true})", Out, Err));
+  EXPECT_NE(Err.find("unknown key"), std::string::npos) << Err;
+}
+
+TEST(ConfigJSON, RejectsMalformedInput) {
+  VectorizerConfig Out;
+  std::string Err;
+  EXPECT_FALSE(VectorizerConfig::fromJSON("", Out, Err));
+  EXPECT_FALSE(VectorizerConfig::fromJSON("{", Out, Err));
+  EXPECT_FALSE(VectorizerConfig::fromJSON(R"({"name":"x"} trailing)", Out,
+                                          Err));
+  EXPECT_FALSE(
+      VectorizerConfig::fromJSON(R"({"max-lookahead-level":"two"})", Out,
+                                 Err));
+  EXPECT_FALSE(
+      VectorizerConfig::fromJSON(R"({"strategy":"quantum"})", Out, Err));
+  EXPECT_FALSE(
+      VectorizerConfig::fromJSON(R"({"score-aggregation":"median"})", Out,
+                                 Err));
+}
+
+TEST(ConfigJSON, RejectsOutOfRangeValues) {
+  VectorizerConfig Out;
+  std::string Err;
+  // 2^40 does not fit the unsigned MaxLookAheadLevel field.
+  EXPECT_FALSE(VectorizerConfig::fromJSON(
+      R"({"max-lookahead-level":1099511627776})", Out, Err));
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+}
+
+TEST(ConfigJSON, MissingKeysKeepDefaults) {
+  // Lenient on absence (old reproducers stay loadable): only the keys
+  // present override the default-constructed config.
+  VectorizerConfig Out;
+  std::string Err;
+  ASSERT_TRUE(
+      VectorizerConfig::fromJSON(R"({"name":"partial"})", Out, Err))
+      << Err;
+  VectorizerConfig Default;
+  EXPECT_EQ(Out.Name, "partial");
+  EXPECT_EQ(Out.MaxLookAheadLevel, Default.MaxLookAheadLevel);
+  EXPECT_EQ(Out.Strategy, Default.Strategy);
+}
+
+} // namespace

@@ -39,6 +39,8 @@
 #include "ir/Verifier.h"
 #include "kernels/Kernels.h"
 #include "parser/Parser.h"
+#include "server/Client.h"
+#include "server/CompileService.h"
 #include "support/CrashHandler.h"
 #include "support/Error.h"
 #include "support/FaultInjection.h"
@@ -102,6 +104,14 @@ struct Options {
   /// and the fuzz sweep (independent seeds). Output is byte-identical for
   /// every value; 0 means one per hardware thread.
   unsigned Jobs = 1;
+
+  // Daemon mode (see DESIGN.md "Serving architecture").
+  /// --connect=SOCK[,SOCK...]: route the compile (or shard the fuzz
+  /// sweep) through the lslpd daemon(s) at these sockets. Output is
+  /// byte-identical to local mode by construction.
+  std::vector<std::string> ConnectSockets;
+  bool DaemonStats = false;    ///< --daemon-stats: print daemon counters.
+  bool ShutdownDaemon = false; ///< --shutdown-daemon: drain the daemon(s).
 };
 
 void printUsage() {
@@ -181,16 +191,39 @@ void printUsage() {
             "                            the reproducer\n"
             "  --repro-dir=DIR           also write each failing seed's "
             "reduced\n"
-            "                            reproducer to DIR/seed-<N>.ll\n";
+            "                            reproducer to DIR/seed-<N>.ll\n"
+            "daemon mode (see lslpd):\n"
+            "  --connect=SOCK[,SOCK..]   route the compile through the lslpd "
+            "daemon at\n"
+            "                            SOCK (output is byte-identical to "
+            "local mode);\n"
+            "                            --fuzz shards its seeds across all "
+            "listed\n"
+            "                            daemons\n"
+            "  --config-json=FILE        load the vectorizer configuration "
+            "from FILE\n"
+            "                            (the JSON written by crash "
+            "reproducers and the\n"
+            "                            daemon protocol)\n"
+            "  --daemon-stats            print each daemon's cache/queue "
+            "counters as\n"
+            "                            JSON and exit\n"
+            "  --shutdown-daemon         ask each daemon to drain and exit\n";
 }
 
-/// Strips one or two leading dashes so -fuzz= and --fuzz= both work.
-std::string_view stripDashes(std::string_view Arg) {
-  if (startsWith(Arg, "--"))
-    return Arg.substr(2);
-  if (startsWith(Arg, "-"))
-    return Arg.substr(1);
-  return Arg;
+bool readInput(const std::string &Path, std::string &Out) {
+  std::FILE *File = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    errs() << "lslpc: cannot open '" << Path << "'\n";
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  if (File != stdin)
+    std::fclose(File);
+  return true;
 }
 
 bool parseArgs(int argc, char **argv, Options &Opts) {
@@ -209,7 +242,7 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.InputPath = Arg;
       continue;
     }
-    std::string Plain(stripDashes(Arg));
+    std::string Plain(stripOptionDashes(Arg));
     int64_t Num = 0;
     double FP = 0.0;
     if (startsWith(Plain, "fuzz=") && parseInt(Plain.substr(5), Num) &&
@@ -224,7 +257,25 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
     else if (startsWith(Plain, "jobs=") && parseInt(Plain.substr(5), Num) &&
              Num >= 0)
       Opts.Jobs = static_cast<unsigned>(Num);
-    else if (Plain == "config=SLP-NR")
+    else if (startsWith(Plain, "connect="))
+      Opts.ConnectSockets = splitNonEmpty(Plain.substr(8), ',');
+    else if (Plain == "daemon-stats")
+      Opts.DaemonStats = true;
+    else if (Plain == "shutdown-daemon")
+      Opts.ShutdownDaemon = true;
+    else if (startsWith(Plain, "config-json=")) {
+      // Applied in flag order, exactly like -config=: later per-knob
+      // flags still override individual fields.
+      std::string JSON;
+      if (!readInput(Plain.substr(12), JSON))
+        return false;
+      std::string Err;
+      if (!VectorizerConfig::fromJSON(JSON, Opts.Config, Err)) {
+        errs() << "lslpc: bad config JSON in '" << Plain.substr(12)
+               << "': " << Err << "\n";
+        return false;
+      }
+    } else if (Plain == "config=SLP-NR")
       Opts.Config = VectorizerConfig::slpNoReordering();
     else if (Plain == "config=SLP")
       Opts.Config = VectorizerConfig::slp();
@@ -309,21 +360,6 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       return false;
     }
   }
-  return true;
-}
-
-bool readInput(const std::string &Path, std::string &Out) {
-  std::FILE *File = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
-  if (!File) {
-    errs() << "lslpc: cannot open '" << Path << "'\n";
-    return false;
-  }
-  char Buf[4096];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
-    Out.append(Buf, N);
-  if (File != stdin)
-    std::fclose(File);
   return true;
 }
 
@@ -435,9 +471,11 @@ int runFuzz(const Options &Opts, int64_t Count, int64_t FirstSeed,
   SweepOpts.FaultProbability = Opts.FaultProbability;
   SweepOpts.FaultSeed = static_cast<uint64_t>(Opts.FaultSeed);
   SweepOpts.Strategy = Opts.Config.Strategy;
+  SweepOpts.DaemonSockets = Opts.ConnectSockets;
 
   int64_t NumDone = 0;
-  int64_t Failures = runFuzzSweep(SweepOpts, [&](const SeedOutcome &Out) {
+  std::function<void(const SeedOutcome &)> Consume =
+      [&](const SeedOutcome &Out) {
     ++NumDone;
     if (Out.Passed) {
       if (NumDone % 100 == 0)
@@ -472,7 +510,23 @@ int runFuzz(const Options &Opts, int64_t Count, int64_t FirstSeed,
     if (!ReproDir.empty())
       writeFileOrWarn(ReproDir + "/seed-" + std::to_string(Out.Seed) + ".ll",
                       Out.ReducedIR);
-  });
+  };
+
+  int64_t Failures = 0;
+  if (!SweepOpts.DaemonSockets.empty()) {
+    // Sharded sweep: contiguous seed ranges across the listed daemons.
+    // Outcome delivery order (and therefore every line below) matches the
+    // in-process sweep.
+    Expected<int64_t> FailuresOrErr = server::runFuzzSweepViaDaemons(
+        SweepOpts, SweepOpts.DaemonSockets, Consume);
+    if (!FailuresOrErr) {
+      errs() << "lslpc: " << FailuresOrErr.getError().message() << "\n";
+      return 1;
+    }
+    Failures = *FailuresOrErr;
+  } else {
+    Failures = runFuzzSweep(SweepOpts, Consume);
+  }
   if (Failures == 0)
     outs() << "; fuzz: " << Count << " seed(s) starting at " << FirstSeed
            << ", 0 failures\n";
@@ -634,6 +688,126 @@ int compileModule(const Options &Opts, VectorizerConfig Config,
   return 0;
 }
 
+/// True when the compile needs tool-side features the shared compile
+/// service cannot ship over the wire: execution (-run), graph dumps,
+/// pass timing, or remarks interleaved with the IR on stdout. These stay
+/// on the legacy in-process path above and are rejected under --connect.
+bool needsLegacyCompilePath(const Options &Opts) {
+  return !Opts.RunSpec.empty() || Opts.Graphs || Opts.Dot ||
+         Opts.TimePasses || Opts.RemarksOutput == "-";
+}
+
+/// Builds the daemon-protocol request equivalent to \p Opts.
+server::CompileRequest buildCompileRequest(const Options &Opts,
+                                           std::string Source) {
+  server::CompileRequest Req;
+  Req.InputName = Opts.InputPath == "-" ? "<stdin>" : Opts.InputPath;
+  Req.ModuleText = std::move(Source);
+  Req.ConfigJSON = Opts.Config.toJSON();
+  Req.Vectorize = Opts.Vectorize;
+  Req.EarlyCSE = Opts.EarlyCSE;
+  Req.Report = Opts.Report;
+  Req.PrintIR = Opts.PrintIR;
+  Req.VerifyEach = Opts.VerifyEach;
+  Req.WantStats = Opts.Stats;
+  Req.StatsJSON = Opts.StatsJSON;
+  Req.Remarks = Opts.Remarks == RemarkFormat::None
+                    ? server::RemarkWireFormat::None
+                    : (Opts.Remarks == RemarkFormat::Text
+                           ? server::RemarkWireFormat::Text
+                           : server::RemarkWireFormat::JSON);
+  Req.Jobs = Opts.Jobs;
+  Req.FaultProbability = Opts.FaultProbability;
+  Req.FaultSeed = static_cast<uint64_t>(Opts.FaultSeed);
+  return Req;
+}
+
+/// The service-backed compile path: one CompileRequest, answered either
+/// in-process or by the daemon at --connect, replayed onto this process's
+/// streams. Local and daemon mode share every byte of the pipeline, so
+/// their stdout/stderr/exit code agree by construction.
+int serviceCompile(const Options &Opts) {
+  // The remark file opens before any compilation work, exactly like the
+  // legacy path, so an unwritable path fails first.
+  std::FILE *RemarkFile = nullptr;
+  if (Opts.Remarks != RemarkFormat::None && !Opts.RemarksOutput.empty()) {
+    RemarkFile = std::fopen(Opts.RemarksOutput.c_str(), "wb");
+    if (!RemarkFile) {
+      errs() << "lslpc: cannot open remarks output '" << Opts.RemarksOutput
+             << "'\n";
+      return 1;
+    }
+  }
+
+  std::string Source;
+  if (!readInput(Opts.InputPath, Source)) {
+    if (RemarkFile)
+      std::fclose(RemarkFile);
+    return 1;
+  }
+
+  server::CompileRequest Req = buildCompileRequest(Opts, std::move(Source));
+  server::CompileResponse Resp;
+  if (!Opts.ConnectSockets.empty()) {
+    server::DaemonClient Client;
+    Error E = Client.connect(Opts.ConnectSockets.front());
+    if (!E)
+      E = Client.compile(Req, Resp);
+    if (E) {
+      if (RemarkFile)
+        std::fclose(RemarkFile);
+      errs() << "lslpc: " << E.message() << "\n";
+      return 2;
+    }
+  } else {
+    Resp = server::runCompileRequest(Req);
+  }
+
+  // Replay: each response field lands on the stream the legacy path
+  // writes it to, in the legacy order.
+  if (RemarkFile) {
+    std::fwrite(Resp.RemarksText.data(), 1, Resp.RemarksText.size(),
+                RemarkFile);
+    std::fclose(RemarkFile);
+  } else if (!Resp.RemarksText.empty()) {
+    errs() << Resp.RemarksText;
+  }
+  outs() << Resp.ReportText;
+  outs() << Resp.IRText;
+  errs() << Resp.ErrorText;
+  if (Opts.Stats)
+    errs() << Resp.StatsText;
+  return Resp.ExitCode;
+}
+
+/// --daemon-stats / --shutdown-daemon control requests, applied to every
+/// socket listed in --connect.
+int runDaemonControl(const Options &Opts) {
+  if (Opts.ConnectSockets.empty()) {
+    errs() << "lslpc: --daemon-stats/--shutdown-daemon require "
+              "--connect=SOCK\n";
+    return 1;
+  }
+  int Code = 0;
+  for (const std::string &Sock : Opts.ConnectSockets) {
+    server::DaemonClient Client;
+    Error E = Client.connect(Sock);
+    if (!E && Opts.DaemonStats) {
+      std::string JSON;
+      E = Client.stats(JSON);
+      if (!E)
+        outs() << JSON << "\n";
+    }
+    if (!E && Opts.ShutdownDaemon)
+      E = Client.shutdownDaemon();
+    if (E) {
+      errs() << "lslpc: " << E.message() << "\n";
+      Code = 1;
+    }
+  }
+  return Code;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -649,6 +823,14 @@ int main(int argc, char **argv) {
   // sharded run (reproducer files are only written with a --crash-dir).
   if (!Opts.CrashDir.empty() || Opts.FuzzCount >= 0)
     installCrashHandlers(Opts.CrashDir);
+
+  if (Opts.DaemonStats || Opts.ShutdownDaemon)
+    return runDaemonControl(Opts);
+  if (!Opts.ConnectSockets.empty() && !Opts.ReducePath.empty()) {
+    errs() << "lslpc: --reduce runs locally; it cannot be combined with "
+              "--connect\n";
+    return 1;
+  }
 
   if (Opts.FuzzCount >= 0 || !Opts.ReducePath.empty()) {
     if (!Opts.InputPath.empty()) {
@@ -671,6 +853,18 @@ int main(int argc, char **argv) {
   }
   if (Opts.InputPath.empty()) {
     printUsage();
+    return 1;
+  }
+
+  // The default compile surface runs through the shared CompileService —
+  // the same code the lslpd daemon executes — locally or, under
+  // --connect, on the daemon. Only the local-only features below fall
+  // back to the legacy in-process path.
+  if (!needsLegacyCompilePath(Opts))
+    return serviceCompile(Opts);
+  if (!Opts.ConnectSockets.empty()) {
+    errs() << "lslpc: --connect does not support -run/-graphs/-dot/"
+              "--time-passes/--remarks-output=- (local-only features)\n";
     return 1;
   }
 

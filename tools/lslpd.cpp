@@ -1,0 +1,144 @@
+//===- tools/lslpd.cpp - Compile-server daemon driver --------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// lslpd: the long-lived compile server. Binds a unix-domain socket, then
+// serves lslpc --connect clients until SIGTERM/SIGINT (graceful drain) or
+// a shutdown control request:
+//
+//   lslpd --socket=/tmp/lslpd.sock                 # serve until SIGTERM
+//   lslpd --socket=/tmp/lslpd.sock --jobs=8        # 8 compile workers
+//   lslpc input.ll --connect=/tmp/lslpd.sock       # ... from another shell
+//   lslpc --connect=/tmp/lslpd.sock --daemon-stats # cache/queue counters
+//
+// See DESIGN.md "Serving architecture" and TESTING.md "Daemon-mode
+// triage".
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Daemon.h"
+#include "support/CrashHandler.h"
+#include "support/OStream.h"
+#include "support/StringUtil.h"
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+using namespace lslp;
+using namespace lslp::server;
+
+namespace {
+
+struct Options {
+  DaemonOptions Daemon;
+  std::string CrashDir;
+  bool Help = false;
+};
+
+void printUsage() {
+  outs() << "usage: lslpd --socket=PATH [options]\n"
+            "  --socket=PATH             unix-domain socket to listen on "
+            "(required;\n"
+            "                            unlinked again on shutdown)\n"
+            "  --jobs=N                  worker threads for compile batches "
+            "(0 = one\n"
+            "                            per hardware thread, the default)\n"
+            "  --cache-capacity=N        content-hash response cache entries "
+            "(default\n"
+            "                            1024; minimum 1)\n"
+            "  --crash-dir=DIR           write crash reproducers for "
+            "contained worker\n"
+            "                            crashes to DIR\n"
+            "  --allow-crash-requests    honor the test-only crash-injection "
+            "request\n"
+            "                            field (never enable in production)\n"
+            "  --help                    show this message\n"
+            "\n"
+            "The daemon drains gracefully on SIGTERM/SIGINT: in-flight "
+            "requests\n"
+            "finish, replies are flushed, the socket file is removed.\n";
+}
+
+bool parseArgs(int argc, char **argv, Options &Opts) {
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    // Everything lslpd accepts is an option; a stray positional argument
+    // is as fatal as a mistyped flag.
+    std::string Plain(stripOptionDashes(Arg));
+    int64_t Num = 0;
+    if (Plain == "help" || Plain == "h")
+      Opts.Help = true;
+    else if (startsWith(Plain, "socket="))
+      Opts.Daemon.SocketPath = Plain.substr(7);
+    else if (startsWith(Plain, "jobs=") && parseInt(Plain.substr(5), Num) &&
+             Num >= 0)
+      Opts.Daemon.Jobs = static_cast<unsigned>(Num);
+    else if (startsWith(Plain, "cache-capacity=") &&
+             parseInt(Plain.substr(15), Num) && Num >= 1)
+      Opts.Daemon.CacheCapacity = static_cast<size_t>(Num);
+    else if (startsWith(Plain, "crash-dir="))
+      Opts.CrashDir = Plain.substr(10);
+    else if (Plain == "allow-crash-requests")
+      Opts.Daemon.AllowCrashRequests = true;
+    else {
+      errs() << "lslpd: unknown option '" << Arg
+             << "' (run lslpd --help for usage)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The signal handler only stores into an atomic inside Daemon, which is
+/// async-signal-safe.
+Daemon *ActiveDaemon = nullptr;
+
+void onTermSignal(int) {
+  if (ActiveDaemon)
+    ActiveDaemon->requestShutdown();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  if (!parseArgs(argc, argv, Opts))
+    return 1;
+  if (Opts.Help) {
+    printUsage();
+    return 0;
+  }
+  if (Opts.Daemon.SocketPath.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  // Arm the crash handlers with the reproducer directory before the
+  // daemon's own (directory-less, idempotent-second) installation.
+  if (!Opts.CrashDir.empty())
+    installCrashHandlers(Opts.CrashDir);
+
+  Daemon Server(Opts.Daemon);
+  if (Error E = Server.bind()) {
+    errs() << "lslpd: " << E.message() << "\n";
+    return 1;
+  }
+
+  ActiveDaemon = &Server;
+  struct sigaction SA {};
+  SA.sa_handler = onTermSignal;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+
+  // Flush the ready line immediately: supervising scripts tail it (stdout
+  // is fully buffered when redirected to a log file).
+  outs() << "lslpd: listening on " << Server.socketPath() << "\n";
+  std::fflush(stdout);
+  uint64_t Served = Server.run();
+  outs() << "lslpd: drained after " << Served << " request(s)\n";
+  ActiveDaemon = nullptr;
+  return 0;
+}
