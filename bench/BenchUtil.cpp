@@ -108,7 +108,7 @@ bool lslp::bench::parseBenchArgs(int argc, char **argv, BenchOptions &Opts) {
     else if (startsWith(Arg, "engine=")) {
       if (!parseEngineKind(Arg.substr(7), Opts.Engine)) {
         errs() << "bench: bad engine '" << std::string(Arg.substr(7))
-               << "' (expected 'interp' or 'vm')\n";
+               << "' (expected " << engineKindChoices() << ")\n";
         return false;
       }
     } else if (startsWith(Arg, "jobs=")) {

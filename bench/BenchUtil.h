@@ -63,7 +63,7 @@ SuiteMeasurement measureSuite(const SuiteSpec &Suite,
 
 /// Flags every bench binary understands, on top of its own:
 ///   -json=FILE     write one JSON record per measurement to FILE
-///   -engine=NAME   execution backend: interp (default) or vm
+///   -engine=NAME   execution backend: interp (default), vm, or jit
 ///   -engine-smoke  cross-engine timed smoke mode (fig12 only)
 ///   -jobs=N        run independent measurement cells on N workers
 ///                  (0 = one per hardware thread); cycle counts, static

@@ -13,7 +13,10 @@
 
 #include "bench/BenchUtil.h"
 
+#include "jit/JITEngine.h"
 #include "support/OStream.h"
+
+#include <algorithm>
 
 using namespace lslp;
 using namespace lslp::bench;
@@ -21,25 +24,42 @@ using namespace lslp::bench;
 namespace {
 
 /// Cross-engine timed smoke (-engine-smoke): every (suite, config) cell
-/// executes on BOTH engines. The simulated cycle counts must be
-/// bit-identical (the vm is a backend of the same cycle-model machine,
-/// not a different machine), and the vm must be measurably faster in
-/// host wall-clock — the whole point of compiling to bytecode. Exit 1 on
-/// either violation, so CI can gate on it.
+/// executes on every engine. The simulated cycle counts must be
+/// bit-identical (the vm and jit are backends of the same cycle-model
+/// machine, not different machines), and each tier must be measurably
+/// faster in host wall-clock than the one below it — the whole point of
+/// compiling to bytecode and then to machine code. Exit 1 on any
+/// violation, so CI can gate on it. On hosts that cannot execute
+/// generated x86-64 code the jit column is skipped with a note (its
+/// engine would silently be the vm again, making the speed gate
+/// meaningless).
 int runEngineSmoke(const BenchOptions &Opts) {
-  printTitle("Figure 12 engine smoke: interp vs vm on the full suites");
-  printRow("benchmark", {"config", "cycles", "interp-ms", "vm-ms"}, 16, 12);
-  outs() << std::string(16 + 4 * 12, '-') << "\n";
+  const bool HasJit = jit::available();
+  printTitle("Figure 12 engine smoke: interp vs vm vs jit on the full "
+             "suites");
+  printRow("benchmark",
+           {"config", "cycles", "interp-ms", "vm-ms", "jit-ms"}, 16, 12);
+  outs() << std::string(16 + 5 * 12, '-') << "\n";
 
   JsonReport Report("fig12-engine-smoke");
   std::vector<VectorizerConfig> Configs = paperConfigs();
-  double InterpMs = 0, VmMs = 0;
+  double InterpMs = 0, VmMs = 0, JitMs = 0;
   for (const SuiteSpec &Suite : getSuites()) {
     for (int CI = -1; CI < static_cast<int>(Configs.size()); ++CI) {
       const VectorizerConfig *C = CI < 0 ? nullptr : &Configs[CI];
       std::string Name = CI < 0 ? "O3" : Configs[CI].Name;
-      SuiteMeasurement A = measureSuite(Suite, C, EngineKind::TreeWalk);
-      SuiteMeasurement B = measureSuite(Suite, C, EngineKind::Bytecode);
+      // Best-of-two wall clocks: the speed gates below compare engines on
+      // wall time, and one scheduler preemption inside a 0.5 ms cell is
+      // enough to flip them. The cycle counts are deterministic, so the
+      // re-run only tightens the timing.
+      auto Measure = [&](EngineKind Kind) {
+        SuiteMeasurement First = measureSuite(Suite, C, Kind);
+        SuiteMeasurement Second = measureSuite(Suite, C, Kind);
+        First.WallMs = std::min(First.WallMs, Second.WallMs);
+        return First;
+      };
+      SuiteMeasurement A = Measure(EngineKind::TreeWalk);
+      SuiteMeasurement B = Measure(EngineKind::Bytecode);
       if (A.WeightedDynamicCost != B.WeightedDynamicCost) {
         errs() << "fig12 engine smoke FAILED: cycle mismatch on "
                << Suite.Name << " [" << Name << "]: interp "
@@ -47,34 +67,65 @@ int runEngineSmoke(const BenchOptions &Opts) {
                << fmt(B.WeightedDynamicCost, 0) << "\n";
         return 1;
       }
+      SuiteMeasurement J;
+      if (HasJit) {
+        J = Measure(EngineKind::NativeJit);
+        if (A.WeightedDynamicCost != J.WeightedDynamicCost) {
+          errs() << "fig12 engine smoke FAILED: cycle mismatch on "
+                 << Suite.Name << " [" << Name << "]: interp "
+                 << fmt(A.WeightedDynamicCost, 0) << " vs jit "
+                 << fmt(J.WeightedDynamicCost, 0) << "\n";
+          return 1;
+        }
+      }
       InterpMs += A.WallMs;
       VmMs += B.WallMs;
+      JitMs += J.WallMs;
       Report.add(Suite.Name, Name, EngineKind::TreeWalk,
                  A.WeightedDynamicCost, A.WallMs, A.StaticCost);
       Report.add(Suite.Name, Name, EngineKind::Bytecode,
                  B.WeightedDynamicCost, B.WallMs, B.StaticCost);
+      if (HasJit)
+        Report.add(Suite.Name, Name, EngineKind::NativeJit,
+                   J.WeightedDynamicCost, J.WallMs, J.StaticCost);
       printRow(Suite.Name,
                {Name, fmt(A.WeightedDynamicCost, 0), fmt(A.WallMs, 2),
-                fmt(B.WallMs, 2)},
+                fmt(B.WallMs, 2), HasJit ? fmt(J.WallMs, 2) : "skip"},
                16, 12);
     }
   }
-  outs() << std::string(16 + 4 * 12, '-') << "\n";
-  double Speedup = VmMs > 0 ? InterpMs / VmMs : 0;
+  outs() << std::string(16 + 5 * 12, '-') << "\n";
+  double VmSpeedup = VmMs > 0 ? InterpMs / VmMs : 0;
+  double JitSpeedup = JitMs > 0 ? VmMs / JitMs : 0;
   outs() << "total: interp " << fmt(InterpMs, 1) << " ms, vm "
-         << fmt(VmMs, 1) << " ms, vm speedup " << fmt(Speedup, 2) << "x\n";
+         << fmt(VmMs, 1) << " ms (" << fmt(VmSpeedup, 2)
+         << "x over interp)";
+  if (HasJit)
+    outs() << ", jit " << fmt(JitMs, 1) << " ms (" << fmt(JitSpeedup, 2)
+           << "x over vm)";
+  outs() << "\n";
   if (!Report.write(Opts.JsonPath))
     return 1;
-  // Gate well below the typical margin so scheduling noise cannot flake
+  // Gates well below the typical margins so scheduling noise cannot flake
   // the build, while still catching a vm that regressed to tree-walker
-  // speed.
-  if (Speedup < 2.0) {
-    errs() << "fig12 engine smoke FAILED: vm only " << fmt(Speedup, 2)
+  // speed or a jit that regressed to dispatch-loop speed.
+  if (VmSpeedup < 2.0) {
+    errs() << "fig12 engine smoke FAILED: vm only " << fmt(VmSpeedup, 2)
            << "x faster than the tree-walker (want >= 2x)\n";
     return 1;
   }
-  outs() << "engine smoke OK: identical cycles, vm " << fmt(Speedup, 2)
-         << "x faster\n";
+  if (HasJit && JitSpeedup < 2.0) {
+    errs() << "fig12 engine smoke FAILED: jit only " << fmt(JitSpeedup, 2)
+           << "x faster than the vm (want >= 2x)\n";
+    return 1;
+  }
+  if (!HasJit)
+    outs() << "note: jit column skipped (this host cannot execute "
+              "generated x86-64 code)\n";
+  outs() << "engine smoke OK: identical cycles, vm " << fmt(VmSpeedup, 2)
+         << "x over interp"
+         << (HasJit ? ", jit " + fmt(JitSpeedup, 2) + "x over vm" : "")
+         << "\n";
   return 0;
 }
 

@@ -13,6 +13,7 @@
 #include "ir/Printer.h"
 #include "ir/Type.h"
 #include "ir/Verifier.h"
+#include "jit/JITEngine.h"
 #include "parser/Parser.h"
 #include "support/FaultInjection.h"
 #include "support/OStream.h"
@@ -75,45 +76,62 @@ Execution executeOn(const Module &M, uint64_t InputSeed, EngineKind Kind,
   return E;
 }
 
-/// Cross-engine invariant: runs \p M on both the tree-walker and the vm
-/// and requires bit-identical memory, returns and full ExecStats. Returns
-/// the first mismatch description ("" when the engines agree) and leaves
-/// the tree-walker's execution in \p Out.
+/// Cross-engine invariant: runs \p M on the tree-walker, the vm, and (when
+/// the host can execute generated code) the native jit, and requires
+/// bit-identical memory, returns and full ExecStats across all of them.
+/// Returns the first mismatch description ("" when the engines agree) and
+/// leaves the tree-walker's execution in \p Out.
 std::string engineParityDiff(const Module &M, uint64_t InputSeed,
                              Execution &Out) {
   SkylakeTTI TTI;
-  std::vector<ExecStats> StatsA, StatsB;
+  std::vector<ExecStats> StatsA;
   Execution A = executeOn(M, InputSeed, EngineKind::TreeWalk, &TTI, &StatsA);
-  Execution B = executeOn(M, InputSeed, EngineKind::Bytecode, &TTI, &StatsB);
   Out = A;
-  if (A.Returns != B.Returns)
-    return "engine parity: return values differ (interp vs vm)";
-  if (A.Memory != B.Memory) {
-    size_t FirstDiff = 0;
-    while (FirstDiff < A.Memory.size() && FirstDiff < B.Memory.size() &&
-           A.Memory[FirstDiff] == B.Memory[FirstDiff])
-      ++FirstDiff;
-    return "engine parity: memory differs at byte " +
-           std::to_string(FirstDiff) + " (interp vs vm)";
-  }
-  for (size_t I = 0; I != StatsA.size(); ++I) {
-    const ExecStats &SA = StatsA[I], &SB = StatsB[I];
-    if (SA.DynamicInsts != SB.DynamicInsts)
-      return "engine parity: dynamic instruction count differs for "
-             "function #" +
-             std::to_string(I) + " (interp " +
-             std::to_string(SA.DynamicInsts) + " vs vm " +
-             std::to_string(SB.DynamicInsts) + ")";
-    if (SA.TotalCost != SB.TotalCost)
-      return "engine parity: cycle count differs for function #" +
-             std::to_string(I) + " (interp " + std::to_string(SA.TotalCost) +
-             " vs vm " + std::to_string(SB.TotalCost) + ")";
-    if (SA.ScalarOpCounts != SB.ScalarOpCounts ||
-        SA.VectorOpCounts != SB.VectorOpCounts)
-      return "engine parity: instruction-mix statistics differ for "
-             "function #" +
-             std::to_string(I);
-  }
+
+  // Diff one engine against the tree-walk baseline.
+  auto DiffAgainst = [&](EngineKind Kind, const char *Name) -> std::string {
+    std::string Pair = std::string("(interp vs ") + Name + ")";
+    std::vector<ExecStats> StatsB;
+    Execution B = executeOn(M, InputSeed, Kind, &TTI, &StatsB);
+    if (A.Returns != B.Returns)
+      return "engine parity: return values differ " + Pair;
+    if (A.Memory != B.Memory) {
+      size_t FirstDiff = 0;
+      while (FirstDiff < A.Memory.size() && FirstDiff < B.Memory.size() &&
+             A.Memory[FirstDiff] == B.Memory[FirstDiff])
+        ++FirstDiff;
+      return "engine parity: memory differs at byte " +
+             std::to_string(FirstDiff) + " " + Pair;
+    }
+    for (size_t I = 0; I != StatsA.size(); ++I) {
+      const ExecStats &SA = StatsA[I], &SB = StatsB[I];
+      if (SA.DynamicInsts != SB.DynamicInsts)
+        return "engine parity: dynamic instruction count differs for "
+               "function #" +
+               std::to_string(I) + " (interp " +
+               std::to_string(SA.DynamicInsts) + " vs " + Name + " " +
+               std::to_string(SB.DynamicInsts) + ")";
+      if (SA.TotalCost != SB.TotalCost)
+        return "engine parity: cycle count differs for function #" +
+               std::to_string(I) + " (interp " +
+               std::to_string(SA.TotalCost) + " vs " + Name + " " +
+               std::to_string(SB.TotalCost) + ")";
+      if (SA.ScalarOpCounts != SB.ScalarOpCounts ||
+          SA.VectorOpCounts != SB.VectorOpCounts)
+        return "engine parity: instruction-mix statistics differ for "
+               "function #" +
+               std::to_string(I) + " " + Pair;
+    }
+    return "";
+  };
+
+  std::string Err = DiffAgainst(EngineKind::Bytecode, "vm");
+  if (!Err.empty())
+    return Err;
+  // The third way: on hosts that cannot execute generated x86-64 code the
+  // jit engine is just the vm again, so skip the redundant run.
+  if (jit::available())
+    return DiffAgainst(EngineKind::NativeJit, "jit");
   return "";
 }
 

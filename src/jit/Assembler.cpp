@@ -1,0 +1,660 @@
+//===- jit/Assembler.cpp - In-process x86-64 assembler ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Assembler.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+using namespace lslp;
+using namespace lslp::jit;
+
+const char *Assembler::regName(Gpr R) {
+  static const char *Names[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                  "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                  "r12", "r13", "r14", "r15"};
+  return Names[R & 15];
+}
+
+const char *Assembler::xmmName(Xmm X) {
+  static const char *Names[8] = {"xmm0", "xmm1", "xmm2", "xmm3",
+                                 "xmm4", "xmm5", "xmm6", "xmm7"};
+  return Names[X & 7];
+}
+
+std::string Assembler::memName(const MemRef &M) {
+  std::string S = "[";
+  S += regName(M.Base);
+  if (M.HasIndex) {
+    S += "+";
+    S += regName(M.Index);
+    S += "*";
+    S += std::to_string(1u << M.ScaleLog2);
+  }
+  if (M.Disp != 0) {
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%+d", M.Disp);
+    S += Buf;
+  }
+  S += "]";
+  return S;
+}
+
+void Assembler::note(std::string Text) {
+  if (Listing)
+    Lines.push_back({Code.size(), std::move(Text), false});
+}
+
+void Assembler::comment(const std::string &Text) {
+  if (Listing)
+    Lines.push_back({Code.size(), "; " + Text, true});
+}
+
+void Assembler::emit32(uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    emit8(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void Assembler::emit64(uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    emit8(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void Assembler::rex(bool W, unsigned Reg, unsigned Index, unsigned Base,
+                    bool Force8, bool Force8Base) {
+  uint8_t B = 0x40;
+  if (W)
+    B |= 0x08;
+  if (Reg & 8)
+    B |= 0x04;
+  if (Index & 8)
+    B |= 0x02;
+  if (Base & 8)
+    B |= 0x01;
+  // Byte-register accesses to rsp/rbp/rsi/rdi encode spl/bpl/sil/dil only
+  // with a (possibly empty) REX prefix.
+  if (B != 0x40 || (Force8 && Reg >= 4 && Reg <= 7) ||
+      (Force8Base && Base >= 4 && Base <= 7))
+    emit8(B);
+}
+
+void Assembler::modRMReg(unsigned Reg, unsigned Rm) {
+  emit8(static_cast<uint8_t>(0xC0 | ((Reg & 7) << 3) | (Rm & 7)));
+}
+
+void Assembler::modRMMem(unsigned Reg, const MemRef &M) {
+  assert((!M.HasIndex || (M.Index & 7) != RSP || (M.Index & 8)) &&
+         "rsp cannot be an index register");
+  unsigned BaseLow = M.Base & 7;
+  bool NeedDisp = M.Disp != 0 || BaseLow == 5; // rbp/r13 require a disp.
+  unsigned Mod = !NeedDisp ? 0 : (M.Disp >= -128 && M.Disp <= 127 ? 1 : 2);
+  if (M.HasIndex || BaseLow == 4) {
+    // SIB form (also required for rsp/r12 bases).
+    emit8(static_cast<uint8_t>((Mod << 6) | ((Reg & 7) << 3) | 4));
+    unsigned IndexBits = M.HasIndex ? (M.Index & 7) : 4; // 100 = no index.
+    emit8(static_cast<uint8_t>((M.ScaleLog2 << 6) | (IndexBits << 3) |
+                               BaseLow));
+  } else {
+    emit8(static_cast<uint8_t>((Mod << 6) | ((Reg & 7) << 3) | BaseLow));
+  }
+  if (Mod == 1)
+    emit8(static_cast<uint8_t>(M.Disp));
+  else if (Mod == 2)
+    emit32(static_cast<uint32_t>(M.Disp));
+}
+
+void Assembler::rexRM(bool W, unsigned Reg, const MemRef &M, bool Force8) {
+  rex(W, Reg, M.HasIndex ? M.Index : 0, M.Base, Force8);
+}
+
+void Assembler::bind(Label L) {
+  assert(L >= 0 && static_cast<size_t>(L) < LabelOffsets.size());
+  assert(LabelOffsets[L] < 0 && "label bound twice");
+  LabelOffsets[L] = static_cast<int64_t>(Code.size());
+  if (Listing)
+    Lines.push_back({Code.size(), "L" + std::to_string(L) + ":", true});
+}
+
+bool Assembler::finalize() {
+  assert(!Finalized && "finalize called twice");
+  Finalized = true;
+  for (const Fixup &F : Fixups) {
+    if (LabelOffsets[F.L] < 0)
+      return false;
+    int64_t Rel = LabelOffsets[F.L] - static_cast<int64_t>(F.Pos) - 4;
+    uint32_t V = static_cast<uint32_t>(Rel);
+    std::memcpy(&Code[F.Pos], &V, 4);
+  }
+  return true;
+}
+
+std::string Assembler::listing() const {
+  std::string Out;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    const Line &L = Lines[I];
+    if (L.IsMarker) {
+      Out += L.Text;
+      Out += "\n";
+      continue;
+    }
+    // Bytes of this instruction: up to the next non-marker line (or end).
+    size_t End = Code.size();
+    for (size_t J = I + 1; J != Lines.size(); ++J)
+      if (!Lines[J].IsMarker) {
+        End = Lines[J].Off;
+        break;
+      } else if (Lines[J].Off != L.Off) {
+        End = Lines[J].Off;
+        break;
+      }
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "  %04zx: ", L.Off);
+    Out += Buf;
+    std::string Hex;
+    for (size_t B = L.Off; B != End; ++B) {
+      std::snprintf(Buf, sizeof(Buf), "%02x ", Code[B]);
+      Hex += Buf;
+    }
+    Hex.resize(Hex.size() < 31 ? 31 : Hex.size(), ' ');
+    Out += Hex;
+    Out += L.Text;
+    Out += "\n";
+  }
+  return Out;
+}
+
+void Assembler::relJump(const uint8_t *Opc, size_t OpcLen, Label L) {
+  for (size_t I = 0; I != OpcLen; ++I)
+    emit8(Opc[I]);
+  Fixups.push_back({Code.size(), L});
+  emit32(0);
+}
+
+// --- Stack / control -------------------------------------------------------
+
+void Assembler::push(Gpr R) {
+  note(std::string("push ") + regName(R));
+  rex(false, 0, 0, R);
+  emit8(static_cast<uint8_t>(0x50 | (R & 7)));
+}
+
+void Assembler::pop(Gpr R) {
+  note(std::string("pop ") + regName(R));
+  rex(false, 0, 0, R);
+  emit8(static_cast<uint8_t>(0x58 | (R & 7)));
+}
+
+void Assembler::ret() {
+  note("ret");
+  emit8(0xC3);
+}
+
+void Assembler::jmp(Label L) {
+  note("jmp L" + std::to_string(L));
+  const uint8_t Opc[] = {0xE9};
+  relJump(Opc, 1, L);
+}
+
+void Assembler::jcc(Cond CC, Label L) {
+  static const char *Names[16] = {"jo", "jno", "jb", "jae", "je", "jne",
+                                  "jbe", "ja", "js", "jns", "jp", "jnp",
+                                  "jl", "jge", "jle", "jg"};
+  note(std::string(Names[static_cast<unsigned>(CC)]) + " L" +
+       std::to_string(L));
+  const uint8_t Opc[] = {0x0F,
+                         static_cast<uint8_t>(0x80 | static_cast<unsigned>(CC))};
+  relJump(Opc, 2, L);
+}
+
+// --- Moves -----------------------------------------------------------------
+
+void Assembler::movRR(Gpr Dst, Gpr Src) {
+  note(std::string("mov ") + regName(Dst) + ", " + regName(Src));
+  rex(true, Src, 0, Dst);
+  emit8(0x89);
+  modRMReg(Src, Dst);
+}
+
+void Assembler::movRM(Gpr Dst, const MemRef &M) {
+  note(std::string("mov ") + regName(Dst) + ", " + memName(M));
+  rexRM(true, Dst, M);
+  emit8(0x8B);
+  modRMMem(Dst, M);
+}
+
+void Assembler::movMR(const MemRef &M, Gpr Src) {
+  note("mov " + memName(M) + ", " + regName(Src));
+  rexRM(true, Src, M);
+  emit8(0x89);
+  modRMMem(Src, M);
+}
+
+void Assembler::mov32RM(Gpr Dst, const MemRef &M) {
+  note(std::string("mov.32 ") + regName(Dst) + ", " + memName(M));
+  rexRM(false, Dst, M);
+  emit8(0x8B);
+  modRMMem(Dst, M);
+}
+
+void Assembler::mov32MR(const MemRef &M, Gpr Src) {
+  note("mov.32 " + memName(M) + ", " + regName(Src));
+  rexRM(false, Src, M);
+  emit8(0x89);
+  modRMMem(Src, M);
+}
+
+void Assembler::mov16MR(const MemRef &M, Gpr Src) {
+  note("mov.16 " + memName(M) + ", " + regName(Src));
+  emit8(0x66);
+  rexRM(false, Src, M);
+  emit8(0x89);
+  modRMMem(Src, M);
+}
+
+void Assembler::mov8MR(const MemRef &M, Gpr Src) {
+  note("mov.8 " + memName(M) + ", " + regName(Src));
+  rexRM(false, Src, M, /*Force8=*/true);
+  emit8(0x88);
+  modRMMem(Src, M);
+}
+
+void Assembler::movzx8RM(Gpr Dst, const MemRef &M) {
+  note(std::string("movzx.8 ") + regName(Dst) + ", " + memName(M));
+  rexRM(false, Dst, M);
+  emit8(0x0F);
+  emit8(0xB6);
+  modRMMem(Dst, M);
+}
+
+void Assembler::movzx16RM(Gpr Dst, const MemRef &M) {
+  note(std::string("movzx.16 ") + regName(Dst) + ", " + memName(M));
+  rexRM(false, Dst, M);
+  emit8(0x0F);
+  emit8(0xB7);
+  modRMMem(Dst, M);
+}
+
+void Assembler::movRI(Gpr Dst, uint64_t Imm) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                static_cast<unsigned long long>(Imm));
+  note(std::string("mov ") + regName(Dst) + ", " + Buf);
+  if (Imm <= UINT32_MAX) {
+    // mov r32, imm32 zero-extends.
+    rex(false, 0, 0, Dst);
+    emit8(static_cast<uint8_t>(0xB8 | (Dst & 7)));
+    emit32(static_cast<uint32_t>(Imm));
+  } else if (static_cast<int64_t>(Imm) >= INT32_MIN &&
+             static_cast<int64_t>(Imm) < 0) {
+    rex(true, 0, 0, Dst);
+    emit8(0xC7);
+    modRMReg(0, Dst);
+    emit32(static_cast<uint32_t>(Imm));
+  } else {
+    rex(true, 0, 0, Dst);
+    emit8(static_cast<uint8_t>(0xB8 | (Dst & 7)));
+    emit64(Imm);
+  }
+}
+
+void Assembler::mov32MI(const MemRef &M, int32_t Imm) {
+  note("mov.32 " + memName(M) + ", " + std::to_string(Imm));
+  rexRM(false, 0, M);
+  emit8(0xC7);
+  modRMMem(0, M);
+  emit32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::movMI(const MemRef &M, int32_t Imm) {
+  note("mov " + memName(M) + ", " + std::to_string(Imm));
+  rexRM(true, 0, M);
+  emit8(0xC7);
+  modRMMem(0, M);
+  emit32(static_cast<uint32_t>(Imm));
+}
+
+// --- ALU -------------------------------------------------------------------
+
+static const char *aluName(Alu Op) {
+  switch (Op) {
+  case Alu::Add:
+    return "add";
+  case Alu::Or:
+    return "or";
+  case Alu::And:
+    return "and";
+  case Alu::Sub:
+    return "sub";
+  case Alu::Xor:
+    return "xor";
+  case Alu::Cmp:
+    return "cmp";
+  }
+  return "?";
+}
+
+void Assembler::aluRR(Alu Op, Gpr Dst, Gpr Src) {
+  note(std::string(aluName(Op)) + " " + regName(Dst) + ", " + regName(Src));
+  rex(true, Src, 0, Dst);
+  emit8(static_cast<uint8_t>((static_cast<unsigned>(Op) << 3) | 0x01));
+  modRMReg(Src, Dst);
+}
+
+void Assembler::aluRI(Alu Op, Gpr Dst, int32_t Imm) {
+  note(std::string(aluName(Op)) + " " + regName(Dst) + ", " +
+       std::to_string(Imm));
+  rex(true, 0, 0, Dst);
+  if (Imm >= -128 && Imm <= 127) {
+    emit8(0x83);
+    modRMReg(static_cast<unsigned>(Op), Dst);
+    emit8(static_cast<uint8_t>(Imm));
+  } else {
+    emit8(0x81);
+    modRMReg(static_cast<unsigned>(Op), Dst);
+    emit32(static_cast<uint32_t>(Imm));
+  }
+}
+
+void Assembler::aluRM(Alu Op, Gpr Dst, const MemRef &M) {
+  note(std::string(aluName(Op)) + " " + regName(Dst) + ", " + memName(M));
+  rexRM(true, Dst, M);
+  emit8(static_cast<uint8_t>((static_cast<unsigned>(Op) << 3) | 0x03));
+  modRMMem(Dst, M);
+}
+
+void Assembler::aluMI(Alu Op, const MemRef &M, int32_t Imm) {
+  note(std::string(aluName(Op)) + " " + memName(M) + ", " +
+       std::to_string(Imm));
+  rexRM(true, 0, M);
+  if (Imm >= -128 && Imm <= 127) {
+    emit8(0x83);
+    modRMMem(static_cast<unsigned>(Op), M);
+    emit8(static_cast<uint8_t>(Imm));
+  } else {
+    emit8(0x81);
+    modRMMem(static_cast<unsigned>(Op), M);
+    emit32(static_cast<uint32_t>(Imm));
+  }
+}
+
+void Assembler::imulRR(Gpr Dst, Gpr Src) {
+  note(std::string("imul ") + regName(Dst) + ", " + regName(Src));
+  rex(true, Dst, 0, Src);
+  emit8(0x0F);
+  emit8(0xAF);
+  modRMReg(Dst, Src);
+}
+
+void Assembler::imulRRI(Gpr Dst, Gpr Src, int32_t Imm) {
+  note(std::string("imul ") + regName(Dst) + ", " + regName(Src) + ", " +
+       std::to_string(Imm));
+  rex(true, Dst, 0, Src);
+  if (Imm >= -128 && Imm <= 127) {
+    emit8(0x6B);
+    modRMReg(Dst, Src);
+    emit8(static_cast<uint8_t>(Imm));
+  } else {
+    emit8(0x69);
+    modRMReg(Dst, Src);
+    emit32(static_cast<uint32_t>(Imm));
+  }
+}
+
+void Assembler::negR(Gpr R) {
+  note(std::string("neg ") + regName(R));
+  rex(true, 0, 0, R);
+  emit8(0xF7);
+  modRMReg(3, R);
+}
+
+void Assembler::shlCl(Gpr R) {
+  note(std::string("shl ") + regName(R) + ", cl");
+  rex(true, 0, 0, R);
+  emit8(0xD3);
+  modRMReg(4, R);
+}
+
+void Assembler::shrCl(Gpr R) {
+  note(std::string("shr ") + regName(R) + ", cl");
+  rex(true, 0, 0, R);
+  emit8(0xD3);
+  modRMReg(5, R);
+}
+
+void Assembler::sarCl(Gpr R) {
+  note(std::string("sar ") + regName(R) + ", cl");
+  rex(true, 0, 0, R);
+  emit8(0xD3);
+  modRMReg(7, R);
+}
+
+void Assembler::shlI(Gpr R, uint8_t Imm) {
+  note(std::string("shl ") + regName(R) + ", " + std::to_string(Imm));
+  rex(true, 0, 0, R);
+  emit8(0xC1);
+  modRMReg(4, R);
+  emit8(Imm);
+}
+
+void Assembler::shrI(Gpr R, uint8_t Imm) {
+  note(std::string("shr ") + regName(R) + ", " + std::to_string(Imm));
+  rex(true, 0, 0, R);
+  emit8(0xC1);
+  modRMReg(5, R);
+  emit8(Imm);
+}
+
+void Assembler::sarI(Gpr R, uint8_t Imm) {
+  note(std::string("sar ") + regName(R) + ", " + std::to_string(Imm));
+  rex(true, 0, 0, R);
+  emit8(0xC1);
+  modRMReg(7, R);
+  emit8(Imm);
+}
+
+void Assembler::testRR(Gpr A, Gpr B) {
+  note(std::string("test ") + regName(A) + ", " + regName(B));
+  rex(true, B, 0, A);
+  emit8(0x85);
+  modRMReg(B, A);
+}
+
+void Assembler::testRI(Gpr R, int32_t Imm) {
+  note(std::string("test ") + regName(R) + ", " + std::to_string(Imm));
+  rex(true, 0, 0, R);
+  emit8(0xF7);
+  modRMReg(0, R);
+  emit32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::setcc(Cond CC, Gpr R8) {
+  static const char *Names[16] = {"seto", "setno", "setb", "setae",
+                                  "sete", "setne", "setbe", "seta",
+                                  "sets", "setns", "setp", "setnp",
+                                  "setl", "setge", "setle", "setg"};
+  note(std::string(Names[static_cast<unsigned>(CC)]) + " " + regName(R8) +
+       ".8");
+  rex(false, 0, 0, R8, /*Force8=*/false, /*Force8Base=*/true);
+  emit8(0x0F);
+  emit8(static_cast<uint8_t>(0x90 | static_cast<unsigned>(CC)));
+  modRMReg(0, R8);
+}
+
+void Assembler::movzx8RR(Gpr Dst, Gpr Src8) {
+  note(std::string("movzx ") + regName(Dst) + ", " + regName(Src8) + ".8");
+  // REX.W movzx r64, r8; Src in rm.
+  uint8_t B = 0x48;
+  if (Dst & 8)
+    B |= 0x04;
+  if (Src8 & 8)
+    B |= 0x01;
+  emit8(B);
+  emit8(0x0F);
+  emit8(0xB6);
+  modRMReg(Dst, Src8);
+}
+
+void Assembler::cmovRR(Cond CC, Gpr Dst, Gpr Src) {
+  static const char *Names[16] = {"cmovo", "cmovno", "cmovb", "cmovae",
+                                  "cmove", "cmovne", "cmovbe", "cmova",
+                                  "cmovs", "cmovns", "cmovp", "cmovnp",
+                                  "cmovl", "cmovge", "cmovle", "cmovg"};
+  note(std::string(Names[static_cast<unsigned>(CC)]) + " " + regName(Dst) +
+       ", " + regName(Src));
+  rex(true, Dst, 0, Src);
+  emit8(0x0F);
+  emit8(static_cast<uint8_t>(0x40 | static_cast<unsigned>(CC)));
+  modRMReg(Dst, Src);
+}
+
+void Assembler::cmovRM(Cond CC, Gpr Dst, const MemRef &M) {
+  static const char *Names[16] = {"cmovo", "cmovno", "cmovb", "cmovae",
+                                  "cmove", "cmovne", "cmovbe", "cmova",
+                                  "cmovs", "cmovns", "cmovp", "cmovnp",
+                                  "cmovl", "cmovge", "cmovle", "cmovg"};
+  note(std::string(Names[static_cast<unsigned>(CC)]) + " " + regName(Dst) +
+       ", " + memName(M));
+  rexRM(true, Dst, M);
+  emit8(0x0F);
+  emit8(static_cast<uint8_t>(0x40 | static_cast<unsigned>(CC)));
+  modRMMem(Dst, M);
+}
+
+void Assembler::leaRM(Gpr Dst, const MemRef &M) {
+  note(std::string("lea ") + regName(Dst) + ", " + memName(M));
+  rexRM(true, Dst, M);
+  emit8(0x8D);
+  modRMMem(Dst, M);
+}
+
+void Assembler::cqo() {
+  note("cqo");
+  emit8(0x48);
+  emit8(0x99);
+}
+
+void Assembler::divR(Gpr R) {
+  note(std::string("div ") + regName(R));
+  rex(true, 0, 0, R);
+  emit8(0xF7);
+  modRMReg(6, R);
+}
+
+void Assembler::idivR(Gpr R) {
+  note(std::string("idiv ") + regName(R));
+  rex(true, 0, 0, R);
+  emit8(0xF7);
+  modRMReg(7, R);
+}
+
+// --- SSE2 ------------------------------------------------------------------
+
+void Assembler::sseRR(uint8_t Prefix, uint8_t Opc, unsigned Dst, unsigned Src,
+                      bool RexW) {
+  if (Prefix)
+    emit8(Prefix);
+  rex(RexW, Dst, 0, Src);
+  emit8(0x0F);
+  emit8(Opc);
+  modRMReg(Dst, Src);
+}
+
+void Assembler::movqXR(Xmm Dst, Gpr Src) {
+  note(std::string("movq ") + xmmName(Dst) + ", " + regName(Src));
+  sseRR(0x66, 0x6E, Dst, Src, /*RexW=*/true);
+}
+
+void Assembler::movqRX(Gpr Dst, Xmm Src) {
+  note(std::string("movq ") + regName(Dst) + ", " + xmmName(Src));
+  // 66 REX.W 0F 7E /r: reg field is the XMM, rm the GPR.
+  sseRR(0x66, 0x7E, Src, Dst, /*RexW=*/true);
+}
+
+void Assembler::movdXR(Xmm Dst, Gpr Src) {
+  note(std::string("movd ") + xmmName(Dst) + ", " + regName(Src) + ".32");
+  sseRR(0x66, 0x6E, Dst, Src);
+}
+
+void Assembler::movdRX(Gpr Dst, Xmm Src) {
+  note(std::string("movd ") + regName(Dst) + ".32, " + xmmName(Src));
+  sseRR(0x66, 0x7E, Src, Dst);
+}
+
+void Assembler::movupsXM(Xmm Dst, const MemRef &M) {
+  note(std::string("movups ") + xmmName(Dst) + ", " + memName(M));
+  rexRM(false, Dst, M);
+  emit8(0x0F);
+  emit8(0x10);
+  modRMMem(Dst, M);
+}
+
+void Assembler::movupsMX(const MemRef &M, Xmm Src) {
+  note("movups " + memName(M) + ", " + xmmName(Src));
+  rexRM(false, Src, M);
+  emit8(0x0F);
+  emit8(0x11);
+  modRMMem(Src, M);
+}
+
+#define LSLP_SSE_RR(NAME, PREFIX, OPC)                                         \
+  void Assembler::NAME(Xmm Dst, Xmm Src) {                                     \
+    note(std::string(#NAME " ") + xmmName(Dst) + ", " + xmmName(Src));         \
+    sseRR(PREFIX, OPC, Dst, Src);                                              \
+  }
+
+LSLP_SSE_RR(addsd, 0xF2, 0x58)
+LSLP_SSE_RR(subsd, 0xF2, 0x5C)
+LSLP_SSE_RR(mulsd, 0xF2, 0x59)
+LSLP_SSE_RR(divsd, 0xF2, 0x5E)
+LSLP_SSE_RR(addpd, 0x66, 0x58)
+LSLP_SSE_RR(subpd, 0x66, 0x5C)
+LSLP_SSE_RR(mulpd, 0x66, 0x59)
+LSLP_SSE_RR(divpd, 0x66, 0x5E)
+LSLP_SSE_RR(cvtss2sd, 0xF3, 0x5A)
+LSLP_SSE_RR(cvtsd2ss, 0xF2, 0x5A)
+LSLP_SSE_RR(cvtps2pd, 0x00, 0x5A)
+LSLP_SSE_RR(cvtpd2ps, 0x66, 0x5A)
+LSLP_SSE_RR(ucomisd, 0x66, 0x2E)
+LSLP_SSE_RR(paddq, 0x66, 0xD4)
+LSLP_SSE_RR(psubq, 0x66, 0xFB)
+LSLP_SSE_RR(pand, 0x66, 0xDB)
+LSLP_SSE_RR(por, 0x66, 0xEB)
+LSLP_SSE_RR(pxor, 0x66, 0xEF)
+LSLP_SSE_RR(pmuludq, 0x66, 0xF4)
+LSLP_SSE_RR(punpcklqdq, 0x66, 0x6C)
+LSLP_SSE_RR(unpcklps, 0x00, 0x14)
+LSLP_SSE_RR(xorps, 0x00, 0x57)
+
+#undef LSLP_SSE_RR
+
+void Assembler::cvtsi2sd(Xmm Dst, Gpr Src) {
+  note(std::string("cvtsi2sd ") + xmmName(Dst) + ", " + regName(Src));
+  emit8(0xF2);
+  rex(true, Dst, 0, Src);
+  emit8(0x0F);
+  emit8(0x2A);
+  modRMReg(Dst, Src);
+}
+
+void Assembler::cvttsd2si(Gpr Dst, Xmm Src) {
+  note(std::string("cvttsd2si ") + regName(Dst) + ", " + xmmName(Src));
+  emit8(0xF2);
+  rex(true, Dst, 0, Src);
+  emit8(0x0F);
+  emit8(0x2C);
+  modRMReg(Dst, Src);
+}
+
+void Assembler::shufps(Xmm Dst, Xmm Src, uint8_t Imm) {
+  note(std::string("shufps ") + xmmName(Dst) + ", " + xmmName(Src) + ", " +
+       std::to_string(Imm));
+  rex(false, Dst, 0, Src);
+  emit8(0x0F);
+  emit8(0xC6);
+  modRMReg(Dst, Src);
+  emit8(Imm);
+}

@@ -1,0 +1,262 @@
+//===- jit/Assembler.h - In-process x86-64 assembler ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small one-pass x86-64 machine-code emitter with labels, rel32 fixup
+/// patching and an optional deterministic textual listing (the source of
+/// `lslpc --dump-jit-asm`). It covers exactly the instruction subset the
+/// bytecode JIT needs: 64-bit GPR moves/ALU/shifts/div, setcc/cmov,
+/// rel32 branches, and the SSE2 scalar + packed FP/integer operations.
+///
+/// The emitter produces raw position-independent bytes; it never allocates
+/// executable memory itself (see ExecMemory.h), so it is usable on any
+/// host — e.g. for listings on non-x86-64 machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_JIT_ASSEMBLER_H
+#define LSLP_JIT_ASSEMBLER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lslp {
+namespace jit {
+
+/// General-purpose registers, hardware encoding order.
+enum Gpr : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// SSE registers (only the REX-free low eight are used).
+enum Xmm : uint8_t {
+  XMM0 = 0,
+  XMM1 = 1,
+  XMM2 = 2,
+  XMM3 = 3,
+  XMM4 = 4,
+  XMM5 = 5,
+  XMM6 = 6,
+  XMM7 = 7,
+};
+
+/// Condition codes (the low nibble of the 0F 8x/9x/4x opcode families).
+enum class Cond : uint8_t {
+  O = 0x0,
+  NO = 0x1,
+  B = 0x2,  ///< unsigned <
+  AE = 0x3, ///< unsigned >=
+  E = 0x4,
+  NE = 0x5,
+  BE = 0x6, ///< unsigned <=
+  A = 0x7,  ///< unsigned >
+  S = 0x8,
+  NS = 0x9,
+  P = 0xA, ///< parity (NaN after ucomisd)
+  NP = 0xB,
+  L = 0xC,  ///< signed <
+  GE = 0xD, ///< signed >=
+  LE = 0xE, ///< signed <=
+  G = 0xF,  ///< signed >
+};
+
+/// Group-1 ALU operations (the /digit selects the immediate form).
+enum class Alu : uint8_t {
+  Add = 0,
+  Or = 1,
+  And = 4,
+  Sub = 5,
+  Xor = 6,
+  Cmp = 7,
+};
+
+/// A [Base + Index*2^ScaleLog2 + Disp] memory operand.
+struct MemRef {
+  Gpr Base;
+  int32_t Disp = 0;
+  bool HasIndex = false;
+  Gpr Index = RAX;
+  uint8_t ScaleLog2 = 0;
+};
+
+inline MemRef mem(Gpr Base, int32_t Disp = 0) { return MemRef{Base, Disp}; }
+inline MemRef mem(Gpr Base, Gpr Index, uint8_t ScaleLog2, int32_t Disp = 0) {
+  return MemRef{Base, Disp, true, Index, ScaleLog2};
+}
+
+/// One-pass assembler. Labels are integer handles; forward references are
+/// recorded as rel32 fixups and patched by finalize().
+class Assembler {
+public:
+  using Label = int;
+
+  explicit Assembler(bool BuildListing = false) : Listing(BuildListing) {}
+
+  Label newLabel() {
+    LabelOffsets.push_back(-1);
+    return static_cast<Label>(LabelOffsets.size() - 1);
+  }
+  void bind(Label L);
+
+  /// Patches all fixups; must be called exactly once, after which code()
+  /// is final. Returns false if any label was left unbound.
+  bool finalize();
+
+  const std::vector<uint8_t> &code() const { return Code; }
+  size_t size() const { return Code.size(); }
+
+  /// Adds a standalone comment line to the listing.
+  void comment(const std::string &Text);
+  /// Renders the listing (offsets, hex bytes, mnemonics). Only meaningful
+  /// when constructed with BuildListing and after finalize().
+  std::string listing() const;
+
+  // --- Stack / control ---------------------------------------------------
+  void push(Gpr R);
+  void pop(Gpr R);
+  void ret();
+  void jmp(Label L);
+  void jcc(Cond CC, Label L);
+
+  // --- 64-bit GPR moves --------------------------------------------------
+  void movRR(Gpr Dst, Gpr Src);
+  void movRM(Gpr Dst, const MemRef &M);  ///< 64-bit load.
+  void movMR(const MemRef &M, Gpr Src);  ///< 64-bit store.
+  void mov32RM(Gpr Dst, const MemRef &M); ///< 32-bit load, zero-extends.
+  void mov32MR(const MemRef &M, Gpr Src); ///< 32-bit store.
+  void mov16MR(const MemRef &M, Gpr Src);
+  void mov8MR(const MemRef &M, Gpr Src);
+  void movzx8RM(Gpr Dst, const MemRef &M);
+  void movzx16RM(Gpr Dst, const MemRef &M);
+  void movRI(Gpr Dst, uint64_t Imm); ///< Picks the shortest encoding.
+  void mov32MI(const MemRef &M, int32_t Imm); ///< 32-bit store of imm32.
+  void movMI(const MemRef &M, int32_t Imm); ///< 64-bit store of sext imm32.
+
+  // --- ALU ---------------------------------------------------------------
+  void aluRR(Alu Op, Gpr Dst, Gpr Src);
+  void aluRI(Alu Op, Gpr Dst, int32_t Imm);
+  void aluRM(Alu Op, Gpr Dst, const MemRef &M); ///< e.g. cmp r64, [mem].
+  void aluMI(Alu Op, const MemRef &M, int32_t Imm); ///< e.g. add [mem], 1.
+  void imulRR(Gpr Dst, Gpr Src);
+  void imulRRI(Gpr Dst, Gpr Src, int32_t Imm);
+  void negR(Gpr R);
+  void shlCl(Gpr R);
+  void shrCl(Gpr R);
+  void sarCl(Gpr R);
+  void shlI(Gpr R, uint8_t Imm);
+  void shrI(Gpr R, uint8_t Imm);
+  void sarI(Gpr R, uint8_t Imm);
+  void testRR(Gpr A, Gpr B);
+  void testRI(Gpr R, int32_t Imm);
+  void setcc(Cond CC, Gpr R8); ///< Sets the low byte of \p R8.
+  void movzx8RR(Gpr Dst, Gpr Src8);
+  void cmovRR(Cond CC, Gpr Dst, Gpr Src);
+  void cmovRM(Cond CC, Gpr Dst, const MemRef &M);
+  void leaRM(Gpr Dst, const MemRef &M);
+  void cqo();
+  void divR(Gpr R);  ///< Unsigned rdx:rax / r.
+  void idivR(Gpr R); ///< Signed rdx:rax / r.
+
+  // --- SSE2 --------------------------------------------------------------
+  void movqXR(Xmm Dst, Gpr Src); ///< 64-bit GPR -> XMM.
+  void movqRX(Gpr Dst, Xmm Src); ///< XMM low 64 -> GPR.
+  void movdXR(Xmm Dst, Gpr Src); ///< 32-bit GPR -> XMM.
+  void movdRX(Gpr Dst, Xmm Src); ///< XMM low 32 -> GPR, zero-extends.
+  void movupsXM(Xmm Dst, const MemRef &M);
+  void movupsMX(const MemRef &M, Xmm Src);
+  void addsd(Xmm Dst, Xmm Src);
+  void subsd(Xmm Dst, Xmm Src);
+  void mulsd(Xmm Dst, Xmm Src);
+  void divsd(Xmm Dst, Xmm Src);
+  void addpd(Xmm Dst, Xmm Src);
+  void subpd(Xmm Dst, Xmm Src);
+  void mulpd(Xmm Dst, Xmm Src);
+  void divpd(Xmm Dst, Xmm Src);
+  void cvtss2sd(Xmm Dst, Xmm Src);
+  void cvtsd2ss(Xmm Dst, Xmm Src);
+  void cvtps2pd(Xmm Dst, Xmm Src);
+  void cvtpd2ps(Xmm Dst, Xmm Src);
+  void cvtsi2sd(Xmm Dst, Gpr Src); ///< From 64-bit GPR.
+  void cvttsd2si(Gpr Dst, Xmm Src); ///< To 64-bit GPR, truncating.
+  void ucomisd(Xmm A, Xmm B);
+  void paddq(Xmm Dst, Xmm Src);
+  void psubq(Xmm Dst, Xmm Src);
+  void pand(Xmm Dst, Xmm Src);
+  void por(Xmm Dst, Xmm Src);
+  void pxor(Xmm Dst, Xmm Src);
+  void pmuludq(Xmm Dst, Xmm Src);
+  void punpcklqdq(Xmm Dst, Xmm Src);
+  void unpcklps(Xmm Dst, Xmm Src);
+  void shufps(Xmm Dst, Xmm Src, uint8_t Imm);
+  void xorps(Xmm Dst, Xmm Src);
+
+private:
+  void emit8(uint8_t B) { Code.push_back(B); }
+  void emit32(uint32_t V);
+  void emit64(uint64_t V);
+  /// Emits a REX prefix if required (W, extended regs, or the byte-reg
+  /// forms of rsp/rbp/rsi/rdi which need an empty REX). \p Force8 marks
+  /// the Reg operand as byte-sized; \p Force8Base marks a register-direct
+  /// rm operand as byte-sized (irrelevant for memory bases, which are
+  /// always full-width addresses).
+  void rex(bool W, unsigned Reg, unsigned Index, unsigned Base,
+           bool Force8 = false, bool Force8Base = false);
+  void modRMReg(unsigned Reg, unsigned Rm);
+  void modRMMem(unsigned Reg, const MemRef &M);
+  /// REX for a reg, mem pair.
+  void rexRM(bool W, unsigned Reg, const MemRef &M, bool Force8 = false);
+  void sseRR(uint8_t Prefix, uint8_t Opc, unsigned Dst, unsigned Src,
+             bool RexW = false);
+  void relJump(const uint8_t *Opc, size_t OpcLen, Label L);
+
+  /// Listing bookkeeping: each instruction registers its mnemonic before
+  /// emitting bytes; finalize() renders offset + hex + text per line.
+  void note(std::string Text);
+
+  std::vector<uint8_t> Code;
+  std::vector<int64_t> LabelOffsets;
+  struct Fixup {
+    size_t Pos; ///< Offset of the rel32 field.
+    Label L;
+  };
+  std::vector<Fixup> Fixups;
+  bool Listing;
+  bool Finalized = false;
+  struct Line {
+    size_t Off;
+    std::string Text;
+    bool IsMarker; ///< Comment/label line: no bytes.
+  };
+  std::vector<Line> Lines;
+
+public:
+  // Listing helpers, public for RegAlloc/JITCompiler formatting.
+  static const char *regName(Gpr R);
+  static const char *xmmName(Xmm X);
+  static std::string memName(const MemRef &M);
+};
+
+} // namespace jit
+} // namespace lslp
+
+#endif // LSLP_JIT_ASSEMBLER_H

@@ -1,0 +1,93 @@
+//===- jit/ExecMemory.cpp - W^X executable code memory ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/ExecMemory.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define LSLP_JIT_HAVE_MMAP 1
+#else
+#define LSLP_JIT_HAVE_MMAP 0
+#endif
+
+using namespace lslp;
+using namespace lslp::jit;
+
+ExecMemory &ExecMemory::operator=(ExecMemory &&O) noexcept {
+  if (this != &O) {
+    release();
+    Ptr = O.Ptr;
+    Size = O.Size;
+    O.Ptr = nullptr;
+    O.Size = 0;
+  }
+  return *this;
+}
+
+void ExecMemory::release() {
+#if LSLP_JIT_HAVE_MMAP
+  if (Ptr)
+    ::munmap(Ptr, Size);
+#endif
+  Ptr = nullptr;
+  Size = 0;
+}
+
+bool ExecMemory::map(const std::vector<uint8_t> &Bytes) {
+#if LSLP_JIT_HAVE_MMAP
+  if (Bytes.empty() || Ptr)
+    return false;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  size_t Rounded =
+      (Bytes.size() + static_cast<size_t>(Page) - 1) &
+      ~(static_cast<size_t>(Page) - 1);
+  void *P = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  std::memcpy(P, Bytes.data(), Bytes.size());
+  if (::mprotect(P, Rounded, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(P, Rounded);
+    return false;
+  }
+  Ptr = P;
+  Size = Rounded;
+  return true;
+#else
+  (void)Bytes;
+  return false;
+#endif
+}
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+bool probeExecutable() {
+  // mov eax, 42; ret
+  const std::vector<uint8_t> Probe = {0xB8, 0x2A, 0x00, 0x00, 0x00, 0xC3};
+  ExecMemory EM;
+  if (!EM.map(Probe))
+    return false;
+  auto *Fn = reinterpret_cast<int (*)()>(const_cast<void *>(EM.entry()));
+  return Fn() == 42;
+}
+#endif
+
+} // namespace
+
+bool lslp::jit::jitHostSupported() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool Supported = probeExecutable();
+  return Supported;
+#else
+  return false;
+#endif
+}

@@ -1,0 +1,68 @@
+//===- jit/ExecMemory.h - W^X executable code memory ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII owner of one executable code region. The mapping is W^X and
+/// sanitizer-friendly by construction: pages are mmap'd read+write, the
+/// code bytes are copied in, and the region is then mprotect'd to
+/// read+execute — at no point does a writable+executable page exist.
+///
+/// jitHostSupported() is the runtime gate behind `--engine=jit`: it is
+/// false on non-x86-64 builds, and on x86-64 hosts it actually maps,
+/// protects and calls a 6-byte probe function once, so hosts with W^X
+/// policies that forbid PROT_EXEC remaps degrade gracefully (the engine
+/// factory falls back to the VM with a remark).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_JIT_EXECMEMORY_H
+#define LSLP_JIT_EXECMEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lslp {
+namespace jit {
+
+/// One mmap'd RX code region. Move-only.
+class ExecMemory {
+public:
+  ExecMemory() = default;
+  ExecMemory(ExecMemory &&O) noexcept : Ptr(O.Ptr), Size(O.Size) {
+    O.Ptr = nullptr;
+    O.Size = 0;
+  }
+  ExecMemory &operator=(ExecMemory &&O) noexcept;
+  ExecMemory(const ExecMemory &) = delete;
+  ExecMemory &operator=(const ExecMemory &) = delete;
+  ~ExecMemory() { release(); }
+
+  /// Maps \p Bytes as read+execute (write happens before the protection
+  /// flip, so no W+X page ever exists). Returns false on any failure;
+  /// the object stays empty.
+  bool map(const std::vector<uint8_t> &Bytes);
+
+  /// Entry point of the mapped code; null when empty.
+  const void *entry() const { return Ptr; }
+  explicit operator bool() const { return Ptr != nullptr; }
+
+private:
+  void release();
+
+  void *Ptr = nullptr;
+  size_t Size = 0;
+};
+
+/// True when this process can execute freshly generated x86-64 code
+/// (compile-time architecture check plus a one-time runtime map/exec
+/// probe). Cached after the first call; thread-safe.
+bool jitHostSupported();
+
+} // namespace jit
+} // namespace lslp
+
+#endif // LSLP_JIT_EXECMEMORY_H

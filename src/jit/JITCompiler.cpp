@@ -1,0 +1,1051 @@
+//===- jit/JITCompiler.cpp - Bytecode -> x86-64 lowering --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JITCompiler.h"
+
+#include "interp/LaneOps.h"
+#include "ir/Instruction.h"
+#include "jit/Assembler.h"
+#include "jit/RegAlloc.h"
+#include "vm/BytecodeDump.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <map>
+
+using namespace lslp;
+using namespace lslp::jit;
+using namespace lslp::vm;
+
+// The generated code addresses JITContext by these offsets; pin them to the
+// struct so a field reorder cannot silently miscompile.
+static_assert(offsetof(JITContext, Frame) == 0, "JIT ABI offset");
+static_assert(offsetof(JITContext, MemBase) == 8, "JIT ABI offset");
+static_assert(offsetof(JITContext, MemSize) == 16, "JIT ABI offset");
+static_assert(offsetof(JITContext, StepLimit) == 24, "JIT ABI offset");
+static_assert(offsetof(JITContext, DynamicInsts) == 32, "JIT ABI offset");
+static_assert(offsetof(JITContext, TotalCost) == 40, "JIT ABI offset");
+static_assert(offsetof(JITContext, StatCounts) == 48, "JIT ABI offset");
+static_assert(offsetof(JITContext, RetLaneCount) == 56, "JIT ABI offset");
+static_assert(offsetof(JITContext, TrapCode) == 60, "JIT ABI offset");
+static_assert(offsetof(JITContext, RetLanes) == 64, "JIT ABI offset");
+
+const char *jit::trapCodeReason(TrapCode Code) {
+  switch (Code) {
+  case TrapCode::None:
+    return "";
+  case TrapCode::StepLimit:
+    return "step limit exceeded (infinite loop?)";
+  case TrapCode::UDivZero:
+    return "udiv by zero";
+  case TrapCode::SDivZero:
+    return "sdiv by zero";
+  case TrapCode::SDivOverflow:
+    return "sdiv overflow";
+  case TrapCode::URemZero:
+    return "urem by zero";
+  case TrapCode::SRemZero:
+    return "srem by zero";
+  case TrapCode::SRemOverflow:
+    return "srem overflow";
+  case TrapCode::OutOfBounds:
+    return "out-of-bounds memory access";
+  case TrapCode::InsertLane:
+    return "insertelement lane out of range";
+  case TrapCode::ExtractLane:
+    return "extractelement lane out of range";
+  }
+  return "";
+}
+
+void jit::detectNaNOrder(NativeOptions &Opts) {
+  // Two distinct quiet-NaN payloads; x86 FP ops propagate the *first*
+  // operand's payload, so the result tells us which operand the compiler
+  // put first when it materialized `DA + DB`. volatile blocks constant
+  // folding (a compile-time fold could use a different rule than the
+  // hardware ops the VM actually executes).
+  auto Swapped = [](ValueID Opc, bool F32) {
+    volatile uint64_t VA = F32 ? 0x7FC00001ull : 0x7FF8000000000001ull;
+    volatile uint64_t VB = F32 ? 0x7FC00002ull : 0x7FF8000000000002ull;
+    uint64_t A = VA, B = VB;
+    return laneops::evalFPBinLane(Opc, F32, A, B) == B;
+  };
+  Opts.SwapFAdd32 = Swapped(ValueID::FAdd, true);
+  Opts.SwapFAdd64 = Swapped(ValueID::FAdd, false);
+  Opts.SwapFMul32 = Swapped(ValueID::FMul, true);
+  Opts.SwapFMul64 = Swapped(ValueID::FMul, false);
+}
+
+namespace {
+
+// Machine-state register roles (see JITCompiler.h).
+constexpr Gpr CtxReg = RBP;
+constexpr Gpr FrameReg = RBX;
+constexpr Gpr MemBaseReg = R12;
+constexpr Gpr MemSizeReg = R13;
+constexpr Gpr InstsReg = R14;
+constexpr Gpr CostReg = R15;
+
+constexpr int32_t OffFrame = 0;
+constexpr int32_t OffMemBase = 8;
+constexpr int32_t OffMemSize = 16;
+constexpr int32_t OffStepLimit = 24;
+constexpr int32_t OffDynamicInsts = 32;
+constexpr int32_t OffTotalCost = 40;
+constexpr int32_t OffStatCounts = 48;
+constexpr int32_t OffRetLaneCount = 56;
+constexpr int32_t OffTrapCode = 60;
+constexpr int32_t OffRetLanes = 64;
+
+uint64_t maskVal(unsigned Bits) {
+  return Bits >= 64 ? ~uint64_t(0) : (uint64_t(1) << Bits) - 1;
+}
+
+/// True when the VM's sequential lane loop would feed an earlier result
+/// lane into a later source lane — the paired-SSE path must not be used
+/// then (reads of a pair happen before its writes).
+bool forwardOverlap(uint32_t Dst, uint32_t Src, unsigned Lanes) {
+  return Dst > Src && Dst < Src + Lanes;
+}
+
+/// Slots ever addressed as multi-lane ranges or through a dynamic lane
+/// index always live in the frame; everything else may be register-cached.
+std::vector<bool> computeCacheable(const CompiledFunction &CF) {
+  std::vector<bool> C(CF.NumSlots, true);
+  auto Mark = [&](uint32_t Base, unsigned N) {
+    for (unsigned I = 0; I != N; ++I)
+      if (Base + I < C.size())
+        C[Base + I] = false;
+  };
+  for (const VMInst &I : CF.Code) {
+    unsigned L = I.Lanes;
+    switch (I.Op) {
+    case VMOp::IntBin:
+    case VMOp::FPBin:
+      if (L > 1) {
+        Mark(I.Dst, L);
+        Mark(I.A, L);
+        Mark(I.B, L);
+      }
+      break;
+    case VMOp::Cast:
+    case VMOp::Copy:
+    case VMOp::PhiCommit:
+      if (L > 1) {
+        Mark(I.Dst, L);
+        Mark(I.A, L);
+      }
+      break;
+    case VMOp::Select:
+      if (L > 1) {
+        Mark(I.Dst, L);
+        Mark(I.B, L);
+        Mark(I.C, L);
+      }
+      break;
+    case VMOp::Load:
+      if (L > 1)
+        Mark(I.Dst, L);
+      break;
+    case VMOp::Store:
+      if (L > 1)
+        Mark(I.A, L);
+      break;
+    case VMOp::InsertElt: // Dynamic lane index: always via memory.
+      Mark(I.Dst, L);
+      Mark(I.A, L);
+      break;
+    case VMOp::ExtractElt:
+      Mark(I.A, L);
+      break;
+    case VMOp::Shuffle: {
+      Mark(I.Dst, L);
+      Mark(I.A, I.C);
+      unsigned MaxB = 0;
+      for (unsigned K = 0; K != L; ++K) {
+        int M = CF.MaskPool[static_cast<size_t>(I.Imm) + K];
+        if (M >= 0 && static_cast<uint32_t>(M) >= I.C)
+          MaxB = std::max(MaxB, static_cast<unsigned>(M) - I.C + 1);
+      }
+      Mark(I.B, MaxB);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return C;
+}
+
+class Lowerer {
+public:
+  Lowerer(const CompiledFunction &CF, const NativeOptions &Opts)
+      : CF(CF), Opts(Opts), Asm(Opts.BuildListing),
+        Cache(Asm, FrameReg, computeCacheable(CF)) {}
+
+  NativeFunction compile();
+
+private:
+  void fail(const std::string &Why) {
+    if (Result.Error.empty())
+      Result.Error = Why;
+  }
+  bool failed() const { return !Result.Error.empty(); }
+
+  Assembler::Label trapTo(TrapCode Code) {
+    int Idx = static_cast<int>(Code);
+    if (TrapLab[Idx] < 0)
+      TrapLab[Idx] = Asm.newLabel();
+    return TrapLab[Idx];
+  }
+
+  MemRef slot(uint32_t S) { return Cache.slotMem(S); }
+
+  /// Loads lane K of the value at \p Slot into \p Dst (clobbers only Dst;
+  /// single-lane values go through the register cache).
+  void loadLane(uint32_t Slot, unsigned K, unsigned L, Gpr Dst) {
+    if (L == 1) {
+      Gpr R = Cache.read(Slot, Dst);
+      if (R != Dst)
+        Asm.movRR(Dst, R);
+    } else {
+      Asm.movRM(Dst, slot(Slot + K));
+    }
+  }
+  void storeLane(uint32_t Slot, unsigned K, unsigned L, Gpr Src) {
+    if (L == 1)
+      Cache.commitFrom(Slot, Src);
+    else
+      Asm.movMR(slot(Slot + K), Src);
+  }
+
+  /// Masks \p R to the low \p Bits (truncToBits); \p Tmp is clobbered for
+  /// masks that do not fit an imm32.
+  void maskTo(Gpr R, unsigned Bits, Gpr Tmp) {
+    if (Bits >= 64)
+      return;
+    if (Bits <= 31) {
+      Asm.aluRI(Alu::And, R, static_cast<int32_t>(maskVal(Bits)));
+    } else {
+      Asm.movRI(Tmp, maskVal(Bits));
+      Asm.aluRR(Alu::And, R, Tmp);
+    }
+  }
+  /// Sign-extends the low \p Bits of \p R to 64 (sextBits).
+  void sext64(Gpr R, unsigned Bits) {
+    if (Bits >= 64)
+      return;
+    Asm.shlI(R, static_cast<uint8_t>(64 - Bits));
+    Asm.sarI(R, static_cast<uint8_t>(64 - Bits));
+  }
+
+  bool swapOperands(ValueID Opc, bool F32) const {
+    if (Opc == ValueID::FAdd)
+      return F32 ? Opts.SwapFAdd32 : Opts.SwapFAdd64;
+    if (Opc == ValueID::FMul)
+      return F32 ? Opts.SwapFMul32 : Opts.SwapFMul64;
+    return false;
+  }
+
+  void charge(const VMInst &I);
+  void lowerIntBin(const VMInst &I);
+  void emitIntALULane(const VMInst &I, unsigned K);
+  void emitIntDivLane(const VMInst &I, unsigned K);
+  void emitIntShiftLane(const VMInst &I, unsigned K);
+  void lowerFPBin(const VMInst &I);
+  void emitFPLane(const VMInst &I, unsigned K);
+  void lowerCast(const VMInst &I);
+  void lowerICmp(const VMInst &I);
+  void lowerSelect(const VMInst &I);
+  void lowerLoad(const VMInst &I);
+  void lowerStore(const VMInst &I);
+  void emitBoundsCheck(Gpr Ptr, unsigned K, unsigned Size);
+
+  const CompiledFunction &CF;
+  const NativeOptions &Opts;
+  NativeFunction Result;
+  Assembler Asm;
+  RegCache Cache;
+  std::vector<Assembler::Label> PCLabel;
+  Assembler::Label EpilogueL = -1;
+  Assembler::Label TrapLab[11] = {-1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1};
+  std::map<std::pair<ValueID, bool>, unsigned> StatIdx;
+};
+
+void Lowerer::charge(const VMInst &I) {
+  // Exact VM order: count the instruction, trap on step-limit excess
+  // *before* charging its cost, then cost, then the statistics bucket.
+  Asm.aluRI(Alu::Add, InstsReg, 1);
+  Asm.aluRM(Alu::Cmp, InstsReg, mem(CtxReg, OffStepLimit));
+  Asm.jcc(Cond::A, trapTo(TrapCode::StepLimit));
+  if (I.Cost != 0) {
+    if (I.Cost <= 0x7FFFFFFFu) {
+      Asm.aluRI(Alu::Add, CostReg, static_cast<int32_t>(I.Cost));
+    } else {
+      Asm.movRI(RAX, I.Cost);
+      Asm.aluRR(Alu::Add, CostReg, RAX);
+    }
+  }
+  if (Opts.CollectStats) {
+    unsigned Idx = StatIdx.at({I.SrcOpc, I.StatVec});
+    Asm.movRM(RAX, mem(CtxReg, OffStatCounts));
+    Asm.aluMI(Alu::Add, mem(RAX, static_cast<int32_t>(Idx * 8)), 1);
+  }
+}
+
+void Lowerer::emitIntALULane(const VMInst &I, unsigned K) {
+  loadLane(I.A, K, I.Lanes, RAX);
+  loadLane(I.B, K, I.Lanes, RCX);
+  bool NeedMask = false;
+  switch (I.SrcOpc) {
+  case ValueID::Add:
+    Asm.aluRR(Alu::Add, RAX, RCX);
+    NeedMask = true;
+    break;
+  case ValueID::Sub:
+    Asm.aluRR(Alu::Sub, RAX, RCX);
+    NeedMask = true;
+    break;
+  case ValueID::Mul:
+    Asm.imulRR(RAX, RCX);
+    NeedMask = true;
+    break;
+  case ValueID::And:
+    Asm.aluRR(Alu::And, RAX, RCX);
+    break;
+  case ValueID::Or:
+    Asm.aluRR(Alu::Or, RAX, RCX);
+    break;
+  case ValueID::Xor:
+    Asm.aluRR(Alu::Xor, RAX, RCX);
+    break;
+  default:
+    fail("unsupported integer opcode in JIT");
+    return;
+  }
+  if (NeedMask)
+    maskTo(RAX, I.SrcK.Bits, RDX);
+  storeLane(I.Dst, K, I.Lanes, RAX);
+}
+
+void Lowerer::emitIntDivLane(const VMInst &I, unsigned K) {
+  unsigned Bits = I.SrcK.Bits;
+  bool IsSigned = I.SrcOpc == ValueID::SDiv || I.SrcOpc == ValueID::SRem;
+  bool IsRem = I.SrcOpc == ValueID::URem || I.SrcOpc == ValueID::SRem;
+  loadLane(I.A, K, I.Lanes, RAX);
+  loadLane(I.B, K, I.Lanes, RCX);
+  if (!IsSigned) {
+    Asm.testRR(RCX, RCX);
+    Asm.jcc(Cond::E,
+            trapTo(IsRem ? TrapCode::URemZero : TrapCode::UDivZero));
+    Asm.aluRR(Alu::Xor, RDX, RDX);
+    Asm.divR(RCX);
+    // Operands are stored truncated, so quotient/remainder stay in range.
+    storeLane(I.Dst, K, I.Lanes, IsRem ? RDX : RAX);
+    return;
+  }
+  sext64(RAX, Bits);
+  sext64(RCX, Bits);
+  Asm.testRR(RCX, RCX);
+  Asm.jcc(Cond::E, trapTo(IsRem ? TrapCode::SRemZero : TrapCode::SDivZero));
+  if (Bits >= 64) {
+    // INT64_MIN / -1 overflows (hardware #DE); narrower widths cannot
+    // reach INT64_MIN after sign extension.
+    Assembler::Label NoOvf = Asm.newLabel();
+    Asm.aluRI(Alu::Cmp, RCX, -1);
+    Asm.jcc(Cond::NE, NoOvf);
+    Asm.movRI(RDX, 0x8000000000000000ull);
+    Asm.aluRR(Alu::Cmp, RAX, RDX);
+    Asm.jcc(Cond::E,
+            trapTo(IsRem ? TrapCode::SRemOverflow : TrapCode::SDivOverflow));
+    Asm.bind(NoOvf);
+  }
+  Asm.cqo();
+  Asm.idivR(RCX);
+  Gpr Res = IsRem ? RDX : RAX;
+  maskTo(Res, Bits, IsRem ? RAX : RCX);
+  storeLane(I.Dst, K, I.Lanes, Res);
+}
+
+void Lowerer::emitIntShiftLane(const VMInst &I, unsigned K) {
+  unsigned Bits = I.SrcK.Bits;
+  loadLane(I.A, K, I.Lanes, RAX);
+  loadLane(I.B, K, I.Lanes, RCX);
+  switch (I.SrcOpc) {
+  case ValueID::Shl:
+    Asm.aluRR(Alu::Xor, RDX, RDX);
+    Asm.shlCl(RAX); // Uses cl & 63; the cmov below repairs B >= Bits.
+    Asm.aluRI(Alu::Cmp, RCX, static_cast<int32_t>(Bits));
+    Asm.cmovRR(Cond::AE, RAX, RDX);
+    maskTo(RAX, Bits, RDX);
+    break;
+  case ValueID::LShr:
+    Asm.aluRR(Alu::Xor, RDX, RDX);
+    Asm.shrCl(RAX);
+    Asm.aluRI(Alu::Cmp, RCX, static_cast<int32_t>(Bits));
+    Asm.cmovRR(Cond::AE, RAX, RDX);
+    break;
+  case ValueID::AShr:
+    // Amount = min(B, Bits - 1), then an arithmetic shift of the
+    // sign-extended value.
+    sext64(RAX, Bits);
+    Asm.movRI(RDX, Bits - 1);
+    Asm.aluRI(Alu::Cmp, RCX, static_cast<int32_t>(Bits));
+    Asm.cmovRR(Cond::AE, RCX, RDX);
+    Asm.sarCl(RAX);
+    maskTo(RAX, Bits, RDX);
+    break;
+  default:
+    fail("unsupported shift opcode in JIT");
+    return;
+  }
+  storeLane(I.Dst, K, I.Lanes, RAX);
+}
+
+void Lowerer::lowerIntBin(const VMInst &I) {
+  unsigned L = I.Lanes;
+  switch (I.SrcOpc) {
+  case ValueID::UDiv:
+  case ValueID::SDiv:
+  case ValueID::URem:
+  case ValueID::SRem:
+    for (unsigned K = 0; K != L; ++K)
+      emitIntDivLane(I, K);
+    return;
+  case ValueID::Shl:
+  case ValueID::LShr:
+  case ValueID::AShr:
+    for (unsigned K = 0; K != L; ++K)
+      emitIntShiftLane(I, K);
+    return;
+  default:
+    break;
+  }
+  unsigned Bits = I.SrcK.Bits;
+  bool VecCapable = false;
+  switch (I.SrcOpc) {
+  case ValueID::Add:
+  case ValueID::Sub:
+  case ValueID::And:
+  case ValueID::Or:
+  case ValueID::Xor:
+    VecCapable = true;
+    break;
+  case ValueID::Mul:
+    // pmuludq is exact when both operands fit 32 bits (they are stored
+    // truncated to Bits <= 32).
+    VecCapable = Bits <= 32;
+    break;
+  default:
+    break;
+  }
+  bool UseVec = VecCapable && L >= 2 && !forwardOverlap(I.Dst, I.A, L) &&
+                !forwardOverlap(I.Dst, I.B, L);
+  unsigned K = 0;
+  if (UseVec) {
+    bool NeedMask = I.SrcOpc == ValueID::Mul ||
+                    ((I.SrcOpc == ValueID::Add || I.SrcOpc == ValueID::Sub) &&
+                     Bits < 64);
+    if (NeedMask) {
+      Asm.movRI(RAX, maskVal(Bits));
+      Asm.movqXR(XMM7, RAX);
+      Asm.punpcklqdq(XMM7, XMM7);
+    }
+    for (; K + 2 <= L; K += 2) {
+      Asm.movupsXM(XMM0, slot(I.A + K));
+      Asm.movupsXM(XMM1, slot(I.B + K));
+      switch (I.SrcOpc) {
+      case ValueID::Add:
+        Asm.paddq(XMM0, XMM1);
+        break;
+      case ValueID::Sub:
+        Asm.psubq(XMM0, XMM1);
+        break;
+      case ValueID::Mul:
+        Asm.pmuludq(XMM0, XMM1);
+        break;
+      case ValueID::And:
+        Asm.pand(XMM0, XMM1);
+        break;
+      case ValueID::Or:
+        Asm.por(XMM0, XMM1);
+        break;
+      default:
+        Asm.pxor(XMM0, XMM1);
+        break;
+      }
+      if (NeedMask)
+        Asm.pand(XMM0, XMM7);
+      Asm.movupsMX(slot(I.Dst + K), XMM0);
+    }
+  }
+  for (; K != L; ++K)
+    emitIntALULane(I, K);
+}
+
+void Lowerer::emitFPLane(const VMInst &I, unsigned K) {
+  bool F32 = I.SrcK.IsFloat32;
+  bool Swap = swapOperands(I.SrcOpc, F32);
+  loadLane(I.A, K, I.Lanes, RAX);
+  loadLane(I.B, K, I.Lanes, RCX);
+  if (F32) {
+    Asm.movdXR(XMM0, RAX);
+    Asm.cvtss2sd(XMM0, XMM0);
+    Asm.movdXR(XMM1, RCX);
+    Asm.cvtss2sd(XMM1, XMM1);
+  } else {
+    Asm.movqXR(XMM0, RAX);
+    Asm.movqXR(XMM1, RCX);
+  }
+  Xmm D = Swap ? XMM1 : XMM0;
+  Xmm S = Swap ? XMM0 : XMM1;
+  switch (I.SrcOpc) {
+  case ValueID::FAdd:
+    Asm.addsd(D, S);
+    break;
+  case ValueID::FMul:
+    Asm.mulsd(D, S);
+    break;
+  case ValueID::FSub:
+    Asm.subsd(XMM0, XMM1);
+    D = XMM0;
+    break;
+  case ValueID::FDiv:
+    Asm.divsd(XMM0, XMM1);
+    D = XMM0;
+    break;
+  default:
+    fail("unsupported FP opcode in JIT");
+    return;
+  }
+  if (F32) {
+    Asm.cvtsd2ss(D, D);
+    Asm.movdRX(RDX, D);
+  } else {
+    Asm.movqRX(RDX, D);
+  }
+  storeLane(I.Dst, K, I.Lanes, RDX);
+}
+
+void Lowerer::lowerFPBin(const VMInst &I) {
+  unsigned L = I.Lanes;
+  bool F32 = I.SrcK.IsFloat32;
+  bool Swap = swapOperands(I.SrcOpc, F32);
+  bool UseVec = L >= 2 && !forwardOverlap(I.Dst, I.A, L) &&
+                !forwardOverlap(I.Dst, I.B, L);
+  unsigned K = 0;
+  if (UseVec) {
+    for (; K + 2 <= L; K += 2) {
+      if (F32) {
+        // Lanes are f32 bit patterns zero-extended in u64 slots: gather
+        // the two payload dwords, widen to double, operate, narrow, and
+        // re-spread with zeroed high dwords (the encodeFP layout).
+        Asm.movupsXM(XMM0, slot(I.A + K));
+        Asm.shufps(XMM0, XMM0, 0x08);
+        Asm.cvtps2pd(XMM0, XMM0);
+        Asm.movupsXM(XMM1, slot(I.B + K));
+        Asm.shufps(XMM1, XMM1, 0x08);
+        Asm.cvtps2pd(XMM1, XMM1);
+      } else {
+        Asm.movupsXM(XMM0, slot(I.A + K));
+        Asm.movupsXM(XMM1, slot(I.B + K));
+      }
+      Xmm D = Swap ? XMM1 : XMM0;
+      Xmm S = Swap ? XMM0 : XMM1;
+      switch (I.SrcOpc) {
+      case ValueID::FAdd:
+        Asm.addpd(D, S);
+        break;
+      case ValueID::FMul:
+        Asm.mulpd(D, S);
+        break;
+      case ValueID::FSub:
+        Asm.subpd(XMM0, XMM1);
+        D = XMM0;
+        break;
+      case ValueID::FDiv:
+        Asm.divpd(XMM0, XMM1);
+        D = XMM0;
+        break;
+      default:
+        fail("unsupported FP opcode in JIT");
+        return;
+      }
+      if (F32) {
+        Asm.cvtpd2ps(D, D);
+        Asm.xorps(XMM2, XMM2);
+        Asm.unpcklps(D, XMM2);
+      }
+      Asm.movupsMX(slot(I.Dst + K), D);
+    }
+  }
+  for (; K != L; ++K)
+    emitFPLane(I, K);
+}
+
+void Lowerer::lowerCast(const VMInst &I) {
+  for (unsigned K = 0; K != I.Lanes; ++K) {
+    loadLane(I.A, K, I.Lanes, RAX);
+    switch (I.SrcOpc) {
+    case ValueID::SExt:
+      sext64(RAX, I.SrcK.Bits);
+      maskTo(RAX, I.DstK.Bits, RCX);
+      break;
+    case ValueID::ZExt:
+      break; // Lanes are stored zero-extended already.
+    case ValueID::Trunc:
+      maskTo(RAX, I.DstK.Bits, RCX);
+      break;
+    case ValueID::SIToFP:
+      sext64(RAX, I.SrcK.Bits);
+      Asm.cvtsi2sd(XMM0, RAX);
+      if (I.DstK.IsFloat32) {
+        // int64 -> double -> float, exactly the reference's two steps
+        // (direct cvtsi2ss would double-round differently past 2^53).
+        Asm.cvtsd2ss(XMM0, XMM0);
+        Asm.movdRX(RAX, XMM0);
+      } else {
+        Asm.movqRX(RAX, XMM0);
+      }
+      break;
+    case ValueID::FPToSI: {
+      if (I.SrcK.IsFloat32) {
+        Asm.movdXR(XMM0, RAX);
+        Asm.cvtss2sd(XMM0, XMM0);
+      } else {
+        Asm.movqXR(XMM0, RAX);
+      }
+      // Saturating conversion: NaN -> 0, |D| >= 2^63 clamps (the
+      // reference defines out-of-range conversions this way).
+      Assembler::Label Done = Asm.newLabel();
+      Assembler::Label NotNan = Asm.newLabel();
+      Assembler::Label NotMax = Asm.newLabel();
+      Assembler::Label NotMin = Asm.newLabel();
+      Asm.ucomisd(XMM0, XMM0);
+      Asm.jcc(Cond::NP, NotNan);
+      Asm.movRI(RAX, 0);
+      Asm.jmp(Done);
+      Asm.bind(NotNan);
+      Asm.movRI(RAX, 0x43E0000000000000ull); // 2^63 as a double.
+      Asm.movqXR(XMM1, RAX);
+      Asm.ucomisd(XMM0, XMM1);
+      Asm.jcc(Cond::B, NotMax);
+      Asm.movRI(RAX, 0x7FFFFFFFFFFFFFFFull);
+      Asm.jmp(Done);
+      Asm.bind(NotMax);
+      Asm.movRI(RAX, 0xC3E0000000000000ull); // -2^63.
+      Asm.movqXR(XMM1, RAX);
+      Asm.ucomisd(XMM1, XMM0);
+      Asm.jcc(Cond::B, NotMin);
+      Asm.movRI(RAX, 0x8000000000000000ull);
+      Asm.jmp(Done);
+      Asm.bind(NotMin);
+      Asm.cvttsd2si(RAX, XMM0);
+      Asm.bind(Done);
+      maskTo(RAX, I.DstK.Bits, RCX);
+      break;
+    }
+    default:
+      fail("unsupported cast opcode in JIT");
+      return;
+    }
+    storeLane(I.Dst, K, I.Lanes, RAX);
+  }
+}
+
+void Lowerer::lowerICmp(const VMInst &I) {
+  auto Pred = static_cast<ICmpInst::Predicate>(I.Imm);
+  Cond CC = Cond::E;
+  bool Signed = false;
+  switch (Pred) {
+  case ICmpInst::EQ:
+    CC = Cond::E;
+    break;
+  case ICmpInst::NE:
+    CC = Cond::NE;
+    break;
+  case ICmpInst::SLT:
+    CC = Cond::L;
+    Signed = true;
+    break;
+  case ICmpInst::SLE:
+    CC = Cond::LE;
+    Signed = true;
+    break;
+  case ICmpInst::SGT:
+    CC = Cond::G;
+    Signed = true;
+    break;
+  case ICmpInst::SGE:
+    CC = Cond::GE;
+    Signed = true;
+    break;
+  case ICmpInst::ULT:
+    CC = Cond::B;
+    break;
+  case ICmpInst::ULE:
+    CC = Cond::BE;
+    break;
+  case ICmpInst::UGT:
+    CC = Cond::A;
+    break;
+  case ICmpInst::UGE:
+    CC = Cond::AE;
+    break;
+  }
+  Gpr A = Cache.read(I.A, RAX);
+  Gpr B = Cache.read(I.B, RCX);
+  if (Signed && !I.SrcK.IsPointer && I.SrcK.Bits < 64) {
+    // Compare the sign-extended values in scratch copies (cached
+    // registers must keep their zero-extended storage form).
+    if (A != RAX)
+      Asm.movRR(RAX, A);
+    sext64(RAX, I.SrcK.Bits);
+    if (B != RCX)
+      Asm.movRR(RCX, B);
+    sext64(RCX, I.SrcK.Bits);
+    Asm.aluRR(Alu::Cmp, RAX, RCX);
+  } else {
+    Asm.aluRR(Alu::Cmp, A, B);
+  }
+  Asm.setcc(CC, RDX);
+  Asm.movzx8RR(RDX, RDX);
+  Cache.commitFrom(I.Dst, RDX);
+}
+
+void Lowerer::lowerSelect(const VMInst &I) {
+  Gpr CondR = Cache.read(I.A, RAX);
+  Asm.testRI(CondR, 1);
+  // Only flag-preserving movs may follow until the cmovs are done.
+  if (I.Lanes == 1) {
+    Gpr T = Cache.read(I.B, RCX);
+    Gpr F = Cache.read(I.C, RDX);
+    if (F != RDX)
+      Asm.movRR(RDX, F);
+    Asm.cmovRR(Cond::NE, RDX, T);
+    Cache.commitFrom(I.Dst, RDX);
+    return;
+  }
+  for (unsigned K = 0; K != I.Lanes; ++K) {
+    Asm.movRM(RCX, slot(I.C + K));
+    Asm.cmovRM(Cond::NE, RCX, slot(I.B + K));
+    Asm.movMR(slot(I.Dst + K), RCX);
+  }
+}
+
+void Lowerer::emitBoundsCheck(Gpr Ptr, unsigned K, unsigned Size) {
+  // LaneAddr = Ptr + K*Size and LaneAddr + Size both wrap mod 2^64,
+  // exactly like the VM's uint64 arithmetic.
+  if (K == 0)
+    Asm.movRR(RCX, Ptr);
+  else
+    Asm.leaRM(RCX, mem(Ptr, static_cast<int32_t>(K * Size)));
+  Asm.aluRI(Alu::Cmp, RCX, 4096);
+  Asm.jcc(Cond::B, trapTo(TrapCode::OutOfBounds));
+  Asm.leaRM(RDX, mem(RCX, static_cast<int32_t>(Size)));
+  Asm.aluRR(Alu::Cmp, RDX, MemSizeReg);
+  Asm.jcc(Cond::A, trapTo(TrapCode::OutOfBounds));
+}
+
+void Lowerer::lowerLoad(const VMInst &I) {
+  unsigned Size = static_cast<unsigned>(I.Imm);
+  Gpr Ptr = Cache.read(I.A, RAX);
+  for (unsigned K = 0; K != I.Lanes; ++K) {
+    emitBoundsCheck(Ptr, K, Size);
+    MemRef Src = mem(MemBaseReg, RCX, 0, 0);
+    switch (Size) {
+    case 8:
+      Asm.movRM(RDX, Src);
+      break;
+    case 4:
+      Asm.mov32RM(RDX, Src);
+      break;
+    case 2:
+      Asm.movzx16RM(RDX, Src);
+      break;
+    default:
+      Asm.movzx8RM(RDX, Src);
+      break;
+    }
+    storeLane(I.Dst, K, I.Lanes, RDX);
+  }
+}
+
+void Lowerer::lowerStore(const VMInst &I) {
+  unsigned Size = static_cast<unsigned>(I.Imm);
+  Gpr Ptr = Cache.read(I.B, RAX);
+  for (unsigned K = 0; K != I.Lanes; ++K) {
+    emitBoundsCheck(Ptr, K, Size);
+    Gpr Val;
+    if (I.Lanes == 1) {
+      Val = Cache.read(I.A, RDX);
+    } else {
+      Asm.movRM(RDX, slot(I.A + K));
+      Val = RDX;
+    }
+    MemRef Dst = mem(MemBaseReg, RCX, 0, 0);
+    switch (Size) {
+    case 8:
+      Asm.movMR(Dst, Val);
+      break;
+    case 4:
+      Asm.mov32MR(Dst, Val);
+      break;
+    case 2:
+      Asm.mov16MR(Dst, Val);
+      break;
+    default:
+      Asm.mov8MR(Dst, Val);
+      break;
+    }
+  }
+}
+
+NativeFunction Lowerer::compile() {
+  // --- Validation: anything the JIT cannot express becomes a clean
+  // compile error, and the engine runs that function on the VM instead.
+  if (!CF.CompileError.empty()) {
+    Result.Error = CF.CompileError;
+    return std::move(Result);
+  }
+  if (static_cast<uint64_t>(CF.NumSlots) * 8 >= (uint64_t(1) << 28)) {
+    Result.Error = "frame too large for JIT addressing";
+    return std::move(Result);
+  }
+  for (const VMInst &I : CF.Code) {
+    if (I.Op == VMOp::Ret && I.Lanes > kMaxRetLanes)
+      fail("return value wider than the JIT ABI");
+    if ((I.Op == VMOp::Load || I.Op == VMOp::Store) && I.Imm != 1 &&
+        I.Imm != 2 && I.Imm != 4 && I.Imm != 8)
+      fail("unsupported memory access size");
+    if (I.Op == VMOp::Shuffle &&
+        (I.Imm < 0 ||
+         static_cast<size_t>(I.Imm) + I.Lanes > CF.MaskPool.size()))
+      fail("malformed shuffle mask");
+  }
+  if (failed())
+    return std::move(Result);
+
+  if (Opts.CollectStats) {
+    for (const VMInst &I : CF.Code)
+      if (I.Charged && !StatIdx.count({I.SrcOpc, I.StatVec})) {
+        StatIdx.emplace(std::make_pair(I.SrcOpc, I.StatVec),
+                        static_cast<unsigned>(Result.StatKeys.size()));
+        Result.StatKeys.emplace_back(I.SrcOpc, I.StatVec);
+      }
+  }
+
+  // Branch targets need labels (and a cache flush on every edge).
+  PCLabel.assign(CF.Code.size(), -1);
+  auto NeedLabel = [&](uint32_t PC) {
+    if (PC < PCLabel.size() && PCLabel[PC] < 0)
+      PCLabel[PC] = Asm.newLabel();
+  };
+  for (const VMInst &I : CF.Code) {
+    if (I.Op == VMOp::Jump || I.Op == VMOp::Br) {
+      NeedLabel(I.Dst);
+    } else if (I.Op == VMOp::CondBr) {
+      NeedLabel(I.Dst);
+      NeedLabel(I.B);
+    }
+  }
+  EpilogueL = Asm.newLabel();
+
+  // --- Prologue: save callee-saved state, load the machine registers.
+  if (Opts.BuildListing)
+    Asm.comment("prologue");
+  Asm.push(RBX);
+  Asm.push(RBP);
+  Asm.push(R12);
+  Asm.push(R13);
+  Asm.push(R14);
+  Asm.push(R15);
+  Asm.movRR(CtxReg, RDI);
+  Asm.movRM(FrameReg, mem(CtxReg, OffFrame));
+  Asm.movRM(MemBaseReg, mem(CtxReg, OffMemBase));
+  Asm.movRM(MemSizeReg, mem(CtxReg, OffMemSize));
+  Asm.aluRR(Alu::Xor, InstsReg, InstsReg);
+  Asm.aluRR(Alu::Xor, CostReg, CostReg);
+
+  // --- Body.
+  for (size_t PC = 0; PC != CF.Code.size() && !failed(); ++PC) {
+    if (PCLabel[PC] >= 0) {
+      Cache.flush();
+      Asm.bind(PCLabel[PC]);
+    }
+    const VMInst &I = CF.Code[PC];
+    if (Opts.BuildListing) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "[%4zu] ", PC);
+      Asm.comment(Buf + printVMInst(CF, PC));
+    }
+    Cache.beginInst();
+    if (I.Charged)
+      charge(I);
+    switch (I.Op) {
+    case VMOp::IntBin:
+      lowerIntBin(I);
+      break;
+    case VMOp::FPBin:
+      lowerFPBin(I);
+      break;
+    case VMOp::Cast:
+      lowerCast(I);
+      break;
+    case VMOp::ICmp:
+      lowerICmp(I);
+      break;
+    case VMOp::Select:
+      lowerSelect(I);
+      break;
+    case VMOp::Load:
+      lowerLoad(I);
+      break;
+    case VMOp::Store:
+      lowerStore(I);
+      break;
+    case VMOp::Gep: {
+      Gpr Base = Cache.read(I.A, RAX);
+      Gpr Idx = Cache.read(I.B, RCX);
+      if (Idx != RCX)
+        Asm.movRR(RCX, Idx);
+      sext64(RCX, I.SrcK.Bits);
+      if (I.Imm >= INT32_MIN && I.Imm <= INT32_MAX) {
+        Asm.imulRRI(RCX, RCX, static_cast<int32_t>(I.Imm));
+      } else {
+        Asm.movRI(RDX, static_cast<uint64_t>(I.Imm));
+        Asm.imulRR(RCX, RDX);
+      }
+      Asm.aluRR(Alu::Add, RCX, Base);
+      Cache.commitFrom(I.Dst, RCX);
+      break;
+    }
+    case VMOp::InsertElt: {
+      Gpr Lane = Cache.read(I.C, RAX);
+      Asm.aluRI(Alu::Cmp, Lane, static_cast<int32_t>(I.Lanes));
+      Asm.jcc(Cond::AE, trapTo(TrapCode::InsertLane));
+      if (I.Dst != I.A)
+        for (unsigned K = 0; K != I.Lanes; ++K) {
+          Asm.movRM(RDX, slot(I.A + K));
+          Asm.movMR(slot(I.Dst + K), RDX);
+        }
+      // The element is read *after* the copy, like the VM.
+      Gpr Elt = Cache.read(I.B, RCX);
+      Asm.movMR(mem(FrameReg, Lane, 3, static_cast<int32_t>(I.Dst * 8)), Elt);
+      break;
+    }
+    case VMOp::ExtractElt: {
+      Gpr Lane = Cache.read(I.B, RAX);
+      Asm.aluRI(Alu::Cmp, Lane, static_cast<int32_t>(I.Lanes));
+      Asm.jcc(Cond::AE, trapTo(TrapCode::ExtractLane));
+      Asm.movRM(RDX, mem(FrameReg, Lane, 3, static_cast<int32_t>(I.A * 8)));
+      Cache.commitFrom(I.Dst, RDX);
+      break;
+    }
+    case VMOp::Shuffle:
+      for (unsigned K = 0; K != I.Lanes; ++K) {
+        int M = CF.MaskPool[static_cast<size_t>(I.Imm) + K];
+        if (M < 0) {
+          Asm.movMI(slot(I.Dst + K), 0);
+        } else {
+          uint32_t Src = static_cast<uint32_t>(M) < I.C
+                             ? I.A + static_cast<uint32_t>(M)
+                             : I.B + (static_cast<uint32_t>(M) - I.C);
+          Asm.movRM(RAX, slot(Src));
+          Asm.movMR(slot(I.Dst + K), RAX);
+        }
+      }
+      break;
+    case VMOp::Copy:
+    case VMOp::PhiCommit:
+      if (I.Lanes == 1) {
+        Gpr A = Cache.read(I.A, RAX);
+        Cache.commitFrom(I.Dst, A);
+      } else {
+        for (unsigned K = 0; K != I.Lanes; ++K) {
+          Asm.movRM(RAX, slot(I.A + K));
+          Asm.movMR(slot(I.Dst + K), RAX);
+        }
+      }
+      break;
+    case VMOp::Jump:
+    case VMOp::Br:
+      Cache.flush();
+      Asm.jmp(PCLabel[I.Dst]);
+      break;
+    case VMOp::CondBr: {
+      Gpr CondR = Cache.read(I.A, RAX);
+      Asm.testRI(CondR, 1);
+      Cache.flush(); // Emits only movs; the flags survive to the jcc.
+      Asm.jcc(Cond::NE, PCLabel[I.Dst]);
+      Asm.jmp(PCLabel[I.B]);
+      break;
+    }
+    case VMOp::Ret:
+      Result.RetTy = I.Ty;
+      Cache.flush();
+      for (unsigned K = 0; K != I.Lanes; ++K) {
+        Asm.movRM(RAX, slot(I.A + K));
+        Asm.movMR(mem(CtxReg, OffRetLanes + static_cast<int32_t>(K) * 8),
+                  RAX);
+      }
+      Asm.mov32MI(mem(CtxReg, OffRetLaneCount),
+                  static_cast<int32_t>(I.Lanes));
+      Asm.jmp(EpilogueL);
+      break;
+    case VMOp::RetVoid:
+      // RetLaneCount/TrapCode are host-preinitialized to zero.
+      Asm.jmp(EpilogueL);
+      break;
+    }
+  }
+  if (failed())
+    return std::move(Result);
+
+  // --- Epilogue: publish the counters, restore, return.
+  if (Opts.BuildListing)
+    Asm.comment("epilogue");
+  Asm.bind(EpilogueL);
+  Asm.movMR(mem(CtxReg, OffDynamicInsts), InstsReg);
+  Asm.movMR(mem(CtxReg, OffTotalCost), CostReg);
+  Asm.pop(R15);
+  Asm.pop(R14);
+  Asm.pop(R13);
+  Asm.pop(R12);
+  Asm.pop(RBP);
+  Asm.pop(RBX);
+  Asm.ret();
+
+  // --- Trap stubs (register state is discarded on traps; only memory,
+  // counters and the code matter).
+  for (int C = 1; C != 11; ++C) {
+    if (TrapLab[C] < 0)
+      continue;
+    if (Opts.BuildListing)
+      Asm.comment(std::string("trap: ") +
+                  trapCodeReason(static_cast<TrapCode>(C)));
+    Asm.bind(TrapLab[C]);
+    Asm.mov32MI(mem(CtxReg, OffTrapCode), C);
+    Asm.jmp(EpilogueL);
+  }
+
+  if (!Asm.finalize()) {
+    Result.Error = "internal JIT error: unbound label";
+    return std::move(Result);
+  }
+  Result.Code = Asm.code();
+  if (Opts.BuildListing)
+    Result.Listing = Asm.listing();
+  return std::move(Result);
+}
+
+} // namespace
+
+NativeFunction jit::compileNative(const CompiledFunction &CF,
+                                  const NativeOptions &Opts) {
+  return Lowerer(CF, Opts).compile();
+}

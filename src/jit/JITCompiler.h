@@ -1,0 +1,128 @@
+//===- jit/JITCompiler.h - Bytecode -> x86-64 lowering ----------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the VM's register bytecode (vm::CompiledFunction) to x86-64
+/// machine code with bit-identical semantics: same lane math, same trap
+/// conditions and reasons, same DynamicInsts/TotalCost charge order and
+/// same per-opcode statistics as the dispatch loop in VMEngine.cpp. The
+/// three-way engine parity oracle holds the JIT to that contract on every
+/// fuzz seed.
+///
+/// Machine model (System V AMD64, no calls out of JIT code):
+///
+///   entry:  void fn(JITContext *ctx)   ; rdi
+///   rbp = ctx            r12 = memory base     r14 = DynamicInsts
+///   rbx = frame base     r13 = memory size     r15 = TotalCost
+///   rax/rcx/rdx + xmm0-xmm5 scratch; rsi/rdi/r8-r11 = RegCache pool
+///
+/// Scalar slots are register-cached per extended basic block (RegAlloc.h);
+/// vector lanes flow through the frame with SSE2 (movups/paddq/pand/
+/// addpd/cvtps2pd...). Traps jump to shared stubs that store a TrapCode
+/// into the context and exit; the engine maps codes back to the exact
+/// TrapSink reason strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_JIT_JITCOMPILER_H
+#define LSLP_JIT_JITCOMPILER_H
+
+#include "ir/Value.h"
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lslp {
+
+class Type;
+
+namespace jit {
+
+/// Runtime exchange record between the engine and generated code. The
+/// layout is part of the generated code's ABI (offsets are baked into
+/// instructions), hence the fixed field order and standard layout.
+struct JITContext {
+  uint64_t *Frame;       ///< Register file (InitRegs copy + args).
+  uint8_t *MemBase;      ///< Engine memory image base.
+  uint64_t MemSize;      ///< Engine memory image size.
+  uint64_t StepLimit;    ///< Trap when DynamicInsts exceeds this.
+  uint64_t DynamicInsts; ///< Out: executed charged instructions.
+  uint64_t TotalCost;    ///< Out: accumulated TTI cost.
+  uint64_t *StatCounts;  ///< Stat table (see NativeFunction::StatKeys).
+  uint32_t RetLaneCount; ///< Out: 0 for void/trap, else return lanes.
+  int32_t TrapCode;      ///< Out: 0 = none, else a TrapCode value.
+  uint64_t RetLanes[16]; ///< Out: return value lanes.
+};
+
+/// Widest return value the JITContext can carry; wider returns are a
+/// compile error (the engine falls back to the VM for that function).
+constexpr unsigned kMaxRetLanes = 16;
+
+/// Trap exits of generated code; mapped to the exact engine-agnostic
+/// reason strings the interpreter/VM produce (LaneOps.h / VMEngine.cpp).
+enum class TrapCode : int32_t {
+  None = 0,
+  StepLimit,
+  UDivZero,
+  SDivZero,
+  SDivOverflow,
+  URemZero,
+  SRemZero,
+  SRemOverflow,
+  OutOfBounds,
+  InsertLane,
+  ExtractLane,
+};
+
+/// The TrapSink reason string for \p Code ("udiv by zero", ...).
+const char *trapCodeReason(TrapCode Code);
+
+/// Controls one native compilation.
+struct NativeOptions {
+  /// Emit the per-opcode statistics counters (a separate code variant;
+  /// keyed into the engine's code cache alongside the function).
+  bool CollectStats = false;
+  /// Build the textual listing (slow; for --dump-jit-asm and tests).
+  bool BuildListing = false;
+  /// Operand-order flags for the NaN-propagation parity of commutative
+  /// FP ops; see detectNaNOrder().
+  bool SwapFAdd32 = false, SwapFAdd64 = false;
+  bool SwapFMul32 = false, SwapFMul64 = false;
+};
+
+/// Result of lowering one function. When Error is non-empty the code is
+/// unusable and the engine falls back to the VM dispatch loop for this
+/// function (semantics are identical either way).
+struct NativeFunction {
+  std::string Error;
+  std::vector<uint8_t> Code; ///< Raw position-independent machine code.
+  std::string Listing;       ///< Non-empty iff BuildListing.
+  Type *RetTy = nullptr;     ///< Return type (null for void functions).
+  /// Statistics slot table: StatCounts[i] at run exit holds the dynamic
+  /// count for StatKeys[i] = (source opcode, vector bucket).
+  std::vector<std::pair<ValueID, bool>> StatKeys;
+};
+
+/// Lowers \p CF. Never executes anything — usable on any host (e.g. for
+/// listings); only ExecMemory::map ties the result to x86-64.
+NativeFunction compileNative(const vm::CompiledFunction &CF,
+                             const NativeOptions &Opts);
+
+/// Probes how this binary's reference implementation (laneops::
+/// evalFPBinLane) propagates NaN payloads through the commutative FAdd/
+/// FMul, and fills the Swap* flags so generated addsd/mulsd pick the same
+/// source operand. x86 returns the *first* operand's NaN payload; the
+/// C++ compiler may have materialized `DA + DB` with either operand
+/// first, so this is measured at runtime, once.
+void detectNaNOrder(NativeOptions &Opts);
+
+} // namespace jit
+} // namespace lslp
+
+#endif // LSLP_JIT_JITCOMPILER_H

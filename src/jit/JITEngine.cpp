@@ -1,0 +1,137 @@
+//===- jit/JITEngine.cpp - Native x86-64 execution engine -------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JITEngine.h"
+
+#include "ir/Function.h"
+#include "vm/BytecodeCompiler.h"
+#include "vm/BytecodeDump.h"
+
+#include <cassert>
+#include <mutex>
+
+using namespace lslp;
+using namespace lslp::jit;
+
+JITEngine::JITEngine(const Module &M, const TargetTransformInfo *TTI)
+    : VMEngine(M, TTI) {
+  detectNaNOrder(BaseOpts);
+}
+
+const JITEngine::NativeEntry &
+JITEngine::getOrJit(const Function *F, const vm::CompiledFunction &CF,
+                    bool Stats) {
+  auto Key = std::make_pair(F, Stats);
+  {
+    std::shared_lock<std::shared_mutex> Lock(JitMutex);
+    auto It = JitCache.find(Key);
+    if (It != JitCache.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(JitMutex);
+  auto It = JitCache.find(Key);
+  if (It == JitCache.end()) {
+    NativeEntry E;
+    NativeOptions Opts = BaseOpts;
+    Opts.CollectStats = Stats;
+    E.NF = compileNative(CF, Opts);
+    E.Usable = E.NF.Error.empty() && jitHostSupported() && E.Mem.map(E.NF.Code);
+    It = JitCache.emplace(Key, std::move(E)).first;
+  }
+  return It->second;
+}
+
+namespace {
+ExecStats trapStats(ExecStats S, std::string Reason) {
+  S.Trapped = true;
+  S.TrapReason = std::move(Reason);
+  S.ReturnValue = RuntimeValue();
+  return S;
+}
+} // namespace
+
+ExecStats JITEngine::run(const Function *F,
+                         const std::vector<RuntimeValue> &Args) {
+  assert(F->getParent() == &getModule() && "function from a different module");
+  if (Args.size() != F->getNumArgs())
+    return trapStats({}, "argument count mismatch calling @" + F->getName());
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    if (Args[I].Ty != F->getArg(I)->getType())
+      return trapStats({}, "argument type mismatch calling @" + F->getName());
+
+  const vm::CompiledFunction &CF = getOrCompile(F);
+  if (!CF.CompileError.empty())
+    return trapStats({}, CF.CompileError);
+
+  const NativeEntry &NE = getOrJit(F, CF, CollectStats);
+  if (!NE.Usable)
+    // Function the lowering cannot express (or a host that cannot run
+    // generated code): the inherited dispatch loop is bit-identical.
+    return VMEngine::run(F, Args);
+
+  std::vector<uint64_t> Frame = CF.InitRegs;
+  for (unsigned I = 0, E = F->getNumArgs(); I != E; ++I)
+    for (unsigned K = 0, L = Args[I].getNumLanes(); K != L; ++K)
+      Frame[CF.ArgBase[I] + K] = Args[I].Lanes[K];
+
+  std::vector<uint64_t> StatCounts(NE.NF.StatKeys.size(), 0);
+  JITContext Ctx{};
+  Ctx.Frame = Frame.data();
+  Ctx.MemBase = Memory.data();
+  Ctx.MemSize = Memory.size();
+  Ctx.StepLimit = StepLimit;
+  Ctx.StatCounts = StatCounts.empty() ? nullptr : StatCounts.data();
+
+  auto Entry =
+      reinterpret_cast<void (*)(JITContext *)>(const_cast<void *>(NE.Mem.entry()));
+  Entry(&Ctx);
+
+  ExecStats S;
+  S.DynamicInsts = Ctx.DynamicInsts;
+  S.TotalCost = Ctx.TotalCost;
+  if (CollectStats)
+    for (size_t I = 0; I != StatCounts.size(); ++I)
+      if (StatCounts[I] != 0) {
+        const auto &Key = NE.NF.StatKeys[I];
+        (Key.second ? S.VectorOpCounts : S.ScalarOpCounts)[Key.first] +=
+            StatCounts[I];
+      }
+  if (Ctx.TrapCode != 0)
+    return trapStats(std::move(S),
+                     trapCodeReason(static_cast<TrapCode>(Ctx.TrapCode)));
+  if (Ctx.RetLaneCount != 0) {
+    std::vector<uint64_t> Lanes(Ctx.RetLanes,
+                                Ctx.RetLanes + Ctx.RetLaneCount);
+    S.ReturnValue = RuntimeValue(NE.NF.RetTy, std::move(Lanes));
+  }
+  return S;
+}
+
+bool jit::available() { return jitHostSupported(); }
+
+std::string jit::dumpModuleAsm(const Module &M,
+                               const TargetTransformInfo *TTI) {
+  auto Layout = ExecutionEngine::computeGlobalLayout(M);
+  std::string Out;
+  for (const auto &F : M.functions()) {
+    if (F->empty())
+      continue;
+    if (!Out.empty())
+      Out += "\n";
+    vm::CompiledFunction CF = vm::compileFunction(*F, Layout, TTI);
+    Out += "; jit function @" + F->getName() +
+           ": slots=" + std::to_string(CF.NumSlots) + "\n";
+    NativeOptions Opts;
+    Opts.BuildListing = true;
+    NativeFunction NF = compileNative(CF, Opts);
+    if (!NF.Error.empty()) {
+      Out += ";   jit compile error: " + NF.Error + "\n";
+      continue;
+    }
+    Out += NF.Listing;
+  }
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- jit/JITEngine.h - Native x86-64 execution engine ---------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third execution backend ("jit"): functions are first compiled to
+/// the VM's register bytecode (the engine derives from VMEngine and
+/// shares its bytecode cache), then lowered to x86-64 machine code and
+/// run from mmap'd RX memory. Results — return lanes, memory image,
+/// traps, DynamicInsts/TotalCost and per-opcode statistics — are
+/// bit-identical to the interpreter and the VM; the three-way
+/// DifferentialOracle parity check enforces it on every fuzz seed.
+///
+/// Functions the lowering cannot express (and hosts that cannot execute
+/// generated code) silently run on the inherited VM dispatch loop, so
+/// `--engine=jit` never changes observable behavior, only speed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_JIT_JITENGINE_H
+#define LSLP_JIT_JITENGINE_H
+
+#include "jit/ExecMemory.h"
+#include "jit/JITCompiler.h"
+#include "vm/VMEngine.h"
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+namespace lslp {
+
+/// Native-code execution engine ("jit").
+class JITEngine : public VMEngine {
+public:
+  explicit JITEngine(const Module &M,
+                     const TargetTransformInfo *TTI = nullptr);
+
+  ExecStats run(const Function *F,
+                const std::vector<RuntimeValue> &Args = {}) override;
+
+  const char *engineName() const override { return "jit"; }
+
+private:
+  struct NativeEntry {
+    jit::NativeFunction NF;
+    jit::ExecMemory Mem;
+    /// False when compilation or mapping failed; run() then falls back
+    /// to VMEngine::run for this function.
+    bool Usable = false;
+  };
+
+  /// Native code cache, keyed by (function, stats collection) — the
+  /// stats variant carries extra counter increments, so it is a separate
+  /// compilation. Same locking discipline as the bytecode cache.
+  const NativeEntry &getOrJit(const Function *F,
+                              const vm::CompiledFunction &CF, bool Stats);
+
+  mutable std::shared_mutex JitMutex;
+  std::map<std::pair<const Function *, bool>, NativeEntry> JitCache;
+  jit::NativeOptions BaseOpts; ///< NaN operand-order probe, done once.
+};
+
+namespace jit {
+
+/// True when `--engine=jit` can actually execute on this host.
+bool available();
+
+/// Deterministic textual x86-64 listing of every function of \p M
+/// (`lslpc --dump-jit-asm`). Pure lowering — runs on any host, and uses
+/// fixed operand order (no NaN probe) so listings are host-independent.
+std::string dumpModuleAsm(const Module &M, const TargetTransformInfo *TTI);
+
+} // namespace jit
+} // namespace lslp
+
+#endif // LSLP_JIT_JITENGINE_H

@@ -1,0 +1,102 @@
+//===- jit/RegAlloc.cpp - Linear-scan register cache ------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/RegAlloc.h"
+
+#include <cassert>
+
+using namespace lslp;
+using namespace lslp::jit;
+
+constexpr Gpr RegCache::Pool[];
+constexpr unsigned RegCache::PoolSize;
+
+int RegCache::find(uint32_t Slot) const {
+  for (unsigned I = 0; I != PoolSize; ++I)
+    if (Regs[I].Slot == static_cast<int64_t>(Slot))
+      return static_cast<int>(I);
+  return -1;
+}
+
+int RegCache::allocate() {
+  // Prefer an empty entry.
+  for (unsigned I = 0; I != PoolSize; ++I)
+    if (Regs[I].Slot < 0)
+      return static_cast<int>(I);
+  // Evict the least recently used unpinned entry.
+  int Victim = -1;
+  for (unsigned I = 0; I != PoolSize; ++I) {
+    if (Regs[I].Pinned)
+      continue;
+    if (Victim < 0 || Regs[I].LastUse < Regs[Victim].LastUse)
+      Victim = static_cast<int>(I);
+  }
+  assert(Victim >= 0 && "all cache registers pinned by one instruction");
+  if (Regs[Victim].Dirty)
+    Asm.movMR(slotMem(static_cast<uint32_t>(Regs[Victim].Slot)),
+              Pool[Victim]);
+  Regs[Victim] = Entry();
+  return Victim;
+}
+
+Gpr RegCache::read(uint32_t Slot, Gpr Scratch) {
+  if (!isCacheable(Slot)) {
+    Asm.movRM(Scratch, slotMem(Slot));
+    return Scratch;
+  }
+  int I = find(Slot);
+  if (I < 0) {
+    I = allocate();
+    Regs[I].Slot = Slot;
+    Asm.movRM(Pool[I], slotMem(Slot));
+  }
+  Regs[I].Pinned = true;
+  Regs[I].LastUse = ++Clock;
+  return Pool[I];
+}
+
+Gpr RegCache::writeReg(uint32_t Slot, Gpr Scratch) {
+  if (!isCacheable(Slot))
+    return Scratch;
+  int I = find(Slot);
+  if (I < 0) {
+    I = allocate();
+    Regs[I].Slot = Slot;
+  }
+  Regs[I].Pinned = true;
+  Regs[I].LastUse = ++Clock;
+  return Pool[I];
+}
+
+void RegCache::commit(uint32_t Slot, Gpr ValueReg) {
+  if (!isCacheable(Slot)) {
+    Asm.movMR(slotMem(Slot), ValueReg);
+    return;
+  }
+  int I = find(Slot);
+  assert(I >= 0 && Pool[I] == ValueReg && "commit without writeReg");
+  (void)ValueReg;
+  Regs[I].Dirty = true;
+}
+
+void RegCache::commitFrom(uint32_t Slot, Gpr ValueReg) {
+  if (!isCacheable(Slot)) {
+    Asm.movMR(slotMem(Slot), ValueReg);
+    return;
+  }
+  Gpr Dst = writeReg(Slot, ValueReg);
+  if (Dst != ValueReg)
+    Asm.movRR(Dst, ValueReg);
+  commit(Slot, Dst);
+}
+
+void RegCache::flush() {
+  for (unsigned I = 0; I != PoolSize; ++I) {
+    if (Regs[I].Slot >= 0 && Regs[I].Dirty)
+      Asm.movMR(slotMem(static_cast<uint32_t>(Regs[I].Slot)), Pool[I]);
+    Regs[I] = Entry();
+  }
+}

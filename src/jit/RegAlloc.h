@@ -1,0 +1,105 @@
+//===- jit/RegAlloc.h - Linear-scan register cache --------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register allocation over the VM's virtual registers. The bytecode's
+/// flat register file *is* the spill area: every slot lives at
+/// [FrameBase + slot*8], and a small pool of caller-managed GPRs caches
+/// hot scalar slots within one extended basic block. Cached slots are
+/// loaded lazily, written back on eviction (LRU among unpinned entries)
+/// and flushed at control-flow joins, so any number of live values
+/// (far beyond the 6-register pool) is handled by demand spilling.
+///
+/// Only slots the compiler marked cacheable participate — slots that are
+/// ever touched as vector lanes or through dynamic indexing are always
+/// accessed through memory, which keeps the SSE paths and the cache
+/// trivially coherent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_JIT_REGALLOC_H
+#define LSLP_JIT_REGALLOC_H
+
+#include "jit/Assembler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lslp {
+namespace jit {
+
+/// Per-block register cache mapping virtual-register slots to GPRs.
+class RegCache {
+public:
+  /// Pool of allocatable registers; disjoint from the pinned machine
+  /// state (rbx/rbp/r12-r15) and the scratch set (rax/rcx/rdx).
+  static constexpr Gpr Pool[] = {RSI, RDI, R8, R9, R10, R11};
+  static constexpr unsigned PoolSize = 6;
+
+  /// \p Cacheable flags each slot; uncacheable slots pass through to
+  /// memory via the caller-provided scratch register.
+  RegCache(Assembler &Asm, Gpr FrameBase, std::vector<bool> Cacheable)
+      : Asm(Asm), FrameBase(FrameBase), Cacheable(std::move(Cacheable)) {}
+
+  /// Starts a new instruction: releases the previous instruction's pins.
+  void beginInst() {
+    for (Entry &E : Regs)
+      E.Pinned = false;
+  }
+
+  /// Returns a register holding slot \p Slot, loading it if needed.
+  /// Cacheable slots come back in a pinned pool register; others are
+  /// loaded into \p Scratch. The result stays valid until commit()/
+  /// flush()/beginInst() of the next instruction.
+  Gpr read(uint32_t Slot, Gpr Scratch);
+
+  /// Returns a register to compute slot \p Slot's new value into
+  /// (a pinned pool register for cacheable slots, else \p Scratch).
+  /// Must be paired with commit() once the value is in place.
+  Gpr writeReg(uint32_t Slot, Gpr Scratch);
+
+  /// Finalizes a write: marks the cached entry dirty, or stores
+  /// \p ValueReg to the frame for uncacheable slots.
+  void commit(uint32_t Slot, Gpr ValueReg);
+
+  /// Convenience: routes \p ValueReg (any register) into slot \p Slot.
+  void commitFrom(uint32_t Slot, Gpr ValueReg);
+
+  /// Writes back dirty entries and clears all mappings (block boundary).
+  /// Emits only mov stores — never changes flags.
+  void flush();
+
+  /// Frame address of a slot, for direct memory access by vector code.
+  MemRef slotMem(uint32_t Slot) const {
+    return mem(FrameBase, static_cast<int32_t>(Slot * 8));
+  }
+
+  bool isCacheable(uint32_t Slot) const {
+    return Slot < Cacheable.size() && Cacheable[Slot];
+  }
+
+private:
+  struct Entry {
+    int64_t Slot = -1;
+    bool Dirty = false;
+    bool Pinned = false;
+    uint64_t LastUse = 0;
+  };
+
+  int find(uint32_t Slot) const;
+  int allocate(); ///< Picks (and evicts if needed) a pool entry.
+
+  Assembler &Asm;
+  Gpr FrameBase;
+  std::vector<bool> Cacheable;
+  Entry Regs[PoolSize];
+  uint64_t Clock = 0;
+};
+
+} // namespace jit
+} // namespace lslp
+
+#endif // LSLP_JIT_REGALLOC_H

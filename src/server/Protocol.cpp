@@ -257,7 +257,8 @@ bool server::decodeFuzzRequest(std::string_view Payload, FuzzRequest &Out,
     Err = "negative seed count";
     return false;
   }
-  if (Out.Engine > static_cast<uint8_t>(EngineKind::Bytecode) ||
+  EngineKind ParsedEngine;
+  if (!engineKindFromTag(Out.Engine, ParsedEngine) ||
       Out.Strategy >
           static_cast<uint8_t>(VectorizerConfig::PackingStrategyKind::Global)) {
     Err = "bad engine/strategy tag";

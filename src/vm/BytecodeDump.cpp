@@ -1,0 +1,206 @@
+//===- vm/BytecodeDump.cpp - Textual bytecode listings ----------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BytecodeDump.h"
+
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Type.h"
+#include "vm/BytecodeCompiler.h"
+#include "vm/ExecutionEngine.h"
+
+#include <cstdio>
+
+using namespace lslp;
+using namespace lslp::vm;
+
+namespace {
+
+const char *vmOpName(VMOp Op) {
+  switch (Op) {
+  case VMOp::IntBin:
+    return "IntBin";
+  case VMOp::FPBin:
+    return "FPBin";
+  case VMOp::Cast:
+    return "Cast";
+  case VMOp::ICmp:
+    return "ICmp";
+  case VMOp::Select:
+    return "Select";
+  case VMOp::Load:
+    return "Load";
+  case VMOp::Store:
+    return "Store";
+  case VMOp::Gep:
+    return "Gep";
+  case VMOp::InsertElt:
+    return "InsertElt";
+  case VMOp::ExtractElt:
+    return "ExtractElt";
+  case VMOp::Shuffle:
+    return "Shuffle";
+  case VMOp::Copy:
+    return "Copy";
+  case VMOp::PhiCommit:
+    return "PhiCommit";
+  case VMOp::Jump:
+    return "Jump";
+  case VMOp::Br:
+    return "Br";
+  case VMOp::CondBr:
+    return "CondBr";
+  case VMOp::Ret:
+    return "Ret";
+  case VMOp::RetVoid:
+    return "RetVoid";
+  }
+  return "?";
+}
+
+std::string kindName(const laneops::ScalarKind &K) {
+  if (K.IsPointer)
+    return "ptr";
+  if (K.IsFP)
+    return K.IsFloat32 ? "f32" : "f64";
+  return "i" + std::to_string(K.Bits);
+}
+
+std::string reg(uint32_t Slot) { return "r" + std::to_string(Slot); }
+
+} // namespace
+
+std::string vm::printVMInst(const CompiledFunction &CF, size_t PC) {
+  const VMInst &I = CF.Code[PC];
+  std::string S = vmOpName(I.Op);
+  switch (I.Op) {
+  case VMOp::IntBin:
+  case VMOp::FPBin:
+    S += std::string(" ") + Instruction::getOpcodeName(I.SrcOpc) + " " +
+         kindName(I.SrcK);
+    break;
+  case VMOp::Cast:
+    S += std::string(" ") + Instruction::getOpcodeName(I.SrcOpc) + " " +
+         kindName(I.SrcK) + "->" + kindName(I.DstK);
+    break;
+  case VMOp::ICmp:
+    S += std::string(" ") +
+         ICmpInst::getPredicateName(
+             static_cast<ICmpInst::Predicate>(I.Imm)) +
+         " " + kindName(I.SrcK);
+    break;
+  default:
+    break;
+  }
+  if (I.Lanes != 1)
+    S += " x" + std::to_string(I.Lanes);
+  switch (I.Op) {
+  case VMOp::IntBin:
+  case VMOp::FPBin:
+    S += " dst=" + reg(I.Dst) + " a=" + reg(I.A) + " b=" + reg(I.B);
+    break;
+  case VMOp::Cast:
+    S += " dst=" + reg(I.Dst) + " a=" + reg(I.A);
+    break;
+  case VMOp::ICmp:
+    S += " dst=" + reg(I.Dst) + " a=" + reg(I.A) + " b=" + reg(I.B);
+    break;
+  case VMOp::Select:
+    S += " dst=" + reg(I.Dst) + " cond=" + reg(I.A) + " t=" + reg(I.B) +
+         " f=" + reg(I.C);
+    break;
+  case VMOp::Load:
+    S += " dst=" + reg(I.Dst) + " ptr=" + reg(I.A) +
+         " size=" + std::to_string(I.Imm);
+    break;
+  case VMOp::Store:
+    S += " val=" + reg(I.A) + " ptr=" + reg(I.B) +
+         " size=" + std::to_string(I.Imm);
+    break;
+  case VMOp::Gep:
+    S += " dst=" + reg(I.Dst) + " base=" + reg(I.A) + " idx=" + reg(I.B) +
+         " scale=" + std::to_string(I.Imm);
+    break;
+  case VMOp::InsertElt:
+    S += " dst=" + reg(I.Dst) + " vec=" + reg(I.A) + " elt=" + reg(I.B) +
+         " lane=" + reg(I.C);
+    break;
+  case VMOp::ExtractElt:
+    S += " dst=" + reg(I.Dst) + " vec=" + reg(I.A) + " lane=" + reg(I.B);
+    break;
+  case VMOp::Shuffle: {
+    S += " dst=" + reg(I.Dst) + " a=" + reg(I.A) + "(x" +
+         std::to_string(I.C) + ") b=" + reg(I.B) + " mask=[";
+    for (unsigned K = 0; K != I.Lanes; ++K) {
+      if (K)
+        S += ",";
+      S += std::to_string(CF.MaskPool[static_cast<size_t>(I.Imm) + K]);
+    }
+    S += "]";
+    break;
+  }
+  case VMOp::Copy:
+  case VMOp::PhiCommit:
+    S += " dst=" + reg(I.Dst) + " a=" + reg(I.A);
+    break;
+  case VMOp::Jump:
+  case VMOp::Br:
+    S += " to=" + std::to_string(I.Dst);
+    break;
+  case VMOp::CondBr:
+    S += " cond=" + reg(I.A) + " true=" + std::to_string(I.Dst) +
+         " false=" + std::to_string(I.B);
+    break;
+  case VMOp::Ret:
+    S += " a=" + reg(I.A);
+    break;
+  case VMOp::RetVoid:
+    break;
+  }
+  if (!I.Charged)
+    S += " free";
+  else if (I.Cost != 0)
+    S += " cost=" + std::to_string(I.Cost);
+  return S;
+}
+
+std::string vm::dumpFunctionBytecode(const CompiledFunction &CF,
+                                     const std::string &Name) {
+  std::string Out = "; function @" + Name + ": slots=" +
+                    std::to_string(CF.NumSlots) + " args=[";
+  for (size_t I = 0; I != CF.ArgBase.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += reg(CF.ArgBase[I]);
+  }
+  Out += "]\n";
+  if (!CF.CompileError.empty())
+    return Out + ";   compile error: " + CF.CompileError + "\n";
+  char Buf[32];
+  for (size_t PC = 0; PC != CF.Code.size(); ++PC) {
+    std::snprintf(Buf, sizeof(Buf), "  [%4zu] ", PC);
+    Out += Buf;
+    Out += printVMInst(CF, PC);
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string vm::dumpModuleBytecode(const Module &M,
+                                   const TargetTransformInfo *TTI) {
+  auto Layout = ExecutionEngine::computeGlobalLayout(M);
+  std::string Out;
+  for (const auto &F : M.functions()) {
+    if (F->empty())
+      continue;
+    if (!Out.empty())
+      Out += "\n";
+    CompiledFunction CF = compileFunction(*F, Layout, TTI);
+    Out += dumpFunctionBytecode(CF, F->getName());
+  }
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- vm/BytecodeDump.h - Textual bytecode listings ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic textual rendering of compiled bytecode: one line per
+/// VMInst, plus a per-function header (slots, argument bases, mask pool).
+/// Backs `lslpc --dump-bytecode` and the per-instruction comments of the
+/// JIT's `--dump-jit-asm` listing, so both dumps stay in sync with the
+/// bytecode by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_VM_BYTECODEDUMP_H
+#define LSLP_VM_BYTECODEDUMP_H
+
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace lslp {
+
+class Module;
+class TargetTransformInfo;
+
+namespace vm {
+
+/// Renders one instruction ("IntBin add i32 x4 dst=r8 a=r0 b=r4 cost=1").
+std::string printVMInst(const CompiledFunction &CF, size_t PC);
+
+/// Renders a whole compiled function with a "; function @Name" header.
+std::string dumpFunctionBytecode(const CompiledFunction &CF,
+                                 const std::string &Name);
+
+/// Compiles and renders every function of \p M (declaration order),
+/// using the engine memory layout for global addresses. \p TTI may be
+/// null (costs print as 0).
+std::string dumpModuleBytecode(const Module &M,
+                               const TargetTransformInfo *TTI);
+
+} // namespace vm
+} // namespace lslp
+
+#endif // LSLP_VM_BYTECODEDUMP_H

@@ -7,13 +7,32 @@
 #include "vm/ExecutionEngine.h"
 
 #include "interp/Interpreter.h"
+#include "jit/ExecMemory.h"
+#include "jit/JITEngine.h"
 #include "vm/VMEngine.h"
+
+#include <cstdio>
+#include <mutex>
 
 using namespace lslp;
 
 std::unique_ptr<ExecutionEngine>
 ExecutionEngine::create(EngineKind Kind, const Module &M,
                         const TargetTransformInfo *TTI) {
+  if (Kind == EngineKind::NativeJit) {
+    if (jit::jitHostSupported())
+      return std::make_unique<JITEngine>(M, TTI);
+    // Degrade to the (bit-identical) VM with exactly one process-wide
+    // remark, so sweeps over many modules do not drown in notes.
+    static std::once_flag RemarkOnce;
+    std::call_once(RemarkOnce, [] {
+      std::fprintf(stderr,
+                   "note: --engine=jit is unavailable on this host (cannot "
+                   "execute generated x86-64 code); falling back to the vm "
+                   "engine\n");
+    });
+    return std::make_unique<VMEngine>(M, TTI);
+  }
   if (Kind == EngineKind::Bytecode)
     return std::make_unique<VMEngine>(M, TTI);
   return std::make_unique<Interpreter>(M, TTI);

@@ -71,14 +71,30 @@ struct ExecStats {
 
 /// Which execution backend to use.
 enum class EngineKind {
-  TreeWalk, ///< Reference tree-walking interpreter ("interp").
-  Bytecode, ///< Register-based bytecode VM ("vm").
+  TreeWalk,  ///< Reference tree-walking interpreter ("interp").
+  Bytecode,  ///< Register-based bytecode VM ("vm").
+  NativeJit, ///< x86-64 machine-code JIT ("jit"); falls back to the VM
+             ///< on hosts that cannot execute generated code.
 };
 
-/// Command-line name of an engine kind ("interp" / "vm").
+/// Command-line name of an engine kind ("interp" / "vm" / "jit").
 inline const char *engineKindName(EngineKind Kind) {
-  return Kind == EngineKind::TreeWalk ? "interp" : "vm";
+  switch (Kind) {
+  case EngineKind::TreeWalk:
+    return "interp";
+  case EngineKind::Bytecode:
+    return "vm";
+  case EngineKind::NativeJit:
+    return "jit";
+  }
+  return "?";
 }
+
+/// The accepted --engine= spellings, for tool error messages. Every tool
+/// that parses an engine name (lslpc, lslpd requests, bench -engine=)
+/// must reject unknown values with this exact choice list so the
+/// diagnostics cannot drift apart.
+inline const char *engineKindChoices() { return "interp|vm|jit"; }
 
 /// Parses an --engine= value; returns false on unknown names.
 inline bool parseEngineKind(std::string_view Name, EngineKind &Out) {
@@ -90,7 +106,20 @@ inline bool parseEngineKind(std::string_view Name, EngineKind &Out) {
     Out = EngineKind::Bytecode;
     return true;
   }
+  if (Name == "jit") {
+    Out = EngineKind::NativeJit;
+    return true;
+  }
   return false;
+}
+
+/// Validates a wire-format engine tag (serialized EngineKind). Shared by
+/// the daemon protocol decoder so new engines stay in sync.
+inline bool engineKindFromTag(uint8_t Tag, EngineKind &Out) {
+  if (Tag > static_cast<uint8_t>(EngineKind::NativeJit))
+    return false;
+  Out = static_cast<EngineKind>(Tag);
+  return true;
 }
 
 /// Executes functions of one module instance. Construction allocates and
@@ -100,15 +129,31 @@ inline bool parseEngineKind(std::string_view Name, EngineKind &Out) {
 class ExecutionEngine {
 public:
   explicit ExecutionEngine(const Module &M) : M(M) {
+    GlobalAddr = computeGlobalLayout(M);
     uint64_t Cursor = 4096;
     for (const auto &G : M.globals()) {
-      GlobalAddr[G.get()] = Cursor;
-      Cursor += G->getSizeInBytes();
+      Cursor = GlobalAddr[G.get()] + G->getSizeInBytes();
       Cursor = (Cursor + 63) & ~uint64_t(63);
     }
     Memory.assign(Cursor, 0);
   }
   virtual ~ExecutionEngine() = default;
+
+  /// The shared memory layout: guard page at address 0, globals from 4096
+  /// upward with 64-byte alignment between segments. Exposed statically
+  /// so offline consumers (bytecode/JIT listings) can address globals
+  /// identically to a live engine.
+  static std::map<const GlobalArray *, uint64_t>
+  computeGlobalLayout(const Module &M) {
+    std::map<const GlobalArray *, uint64_t> Layout;
+    uint64_t Cursor = 4096;
+    for (const auto &G : M.globals()) {
+      Layout[G.get()] = Cursor;
+      Cursor += G->getSizeInBytes();
+      Cursor = (Cursor + 63) & ~uint64_t(63);
+    }
+    return Layout;
+  }
 
   /// Creates an engine of the given kind. \p TTI may be null if only
   /// semantics (not cost accounting) matter.

@@ -38,10 +38,15 @@ public:
 
   const char *engineName() const override { return "vm"; }
 
-private:
+protected:
+  // The JIT engine (src/jit) derives from the VM: it reuses the bytecode
+  // cache as its compilation input and VMEngine::run as the per-function
+  // fallback when native compilation is unavailable.
   const vm::CompiledFunction &getOrCompile(const Function *F);
 
   const TargetTransformInfo *TTI;
+
+private:
   /// Per-function bytecode, compiled on first run. Guarded by CacheMutex
   /// (readers shared, compile+insert exclusive) so concurrent run() calls
   /// — e.g. parallel bench cells sharing one engine — are safe. std::map

@@ -1,0 +1,123 @@
+//===- tests/jit/DumpGoldenTest.cpp - Listing golden files ---------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Locks the exact text of the two listing surfaces behind `lslpc
+// --dump-bytecode` and `--dump-jit-asm` against golden files. Both
+// listings are deliberately host-independent (the jit dump is produced
+// with default options, without the host NaN-order probe), so the golden
+// bytes must match on every platform and compiler.
+//
+// To regenerate after an intentional format or lowering change:
+//   LSLP_UPDATE_GOLDEN=1 ./jit_test --gtest_filter='DumpGolden.*'
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "jit/JITEngine.h"
+#include "parser/Parser.h"
+#include "vm/BytecodeDump.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace lslp;
+
+namespace {
+
+/// A small module touching the interesting lowering shapes: a counted
+/// loop (phis, condbr), scalar and x2-vector memory traffic, an integer
+/// multiply and a float op — enough to keep the listing honest without
+/// pinning hundreds of lines.
+const char *kInput = "module \"golden\"\n"
+                     "\n"
+                     "global @a = [8 x i64]\n"
+                     "global @d = [4 x double]\n"
+                     "\n"
+                     "define i64 @sum(i64 %n) {\n"
+                     "entry:\n"
+                     "  br label %loop\n"
+                     "\n"
+                     "loop:\n"
+                     "  %i = phi i64 [ 0, %entry ], [ %next, %loop ]\n"
+                     "  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]\n"
+                     "  %p = gep i64, ptr @a, i64 %i\n"
+                     "  %v = load i64, ptr %p\n"
+                     "  %t = mul i64 %v, 3\n"
+                     "  %acc2 = add i64 %acc, %t\n"
+                     "  %next = add i64 %i, 1\n"
+                     "  %c = icmp slt i64 %next, %n\n"
+                     "  br i1 %c, label %loop, label %exit\n"
+                     "\n"
+                     "exit:\n"
+                     "  ret i64 %acc2\n"
+                     "}\n"
+                     "\n"
+                     "define void @scale() {\n"
+                     "entry:\n"
+                     "  %p0 = gep double, ptr @d, i64 0\n"
+                     "  %p1 = gep double, ptr @d, i64 1\n"
+                     "  %x0 = load double, ptr %p0\n"
+                     "  %x1 = load double, ptr %p1\n"
+                     "  %y0 = fmul double %x0, %x0\n"
+                     "  %y1 = fmul double %x1, %x1\n"
+                     "  store double %y0, ptr %p0\n"
+                     "  store double %y1, ptr %p1\n"
+                     "  ret void\n"
+                     "}\n";
+
+std::string goldenPath(const char *Name) {
+  return std::string(LSLP_JIT_GOLDEN_DIR) + "/" + Name;
+}
+
+void checkGolden(const char *Name, const std::string &Actual) {
+  std::string Path = goldenPath(Name);
+  if (std::getenv("LSLP_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::binary);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (run with LSLP_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  EXPECT_EQ(SS.str(), Actual)
+      << "listing drifted from " << Path
+      << "; regenerate with LSLP_UPDATE_GOLDEN=1 if intentional";
+}
+
+TEST(DumpGolden, Bytecode) {
+  Context Ctx;
+  auto M = parseModuleOrDie(kInput, Ctx);
+  SkylakeTTI TTI;
+  checkGolden("golden_module.bytecode.txt",
+              vm::dumpModuleBytecode(*M, &TTI));
+}
+
+TEST(DumpGolden, JitAsm) {
+  Context Ctx;
+  auto M = parseModuleOrDie(kInput, Ctx);
+  SkylakeTTI TTI;
+  checkGolden("golden_module.jit.s", jit::dumpModuleAsm(*M, &TTI));
+}
+
+/// Same text twice in one process — the listing builder keeps no global
+/// state and the native lowering is deterministic.
+TEST(DumpGolden, DumpsAreDeterministic) {
+  Context Ctx;
+  auto M = parseModuleOrDie(kInput, Ctx);
+  SkylakeTTI TTI;
+  EXPECT_EQ(jit::dumpModuleAsm(*M, &TTI), jit::dumpModuleAsm(*M, &TTI));
+  EXPECT_EQ(vm::dumpModuleBytecode(*M, &TTI),
+            vm::dumpModuleBytecode(*M, &TTI));
+}
+
+} // namespace

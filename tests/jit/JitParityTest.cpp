@@ -1,0 +1,287 @@
+//===- tests/jit/JitParityTest.cpp - Three-way engine parity -------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The jit is a third backend of the same cycle-model machine: everything
+// observable — return values, trap reasons, the memory image, dynamic
+// instruction counts, cycle totals and the per-opcode mix — must be
+// bit-identical to the tree-walker and the vm. The cases concentrate on
+// the edges where a native lowering most plausibly diverges: traps,
+// signed-division overflow, NaN payload propagation, float rounding,
+// fptosi saturation, and out-of-bounds lane semantics. A corpus replay
+// through the differential oracle closes with the full sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "costmodel/TargetTransformInfo.h"
+#include "fuzz/DifferentialOracle.h"
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "jit/ExecMemory.h"
+#include "parser/Parser.h"
+#include "vm/ExecutionEngine.h"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace lslp;
+
+namespace {
+
+struct Observation {
+  ExecStats Stats;
+  std::vector<uint8_t> Memory;
+};
+
+/// Runs @f of \p Src on the given engine with i64 arguments.
+Observation observe(EngineKind Kind, const std::string &Src,
+                    const std::vector<uint64_t> &Args,
+                    uint64_t StepLimit = 1u << 20) {
+  Context Ctx;
+  auto M = parseModuleOrDie(Src, Ctx);
+  SkylakeTTI TTI;
+  auto Engine = ExecutionEngine::create(Kind, *M, &TTI);
+  Engine->setStepLimit(StepLimit);
+  Engine->setCollectStats(true);
+  std::vector<RuntimeValue> RTArgs;
+  for (uint64_t A : Args)
+    RTArgs.push_back(RuntimeValue::makeInt(Ctx.getInt64Ty(), A));
+  Observation O;
+  O.Stats = Engine->run(M->getFunction("f"), RTArgs);
+  O.Memory = Engine->getMemoryImage();
+  return O;
+}
+
+/// Requires bit-identical observations on interp, vm and jit.
+void expectParity(const std::string &Src, std::vector<uint64_t> Args = {},
+                  uint64_t StepLimit = 1u << 20) {
+  Observation I = observe(EngineKind::TreeWalk, Src, Args, StepLimit);
+  for (EngineKind K : {EngineKind::Bytecode, EngineKind::NativeJit}) {
+    SCOPED_TRACE(engineKindName(K));
+    Observation O = observe(K, Src, Args, StepLimit);
+    EXPECT_EQ(I.Stats.Trapped, O.Stats.Trapped);
+    EXPECT_EQ(I.Stats.TrapReason, O.Stats.TrapReason);
+    EXPECT_EQ(I.Stats.ReturnValue.isValid(), O.Stats.ReturnValue.isValid());
+    // Each observation parses into its own Context, so Type pointers are
+    // not comparable across runs; the raw lane bits are the real contract.
+    EXPECT_EQ(I.Stats.ReturnValue.Lanes, O.Stats.ReturnValue.Lanes);
+    EXPECT_EQ(I.Stats.DynamicInsts, O.Stats.DynamicInsts);
+    EXPECT_EQ(I.Stats.TotalCost, O.Stats.TotalCost);
+    EXPECT_EQ(I.Stats.ScalarOpCounts, O.Stats.ScalarOpCounts);
+    EXPECT_EQ(I.Stats.VectorOpCounts, O.Stats.VectorOpCounts);
+    EXPECT_EQ(I.Memory, O.Memory);
+  }
+}
+
+std::string binOp(const char *Op) {
+  return std::string("define i64 @f(i64 %a, i64 %b) {\nentry:\n  %r = ") +
+         Op + " i64 %a, %b\n  ret i64 %r\n}\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Integer traps
+//===----------------------------------------------------------------------===//
+
+TEST(JitParity, DivisionTraps) {
+  for (const char *Op : {"udiv", "sdiv", "urem", "srem"}) {
+    SCOPED_TRACE(Op);
+    expectParity(binOp(Op), {42, 0});                          // By zero.
+    expectParity(binOp(Op), {1ull << 63, uint64_t(-1)});       // Overflow.
+    expectParity(binOp(Op), {uint64_t(-42), 5});               // Plain.
+  }
+}
+
+TEST(JitParity, ShiftEdgeCases) {
+  for (const char *Op : {"shl", "lshr", "ashr"})
+    for (uint64_t Amount : {uint64_t(0), uint64_t(1), uint64_t(63),
+                            uint64_t(64), uint64_t(65), uint64_t(-1)}) {
+      SCOPED_TRACE(Op);
+      expectParity(binOp(Op), {0x8000000000000001ull, Amount});
+    }
+}
+
+TEST(JitParity, StepLimitTrap) {
+  const char *Loop = "define void @f() {\nentry:\n  br label %l\n"
+                     "l:\n  br label %l\n}\n";
+  expectParity(Loop, {}, /*StepLimit=*/1000);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory traps
+//===----------------------------------------------------------------------===//
+
+TEST(JitParity, OutOfBoundsAccess) {
+  // Stores before the trapping one must retire identically; the trapping
+  // one must not. The i64 index is raw (wraps like the engines' uint64).
+  const char *Src = "module \"oob\"\n\n"
+                    "global @g = [4 x i64]\n\n"
+                    "define void @f(i64 %i) {\n"
+                    "entry:\n"
+                    "  %p0 = gep i64, ptr @g, i64 0\n"
+                    "  store i64 77, ptr %p0\n"
+                    "  %p = gep i64, ptr @g, i64 %i\n"
+                    "  store i64 88, ptr %p\n"
+                    "  ret void\n"
+                    "}\n";
+  for (uint64_t I : {uint64_t(1), uint64_t(4), uint64_t(100000),
+                     uint64_t(-1), uint64_t(-512)}) {
+    SCOPED_TRACE(I);
+    expectParity(Src, {I});
+  }
+}
+
+TEST(JitParity, LoadBelowGuardPage) {
+  // The first global sits at 4096; a negative index lands in the guard
+  // page below it, which traps even though the address is in range.
+  const char *Src = "module \"guard\"\n\n"
+                    "global @g = [4 x i64]\n\n"
+                    "define i64 @f(i64 %i) {\n"
+                    "entry:\n"
+                    "  %p = gep i64, ptr @g, i64 %i\n"
+                    "  %v = load i64, ptr %p\n"
+                    "  ret i64 %v\n"
+                    "}\n";
+  expectParity(Src, {uint64_t(-1)});
+  expectParity(Src, {uint64_t(-512)}); // Exactly address 0.
+}
+
+//===----------------------------------------------------------------------===//
+// Floating point
+//===----------------------------------------------------------------------===//
+
+// The dialect has no bitcast, so NaN payloads travel through memory: the
+// raw i64 is stored and re-loaded as a double (addresses are untyped).
+std::string fpBinViaMemory(const char *Op, bool MulAfter) {
+  std::string Src = "module \"fpbits\"\n\n"
+                    "global @buf = [2 x i64]\n\n"
+                    "define double @f(i64 %a, i64 %bb) {\n"
+                    "entry:\n"
+                    "  %pa = gep i64, ptr @buf, i64 0\n"
+                    "  %pb = gep i64, ptr @buf, i64 1\n"
+                    "  store i64 %a, ptr %pa\n"
+                    "  store i64 %bb, ptr %pb\n"
+                    "  %x = load double, ptr %pa\n"
+                    "  %y = load double, ptr %pb\n";
+  Src += std::string("  %r = ") + Op + " double %x, %y\n";
+  if (MulAfter)
+    Src += "  %s = fmul double %r, %y\n  ret double %s\n}\n";
+  else
+    Src += "  ret double %r\n}\n";
+  return Src;
+}
+
+TEST(JitParity, NaNPayloadPropagation) {
+  // IEEE leaves *which* NaN an operation returns to the implementation;
+  // the engines pin one answer bit-for-bit, so the jit must reproduce the
+  // host's operand order exactly (the NaN-order probe).
+  std::string Src = fpBinViaMemory("fadd", /*MulAfter=*/true);
+  uint64_t Q1 = 0x7FF8000000000001ull, Q2 = 0x7FF8000000000002ull;
+  expectParity(Src, {Q1, Q2});
+  expectParity(Src, {Q2, Q1});
+  expectParity(Src, {Q1, 0x3FF0000000000000ull});
+}
+
+TEST(JitParity, SignedZeroAndRounding) {
+  std::string Src = fpBinViaMemory("fadd", /*MulAfter=*/false);
+  expectParity(Src, {0x8000000000000000ull, 0x0000000000000000ull});
+  expectParity(Src, {0x8000000000000000ull, 0x8000000000000000ull});
+  // Subnormals and an inexact sum.
+  expectParity(Src, {0x0000000000000001ull, 0x0000000000000001ull});
+  expectParity(Src, {0x3FF0000000000001ull, 0x3CA0000000000000ull});
+  // Division: operand order is forced, not commutative.
+  expectParity(fpBinViaMemory("fdiv", false),
+               {0x3FF0000000000000ull, 0x0000000000000000ull}); // 1/0 = inf.
+}
+
+TEST(JitParity, FPToSISaturation) {
+  const char *Src = "module \"sat\"\n\n"
+                    "global @buf = [1 x i64]\n\n"
+                    "define i64 @f(i64 %a) {\n"
+                    "entry:\n"
+                    "  %p = gep i64, ptr @buf, i64 0\n"
+                    "  store i64 %a, ptr %p\n"
+                    "  %x = load double, ptr %p\n"
+                    "  %r = fptosi double %x to i64\n"
+                    "  ret i64 %r\n"
+                    "}\n";
+  for (uint64_t Bits :
+       {0x7FF8000000000000ull,  // NaN -> 0.
+        0x7FF0000000000000ull,  // +inf -> INT64_MAX.
+        0xFFF0000000000000ull,  // -inf -> INT64_MIN.
+        0x43E0000000000000ull,  // 2^63 -> INT64_MAX.
+        0xC3E0000000000000ull,  // -2^63 -> INT64_MIN (exactly representable).
+        0x40468C0000000000ull,  // 45.09375 -> 45.
+        0xC0468C0000000000ull}) // -45.09375 -> -45.
+  {
+    SCOPED_TRACE(Bits);
+    expectParity(Src, {Bits});
+  }
+}
+
+TEST(JitParity, FloatSingleRounding) {
+  // i64 -> f32 must round once (through double with a final cvtsd2ss is
+  // exact; converting via cvtsi2ss twice double-rounds).
+  const char *Src = "define float @f(i64 %a) {\n"
+                    "entry:\n"
+                    "  %r = sitofp i64 %a to float\n"
+                    "  ret float %r\n"
+                    "}\n";
+  expectParity(Src, {0x20000001ull});
+  expectParity(Src, {uint64_t(-0x20000001ll)});
+  expectParity(Src, {0x7FFFFFFFFFFFFFFFull});
+}
+
+//===----------------------------------------------------------------------===//
+// Engine facade
+//===----------------------------------------------------------------------===//
+
+TEST(JitParity, FactoryFallsBackGracefully) {
+  Context Ctx;
+  auto M = parseModuleOrDie("define void @f() {\nentry:\n  ret void\n}\n",
+                            Ctx);
+  auto Engine = ExecutionEngine::create(EngineKind::NativeJit, *M);
+  // Supported host: a real jit engine. Unsupported host: the bit-identical
+  // vm (after a single process-wide remark) — never a crash.
+  if (jit::jitHostSupported())
+    EXPECT_STREQ(Engine->engineName(), "jit");
+  else
+    EXPECT_STREQ(Engine->engineName(), "vm");
+  ExecStats S = Engine->run(M->getFunction("f"));
+  EXPECT_FALSE(S.Trapped);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus replay under the full oracle
+//===----------------------------------------------------------------------===//
+
+TEST(JitParity, CorpusReplayUnderThreeWayParity) {
+  // Every minimized reproducer through the complete differential oracle
+  // with the cross-engine invariant on — which now includes the jit leg
+  // on capable hosts (and deliberately skips it elsewhere, where
+  // --engine=jit is the vm again).
+  OracleOptions Opts;
+  Opts.CheckEngineParity = true;
+  DifferentialOracle Oracle(Opts);
+  size_t Count = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(LSLP_FUZZ_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".lslp")
+      continue;
+    ++Count;
+    std::ifstream In(Entry.path());
+    ASSERT_TRUE(In.good()) << Entry.path();
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    OracleVerdict V = Oracle.check(SS.str());
+    EXPECT_TRUE(V.Passed) << Entry.path().filename() << " ["
+                          << V.ConfigName << "]: " << V.Reason;
+  }
+  EXPECT_GE(Count, 4u);
+}
+
+} // namespace

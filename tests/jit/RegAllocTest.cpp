@@ -1,0 +1,148 @@
+//===- tests/jit/RegAllocTest.cpp - Register-cache behavior --------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The register cache's contract at two levels: unit checks on the code it
+// emits (hits emit nothing, clean evictions emit no store, flushes write
+// back exactly the dirty set), and an end-to-end spill-pressure run with
+// far more simultaneously-live values than the 6-register pool, executed
+// natively and compared against the vm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/RegAlloc.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "jit/ExecMemory.h"
+#include "parser/Parser.h"
+#include "vm/ExecutionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+using namespace lslp::jit;
+
+namespace {
+
+TEST(RegCache, SecondReadIsFree) {
+  Assembler A;
+  RegCache RC(A, RBX, std::vector<bool>(8, true));
+  RC.beginInst();
+  Gpr First = RC.read(3, RAX);
+  size_t AfterLoad = A.size();
+  EXPECT_GT(AfterLoad, 0u) << "first read must load from the frame";
+  RC.beginInst();
+  Gpr Second = RC.read(3, RAX);
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(A.size(), AfterLoad) << "cache hit must emit no code";
+}
+
+TEST(RegCache, UncacheableSlotGoesThroughScratch) {
+  Assembler A;
+  std::vector<bool> Cacheable(8, true);
+  Cacheable[2] = false;
+  RegCache RC(A, RBX, Cacheable);
+  RC.beginInst();
+  EXPECT_EQ(RC.read(2, RDX), RDX);
+  size_t AfterFirst = A.size();
+  RC.beginInst();
+  EXPECT_EQ(RC.read(2, RDX), RDX);
+  EXPECT_GT(A.size(), AfterFirst) << "uncacheable reads reload every time";
+}
+
+TEST(RegCache, CleanFlushEmitsNothing) {
+  Assembler A;
+  RegCache RC(A, RBX, std::vector<bool>(8, true));
+  RC.beginInst();
+  RC.read(0, RAX);
+  RC.read(1, RAX);
+  size_t BeforeFlush = A.size();
+  RC.flush();
+  EXPECT_EQ(A.size(), BeforeFlush) << "clean entries need no writeback";
+}
+
+TEST(RegCache, DirtyFlushWritesBack) {
+  Assembler A;
+  RegCache RC(A, RBX, std::vector<bool>(8, true));
+  RC.beginInst();
+  Gpr R = RC.writeReg(5, RAX);
+  RC.commit(5, R);
+  size_t BeforeFlush = A.size();
+  RC.flush();
+  EXPECT_GT(A.size(), BeforeFlush) << "dirty entry must be stored";
+  size_t AfterFlush = A.size();
+  RC.flush();
+  EXPECT_EQ(A.size(), AfterFlush) << "flush must also clear the dirty bit";
+}
+
+TEST(RegCache, EvictionUnderPressure) {
+  // Pool has 6 registers; touching 7 slots forces an eviction of the
+  // least recently used entry (slot 0). The still-resident slots then hit
+  // for free, and only the evicted slot pays a reload.
+  Assembler A;
+  RegCache RC(A, RBX, std::vector<bool>(32, true));
+  for (uint32_t S = 0; S <= RegCache::PoolSize; ++S) {
+    RC.beginInst();
+    RC.read(S, RAX);
+  }
+  size_t AfterFill = A.size();
+  for (uint32_t S = 1; S <= RegCache::PoolSize; ++S) {
+    RC.beginInst();
+    RC.read(S, RAX);
+  }
+  EXPECT_EQ(A.size(), AfterFill) << "resident slots must hit without code";
+  RC.beginInst();
+  RC.read(0, RAX);
+  EXPECT_GT(A.size(), AfterFill)
+      << "re-reading the evicted slot must reload it";
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end spill pressure
+//===----------------------------------------------------------------------===//
+
+/// A function keeping 20 scalar values live at once (each %vNN is born
+/// early and only dies in the final reduction chain), far beyond the
+/// 6-register pool — every extra value demand-spills through the frame.
+std::string spillPressureSource() {
+  std::string Src = "define i64 @f(i64 %n) {\nentry:\n";
+  for (int I = 0; I < 20; ++I)
+    Src += "  %v" + std::to_string(I) + " = add i64 %n, " +
+           std::to_string(I * 7 + 1) + "\n";
+  // Fold in reverse order so the first values stay live the longest.
+  Src += "  %m0 = mul i64 %v19, 3\n";
+  for (int I = 1; I < 20; ++I)
+    Src += "  %m" + std::to_string(I) + " = add i64 %m" +
+           std::to_string(I - 1) + ", %v" + std::to_string(19 - I) + "\n";
+  Src += "  %r = xor i64 %m19, %v0\n  ret i64 %r\n}\n";
+  return Src;
+}
+
+TEST(RegAllocExecution, SpillPressureMatchesVM) {
+  if (!jitHostSupported())
+    GTEST_SKIP() << "host cannot execute generated x86-64 code";
+  Context Ctx;
+  auto M = parseModuleOrDie(spillPressureSource(), Ctx);
+  SkylakeTTI TTI;
+  auto VM = ExecutionEngine::create(EngineKind::Bytecode, *M, &TTI);
+  auto JIT = ExecutionEngine::create(EngineKind::NativeJit, *M, &TTI);
+  ASSERT_STREQ(JIT->engineName(), "jit");
+  for (uint64_t N :
+       {uint64_t(0), uint64_t(1), uint64_t(12345), uint64_t(-7)}) {
+    std::vector<RuntimeValue> Args = {
+        RuntimeValue::makeInt(Ctx.getInt64Ty(), N)};
+    ExecStats A = VM->run(M->getFunction("f"), Args);
+    ExecStats B = JIT->run(M->getFunction("f"), Args);
+    ASSERT_FALSE(A.Trapped);
+    ASSERT_FALSE(B.Trapped);
+    EXPECT_EQ(A.ReturnValue.asUInt(), B.ReturnValue.asUInt()) << "n=" << N;
+    EXPECT_EQ(A.DynamicInsts, B.DynamicInsts);
+    EXPECT_EQ(A.TotalCost, B.TotalCost);
+  }
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+; jit function @sum: slots=15
+; prologue
+  0000: 53                             push rbx
+  0001: 55                             push rbp
+  0002: 41 54                          push r12
+  0004: 41 55                          push r13
+  0006: 41 56                          push r14
+  0008: 41 57                          push r15
+  000a: 48 89 fd                       mov rbp, rdi
+  000d: 48 8b 5d 00                    mov rbx, [rbp]
+  0011: 4c 8b 65 08                    mov r12, [rbp+8]
+  0015: 4c 8b 6d 10                    mov r13, [rbp+16]
+  0019: 4d 31 f6                       xor r14, r14
+  001c: 4d 31 ff                       xor r15, r15
+; [   0] Br to=11 cost=1
+  001f: 49 83 c6 01                    add r14, 1
+  0023: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0027: 0f 87 c4 01 00 00              ja L5
+  002d: 49 83 c7 01                    add r15, 1
+  0031: e9 76 01 00 00                 jmp L0
+L3:
+; [   1] PhiCommit dst=r1 a=r2
+  0036: 49 83 c6 01                    add r14, 1
+  003a: 4c 3b 75 18                    cmp r14, [rbp+24]
+  003e: 0f 87 ad 01 00 00              ja L5
+  0044: 48 8b 73 10                    mov rsi, [rbx+16]
+  0048: 48 89 f7                       mov rdi, rsi
+; [   2] PhiCommit dst=r3 a=r4
+  004b: 49 83 c6 01                    add r14, 1
+  004f: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0053: 0f 87 98 01 00 00              ja L5
+  0059: 4c 8b 43 20                    mov r8, [rbx+32]
+  005d: 4d 89 c1                       mov r9, r8
+; [   3] Gep dst=r5 base=r11 idx=r1 scale=8
+  0060: 49 83 c6 01                    add r14, 1
+  0064: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0068: 0f 87 83 01 00 00              ja L5
+  006e: 4c 8b 53 58                    mov r10, [rbx+88]
+  0072: 48 89 f9                       mov rcx, rdi
+  0075: 48 6b c9 08                    imul rcx, rcx, 8
+  0079: 4c 01 d1                       add rcx, r10
+  007c: 49 89 cb                       mov r11, rcx
+; [   4] Load dst=r6 ptr=r5 size=8 cost=1
+  007f: 49 83 c6 01                    add r14, 1
+  0083: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0087: 0f 87 64 01 00 00              ja L5
+  008d: 49 83 c7 01                    add r15, 1
+  0091: 4c 89 d9                       mov rcx, r11
+  0094: 48 81 f9 00 10 00 00           cmp rcx, 4096
+  009b: 0f 82 5c 01 00 00              jb L6
+  00a1: 48 8d 51 08                    lea rdx, [rcx+8]
+  00a5: 4c 39 ea                       cmp rdx, r13
+  00a8: 0f 87 4f 01 00 00              ja L6
+  00ae: 49 8b 14 0c                    mov rdx, [r12+rcx*1]
+  00b2: 48 89 d6                       mov rsi, rdx
+; [   5] IntBin mul i64 dst=r7 a=r6 b=r12 cost=1
+  00b5: 49 83 c6 01                    add r14, 1
+  00b9: 4c 3b 75 18                    cmp r14, [rbp+24]
+  00bd: 0f 87 2e 01 00 00              ja L5
+  00c3: 49 83 c7 01                    add r15, 1
+  00c7: 48 89 f0                       mov rax, rsi
+  00ca: 4c 8b 43 60                    mov r8, [rbx+96]
+  00ce: 4c 89 c1                       mov rcx, r8
+  00d1: 48 0f af c1                    imul rax, rcx
+  00d5: 4c 89 4b 18                    mov [rbx+24], r9
+  00d9: 49 89 c1                       mov r9, rax
+; [   6] IntBin add i64 dst=r8 a=r3 b=r7 cost=1
+  00dc: 49 83 c6 01                    add r14, 1
+  00e0: 4c 3b 75 18                    cmp r14, [rbp+24]
+  00e4: 0f 87 07 01 00 00              ja L5
+  00ea: 49 83 c7 01                    add r15, 1
+  00ee: 4c 8b 53 18                    mov r10, [rbx+24]
+  00f2: 4c 89 d0                       mov rax, r10
+  00f5: 4c 89 c9                       mov rcx, r9
+  00f8: 48 01 c8                       add rax, rcx
+  00fb: 48 89 7b 08                    mov [rbx+8], rdi
+  00ff: 48 89 c7                       mov rdi, rax
+; [   7] IntBin add i64 dst=r9 a=r1 b=r13 cost=1
+  0102: 49 83 c6 01                    add r14, 1
+  0106: 4c 3b 75 18                    cmp r14, [rbp+24]
+  010a: 0f 87 e1 00 00 00              ja L5
+  0110: 49 83 c7 01                    add r15, 1
+  0114: 4c 89 5b 28                    mov [rbx+40], r11
+  0118: 4c 8b 5b 08                    mov r11, [rbx+8]
+  011c: 4c 89 d8                       mov rax, r11
+  011f: 48 89 73 30                    mov [rbx+48], rsi
+  0123: 48 8b 73 68                    mov rsi, [rbx+104]
+  0127: 48 89 f1                       mov rcx, rsi
+  012a: 48 01 c8                       add rax, rcx
+  012d: 49 89 c0                       mov r8, rax
+; [   8] ICmp slt i64 dst=r10 a=r9 b=r0 cost=1
+  0130: 49 83 c6 01                    add r14, 1
+  0134: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0138: 0f 87 b3 00 00 00              ja L5
+  013e: 49 83 c7 01                    add r15, 1
+  0142: 4c 8b 13                       mov r10, [rbx]
+  0145: 4d 39 d0                       cmp r8, r10
+  0148: 0f 9c c2                       setl rdx.8
+  014b: 48 0f b6 d2                    movzx rdx, rdx.8
+  014f: 4c 89 4b 38                    mov [rbx+56], r9
+  0153: 49 89 d1                       mov r9, rdx
+; [   9] CondBr cond=r10 true=14 false=10 cost=1
+  0156: 49 83 c6 01                    add r14, 1
+  015a: 4c 3b 75 18                    cmp r14, [rbp+24]
+  015e: 0f 87 8d 00 00 00              ja L5
+  0164: 49 83 c7 01                    add r15, 1
+  0168: 49 f7 c1 01 00 00 00           test r9, 1
+  016f: 48 89 7b 40                    mov [rbx+64], rdi
+  0173: 4c 89 43 48                    mov [rbx+72], r8
+  0177: 4c 89 4b 50                    mov [rbx+80], r9
+  017b: 0f 85 42 00 00 00              jne L1
+  0181: e9 00 00 00 00                 jmp L2
+L2:
+; [  10] Ret a=r8 cost=1
+  0186: 49 83 c6 01                    add r14, 1
+  018a: 4c 3b 75 18                    cmp r14, [rbp+24]
+  018e: 0f 87 5d 00 00 00              ja L5
+  0194: 49 83 c7 01                    add r15, 1
+  0198: 48 8b 43 40                    mov rax, [rbx+64]
+  019c: 48 89 45 40                    mov [rbp+64], rax
+  01a0: c7 45 38 01 00 00 00           mov.32 [rbp+56], 1
+  01a7: e9 32 00 00 00                 jmp L4
+L0:
+; [  11] Copy dst=r2 a=r14 free
+  01ac: 48 8b 73 70                    mov rsi, [rbx+112]
+  01b0: 48 89 f7                       mov rdi, rsi
+; [  12] Copy dst=r4 a=r14 free
+  01b3: 49 89 f0                       mov r8, rsi
+; [  13] Jump to=1 free
+  01b6: 48 89 7b 10                    mov [rbx+16], rdi
+  01ba: 4c 89 43 20                    mov [rbx+32], r8
+  01be: e9 73 fe ff ff                 jmp L3
+L1:
+; [  14] Copy dst=r2 a=r9 free
+  01c3: 48 8b 73 48                    mov rsi, [rbx+72]
+  01c7: 48 89 f7                       mov rdi, rsi
+; [  15] Copy dst=r4 a=r8 free
+  01ca: 4c 8b 43 40                    mov r8, [rbx+64]
+  01ce: 4d 89 c1                       mov r9, r8
+; [  16] Jump to=1 free
+  01d1: 48 89 7b 10                    mov [rbx+16], rdi
+  01d5: 4c 89 4b 20                    mov [rbx+32], r9
+  01d9: e9 58 fe ff ff                 jmp L3
+; epilogue
+L4:
+  01de: 4c 89 75 20                    mov [rbp+32], r14
+  01e2: 4c 89 7d 28                    mov [rbp+40], r15
+  01e6: 41 5f                          pop r15
+  01e8: 41 5e                          pop r14
+  01ea: 41 5d                          pop r13
+  01ec: 41 5c                          pop r12
+  01ee: 5d                             pop rbp
+  01ef: 5b                             pop rbx
+  01f0: c3                             ret
+; trap: step limit exceeded (infinite loop?)
+L5:
+  01f1: c7 45 3c 01 00 00 00           mov.32 [rbp+60], 1
+  01f8: e9 e1 ff ff ff                 jmp L4
+; trap: out-of-bounds memory access
+L6:
+  01fd: c7 45 3c 08 00 00 00           mov.32 [rbp+60], 8
+  0204: e9 d5 ff ff ff                 jmp L4
+
+; jit function @scale: slots=9
+; prologue
+  0000: 53                             push rbx
+  0001: 55                             push rbp
+  0002: 41 54                          push r12
+  0004: 41 55                          push r13
+  0006: 41 56                          push r14
+  0008: 41 57                          push r15
+  000a: 48 89 fd                       mov rbp, rdi
+  000d: 48 8b 5d 00                    mov rbx, [rbp]
+  0011: 4c 8b 65 08                    mov r12, [rbp+8]
+  0015: 4c 8b 6d 10                    mov r13, [rbp+16]
+  0019: 4d 31 f6                       xor r14, r14
+  001c: 4d 31 ff                       xor r15, r15
+; [   0] Gep dst=r0 base=r6 idx=r7 scale=8
+  001f: 49 83 c6 01                    add r14, 1
+  0023: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0027: 0f 87 8c 01 00 00              ja L1
+  002d: 48 8b 73 30                    mov rsi, [rbx+48]
+  0031: 48 8b 7b 38                    mov rdi, [rbx+56]
+  0035: 48 89 f9                       mov rcx, rdi
+  0038: 48 6b c9 08                    imul rcx, rcx, 8
+  003c: 48 01 f1                       add rcx, rsi
+  003f: 49 89 c8                       mov r8, rcx
+; [   1] Gep dst=r1 base=r6 idx=r8 scale=8
+  0042: 49 83 c6 01                    add r14, 1
+  0046: 4c 3b 75 18                    cmp r14, [rbp+24]
+  004a: 0f 87 69 01 00 00              ja L1
+  0050: 4c 8b 4b 40                    mov r9, [rbx+64]
+  0054: 4c 89 c9                       mov rcx, r9
+  0057: 48 6b c9 08                    imul rcx, rcx, 8
+  005b: 48 01 f1                       add rcx, rsi
+  005e: 49 89 ca                       mov r10, rcx
+; [   2] Load dst=r2 ptr=r0 size=8 cost=1
+  0061: 49 83 c6 01                    add r14, 1
+  0065: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0069: 0f 87 4a 01 00 00              ja L1
+  006f: 49 83 c7 01                    add r15, 1
+  0073: 4c 89 c1                       mov rcx, r8
+  0076: 48 81 f9 00 10 00 00           cmp rcx, 4096
+  007d: 0f 82 42 01 00 00              jb L2
+  0083: 48 8d 51 08                    lea rdx, [rcx+8]
+  0087: 4c 39 ea                       cmp rdx, r13
+  008a: 0f 87 35 01 00 00              ja L2
+  0090: 49 8b 14 0c                    mov rdx, [r12+rcx*1]
+  0094: 49 89 d3                       mov r11, rdx
+; [   3] Load dst=r3 ptr=r1 size=8 cost=1
+  0097: 49 83 c6 01                    add r14, 1
+  009b: 4c 3b 75 18                    cmp r14, [rbp+24]
+  009f: 0f 87 14 01 00 00              ja L1
+  00a5: 49 83 c7 01                    add r15, 1
+  00a9: 4c 89 d1                       mov rcx, r10
+  00ac: 48 81 f9 00 10 00 00           cmp rcx, 4096
+  00b3: 0f 82 0c 01 00 00              jb L2
+  00b9: 48 8d 51 08                    lea rdx, [rcx+8]
+  00bd: 4c 39 ea                       cmp rdx, r13
+  00c0: 0f 87 ff 00 00 00              ja L2
+  00c6: 49 8b 14 0c                    mov rdx, [r12+rcx*1]
+  00ca: 48 89 d7                       mov rdi, rdx
+; [   4] FPBin fmul f64 dst=r4 a=r2 b=r2 cost=1
+  00cd: 49 83 c6 01                    add r14, 1
+  00d1: 4c 3b 75 18                    cmp r14, [rbp+24]
+  00d5: 0f 87 de 00 00 00              ja L1
+  00db: 49 83 c7 01                    add r15, 1
+  00df: 4c 89 d8                       mov rax, r11
+  00e2: 4c 89 d9                       mov rcx, r11
+  00e5: 66 48 0f 6e c0                 movq xmm0, rax
+  00ea: 66 48 0f 6e c9                 movq xmm1, rcx
+  00ef: f2 0f 59 c1                    mulsd xmm0, xmm1
+  00f3: 66 48 0f 7e c2                 movq rdx, xmm0
+  00f8: 48 89 d6                       mov rsi, rdx
+; [   5] FPBin fmul f64 dst=r5 a=r3 b=r3 cost=1
+  00fb: 49 83 c6 01                    add r14, 1
+  00ff: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0103: 0f 87 b0 00 00 00              ja L1
+  0109: 49 83 c7 01                    add r15, 1
+  010d: 48 89 f8                       mov rax, rdi
+  0110: 48 89 f9                       mov rcx, rdi
+  0113: 66 48 0f 6e c0                 movq xmm0, rax
+  0118: 66 48 0f 6e c9                 movq xmm1, rcx
+  011d: f2 0f 59 c1                    mulsd xmm0, xmm1
+  0121: 66 48 0f 7e c2                 movq rdx, xmm0
+  0126: 49 89 d1                       mov r9, rdx
+; [   6] Store val=r4 ptr=r0 size=8 cost=1
+  0129: 49 83 c6 01                    add r14, 1
+  012d: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0131: 0f 87 82 00 00 00              ja L1
+  0137: 49 83 c7 01                    add r15, 1
+  013b: 4c 89 c1                       mov rcx, r8
+  013e: 48 81 f9 00 10 00 00           cmp rcx, 4096
+  0145: 0f 82 7a 00 00 00              jb L2
+  014b: 48 8d 51 08                    lea rdx, [rcx+8]
+  014f: 4c 39 ea                       cmp rdx, r13
+  0152: 0f 87 6d 00 00 00              ja L2
+  0158: 49 89 34 0c                    mov [r12+rcx*1], rsi
+; [   7] Store val=r5 ptr=r1 size=8 cost=1
+  015c: 49 83 c6 01                    add r14, 1
+  0160: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0164: 0f 87 4f 00 00 00              ja L1
+  016a: 49 83 c7 01                    add r15, 1
+  016e: 4c 89 d1                       mov rcx, r10
+  0171: 48 81 f9 00 10 00 00           cmp rcx, 4096
+  0178: 0f 82 47 00 00 00              jb L2
+  017e: 48 8d 51 08                    lea rdx, [rcx+8]
+  0182: 4c 39 ea                       cmp rdx, r13
+  0185: 0f 87 3a 00 00 00              ja L2
+  018b: 4d 89 0c 0c                    mov [r12+rcx*1], r9
+; [   8] RetVoid cost=1
+  018f: 49 83 c6 01                    add r14, 1
+  0193: 4c 3b 75 18                    cmp r14, [rbp+24]
+  0197: 0f 87 1c 00 00 00              ja L1
+  019d: 49 83 c7 01                    add r15, 1
+  01a1: e9 00 00 00 00                 jmp L0
+; epilogue
+L0:
+  01a6: 4c 89 75 20                    mov [rbp+32], r14
+  01aa: 4c 89 7d 28                    mov [rbp+40], r15
+  01ae: 41 5f                          pop r15
+  01b0: 41 5e                          pop r14
+  01b2: 41 5d                          pop r13
+  01b4: 41 5c                          pop r12
+  01b6: 5d                             pop rbp
+  01b7: 5b                             pop rbx
+  01b8: c3                             ret
+; trap: step limit exceeded (infinite loop?)
+L1:
+  01b9: c7 45 3c 01 00 00 00           mov.32 [rbp+60], 1
+  01c0: e9 e1 ff ff ff                 jmp L0
+; trap: out-of-bounds memory access
+L2:
+  01c5: c7 45 3c 08 00 00 00           mov.32 [rbp+60], 8
+  01cc: e9 d5 ff ff ff                 jmp L0

@@ -114,6 +114,16 @@ TEST(Protocol, FuzzMessagesRoundTrip) {
   EXPECT_EQ(Out.FaultSeed, In.FaultSeed);
   EXPECT_EQ(Out.Strategy, In.Strategy);
 
+  // The engine tag is validated via the shared engineKindFromTag: every
+  // real engine (including jit = 2) decodes, one past the end does not.
+  In.Engine = 2;
+  ASSERT_TRUE(decodeFuzzRequest(encodeFuzzRequest(In), Out, Err)) << Err;
+  EXPECT_EQ(Out.Engine, 2);
+  In.Engine = 3;
+  EXPECT_FALSE(decodeFuzzRequest(encodeFuzzRequest(In), Out, Err));
+  EXPECT_EQ(Err, "bad engine/strategy tag");
+  In.Engine = 1;
+
   FuzzResponse RIn;
   SeedOutcome Pass;
   Pass.Seed = 7;

@@ -66,9 +66,25 @@ TEST(ExecutionEngineFacade, ParseEngineKind) {
   EXPECT_EQ(K, EngineKind::Bytecode);
   EXPECT_TRUE(parseEngineKind("interp", K));
   EXPECT_EQ(K, EngineKind::TreeWalk);
-  EXPECT_FALSE(parseEngineKind("jit", K));
+  EXPECT_TRUE(parseEngineKind("jit", K));
+  EXPECT_EQ(K, EngineKind::NativeJit);
+  // Unknown, near-miss and empty spellings must all be rejected — every
+  // tool funnels through this one parser, so this is the only place the
+  // rejection needs proving.
+  for (const char *Bad : {"", "JIT", "vm ", "interp,vm", "native", "jitt"}) {
+    EngineKind Probe = EngineKind::Bytecode;
+    EXPECT_FALSE(parseEngineKind(Bad, Probe)) << "'" << Bad << "'";
+    EXPECT_EQ(Probe, EngineKind::Bytecode) << "out-param clobbered";
+  }
   EXPECT_STREQ(engineKindName(EngineKind::TreeWalk), "interp");
   EXPECT_STREQ(engineKindName(EngineKind::Bytecode), "vm");
+  EXPECT_STREQ(engineKindName(EngineKind::NativeJit), "jit");
+  EXPECT_STREQ(engineKindChoices(), "interp|vm|jit");
+  // Wire-tag validation: every EngineKind round-trips, one past the end
+  // does not.
+  EXPECT_TRUE(engineKindFromTag(2, K));
+  EXPECT_EQ(K, EngineKind::NativeJit);
+  EXPECT_FALSE(engineKindFromTag(3, K));
 }
 
 //===----------------------------------------------------------------------===//

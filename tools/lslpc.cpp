@@ -49,6 +49,8 @@
 #include "support/ThreadPool.h"
 #include "transforms/EarlyCSE.h"
 #include "vectorizer/SLPVectorizerPass.h"
+#include "jit/JITEngine.h"
+#include "vm/BytecodeDump.h"
 #include "vm/ExecutionEngine.h"
 
 #include <cstdio>
@@ -77,6 +79,12 @@ struct Options {
   /// Which execution engine backs -run and the fuzz oracle (see
   /// DESIGN.md "Execution engines").
   EngineKind Engine = EngineKind::TreeWalk;
+  /// --dump-bytecode=FILE: write the vm bytecode listing of the final
+  /// module to FILE ('-' = stdout).
+  std::string DumpBytecodePath;
+  /// --dump-jit-asm=FILE: write the jit's annotated x86-64 listing of the
+  /// final module to FILE ('-' = stdout).
+  std::string DumpJitAsmPath;
   /// --engine-parity: cross-validate every fuzz seed on both engines
   /// (default: every 4th seed).
   bool EngineParity = false;
@@ -144,9 +152,20 @@ void printUsage() {
             "parameters default to 0\n"
             "  -init-memory              fill globals with deterministic "
             "values before -run\n"
-            "  --engine=interp|vm        execution engine: tree-walking "
+            "  --engine=interp|vm|jit    execution engine: tree-walking "
             "interpreter\n"
-            "                            (default) or bytecode register vm\n"
+            "                            (default), bytecode register vm, or "
+            "native\n"
+            "                            x86-64 jit (falls back to the vm on "
+            "hosts\n"
+            "                            that cannot execute generated code)\n"
+            "  --dump-bytecode=FILE      write the vm bytecode listing of "
+            "the final\n"
+            "                            module to FILE ('-' = stdout)\n"
+            "  --dump-jit-asm=FILE       write the jit's annotated x86-64 "
+            "listing of\n"
+            "                            the final module to FILE ('-' = "
+            "stdout)\n"
             "  --jobs=N                  worker threads for vectorization "
             "and fuzzing\n"
             "                            (deterministic: output is identical "
@@ -314,11 +333,15 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.RunSpec = Plain.substr(4);
     else if (startsWith(Plain, "engine=")) {
       if (!parseEngineKind(Plain.substr(7), Opts.Engine)) {
-        errs() << "lslpc: bad engine '" << Plain.substr(7)
-               << "' (expected 'interp' or 'vm')\n";
+        errs() << "lslpc: bad engine '" << Plain.substr(7) << "' (expected "
+               << engineKindChoices() << ")\n";
         return false;
       }
-    } else if (Plain == "engine-parity")
+    } else if (startsWith(Plain, "dump-bytecode="))
+      Opts.DumpBytecodePath = Plain.substr(14);
+    else if (startsWith(Plain, "dump-jit-asm="))
+      Opts.DumpJitAsmPath = Plain.substr(13);
+    else if (Plain == "engine-parity")
       Opts.EngineParity = true;
     else if (Plain == "remarks" || Plain == "remarks=text")
       Opts.Remarks = RemarkFormat::Text;
@@ -561,6 +584,23 @@ int runReduce(const std::string &Path, EngineKind Engine, bool Parity) {
   return 0;
 }
 
+/// Sink for the --dump-bytecode/--dump-jit-asm listings: FILE, or stdout
+/// for '-'.
+bool writeDumpFile(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    outs() << Text;
+    return true;
+  }
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    errs() << "lslpc: cannot open dump output '" << Path << "'\n";
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+  return true;
+}
+
 /// --verify-each support: verifies \p M after the pass named \p PassName
 /// and folds any diagnostics into a structured Error (category Verify).
 Error verifyAfterPass(const Module &M, const char *PassName) {
@@ -678,6 +718,21 @@ int compileModule(const Options &Opts, VectorizerConfig Config,
     }
   }
 
+  // Post-vectorization listings: both dumps render the same compiled
+  // bytecode (the jit listing embeds it as per-instruction comments), so
+  // they describe the module exactly as -run/--fuzz would execute it.
+  if (!Opts.DumpBytecodePath.empty()) {
+    TimeRegion R(TimerFor("dump-bytecode"));
+    if (!writeDumpFile(Opts.DumpBytecodePath,
+                       vm::dumpModuleBytecode(*M, &TTI)))
+      return 1;
+  }
+  if (!Opts.DumpJitAsmPath.empty()) {
+    TimeRegion R(TimerFor("dump-jit-asm"));
+    if (!writeDumpFile(Opts.DumpJitAsmPath, jit::dumpModuleAsm(*M, &TTI)))
+      return 1;
+  }
+
   if (Opts.PrintIR)
     printModule(outs(), *M);
 
@@ -694,7 +749,8 @@ int compileModule(const Options &Opts, VectorizerConfig Config,
 /// on the legacy in-process path above and are rejected under --connect.
 bool needsLegacyCompilePath(const Options &Opts) {
   return !Opts.RunSpec.empty() || Opts.Graphs || Opts.Dot ||
-         Opts.TimePasses || Opts.RemarksOutput == "-";
+         Opts.TimePasses || Opts.RemarksOutput == "-" ||
+         !Opts.DumpBytecodePath.empty() || !Opts.DumpJitAsmPath.empty();
 }
 
 /// Builds the daemon-protocol request equivalent to \p Opts.
@@ -864,7 +920,8 @@ int main(int argc, char **argv) {
     return serviceCompile(Opts);
   if (!Opts.ConnectSockets.empty()) {
     errs() << "lslpc: --connect does not support -run/-graphs/-dot/"
-              "--time-passes/--remarks-output=- (local-only features)\n";
+              "--time-passes/--remarks-output=-/--dump-bytecode/"
+              "--dump-jit-asm (local-only features)\n";
     return 1;
   }
 
