@@ -1,0 +1,43 @@
+; Branchy + loop kernel for the CFG pipeline (-if-convert -unroll):
+; a diamond picks a coefficient per lane block, then a trip-8 counted
+; loop accumulates OUT[i] = A[i] * coeff + B[i]. Plain SLP sees nothing
+; (the branch splits the block; the loop body is one lane wide); after
+; if-conversion flattens the diamond and the unroller widens the body,
+; the stores pack. Exercised by the CI determinism gate and the daemon
+; serving gate alongside the other examples.
+
+global @A = [16 x i64]
+global @B = [16 x i64]
+global @OUT = [16 x i64]
+
+define void @kernel() {
+entry:
+  %p0 = gep i64, ptr @A, i64 0
+  %a0 = load i64, ptr %p0
+  %c = icmp slt i64 %a0, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  %cn = mul i64 %a0, -2
+  br label %head
+pos:
+  %cp = add i64 %a0, 3
+  br label %head
+head:
+  %coeff = phi i64 [ %cn, %neg ], [ %cp, %pos ]
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %head ], [ %next, %loop ]
+  %pa = gep i64, ptr @A, i64 %i
+  %pb = gep i64, ptr @B, i64 %i
+  %a = load i64, ptr %pa
+  %b = load i64, ptr %pb
+  %ax = mul i64 %a, %coeff
+  %s = add i64 %ax, %b
+  %q = gep i64, ptr @OUT, i64 %i
+  store i64 %s, ptr %q
+  %next = add i64 %i, 1
+  %done = icmp ult i64 %next, 8
+  br i1 %done, label %loop, label %exit
+exit:
+  ret void
+}

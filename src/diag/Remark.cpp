@@ -46,6 +46,14 @@ const char *lslp::remarkKindName(RemarkKind Kind) {
     return "global-packing-solved";
   case RemarkKind::GlobalPackingBudget:
     return "global-packing-budget";
+  case RemarkKind::IfConverted:
+    return "if-converted";
+  case RemarkKind::IfConversionSkipped:
+    return "if-conversion-skipped";
+  case RemarkKind::LoopUnrolled:
+    return "loop-unrolled";
+  case RemarkKind::LoopUnrollSkipped:
+    return "loop-unroll-skipped";
   }
   return "unknown";
 }
@@ -59,7 +67,9 @@ bool lslp::remarkKindFromName(std::string_view Name, RemarkKind &Out) {
       RemarkKind::CostAccepted,    RemarkKind::CostRejected,
       RemarkKind::SchedulerBailout, RemarkKind::ReductionFound,
       RemarkKind::CSEHit,           RemarkKind::BudgetExhausted,
-      RemarkKind::GlobalPackingSolved, RemarkKind::GlobalPackingBudget};
+      RemarkKind::GlobalPackingSolved, RemarkKind::GlobalPackingBudget,
+      RemarkKind::IfConverted,          RemarkKind::IfConversionSkipped,
+      RemarkKind::LoopUnrolled,         RemarkKind::LoopUnrollSkipped};
   for (RemarkKind K : AllKinds) {
     if (Name == remarkKindName(K)) {
       Out = K;

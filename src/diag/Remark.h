@@ -50,6 +50,10 @@ enum class RemarkKind : uint8_t {
   BudgetExhausted,   ///< A resource budget ran out; function kept scalar.
   GlobalPackingSolved, ///< Global solver picked a pack set (with cost delta).
   GlobalPackingBudget, ///< Global solver hit its candidate cap mid-search.
+  IfConverted,         ///< A diamond/triangle collapsed into selects.
+  IfConversionSkipped, ///< A branch shape matched but speculation was illegal.
+  LoopUnrolled,        ///< A counted loop's body was replicated.
+  LoopUnrollSkipped,   ///< A loop candidate was not unrolled (with reason).
 };
 
 /// Stable external name of \p Kind (e.g. "seed-found").

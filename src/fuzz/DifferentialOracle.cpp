@@ -17,6 +17,8 @@
 #include "parser/Parser.h"
 #include "support/FaultInjection.h"
 #include "support/OStream.h"
+#include "transforms/IfConversion.h"
+#include "transforms/LoopUnroll.h"
 #include "vectorizer/SLPVectorizerPass.h"
 #include "vm/ExecutionEngine.h"
 #include "vm/MemoryInit.h"
@@ -170,6 +172,12 @@ std::vector<VectorizerConfig> DifferentialOracle::defaultConfigs() {
   NoExt.EnableReductions = false;
   NoExt.Name = "LSLP-noext";
   Cs.push_back(NoExt);
+
+  VectorizerConfig Cfg = VectorizerConfig::lslp();
+  Cfg.EnableIfConversion = true;
+  Cfg.EnableLoopUnroll = true;
+  Cfg.Name = "LSLP-cfg";
+  Cs.push_back(Cfg);
   return Cs;
 }
 
@@ -243,6 +251,15 @@ OracleVerdict DifferentialOracle::check(const std::string &IRText) const {
         Faults.emplace(Opts.FaultSeed, Opts.FaultProbability);
         Cfg.Faults = &*Faults;
       }
+      // Pre-vectorization CFG pipeline, same order as the drivers
+      // (if-convert, then unroll). The scalar baseline above never runs
+      // these, so the bit-exact execution diff checks that flattening
+      // and unrolling preserve semantics, not just that the vectorizer
+      // handles their output.
+      if (Cfg.EnableIfConversion)
+        runIfConversion(*M, Cfg.Remarks);
+      if (Cfg.EnableLoopUnroll)
+        runLoopUnroll(*M, Cfg.UnrollFactor, Cfg.Remarks);
       SLPVectorizerPass Pass(Cfg, TTI);
       ModuleReport Report = Pass.runOnModule(*M);
       AcceptedCost = Report.acceptedCost();

@@ -111,6 +111,20 @@ int64_t lslp::runFuzzSweep(
     }
     BaseOpts.SweepStrategies = false;
   }
+  if (Opts.IfConvert || Opts.Unroll) {
+    // CFG-pipeline soak: pin the requested passes on across every swept
+    // config (on top of any strategy pinning above). The scalar baseline
+    // still executes the untransformed module, so the bit-exact diff
+    // checks the CFG passes themselves, not just the vectorizer.
+    if (BaseOpts.Configs.empty())
+      BaseOpts.Configs = DifferentialOracle::defaultConfigs();
+    for (VectorizerConfig &C : BaseOpts.Configs) {
+      C.EnableIfConversion = Opts.IfConvert;
+      C.EnableLoopUnroll = Opts.Unroll;
+      C.UnrollFactor = Opts.UnrollFactor;
+      C.Name += "-cfg";
+    }
+  }
   DifferentialOracle Oracle(BaseOpts);
   OracleOptions ParityOpts = BaseOpts;
   ParityOpts.CheckEngineParity = true;

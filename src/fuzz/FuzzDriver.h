@@ -52,6 +52,12 @@ struct FuzzSweepOptions {
   /// the pack-set solver alone under ASan/UBSan.
   VectorizerConfig::PackingStrategyKind Strategy =
       VectorizerConfig::PackingStrategyKind::Greedy;
+  /// Pin the pre-vectorization CFG pipeline on across every swept config
+  /// (lslpc -if-convert / -unroll[=N] under --fuzz). Off, the sweep still
+  /// exercises the passes through the oracle's dedicated LSLP-cfg config.
+  bool IfConvert = false;
+  bool Unroll = false;
+  unsigned UnrollFactor = 4;
   /// When non-empty, the sweep shards across the lslpd daemons at these
   /// socket paths instead of running in-process. runFuzzSweep() itself
   /// ignores this field (the fuzz library cannot depend on the server

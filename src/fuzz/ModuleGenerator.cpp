@@ -87,6 +87,10 @@ public:
     for (unsigned D = 0; D != NumDiamonds; ++D)
       Cur = emitDiamond(F, Cur, D + 1);
 
+    unsigned NumLoops = static_cast<unsigned>(Rng.nextBelow(3));
+    for (unsigned L = 0; L != NumLoops; ++L)
+      Cur = emitLoop(F, Cur, L + 1);
+
     IRB.setInsertPoint(Cur);
     IRB.createRet();
     return M;
@@ -153,6 +157,65 @@ private:
     }
     emitBody(IRB);
     return Join;
+  }
+
+  /// Appends a counted single-block loop (preheader br in \p Cur, a body
+  /// whose header doubles as the latch, an exit block) and returns the
+  /// exit. Trip counts are small constants, the induction variable starts
+  /// at zero and steps by one, and every gep index derived from it stays
+  /// in bounds — the shape the pre-vectorization unroller targets, with
+  /// both divisible and prime trip counts so its no-dividing-factor
+  /// fallback gets exercised too.
+  BasicBlock *emitLoop(Function *F, BasicBlock *Cur, unsigned N) {
+    std::string Id = std::to_string(N);
+    BasicBlock *Body = BasicBlock::create(Ctx, "loop" + Id, F);
+    BasicBlock *Exit = BasicBlock::create(Ctx, "loopexit" + Id, F);
+    S.NumBlocks += 2;
+    ++S.NumCondBranches;
+    ++S.NumLoops;
+
+    static const uint64_t Trips[] = {4, 8, 12, 16, 5, 7};
+    uint64_t Trip = Trips[Rng.nextBelow(std::size(Trips))];
+    const ScalarKind &K = Kinds[2 + Rng.nextBelow(2)]; // i32 or i64.
+    uint64_t Base = Rng.nextBelow(ModuleGenerator::ArrayLen - Trip + 1);
+
+    IRBuilder IRB(Cur);
+    IRB.createBr(Body);
+
+    IRB.setInsertPoint(Body);
+    PHINode *IV = IRB.createPHI(Ctx.getInt64Ty(), "iv" + Id);
+    bool WithAcc = Rng.nextChance(1, 2);
+    PHINode *Acc = WithAcc ? IRB.createPHI(K.Ty, "acc" + Id) : nullptr;
+
+    Value *Idx =
+        IRB.createBinOp(ValueID::Add, IV, Ctx.getInt64(Base));
+    Value *Ld =
+        IRB.createLoad(K.Ty, IRB.createGEP(K.Ty, input(K), Idx));
+    Value *V = Ld;
+    if (WithAcc) {
+      V = IRB.createBinOp(Rng.nextChance(1, 2) ? ValueID::Add : ValueID::Xor,
+                          Acc, Ld, "acc.next" + Id);
+      Acc->addIncoming(constantFor(K, Rng.nextBelow(16)), Cur);
+      Acc->addIncoming(V, Body);
+    }
+    IRB.createStore(V, IRB.createGEP(K.Ty, out(K), Idx));
+    ++S.NumStores;
+
+    Value *Next = IRB.createBinOp(ValueID::Add, IV, Ctx.getInt64(1),
+                                  "iv.next" + Id);
+    IV->addIncoming(Ctx.getInt64(0), Cur);
+    IV->addIncoming(Next, Body);
+    if (Rng.nextChance(1, 2)) {
+      Value *Cmp = IRB.createICmp(ICmpInst::ULT, Next, Ctx.getInt64(Trip));
+      IRB.createCondBr(Cmp, Body, Exit); // Back edge on true.
+    } else {
+      Value *Cmp = IRB.createICmp(ICmpInst::EQ, Next, Ctx.getInt64(Trip));
+      IRB.createCondBr(Cmp, Exit, Body); // Back edge on false.
+    }
+
+    IRB.setInsertPoint(Exit);
+    emitBody(IRB);
+    return Exit;
   }
 
   /// Emits 1-2 random groups into the current block.

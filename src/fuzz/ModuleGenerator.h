@@ -10,7 +10,8 @@
 /// tests/integration/PropertyTest.cpp, the generator covers much more of
 /// what GraphBuilder/Scheduler/CodeGen accept:
 ///
-///   - multi-block acyclic CFGs (diamonds with optional join phis),
+///   - multi-block CFGs (diamonds with optional join phis, and counted
+///     single-block loops for the pre-vectorization unroller),
 ///   - integer widths i8/i16/i32/i64 and double, with cast chains,
 ///   - aliasing and overlapping store/load groups on a shared array,
 ///   - partially-isomorphic lanes (per-lane opcode flips, operand swaps),
@@ -19,8 +20,10 @@
 /// while staying biased toward shapes the SLP seed collector latches onto
 /// (groups of adjacent same-type stores fed by near-isomorphic trees).
 ///
-/// Trap freedom by construction: all gep indices are in-bounds constants,
-/// division is only by non-zero constants, the CFG is acyclic, and every
+/// Trap freedom by construction: all gep indices stay in bounds (constants,
+/// or a loop induction variable whose range is a compile-time fact),
+/// division is only by non-zero constants, every loop has a small constant
+/// trip count (the CFG is otherwise acyclic), and every
 /// floating-point intermediate is an exactly-representable small integer so
 /// that fast-math reassociation performed by multi-node reordering cannot
 /// change results bit-for-bit.
@@ -47,6 +50,7 @@ struct GeneratorStats {
   unsigned NumBlocks = 0;
   unsigned NumCondBranches = 0;
   unsigned NumJoinPhis = 0;
+  unsigned NumLoops = 0; ///< Counted single-block loops emitted.
   unsigned NumStores = 0;
   unsigned NumStoreGroups = 0;
   unsigned NumAliasingGroups = 0;
@@ -62,6 +66,7 @@ struct GeneratorStats {
     NumBlocks += O.NumBlocks;
     NumCondBranches += O.NumCondBranches;
     NumJoinPhis += O.NumJoinPhis;
+    NumLoops += O.NumLoops;
     NumStores += O.NumStores;
     NumStoreGroups += O.NumStoreGroups;
     NumAliasingGroups += O.NumAliasingGroups;

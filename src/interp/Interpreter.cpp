@@ -303,8 +303,19 @@ private:
     }
     case ValueID::Select: {
       const auto *S = cast<SelectInst>(I);
-      bool Cond = getValue(Fr, S->getCondition()).asUInt() & 1;
-      return getValue(Fr, Cond ? S->getTrueValue() : S->getFalseValue());
+      RuntimeValue Cond = getValue(Fr, S->getCondition());
+      if (S->getCondition()->getType()->isVectorTy()) {
+        // Per-lane blend (LaneOps.h evalSelectLane).
+        RuntimeValue T = getValue(Fr, S->getTrueValue());
+        RuntimeValue F = getValue(Fr, S->getFalseValue());
+        std::vector<uint64_t> Lanes(Cond.getNumLanes());
+        for (unsigned K = 0; K != Cond.getNumLanes(); ++K)
+          Lanes[K] =
+              laneops::evalSelectLane(Cond.Lanes[K], T.Lanes[K], F.Lanes[K]);
+        return RuntimeValue(I->getType(), std::move(Lanes));
+      }
+      bool Taken = Cond.asUInt() & 1;
+      return getValue(Fr, Taken ? S->getTrueValue() : S->getFalseValue());
     }
     case ValueID::InsertElement: {
       const auto *IE = cast<InsertElementInst>(I);

@@ -267,6 +267,14 @@ inline bool evalICmp(ICmpInst::Predicate Pred, ScalarKind K, uint64_t UL,
   lslp_unreachable("covered switch");
 }
 
+/// Per-lane select: the low bit of \p Cond picks \p TrueV or \p FalseV.
+/// All three engines (interpreter, vm SelectLanes, jit blend) implement
+/// exactly this — only bit 0 of the condition lane is significant.
+inline uint64_t evalSelectLane(uint64_t Cond, uint64_t TrueV,
+                               uint64_t FalseV) {
+  return (Cond & 1) ? TrueV : FalseV;
+}
+
 } // namespace laneops
 } // namespace lslp
 

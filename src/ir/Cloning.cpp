@@ -15,13 +15,7 @@
 
 using namespace lslp;
 
-namespace {
-
-/// Creates an unlinked copy of \p I that still references \p I's original
-/// operands; the caller remaps them afterwards. Using the original
-/// operands keeps every create() factory's type computation correct even
-/// for forward references (phis over back-edges, blocks cloned later).
-Instruction *cloneInstruction(const Instruction &I) {
+Instruction *lslp::cloneInstructionDetached(const Instruction &I) {
   ValueID Opc = I.getOpcode();
   if (I.isBinaryOp())
     return BinaryOperator::create(Opc, I.getOperand(0), I.getOperand(1),
@@ -79,8 +73,6 @@ Instruction *cloneInstruction(const Instruction &I) {
   }
 }
 
-} // namespace
-
 std::unique_ptr<Function> lslp::cloneFunctionDetached(const Function &F) {
   Context &Ctx = F.getContext();
   std::vector<Type *> ArgTypes;
@@ -107,7 +99,7 @@ std::unique_ptr<Function> lslp::cloneFunctionDetached(const Function &F) {
   for (const auto &BB : F) {
     auto *NewBB = cast<BasicBlock>(VMap[BB.get()]);
     for (const auto &I : *BB) {
-      Instruction *NI = cloneInstruction(*I);
+      Instruction *NI = cloneInstructionDetached(*I);
       NewBB->append(NI);
       VMap[I.get()] = NI;
       NewInsts.push_back(NI);

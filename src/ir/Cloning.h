@@ -21,6 +21,14 @@
 namespace lslp {
 
 class Function;
+class Instruction;
+
+/// Creates an unlinked copy of \p I that still references \p I's original
+/// operands; the caller remaps them afterwards and inserts the clone.
+/// Using the original operands keeps every create() factory's type
+/// computation correct even for forward references. Loop unrolling uses
+/// this to replicate a loop body instruction by instruction.
+Instruction *cloneInstructionDetached(const Instruction &I);
 
 /// Deep-copies \p F into a detached function (no parent module) with the
 /// same name, signature, block structure, instruction order, operand graph

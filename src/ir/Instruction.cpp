@@ -204,14 +204,27 @@ const char *ICmpInst::getPredicateName(Predicate Pred) {
 SelectInst::SelectInst(Value *Cond, Value *TrueVal, Value *FalseVal,
                        std::string Name)
     : Instruction(ValueID::Select, TrueVal->getType(), std::move(Name)) {
-  assert(Cond->getType()->isIntegerTy() &&
-         cast<IntegerType>(Cond->getType())->getBitWidth() == 1 &&
-         "select condition must be i1");
+  assert(isValidCondition(Cond->getType(), TrueVal->getType()) &&
+         "select condition must be i1 or a matching <N x i1>");
   assert(TrueVal->getType() == FalseVal->getType() &&
          "select arm types must match");
   addOperand(Cond);
   addOperand(TrueVal);
   addOperand(FalseVal);
+}
+
+bool SelectInst::isValidCondition(const Type *CondTy, const Type *ArmTy) {
+  if (const auto *IT = dyn_cast<IntegerType>(CondTy))
+    return IT->getBitWidth() == 1;
+  // A vector condition selects per lane: <N x i1> with N matching the arm
+  // vector's lane count.
+  const auto *CondVT = dyn_cast<VectorType>(CondTy);
+  const auto *ArmVT = dyn_cast<VectorType>(ArmTy);
+  if (!CondVT || !ArmVT)
+    return false;
+  const auto *EltTy = dyn_cast<IntegerType>(CondVT->getElementType());
+  return EltTy && EltTy->getBitWidth() == 1 &&
+         CondVT->getNumElements() == ArmVT->getNumElements();
 }
 
 SelectInst *SelectInst::create(Value *Cond, Value *TrueVal, Value *FalseVal,

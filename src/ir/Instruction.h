@@ -137,7 +137,9 @@ private:
   Predicate Pred;
 };
 
-/// Scalar select: Cond ? TrueVal : FalseVal.
+/// Select: Cond ? TrueVal : FalseVal. The condition is either a scalar i1
+/// (whole-value select) or an <N x i1> matching the arms' lane count
+/// (per-lane blend, the vectorized form).
 class SelectInst : public Instruction {
 public:
   static SelectInst *create(Value *Cond, Value *TrueVal, Value *FalseVal,
@@ -146,6 +148,10 @@ public:
   Value *getCondition() const { return getOperand(0); }
   Value *getTrueValue() const { return getOperand(1); }
   Value *getFalseValue() const { return getOperand(2); }
+
+  /// True when \p CondTy is a legal condition type for arms of \p ArmTy:
+  /// i1, or <N x i1> with N matching \p ArmTy's lane count.
+  static bool isValidCondition(const Type *CondTy, const Type *ArmTy);
 
   static bool classof(const Value *V) {
     return V->getValueID() == ValueID::Select;

@@ -96,7 +96,8 @@ public:
     }
     case ValueID::Select: {
       const auto &Sel = cast<SelectInst>(I);
-      S += "select i1 " + ref(Sel.getCondition()) + ", " +
+      S += "select " + Sel.getCondition()->getType()->getName() + " " +
+           ref(Sel.getCondition()) + ", " +
            Sel.getType()->getName() + " " + ref(Sel.getTrueValue()) + ", " +
            Sel.getType()->getName() + " " + ref(Sel.getFalseValue());
       break;

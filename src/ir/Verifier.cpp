@@ -107,6 +107,10 @@ private:
           if (Sel->getTrueValue()->getType() != Sel->getType() ||
               Sel->getFalseValue()->getType() != Sel->getType())
             reportAt(I, "select arm type mismatch");
+          if (!SelectInst::isValidCondition(Sel->getCondition()->getType(),
+                                            Sel->getType()))
+            reportAt(I, "select condition must be i1 or <N x i1> matching "
+                        "the arm lane count");
         }
         if (const auto *L = dyn_cast<LoadInst>(&I)) {
           if (!L->getPointerOperand()->getType()->isPointerTy())

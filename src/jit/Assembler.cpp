@@ -622,6 +622,7 @@ LSLP_SSE_RR(ucomisd, 0x66, 0x2E)
 LSLP_SSE_RR(paddq, 0x66, 0xD4)
 LSLP_SSE_RR(psubq, 0x66, 0xFB)
 LSLP_SSE_RR(pand, 0x66, 0xDB)
+LSLP_SSE_RR(pandn, 0x66, 0xDF)
 LSLP_SSE_RR(por, 0x66, 0xEB)
 LSLP_SSE_RR(pxor, 0x66, 0xEF)
 LSLP_SSE_RR(pmuludq, 0x66, 0xF4)

@@ -202,6 +202,7 @@ public:
   void paddq(Xmm Dst, Xmm Src);
   void psubq(Xmm Dst, Xmm Src);
   void pand(Xmm Dst, Xmm Src);
+  void pandn(Xmm Dst, Xmm Src); ///< Dst = ~Dst & Src.
   void por(Xmm Dst, Xmm Src);
   void pxor(Xmm Dst, Xmm Src);
   void pmuludq(Xmm Dst, Xmm Src);

@@ -147,6 +147,14 @@ std::vector<bool> computeCacheable(const CompiledFunction &CF) {
         Mark(I.C, L);
       }
       break;
+    case VMOp::SelectLanes:
+      if (L > 1) {
+        Mark(I.Dst, L);
+        Mark(I.A, L);
+        Mark(I.B, L);
+        Mark(I.C, L);
+      }
+      break;
     case VMOp::Load:
       if (L > 1)
         Mark(I.Dst, L);
@@ -261,6 +269,7 @@ private:
   void lowerCast(const VMInst &I);
   void lowerICmp(const VMInst &I);
   void lowerSelect(const VMInst &I);
+  void lowerSelectLanes(const VMInst &I);
   void lowerLoad(const VMInst &I);
   void lowerStore(const VMInst &I);
   void emitBoundsCheck(Gpr Ptr, unsigned K, unsigned Size);
@@ -737,6 +746,44 @@ void Lowerer::lowerSelect(const VMInst &I) {
   }
 }
 
+void Lowerer::lowerSelectLanes(const VMInst &I) {
+  unsigned L = I.Lanes;
+  // SSE2 blend: mask = 0 - (cond & 1) per 64-bit lane (all-ones or zero),
+  // result = (T & mask) | (F & ~mask). Bit-exact with LaneOps'
+  // evalSelectLane — only bit 0 of each condition lane is significant.
+  bool UseVec = L >= 2 && !forwardOverlap(I.Dst, I.A, L) &&
+                !forwardOverlap(I.Dst, I.B, L) &&
+                !forwardOverlap(I.Dst, I.C, L);
+  unsigned K = 0;
+  if (UseVec) {
+    // XMM7 = {1, 1}: the per-lane condition bit mask.
+    Asm.movRI(RAX, 1);
+    Asm.movqXR(XMM7, RAX);
+    Asm.punpcklqdq(XMM7, XMM7);
+    for (; K + 2 <= L; K += 2) {
+      Asm.movupsXM(XMM0, slot(I.A + K));
+      Asm.pand(XMM0, XMM7);  // cond & 1
+      Asm.pxor(XMM1, XMM1);
+      Asm.psubq(XMM1, XMM0); // mask = 0 - cond
+      Asm.movupsXM(XMM2, slot(I.B + K));
+      Asm.pand(XMM2, XMM1);  // T & mask
+      Asm.movupsXM(XMM3, slot(I.C + K));
+      Asm.pandn(XMM1, XMM3); // ~mask & F
+      Asm.por(XMM2, XMM1);
+      Asm.movupsMX(slot(I.Dst + K), XMM2);
+    }
+  }
+  for (; K != L; ++K) {
+    // Scalar tail / overlap fallback: test the lane's condition bit and
+    // cmov, matching the VM's sequential lane order.
+    Asm.movRM(RAX, slot(I.A + K));
+    Asm.testRI(RAX, 1);
+    Asm.movRM(RCX, slot(I.C + K));
+    Asm.cmovRM(Cond::NE, RCX, slot(I.B + K));
+    Asm.movMR(slot(I.Dst + K), RCX);
+  }
+}
+
 void Lowerer::emitBoundsCheck(Gpr Ptr, unsigned K, unsigned Size) {
   // LaneAddr = Ptr + K*Size and LaneAddr + Size both wrap mod 2^64,
   // exactly like the VM's uint64 arithmetic.
@@ -901,6 +948,9 @@ NativeFunction Lowerer::compile() {
       break;
     case VMOp::Select:
       lowerSelect(I);
+      break;
+    case VMOp::SelectLanes:
+      lowerSelectLanes(I);
       break;
     case VMOp::Load:
       lowerLoad(I);

@@ -708,11 +708,14 @@ private:
     return append(I);
   }
 
-  /// select i1 <val>, <ty> <val>, <ty> <val>
+  /// select <condty> <val>, <ty> <val>, <ty> <val>
+  /// where <condty> is i1 (whole-value select) or <N x i1> matching the
+  /// arms' lane count (per-lane blend).
   Instruction *parseSelect() {
-    if (!expectIdent("i1"))
+    Type *CondTy = parseType();
+    if (!CondTy)
       return nullptr;
-    ParsedOp C = parseOperand(Ctx.getInt1Ty());
+    ParsedOp C = parseOperand(CondTy);
     if (!C.V)
       return nullptr;
     if (!expect(Token::Comma, "','"))
@@ -730,6 +733,11 @@ private:
       return nullptr;
     if (FTy != T.V->getType()) {
       error("select arm types differ");
+      return nullptr;
+    }
+    if (!SelectInst::isValidCondition(CondTy, FTy)) {
+      error("select condition must be i1 or <N x i1> matching the arm "
+            "lane count");
       return nullptr;
     }
     ParsedOp Fv = parseOperand(FTy);

@@ -172,6 +172,9 @@ Expected<int64_t> server::runFuzzSweepViaDaemons(
     Req.FaultProbability = Opts.FaultProbability;
     Req.FaultSeed = Opts.FaultSeed;
     Req.Strategy = static_cast<uint8_t>(Opts.Strategy);
+    Req.IfConvert = Opts.IfConvert;
+    Req.Unroll = Opts.Unroll;
+    Req.UnrollFactor = Opts.UnrollFactor;
   }
 
   std::vector<std::thread> Threads;

@@ -25,6 +25,8 @@
 #include "support/OStream.h"
 #include "support/ThreadPool.h"
 #include "transforms/EarlyCSE.h"
+#include "transforms/IfConversion.h"
+#include "transforms/LoopUnroll.h"
 #include "vectorizer/SLPVectorizerPass.h"
 
 #include <memory>
@@ -128,6 +130,29 @@ CompileResponse compileLocked(const CompileRequest &Req) {
       ReportOS << "; early-cse removed " << Removed << " instruction(s)\n";
     if (Req.VerifyEach) {
       if (Error E = verifyAfterPass(*M, "early-cse")) {
+        ErrorOS << "lslpc: " << E.message() << "\n";
+        return Fail(1, ErrorCategory::Verify);
+      }
+    }
+  }
+  if (Config.EnableIfConversion) {
+    unsigned Converted = runIfConversion(*M, Config.Remarks);
+    if (Req.Report)
+      ReportOS << "; if-conversion flattened " << Converted << " branch(es)\n";
+    if (Req.VerifyEach) {
+      if (Error E = verifyAfterPass(*M, "if-conversion")) {
+        ErrorOS << "lslpc: " << E.message() << "\n";
+        return Fail(1, ErrorCategory::Verify);
+      }
+    }
+  }
+  if (Config.EnableLoopUnroll) {
+    unsigned Unrolled =
+        runLoopUnroll(*M, Config.UnrollFactor, Config.Remarks);
+    if (Req.Report)
+      ReportOS << "; loop-unroll unrolled " << Unrolled << " loop(s)\n";
+    if (Req.VerifyEach) {
+      if (Error E = verifyAfterPass(*M, "loop-unroll")) {
         ErrorOS << "lslpc: " << E.message() << "\n";
         return Fail(1, ErrorCategory::Verify);
       }

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -65,10 +66,39 @@ Error Daemon::bind() {
   if (ListenFd < 0)
     return Error::make(ErrorCategory::IO,
                        std::string("socket: ") + std::strerror(errno));
-  // A stale socket file from a dead daemon would fail the bind; remove it.
-  // A *live* daemon keeps serving its already-accepted fd even if we steal
-  // the path — starting two daemons on one path is operator error.
-  ::unlink(Opts.SocketPath.c_str());
+  // A stale socket file from a dead daemon would fail the bind. Probe it
+  // with a connect(): a live daemon accepts (refuse to steal its path —
+  // two daemons on one socket is how CI sweeps silently halve), a dead
+  // one leaves the name refusing connections, which is safe to unlink.
+  // A path that is not a socket at all is never removed.
+  struct stat St;
+  if (::lstat(Opts.SocketPath.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      Error E = Error::make(ErrorCategory::IO,
+                            "path '" + Opts.SocketPath +
+                                "' exists and is not a socket; refusing to "
+                                "remove it");
+      ::close(ListenFd);
+      ListenFd = -1;
+      return E;
+    }
+    int ProbeFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ProbeFd >= 0) {
+      bool Live = ::connect(ProbeFd, reinterpret_cast<sockaddr *>(&Addr),
+                            sizeof(Addr)) == 0;
+      ::close(ProbeFd);
+      if (Live) {
+        Error E = Error::make(ErrorCategory::IO,
+                              "socket '" + Opts.SocketPath +
+                                  "' already has a live daemon; refusing "
+                                  "to replace it");
+        ::close(ListenFd);
+        ListenFd = -1;
+        return E;
+      }
+    }
+    ::unlink(Opts.SocketPath.c_str());
+  }
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0) {
     Error E = Error::make(ErrorCategory::IO, "bind '" + Opts.SocketPath +
@@ -191,6 +221,9 @@ void Daemon::handleFrame(Connection &Conn, std::string Payload,
     Sweep.FaultSeed = Req.FaultSeed;
     Sweep.Strategy =
         static_cast<VectorizerConfig::PackingStrategyKind>(Req.Strategy);
+    Sweep.IfConvert = Req.IfConvert;
+    Sweep.Unroll = Req.Unroll;
+    Sweep.UnrollFactor = Req.UnrollFactor;
     FuzzResponse FuzzResp;
     runFuzzSweep(Sweep, [&](const SeedOutcome &Out) {
       FuzzResp.Outcomes.push_back(Out);

@@ -240,6 +240,9 @@ std::string server::encodeFuzzRequest(const FuzzRequest &Msg) {
   W.putDouble(Msg.FaultProbability);
   W.putU64(Msg.FaultSeed);
   W.putU8(Msg.Strategy);
+  W.putBool(Msg.IfConvert);
+  W.putBool(Msg.Unroll);
+  W.putU32(Msg.UnrollFactor);
   return W.take();
 }
 
@@ -251,7 +254,8 @@ bool server::decodeFuzzRequest(std::string_view Payload, FuzzRequest &Out,
       !R.getI64(Out.FirstSeed) || !R.getU32(Out.Jobs) ||
       !R.getU8(Out.Engine) || !R.getBool(Out.ParityAll) ||
       !R.getDouble(Out.FaultProbability) || !R.getU64(Out.FaultSeed) ||
-      !R.getU8(Out.Strategy) || !R.finish())
+      !R.getU8(Out.Strategy) || !R.getBool(Out.IfConvert) ||
+      !R.getBool(Out.Unroll) || !R.getU32(Out.UnrollFactor) || !R.finish())
     return false;
   if (Out.Count < 0) {
     Err = "negative seed count";

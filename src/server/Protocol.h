@@ -124,6 +124,10 @@ struct FuzzRequest {
   double FaultProbability = 0.0;
   uint64_t FaultSeed = 0;
   uint8_t Strategy = 0; ///< VectorizerConfig::PackingStrategyKind.
+  /// Pre-vectorization CFG pipeline pinning (appended fields — wire ABI).
+  bool IfConvert = false;
+  bool Unroll = false;
+  uint32_t UnrollFactor = 4;
 };
 
 /// Outcomes in ascending seed order (runFuzzSweep's delivery order).

@@ -1,0 +1,309 @@
+//===- transforms/IfConversion.cpp - Branch flattening ------------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/IfConversion.h"
+
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+
+#include <set>
+#include <vector>
+
+using namespace lslp;
+
+LSLP_STATISTIC(NumIfConverted, "if-conversion",
+               "Conditional branches flattened into selects");
+LSLP_STATISTIC(NumIfConversionSkips, "if-conversion",
+               "Candidates rejected on speculation legality");
+
+namespace {
+
+/// One matched candidate. For a diamond both arms are set; for a triangle
+/// FalseArm (or TrueArm) is null and the corresponding path falls through
+/// from the branch block to the join directly.
+struct Candidate {
+  BasicBlock *Head = nullptr;  ///< Block ending in the conditional branch.
+  BasicBlock *TrueArm = nullptr;  ///< Successor 0's arm block, if any.
+  BasicBlock *FalseArm = nullptr; ///< Successor 1's arm block, if any.
+  BasicBlock *Join = nullptr;  ///< Common continuation.
+  const char *shape() const { return TrueArm && FalseArm ? "diamond" : "triangle"; }
+};
+
+/// True if \p BB is a legal arm: single predecessor \p Head, unconditional
+/// branch to exactly one successor.
+bool isArmBlock(BasicBlock *BB, BasicBlock *Head) {
+  std::vector<BasicBlock *> Preds = BB->predecessors();
+  if (Preds.size() != 1 || Preds[0] != Head)
+    return false;
+  Instruction *Term = BB->getTerminator();
+  auto *Br = Term ? dyn_cast<BranchInst>(Term) : nullptr;
+  return Br && !Br->isConditional();
+}
+
+BasicBlock *armSuccessor(BasicBlock *Arm) {
+  return cast<BranchInst>(Arm->getTerminator())->getSuccessor(0);
+}
+
+/// Matches \p BB as the head of a diamond or triangle. Returns false when
+/// the shape does not fit (no remark: shape mismatch is the common case,
+/// not a bailout).
+bool matchCandidate(BasicBlock *BB, Candidate &C) {
+  Instruction *Term = BB->getTerminator();
+  auto *Br = Term ? dyn_cast<BranchInst>(Term) : nullptr;
+  if (!Br || !Br->isConditional())
+    return false;
+  BasicBlock *S0 = Br->getSuccessor(0);
+  BasicBlock *S1 = Br->getSuccessor(1);
+  if (S0 == S1 || S0 == BB || S1 == BB)
+    return false;
+  C.Head = BB;
+  bool Arm0 = isArmBlock(S0, BB);
+  bool Arm1 = isArmBlock(S1, BB);
+  // Diamond: both successors are arms converging on the same join.
+  if (Arm0 && Arm1 && armSuccessor(S0) == armSuccessor(S1) &&
+      armSuccessor(S0) != BB) {
+    C.TrueArm = S0;
+    C.FalseArm = S1;
+    C.Join = armSuccessor(S0);
+    return C.Join != S0 && C.Join != S1;
+  }
+  // Triangle: one successor is an arm that falls through to the other.
+  if (Arm0 && armSuccessor(S0) == S1) {
+    C.TrueArm = S0;
+    C.Join = S1;
+    return true;
+  }
+  if (Arm1 && armSuccessor(S1) == S0) {
+    C.FalseArm = S1;
+    C.Join = S0;
+    return true;
+  }
+  return false;
+}
+
+/// Non-null when every non-terminator instruction of \p Arm may be
+/// executed unconditionally; otherwise the rejection reason. The closed
+/// reason vocabulary ("store-in-arm", "load-in-arm", "trapping-divide",
+/// "phi-in-arm") is part of the remark contract documented in DESIGN.md.
+const char *speculationBlocker(BasicBlock *Arm) {
+  for (const auto &IPtr : *Arm) {
+    const Instruction *I = IPtr.get();
+    if (I->isTerminator())
+      continue;
+    switch (I->getOpcode()) {
+    case ValueID::Store:
+      return "store-in-arm";
+    case ValueID::Load:
+      // The engines bounds-check every access; hoisting a load past its
+      // guarding branch can introduce a trap that never happened.
+      return "load-in-arm";
+    case ValueID::Phi:
+      return "phi-in-arm";
+    case ValueID::UDiv:
+    case ValueID::SDiv:
+    case ValueID::URem:
+    case ValueID::SRem: {
+      const auto *Divisor = dyn_cast<ConstantInt>(I->getOperand(1));
+      if (!Divisor || Divisor->getZExtValue() == 0)
+        return "trapping-divide";
+      // Signed INT_MIN / -1 overflow-traps in LaneOps as well.
+      bool Signed = I->getOpcode() == ValueID::SDiv ||
+                    I->getOpcode() == ValueID::SRem;
+      if (Signed && Divisor->getSExtValue() == -1)
+        return "trapping-divide";
+      break;
+    }
+    default:
+      break; // Pure and non-trapping: arithmetic, icmp, select, gep, casts.
+    }
+  }
+  return nullptr;
+}
+
+/// Non-null when a join phi is missing an incoming edge for one of the
+/// candidate's predecessors (malformed or unexpected phi shape).
+const char *phiBlocker(const Candidate &C) {
+  BasicBlock *TruePred = C.TrueArm ? C.TrueArm : C.Head;
+  BasicBlock *FalsePred = C.FalseArm ? C.FalseArm : C.Head;
+  for (const auto &IPtr : *C.Join) {
+    const auto *P = dyn_cast<PHINode>(IPtr.get());
+    if (!P)
+      break;
+    if (!P->getIncomingValueForBlock(TruePred) ||
+        !P->getIncomingValueForBlock(FalsePred))
+      return "phi-shape";
+  }
+  return nullptr;
+}
+
+/// Moves every non-terminator instruction of \p Arm before \p Before,
+/// preserving order. Returns how many moved.
+unsigned hoistArm(BasicBlock *Arm, Instruction *Before) {
+  unsigned Moved = 0;
+  while (Arm->front() != Arm->getTerminator()) {
+    Arm->front()->moveBefore(Before);
+    ++Moved;
+  }
+  return Moved;
+}
+
+/// Erases \p Arm (reduced to its lone terminator) from \p F.
+void eraseArm(Function &F, BasicBlock *Arm) {
+  Arm->getTerminator()->eraseFromParent();
+  F.eraseBlock(Arm);
+}
+
+/// Replaces any phi left with a single incoming edge by its value.
+void simplifyTrivialPhis(BasicBlock *BB) {
+  std::vector<PHINode *> Trivial;
+  for (const auto &IPtr : *BB) {
+    auto *P = dyn_cast<PHINode>(IPtr.get());
+    if (!P)
+      break; // Phis are grouped at the block head.
+    if (P->getNumIncoming() == 1)
+      Trivial.push_back(P);
+  }
+  for (PHINode *P : Trivial) {
+    P->replaceAllUsesWith(P->getIncomingValue(0));
+    P->eraseFromParent();
+  }
+}
+
+/// Splices every instruction of \p Join onto the end of \p Head and
+/// erases \p Join. \p Head's terminator (the branch to \p Join) must
+/// already be gone.
+void mergeBlocks(Function &F, BasicBlock *Head, BasicBlock *Join) {
+  while (!Join->empty()) {
+    std::unique_ptr<Instruction> I = Join->detach(Join->front());
+    Head->append(I.release());
+  }
+  // Successor phis naming Join as an incoming block now name Head.
+  Join->replaceAllUsesWith(Head);
+  F.eraseBlock(Join);
+}
+
+/// Converts one matched, legality-checked candidate.
+void convert(Function &F, const Candidate &C, RemarkStreamer *Remarks) {
+  auto *Br = cast<BranchInst>(C.Head->getTerminator());
+  Value *Cond = Br->getCondition();
+
+  unsigned Hoisted = 0;
+  if (C.TrueArm)
+    Hoisted += hoistArm(C.TrueArm, Br);
+  if (C.FalseArm)
+    Hoisted += hoistArm(C.FalseArm, Br);
+
+  // Rewrite each join phi: the two edges through/past the arms become one
+  // edge from Head carrying a select on the branch condition.
+  BasicBlock *TruePred = C.TrueArm ? C.TrueArm : C.Head;
+  BasicBlock *FalsePred = C.FalseArm ? C.FalseArm : C.Head;
+  std::vector<PHINode *> Phis;
+  for (const auto &IPtr : *C.Join) {
+    auto *P = dyn_cast<PHINode>(IPtr.get());
+    if (!P)
+      break;
+    Phis.push_back(P);
+  }
+  unsigned Selects = 0;
+  for (PHINode *P : Phis) {
+    Value *TrueVal = P->getIncomingValueForBlock(TruePred);
+    Value *FalseVal = P->getIncomingValueForBlock(FalsePred);
+    Value *Merged = TrueVal;
+    if (TrueVal != FalseVal) {
+      std::string Name =
+          P->hasName() ? P->getName() + ".sel" : std::string();
+      Merged = C.Head->insertBefore(
+          SelectInst::create(Cond, TrueVal, FalseVal, std::move(Name)), Br);
+      ++Selects;
+    }
+    // Drop the arm edges and re-add one edge from Head.
+    for (unsigned I = P->getNumIncoming(); I-- > 0;) {
+      BasicBlock *In = P->getIncomingBlock(I);
+      if (In == C.TrueArm || In == C.FalseArm || In == C.Head)
+        P->removeIncoming(I);
+    }
+    P->addIncoming(Merged, C.Head);
+  }
+
+  if (Remarks)
+    Remarks->emit(remarkAt(RemarkKind::IfConverted, "if-conversion", Br)
+                      .arg("shape", C.shape())
+                      .arg("hoisted", Hoisted)
+                      .arg("selects", Selects));
+
+  // Retarget Head straight at the join and drop the arms.
+  BasicBlock *Join = C.Join;
+  C.Head->insertBefore(BranchInst::create(Join), Br);
+  Br->eraseFromParent();
+  if (C.TrueArm)
+    eraseArm(F, C.TrueArm);
+  if (C.FalseArm)
+    eraseArm(F, C.FalseArm);
+
+  // With Head as the only predecessor left, fold the join into Head so
+  // selects and consumers share one block (and outer diamonds can match
+  // on the next fixpoint round).
+  std::vector<BasicBlock *> JoinPreds = Join->predecessors();
+  if (JoinPreds.size() == 1 && JoinPreds[0] == C.Head) {
+    simplifyTrivialPhis(Join);
+    C.Head->getTerminator()->eraseFromParent();
+    mergeBlocks(F, C.Head, Join);
+  }
+}
+
+} // namespace
+
+unsigned lslp::runIfConversion(Function &F, RemarkStreamer *Remarks) {
+  unsigned Converted = 0;
+  // One skip remark per rejected branch, even across fixpoint rounds.
+  std::set<const Instruction *> ReportedSkips;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &BB : F) {
+      Candidate C;
+      if (!matchCandidate(BB.get(), C))
+        continue;
+      const char *Blocker = nullptr;
+      if (C.TrueArm)
+        Blocker = speculationBlocker(C.TrueArm);
+      if (!Blocker && C.FalseArm)
+        Blocker = speculationBlocker(C.FalseArm);
+      if (!Blocker)
+        Blocker = phiBlocker(C);
+      if (Blocker) {
+        ++NumIfConversionSkips;
+        Instruction *Br = BB->getTerminator();
+        if (Remarks && ReportedSkips.insert(Br).second)
+          Remarks->emit(
+              remarkAt(RemarkKind::IfConversionSkipped, "if-conversion", Br)
+                  .arg("shape", C.shape())
+                  .arg("reason", Blocker));
+        continue;
+      }
+      convert(F, C, Remarks);
+      ++NumIfConverted;
+      ++Converted;
+      // The block list was edited mid-iteration: restart the scan.
+      Changed = true;
+      break;
+    }
+  }
+  return Converted;
+}
+
+unsigned lslp::runIfConversion(Module &M, RemarkStreamer *Remarks) {
+  unsigned Converted = 0;
+  for (const auto &F : M.functions())
+    Converted += runIfConversion(*F, Remarks);
+  return Converted;
+}

@@ -1,0 +1,46 @@
+//===- transforms/IfConversion.h - Branch flattening ------------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// If-conversion: collapses single-diamond and triangle CFG shapes into
+/// straight-line code by speculating both arms into the branch block and
+/// replacing the join phis with selects. SLP seeds only form inside one
+/// basic block, so branchy kernels are invisible to the vectorizer until
+/// this pass flattens them.
+///
+/// Legality is side-effect-safe hoisting only: an arm may contain nothing
+/// but pure, non-trapping instructions. Stores, loads (the engines
+/// bounds-check memory, so a speculated load can introduce a trap) and
+/// divisions/remainders without a provably safe constant divisor make the
+/// pass bail with an `if-conversion-skipped` remark naming the reason.
+/// The pass iterates to a fixpoint, so nested diamonds collapse from the
+/// inside out, and merges the join block into the branch block whenever it
+/// becomes the single predecessor — that merge is what puts the new
+/// selects and the join's stores into one block for the seed collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_TRANSFORMS_IFCONVERSION_H
+#define LSLP_TRANSFORMS_IFCONVERSION_H
+
+namespace lslp {
+
+class Function;
+class Module;
+class RemarkStreamer;
+
+/// Flattens diamonds/triangles in \p F until a fixpoint; returns the
+/// number of conditional branches converted. When \p Remarks is non-null,
+/// emits one if-converted remark per collapsed branch and one
+/// if-conversion-skipped remark per candidate rejected on legality.
+unsigned runIfConversion(Function &F, RemarkStreamer *Remarks = nullptr);
+
+/// Runs if-conversion on every function of \p M.
+unsigned runIfConversion(Module &M, RemarkStreamer *Remarks = nullptr);
+
+} // namespace lslp
+
+#endif // LSLP_TRANSFORMS_IFCONVERSION_H

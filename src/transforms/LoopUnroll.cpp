@@ -1,0 +1,383 @@
+//===- transforms/LoopUnroll.cpp - Counted-loop unrolling ---------------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LoopUnroll.h"
+
+#include "diag/IRRemarks.h"
+#include "diag/RemarkEngine.h"
+#include "diag/Statistics.h"
+#include "interp/LaneOps.h"
+#include "ir/BasicBlock.h"
+#include "ir/Cloning.h"
+#include "ir/Constants.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Local.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace lslp;
+
+LSLP_STATISTIC(NumLoopsUnrolled, "loop-unroll", "Counted loops unrolled");
+LSLP_STATISTIC(NumLoopUnrollSkips, "loop-unroll",
+               "Loop candidates not unrolled");
+
+namespace {
+
+/// Safety cap on the compile-time trip-count simulation. Far above any
+/// trip count worth unrolling, far below the engines' step limits.
+constexpr uint64_t MaxSimulatedTrips = 1 << 16;
+
+/// A matched single-block loop: header == latch == body, one preheader.
+struct LoopShape {
+  BasicBlock *Body = nullptr;
+  BasicBlock *Preheader = nullptr;
+  BasicBlock *Exit = nullptr;
+  BranchInst *Latch = nullptr;
+  bool BackEdgeOnTrue = false; ///< Successor index of Body in the latch.
+  std::vector<PHINode *> Phis;
+};
+
+/// Matches \p BB as a canonical counted-loop body. Returns false when the
+/// shape does not fit (silently: most blocks are not loops).
+bool matchLoop(BasicBlock *BB, LoopShape &L) {
+  Instruction *Term = BB->getTerminator();
+  auto *Br = Term ? dyn_cast<BranchInst>(Term) : nullptr;
+  if (!Br || !Br->isConditional())
+    return false;
+  BasicBlock *S0 = Br->getSuccessor(0);
+  BasicBlock *S1 = Br->getSuccessor(1);
+  if ((S0 == BB) == (S1 == BB))
+    return false; // Need exactly one back-edge.
+  L.Body = BB;
+  L.Latch = Br;
+  L.BackEdgeOnTrue = S0 == BB;
+  L.Exit = L.BackEdgeOnTrue ? S1 : S0;
+  std::vector<BasicBlock *> Preds = BB->predecessors();
+  if (Preds.size() != 2)
+    return false;
+  L.Preheader = Preds[0] == BB ? Preds[1] : Preds[0];
+  if (L.Preheader == BB || L.Exit == BB)
+    return false;
+  for (const auto &IPtr : *BB) {
+    auto *P = dyn_cast<PHINode>(IPtr.get());
+    if (!P)
+      break;
+    if (P->getNumIncoming() != 2 ||
+        !P->getIncomingValueForBlock(L.Preheader) ||
+        !P->getIncomingValueForBlock(BB))
+      return false;
+    L.Phis.push_back(P);
+  }
+  return true;
+}
+
+/// Compile-time evaluator over the subset of scalar integer computation
+/// the loop's exit condition may depend on. Values resolve from integer
+/// constants and previously simulated instructions; anything else
+/// (memory, arguments, FP) is untracked and poisons whatever reads it.
+class TripCountSimulator {
+public:
+  explicit TripCountSimulator(const LoopShape &L) : L(L) {}
+
+  /// Returns true and sets \p TripCount to the number of body executions
+  /// when the simulation reaches the exit within the iteration cap.
+  bool run(uint64_t &TripCount) {
+    for (PHINode *P : L.Phis)
+      if (!seed(P, P->getIncomingValueForBlock(L.Preheader)))
+        Cur.erase(P); // Untracked phi: init not a constant.
+    for (uint64_t Iter = 1; Iter <= MaxSimulatedTrips; ++Iter) {
+      if (!stepBody())
+        return false;
+      uint64_t CondV = 0;
+      if (!resolve(L.Latch->getCondition(), CondV))
+        return false;
+      bool TakenTrue = (CondV & 1) != 0;
+      if (TakenTrue != L.BackEdgeOnTrue) {
+        TripCount = Iter;
+        return true;
+      }
+      if (!advancePhis())
+        return false;
+    }
+    return false; // Cap exceeded; not worth unrolling anyway.
+  }
+
+private:
+  bool seed(const Value *Key, const Value *Init) {
+    uint64_t V = 0;
+    if (!resolveConstant(Init, V))
+      return false;
+    Cur[Key] = V;
+    return true;
+  }
+
+  static bool resolveConstant(const Value *V, uint64_t &Out) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      Out = CI->getZExtValue();
+      return true;
+    }
+    return false;
+  }
+
+  bool resolve(const Value *V, uint64_t &Out) const {
+    if (resolveConstant(V, Out))
+      return true;
+    auto It = Cur.find(V);
+    if (It == Cur.end())
+      return false;
+    Out = It->second;
+    return true;
+  }
+
+  /// Evaluates the body's trackable instructions for one iteration.
+  /// Returns false only on a simulated trap (the loop would trap at run
+  /// time before ever reaching the exit compare deterministically).
+  bool stepBody() {
+    for (const auto &IPtr : *L.Body) {
+      const Instruction *I = IPtr.get();
+      if (isa<PHINode>(I) || I->isTerminator())
+        continue;
+      uint64_t Result = 0;
+      if (!evalInst(I, Result)) {
+        Cur.erase(I); // Untracked this iteration (and so every iteration).
+        continue;
+      }
+      if (Trap.trapped())
+        return false;
+      Cur[I] = Result;
+    }
+    return true;
+  }
+
+  bool evalInst(const Instruction *I, uint64_t &Out) {
+    const Type *Ty = I->getType();
+    const auto *IntTy = dyn_cast<IntegerType>(Ty);
+    switch (I->getOpcode()) {
+    case ValueID::Add:
+    case ValueID::Sub:
+    case ValueID::Mul:
+    case ValueID::UDiv:
+    case ValueID::SDiv:
+    case ValueID::URem:
+    case ValueID::SRem:
+    case ValueID::And:
+    case ValueID::Or:
+    case ValueID::Xor:
+    case ValueID::Shl:
+    case ValueID::LShr:
+    case ValueID::AShr: {
+      uint64_t A = 0, B = 0;
+      if (!IntTy || !resolve(I->getOperand(0), A) ||
+          !resolve(I->getOperand(1), B))
+        return false;
+      Out = laneops::evalIntBinLane(I->getOpcode(), IntTy->getBitWidth(), A,
+                                    B, Trap);
+      return true;
+    }
+    case ValueID::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      const auto *OpTy = dyn_cast<IntegerType>(C->getLHS()->getType());
+      uint64_t A = 0, B = 0;
+      if (!OpTy || !resolve(C->getLHS(), A) || !resolve(C->getRHS(), B))
+        return false;
+      Out = laneops::evalICmp(C->getPredicate(),
+                              laneops::ScalarKind::of(OpTy), A, B)
+                ? 1
+                : 0;
+      return true;
+    }
+    case ValueID::Select: {
+      const auto *S = cast<SelectInst>(I);
+      if (!IntTy || S->getCondition()->getType()->isVectorTy())
+        return false;
+      uint64_t C = 0, T = 0, F = 0;
+      if (!resolve(S->getCondition(), C) || !resolve(S->getTrueValue(), T) ||
+          !resolve(S->getFalseValue(), F))
+        return false;
+      Out = laneops::evalSelectLane(C, T, F);
+      return true;
+    }
+    case ValueID::SExt:
+    case ValueID::ZExt:
+    case ValueID::Trunc: {
+      const auto *SrcTy =
+          dyn_cast<IntegerType>(I->getOperand(0)->getType());
+      uint64_t V = 0;
+      if (!IntTy || !SrcTy || !resolve(I->getOperand(0), V))
+        return false;
+      Out = laneops::evalCastLane(I->getOpcode(),
+                                  laneops::ScalarKind::of(SrcTy),
+                                  laneops::ScalarKind::of(IntTy), V);
+      return true;
+    }
+    default:
+      return false; // Memory, FP, vector ops: untracked.
+    }
+  }
+
+  /// Latches the next iteration's phi values from the current state.
+  bool advancePhis() {
+    std::vector<std::pair<const Value *, uint64_t>> Next;
+    std::vector<const Value *> Dropped;
+    for (PHINode *P : L.Phis) {
+      uint64_t V = 0;
+      if (Cur.count(P) &&
+          resolve(P->getIncomingValueForBlock(L.Body), V))
+        Next.emplace_back(P, V);
+      else
+        Dropped.push_back(P);
+    }
+    for (const auto &[P, V] : Next)
+      Cur[P] = V;
+    for (const Value *P : Dropped)
+      Cur.erase(P);
+    return true;
+  }
+
+  const LoopShape &L;
+  std::map<const Value *, uint64_t> Cur;
+  laneops::TrapSink Trap;
+};
+
+/// Largest factor <= \p Requested that divides \p TripCount (>= 1).
+uint64_t pickFactor(uint64_t TripCount, uint64_t Requested) {
+  uint64_t U = Requested < TripCount ? Requested : TripCount;
+  while (U > 1 && TripCount % U != 0)
+    --U;
+  return U;
+}
+
+/// Replicates the body of \p L \p Factor times. The intermediate exit
+/// tests are dropped: the trip count is a proven multiple of the factor,
+/// so the exit can only fire on a replica boundary.
+void unrollLoop(const LoopShape &L, uint64_t Factor) {
+  BasicBlock *BB = L.Body;
+  BranchInst *Latch = L.Latch;
+
+  // Original body instructions (replica 0), in order.
+  std::vector<Instruction *> Body;
+  for (const auto &IPtr : *BB) {
+    Instruction *I = IPtr.get();
+    if (!isa<PHINode>(I) && !I->isTerminator())
+      Body.push_back(I);
+  }
+
+  // Map from original value to its incarnation in the newest replica.
+  std::map<const Value *, Value *> Map;
+  auto Resolve = [&Map](Value *V) {
+    auto It = Map.find(V);
+    return It == Map.end() ? V : It->second;
+  };
+
+  for (uint64_t R = 1; R != Factor; ++R) {
+    // The phi values seen by replica R are the recurrences computed by
+    // replica R-1. Snapshot them before touching the map: one phi's
+    // recurrence may be another phi.
+    std::vector<std::pair<const Value *, Value *>> PhiVals;
+    PhiVals.reserve(L.Phis.size());
+    for (PHINode *P : L.Phis)
+      PhiVals.emplace_back(P, Resolve(P->getIncomingValueForBlock(BB)));
+    for (const auto &[P, V] : PhiVals)
+      Map[P] = V;
+
+    for (Instruction *I : Body) {
+      Instruction *NI = cloneInstructionDetached(*I);
+      for (unsigned Op = 0, E = NI->getNumOperands(); Op != E; ++Op)
+        NI->setOperand(Op, Resolve(NI->getOperand(Op)));
+      if (I->hasName())
+        NI->setName(I->getName() + ".u" + std::to_string(R));
+      BB->insertBefore(NI, Latch);
+      Map[I] = NI;
+    }
+  }
+
+  // Close the loop: the back-edge recurrences and the surviving exit test
+  // read the last replica's values.
+  for (PHINode *P : L.Phis)
+    for (unsigned In = 0, E = P->getNumIncoming(); In != E; ++In)
+      if (P->getIncomingBlock(In) == BB)
+        P->setOperand(2 * In, Resolve(P->getIncomingValue(In)));
+  Latch->setOperand(0, Resolve(Latch->getCondition()));
+
+  // Uses outside the loop observe the final iteration, which is now the
+  // last replica. (Phis resolve to the value current during that replica.)
+  std::vector<Value *> Originals(Body.begin(), Body.end());
+  Originals.insert(Originals.end(), L.Phis.begin(), L.Phis.end());
+  for (Value *V : Originals) {
+    Value *Last = Resolve(V);
+    if (Last == V)
+      continue;
+    std::vector<Use> Uses = V->uses(); // Snapshot: setOperand mutates.
+    for (const Use &U : Uses) {
+      auto *UserI = dyn_cast<Instruction>(static_cast<Value *>(U.TheUser));
+      if (UserI && UserI->getParent() != BB)
+        UserI->setOperand(U.OperandNo, Last);
+    }
+  }
+
+  // The intermediate replicas' exit compares (and anything else orphaned)
+  // are dead now.
+  removeTriviallyDeadInstructions(*BB);
+}
+
+} // namespace
+
+unsigned lslp::runLoopUnroll(Function &F, unsigned Factor,
+                             RemarkStreamer *Remarks) {
+  if (Factor < 2)
+    return 0;
+  unsigned Unrolled = 0;
+  // Snapshot the candidates first: unrolling edits only the loop body
+  // block, so other candidates stay valid, but the block list itself must
+  // not be iterated while remarks/statistics fire mid-edit.
+  std::vector<BasicBlock *> Blocks;
+  for (const auto &BB : F)
+    Blocks.push_back(BB.get());
+  for (BasicBlock *BB : Blocks) {
+    LoopShape L;
+    if (!matchLoop(BB, L))
+      continue;
+    uint64_t TripCount = 0;
+    if (!TripCountSimulator(L).run(TripCount)) {
+      ++NumLoopUnrollSkips;
+      if (Remarks)
+        Remarks->emit(
+            remarkAt(RemarkKind::LoopUnrollSkipped, "loop-unroll", L.Latch)
+                .arg("reason", "trip-count-unknown"));
+      continue;
+    }
+    uint64_t U = pickFactor(TripCount, Factor);
+    if (U < 2) {
+      ++NumLoopUnrollSkips;
+      if (Remarks)
+        Remarks->emit(
+            remarkAt(RemarkKind::LoopUnrollSkipped, "loop-unroll", L.Latch)
+                .arg("reason", "no-dividing-factor")
+                .arg("trip-count", TripCount));
+      continue;
+    }
+    if (Remarks)
+      Remarks->emit(remarkAt(RemarkKind::LoopUnrolled, "loop-unroll", L.Latch)
+                        .arg("trip-count", TripCount)
+                        .arg("factor", U));
+    unrollLoop(L, U);
+    ++NumLoopsUnrolled;
+    ++Unrolled;
+  }
+  return Unrolled;
+}
+
+unsigned lslp::runLoopUnroll(Module &M, unsigned Factor,
+                             RemarkStreamer *Remarks) {
+  unsigned Unrolled = 0;
+  for (const auto &F : M.functions())
+    Unrolled += runLoopUnroll(*F, Factor, Remarks);
+  return Unrolled;
+}

@@ -1,0 +1,49 @@
+//===- transforms/LoopUnroll.h - Counted-loop unrolling ---------*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unrolling of innermost single-block counted loops. SLP seeds never
+/// cross the loop back-edge, so a loop storing one element per iteration
+/// offers the seed collector nothing; replicating the body U times puts U
+/// consecutive stores into one block and the existing pipeline takes it
+/// from there.
+///
+/// The trip count is established by bounded compile-time simulation of
+/// the loop's control-carrying scalar computation (phis with constant
+/// initial values, integer arithmetic, the exit compare) — no symbolic
+/// scalar evolution. Loops whose exit condition depends on memory or
+/// arguments are skipped with a `loop-unroll-skipped` remark. The chosen
+/// factor always divides the trip count exactly (falling back to the
+/// largest divisor not exceeding the requested factor), so the
+/// intermediate exit tests can be dropped outright and no epilogue loop
+/// is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_TRANSFORMS_LOOPUNROLL_H
+#define LSLP_TRANSFORMS_LOOPUNROLL_H
+
+namespace lslp {
+
+class Function;
+class Module;
+class RemarkStreamer;
+
+/// Unrolls every matching counted loop of \p F by (at most) \p Factor;
+/// returns the number of loops unrolled. When \p Remarks is non-null,
+/// emits one loop-unrolled remark per rewritten loop and one
+/// loop-unroll-skipped remark per candidate rejected (unknown trip
+/// count, no dividing factor).
+unsigned runLoopUnroll(Function &F, unsigned Factor,
+                       RemarkStreamer *Remarks = nullptr);
+
+/// Runs loop unrolling on every function of \p M.
+unsigned runLoopUnroll(Module &M, unsigned Factor,
+                       RemarkStreamer *Remarks = nullptr);
+
+} // namespace lslp
+
+#endif // LSLP_TRANSFORMS_LOOPUNROLL_H

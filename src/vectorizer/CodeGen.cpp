@@ -162,6 +162,14 @@ private:
       return insertBefore(StoreInst::create(Val, Lane0->getPointerOperand()),
                           Anchor);
     }
+    case ValueID::Select: {
+      // Per-lane blend: the condition operand gathers (or splats) into an
+      // <N x i1>, the arms recurse as ordinary operand bundles.
+      Value *Cond = emitNode(N->getOperand(0), Anchor);
+      Value *TrueV = emitNode(N->getOperand(1), Anchor);
+      Value *FalseV = emitNode(N->getOperand(2), Anchor);
+      return insertBefore(SelectInst::create(Cond, TrueV, FalseV), Anchor);
+    }
     default: {
       if (CastInst::isCastOpcode(N->getOpcode())) {
         Value *Src = emitNode(N->getOperand(0), Anchor);

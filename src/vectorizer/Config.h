@@ -91,6 +91,23 @@ struct VectorizerConfig {
   /// log-step shuffles. Orthogonal to the LSLP features.
   bool EnableReductions = true;
 
+  /// \name Pre-vectorization CFG pipeline.
+  ///
+  /// The two CFG passes (src/transforms) run before the vectorizer, after
+  /// early-cse, wherever a driver honours these knobs (lslpc, the lslpd
+  /// compile service, the fuzz oracle). They live in the config — rather
+  /// than as separate request flags — so the daemon's content-addressed
+  /// cache keys on them automatically via the config JSON.
+  /// @{
+  /// Flatten diamonds/triangles into selects before seed collection.
+  bool EnableIfConversion = false;
+  /// Unroll trip-count-known innermost loops before seed collection.
+  bool EnableLoopUnroll = false;
+  /// Requested unroll factor (the pass falls back to the largest divisor
+  /// of the trip count not exceeding it). Values < 2 disable unrolling.
+  unsigned UnrollFactor = 4;
+  /// @}
+
   /// Vectorize when the graph cost is strictly below this (paper: 0).
   int CostThreshold = 0;
 

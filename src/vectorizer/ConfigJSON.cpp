@@ -41,6 +41,9 @@ std::string VectorizerConfig::toJSON() const {
   S += ",\"splat-mode\":" + std::string(B(EnableSplatMode));
   S += ",\"alt-opcodes\":" + std::string(B(EnableAltOpcodes));
   S += ",\"reductions\":" + std::string(B(EnableReductions));
+  S += ",\"if-conversion\":" + std::string(B(EnableIfConversion));
+  S += ",\"loop-unroll\":" + std::string(B(EnableLoopUnroll));
+  S += ",\"unroll-factor\":" + std::to_string(UnrollFactor);
   S += ",\"cost-threshold\":" + std::to_string(CostThreshold);
   S += ",\"max-graph-depth\":" + std::to_string(MaxGraphDepth);
   S += ",\"max-graph-nodes\":" + std::to_string(MaxGraphNodes);
@@ -256,6 +259,15 @@ bool VectorizerConfig::fromJSON(std::string_view JSON, VectorizerConfig &Out,
         return false;
     } else if (Key == "reductions") {
       if (!Flag(Out.EnableReductions))
+        return false;
+    } else if (Key == "if-conversion") {
+      if (!Flag(Out.EnableIfConversion))
+        return false;
+    } else if (Key == "loop-unroll") {
+      if (!Flag(Out.EnableLoopUnroll))
+        return false;
+    } else if (Key == "unroll-factor") {
+      if (!Unsigned(Out.UnrollFactor))
         return false;
     } else if (Key == "cost-threshold") {
       int64_t V = 0;

@@ -91,6 +91,12 @@ int nodeCost(const SLPGraph &Graph, const SLPNode &Node,
       Cost = TTI.getCastInstrCost(Opc, VecTy);
       for (unsigned L = 0; L != Lanes; ++L)
         Cost -= TTI.getCastInstrCost(Opc, ScalarTy);
+    } else if (Opc == ValueID::Select) {
+      // One vector blend replaces one scalar select per lane; the
+      // condition operand's gather cost is accounted on its own node.
+      Cost = TTI.getCmpSelCost(Opc, VecTy);
+      for (unsigned L = 0; L != Lanes; ++L)
+        Cost -= TTI.getCmpSelCost(Opc, ScalarTy);
     } else {
       Cost = TTI.getArithmeticInstrCost(Opc, VecTy);
       for (unsigned L = 0; L != Lanes; ++L)

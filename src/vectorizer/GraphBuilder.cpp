@@ -271,6 +271,31 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
     noteNodeBuilt("load", Lanes, Depth);
     return Graph.createVectorizeNode(Lanes);
   }
+  case ValueID::Select: {
+    // A select group lowers to one per-lane vector blend; the i1
+    // conditions gather into an <N x i1> operand (CodeGen's insertelement
+    // chain), and the arms recurse like any other operand bundle.
+    if (!Scheduler.canScheduleBundle(Insts))
+      return Gather("unschedulable");
+    Scheduler.commitBundle(Insts);
+    ++NumGroupNodes;
+    noteNodeBuilt("select", Lanes, Depth);
+    SLPNode *Node = Graph.createVectorizeNode(Lanes);
+    std::vector<Value *> CondLanes, TrueLanes, FalseLanes;
+    CondLanes.reserve(Insts.size());
+    TrueLanes.reserve(Insts.size());
+    FalseLanes.reserve(Insts.size());
+    for (Instruction *I : Insts) {
+      auto *Sel = cast<SelectInst>(I);
+      CondLanes.push_back(Sel->getCondition());
+      TrueLanes.push_back(Sel->getTrueValue());
+      FalseLanes.push_back(Sel->getFalseValue());
+    }
+    Node->addOperand(buildRec(CondLanes, Depth + 1));
+    Node->addOperand(buildRec(TrueLanes, Depth + 1));
+    Node->addOperand(buildRec(FalseLanes, Depth + 1));
+    return Node;
+  }
   default:
     if (Insts[0]->isBinaryOp())
       return buildBinaryNode(Insts, Depth);
@@ -294,7 +319,7 @@ SLPNode *SLPGraphBuilder::buildRecImpl(const std::vector<Value *> &Lanes,
       Node->addOperand(buildRec(SrcLanes, Depth + 1));
       return Node;
     }
-    // Everything else (gep/icmp/select/phi/vector ops) is out of scope for
+    // Everything else (gep/icmp/phi/vector ops) is out of scope for
     // group formation and is gathered.
     return Gather("unsupported-opcode");
   }

@@ -49,6 +49,7 @@ enum class VMOp : uint8_t {
   Cast,       ///< SExt/ZExt/Trunc/SIToFP/FPToSI (opcode in SrcOpc).
   ICmp,       ///< Predicate in Imm.
   Select,     ///< Dst = (A & 1) ? B : C, lane-wise copy.
+  SelectLanes,///< Per-lane blend: Dst+K = (A+K & 1) ? B+K : C+K.
   Load,       ///< Dst[lanes] <- Memory[A], element size in Imm.
   Store,      ///< Memory[B] <- A[lanes], element size in Imm.
   Gep,        ///< Dst = A + sext(B) * Imm.

@@ -237,7 +237,10 @@ private:
     }
     case ValueID::Select: {
       const auto *S = cast<SelectInst>(I);
-      VMInst &V = emit(VMOp::Select, I);
+      // Vector conditions blend per lane (SelectLanes); a scalar condition
+      // picks one whole source value, however many lanes it has.
+      bool PerLane = S->getCondition()->getType()->isVectorTy();
+      VMInst &V = emit(PerLane ? VMOp::SelectLanes : VMOp::Select, I);
       V.Lanes = static_cast<uint8_t>(lanesOf(S->getType()));
       V.Dst = Slots.at(I);
       V.A = slotOf(S->getCondition());

@@ -32,6 +32,8 @@ const char *vmOpName(VMOp Op) {
     return "ICmp";
   case VMOp::Select:
     return "Select";
+  case VMOp::SelectLanes:
+    return "SelectLanes";
   case VMOp::Load:
     return "Load";
   case VMOp::Store:
@@ -110,6 +112,7 @@ std::string vm::printVMInst(const CompiledFunction &CF, size_t PC) {
     S += " dst=" + reg(I.Dst) + " a=" + reg(I.A) + " b=" + reg(I.B);
     break;
   case VMOp::Select:
+  case VMOp::SelectLanes:
     S += " dst=" + reg(I.Dst) + " cond=" + reg(I.A) + " t=" + reg(I.B) +
          " f=" + reg(I.C);
     break;

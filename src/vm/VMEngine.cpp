@@ -110,6 +110,11 @@ ExecStats VMEngine::run(const Function *F,
         R[I.Dst + K] = R[Src + K];
       break;
     }
+    case VMOp::SelectLanes:
+      for (unsigned K = 0; K != I.Lanes; ++K)
+        R[I.Dst + K] =
+            laneops::evalSelectLane(R[I.A + K], R[I.B + K], R[I.C + K]);
+      break;
     case VMOp::Load: {
       uint64_t Addr = R[I.A];
       unsigned Size = static_cast<unsigned>(I.Imm);

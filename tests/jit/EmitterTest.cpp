@@ -116,6 +116,9 @@ TEST(Emitter, Sse) {
             Bytes({0xf2, 0x0f, 0x58, 0xc1}));
   EXPECT_EQ(enc([](Assembler &A) { A.paddq(XMM0, XMM1); }),
             Bytes({0x66, 0x0f, 0xd4, 0xc1}));
+  // The vector-select blend's and-not: pandn xmm1, xmm3.
+  EXPECT_EQ(enc([](Assembler &A) { A.pandn(XMM1, XMM3); }),
+            Bytes({0x66, 0x0f, 0xdf, 0xcb}));
   EXPECT_EQ(enc([](Assembler &A) { A.shufps(XMM0, XMM1, 0x08); }),
             Bytes({0x0f, 0xc6, 0xc1, 0x08}));
   // Unaligned vector load through R12 (the engine's memory base): REX.B

@@ -1,0 +1,397 @@
+//===- tests/transforms/CFGCorpusTest.cpp - Branchy/loop corpus replay ----===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A curated corpus of branchy and loop-carrying kernels replayed through the
+/// differential oracle with the CFG pipeline (if-conversion + unroll) pinned
+/// on and three-way engine parity enabled. Each entry is executed scalar
+/// (untransformed) and transformed on the tree-walker, the vm, and — when the
+/// host supports it — the native jit; every output byte, return lane, and
+/// ExecStats field must agree across all of them. The corpus covers both
+/// sides of every legality rule: shapes the passes convert/unroll and shapes
+/// they must refuse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/DifferentialOracle.h"
+
+#include "costmodel/TargetTransformInfo.h"
+#include "ir/Context.h"
+#include "ir/Module.h"
+#include "parser/Parser.h"
+#include "transforms/IfConversion.h"
+#include "transforms/LoopUnroll.h"
+#include "vectorizer/SLPVectorizerPass.h"
+
+#include <gtest/gtest.h>
+
+using namespace lslp;
+
+namespace {
+
+struct CorpusEntry {
+  const char *Name;
+  const char *Src;
+  /// Whether the CFG pipeline is expected to unlock at least one accepted
+  /// pack that the plain vectorizer cannot find.
+  bool UnlocksVectorization;
+};
+
+/// Four independent diamonds feeding four adjacent stores: branchy until
+/// if-conversion flattens the block, then a textbook 4-wide store seed.
+const char *BranchyQuad = R"(
+global @A = [16 x i64]
+global @B = [16 x i64]
+global @O = [16 x i64]
+define void @f() {
+entry:
+  %p0 = gep i64, ptr @A, i64 0
+  %a0 = load i64, ptr %p0
+  %p1 = gep i64, ptr @A, i64 1
+  %a1 = load i64, ptr %p1
+  %p2 = gep i64, ptr @A, i64 2
+  %a2 = load i64, ptr %p2
+  %p3 = gep i64, ptr @A, i64 3
+  %a3 = load i64, ptr %p3
+  %c = icmp slt i64 %a0, 100
+  br i1 %c, label %then, label %else
+then:
+  %t0 = add i64 %a0, 7
+  %t1 = add i64 %a1, 7
+  %t2 = add i64 %a2, 7
+  %t3 = add i64 %a3, 7
+  br label %join
+else:
+  %e0 = mul i64 %a0, 3
+  %e1 = mul i64 %a1, 3
+  %e2 = mul i64 %a2, 3
+  %e3 = mul i64 %a3, 3
+  br label %join
+join:
+  %m0 = phi i64 [ %t0, %then ], [ %e0, %else ]
+  %m1 = phi i64 [ %t1, %then ], [ %e1, %else ]
+  %m2 = phi i64 [ %t2, %then ], [ %e2, %else ]
+  %m3 = phi i64 [ %t3, %then ], [ %e3, %else ]
+  %q0 = gep i64, ptr @O, i64 0
+  store i64 %m0, ptr %q0
+  %q1 = gep i64, ptr @O, i64 1
+  store i64 %m1, ptr %q1
+  %q2 = gep i64, ptr @O, i64 2
+  store i64 %m2, ptr %q2
+  %q3 = gep i64, ptr @O, i64 3
+  store i64 %m3, ptr %q3
+  ret void
+}
+)";
+
+/// Triangle: the false edge jumps straight to the join.
+const char *Triangle = R"(
+global @A = [16 x i64]
+global @O = [16 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %a = load i64, ptr %p
+  %c = icmp sgt i64 %a, 0
+  br i1 %c, label %then, label %join
+then:
+  %t = sub i64 0, %a
+  br label %join
+join:
+  %m = phi i64 [ %t, %then ], [ %a, %entry ]
+  %q = gep i64, ptr @O, i64 0
+  store i64 %m, ptr %q
+  ret void
+}
+)";
+
+/// Two nested diamonds; the fixpoint loop must flatten both.
+const char *NestedDiamonds = R"(
+global @A = [16 x i64]
+global @O = [16 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %a = load i64, ptr %p
+  %c0 = icmp slt i64 %a, 10
+  br i1 %c0, label %t0, label %e0
+t0:
+  %c1 = icmp slt i64 %a, 5
+  br i1 %c1, label %t1, label %e1
+t1:
+  %x1 = add i64 %a, 1
+  br label %j1
+e1:
+  %y1 = add i64 %a, 2
+  br label %j1
+j1:
+  %m1 = phi i64 [ %x1, %t1 ], [ %y1, %e1 ]
+  br label %j0
+e0:
+  %y0 = mul i64 %a, 5
+  br label %j0
+j0:
+  %m0 = phi i64 [ %m1, %j1 ], [ %y0, %e0 ]
+  %q = gep i64, ptr @O, i64 0
+  store i64 %m0, ptr %q
+  ret void
+}
+)";
+
+/// A store inside an arm: if-conversion must refuse (the arm's store is
+/// conditional), and the refused module must still execute identically.
+const char *StoreArmBailout = R"(
+global @A = [16 x i64]
+global @O = [16 x i64]
+define void @f() {
+entry:
+  %p = gep i64, ptr @A, i64 0
+  %a = load i64, ptr %p
+  %c = icmp slt i64 %a, 50
+  br i1 %c, label %then, label %join
+then:
+  %q0 = gep i64, ptr @O, i64 0
+  store i64 %a, ptr %q0
+  br label %join
+join:
+  %q = gep i64, ptr @O, i64 1
+  store i64 %a, ptr %q
+  ret void
+}
+)";
+
+/// Division by a runtime value in an arm: speculating it could introduce a
+/// trap the original program never reached. Must bail, must still run.
+const char *TrappingDivBailout = R"(
+global @A = [16 x i64]
+global @O = [16 x i64]
+define void @f() {
+entry:
+  %p0 = gep i64, ptr @A, i64 0
+  %a = load i64, ptr %p0
+  %p1 = gep i64, ptr @A, i64 1
+  %b = load i64, ptr %p1
+  %c = icmp sgt i64 %b, 0
+  br i1 %c, label %then, label %else
+then:
+  %t = sdiv i64 %a, %b
+  br label %join
+else:
+  br label %join
+join:
+  %m = phi i64 [ %t, %then ], [ 0, %else ]
+  %q = gep i64, ptr @O, i64 0
+  store i64 %m, ptr %q
+  ret void
+}
+)";
+
+/// OUT[i] = IN0[i] + IN1[i], trip 8: one lane per iteration until the
+/// unroller replicates the body into a 4-wide adjacent store group.
+const char *CountedAddLoop = R"(
+global @IN0 = [16 x i64]
+global @IN1 = [16 x i64]
+global @OUT = [16 x i64]
+define void @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %p0 = gep i64, ptr @IN0, i64 %i
+  %p1 = gep i64, ptr @IN1, i64 %i
+  %a = load i64, ptr %p0
+  %b = load i64, ptr %p1
+  %s = add i64 %a, %b
+  %q = gep i64, ptr @OUT, i64 %i
+  store i64 %s, ptr %q
+  %next = add i64 %i, 1
+  %c = icmp ult i64 %next, 8
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+
+/// Trip 6 with factor 4 requested: the pass falls back to factor 3.
+const char *FallbackFactorLoop = R"(
+global @IN = [16 x i64]
+global @OUT = [16 x i64]
+define void @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %p = gep i64, ptr @IN, i64 %i
+  %v = load i64, ptr %p
+  %x = xor i64 %v, 255
+  %q = gep i64, ptr @OUT, i64 %i
+  store i64 %x, ptr %q
+  %next = add i64 %i, 1
+  %c = icmp ult i64 %next, 6
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+
+/// Prime trip 7 below the factor: the unroller must skip, and the untouched
+/// loop must still execute in lockstep across engines.
+const char *PrimeTripLoop = R"(
+global @IN = [16 x i64]
+global @OUT = [16 x i64]
+define void @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %p = gep i64, ptr @IN, i64 %i
+  %v = load i64, ptr %p
+  %x = mul i64 %v, 9
+  %q = gep i64, ptr @OUT, i64 %i
+  store i64 %x, ptr %q
+  %next = add i64 %i, 1
+  %c = icmp eq i64 %next, 7
+  br i1 %c, label %exit, label %loop
+exit:
+  ret void
+}
+)";
+
+/// Accumulator live-out: the unroller's external-use rewrite is on the
+/// execution path (the exit block stores %acc.next).
+const char *LiveOutAccLoop = R"(
+global @IN = [16 x i64]
+global @OUT = [16 x i64]
+define void @f() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %acc = phi i64 [ 1, %entry ], [ %acc.next, %loop ]
+  %p = gep i64, ptr @IN, i64 %i
+  %v = load i64, ptr %p
+  %acc.next = add i64 %acc, %v
+  %q = gep i64, ptr @OUT, i64 %i
+  store i64 %acc.next, ptr %q
+  %next = add i64 %i, 1
+  %c = icmp ult i64 %next, 8
+  br i1 %c, label %loop, label %exit
+exit:
+  %q2 = gep i64, ptr @OUT, i64 8
+  store i64 %acc.next, ptr %q2
+  ret void
+}
+)";
+
+/// Diamond feeding a counted loop: both passes fire in one function, in
+/// pipeline order (flatten first, then unroll).
+const char *DiamondThenLoop = R"(
+global @A = [16 x i64]
+global @OUT = [16 x i64]
+define void @f() {
+entry:
+  %pa = gep i64, ptr @A, i64 0
+  %a = load i64, ptr %pa
+  %c = icmp slt i64 %a, 20
+  br i1 %c, label %then, label %else
+then:
+  %t = add i64 %a, 11
+  br label %join
+else:
+  %e = sub i64 %a, 11
+  br label %join
+join:
+  %bias = phi i64 [ %t, %then ], [ %e, %else ]
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %join ], [ %next, %loop ]
+  %p = gep i64, ptr @A, i64 %i
+  %v = load i64, ptr %p
+  %s = add i64 %v, %bias
+  %q = gep i64, ptr @OUT, i64 %i
+  store i64 %s, ptr %q
+  %next = add i64 %i, 1
+  %c2 = icmp ult i64 %next, 8
+  br i1 %c2, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+
+const CorpusEntry Corpus[] = {
+    {"branchy-quad", BranchyQuad, true},
+    {"triangle", Triangle, false},
+    {"nested-diamonds", NestedDiamonds, false},
+    {"store-arm-bailout", StoreArmBailout, false},
+    {"trapping-div-bailout", TrappingDivBailout, false},
+    {"counted-add-loop", CountedAddLoop, true},
+    {"fallback-factor-loop", FallbackFactorLoop, false},
+    {"prime-trip-loop", PrimeTripLoop, false},
+    {"live-out-acc-loop", LiveOutAccLoop, false},
+    {"diamond-then-loop", DiamondThenLoop, true},
+};
+
+OracleOptions cfgOracleOptions() {
+  OracleOptions Opts;
+  VectorizerConfig Cfg = VectorizerConfig::lslp();
+  Cfg.EnableIfConversion = true;
+  Cfg.EnableLoopUnroll = true;
+  Cfg.Name = "LSLP-cfg";
+  Opts.Configs = {Cfg};
+  Opts.CheckEngineParity = true;
+  // The strategy axis is covered by the fuzz tier; here the budget goes to
+  // the three-way engine replay.
+  Opts.SweepStrategies = false;
+  return Opts;
+}
+
+TEST(CFGCorpus, ThreeWayEngineParityAcrossCorpus) {
+  DifferentialOracle Oracle(cfgOracleOptions());
+  for (const CorpusEntry &E : Corpus) {
+    OracleVerdict V = Oracle.check(E.Src);
+    EXPECT_TRUE(V.Passed) << E.Name << " [" << V.ConfigName
+                          << "]: " << V.Reason << "\n"
+                          << V.VectorizedIR;
+  }
+}
+
+TEST(CFGCorpus, PipelineUnlocksVectorization) {
+  // The corpus is only a meaningful parity gate if the pipeline actually
+  // produces vector code on the entries built for it: without the CFG
+  // passes the vectorizer finds nothing, with them it packs.
+  SkylakeTTI TTI;
+  for (const CorpusEntry &E : Corpus) {
+    if (!E.UnlocksVectorization)
+      continue;
+    unsigned Accepted[2];
+    for (int WithPipeline = 0; WithPipeline < 2; ++WithPipeline) {
+      Context Ctx;
+      auto M = parseModuleOrDie(E.Src, Ctx);
+      if (WithPipeline) {
+        runIfConversion(*M);
+        runLoopUnroll(*M, 4);
+      }
+      SLPVectorizerPass VP(VectorizerConfig::lslp(), TTI);
+      Accepted[WithPipeline] = VP.runOnModule(*M).numAccepted();
+    }
+    EXPECT_EQ(Accepted[0], 0u) << E.Name;
+    EXPECT_GT(Accepted[1], 0u) << E.Name;
+  }
+}
+
+TEST(CFGCorpus, DefaultSweepIncludesCFGConfig) {
+  // The fuzzer's standing sweep must carry the CFG-enabled configuration so
+  // every generated module exercises the new passes, not just this corpus.
+  bool Found = false;
+  for (const VectorizerConfig &C : DifferentialOracle::defaultConfigs())
+    if (C.EnableIfConversion && C.EnableLoopUnroll) {
+      Found = true;
+      EXPECT_EQ(C.Name, "LSLP-cfg");
+    }
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Daemon serving gate: two lslpd instances serve example compiles and a
+# sharded fuzz sweep, byte-identical to local runs, then drain cleanly.
+#
+# Usage: tools/ci/daemon_gate.sh [build-dir]
+#
+# Extracted from the inline CI step so both workflow legs (and local
+# debugging) run the exact same gate. Any command failing aborts the
+# script (set -e) and the EXIT trap kills both daemons, so a failed diff
+# can never leak a daemon that deadlocks the runner or poisons the next
+# attempt's socket path. Stale socket files from a previous crashed run
+# are handled by lslpd itself: at startup it probes an existing socket
+# with connect() and only unlinks it when nothing answers.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+LSLPC="$BUILD_DIR/tools/lslpc"
+LSLPD="$BUILD_DIR/tools/lslpd"
+SOCK1=/tmp/lslpd-ci-1.sock
+SOCK2=/tmp/lslpd-ci-2.sock
+
+D1=
+D2=
+cleanup() {
+  # Kill whatever is still running; a clean drain leaves nothing to kill.
+  [ -n "$D1" ] && kill "$D1" 2>/dev/null || true
+  [ -n "$D2" ] && kill "$D2" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+mkdir -p daemon-artifacts
+"$LSLPD" --socket="$SOCK1" --cache-capacity=256 > daemon1.log 2>&1 &
+D1=$!
+"$LSLPD" --socket="$SOCK2" --cache-capacity=256 > daemon2.log 2>&1 &
+D2=$!
+for _ in $(seq 50); do
+  [ -S "$SOCK1" ] && [ -S "$SOCK2" ] && break
+  sleep 0.1
+done
+
+# Every example compiles to the same bytes locally and through the
+# daemon, on both strategies and with the CFG pipeline both off and on —
+# twice each, so the second round replays from the content cache.
+for ll in examples/ir/*.ll; do
+  name=$(basename "$ll" .ll)
+  for strategy in greedy global; do
+    for cfgflags in "" "-if-convert -unroll"; do
+      # shellcheck disable=SC2086  # cfgflags is intentionally word-split.
+      "$LSLPC" "$ll" -config=LSLP -report --slp-strategy=$strategy $cfgflags \
+        > "local-$name.out" 2> "local-$name.err"
+      for _round in cold warm; do
+        # shellcheck disable=SC2086
+        "$LSLPC" "$ll" -config=LSLP -report --slp-strategy=$strategy $cfgflags \
+          --connect="$SOCK1" \
+          > "daemon-$name.out" 2> "daemon-$name.err"
+        diff -u "local-$name.out" "daemon-$name.out"
+        diff -u "local-$name.err" "daemon-$name.err"
+      done
+    done
+  done
+done
+
+# 200-seed differential fuzz sweep, sharded across both daemons,
+# byte-identical to the local sweep.
+"$LSLPC" --fuzz=200 --seed=1 > fuzz-local.out 2>&1
+"$LSLPC" --fuzz=200 --seed=1 \
+  --connect="$SOCK1,$SOCK2" > fuzz-daemon.out 2>&1
+diff -u fuzz-local.out fuzz-daemon.out
+
+# A second daemon on an already-served socket must be refused: the
+# stale-socket probe distinguishes a live daemon from a dead one's
+# leftover file, so two sweeps can never silently share one path. The
+# timeout turns a wrongly-bound (serving) daemon into a failure instead
+# of a hang; the grep rejects the timeout path too.
+if timeout 10 "$LSLPD" --socket="$SOCK1" > probe.log 2>&1; then
+  echo "error: second daemon bound a live socket" >&2
+  exit 1
+fi
+grep -q "live daemon" probe.log
+
+# Cache/batch counters are visible via the stats request, then both
+# daemons must drain gracefully (exit 0, drain line logged).
+"$LSLPC" --connect="$SOCK1" --daemon-stats \
+  | tee daemon-artifacts/lslpd-stats.json
+"$LSLPC" --connect="$SOCK2" --daemon-stats \
+  >> daemon-artifacts/lslpd-stats.json
+"$LSLPC" --connect="$SOCK1" --shutdown-daemon
+"$LSLPC" --connect="$SOCK2" --shutdown-daemon
+wait "$D1"
+wait "$D2"
+D1=
+D2=
+cp daemon1.log daemon2.log daemon-artifacts/
+grep -q "drained after" daemon1.log
+grep -q "drained after" daemon2.log

@@ -48,6 +48,8 @@
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
 #include "transforms/EarlyCSE.h"
+#include "transforms/IfConversion.h"
+#include "transforms/LoopUnroll.h"
 #include "vectorizer/SLPVectorizerPass.h"
 #include "jit/JITEngine.h"
 #include "vm/BytecodeDump.h"
@@ -142,6 +144,13 @@ void printUsage() {
             "  -no-vectorize             parse/verify/print only\n"
             "  -early-cse                run common-subexpression "
             "elimination first\n"
+            "  -if-convert               flatten branchy diamonds/triangles "
+            "into selects\n"
+            "                            before vectorization\n"
+            "  -unroll[=N]               unroll trip-count-known loops "
+            "(requested factor\n"
+            "                            N >= 2, default 4) before "
+            "vectorization\n"
             "  -report                   print per-seed-bundle report\n"
             "  -graphs                   include rendered SLP graphs\n"
             "  -dot                      emit Graphviz DOT for each graph\n"
@@ -319,6 +328,15 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.Vectorize = false;
     else if (Plain == "early-cse")
       Opts.EarlyCSE = true;
+    else if (Plain == "if-convert")
+      Opts.Config.EnableIfConversion = true;
+    else if (Plain == "unroll")
+      Opts.Config.EnableLoopUnroll = true;
+    else if (startsWith(Plain, "unroll=") && parseInt(Plain.substr(7), Num) &&
+             Num >= 2) {
+      Opts.Config.EnableLoopUnroll = true;
+      Opts.Config.UnrollFactor = static_cast<unsigned>(Num);
+    }
     else if (Plain == "report")
       Opts.Report = true;
     else if (Plain == "graphs")
@@ -494,6 +512,9 @@ int runFuzz(const Options &Opts, int64_t Count, int64_t FirstSeed,
   SweepOpts.FaultProbability = Opts.FaultProbability;
   SweepOpts.FaultSeed = static_cast<uint64_t>(Opts.FaultSeed);
   SweepOpts.Strategy = Opts.Config.Strategy;
+  SweepOpts.IfConvert = Opts.Config.EnableIfConversion;
+  SweepOpts.Unroll = Opts.Config.EnableLoopUnroll;
+  SweepOpts.UnrollFactor = Opts.Config.UnrollFactor;
   SweepOpts.DaemonSockets = Opts.ConnectSockets;
 
   int64_t NumDone = 0;
@@ -676,6 +697,31 @@ int compileModule(const Options &Opts, VectorizerConfig Config,
       outs() << "; early-cse removed " << Removed << " instruction(s)\n";
     if (Opts.VerifyEach) {
       if (Error E = verifyAfterPass(*M, "early-cse")) {
+        errs() << "lslpc: " << E.message() << "\n";
+        return 1;
+      }
+    }
+  }
+  if (Config.EnableIfConversion) {
+    TimeRegion R(TimerFor("if-conversion"));
+    unsigned Converted = runIfConversion(*M, Config.Remarks);
+    if (Opts.Report)
+      outs() << "; if-conversion flattened " << Converted << " branch(es)\n";
+    if (Opts.VerifyEach) {
+      if (Error E = verifyAfterPass(*M, "if-conversion")) {
+        errs() << "lslpc: " << E.message() << "\n";
+        return 1;
+      }
+    }
+  }
+  if (Config.EnableLoopUnroll) {
+    TimeRegion R(TimerFor("loop-unroll"));
+    unsigned Unrolled =
+        runLoopUnroll(*M, Config.UnrollFactor, Config.Remarks);
+    if (Opts.Report)
+      outs() << "; loop-unroll unrolled " << Unrolled << " loop(s)\n";
+    if (Opts.VerifyEach) {
+      if (Error E = verifyAfterPass(*M, "loop-unroll")) {
         errs() << "lslpc: " << E.message() << "\n";
         return 1;
       }
