@@ -1,0 +1,74 @@
+//===- server/ChaosSocket.cpp - Network-layer fault injection -------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ChaosSocket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include <sys/socket.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+ChaosSocket::ChaosSocket(Options OptsIn)
+    : Opts(OptsIn), Injector(OptsIn.Seed, OptsIn.Probability),
+      Stream(Injector.streamFor("chaos-socket")) {}
+
+uint64_t ChaosSocket::totalInjected() const {
+  uint64_t Total = 0;
+  for (const auto &C : Counters)
+    Total += C.load(std::memory_order_relaxed);
+  return Total;
+}
+
+bool ChaosSocket::draw(FaultSite Site, bool Enabled) {
+  if (!Enabled || Opts.Probability <= 0.0)
+    return false;
+  bool Fail;
+  {
+    std::lock_guard<std::mutex> Lock(StreamMutex);
+    Fail = Stream.shouldFail(Site);
+  }
+  if (Fail)
+    Counters[static_cast<unsigned>(Site)].fetch_add(
+        1, std::memory_order_relaxed);
+  return Fail;
+}
+
+ssize_t ChaosSocket::recvSome(int Fd, char *Data, size_t Size, int Flags) {
+  if (draw(FaultSite::IoDelay, Opts.Delays))
+    std::this_thread::sleep_for(std::chrono::microseconds(Opts.DelayMicros));
+  if (draw(FaultSite::IoEintr, Opts.Eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (draw(FaultSite::IoReset, Opts.Resets)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (Size > 1 && draw(FaultSite::IoTornRead, Opts.TornReads))
+    Size = 1; // The peer's frame arrives one byte at a time.
+  return ::recv(Fd, Data, Size, Flags);
+}
+
+ssize_t ChaosSocket::sendSome(int Fd, const char *Data, size_t Size,
+                              int Flags) {
+  if (draw(FaultSite::IoDelay, Opts.Delays))
+    std::this_thread::sleep_for(std::chrono::microseconds(Opts.DelayMicros));
+  if (draw(FaultSite::IoEintr, Opts.Eintr)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (draw(FaultSite::IoReset, Opts.Resets)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (Size > 1 && draw(FaultSite::IoShortWrite, Opts.ShortWrites))
+    Size = 1; // The kernel "accepts" one byte; the caller must loop.
+  return ::send(Fd, Data, Size, Flags);
+}

@@ -1,0 +1,113 @@
+//===- server/ChaosSocket.h - Network-layer fault injection -----*- C++ -*-===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FrameTransport that injects deterministic, seed-driven misbehavior
+/// into every socket call the serving tier makes (see DESIGN.md "Serving
+/// failure model"). Five fault sites, mirroring the classic network
+/// failure menagerie:
+///
+///   io-torn-read   recv() delivers one byte — frames arrive shredded
+///   io-short-write send() accepts one byte — peers see torn frames
+///   io-delay       the call is delayed a few milliseconds first
+///   io-reset       the call fails with ECONNRESET (mid-request reset)
+///   io-eintr       the call fails with EINTR (signal-interrupt storm)
+///
+/// Torn reads, short writes, delays, and EINTR are *lossless*: every byte
+/// still moves, just slowly and in the worst possible sizes, so a correct
+/// peer must converge to the identical result. Resets are *lossy*: the
+/// caller loses the connection and must retry, which is exactly what the
+/// client's bounded-retry/failover path is for. Tests that assert
+/// byte-identical outcomes therefore either disable resets or rely on the
+/// retry layer to absorb them.
+///
+/// Draw sequences come from support/FaultInjection (one shared stream,
+/// site-indexed counters), so a (seed, probability) pair names a
+/// reproducible chaos schedule under single-threaded traffic; under
+/// concurrency the schedule interleaves with thread timing, and the seed
+/// is still worth recording for triage. Chaos is process-wide once
+/// installed — in-process daemon tests exercise both endpoints at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSLP_SERVER_CHAOSSOCKET_H
+#define LSLP_SERVER_CHAOSSOCKET_H
+
+#include "server/Protocol.h"
+#include "support/FaultInjection.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+
+namespace lslp {
+namespace server {
+
+class ChaosSocket : public FrameTransport {
+public:
+  struct Options {
+    uint64_t Seed = 0;
+    /// Per-site injection probability per socket call (0 disables).
+    double Probability = 0.0;
+    /// Individual site switches: lossless sites shred and stall the
+    /// byte stream; Reset is the only site that loses a connection.
+    bool TornReads = true;
+    bool ShortWrites = true;
+    bool Delays = true;
+    bool Resets = true;
+    bool Eintr = true;
+    /// Injected delay per io-delay fault, in microseconds.
+    unsigned DelayMicros = 500;
+  };
+
+  explicit ChaosSocket(Options Opts);
+
+  ssize_t recvSome(int Fd, char *Data, size_t Size, int Flags) override;
+  ssize_t sendSome(int Fd, const char *Data, size_t Size, int Flags) override;
+
+  /// Faults injected at \p Site so far.
+  uint64_t injectedAt(FaultSite Site) const {
+    return Counters[static_cast<unsigned>(Site)].load(
+        std::memory_order_relaxed);
+  }
+  /// Total faults injected across all sites.
+  uint64_t totalInjected() const;
+
+private:
+  /// One synchronized draw at \p Site (the underlying FaultStream is not
+  /// thread-safe; daemon and client threads share this transport).
+  bool draw(FaultSite Site, bool Enabled);
+
+  Options Opts;
+  FaultInjector Injector;
+  std::mutex StreamMutex;
+  FaultStream Stream;
+  std::array<std::atomic<uint64_t>, NumFaultSites> Counters{};
+};
+
+/// RAII installation: routes all frame IO through a ChaosSocket for the
+/// scope's lifetime, then restores the real syscalls. Install before any
+/// traffic starts and destroy after it drains.
+class ScopedChaosSocket {
+public:
+  explicit ScopedChaosSocket(ChaosSocket::Options Opts) : Sock(Opts) {
+    setFrameTransportForTesting(&Sock);
+  }
+  ~ScopedChaosSocket() { setFrameTransportForTesting(nullptr); }
+
+  ScopedChaosSocket(const ScopedChaosSocket &) = delete;
+  ScopedChaosSocket &operator=(const ScopedChaosSocket &) = delete;
+
+  ChaosSocket &socket() { return Sock; }
+
+private:
+  ChaosSocket Sock;
+};
+
+} // namespace server
+} // namespace lslp
+
+#endif // LSLP_SERVER_CHAOSSOCKET_H

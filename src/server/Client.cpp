@@ -6,8 +6,12 @@
 
 #include "server/Client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <thread>
@@ -15,6 +19,28 @@
 
 using namespace lslp;
 using namespace lslp::server;
+
+namespace {
+
+/// splitmix64 finalizer (same mixer FaultInjection uses): drives the
+/// deterministic retry jitter so two clients seeded apart never sync up
+/// their backoff storms.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// A shard error annotated with where it ran — the triage handle the
+/// sweep operator actually needs (satellite: socket + seed range).
+std::string describeShard(const std::string &Socket, int64_t FirstSeed,
+                          int64_t Count, const std::string &Msg) {
+  return "daemon '" + Socket + "' (seeds [" + std::to_string(FirstSeed) +
+         ", " + std::to_string(FirstSeed + Count) + ")): " + Msg;
+}
+
+} // namespace
 
 DaemonClient::~DaemonClient() { close(); }
 
@@ -27,6 +53,7 @@ void DaemonClient::close() {
 
 Error DaemonClient::connect(const std::string &SocketPath) {
   close();
+  Path = SocketPath;
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path))
@@ -39,25 +66,61 @@ Error DaemonClient::connect(const std::string &SocketPath) {
   if (Fd < 0)
     return Error::make(ErrorCategory::IO,
                        std::string("socket: ") + std::strerror(errno));
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+
+  // Bounded connect: go non-blocking for the handshake, then restore the
+  // original flags so deadline-free calls keep their blocking semantics.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Opts.ConnectTimeoutMs >= 0 && Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+
+  int RC = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  if (RC < 0 && errno == EINPROGRESS && Opts.ConnectTimeoutMs >= 0) {
+    pollfd P{Fd, POLLOUT, 0};
+    int Ready;
+    do {
+      Ready = ::poll(&P, 1, Opts.ConnectTimeoutMs);
+    } while (Ready < 0 && errno == EINTR);
+    if (Ready == 0) {
+      Error E = Error::make(ErrorCategory::IO,
+                            "connect to daemon at '" + SocketPath +
+                                "' timed out after " +
+                                std::to_string(Opts.ConnectTimeoutMs) + "ms");
+      close();
+      return E;
+    }
+    int SockErr = 0;
+    socklen_t Len = sizeof(SockErr);
+    if (Ready < 0 ||
+        ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SockErr, &Len) < 0 ||
+        SockErr != 0) {
+      RC = -1;
+      errno = SockErr != 0 ? SockErr : errno;
+    } else {
+      RC = 0;
+    }
+  }
+  if (RC < 0) {
     Error E = Error::make(ErrorCategory::IO,
                           "cannot connect to daemon at '" + SocketPath +
                               "': " + std::strerror(errno));
     close();
     return E;
   }
+  if (Opts.ConnectTimeoutMs >= 0 && Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags);
   return Error::success();
 }
 
-Error DaemonClient::roundTrip(const std::string &Payload, std::string &Reply) {
+Error DaemonClient::roundTrip(const std::string &Payload, std::string &Reply,
+                              int TimeoutMs) {
   if (Fd < 0)
     return Error::make(ErrorCategory::IO, "not connected to a daemon");
-  if (Error E = writeFrame(Fd, Payload)) {
+  if (Error E = writeFrame(Fd, Payload, TimeoutMs)) {
     close();
     return E;
   }
   bool CleanEOF = false;
-  if (Error E = readFrame(Fd, Reply, &CleanEOF)) {
+  if (Error E = readFrame(Fd, Reply, &CleanEOF, TimeoutMs)) {
     close();
     if (CleanEOF)
       return Error::make(ErrorCategory::IO,
@@ -76,7 +139,7 @@ Error DaemonClient::errorFromReply(const std::string &Reply) {
     return Error::make(ErrorCategory::Internal,
                        "malformed error reply: " + DecodeErr);
   ErrorCategory Cat = E.Category <=
-                              static_cast<uint8_t>(ErrorCategory::Internal)
+                              static_cast<uint8_t>(ErrorCategory::Overloaded)
                           ? static_cast<ErrorCategory>(E.Category)
                           : ErrorCategory::Internal;
   return Error::make(Cat == ErrorCategory::None ? ErrorCategory::Internal
@@ -84,35 +147,80 @@ Error DaemonClient::errorFromReply(const std::string &Reply) {
                      E.Message);
 }
 
+Error DaemonClient::retryingCall(
+    const std::string &Payload,
+    const std::function<Error(const std::string &)> &Decode) {
+  Error Last = Error::success();
+  for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
+    if (Attempt > 0) {
+      // Exponential backoff with deterministic jitter: base << (n-1) plus
+      // a seed-driven slice of [0, base) so retry storms decorrelate.
+      int64_t SleepMs =
+          static_cast<int64_t>(Opts.BackoffBaseMs) << (Attempt - 1);
+      if (Opts.BackoffBaseMs > 0)
+        SleepMs += static_cast<int64_t>(
+            mix64(Opts.RetrySeed ^ RetryDraws++) %
+            static_cast<uint64_t>(Opts.BackoffBaseMs));
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+    }
+    if (!isConnected()) {
+      if (Path.empty())
+        return Error::make(ErrorCategory::IO, "not connected to a daemon");
+      if (Error E = connect(Path)) {
+        Last = std::move(E); // The daemon may be restarting: keep trying.
+        continue;
+      }
+    }
+    std::string Reply;
+    if (Error E = roundTrip(Payload, Reply, Opts.RequestTimeoutMs)) {
+      // Transport failure: the connection is closed; only IO errors are
+      // worth a reconnect (anything else is a local bug).
+      if (E.category() != ErrorCategory::IO)
+        return E;
+      Last = std::move(E);
+      continue;
+    }
+    if (Error E = errorFromReply(Reply)) {
+      // Overloaded is an explicit invitation to back off and resend — on
+      // the same healthy connection. Every other daemon-reported error is
+      // deterministic and would just fail again.
+      if (E.category() != ErrorCategory::Overloaded)
+        return E;
+      Last = std::move(E);
+      continue;
+    }
+    return Decode(Reply);
+  }
+  return Last;
+}
+
 Error DaemonClient::compile(const CompileRequest &Req, CompileResponse &Out) {
-  std::string Reply;
-  if (Error E = roundTrip(encodeCompileRequest(Req), Reply))
-    return E;
-  if (Error E = errorFromReply(Reply))
-    return E;
-  std::string DecodeErr;
-  if (!decodeCompileResponse(Reply, Out, DecodeErr))
-    return Error::make(ErrorCategory::Internal,
-                       "malformed compile reply: " + DecodeErr);
-  return Error::success();
+  return retryingCall(encodeCompileRequest(Req),
+                      [&Out](const std::string &Reply) {
+                        std::string DecodeErr;
+                        if (!decodeCompileResponse(Reply, Out, DecodeErr))
+                          return Error::make(ErrorCategory::Internal,
+                                             "malformed compile reply: " +
+                                                 DecodeErr);
+                        return Error::success();
+                      });
 }
 
 Error DaemonClient::fuzz(const FuzzRequest &Req, FuzzResponse &Out) {
-  std::string Reply;
-  if (Error E = roundTrip(encodeFuzzRequest(Req), Reply))
-    return E;
-  if (Error E = errorFromReply(Reply))
-    return E;
-  std::string DecodeErr;
-  if (!decodeFuzzResponse(Reply, Out, DecodeErr))
-    return Error::make(ErrorCategory::Internal,
-                       "malformed fuzz reply: " + DecodeErr);
-  return Error::success();
+  return retryingCall(encodeFuzzRequest(Req),
+                      [&Out](const std::string &Reply) {
+                        std::string DecodeErr;
+                        if (!decodeFuzzResponse(Reply, Out, DecodeErr))
+                          return Error::make(ErrorCategory::Internal,
+                                             "malformed fuzz reply: " +
+                                                 DecodeErr);
+                        return Error::success();
+                      });
 }
 
 Error DaemonClient::stats(std::string &JSONOut) {
   std::string Reply;
-  if (Error E = roundTrip(encodeStatsRequest(), Reply))
+  if (Error E = roundTrip(encodeStatsRequest(), Reply, Opts.ControlTimeoutMs))
     return E;
   if (Error E = errorFromReply(Reply))
     return E;
@@ -125,9 +233,23 @@ Error DaemonClient::stats(std::string &JSONOut) {
   return Error::success();
 }
 
+Error DaemonClient::health(HealthResponse &Out) {
+  std::string Reply;
+  if (Error E = roundTrip(encodeHealthRequest(), Reply, Opts.ControlTimeoutMs))
+    return E;
+  if (Error E = errorFromReply(Reply))
+    return E;
+  std::string DecodeErr;
+  if (!decodeHealthResponse(Reply, Out, DecodeErr))
+    return Error::make(ErrorCategory::Internal,
+                       "malformed health reply: " + DecodeErr);
+  return Error::success();
+}
+
 Error DaemonClient::shutdownDaemon() {
   std::string Reply;
-  if (Error E = roundTrip(encodeShutdownRequest(), Reply))
+  if (Error E =
+          roundTrip(encodeShutdownRequest(), Reply, Opts.ControlTimeoutMs))
     return E;
   if (Error E = errorFromReply(Reply))
     return E;
@@ -137,31 +259,28 @@ Error DaemonClient::shutdownDaemon() {
   return Error::success();
 }
 
-Expected<int64_t> server::runFuzzSweepViaDaemons(
-    const FuzzSweepOptions &Opts, const std::vector<std::string> &Sockets,
-    const std::function<void(const SeedOutcome &)> &Consume) {
-  if (Sockets.empty())
-    return Error::make(ErrorCategory::IO, "no daemon sockets given");
+namespace {
 
-  // Contiguous ranges keep delivery order trivial: shard i holds seeds
-  // strictly before shard i+1, so concatenation IS ascending seed order.
-  size_t NumShards = Sockets.size();
-  if (Opts.Count >= 0 && static_cast<uint64_t>(Opts.Count) < NumShards)
-    NumShards = Opts.Count == 0 ? 1 : static_cast<size_t>(Opts.Count);
+/// One shard of a sweep: a contiguous seed range bound to a socket.
+struct Shard {
+  FuzzRequest Req;
+  FuzzResponse Resp;
+  Error Err = Error::success();
+  size_t SocketIdx = 0;
+};
 
-  struct Shard {
-    FuzzRequest Req;
-    FuzzResponse Resp;
-    Error Err = Error::success();
-  };
+/// Splits [FirstSeed, FirstSeed+Count) into NumShards contiguous ranges
+/// carrying \p Opts's sweep parameters.
+std::vector<Shard> makeShards(const FuzzSweepOptions &Opts, int64_t FirstSeed,
+                              int64_t Count, size_t NumShards) {
   std::vector<Shard> Shards(NumShards);
-  int64_t Base = Opts.FirstSeed;
+  int64_t Base = FirstSeed;
   for (size_t I = 0; I != NumShards; ++I) {
-    int64_t Quota = Opts.Count / static_cast<int64_t>(NumShards) +
-                    (static_cast<int64_t>(I) <
-                             Opts.Count % static_cast<int64_t>(NumShards)
-                         ? 1
-                         : 0);
+    int64_t Quota =
+        Count / static_cast<int64_t>(NumShards) +
+        (static_cast<int64_t>(I) < Count % static_cast<int64_t>(NumShards)
+             ? 1
+             : 0);
     FuzzRequest &Req = Shards[I].Req;
     Req.Count = Quota;
     Req.FirstSeed = Base;
@@ -176,33 +295,125 @@ Expected<int64_t> server::runFuzzSweepViaDaemons(
     Req.Unroll = Opts.Unroll;
     Req.UnrollFactor = Opts.UnrollFactor;
   }
+  return Shards;
+}
 
+/// Runs every shard on its socket concurrently (one thread per shard).
+void runShards(std::vector<Shard> &Shards,
+               const std::vector<std::string> &Sockets,
+               const ClientOptions &ClientOpts) {
   std::vector<std::thread> Threads;
-  Threads.reserve(NumShards);
-  for (size_t I = 0; I != NumShards; ++I)
-    Threads.emplace_back([&Shards, &Sockets, I] {
-      DaemonClient Client;
-      if (Error E = Client.connect(Sockets[I])) {
-        Shards[I].Err = E;
+  Threads.reserve(Shards.size());
+  for (size_t I = 0; I != Shards.size(); ++I)
+    Threads.emplace_back([&Shards, &Sockets, &ClientOpts, I] {
+      Shard &S = Shards[I];
+      ClientOptions PerShard = ClientOpts;
+      PerShard.RetrySeed = ClientOpts.RetrySeed ^ (0x5bd1e995u * (I + 1));
+      DaemonClient Client(PerShard);
+      if (Error E = Client.connect(Sockets[S.SocketIdx])) {
+        S.Err = std::move(E);
         return;
       }
-      Shards[I].Err = Client.fuzz(Shards[I].Req, Shards[I].Resp);
+      S.Err = Client.fuzz(S.Req, S.Resp);
     });
   for (std::thread &T : Threads)
     T.join();
+}
 
-  for (size_t I = 0; I != NumShards; ++I)
-    if (Shards[I].Err)
-      return Error::make(Shards[I].Err.category(),
-                         "daemon '" + Sockets[I] +
-                             "': " + Shards[I].Err.message());
+} // namespace
 
-  int64_t Failures = 0;
-  for (const Shard &S : Shards)
-    for (const SeedOutcome &Out : S.Resp.Outcomes) {
-      if (!Out.Passed)
-        ++Failures;
-      Consume(Out);
+Expected<int64_t> server::runFuzzSweepViaDaemons(
+    const FuzzSweepOptions &Opts, const std::vector<std::string> &Sockets,
+    const std::function<void(const SeedOutcome &)> &Consume,
+    const ClientOptions &ClientOpts) {
+  if (Sockets.empty())
+    return Error::make(ErrorCategory::IO, "no daemon sockets given");
+
+  // Contiguous ranges keep delivery order trivial: shard i holds seeds
+  // strictly before shard i+1. Failover can interleave ranges, so the
+  // final delivery is re-sorted by seed either way.
+  size_t NumShards = Sockets.size();
+  if (Opts.Count >= 0 && static_cast<uint64_t>(Opts.Count) < NumShards)
+    NumShards = Opts.Count == 0 ? 1 : static_cast<size_t>(Opts.Count);
+
+  std::vector<Shard> Shards =
+      makeShards(Opts, Opts.FirstSeed, Opts.Count, NumShards);
+  for (size_t I = 0; I != Shards.size(); ++I)
+    Shards[I].SocketIdx = I;
+  runShards(Shards, Sockets, ClientOpts);
+
+  // Failover round: a daemon that stayed unreachable through the client's
+  // whole retry budget is treated as dead, and its range is re-sharded
+  // across the daemons that did answer. Per-seed outcomes are
+  // deterministic, so a re-run elsewhere produces the same bytes.
+  std::vector<SeedOutcome> All;
+  std::vector<size_t> DeadSockets;
+  std::vector<Shard *> Failed;
+  for (Shard &S : Shards) {
+    if (S.Err) {
+      DeadSockets.push_back(S.SocketIdx);
+      Failed.push_back(&S);
+    } else {
+      All.insert(All.end(), S.Resp.Outcomes.begin(), S.Resp.Outcomes.end());
     }
+  }
+  if (!Failed.empty()) {
+    std::vector<std::string> Survivors;
+    std::vector<size_t> SurvivorIdx;
+    for (size_t I = 0; I != Sockets.size(); ++I)
+      if (std::find(DeadSockets.begin(), DeadSockets.end(), I) ==
+          DeadSockets.end()) {
+        Survivors.push_back(Sockets[I]);
+        SurvivorIdx.push_back(I);
+      }
+    if (Survivors.empty()) {
+      std::string Msg;
+      for (const Shard *S : Failed) {
+        if (!Msg.empty())
+          Msg += "; ";
+        Msg += describeShard(Sockets[S->SocketIdx], S->Req.FirstSeed,
+                             S->Req.Count, S->Err.message());
+      }
+      return Error::make(Failed.front()->Err.category(), Msg);
+    }
+    for (Shard *S : Failed) {
+      size_t NumRetryShards =
+          std::min<size_t>(Survivors.size(),
+                           S->Req.Count > 0
+                               ? static_cast<size_t>(S->Req.Count)
+                               : 1);
+      std::vector<Shard> Retry =
+          makeShards(Opts, S->Req.FirstSeed, S->Req.Count, NumRetryShards);
+      for (size_t I = 0; I != Retry.size(); ++I)
+        Retry[I].SocketIdx = I;
+      runShards(Retry, Survivors, ClientOpts);
+      for (Shard &R : Retry) {
+        if (R.Err)
+          // A survivor failed the failover leg too: give up — this is two
+          // independent failures, and the operator needs the exact range.
+          return Error::make(
+              R.Err.category(),
+              describeShard(Survivors[R.SocketIdx], R.Req.FirstSeed,
+                            R.Req.Count, R.Err.message()) +
+                  " (failover for dead daemon '" + Sockets[S->SocketIdx] +
+                  "')");
+        All.insert(All.end(), R.Resp.Outcomes.begin(),
+                   R.Resp.Outcomes.end());
+      }
+    }
+  }
+
+  // Re-deliver in ascending seed order — the local runFuzzSweep contract,
+  // and what makes failover invisible in the output bytes.
+  std::sort(All.begin(), All.end(),
+            [](const SeedOutcome &A, const SeedOutcome &B) {
+              return A.Seed < B.Seed;
+            });
+  int64_t Failures = 0;
+  for (const SeedOutcome &Out : All) {
+    if (!Out.Passed)
+      ++Failures;
+    Consume(Out);
+  }
   return Failures;
 }

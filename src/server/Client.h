@@ -12,6 +12,14 @@
 /// across N daemons and re-delivers outcomes in ascending seed order so
 /// the caller cannot tell it apart from a local runFuzzSweep().
 ///
+/// Resilience (DESIGN.md "Serving failure model"): every call takes a
+/// deadline, and compile()/fuzz() retry transport failures and Overloaded
+/// sheds with bounded exponential backoff plus deterministic jitter —
+/// requests are idempotent (pure compiles behind a content cache), so a
+/// retry can at worst recompute a cache hit. Control calls (stats, health,
+/// shutdown) never retry and default to a short deadline: poking a
+/// wedged daemon must fail fast, not hang the operator's terminal.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSLP_SERVER_CLIENT_H
@@ -26,45 +34,88 @@
 namespace lslp {
 namespace server {
 
-/// One connection to a daemon. Methods are synchronous and lock-step;
-/// a transport or protocol failure closes the connection and surfaces as
-/// an IO/Internal Error.
+/// Deadlines and retry policy for one DaemonClient. All timeouts are in
+/// milliseconds; negative means block forever (the pre-deadline behavior).
+struct ClientOptions {
+  /// Deadline for connect() to complete.
+  int ConnectTimeoutMs = 5000;
+  /// Round-trip deadline for compile()/fuzz() — the whole request frame
+  /// out plus the whole reply frame in. Negative blocks: compiles and
+  /// fuzz shards can legitimately take minutes.
+  int RequestTimeoutMs = -1;
+  /// Round-trip deadline for stats()/health()/shutdownDaemon(). These are
+  /// answered inline by a healthy daemon in microseconds, so a short
+  /// deadline only ever fires against a wedged one.
+  int ControlTimeoutMs = 5000;
+  /// Retries after the first attempt of compile()/fuzz() on a transport
+  /// error or an Overloaded shed (0 = single attempt, no retry).
+  unsigned MaxRetries = 2;
+  /// First backoff sleep; doubles per retry, plus jitter in [0, base).
+  int BackoffBaseMs = 50;
+  /// Seed for the deterministic jitter sequence.
+  uint64_t RetrySeed = 0;
+};
+
+/// One connection to a daemon. Methods are synchronous and lock-step; a
+/// transport or protocol failure closes the connection and surfaces as an
+/// IO/Internal Error. compile() and fuzz() transparently reconnect and
+/// retry per ClientOptions.
 class DaemonClient {
 public:
   DaemonClient() = default;
+  explicit DaemonClient(ClientOptions Opts) : Opts(Opts) {}
   ~DaemonClient();
 
   DaemonClient(const DaemonClient &) = delete;
   DaemonClient &operator=(const DaemonClient &) = delete;
 
-  /// Connects to the unix-domain socket at \p SocketPath.
+  /// Connects to the unix-domain socket at \p SocketPath (remembered for
+  /// retry reconnects), honoring ConnectTimeoutMs.
   Error connect(const std::string &SocketPath);
 
   bool isConnected() const { return Fd >= 0; }
   void close();
 
+  const ClientOptions &options() const { return Opts; }
+
   /// Round-trips one compile. An ErrorResponse from the daemon (worker
   /// crash, malformed frame) comes back as an Error with the daemon's
-  /// category and message, not as a CompileResponse.
+  /// category and message, not as a CompileResponse. Transport failures
+  /// and Overloaded sheds are retried with backoff before giving up.
   Error compile(const CompileRequest &Req, CompileResponse &Out);
 
-  /// Round-trips one fuzz shard.
+  /// Round-trips one fuzz shard (same retry policy as compile()).
   Error fuzz(const FuzzRequest &Req, FuzzResponse &Out);
 
-  /// Fetches the daemon's stats JSON.
+  /// Fetches the daemon's stats JSON. No retry; ControlTimeoutMs.
   Error stats(std::string &JSONOut);
 
+  /// Cheap readiness probe. No retry; ControlTimeoutMs.
+  Error health(HealthResponse &Out);
+
   /// Asks the daemon to drain and exit (acknowledged before it does).
+  /// No retry; ControlTimeoutMs — a stalled daemon times out cleanly
+  /// instead of hanging the caller.
   Error shutdownDaemon();
 
 private:
-  /// Sends \p Payload as one frame and reads one reply frame.
-  Error roundTrip(const std::string &Payload, std::string &Reply);
+  /// Sends \p Payload as one frame and reads one reply frame, all within
+  /// \p TimeoutMs (negative = block).
+  Error roundTrip(const std::string &Payload, std::string &Reply,
+                  int TimeoutMs);
+
+  /// One request/response with reconnect-retry-backoff per Opts. \p Decode
+  /// consumes the successful (non-ErrorResponse) reply.
+  Error retryingCall(const std::string &Payload,
+                     const std::function<Error(const std::string &)> &Decode);
 
   /// Folds a daemon ErrorResponse payload into an Error; null when
   /// \p Payload is not an ErrorResponse.
   Error errorFromReply(const std::string &Reply);
 
+  ClientOptions Opts;
+  std::string Path;
+  uint64_t RetryDraws = 0;
   int Fd = -1;
 };
 
@@ -72,12 +123,20 @@ private:
 /// \p Sockets, runs the ranges concurrently on their daemons, and invokes
 /// \p Consume on the calling thread in ascending seed order — the exact
 /// delivery contract of local runFuzzSweep(), so lslpc's sweep output is
-/// byte-identical either way. Returns the number of failing seeds, or an
-/// Error if any daemon was unreachable or replied malformed (partial
-/// results are discarded: a sweep either completes everywhere or fails).
+/// byte-identical either way.
+///
+/// Failover: a shard whose daemon stays unreachable through the client's
+/// retry budget is re-sharded across the daemons that did answer, so one
+/// dead daemon costs latency, not the sweep. Per-seed outcomes are
+/// deterministic and delivery is re-sorted by seed, so the output is
+/// byte-identical to an all-healthy run. Only when a range fails on every
+/// live daemon does the sweep fail, with an Error naming each failing
+/// daemon socket and its seed range (partial results are discarded: a
+/// sweep either completes everywhere or fails).
 Expected<int64_t> runFuzzSweepViaDaemons(
     const FuzzSweepOptions &Opts, const std::vector<std::string> &Sockets,
-    const std::function<void(const SeedOutcome &)> &Consume);
+    const std::function<void(const SeedOutcome &)> &Consume,
+    const ClientOptions &Client = ClientOptions());
 
 } // namespace server
 } // namespace lslp

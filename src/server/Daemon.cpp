@@ -12,9 +12,13 @@
 #include "support/CrashHandler.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -28,6 +32,27 @@ LSLP_STATISTIC(NumDaemonRequests, "lslpd", "Requests served");
 LSLP_STATISTIC(NumDaemonBatches, "lslpd", "Compile batches dispatched");
 LSLP_STATISTIC(NumDaemonWorkerCrashes, "lslpd",
                "Worker crashes contained (request poisoned, daemon alive)");
+LSLP_STATISTIC(NumDaemonShedRequests, "lslpd",
+               "Compile requests shed by admission control");
+LSLP_STATISTIC(NumDaemonReaps, "lslpd",
+               "Connections reaped at an idle or request deadline");
+
+namespace {
+
+/// Milliseconds on a monotonic clock, origin at first use. Every
+/// per-connection clock in the run loop is expressed on this axis.
+int64_t nowMs() {
+  using namespace std::chrono;
+  static const steady_clock::time_point Start = steady_clock::now();
+  return duration_cast<milliseconds>(steady_clock::now() - Start).count();
+}
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
 
 Daemon::Daemon(DaemonOptions OptsIn)
     : Opts(std::move(OptsIn)), Cache(Opts.CacheCapacity),
@@ -116,6 +141,15 @@ Error Daemon::bind() {
     ::unlink(Opts.SocketPath.c_str());
     return E;
   }
+  if (!setNonBlocking(ListenFd)) {
+    Error E = Error::make(ErrorCategory::IO,
+                          std::string("fcntl(O_NONBLOCK): ") +
+                              std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+    return E;
+  }
   return Error::success();
 }
 
@@ -125,6 +159,16 @@ void Daemon::closeConnection(size_t Index) {
     ::close(C.Fd);
   C.Fd = -1;
   C.WantClose = true;
+}
+
+void Daemon::closeConnection(size_t Index, const char *Reason,
+                             int64_t WaitedMs) {
+  // The structured reap remark CI and the triage guide grep for; one line,
+  // key=value, stderr (the daemon's log stream).
+  std::fprintf(stderr, "lslpd: reaped connection reason=%s waited-ms=%lld\n",
+               Reason, static_cast<long long>(WaitedMs));
+  ++NumDaemonReaps;
+  closeConnection(Index);
 }
 
 CompileResponse Daemon::serveCompile(const CompileRequest &Req) {
@@ -170,6 +214,52 @@ CompileResponse Daemon::serveCompile(const CompileRequest &Req) {
   return Resp;
 }
 
+void Daemon::queueReply(Connection &Conn, std::string_view Payload,
+                        size_t ConnIndex) {
+  if (Conn.Fd < 0)
+    return;
+  char Hdr[4];
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Hdr[0] = static_cast<char>(Len & 0xff);
+  Hdr[1] = static_cast<char>((Len >> 8) & 0xff);
+  Hdr[2] = static_cast<char>((Len >> 16) & 0xff);
+  Hdr[3] = static_cast<char>((Len >> 24) & 0xff);
+  Conn.Out.append(Hdr, sizeof(Hdr));
+  Conn.Out.append(Payload.data(), Payload.size());
+  if (Conn.OutStartMs < 0)
+    Conn.OutStartMs = nowMs();
+  // Opportunistic flush: most replies fit the socket buffer whole, so the
+  // common case never waits for the next POLLOUT round.
+  flushOut(ConnIndex);
+}
+
+void Daemon::flushOut(size_t Index) {
+  Connection &Conn = Connections[Index];
+  if (Conn.Fd < 0)
+    return;
+  while (Conn.hasPendingOut()) {
+    ssize_t N = frameTransport().sendSome(
+        Conn.Fd, Conn.Out.data() + Conn.OutPos, Conn.Out.size() - Conn.OutPos,
+        MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (N > 0) {
+      Conn.OutPos += static_cast<size_t>(N);
+      Conn.LastActivityMs = nowMs();
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return; // Kernel pushback; poll() will raise POLLOUT when it drains.
+    closeConnection(Index); // Peer gone; its reply is undeliverable.
+    return;
+  }
+  Conn.Out.clear();
+  Conn.OutPos = 0;
+  Conn.OutStartMs = -1;
+  if (Conn.WantClose)
+    closeConnection(Index);
+}
+
 void Daemon::handleFrame(Connection &Conn, std::string Payload,
                          std::vector<std::pair<size_t, CompileRequest>> &Batch,
                          size_t ConnIndex) {
@@ -177,10 +267,7 @@ void Daemon::handleFrame(Connection &Conn, std::string Payload,
   ++NumDaemonRequests;
 
   auto Reply = [&](std::string Encoded) {
-    if (Error E = writeFrame(Conn.Fd, Encoded)) {
-      (void)E; // The peer is gone; its reply is undeliverable.
-      closeConnection(ConnIndex);
-    }
+    queueReply(Conn, Encoded, ConnIndex);
   };
   auto ReplyError = [&](ErrorCategory Cat, std::string Msg) {
     ErrorResponse E;
@@ -200,12 +287,27 @@ void Daemon::handleFrame(Connection &Conn, std::string Payload,
       return ReplyError(ErrorCategory::Internal,
                         "crash injection rejected (daemon started without "
                         "--allow-crash-requests)");
+    // Admission control: shed everything past the round's budget *before*
+    // it costs a worker, with a category the client knows to retry.
+    if (Opts.MaxPending > 0 && Batch.size() >= Opts.MaxPending) {
+      NumOverloaded.fetch_add(1, std::memory_order_relaxed);
+      ++NumDaemonShedRequests;
+      return ReplyError(ErrorCategory::Overloaded,
+                        "daemon overloaded: " +
+                            std::to_string(Batch.size()) +
+                            " request(s) already pending (max " +
+                            std::to_string(Opts.MaxPending) +
+                            "); back off and retry");
+    }
     Batch.emplace_back(ConnIndex, std::move(Req));
+    QueueDepth.store(Batch.size(), std::memory_order_relaxed);
     return;
   }
   case MessageKind::FuzzRequest: {
     // Handled inline on the dispatcher thread: runFuzzSweep owns its own
-    // pool, and nesting it inside this daemon's pool could deadlock.
+    // pool, and nesting it inside this daemon's pool could deadlock. The
+    // stall this causes for other connections is credited back to their
+    // deadline clocks by the run loop.
     FuzzRequest Req;
     if (!decodeFuzzRequest(Payload, Req, DecodeErr))
       return ReplyError(ErrorCategory::Internal,
@@ -235,6 +337,15 @@ void Daemon::handleFrame(Connection &Conn, std::string Payload,
     Resp.JSON = statsJSON();
     return Reply(encodeStatsResponse(Resp));
   }
+  case MessageKind::HealthRequest: {
+    // Answered inline, independent of the worker pool: load balancers can
+    // poll readiness even while every worker is busy.
+    HealthResponse H;
+    H.Ready = true;
+    H.QueueDepth = static_cast<uint32_t>(Batch.size());
+    H.DeadlineMisses = NumDeadlineMisses.load(std::memory_order_relaxed);
+    return Reply(encodeHealthResponse(H));
+  }
   case MessageKind::ShutdownRequest:
     Reply(encodeShutdownResponse());
     requestShutdown();
@@ -244,6 +355,92 @@ void Daemon::handleFrame(Connection &Conn, std::string Payload,
                       "unexpected message kind " +
                           std::to_string(static_cast<unsigned>(
                               peekKind(Payload))));
+  }
+}
+
+bool Daemon::serviceInput(
+    size_t Index, std::vector<std::pair<size_t, CompileRequest>> &Batch) {
+  Connection &Conn = Connections[Index];
+  if (Conn.Fd < 0)
+    return false;
+  // Per-round read budget: a firehose client cannot starve its neighbors —
+  // level-triggered poll() re-reports the fd next round.
+  constexpr size_t MaxReadPerRound = 1u << 20;
+  char Buf[64 * 1024];
+  size_t ReadThisRound = 0;
+  while (ReadThisRound < MaxReadPerRound) {
+    ssize_t N =
+        frameTransport().recvSome(Conn.Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (N == 0) {
+      // EOF. Mid-frame it is a truncated request worth a remark; at a
+      // frame boundary the client is simply done.
+      if (Conn.In.midFrame())
+        closeConnection(Index, "eof-mid-frame",
+                        Conn.FrameStartMs >= 0 ? nowMs() - Conn.FrameStartMs
+                                               : 0);
+      else
+        closeConnection(Index);
+      return false;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break; // Drained everything currently available.
+      closeConnection(Index);
+      return false;
+    }
+    int64_t Now = nowMs();
+    Conn.LastActivityMs = Now;
+    Conn.In.feed(Buf, static_cast<size_t>(N));
+    ReadThisRound += static_cast<size_t>(N);
+
+    std::string Payload;
+    while (Conn.In.next(Payload)) {
+      handleFrame(Conn, std::move(Payload), Batch, Index);
+      if (Conn.Fd < 0)
+        return false;
+      if (ShutdownFlag.load(std::memory_order_relaxed) != 0)
+        return true; // Shutdown frame: the caller drains the batch.
+    }
+    if (Conn.In.corrupt()) {
+      closeConnection(Index, "corrupt-frame", 0);
+      return false;
+    }
+    // The slow-loris clock anchors at the first byte of a partial frame
+    // and clears once the buffer holds no unfinished frame.
+    if (Conn.In.midFrame()) {
+      if (Conn.FrameStartMs < 0)
+        Conn.FrameStartMs = Now;
+    } else {
+      Conn.FrameStartMs = -1;
+    }
+  }
+  return true;
+}
+
+void Daemon::reapDeadlines(int64_t NowMs) {
+  for (size_t I = 0; I != Connections.size(); ++I) {
+    Connection &C = Connections[I];
+    if (C.Fd < 0)
+      continue;
+    if (Opts.RequestTimeoutMs > 0) {
+      if (C.FrameStartMs >= 0 && NowMs - C.FrameStartMs > Opts.RequestTimeoutMs) {
+        NumDeadlineMisses.fetch_add(1, std::memory_order_relaxed);
+        closeConnection(I, "request-frame-deadline", NowMs - C.FrameStartMs);
+        continue;
+      }
+      if (C.OutStartMs >= 0 && NowMs - C.OutStartMs > Opts.RequestTimeoutMs) {
+        NumDeadlineMisses.fetch_add(1, std::memory_order_relaxed);
+        closeConnection(I, "reply-drain-deadline", NowMs - C.OutStartMs);
+        continue;
+      }
+    }
+    if (Opts.IdleTimeoutMs > 0 &&
+        NowMs - C.LastActivityMs > Opts.IdleTimeoutMs) {
+      NumReapedIdle.fetch_add(1, std::memory_order_relaxed);
+      closeConnection(I, "idle", NowMs - C.LastActivityMs);
+    }
   }
 }
 
@@ -269,12 +466,10 @@ void Daemon::flushBatch(
     Connection &Conn = Connections[Batch[I].first];
     if (Conn.Fd < 0)
       continue; // Client vanished while its request was in flight.
-    if (Error E = writeFrame(Conn.Fd, encodeCompileResponse(Responses[I]))) {
-      (void)E;
-      closeConnection(Batch[I].first);
-    }
+    queueReply(Conn, encodeCompileResponse(Responses[I]), Batch[I].first);
   }
   Batch.clear();
+  QueueDepth.store(0, std::memory_order_relaxed);
 }
 
 uint64_t Daemon::run() {
@@ -282,46 +477,84 @@ uint64_t Daemon::run() {
     std::vector<pollfd> Fds;
     Fds.push_back({ListenFd, POLLIN, 0});
     for (const Connection &C : Connections)
-      Fds.push_back({C.Fd, POLLIN, 0});
+      Fds.push_back({C.Fd,
+                     static_cast<short>(POLLIN |
+                                        (C.hasPendingOut() ? POLLOUT : 0)),
+                     0});
 
     // Finite timeout so requestShutdown() from a signal handler is
-    // observed even on an idle socket.
-    int Ready = ::poll(Fds.data(), Fds.size(), /*timeout-ms=*/200);
+    // observed even on an idle socket; tightened when deadlines are short
+    // so reaping stays prompt in tests.
+    int PollTimeout = 200;
+    if (Opts.RequestTimeoutMs > 0)
+      PollTimeout = std::min(PollTimeout,
+                             std::max(10, Opts.RequestTimeoutMs / 4));
+    if (Opts.IdleTimeoutMs > 0)
+      PollTimeout =
+          std::min(PollTimeout, std::max(10, Opts.IdleTimeoutMs / 4));
+    int Ready = ::poll(Fds.data(), Fds.size(), PollTimeout);
     if (Ready < 0) {
       if (errno == EINTR)
         continue; // Very likely the SIGTERM that set ShutdownFlag.
       break;
     }
 
+    // Everything below counts as daemon work, not peer delay: measure it
+    // and credit it back to every connection's clocks afterwards.
+    int64_t WorkStart = nowMs();
+
     if (Fds[0].revents & POLLIN) {
-      int Fd = ::accept(ListenFd, nullptr, nullptr);
-      if (Fd >= 0)
-        Connections.push_back({Fd, false});
+      // Drain the whole accept backlog; the listener is non-blocking.
+      for (;;) {
+        int Fd = ::accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          break;
+        if (!setNonBlocking(Fd)) {
+          ::close(Fd);
+          continue;
+        }
+        Connection C;
+        C.Fd = Fd;
+        C.LastActivityMs = WorkStart;
+        Connections.push_back(std::move(C));
+      }
     }
 
-    // One frame per ready connection per round; compile requests from the
-    // whole round form one batch.
+    // Move whatever bytes are ready; compile requests from the whole round
+    // form one batch. New connections accepted above have no pollfd yet —
+    // they are serviced next round.
     std::vector<std::pair<size_t, CompileRequest>> Batch;
     for (size_t I = 0; I + 1 < Fds.size(); ++I) {
-      if (!(Fds[I + 1].revents & (POLLIN | POLLHUP | POLLERR)))
+      if (Connections[I].Fd < 0)
         continue;
-      Connection &Conn = Connections[I];
-      if (Conn.Fd < 0)
+      if (Fds[I + 1].revents & POLLOUT)
+        flushOut(I);
+      if (Connections[I].Fd < 0)
         continue;
-      std::string Payload;
-      bool CleanEOF = false;
-      if (Error E = readFrame(Conn.Fd, Payload, &CleanEOF)) {
-        // Clean EOF = client done; anything else = mid-request disconnect
-        // or a corrupt frame. Either way only this connection dies.
-        (void)E;
-        closeConnection(I);
-        continue;
-      }
-      handleFrame(Conn, std::move(Payload), Batch, I);
+      if (Fds[I + 1].revents & (POLLIN | POLLHUP | POLLERR))
+        serviceInput(I, Batch);
       if (ShutdownFlag.load(std::memory_order_relaxed) != 0)
         break; // Shutdown frame: drain the batch below, then exit.
     }
     flushBatch(Batch);
+
+    // Stall compensation: batch/fuzz compute blocked this loop, but the
+    // waiting clients were not misbehaving. Shift their clocks by the
+    // stall so deadlines only ever measure time the peer kept us waiting.
+    int64_t WorkEnd = nowMs();
+    int64_t Stall = WorkEnd - WorkStart;
+    if (Stall > 0) {
+      for (Connection &C : Connections) {
+        if (C.Fd < 0)
+          continue;
+        C.LastActivityMs += Stall;
+        if (C.FrameStartMs >= 0)
+          C.FrameStartMs += Stall;
+        if (C.OutStartMs >= 0)
+          C.OutStartMs += Stall;
+      }
+    }
+    reapDeadlines(WorkEnd);
 
     // Compact closed slots (stable indices were only needed intra-round).
     for (size_t I = Connections.size(); I-- > 0;)
@@ -330,7 +563,31 @@ uint64_t Daemon::run() {
   }
 
   // Graceful drain: every accepted request has been answered (batches
-  // flush within their round); close the door and remove the name.
+  // flush within their round); give buffered replies a bounded window to
+  // reach their clients, then close the door and remove the name.
+  constexpr int64_t DrainBudgetMs = 2000;
+  int64_t DrainStart = nowMs();
+  for (;;) {
+    std::vector<pollfd> Fds;
+    std::vector<size_t> Owner;
+    for (size_t I = 0; I != Connections.size(); ++I)
+      if (Connections[I].Fd >= 0 && Connections[I].hasPendingOut()) {
+        Fds.push_back({Connections[I].Fd, POLLOUT, 0});
+        Owner.push_back(I);
+      }
+    if (Fds.empty())
+      break;
+    int64_t Left = DrainBudgetMs - (nowMs() - DrainStart);
+    if (Left <= 0)
+      break;
+    int Ready = ::poll(Fds.data(), Fds.size(),
+                       static_cast<int>(std::min<int64_t>(Left, 100)));
+    if (Ready < 0 && errno != EINTR)
+      break;
+    for (size_t J = 0; J != Fds.size(); ++J)
+      if (Fds[J].revents & (POLLOUT | POLLHUP | POLLERR))
+        flushOut(Owner[J]);
+  }
   for (size_t I = 0; I != Connections.size(); ++I)
     closeConnection(I);
   Connections.clear();
@@ -354,6 +611,14 @@ std::string Daemon::statsJSON() const {
        std::to_string(NumBatches.load(std::memory_order_relaxed));
   S += ",\"max-batch\":" +
        std::to_string(MaxBatch.load(std::memory_order_relaxed));
+  S += ",\"queue-depth\":" +
+       std::to_string(QueueDepth.load(std::memory_order_relaxed));
+  S += ",\"overloaded\":" +
+       std::to_string(NumOverloaded.load(std::memory_order_relaxed));
+  S += ",\"deadline-misses\":" +
+       std::to_string(NumDeadlineMisses.load(std::memory_order_relaxed));
+  S += ",\"reaped-idle\":" +
+       std::to_string(NumReapedIdle.load(std::memory_order_relaxed));
   S += ",\"worker-crashes\":" +
        std::to_string(NumWorkerCrashes.load(std::memory_order_relaxed));
   S += ",\"connections\":" + std::to_string(Connections.size());

@@ -9,13 +9,29 @@
 /// unix-domain listening socket, a content-hash response cache, and a
 /// worker pool; its run loop:
 ///
-///   1. poll()s the listener plus every connected client,
-///   2. reads at most one frame per ready connection (lock-step protocol),
-///   3. answers control frames (stats/shutdown/fuzz) inline, and
+///   1. poll()s the listener plus every connected client (POLLIN always,
+///      POLLOUT while a connection has reply bytes pending),
+///   2. moves whatever bytes are ready through per-connection incremental
+///      read/write buffers — no client can stall the loop by trickling or
+///      by reading its replies slowly,
+///   3. answers control frames (stats/health/shutdown/fuzz) inline, and
 ///   4. fans the round's CompileRequests onto the pool with
-///      parallelMapOrdered, then writes responses back in batch order —
+///      parallelMapOrdered, then queues responses back in batch order —
 ///      so concurrent clients get exactly the bytes a serial daemon (or
 ///      local lslpc) would have produced.
+///
+/// Deadlines (DESIGN.md "Serving failure model"): a connection that has
+/// started a request frame must finish it — and drain its replies — with
+/// steady progress inside RequestTimeoutMs, and an idle connection is
+/// reaped after IdleTimeoutMs. Either way the daemon logs a structured
+/// reap line and bumps a counter; every other client is unaffected. Time
+/// the daemon itself spends computing a batch is credited back to every
+/// connection so a busy daemon never miscounts a waiting client as idle.
+///
+/// Admission control: at most MaxPending compile requests are accepted
+/// per batching round; requests beyond that are shed immediately with an
+/// ErrorResponse of category Overloaded, which clients treat as an
+/// invitation to back off and retry.
 ///
 /// Failure model: a request that crashes its worker (contained via
 /// runWithCrashRecovery) poisons only that request — the client receives a
@@ -55,6 +71,19 @@ struct DaemonOptions {
   /// Honor CompileRequest::InjectCrash (test-only; exercises the
   /// crash-containment path).
   bool AllowCrashRequests = false;
+  /// Reap a connection with no traffic in either direction for this long
+  /// (0 disables idle reaping).
+  int IdleTimeoutMs = 300000;
+  /// Reap a connection whose in-flight request frame is not completed —
+  /// or whose pending reply is not drained — within this budget; the
+  /// slow-loris deadline. The budget covers the whole frame, so trickling
+  /// one byte per interval cannot stretch it, and it bounds *transport*
+  /// time only: the clock pauses while the daemon itself is computing.
+  /// 0 disables.
+  int RequestTimeoutMs = 20000;
+  /// Shed compile requests beyond this many in one batching round with an
+  /// Overloaded error (0 = unlimited).
+  size_t MaxPending = 256;
 };
 
 class Daemon {
@@ -82,7 +111,8 @@ public:
   /// One JSON object with daemon/cache/queue counters — the payload of the
   /// `stats` control request. Schema:
   ///   {"requests":N,"compiles":N,"fuzz-requests":N,"batches":N,
-  ///    "max-batch":N,"worker-crashes":N,"connections":N,"jobs":N,
+  ///    "max-batch":N,"queue-depth":N,"overloaded":N,"deadline-misses":N,
+  ///    "reaped-idle":N,"worker-crashes":N,"connections":N,"jobs":N,
   ///    "cache":{...ContentCache::statsJSON...}}
   std::string statsJSON() const;
 
@@ -91,23 +121,57 @@ public:
 private:
   struct Connection {
     int Fd = -1;
+    /// Incremental decoder for inbound bytes (frames may arrive shredded).
+    FrameAssembler In;
+    /// Encoded reply frames not yet accepted by the kernel.
+    std::string Out;
+    size_t OutPos = 0;
+    /// Last time a byte moved in either direction, in run-loop ms.
+    int64_t LastActivityMs = 0;
+    /// When the current partial request frame started (-1 = no partial
+    /// frame pending); the slow-loris read deadline anchors here.
+    int64_t FrameStartMs = -1;
+    /// When the pending reply bytes were first queued (-1 = nothing
+    /// pending); the slow-reader write deadline anchors here.
+    int64_t OutStartMs = -1;
     bool WantClose = false;
+
+    bool hasPendingOut() const { return OutPos < Out.size(); }
   };
 
   /// Handles one decoded frame from \p Conn; compile requests are
-  /// deferred into \p Batch, everything else is answered inline.
+  /// deferred into \p Batch (subject to admission control), everything
+  /// else is answered inline.
   void handleFrame(Connection &Conn, std::string Payload,
                    std::vector<std::pair<size_t, CompileRequest>> &Batch,
                    size_t ConnIndex);
 
-  /// Runs the round's compile batch on the pool and writes replies in
+  /// Runs the round's compile batch on the pool and queues replies in
   /// batch order.
   void flushBatch(std::vector<std::pair<size_t, CompileRequest>> &Batch);
 
   /// Compiles one request under crash containment, consulting the cache.
   CompileResponse serveCompile(const CompileRequest &Req);
 
+  /// Appends one encoded frame to \p Conn's write buffer and pushes as
+  /// much of it into the kernel as fits right now.
+  void queueReply(Connection &Conn, std::string_view Payload,
+                  size_t ConnIndex);
+
+  /// Drains buffered reply bytes until the kernel pushes back. Closes the
+  /// connection on a hard transport error.
+  void flushOut(size_t Index);
+
+  /// Reads every byte currently available on \p Conn and dispatches any
+  /// completed frames. Returns false when the connection died.
+  bool serviceInput(size_t Index,
+                    std::vector<std::pair<size_t, CompileRequest>> &Batch);
+
+  /// Reaps connections past their idle or request deadline.
+  void reapDeadlines(int64_t NowMs);
+
   void closeConnection(size_t Index);
+  void closeConnection(size_t Index, const char *Reason, int64_t WaitedMs);
 
   DaemonOptions Opts;
   int ListenFd = -1;
@@ -123,6 +187,10 @@ private:
   std::atomic<uint64_t> NumBatches{0};
   std::atomic<uint64_t> MaxBatch{0};
   std::atomic<uint64_t> NumWorkerCrashes{0};
+  std::atomic<uint64_t> NumOverloaded{0};
+  std::atomic<uint64_t> NumDeadlineMisses{0};
+  std::atomic<uint64_t> NumReapedIdle{0};
+  std::atomic<uint64_t> QueueDepth{0};
 };
 
 } // namespace server

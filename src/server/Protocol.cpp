@@ -6,9 +6,12 @@
 
 #include "server/Protocol.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -159,7 +162,7 @@ MessageKind server::peekKind(std::string_view Payload) {
   if (Payload.empty())
     return MessageKind::Invalid;
   uint8_t Tag = static_cast<uint8_t>(Payload[0]);
-  if (Tag < 1 || Tag > static_cast<uint8_t>(MessageKind::ErrorResponse))
+  if (Tag < 1 || Tag > static_cast<uint8_t>(MessageKind::HealthResponse))
     return MessageKind::Invalid;
   return static_cast<MessageKind>(Tag);
 }
@@ -355,13 +358,103 @@ bool server::decodeErrorResponse(std::string_view Payload, ErrorResponse &Out,
          R.getStr(Out.Message) && R.finish();
 }
 
+std::string server::encodeHealthRequest() {
+  return WireWriter(MessageKind::HealthRequest).take();
+}
+
+std::string server::encodeHealthResponse(const HealthResponse &Msg) {
+  WireWriter W(MessageKind::HealthResponse);
+  W.putBool(Msg.Ready);
+  W.putU32(Msg.QueueDepth);
+  W.putU64(Msg.DeadlineMisses);
+  return W.take();
+}
+
+bool server::decodeHealthResponse(std::string_view Payload,
+                                  HealthResponse &Out, std::string &Err) {
+  WireReader R(Payload, Err);
+  Out = HealthResponse();
+  return R.expectKind(MessageKind::HealthResponse) && R.getBool(Out.Ready) &&
+         R.getU32(Out.QueueDepth) && R.getU64(Out.DeadlineMisses) &&
+         R.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Transport shim
+//===----------------------------------------------------------------------===//
+
+ssize_t FrameTransport::recvSome(int Fd, char *Data, size_t Size,
+                                 int Flags) {
+  return ::recv(Fd, Data, Size, Flags);
+}
+
+ssize_t FrameTransport::sendSome(int Fd, const char *Data, size_t Size,
+                                 int Flags) {
+  return ::send(Fd, Data, Size, Flags);
+}
+
+namespace {
+FrameTransport RealTransport;
+std::atomic<FrameTransport *> ActiveTransport{&RealTransport};
+} // namespace
+
+FrameTransport &server::frameTransport() {
+  return *ActiveTransport.load(std::memory_order_acquire);
+}
+
+void server::setFrameTransportForTesting(FrameTransport *T) {
+  ActiveTransport.store(T ? T : &RealTransport, std::memory_order_release);
+}
+
 //===----------------------------------------------------------------------===//
 // Framed socket IO
 //===----------------------------------------------------------------------===//
 
-Error server::writeFrame(int Fd, std::string_view Payload) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining milliseconds until \p Deadline, clamped at 0. -1 = no limit.
+int remainingMs(bool HasDeadline, Clock::time_point Deadline) {
+  if (!HasDeadline)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  return Left < 0 ? 0 : static_cast<int>(Left);
+}
+
+/// Waits until \p Fd is ready for \p Events (POLLIN/POLLOUT) or the
+/// deadline passes. Returns an error on timeout; EINTR just re-polls.
+Error waitReady(int Fd, short Events, bool HasDeadline,
+                Clock::time_point Deadline, const char *Verb) {
+  for (;;) {
+    int Left = remainingMs(HasDeadline, Deadline);
+    if (HasDeadline && Left == 0)
+      return Error::make(ErrorCategory::IO,
+                         std::string("socket ") + Verb + " timed out");
+    pollfd P{Fd, Events, 0};
+    int Ready = ::poll(&P, 1, Left);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error::make(ErrorCategory::IO,
+                         std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (Ready > 0)
+      return Error::success();
+    // Ready == 0: poll timed out; the loop head turns it into the error.
+  }
+}
+
+} // namespace
+
+Error server::writeFrame(int Fd, std::string_view Payload, int TimeoutMs) {
   if (Payload.size() > MaxFramePayload)
     return Error::make(ErrorCategory::Internal, "frame payload too large");
+  bool HasDeadline = TimeoutMs >= 0;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(HasDeadline ? TimeoutMs : 0);
   char Header[4];
   uint32_t Len = static_cast<uint32_t>(Payload.size());
   for (int I = 0; I < 4; ++I)
@@ -370,11 +463,21 @@ Error server::writeFrame(int Fd, std::string_view Payload) {
   auto SendAll = [&](const char *Data, size_t Size) -> Error {
     size_t Done = 0;
     while (Done < Size) {
+      if (HasDeadline) {
+        if (Error E = waitReady(Fd, POLLOUT, HasDeadline, Deadline, "write"))
+          return E;
+      }
       // MSG_NOSIGNAL: a peer that disconnected mid-request must cost us an
-      // EPIPE on this send, not a process-wide SIGPIPE.
-      ssize_t N = ::send(Fd, Data + Done, Size - Done, MSG_NOSIGNAL);
+      // EPIPE on this send, not a process-wide SIGPIPE. Under a deadline
+      // the send must not block past it, so it goes out MSG_DONTWAIT and
+      // EAGAIN loops back into the poll.
+      ssize_t N = frameTransport().sendSome(
+          Fd, Data + Done, Size - Done,
+          MSG_NOSIGNAL | (HasDeadline ? MSG_DONTWAIT : 0));
       if (N < 0) {
         if (errno == EINTR)
+          continue;
+        if (HasDeadline && (errno == EAGAIN || errno == EWOULDBLOCK))
           continue;
         return Error::make(ErrorCategory::IO,
                            std::string("socket write failed: ") +
@@ -389,15 +492,26 @@ Error server::writeFrame(int Fd, std::string_view Payload) {
   return SendAll(Payload.data(), Payload.size());
 }
 
-Error server::readFrame(int Fd, std::string &Payload, bool *CleanEOF) {
+Error server::readFrame(int Fd, std::string &Payload, bool *CleanEOF,
+                        int TimeoutMs) {
   if (CleanEOF)
     *CleanEOF = false;
+  bool HasDeadline = TimeoutMs >= 0;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(HasDeadline ? TimeoutMs : 0);
   auto RecvAll = [&](char *Data, size_t Size, bool EOFOkAtStart) -> Error {
     size_t Done = 0;
     while (Done < Size) {
-      ssize_t N = ::recv(Fd, Data + Done, Size - Done, 0);
+      if (HasDeadline) {
+        if (Error E = waitReady(Fd, POLLIN, HasDeadline, Deadline, "read"))
+          return E;
+      }
+      ssize_t N = frameTransport().recvSome(
+          Fd, Data + Done, Size - Done, HasDeadline ? MSG_DONTWAIT : 0);
       if (N < 0) {
         if (errno == EINTR)
+          continue;
+        if (HasDeadline && (errno == EAGAIN || errno == EWOULDBLOCK))
           continue;
         return Error::make(ErrorCategory::IO,
                            std::string("socket read failed: ") +
@@ -428,4 +542,27 @@ Error server::readFrame(int Fd, std::string &Payload, bool *CleanEOF) {
   if (Len == 0)
     return Error::success();
   return RecvAll(Payload.data(), Len, /*EOFOkAtStart=*/false);
+}
+
+//===----------------------------------------------------------------------===//
+// FrameAssembler
+//===----------------------------------------------------------------------===//
+
+bool FrameAssembler::next(std::string &Out) {
+  if (Corrupt || Buf.size() < 4)
+    return false;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[I])) << (8 * I);
+  if (Len > MaxFramePayload) {
+    // Past this point there is no frame boundary to trust; the caller
+    // must drop the connection.
+    Corrupt = true;
+    return false;
+  }
+  if (Buf.size() < 4 + static_cast<size_t>(Len))
+    return false;
+  Out.assign(Buf, 4, Len);
+  Buf.erase(0, 4 + static_cast<size_t>(Len));
+  return true;
 }

@@ -56,6 +56,8 @@ enum class MessageKind : uint8_t {
   ShutdownRequest = 7,
   ShutdownResponse = 8,
   ErrorResponse = 9,
+  HealthRequest = 10,
+  HealthResponse = 11,
 };
 
 /// Remark stream format requested for a compile (mirrors lslpc's
@@ -142,9 +144,21 @@ struct StatsResponse {
 };
 
 /// Structured failure reply: the daemon survived, this request did not.
+/// Category Overloaded means the daemon shed the request before doing any
+/// work — the client is expected to back off and retry.
 struct ErrorResponse {
   uint8_t Category = 0; ///< ErrorCategory.
   std::string Message;
+};
+
+/// `health` control reply: a cheap readiness probe answered inline on the
+/// dispatcher thread, deliberately independent of the worker pool so load
+/// balancers and supervision scripts can poll it even while every worker
+/// is busy.
+struct HealthResponse {
+  bool Ready = false;       ///< Daemon is accepting work.
+  uint32_t QueueDepth = 0;  ///< Compile requests pending in this round.
+  uint64_t DeadlineMisses = 0; ///< Connections reaped at a deadline so far.
 };
 
 /// \name Payload encoding/decoding.
@@ -161,6 +175,8 @@ std::string encodeStatsResponse(const StatsResponse &Msg);
 std::string encodeShutdownRequest();
 std::string encodeShutdownResponse();
 std::string encodeErrorResponse(const ErrorResponse &Msg);
+std::string encodeHealthRequest();
+std::string encodeHealthResponse(const HealthResponse &Msg);
 
 bool decodeCompileRequest(std::string_view Payload, CompileRequest &Out,
                           std::string &Err);
@@ -174,9 +190,33 @@ bool decodeStatsResponse(std::string_view Payload, StatsResponse &Out,
                          std::string &Err);
 bool decodeErrorResponse(std::string_view Payload, ErrorResponse &Out,
                          std::string &Err);
+bool decodeHealthResponse(std::string_view Payload, HealthResponse &Out,
+                          std::string &Err);
 
 /// Tag byte of \p Payload (Invalid when empty or out of range).
 MessageKind peekKind(std::string_view Payload);
+/// @}
+
+/// \name Transport shim.
+/// Every socket byte the protocol moves goes through one FrameTransport.
+/// The default forwards to recv()/send(); tests install a ChaosSocket
+/// (server/ChaosSocket.h) to inject torn frames, short writes, delays,
+/// resets, and EINTR storms without touching kernel state.
+/// @{
+class FrameTransport {
+public:
+  virtual ~FrameTransport() = default;
+  virtual ssize_t recvSome(int Fd, char *Data, size_t Size, int Flags);
+  virtual ssize_t sendSome(int Fd, const char *Data, size_t Size, int Flags);
+};
+
+/// The active transport (never null).
+FrameTransport &frameTransport();
+
+/// Installs \p T process-wide; null restores the real syscalls. Install
+/// before any traffic and uninstall after it drains — the pointer itself
+/// is not synchronized against in-flight IO.
+void setFrameTransportForTesting(FrameTransport *T);
 /// @}
 
 /// \name Framed socket IO.
@@ -189,13 +229,50 @@ MessageKind peekKind(std::string_view Payload);
 /// as protocol corruption, not an allocation request.
 inline constexpr uint32_t MaxFramePayload = 256u * 1024 * 1024;
 
-Error writeFrame(int Fd, std::string_view Payload);
+/// Deadline-aware variants: \p TimeoutMs < 0 blocks forever (the legacy
+/// behavior); otherwise the whole frame must move within the budget or the
+/// call fails with an IO "timed out" Error. The deadline covers the entire
+/// frame, not each syscall, so a peer trickling one byte per poll interval
+/// cannot stretch it.
+Error writeFrame(int Fd, std::string_view Payload, int TimeoutMs = -1);
 
 /// Reads one frame into \p Payload. A clean EOF at a frame boundary sets
 /// \p *CleanEOF (when non-null) and returns an IO error; EOF mid-frame is
 /// reported as truncation.
-Error readFrame(int Fd, std::string &Payload, bool *CleanEOF = nullptr);
+Error readFrame(int Fd, std::string &Payload, bool *CleanEOF = nullptr,
+                int TimeoutMs = -1);
 /// @}
+
+/// Incremental frame decoder for non-blocking reads: feed() whatever bytes
+/// poll() surfaced, then drain complete payloads with next(). Used by the
+/// daemon's per-connection read path, where one recv() may deliver half a
+/// length prefix or three frames back to back; unit-tested byte-at-a-time
+/// in ProtocolTest.
+class FrameAssembler {
+public:
+  /// Appends \p Size raw socket bytes.
+  void feed(const char *Data, size_t Size) { Buf.append(Data, Size); }
+
+  /// Moves the next complete payload into \p Out. Returns false when no
+  /// full frame is buffered (or the stream is corrupt).
+  bool next(std::string &Out);
+
+  /// True once a length prefix exceeded MaxFramePayload; the stream can
+  /// never resynchronize and the connection must be dropped.
+  bool corrupt() const { return Corrupt; }
+
+  /// True when buffered bytes end mid-frame (inside a length prefix or a
+  /// payload) — EOF here is truncation, and the per-request deadline
+  /// clock is running.
+  bool midFrame() const { return !Buf.empty(); }
+
+  /// Bytes buffered but not yet consumed as frames.
+  size_t bufferedBytes() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+  bool Corrupt = false;
+};
 
 } // namespace server
 } // namespace lslp

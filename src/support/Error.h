@@ -48,6 +48,9 @@ enum class ErrorCategory : uint8_t {
   Internal, ///< The serving side failed (recovered worker crash, malformed
             ///< wire frame, ...) — the request is poisoned, the process
             ///< keeps running.
+  Overloaded, ///< The serving side is at capacity and shed this request
+              ///< before doing any work; retrying after a backoff is safe
+              ///< and expected (see DESIGN.md "Serving failure model").
 };
 
 /// Returns a stable lower-case name for \p Cat ("parse", "verify", ...).
@@ -67,6 +70,8 @@ inline const char *errorCategoryName(ErrorCategory Cat) {
     return "io";
   case ErrorCategory::Internal:
     return "internal";
+  case ErrorCategory::Overloaded:
+    return "overloaded";
   }
   return "unknown";
 }

@@ -18,6 +18,16 @@ const char *lslp::faultSiteName(FaultSite Site) {
     return "look-ahead";
   case FaultSite::Verify:
     return "verify";
+  case FaultSite::IoTornRead:
+    return "io-torn-read";
+  case FaultSite::IoShortWrite:
+    return "io-short-write";
+  case FaultSite::IoDelay:
+    return "io-delay";
+  case FaultSite::IoReset:
+    return "io-reset";
+  case FaultSite::IoEintr:
+    return "io-eintr";
   }
   return "unknown";
 }

@@ -31,15 +31,25 @@
 
 namespace lslp {
 
-/// The places a fault can be injected. Each maps to a real resource-budget
-/// or verification site in the vectorizer.
+/// The places a fault can be injected. The first group maps to real
+/// resource-budget or verification sites in the vectorizer; the IO group
+/// maps to network-layer misbehavior injected by the server::ChaosSocket
+/// transport shim (see DESIGN.md "Serving failure model"). Values are
+/// append-only: per-site draw sequences depend only on the site index, so
+/// adding sites never perturbs the faults an existing (seed, probability)
+/// pair injects at the old sites.
 enum class FaultSite : unsigned {
   GraphNode,   ///< SLP graph node creation (GraphBuilder).
   Permutation, ///< Operand-permutation evaluation (OperandReordering).
   LookAhead,   ///< Recursive look-ahead score evaluation (LookAhead).
   Verify,      ///< Post-vectorization function verification.
+  IoTornRead,  ///< recv() returns a single byte (frames arrive shredded).
+  IoShortWrite,///< send() accepts a single byte (peers see torn frames).
+  IoDelay,     ///< A read/write is delayed by a few milliseconds.
+  IoReset,     ///< The call fails with ECONNRESET (mid-request reset).
+  IoEintr,     ///< The call fails with EINTR (signal-interrupt storm).
 };
-constexpr unsigned NumFaultSites = 4;
+constexpr unsigned NumFaultSites = 9;
 
 /// Stable lower-case name ("graph-node", ...) for diagnostics and remarks.
 const char *faultSiteName(FaultSite Site);

@@ -1,0 +1,180 @@
+//===- tests/server/ChaosSocketTest.cpp - Chaos transport unit tests -----------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The ChaosSocket itself: deterministic schedules, per-site counters, and
+// the lossless guarantee — a frame round-trip over a socketpair converges
+// byte-identically under full shredding as long as resets stay off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ChaosSocket.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace lslp;
+using namespace lslp::server;
+
+namespace {
+
+/// A connected AF_UNIX socketpair with RAII close.
+struct SocketPair {
+  int Fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  }
+  ~SocketPair() {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+  }
+};
+
+/// Drives a fixed single-threaded traffic pattern through \p Sock and
+/// returns the per-site injection counts. Same options => same counts.
+std::array<uint64_t, NumFaultSites> driveFixedTraffic(ChaosSocket &Sock) {
+  SocketPair Pair;
+  char Buf[64];
+  for (unsigned I = 0; I != 200; ++I) {
+    ssize_t N = Sock.sendSome(Pair.Fds[0], "payload-bytes", 13, MSG_NOSIGNAL);
+    if (N < 0)
+      continue; // injected reset/EINTR: nothing was queued
+    ssize_t Got = 0;
+    while (Got < N) {
+      ssize_t R = Sock.recvSome(Pair.Fds[1], Buf, sizeof(Buf), 0);
+      if (R > 0)
+        Got += R;
+      // Injected failures on the read side: retry; the bytes are queued.
+    }
+  }
+  std::array<uint64_t, NumFaultSites> Counts{};
+  for (unsigned I = 0; I != NumFaultSites; ++I)
+    Counts[I] = Sock.injectedAt(static_cast<FaultSite>(I));
+  return Counts;
+}
+
+// Chaos schedules must be reproducible: the whole point of recording
+// (seed, probability) in a failing run is that re-running names the same
+// faults.
+TEST(ChaosSocket, SameSeedSameSchedule) {
+  ChaosSocket::Options Opts;
+  Opts.Seed = 0xc4a0;
+  Opts.Probability = 0.15;
+  Opts.Resets = false; // keep the traffic pattern itself deterministic
+  Opts.Eintr = false;
+  Opts.DelayMicros = 1;
+
+  ChaosSocket A(Opts);
+  ChaosSocket B(Opts);
+  EXPECT_EQ(driveFixedTraffic(A), driveFixedTraffic(B));
+  EXPECT_GT(A.totalInjected(), 0u);
+}
+
+TEST(ChaosSocket, DifferentSeedsDiverge) {
+  ChaosSocket::Options Opts;
+  Opts.Probability = 0.15;
+  Opts.Resets = false;
+  Opts.Eintr = false;
+  Opts.DelayMicros = 1;
+
+  Opts.Seed = 1;
+  ChaosSocket A(Opts);
+  Opts.Seed = 2;
+  ChaosSocket B(Opts);
+  EXPECT_NE(driveFixedTraffic(A), driveFixedTraffic(B));
+}
+
+// Site switches gate exactly their own fault class, and the counters
+// attribute injections to the right site. (Torn reads at p=1 still
+// converge because every one-byte recv makes progress — unlike an
+// EINTR-only p=1 schedule, which would genuinely livelock a retry loop.)
+TEST(ChaosSocket, CountersTrackOnlyEnabledSites) {
+  ChaosSocket::Options Opts;
+  Opts.Seed = 7;
+  Opts.Probability = 1.0;
+  Opts.TornReads = true;
+  Opts.ShortWrites = false;
+  Opts.Delays = false;
+  Opts.Resets = false;
+  Opts.Eintr = false;
+
+  ChaosSocket Sock(Opts);
+  SocketPair Pair;
+  ASSERT_EQ(Sock.sendSome(Pair.Fds[0], "abcdef", 6, MSG_NOSIGNAL), 6);
+  char Buf[16];
+  size_t Got = 0;
+  while (Got < 6) {
+    ssize_t R = Sock.recvSome(Pair.Fds[1], Buf + Got, sizeof(Buf) - Got, 0);
+    ASSERT_EQ(R, 1) << "torn read must deliver exactly one byte";
+    Got += static_cast<size_t>(R);
+  }
+  EXPECT_EQ(std::string(Buf, 6), "abcdef");
+  EXPECT_EQ(Sock.injectedAt(FaultSite::IoTornRead), 6u);
+  EXPECT_EQ(Sock.injectedAt(FaultSite::IoShortWrite), 0u);
+  EXPECT_EQ(Sock.injectedAt(FaultSite::IoDelay), 0u);
+  EXPECT_EQ(Sock.injectedAt(FaultSite::IoReset), 0u);
+  EXPECT_EQ(Sock.injectedAt(FaultSite::IoEintr), 0u);
+  EXPECT_EQ(Sock.totalInjected(), 6u);
+}
+
+TEST(ChaosSocket, ResetFailsTheCallWithEconnreset) {
+  ChaosSocket::Options Opts;
+  Opts.Seed = 7;
+  Opts.Probability = 1.0;
+  Opts.TornReads = false;
+  Opts.ShortWrites = false;
+  Opts.Delays = false;
+  Opts.Resets = true;
+  Opts.Eintr = false;
+
+  ChaosSocket Sock(Opts);
+  SocketPair Pair;
+  errno = 0;
+  EXPECT_EQ(Sock.sendSome(Pair.Fds[0], "x", 1, MSG_NOSIGNAL), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  errno = 0;
+  char C;
+  EXPECT_EQ(Sock.recvSome(Pair.Fds[1], &C, 1, 0), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  EXPECT_EQ(Sock.injectedAt(FaultSite::IoReset), 2u);
+}
+
+// The lossless contract end to end: writeFrame/readFrame through an
+// installed chaos transport (shredding every call, no resets) still move
+// a large frame byte-identically — the deadline loops must treat one-byte
+// progress and EINTR as progress, not failure.
+TEST(ChaosSocket, LosslessChaosFrameRoundTripConverges) {
+  ChaosSocket::Options Opts;
+  Opts.Seed = 0x10551e55;
+  Opts.Probability = 0.2;
+  Opts.Resets = false;
+  Opts.DelayMicros = 50;
+
+  ScopedChaosSocket Chaos(Opts);
+
+  SocketPair Pair;
+  std::string Payload;
+  Payload.reserve(128 * 1024);
+  for (unsigned I = 0; Payload.size() < 128 * 1024; ++I)
+    Payload += static_cast<char>('a' + (I % 26));
+
+  std::thread Writer([&] {
+    Error E = writeFrame(Pair.Fds[0], Payload, /*TimeoutMs=*/20000);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  });
+  std::string Got;
+  Error E = readFrame(Pair.Fds[1], Got, nullptr, /*TimeoutMs=*/20000);
+  Writer.join();
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Got, Payload);
+  EXPECT_GT(Chaos.socket().totalInjected(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+//===- tests/server/ClientRetryTest.cpp - Client resilience tests --------------===//
+//
+// Part of the LSLP reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// DaemonClient retry/backoff/deadline behavior against scripted fake
+// daemons (raw listeners that misbehave on purpose), plus
+// runFuzzSweepViaDaemons failover: a dead daemon's seed range re-shards
+// across survivors with byte-identical delivery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace lslp;
+using namespace lslp::server;
+
+namespace {
+
+std::string uniqueSocketPath() {
+  static std::atomic<unsigned> Counter{0};
+  return "/tmp/lslp-crt-" + std::to_string(::getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1)) + ".sock";
+}
+
+/// A scripted one-connection-at-a-time fake daemon: accepts, then hands
+/// each accepted fd to \p Serve until the listener is closed.
+class FakeDaemon {
+public:
+  explicit FakeDaemon(std::function<void(int Fd)> Serve)
+      : Path(uniqueSocketPath()), ServeFn(std::move(Serve)) {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    EXPECT_EQ(::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)),
+              0);
+    EXPECT_EQ(::listen(ListenFd, 8), 0);
+    Acceptor = std::thread([this] {
+      for (;;) {
+        int Fd = ::accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          return; // listener closed: shut down
+        ServeFn(Fd);
+        ::close(Fd);
+      }
+    });
+  }
+
+  ~FakeDaemon() {
+    // shutdown() unblocks accept() reliably; close() alone may not.
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+    if (Acceptor.joinable())
+      Acceptor.join();
+    ::unlink(Path.c_str());
+  }
+
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+  int ListenFd = -1;
+  std::function<void(int)> ServeFn;
+  std::thread Acceptor;
+};
+
+CompileResponse cannedResponse() {
+  CompileResponse Resp;
+  Resp.ExitCode = 0;
+  Resp.IRText = "; canned\n";
+  return Resp;
+}
+
+// An Overloaded shed is an invitation to back off and resend on the same
+// connection — the client must deliver the eventual success, and the
+// caller never sees the shed.
+TEST(ClientRetry, OverloadedShedIsRetriedToSuccess) {
+  std::atomic<int> Requests{0};
+  FakeDaemon Fake([&](int Fd) {
+    std::string Frame;
+    while (!readFrame(Fd, Frame)) {
+      ++Requests;
+      if (Requests.load() == 1) {
+        ErrorResponse Shed;
+        Shed.Category = static_cast<uint8_t>(ErrorCategory::Overloaded);
+        Shed.Message = "daemon overloaded: try later";
+        if (writeFrame(Fd, encodeErrorResponse(Shed)))
+          return;
+      } else {
+        if (writeFrame(Fd, encodeCompileResponse(cannedResponse())))
+          return;
+      }
+    }
+  });
+
+  ClientOptions Opts;
+  Opts.MaxRetries = 2;
+  Opts.BackoffBaseMs = 5;
+  DaemonClient Client(Opts);
+  ASSERT_FALSE(static_cast<bool>(Client.connect(Fake.path())));
+  CompileResponse Resp;
+  Error E = Client.compile(CompileRequest(), Resp);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Resp.IRText, "; canned\n");
+  EXPECT_EQ(Requests.load(), 2);
+}
+
+// A daemon that drops the connection mid-reply: the client reconnects and
+// retries; the second connection serves normally.
+TEST(ClientRetry, MidReplyDisconnectTriggersReconnectRetry) {
+  std::atomic<int> Connections{0};
+  FakeDaemon Fake([&](int Fd) {
+    int Conn = ++Connections;
+    std::string Frame;
+    while (!readFrame(Fd, Frame)) {
+      if (Conn == 1) {
+        // Half a frame, then hang up.
+        char Torn[6] = {100, 0, 0, 0, 'x', 'y'};
+        ::send(Fd, Torn, sizeof(Torn), MSG_NOSIGNAL);
+        return;
+      }
+      if (writeFrame(Fd, encodeCompileResponse(cannedResponse())))
+        return;
+    }
+  });
+
+  ClientOptions Opts;
+  Opts.MaxRetries = 2;
+  Opts.BackoffBaseMs = 5;
+  DaemonClient Client(Opts);
+  ASSERT_FALSE(static_cast<bool>(Client.connect(Fake.path())));
+  CompileResponse Resp;
+  Error E = Client.compile(CompileRequest(), Resp);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Resp.IRText, "; canned\n");
+  EXPECT_EQ(Connections.load(), 2);
+}
+
+// With retries exhausted the client reports the transport error rather
+// than hanging or looping forever.
+TEST(ClientRetry, RetriesAreBounded) {
+  std::atomic<int> Connections{0};
+  FakeDaemon Fake([&](int Fd) {
+    ++Connections;
+    std::string Frame;
+    (void)readFrame(Fd, Frame); // swallow the request...
+    (void)readFrame(Fd, Frame); // ...and stall: each attempt must time out
+  });
+
+  ClientOptions Opts;
+  Opts.MaxRetries = 2;
+  Opts.BackoffBaseMs = 2;
+  Opts.RequestTimeoutMs = 150; // each attempt times out quickly
+  DaemonClient Client(Opts);
+  ASSERT_FALSE(static_cast<bool>(Client.connect(Fake.path())));
+  CompileResponse Resp;
+  Error E = Client.compile(CompileRequest(), Resp);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.category(), ErrorCategory::IO);
+  EXPECT_EQ(Connections.load(), 3); // 1 attempt + 2 retries
+}
+
+// Satellite: control requests against a stalled daemon must time out
+// cleanly (short deadline) instead of hanging the operator's terminal.
+TEST(ClientRetry, ControlRequestsTimeOutAgainstStalledDaemon) {
+  FakeDaemon Fake([&](int Fd) {
+    std::string Frame;
+    (void)readFrame(Fd, Frame); // accept the request...
+    (void)readFrame(Fd, Frame); // ...then stall until the client gives up
+  });
+
+  ClientOptions Opts;
+  Opts.ControlTimeoutMs = 150;
+  DaemonClient Client(Opts);
+  ASSERT_FALSE(static_cast<bool>(Client.connect(Fake.path())));
+  std::string JSON;
+  Error E = Client.stats(JSON);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.category(), ErrorCategory::IO);
+  EXPECT_NE(E.message().find("timed out"), std::string::npos) << E.message();
+
+  DaemonClient Client2(Opts);
+  ASSERT_FALSE(static_cast<bool>(Client2.connect(Fake.path())));
+  E = Client2.shutdownDaemon();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.category(), ErrorCategory::IO);
+}
+
+/// A real in-process daemon for the failover tests.
+struct RealDaemon {
+  explicit RealDaemon(DaemonOptions Opts = DaemonOptions()) {
+    Opts.SocketPath = uniqueSocketPath();
+    D = std::make_unique<Daemon>(std::move(Opts));
+    Error E = D->bind();
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    Server = std::thread([this] { D->run(); });
+  }
+  ~RealDaemon() {
+    D->requestShutdown();
+    if (Server.joinable())
+      Server.join();
+  }
+  const std::string &path() const { return D->socketPath(); }
+  std::unique_ptr<Daemon> D;
+  std::thread Server;
+};
+
+FuzzSweepOptions smallSweep() {
+  FuzzSweepOptions Opts;
+  Opts.Count = 12;
+  Opts.FirstSeed = 100;
+  Opts.Jobs = 2;
+  return Opts;
+}
+
+/// One sweep's delivered outcomes plus its result, flattened so tests can
+/// compare runs without juggling Expected's no-default-state invariant.
+struct SweepRun {
+  std::vector<SeedOutcome> Outcomes;
+  int64_t Failures = 0;
+  bool OK = false;
+  std::string ErrMsg;
+};
+
+SweepRun collectSweep(const FuzzSweepOptions &Opts,
+                      const std::vector<std::string> &Socks,
+                      const ClientOptions &Client) {
+  SweepRun Run;
+  Expected<int64_t> Result = runFuzzSweepViaDaemons(
+      Opts, Socks, [&](const SeedOutcome &O) { Run.Outcomes.push_back(O); },
+      Client);
+  if ((Run.OK = Result.hasValue()))
+    Run.Failures = *Result;
+  else
+    Run.ErrMsg = Result.getError().message();
+  return Run;
+}
+
+// The tentpole failover contract: one dead daemon out of two costs
+// latency, not the sweep — and the delivered outcome stream is
+// byte-identical to an all-healthy run.
+TEST(ClientRetry, DeadDaemonRangeFailsOverToSurvivor) {
+  RealDaemon Live;
+  std::string DeadPath = uniqueSocketPath(); // nothing listens here
+
+  ClientOptions Fast;
+  Fast.ConnectTimeoutMs = 500;
+  Fast.MaxRetries = 1;
+  Fast.BackoffBaseMs = 5;
+
+  SweepRun Healthy = collectSweep(smallSweep(), {Live.path()}, Fast);
+  ASSERT_TRUE(Healthy.OK) << Healthy.ErrMsg;
+
+  SweepRun Failover =
+      collectSweep(smallSweep(), {Live.path(), DeadPath}, Fast);
+  ASSERT_TRUE(Failover.OK) << Failover.ErrMsg;
+  EXPECT_EQ(Failover.Failures, Healthy.Failures);
+
+  ASSERT_EQ(Failover.Outcomes.size(), Healthy.Outcomes.size());
+  for (size_t I = 0; I != Healthy.Outcomes.size(); ++I) {
+    EXPECT_EQ(Failover.Outcomes[I].Seed, Healthy.Outcomes[I].Seed)
+        << "outcome " << I;
+    EXPECT_EQ(Failover.Outcomes[I].Passed, Healthy.Outcomes[I].Passed)
+        << "outcome " << I;
+    EXPECT_EQ(Failover.Outcomes[I].Reason, Healthy.Outcomes[I].Reason)
+        << "outcome " << I;
+  }
+}
+
+// Satellite: when a sweep does fail, the error names the daemon socket
+// and the seed range it owned — the two facts triage actually needs.
+TEST(ClientRetry, SweepErrorNamesSocketAndSeedRange) {
+  std::string Dead1 = uniqueSocketPath();
+  std::string Dead2 = uniqueSocketPath();
+
+  ClientOptions Fast;
+  Fast.ConnectTimeoutMs = 200;
+  Fast.MaxRetries = 0;
+  Fast.BackoffBaseMs = 1;
+
+  SweepRun Run = collectSweep(smallSweep(), {Dead1, Dead2}, Fast);
+  ASSERT_FALSE(Run.OK);
+  const std::string &Msg = Run.ErrMsg;
+  EXPECT_NE(Msg.find(Dead1), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find(Dead2), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("seeds [100, 106)"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("seeds [106, 112)"), std::string::npos) << Msg;
+}
+
+} // namespace

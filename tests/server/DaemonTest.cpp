@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "server/ChaosSocket.h"
 #include "server/Client.h"
 #include "server/CompileService.h"
 #include "server/Daemon.h"
@@ -26,8 +27,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <thread>
@@ -326,6 +329,222 @@ TEST_F(DaemonTest, StatsRequestReportsCountersAndCacheBlock) {
   EXPECT_NE(JSON.find("\"cache\":{"), std::string::npos) << JSON;
   EXPECT_NE(JSON.find("\"hits\":1"), std::string::npos) << JSON;
   EXPECT_NE(JSON.find("\"misses\":1"), std::string::npos) << JSON;
+}
+
+/// Waits (up to \p TimeoutMs) for the daemon to close \p Fd. Returns true
+/// when EOF/reset was observed.
+bool waitForPeerClose(int Fd, int TimeoutMs) {
+  pollfd P{Fd, POLLIN, 0};
+  auto Start = std::chrono::steady_clock::now();
+  for (;;) {
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    if (Elapsed >= TimeoutMs)
+      return false;
+    int Ready = ::poll(&P, 1, static_cast<int>(TimeoutMs - Elapsed));
+    if (Ready < 0 && errno == EINTR)
+      continue;
+    if (Ready <= 0)
+      return false;
+    char Buf[64];
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (N == 0 || (N < 0 && errno != EAGAIN && errno != EINTR))
+      return true; // EOF or reset: the daemon reaped us.
+  }
+}
+
+// The slow-loris attack: a client trickling one byte of a request frame
+// per interval must be reaped at the request deadline — and must not
+// delay a well-behaved concurrent client by more than normal batching.
+TEST_F(DaemonTest, SlowLorisClientIsReapedWithoutDelayingOthers) {
+  DaemonOptions Opts;
+  Opts.RequestTimeoutMs = 300;
+  Opts.IdleTimeoutMs = 0; // isolate the request deadline
+  startDaemon(Opts);
+
+  int Loris = rawConnect(socketPath());
+  ASSERT_GE(Loris, 0);
+  std::atomic<bool> Reaped{false};
+  std::thread Attacker([&] {
+    // A length prefix promising 4096 bytes, then a trickle that could
+    // run for minutes if nobody reaps it.
+    unsigned char Prefix[4] = {0, 16, 0, 0};
+    ::send(Loris, Prefix, 4, MSG_NOSIGNAL);
+    for (int I = 0; I < 200 && !Reaped.load(); ++I) {
+      char Byte = 'x';
+      if (::send(Loris, &Byte, 1, MSG_NOSIGNAL) <= 0) {
+        Reaped.store(true);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!Reaped.load())
+      Reaped.store(waitForPeerClose(Loris, 2000));
+  });
+
+  // Meanwhile a normal client keeps compiling successfully.
+  CompileRequest Req = makeRequest(kernelModuleText("motivation-multi"));
+  CompileResponse Local = runCompileRequest(Req);
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+  for (int I = 0; I < 3; ++I) {
+    CompileResponse Resp;
+    Error E = Client.compile(Req, Resp);
+    ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+    expectSameResponse(Resp, Local);
+  }
+
+  Attacker.join();
+  ::close(Loris);
+  EXPECT_TRUE(Reaped.load()) << "slow-loris connection was never reaped";
+
+  std::string JSON;
+  ASSERT_FALSE(static_cast<bool>(Client.stats(JSON)));
+  EXPECT_NE(JSON.find("\"deadline-misses\":"), std::string::npos) << JSON;
+  EXPECT_EQ(JSON.find("\"deadline-misses\":0"), std::string::npos) << JSON;
+}
+
+TEST_F(DaemonTest, IdleConnectionIsReaped) {
+  DaemonOptions Opts;
+  Opts.IdleTimeoutMs = 150;
+  Opts.RequestTimeoutMs = 0; // isolate the idle deadline
+  startDaemon(Opts);
+
+  int Fd = rawConnect(socketPath());
+  ASSERT_GE(Fd, 0);
+  EXPECT_TRUE(waitForPeerClose(Fd, 3000));
+  ::close(Fd);
+
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+  std::string JSON;
+  ASSERT_FALSE(static_cast<bool>(Client.stats(JSON)));
+  EXPECT_NE(JSON.find("\"reaped-idle\":1"), std::string::npos) << JSON;
+}
+
+// Admission control: with MaxPending=1, two compile frames arriving in
+// one round get one real compile and one structured Overloaded shed.
+// (Sending both frames in a single send() makes them land in one read
+// round deterministically; the shed reply is queued immediately, so it
+// arrives before the batched compile response.)
+TEST_F(DaemonTest, OverloadShedsWithStructuredError) {
+  DaemonOptions Opts;
+  Opts.MaxPending = 1;
+  startDaemon(Opts);
+
+  CompileRequest Req = makeRequest(kernelModuleText("motivation-multi"));
+  CompileResponse Local = runCompileRequest(Req);
+  std::string Payload = encodeCompileRequest(Req);
+  std::string Frame;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Frame.push_back(static_cast<char>((Len >> Shift) & 0xff));
+  Frame += Payload;
+  std::string Two = Frame + Frame;
+
+  int Fd = rawConnect(socketPath());
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(::send(Fd, Two.data(), Two.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(Two.size()));
+
+  std::string First, Second;
+  ASSERT_FALSE(static_cast<bool>(readFrame(Fd, First, nullptr, 30000)));
+  ASSERT_FALSE(static_cast<bool>(readFrame(Fd, Second, nullptr, 30000)));
+  ::close(Fd);
+
+  ASSERT_EQ(peekKind(First), MessageKind::ErrorResponse);
+  ErrorResponse Shed;
+  std::string Err;
+  ASSERT_TRUE(decodeErrorResponse(First, Shed, Err)) << Err;
+  EXPECT_EQ(Shed.Category, static_cast<uint8_t>(ErrorCategory::Overloaded));
+  EXPECT_NE(Shed.Message.find("overloaded"), std::string::npos)
+      << Shed.Message;
+
+  ASSERT_EQ(peekKind(Second), MessageKind::CompileResponse);
+  CompileResponse Resp;
+  ASSERT_TRUE(decodeCompileResponse(Second, Resp, Err)) << Err;
+  expectSameResponse(Resp, Local);
+
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+  std::string JSON;
+  ASSERT_FALSE(static_cast<bool>(Client.stats(JSON)));
+  EXPECT_NE(JSON.find("\"overloaded\":1"), std::string::npos) << JSON;
+}
+
+TEST_F(DaemonTest, HealthProbeAnswersInline) {
+  startDaemon();
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+  HealthResponse H;
+  Error E = Client.health(H);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_TRUE(H.Ready);
+  EXPECT_EQ(H.QueueDepth, 0u);
+  EXPECT_EQ(H.DeadlineMisses, 0u);
+}
+
+// Chaos, lossless sites only: with torn reads, short writes, delays, and
+// EINTR storms shredding every socket call on both ends, every compile
+// must still converge to the byte-identical response.
+TEST_F(DaemonTest, LosslessChaosStillConvergesByteIdentical) {
+  CompileRequest Req = makeRequest(kernelModuleText("motivation-multi"));
+  CompileResponse Local = runCompileRequest(Req);
+
+  ChaosSocket::Options CO;
+  CO.Seed = 0xc4a05;
+  CO.Probability = 0.05;
+  CO.Resets = false; // lossless legs only: no connection may be lost
+  CO.DelayMicros = 200;
+  ScopedChaosSocket Chaos(CO);
+
+  startDaemon();
+  DaemonClient Client;
+  ASSERT_FALSE(static_cast<bool>(Client.connect(socketPath())));
+  for (int I = 0; I < 4; ++I) {
+    CompileResponse Resp;
+    Error E = Client.compile(Req, Resp);
+    ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+    expectSameResponse(Resp, Local);
+  }
+  EXPECT_GT(Chaos.socket().totalInjected(), 0u);
+
+  // Shut the daemon down while chaos is still installed: the drain path
+  // must also survive shredded IO.
+  ASSERT_FALSE(static_cast<bool>(Client.shutdownDaemon()));
+  Server.join();
+}
+
+// Full chaos including resets: connections get torn down mid-request, and
+// the client's bounded retry absorbs every loss without surfacing an
+// error or a wrong answer.
+TEST_F(DaemonTest, ResetChaosIsAbsorbedByClientRetry) {
+  CompileRequest Req = makeRequest(kernelModuleText("453.vsumsqr"));
+  CompileResponse Local = runCompileRequest(Req);
+
+  ChaosSocket::Options CO;
+  CO.Seed = 0x5eed;
+  CO.Probability = 0.02;
+  CO.DelayMicros = 100;
+  ScopedChaosSocket Chaos(CO);
+
+  startDaemon();
+  ClientOptions Retry;
+  Retry.MaxRetries = 10; // resets hit both ends; give the client headroom
+  Retry.BackoffBaseMs = 5;
+  DaemonClient Client(Retry);
+  Error E = Client.connect(socketPath());
+  for (int Attempt = 0; E && Attempt < 10; ++Attempt)
+    E = Client.connect(socketPath()); // connect() itself can draw a reset
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  for (int I = 0; I < 4; ++I) {
+    CompileResponse Resp;
+    E = Client.compile(Req, Resp);
+    ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+    expectSameResponse(Resp, Local);
+  }
+  EXPECT_GT(Chaos.socket().totalInjected(), 0u);
 }
 
 TEST_F(DaemonTest, ShutdownRequestDrainsAndUnlinksTheSocket) {

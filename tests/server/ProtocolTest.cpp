@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace lslp;
@@ -276,6 +278,165 @@ TEST(Protocol, OversizedLengthPrefixIsRejectedNotAllocated) {
   Error E = readFrame(SP.Fds[1], Got);
   EXPECT_TRUE(static_cast<bool>(E));
   EXPECT_EQ(E.category(), ErrorCategory::Internal);
+}
+
+TEST(Protocol, HealthMessagesRoundTrip) {
+  EXPECT_EQ(peekKind(encodeHealthRequest()), MessageKind::HealthRequest);
+
+  HealthResponse In;
+  In.Ready = true;
+  In.QueueDepth = 17;
+  In.DeadlineMisses = 0xdeadbeefULL;
+  std::string Payload = encodeHealthResponse(In);
+  EXPECT_EQ(peekKind(Payload), MessageKind::HealthResponse);
+
+  HealthResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeHealthResponse(Payload, Out, Err)) << Err;
+  EXPECT_EQ(Out.Ready, In.Ready);
+  EXPECT_EQ(Out.QueueDepth, In.QueueDepth);
+  EXPECT_EQ(Out.DeadlineMisses, In.DeadlineMisses);
+
+  // Trailing garbage is rejected like every other message.
+  Payload += 'x';
+  EXPECT_FALSE(decodeHealthResponse(Payload, Out, Err));
+}
+
+/// Frames a payload the way writeFrame does: u32 LE length + bytes.
+std::string frameBytes(std::string_view Payload) {
+  std::string Frame;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Frame.push_back(static_cast<char>((Len >> Shift) & 0xff));
+  Frame.append(Payload);
+  return Frame;
+}
+
+// The incremental decoder behind the daemon's non-blocking read path:
+// feeding a frame one byte at a time — worst-case shredding, splitting
+// inside the length prefix — must yield exactly the original payload.
+TEST(Protocol, FrameAssemblerReassemblesByteAtATime) {
+  std::string Payload = encodeStatsRequest();
+  std::string Frame = frameBytes(Payload);
+
+  FrameAssembler Asm;
+  std::string Got;
+  for (size_t I = 0; I != Frame.size(); ++I) {
+    EXPECT_FALSE(Asm.next(Got)) << "frame completed early at byte " << I;
+    Asm.feed(&Frame[I], 1);
+    // After 1..3 bytes we are inside the length prefix — still mid-frame.
+    EXPECT_TRUE(Asm.midFrame());
+  }
+  ASSERT_TRUE(Asm.next(Got));
+  EXPECT_EQ(Got, Payload);
+  EXPECT_FALSE(Asm.midFrame());
+  EXPECT_EQ(Asm.bufferedBytes(), 0u);
+  EXPECT_FALSE(Asm.corrupt());
+}
+
+// Several frames delivered in one read, with the tail split mid-prefix:
+// next() drains the complete ones and midFrame() reports the remainder.
+TEST(Protocol, FrameAssemblerHandlesCoalescedAndSplitFrames) {
+  std::string P1 = encodeStatsRequest();
+  std::string P2 = encodeShutdownRequest();
+  std::string P3 = encodeHealthRequest();
+  std::string Wire = frameBytes(P1) + frameBytes(P2) + frameBytes(P3);
+
+  // Deliver everything except the last 2 bytes (mid-payload of P3).
+  FrameAssembler Asm;
+  Asm.feed(Wire.data(), Wire.size() - 2);
+  std::string Got;
+  ASSERT_TRUE(Asm.next(Got));
+  EXPECT_EQ(Got, P1);
+  ASSERT_TRUE(Asm.next(Got));
+  EXPECT_EQ(Got, P2);
+  EXPECT_FALSE(Asm.next(Got));
+  EXPECT_TRUE(Asm.midFrame());
+
+  Asm.feed(Wire.data() + Wire.size() - 2, 2);
+  ASSERT_TRUE(Asm.next(Got));
+  EXPECT_EQ(Got, P3);
+  EXPECT_FALSE(Asm.midFrame());
+}
+
+TEST(Protocol, FrameAssemblerFlagsOversizedPrefixAsCorrupt) {
+  FrameAssembler Asm;
+  char Prefix[4] = {'\xff', '\xff', '\xff', '\xff'};
+  Asm.feed(Prefix, 4);
+  std::string Got;
+  EXPECT_FALSE(Asm.next(Got));
+  EXPECT_TRUE(Asm.corrupt());
+  // A corrupt stream never resynchronizes, no matter what arrives next.
+  std::string Frame = frameBytes(encodeStatsRequest());
+  Asm.feed(Frame.data(), Frame.size());
+  EXPECT_FALSE(Asm.next(Got));
+  EXPECT_TRUE(Asm.corrupt());
+}
+
+// Deadline-aware reads: a peer that trickles one byte per interval but
+// finishes within the budget succeeds; a peer that stalls mid-frame makes
+// readFrame fail with a "timed out" IO error instead of hanging forever.
+TEST(Protocol, DeadlineReadSurvivesTrickleButCatchesStall) {
+  {
+    SocketPair SP;
+    std::string Frame = frameBytes(encodeShutdownRequest());
+    std::thread Writer([&] {
+      for (char C : Frame) {
+        ::send(SP.Fds[0], &C, 1, MSG_NOSIGNAL);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    std::string Got;
+    Error E = readFrame(SP.Fds[1], Got, nullptr, /*TimeoutMs=*/5000);
+    Writer.join();
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    EXPECT_EQ(Got, encodeShutdownRequest());
+  }
+  {
+    SocketPair SP;
+    // Half a length prefix, then silence: the deadline must fire.
+    ASSERT_EQ(::send(SP.Fds[0], "\x08\x00", 2, 0), 2);
+    std::string Got;
+    Error E = readFrame(SP.Fds[1], Got, nullptr, /*TimeoutMs=*/100);
+    ASSERT_TRUE(static_cast<bool>(E));
+    EXPECT_EQ(E.category(), ErrorCategory::IO);
+    EXPECT_NE(E.message().find("timed out"), std::string::npos)
+        << E.message();
+  }
+}
+
+// Deadline-aware writes: a peer that never reads eventually fills both
+// socket buffers; writeFrame must then fail with a timeout instead of
+// blocking the caller forever.
+TEST(Protocol, DeadlineWriteCatchesStalledReader) {
+  SocketPair SP;
+  // Shrink the send buffer so the test fills it quickly.
+  int Small = 4096;
+  ::setsockopt(SP.Fds[0], SOL_SOCKET, SO_SNDBUF, &Small, sizeof(Small));
+  std::string Huge(4u << 20, 'x');
+  Error E = writeFrame(SP.Fds[0], Huge, /*TimeoutMs=*/150);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.category(), ErrorCategory::IO);
+  EXPECT_NE(E.message().find("timed out"), std::string::npos) << E.message();
+}
+
+// Short-written replies on the daemon side of a socketpair: writeFrame
+// pushing through a tiny send buffer while the reader drains byte-at-a-
+// time must still converge to the identical frame.
+TEST(Protocol, ShortWritesAndTornReadsStillConverge) {
+  SocketPair SP;
+  int Small = 2048;
+  ::setsockopt(SP.Fds[0], SOL_SOCKET, SO_SNDBUF, &Small, sizeof(Small));
+  CompileResponse Resp;
+  Resp.IRText.assign(256 * 1024, 'v');
+  std::string Payload = encodeCompileResponse(Resp);
+  std::thread Writer(
+      [&] { EXPECT_FALSE(writeFrame(SP.Fds[0], Payload, 10000)); });
+  std::string Got;
+  Error E = readFrame(SP.Fds[1], Got, nullptr, 10000);
+  Writer.join();
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Got, Payload);
 }
 
 } // namespace

@@ -99,6 +99,32 @@ TEST(FaultInjection, SiteNamesAreStable) {
   EXPECT_STREQ(faultSiteName(FaultSite::Permutation), "permutation");
   EXPECT_STREQ(faultSiteName(FaultSite::LookAhead), "look-ahead");
   EXPECT_STREQ(faultSiteName(FaultSite::Verify), "verify");
+  EXPECT_STREQ(faultSiteName(FaultSite::IoTornRead), "io-torn-read");
+  EXPECT_STREQ(faultSiteName(FaultSite::IoShortWrite), "io-short-write");
+  EXPECT_STREQ(faultSiteName(FaultSite::IoDelay), "io-delay");
+  EXPECT_STREQ(faultSiteName(FaultSite::IoReset), "io-reset");
+  EXPECT_STREQ(faultSiteName(FaultSite::IoEintr), "io-eintr");
+}
+
+// Appending the IO sites must not have perturbed the draw sequences of
+// the pre-existing sites: old (seed, probability) reproducers name the
+// same faults they always did. This pins the first few draws of a known
+// stream so an accidental renumbering fails loudly.
+TEST(FaultInjection, AppendOnlySitesPreserveOldDraws) {
+  FaultInjector A(/*Seed=*/0xfeed, /*Probability=*/0.3);
+  FaultInjector B(/*Seed=*/0xfeed, /*Probability=*/0.3);
+  FaultStream SA = A.streamFor("pin");
+  FaultStream SB = B.streamFor("pin");
+  for (unsigned I = 0; I != 256; ++I) {
+    // Draws at the original four sites, with IO-site draws interleaved in
+    // one stream only: per-site counters mean the extra sites cannot
+    // shift the originals.
+    FaultSite Old = static_cast<FaultSite>(I % 4);
+    bool DrawA = SA.shouldFail(Old);
+    SB.shouldFail(static_cast<FaultSite>(4 + (I % 5)));
+    bool DrawB = SB.shouldFail(Old);
+    EXPECT_EQ(DrawA, DrawB) << "draw " << I;
+  }
 }
 
 } // namespace

@@ -39,6 +39,7 @@
 #include "ir/Verifier.h"
 #include "kernels/Kernels.h"
 #include "parser/Parser.h"
+#include "server/ChaosSocket.h"
 #include "server/Client.h"
 #include "server/CompileService.h"
 #include "support/CrashHandler.h"
@@ -55,9 +56,17 @@
 #include "vm/BytecodeDump.h"
 #include "vm/ExecutionEngine.h"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace lslp;
@@ -122,7 +131,29 @@ struct Options {
   std::vector<std::string> ConnectSockets;
   bool DaemonStats = false;    ///< --daemon-stats: print daemon counters.
   bool ShutdownDaemon = false; ///< --shutdown-daemon: drain the daemon(s).
+  bool DaemonHealth = false;   ///< --daemon-health: readiness probe.
+  /// --daemon-timeout=MS: round-trip deadline for daemon compiles/fuzz
+  /// shards (-1 = block, the default — compiles can take minutes).
+  int DaemonTimeoutMs = -1;
+  /// --daemon-retries=N: transport/overload retries before giving up (and,
+  /// for a single compile, falling back to a local compile).
+  unsigned DaemonRetries = 2;
+  /// --chaos-io=P / --chaos-seed=S: inject deterministic IO faults into
+  /// this process's socket calls (test/CI only).
+  double ChaosProbability = 0.0;
+  uint64_t ChaosSeed = 0;
+  /// --probe-stall=MS: slow-loris probe — trickle a request frame one byte
+  /// per MS toward the daemon and report whether it reaps us.
+  int ProbeStallMs = -1;
 };
+
+/// The retry/deadline policy every daemon-facing path shares.
+server::ClientOptions clientOptionsFor(const Options &Opts) {
+  server::ClientOptions C;
+  C.RequestTimeoutMs = Opts.DaemonTimeoutMs;
+  C.MaxRetries = Opts.DaemonRetries;
+  return C;
+}
 
 void printUsage() {
   outs() << "usage: lslpc <input.ll | -> [options]\n"
@@ -235,8 +266,31 @@ void printUsage() {
             "                            daemon protocol)\n"
             "  --daemon-stats            print each daemon's cache/queue "
             "counters as\n"
-            "                            JSON and exit\n"
-            "  --shutdown-daemon         ask each daemon to drain and exit\n";
+            "                            JSON and exit (short deadline: a "
+            "stalled\n"
+            "                            daemon times out instead of hanging)\n"
+            "  --daemon-health           print each daemon's readiness probe "
+            "as JSON\n"
+            "                            and exit\n"
+            "  --shutdown-daemon         ask each daemon to drain and exit\n"
+            "  --daemon-timeout=MS       round-trip deadline for daemon "
+            "compiles and\n"
+            "                            fuzz shards (default: block)\n"
+            "  --daemon-retries=N        transport/overload retries before "
+            "giving up\n"
+            "                            (default 2; single compiles then "
+            "fall back\n"
+            "                            to a local compile)\n"
+            "  --chaos-io=P              inject IO faults into this process's "
+            "socket\n"
+            "                            calls with probability P (test/CI "
+            "only)\n"
+            "  --chaos-seed=N            seed for the --chaos-io schedule\n"
+            "  --probe-stall=MS          slow-loris probe: trickle a request "
+            "frame one\n"
+            "                            byte per MS; exit 0 if the daemon "
+            "reaps the\n"
+            "                            connection, 1 if it never does\n";
 }
 
 bool readInput(const std::string &Path, std::string &Out) {
@@ -291,6 +345,23 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.DaemonStats = true;
     else if (Plain == "shutdown-daemon")
       Opts.ShutdownDaemon = true;
+    else if (Plain == "daemon-health")
+      Opts.DaemonHealth = true;
+    else if (startsWith(Plain, "daemon-timeout=") &&
+             parseInt(Plain.substr(15), Num) && Num >= 0)
+      Opts.DaemonTimeoutMs = static_cast<int>(Num);
+    else if (startsWith(Plain, "daemon-retries=") &&
+             parseInt(Plain.substr(15), Num) && Num >= 0)
+      Opts.DaemonRetries = static_cast<unsigned>(Num);
+    else if (startsWith(Plain, "chaos-io=") &&
+             parseDouble(Plain.substr(9), FP) && FP >= 0.0 && FP <= 1.0)
+      Opts.ChaosProbability = FP;
+    else if (startsWith(Plain, "chaos-seed=") &&
+             parseInt(Plain.substr(11), Num) && Num >= 0)
+      Opts.ChaosSeed = static_cast<uint64_t>(Num);
+    else if (startsWith(Plain, "probe-stall=") &&
+             parseInt(Plain.substr(12), Num) && Num >= 1)
+      Opts.ProbeStallMs = static_cast<int>(Num);
     else if (startsWith(Plain, "config-json=")) {
       // Applied in flag order, exactly like -config=: later per-knob
       // flags still override individual fields.
@@ -562,7 +633,7 @@ int runFuzz(const Options &Opts, int64_t Count, int64_t FirstSeed,
     // Outcome delivery order (and therefore every line below) matches the
     // in-process sweep.
     Expected<int64_t> FailuresOrErr = server::runFuzzSweepViaDaemons(
-        SweepOpts, SweepOpts.DaemonSockets, Consume);
+        SweepOpts, SweepOpts.DaemonSockets, Consume, clientOptionsFor(Opts));
     if (!FailuresOrErr) {
       errs() << "lslpc: " << FailuresOrErr.getError().message() << "\n";
       return 1;
@@ -851,15 +922,28 @@ int serviceCompile(const Options &Opts) {
   server::CompileRequest Req = buildCompileRequest(Opts, std::move(Source));
   server::CompileResponse Resp;
   if (!Opts.ConnectSockets.empty()) {
-    server::DaemonClient Client;
+    server::DaemonClient Client(clientOptionsFor(Opts));
     Error E = Client.connect(Opts.ConnectSockets.front());
     if (!E)
       E = Client.compile(Req, Resp);
     if (E) {
-      if (RemarkFile)
-        std::fclose(RemarkFile);
-      errs() << "lslpc: " << E.message() << "\n";
-      return 2;
+      // Transport-level failure (daemon unreachable/stalled/overloaded
+      // through the whole retry budget): a single compile can always be
+      // served locally with byte-identical output, so do that rather than
+      // failing the build. Daemon-reported compile errors are
+      // deterministic and replay as responses, never land here.
+      if (E.category() == ErrorCategory::IO ||
+          E.category() == ErrorCategory::Overloaded) {
+        errs() << "lslpc: warning: daemon at '" << Opts.ConnectSockets.front()
+               << "' unavailable (" << E.message()
+               << "); compiling locally\n";
+        Resp = server::runCompileRequest(Req);
+      } else {
+        if (RemarkFile)
+          std::fclose(RemarkFile);
+        errs() << "lslpc: " << E.message() << "\n";
+        return 2;
+      }
     }
   } else {
     Resp = server::runCompileRequest(Req);
@@ -882,23 +966,36 @@ int serviceCompile(const Options &Opts) {
   return Resp.ExitCode;
 }
 
-/// --daemon-stats / --shutdown-daemon control requests, applied to every
-/// socket listed in --connect.
+/// --daemon-stats / --daemon-health / --shutdown-daemon control requests,
+/// applied to every socket listed in --connect. Control round trips carry
+/// a short deadline by default, so a wedged daemon produces a clean
+/// timeout error instead of hanging the terminal.
 int runDaemonControl(const Options &Opts) {
   if (Opts.ConnectSockets.empty()) {
-    errs() << "lslpc: --daemon-stats/--shutdown-daemon require "
-              "--connect=SOCK\n";
+    errs() << "lslpc: --daemon-stats/--daemon-health/--shutdown-daemon "
+              "require --connect=SOCK\n";
     return 1;
   }
+  server::ClientOptions ClientOpts = clientOptionsFor(Opts);
+  if (Opts.DaemonTimeoutMs >= 0)
+    ClientOpts.ControlTimeoutMs = Opts.DaemonTimeoutMs;
   int Code = 0;
   for (const std::string &Sock : Opts.ConnectSockets) {
-    server::DaemonClient Client;
+    server::DaemonClient Client(ClientOpts);
     Error E = Client.connect(Sock);
     if (!E && Opts.DaemonStats) {
       std::string JSON;
       E = Client.stats(JSON);
       if (!E)
         outs() << JSON << "\n";
+    }
+    if (!E && Opts.DaemonHealth) {
+      server::HealthResponse H;
+      E = Client.health(H);
+      if (!E)
+        outs() << "{\"socket\":\"" << Sock << "\",\"ready\":" << H.Ready
+               << ",\"queue-depth\":" << H.QueueDepth
+               << ",\"deadline-misses\":" << H.DeadlineMisses << "}\n";
     }
     if (!E && Opts.ShutdownDaemon)
       E = Client.shutdownDaemon();
@@ -908,6 +1005,86 @@ int runDaemonControl(const Options &Opts) {
     }
   }
   return Code;
+}
+
+/// --probe-stall=MS: the slow-loris client, as a tool. Connects to the
+/// first --connect socket and trickles a valid compile-request frame one
+/// byte per interval; a deadline-aware daemon must reap the connection
+/// (exit 0) without letting the trickle delay other clients. Exit 1 means
+/// the daemon accepted the whole frame and replied — no reaping happened.
+int runStallProbe(const Options &Opts) {
+  if (Opts.ConnectSockets.empty()) {
+    errs() << "lslpc: --probe-stall requires --connect=SOCK\n";
+    return 1;
+  }
+  const std::string &Path = Opts.ConnectSockets.front();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    errs() << "lslpc: bad socket path '" << Path << "'\n";
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    errs() << "lslpc: cannot connect to daemon at '" << Path
+           << "': " << std::strerror(errno) << "\n";
+    if (Fd >= 0)
+      ::close(Fd);
+    return 1;
+  }
+
+  server::CompileRequest Req;
+  Req.InputName = "<stall-probe>";
+  Req.ModuleText = "define void @stall_probe() {\nentry:\n  ret void\n}\n";
+  Req.ConfigJSON = VectorizerConfig::lslp().toJSON();
+  std::string Payload = server::encodeCompileRequest(Req);
+  std::string Frame;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Frame.push_back(static_cast<char>((Len >> Shift) & 0xff));
+  Frame += Payload;
+
+  auto Start = std::chrono::steady_clock::now();
+  auto ElapsedMs = [&Start] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+  size_t Sent = 0;
+  for (; Sent != Frame.size(); ++Sent) {
+    ssize_t N = ::send(Fd, Frame.data() + Sent, 1, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR) {
+      --Sent;
+      continue;
+    }
+    char Probe;
+    bool PeerClosed =
+        N <= 0 || ::recv(Fd, &Probe, 1, MSG_DONTWAIT | MSG_PEEK) == 0;
+    if (PeerClosed) {
+      outs() << "lslpc: stall probe: reaped by daemon after " << Sent
+             << " byte(s), " << ElapsedMs() << " ms\n";
+      ::close(Fd);
+      return 0;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Opts.ProbeStallMs));
+  }
+  // The whole frame got through: wait briefly for the reply to prove the
+  // daemon really served (rather than reaped) us.
+  std::string Reply;
+  Error E = server::readFrame(Fd, Reply, nullptr,
+                              std::max(2000, Opts.ProbeStallMs * 10));
+  ::close(Fd);
+  if (E) {
+    outs() << "lslpc: stall probe: reaped by daemon after the full frame ("
+           << ElapsedMs() << " ms)\n";
+    return 0;
+  }
+  outs() << "lslpc: stall probe: daemon served the trickled request ("
+         << ElapsedMs() << " ms); no reaping happened\n";
+  return 1;
 }
 
 } // namespace
@@ -926,7 +1103,19 @@ int main(int argc, char **argv) {
   if (!Opts.CrashDir.empty() || Opts.FuzzCount >= 0)
     installCrashHandlers(Opts.CrashDir);
 
-  if (Opts.DaemonStats || Opts.ShutdownDaemon)
+  // Client-side chaos: shred this process's socket IO (daemon traffic
+  // included) for the rest of main. Deterministic per (seed, probability).
+  std::unique_ptr<server::ScopedChaosSocket> Chaos;
+  if (Opts.ChaosProbability > 0.0) {
+    server::ChaosSocket::Options CO;
+    CO.Seed = Opts.ChaosSeed;
+    CO.Probability = Opts.ChaosProbability;
+    Chaos = std::make_unique<server::ScopedChaosSocket>(CO);
+  }
+
+  if (Opts.ProbeStallMs >= 0)
+    return runStallProbe(Opts);
+  if (Opts.DaemonStats || Opts.DaemonHealth || Opts.ShutdownDaemon)
     return runDaemonControl(Opts);
   if (!Opts.ConnectSockets.empty() && !Opts.ReducePath.empty()) {
     errs() << "lslpc: --reduce runs locally; it cannot be combined with "

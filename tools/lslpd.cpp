@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "server/ChaosSocket.h"
 #include "server/Daemon.h"
 #include "support/CrashHandler.h"
 #include "support/OStream.h"
@@ -25,6 +26,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 using namespace lslp;
@@ -35,6 +37,10 @@ namespace {
 struct Options {
   DaemonOptions Daemon;
   std::string CrashDir;
+  /// Chaos-mode IO fault injection (CI soak; see DESIGN.md "Serving
+  /// failure model"). Probability 0 keeps the real transport.
+  double ChaosProbability = 0.0;
+  uint64_t ChaosSeed = 0;
   bool Help = false;
 };
 
@@ -55,6 +61,26 @@ void printUsage() {
             "  --allow-crash-requests    honor the test-only crash-injection "
             "request\n"
             "                            field (never enable in production)\n"
+            "  --idle-timeout-ms=N       reap connections idle for N ms "
+            "(default\n"
+            "                            300000; 0 disables)\n"
+            "  --request-timeout-ms=N    reap connections that stall a "
+            "request frame\n"
+            "                            or reply drain for N ms (default "
+            "20000;\n"
+            "                            0 disables)\n"
+            "  --max-pending=N           shed compile requests beyond N per "
+            "batching\n"
+            "                            round with an 'overloaded' error "
+            "(default\n"
+            "                            256; 0 = unlimited)\n"
+            "  --chaos-io=P              inject IO faults (torn reads, short "
+            "writes,\n"
+            "                            delays, EINTR) into the daemon's "
+            "socket\n"
+            "                            calls with probability P (test/CI "
+            "only)\n"
+            "  --chaos-seed=N            seed for the --chaos-io schedule\n"
             "  --help                    show this message\n"
             "\n"
             "The daemon drains gracefully on SIGTERM/SIGINT: in-flight "
@@ -83,6 +109,22 @@ bool parseArgs(int argc, char **argv, Options &Opts) {
       Opts.CrashDir = Plain.substr(10);
     else if (Plain == "allow-crash-requests")
       Opts.Daemon.AllowCrashRequests = true;
+    else if (startsWith(Plain, "idle-timeout-ms=") &&
+             parseInt(Plain.substr(16), Num) && Num >= 0)
+      Opts.Daemon.IdleTimeoutMs = static_cast<int>(Num);
+    else if (startsWith(Plain, "request-timeout-ms=") &&
+             parseInt(Plain.substr(19), Num) && Num >= 0)
+      Opts.Daemon.RequestTimeoutMs = static_cast<int>(Num);
+    else if (startsWith(Plain, "max-pending=") &&
+             parseInt(Plain.substr(12), Num) && Num >= 0)
+      Opts.Daemon.MaxPending = static_cast<size_t>(Num);
+    else if (startsWith(Plain, "chaos-io=") &&
+             parseDouble(Plain.substr(9), Opts.ChaosProbability) &&
+             Opts.ChaosProbability >= 0.0 && Opts.ChaosProbability <= 1.0) {
+      // Parsed in the condition.
+    } else if (startsWith(Plain, "chaos-seed=") &&
+               parseInt(Plain.substr(11), Num) && Num >= 0)
+      Opts.ChaosSeed = static_cast<uint64_t>(Num);
     else {
       errs() << "lslpd: unknown option '" << Arg
              << "' (run lslpd --help for usage)\n";
@@ -120,6 +162,19 @@ int main(int argc, char **argv) {
   // daemon's own (directory-less, idempotent-second) installation.
   if (!Opts.CrashDir.empty())
     installCrashHandlers(Opts.CrashDir);
+
+  // Chaos mode: shred the daemon's own socket IO for the whole lifetime.
+  // Installed before any traffic; the daemon must still converge on every
+  // request (lossless sites) or survive the loss (resets → client retry).
+  std::unique_ptr<ScopedChaosSocket> Chaos;
+  if (Opts.ChaosProbability > 0.0) {
+    ChaosSocket::Options CO;
+    CO.Seed = Opts.ChaosSeed;
+    CO.Probability = Opts.ChaosProbability;
+    Chaos = std::make_unique<ScopedChaosSocket>(CO);
+    outs() << "lslpd: chaos-io enabled (p=" << Opts.ChaosProbability
+           << " seed=" << Opts.ChaosSeed << ")\n";
+  }
 
   Daemon Server(Opts.Daemon);
   if (Error E = Server.bind()) {
